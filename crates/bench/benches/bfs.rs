@@ -1,0 +1,40 @@
+//! Criterion wall-clock benches for top-down BFS: branch-based vs
+//! branch-avoiding vs the bottom-up and direction-optimizing extensions, on
+//! the small benchmark suite (real-hardware confirmation of Figure 6).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bga_graph::properties::largest_component;
+use bga_graph::suite::{benchmark_suite, SuiteScale};
+use bga_kernels::bfs::{
+    bfs_branch_avoiding, bfs_branch_based,
+    bottom_up::bfs_bottom_up,
+    direction_optimizing::{bfs_direction_optimizing, DirectionConfig},
+};
+
+fn bench_bfs(c: &mut Criterion) {
+    let suite = benchmark_suite(SuiteScale::Small, 42);
+    let mut group = c.benchmark_group("top_down_bfs");
+    group.sample_size(10);
+    for sg in &suite {
+        let g = &sg.graph;
+        let root = largest_component(g).first().copied().unwrap_or(0);
+        group.bench_with_input(BenchmarkId::new("branch_based", sg.name()), g, |b, g| {
+            b.iter(|| bfs_branch_based(g, root))
+        });
+        group.bench_with_input(BenchmarkId::new("branch_avoiding", sg.name()), g, |b, g| {
+            b.iter(|| bfs_branch_avoiding(g, root))
+        });
+        group.bench_with_input(BenchmarkId::new("bottom_up", sg.name()), g, |b, g| {
+            b.iter(|| bfs_bottom_up(g, root))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("direction_optimizing", sg.name()),
+            g,
+            |b, g| b.iter(|| bfs_direction_optimizing(g, root, DirectionConfig::default())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bfs);
+criterion_main!(benches);

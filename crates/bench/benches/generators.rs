@@ -1,0 +1,38 @@
+//! Criterion benches for the graph generators and CSR construction, to keep
+//! suite-generation time (which every experiment binary pays) in check.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bga_graph::generators::{
+    barabasi_albert, erdos_renyi_gnp, grid_3d, rmat, MeshStencil, RmatParams,
+};
+use bga_graph::suite::{SuiteGraphId, SuiteScale};
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators");
+    group.sample_size(10);
+    group.bench_function("erdos_renyi_gnp_10k_vertices", |b| {
+        b.iter(|| erdos_renyi_gnp(10_000, 0.001, 1))
+    });
+    group.bench_function("barabasi_albert_10k_m3", |b| {
+        b.iter(|| barabasi_albert(10_000, 3, 1))
+    });
+    group.bench_function("rmat_scale14_100k_edges", |b| {
+        b.iter(|| rmat(14, 100_000, RmatParams::default(), 1))
+    });
+    group.bench_function("grid_3d_24_moore", |b| {
+        b.iter(|| grid_3d(24, 24, 24, MeshStencil::Moore))
+    });
+    group.finish();
+
+    let mut suite_group = c.benchmark_group("suite_standins_small");
+    suite_group.sample_size(10);
+    for id in SuiteGraphId::ALL {
+        suite_group.bench_with_input(BenchmarkId::from_parameter(id.name()), &id, |b, id| {
+            b.iter(|| id.generate(SuiteScale::Small, 42))
+        });
+    }
+    suite_group.finish();
+}
+
+criterion_group!(benches, bench_generators);
+criterion_main!(benches);

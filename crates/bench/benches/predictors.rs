@@ -1,0 +1,46 @@
+//! Criterion benches for the predictor simulators themselves: how fast each
+//! model processes a recorded branch trace. This bounds the overhead the
+//! instrumentation substrate adds to the figure harnesses.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bga_branchsim::predictor::all_predictors;
+use bga_branchsim::{BranchSite, BranchTrace};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const LOOP_SITE: BranchSite = BranchSite::new(0, "bench.loop");
+const DATA_SITE: BranchSite = BranchSite::new(1, "bench.data");
+
+fn synthetic_trace(events: usize, seed: u64) -> BranchTrace {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut trace = BranchTrace::new();
+    for i in 0..events {
+        // Alternate a predictable loop branch with a 30%-taken data branch,
+        // roughly the mix the SV kernel produces.
+        if i % 2 == 0 {
+            trace.record(LOOP_SITE, i % 64 != 63);
+        } else {
+            trace.record(DATA_SITE, rng.gen::<f64>() < 0.3);
+        }
+    }
+    trace
+}
+
+fn bench_predictors(c: &mut Criterion) {
+    let trace = synthetic_trace(200_000, 7);
+    let mut group = c.benchmark_group("predictor_replay_200k_branches");
+    for predictor in all_predictors() {
+        let name = predictor.name();
+        group.bench_with_input(BenchmarkId::from_parameter(name), &trace, |b, trace| {
+            let mut p = all_predictors()
+                .into_iter()
+                .find(|p| p.name() == name)
+                .expect("predictor exists");
+            b.iter(|| trace.replay(p.as_mut()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_predictors);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion wall-clock benches for Shiloach-Vishkin connected components:
+//! branch-based vs branch-avoiding vs hybrid vs union-find baseline, on the
+//! small benchmark suite. This is the real-hardware confirmation of the
+//! modelled Figure 3 (absolute numbers depend on the host CPU; the relative
+//! ordering is the point).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bga_graph::suite::{benchmark_suite, SuiteScale};
+use bga_kernels::cc::{
+    baseline::cc_union_find, sv_branch_avoiding, sv_branch_based, sv_hybrid,
+    sv_shortcut_branch_avoiding, sv_shortcut_branch_based, HybridConfig,
+};
+
+fn bench_sv(c: &mut Criterion) {
+    let suite = benchmark_suite(SuiteScale::Small, 42);
+    let mut group = c.benchmark_group("sv_connected_components");
+    group.sample_size(10);
+    for sg in &suite {
+        let g = &sg.graph;
+        group.bench_with_input(BenchmarkId::new("branch_based", sg.name()), g, |b, g| {
+            b.iter(|| sv_branch_based(g))
+        });
+        group.bench_with_input(BenchmarkId::new("branch_avoiding", sg.name()), g, |b, g| {
+            b.iter(|| sv_branch_avoiding(g))
+        });
+        group.bench_with_input(BenchmarkId::new("hybrid", sg.name()), g, |b, g| {
+            b.iter(|| sv_hybrid(g, HybridConfig::default()))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("shortcut_branch_based", sg.name()),
+            g,
+            |b, g| b.iter(|| sv_shortcut_branch_based(g)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("shortcut_branch_avoiding", sg.name()),
+            g,
+            |b, g| b.iter(|| sv_shortcut_branch_avoiding(g)),
+        );
+        group.bench_with_input(BenchmarkId::new("union_find", sg.name()), g, |b, g| {
+            b.iter(|| cc_union_find(g))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sv);
+criterion_main!(benches);

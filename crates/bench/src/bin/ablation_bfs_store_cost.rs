@@ -1,0 +1,44 @@
+//! Ablation: at what store cost would branch-avoiding BFS win?
+//!
+//! Section 7 of the paper asks whether microarchitectural changes (more
+//! outstanding-store resources) could make the branch-avoiding BFS pay off,
+//! since its extra stores are cache-local by construction. This ablation
+//! sweeps the store cost of each machine model from 0x to 2x its calibrated
+//! value and reports the branch-avoiding speedup, locating the break-even
+//! store cost per (graph, machine) pair.
+
+use bga_bench::harness::{bfs_pair, ExperimentContext};
+use bga_bench::report::{print_csv_row, print_header, print_section, CsvField};
+use bga_perfmodel::timing::modeled_speedup;
+
+fn main() {
+    let ctx = ExperimentContext::from_env();
+    print_section("BFS store-cost ablation: branch-avoiding speedup as the store cost scales");
+    print_header(&[
+        "graph",
+        "machine",
+        "store_cost_multiplier",
+        "store_cost_cycles",
+        "branch_avoiding_speedup",
+    ]);
+
+    let multipliers = [0.0, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0];
+    for sg in &ctx.suite {
+        let (based, avoiding) = bfs_pair(&sg.graph);
+        for machine in &ctx.machines {
+            for &mult in &multipliers {
+                let mut scaled = machine.clone();
+                scaled.store_cost = machine.store_cost * mult;
+                let speedup = modeled_speedup(&based.counters, &avoiding.counters, &scaled)
+                    .unwrap_or(f64::NAN);
+                print_csv_row(&[
+                    CsvField::Str(sg.name()),
+                    CsvField::Str(machine.name),
+                    CsvField::Float(mult),
+                    CsvField::Float(scaled.store_cost),
+                    CsvField::Float(speedup),
+                ]);
+            }
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Ablation: the hybrid SV kernel the paper's Section 6.2 suggests.
+//!
+//! Sweeps the fixed switch iteration from "always branch-avoiding" to
+//! "always branch-based" and reports the modelled total time per machine, so
+//! the best switch point (the crossover the paper observes) can be read off
+//! per (graph, machine) pair.
+
+use bga_bench::harness::ExperimentContext;
+use bga_bench::report::{print_csv_row, print_header, print_section, CsvField};
+use bga_kernels::cc::instrumented::{
+    sv_branch_avoiding_instrumented, sv_branch_based_instrumented,
+};
+use bga_perfmodel::timing::time_run;
+
+fn main() {
+    let ctx = ExperimentContext::from_env();
+    print_section("Hybrid SV ablation: modelled cycles if the kernel switches from branch-avoiding to branch-based after k sweeps");
+    print_header(&[
+        "graph",
+        "machine",
+        "switch_after_sweeps",
+        "modeled_total_cycles",
+        "pure_branch_based_cycles",
+        "pure_branch_avoiding_cycles",
+    ]);
+
+    for sg in &ctx.suite {
+        let based = sv_branch_based_instrumented(&sg.graph);
+        let avoiding = sv_branch_avoiding_instrumented(&sg.graph);
+        let sweeps = based.iterations().max(avoiding.iterations());
+        for machine in &ctx.machines {
+            let based_cycles = time_run(&based.counters, machine).step_cycles;
+            let avoiding_cycles = time_run(&avoiding.counters, machine).step_cycles;
+            let total_based: f64 = based_cycles.iter().sum();
+            let total_avoiding: f64 = avoiding_cycles.iter().sum();
+            // A hybrid that runs branch-avoiding for the first k sweeps and
+            // branch-based afterwards costs the sum of the corresponding
+            // per-sweep cycles (both variants perform identical label work
+            // per sweep, so the composition is exact).
+            for k in 0..=sweeps {
+                let hybrid: f64 = avoiding_cycles.iter().take(k).sum::<f64>()
+                    + based_cycles.iter().skip(k).sum::<f64>();
+                print_csv_row(&[
+                    CsvField::Str(sg.name()),
+                    CsvField::Str(machine.name),
+                    CsvField::Int(k as u64),
+                    CsvField::Float(hybrid),
+                    CsvField::Float(total_based),
+                    CsvField::Float(total_avoiding),
+                ]);
+            }
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Ablation: rerun the misprediction measurement (Figures 5 and 8) under
+//! every predictor model, to check that the paper's conclusions do not
+//! depend on the exact 2-bit predictor assumption.
+//!
+//! Both kernel variants are re-executed per predictor (the branch *stream*
+//! is identical run to run because the kernels are deterministic, so this is
+//! equivalent to replaying one recorded trace).
+
+use bga_bench::harness::{bfs_root, ExperimentContext};
+use bga_bench::report::{print_csv_row, print_header, print_section, CsvField};
+use bga_branchsim::predictor::{
+    AlwaysNotTakenPredictor, AlwaysTakenPredictor, BimodalPredictor, GsharePredictor,
+    OneBitPredictor, TwoBitPredictor, TwoLevelAdaptivePredictor,
+};
+use bga_kernels::bfs::instrumented::{
+    bfs_branch_avoiding_instrumented_with, bfs_branch_based_instrumented_with,
+};
+use bga_kernels::cc::instrumented::{
+    sv_branch_avoiding_instrumented_with, sv_branch_based_instrumented_with,
+};
+
+fn main() {
+    let ctx = ExperimentContext::from_env();
+    print_section("Predictor ablation: total mispredictions per kernel variant and predictor model");
+    print_header(&[
+        "graph",
+        "kernel",
+        "predictor",
+        "mispredictions_branch_based",
+        "mispredictions_branch_avoiding",
+        "ratio_based_over_avoiding",
+    ]);
+
+    let predictor_names = [
+        "2-bit",
+        "1-bit",
+        "always-taken",
+        "always-not-taken",
+        "bimodal",
+        "gshare",
+        "two-level",
+    ];
+
+    for sg in &ctx.suite {
+        let g = &sg.graph;
+        let root = bfs_root(g);
+        for &name in &predictor_names {
+            // Shiloach-Vishkin.
+            let (sv_based, sv_avoiding) = match name {
+                "2-bit" => (
+                    sv_branch_based_instrumented_with(g, TwoBitPredictor::new()),
+                    sv_branch_avoiding_instrumented_with(g, TwoBitPredictor::new()),
+                ),
+                "1-bit" => (
+                    sv_branch_based_instrumented_with(g, OneBitPredictor::new()),
+                    sv_branch_avoiding_instrumented_with(g, OneBitPredictor::new()),
+                ),
+                "always-taken" => (
+                    sv_branch_based_instrumented_with(g, AlwaysTakenPredictor::new()),
+                    sv_branch_avoiding_instrumented_with(g, AlwaysTakenPredictor::new()),
+                ),
+                "always-not-taken" => (
+                    sv_branch_based_instrumented_with(g, AlwaysNotTakenPredictor::new()),
+                    sv_branch_avoiding_instrumented_with(g, AlwaysNotTakenPredictor::new()),
+                ),
+                "bimodal" => (
+                    sv_branch_based_instrumented_with(g, BimodalPredictor::new(12)),
+                    sv_branch_avoiding_instrumented_with(g, BimodalPredictor::new(12)),
+                ),
+                "gshare" => (
+                    sv_branch_based_instrumented_with(g, GsharePredictor::new(14)),
+                    sv_branch_avoiding_instrumented_with(g, GsharePredictor::new(14)),
+                ),
+                _ => (
+                    sv_branch_based_instrumented_with(g, TwoLevelAdaptivePredictor::new(10)),
+                    sv_branch_avoiding_instrumented_with(g, TwoLevelAdaptivePredictor::new(10)),
+                ),
+            };
+            emit_row(
+                sg.name(),
+                "sv",
+                name,
+                sv_based.counters.total().branch_mispredictions,
+                sv_avoiding.counters.total().branch_mispredictions,
+            );
+
+            // BFS.
+            let (bfs_based, bfs_avoiding) = match name {
+                "2-bit" => (
+                    bfs_branch_based_instrumented_with(g, root, TwoBitPredictor::new()),
+                    bfs_branch_avoiding_instrumented_with(g, root, TwoBitPredictor::new()),
+                ),
+                "1-bit" => (
+                    bfs_branch_based_instrumented_with(g, root, OneBitPredictor::new()),
+                    bfs_branch_avoiding_instrumented_with(g, root, OneBitPredictor::new()),
+                ),
+                "always-taken" => (
+                    bfs_branch_based_instrumented_with(g, root, AlwaysTakenPredictor::new()),
+                    bfs_branch_avoiding_instrumented_with(g, root, AlwaysTakenPredictor::new()),
+                ),
+                "always-not-taken" => (
+                    bfs_branch_based_instrumented_with(g, root, AlwaysNotTakenPredictor::new()),
+                    bfs_branch_avoiding_instrumented_with(g, root, AlwaysNotTakenPredictor::new()),
+                ),
+                "bimodal" => (
+                    bfs_branch_based_instrumented_with(g, root, BimodalPredictor::new(12)),
+                    bfs_branch_avoiding_instrumented_with(g, root, BimodalPredictor::new(12)),
+                ),
+                "gshare" => (
+                    bfs_branch_based_instrumented_with(g, root, GsharePredictor::new(14)),
+                    bfs_branch_avoiding_instrumented_with(g, root, GsharePredictor::new(14)),
+                ),
+                _ => (
+                    bfs_branch_based_instrumented_with(g, root, TwoLevelAdaptivePredictor::new(10)),
+                    bfs_branch_avoiding_instrumented_with(g, root, TwoLevelAdaptivePredictor::new(10)),
+                ),
+            };
+            emit_row(
+                sg.name(),
+                "bfs",
+                name,
+                bfs_based.counters.total().branch_mispredictions,
+                bfs_avoiding.counters.total().branch_mispredictions,
+            );
+        }
+    }
+}
+
+fn emit_row(graph: &str, kernel: &str, predictor: &str, based: u64, avoiding: u64) {
+    let ratio = if avoiding > 0 {
+        based as f64 / avoiding as f64
+    } else {
+        f64::NAN
+    };
+    print_csv_row(&[
+        CsvField::Str(graph),
+        CsvField::Str(kernel),
+        CsvField::Str(predictor),
+        CsvField::Int(based),
+        CsvField::Int(avoiding),
+        CsvField::Float(ratio),
+    ]);
+}

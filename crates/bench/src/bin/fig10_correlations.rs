@@ -1,0 +1,11 @@
+//! Figure 10: pairwise Pearson correlations among per-edge time,
+//! instructions, branches, mispredictions, loads and stores for the
+//! branch-based SV and BFS kernels, per machine model.
+
+use bga_bench::figures::correlations_figure;
+use bga_bench::harness::ExperimentContext;
+
+fn main() {
+    let ctx = ExperimentContext::from_env();
+    correlations_figure(&ctx);
+}

@@ -1,0 +1,11 @@
+//! Figure 3: Shiloach-Vishkin time per iteration on every (graph, machine)
+//! pair, relative to the fastest branch-based iteration, with the overall
+//! branch-avoiding speedup per panel.
+
+use bga_bench::figures::{time_figure, Kernel};
+use bga_bench::harness::ExperimentContext;
+
+fn main() {
+    let ctx = ExperimentContext::from_env();
+    time_figure(&ctx, "Figure 3", Kernel::Sv);
+}

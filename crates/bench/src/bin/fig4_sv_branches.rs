@@ -1,0 +1,10 @@
+//! Figure 4: Shiloach-Vishkin branches per iteration (branch-based vs
+//! branch-avoiding) and the total branch ratio per graph.
+
+use bga_bench::figures::{counter_figure, CounterMetric, Kernel};
+use bga_bench::harness::ExperimentContext;
+
+fn main() {
+    let ctx = ExperimentContext::from_env();
+    counter_figure(&ctx, "Figure 4", Kernel::Sv, CounterMetric::Branches);
+}

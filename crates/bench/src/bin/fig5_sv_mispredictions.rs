@@ -1,0 +1,11 @@
+//! Figure 5: Shiloach-Vishkin branch mispredictions per iteration
+//! (branch-based vs branch-avoiding) and the total misprediction ratio per
+//! graph.
+
+use bga_bench::figures::{counter_figure, CounterMetric, Kernel};
+use bga_bench::harness::ExperimentContext;
+
+fn main() {
+    let ctx = ExperimentContext::from_env();
+    counter_figure(&ctx, "Figure 5", Kernel::Sv, CounterMetric::Mispredictions);
+}

@@ -1,0 +1,11 @@
+//! Figure 6: top-down BFS time per level on every (graph, machine) pair,
+//! relative to the fastest branch-based level, with the overall
+//! branch-avoiding speedup (usually a slowdown) per panel.
+
+use bga_bench::figures::{time_figure, Kernel};
+use bga_bench::harness::ExperimentContext;
+
+fn main() {
+    let ctx = ExperimentContext::from_env();
+    time_figure(&ctx, "Figure 6", Kernel::Bfs);
+}

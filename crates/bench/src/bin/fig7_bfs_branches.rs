@@ -1,0 +1,10 @@
+//! Figure 7: top-down BFS branches per level (branch-based vs
+//! branch-avoiding) and the total branch ratio per graph.
+
+use bga_bench::figures::{counter_figure, CounterMetric, Kernel};
+use bga_bench::harness::ExperimentContext;
+
+fn main() {
+    let ctx = ExperimentContext::from_env();
+    counter_figure(&ctx, "Figure 7", Kernel::Bfs, CounterMetric::Branches);
+}

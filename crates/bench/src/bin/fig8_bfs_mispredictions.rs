@@ -1,0 +1,10 @@
+//! Figure 8: top-down BFS branch mispredictions per level (branch-based vs
+//! branch-avoiding) and the total misprediction ratio per graph.
+
+use bga_bench::figures::{counter_figure, CounterMetric, Kernel};
+use bga_bench::harness::ExperimentContext;
+
+fn main() {
+    let ctx = ExperimentContext::from_env();
+    counter_figure(&ctx, "Figure 8", Kernel::Bfs, CounterMetric::Mispredictions);
+}

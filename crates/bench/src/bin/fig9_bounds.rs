@@ -1,0 +1,11 @@
+//! Figure 9: total branch mispredictions of both SV and BFS variants
+//! relative to the analytical lower bounds of Sections 4-5 (and the 3x BFS
+//! upper bound).
+
+use bga_bench::figures::bounds_figure;
+use bga_bench::harness::ExperimentContext;
+
+fn main() {
+    let ctx = ExperimentContext::from_env();
+    bounds_figure(&ctx);
+}

@@ -1,0 +1,79 @@
+//! Section 3.2 validation: exact FSA simulation of simple and repeated loops
+//! against the bounds stated in Lemmas 1-6 and Corollary 1, plus the
+//! Markov-chain steady-state miss rate of the 2-bit predictor.
+
+use bga_bench::report::{print_csv_row, print_header, print_section, CsvField};
+use bga_branchsim::loop_model::{
+    lemma3_upper_bound, loop_misprediction_bounds, simulate_repeated_loop, simulate_simple_loop,
+};
+use bga_branchsim::markov::{oracle_static_miss_rate, steady_state_miss_rate};
+use bga_branchsim::TwoBitState;
+
+fn main() {
+    print_section("Lemmas 2/4/5/6: misprediction bounds of a single simple loop with trip count n");
+    print_header(&[
+        "n",
+        "min_misses_over_initial_states",
+        "max_misses_over_initial_states",
+        "paper_bound_min",
+        "paper_bound_max",
+    ]);
+    for n in 0u64..=12 {
+        let (min, max) = loop_misprediction_bounds(n);
+        let (paper_min, paper_max) = match n {
+            0 => (0, 1),
+            1 => (1, 2),
+            2 => (1, 3),
+            _ => (1, 3),
+        };
+        print_csv_row(&[
+            CsvField::Int(n),
+            CsvField::Int(min),
+            CsvField::Int(max),
+            CsvField::Int(paper_min),
+            CsvField::Int(paper_max),
+        ]);
+    }
+
+    print_section("Lemma 3 / Corollary 1: k repeated executions of an inner loop");
+    print_header(&["k", "simulated_misses_worst_start", "upper_bound_k_plus_2"]);
+    for k in [2u64, 4, 8, 16, 64, 256, 1024] {
+        let trip_counts: Vec<u64> = (0..k).map(|i| 3 + (i % 4)).collect();
+        let worst = TwoBitState::ALL
+            .iter()
+            .map(|&s| simulate_repeated_loop(s, &trip_counts).mispredictions)
+            .max()
+            .unwrap();
+        print_csv_row(&[
+            CsvField::Int(k),
+            CsvField::Int(worst),
+            CsvField::Int(lemma3_upper_bound(k)),
+        ]);
+    }
+
+    print_section("Lemma 1: final predictor state after a loop with n >= 3 (from the worst-case start)");
+    print_header(&["n", "final_state"]);
+    for n in [3u64, 5, 17, 1000] {
+        let run = simulate_simple_loop(TwoBitState::StronglyNotTaken, n);
+        print_csv_row(&[
+            CsvField::Int(n),
+            CsvField::Str(match run.final_state {
+                TwoBitState::StronglyNotTaken => "strongly-not-taken",
+                TwoBitState::WeaklyNotTaken => "weakly-not-taken",
+                TwoBitState::WeaklyTaken => "weakly-taken",
+                TwoBitState::StronglyTaken => "strongly-taken",
+            }),
+        ]);
+    }
+
+    print_section("Markov model: steady-state miss rate of the 2-bit predictor on an i.i.d. branch");
+    print_header(&["taken_probability", "two_bit_miss_rate", "best_static_miss_rate"]);
+    for i in 0..=10u32 {
+        let p = i as f64 / 10.0;
+        print_csv_row(&[
+            CsvField::Float(p),
+            CsvField::Float(steady_state_miss_rate(p)),
+            CsvField::Float(oracle_static_miss_rate(p)),
+        ]);
+    }
+}

@@ -1,0 +1,42 @@
+//! Table 1: the seven evaluation systems and the cost-model parameters this
+//! reproduction substitutes for them.
+
+use bga_bench::report::{print_csv_row, print_header, print_section, CsvField};
+use bga_branchsim::all_machine_models;
+
+fn main() {
+    print_section("Table 1: systems used in the experiments (cost-model substitution)");
+    print_header(&[
+        "microarchitecture",
+        "isa",
+        "processor",
+        "frequency_ghz",
+        "l1_kib",
+        "l2_kib",
+        "l3_kib",
+        "issue_width",
+        "mispredict_penalty_cycles",
+        "load_cost_cycles",
+        "store_cost_cycles",
+        "cmov_extra_cycles",
+    ]);
+    for m in all_machine_models() {
+        print_csv_row(&[
+            CsvField::Str(m.name),
+            CsvField::Str(match m.isa {
+                bga_branchsim::machine_model::Isa::Arm => "ARM v7-A",
+                bga_branchsim::machine_model::Isa::X86_64 => "x86-64",
+            }),
+            CsvField::Str(m.processor),
+            CsvField::Float(m.frequency_ghz),
+            CsvField::Int(m.l1_kib as u64),
+            CsvField::Int(m.l2_kib as u64),
+            CsvField::Int(m.l3_kib as u64),
+            CsvField::Float(m.issue_width),
+            CsvField::Float(m.mispredict_penalty),
+            CsvField::Float(m.load_cost),
+            CsvField::Float(m.store_cost),
+            CsvField::Float(m.cmov_extra_cost),
+        ]);
+    }
+}

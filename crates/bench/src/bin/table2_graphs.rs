@@ -1,0 +1,38 @@
+//! Table 2: the five DIMACS-10 graphs and the synthetic stand-ins used in
+//! their place (paper |V|/|E| next to the stand-in's measured properties).
+
+use bga_bench::harness::ExperimentContext;
+use bga_bench::report::{print_csv_row, print_header, print_section, CsvField};
+use bga_graph::suite::suite_table;
+
+fn main() {
+    let ctx = ExperimentContext::from_env();
+    print_section(&format!(
+        "Table 2: benchmark graphs (scale = {:?}, seed = {})",
+        ctx.scale, ctx.seed
+    ));
+    print_header(&[
+        "name",
+        "type",
+        "paper_vertices",
+        "paper_edges",
+        "standin_vertices",
+        "standin_edges",
+        "standin_avg_degree",
+        "standin_components",
+        "standin_pseudo_diameter",
+    ]);
+    for row in suite_table(&ctx.suite) {
+        print_csv_row(&[
+            CsvField::Str(row.name),
+            CsvField::Str(row.graph_type),
+            CsvField::Int(row.paper_vertices as u64),
+            CsvField::Int(row.paper_edges as u64),
+            CsvField::Int(row.standin_vertices as u64),
+            CsvField::Int(row.standin_edges as u64),
+            CsvField::Float(row.standin_avg_degree),
+            CsvField::Int(row.standin_components as u64),
+            CsvField::Int(row.standin_pseudo_diameter as u64),
+        ]);
+    }
+}

@@ -1,0 +1,254 @@
+//! Figure-regeneration routines shared by the `fig*` binaries.
+//!
+//! Each routine prints the same series the corresponding paper figure plots
+//! (as CSV), plus the per-panel summary number (the overall speedup or
+//! ratio annotated in the corner of each subfigure).
+
+use crate::harness::{bfs_pair, sv_pair, ExperimentContext};
+use crate::report::{print_csv_row, print_header, print_section, CsvField};
+use bga_kernels::stats::{RunCounters, StepCounters};
+use bga_perfmodel::bounds::{
+    bfs_misprediction_lower_bound, bfs_misprediction_upper_bound, ratio_to_bound,
+    sv_misprediction_lower_bound,
+};
+use bga_perfmodel::correlation::{correlation_matrix, samples_per_edge, Metric};
+use bga_perfmodel::timing::{modeled_speedup, time_run};
+
+/// Which per-step counter a counter figure plots.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CounterMetric {
+    /// Branches per step (Figures 4 and 7).
+    Branches,
+    /// Branch mispredictions per step (Figures 5 and 8).
+    Mispredictions,
+}
+
+impl CounterMetric {
+    fn value(self, step: &StepCounters) -> f64 {
+        match self {
+            CounterMetric::Branches => step.counters.branches as f64,
+            CounterMetric::Mispredictions => step.counters.branch_mispredictions as f64,
+        }
+    }
+
+    fn label(self) -> &'static str {
+        match self {
+            CounterMetric::Branches => "branches",
+            CounterMetric::Mispredictions => "mispredictions",
+        }
+    }
+}
+
+/// Figures 3 / 6: modelled time per step, for every graph and machine,
+/// normalized to the fastest branch-based step, with the overall speedup of
+/// the branch-avoiding variant in the last column.
+pub fn time_figure(ctx: &ExperimentContext, figure: &str, kernel: Kernel) {
+    print_section(&format!(
+        "{figure}: {} time per {} (relative to the fastest {} of the branch-based run)",
+        kernel.title(),
+        kernel.step_name(),
+        kernel.step_name()
+    ));
+    print_header(&[
+        "graph",
+        "machine",
+        kernel.step_name(),
+        "relative_time_branch_based",
+        "relative_time_branch_avoiding",
+        "overall_speedup_branch_avoiding",
+    ]);
+    for sg in &ctx.suite {
+        let (based, avoiding) = kernel.run(&sg.graph);
+        for machine in &ctx.machines {
+            let t_based = time_run(&based, machine);
+            let t_avoiding = time_run(&avoiding, machine);
+            let rel_based = t_based.relative_to_fastest_of(&t_based);
+            let rel_avoiding = t_avoiding.relative_to_fastest_of(&t_based);
+            let speedup = modeled_speedup(&based, &avoiding, machine).unwrap_or(f64::NAN);
+            let steps = rel_based.len().max(rel_avoiding.len());
+            for step in 0..steps {
+                print_csv_row(&[
+                    CsvField::Str(sg.name()),
+                    CsvField::Str(machine.name),
+                    CsvField::Int(step as u64 + 1),
+                    CsvField::Float(rel_based.get(step).copied().unwrap_or(f64::NAN)),
+                    CsvField::Float(rel_avoiding.get(step).copied().unwrap_or(f64::NAN)),
+                    CsvField::Float(speedup),
+                ]);
+            }
+        }
+    }
+}
+
+/// Figures 4/5 (SV) and 7/8 (BFS): a raw counter per step. The counters do
+/// not depend on the machine model, so there is one series per graph, plus
+/// the branch-based / branch-avoiding ratio the paper annotates.
+pub fn counter_figure(ctx: &ExperimentContext, figure: &str, kernel: Kernel, metric: CounterMetric) {
+    print_section(&format!(
+        "{figure}: {} {} per {}",
+        kernel.title(),
+        metric.label(),
+        kernel.step_name()
+    ));
+    print_header(&[
+        "graph",
+        kernel.step_name(),
+        &format!("{}_branch_based", metric.label()),
+        &format!("{}_branch_avoiding", metric.label()),
+        "total_ratio_based_over_avoiding",
+    ]);
+    for sg in &ctx.suite {
+        let (based, avoiding) = kernel.run(&sg.graph);
+        let total_based: f64 = based.steps.iter().map(|s| metric.value(s)).sum();
+        let total_avoiding: f64 = avoiding.steps.iter().map(|s| metric.value(s)).sum();
+        let ratio = if total_avoiding > 0.0 {
+            total_based / total_avoiding
+        } else {
+            f64::NAN
+        };
+        let steps = based.num_steps().max(avoiding.num_steps());
+        for step in 0..steps {
+            print_csv_row(&[
+                CsvField::Str(sg.name()),
+                CsvField::Int(step as u64 + 1),
+                CsvField::Float(based.steps.get(step).map(|s| metric.value(s)).unwrap_or(f64::NAN)),
+                CsvField::Float(
+                    avoiding
+                        .steps
+                        .get(step)
+                        .map(|s| metric.value(s))
+                        .unwrap_or(f64::NAN),
+                ),
+                CsvField::Float(ratio),
+            ]);
+        }
+    }
+}
+
+/// Figure 9: total mispredictions of each variant relative to the analytical
+/// lower bound (and, for BFS, the 3x upper bound).
+pub fn bounds_figure(ctx: &ExperimentContext) {
+    print_section("Figure 9a: SV branch mispredictions relative to the lower bound (y = 1)");
+    print_header(&[
+        "graph",
+        "variant",
+        "mispredictions",
+        "lower_bound",
+        "ratio_to_lower_bound",
+    ]);
+    for sg in &ctx.suite {
+        let (based, avoiding) = sv_pair(&sg.graph);
+        let bound = sv_misprediction_lower_bound(sg.graph.num_vertices(), avoiding.iterations());
+        for (variant, run) in [("branch-based", &based.counters), ("branch-avoiding", &avoiding.counters)] {
+            let m = run.total().branch_mispredictions;
+            print_csv_row(&[
+                CsvField::Str(sg.name()),
+                CsvField::Str(variant),
+                CsvField::Int(m),
+                CsvField::Int(bound),
+                CsvField::Float(ratio_to_bound(m, bound)),
+            ]);
+        }
+    }
+
+    print_section(
+        "Figure 9b: BFS branch mispredictions relative to the lower bound (y = 1; upper bound at y = 3)",
+    );
+    print_header(&[
+        "graph",
+        "variant",
+        "mispredictions",
+        "lower_bound",
+        "upper_bound",
+        "ratio_to_lower_bound",
+    ]);
+    for sg in &ctx.suite {
+        let (based, avoiding) = bfs_pair(&sg.graph);
+        let found = based.result.reached_count();
+        let lower = bfs_misprediction_lower_bound(found);
+        let upper = bfs_misprediction_upper_bound(found);
+        for (variant, run) in [("branch-based", &based.counters), ("branch-avoiding", &avoiding.counters)] {
+            let m = run.total().branch_mispredictions;
+            print_csv_row(&[
+                CsvField::Str(sg.name()),
+                CsvField::Str(variant),
+                CsvField::Int(m),
+                CsvField::Int(lower),
+                CsvField::Int(upper),
+                CsvField::Float(ratio_to_bound(m, lower)),
+            ]);
+        }
+    }
+}
+
+/// Figure 10: pairwise correlations between time, instructions, branches,
+/// mispredictions, loads and stores per edge, pooled over every graph's
+/// per-step samples, for the branch-based variants of SV and BFS.
+pub fn correlations_figure(ctx: &ExperimentContext) {
+    for (name, kernel) in [("Figure 10a (SV)", Kernel::Sv), ("Figure 10b (BFS)", Kernel::Bfs)] {
+        print_section(&format!(
+            "{name}: per-edge correlations of the branch-based kernel, pooled over graphs"
+        ));
+        print_header(&["machine", "metric_row", "T", "I", "B", "M", "L", "S"]);
+        for machine in &ctx.machines {
+            let mut samples = Vec::new();
+            for sg in &ctx.suite {
+                let (based, _) = kernel.run(&sg.graph);
+                samples.extend(samples_per_edge(&based, machine));
+            }
+            let matrix = correlation_matrix(&samples);
+            for (i, metric) in Metric::ALL.iter().enumerate() {
+                print_csv_row(&[
+                    CsvField::Str(machine.name),
+                    CsvField::Str(metric.label()),
+                    CsvField::Float(matrix[i][0]),
+                    CsvField::Float(matrix[i][1]),
+                    CsvField::Float(matrix[i][2]),
+                    CsvField::Float(matrix[i][3]),
+                    CsvField::Float(matrix[i][4]),
+                    CsvField::Float(matrix[i][5]),
+                ]);
+            }
+        }
+    }
+}
+
+/// Which kernel family a figure routine runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Kernel {
+    /// Shiloach-Vishkin connected components (Figures 3-5, 9a, 10a).
+    Sv,
+    /// Top-down BFS (Figures 6-8, 9b, 10b).
+    Bfs,
+}
+
+impl Kernel {
+    fn title(self) -> &'static str {
+        match self {
+            Kernel::Sv => "Shiloach-Vishkin connected components",
+            Kernel::Bfs => "top-down breadth-first search",
+        }
+    }
+
+    fn step_name(self) -> &'static str {
+        match self {
+            Kernel::Sv => "iteration",
+            Kernel::Bfs => "level",
+        }
+    }
+
+    /// Runs both variants and returns their per-step counter series
+    /// (branch-based first).
+    pub fn run(self, graph: &bga_graph::CsrGraph) -> (RunCounters, RunCounters) {
+        match self {
+            Kernel::Sv => {
+                let (a, b) = sv_pair(graph);
+                (a.counters, b.counters)
+            }
+            Kernel::Bfs => {
+                let (a, b) = bfs_pair(graph);
+                (a.counters, b.counters)
+            }
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Shared experiment plumbing: suite construction, root selection and
+//! paired (branch-based, branch-avoiding) instrumented runs.
+
+use bga_branchsim::{all_machine_models, MachineModel};
+use bga_graph::properties::largest_component;
+use bga_graph::suite::{benchmark_suite, SuiteGraph, SuiteScale};
+use bga_graph::{CsrGraph, VertexId};
+use bga_kernels::bfs::{
+    bfs_branch_avoiding_instrumented, bfs_branch_based_instrumented, BfsRun,
+};
+use bga_kernels::cc::{
+    sv_branch_avoiding_instrumented, sv_branch_based_instrumented, SvRun,
+};
+
+/// Everything a figure/table binary needs: the five suite graphs and the
+/// seven machine models.
+pub struct ExperimentContext {
+    /// Synthetic stand-ins for the Table-2 graphs.
+    pub suite: Vec<SuiteGraph>,
+    /// Cost models for the Table-1 systems.
+    pub machines: Vec<MachineModel>,
+    /// Scale the suite was generated at.
+    pub scale: SuiteScale,
+    /// Seed used for the random suite members.
+    pub seed: u64,
+}
+
+impl ExperimentContext {
+    /// Builds the context from the `BGA_SUITE_SCALE` (small|full) and
+    /// `BGA_SEED` environment variables, defaulting to the small suite and
+    /// seed 42.
+    pub fn from_env() -> Self {
+        let scale = match std::env::var("BGA_SUITE_SCALE").as_deref() {
+            Ok("full") | Ok("FULL") => SuiteScale::Full,
+            _ => SuiteScale::Small,
+        };
+        let seed = std::env::var("BGA_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(42);
+        Self::new(scale, seed)
+    }
+
+    /// Builds the context explicitly.
+    pub fn new(scale: SuiteScale, seed: u64) -> Self {
+        ExperimentContext {
+            suite: benchmark_suite(scale, seed),
+            machines: all_machine_models(),
+            scale,
+            seed,
+        }
+    }
+}
+
+/// BFS root used throughout the experiments: the smallest vertex id inside
+/// the largest connected component (so every run traverses the giant
+/// component, as the paper's traversals do).
+pub fn bfs_root(graph: &CsrGraph) -> VertexId {
+    largest_component(graph).first().copied().unwrap_or(0)
+}
+
+/// Runs both instrumented SV variants on a graph.
+pub fn sv_pair(graph: &CsrGraph) -> (SvRun, SvRun) {
+    (
+        sv_branch_based_instrumented(graph),
+        sv_branch_avoiding_instrumented(graph),
+    )
+}
+
+/// Runs both instrumented BFS variants from the canonical root.
+pub fn bfs_pair(graph: &CsrGraph) -> (BfsRun, BfsRun) {
+    let root = bfs_root(graph);
+    (
+        bfs_branch_based_instrumented(graph, root),
+        bfs_branch_avoiding_instrumented(graph, root),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bga_graph::suite::SuiteScale;
+
+    #[test]
+    fn context_has_five_graphs_and_seven_machines() {
+        let ctx = ExperimentContext::new(SuiteScale::Small, 1);
+        assert_eq!(ctx.suite.len(), 5);
+        assert_eq!(ctx.machines.len(), 7);
+    }
+
+    #[test]
+    fn bfs_root_lands_in_the_largest_component() {
+        use bga_graph::GraphBuilder;
+        // Vertices {0} isolated; {1,2,3} form the giant component.
+        let g = GraphBuilder::undirected(4)
+            .add_edges([(1, 2), (2, 3)])
+            .build();
+        assert_eq!(bfs_root(&g), 1);
+        assert_eq!(bfs_root(&GraphBuilder::undirected(0).build()), 0);
+    }
+
+    #[test]
+    fn paired_runs_agree_on_results() {
+        let ctx = ExperimentContext::new(SuiteScale::Small, 7);
+        // Use the smallest suite graph to keep the test quick.
+        let g = &ctx
+            .suite
+            .iter()
+            .min_by_key(|sg| sg.graph.num_vertices())
+            .unwrap()
+            .graph;
+        let (sv_based, sv_avoiding) = sv_pair(g);
+        assert!(sv_based.labels.same_partition(&sv_avoiding.labels));
+        let (bfs_based, bfs_avoiding) = bfs_pair(g);
+        assert_eq!(bfs_based.result.distances(), bfs_avoiding.result.distances());
+    }
+}

@@ -1,0 +1,54 @@
+//! Minimal CSV/section printing used by every experiment binary.
+//!
+//! Each binary prints human-readable section headers (lines starting with
+//! `#`) and machine-readable CSV rows, so the output can be both read in a
+//! terminal and piped into a plotting script.
+
+/// Prints a section banner (`# ...`).
+pub fn print_section(title: &str) {
+    println!();
+    println!("# {title}");
+}
+
+/// Prints a CSV header line.
+pub fn print_header(columns: &[&str]) {
+    println!("{}", columns.join(","));
+}
+
+/// Prints one CSV row; floats are formatted with 6 significant digits.
+pub fn print_csv_row(fields: &[CsvField<'_>]) {
+    let rendered: Vec<String> = fields.iter().map(|f| f.render()).collect();
+    println!("{}", rendered.join(","));
+}
+
+/// A single CSV cell.
+pub enum CsvField<'a> {
+    /// Text cell.
+    Str(&'a str),
+    /// Integer cell.
+    Int(u64),
+    /// Floating-point cell (printed with 6 significant digits).
+    Float(f64),
+}
+
+impl CsvField<'_> {
+    fn render(&self) -> String {
+        match self {
+            CsvField::Str(s) => s.to_string(),
+            CsvField::Int(i) => i.to_string(),
+            CsvField::Float(f) => format!("{f:.6}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fields_render_expected_text() {
+        assert_eq!(CsvField::Str("abc").render(), "abc");
+        assert_eq!(CsvField::Int(42).render(), "42");
+        assert_eq!(CsvField::Float(1.5).render(), "1.500000");
+    }
+}

@@ -1,0 +1,233 @@
+//! Hardware-performance-counter equivalents.
+//!
+//! The paper measures retired instructions, branches, branch mispredictions,
+//! loads and stores per iteration/level via hardware counters. In this
+//! reproduction the kernels run against an instrumented machine
+//! ([`crate::machine::ExecMachine`]) that increments these software counters
+//! instead; the counts are exact rather than sampled.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A snapshot of the event counters the paper's Figure 10 correlates:
+/// instructions (I), branches (B), mispredictions (M), loads (L), stores (S),
+/// plus conditional moves (the instruction the branch-avoiding variants rely
+/// on) and total time proxy left to the cost model.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PerfCounters {
+    /// Retired instructions (every counted operation contributes).
+    pub instructions: u64,
+    /// Conditional branch instructions executed.
+    pub branches: u64,
+    /// Conditional branches whose predicted direction was wrong.
+    pub branch_mispredictions: u64,
+    /// Memory load operations.
+    pub loads: u64,
+    /// Memory store operations.
+    pub stores: u64,
+    /// Conditional-move / conditional-add (predicated) operations.
+    pub conditional_moves: u64,
+}
+
+impl PerfCounters {
+    /// All-zero counters.
+    pub const fn zero() -> Self {
+        PerfCounters {
+            instructions: 0,
+            branches: 0,
+            branch_mispredictions: 0,
+            loads: 0,
+            stores: 0,
+            conditional_moves: 0,
+        }
+    }
+
+    /// Misprediction rate = mispredictions / branches (0 when no branches).
+    pub fn misprediction_rate(&self) -> f64 {
+        if self.branches == 0 {
+            0.0
+        } else {
+            self.branch_mispredictions as f64 / self.branches as f64
+        }
+    }
+
+    /// Element-wise difference `self - earlier`, saturating at zero. Used to
+    /// turn two snapshots into a per-iteration delta.
+    pub fn delta_since(&self, earlier: &PerfCounters) -> PerfCounters {
+        PerfCounters {
+            instructions: self.instructions.saturating_sub(earlier.instructions),
+            branches: self.branches.saturating_sub(earlier.branches),
+            branch_mispredictions: self
+                .branch_mispredictions
+                .saturating_sub(earlier.branch_mispredictions),
+            loads: self.loads.saturating_sub(earlier.loads),
+            stores: self.stores.saturating_sub(earlier.stores),
+            conditional_moves: self.conditional_moves.saturating_sub(earlier.conditional_moves),
+        }
+    }
+
+    /// Normalizes every counter by a divisor (e.g. edges traversed), yielding
+    /// the per-edge quantities Figure 10 plots. Returns zeros when the
+    /// divisor is zero.
+    pub fn per(&self, divisor: u64) -> NormalizedCounters {
+        if divisor == 0 {
+            return NormalizedCounters::default();
+        }
+        let d = divisor as f64;
+        NormalizedCounters {
+            instructions: self.instructions as f64 / d,
+            branches: self.branches as f64 / d,
+            branch_mispredictions: self.branch_mispredictions as f64 / d,
+            loads: self.loads as f64 / d,
+            stores: self.stores as f64 / d,
+            conditional_moves: self.conditional_moves as f64 / d,
+        }
+    }
+}
+
+/// Per-edge (or per-anything) floating point view of [`PerfCounters`].
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct NormalizedCounters {
+    /// Instructions per unit.
+    pub instructions: f64,
+    /// Branches per unit.
+    pub branches: f64,
+    /// Mispredictions per unit.
+    pub branch_mispredictions: f64,
+    /// Loads per unit.
+    pub loads: f64,
+    /// Stores per unit.
+    pub stores: f64,
+    /// Conditional moves per unit.
+    pub conditional_moves: f64,
+}
+
+impl Add for PerfCounters {
+    type Output = PerfCounters;
+    fn add(self, rhs: PerfCounters) -> PerfCounters {
+        PerfCounters {
+            instructions: self.instructions + rhs.instructions,
+            branches: self.branches + rhs.branches,
+            branch_mispredictions: self.branch_mispredictions + rhs.branch_mispredictions,
+            loads: self.loads + rhs.loads,
+            stores: self.stores + rhs.stores,
+            conditional_moves: self.conditional_moves + rhs.conditional_moves,
+        }
+    }
+}
+
+impl AddAssign for PerfCounters {
+    fn add_assign(&mut self, rhs: PerfCounters) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for PerfCounters {
+    type Output = PerfCounters;
+    fn sub(self, rhs: PerfCounters) -> PerfCounters {
+        self.delta_since(&rhs)
+    }
+}
+
+impl fmt::Display for PerfCounters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "I={} B={} M={} L={} S={} CMOV={}",
+            self.instructions,
+            self.branches,
+            self.branch_mispredictions,
+            self.loads,
+            self.stores,
+            self.conditional_moves
+        )
+    }
+}
+
+/// Sums an iterator of counters.
+pub fn total<'a, I: IntoIterator<Item = &'a PerfCounters>>(counters: I) -> PerfCounters {
+    counters
+        .into_iter()
+        .fold(PerfCounters::zero(), |acc, c| acc + *c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PerfCounters {
+        PerfCounters {
+            instructions: 100,
+            branches: 40,
+            branch_mispredictions: 10,
+            loads: 30,
+            stores: 20,
+            conditional_moves: 5,
+        }
+    }
+
+    #[test]
+    fn zero_is_identity_for_add() {
+        assert_eq!(sample() + PerfCounters::zero(), sample());
+    }
+
+    #[test]
+    fn add_and_sub_round_trip() {
+        let a = sample();
+        let b = PerfCounters {
+            instructions: 1,
+            branches: 2,
+            branch_mispredictions: 3,
+            loads: 4,
+            stores: 5,
+            conditional_moves: 6,
+        };
+        assert_eq!((a + b) - b, a);
+    }
+
+    #[test]
+    fn delta_saturates() {
+        let small = PerfCounters::zero();
+        let big = sample();
+        assert_eq!(small.delta_since(&big), PerfCounters::zero());
+    }
+
+    #[test]
+    fn misprediction_rate() {
+        assert_eq!(sample().misprediction_rate(), 0.25);
+        assert_eq!(PerfCounters::zero().misprediction_rate(), 0.0);
+    }
+
+    #[test]
+    fn per_divides_every_field() {
+        let n = sample().per(10);
+        assert_eq!(n.instructions, 10.0);
+        assert_eq!(n.branches, 4.0);
+        assert_eq!(n.stores, 2.0);
+        assert_eq!(sample().per(0), NormalizedCounters::default());
+    }
+
+    #[test]
+    fn total_sums() {
+        let parts = vec![sample(), sample(), PerfCounters::zero()];
+        let t = total(&parts);
+        assert_eq!(t.instructions, 200);
+        assert_eq!(t.branches, 80);
+    }
+
+    #[test]
+    fn add_assign_accumulates() {
+        let mut acc = PerfCounters::zero();
+        acc += sample();
+        acc += sample();
+        assert_eq!(acc.loads, 60);
+    }
+
+    #[test]
+    fn display_contains_all_fields() {
+        let s = sample().to_string();
+        for token in ["I=100", "B=40", "M=10", "L=30", "S=20", "CMOV=5"] {
+            assert!(s.contains(token), "missing {token} in {s}");
+        }
+    }
+}

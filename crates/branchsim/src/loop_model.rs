@@ -1,0 +1,231 @@
+//! Exact 2-bit-predictor analysis of simple loops (paper Section 3.2).
+//!
+//! The paper states six lemmas and a corollary about the branch at the top
+//! of a "simple loop" (monotone counter, constant bound, no early exit),
+//! which executes `n` taken outcomes followed by one not-taken exit. This
+//! module provides both the *exact* FSA simulation of such a loop from any
+//! starting state and the closed-form bounds the lemmas assert; the test
+//! suite checks the former satisfies the latter for every case.
+
+use crate::predictor::{Outcome, TwoBitState};
+
+/// Result of running one loop execution (`n` taken + 1 not-taken) through
+/// the 2-bit FSA.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LoopRun {
+    /// Number of mispredicted evaluations of the loop condition.
+    pub mispredictions: u64,
+    /// Predictor state after the loop exits.
+    pub final_state: TwoBitState,
+}
+
+/// Exactly simulates the loop-condition branch of a simple loop with trip
+/// count `n` (the condition is evaluated `n + 1` times: `n` taken, then one
+/// not-taken exit), starting from `initial` predictor state.
+pub fn simulate_simple_loop(initial: TwoBitState, n: u64) -> LoopRun {
+    let mut state = initial;
+    let mut mispredictions = 0u64;
+    for _ in 0..n {
+        if state.prediction() != Outcome::Taken {
+            mispredictions += 1;
+        }
+        state = state.next(Outcome::Taken);
+    }
+    // Exit evaluation: condition is false, branch not taken.
+    if state.prediction() != Outcome::NotTaken {
+        mispredictions += 1;
+    }
+    state = state.next(Outcome::NotTaken);
+    LoopRun {
+        mispredictions,
+        final_state: state,
+    }
+}
+
+/// Simulates `k` consecutive executions of the same loop (the nested-loop
+/// setting of Lemma 3), with per-execution trip counts given by `trip_counts`
+/// (`trip_counts.len() == k`). Returns total mispredictions of the inner
+/// loop's condition branch and the final predictor state.
+pub fn simulate_repeated_loop(initial: TwoBitState, trip_counts: &[u64]) -> LoopRun {
+    let mut state = initial;
+    let mut total = 0u64;
+    for &n in trip_counts {
+        let run = simulate_simple_loop(state, n);
+        total += run.mispredictions;
+        state = run.final_state;
+    }
+    LoopRun {
+        mispredictions: total,
+        final_state: state,
+    }
+}
+
+/// Lemma 1: for `n >= 3` the final state is Weakly-Taken regardless of the
+/// initial state.
+pub fn lemma1_final_state(n: u64) -> Option<TwoBitState> {
+    if n >= 3 {
+        Some(TwoBitState::WeaklyTaken)
+    } else {
+        None
+    }
+}
+
+/// Lemma 2: for `n >= 3` the loop-condition branch incurs at least 1 and at
+/// most 3 mispredictions. Returns `(min, max)`.
+pub fn lemma2_bounds(n: u64) -> Option<(u64, u64)> {
+    if n >= 3 {
+        Some((1, 3))
+    } else {
+        None
+    }
+}
+
+/// Lemma 3 / Corollary 1: `k` executions of the loop (first with `n >= 3`,
+/// the rest with `n >= 1`) incur at most `k + 2` mispredictions of the inner
+/// loop's condition; for large `k` the expectation is approximately `k`.
+pub fn lemma3_upper_bound(k: u64) -> u64 {
+    k + 2
+}
+
+/// Lemma 4: a zero-trip loop (`n == 0`) incurs 0 or 1 mispredictions.
+pub fn lemma4_bounds() -> (u64, u64) {
+    (0, 1)
+}
+
+/// Lemma 5: a single-trip loop (`n == 1`) incurs 1 or 2 mispredictions and
+/// returns the predictor to its initial state.
+pub fn lemma5_bounds() -> (u64, u64) {
+    (1, 2)
+}
+
+/// Lemma 6: a two-trip loop (`n == 2`) incurs between 1 and 3 mispredictions
+/// and ends in one of the weak states.
+pub fn lemma6_bounds() -> (u64, u64) {
+    (1, 3)
+}
+
+/// Misprediction bounds for a single execution of a simple loop with trip
+/// count `n`, over all possible initial states: `(min, max)`. This unifies
+/// Lemmas 2, 4, 5 and 6 and extends them to every `n`.
+pub fn loop_misprediction_bounds(n: u64) -> (u64, u64) {
+    let runs: Vec<u64> = TwoBitState::ALL
+        .iter()
+        .map(|&s| simulate_simple_loop(s, n).mispredictions)
+        .collect();
+    (
+        *runs.iter().min().expect("four states"),
+        *runs.iter().max().expect("four states"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use TwoBitState::*;
+
+    #[test]
+    fn lemma1_holds_for_every_initial_state() {
+        for n in 3..50 {
+            for &init in &TwoBitState::ALL {
+                let run = simulate_simple_loop(init, n);
+                assert_eq!(
+                    run.final_state,
+                    lemma1_final_state(n).unwrap(),
+                    "n={n}, init={init:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lemma2_holds_and_is_tight() {
+        for n in 3..50 {
+            let (lo, hi) = lemma2_bounds(n).unwrap();
+            let (min, max) = loop_misprediction_bounds(n);
+            assert!(min >= lo && max <= hi, "n={n}: [{min},{max}] outside [{lo},{hi}]");
+        }
+        // Tightness: worst case Strongly-Not-Taken gives exactly 3, best case
+        // Strongly-Taken gives exactly 1.
+        assert_eq!(simulate_simple_loop(StronglyNotTaken, 10).mispredictions, 3);
+        assert_eq!(simulate_simple_loop(StronglyTaken, 10).mispredictions, 1);
+    }
+
+    #[test]
+    fn lemma3_and_corollary1() {
+        // k repeated executions, n >= 3 first then n >= 1.
+        for k in 2u64..40 {
+            let trip_counts: Vec<u64> = (0..k).map(|i| if i == 0 { 5 } else { 2 + (i % 3) }).collect();
+            for &init in &TwoBitState::ALL {
+                let run = simulate_repeated_loop(init, &trip_counts);
+                assert!(
+                    run.mispredictions <= lemma3_upper_bound(k),
+                    "k={k}: {} > {}",
+                    run.mispredictions,
+                    lemma3_upper_bound(k)
+                );
+                // Corollary 1: for large k, approximately k misses — check
+                // the lower side as well (at least one miss per execution
+                // after the first cannot be avoided when n >= 1 ends with a
+                // not-taken from a taken-predicting state).
+                assert!(run.mispredictions >= k - 1, "k={k}: too few misses");
+            }
+        }
+    }
+
+    #[test]
+    fn lemma4_zero_trip_loop() {
+        let (lo, hi) = lemma4_bounds();
+        for &init in &TwoBitState::ALL {
+            let run = simulate_simple_loop(init, 0);
+            assert!(run.mispredictions >= lo && run.mispredictions <= hi);
+            // The predictor moves toward (and never away from) not-taken, so
+            // it cannot end strongly-taken unless it started there and... it
+            // cannot: one not-taken moves it to WeaklyTaken.
+            assert_ne!(run.final_state, StronglyTaken);
+        }
+    }
+
+    #[test]
+    fn lemma5_single_trip_loop_returns_to_initial_prediction() {
+        let (lo, hi) = lemma5_bounds();
+        for &init in &TwoBitState::ALL {
+            let run = simulate_simple_loop(init, 1);
+            assert!(run.mispredictions >= lo && run.mispredictions <= hi, "{init:?}");
+            // The paper states the predictor "returns to its initial state";
+            // in prediction terms that is exact, and in FSA terms it is exact
+            // for every state except Strongly-Taken (which relaxes one step
+            // to Weakly-Taken while still predicting taken).
+            assert_eq!(
+                run.final_state.prediction(),
+                init.prediction(),
+                "taken-then-not-taken must preserve the predicted direction"
+            );
+            if init != StronglyTaken {
+                assert_eq!(run.final_state, init);
+            } else {
+                assert_eq!(run.final_state, WeaklyTaken);
+            }
+        }
+    }
+
+    #[test]
+    fn lemma6_two_trip_loop_ends_weak() {
+        let (lo, hi) = lemma6_bounds();
+        for &init in &TwoBitState::ALL {
+            let run = simulate_simple_loop(init, 2);
+            assert!(run.mispredictions >= lo && run.mispredictions <= hi, "{init:?}");
+            assert!(
+                matches!(run.final_state, WeaklyTaken | WeaklyNotTaken),
+                "{init:?} ended {:?}",
+                run.final_state
+            );
+        }
+    }
+
+    #[test]
+    fn empty_repeated_loop_is_a_no_op() {
+        let run = simulate_repeated_loop(WeaklyTaken, &[]);
+        assert_eq!(run.mispredictions, 0);
+        assert_eq!(run.final_state, WeaklyTaken);
+    }
+}

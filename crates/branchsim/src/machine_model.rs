@@ -1,0 +1,293 @@
+//! Microarchitecture cost models for the seven systems of the paper's
+//! Table 1.
+//!
+//! The paper reports wall-clock time per iteration measured on real
+//! hardware. This reproduction replaces the hardware with a simple cost
+//! model that converts exact event counts ([`crate::counters::PerfCounters`])
+//! into *modelled cycles*:
+//!
+//! ```text
+//! cycles = instructions / issue_width
+//!        + mispredictions * mispredict_penalty
+//!        + loads  * load_cost
+//!        + stores * store_cost
+//!        + cmovs  * cmov_extra_cost
+//! ```
+//!
+//! The constants below are drawn from publicly documented pipeline depths
+//! and approximate memory costs for each microarchitecture (Fog's
+//! optimization manuals, vendor optimization guides). They are *not* meant
+//! to predict absolute time — only to reproduce the relative shapes of the
+//! paper's figures: which algorithm wins on which system, and how strongly
+//! mispredictions hurt on deep pipelines (Piledriver, Haswell) versus
+//! shallow in-order cores (Bonnell, Cortex-A15).
+
+use crate::counters::PerfCounters;
+
+/// The instruction-set architecture column of Table 1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Isa {
+    /// ARMv7-A.
+    Arm,
+    /// x86-64.
+    X86_64,
+}
+
+/// Cost model of one of the paper's evaluation systems.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MachineModel {
+    /// Microarchitecture name as used in the paper's figures.
+    pub name: &'static str,
+    /// Instruction-set architecture.
+    pub isa: Isa,
+    /// Marketing processor name from Table 1.
+    pub processor: &'static str,
+    /// Core frequency in GHz (Table 1), used to convert cycles to seconds.
+    pub frequency_ghz: f64,
+    /// Sustained instructions per cycle for simple integer code.
+    pub issue_width: f64,
+    /// Branch misprediction penalty in cycles (pipeline refill depth).
+    pub mispredict_penalty: f64,
+    /// Average cost of a load in cycles for mostly-L1/L2-resident working
+    /// sets of the kind these kernels produce.
+    pub load_cost: f64,
+    /// Average cost of a store in cycles (store-buffer pressure; higher on
+    /// narrow in-order cores).
+    pub store_cost: f64,
+    /// Extra cost of a conditional move beyond a plain ALU op. On
+    /// Cortex-A15 predicated stores are expensive (the paper calls this
+    /// out); on big x86 cores CMOV is cheap.
+    pub cmov_extra_cost: f64,
+    /// L1 data cache size in KiB (Table 1, reported for completeness).
+    pub l1_kib: u32,
+    /// L2 cache size in KiB.
+    pub l2_kib: u32,
+    /// L3 cache size in KiB (0 when absent).
+    pub l3_kib: u32,
+}
+
+impl MachineModel {
+    /// Modelled execution cycles for a block of counted events.
+    pub fn modeled_cycles(&self, c: &PerfCounters) -> f64 {
+        c.instructions as f64 / self.issue_width
+            + c.branch_mispredictions as f64 * self.mispredict_penalty
+            + c.loads as f64 * self.load_cost
+            + c.stores as f64 * self.store_cost
+            + c.conditional_moves as f64 * self.cmov_extra_cost
+    }
+
+    /// Modelled wall-clock seconds (cycles divided by frequency).
+    pub fn modeled_seconds(&self, c: &PerfCounters) -> f64 {
+        self.modeled_cycles(c) / (self.frequency_ghz * 1e9)
+    }
+}
+
+/// Cortex-A15 (ARM v7-A, Samsung Exynos 5250): out-of-order but with costly
+/// predicated/conditional stores, the effect the paper observed.
+pub fn cortex_a15() -> MachineModel {
+    MachineModel {
+        name: "Cortex-A15",
+        isa: Isa::Arm,
+        processor: "Samsung Exynos 5250",
+        frequency_ghz: 1.7,
+        issue_width: 2.0,
+        mispredict_penalty: 16.0,
+        load_cost: 1.6,
+        store_cost: 1.4,
+        cmov_extra_cost: 0.4,
+        l1_kib: 32,
+        l2_kib: 1024,
+        l3_kib: 0,
+    }
+}
+
+/// AMD Piledriver (FX-6300): deep pipeline, high misprediction penalty.
+pub fn piledriver() -> MachineModel {
+    MachineModel {
+        name: "Piledriver",
+        isa: Isa::X86_64,
+        processor: "AMD FX-6300",
+        frequency_ghz: 3.5,
+        issue_width: 2.5,
+        mispredict_penalty: 20.0,
+        load_cost: 1.2,
+        store_cost: 1.0,
+        cmov_extra_cost: 0.25,
+        l1_kib: 16,
+        l2_kib: 2048,
+        l3_kib: 8192,
+    }
+}
+
+/// AMD Bobcat (E2-1800): small out-of-order core.
+pub fn bobcat() -> MachineModel {
+    MachineModel {
+        name: "Bobcat",
+        isa: Isa::X86_64,
+        processor: "AMD E2-1800",
+        frequency_ghz: 1.7,
+        issue_width: 2.0,
+        mispredict_penalty: 13.0,
+        load_cost: 1.5,
+        store_cost: 1.2,
+        cmov_extra_cost: 0.5,
+        l1_kib: 32,
+        l2_kib: 512,
+        l3_kib: 0,
+    }
+}
+
+/// Intel Haswell (Core i7-4770K): wide out-of-order core, cheap CMOV.
+pub fn haswell() -> MachineModel {
+    MachineModel {
+        name: "Haswell",
+        isa: Isa::X86_64,
+        processor: "Intel Core i7-4770K",
+        frequency_ghz: 3.5,
+        issue_width: 3.5,
+        mispredict_penalty: 16.0,
+        load_cost: 1.0,
+        store_cost: 0.8,
+        cmov_extra_cost: 0.2,
+        l1_kib: 32,
+        l2_kib: 256,
+        l3_kib: 8192,
+    }
+}
+
+/// Intel Ivy Bridge (Core i3-3217U).
+pub fn ivy_bridge() -> MachineModel {
+    MachineModel {
+        name: "Ivy Bridge",
+        isa: Isa::X86_64,
+        processor: "Intel Core i3-3217U",
+        frequency_ghz: 1.8,
+        issue_width: 3.0,
+        mispredict_penalty: 15.0,
+        load_cost: 1.0,
+        store_cost: 0.9,
+        cmov_extra_cost: 0.2,
+        l1_kib: 32,
+        l2_kib: 256,
+        l3_kib: 3072,
+    }
+}
+
+/// Intel Silvermont (Atom C2750): small out-of-order Atom.
+pub fn silvermont() -> MachineModel {
+    MachineModel {
+        name: "Silvermont",
+        isa: Isa::X86_64,
+        processor: "Intel Atom C2750",
+        frequency_ghz: 2.4,
+        issue_width: 2.0,
+        mispredict_penalty: 10.0,
+        load_cost: 1.4,
+        store_cost: 1.3,
+        cmov_extra_cost: 0.5,
+        l1_kib: 24,
+        l2_kib: 1024,
+        l3_kib: 0,
+    }
+}
+
+/// Intel Bonnell (Atom 330): in-order, shallow pipeline — the system where
+/// the paper saw the branch-based SV win by up to 20%.
+pub fn bonnell() -> MachineModel {
+    MachineModel {
+        name: "Bonnell",
+        isa: Isa::X86_64,
+        processor: "Intel Atom 330",
+        frequency_ghz: 1.6,
+        issue_width: 1.5,
+        mispredict_penalty: 7.0,
+        load_cost: 1.8,
+        store_cost: 1.8,
+        cmov_extra_cost: 1.5,
+        l1_kib: 24,
+        l2_kib: 512,
+        l3_kib: 0,
+    }
+}
+
+/// All seven systems in the order the paper's figures list them
+/// (Cortex-A15, Bobcat, Bonnell, Haswell, Ivy Bridge, Piledriver,
+/// Silvermont).
+pub fn all_machine_models() -> Vec<MachineModel> {
+    vec![
+        cortex_a15(),
+        bobcat(),
+        bonnell(),
+        haswell(),
+        ivy_bridge(),
+        piledriver(),
+        silvermont(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_counters() -> PerfCounters {
+        PerfCounters {
+            instructions: 1000,
+            branches: 300,
+            branch_mispredictions: 50,
+            loads: 200,
+            stores: 100,
+            conditional_moves: 20,
+        }
+    }
+
+    #[test]
+    fn there_are_seven_systems_with_unique_names() {
+        let models = all_machine_models();
+        assert_eq!(models.len(), 7);
+        let mut names: Vec<_> = models.iter().map(|m| m.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 7);
+    }
+
+    #[test]
+    fn table1_metadata_matches_paper() {
+        let models = all_machine_models();
+        let get = |n: &str| models.iter().find(|m| m.name == n).unwrap().clone();
+        assert_eq!(get("Haswell").frequency_ghz, 3.5);
+        assert_eq!(get("Haswell").l3_kib, 8192);
+        assert_eq!(get("Cortex-A15").isa, Isa::Arm);
+        assert_eq!(get("Cortex-A15").l2_kib, 1024);
+        assert_eq!(get("Bonnell").frequency_ghz, 1.6);
+        assert_eq!(get("Silvermont").processor, "Intel Atom C2750");
+        assert_eq!(get("Piledriver").l1_kib, 16);
+    }
+
+    #[test]
+    fn cycles_are_positive_and_scale_with_events() {
+        for m in all_machine_models() {
+            let small = m.modeled_cycles(&PerfCounters::zero());
+            let big = m.modeled_cycles(&sample_counters());
+            assert_eq!(small, 0.0);
+            assert!(big > 0.0);
+            assert!(m.modeled_seconds(&sample_counters()) > 0.0);
+        }
+    }
+
+    #[test]
+    fn mispredictions_hurt_more_on_deep_pipelines() {
+        let mut no_miss = sample_counters();
+        no_miss.branch_mispredictions = 0;
+        let with_miss = sample_counters();
+        let penalty = |m: &MachineModel| m.modeled_cycles(&with_miss) - m.modeled_cycles(&no_miss);
+        assert!(penalty(&piledriver()) > penalty(&bonnell()));
+        assert!(penalty(&haswell()) > penalty(&bonnell()));
+    }
+
+    #[test]
+    fn wide_cores_execute_instructions_faster() {
+        let mut instr_only = PerfCounters::zero();
+        instr_only.instructions = 10_000;
+        assert!(haswell().modeled_cycles(&instr_only) < bonnell().modeled_cycles(&instr_only));
+    }
+}

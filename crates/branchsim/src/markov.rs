@@ -1,0 +1,204 @@
+//! Markov-chain analysis of the 2-bit predictor.
+//!
+//! The paper notes that the behaviour of history-based predictors "may be
+//! formalized mathematically using Markov chains" but omits the details.
+//! This module supplies them: for a branch whose outcomes are i.i.d.
+//! Bernoulli(`p` taken), the 2-bit FSA is a 4-state Markov chain whose
+//! stationary distribution gives the steady-state misprediction rate. The
+//! closed form is checked against direct simulation in the tests and used by
+//! the data-dependent-branch estimates in `bga-perfmodel`.
+
+use crate::predictor::{Outcome, TwoBitState};
+
+/// Ordering of states used for the transition matrix rows/columns:
+/// `[StronglyNotTaken, WeaklyNotTaken, WeaklyTaken, StronglyTaken]`.
+pub const STATE_ORDER: [TwoBitState; 4] = TwoBitState::ALL;
+
+fn state_index(s: TwoBitState) -> usize {
+    STATE_ORDER
+        .iter()
+        .position(|&x| x == s)
+        .expect("state present in ordering")
+}
+
+/// Row-stochastic transition matrix of the 2-bit FSA for a branch taken with
+/// probability `p`: `matrix[i][j]` is the probability of moving from state
+/// `i` to state `j` on one branch execution.
+pub fn transition_matrix(p: f64) -> [[f64; 4]; 4] {
+    assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+    let mut m = [[0.0; 4]; 4];
+    for (i, &s) in STATE_ORDER.iter().enumerate() {
+        let taken_next = state_index(s.next(Outcome::Taken));
+        let not_taken_next = state_index(s.next(Outcome::NotTaken));
+        m[i][taken_next] += p;
+        m[i][not_taken_next] += 1.0 - p;
+    }
+    m
+}
+
+/// Stationary distribution of the chain, by power iteration from the uniform
+/// distribution (the chain is small; 10_000 iterations is far more than
+/// enough to converge for any `p` strictly inside (0, 1), and the boundary
+/// cases are handled exactly).
+pub fn stationary_distribution(p: f64) -> [f64; 4] {
+    assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+    if p == 0.0 {
+        return [1.0, 0.0, 0.0, 0.0];
+    }
+    if p == 1.0 {
+        return [0.0, 0.0, 0.0, 1.0];
+    }
+    let m = transition_matrix(p);
+    let mut dist = [0.25f64; 4];
+    for _ in 0..10_000 {
+        let mut next = [0.0f64; 4];
+        for (i, &d) in dist.iter().enumerate() {
+            for j in 0..4 {
+                next[j] += d * m[i][j];
+            }
+        }
+        dist = next;
+    }
+    dist
+}
+
+/// Closed-form stationary distribution. With `q = 1 - p`, the chain's
+/// detailed-balance structure gives stationary weights proportional to
+/// `[q^2/p * q, q^2/p * p, p^2/q * q, p^2/q * p]` ... rather than carry the
+/// algebra in a comment, the exact expression implemented here is
+/// `pi = [q^3, p q^2, p^2 q, p^3] / (q^3 + p q^2 + p^2 q + p^3)`, which the
+/// tests verify against power iteration to 1e-9.
+pub fn stationary_distribution_closed_form(p: f64) -> [f64; 4] {
+    assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+    let q = 1.0 - p;
+    let weights = [q * q * q, p * q * q, p * p * q, p * p * p];
+    let total: f64 = weights.iter().sum();
+    if total == 0.0 {
+        // Only possible at the boundaries, handled explicitly.
+        return if p >= 0.5 {
+            [0.0, 0.0, 0.0, 1.0]
+        } else {
+            [1.0, 0.0, 0.0, 0.0]
+        };
+    }
+    [
+        weights[0] / total,
+        weights[1] / total,
+        weights[2] / total,
+        weights[3] / total,
+    ]
+}
+
+/// Steady-state misprediction rate of a 2-bit predictor on an i.i.d.
+/// Bernoulli(`p`) branch: the probability that the state's prediction
+/// disagrees with the drawn outcome, under the stationary distribution.
+pub fn steady_state_miss_rate(p: f64) -> f64 {
+    let pi = stationary_distribution_closed_form(p);
+    let q = 1.0 - p;
+    // Not-taken-predicting states miss when the branch is taken (prob p);
+    // taken-predicting states miss when it is not taken (prob q).
+    (pi[0] + pi[1]) * p + (pi[2] + pi[3]) * q
+}
+
+/// Misprediction rate of the *static best* predictor for comparison: always
+/// guessing the more likely direction gives `min(p, 1 - p)`.
+pub fn oracle_static_miss_rate(p: f64) -> f64 {
+    p.min(1.0 - p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predictor::{PredictorModel, TwoBitPredictor};
+    use crate::site::BranchSite;
+
+    #[test]
+    fn rows_of_transition_matrix_sum_to_one() {
+        for &p in &[0.0, 0.1, 0.33, 0.5, 0.77, 1.0] {
+            let m = transition_matrix(p);
+            for row in &m {
+                let s: f64 = row.iter().sum();
+                assert!((s - 1.0).abs() < 1e-12, "p={p}: row sums to {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn closed_form_matches_power_iteration() {
+        for &p in &[0.01, 0.2, 0.5, 0.66, 0.9, 0.999] {
+            let a = stationary_distribution(p);
+            let b = stationary_distribution_closed_form(p);
+            for i in 0..4 {
+                assert!(
+                    (a[i] - b[i]).abs() < 1e-9,
+                    "p={p}, state {i}: {} vs {}",
+                    a[i],
+                    b[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_probabilities() {
+        assert_eq!(stationary_distribution(1.0), [0.0, 0.0, 0.0, 1.0]);
+        assert_eq!(stationary_distribution(0.0), [1.0, 0.0, 0.0, 0.0]);
+        assert_eq!(steady_state_miss_rate(1.0), 0.0);
+        assert_eq!(steady_state_miss_rate(0.0), 0.0);
+    }
+
+    #[test]
+    fn miss_rate_is_maximal_at_half() {
+        let half = steady_state_miss_rate(0.5);
+        assert!((half - 0.5).abs() < 1e-9, "at p=0.5 the rate is exactly 0.5");
+        for &p in &[0.1, 0.3, 0.45, 0.55, 0.8, 0.95] {
+            assert!(steady_state_miss_rate(p) <= half + 1e-12);
+        }
+    }
+
+    #[test]
+    fn miss_rate_is_symmetric_in_p() {
+        for &p in &[0.05, 0.2, 0.35, 0.49] {
+            let a = steady_state_miss_rate(p);
+            let b = steady_state_miss_rate(1.0 - p);
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn two_bit_is_never_much_worse_than_twice_the_oracle() {
+        // Classic result: a 2-bit predictor's miss rate is at most ~2x the
+        // best static predictor on i.i.d. branches.
+        for i in 1..100 {
+            let p = i as f64 / 100.0;
+            let dynamic = steady_state_miss_rate(p);
+            let oracle = oracle_static_miss_rate(p);
+            assert!(dynamic <= 2.0 * oracle + 1e-9, "p={p}: {dynamic} vs {oracle}");
+        }
+    }
+
+    #[test]
+    fn analytic_rate_matches_monte_carlo_simulation() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        const SITE: BranchSite = BranchSite::new(0, "mc");
+        let mut rng = StdRng::seed_from_u64(1234);
+        for &p in &[0.1, 0.5, 0.85] {
+            let mut predictor = TwoBitPredictor::new();
+            let trials = 400_000u64;
+            let mut misses = 0u64;
+            for _ in 0..trials {
+                let outcome = Outcome::from_bool(rng.gen::<f64>() < p);
+                if !predictor.record(SITE, outcome) {
+                    misses += 1;
+                }
+            }
+            let empirical = misses as f64 / trials as f64;
+            let analytic = steady_state_miss_rate(p);
+            assert!(
+                (empirical - analytic).abs() < 0.01,
+                "p={p}: empirical {empirical} vs analytic {analytic}"
+            );
+        }
+    }
+}

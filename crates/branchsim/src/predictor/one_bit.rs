@@ -1,0 +1,87 @@
+//! 1-bit (last-outcome) predictor — the simpler baseline the paper mentions
+//! in Section 3 footnote 3.
+
+use super::{Outcome, PredictorModel};
+use crate::site::{BranchSite, MAX_BRANCH_SITES};
+
+/// Predicts that each branch repeats its previous outcome. Initial
+/// prediction is not-taken.
+#[derive(Clone, Debug)]
+pub struct OneBitPredictor {
+    last_taken: [bool; MAX_BRANCH_SITES],
+}
+
+impl OneBitPredictor {
+    /// New predictor, all sites initially predicting not-taken.
+    pub fn new() -> Self {
+        OneBitPredictor {
+            last_taken: [false; MAX_BRANCH_SITES],
+        }
+    }
+}
+
+impl Default for OneBitPredictor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PredictorModel for OneBitPredictor {
+    fn predict(&self, site: BranchSite) -> Outcome {
+        Outcome::from_bool(self.last_taken[site.id() as usize % MAX_BRANCH_SITES])
+    }
+
+    fn record(&mut self, site: BranchSite, outcome: Outcome) -> bool {
+        let idx = site.id() as usize % MAX_BRANCH_SITES;
+        let correct = self.last_taken[idx] == outcome.is_taken();
+        self.last_taken[idx] = outcome.is_taken();
+        correct
+    }
+
+    fn reset(&mut self) {
+        self.last_taken = [false; MAX_BRANCH_SITES];
+    }
+
+    fn name(&self) -> &'static str {
+        "1-bit"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SITE: BranchSite = BranchSite::new(0, "t");
+
+    #[test]
+    fn repeats_last_outcome() {
+        let mut p = OneBitPredictor::new();
+        assert_eq!(p.predict(SITE), Outcome::NotTaken);
+        assert!(!p.record(SITE, Outcome::Taken)); // initial miss
+        assert_eq!(p.predict(SITE), Outcome::Taken);
+        assert!(p.record(SITE, Outcome::Taken));
+        assert!(!p.record(SITE, Outcome::NotTaken));
+        assert_eq!(p.predict(SITE), Outcome::NotTaken);
+    }
+
+    #[test]
+    fn nested_loop_exit_costs_two_misses_per_execution() {
+        // The classic 1-bit weakness: a loop executed repeatedly misses twice
+        // per execution (once at the exit, once on re-entry), where the 2-bit
+        // predictor misses only once.
+        let mut p = OneBitPredictor::new();
+        let mut misses = 0;
+        for _run in 0..10 {
+            for _ in 0..5 {
+                if !p.record(SITE, Outcome::Taken) {
+                    misses += 1;
+                }
+            }
+            if !p.record(SITE, Outcome::NotTaken) {
+                misses += 1;
+            }
+        }
+        // First run: 1 miss on entry + 1 on exit; subsequent runs: 2 each.
+        assert_eq!(misses, 20);
+    }
+}

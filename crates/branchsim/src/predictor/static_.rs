@@ -1,0 +1,78 @@
+//! Static (history-free) predictors: always taken / always not-taken.
+//! These are the degenerate baselines for the predictor ablation.
+
+use super::{Outcome, PredictorModel};
+use crate::site::BranchSite;
+
+/// Predicts "taken" for every branch. Loops are predicted almost perfectly
+/// (one miss at each exit); data-dependent branches miss whenever they fall
+/// through.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AlwaysTakenPredictor;
+
+impl AlwaysTakenPredictor {
+    /// New always-taken predictor.
+    pub fn new() -> Self {
+        AlwaysTakenPredictor
+    }
+}
+
+impl PredictorModel for AlwaysTakenPredictor {
+    fn predict(&self, _site: BranchSite) -> Outcome {
+        Outcome::Taken
+    }
+    fn record(&mut self, _site: BranchSite, outcome: Outcome) -> bool {
+        outcome.is_taken()
+    }
+    fn reset(&mut self) {}
+    fn name(&self) -> &'static str {
+        "always-taken"
+    }
+}
+
+/// Predicts "not taken" for every branch.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AlwaysNotTakenPredictor;
+
+impl AlwaysNotTakenPredictor {
+    /// New always-not-taken predictor.
+    pub fn new() -> Self {
+        AlwaysNotTakenPredictor
+    }
+}
+
+impl PredictorModel for AlwaysNotTakenPredictor {
+    fn predict(&self, _site: BranchSite) -> Outcome {
+        Outcome::NotTaken
+    }
+    fn record(&mut self, _site: BranchSite, outcome: Outcome) -> bool {
+        !outcome.is_taken()
+    }
+    fn reset(&mut self) {}
+    fn name(&self) -> &'static str {
+        "always-not-taken"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SITE: BranchSite = BranchSite::new(0, "t");
+
+    #[test]
+    fn always_taken_only_misses_not_taken_branches() {
+        let mut p = AlwaysTakenPredictor::new();
+        assert!(p.record(SITE, Outcome::Taken));
+        assert!(!p.record(SITE, Outcome::NotTaken));
+        assert_eq!(p.predict(SITE), Outcome::Taken);
+    }
+
+    #[test]
+    fn always_not_taken_mirror_image() {
+        let mut p = AlwaysNotTakenPredictor::new();
+        assert!(!p.record(SITE, Outcome::Taken));
+        assert!(p.record(SITE, Outcome::NotTaken));
+        assert_eq!(p.predict(SITE), Outcome::NotTaken);
+    }
+}

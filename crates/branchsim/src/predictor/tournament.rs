@@ -1,0 +1,158 @@
+//! Tournament (combining) predictor: a bimodal and a gshare component with a
+//! per-site 2-bit chooser that learns which component predicts a given
+//! branch better — the structure of the Alpha 21264 predictor and a closer
+//! stand-in for the proprietary predictors the paper notes it cannot model
+//! exactly.
+
+use super::{BimodalPredictor, GsharePredictor, Outcome, PredictorModel, TwoBitState};
+use crate::site::{BranchSite, MAX_BRANCH_SITES};
+
+/// Tournament predictor combining [`BimodalPredictor`] and
+/// [`GsharePredictor`] under a 2-bit chooser per branch site.
+///
+/// Chooser semantics: taken-ish states select the gshare component,
+/// not-taken-ish states select the bimodal component. The chooser is only
+/// trained when the two components disagree.
+#[derive(Clone, Debug)]
+pub struct TournamentPredictor {
+    bimodal: BimodalPredictor,
+    gshare: GsharePredictor,
+    chooser: [TwoBitState; MAX_BRANCH_SITES],
+}
+
+impl TournamentPredictor {
+    /// Creates a tournament predictor whose components use `index_bits`-wide
+    /// tables.
+    pub fn new(index_bits: u32) -> Self {
+        TournamentPredictor {
+            bimodal: BimodalPredictor::new(index_bits),
+            gshare: GsharePredictor::new(index_bits),
+            chooser: [TwoBitState::WeaklyTaken; MAX_BRANCH_SITES],
+        }
+    }
+
+    #[inline]
+    fn chooser_index(site: BranchSite) -> usize {
+        site.id() as usize % MAX_BRANCH_SITES
+    }
+
+    #[inline]
+    fn uses_gshare(&self, site: BranchSite) -> bool {
+        self.chooser[Self::chooser_index(site)].prediction() == Outcome::Taken
+    }
+}
+
+impl PredictorModel for TournamentPredictor {
+    fn predict(&self, site: BranchSite) -> Outcome {
+        if self.uses_gshare(site) {
+            self.gshare.predict(site)
+        } else {
+            self.bimodal.predict(site)
+        }
+    }
+
+    fn record(&mut self, site: BranchSite, outcome: Outcome) -> bool {
+        let bimodal_prediction = self.bimodal.predict(site);
+        let gshare_prediction = self.gshare.predict(site);
+        let chosen = if self.uses_gshare(site) {
+            gshare_prediction
+        } else {
+            bimodal_prediction
+        };
+        let correct = chosen == outcome;
+
+        // Train both components on the actual outcome.
+        self.bimodal.record(site, outcome);
+        self.gshare.record(site, outcome);
+
+        // Train the chooser only when the components disagreed: move toward
+        // the component that was right.
+        if bimodal_prediction != gshare_prediction {
+            let idx = Self::chooser_index(site);
+            let gshare_was_right = gshare_prediction == outcome;
+            self.chooser[idx] = self.chooser[idx].next(Outcome::from_bool(gshare_was_right));
+        }
+        correct
+    }
+
+    fn reset(&mut self) {
+        self.bimodal.reset();
+        self.gshare.reset();
+        self.chooser = [TwoBitState::WeaklyTaken; MAX_BRANCH_SITES];
+    }
+
+    fn name(&self) -> &'static str {
+        "tournament"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LOOP: BranchSite = BranchSite::new(0, "loop");
+    const DATA: BranchSite = BranchSite::new(1, "data");
+
+    fn misses_on<F: Fn(usize) -> bool>(p: &mut TournamentPredictor, site: BranchSite, n: usize, f: F) -> u64 {
+        (0..n)
+            .filter(|&i| !p.record(site, Outcome::from_bool(f(i))))
+            .count() as u64
+    }
+
+    #[test]
+    fn learns_monotone_loops_like_its_components() {
+        let mut p = TournamentPredictor::new(10);
+        let misses = misses_on(&mut p, LOOP, 1000, |_| true);
+        assert!(misses <= 16, "warm-up only, got {misses}");
+    }
+
+    #[test]
+    fn learns_periodic_patterns_via_the_gshare_component() {
+        // Alternating outcomes defeat bimodal but not gshare; the chooser
+        // must route this branch to gshare after warm-up.
+        let mut p = TournamentPredictor::new(10);
+        let mut late_misses = 0;
+        for i in 0..400 {
+            let outcome = Outcome::from_bool(i % 2 == 0);
+            let correct = p.record(DATA, outcome);
+            if i >= 200 && !correct {
+                late_misses += 1;
+            }
+        }
+        assert_eq!(late_misses, 0, "tournament should converge on a period-2 pattern");
+    }
+
+    #[test]
+    fn never_much_worse_than_the_better_component_on_biased_branches() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(3);
+        let outcomes: Vec<bool> = (0..20_000).map(|_| rng.gen::<f64>() < 0.2).collect();
+
+        let mut tournament = TournamentPredictor::new(10);
+        let mut bimodal = BimodalPredictor::new(10);
+        let t_misses: u64 = outcomes
+            .iter()
+            .filter(|&&o| !tournament.record(DATA, Outcome::from_bool(o)))
+            .count() as u64;
+        let b_misses: u64 = outcomes
+            .iter()
+            .filter(|&&o| !bimodal.record(DATA, Outcome::from_bool(o)))
+            .count() as u64;
+        assert!(
+            (t_misses as f64) <= 1.2 * b_misses as f64 + 100.0,
+            "tournament {t_misses} vs bimodal {b_misses}"
+        );
+    }
+
+    #[test]
+    fn reset_restores_initial_behaviour() {
+        let mut p = TournamentPredictor::new(8);
+        let first = p.record(LOOP, Outcome::Taken);
+        for _ in 0..50 {
+            p.record(LOOP, Outcome::NotTaken);
+        }
+        p.reset();
+        assert_eq!(p.record(LOOP, Outcome::Taken), first);
+    }
+}

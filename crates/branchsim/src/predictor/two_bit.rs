@@ -1,0 +1,207 @@
+//! The 2-bit saturating-counter predictor of the paper's Figure 1.
+
+use super::{Outcome, PredictorModel};
+use crate::site::{BranchSite, MAX_BRANCH_SITES};
+
+/// The four states of the 2-bit finite-state automaton (paper Fig. 1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TwoBitState {
+    /// Predict not-taken; two consecutive taken branches are needed to flip
+    /// the prediction.
+    StronglyNotTaken,
+    /// Predict not-taken; one taken branch moves to a taken-predicting state.
+    WeaklyNotTaken,
+    /// Predict taken; one not-taken branch moves to a not-taken-predicting
+    /// state.
+    WeaklyTaken,
+    /// Predict taken; two consecutive not-taken branches are needed to flip
+    /// the prediction.
+    StronglyTaken,
+}
+
+impl TwoBitState {
+    /// Direction this state predicts.
+    #[inline]
+    pub fn prediction(self) -> Outcome {
+        match self {
+            TwoBitState::StronglyNotTaken | TwoBitState::WeaklyNotTaken => Outcome::NotTaken,
+            TwoBitState::WeaklyTaken | TwoBitState::StronglyTaken => Outcome::Taken,
+        }
+    }
+
+    /// The state after observing `outcome`, following the FSA edges of
+    /// Figure 1 (a saturating counter: taken moves toward Strongly-Taken,
+    /// not-taken toward Strongly-Not-Taken).
+    #[inline]
+    pub fn next(self, outcome: Outcome) -> TwoBitState {
+        use TwoBitState::*;
+        match (self, outcome) {
+            (StronglyNotTaken, Outcome::Taken) => WeaklyNotTaken,
+            (StronglyNotTaken, Outcome::NotTaken) => StronglyNotTaken,
+            (WeaklyNotTaken, Outcome::Taken) => WeaklyTaken,
+            (WeaklyNotTaken, Outcome::NotTaken) => StronglyNotTaken,
+            (WeaklyTaken, Outcome::Taken) => StronglyTaken,
+            (WeaklyTaken, Outcome::NotTaken) => WeaklyNotTaken,
+            (StronglyTaken, Outcome::Taken) => StronglyTaken,
+            (StronglyTaken, Outcome::NotTaken) => WeaklyTaken,
+        }
+    }
+
+    /// All four states, useful for exhaustive tests and Markov analysis.
+    pub const ALL: [TwoBitState; 4] = [
+        TwoBitState::StronglyNotTaken,
+        TwoBitState::WeaklyNotTaken,
+        TwoBitState::WeaklyTaken,
+        TwoBitState::StronglyTaken,
+    ];
+}
+
+/// Per-site 2-bit predictor with unbounded branch-state storage (the paper's
+/// assumption: no evictions, every static branch keeps its own counter).
+#[derive(Clone, Debug)]
+pub struct TwoBitPredictor {
+    states: [TwoBitState; MAX_BRANCH_SITES],
+    initial: TwoBitState,
+}
+
+impl TwoBitPredictor {
+    /// Creates a predictor with every site starting in the canonical initial
+    /// state [`TwoBitState::WeaklyNotTaken`] (matching the common hardware
+    /// reset value and the paper's "worst case may be Strongly-Not-Taken"
+    /// phrasing — use [`TwoBitPredictor::with_initial_state`] to explore
+    /// other starting points).
+    pub fn new() -> Self {
+        Self::with_initial_state(TwoBitState::WeaklyNotTaken)
+    }
+
+    /// Creates a predictor with every site starting in `initial`.
+    pub fn with_initial_state(initial: TwoBitState) -> Self {
+        TwoBitPredictor {
+            states: [initial; MAX_BRANCH_SITES],
+            initial,
+        }
+    }
+
+    /// The current FSA state of a site (for white-box tests and reports).
+    pub fn state(&self, site: BranchSite) -> TwoBitState {
+        self.states[site.id() as usize % MAX_BRANCH_SITES]
+    }
+}
+
+impl Default for TwoBitPredictor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PredictorModel for TwoBitPredictor {
+    fn predict(&self, site: BranchSite) -> Outcome {
+        self.state(site).prediction()
+    }
+
+    fn record(&mut self, site: BranchSite, outcome: Outcome) -> bool {
+        let idx = site.id() as usize % MAX_BRANCH_SITES;
+        let state = self.states[idx];
+        let correct = state.prediction() == outcome;
+        self.states[idx] = state.next(outcome);
+        correct
+    }
+
+    fn reset(&mut self) {
+        self.states = [self.initial; MAX_BRANCH_SITES];
+    }
+
+    fn name(&self) -> &'static str {
+        "2-bit"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use TwoBitState::*;
+
+    const SITE: BranchSite = BranchSite::new(0, "t");
+    const OTHER: BranchSite = BranchSite::new(1, "o");
+
+    #[test]
+    fn fsa_transitions_match_figure_1() {
+        assert_eq!(StronglyNotTaken.next(Outcome::Taken), WeaklyNotTaken);
+        assert_eq!(WeaklyNotTaken.next(Outcome::Taken), WeaklyTaken);
+        assert_eq!(WeaklyTaken.next(Outcome::Taken), StronglyTaken);
+        assert_eq!(StronglyTaken.next(Outcome::Taken), StronglyTaken);
+        assert_eq!(StronglyTaken.next(Outcome::NotTaken), WeaklyTaken);
+        assert_eq!(WeaklyTaken.next(Outcome::NotTaken), WeaklyNotTaken);
+        assert_eq!(WeaklyNotTaken.next(Outcome::NotTaken), StronglyNotTaken);
+        assert_eq!(StronglyNotTaken.next(Outcome::NotTaken), StronglyNotTaken);
+    }
+
+    #[test]
+    fn predictions_by_state() {
+        assert_eq!(StronglyNotTaken.prediction(), Outcome::NotTaken);
+        assert_eq!(WeaklyNotTaken.prediction(), Outcome::NotTaken);
+        assert_eq!(WeaklyTaken.prediction(), Outcome::Taken);
+        assert_eq!(StronglyTaken.prediction(), Outcome::Taken);
+    }
+
+    #[test]
+    fn three_takens_saturate_from_worst_case() {
+        // Lemma 1's reasoning: from Strongly-Not-Taken, three taken branches
+        // reach Strongly-Taken.
+        let mut s = StronglyNotTaken;
+        for _ in 0..3 {
+            s = s.next(Outcome::Taken);
+        }
+        assert_eq!(s, StronglyTaken);
+    }
+
+    #[test]
+    fn sites_have_independent_state() {
+        let mut p = TwoBitPredictor::new();
+        for _ in 0..4 {
+            p.record(SITE, Outcome::Taken);
+        }
+        assert_eq!(p.state(SITE), StronglyTaken);
+        assert_eq!(p.state(OTHER), WeaklyNotTaken);
+        assert_eq!(p.predict(OTHER), Outcome::NotTaken);
+    }
+
+    #[test]
+    fn record_reports_correctness() {
+        let mut p = TwoBitPredictor::with_initial_state(StronglyTaken);
+        assert!(p.record(SITE, Outcome::Taken));
+        assert!(!p.record(SITE, Outcome::NotTaken)); // still predicted taken
+        assert!(!p.record(SITE, Outcome::NotTaken)); // weakly-taken, still miss
+        assert!(p.record(SITE, Outcome::NotTaken)); // now predicting not-taken
+    }
+
+    #[test]
+    fn reset_returns_to_initial_state() {
+        let mut p = TwoBitPredictor::with_initial_state(StronglyNotTaken);
+        for _ in 0..5 {
+            p.record(SITE, Outcome::Taken);
+        }
+        p.reset();
+        assert_eq!(p.state(SITE), StronglyNotTaken);
+    }
+
+    #[test]
+    fn alternating_pattern_in_weak_states_misses_every_time() {
+        // The worst case the paper describes for the BFS if-branch: bouncing
+        // between Weakly-Taken and Weakly-Not-Taken mispredicts every branch.
+        let mut p = TwoBitPredictor::with_initial_state(WeaklyNotTaken);
+        let mut misses = 0;
+        let mut outcome = Outcome::Taken;
+        for _ in 0..20 {
+            if !p.record(SITE, outcome) {
+                misses += 1;
+            }
+            outcome = if outcome.is_taken() {
+                Outcome::NotTaken
+            } else {
+                Outcome::Taken
+            };
+        }
+        assert_eq!(misses, 20);
+    }
+}

@@ -1,0 +1,157 @@
+//! Branch-outcome traces.
+//!
+//! A [`BranchTrace`] records, per static branch site, the exact sequence of
+//! outcomes a kernel produced. Traces decouple *what the algorithm does*
+//! from *how a predictor scores it*: the predictor ablation replays one
+//! recorded trace under every predictor model instead of re-running the
+//! kernel, guaranteeing all models see byte-identical branch streams.
+
+use crate::predictor::{Outcome, PredictorModel};
+use crate::site::BranchSite;
+use std::collections::BTreeMap;
+
+/// A recorded stream of branch outcomes, in program order, tagged by site.
+#[derive(Clone, Debug, Default)]
+pub struct BranchTrace {
+    events: Vec<(BranchSite, bool)>,
+}
+
+impl BranchTrace {
+    /// Empty trace.
+    pub fn new() -> Self {
+        BranchTrace { events: Vec::new() }
+    }
+
+    /// Appends one branch execution.
+    #[inline]
+    pub fn record(&mut self, site: BranchSite, taken: bool) {
+        self.events.push((site, taken));
+    }
+
+    /// Total number of recorded branch executions.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of branches recorded for each site.
+    pub fn per_site_counts(&self) -> BTreeMap<&'static str, usize> {
+        let mut counts = BTreeMap::new();
+        for (site, _) in &self.events {
+            *counts.entry(site.name()).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Fraction of recorded branches that were taken (0 when empty).
+    pub fn taken_fraction(&self) -> f64 {
+        if self.events.is_empty() {
+            return 0.0;
+        }
+        self.events.iter().filter(|(_, t)| *t).count() as f64 / self.events.len() as f64
+    }
+
+    /// Replays the trace through `predictor` (after resetting it) and returns
+    /// the number of mispredictions it incurs.
+    pub fn replay<P: PredictorModel + ?Sized>(&self, predictor: &mut P) -> u64 {
+        predictor.reset();
+        let mut misses = 0u64;
+        for &(site, taken) in &self.events {
+            if !predictor.record(site, Outcome::from_bool(taken)) {
+                misses += 1;
+            }
+        }
+        misses
+    }
+
+    /// Replays the trace through every predictor and returns
+    /// `(predictor name, mispredictions)` pairs — the core of the predictor
+    /// ablation experiment.
+    pub fn replay_all(&self, predictors: &mut [Box<dyn PredictorModel>]) -> Vec<(&'static str, u64)> {
+        predictors
+            .iter_mut()
+            .map(|p| {
+                let misses = self.replay(p.as_mut());
+                (p.name(), misses)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predictor::{all_predictors, AlwaysTakenPredictor, TwoBitPredictor};
+
+    const LOOP: BranchSite = BranchSite::new(0, "loop");
+    const IF: BranchSite = BranchSite::new(1, "if");
+
+    fn sample_trace() -> BranchTrace {
+        let mut t = BranchTrace::new();
+        for i in 0..50 {
+            t.record(LOOP, true);
+            t.record(IF, i % 3 == 0);
+        }
+        t.record(LOOP, false);
+        t
+    }
+
+    #[test]
+    fn counting_and_fractions() {
+        let t = sample_trace();
+        assert_eq!(t.len(), 101);
+        assert!(!t.is_empty());
+        let counts = t.per_site_counts();
+        assert_eq!(counts["loop"], 51);
+        assert_eq!(counts["if"], 50);
+        let taken = 50 + (0..50).filter(|i| i % 3 == 0).count();
+        assert!((t.taken_fraction() - taken as f64 / 101.0).abs() < 1e-12);
+        assert_eq!(BranchTrace::new().taken_fraction(), 0.0);
+    }
+
+    #[test]
+    fn replay_matches_direct_predictor_use() {
+        let t = sample_trace();
+        let via_replay = t.replay(&mut TwoBitPredictor::new());
+        // Drive a second predictor manually with the same events.
+        let mut manual = TwoBitPredictor::new();
+        let mut misses = 0;
+        for &(site, taken) in &t.events {
+            if !manual.record(site, Outcome::from_bool(taken)) {
+                misses += 1;
+            }
+        }
+        assert_eq!(via_replay, misses);
+    }
+
+    #[test]
+    fn replay_resets_between_runs() {
+        let t = sample_trace();
+        let mut p = TwoBitPredictor::new();
+        let first = t.replay(&mut p);
+        let second = t.replay(&mut p);
+        assert_eq!(first, second, "replay must be deterministic after reset");
+    }
+
+    #[test]
+    fn always_taken_misses_exactly_the_not_taken_branches() {
+        let t = sample_trace();
+        let not_taken = t.events.iter().filter(|(_, taken)| !taken).count() as u64;
+        assert_eq!(t.replay(&mut AlwaysTakenPredictor::new()), not_taken);
+    }
+
+    #[test]
+    fn replay_all_covers_every_registered_predictor() {
+        let t = sample_trace();
+        let mut predictors = all_predictors();
+        let results = t.replay_all(&mut predictors);
+        assert_eq!(results.len(), predictors.len());
+        for (name, misses) in results {
+            assert!(misses <= t.len() as u64, "{name} missed more than it saw");
+        }
+    }
+}

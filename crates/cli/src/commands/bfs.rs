@@ -1,0 +1,99 @@
+//! `bga bfs`: run a BFS variant from a root and print a summary.
+
+use super::cc::flag_value;
+use super::graph_input::load_graph;
+use bga_graph::properties::largest_component;
+use bga_kernels::bfs::{
+    bfs_branch_avoiding, bfs_branch_avoiding_instrumented, bfs_branch_based,
+    bfs_branch_based_instrumented,
+    bottom_up::bfs_bottom_up,
+    direction_optimizing::{bfs_direction_optimizing, DirectionConfig},
+    frontier::check_bfs_invariants,
+    BfsResult,
+};
+use std::time::Instant;
+
+/// Runs the `bfs` subcommand.
+pub fn run(args: &[String]) -> Result<(), String> {
+    let Some(graph_spec) = args.first() else {
+        return Err("bfs needs a graph".to_string());
+    };
+    let variant = flag_value(args, "--variant").unwrap_or("branch-based");
+    let instrumented = args.iter().any(|a| a == "--instrumented");
+
+    let graph = load_graph(graph_spec)?;
+    let root = match flag_value(args, "--root") {
+        Some(text) => text
+            .parse::<u32>()
+            .map_err(|e| format!("invalid --root value {text:?}: {e}"))?,
+        None => largest_component(&graph).first().copied().unwrap_or(0),
+    };
+    println!(
+        "graph: {} vertices, {} edges; root: {root}",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+
+    if instrumented {
+        let run = match variant {
+            "branch-based" => bfs_branch_based_instrumented(&graph, root),
+            "branch-avoiding" => bfs_branch_avoiding_instrumented(&graph, root),
+            other => {
+                return Err(format!(
+                    "--instrumented supports branch-based and branch-avoiding, not {other:?}"
+                ))
+            }
+        };
+        print_result_summary(variant, &run.result);
+        println!("totals: {}", run.counters.total());
+        for step in &run.counters.steps {
+            println!(
+                "  level {:>3}: {} (vertices {}, discovered {})",
+                step.step, step.counters, step.vertices_processed, step.updates
+            );
+        }
+        return Ok(());
+    }
+
+    let start = Instant::now();
+    let result: BfsResult = match variant {
+        "branch-based" => bfs_branch_based(&graph, root),
+        "branch-avoiding" => bfs_branch_avoiding(&graph, root),
+        "bottom-up" => bfs_bottom_up(&graph, root),
+        "direction-optimizing" => {
+            bfs_direction_optimizing(&graph, root, DirectionConfig::default())
+        }
+        other => return Err(format!("unknown bfs variant {other:?}")),
+    };
+    let elapsed = start.elapsed();
+    check_bfs_invariants(&graph, root, &result)?;
+    print_result_summary(variant, &result);
+    println!("wall clock: {:.3} ms", elapsed.as_secs_f64() * 1e3);
+    Ok(())
+}
+
+fn print_result_summary(variant: &str, result: &BfsResult) {
+    println!("variant: {variant}");
+    println!("reached: {} vertices", result.reached_count());
+    println!("levels: {}", result.level_count());
+    println!("level sizes: {:?}", result.level_sizes());
+}
+
+#[cfg(test)]
+mod tests {
+    fn strings(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn runs_every_uninstrumented_variant_on_a_builtin_graph() {
+        for variant in ["branch-based", "branch-avoiding", "bottom-up", "direction-optimizing"] {
+            assert!(
+                super::run(&strings(&["cond-mat-2005", "--variant", variant])).is_ok(),
+                "{variant} failed"
+            );
+        }
+        assert!(super::run(&strings(&["cond-mat-2005", "--variant", "nope"])).is_err());
+        assert!(super::run(&strings(&["cond-mat-2005", "--root", "abc"])).is_err());
+    }
+}

@@ -1,0 +1,98 @@
+//! `bga cc`: run a connected-components variant and print a summary.
+
+use super::graph_input::load_graph;
+use bga_kernels::cc::{
+    baseline, sv_branch_avoiding_instrumented, sv_branch_based_instrumented,
+    sv_branch_avoiding, sv_branch_based, sv_hybrid, ComponentLabels, HybridConfig,
+};
+use std::time::Instant;
+
+/// Runs the `cc` subcommand.
+pub fn run(args: &[String]) -> Result<(), String> {
+    let Some(graph_spec) = args.first() else {
+        return Err("cc needs a graph".to_string());
+    };
+    let variant = flag_value(args, "--variant").unwrap_or("branch-avoiding");
+    let instrumented = args.iter().any(|a| a == "--instrumented");
+
+    let graph = load_graph(graph_spec)?;
+    println!(
+        "graph: {} vertices, {} edges",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+
+    if instrumented {
+        let run = match variant {
+            "branch-based" => sv_branch_based_instrumented(&graph),
+            "branch-avoiding" => sv_branch_avoiding_instrumented(&graph),
+            other => {
+                return Err(format!(
+                    "--instrumented supports branch-based and branch-avoiding, not {other:?}"
+                ))
+            }
+        };
+        print_labels_summary(variant, &run.labels);
+        println!("iterations: {}", run.iterations());
+        println!("totals: {}", run.counters.total());
+        for step in &run.counters.steps {
+            println!(
+                "  iteration {:>3}: {} (label updates {})",
+                step.step + 1,
+                step.counters,
+                step.updates
+            );
+        }
+        return Ok(());
+    }
+
+    let start = Instant::now();
+    let labels: ComponentLabels = match variant {
+        "branch-based" => sv_branch_based(&graph),
+        "branch-avoiding" => sv_branch_avoiding(&graph),
+        "hybrid" => sv_hybrid(&graph, HybridConfig::default()),
+        "union-find" => baseline::cc_union_find(&graph),
+        "bfs" => baseline::cc_bfs(&graph),
+        other => return Err(format!("unknown cc variant {other:?}")),
+    };
+    let elapsed = start.elapsed();
+    print_labels_summary(variant, &labels);
+    println!("wall clock: {:.3} ms", elapsed.as_secs_f64() * 1e3);
+    Ok(())
+}
+
+fn print_labels_summary(variant: &str, labels: &ComponentLabels) {
+    println!("variant: {variant}");
+    println!("components: {}", labels.component_count());
+    println!("largest component: {}", labels.largest_component_size());
+}
+
+pub(super) fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.as_str())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn flag_parsing() {
+        let args = strings(&["g", "--variant", "hybrid", "--instrumented"]);
+        assert_eq!(flag_value(&args, "--variant"), Some("hybrid"));
+        assert_eq!(flag_value(&args, "--root"), None);
+    }
+
+    #[test]
+    fn runs_on_a_builtin_graph() {
+        assert!(run(&strings(&["cond-mat-2005", "--variant", "union-find"])).is_ok());
+        assert!(run(&strings(&["cond-mat-2005", "--variant", "nope"])).is_err());
+        assert!(run(&[]).is_err());
+    }
+}

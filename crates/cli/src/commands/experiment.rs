@@ -1,0 +1,110 @@
+//! `bga experiment`: quick textual versions of the paper's tables and a
+//! suite summary. The full per-figure harnesses live in `bga-bench`.
+
+use bga_branchsim::all_machine_models;
+use bga_graph::suite::{benchmark_suite, suite_table, SuiteScale};
+use bga_kernels::bfs::bfs_branch_based_instrumented;
+use bga_kernels::cc::{sv_branch_avoiding_instrumented, sv_branch_based_instrumented};
+use bga_perfmodel::timing::modeled_speedup;
+
+/// Runs the `experiment` subcommand.
+pub fn run(args: &[String]) -> Result<(), String> {
+    match args.first().map(|s| s.as_str()) {
+        Some("table1") => {
+            println!("{:<12} {:<10} {:<22} {:>6}  {:>5} {:>6} {:>6}", "uarch", "isa", "processor", "GHz", "L1KiB", "L2KiB", "L3KiB");
+            for m in all_machine_models() {
+                println!(
+                    "{:<12} {:<10} {:<22} {:>6.1}  {:>5} {:>6} {:>6}",
+                    m.name,
+                    match m.isa {
+                        bga_branchsim::machine_model::Isa::Arm => "ARM v7-A",
+                        bga_branchsim::machine_model::Isa::X86_64 => "x86-64",
+                    },
+                    m.processor,
+                    m.frequency_ghz,
+                    m.l1_kib,
+                    m.l2_kib,
+                    m.l3_kib
+                );
+            }
+            Ok(())
+        }
+        Some("table2") => {
+            let suite = benchmark_suite(SuiteScale::Small, 42);
+            println!(
+                "{:<15} {:<14} {:>12} {:>12} {:>10} {:>10}",
+                "graph", "type", "paper |V|", "paper |E|", "standin|V|", "standin|E|"
+            );
+            for row in suite_table(&suite) {
+                println!(
+                    "{:<15} {:<14} {:>12} {:>12} {:>10} {:>10}",
+                    row.name,
+                    row.graph_type,
+                    row.paper_vertices,
+                    row.paper_edges,
+                    row.standin_vertices,
+                    row.standin_edges
+                );
+            }
+            Ok(())
+        }
+        Some("suite-summary") => {
+            let suite = benchmark_suite(SuiteScale::Small, 42);
+            println!(
+                "{:<15} {:>10} {:>12} {:>20} {:>22}",
+                "graph", "sv-sweeps", "bfs-levels", "sv-speedup(Haswell)", "sv-speedup(Bonnell)"
+            );
+            let machines = all_machine_models();
+            let haswell = machines.iter().find(|m| m.name == "Haswell").expect("exists");
+            let bonnell = machines.iter().find(|m| m.name == "Bonnell").expect("exists");
+
+            // Each suite graph is analysed independently, so fan the five of
+            // them out over scoped threads and collect rows under a mutex.
+            let rows = parking_lot::Mutex::new(Vec::<(usize, String)>::new());
+            crossbeam::thread::scope(|scope| {
+                for (index, sg) in suite.iter().enumerate() {
+                    let rows = &rows;
+                    scope.spawn(move |_| {
+                        let based = sv_branch_based_instrumented(&sg.graph);
+                        let avoiding = sv_branch_avoiding_instrumented(&sg.graph);
+                        let bfs = bfs_branch_based_instrumented(&sg.graph, 0);
+                        let s_h = modeled_speedup(&based.counters, &avoiding.counters, haswell)
+                            .unwrap_or(f64::NAN);
+                        let s_b = modeled_speedup(&based.counters, &avoiding.counters, bonnell)
+                            .unwrap_or(f64::NAN);
+                        let line = format!(
+                            "{:<15} {:>10} {:>12} {:>20.3} {:>22.3}",
+                            sg.name(),
+                            based.iterations(),
+                            bfs.levels(),
+                            s_h,
+                            s_b
+                        );
+                        rows.lock().push((index, line));
+                    });
+                }
+            })
+            .map_err(|_| "a suite-analysis thread panicked".to_string())?;
+
+            let mut rows = rows.into_inner();
+            rows.sort_by_key(|(index, _)| *index);
+            for (_, line) in rows {
+                println!("{line}");
+            }
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown experiment {other:?}")),
+        None => Err("experiment needs a name (table1, table2, suite-summary)".to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn table_experiments_run() {
+        assert!(super::run(&["table1".to_string()]).is_ok());
+        assert!(super::run(&["table2".to_string()]).is_ok());
+        assert!(super::run(&["bogus".to_string()]).is_err());
+        assert!(super::run(&[]).is_err());
+    }
+}

@@ -1,0 +1,63 @@
+//! Graph loading shared by the `cc` and `bfs` subcommands: built-in suite
+//! names or files on disk (METIS or edge-list, selected by extension).
+
+use bga_graph::io::{read_edge_list, read_metis};
+use bga_graph::suite::{SuiteGraphId, SuiteScale};
+use bga_graph::CsrGraph;
+use std::path::Path;
+
+/// Loads a graph from a suite name or a file path.
+///
+/// Suite names map to the small-scale synthetic stand-ins with seed 42 (the
+/// same graphs the `bga-bench` harnesses use by default). Files ending in
+/// `.metis` or `.graph` are parsed as METIS; anything else as an edge list.
+pub fn load_graph(spec: &str) -> Result<CsrGraph, String> {
+    for id in SuiteGraphId::ALL {
+        if id.name().eq_ignore_ascii_case(spec) {
+            return Ok(id.generate(SuiteScale::Small, 42));
+        }
+    }
+    let path = Path::new(spec);
+    if !path.exists() {
+        return Err(format!(
+            "{spec:?} is neither a built-in suite graph nor an existing file"
+        ));
+    }
+    let by_extension = path
+        .extension()
+        .and_then(|e| e.to_str())
+        .map(|e| e.to_ascii_lowercase());
+    let result = match by_extension.as_deref() {
+        Some("metis") | Some("graph") => read_metis(path).map_err(|e| e.to_string()),
+        _ => read_edge_list(path).map_err(|e| e.to_string()),
+    };
+    result.map_err(|e| format!("failed to read {spec}: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_names_resolve_case_insensitively() {
+        let g = load_graph("coauthorsdblp").unwrap();
+        assert!(g.num_vertices() > 1000);
+    }
+
+    #[test]
+    fn missing_files_are_reported() {
+        let err = load_graph("/no/such/file.metis").unwrap_err();
+        assert!(err.contains("neither"));
+    }
+
+    #[test]
+    fn edge_list_files_load() {
+        let dir = std::env::temp_dir().join("bga_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tiny.edges");
+        std::fs::write(&path, "0 1\n1 2\n").unwrap();
+        let g = load_graph(path.to_str().unwrap()).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,35 @@
+//! Subcommand dispatch for the `bga` binary.
+
+mod bfs;
+mod cc;
+mod experiment;
+mod generate;
+mod graph_input;
+
+/// Usage text printed on argument errors.
+pub const USAGE: &str = "usage:
+  bga generate <path|cycle|star|complete|tree|gnp|gnm|ba|ws|grid2d|grid3d|rmat> <args..> <out.metis>
+  bga cc  <graph> [--variant branch-based|branch-avoiding|hybrid|union-find|bfs] [--instrumented]
+  bga bfs <graph> [--root R] [--variant branch-based|branch-avoiding|bottom-up|direction-optimizing] [--instrumented]
+  bga experiment <table1|table2|suite-summary>
+
+<graph> is a METIS (.metis/.graph) or edge-list file, or a built-in suite
+name: audikw1, auto, coAuthorsDBLP, cond-mat-2005, ldoor.";
+
+/// Routes the raw argument list to the subcommand implementations.
+pub fn dispatch(args: &[String]) -> Result<(), String> {
+    let Some((command, rest)) = args.split_first() else {
+        return Err("missing subcommand".to_string());
+    };
+    match command.as_str() {
+        "generate" => generate::run(rest),
+        "cc" => cc::run(rest),
+        "bfs" => bfs::run(rest),
+        "experiment" => experiment::run(rest),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand {other:?}")),
+    }
+}

@@ -1,0 +1,33 @@
+//! `bga` — command-line interface to the Branch-Avoiding Graph Algorithms
+//! reproduction.
+//!
+//! Subcommands:
+//!
+//! * `generate <family> <args..> <output.metis>` — write a synthetic graph
+//!   to disk in METIS format.
+//! * `cc <graph> [--variant …]` — run connected components and print a
+//!   summary (components, iterations, counters).
+//! * `bfs <graph> [--root R] [--variant …]` — run BFS and print a summary.
+//! * `experiment <table1|table2|suite-summary>` — quick textual versions of
+//!   the paper's tables (the full figure harnesses live in `bga-bench`).
+//!
+//! `<graph>` is either a path to a METIS / edge-list file or one of the
+//! built-in suite names (`audikw1`, `auto`, `coAuthorsDBLP`,
+//! `cond-mat-2005`, `ldoor`).
+
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match commands::dispatch(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!();
+            eprintln!("{}", commands::USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}

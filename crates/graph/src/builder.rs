@@ -1,0 +1,268 @@
+//! Edge-list based construction of [`CsrGraph`]s.
+//!
+//! The builder accepts edges in any order, optionally symmetrizes them
+//! (undirected mode), removes self-loops and duplicate edges, and produces a
+//! CSR structure whose neighbour lists are sorted — the canonical layout all
+//! kernels and tests in this workspace rely on.
+
+use crate::csr::{CsrGraph, VertexId};
+
+/// Incremental builder for [`CsrGraph`].
+///
+/// ```
+/// use bga_graph::GraphBuilder;
+/// let g = GraphBuilder::undirected(4)
+///     .add_edge(0, 1)
+///     .add_edge(1, 2)
+///     .add_edge(2, 3)
+///     .build();
+/// assert_eq!(g.num_vertices(), 4);
+/// assert_eq!(g.num_edges(), 3);
+/// assert_eq!(g.neighbors(1), &[0, 2]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct GraphBuilder {
+    num_vertices: usize,
+    edges: Vec<(VertexId, VertexId)>,
+    undirected: bool,
+    keep_self_loops: bool,
+    keep_duplicates: bool,
+}
+
+impl GraphBuilder {
+    /// Builder for an undirected graph on `num_vertices` vertices. Every
+    /// added edge is stored in both directions.
+    pub fn undirected(num_vertices: usize) -> Self {
+        GraphBuilder {
+            num_vertices,
+            edges: Vec::new(),
+            undirected: true,
+            keep_self_loops: false,
+            keep_duplicates: false,
+        }
+    }
+
+    /// Builder for a directed graph on `num_vertices` vertices.
+    pub fn directed(num_vertices: usize) -> Self {
+        GraphBuilder {
+            num_vertices,
+            edges: Vec::new(),
+            undirected: false,
+            keep_self_loops: false,
+            keep_duplicates: false,
+        }
+    }
+
+    /// Keep self-loops instead of silently dropping them (default: drop).
+    pub fn keep_self_loops(mut self, keep: bool) -> Self {
+        self.keep_self_loops = keep;
+        self
+    }
+
+    /// Keep duplicate (parallel) edges instead of deduplicating (default:
+    /// deduplicate). The DIMACS-10 graphs the paper uses are simple graphs,
+    /// so deduplication is the norm.
+    pub fn keep_duplicates(mut self, keep: bool) -> Self {
+        self.keep_duplicates = keep;
+        self
+    }
+
+    /// Number of edges currently buffered (before dedup/symmetrization).
+    pub fn pending_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Number of vertices the graph will have.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Adds a single edge. Endpoints outside `0..num_vertices` grow the
+    /// vertex set (this matches how most edge-list file formats behave).
+    pub fn add_edge(mut self, u: VertexId, v: VertexId) -> Self {
+        self.push_edge(u, v);
+        self
+    }
+
+    /// Adds many edges at once.
+    pub fn add_edges<I>(mut self, edges: I) -> Self
+    where
+        I: IntoIterator<Item = (VertexId, VertexId)>,
+    {
+        for (u, v) in edges {
+            self.push_edge(u, v);
+        }
+        self
+    }
+
+    /// In-place edge insertion for loops that cannot use the chaining API.
+    pub fn push_edge(&mut self, u: VertexId, v: VertexId) {
+        let needed = (u.max(v) as usize) + 1;
+        if needed > self.num_vertices {
+            self.num_vertices = needed;
+        }
+        self.edges.push((u, v));
+    }
+
+    /// Finalizes the builder into a validated [`CsrGraph`].
+    pub fn build(self) -> CsrGraph {
+        let GraphBuilder {
+            num_vertices,
+            edges,
+            undirected,
+            keep_self_loops,
+            keep_duplicates,
+        } = self;
+
+        // Materialize every directed slot.
+        let mut slots: Vec<(VertexId, VertexId)> =
+            Vec::with_capacity(edges.len() * if undirected { 2 } else { 1 });
+        for (u, v) in edges {
+            if u == v && !keep_self_loops {
+                continue;
+            }
+            slots.push((u, v));
+            if undirected && u != v {
+                slots.push((v, u));
+            }
+        }
+
+        slots.sort_unstable();
+        if !keep_duplicates {
+            slots.dedup();
+        }
+
+        // Counting sort into CSR.
+        let mut offsets = vec![0usize; num_vertices + 1];
+        for &(u, _) in &slots {
+            offsets[u as usize + 1] += 1;
+        }
+        for v in 0..num_vertices {
+            offsets[v + 1] += offsets[v];
+        }
+        let adjacency: Vec<VertexId> = slots.into_iter().map(|(_, v)| v).collect();
+
+        CsrGraph::from_raw_parts(offsets, adjacency, undirected)
+            .expect("builder must always produce a structurally valid CSR graph")
+    }
+}
+
+/// Convenience: build an undirected graph directly from an edge list.
+pub fn from_edge_list(num_vertices: usize, edges: &[(VertexId, VertexId)]) -> CsrGraph {
+    GraphBuilder::undirected(num_vertices)
+        .add_edges(edges.iter().copied())
+        .build()
+}
+
+/// Convenience: build a directed graph directly from an edge list.
+pub fn from_directed_edge_list(num_vertices: usize, edges: &[(VertexId, VertexId)]) -> CsrGraph {
+    GraphBuilder::directed(num_vertices)
+        .add_edges(edges.iter().copied())
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn undirected_edges_are_symmetrized() {
+        let g = GraphBuilder::undirected(3).add_edge(0, 2).build();
+        assert_eq!(g.neighbors(0), &[2]);
+        assert_eq!(g.neighbors(2), &[0]);
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.num_edge_slots(), 2);
+    }
+
+    #[test]
+    fn directed_edges_are_not_symmetrized() {
+        let g = GraphBuilder::directed(3).add_edge(0, 2).build();
+        assert_eq!(g.neighbors(0), &[2]);
+        assert!(g.neighbors(2).is_empty());
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn self_loops_dropped_by_default() {
+        let g = GraphBuilder::undirected(2).add_edge(1, 1).add_edge(0, 1).build();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.neighbors(1), &[0]);
+    }
+
+    #[test]
+    fn self_loops_kept_on_request() {
+        let g = GraphBuilder::undirected(2)
+            .keep_self_loops(true)
+            .add_edge(1, 1)
+            .build();
+        assert_eq!(g.neighbors(1), &[1]);
+        // A self-loop occupies a single slot even in undirected mode.
+        assert_eq!(g.num_edge_slots(), 1);
+    }
+
+    #[test]
+    fn duplicates_removed_by_default() {
+        let g = GraphBuilder::undirected(2)
+            .add_edge(0, 1)
+            .add_edge(0, 1)
+            .add_edge(1, 0)
+            .build();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.neighbors(0), &[1]);
+    }
+
+    #[test]
+    fn duplicates_kept_on_request() {
+        let g = GraphBuilder::directed(2)
+            .keep_duplicates(true)
+            .add_edge(0, 1)
+            .add_edge(0, 1)
+            .build();
+        assert_eq!(g.neighbors(0), &[1, 1]);
+    }
+
+    #[test]
+    fn vertex_set_grows_to_cover_endpoints() {
+        let g = GraphBuilder::undirected(1).add_edge(0, 9).build();
+        assert_eq!(g.num_vertices(), 10);
+        assert_eq!(g.neighbors(9), &[0]);
+    }
+
+    #[test]
+    fn neighbour_lists_are_sorted() {
+        let g = GraphBuilder::undirected(5)
+            .add_edges([(2, 4), (2, 0), (2, 3), (2, 1)])
+            .build();
+        assert_eq!(g.neighbors(2), &[0, 1, 3, 4]);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn empty_builder_produces_empty_graph() {
+        let g = GraphBuilder::undirected(4).build();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn from_edge_list_helpers() {
+        let g = from_edge_list(3, &[(0, 1), (1, 2)]);
+        assert_eq!(g.num_edges(), 2);
+        assert!(g.is_undirected());
+        let d = from_directed_edge_list(3, &[(0, 1), (1, 2)]);
+        assert_eq!(d.num_edges(), 2);
+        assert!(!d.is_undirected());
+    }
+
+    #[test]
+    fn push_edge_in_place() {
+        let mut b = GraphBuilder::undirected(0);
+        for i in 0..10u32 {
+            b.push_edge(i, i + 1);
+        }
+        assert_eq!(b.pending_edges(), 10);
+        let g = b.build();
+        assert_eq!(g.num_vertices(), 11);
+        assert_eq!(g.num_edges(), 10);
+    }
+}

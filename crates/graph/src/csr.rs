@@ -1,0 +1,498 @@
+//! Compressed Sparse Row (CSR) graph representation.
+//!
+//! All kernels in this workspace operate on [`CsrGraph`], the adjacency
+//! structure the paper's assembly kernels iterate over: a flat offsets array
+//! of length `|V| + 1` and a flat adjacency array of length `|E|` (directed
+//! edge slots; an undirected edge occupies two slots).
+
+use std::fmt;
+
+/// Vertex identifier. The paper's graphs are well below `u32::MAX` vertices,
+/// and 32-bit ids keep the adjacency array compact, which matters for the
+/// cache behaviour the paper discusses.
+pub type VertexId = u32;
+
+/// Edge-slot index into the adjacency array.
+pub type EdgeIndex = usize;
+
+/// An immutable graph in Compressed Sparse Row form.
+///
+/// Invariants (checked by [`CsrGraph::validate`] and by the constructors):
+///
+/// * `offsets.len() == num_vertices + 1`
+/// * `offsets[0] == 0` and `offsets[num_vertices] == adjacency.len()`
+/// * `offsets` is non-decreasing
+/// * every entry of `adjacency` is `< num_vertices`
+/// * within each vertex's neighbour slice the neighbours are sorted
+///   ascending (the builder guarantees this; it makes the kernels'
+///   traversal order deterministic, mirroring the paper's fixed layout).
+#[derive(Clone, PartialEq, Eq)]
+pub struct CsrGraph {
+    offsets: Vec<usize>,
+    adjacency: Vec<VertexId>,
+    /// Whether the graph was built as undirected (every edge stored in both
+    /// directions). Purely informational; kernels treat the structure as a
+    /// directed adjacency either way.
+    undirected: bool,
+}
+
+impl CsrGraph {
+    /// Builds a CSR graph from raw parts, validating every invariant.
+    ///
+    /// Prefer [`crate::builder::GraphBuilder`] for constructing graphs from
+    /// edge lists; this constructor is for deserialization and tests.
+    pub fn from_raw_parts(
+        offsets: Vec<usize>,
+        adjacency: Vec<VertexId>,
+        undirected: bool,
+    ) -> Result<Self, CsrError> {
+        let graph = CsrGraph {
+            offsets,
+            adjacency,
+            undirected,
+        };
+        graph.validate()?;
+        Ok(graph)
+    }
+
+    /// A graph with `n` vertices and no edges.
+    pub fn empty(n: usize) -> Self {
+        CsrGraph {
+            offsets: vec![0; n + 1],
+            adjacency: Vec::new(),
+            undirected: true,
+        }
+    }
+
+    /// Number of vertices `|V|`.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of directed edge slots (for an undirected graph this is twice
+    /// the number of undirected edges).
+    #[inline]
+    pub fn num_edge_slots(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Number of logical edges: undirected edges if the graph is undirected,
+    /// directed edges otherwise.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        if self.undirected {
+            self.adjacency.len() / 2
+        } else {
+            self.adjacency.len()
+        }
+    }
+
+    /// Whether the graph was constructed as undirected.
+    #[inline]
+    pub fn is_undirected(&self) -> bool {
+        self.undirected
+    }
+
+    /// Out-degree of vertex `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        let v = v as usize;
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// The neighbours of `v` as a slice, sorted ascending.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        let v = v as usize;
+        &self.adjacency[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Iterator over all vertex ids `0..|V|`.
+    #[inline]
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        (0..self.num_vertices() as VertexId).into_iter()
+    }
+
+    /// Iterator over every directed edge slot `(u, v)`.
+    pub fn edge_slots(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        self.vertices()
+            .flat_map(move |u| self.neighbors(u).iter().map(move |&v| (u, v)))
+    }
+
+    /// Iterator over undirected edges `(u, v)` with `u <= v`. For directed
+    /// graphs this simply yields every edge slot.
+    pub fn edges(&self) -> Box<dyn Iterator<Item = (VertexId, VertexId)> + '_> {
+        if self.undirected {
+            Box::new(self.edge_slots().filter(|&(u, v)| u <= v))
+        } else {
+            Box::new(self.edge_slots())
+        }
+    }
+
+    /// Raw offsets array (length `|V| + 1`).
+    #[inline]
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// Raw adjacency array.
+    #[inline]
+    pub fn adjacency(&self) -> &[VertexId] {
+        &self.adjacency
+    }
+
+    /// True when `v` has `u` in its adjacency list (binary search since the
+    /// neighbour lists are sorted).
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        if (u as usize) >= self.num_vertices() {
+            return false;
+        }
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Maximum out-degree over all vertices (0 for an empty graph).
+    pub fn max_degree(&self) -> usize {
+        (0..self.num_vertices() as VertexId)
+            .map(|v| self.degree(v))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Average out-degree (`|edge slots| / |V|`), 0.0 for an empty vertex set.
+    pub fn average_degree(&self) -> f64 {
+        if self.num_vertices() == 0 {
+            0.0
+        } else {
+            self.num_edge_slots() as f64 / self.num_vertices() as f64
+        }
+    }
+
+    /// Checks every structural invariant, returning the first violation.
+    pub fn validate(&self) -> Result<(), CsrError> {
+        if self.offsets.is_empty() {
+            return Err(CsrError::EmptyOffsets);
+        }
+        if self.offsets[0] != 0 {
+            return Err(CsrError::BadFirstOffset(self.offsets[0]));
+        }
+        let n = self.num_vertices();
+        for v in 0..n {
+            if self.offsets[v] > self.offsets[v + 1] {
+                return Err(CsrError::DecreasingOffsets { vertex: v });
+            }
+        }
+        if *self.offsets.last().unwrap() != self.adjacency.len() {
+            return Err(CsrError::BadLastOffset {
+                last_offset: *self.offsets.last().unwrap(),
+                adjacency_len: self.adjacency.len(),
+            });
+        }
+        for (slot, &t) in self.adjacency.iter().enumerate() {
+            if (t as usize) >= n {
+                return Err(CsrError::TargetOutOfRange { slot, target: t });
+            }
+        }
+        for v in 0..n {
+            let nbrs = &self.adjacency[self.offsets[v]..self.offsets[v + 1]];
+            if nbrs.windows(2).any(|w| w[0] > w[1]) {
+                return Err(CsrError::UnsortedNeighbors { vertex: v });
+            }
+        }
+        Ok(())
+    }
+
+    /// Returns the reverse (transposed) graph: edge `(u, v)` becomes `(v, u)`.
+    /// For an undirected graph the transpose has the same edge set.
+    pub fn transpose(&self) -> CsrGraph {
+        let n = self.num_vertices();
+        let mut counts = vec![0usize; n + 1];
+        for &t in &self.adjacency {
+            counts[t as usize + 1] += 1;
+        }
+        for v in 0..n {
+            counts[v + 1] += counts[v];
+        }
+        let offsets = counts.clone();
+        let mut cursor = counts;
+        let mut adjacency = vec![0 as VertexId; self.adjacency.len()];
+        for u in 0..n as VertexId {
+            for &v in self.neighbors(u) {
+                adjacency[cursor[v as usize]] = u;
+                cursor[v as usize] += 1;
+            }
+        }
+        // Sources were visited in ascending order so each bucket is already
+        // sorted; the invariant holds without an extra sort.
+        CsrGraph {
+            offsets,
+            adjacency,
+            undirected: self.undirected,
+        }
+    }
+
+    /// Extracts the induced subgraph on `keep` (vertices are relabelled to
+    /// `0..keep.len()` in the order given). Duplicate entries in `keep` are
+    /// rejected.
+    pub fn induced_subgraph(&self, keep: &[VertexId]) -> Result<CsrGraph, CsrError> {
+        let n = self.num_vertices();
+        let mut remap: Vec<Option<VertexId>> = vec![None; n];
+        for (new_id, &old) in keep.iter().enumerate() {
+            if (old as usize) >= n {
+                return Err(CsrError::TargetOutOfRange {
+                    slot: new_id,
+                    target: old,
+                });
+            }
+            if remap[old as usize].is_some() {
+                return Err(CsrError::DuplicateVertexInSelection(old));
+            }
+            remap[old as usize] = Some(new_id as VertexId);
+        }
+        let mut offsets = Vec::with_capacity(keep.len() + 1);
+        let mut adjacency = Vec::new();
+        offsets.push(0);
+        for &old in keep {
+            let mut row: Vec<VertexId> = self
+                .neighbors(old)
+                .iter()
+                .filter_map(|&t| remap[t as usize])
+                .collect();
+            row.sort_unstable();
+            adjacency.extend_from_slice(&row);
+            offsets.push(adjacency.len());
+        }
+        Ok(CsrGraph {
+            offsets,
+            adjacency,
+            undirected: self.undirected,
+        })
+    }
+}
+
+impl fmt::Debug for CsrGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CsrGraph")
+            .field("num_vertices", &self.num_vertices())
+            .field("num_edge_slots", &self.num_edge_slots())
+            .field("undirected", &self.undirected)
+            .finish()
+    }
+}
+
+/// Structural errors detected when constructing or validating a CSR graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CsrError {
+    /// The offsets array was empty (it must have at least one entry).
+    EmptyOffsets,
+    /// `offsets[0]` was not zero.
+    BadFirstOffset(usize),
+    /// `offsets[v] > offsets[v + 1]` for some vertex.
+    DecreasingOffsets {
+        /// Vertex at which the offsets decreased.
+        vertex: usize,
+    },
+    /// The final offset does not equal the adjacency length.
+    BadLastOffset {
+        /// Value of `offsets[|V|]`.
+        last_offset: usize,
+        /// Actual length of the adjacency array.
+        adjacency_len: usize,
+    },
+    /// An adjacency entry referenced a vertex outside `0..|V|`.
+    TargetOutOfRange {
+        /// Index of the offending adjacency slot.
+        slot: usize,
+        /// The out-of-range vertex id it contained.
+        target: VertexId,
+    },
+    /// A neighbour list was not sorted ascending.
+    UnsortedNeighbors {
+        /// Vertex whose neighbour list is out of order.
+        vertex: usize,
+    },
+    /// `induced_subgraph` was given the same vertex twice.
+    DuplicateVertexInSelection(VertexId),
+}
+
+impl fmt::Display for CsrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsrError::EmptyOffsets => write!(f, "offsets array is empty"),
+            CsrError::BadFirstOffset(o) => write!(f, "offsets[0] = {o}, expected 0"),
+            CsrError::DecreasingOffsets { vertex } => {
+                write!(f, "offsets decrease at vertex {vertex}")
+            }
+            CsrError::BadLastOffset {
+                last_offset,
+                adjacency_len,
+            } => write!(
+                f,
+                "last offset {last_offset} does not match adjacency length {adjacency_len}"
+            ),
+            CsrError::TargetOutOfRange { slot, target } => {
+                write!(f, "adjacency slot {slot} targets out-of-range vertex {target}")
+            }
+            CsrError::UnsortedNeighbors { vertex } => {
+                write!(f, "neighbour list of vertex {vertex} is not sorted")
+            }
+            CsrError::DuplicateVertexInSelection(v) => {
+                write!(f, "vertex {v} appears twice in subgraph selection")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CsrError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn triangle() -> CsrGraph {
+        GraphBuilder::undirected(3)
+            .add_edges([(0, 1), (1, 2), (2, 0)])
+            .build()
+    }
+
+    #[test]
+    fn empty_graph_has_no_edges() {
+        let g = CsrGraph::empty(5);
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_edge_slots(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.max_degree(), 0);
+        assert!(g.validate().is_ok());
+        for v in 0..5 {
+            assert!(g.neighbors(v).is_empty());
+        }
+    }
+
+    #[test]
+    fn zero_vertex_graph() {
+        let g = CsrGraph::empty(0);
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.average_degree(), 0.0);
+        assert_eq!(g.vertices().count(), 0);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn triangle_structure() {
+        let g = triangle();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edge_slots(), 6);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert_eq!(g.neighbors(2), &[0, 1]);
+        assert_eq!(g.max_degree(), 2);
+        assert!((g.average_degree() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn has_edge_lookup() {
+        let g = triangle();
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 0));
+        assert!(!g.has_edge(0, 99));
+        assert!(!g.has_edge(99, 0));
+    }
+
+    #[test]
+    fn edge_iterators() {
+        let g = triangle();
+        let slots: Vec<_> = g.edge_slots().collect();
+        assert_eq!(slots.len(), 6);
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), 3);
+        for (u, v) in edges {
+            assert!(u <= v);
+        }
+    }
+
+    #[test]
+    fn from_raw_parts_validates() {
+        // bad first offset
+        assert!(matches!(
+            CsrGraph::from_raw_parts(vec![1, 2], vec![0, 0], false),
+            Err(CsrError::BadFirstOffset(1))
+        ));
+        // decreasing offsets
+        assert!(matches!(
+            CsrGraph::from_raw_parts(vec![0, 2, 1], vec![0, 1], false),
+            Err(CsrError::DecreasingOffsets { vertex: 1 })
+        ));
+        // last offset mismatch
+        assert!(matches!(
+            CsrGraph::from_raw_parts(vec![0, 1], vec![0, 0], false),
+            Err(CsrError::BadLastOffset { .. })
+        ));
+        // out of range target
+        assert!(matches!(
+            CsrGraph::from_raw_parts(vec![0, 1], vec![7], false),
+            Err(CsrError::TargetOutOfRange { .. })
+        ));
+        // unsorted neighbours
+        assert!(matches!(
+            CsrGraph::from_raw_parts(vec![0, 2, 2], vec![1, 0], true),
+            Err(CsrError::UnsortedNeighbors { vertex: 0 })
+        ));
+        // valid
+        let g = CsrGraph::from_raw_parts(vec![0, 1, 2], vec![1, 0], true).unwrap();
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn transpose_of_directed_path() {
+        // 0 -> 1 -> 2
+        let g = GraphBuilder::directed(3).add_edges([(0, 1), (1, 2)]).build();
+        let t = g.transpose();
+        assert_eq!(t.neighbors(0), &[] as &[VertexId]);
+        assert_eq!(t.neighbors(1), &[0]);
+        assert_eq!(t.neighbors(2), &[1]);
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn transpose_of_undirected_graph_is_identical() {
+        let g = triangle();
+        let t = g.transpose();
+        assert_eq!(g, t);
+    }
+
+    #[test]
+    fn induced_subgraph_relabels() {
+        let g = triangle();
+        let sub = g.induced_subgraph(&[2, 0]).unwrap();
+        assert_eq!(sub.num_vertices(), 2);
+        // vertices 2 and 0 are adjacent in the triangle
+        assert_eq!(sub.neighbors(0), &[1]);
+        assert_eq!(sub.neighbors(1), &[0]);
+        assert!(sub.validate().is_ok());
+    }
+
+    #[test]
+    fn induced_subgraph_rejects_duplicates_and_out_of_range() {
+        let g = triangle();
+        assert!(matches!(
+            g.induced_subgraph(&[0, 0]),
+            Err(CsrError::DuplicateVertexInSelection(0))
+        ));
+        assert!(matches!(
+            g.induced_subgraph(&[0, 9]),
+            Err(CsrError::TargetOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = CsrError::TargetOutOfRange { slot: 3, target: 9 };
+        assert!(e.to_string().contains("slot 3"));
+        assert!(e.to_string().contains("vertex 9"));
+        let e = CsrError::UnsortedNeighbors { vertex: 4 };
+        assert!(e.to_string().contains("4"));
+    }
+}

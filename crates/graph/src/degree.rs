@@ -1,0 +1,176 @@
+//! Degree-distribution statistics.
+//!
+//! The trip count of the paper's inner for-loop (over `Neighbors[v]`) is the
+//! vertex degree, and Lemmas 3-6 tie the expected branch misses of that loop
+//! to the degree distribution. These helpers summarize the distribution for
+//! reporting (Table 2) and for the analytical bounds in `bga-perfmodel`.
+
+use crate::csr::CsrGraph;
+
+/// Summary statistics of a graph's degree distribution.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DegreeStats {
+    /// Smallest vertex degree.
+    pub min: usize,
+    /// Largest vertex degree.
+    pub max: usize,
+    /// Mean degree (`sum of degrees / |V|`).
+    pub mean: f64,
+    /// Median degree.
+    pub median: f64,
+    /// Population standard deviation of the degrees.
+    pub std_dev: f64,
+    /// Number of vertices with degree 0 (these hit the n = 0 case of Lemma 4).
+    pub zero_degree: usize,
+    /// Number of vertices with degree 1 (the n = 1 case of Lemma 5).
+    pub one_degree: usize,
+    /// Number of vertices with degree 2 (the n = 2 case of Lemma 6).
+    pub two_degree: usize,
+}
+
+/// Computes degree summary statistics. For an empty vertex set everything is
+/// zero.
+pub fn degree_stats(graph: &CsrGraph) -> DegreeStats {
+    let n = graph.num_vertices();
+    if n == 0 {
+        return DegreeStats {
+            min: 0,
+            max: 0,
+            mean: 0.0,
+            median: 0.0,
+            std_dev: 0.0,
+            zero_degree: 0,
+            one_degree: 0,
+            two_degree: 0,
+        };
+    }
+    let mut degrees: Vec<usize> = graph.vertices().map(|v| graph.degree(v)).collect();
+    degrees.sort_unstable();
+    let min = degrees[0];
+    let max = degrees[n - 1];
+    let sum: usize = degrees.iter().sum();
+    let mean = sum as f64 / n as f64;
+    let median = if n % 2 == 1 {
+        degrees[n / 2] as f64
+    } else {
+        (degrees[n / 2 - 1] + degrees[n / 2]) as f64 / 2.0
+    };
+    let variance = degrees
+        .iter()
+        .map(|&d| {
+            let diff = d as f64 - mean;
+            diff * diff
+        })
+        .sum::<f64>()
+        / n as f64;
+    DegreeStats {
+        min,
+        max,
+        mean,
+        median,
+        std_dev: variance.sqrt(),
+        zero_degree: degrees.iter().filter(|&&d| d == 0).count(),
+        one_degree: degrees.iter().filter(|&&d| d == 1).count(),
+        two_degree: degrees.iter().filter(|&&d| d == 2).count(),
+    }
+}
+
+/// Degree histogram: `hist[d]` is the number of vertices with degree `d`.
+/// The vector has length `max_degree + 1` (empty for a graph with no
+/// vertices).
+pub fn degree_histogram(graph: &CsrGraph) -> Vec<usize> {
+    if graph.num_vertices() == 0 {
+        return Vec::new();
+    }
+    let mut hist = vec![0usize; graph.max_degree() + 1];
+    for v in graph.vertices() {
+        hist[graph.degree(v)] += 1;
+    }
+    hist
+}
+
+/// Crude power-law check: returns the Pearson correlation between
+/// `log(degree)` and `log(count)` over non-empty histogram buckets with
+/// degree >= 1. Strongly negative values (<= -0.7) indicate a heavy-tailed,
+/// power-law-like distribution; mesh graphs return values near 0 because
+/// they only occupy a handful of buckets.
+pub fn log_log_degree_correlation(graph: &CsrGraph) -> Option<f64> {
+    let hist = degree_histogram(graph);
+    let points: Vec<(f64, f64)> = hist
+        .iter()
+        .enumerate()
+        .skip(1)
+        .filter(|(_, &c)| c > 0)
+        .map(|(d, &c)| ((d as f64).ln(), (c as f64).ln()))
+        .collect();
+    if points.len() < 3 {
+        return None;
+    }
+    let n = points.len() as f64;
+    let mean_x = points.iter().map(|p| p.0).sum::<f64>() / n;
+    let mean_y = points.iter().map(|p| p.1).sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut var_x = 0.0;
+    let mut var_y = 0.0;
+    for &(x, y) in &points {
+        cov += (x - mean_x) * (y - mean_y);
+        var_x += (x - mean_x) * (x - mean_x);
+        var_y += (y - mean_y) * (y - mean_y);
+    }
+    if var_x == 0.0 || var_y == 0.0 {
+        return None;
+    }
+    Some(cov / (var_x.sqrt() * var_y.sqrt()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{barabasi_albert, complete_graph, path_graph, star_graph};
+    use crate::CsrGraph;
+
+    #[test]
+    fn stats_of_path() {
+        let s = degree_stats(&path_graph(5));
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 2);
+        assert_eq!(s.one_degree, 2);
+        assert_eq!(s.two_degree, 3);
+        assert!((s.mean - 8.0 / 5.0).abs() < 1e-12);
+        assert_eq!(s.median, 2.0);
+    }
+
+    #[test]
+    fn stats_of_complete_graph() {
+        let s = degree_stats(&complete_graph(6));
+        assert_eq!(s.min, 5);
+        assert_eq!(s.max, 5);
+        assert_eq!(s.std_dev, 0.0);
+    }
+
+    #[test]
+    fn stats_of_empty_graph() {
+        let s = degree_stats(&CsrGraph::empty(0));
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.max, 0);
+        assert!(degree_histogram(&CsrGraph::empty(0)).is_empty());
+    }
+
+    #[test]
+    fn histogram_of_star() {
+        let h = degree_histogram(&star_graph(6));
+        // one hub of degree 5, five leaves of degree 1
+        assert_eq!(h[1], 5);
+        assert_eq!(h[5], 1);
+        assert_eq!(h.iter().sum::<usize>(), 6);
+    }
+
+    #[test]
+    fn power_law_detection() {
+        let ba = barabasi_albert(3000, 2, 7);
+        let corr = log_log_degree_correlation(&ba).unwrap();
+        assert!(corr < -0.7, "BA graph should look power-law, corr = {corr}");
+        // A path only has two occupied degree buckets -> not enough points.
+        assert!(log_log_degree_correlation(&path_graph(100)).is_none());
+    }
+}

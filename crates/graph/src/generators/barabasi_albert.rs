@@ -1,0 +1,112 @@
+//! Barabási–Albert preferential attachment: power-law degree distributions
+//! of the kind the paper's collaboration graphs (coAuthorsDBLP,
+//! cond-mat-2005) exhibit.
+
+use crate::builder::GraphBuilder;
+use crate::csr::{CsrGraph, VertexId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Barabási–Albert graph: starts from a small clique of `m` vertices, then
+/// each new vertex attaches to `m` distinct existing vertices chosen with
+/// probability proportional to their current degree.
+///
+/// Panics if `m == 0` or `n < m`.
+pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> CsrGraph {
+    assert!(m >= 1, "attachment count m must be at least 1");
+    assert!(n >= m, "need at least m vertices");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::undirected(n);
+
+    // `targets` holds one entry per edge endpoint, so sampling uniformly from
+    // it is sampling proportionally to degree.
+    let mut endpoint_pool: Vec<VertexId> = Vec::with_capacity(2 * n * m);
+
+    // Seed clique on the first m vertices (or a single vertex when m == 1).
+    let seed_size = m.max(2).min(n);
+    for u in 0..seed_size {
+        for v in (u + 1)..seed_size {
+            b.push_edge(u as VertexId, v as VertexId);
+            endpoint_pool.push(u as VertexId);
+            endpoint_pool.push(v as VertexId);
+        }
+    }
+
+    for v in seed_size..n {
+        // Degree-proportional sampling with rejection of duplicates. A small
+        // Vec keeps the insertion order deterministic for a given seed.
+        let mut chosen: Vec<VertexId> = Vec::with_capacity(m);
+        while chosen.len() < m {
+            let target = if endpoint_pool.is_empty() {
+                rng.gen_range(0..v) as VertexId
+            } else {
+                endpoint_pool[rng.gen_range(0..endpoint_pool.len())]
+            };
+            if !chosen.contains(&target) {
+                chosen.push(target);
+            }
+        }
+        for &t in &chosen {
+            b.push_edge(v as VertexId, t);
+            endpoint_pool.push(v as VertexId);
+            endpoint_pool.push(t);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::properties::connected_component_count;
+
+    #[test]
+    fn edge_count_matches_formula() {
+        let n = 500;
+        let m = 3;
+        let g = barabasi_albert(n, m, 11);
+        let seed_size = m.max(2);
+        let expected = seed_size * (seed_size - 1) / 2 + (n - seed_size) * m;
+        assert_eq!(g.num_edges(), expected);
+    }
+
+    #[test]
+    fn graph_is_connected() {
+        let g = barabasi_albert(300, 2, 5);
+        assert_eq!(connected_component_count(&g), 1);
+    }
+
+    #[test]
+    fn degree_distribution_is_skewed() {
+        let g = barabasi_albert(2000, 2, 42);
+        let max = g.max_degree() as f64;
+        let avg = g.average_degree();
+        // Preferential attachment produces hubs far above the average degree.
+        assert!(
+            max > 5.0 * avg,
+            "expected hub formation: max degree {max}, average {avg}"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(barabasi_albert(200, 3, 1), barabasi_albert(200, 3, 1));
+        assert_ne!(barabasi_albert(200, 3, 1), barabasi_albert(200, 3, 2));
+    }
+
+    #[test]
+    fn minimal_sizes() {
+        let g = barabasi_albert(2, 1, 0);
+        assert_eq!(g.num_vertices(), 2);
+        assert_eq!(g.num_edges(), 1);
+        let g = barabasi_albert(1, 1, 0);
+        assert_eq!(g.num_vertices(), 1);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn rejects_zero_m() {
+        barabasi_albert(10, 0, 0);
+    }
+}

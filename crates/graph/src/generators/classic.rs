@@ -1,0 +1,122 @@
+//! Deterministic classic graph shapes used heavily in tests and examples.
+
+use crate::builder::GraphBuilder;
+use crate::csr::{CsrGraph, VertexId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Path graph `0 - 1 - ... - (n-1)`. Diameter `n - 1`; the worst case for
+/// label-propagation algorithms like Shiloach-Vishkin.
+pub fn path_graph(n: usize) -> CsrGraph {
+    let mut b = GraphBuilder::undirected(n);
+    for v in 1..n {
+        b.push_edge((v - 1) as VertexId, v as VertexId);
+    }
+    b.build()
+}
+
+/// Cycle graph on `n` vertices (`n >= 3` to be a proper cycle; smaller `n`
+/// degrades gracefully to a path / single vertex).
+pub fn cycle_graph(n: usize) -> CsrGraph {
+    let mut b = GraphBuilder::undirected(n);
+    for v in 1..n {
+        b.push_edge((v - 1) as VertexId, v as VertexId);
+    }
+    if n >= 3 {
+        b.push_edge((n - 1) as VertexId, 0);
+    }
+    b.build()
+}
+
+/// Star graph: vertex 0 connected to all others. Diameter 2, maximally
+/// skewed degree distribution.
+pub fn star_graph(n: usize) -> CsrGraph {
+    let mut b = GraphBuilder::undirected(n);
+    for v in 1..n {
+        b.push_edge(0, v as VertexId);
+    }
+    b.build()
+}
+
+/// Complete graph K_n.
+pub fn complete_graph(n: usize) -> CsrGraph {
+    let mut b = GraphBuilder::undirected(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            b.push_edge(u as VertexId, v as VertexId);
+        }
+    }
+    b.build()
+}
+
+/// Uniform random recursive tree on `n` vertices: vertex `v` attaches to a
+/// uniformly random earlier vertex. Always connected, exactly `n - 1` edges.
+pub fn random_tree(n: usize, seed: u64) -> CsrGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::undirected(n);
+    for v in 1..n {
+        let parent = rng.gen_range(0..v);
+        b.push_edge(parent as VertexId, v as VertexId);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_graph_shape() {
+        let g = path_graph(5);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(2), 2);
+        assert_eq!(g.degree(4), 1);
+    }
+
+    #[test]
+    fn path_graph_degenerate_sizes() {
+        assert_eq!(path_graph(0).num_vertices(), 0);
+        assert_eq!(path_graph(1).num_edges(), 0);
+        assert_eq!(path_graph(2).num_edges(), 1);
+    }
+
+    #[test]
+    fn cycle_graph_shape() {
+        let g = cycle_graph(6);
+        assert_eq!(g.num_edges(), 6);
+        for v in g.vertices() {
+            assert_eq!(g.degree(v), 2);
+        }
+        // n = 2 degrades to a single edge, not a multi-edge.
+        assert_eq!(cycle_graph(2).num_edges(), 1);
+    }
+
+    #[test]
+    fn star_graph_shape() {
+        let g = star_graph(8);
+        assert_eq!(g.degree(0), 7);
+        for v in 1..8 {
+            assert_eq!(g.degree(v), 1);
+        }
+    }
+
+    #[test]
+    fn complete_graph_shape() {
+        let g = complete_graph(6);
+        assert_eq!(g.num_edges(), 15);
+        for v in g.vertices() {
+            assert_eq!(g.degree(v), 5);
+        }
+    }
+
+    #[test]
+    fn random_tree_has_n_minus_1_edges_and_is_deterministic() {
+        let a = random_tree(200, 9);
+        let b = random_tree(200, 9);
+        let c = random_tree(200, 10);
+        assert_eq!(a.num_edges(), 199);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

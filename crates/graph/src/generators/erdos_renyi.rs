@@ -1,0 +1,127 @@
+//! Erdős–Rényi random graphs in both the G(n, p) and G(n, m) flavours.
+
+use crate::builder::GraphBuilder;
+use crate::csr::{CsrGraph, VertexId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// G(n, p): every unordered pair is an edge independently with probability
+/// `p`. Uses geometric skipping so the cost is proportional to the number of
+/// generated edges rather than `n^2`, which keeps large sparse instances fast.
+pub fn erdos_renyi_gnp(n: usize, p: f64, seed: u64) -> CsrGraph {
+    assert!((0.0..=1.0).contains(&p), "edge probability must be in [0, 1]");
+    let mut b = GraphBuilder::undirected(n);
+    if n < 2 || p == 0.0 {
+        return b.build();
+    }
+    if p >= 1.0 {
+        for u in 0..n {
+            for v in (u + 1)..n {
+                b.push_edge(u as VertexId, v as VertexId);
+            }
+        }
+        return b.build();
+    }
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Walk the upper triangle with geometric jumps (Batagelj-Brandes).
+    let log_q = (1.0 - p).ln();
+    let mut v: i64 = 1;
+    let mut w: i64 = -1;
+    let n_i = n as i64;
+    while v < n_i {
+        let r: f64 = rng.gen_range(f64::EPSILON..1.0);
+        w += 1 + (r.ln() / log_q).floor() as i64;
+        while w >= v && v < n_i {
+            w -= v;
+            v += 1;
+        }
+        if v < n_i {
+            b.push_edge(w as VertexId, v as VertexId);
+        }
+    }
+    b.build()
+}
+
+/// G(n, m): exactly `m` distinct edges sampled uniformly from all unordered
+/// pairs (self-loops excluded). Panics if `m` exceeds the number of pairs.
+pub fn erdos_renyi_gnm(n: usize, m: usize, seed: u64) -> CsrGraph {
+    let max_edges = n.saturating_mul(n.saturating_sub(1)) / 2;
+    assert!(
+        m <= max_edges,
+        "requested {m} edges but only {max_edges} distinct pairs exist"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut chosen = std::collections::HashSet::with_capacity(m * 2);
+    let mut b = GraphBuilder::undirected(n);
+    while chosen.len() < m {
+        let u = rng.gen_range(0..n) as VertexId;
+        let v = rng.gen_range(0..n) as VertexId;
+        if u == v {
+            continue;
+        }
+        let key = (u.min(v), u.max(v));
+        if chosen.insert(key) {
+            b.push_edge(key.0, key.1);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gnp_extremes() {
+        let empty = erdos_renyi_gnp(50, 0.0, 1);
+        assert_eq!(empty.num_edges(), 0);
+        let full = erdos_renyi_gnp(20, 1.0, 1);
+        assert_eq!(full.num_edges(), 20 * 19 / 2);
+    }
+
+    #[test]
+    fn gnp_edge_count_near_expectation() {
+        let n = 2000;
+        let p = 0.01;
+        let g = erdos_renyi_gnp(n, p, 12345);
+        let expected = p * (n * (n - 1) / 2) as f64;
+        let actual = g.num_edges() as f64;
+        // within 10% of expectation for this size
+        assert!(
+            (actual - expected).abs() < 0.10 * expected,
+            "expected ~{expected}, got {actual}"
+        );
+    }
+
+    #[test]
+    fn gnp_is_deterministic_per_seed() {
+        assert_eq!(erdos_renyi_gnp(300, 0.02, 7), erdos_renyi_gnp(300, 0.02, 7));
+        assert_ne!(erdos_renyi_gnp(300, 0.02, 7), erdos_renyi_gnp(300, 0.02, 8));
+    }
+
+    #[test]
+    fn gnm_exact_edge_count() {
+        let g = erdos_renyi_gnm(100, 250, 3);
+        assert_eq!(g.num_edges(), 250);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn gnm_zero_and_full() {
+        assert_eq!(erdos_renyi_gnm(10, 0, 1).num_edges(), 0);
+        assert_eq!(erdos_renyi_gnm(10, 45, 1).num_edges(), 45);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct pairs")]
+    fn gnm_rejects_impossible_edge_count() {
+        erdos_renyi_gnm(5, 11, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn gnp_rejects_bad_probability() {
+        erdos_renyi_gnp(5, 1.5, 1);
+    }
+}

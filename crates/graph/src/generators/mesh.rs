@@ -1,0 +1,151 @@
+//! Regular 2-D and 3-D mesh generators.
+//!
+//! The audikw1, ldoor and auto graphs in the paper's Table 2 are finite
+//! element / partitioning meshes: locally dense, bounded degree, large
+//! diameter. A 3-D grid with a Moore-style stencil is the closest synthetic
+//! structure with the same traversal behaviour (many BFS levels, many SV
+//! iterations, regular inner loops).
+
+use crate::builder::GraphBuilder;
+use crate::csr::{CsrGraph, VertexId};
+
+/// Neighbourhood stencil for mesh generators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MeshStencil {
+    /// Axis-aligned neighbours only (4 in 2-D, 6 in 3-D).
+    VonNeumann,
+    /// All surrounding cells including diagonals (8 in 2-D, 26 in 3-D);
+    /// closer to the connectivity of FEM matrices like audikw1/ldoor.
+    Moore,
+}
+
+/// 2-D grid of `rows x cols` vertices. Vertex `(r, c)` has id `r * cols + c`.
+pub fn grid_2d(rows: usize, cols: usize, stencil: MeshStencil) -> CsrGraph {
+    let n = rows * cols;
+    let mut b = GraphBuilder::undirected(n);
+    let id = |r: usize, c: usize| (r * cols + c) as VertexId;
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.push_edge(id(r, c), id(r, c + 1));
+            }
+            if r + 1 < rows {
+                b.push_edge(id(r, c), id(r + 1, c));
+            }
+            if stencil == MeshStencil::Moore && r + 1 < rows {
+                if c + 1 < cols {
+                    b.push_edge(id(r, c), id(r + 1, c + 1));
+                }
+                if c > 0 {
+                    b.push_edge(id(r, c), id(r + 1, c - 1));
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+/// 3-D grid of `nx x ny x nz` vertices. Vertex `(x, y, z)` has id
+/// `x + nx * (y + ny * z)`.
+pub fn grid_3d(nx: usize, ny: usize, nz: usize, stencil: MeshStencil) -> CsrGraph {
+    let n = nx * ny * nz;
+    let mut b = GraphBuilder::undirected(n);
+    let id = |x: usize, y: usize, z: usize| (x + nx * (y + ny * z)) as VertexId;
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                match stencil {
+                    MeshStencil::VonNeumann => {
+                        if x + 1 < nx {
+                            b.push_edge(id(x, y, z), id(x + 1, y, z));
+                        }
+                        if y + 1 < ny {
+                            b.push_edge(id(x, y, z), id(x, y + 1, z));
+                        }
+                        if z + 1 < nz {
+                            b.push_edge(id(x, y, z), id(x, y, z + 1));
+                        }
+                    }
+                    MeshStencil::Moore => {
+                        // Connect to every neighbour that is lexicographically
+                        // "later" so each pair is added exactly once.
+                        for dz in -1i64..=1 {
+                            for dy in -1i64..=1 {
+                                for dx in -1i64..=1 {
+                                    // Only add each pair once: keep offsets that are
+                                    // lexicographically positive in (dz, dy, dx).
+                                    if (dz, dy, dx) <= (0, 0, 0) {
+                                        continue;
+                                    }
+                                    let (xx, yy, zz) =
+                                        (x as i64 + dx, y as i64 + dy, z as i64 + dz);
+                                    if xx < 0
+                                        || yy < 0
+                                        || zz < 0
+                                        || xx >= nx as i64
+                                        || yy >= ny as i64
+                                        || zz >= nz as i64
+                                    {
+                                        continue;
+                                    }
+                                    b.push_edge(
+                                        id(x, y, z),
+                                        id(xx as usize, yy as usize, zz as usize),
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::properties::connected_component_count;
+
+    #[test]
+    fn grid_2d_von_neumann_edge_count() {
+        // rows*(cols-1) horizontal + (rows-1)*cols vertical
+        let g = grid_2d(4, 5, MeshStencil::VonNeumann);
+        assert_eq!(g.num_vertices(), 20);
+        assert_eq!(g.num_edges(), 4 * 4 + 3 * 5);
+        assert_eq!(connected_component_count(&g), 1);
+    }
+
+    #[test]
+    fn grid_2d_moore_has_diagonals() {
+        let g = grid_2d(3, 3, MeshStencil::Moore);
+        // centre vertex of a 3x3 Moore grid touches all 8 others
+        assert_eq!(g.degree(4), 8);
+    }
+
+    #[test]
+    fn grid_3d_von_neumann_interior_degree() {
+        let g = grid_3d(3, 3, 3, MeshStencil::VonNeumann);
+        assert_eq!(g.num_vertices(), 27);
+        // centre vertex (1,1,1) -> id 1 + 3*(1 + 3*1) = 13 has degree 6
+        assert_eq!(g.degree(13), 6);
+        assert_eq!(connected_component_count(&g), 1);
+    }
+
+    #[test]
+    fn grid_3d_moore_interior_degree() {
+        let g = grid_3d(3, 3, 3, MeshStencil::Moore);
+        assert_eq!(g.degree(13), 26);
+        assert_eq!(connected_component_count(&g), 1);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn degenerate_grids() {
+        assert_eq!(grid_2d(0, 5, MeshStencil::VonNeumann).num_vertices(), 0);
+        assert_eq!(grid_2d(1, 1, MeshStencil::Moore).num_edges(), 0);
+        let line = grid_3d(5, 1, 1, MeshStencil::VonNeumann);
+        assert_eq!(line.num_edges(), 4);
+    }
+}

@@ -1,0 +1,91 @@
+//! Random regular graphs via the pairing (configuration) model.
+
+use crate::builder::GraphBuilder;
+use crate::csr::{CsrGraph, VertexId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Random `d`-regular graph on `n` vertices using the configuration model
+/// with retry: `n * d` half-edges are shuffled and paired; a pairing that
+/// produces self-loops or duplicate edges is rejected and retried, so the
+/// result is a simple graph where every vertex has degree exactly `d`.
+///
+/// Panics if `n * d` is odd or `d >= n` (no simple d-regular graph exists).
+pub fn random_regular(n: usize, d: usize, seed: u64) -> CsrGraph {
+    assert!(n * d % 2 == 0, "n * d must be even for a d-regular graph");
+    assert!(d < n, "degree must be smaller than the vertex count");
+    if n == 0 || d == 0 {
+        return GraphBuilder::undirected(n).build();
+    }
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Bounded retries: failure probability per attempt is bounded away from 1
+    // for fixed d, so this practically never exhausts.
+    for _attempt in 0..1000 {
+        let mut stubs: Vec<VertexId> = Vec::with_capacity(n * d);
+        for v in 0..n {
+            for _ in 0..d {
+                stubs.push(v as VertexId);
+            }
+        }
+        stubs.shuffle(&mut rng);
+        let mut ok = true;
+        let mut seen = std::collections::HashSet::with_capacity(n * d / 2);
+        let mut edges = Vec::with_capacity(n * d / 2);
+        for pair in stubs.chunks_exact(2) {
+            let (u, v) = (pair[0], pair[1]);
+            if u == v {
+                ok = false;
+                break;
+            }
+            let key = (u.min(v), u.max(v));
+            if !seen.insert(key) {
+                ok = false;
+                break;
+            }
+            edges.push(key);
+        }
+        if ok {
+            return GraphBuilder::undirected(n).add_edges(edges).build();
+        }
+    }
+    panic!("failed to generate a simple {d}-regular graph on {n} vertices after 1000 attempts");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_vertex_has_degree_d() {
+        let g = random_regular(100, 4, 17);
+        for v in g.vertices() {
+            assert_eq!(g.degree(v), 4);
+        }
+        assert_eq!(g.num_edges(), 100 * 4 / 2);
+    }
+
+    #[test]
+    fn zero_degree_graph_is_empty() {
+        let g = random_regular(10, 0, 1);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(random_regular(50, 3, 2), random_regular(50, 3, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn rejects_odd_stub_count() {
+        random_regular(5, 3, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "smaller than")]
+    fn rejects_degree_too_large() {
+        random_regular(4, 4, 1);
+    }
+}

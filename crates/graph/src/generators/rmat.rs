@@ -1,0 +1,156 @@
+//! R-MAT (recursive matrix) generator — the Graph500 style power-law
+//! generator commonly used for graph-kernel benchmarking.
+
+use crate::builder::GraphBuilder;
+use crate::csr::{CsrGraph, VertexId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Quadrant probabilities for the recursive matrix subdivision.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RmatParams {
+    /// Probability of the upper-left quadrant (both ids keep their high bit clear).
+    pub a: f64,
+    /// Probability of the upper-right quadrant (target id sets its high bit).
+    pub b: f64,
+    /// Probability of the lower-left quadrant (source id sets its high bit).
+    pub c: f64,
+    /// Probability of the lower-right quadrant (both ids set their high bit).
+    pub d: f64,
+}
+
+impl Default for RmatParams {
+    /// Graph500 reference parameters.
+    fn default() -> Self {
+        RmatParams {
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            d: 0.05,
+        }
+    }
+}
+
+impl RmatParams {
+    /// Validates that the four probabilities are non-negative and sum to 1
+    /// (within floating point tolerance).
+    pub fn validate(&self) -> Result<(), String> {
+        let vals = [self.a, self.b, self.c, self.d];
+        if vals.iter().any(|&p| p < 0.0) {
+            return Err("R-MAT probabilities must be non-negative".into());
+        }
+        let sum: f64 = vals.iter().sum();
+        if (sum - 1.0).abs() > 1e-9 {
+            return Err(format!("R-MAT probabilities must sum to 1, got {sum}"));
+        }
+        Ok(())
+    }
+}
+
+/// Generates an undirected R-MAT graph with `2^scale` vertices and
+/// approximately `num_edges` distinct edges (self-loops and duplicates are
+/// dropped, so the final count can be slightly lower).
+pub fn rmat(scale: u32, num_edges: usize, params: RmatParams, seed: u64) -> CsrGraph {
+    params.validate().expect("invalid R-MAT parameters");
+    assert!(scale < 31, "scale must keep vertex ids within u32 range");
+    let n = 1usize << scale;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::undirected(n);
+
+    // Add small per-level noise to the quadrant probabilities, a standard
+    // trick that avoids exactly repeated structure between recursion levels.
+    for _ in 0..num_edges {
+        let (mut u, mut v) = (0usize, 0usize);
+        for level in 0..scale {
+            let bit = 1usize << (scale - 1 - level);
+            let noise = 1.0 + 0.1 * (rng.gen::<f64>() - 0.5);
+            let a = params.a * noise;
+            let b_ = params.b * noise;
+            let c = params.c * noise;
+            let d = params.d * noise;
+            let total = a + b_ + c + d;
+            let r: f64 = rng.gen::<f64>() * total;
+            if r < a {
+                // upper-left quadrant: neither bit set
+            } else if r < a + b_ {
+                v |= bit;
+            } else if r < a + b_ + c {
+                u |= bit;
+            } else {
+                u |= bit;
+                v |= bit;
+            }
+        }
+        b.push_edge(u as VertexId, v as VertexId);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vertex_count_is_power_of_scale() {
+        let g = rmat(8, 1000, RmatParams::default(), 1);
+        assert_eq!(g.num_vertices(), 256);
+        assert!(g.num_edges() <= 1000);
+        assert!(g.num_edges() > 500, "too many collisions: {}", g.num_edges());
+    }
+
+    #[test]
+    fn skewed_parameters_produce_skewed_degrees() {
+        let g = rmat(10, 8000, RmatParams::default(), 3);
+        let uniform = rmat(
+            10,
+            8000,
+            RmatParams {
+                a: 0.25,
+                b: 0.25,
+                c: 0.25,
+                d: 0.25,
+            },
+            3,
+        );
+        assert!(
+            g.max_degree() > uniform.max_degree(),
+            "R-MAT skew should create hubs: {} vs {}",
+            g.max_degree(),
+            uniform.max_degree()
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = RmatParams::default();
+        assert_eq!(rmat(7, 400, p, 5), rmat(7, 400, p, 5));
+        assert_ne!(rmat(7, 400, p, 5), rmat(7, 400, p, 6));
+    }
+
+    #[test]
+    fn params_validation() {
+        assert!(RmatParams::default().validate().is_ok());
+        assert!(RmatParams {
+            a: 0.5,
+            b: 0.5,
+            c: 0.5,
+            d: -0.5
+        }
+        .validate()
+        .is_err());
+        assert!(RmatParams {
+            a: 0.3,
+            b: 0.3,
+            c: 0.3,
+            d: 0.3
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid R-MAT parameters")]
+    fn generator_rejects_bad_params() {
+        rmat(5, 10, RmatParams { a: 1.0, b: 1.0, c: 0.0, d: 0.0 }, 1);
+    }
+}

@@ -1,0 +1,101 @@
+//! Stochastic block model: community-structured random graphs, used as the
+//! stand-in family for clustering/collaboration networks (cond-mat-2005).
+
+use crate::builder::GraphBuilder;
+use crate::csr::{CsrGraph, VertexId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Stochastic block model with the given community sizes. Vertices within a
+/// community are connected with probability `p_in`, across communities with
+/// probability `p_out`. Vertices are numbered community by community.
+pub fn stochastic_block_model(
+    community_sizes: &[usize],
+    p_in: f64,
+    p_out: f64,
+    seed: u64,
+) -> CsrGraph {
+    assert!((0.0..=1.0).contains(&p_in), "p_in must be in [0, 1]");
+    assert!((0.0..=1.0).contains(&p_out), "p_out must be in [0, 1]");
+    let n: usize = community_sizes.iter().sum();
+    let mut community_of = vec![0usize; n];
+    let mut start = 0usize;
+    for (cid, &size) in community_sizes.iter().enumerate() {
+        for v in start..start + size {
+            community_of[v] = cid;
+        }
+        start += size;
+    }
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::undirected(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let p = if community_of[u] == community_of[v] {
+                p_in
+            } else {
+                p_out
+            };
+            if p > 0.0 && rng.gen::<f64>() < p {
+                b.push_edge(u as VertexId, v as VertexId);
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn communities_are_denser_than_cross_edges() {
+        let sizes = [50, 50];
+        let g = stochastic_block_model(&sizes, 0.3, 0.01, 7);
+        let mut within = 0usize;
+        let mut across = 0usize;
+        for (u, v) in g.edges() {
+            let cu = if (u as usize) < 50 { 0 } else { 1 };
+            let cv = if (v as usize) < 50 { 0 } else { 1 };
+            if cu == cv {
+                within += 1;
+            } else {
+                across += 1;
+            }
+        }
+        assert!(
+            within > 5 * across,
+            "expected strong community structure: within={within}, across={across}"
+        );
+    }
+
+    #[test]
+    fn disconnected_when_p_out_is_zero() {
+        use crate::properties::connected_component_count;
+        let g = stochastic_block_model(&[30, 30], 1.0, 0.0, 1);
+        assert_eq!(connected_component_count(&g), 2);
+    }
+
+    #[test]
+    fn empty_model() {
+        let g = stochastic_block_model(&[], 0.5, 0.5, 1);
+        assert_eq!(g.num_vertices(), 0);
+        let g = stochastic_block_model(&[5], 0.0, 0.0, 1);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let sizes = [20, 20, 20];
+        assert_eq!(
+            stochastic_block_model(&sizes, 0.2, 0.02, 3),
+            stochastic_block_model(&sizes, 0.2, 0.02, 3)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "p_in")]
+    fn rejects_bad_probability() {
+        stochastic_block_model(&[10], 1.5, 0.0, 1);
+    }
+}

@@ -1,0 +1,79 @@
+//! Watts–Strogatz small-world graphs: ring lattices with random rewiring.
+
+use crate::builder::GraphBuilder;
+use crate::csr::{CsrGraph, VertexId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Watts–Strogatz graph on `n` vertices. Each vertex starts connected to its
+/// `k` nearest ring neighbours (`k` must be even and `< n`), then every edge
+/// is rewired to a uniformly random endpoint with probability `beta`.
+pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> CsrGraph {
+    assert!(k % 2 == 0, "k must be even (k/2 neighbours on each side)");
+    assert!(k < n || n == 0, "k must be smaller than n");
+    assert!((0.0..=1.0).contains(&beta), "beta must be in [0, 1]");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::with_capacity(n * k / 2);
+    for u in 0..n {
+        for j in 1..=(k / 2) {
+            let v = (u + j) % n;
+            edges.push((u as VertexId, v as VertexId));
+        }
+    }
+    // Rewire the far endpoint of each lattice edge with probability beta,
+    // avoiding self-loops; duplicates are removed by the builder.
+    for e in edges.iter_mut() {
+        if rng.gen::<f64>() < beta {
+            let mut new_v = rng.gen_range(0..n) as VertexId;
+            while new_v == e.0 {
+                new_v = rng.gen_range(0..n) as VertexId;
+            }
+            e.1 = new_v;
+        }
+    }
+    GraphBuilder::undirected(n).add_edges(edges).build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::properties::connected_component_count;
+
+    #[test]
+    fn zero_beta_is_a_ring_lattice() {
+        let g = watts_strogatz(20, 4, 0.0, 1);
+        assert_eq!(g.num_edges(), 20 * 4 / 2);
+        for v in g.vertices() {
+            assert_eq!(g.degree(v), 4);
+        }
+        assert_eq!(connected_component_count(&g), 1);
+    }
+
+    #[test]
+    fn rewiring_keeps_graph_simple() {
+        let g = watts_strogatz(200, 6, 0.3, 9);
+        assert!(g.validate().is_ok());
+        // No self loops survive.
+        for v in g.vertices() {
+            assert!(!g.neighbors(v).contains(&v));
+        }
+    }
+
+    #[test]
+    fn high_beta_changes_structure() {
+        let lattice = watts_strogatz(100, 4, 0.0, 3);
+        let random = watts_strogatz(100, 4, 1.0, 3);
+        assert_ne!(lattice, random);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(watts_strogatz(64, 4, 0.2, 5), watts_strogatz(64, 4, 0.2, 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn rejects_odd_k() {
+        watts_strogatz(10, 3, 0.1, 0);
+    }
+}

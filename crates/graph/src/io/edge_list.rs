@@ -1,0 +1,110 @@
+//! Plain whitespace-separated edge-list reader/writer.
+
+use super::IoError;
+use crate::builder::GraphBuilder;
+use crate::csr::{CsrGraph, VertexId};
+use std::fs;
+use std::path::Path;
+
+/// Parses an undirected graph from edge-list text: one `u v` pair per line,
+/// blank lines and lines starting with `#` or `%` ignored.
+pub fn read_edge_list_str(text: &str) -> Result<CsrGraph, IoError> {
+    let mut builder = GraphBuilder::undirected(0);
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let u = parse_vertex(parts.next(), idx + 1, "missing source vertex")?;
+        let v = parse_vertex(parts.next(), idx + 1, "missing target vertex")?;
+        if parts.next().is_some() {
+            // Extra columns (e.g. edge weights) are tolerated and ignored —
+            // the paper's algorithms are unweighted.
+        }
+        builder.push_edge(u, v);
+    }
+    Ok(builder.build())
+}
+
+/// Reads an edge-list file from disk.
+pub fn read_edge_list<P: AsRef<Path>>(path: P) -> Result<CsrGraph, IoError> {
+    let text = fs::read_to_string(path)?;
+    read_edge_list_str(&text)
+}
+
+/// Serializes the graph as edge-list text (each undirected edge once, with
+/// `u <= v`), prefixed by a comment describing the sizes.
+pub fn write_edge_list_string(graph: &CsrGraph) -> String {
+    let mut out = String::with_capacity(graph.num_edges() * 12 + 64);
+    out.push_str(&format!(
+        "# vertices {} edges {}\n",
+        graph.num_vertices(),
+        graph.num_edges()
+    ));
+    for (u, v) in graph.edges() {
+        out.push_str(&format!("{u} {v}\n"));
+    }
+    out
+}
+
+/// Writes the edge-list representation to a file.
+pub fn write_edge_list<P: AsRef<Path>>(graph: &CsrGraph, path: P) -> Result<(), IoError> {
+    fs::write(path, write_edge_list_string(graph))?;
+    Ok(())
+}
+
+fn parse_vertex(token: Option<&str>, line: usize, missing: &str) -> Result<VertexId, IoError> {
+    let token = token.ok_or_else(|| IoError::Parse {
+        line,
+        message: missing.to_string(),
+    })?;
+    token.parse::<VertexId>().map_err(|e| IoError::Parse {
+        line,
+        message: format!("invalid vertex id {token:?}: {e}"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_list_with_comments() {
+        let g = read_edge_list_str("# comment\n% other comment\n0 1\n1 2\n\n2 0\n").unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3);
+    }
+
+    #[test]
+    fn ignores_extra_columns() {
+        let g = read_edge_list_str("0 1 5.0\n1 2 0.25\n").unwrap();
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let err = read_edge_list_str("0 x\n").unwrap_err();
+        assert!(err.to_string().contains("line 1"));
+        let err = read_edge_list_str("0 1\n3\n").unwrap_err();
+        assert!(err.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let g = read_edge_list_str("0 1\n1 2\n2 3\n3 0\n").unwrap();
+        let dir = std::env::temp_dir().join("bga_graph_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tiny.edges");
+        write_edge_list(&g, &path).unwrap();
+        let back = read_edge_list(&path).unwrap();
+        assert_eq!(g, back);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = read_edge_list("/definitely/not/a/real/path.edges").unwrap_err();
+        assert!(matches!(err, IoError::Io(_)));
+    }
+}

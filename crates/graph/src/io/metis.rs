@@ -1,0 +1,196 @@
+//! METIS / DIMACS-10 graph format.
+//!
+//! Header line: `<num_vertices> <num_edges> [fmt]`. Then one line per vertex
+//! listing its neighbours with **1-based** vertex ids. This is the format the
+//! 10th DIMACS Implementation Challenge distributes the paper's test graphs
+//! in. Only the unweighted variants (`fmt` absent, `0`, or `00`) are
+//! supported; weighted graphs are rejected with a parse error because the
+//! paper's kernels are unweighted.
+
+use super::IoError;
+use crate::builder::GraphBuilder;
+use crate::csr::{CsrGraph, VertexId};
+use std::fs;
+use std::path::Path;
+
+/// Parses a METIS-format graph from text.
+pub fn read_metis_str(text: &str) -> Result<CsrGraph, IoError> {
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l))
+        .filter(|(_, l)| !l.trim_start().starts_with('%'));
+
+    let (header_line_no, header) = lines.next().ok_or(IoError::Parse {
+        line: 1,
+        message: "missing METIS header line".to_string(),
+    })?;
+    let mut parts = header.split_whitespace();
+    let n: usize = parse_number(parts.next(), header_line_no, "vertex count")?;
+    let m: usize = parse_number(parts.next(), header_line_no, "edge count")?;
+    if let Some(fmt) = parts.next() {
+        if fmt.chars().any(|c| c != '0') {
+            return Err(IoError::Parse {
+                line: header_line_no,
+                message: format!("weighted METIS format {fmt:?} is not supported"),
+            });
+        }
+    }
+
+    let mut builder = GraphBuilder::undirected(n);
+    let mut vertex_lines = 0usize;
+    for (line_no, raw) in lines {
+        if vertex_lines >= n {
+            if raw.trim().is_empty() {
+                continue;
+            }
+            return Err(IoError::Parse {
+                line: line_no,
+                message: format!("more vertex lines than the declared {n} vertices"),
+            });
+        }
+        let u = vertex_lines as VertexId;
+        for token in raw.split_whitespace() {
+            let neighbor: usize = token.parse().map_err(|e| IoError::Parse {
+                line: line_no,
+                message: format!("invalid neighbour id {token:?}: {e}"),
+            })?;
+            if neighbor == 0 || neighbor > n {
+                return Err(IoError::Parse {
+                    line: line_no,
+                    message: format!("neighbour id {neighbor} outside 1..={n}"),
+                });
+            }
+            builder.push_edge(u, (neighbor - 1) as VertexId);
+        }
+        vertex_lines += 1;
+    }
+    if vertex_lines != n {
+        return Err(IoError::Parse {
+            line: 0,
+            message: format!("expected {n} vertex lines, found {vertex_lines}"),
+        });
+    }
+    let graph = builder.build();
+    if graph.num_edges() != m {
+        // DIMACS files occasionally miscount; warn by error only when wildly
+        // off (strict mode would reject legitimate files with self-loops
+        // removed). A mismatch above 1% is treated as a corrupt file.
+        let declared = m as f64;
+        let actual = graph.num_edges() as f64;
+        if declared > 0.0 && (actual - declared).abs() / declared > 0.01 {
+            return Err(IoError::Parse {
+                line: header_line_no,
+                message: format!(
+                    "header declares {m} edges but adjacency lists contain {}",
+                    graph.num_edges()
+                ),
+            });
+        }
+    }
+    Ok(graph)
+}
+
+/// Reads a METIS file from disk.
+pub fn read_metis<P: AsRef<Path>>(path: P) -> Result<CsrGraph, IoError> {
+    let text = fs::read_to_string(path)?;
+    read_metis_str(&text)
+}
+
+/// Serializes the graph in METIS format (1-based neighbour lists).
+pub fn write_metis_string(graph: &CsrGraph) -> String {
+    let mut out = String::with_capacity(graph.num_edge_slots() * 8 + 64);
+    out.push_str(&format!("{} {}\n", graph.num_vertices(), graph.num_edges()));
+    for v in graph.vertices() {
+        let line: Vec<String> = graph
+            .neighbors(v)
+            .iter()
+            .map(|&u| (u + 1).to_string())
+            .collect();
+        out.push_str(&line.join(" "));
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes the METIS representation to a file.
+pub fn write_metis<P: AsRef<Path>>(graph: &CsrGraph, path: P) -> Result<(), IoError> {
+    fs::write(path, write_metis_string(graph))?;
+    Ok(())
+}
+
+fn parse_number(token: Option<&str>, line: usize, what: &str) -> Result<usize, IoError> {
+    let token = token.ok_or_else(|| IoError::Parse {
+        line,
+        message: format!("missing {what} in header"),
+    })?;
+    token.parse::<usize>().map_err(|e| IoError::Parse {
+        line,
+        message: format!("invalid {what} {token:?}: {e}"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_small_metis_graph() {
+        // Triangle plus a pendant vertex, 1-based ids.
+        let text = "4 4\n2 3\n1 3 4\n1 2\n2\n";
+        let g = read_metis_str(text).unwrap();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.neighbors(1), &[0, 2, 3]);
+    }
+
+    #[test]
+    fn skips_comment_lines() {
+        let text = "% a comment\n2 1\n2\n1\n";
+        let g = read_metis_str(text).unwrap();
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn rejects_weighted_format() {
+        let err = read_metis_str("2 1 011\n2\n1\n").unwrap_err();
+        assert!(err.to_string().contains("not supported"));
+    }
+
+    #[test]
+    fn rejects_out_of_range_neighbor() {
+        let err = read_metis_str("2 1\n3\n1\n").unwrap_err();
+        assert!(err.to_string().contains("outside"));
+    }
+
+    #[test]
+    fn rejects_wrong_vertex_count() {
+        let err = read_metis_str("3 1\n2\n1\n").unwrap_err();
+        assert!(err.to_string().contains("expected 3 vertex lines"));
+    }
+
+    #[test]
+    fn rejects_large_edge_count_mismatch() {
+        let err = read_metis_str("3 100\n2\n1\n\n").unwrap_err();
+        assert!(err.to_string().contains("header declares"));
+    }
+
+    #[test]
+    fn empty_neighbour_lines_are_isolated_vertices() {
+        let g = read_metis_str("3 1\n2\n1\n\n").unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.degree(2), 0);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let g = read_metis_str("4 4\n2 3\n1 3 4\n1 2\n2\n").unwrap();
+        let dir = std::env::temp_dir().join("bga_graph_metis_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tiny.metis");
+        write_metis(&g, &path).unwrap();
+        let back = read_metis(&path).unwrap();
+        assert_eq!(g, back);
+        std::fs::remove_file(path).ok();
+    }
+}

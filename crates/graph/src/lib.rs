@@ -1,0 +1,45 @@
+//! # bga-graph
+//!
+//! Graph data structures, generators and I/O for the *Branch-Avoiding Graph
+//! Algorithms* (SPAA 2015) reproduction.
+//!
+//! The crate provides:
+//!
+//! * [`CsrGraph`] — the compressed-sparse-row adjacency structure every
+//!   kernel in the workspace iterates over, plus [`GraphBuilder`] for
+//!   constructing it from edge lists.
+//! * [`generators`] — seeded synthetic graph generators covering both
+//!   structural families the paper evaluates (FEM meshes and power-law
+//!   social/collaboration networks) and the classic shapes used in tests.
+//! * [`io`] — edge-list and METIS/DIMACS-10 readers and writers, so the
+//!   paper's original graphs can be dropped in when available.
+//! * [`properties`] — reference implementations (union-find connected
+//!   components, queue BFS, pseudo-diameter) used as ground truth.
+//! * [`suite`] — synthetic stand-ins for the five Table-2 graphs.
+//!
+//! ```
+//! use bga_graph::{GraphBuilder, properties};
+//!
+//! let g = GraphBuilder::undirected(4)
+//!     .add_edges([(0, 1), (1, 2), (2, 3)])
+//!     .build();
+//! assert_eq!(properties::connected_component_count(&g), 1);
+//! assert_eq!(properties::bfs_distances_reference(&g, 0), vec![0, 1, 2, 3]);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod builder;
+pub mod csr;
+pub mod degree;
+pub mod generators;
+pub mod io;
+pub mod properties;
+pub mod suite;
+pub mod transform;
+
+pub use builder::{from_directed_edge_list, from_edge_list, GraphBuilder};
+pub use csr::{CsrGraph, CsrError, EdgeIndex, VertexId};
+pub use degree::{degree_histogram, degree_stats, DegreeStats};
+pub use suite::{benchmark_suite, SuiteGraph, SuiteGraphId, SuiteScale};

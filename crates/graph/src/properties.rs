@@ -1,0 +1,289 @@
+//! Reference graph-property computations.
+//!
+//! These are deliberately *simple, obviously-correct* implementations
+//! (union-find connectivity, queue BFS) used as ground truth for testing the
+//! branch-based and branch-avoiding kernels in `bga-kernels`, and for
+//! characterizing the synthetic benchmark suite (Table 2 of the paper).
+
+use crate::csr::{CsrGraph, VertexId};
+use std::collections::VecDeque;
+
+/// Distance value meaning "not reached" in BFS results.
+pub const UNREACHED: u32 = u32::MAX;
+
+/// Union-find (disjoint set union) with path compression and union by size.
+/// The reference implementation for connected components.
+#[derive(Clone, Debug)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+    components: usize,
+}
+
+impl UnionFind {
+    /// A forest of `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+            components: n,
+        }
+    }
+
+    /// Representative of `x`'s set, with path compression.
+    pub fn find(&mut self, x: u32) -> u32 {
+        let mut root = x;
+        while self.parent[root as usize] != root {
+            root = self.parent[root as usize];
+        }
+        // Path compression pass.
+        let mut cur = x;
+        while self.parent[cur as usize] != root {
+            let next = self.parent[cur as usize];
+            self.parent[cur as usize] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Merges the sets containing `a` and `b`; returns true if they were
+    /// previously distinct.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return false;
+        }
+        let (big, small) = if self.size[ra as usize] >= self.size[rb as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small as usize] = big;
+        self.size[big as usize] += self.size[small as usize];
+        self.components -= 1;
+        true
+    }
+
+    /// Whether `a` and `b` are currently in the same set.
+    pub fn same_set(&mut self, a: u32, b: u32) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Number of disjoint sets.
+    pub fn component_count(&self) -> usize {
+        self.components
+    }
+
+    /// Canonical labelling: `label[v]` is the minimum vertex id in `v`'s set.
+    pub fn canonical_labels(&mut self) -> Vec<u32> {
+        let n = self.parent.len();
+        let mut min_of_root = vec![u32::MAX; n];
+        for v in 0..n as u32 {
+            let r = self.find(v) as usize;
+            if v < min_of_root[r] {
+                min_of_root[r] = v;
+            }
+        }
+        (0..n as u32).map(|v| min_of_root[self.find(v) as usize]).collect()
+    }
+}
+
+/// Connected components of an undirected graph by union-find. Returns
+/// canonical labels (minimum vertex id per component).
+pub fn connected_components_union_find(graph: &CsrGraph) -> Vec<u32> {
+    let mut uf = UnionFind::new(graph.num_vertices());
+    for (u, v) in graph.edge_slots() {
+        uf.union(u, v);
+    }
+    uf.canonical_labels()
+}
+
+/// Number of connected components (undirected interpretation).
+pub fn connected_component_count(graph: &CsrGraph) -> usize {
+    let mut uf = UnionFind::new(graph.num_vertices());
+    for (u, v) in graph.edge_slots() {
+        uf.union(u, v);
+    }
+    uf.component_count()
+}
+
+/// Size of each connected component, indexed by canonical label; labels that
+/// are not canonical map to 0 entries are omitted (the map only contains
+/// canonical labels).
+pub fn component_sizes(graph: &CsrGraph) -> std::collections::BTreeMap<u32, usize> {
+    let labels = connected_components_union_find(graph);
+    let mut sizes = std::collections::BTreeMap::new();
+    for &l in &labels {
+        *sizes.entry(l).or_insert(0) += 1;
+    }
+    sizes
+}
+
+/// The vertices of the largest connected component (ties broken by smallest
+/// canonical label). Empty for an empty graph.
+pub fn largest_component(graph: &CsrGraph) -> Vec<VertexId> {
+    let labels = connected_components_union_find(graph);
+    let sizes = component_sizes(graph);
+    let Some((&best_label, _)) = sizes.iter().max_by_key(|&(label, size)| (*size, std::cmp::Reverse(*label))) else {
+        return Vec::new();
+    };
+    labels
+        .iter()
+        .enumerate()
+        .filter(|(_, &l)| l == best_label)
+        .map(|(v, _)| v as VertexId)
+        .collect()
+}
+
+/// Reference breadth-first search distances from `root` (simple queue BFS).
+/// Unreached vertices get [`UNREACHED`].
+pub fn bfs_distances_reference(graph: &CsrGraph, root: VertexId) -> Vec<u32> {
+    let n = graph.num_vertices();
+    let mut dist = vec![UNREACHED; n];
+    if (root as usize) >= n {
+        return dist;
+    }
+    let mut queue = VecDeque::new();
+    dist[root as usize] = 0;
+    queue.push_back(root);
+    while let Some(v) = queue.pop_front() {
+        let dv = dist[v as usize];
+        for &w in graph.neighbors(v) {
+            if dist[w as usize] == UNREACHED {
+                dist[w as usize] = dv + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
+/// Eccentricity of `root` within its component (maximum finite BFS distance).
+pub fn eccentricity(graph: &CsrGraph, root: VertexId) -> u32 {
+    bfs_distances_reference(graph, root)
+        .into_iter()
+        .filter(|&d| d != UNREACHED)
+        .max()
+        .unwrap_or(0)
+}
+
+/// Pseudo-diameter by double-sweep BFS: run BFS from `start`, then again from
+/// the farthest vertex found; the second eccentricity is a lower bound on the
+/// diameter that is usually tight for the mesh-like graphs in the paper.
+pub fn pseudo_diameter(graph: &CsrGraph, start: VertexId) -> u32 {
+    let first = bfs_distances_reference(graph, start);
+    let farthest = first
+        .iter()
+        .enumerate()
+        .filter(|(_, &d)| d != UNREACHED)
+        .max_by_key(|(_, &d)| d)
+        .map(|(v, _)| v as VertexId)
+        .unwrap_or(start);
+    eccentricity(graph, farthest)
+}
+
+/// Number of vertices with degree zero.
+pub fn isolated_vertex_count(graph: &CsrGraph) -> usize {
+    graph.vertices().filter(|&v| graph.degree(v) == 0).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::generators::{cycle_graph, path_graph, star_graph};
+
+    #[test]
+    fn union_find_basics() {
+        let mut uf = UnionFind::new(5);
+        assert_eq!(uf.component_count(), 5);
+        assert!(uf.union(0, 1));
+        assert!(!uf.union(1, 0));
+        assert!(uf.union(2, 3));
+        assert_eq!(uf.component_count(), 3);
+        assert!(uf.same_set(0, 1));
+        assert!(!uf.same_set(0, 2));
+        assert!(uf.union(1, 3));
+        assert!(uf.same_set(0, 2));
+        assert_eq!(uf.component_count(), 2);
+    }
+
+    #[test]
+    fn union_find_canonical_labels() {
+        let mut uf = UnionFind::new(4);
+        uf.union(3, 1);
+        let labels = uf.canonical_labels();
+        assert_eq!(labels, vec![0, 1, 2, 1]);
+    }
+
+    #[test]
+    fn components_of_two_triangles() {
+        let g = GraphBuilder::undirected(6)
+            .add_edges([(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)])
+            .build();
+        assert_eq!(connected_component_count(&g), 2);
+        let labels = connected_components_union_find(&g);
+        assert_eq!(labels, vec![0, 0, 0, 3, 3, 3]);
+        let sizes = component_sizes(&g);
+        assert_eq!(sizes.get(&0), Some(&3));
+        assert_eq!(sizes.get(&3), Some(&3));
+    }
+
+    #[test]
+    fn largest_component_selection() {
+        let g = GraphBuilder::undirected(7)
+            .add_edges([(0, 1), (2, 3), (3, 4), (4, 2)])
+            .build();
+        let big = largest_component(&g);
+        assert_eq!(big, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn largest_component_of_empty_graph() {
+        let g = CsrGraph::empty(0);
+        assert!(largest_component(&g).is_empty());
+    }
+
+    #[test]
+    fn bfs_distances_on_path() {
+        let g = path_graph(5);
+        assert_eq!(bfs_distances_reference(&g, 0), vec![0, 1, 2, 3, 4]);
+        assert_eq!(bfs_distances_reference(&g, 2), vec![2, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn bfs_unreached_vertices() {
+        let g = GraphBuilder::undirected(4).add_edge(0, 1).build();
+        let d = bfs_distances_reference(&g, 0);
+        assert_eq!(d[0], 0);
+        assert_eq!(d[1], 1);
+        assert_eq!(d[2], UNREACHED);
+        assert_eq!(d[3], UNREACHED);
+    }
+
+    #[test]
+    fn bfs_out_of_range_root() {
+        let g = path_graph(3);
+        let d = bfs_distances_reference(&g, 99);
+        assert!(d.iter().all(|&x| x == UNREACHED));
+    }
+
+    #[test]
+    fn eccentricity_and_diameter() {
+        let g = path_graph(10);
+        assert_eq!(eccentricity(&g, 0), 9);
+        assert_eq!(eccentricity(&g, 5), 5);
+        assert_eq!(pseudo_diameter(&g, 4), 9);
+        let c = cycle_graph(10);
+        assert_eq!(pseudo_diameter(&c, 0), 5);
+        let s = star_graph(10);
+        assert_eq!(pseudo_diameter(&s, 0), 2);
+    }
+
+    #[test]
+    fn isolated_vertices() {
+        let g = GraphBuilder::undirected(5).add_edge(0, 1).build();
+        assert_eq!(isolated_vertex_count(&g), 3);
+    }
+}

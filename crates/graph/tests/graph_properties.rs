@@ -1,0 +1,136 @@
+//! Property-based tests for the graph substrate: CSR invariants, builder
+//! behaviour, I/O round trips and structural transforms.
+
+use bga_graph::generators::{erdos_renyi_gnm, erdos_renyi_gnp};
+use bga_graph::io::{read_edge_list_str, read_metis_str, write_edge_list_string, write_metis_string};
+use bga_graph::properties::{
+    bfs_distances_reference, connected_component_count, pseudo_diameter, UNREACHED,
+};
+use bga_graph::transform::{relabel_random, relabel_with};
+use bga_graph::{degree_histogram, degree_stats, GraphBuilder, VertexId};
+use proptest::prelude::*;
+
+/// Strategy: a random simple undirected graph given as (n, edge list).
+fn arbitrary_graph() -> impl Strategy<Value = (usize, Vec<(VertexId, VertexId)>)> {
+    (2usize..60).prop_flat_map(|n| {
+        let max_edges = n * (n - 1) / 2;
+        let edges = prop::collection::vec(
+            (0..n as VertexId, 0..n as VertexId),
+            0..max_edges.min(150),
+        );
+        (Just(n), edges)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The builder always produces a structurally valid CSR graph whose edge
+    /// slots are symmetric (undirected).
+    #[test]
+    fn builder_output_is_valid_and_symmetric((n, edges) in arbitrary_graph()) {
+        let g = GraphBuilder::undirected(n).add_edges(edges).build();
+        prop_assert!(g.validate().is_ok());
+        for (u, v) in g.edge_slots() {
+            prop_assert!(g.has_edge(v, u), "missing reverse edge ({v}, {u})");
+            prop_assert_ne!(u, v, "self loop survived");
+        }
+    }
+
+    /// Degree bookkeeping is consistent: histogram totals, sum of degrees,
+    /// and extrema all agree with the CSR structure.
+    #[test]
+    fn degree_accounting_is_consistent((n, edges) in arbitrary_graph()) {
+        let g = GraphBuilder::undirected(n).add_edges(edges).build();
+        let stats = degree_stats(&g);
+        let hist = degree_histogram(&g);
+        prop_assert_eq!(hist.iter().sum::<usize>(), g.num_vertices());
+        let degree_sum: usize = g.vertices().map(|v| g.degree(v)).sum();
+        prop_assert_eq!(degree_sum, g.num_edge_slots());
+        prop_assert_eq!(stats.max, g.max_degree());
+        if g.num_vertices() > 0 {
+            prop_assert!((stats.mean - g.average_degree()).abs() < 1e-9);
+        }
+    }
+
+    /// Both file formats round-trip every generated graph exactly.
+    #[test]
+    fn io_round_trips((n, edges) in arbitrary_graph()) {
+        let g = GraphBuilder::undirected(n).add_edges(edges).build();
+        let metis = read_metis_str(&write_metis_string(&g)).unwrap();
+        prop_assert_eq!(&metis, &g);
+        let edge_list = read_edge_list_str(&write_edge_list_string(&g)).unwrap();
+        // Edge-list files drop isolated trailing vertices; compare the edge
+        // structure on the common prefix and the edge count.
+        prop_assert_eq!(edge_list.num_edges(), g.num_edges());
+        for (u, v) in edge_list.edge_slots() {
+            prop_assert!(g.has_edge(u, v));
+        }
+    }
+
+    /// Transposition is an involution and preserves the degree multiset.
+    #[test]
+    fn transpose_involution((n, edges) in arbitrary_graph()) {
+        let g = GraphBuilder::undirected(n).add_edges(edges).build();
+        let tt = g.transpose().transpose();
+        prop_assert_eq!(tt, g);
+    }
+
+    /// Random relabelling preserves every structural property we report.
+    #[test]
+    fn relabelling_preserves_structure((n, edges) in arbitrary_graph(), seed in 0u64..1000) {
+        let g = GraphBuilder::undirected(n).add_edges(edges).build();
+        let r = relabel_random(&g, seed);
+        prop_assert_eq!(g.num_vertices(), r.num_vertices());
+        prop_assert_eq!(g.num_edges(), r.num_edges());
+        prop_assert_eq!(connected_component_count(&g), connected_component_count(&r));
+        let mut dg: Vec<usize> = g.vertices().map(|v| g.degree(v)).collect();
+        let mut dr: Vec<usize> = r.vertices().map(|v| r.degree(v)).collect();
+        dg.sort_unstable();
+        dr.sort_unstable();
+        prop_assert_eq!(dg, dr);
+    }
+
+    /// The identity permutation through `relabel_with` is exactly a no-op.
+    #[test]
+    fn identity_relabelling_is_noop((n, edges) in arbitrary_graph()) {
+        let g = GraphBuilder::undirected(n).add_edges(edges).build();
+        let identity: Vec<VertexId> = (0..g.num_vertices() as VertexId).collect();
+        prop_assert_eq!(relabel_with(&g, &identity), g);
+    }
+
+    /// BFS distances satisfy the triangle property across every edge and the
+    /// pseudo-diameter never exceeds the vertex count.
+    #[test]
+    fn bfs_distances_are_consistent((n, edges) in arbitrary_graph()) {
+        let g = GraphBuilder::undirected(n).add_edges(edges).build();
+        let d = bfs_distances_reference(&g, 0);
+        for (u, v) in g.edge_slots() {
+            let du = d[u as usize];
+            let dv = d[v as usize];
+            if du != UNREACHED {
+                prop_assert!(dv != UNREACHED && dv <= du + 1);
+            }
+        }
+        prop_assert!((pseudo_diameter(&g, 0) as usize) < n.max(1));
+    }
+
+    /// G(n, m) always produces exactly m edges and G(n, p) never produces
+    /// self loops or parallel edges.
+    #[test]
+    fn random_generators_respect_their_contracts(
+        n in 2usize..80,
+        m_factor in 0usize..3,
+        p in 0.0f64..0.2,
+        seed in 0u64..500,
+    ) {
+        let m = (n * m_factor / 2).min(n * (n - 1) / 2);
+        let gnm = erdos_renyi_gnm(n, m, seed);
+        prop_assert_eq!(gnm.num_edges(), m);
+        let gnp = erdos_renyi_gnp(n, p, seed);
+        prop_assert!(gnp.validate().is_ok());
+        for v in gnp.vertices() {
+            prop_assert!(!gnp.neighbors(v).contains(&v));
+        }
+    }
+}

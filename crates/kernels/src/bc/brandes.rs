@@ -1,0 +1,264 @@
+//! Brandes' betweenness centrality for unweighted, undirected graphs.
+
+use crate::select::{select_u32, select_u64};
+use bga_graph::{CsrGraph, VertexId};
+
+/// Exact betweenness centrality (Brandes 2001) with the branch-based
+/// forward phase: per traversed edge, `if d[w] == INF { ... }` and
+/// `if d[w] == d[v] + 1 { sigma[w] += sigma[v] }`.
+///
+/// Scores are the standard undirected convention (each pair counted once,
+/// i.e. the accumulated dependencies are halved).
+pub fn betweenness_centrality(graph: &CsrGraph) -> Vec<f64> {
+    let n = graph.num_vertices();
+    let mut centrality = vec![0.0f64; n];
+    let mut distances = vec![u32::MAX; n];
+    let mut sigma = vec![0u64; n];
+    let mut delta = vec![0.0f64; n];
+    let mut order: Vec<VertexId> = Vec::with_capacity(n);
+
+    for source in 0..n as u32 {
+        // Forward phase: BFS computing distances and shortest-path counts.
+        distances.iter_mut().for_each(|d| *d = u32::MAX);
+        sigma.iter_mut().for_each(|s| *s = 0);
+        delta.iter_mut().for_each(|d| *d = 0.0);
+        order.clear();
+
+        distances[source as usize] = 0;
+        sigma[source as usize] = 1;
+        order.push(source);
+        let mut head = 0usize;
+        while head < order.len() {
+            let v = order[head];
+            head += 1;
+            let next = distances[v as usize] + 1;
+            for &w in graph.neighbors(v) {
+                if distances[w as usize] == u32::MAX {
+                    distances[w as usize] = next;
+                    order.push(w);
+                }
+                if distances[w as usize] == next {
+                    sigma[w as usize] += sigma[v as usize];
+                }
+            }
+        }
+
+        // Backward phase: dependency accumulation in reverse BFS order.
+        for &w in order.iter().rev() {
+            if w == source {
+                continue;
+            }
+            let dw = distances[w as usize];
+            let coefficient = (1.0 + delta[w as usize]) / sigma[w as usize] as f64;
+            for &v in graph.neighbors(w) {
+                if distances[v as usize] + 1 == dw {
+                    delta[v as usize] += sigma[v as usize] as f64 * coefficient;
+                }
+            }
+            centrality[w as usize] += delta[w as usize];
+        }
+    }
+
+    // Each undirected pair was counted twice (once per endpoint as source).
+    for c in &mut centrality {
+        *c /= 2.0;
+    }
+    centrality
+}
+
+/// Exact betweenness centrality with a branch-avoiding forward phase: the
+/// distance test and the shortest-path-count accumulation are both
+/// performed with branch-free selects, in the style of the paper's
+/// Algorithm 5 (the queue write is unconditional; the slot is claimed by a
+/// conditional increment).
+pub fn betweenness_centrality_branch_avoiding(graph: &CsrGraph) -> Vec<f64> {
+    let n = graph.num_vertices();
+    let mut centrality = vec![0.0f64; n];
+    let mut distances = vec![u32::MAX; n];
+    let mut sigma = vec![0u64; n];
+    let mut delta = vec![0.0f64; n];
+    let mut order: Vec<VertexId> = vec![0; n + 1];
+
+    for source in 0..n as u32 {
+        distances.iter_mut().for_each(|d| *d = u32::MAX);
+        sigma.iter_mut().for_each(|s| *s = 0);
+        delta.iter_mut().for_each(|d| *d = 0.0);
+
+        distances[source as usize] = 0;
+        sigma[source as usize] = 1;
+        order[0] = source;
+        let mut queue_len = 1usize;
+        let mut head = 0usize;
+        while head < queue_len {
+            let v = order[head];
+            head += 1;
+            let next = distances[v as usize] + 1;
+            let sigma_v = sigma[v as usize];
+            for &w in graph.neighbors(v) {
+                let old = distances[w as usize];
+                let undiscovered = old > next;
+                // Unconditional queue-slot write, conditional claim.
+                order[queue_len] = w;
+                queue_len += undiscovered as usize;
+                // Branch-free distance update.
+                distances[w as usize] = select_u32(undiscovered, next, old);
+                // Branch-free shortest-path-count accumulation: add sigma_v
+                // exactly when w now sits one level below v.
+                let on_shortest_path = distances[w as usize] == next;
+                sigma[w as usize] += select_u64(on_shortest_path, sigma_v, 0);
+            }
+        }
+
+        for &w in order[..queue_len].iter().rev() {
+            if w == source {
+                continue;
+            }
+            let dw = distances[w as usize];
+            let coefficient = (1.0 + delta[w as usize]) / sigma[w as usize] as f64;
+            for &v in graph.neighbors(w) {
+                let on_shortest_path =
+                    distances[v as usize] != u32::MAX && distances[v as usize] + 1 == dw;
+                let contribution = sigma[v as usize] as f64 * coefficient;
+                // Branch-free accumulation: multiply by the 0/1 predicate.
+                delta[v as usize] += contribution * (on_shortest_path as u8 as f64);
+            }
+            centrality[w as usize] += delta[w as usize];
+        }
+    }
+
+    for c in &mut centrality {
+        *c /= 2.0;
+    }
+    centrality
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bga_graph::generators::{barabasi_albert, complete_graph, cycle_graph, path_graph, star_graph};
+    use bga_graph::properties::bfs_distances_reference;
+    use bga_graph::{CsrGraph, GraphBuilder};
+
+    /// Brute-force betweenness: enumerate all shortest paths between every
+    /// pair via BFS parent sets (exponential in the worst case, fine for the
+    /// tiny graphs used here).
+    fn brute_force_bc(graph: &CsrGraph) -> Vec<f64> {
+        let n = graph.num_vertices();
+        let mut centrality = vec![0.0f64; n];
+        for s in 0..n as u32 {
+            let ds = bfs_distances_reference(graph, s);
+            for t in 0..n as u32 {
+                if t <= s || ds[t as usize] == u32::MAX {
+                    continue;
+                }
+                let paths = enumerate_shortest_paths(graph, &ds, s, t);
+                let total = paths.len() as f64;
+                for path in &paths {
+                    for &v in &path[1..path.len() - 1] {
+                        centrality[v as usize] += 1.0 / total;
+                    }
+                }
+            }
+        }
+        centrality
+    }
+
+    fn enumerate_shortest_paths(
+        graph: &CsrGraph,
+        ds: &[u32],
+        s: u32,
+        t: u32,
+    ) -> Vec<Vec<u32>> {
+        if s == t {
+            return vec![vec![s]];
+        }
+        // Walk backwards from t along strictly decreasing distances.
+        let mut paths = Vec::new();
+        for &p in graph.neighbors(t) {
+            if ds[p as usize] + 1 == ds[t as usize] {
+                for mut prefix in enumerate_shortest_paths(graph, ds, s, p) {
+                    prefix.push(t);
+                    paths.push(prefix);
+                }
+            }
+        }
+        paths
+    }
+
+    fn assert_close(a: &[f64], b: &[f64]) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+            assert!((x - y).abs() < 1e-9, "vertex {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn star_centre_carries_all_paths() {
+        let g = star_graph(6);
+        let bc = betweenness_centrality(&g);
+        // Centre lies on every one of the C(5,2) = 10 leaf pairs' paths.
+        assert!((bc[0] - 10.0).abs() < 1e-9);
+        for leaf in 1..6 {
+            assert!(bc[leaf].abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn path_graph_has_quadratic_profile() {
+        let g = path_graph(5);
+        let bc = betweenness_centrality(&g);
+        // Vertex 2 (middle) lies on all pairs that straddle it: 2*3 - ... =
+        // exactly 4 pairs: (0,3),(0,4),(1,3),(1,4) plus (0,?)... compute via
+        // brute force instead of hand-arithmetic.
+        assert_close(&bc, &brute_force_bc(&g));
+        assert!(bc[2] > bc[1] && bc[1] > bc[0]);
+    }
+
+    #[test]
+    fn complete_graph_has_zero_betweenness() {
+        let g = complete_graph(7);
+        for c in betweenness_centrality(&g) {
+            assert!(c.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_on_small_graphs() {
+        let graphs = vec![
+            cycle_graph(7),
+            path_graph(8),
+            GraphBuilder::undirected(7)
+                .add_edges([(0, 1), (1, 2), (2, 3), (3, 0), (2, 4), (4, 5), (3, 5), (5, 6)])
+                .build(),
+            barabasi_albert(12, 2, 3),
+        ];
+        for g in &graphs {
+            assert_close(&betweenness_centrality(g), &brute_force_bc(g));
+        }
+    }
+
+    #[test]
+    fn branch_avoiding_matches_branch_based_exactly() {
+        let graphs = vec![
+            star_graph(20),
+            cycle_graph(15),
+            barabasi_albert(150, 2, 4),
+            GraphBuilder::undirected(5).add_edges([(0, 1), (2, 3)]).build(), // disconnected
+        ];
+        for g in &graphs {
+            assert_close(
+                &betweenness_centrality(g),
+                &betweenness_centrality_branch_avoiding(g),
+            );
+        }
+    }
+
+    #[test]
+    fn empty_and_single_vertex_graphs() {
+        assert!(betweenness_centrality(&GraphBuilder::undirected(0).build()).is_empty());
+        assert_eq!(
+            betweenness_centrality_branch_avoiding(&GraphBuilder::undirected(1).build()),
+            vec![0.0]
+        );
+    }
+}

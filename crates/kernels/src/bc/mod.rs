@@ -1,0 +1,20 @@
+//! Betweenness centrality (extension).
+//!
+//! The paper's introduction lists betweenness centrality among the
+//! algorithm families its findings should extend to. This module provides
+//! Brandes' exact algorithm for unweighted graphs in two forms:
+//!
+//! * [`brandes::betweenness_centrality`] — the classic implementation whose
+//!   forward phase is the branch-based top-down BFS of paper Algorithm 4
+//!   (per-edge `if` branches for the distance test and the shortest-path
+//!   counting test);
+//! * [`brandes::betweenness_centrality_branch_avoiding`] — the same
+//!   algorithm with both per-edge tests converted to branch-free selects,
+//!   mirroring the paper's SV/BFS transformation.
+//!
+//! Both produce identical centrality scores; tests cross-validate them
+//! against a brute-force all-pairs shortest-path counter on small graphs.
+
+pub mod brandes;
+
+pub use brandes::{betweenness_centrality, betweenness_centrality_branch_avoiding};

@@ -1,0 +1,96 @@
+//! Bottom-up BFS (extension).
+//!
+//! In the bottom-up direction each *unvisited* vertex scans its own
+//! neighbours looking for a parent in the previous frontier, instead of the
+//! frontier pushing outwards. Beamer et al.'s direction-optimizing BFS
+//! (cited as [8] in the paper) switches between the two directions; this
+//! module provides the pure bottom-up kernel, and
+//! [`super::direction_optimizing`] the switching version. It is included as
+//! an extension experiment: the bottom-up inner loop has an early `break`
+//! (a hard-to-predict branch), making it another natural target for
+//! branch-avoidance analysis.
+
+use super::frontier::BfsResult;
+use super::INFINITY;
+use bga_graph::{CsrGraph, VertexId};
+
+/// Runs a level-synchronous bottom-up BFS from `root`.
+pub fn bfs_bottom_up(graph: &CsrGraph, root: VertexId) -> BfsResult {
+    let n = graph.num_vertices();
+    let mut distances = vec![INFINITY; n];
+    if (root as usize) >= n {
+        return BfsResult::new(distances, Vec::new());
+    }
+    distances[root as usize] = 0;
+    let mut order = vec![root];
+
+    let mut level = 0u32;
+    loop {
+        let mut discovered_this_level: Vec<VertexId> = Vec::new();
+        for v in 0..n as u32 {
+            if distances[v as usize] != INFINITY {
+                continue;
+            }
+            // Look for any neighbour in the current frontier.
+            for &u in graph.neighbors(v) {
+                if distances[u as usize] == level {
+                    distances[v as usize] = level + 1;
+                    discovered_this_level.push(v);
+                    break;
+                }
+            }
+        }
+        if discovered_this_level.is_empty() {
+            break;
+        }
+        order.extend_from_slice(&discovered_this_level);
+        level += 1;
+    }
+    BfsResult::new(distances, order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bga_graph::generators::{grid_2d, path_graph, star_graph, MeshStencil};
+    use bga_graph::properties::bfs_distances_reference;
+    use bga_graph::GraphBuilder;
+
+    #[test]
+    fn distances_match_reference() {
+        for g in [
+            path_graph(15),
+            star_graph(9),
+            grid_2d(5, 8, MeshStencil::VonNeumann),
+        ] {
+            assert_eq!(
+                bfs_bottom_up(&g, 0).distances(),
+                &bfs_distances_reference(&g, 0)[..]
+            );
+        }
+    }
+
+    #[test]
+    fn order_is_level_sorted_even_if_not_queue_identical() {
+        let g = grid_2d(4, 4, MeshStencil::Moore);
+        let r = bfs_bottom_up(&g, 0);
+        for pair in r.visit_order().windows(2) {
+            assert!(r.distance(pair[0]) <= r.distance(pair[1]));
+        }
+        assert_eq!(r.reached_count(), 16);
+    }
+
+    #[test]
+    fn disconnected_components_are_not_visited() {
+        let g = GraphBuilder::undirected(6).add_edges([(0, 1), (4, 5)]).build();
+        let r = bfs_bottom_up(&g, 0);
+        assert_eq!(r.reached_count(), 2);
+        assert_eq!(r.distance(4), INFINITY);
+    }
+
+    #[test]
+    fn out_of_range_root_is_empty() {
+        let g = path_graph(4);
+        assert_eq!(bfs_bottom_up(&g, 100).reached_count(), 0);
+    }
+}

@@ -1,0 +1,132 @@
+//! Direction-optimizing BFS (extension, Beamer et al., cited as [8]).
+//!
+//! Runs top-down while the frontier is small and switches to bottom-up when
+//! the frontier grows past a configurable fraction of the vertices, then
+//! back to top-down when it shrinks again. Provided as an extension so the
+//! benchmark suite can compare the branch behaviour of the paper's classic
+//! top-down kernels against the algorithmic state of the art it cites.
+
+use super::frontier::BfsResult;
+use super::INFINITY;
+use bga_graph::{CsrGraph, VertexId};
+
+/// Switching thresholds for the direction-optimizing traversal.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DirectionConfig {
+    /// Switch to bottom-up when `frontier size / |V|` exceeds this value.
+    pub to_bottom_up: f64,
+    /// Switch back to top-down when the fraction falls below this value.
+    pub to_top_down: f64,
+}
+
+impl Default for DirectionConfig {
+    fn default() -> Self {
+        DirectionConfig {
+            to_bottom_up: 0.05,
+            to_top_down: 0.01,
+        }
+    }
+}
+
+/// Runs direction-optimizing BFS from `root`.
+pub fn bfs_direction_optimizing(
+    graph: &CsrGraph,
+    root: VertexId,
+    config: DirectionConfig,
+) -> BfsResult {
+    let n = graph.num_vertices();
+    let mut distances = vec![INFINITY; n];
+    if (root as usize) >= n {
+        return BfsResult::new(distances, Vec::new());
+    }
+    distances[root as usize] = 0;
+    let mut order = vec![root];
+    let mut frontier: Vec<VertexId> = vec![root];
+    let mut level = 0u32;
+    let mut bottom_up = false;
+
+    while !frontier.is_empty() {
+        let frontier_fraction = frontier.len() as f64 / n.max(1) as f64;
+        if !bottom_up && frontier_fraction > config.to_bottom_up {
+            bottom_up = true;
+        } else if bottom_up && frontier_fraction < config.to_top_down {
+            bottom_up = false;
+        }
+
+        let mut next: Vec<VertexId> = Vec::new();
+        if bottom_up {
+            for v in 0..n as u32 {
+                if distances[v as usize] != INFINITY {
+                    continue;
+                }
+                for &u in graph.neighbors(v) {
+                    if distances[u as usize] == level {
+                        distances[v as usize] = level + 1;
+                        next.push(v);
+                        break;
+                    }
+                }
+            }
+        } else {
+            for &v in &frontier {
+                for &w in graph.neighbors(v) {
+                    if distances[w as usize] == INFINITY {
+                        distances[w as usize] = level + 1;
+                        next.push(w);
+                    }
+                }
+            }
+        }
+        order.extend_from_slice(&next);
+        frontier = next;
+        level += 1;
+    }
+    BfsResult::new(distances, order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bga_graph::generators::{barabasi_albert, grid_2d, path_graph, MeshStencil};
+    use bga_graph::properties::bfs_distances_reference;
+
+    #[test]
+    fn matches_reference_with_default_config() {
+        for g in [
+            path_graph(40),
+            grid_2d(9, 9, MeshStencil::Moore),
+            barabasi_albert(500, 3, 3),
+        ] {
+            assert_eq!(
+                bfs_direction_optimizing(&g, 0, DirectionConfig::default()).distances(),
+                &bfs_distances_reference(&g, 0)[..]
+            );
+        }
+    }
+
+    #[test]
+    fn pure_top_down_and_pure_bottom_up_configs_agree() {
+        let g = barabasi_albert(300, 2, 5);
+        let never_switch = DirectionConfig {
+            to_bottom_up: 2.0,
+            to_top_down: 0.0,
+        };
+        let always_switch = DirectionConfig {
+            to_bottom_up: 0.0,
+            to_top_down: -1.0,
+        };
+        let a = bfs_direction_optimizing(&g, 0, never_switch);
+        let b = bfs_direction_optimizing(&g, 0, always_switch);
+        assert_eq!(a.distances(), b.distances());
+    }
+
+    #[test]
+    fn power_law_graph_triggers_the_bottom_up_switch() {
+        // With the default thresholds a BA graph's explosive second level
+        // exceeds 5% of vertices, so the run exercises both directions; the
+        // result must still be a valid BFS.
+        let g = barabasi_albert(1000, 4, 11);
+        let r = bfs_direction_optimizing(&g, 0, DirectionConfig::default());
+        assert!(super::super::frontier::check_bfs_invariants(&g, 0, &r).is_ok());
+    }
+}

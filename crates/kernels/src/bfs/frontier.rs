@@ -1,0 +1,169 @@
+//! BFS result type and frontier helpers shared by the BFS variants.
+
+use super::INFINITY;
+use bga_graph::VertexId;
+
+/// The output of a BFS kernel: the distance of every vertex from the root
+/// (`INFINITY` when unreached) and the visit order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BfsResult {
+    distances: Vec<u32>,
+    /// Vertices in the order they were discovered (root first).
+    order: Vec<VertexId>,
+}
+
+impl BfsResult {
+    /// Wraps raw distances and discovery order.
+    pub fn new(distances: Vec<u32>, order: Vec<VertexId>) -> Self {
+        BfsResult { distances, order }
+    }
+
+    /// Distance array indexed by vertex id.
+    pub fn distances(&self) -> &[u32] {
+        &self.distances
+    }
+
+    /// Distance of one vertex.
+    pub fn distance(&self, v: VertexId) -> u32 {
+        self.distances[v as usize]
+    }
+
+    /// Vertices in discovery order.
+    pub fn visit_order(&self) -> &[VertexId] {
+        &self.order
+    }
+
+    /// Number of vertices reached (including the root).
+    pub fn reached_count(&self) -> usize {
+        self.distances.iter().filter(|&&d| d != INFINITY).count()
+    }
+
+    /// Number of BFS levels (eccentricity of the root plus one); 0 when the
+    /// root itself was out of range.
+    pub fn level_count(&self) -> usize {
+        self.distances
+            .iter()
+            .filter(|&&d| d != INFINITY)
+            .max()
+            .map(|&d| d as usize + 1)
+            .unwrap_or(0)
+    }
+
+    /// Size of each level: `sizes()[l]` is the number of vertices at
+    /// distance `l`.
+    pub fn level_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.level_count()];
+        for &d in &self.distances {
+            if d != INFINITY {
+                sizes[d as usize] += 1;
+            }
+        }
+        sizes
+    }
+}
+
+/// Validates the BFS invariants against the graph: the root has distance 0,
+/// every edge spans at most one level, and every reached non-root vertex has
+/// a neighbour exactly one level closer. Returns the first violated
+/// invariant as text (for use in tests and the CLI's `--verify` flag).
+pub fn check_bfs_invariants(
+    graph: &bga_graph::CsrGraph,
+    root: VertexId,
+    result: &BfsResult,
+) -> Result<(), String> {
+    let d = result.distances();
+    if d.len() != graph.num_vertices() {
+        return Err(format!(
+            "distance array has {} entries for {} vertices",
+            d.len(),
+            graph.num_vertices()
+        ));
+    }
+    if (root as usize) < d.len() && d[root as usize] != 0 {
+        return Err(format!("root {root} has distance {}", d[root as usize]));
+    }
+    for (u, v) in graph.edge_slots() {
+        let du = d[u as usize];
+        let dv = d[v as usize];
+        if du != INFINITY && dv != INFINITY && du + 1 < dv {
+            return Err(format!("edge ({u}, {v}) spans levels {du} -> {dv}"));
+        }
+        if du != INFINITY && dv == INFINITY {
+            return Err(format!("vertex {v} unreached despite reached neighbour {u}"));
+        }
+    }
+    for v in graph.vertices() {
+        let dv = d[v as usize];
+        if dv == INFINITY || dv == 0 {
+            continue;
+        }
+        let has_parent = graph
+            .neighbors(v)
+            .iter()
+            .any(|&u| d[u as usize] != INFINITY && d[u as usize] + 1 == dv);
+        if !has_parent {
+            return Err(format!("vertex {v} at level {dv} has no parent one level up"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bga_graph::generators::path_graph;
+    use bga_graph::properties::bfs_distances_reference;
+
+    fn path_result() -> BfsResult {
+        let g = path_graph(5);
+        let d = bfs_distances_reference(&g, 0);
+        BfsResult::new(d, vec![0, 1, 2, 3, 4])
+    }
+
+    #[test]
+    fn level_accounting() {
+        let r = path_result();
+        assert_eq!(r.reached_count(), 5);
+        assert_eq!(r.level_count(), 5);
+        assert_eq!(r.level_sizes(), vec![1, 1, 1, 1, 1]);
+        assert_eq!(r.distance(3), 3);
+        assert_eq!(r.visit_order()[0], 0);
+    }
+
+    #[test]
+    fn unreached_vertices_are_excluded_from_levels() {
+        let r = BfsResult::new(vec![0, 1, INFINITY], vec![0, 1]);
+        assert_eq!(r.reached_count(), 2);
+        assert_eq!(r.level_count(), 2);
+        assert_eq!(r.level_sizes(), vec![1, 1]);
+    }
+
+    #[test]
+    fn empty_result() {
+        let r = BfsResult::new(vec![], vec![]);
+        assert_eq!(r.level_count(), 0);
+        assert!(r.level_sizes().is_empty());
+    }
+
+    #[test]
+    fn invariant_checker_accepts_correct_bfs() {
+        let g = path_graph(5);
+        let d = bfs_distances_reference(&g, 0);
+        let r = BfsResult::new(d, vec![0, 1, 2, 3, 4]);
+        assert!(check_bfs_invariants(&g, 0, &r).is_ok());
+    }
+
+    #[test]
+    fn invariant_checker_rejects_bad_distances() {
+        let g = path_graph(3);
+        // Level jump of 2 across an edge.
+        let bad = BfsResult::new(vec![0, 2, 3], vec![0, 1, 2]);
+        assert!(check_bfs_invariants(&g, 0, &bad).is_err());
+        // Wrong root distance.
+        let bad_root = BfsResult::new(vec![1, 1, 2], vec![0, 1, 2]);
+        assert!(check_bfs_invariants(&g, 0, &bad_root).is_err());
+        // Wrong length.
+        let short = BfsResult::new(vec![0, 1], vec![0, 1]);
+        assert!(check_bfs_invariants(&g, 0, &short).is_err());
+    }
+}

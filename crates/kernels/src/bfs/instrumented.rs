@@ -1,0 +1,357 @@
+//! Instrumented top-down BFS kernels.
+//!
+//! Measurement versions of Algorithms 4 and 5 on
+//! [`bga_branchsim::ExecMachine`], with counters snapshotted at every level
+//! boundary. The per-level series regenerate Figures 6, 7, 8, 9(b) and the
+//! BFS half of Figure 10.
+//!
+//! Branch sites (Section 5.1 identifies three static conditional branches in
+//! the branch-based kernel):
+//!
+//! | site | paper branch |
+//! |------|--------------|
+//! | `BFS_WHILE` | `while Q not empty` |
+//! | `BFS_FOR`   | `for all neighbours w of v` |
+//! | `BFS_IF`    | `if d[w] == INFINITY` (branch-based only) |
+
+use super::frontier::BfsResult;
+use super::INFINITY;
+use crate::stats::{RunCounters, StepCounters};
+use bga_branchsim::machine::ExecMachine;
+use bga_branchsim::predictor::{PredictorModel, TwoBitPredictor};
+use bga_branchsim::site::BranchSite;
+use bga_graph::{CsrGraph, VertexId};
+
+/// The `while Q not empty` queue-drain condition.
+pub const BFS_WHILE: BranchSite = BranchSite::new(4, "bfs.while_queue");
+/// The `for all neighbours w of v` loop condition.
+pub const BFS_FOR: BranchSite = BranchSite::new(5, "bfs.for_neighbors");
+/// The data-dependent `if d[w] == INFINITY` visit test (branch-based only).
+pub const BFS_IF: BranchSite = BranchSite::new(6, "bfs.if_unvisited");
+
+/// Result of an instrumented BFS run.
+#[derive(Clone, Debug)]
+pub struct BfsRun {
+    /// Distances and visit order (identical across variants).
+    pub result: BfsResult,
+    /// Per-level counters.
+    pub counters: RunCounters,
+}
+
+impl BfsRun {
+    /// Number of BFS levels that processed at least one vertex.
+    pub fn levels(&self) -> usize {
+        self.counters.num_steps()
+    }
+}
+
+/// Instrumented branch-based top-down BFS (paper Algorithm 4) under the
+/// default 2-bit predictor.
+pub fn bfs_branch_based_instrumented(graph: &CsrGraph, root: VertexId) -> BfsRun {
+    bfs_branch_based_instrumented_with(graph, root, TwoBitPredictor::new())
+}
+
+/// Instrumented branch-based BFS under an arbitrary predictor model.
+pub fn bfs_branch_based_instrumented_with<P: PredictorModel>(
+    graph: &CsrGraph,
+    root: VertexId,
+    predictor: P,
+) -> BfsRun {
+    let n = graph.num_vertices();
+    let mut machine = ExecMachine::with_predictor(predictor);
+    let mut distances = vec![INFINITY; n];
+    let mut queue: Vec<VertexId> = Vec::with_capacity(n);
+    let mut steps: Vec<StepCounters> = Vec::new();
+
+    if (root as usize) < n {
+        machine.store(&mut distances[root as usize], 0);
+        queue.push(root);
+        machine.store(&mut queue[0], root); // queue slot write for the root
+        let mut head = 0usize;
+
+        let mut level_snapshot = machine.snapshot();
+        let mut current_level = 0u32;
+        let mut level_vertices = 0u64;
+        let mut level_edges = 0u64;
+        let mut level_found = 0u64;
+
+        // while Q not empty
+        while machine.branch(BFS_WHILE, head < queue.len()) {
+            let v = queue[head];
+            head += 1;
+            machine.alu(1); // dequeue pointer arithmetic
+
+            let dv = machine.load(distances[v as usize]);
+            if dv != current_level {
+                // Level boundary: flush the per-level counters.
+                steps.push(StepCounters {
+                    step: current_level as usize,
+                    counters: machine.counters().delta_since(&level_snapshot),
+                    edges_traversed: level_edges,
+                    vertices_processed: level_vertices,
+                    updates: level_found,
+                });
+                level_snapshot = machine.counters();
+                current_level = dv;
+                level_vertices = 0;
+                level_edges = 0;
+                level_found = 0;
+            }
+            level_vertices += 1;
+            let next = dv + 1;
+            machine.alu(1); // next_level = d[v] + 1
+
+            let neighbors = graph.neighbors(v);
+            let mut idx = 0usize;
+            // for all neighbours w of v
+            while machine.branch(BFS_FOR, idx < neighbors.len()) {
+                let w = neighbors[idx];
+                level_edges += 1;
+                let dw = machine.load(distances[w as usize]);
+                // if d[w] == INFINITY  (data-dependent branch)
+                if machine.branch(BFS_IF, dw == INFINITY) {
+                    machine.store(&mut distances[w as usize], next);
+                    queue.push(w);
+                    let tail = queue.len() - 1;
+                    machine.store(&mut queue[tail], w); // queue slot write
+                    machine.alu(1); // queue length increment
+                    level_found += 1;
+                }
+                idx += 1;
+                machine.alu(1);
+            }
+        }
+        // Flush the final level.
+        steps.push(StepCounters {
+            step: current_level as usize,
+            counters: machine.counters().delta_since(&level_snapshot),
+            edges_traversed: level_edges,
+            vertices_processed: level_vertices,
+            updates: level_found,
+        });
+    }
+
+    BfsRun {
+        result: BfsResult::new(distances, queue),
+        counters: RunCounters { steps },
+    }
+}
+
+/// Instrumented branch-avoiding top-down BFS (paper Algorithm 5) under the
+/// default 2-bit predictor.
+pub fn bfs_branch_avoiding_instrumented(graph: &CsrGraph, root: VertexId) -> BfsRun {
+    bfs_branch_avoiding_instrumented_with(graph, root, TwoBitPredictor::new())
+}
+
+/// Instrumented branch-avoiding BFS under an arbitrary predictor model.
+pub fn bfs_branch_avoiding_instrumented_with<P: PredictorModel>(
+    graph: &CsrGraph,
+    root: VertexId,
+    predictor: P,
+) -> BfsRun {
+    let n = graph.num_vertices();
+    let mut machine = ExecMachine::with_predictor(predictor);
+    let mut distances = vec![INFINITY; n];
+    let mut queue: Vec<VertexId> = vec![0; n + 1];
+    let mut steps: Vec<StepCounters> = Vec::new();
+    let mut queue_len = 0u64;
+
+    if (root as usize) < n {
+        machine.store(&mut distances[root as usize], 0);
+        machine.store(&mut queue[0], root); // queue slot write for the root
+        queue_len = 1;
+        machine.alu(1);
+        let mut head = 0usize;
+
+        let mut level_snapshot = machine.snapshot();
+        let mut current_level = 0u32;
+        let mut level_vertices = 0u64;
+        let mut level_edges = 0u64;
+        let mut level_found = 0u64;
+
+        while machine.branch(BFS_WHILE, (head as u64) < queue_len) {
+            let v = queue[head];
+            head += 1;
+            machine.alu(1);
+
+            let dv = machine.load(distances[v as usize]);
+            if dv != current_level {
+                steps.push(StepCounters {
+                    step: current_level as usize,
+                    counters: machine.counters().delta_since(&level_snapshot),
+                    edges_traversed: level_edges,
+                    vertices_processed: level_vertices,
+                    updates: level_found,
+                });
+                level_snapshot = machine.counters();
+                current_level = dv;
+                level_vertices = 0;
+                level_edges = 0;
+                level_found = 0;
+            }
+            level_vertices += 1;
+            let next_level = dv + 1;
+            machine.alu(1);
+
+            let neighbors = graph.neighbors(v);
+            let mut idx = 0usize;
+            while machine.branch(BFS_FOR, idx < neighbors.len()) {
+                let w = neighbors[idx];
+                level_edges += 1;
+                // LOAD(temp, d[w])
+                let old = machine.load(distances[w as usize]);
+                // CMP(temp, next_level)
+                let undiscovered = old > next_level;
+                machine.alu(1);
+                // Q[Qlen] <- w, unconditional store.
+                machine.store(&mut queue[queue_len as usize], w);
+                // COND_MOVE_GREATER(temp, next_level)
+                let mut temp = old;
+                machine.cond_move(undiscovered, &mut temp, next_level);
+                // COND_ADD(Qlen, 1)
+                machine.cond_add(undiscovered, &mut queue_len, 1);
+                // STORE(temp, d[w]), unconditional write-back.
+                machine.store(&mut distances[w as usize], temp);
+                level_found += undiscovered as u64;
+                idx += 1;
+                machine.alu(1);
+            }
+        }
+        steps.push(StepCounters {
+            step: current_level as usize,
+            counters: machine.counters().delta_since(&level_snapshot),
+            edges_traversed: level_edges,
+            vertices_processed: level_vertices,
+            updates: level_found,
+        });
+    }
+
+    let order = queue[..queue_len as usize].to_vec();
+    BfsRun {
+        result: BfsResult::new(distances, order),
+        counters: RunCounters { steps },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs::topdown_branch::bfs_branch_based;
+    use bga_graph::generators::{barabasi_albert, grid_2d, path_graph, star_graph, MeshStencil};
+    use bga_graph::properties::bfs_distances_reference;
+
+    fn test_graphs() -> Vec<bga_graph::CsrGraph> {
+        vec![
+            path_graph(40),
+            star_graph(30),
+            grid_2d(12, 9, MeshStencil::VonNeumann),
+            barabasi_albert(300, 3, 6),
+        ]
+    }
+
+    #[test]
+    fn instrumented_kernels_match_reference_distances() {
+        for g in test_graphs() {
+            let expected = bfs_distances_reference(&g, 0);
+            assert_eq!(
+                bfs_branch_based_instrumented(&g, 0).result.distances(),
+                &expected[..]
+            );
+            assert_eq!(
+                bfs_branch_avoiding_instrumented(&g, 0).result.distances(),
+                &expected[..]
+            );
+        }
+    }
+
+    #[test]
+    fn instrumented_matches_plain_visit_order() {
+        for g in test_graphs() {
+            assert_eq!(
+                bfs_branch_based_instrumented(&g, 0).result.visit_order(),
+                bfs_branch_based(&g, 0).visit_order()
+            );
+        }
+    }
+
+    #[test]
+    fn level_counts_match_distance_histogram() {
+        for g in test_graphs() {
+            let run = bfs_branch_based_instrumented(&g, 0);
+            let sizes = run.result.level_sizes();
+            assert_eq!(run.levels(), sizes.len());
+            for (level, step) in run.counters.steps.iter().enumerate() {
+                assert_eq!(
+                    step.vertices_processed as usize, sizes[level],
+                    "level {level} processed the wrong number of vertices"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn branch_based_has_roughly_twice_the_branches() {
+        // Figure 7: ~2x more branches in the branch-based kernel (the extra
+        // per-edge if).
+        for g in test_graphs() {
+            let based = bfs_branch_based_instrumented(&g, 0).counters.total();
+            let avoiding = bfs_branch_avoiding_instrumented(&g, 0).counters.total();
+            let ratio = based.branches as f64 / avoiding.branches as f64;
+            assert!(
+                (1.4..=2.5).contains(&ratio),
+                "branch ratio {ratio} outside expected band"
+            );
+        }
+    }
+
+    #[test]
+    fn branch_avoiding_stores_blow_up_with_edges() {
+        // Section 5.2 / Section 7: the branch-avoiding variant performs
+        // O(|E|) stores versus O(|V|) for the branch-based variant.
+        for g in test_graphs() {
+            let based = bfs_branch_based_instrumented(&g, 0).counters.total();
+            let avoiding = bfs_branch_avoiding_instrumented(&g, 0).counters.total();
+            assert!(
+                avoiding.stores > based.stores,
+                "branch-avoiding must store more: {} vs {}",
+                avoiding.stores,
+                based.stores
+            );
+            // Two stores per traversed edge (queue slot + distance
+            // write-back); the root initialisation happens before the first
+            // level snapshot so it is not part of any per-level delta.
+            let edges = bfs_branch_avoiding_instrumented(&g, 0)
+                .counters
+                .total_edges_traversed();
+            assert_eq!(avoiding.stores, 2 * edges);
+        }
+    }
+
+    #[test]
+    fn branch_avoiding_mispredictions_do_not_exceed_branch_based() {
+        for g in test_graphs() {
+            let based = bfs_branch_based_instrumented(&g, 0).counters.total();
+            let avoiding = bfs_branch_avoiding_instrumented(&g, 0).counters.total();
+            assert!(avoiding.branch_mispredictions <= based.branch_mispredictions);
+        }
+    }
+
+    #[test]
+    fn per_level_updates_sum_to_reached_vertices_minus_root() {
+        for g in test_graphs() {
+            let run = bfs_branch_based_instrumented(&g, 0);
+            let discovered: u64 = run.counters.steps.iter().map(|s| s.updates).sum();
+            assert_eq!(discovered as usize, run.result.reached_count() - 1);
+        }
+    }
+
+    #[test]
+    fn out_of_range_root_produces_empty_run() {
+        let g = path_graph(5);
+        let run = bfs_branch_based_instrumented(&g, 99);
+        assert_eq!(run.result.reached_count(), 0);
+        assert_eq!(run.levels(), 0);
+        let run = bfs_branch_avoiding_instrumented(&g, 99);
+        assert_eq!(run.result.reached_count(), 0);
+    }
+}

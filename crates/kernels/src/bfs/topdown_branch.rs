@@ -1,0 +1,86 @@
+//! Branch-based top-down BFS (paper Algorithm 4).
+//!
+//! The classic queue-based traversal: for every traversed edge `(v, w)` the
+//! kernel tests `if d[w] == INFINITY` and enqueues `w` on the first visit.
+//! That `if` is the data-dependent branch whose misprediction behaviour
+//! Section 5.1 bounds at up to `2 * |V̂|` misses.
+
+use super::frontier::BfsResult;
+use super::INFINITY;
+use bga_graph::{CsrGraph, VertexId};
+
+/// Runs branch-based top-down BFS from `root`. A root outside the vertex
+/// range yields an all-unreached result.
+pub fn bfs_branch_based(graph: &CsrGraph, root: VertexId) -> BfsResult {
+    let n = graph.num_vertices();
+    let mut distances = vec![INFINITY; n];
+    let mut queue: Vec<VertexId> = Vec::with_capacity(n);
+    if (root as usize) >= n {
+        return BfsResult::new(distances, queue);
+    }
+
+    distances[root as usize] = 0;
+    queue.push(root);
+    let mut head = 0usize;
+
+    while head < queue.len() {
+        let v = queue[head];
+        head += 1;
+        let next = distances[v as usize] + 1;
+        for &w in graph.neighbors(v) {
+            if distances[w as usize] == INFINITY {
+                distances[w as usize] = next;
+                queue.push(w);
+            }
+        }
+    }
+    BfsResult::new(distances, queue)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bga_graph::generators::{complete_graph, path_graph, star_graph};
+    use bga_graph::properties::bfs_distances_reference;
+    use bga_graph::GraphBuilder;
+
+    #[test]
+    fn distances_match_reference() {
+        for g in [path_graph(20), star_graph(15), complete_graph(10)] {
+            for root in [0u32, 3] {
+                assert_eq!(
+                    bfs_branch_based(&g, root).distances(),
+                    &bfs_distances_reference(&g, root)[..]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn visit_order_is_level_monotone() {
+        let g = star_graph(10);
+        let r = bfs_branch_based(&g, 0);
+        let order = r.visit_order();
+        assert_eq!(order[0], 0);
+        for pair in order.windows(2) {
+            assert!(r.distance(pair[0]) <= r.distance(pair[1]));
+        }
+    }
+
+    #[test]
+    fn disconnected_vertices_stay_unreached() {
+        let g = GraphBuilder::undirected(5).add_edges([(0, 1), (2, 3)]).build();
+        let r = bfs_branch_based(&g, 0);
+        assert_eq!(r.distance(1), 1);
+        assert_eq!(r.distance(2), INFINITY);
+        assert_eq!(r.reached_count(), 2);
+    }
+
+    #[test]
+    fn out_of_range_root() {
+        let g = path_graph(3);
+        let r = bfs_branch_based(&g, 99);
+        assert_eq!(r.reached_count(), 0);
+        assert!(r.visit_order().is_empty());
+    }
+}

@@ -1,0 +1,140 @@
+//! Branch-avoiding top-down BFS (paper Algorithm 5).
+//!
+//! The per-edge `if d[w] == INFINITY` is eliminated: for **every** traversed
+//! edge the kernel
+//!
+//! 1. writes `w` into the next free queue slot unconditionally,
+//! 2. conditionally moves the new distance into a register,
+//! 3. conditionally advances the queue length, and
+//! 4. writes the (possibly unchanged) distance back to `d[w]`
+//!    unconditionally.
+//!
+//! A vertex that was already visited is simply overwritten in the queue slot
+//! by the next candidate ("placed outside the queue" in the paper's words).
+//! The price is `O(|E|)` stores instead of `O(|V|)` — the reason the paper's
+//! Figure 6 shows slowdowns for this variant on most systems.
+//!
+//! One correction relative to the printed pseudocode: the predicate compares
+//! the old distance against `next_level = d[v] + 1` rather than against
+//! `d[v]`. With the printed comparison a vertex first discovered by an
+//! *earlier vertex of the same frontier* (so `d[w] == d[v] + 1 > d[v]`)
+//! would be enqueued a second time; comparing against `next_level` keeps the
+//! queue duplicate-free, which is what the store/branch counts in the
+//! paper's evaluation reflect.
+
+use super::frontier::BfsResult;
+use super::INFINITY;
+use crate::select::{conditional_increment, select_u32};
+use bga_graph::{CsrGraph, VertexId};
+
+/// Runs branch-avoiding top-down BFS from `root`.
+pub fn bfs_branch_avoiding(graph: &CsrGraph, root: VertexId) -> BfsResult {
+    let n = graph.num_vertices();
+    let mut distances = vec![INFINITY; n];
+    // One extra slot so the unconditional "write past the end" of a
+    // non-discovery never goes out of bounds.
+    let mut queue: Vec<VertexId> = vec![0; n + 1];
+    if (root as usize) >= n {
+        return BfsResult::new(distances, Vec::new());
+    }
+
+    distances[root as usize] = 0;
+    queue[0] = root;
+    let mut queue_len = 1u64;
+    let mut head = 0usize;
+
+    while (head as u64) < queue_len {
+        let v = queue[head];
+        head += 1;
+        let next_level = distances[v as usize] + 1;
+        for &w in graph.neighbors(v) {
+            let old = distances[w as usize];
+            let undiscovered = old > next_level;
+            // Unconditional write of the candidate into the next slot.
+            queue[queue_len as usize] = w;
+            // Conditionally adopt the new distance and claim the slot.
+            let new_dist = select_u32(undiscovered, next_level, old);
+            queue_len = conditional_increment(queue_len, undiscovered);
+            // Unconditional write-back of the (possibly unchanged) distance.
+            distances[w as usize] = new_dist;
+        }
+    }
+
+    queue.truncate(queue_len as usize);
+    BfsResult::new(distances, queue)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use super::super::topdown_branch::bfs_branch_based;
+    use bga_graph::generators::{
+        barabasi_albert, complete_graph, cycle_graph, grid_2d, path_graph, star_graph, MeshStencil,
+    };
+    use bga_graph::properties::bfs_distances_reference;
+    use bga_graph::GraphBuilder;
+
+    #[test]
+    fn distances_match_reference() {
+        let graphs = vec![
+            path_graph(25),
+            cycle_graph(16),
+            star_graph(12),
+            complete_graph(9),
+            grid_2d(7, 11, MeshStencil::Moore),
+            barabasi_albert(300, 3, 2),
+        ];
+        for g in &graphs {
+            for root in [0u32, 5] {
+                assert_eq!(
+                    bfs_branch_avoiding(g, root).distances(),
+                    &bfs_distances_reference(g, root)[..]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn queue_contains_each_reached_vertex_exactly_once() {
+        let g = grid_2d(6, 6, MeshStencil::VonNeumann);
+        let r = bfs_branch_avoiding(&g, 0);
+        let mut order = r.visit_order().to_vec();
+        assert_eq!(order.len(), r.reached_count());
+        order.sort_unstable();
+        order.dedup();
+        assert_eq!(order.len(), r.reached_count(), "queue held duplicates");
+    }
+
+    #[test]
+    fn visit_order_matches_branch_based_exactly() {
+        // Both variants scan neighbours in the same order, so discovery
+        // order — not just distances — must be identical.
+        let g = barabasi_albert(200, 2, 7);
+        assert_eq!(
+            bfs_branch_avoiding(&g, 0).visit_order(),
+            bfs_branch_based(&g, 0).visit_order()
+        );
+    }
+
+    #[test]
+    fn disconnected_and_out_of_range_roots() {
+        let g = GraphBuilder::undirected(4).add_edges([(0, 1)]).build();
+        let r = bfs_branch_avoiding(&g, 0);
+        assert_eq!(r.reached_count(), 2);
+        assert_eq!(r.distance(3), INFINITY);
+        let oob = bfs_branch_avoiding(&g, 42);
+        assert_eq!(oob.reached_count(), 0);
+    }
+
+    #[test]
+    fn same_frontier_rediscovery_does_not_duplicate() {
+        // Vertices 1 and 2 are both at level 1 and share neighbour 3 at
+        // level 2: the printed compare-against-d[v] would enqueue 3 twice.
+        let g = GraphBuilder::undirected(4)
+            .add_edges([(0, 1), (0, 2), (1, 3), (2, 3)])
+            .build();
+        let r = bfs_branch_avoiding(&g, 0);
+        assert_eq!(r.distances(), &[0, 1, 1, 2]);
+        assert_eq!(r.visit_order().len(), 4);
+    }
+}

@@ -1,0 +1,61 @@
+//! Baseline connected-components implementations used for cross-validation
+//! and for the comparison columns of the experiment harnesses.
+
+use super::labels::ComponentLabels;
+use bga_graph::properties::{bfs_distances_reference, connected_components_union_find, UNREACHED};
+use bga_graph::CsrGraph;
+
+/// Connected components by union-find (delegates to the reference
+/// implementation in `bga-graph`); the canonical ground truth for every test
+/// in this crate.
+pub fn cc_union_find(graph: &CsrGraph) -> ComponentLabels {
+    ComponentLabels::new(connected_components_union_find(graph))
+}
+
+/// Connected components by repeated BFS: scan for an unlabelled vertex,
+/// flood its component, repeat. O(|V| + |E|) total, a useful independent
+/// cross-check because it shares no code with either SV variant or
+/// union-find.
+pub fn cc_bfs(graph: &CsrGraph) -> ComponentLabels {
+    let n = graph.num_vertices();
+    let mut labels = vec![u32::MAX; n];
+    for root in 0..n as u32 {
+        if labels[root as usize] != u32::MAX {
+            continue;
+        }
+        let distances = bfs_distances_reference(graph, root);
+        for (v, &d) in distances.iter().enumerate() {
+            if d != UNREACHED {
+                labels[v] = root;
+            }
+        }
+    }
+    ComponentLabels::new(labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bga_graph::generators::{erdos_renyi_gnp, path_graph};
+    use bga_graph::GraphBuilder;
+
+    #[test]
+    fn union_find_and_bfs_agree() {
+        let graphs = vec![
+            GraphBuilder::undirected(0).build(),
+            GraphBuilder::undirected(5).add_edges([(0, 1), (3, 4)]).build(),
+            path_graph(30),
+            erdos_renyi_gnp(200, 0.01, 13),
+        ];
+        for g in &graphs {
+            assert!(cc_union_find(g).same_partition(&cc_bfs(g)));
+        }
+    }
+
+    #[test]
+    fn bfs_labels_use_smallest_root() {
+        let g = GraphBuilder::undirected(4).add_edges([(2, 3)]).build();
+        let labels = cc_bfs(&g);
+        assert_eq!(labels.as_slice(), &[0, 1, 2, 2]);
+    }
+}

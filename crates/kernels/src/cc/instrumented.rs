@@ -1,0 +1,359 @@
+//! Instrumented Shiloach-Vishkin kernels.
+//!
+//! These are the measurement versions of Algorithms 2 and 3: every memory
+//! access, conditional branch and conditional move is routed through a
+//! [`bga_branchsim::ExecMachine`] at exactly the points where the paper's
+//! assembly issues the corresponding instruction, and counters are
+//! snapshotted at each sweep boundary. The resulting per-iteration series
+//! regenerate Figures 3, 4, 5, 9(a) and the SV half of Figure 10.
+//!
+//! Branch sites (Section 4.1 identifies four static conditional branches in
+//! the branch-based kernel):
+//!
+//! | site | paper branch |
+//! |------|--------------|
+//! | `SV_WHILE`     | `while change != 0` termination test |
+//! | `SV_OUTER_FOR` | `for v in V` |
+//! | `SV_INNER_FOR` | `for u in Neighbors[v]` |
+//! | `SV_IF`        | `if cu <= cv` (branch-based only) |
+
+use super::labels::ComponentLabels;
+use crate::stats::{RunCounters, StepCounters};
+use bga_branchsim::machine::ExecMachine;
+use bga_branchsim::predictor::{PredictorModel, TwoBitPredictor};
+use bga_branchsim::site::BranchSite;
+use bga_graph::CsrGraph;
+
+/// Termination test of the outer `while change != 0` loop.
+pub const SV_WHILE: BranchSite = BranchSite::new(0, "sv.while_change");
+/// The `for v in V` loop condition.
+pub const SV_OUTER_FOR: BranchSite = BranchSite::new(1, "sv.for_vertices");
+/// The `for u in Neighbors[v]` loop condition.
+pub const SV_INNER_FOR: BranchSite = BranchSite::new(2, "sv.for_neighbors");
+/// The data-dependent `if cu <= cv` label comparison (branch-based only).
+pub const SV_IF: BranchSite = BranchSite::new(3, "sv.if_label_smaller");
+
+/// Result of an instrumented SV run.
+#[derive(Clone, Debug)]
+pub struct SvRun {
+    /// Final component labels (identical across variants).
+    pub labels: ComponentLabels,
+    /// Per-sweep counters, workload sizes and label-update counts.
+    pub counters: RunCounters,
+}
+
+impl SvRun {
+    /// Number of sweeps the algorithm executed.
+    pub fn iterations(&self) -> usize {
+        self.counters.num_steps()
+    }
+}
+
+/// Instrumented branch-based Shiloach-Vishkin (paper Algorithm 2) under the
+/// default 2-bit predictor.
+pub fn sv_branch_based_instrumented(graph: &CsrGraph) -> SvRun {
+    sv_branch_based_instrumented_with(graph, TwoBitPredictor::new())
+}
+
+/// Instrumented branch-based SV under an arbitrary predictor model (used by
+/// the predictor ablation).
+pub fn sv_branch_based_instrumented_with<P: PredictorModel>(
+    graph: &CsrGraph,
+    predictor: P,
+) -> SvRun {
+    let n = graph.num_vertices();
+    let mut machine = ExecMachine::with_predictor(predictor);
+    let mut ccid: Vec<u32> = Vec::with_capacity(n);
+
+    // Initialization: CCid[v] <- v, one store per vertex.
+    for v in 0..n as u32 {
+        ccid.push(0);
+        machine.store(&mut ccid[v as usize], v);
+        machine.alu(1); // loop index increment
+    }
+    let mut change = 1u32;
+    machine.alu(1); // change <- 1
+
+    let mut steps = Vec::new();
+    let mut iteration = 0usize;
+
+    // while change != 0
+    while machine.branch(SV_WHILE, change != 0) {
+        let snapshot = machine.snapshot();
+        change = 0;
+        machine.alu(1);
+
+        let mut edges_traversed = 0u64;
+        let mut updates = 0u64;
+
+        let mut v = 0u32;
+        // for v in V
+        while machine.branch(SV_OUTER_FOR, (v as usize) < n) {
+            let mut cv = machine.load(ccid[v as usize]);
+            let neighbors = graph.neighbors(v);
+            let mut idx = 0usize;
+            // for u in Neighbors[v]
+            while machine.branch(SV_INNER_FOR, idx < neighbors.len()) {
+                let u = neighbors[idx];
+                let cu = machine.load(ccid[u as usize]);
+                edges_traversed += 1;
+                // if cu < cv  (data-dependent branch)
+                if machine.branch(SV_IF, cu < cv) {
+                    cv = cu;
+                    machine.store(&mut ccid[v as usize], cu);
+                    change = 1;
+                    machine.alu(2); // register move + flag set
+                    updates += 1;
+                }
+                idx += 1;
+                machine.alu(1); // index increment
+            }
+            v += 1;
+            machine.alu(1); // index increment
+        }
+
+        steps.push(StepCounters {
+            step: iteration,
+            counters: machine.counters().delta_since(&snapshot),
+            edges_traversed,
+            vertices_processed: n as u64,
+            updates,
+        });
+        iteration += 1;
+    }
+
+    SvRun {
+        labels: ComponentLabels::new(ccid),
+        counters: RunCounters { steps },
+    }
+}
+
+/// Instrumented branch-avoiding Shiloach-Vishkin (paper Algorithm 3) under
+/// the default 2-bit predictor.
+pub fn sv_branch_avoiding_instrumented(graph: &CsrGraph) -> SvRun {
+    sv_branch_avoiding_instrumented_with(graph, TwoBitPredictor::new())
+}
+
+/// Instrumented branch-avoiding SV under an arbitrary predictor model.
+pub fn sv_branch_avoiding_instrumented_with<P: PredictorModel>(
+    graph: &CsrGraph,
+    predictor: P,
+) -> SvRun {
+    let n = graph.num_vertices();
+    let mut machine = ExecMachine::with_predictor(predictor);
+    let mut ccid: Vec<u32> = Vec::with_capacity(n);
+
+    for v in 0..n as u32 {
+        ccid.push(0);
+        machine.store(&mut ccid[v as usize], v);
+        machine.alu(1);
+    }
+    let mut change = 1u32;
+    machine.alu(1);
+
+    let mut steps = Vec::new();
+    let mut iteration = 0usize;
+
+    while machine.branch(SV_WHILE, change != 0) {
+        let snapshot = machine.snapshot();
+        change = 0;
+        machine.alu(1);
+
+        let mut edges_traversed = 0u64;
+        let mut updates = 0u64;
+
+        let mut v = 0u32;
+        while machine.branch(SV_OUTER_FOR, (v as usize) < n) {
+            let cv_init = machine.load(ccid[v as usize]);
+            let mut cv = cv_init;
+            machine.alu(1); // register copy of cinit
+
+            let neighbors = graph.neighbors(v);
+            let mut idx = 0usize;
+            while machine.branch(SV_INNER_FOR, idx < neighbors.len()) {
+                let cu = machine.load(ccid[u_at(neighbors, idx)]);
+                edges_traversed += 1;
+                // Conditional move replaces the data-dependent branch:
+                // cv <- cu iff cu < cv, preceded by a compare.
+                machine.alu(1); // CMP cu, cv
+                machine.cond_move(cu < cv, &mut cv, cu);
+                idx += 1;
+                machine.alu(1);
+            }
+
+            // Unconditional store of the register value, once per vertex.
+            machine.store(&mut ccid[v as usize], cv);
+            // change <- change OR (cv XOR cinit): two ALU ops, no branch.
+            change |= cv ^ cv_init;
+            machine.alu(2);
+            updates += (cv != cv_init) as u64;
+
+            v += 1;
+            machine.alu(1);
+        }
+
+        steps.push(StepCounters {
+            step: iteration,
+            counters: machine.counters().delta_since(&snapshot),
+            edges_traversed,
+            vertices_processed: n as u64,
+            updates,
+        });
+        iteration += 1;
+    }
+
+    SvRun {
+        labels: ComponentLabels::new(ccid),
+        counters: RunCounters { steps },
+    }
+}
+
+#[inline]
+fn u_at(neighbors: &[u32], idx: usize) -> usize {
+    neighbors[idx] as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cc::sv_branch::sv_branch_based;
+    use bga_graph::generators::{barabasi_albert, grid_2d, path_graph, MeshStencil};
+    use bga_graph::properties::connected_components_union_find;
+
+    fn test_graphs() -> Vec<bga_graph::CsrGraph> {
+        vec![
+            path_graph(50),
+            grid_2d(10, 10, MeshStencil::VonNeumann),
+            barabasi_albert(300, 2, 21),
+        ]
+    }
+
+    #[test]
+    fn instrumented_kernels_match_reference_labels() {
+        for g in test_graphs() {
+            let expected = connected_components_union_find(&g);
+            assert_eq!(sv_branch_based_instrumented(&g).labels.canonical(), expected);
+            assert_eq!(
+                sv_branch_avoiding_instrumented(&g).labels.canonical(),
+                expected
+            );
+        }
+    }
+
+    #[test]
+    fn instrumented_and_plain_kernels_agree_exactly() {
+        for g in test_graphs() {
+            assert_eq!(
+                sv_branch_based_instrumented(&g).labels.as_slice(),
+                sv_branch_based(&g).as_slice()
+            );
+        }
+    }
+
+    #[test]
+    fn both_variants_run_the_same_number_of_sweeps() {
+        for g in test_graphs() {
+            let a = sv_branch_based_instrumented(&g);
+            let b = sv_branch_avoiding_instrumented(&g);
+            assert_eq!(a.iterations(), b.iterations());
+        }
+    }
+
+    #[test]
+    fn branch_based_executes_roughly_twice_the_branches() {
+        // Figure 4: the branch-based kernel has ~2x the branches of the
+        // branch-avoiding kernel (the extra data-dependent if per edge).
+        // The ratio is (2|E'| + 2|V|) / (|E'| + 2|V|) per sweep, so it sits
+        // below 2 for very sparse graphs (1.49 for a path) and approaches 2
+        // as the average degree grows.
+        for g in test_graphs() {
+            let based = sv_branch_based_instrumented(&g).counters.total();
+            let avoiding = sv_branch_avoiding_instrumented(&g).counters.total();
+            let ratio = based.branches as f64 / avoiding.branches as f64;
+            assert!(
+                (1.4..=2.1).contains(&ratio),
+                "branch ratio {ratio} outside the expected band"
+            );
+        }
+    }
+
+    #[test]
+    fn branch_avoiding_has_fewer_mispredictions() {
+        for g in test_graphs() {
+            let based = sv_branch_based_instrumented(&g).counters.total();
+            let avoiding = sv_branch_avoiding_instrumented(&g).counters.total();
+            assert!(
+                avoiding.branch_mispredictions < based.branch_mispredictions,
+                "branch-avoiding must mispredict less: {} vs {}",
+                avoiding.branch_mispredictions,
+                based.branch_mispredictions
+            );
+        }
+    }
+
+    #[test]
+    fn branch_avoiding_stores_once_per_vertex_per_sweep() {
+        let g = grid_2d(8, 8, MeshStencil::VonNeumann);
+        let run = sv_branch_avoiding_instrumented(&g);
+        let n = g.num_vertices() as u64;
+        for step in &run.counters.steps {
+            assert_eq!(step.counters.stores, n, "sweep {}", step.step);
+        }
+    }
+
+    #[test]
+    fn branch_based_stores_only_on_label_updates() {
+        let g = grid_2d(8, 8, MeshStencil::VonNeumann);
+        let run = sv_branch_based_instrumented(&g);
+        for step in &run.counters.steps {
+            assert_eq!(step.counters.stores, step.updates, "sweep {}", step.step);
+        }
+        // The final sweep performs no updates at all.
+        assert_eq!(run.counters.steps.last().unwrap().updates, 0);
+    }
+
+    #[test]
+    fn branch_based_mispredictions_decay_over_iterations() {
+        // Figure 5: mispredictions are concentrated in the early sweeps and
+        // fall as labels stabilize. Use a randomly relabelled mesh so the
+        // propagation needs several sweeps (generator-order ids converge in
+        // two), and compare the first sweep against the final no-change
+        // sweep, where the data-dependent if is never taken and predicts
+        // almost perfectly.
+        let g = bga_graph::transform::relabel_random(&grid_2d(20, 20, MeshStencil::Moore), 7);
+        let run = sv_branch_based_instrumented(&g);
+        let steps = &run.counters.steps;
+        assert!(steps.len() >= 3, "need a few sweeps for this check");
+        let first = steps[0].counters.branch_mispredictions;
+        let last = steps[steps.len() - 1].counters.branch_mispredictions;
+        assert!(
+            first > 2 * last,
+            "early sweeps should mispredict far more: first={first}, last={last}"
+        );
+    }
+
+    #[test]
+    fn per_sweep_edge_counts_cover_every_edge_slot() {
+        let g = path_graph(20);
+        let run = sv_branch_avoiding_instrumented(&g);
+        for step in &run.counters.steps {
+            assert_eq!(step.edges_traversed, g.num_edge_slots() as u64);
+            assert_eq!(step.vertices_processed, g.num_vertices() as u64);
+        }
+    }
+
+    #[test]
+    fn conditional_moves_appear_only_in_the_avoiding_variant() {
+        let g = path_graph(30);
+        assert_eq!(
+            sv_branch_based_instrumented(&g).counters.total().conditional_moves,
+            0
+        );
+        let avoiding = sv_branch_avoiding_instrumented(&g).counters.total();
+        assert_eq!(avoiding.conditional_moves, {
+            // one cmov per edge traversal per sweep
+            let sweeps = sv_branch_avoiding_instrumented(&g).iterations() as u64;
+            g.num_edge_slots() as u64 * sweeps
+        });
+    }
+}

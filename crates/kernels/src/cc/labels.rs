@@ -1,0 +1,131 @@
+//! Component-label results and comparison helpers.
+
+use bga_graph::VertexId;
+use std::collections::HashMap;
+
+/// The output of a connected-components kernel: one label per vertex, where
+/// two vertices carry the same label iff they are in the same component.
+///
+/// Different algorithms may pick different representative labels for the
+/// same partition (Shiloach-Vishkin converges to the minimum vertex id,
+/// union-find to an arbitrary root), so comparisons go through
+/// [`ComponentLabels::canonical`], which relabels every component by its
+/// smallest member.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ComponentLabels {
+    labels: Vec<u32>,
+}
+
+impl ComponentLabels {
+    /// Wraps a raw label vector.
+    pub fn new(labels: Vec<u32>) -> Self {
+        ComponentLabels { labels }
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True when there are no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// The raw label of a vertex.
+    #[inline]
+    pub fn label(&self, v: VertexId) -> u32 {
+        self.labels[v as usize]
+    }
+
+    /// Raw label slice.
+    pub fn as_slice(&self) -> &[u32] {
+        &self.labels
+    }
+
+    /// Whether two vertices are in the same component.
+    pub fn same_component(&self, u: VertexId, v: VertexId) -> bool {
+        self.labels[u as usize] == self.labels[v as usize]
+    }
+
+    /// Number of distinct components.
+    pub fn component_count(&self) -> usize {
+        let mut distinct: Vec<u32> = self.labels.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        distinct.len()
+    }
+
+    /// Size of the largest component (0 for an empty graph).
+    pub fn largest_component_size(&self) -> usize {
+        let mut counts: HashMap<u32, usize> = HashMap::new();
+        for &l in &self.labels {
+            *counts.entry(l).or_insert(0) += 1;
+        }
+        counts.values().copied().max().unwrap_or(0)
+    }
+
+    /// Canonical form: every component is relabelled by its minimum vertex
+    /// id, making results from different algorithms directly comparable.
+    pub fn canonical(&self) -> Vec<u32> {
+        let mut min_of_label: HashMap<u32, u32> = HashMap::new();
+        for (v, &l) in self.labels.iter().enumerate() {
+            let entry = min_of_label.entry(l).or_insert(v as u32);
+            if (v as u32) < *entry {
+                *entry = v as u32;
+            }
+        }
+        self.labels.iter().map(|l| min_of_label[l]).collect()
+    }
+
+    /// True when `self` and `other` describe the same partition of the
+    /// vertex set (regardless of which representative each picked).
+    pub fn same_partition(&self, other: &ComponentLabels) -> bool {
+        self.labels.len() == other.labels.len() && self.canonical() == other.canonical()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_accessors() {
+        let l = ComponentLabels::new(vec![0, 0, 2, 2, 4]);
+        assert_eq!(l.len(), 5);
+        assert!(!l.is_empty());
+        assert_eq!(l.label(2), 2);
+        assert!(l.same_component(0, 1));
+        assert!(!l.same_component(1, 2));
+        assert_eq!(l.component_count(), 3);
+        assert_eq!(l.largest_component_size(), 2);
+    }
+
+    #[test]
+    fn canonicalization_picks_minimum_member() {
+        // Same partition expressed with different representatives.
+        let a = ComponentLabels::new(vec![7, 7, 3, 3]);
+        let b = ComponentLabels::new(vec![0, 0, 9, 9]);
+        assert_eq!(a.canonical(), vec![0, 0, 2, 2]);
+        assert_eq!(b.canonical(), vec![0, 0, 2, 2]);
+        assert!(a.same_partition(&b));
+    }
+
+    #[test]
+    fn different_partitions_are_detected() {
+        let a = ComponentLabels::new(vec![0, 0, 0]);
+        let b = ComponentLabels::new(vec![0, 0, 2]);
+        assert!(!a.same_partition(&b));
+        let short = ComponentLabels::new(vec![0, 0]);
+        assert!(!a.same_partition(&short));
+    }
+
+    #[test]
+    fn empty_labels() {
+        let l = ComponentLabels::new(vec![]);
+        assert!(l.is_empty());
+        assert_eq!(l.component_count(), 0);
+        assert_eq!(l.largest_component_size(), 0);
+        assert!(l.canonical().is_empty());
+    }
+}

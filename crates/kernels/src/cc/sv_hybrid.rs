@@ -1,0 +1,211 @@
+//! Hybrid Shiloach-Vishkin: branch-avoiding early sweeps, branch-based late
+//! sweeps.
+//!
+//! Section 6.2 of the paper observes that when the two variants cross over,
+//! there is a *single* crossover point per (graph, platform): the
+//! branch-avoiding version wins the chaotic early iterations (labels change
+//! constantly, branches are unpredictable) while the branch-based version
+//! wins the calm late iterations (the `if` is almost never taken and
+//! predicts perfectly). "The significance of the single crossover point is
+//! that this may allow creating a hybrid algorithm that uses the faster of
+//! the two algorithms based on the iteration." This module implements that
+//! hybrid.
+
+use super::labels::ComponentLabels;
+use crate::select::branchless_min_u32;
+use bga_graph::CsrGraph;
+
+/// Switching policy for the hybrid kernel.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SwitchPolicy {
+    /// Run the branch-avoiding kernel for exactly this many sweeps, then
+    /// switch to branch-based for the remainder.
+    FixedIteration(usize),
+    /// Switch to branch-based once the fraction of vertices whose label
+    /// changed in a sweep drops below this threshold (the point where the
+    /// data-dependent branch becomes predictable).
+    ChangeFractionBelow(f64),
+}
+
+/// Configuration of [`sv_hybrid`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HybridConfig {
+    /// When to switch from branch-avoiding to branch-based sweeps.
+    pub policy: SwitchPolicy,
+}
+
+impl Default for HybridConfig {
+    /// Default policy: switch once fewer than 5% of vertices change per
+    /// sweep, the regime where the paper's branch-based variant regains the
+    /// lead on the systems that showed a crossover.
+    fn default() -> Self {
+        HybridConfig {
+            policy: SwitchPolicy::ChangeFractionBelow(0.05),
+        }
+    }
+}
+
+/// Result metadata of a hybrid run (which sweep switched strategies).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HybridReport {
+    /// Total sweeps executed.
+    pub iterations: usize,
+    /// Sweep index (0-based) at which the branch-based kernel took over;
+    /// `None` if the run converged before switching.
+    pub switched_at: Option<usize>,
+}
+
+/// Runs the hybrid kernel and returns the labels.
+pub fn sv_hybrid(graph: &CsrGraph, config: HybridConfig) -> ComponentLabels {
+    sv_hybrid_with_report(graph, config).0
+}
+
+/// Runs the hybrid kernel, also reporting when the switch happened.
+pub fn sv_hybrid_with_report(
+    graph: &CsrGraph,
+    config: HybridConfig,
+) -> (ComponentLabels, HybridReport) {
+    let n = graph.num_vertices();
+    let mut ccid: Vec<u32> = (0..n as u32).collect();
+    let mut iterations = 0usize;
+    let mut switched_at: Option<usize> = None;
+    let mut use_branch_based = false;
+    let mut change = true;
+
+    while change {
+        change = false;
+        let mut changed_vertices = 0u64;
+
+        if use_branch_based {
+            for v in 0..n as u32 {
+                let mut cv = ccid[v as usize];
+                let before = cv;
+                for &u in graph.neighbors(v) {
+                    let cu = ccid[u as usize];
+                    if cu < cv {
+                        cv = cu;
+                        ccid[v as usize] = cu;
+                        change = true;
+                    }
+                }
+                changed_vertices += (cv != before) as u64;
+            }
+        } else {
+            let mut change_bits = 0u32;
+            for v in 0..n as u32 {
+                let cv_init = ccid[v as usize];
+                let mut cv = cv_init;
+                for &u in graph.neighbors(v) {
+                    cv = branchless_min_u32(ccid[u as usize], cv);
+                }
+                ccid[v as usize] = cv;
+                change_bits |= cv ^ cv_init;
+                changed_vertices += (cv != cv_init) as u64;
+            }
+            change = change_bits != 0;
+        }
+
+        iterations += 1;
+
+        if !use_branch_based && switched_at.is_none() {
+            let should_switch = match config.policy {
+                SwitchPolicy::FixedIteration(k) => iterations >= k,
+                SwitchPolicy::ChangeFractionBelow(threshold) => {
+                    n > 0 && (changed_vertices as f64 / n as f64) < threshold
+                }
+            };
+            if should_switch && change {
+                use_branch_based = true;
+                switched_at = Some(iterations);
+            }
+        }
+    }
+
+    (
+        ComponentLabels::new(ccid),
+        HybridReport {
+            iterations,
+            switched_at,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bga_graph::generators::{barabasi_albert, grid_2d, path_graph, MeshStencil};
+    use bga_graph::properties::connected_components_union_find;
+
+    #[test]
+    fn hybrid_is_correct_under_both_policies() {
+        let graphs = vec![
+            path_graph(60),
+            grid_2d(12, 12, MeshStencil::Moore),
+            barabasi_albert(300, 2, 2),
+        ];
+        let configs = vec![
+            HybridConfig::default(),
+            HybridConfig {
+                policy: SwitchPolicy::FixedIteration(1),
+            },
+            HybridConfig {
+                policy: SwitchPolicy::FixedIteration(1000),
+            },
+            HybridConfig {
+                policy: SwitchPolicy::ChangeFractionBelow(1.1),
+            },
+        ];
+        for g in &graphs {
+            let expected = connected_components_union_find(g);
+            for &cfg in &configs {
+                assert_eq!(sv_hybrid(g, cfg).canonical(), expected, "{cfg:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_iteration_policy_switches_at_the_requested_sweep() {
+        // A randomly relabelled path needs many sweeps to converge (the
+        // identity-labelled path collapses in one because every vertex has a
+        // lower-numbered neighbour towards vertex 0), so the switch point is
+        // actually reached.
+        let g = bga_graph::transform::relabel_random(&path_graph(200), 3);
+        let (_, report) = sv_hybrid_with_report(
+            &g,
+            HybridConfig {
+                policy: SwitchPolicy::FixedIteration(2),
+            },
+        );
+        assert_eq!(report.switched_at, Some(2));
+        assert!(report.iterations > 2, "a long path needs many more sweeps");
+    }
+
+    #[test]
+    fn no_switch_when_convergence_comes_first() {
+        // A star graph converges in a couple of sweeps, before the fixed
+        // switch point is reached.
+        let g = bga_graph::generators::star_graph(50);
+        let (_, report) = sv_hybrid_with_report(
+            &g,
+            HybridConfig {
+                policy: SwitchPolicy::FixedIteration(10),
+            },
+        );
+        assert_eq!(report.switched_at, None);
+        assert!(report.iterations <= 3);
+    }
+
+    #[test]
+    fn change_fraction_policy_switches_when_labels_stabilize() {
+        // A high threshold forces an immediate switch after the first sweep
+        // on a graph that still has work to do.
+        let g = path_graph(200);
+        let (_, report) = sv_hybrid_with_report(
+            &g,
+            HybridConfig {
+                policy: SwitchPolicy::ChangeFractionBelow(2.0),
+            },
+        );
+        assert_eq!(report.switched_at, Some(1));
+    }
+}

@@ -1,0 +1,171 @@
+//! Per-iteration / per-level instrumentation results.
+//!
+//! The paper's Figures 3-8 plot time, branches and mispredictions *per SV
+//! iteration* and *per BFS level*. The instrumented kernels return one
+//! [`StepCounters`] per iteration/level; these helpers aggregate and ratio
+//! them the same way the figures do (each point normalized to the fastest
+//! iteration of the branch-based run).
+
+use bga_branchsim::PerfCounters;
+
+/// Counters attributed to one algorithm step (one SV iteration or one BFS
+/// level), plus workload metadata needed to normalize per edge.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StepCounters {
+    /// 0-based iteration (SV) or level (BFS) index.
+    pub step: usize,
+    /// Exact event counts for this step only.
+    pub counters: PerfCounters,
+    /// Number of edge traversals performed in this step (inner-loop trips).
+    pub edges_traversed: u64,
+    /// Number of vertices processed (outer-loop trips for SV, frontier size
+    /// for BFS).
+    pub vertices_processed: u64,
+    /// Number of label updates (SV) or newly discovered vertices (BFS).
+    pub updates: u64,
+}
+
+/// Full result of an instrumented run: the per-step series plus totals.
+#[derive(Clone, Debug, Default)]
+pub struct RunCounters {
+    /// One entry per SV iteration / BFS level, in execution order.
+    pub steps: Vec<StepCounters>,
+}
+
+impl RunCounters {
+    /// Sum of the counters over every step.
+    pub fn total(&self) -> PerfCounters {
+        self.steps
+            .iter()
+            .fold(PerfCounters::zero(), |acc, s| acc + s.counters)
+    }
+
+    /// Total edge traversals across all steps.
+    pub fn total_edges_traversed(&self) -> u64 {
+        self.steps.iter().map(|s| s.edges_traversed).sum()
+    }
+
+    /// Number of steps (SV iterations / BFS levels).
+    pub fn num_steps(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Extracts one per-step metric as a series, e.g. for plotting.
+    pub fn series<F: Fn(&StepCounters) -> f64>(&self, f: F) -> Vec<f64> {
+        self.steps.iter().map(f).collect()
+    }
+
+    /// The paper's normalization: each step's `metric` divided by the
+    /// *minimum* of that metric over the steps of `baseline`. Returns an
+    /// empty vector if the baseline minimum is zero or the baseline is
+    /// empty.
+    pub fn ratio_to_baseline_min<F>(&self, baseline: &RunCounters, metric: F) -> Vec<f64>
+    where
+        F: Fn(&StepCounters) -> f64,
+    {
+        let baseline_min = baseline
+            .steps
+            .iter()
+            .map(&metric)
+            .fold(f64::INFINITY, f64::min);
+        if !baseline_min.is_finite() || baseline_min <= 0.0 {
+            return Vec::new();
+        }
+        self.steps.iter().map(|s| metric(s) / baseline_min).collect()
+    }
+}
+
+/// Overall speedup of `candidate` over `reference` for a given total metric
+/// (`reference / candidate`, so values above 1 mean the candidate is
+/// better). Returns `None` when the candidate total is zero.
+pub fn speedup<F>(reference: &RunCounters, candidate: &RunCounters, metric: F) -> Option<f64>
+where
+    F: Fn(&PerfCounters) -> f64,
+{
+    let r = metric(&reference.total());
+    let c = metric(&candidate.total());
+    if c == 0.0 {
+        None
+    } else {
+        Some(r / c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step(step: usize, instructions: u64, mispredictions: u64) -> StepCounters {
+        StepCounters {
+            step,
+            counters: PerfCounters {
+                instructions,
+                branches: instructions / 2,
+                branch_mispredictions: mispredictions,
+                loads: instructions / 3,
+                stores: instructions / 10,
+                conditional_moves: 0,
+            },
+            edges_traversed: instructions,
+            vertices_processed: instructions / 4,
+            updates: mispredictions,
+        }
+    }
+
+    fn run(values: &[(u64, u64)]) -> RunCounters {
+        RunCounters {
+            steps: values
+                .iter()
+                .enumerate()
+                .map(|(i, &(ins, mis))| step(i, ins, mis))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn totals_aggregate_every_step() {
+        let r = run(&[(100, 10), (50, 5), (25, 1)]);
+        let t = r.total();
+        assert_eq!(t.instructions, 175);
+        assert_eq!(t.branch_mispredictions, 16);
+        assert_eq!(r.total_edges_traversed(), 175);
+        assert_eq!(r.num_steps(), 3);
+    }
+
+    #[test]
+    fn series_extracts_metric_in_order() {
+        let r = run(&[(10, 1), (20, 2), (30, 3)]);
+        assert_eq!(r.series(|s| s.counters.instructions as f64), vec![10.0, 20.0, 30.0]);
+    }
+
+    #[test]
+    fn ratio_normalizes_to_baseline_minimum() {
+        let baseline = run(&[(40, 0), (20, 0), (80, 0)]);
+        let candidate = run(&[(60, 0), (10, 0)]);
+        let ratios =
+            candidate.ratio_to_baseline_min(&baseline, |s| s.counters.instructions as f64);
+        assert_eq!(ratios, vec![3.0, 0.5]);
+        // Figure 3 style: the baseline normalized to itself has minimum 1.0.
+        let self_ratios =
+            baseline.ratio_to_baseline_min(&baseline, |s| s.counters.instructions as f64);
+        assert_eq!(self_ratios.iter().cloned().fold(f64::INFINITY, f64::min), 1.0);
+    }
+
+    #[test]
+    fn ratio_handles_degenerate_baselines() {
+        let empty = RunCounters::default();
+        let candidate = run(&[(10, 0)]);
+        assert!(candidate
+            .ratio_to_baseline_min(&empty, |s| s.counters.instructions as f64)
+            .is_empty());
+    }
+
+    #[test]
+    fn speedup_is_reference_over_candidate() {
+        let slow = run(&[(200, 0)]);
+        let fast = run(&[(100, 0)]);
+        let s = speedup(&slow, &fast, |c| c.instructions as f64).unwrap();
+        assert_eq!(s, 2.0);
+        assert!(speedup(&slow, &RunCounters::default(), |c| c.instructions as f64).is_none());
+    }
+}

@@ -1,0 +1,130 @@
+//! Analytical misprediction bounds (paper Sections 4.1 and 5.1, Figure 9).
+//!
+//! Both bounds assume the 2-bit predictor model of Section 3 with unbounded
+//! per-branch state.
+//!
+//! **Shiloach-Vishkin** (Section 4.1). Per sweep, the inner neighbour loop is
+//! a repeated loop executed once per vertex, contributing ≈ 1 miss per
+//! vertex (Corollary 1); the outer vertex loop contributes ≈ 1 miss per
+//! sweep; the `while` termination test contributes O(1) over the whole run.
+//! The data-dependent `if` contributes nothing in the best case, so the
+//! lower bound over a run of `d` sweeps is ≈ `d·(|V| + 1) + O(1)`.
+//!
+//! **BFS** (Section 5.1). The neighbour loop is executed once per vertex
+//! found, contributing ≈ |V̂| misses; the `while` loop contributes O(1); the
+//! visited test contributes between 0 and ≈ 2·|V̂| (worst case: the predictor
+//! oscillates between the weak states). Hence lower bound ≈ |V̂| + O(1) and
+//! upper bound ≈ 3·|V̂| + O(1).
+
+/// Small additive constant standing in for the O(1) terms of both bounds
+/// (the `while` loop warm-up of Lemmas 1-2).
+pub const O1_SLACK: u64 = 3;
+
+/// Lower bound on total branch mispredictions of a Shiloach-Vishkin run with
+/// `iterations` sweeps over `num_vertices` vertices.
+pub fn sv_misprediction_lower_bound(num_vertices: usize, iterations: usize) -> u64 {
+    (iterations as u64) * (num_vertices as u64 + 1) + O1_SLACK
+}
+
+/// Lower bound on total branch mispredictions of a top-down BFS that reached
+/// `vertices_found` vertices (|V̂| in the paper's notation, including the
+/// root).
+pub fn bfs_misprediction_lower_bound(vertices_found: usize) -> u64 {
+    vertices_found as u64 + O1_SLACK
+}
+
+/// Upper bound on total branch mispredictions of a *branch-based* top-down
+/// BFS: three misses per vertex found (neighbour-loop exit, plus up to two
+/// for the oscillating visited test), plus O(1).
+pub fn bfs_misprediction_upper_bound(vertices_found: usize) -> u64 {
+    3 * vertices_found as u64 + O1_SLACK
+}
+
+/// Ratio of a measured misprediction count to a bound, the quantity the bars
+/// of Figure 9 plot (the lower-bound line sits at y = 1). Returns 0 when the
+/// bound is 0.
+pub fn ratio_to_bound(measured: u64, bound: u64) -> f64 {
+    if bound == 0 {
+        0.0
+    } else {
+        measured as f64 / bound as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bga_graph::generators::{barabasi_albert, grid_2d, MeshStencil};
+    use bga_graph::transform::relabel_random;
+    use bga_kernels::bfs::{bfs_branch_avoiding_instrumented, bfs_branch_based_instrumented};
+    use bga_kernels::cc::{sv_branch_avoiding_instrumented, sv_branch_based_instrumented};
+
+    fn test_graphs() -> Vec<bga_graph::CsrGraph> {
+        vec![
+            relabel_random(&grid_2d(16, 16, MeshStencil::Moore), 1),
+            barabasi_albert(600, 3, 2),
+        ]
+    }
+
+    #[test]
+    fn bounds_grow_with_workload() {
+        assert!(sv_misprediction_lower_bound(100, 5) > sv_misprediction_lower_bound(100, 4));
+        assert!(sv_misprediction_lower_bound(200, 5) > sv_misprediction_lower_bound(100, 5));
+        assert!(bfs_misprediction_upper_bound(50) >= 3 * bfs_misprediction_lower_bound(50) - 2 * O1_SLACK);
+    }
+
+    #[test]
+    fn sv_branch_avoiding_sits_near_the_lower_bound() {
+        // Figure 9a: the branch-avoiding algorithm is near the lower bound
+        // (ratio ~1) while the branch-based one is well above it.
+        for g in test_graphs() {
+            let avoiding = sv_branch_avoiding_instrumented(&g);
+            let based = sv_branch_based_instrumented(&g);
+            let bound = sv_misprediction_lower_bound(g.num_vertices(), avoiding.iterations());
+            let ratio_avoiding =
+                ratio_to_bound(avoiding.counters.total().branch_mispredictions, bound);
+            let ratio_based = ratio_to_bound(based.counters.total().branch_mispredictions, bound);
+            assert!(
+                (0.5..=1.3).contains(&ratio_avoiding),
+                "branch-avoiding ratio {ratio_avoiding} should hug the bound"
+            );
+            assert!(
+                ratio_based > ratio_avoiding,
+                "branch-based must sit above branch-avoiding: {ratio_based} vs {ratio_avoiding}"
+            );
+        }
+    }
+
+    #[test]
+    fn bfs_mispredictions_respect_both_bounds() {
+        // Figure 9b: branch-avoiding near the lower bound; branch-based
+        // between the lower bound and 3x.
+        for g in test_graphs() {
+            let avoiding = bfs_branch_avoiding_instrumented(&g, 0);
+            let based = bfs_branch_based_instrumented(&g, 0);
+            let found = avoiding.result.reached_count();
+            let lower = bfs_misprediction_lower_bound(found);
+            let upper = bfs_misprediction_upper_bound(found);
+
+            let m_avoiding = avoiding.counters.total().branch_mispredictions;
+            let m_based = based.counters.total().branch_mispredictions;
+
+            let ratio_avoiding = ratio_to_bound(m_avoiding, lower);
+            assert!(
+                (0.5..=1.3).contains(&ratio_avoiding),
+                "branch-avoiding BFS ratio {ratio_avoiding} should hug the bound"
+            );
+            assert!(m_based >= m_avoiding);
+            assert!(
+                m_based <= upper,
+                "branch-based BFS mispredictions {m_based} exceed the 3x upper bound {upper}"
+            );
+        }
+    }
+
+    #[test]
+    fn ratio_handles_zero_bound() {
+        assert_eq!(ratio_to_bound(10, 0), 0.0);
+        assert_eq!(ratio_to_bound(6, 3), 2.0);
+    }
+}

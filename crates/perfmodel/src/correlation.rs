@@ -1,0 +1,220 @@
+//! Correlation analysis for Figure 10.
+//!
+//! The paper correlates, per edge traversal, the six quantities time (T),
+//! instructions (I), branches (B), mispredictions (M), loads (L) and stores
+//! (S) across every iteration/level of every graph, and reports pairwise
+//! Pearson correlation coefficients. The headline observations:
+//!
+//! * for SV, mispredictions correlate with time more strongly than loads or
+//!   stores do;
+//! * for BFS, stores correlate with time at least as strongly as
+//!   mispredictions do.
+
+use bga_branchsim::MachineModel;
+use bga_kernels::stats::RunCounters;
+
+/// Index of each metric in a Figure-10 sample vector.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Metric {
+    /// Modelled time (cycles) per edge.
+    Time = 0,
+    /// Instructions per edge.
+    Instructions = 1,
+    /// Branches per edge.
+    Branches = 2,
+    /// Branch mispredictions per edge.
+    Mispredictions = 3,
+    /// Loads per edge.
+    Loads = 4,
+    /// Stores per edge.
+    Stores = 5,
+}
+
+impl Metric {
+    /// All six metrics in figure order.
+    pub const ALL: [Metric; 6] = [
+        Metric::Time,
+        Metric::Instructions,
+        Metric::Branches,
+        Metric::Mispredictions,
+        Metric::Loads,
+        Metric::Stores,
+    ];
+
+    /// One-letter label used in the figure ("T", "I", "B", "M", "L", "S").
+    pub fn label(self) -> &'static str {
+        match self {
+            Metric::Time => "T",
+            Metric::Instructions => "I",
+            Metric::Branches => "B",
+            Metric::Mispredictions => "M",
+            Metric::Loads => "L",
+            Metric::Stores => "S",
+        }
+    }
+}
+
+/// One sample: the six per-edge metrics of one SV iteration or BFS level.
+pub type Sample = [f64; 6];
+
+/// Pearson correlation coefficient of two equal-length series. Returns
+/// `None` when either series has zero variance or fewer than two points.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return None;
+    }
+    let n = xs.len() as f64;
+    let mean_x = xs.iter().sum::<f64>() / n;
+    let mean_y = ys.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut var_x = 0.0;
+    let mut var_y = 0.0;
+    for (&x, &y) in xs.iter().zip(ys.iter()) {
+        cov += (x - mean_x) * (y - mean_y);
+        var_x += (x - mean_x) * (x - mean_x);
+        var_y += (y - mean_y) * (y - mean_y);
+    }
+    if var_x == 0.0 || var_y == 0.0 {
+        return None;
+    }
+    Some(cov / (var_x.sqrt() * var_y.sqrt()))
+}
+
+/// Extracts one Figure-10 sample per step of `run`, modelling time on
+/// `machine` and normalizing every metric by the edges traversed in that
+/// step. Steps that traversed no edges are skipped.
+pub fn samples_per_edge(run: &RunCounters, machine: &MachineModel) -> Vec<Sample> {
+    run.steps
+        .iter()
+        .filter(|s| s.edges_traversed > 0)
+        .map(|s| {
+            let e = s.edges_traversed as f64;
+            [
+                machine.modeled_cycles(&s.counters) / e,
+                s.counters.instructions as f64 / e,
+                s.counters.branches as f64 / e,
+                s.counters.branch_mispredictions as f64 / e,
+                s.counters.loads as f64 / e,
+                s.counters.stores as f64 / e,
+            ]
+        })
+        .collect()
+}
+
+/// Full 6x6 Pearson correlation matrix over a set of samples. Entries whose
+/// correlation is undefined (zero variance) are reported as `NaN`; the
+/// diagonal is 1.
+pub fn correlation_matrix(samples: &[Sample]) -> [[f64; 6]; 6] {
+    let mut matrix = [[f64::NAN; 6]; 6];
+    for i in 0..6 {
+        matrix[i][i] = 1.0;
+        for j in (i + 1)..6 {
+            let xs: Vec<f64> = samples.iter().map(|s| s[i]).collect();
+            let ys: Vec<f64> = samples.iter().map(|s| s[j]).collect();
+            let r = pearson(&xs, &ys).unwrap_or(f64::NAN);
+            matrix[i][j] = r;
+            matrix[j][i] = r;
+        }
+    }
+    matrix
+}
+
+/// Correlation of each metric against time, in metric order — the first row
+/// of the Figure-10 grid, which carries the paper's conclusions.
+pub fn correlation_with_time(samples: &[Sample]) -> [f64; 6] {
+    let matrix = correlation_matrix(samples);
+    matrix[Metric::Time as usize]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bga_branchsim::machine_model::haswell;
+    use bga_graph::generators::{barabasi_albert, grid_2d, MeshStencil};
+    use bga_graph::transform::relabel_random;
+    use bga_kernels::bfs::bfs_branch_based_instrumented;
+    use bga_kernels::cc::sv_branch_based_instrumented;
+
+    #[test]
+    fn pearson_basics() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+        let neg = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&xs, &neg).unwrap() + 1.0).abs() < 1e-12);
+        assert!(pearson(&xs, &[1.0, 1.0, 1.0, 1.0]).is_none());
+        assert!(pearson(&xs, &ys[..3]).is_none());
+        assert!(pearson(&[1.0], &[2.0]).is_none());
+    }
+
+    #[test]
+    fn matrix_is_symmetric_with_unit_diagonal() {
+        let samples: Vec<Sample> = (0..20)
+            .map(|i| {
+                let x = i as f64;
+                [x, 2.0 * x, x * x, (20.0 - x), x.sqrt(), 1.0 + x]
+            })
+            .collect();
+        let m = correlation_matrix(&samples);
+        for i in 0..6 {
+            assert_eq!(m[i][i], 1.0);
+            for j in 0..6 {
+                assert!((m[i][j] - m[j][i]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn metric_labels_are_the_figure_letters() {
+        let labels: Vec<_> = Metric::ALL.iter().map(|m| m.label()).collect();
+        assert_eq!(labels, vec!["T", "I", "B", "M", "L", "S"]);
+    }
+
+    #[test]
+    fn sv_mispredictions_correlate_with_time_more_than_memory_traffic() {
+        // The paper's SV headline (Figure 10a): M correlates with T more
+        // strongly than L or S do. Pool per-iteration samples from several
+        // graphs, as the paper pools graphs and platforms.
+        let machine = haswell();
+        let mut samples = Vec::new();
+        for (i, g) in [
+            relabel_random(&grid_2d(20, 20, MeshStencil::Moore), 1),
+            barabasi_albert(800, 3, 2),
+            relabel_random(&grid_2d(30, 10, MeshStencil::VonNeumann), 3),
+        ]
+        .iter()
+        .enumerate()
+        {
+            let run = sv_branch_based_instrumented(g);
+            samples.extend(samples_per_edge(&run.counters, &machine));
+            assert!(!samples.is_empty(), "graph {i} produced no samples");
+        }
+        let with_time = correlation_with_time(&samples);
+        let m = with_time[Metric::Mispredictions as usize];
+        let l = with_time[Metric::Loads as usize];
+        let s = with_time[Metric::Stores as usize];
+        assert!(
+            m > l.abs() - 0.2 && m > 0.5,
+            "mispredictions should correlate strongly with time: M={m}, L={l}, S={s}"
+        );
+    }
+
+    #[test]
+    fn bfs_stores_correlate_with_time_at_least_as_much_as_loads() {
+        let machine = haswell();
+        let mut samples = Vec::new();
+        for g in [
+            relabel_random(&grid_2d(20, 20, MeshStencil::Moore), 4),
+            barabasi_albert(800, 3, 5),
+        ] {
+            let run = bfs_branch_based_instrumented(&g, 0);
+            samples.extend(samples_per_edge(&run.counters, &machine));
+        }
+        let with_time = correlation_with_time(&samples);
+        let s = with_time[Metric::Stores as usize];
+        assert!(
+            s > 0.3,
+            "per-edge stores should be positively correlated with time in BFS, got {s}"
+        );
+    }
+}

@@ -1,0 +1,72 @@
+//! Small summary-statistics helpers used by the experiment harnesses when
+//! printing tables (means, geometric means, extrema).
+
+/// Arithmetic mean; `None` for an empty slice.
+pub fn mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        None
+    } else {
+        Some(values.iter().sum::<f64>() / values.len() as f64)
+    }
+}
+
+/// Geometric mean of strictly positive values; `None` if the slice is empty
+/// or contains a non-positive value. The natural aggregate for speedup
+/// ratios.
+pub fn geometric_mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() || values.iter().any(|&v| v <= 0.0) {
+        return None;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    Some((log_sum / values.len() as f64).exp())
+}
+
+/// Minimum; `None` for an empty slice.
+pub fn min(values: &[f64]) -> Option<f64> {
+    values.iter().copied().fold(None, |acc, x| {
+        Some(acc.map_or(x, |a: f64| a.min(x)))
+    })
+}
+
+/// Maximum; `None` for an empty slice.
+pub fn max(values: &[f64]) -> Option<f64> {
+    values.iter().copied().fold(None, |acc, x| {
+        Some(acc.map_or(x, |a: f64| a.max(x)))
+    })
+}
+
+/// Population standard deviation; `None` for fewer than one value.
+pub fn std_dev(values: &[f64]) -> Option<f64> {
+    let m = mean(values)?;
+    let var = values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / values.len() as f64;
+    Some(var.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), Some(2.0));
+        assert_eq!(mean(&[]), None);
+        assert!((std_dev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geometric_mean_of_ratios() {
+        let g = geometric_mean(&[2.0, 0.5]).unwrap();
+        assert!((g - 1.0).abs() < 1e-12);
+        assert_eq!(geometric_mean(&[]), None);
+        assert_eq!(geometric_mean(&[1.0, 0.0]), None);
+        assert_eq!(geometric_mean(&[1.0, -2.0]), None);
+    }
+
+    #[test]
+    fn extrema() {
+        assert_eq!(min(&[3.0, 1.0, 2.0]), Some(1.0));
+        assert_eq!(max(&[3.0, 1.0, 2.0]), Some(3.0));
+        assert_eq!(min(&[]), None);
+        assert_eq!(max(&[]), None);
+    }
+}

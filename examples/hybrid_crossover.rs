@@ -1,0 +1,72 @@
+//! Crossover study: where does the branch-based SV overtake the
+//! branch-avoiding SV, and how much does the hybrid recover?
+//!
+//! The paper (Section 6.2) observes a *single* crossover iteration per
+//! (graph, platform) pair and suggests a hybrid algorithm. This example
+//! locates the crossover on each Table-1 machine model for one graph and
+//! compares pure and hybrid strategies in modelled cycles.
+//!
+//! Run with: `cargo run --release --example hybrid_crossover`
+
+use branch_avoiding_graphs::graph::transform::relabel_random;
+use branch_avoiding_graphs::prelude::*;
+
+fn main() {
+    let mesh = generators::grid_3d(20, 20, 20, generators::MeshStencil::Moore);
+    let graph = relabel_random(&mesh, 3);
+    println!(
+        "graph: {} vertices, {} edges",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+
+    let based = sv_branch_based_instrumented(&graph);
+    let avoiding = sv_branch_avoiding_instrumented(&graph);
+    println!("SV sweeps to convergence: {}", based.iterations());
+
+    println!(
+        "\n{:<12} {:>10} {:>16} {:>16} {:>14} {:>12}",
+        "machine", "crossover", "based Mcycles", "avoiding Mcycles", "best hybrid", "hybrid wins"
+    );
+    for machine in all_machine_models() {
+        let t_based = time_run(&based.counters, &machine).step_cycles;
+        let t_avoiding = time_run(&avoiding.counters, &machine).step_cycles;
+
+        // The crossover: first sweep where the branch-based variant becomes
+        // at least as fast as the branch-avoiding one (if any).
+        let crossover = t_based
+            .iter()
+            .zip(t_avoiding.iter())
+            .position(|(b, a)| b <= a);
+
+        let total_based: f64 = t_based.iter().sum();
+        let total_avoiding: f64 = t_avoiding.iter().sum();
+        // Hybrid cost for every possible switch point; keep the best.
+        let sweeps = t_based.len();
+        let mut best = f64::INFINITY;
+        let mut best_switch = 0;
+        for k in 0..=sweeps {
+            let cost: f64 = t_avoiding.iter().take(k).sum::<f64>()
+                + t_based.iter().skip(k).sum::<f64>();
+            if cost < best {
+                best = cost;
+                best_switch = k;
+            }
+        }
+        let wins = best < total_based.min(total_avoiding);
+        println!(
+            "{:<12} {:>10} {:>16.2} {:>16.2} {:>14.2} {:>12}",
+            machine.name,
+            crossover.map(|c| (c + 1).to_string()).unwrap_or_else(|| "none".to_string()),
+            total_based / 1e6,
+            total_avoiding / 1e6,
+            best / 1e6,
+            if wins {
+                format!("yes (switch at {best_switch})")
+            } else {
+                "no".to_string()
+            }
+        );
+    }
+    println!("\n(the hybrid is never worse than the better pure variant by construction)");
+}

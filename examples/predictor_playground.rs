@@ -1,0 +1,96 @@
+//! Predictor playground: drive every branch-predictor model with the branch
+//! stream of a real kernel and with synthetic patterns, and compare their
+//! misprediction counts against the paper's 2-bit analytical model.
+//!
+//! Run with: `cargo run --release --example predictor_playground`
+
+use branch_avoiding_graphs::branchsim::loop_model::simulate_simple_loop;
+use branch_avoiding_graphs::branchsim::markov::steady_state_miss_rate;
+use branch_avoiding_graphs::branchsim::predictor::all_predictors;
+use branch_avoiding_graphs::branchsim::{BranchSite, BranchTrace, TwoBitState};
+use branch_avoiding_graphs::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const LOOP: BranchSite = BranchSite::new(0, "playground.loop");
+const DATA: BranchSite = BranchSite::new(1, "playground.data");
+
+fn main() {
+    // --- Synthetic traces --------------------------------------------------
+    println!("=== synthetic branch patterns (100k branches each) ===");
+    let patterns: Vec<(&str, BranchTrace)> = vec![
+        ("monotone loop (trip count 100)", loop_trace(100, 1_000)),
+        ("short loop (trip count 2)", loop_trace(2, 33_000)),
+        ("random 50% taken", bernoulli_trace(0.5, 100_000)),
+        ("random 10% taken", bernoulli_trace(0.1, 100_000)),
+        ("alternating T/N", alternating_trace(100_000)),
+    ];
+    for (name, trace) in &patterns {
+        println!("\npattern: {name} ({} branches)", trace.len());
+        let mut predictors = all_predictors();
+        for (model, misses) in trace.replay_all(&mut predictors) {
+            println!(
+                "  {:<18} {:>8} misses ({:.2}%)",
+                model,
+                misses,
+                100.0 * misses as f64 / trace.len() as f64
+            );
+        }
+    }
+
+    // --- Analytical models --------------------------------------------------
+    println!("\n=== paper Section 3 analytical checks ===");
+    for n in [0u64, 1, 2, 3, 10, 1000] {
+        let worst = simulate_simple_loop(TwoBitState::StronglyNotTaken, n).mispredictions;
+        let best = simulate_simple_loop(TwoBitState::StronglyTaken, n).mispredictions;
+        println!("simple loop, n = {n:>4}: between {best} and {worst} mispredictions (Lemmas 2/4/5/6)");
+    }
+    for p in [0.1, 0.3, 0.5, 0.9] {
+        println!(
+            "i.i.d. branch taken with p = {p}: steady-state 2-bit miss rate = {:.3}",
+            steady_state_miss_rate(p)
+        );
+    }
+
+    // --- A real kernel's data-dependent branch ------------------------------
+    println!("\n=== the SV 'if' branch on a real graph ===");
+    let graph = generators::barabasi_albert(5_000, 3, 11);
+    let based = sv_branch_based_instrumented(&graph);
+    for step in based.counters.steps.iter() {
+        println!(
+            "sweep {:>2}: {:>8} branches, {:>7} mispredictions ({:.2}%)",
+            step.step + 1,
+            step.counters.branches,
+            step.counters.branch_mispredictions,
+            100.0 * step.counters.misprediction_rate()
+        );
+    }
+}
+
+fn loop_trace(trip_count: usize, repetitions: usize) -> BranchTrace {
+    let mut trace = BranchTrace::new();
+    for _ in 0..repetitions {
+        for _ in 0..trip_count {
+            trace.record(LOOP, true);
+        }
+        trace.record(LOOP, false);
+    }
+    trace
+}
+
+fn bernoulli_trace(p: f64, events: usize) -> BranchTrace {
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut trace = BranchTrace::new();
+    for _ in 0..events {
+        trace.record(DATA, rng.gen::<f64>() < p);
+    }
+    trace
+}
+
+fn alternating_trace(events: usize) -> BranchTrace {
+    let mut trace = BranchTrace::new();
+    for i in 0..events {
+        trace.record(DATA, i % 2 == 0);
+    }
+    trace
+}

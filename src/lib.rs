@@ -1,0 +1,58 @@
+//! # branch-avoiding-graphs
+//!
+//! Umbrella crate for the reproduction of **"Branch-Avoiding Graph
+//! Algorithms"** (Green, Dukhan, Vuduc — SPAA 2015). It re-exports the four
+//! library crates of the workspace so applications can depend on a single
+//! crate:
+//!
+//! * [`graph`] ([`bga_graph`]) — CSR graphs, generators, I/O, the Table-2
+//!   benchmark suite.
+//! * [`branchsim`] ([`bga_branchsim`]) — branch-predictor simulators, the
+//!   instrumented execution machine and the Table-1 machine cost models.
+//! * [`kernels`] ([`bga_kernels`]) — branch-based and branch-avoiding
+//!   Shiloach-Vishkin connected components and top-down BFS, baselines,
+//!   extensions and instrumented variants.
+//! * [`perfmodel`] ([`bga_perfmodel`]) — misprediction bounds, modelled-time
+//!   conversion and correlation analysis.
+//!
+//! ```
+//! use branch_avoiding_graphs::prelude::*;
+//!
+//! // Build a graph, run both SV variants, compare their branch behaviour.
+//! let graph = generators::grid_2d(20, 20, generators::MeshStencil::Moore);
+//! let based = sv_branch_based_instrumented(&graph);
+//! let avoiding = sv_branch_avoiding_instrumented(&graph);
+//! assert!(based.labels.same_partition(&avoiding.labels));
+//! assert!(
+//!     based.counters.total().branch_mispredictions
+//!         >= avoiding.counters.total().branch_mispredictions
+//! );
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub use bga_branchsim as branchsim;
+pub use bga_graph as graph;
+pub use bga_kernels as kernels;
+pub use bga_perfmodel as perfmodel;
+
+/// Convenient re-exports of the items most applications need.
+pub mod prelude {
+    pub use bga_branchsim::{
+        all_machine_models, BranchSite, ExecMachine, MachineModel, PerfCounters, TwoBitPredictor,
+    };
+    pub use bga_graph::generators;
+    pub use bga_graph::properties;
+    pub use bga_graph::suite::{benchmark_suite, SuiteGraphId, SuiteScale};
+    pub use bga_graph::{CsrGraph, GraphBuilder, VertexId};
+    pub use bga_kernels::bfs::{
+        bfs_branch_avoiding, bfs_branch_avoiding_instrumented, bfs_branch_based,
+        bfs_branch_based_instrumented, BfsResult,
+    };
+    pub use bga_kernels::cc::{
+        sv_branch_avoiding, sv_branch_avoiding_instrumented, sv_branch_based,
+        sv_branch_based_instrumented, sv_hybrid, ComponentLabels, HybridConfig,
+    };
+    pub use bga_perfmodel::timing::{modeled_speedup, time_run};
+}

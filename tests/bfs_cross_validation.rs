@@ -1,0 +1,113 @@
+//! Integration tests: every BFS variant agrees with the reference queue BFS
+//! across graph families and random roots, including property-based cases.
+
+use branch_avoiding_graphs::graph::generators::{
+    barabasi_albert, erdos_renyi_gnm, grid_2d, grid_3d, path_graph, star_graph, MeshStencil,
+};
+use branch_avoiding_graphs::graph::properties::bfs_distances_reference;
+use branch_avoiding_graphs::graph::transform::relabel_random;
+use branch_avoiding_graphs::kernels::bfs::{
+    bfs_branch_avoiding, bfs_branch_avoiding_instrumented, bfs_branch_based,
+    bfs_branch_based_instrumented,
+    bottom_up::bfs_bottom_up,
+    direction_optimizing::{bfs_direction_optimizing, DirectionConfig},
+    frontier::check_bfs_invariants,
+};
+use proptest::prelude::*;
+
+fn assert_all_variants_agree(graph: &branch_avoiding_graphs::graph::CsrGraph, root: u32) {
+    let expected = bfs_distances_reference(graph, root);
+    assert_eq!(bfs_branch_based(graph, root).distances(), &expected[..]);
+    assert_eq!(bfs_branch_avoiding(graph, root).distances(), &expected[..]);
+    assert_eq!(bfs_bottom_up(graph, root).distances(), &expected[..]);
+    assert_eq!(
+        bfs_direction_optimizing(graph, root, DirectionConfig::default()).distances(),
+        &expected[..]
+    );
+    assert_eq!(
+        bfs_branch_based_instrumented(graph, root).result.distances(),
+        &expected[..]
+    );
+    assert_eq!(
+        bfs_branch_avoiding_instrumented(graph, root).result.distances(),
+        &expected[..]
+    );
+}
+
+#[test]
+fn structured_families_cross_validate() {
+    let graphs = vec![
+        path_graph(200),
+        star_graph(100),
+        grid_2d(17, 23, MeshStencil::Moore),
+        relabel_random(&grid_3d(9, 9, 9, MeshStencil::VonNeumann), 5),
+        barabasi_albert(800, 3, 6),
+    ];
+    for g in &graphs {
+        for root in [0u32, (g.num_vertices() / 2) as u32] {
+            assert_all_variants_agree(g, root);
+        }
+    }
+}
+
+#[test]
+fn bfs_invariants_hold_for_both_paper_variants() {
+    let g = relabel_random(&grid_2d(20, 20, MeshStencil::Moore), 8);
+    for root in [0u32, 123, 399] {
+        let based = bfs_branch_based(&g, root);
+        let avoiding = bfs_branch_avoiding(&g, root);
+        assert!(check_bfs_invariants(&g, root, &based).is_ok());
+        assert!(check_bfs_invariants(&g, root, &avoiding).is_ok());
+    }
+}
+
+#[test]
+fn per_level_counters_cover_the_whole_traversal() {
+    let g = barabasi_albert(2_000, 3, 9);
+    let run = bfs_branch_based_instrumented(&g, 0);
+    let total_vertices: u64 = run.counters.steps.iter().map(|s| s.vertices_processed).sum();
+    assert_eq!(total_vertices as usize, run.result.reached_count());
+    let total_edges: u64 = run.counters.steps.iter().map(|s| s.edges_traversed).sum();
+    let expected_edges: usize = run
+        .result
+        .visit_order()
+        .iter()
+        .map(|&v| g.degree(v))
+        .sum();
+    assert_eq!(total_edges as usize, expected_edges);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random sparse graphs and random roots: all six variants agree.
+    #[test]
+    fn random_graphs_cross_validate(
+        n in 2usize..120,
+        edge_factor in 0usize..4,
+        seed in 0u64..1_000,
+        root_pick in 0usize..1_000,
+    ) {
+        let m = (n * edge_factor / 2).min(n * (n - 1) / 2);
+        let g = erdos_renyi_gnm(n, m, seed);
+        let root = (root_pick % n) as u32;
+        assert_all_variants_agree(&g, root);
+    }
+
+    /// The branch-avoiding queue never holds duplicates, for any graph.
+    #[test]
+    fn branch_avoiding_queue_is_duplicate_free(
+        n in 2usize..100,
+        edge_factor in 1usize..5,
+        seed in 0u64..500,
+    ) {
+        let m = (n * edge_factor / 2).min(n * (n - 1) / 2);
+        let g = erdos_renyi_gnm(n, m, seed);
+        let result = bfs_branch_avoiding(&g, 0);
+        let mut order = result.visit_order().to_vec();
+        let reached = result.reached_count();
+        order.sort_unstable();
+        order.dedup();
+        prop_assert_eq!(order.len(), reached);
+    }
+}

@@ -1,0 +1,132 @@
+//! Integration tests: the analytical bounds of `bga-perfmodel` (paper
+//! Sections 3-5) hold for the mispredictions measured by the simulation
+//! substrate, across graph families and predictor variants.
+
+use branch_avoiding_graphs::branchsim::loop_model::{
+    simulate_repeated_loop, simulate_simple_loop,
+};
+use branch_avoiding_graphs::branchsim::markov::steady_state_miss_rate;
+use branch_avoiding_graphs::branchsim::TwoBitState;
+use branch_avoiding_graphs::graph::generators::{
+    barabasi_albert, erdos_renyi_gnm, grid_3d, MeshStencil,
+};
+use branch_avoiding_graphs::graph::transform::relabel_random;
+use branch_avoiding_graphs::kernels::bfs::{
+    bfs_branch_avoiding_instrumented, bfs_branch_based_instrumented,
+};
+use branch_avoiding_graphs::kernels::cc::{
+    sv_branch_avoiding_instrumented, sv_branch_based_instrumented,
+};
+use branch_avoiding_graphs::perfmodel::bounds::{
+    bfs_misprediction_lower_bound, bfs_misprediction_upper_bound, sv_misprediction_lower_bound,
+};
+use proptest::prelude::*;
+
+fn suite() -> Vec<branch_avoiding_graphs::graph::CsrGraph> {
+    vec![
+        relabel_random(&grid_3d(10, 10, 10, MeshStencil::Moore), 2),
+        relabel_random(&grid_3d(20, 6, 5, MeshStencil::VonNeumann), 3),
+        barabasi_albert(2_000, 3, 4),
+    ]
+}
+
+#[test]
+fn sv_branch_avoiding_mispredictions_stay_within_a_small_factor_of_the_bound() {
+    for g in suite() {
+        let run = sv_branch_avoiding_instrumented(&g);
+        let bound = sv_misprediction_lower_bound(g.num_vertices(), run.iterations());
+        let measured = run.counters.total().branch_mispredictions;
+        let ratio = measured as f64 / bound as f64;
+        assert!(
+            (0.5..=1.3).contains(&ratio),
+            "branch-avoiding SV should be near its lower bound, got {ratio:.3}"
+        );
+    }
+}
+
+#[test]
+fn sv_branch_based_always_mispredicts_at_least_as_much_as_branch_avoiding() {
+    for g in suite() {
+        let based = sv_branch_based_instrumented(&g).counters.total();
+        let avoiding = sv_branch_avoiding_instrumented(&g).counters.total();
+        assert!(based.branch_mispredictions >= avoiding.branch_mispredictions);
+    }
+}
+
+#[test]
+fn bfs_mispredictions_sit_between_the_bounds() {
+    for g in suite() {
+        let based = bfs_branch_based_instrumented(&g, 0);
+        let avoiding = bfs_branch_avoiding_instrumented(&g, 0);
+        let found = based.result.reached_count();
+        let lower = bfs_misprediction_lower_bound(found);
+        let upper = bfs_misprediction_upper_bound(found);
+        let m_based = based.counters.total().branch_mispredictions;
+        let m_avoiding = avoiding.counters.total().branch_mispredictions;
+        assert!(m_avoiding <= m_based);
+        assert!(
+            m_based <= upper,
+            "branch-based BFS must respect the 3|V| upper bound: {m_based} vs {upper}"
+        );
+        assert!(
+            (m_avoiding as f64) <= 1.3 * lower as f64,
+            "branch-avoiding BFS should hug the lower bound: {m_avoiding} vs {lower}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Lemma bounds hold for arbitrary loop shapes and start states.
+    #[test]
+    fn simple_loop_misses_never_exceed_three(
+        n in 0u64..200,
+        state_index in 0usize..4,
+    ) {
+        let init = TwoBitState::ALL[state_index];
+        let run = simulate_simple_loop(init, n);
+        prop_assert!(run.mispredictions <= 3);
+    }
+
+    /// Lemma 3's k+2 bound holds under its stated preconditions: the first
+    /// execution has trip count >= 3, subsequent executions >= 1.
+    #[test]
+    fn repeated_loop_misses_respect_k_plus_2(
+        first_trip in 3u64..20,
+        rest in prop::collection::vec(1u64..20, 0..50),
+        state_index in 0usize..4,
+    ) {
+        let init = TwoBitState::ALL[state_index];
+        let mut trip_counts = vec![first_trip];
+        trip_counts.extend_from_slice(&rest);
+        let run = simulate_repeated_loop(init, &trip_counts);
+        prop_assert!(run.mispredictions <= trip_counts.len() as u64 + 2);
+    }
+
+    /// The Markov steady-state miss rate is bounded by 2x the best static
+    /// predictor for every probability.
+    #[test]
+    fn markov_rate_is_within_twice_the_oracle(p in 0.0f64..=1.0) {
+        let rate = steady_state_miss_rate(p);
+        prop_assert!(rate <= 2.0 * p.min(1.0 - p) + 1e-9);
+        prop_assert!(rate >= 0.0);
+    }
+
+    /// Misprediction ordering (avoiding <= based) holds on random graphs,
+    /// not just the curated suite.
+    #[test]
+    fn misprediction_ordering_on_random_graphs(
+        n in 2usize..80,
+        edge_factor in 1usize..4,
+        seed in 0u64..300,
+    ) {
+        let m = (n * edge_factor / 2).min(n * (n - 1) / 2);
+        let g = erdos_renyi_gnm(n, m, seed);
+        let based = sv_branch_based_instrumented(&g).counters.total();
+        let avoiding = sv_branch_avoiding_instrumented(&g).counters.total();
+        prop_assert!(based.branch_mispredictions >= avoiding.branch_mispredictions);
+        prop_assert!(based.branches > avoiding.branches);
+        prop_assert_eq!(based.loads, avoiding.loads);
+    }
+}

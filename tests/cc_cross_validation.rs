@@ -1,0 +1,99 @@
+//! Integration tests: every connected-components variant agrees with the
+//! union-find ground truth across graph families, including property-based
+//! random graphs.
+
+use branch_avoiding_graphs::graph::generators::{
+    barabasi_albert, erdos_renyi_gnm, grid_3d, stochastic_block_model, watts_strogatz, MeshStencil,
+};
+use branch_avoiding_graphs::graph::properties::connected_components_union_find;
+use branch_avoiding_graphs::graph::transform::relabel_random;
+use branch_avoiding_graphs::graph::GraphBuilder;
+use branch_avoiding_graphs::kernels::cc::{
+    baseline, sv_branch_avoiding, sv_branch_based, sv_branch_avoiding_instrumented,
+    sv_branch_based_instrumented, sv_hybrid, HybridConfig,
+};
+use proptest::prelude::*;
+
+fn assert_all_variants_agree(graph: &branch_avoiding_graphs::graph::CsrGraph) {
+    let expected = connected_components_union_find(graph);
+    assert_eq!(sv_branch_based(graph).canonical(), expected);
+    assert_eq!(sv_branch_avoiding(graph).canonical(), expected);
+    assert_eq!(sv_hybrid(graph, HybridConfig::default()).canonical(), expected);
+    assert_eq!(baseline::cc_bfs(graph).canonical(), expected);
+    assert_eq!(
+        sv_branch_based_instrumented(graph).labels.canonical(),
+        expected
+    );
+    assert_eq!(
+        sv_branch_avoiding_instrumented(graph).labels.canonical(),
+        expected
+    );
+}
+
+#[test]
+fn structured_families_cross_validate() {
+    let graphs = vec![
+        grid_3d(6, 6, 6, MeshStencil::Moore),
+        relabel_random(&grid_3d(8, 5, 4, MeshStencil::VonNeumann), 3),
+        barabasi_albert(500, 3, 1),
+        watts_strogatz(400, 6, 0.2, 2),
+        stochastic_block_model(&[60, 60, 60], 0.15, 0.002, 3),
+        erdos_renyi_gnm(300, 220, 4), // sparse: many components
+    ];
+    for g in &graphs {
+        assert_all_variants_agree(g);
+    }
+}
+
+#[test]
+fn degenerate_graphs_cross_validate() {
+    let graphs = vec![
+        GraphBuilder::undirected(0).build(),
+        GraphBuilder::undirected(1).build(),
+        GraphBuilder::undirected(257).build(), // all isolated vertices
+        GraphBuilder::undirected(2).add_edge(0, 1).build(),
+    ];
+    for g in &graphs {
+        assert_all_variants_agree(g);
+    }
+}
+
+#[test]
+fn instrumented_sv_variants_produce_identical_label_arrays() {
+    // Stronger than same-partition: both converge to component minima.
+    let g = relabel_random(&grid_3d(7, 7, 7, MeshStencil::Moore), 11);
+    let a = sv_branch_based_instrumented(&g);
+    let b = sv_branch_avoiding_instrumented(&g);
+    assert_eq!(a.labels.as_slice(), b.labels.as_slice());
+    assert_eq!(a.iterations(), b.iterations());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random sparse graphs: every variant agrees with union-find.
+    #[test]
+    fn random_graphs_cross_validate(
+        n in 2usize..120,
+        edge_factor in 0usize..4,
+        seed in 0u64..1_000,
+    ) {
+        let m = (n * edge_factor / 2).min(n * (n - 1) / 2);
+        let g = erdos_renyi_gnm(n, m, seed);
+        assert_all_variants_agree(&g);
+    }
+
+    /// Relabelling never changes the component structure any variant finds.
+    #[test]
+    fn relabelled_graphs_have_the_same_component_count(
+        n in 2usize..80,
+        seed in 0u64..500,
+    ) {
+        let g = barabasi_albert(n, 2.min(n - 1).max(1), seed);
+        let relabelled = relabel_random(&g, seed ^ 0xF00D);
+        prop_assert_eq!(
+            sv_branch_avoiding(&g).component_count(),
+            sv_branch_avoiding(&relabelled).component_count()
+        );
+    }
+}

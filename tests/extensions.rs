@@ -1,0 +1,125 @@
+//! Integration tests for the extension kernels (features the paper mentions
+//! but does not evaluate): the pointer-jumping SV shortcut, betweenness
+//! centrality with branch-based vs branch-avoiding forward phases, and the
+//! direction-optimizing BFS.
+
+use branch_avoiding_graphs::graph::generators::{
+    barabasi_albert, erdos_renyi_gnm, grid_2d, path_graph, star_graph, MeshStencil,
+};
+use branch_avoiding_graphs::graph::properties::connected_components_union_find;
+use branch_avoiding_graphs::graph::transform::relabel_random;
+use branch_avoiding_graphs::kernels::bc::{
+    betweenness_centrality, betweenness_centrality_branch_avoiding,
+};
+use branch_avoiding_graphs::kernels::bfs::direction_optimizing::{
+    bfs_direction_optimizing, DirectionConfig,
+};
+use branch_avoiding_graphs::kernels::bfs::bfs_branch_based;
+use branch_avoiding_graphs::kernels::cc::{
+    sv_branch_based, sv_shortcut_branch_avoiding, sv_shortcut_branch_based,
+};
+use proptest::prelude::*;
+
+#[test]
+fn shortcut_sv_agrees_with_the_plain_kernel_and_union_find() {
+    let graphs = vec![
+        relabel_random(&path_graph(400), 1),
+        relabel_random(&grid_2d(18, 18, MeshStencil::Moore), 2),
+        barabasi_albert(600, 2, 3),
+    ];
+    for g in &graphs {
+        let expected = connected_components_union_find(g);
+        assert_eq!(sv_shortcut_branch_based(g).0.canonical(), expected);
+        assert_eq!(sv_shortcut_branch_avoiding(g).0.canonical(), expected);
+        assert_eq!(sv_branch_based(g).canonical(), expected);
+    }
+}
+
+#[test]
+fn betweenness_variants_agree_on_realistic_graphs() {
+    let graphs = vec![
+        star_graph(40),
+        relabel_random(&grid_2d(10, 12, MeshStencil::VonNeumann), 4),
+        barabasi_albert(200, 3, 5),
+    ];
+    for g in &graphs {
+        let a = betweenness_centrality(g);
+        let b = betweenness_centrality_branch_avoiding(g);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert!((x - y).abs() < 1e-9);
+        }
+        // Sanity: total betweenness is non-negative and finite.
+        assert!(a.iter().all(|c| c.is_finite() && *c >= -1e-12));
+    }
+}
+
+#[test]
+fn high_degree_hubs_have_the_highest_centrality_in_power_law_graphs() {
+    let g = barabasi_albert(500, 2, 9);
+    let bc = betweenness_centrality(&g);
+    let (hub, _) = (0..g.num_vertices() as u32)
+        .map(|v| (v, g.degree(v)))
+        .max_by_key(|&(_, d)| d)
+        .unwrap();
+    let max_bc = bc.iter().cloned().fold(0.0f64, f64::max);
+    assert!(
+        bc[hub as usize] >= 0.5 * max_bc,
+        "the largest hub should be near the top of the centrality ranking"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Both betweenness variants agree on arbitrary random graphs.
+    #[test]
+    fn betweenness_variants_agree_on_random_graphs(
+        n in 2usize..40,
+        edge_factor in 1usize..4,
+        seed in 0u64..200,
+    ) {
+        let m = (n * edge_factor / 2).min(n * (n - 1) / 2);
+        let g = erdos_renyi_gnm(n, m, seed);
+        let a = betweenness_centrality(&g);
+        let b = betweenness_centrality_branch_avoiding(&g);
+        for (x, y) in a.iter().zip(b.iter()) {
+            prop_assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    /// The shortcut SV never needs more sweeps than the plain SV and always
+    /// produces the same partition, on arbitrary random graphs.
+    #[test]
+    fn shortcut_sv_is_correct_and_no_slower_in_sweeps(
+        n in 2usize..80,
+        edge_factor in 0usize..4,
+        seed in 0u64..300,
+    ) {
+        let m = (n * edge_factor / 2).min(n * (n - 1) / 2);
+        let g = erdos_renyi_gnm(n, m, seed);
+        let expected = connected_components_union_find(&g);
+        let (labels, shortcut_sweeps) = sv_shortcut_branch_based(&g);
+        prop_assert_eq!(labels.canonical(), expected);
+        let (_, plain_sweeps) =
+            branch_avoiding_graphs::kernels::cc::sv_branch::sv_branch_based_with_stats(&g);
+        prop_assert!(shortcut_sweeps <= plain_sweeps);
+    }
+
+    /// Direction-optimizing BFS matches plain top-down BFS for arbitrary
+    /// switching thresholds.
+    #[test]
+    fn direction_optimizing_matches_top_down_for_any_thresholds(
+        n in 2usize..60,
+        edge_factor in 1usize..4,
+        seed in 0u64..200,
+        to_bottom_up in 0.0f64..1.0,
+        to_top_down in 0.0f64..1.0,
+    ) {
+        let m = (n * edge_factor / 2).min(n * (n - 1) / 2);
+        let g = erdos_renyi_gnm(n, m, seed);
+        let config = DirectionConfig { to_bottom_up, to_top_down };
+        let optimizing = bfs_direction_optimizing(&g, 0, config);
+        let top_down = bfs_branch_based(&g, 0);
+        prop_assert_eq!(optimizing.distances(), top_down.distances());
+    }
+}

@@ -1,0 +1,132 @@
+//! Integration tests: the instrumentation substrate reports counts that are
+//! consistent with the structure of the graph and with the paper's
+//! qualitative claims (branch ratios, store blow-ups, misprediction decay).
+
+use branch_avoiding_graphs::graph::generators::{barabasi_albert, grid_3d, MeshStencil};
+use branch_avoiding_graphs::graph::transform::relabel_random;
+use branch_avoiding_graphs::graph::CsrGraph;
+use branch_avoiding_graphs::kernels::bfs::{
+    bfs_branch_avoiding_instrumented, bfs_branch_based_instrumented,
+};
+use branch_avoiding_graphs::kernels::cc::{
+    sv_branch_avoiding_instrumented, sv_branch_based_instrumented,
+};
+
+fn mesh() -> CsrGraph {
+    relabel_random(&grid_3d(10, 10, 10, MeshStencil::Moore), 17)
+}
+
+fn social() -> CsrGraph {
+    barabasi_albert(3_000, 3, 5)
+}
+
+#[test]
+fn sv_branch_counts_match_the_loop_structure_exactly() {
+    // Per sweep, the branch-based kernel evaluates:
+    //   while: (not counted inside the sweep delta)
+    //   outer for: |V| + 1, inner for: |E'| + |V|, if: |E'|
+    // and the branch-avoiding kernel everything except the if.
+    for g in [mesh(), social()] {
+        let e = g.num_edge_slots() as u64;
+        let v = g.num_vertices() as u64;
+        let based = sv_branch_based_instrumented(&g);
+        for step in &based.counters.steps {
+            assert_eq!(step.counters.branches, (v + 1) + (e + v) + e, "branch-based sweep");
+        }
+        let avoiding = sv_branch_avoiding_instrumented(&g);
+        for step in &avoiding.counters.steps {
+            assert_eq!(step.counters.branches, (v + 1) + (e + v), "branch-avoiding sweep");
+        }
+    }
+}
+
+#[test]
+fn sv_load_counts_match_the_algorithm() {
+    // Both variants load CCid[v] once per vertex and CCid[u] once per edge
+    // slot, every sweep.
+    for g in [mesh(), social()] {
+        let e = g.num_edge_slots() as u64;
+        let v = g.num_vertices() as u64;
+        for run in [
+            sv_branch_based_instrumented(&g),
+            sv_branch_avoiding_instrumented(&g),
+        ] {
+            for step in &run.counters.steps {
+                assert_eq!(step.counters.loads, v + e);
+            }
+        }
+    }
+}
+
+#[test]
+fn sv_conditional_move_counts_match_edges() {
+    let g = mesh();
+    let run = sv_branch_avoiding_instrumented(&g);
+    for step in &run.counters.steps {
+        assert_eq!(step.counters.conditional_moves, g.num_edge_slots() as u64);
+    }
+    assert_eq!(
+        sv_branch_based_instrumented(&g).counters.total().conditional_moves,
+        0
+    );
+}
+
+#[test]
+fn bfs_store_blowup_tracks_average_degree() {
+    // Branch-avoiding BFS stores ~2 per traversed edge; branch-based ~2 per
+    // discovered vertex. Their ratio is therefore approximately the average
+    // degree of the traversed region — "up to two orders of magnitude" in
+    // the paper's denser graphs.
+    for g in [mesh(), social()] {
+        let based = bfs_branch_based_instrumented(&g, 0);
+        let avoiding = bfs_branch_avoiding_instrumented(&g, 0);
+        let reached = based.result.reached_count() as f64;
+        let edges = based.counters.total_edges_traversed() as f64;
+        let expected_ratio = edges / reached;
+        let actual_ratio = avoiding.counters.total().stores as f64
+            / based.counters.total().stores.max(1) as f64;
+        assert!(
+            (actual_ratio / expected_ratio - 1.0).abs() < 0.25,
+            "store ratio {actual_ratio:.2} should be near the average degree {expected_ratio:.2}"
+        );
+    }
+}
+
+#[test]
+fn sv_early_sweeps_dominate_mispredictions() {
+    // Figure 5's shape: the first half of the sweeps accounts for the large
+    // majority of the data-dependent mispredictions of the branch-based
+    // kernel.
+    let g = mesh();
+    let based = sv_branch_based_instrumented(&g);
+    let avoiding = sv_branch_avoiding_instrumented(&g);
+    let extra: Vec<u64> = based
+        .counters
+        .steps
+        .iter()
+        .zip(avoiding.counters.steps.iter())
+        .map(|(b, a)| {
+            b.counters
+                .branch_mispredictions
+                .saturating_sub(a.counters.branch_mispredictions)
+        })
+        .collect();
+    let half = extra.len() / 2;
+    let early: u64 = extra[..half].iter().sum();
+    let late: u64 = extra[half..].iter().sum();
+    assert!(
+        early > 2 * late,
+        "data-dependent mispredictions should concentrate early: early={early}, late={late}"
+    );
+}
+
+#[test]
+fn instrumented_counters_are_deterministic() {
+    let g = social();
+    let a = sv_branch_based_instrumented(&g);
+    let b = sv_branch_based_instrumented(&g);
+    assert_eq!(a.counters.total(), b.counters.total());
+    let x = bfs_branch_avoiding_instrumented(&g, 0);
+    let y = bfs_branch_avoiding_instrumented(&g, 0);
+    assert_eq!(x.counters.total(), y.counters.total());
+}

@@ -1,0 +1,126 @@
+//! Integration smoke tests for the experiment layer: the Table-2 suite, the
+//! Table-1 machine models and the qualitative figure-level claims the
+//! harness binaries print (so `cargo test` alone certifies the headline
+//! reproduction results without running the binaries).
+
+use branch_avoiding_graphs::branchsim::all_machine_models;
+use branch_avoiding_graphs::graph::suite::{benchmark_suite, suite_table, SuiteScale};
+use branch_avoiding_graphs::kernels::bfs::{
+    bfs_branch_avoiding_instrumented, bfs_branch_based_instrumented,
+};
+use branch_avoiding_graphs::kernels::cc::{
+    sv_branch_avoiding_instrumented, sv_branch_based_instrumented,
+};
+use branch_avoiding_graphs::perfmodel::timing::modeled_speedup;
+
+#[test]
+fn table1_has_the_papers_seven_systems() {
+    let names: Vec<&str> = all_machine_models().iter().map(|m| m.name).collect();
+    for expected in [
+        "Cortex-A15",
+        "Piledriver",
+        "Bobcat",
+        "Haswell",
+        "Ivy Bridge",
+        "Silvermont",
+        "Bonnell",
+    ] {
+        assert!(names.contains(&expected), "missing {expected}");
+    }
+}
+
+#[test]
+fn table2_rows_carry_the_papers_sizes() {
+    let suite = benchmark_suite(SuiteScale::Small, 42);
+    let table = suite_table(&suite);
+    let total_paper_edges: usize = table.iter().map(|r| r.paper_edges).sum();
+    assert_eq!(total_paper_edges, 38_354_076 + 3_314_611 + 977_676 + 175_691 + 22_785_136);
+    for row in &table {
+        assert!(row.standin_vertices > 0);
+        assert!(row.standin_edges > row.standin_vertices / 2);
+    }
+}
+
+/// The central qualitative result of the paper, checked end-to-end on the
+/// small suite: for SV the branch-avoiding variant wins overall on the deep
+/// out-of-order models, for BFS it does not win anywhere by a large margin,
+/// and both variants always agree on the answers.
+#[test]
+fn headline_figure_claims_hold_on_the_small_suite() {
+    let suite = benchmark_suite(SuiteScale::Small, 42);
+    let machines = all_machine_models();
+    let haswell = machines.iter().find(|m| m.name == "Haswell").unwrap();
+    let bonnell = machines.iter().find(|m| m.name == "Bonnell").unwrap();
+
+    let mut sv_haswell_wins = 0usize;
+    for sg in &suite {
+        let sv_based = sv_branch_based_instrumented(&sg.graph);
+        let sv_avoiding = sv_branch_avoiding_instrumented(&sg.graph);
+        assert!(sv_based.labels.same_partition(&sv_avoiding.labels));
+
+        // Figure 4: ~2x branch ratio.
+        let branch_ratio = sv_based.counters.total().branches as f64
+            / sv_avoiding.counters.total().branches as f64;
+        assert!(
+            (1.4..=2.1).contains(&branch_ratio),
+            "{}: SV branch ratio {branch_ratio:.2}",
+            sg.name()
+        );
+
+        // Figure 5: strictly fewer mispredictions for branch-avoiding.
+        assert!(
+            sv_avoiding.counters.total().branch_mispredictions
+                < sv_based.counters.total().branch_mispredictions,
+            "{}",
+            sg.name()
+        );
+
+        // Figure 3: the speedup lands in a plausible band and the deep
+        // pipeline favours branch-avoiding more than the in-order Atom.
+        let s_haswell =
+            modeled_speedup(&sv_based.counters, &sv_avoiding.counters, haswell).unwrap();
+        let s_bonnell =
+            modeled_speedup(&sv_based.counters, &sv_avoiding.counters, bonnell).unwrap();
+        assert!(
+            (0.6..=1.6).contains(&s_haswell) && (0.6..=1.6).contains(&s_bonnell),
+            "{}: speedups {s_haswell:.2} / {s_bonnell:.2} out of range",
+            sg.name()
+        );
+        assert!(
+            s_haswell > s_bonnell,
+            "{}: misprediction-heavy machines should favour branch-avoiding",
+            sg.name()
+        );
+        if s_haswell > 1.0 {
+            sv_haswell_wins += 1;
+        }
+
+        // Figures 6-8 for BFS: identical distances, ~2x fewer branches, and
+        // a large store blow-up that wipes out the win.
+        let bfs_based = bfs_branch_based_instrumented(&sg.graph, 0);
+        let bfs_avoiding = bfs_branch_avoiding_instrumented(&sg.graph, 0);
+        assert_eq!(
+            bfs_based.result.distances(),
+            bfs_avoiding.result.distances()
+        );
+        assert!(
+            bfs_avoiding.counters.total().stores > 4 * bfs_based.counters.total().stores,
+            "{}: BFS store blow-up missing",
+            sg.name()
+        );
+        let bfs_speedup =
+            modeled_speedup(&bfs_based.counters, &bfs_avoiding.counters, haswell).unwrap();
+        assert!(
+            bfs_speedup < 1.1,
+            "{}: branch-avoiding BFS should not be a clear win, got {bfs_speedup:.2}",
+            sg.name()
+        );
+    }
+
+    // On the misprediction-sensitive machine the SV branch-avoiding variant
+    // should win on most of the suite (the paper wins 4-5 of 5 there).
+    assert!(
+        sv_haswell_wins >= 3,
+        "branch-avoiding SV should win on most graphs on Haswell, won {sv_haswell_wins}/5"
+    );
+}

@@ -2,7 +2,6 @@
 //! branch-avoiding vs the bottom-up and direction-optimizing extensions, on
 //! the small benchmark suite (real-hardware confirmation of Figure 6).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use bga_graph::properties::largest_component;
 use bga_graph::suite::{benchmark_suite, SuiteScale};
 use bga_kernels::bfs::{
@@ -10,6 +9,7 @@ use bga_kernels::bfs::{
     bottom_up::bfs_bottom_up,
     direction_optimizing::{bfs_direction_optimizing, DirectionConfig},
 };
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_bfs(c: &mut Criterion) {
     let suite = benchmark_suite(SuiteScale::Small, 42);

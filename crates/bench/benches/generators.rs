@@ -1,11 +1,11 @@
 //! Criterion benches for the graph generators and CSR construction, to keep
 //! suite-generation time (which every experiment binary pays) in check.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use bga_graph::generators::{
     barabasi_albert, erdos_renyi_gnp, grid_3d, rmat, MeshStencil, RmatParams,
 };
 use bga_graph::suite::{SuiteGraphId, SuiteScale};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_generators(c: &mut Criterion) {
     let mut group = c.benchmark_group("generators");

@@ -1,0 +1,60 @@
+//! Criterion wall-clock benches for the parallel kernels: branch-based
+//! (CAS-loop) vs branch-avoiding (fetch-min) Shiloach-Vishkin and parallel
+//! top-down BFS across thread counts. This is the strong-scaling companion
+//! to `bga experiment scaling` — the relative ordering across hooking
+//! disciplines and the per-thread-count trend are the point, not absolute
+//! numbers.
+
+use bga_graph::suite::{benchmark_suite, SuiteScale};
+use bga_parallel::{
+    par_bfs_branch_avoiding, par_bfs_branch_based, par_sv_branch_avoiding, par_sv_branch_based,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn bench_parallel_sv(c: &mut Criterion) {
+    let suite = benchmark_suite(SuiteScale::Small, 42);
+    let mut group = c.benchmark_group("parallel_sv");
+    group.sample_size(10);
+    // coAuthorsDBLP stand-in: the power-law graph, where edge-balanced
+    // chunking matters most.
+    let sg = &suite[2];
+    for threads in THREAD_COUNTS {
+        group.bench_with_input(
+            BenchmarkId::new("branch_based", format!("{}x{threads}", sg.name())),
+            &sg.graph,
+            |b, g| b.iter(|| par_sv_branch_based(g, threads)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("branch_avoiding", format!("{}x{threads}", sg.name())),
+            &sg.graph,
+            |b, g| b.iter(|| par_sv_branch_avoiding(g, threads)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_parallel_bfs(c: &mut Criterion) {
+    let suite = benchmark_suite(SuiteScale::Small, 42);
+    let mut group = c.benchmark_group("parallel_bfs");
+    group.sample_size(10);
+    // ldoor stand-in: the long-diameter mesh, many small frontiers.
+    let sg = &suite[4];
+    for threads in THREAD_COUNTS {
+        group.bench_with_input(
+            BenchmarkId::new("branch_based", format!("{}x{threads}", sg.name())),
+            &sg.graph,
+            |b, g| b.iter(|| par_bfs_branch_based(g, 0, threads)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("branch_avoiding", format!("{}x{threads}", sg.name())),
+            &sg.graph,
+            |b, g| b.iter(|| par_bfs_branch_avoiding(g, 0, threads)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_sv, bench_parallel_bfs);
+criterion_main!(benches);

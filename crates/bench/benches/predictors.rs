@@ -2,9 +2,9 @@
 //! model processes a recorded branch trace. This bounds the overhead the
 //! instrumentation substrate adds to the figure harnesses.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use bga_branchsim::predictor::all_predictors;
 use bga_branchsim::{BranchSite, BranchTrace};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 

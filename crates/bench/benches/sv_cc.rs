@@ -4,12 +4,12 @@
 //! modelled Figure 3 (absolute numbers depend on the host CPU; the relative
 //! ordering is the point).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use bga_graph::suite::{benchmark_suite, SuiteScale};
 use bga_kernels::cc::{
     baseline::cc_union_find, sv_branch_avoiding, sv_branch_based, sv_hybrid,
     sv_shortcut_branch_avoiding, sv_shortcut_branch_based, HybridConfig,
 };
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_sv(c: &mut Criterion) {
     let suite = benchmark_suite(SuiteScale::Small, 42);

@@ -21,7 +21,9 @@ use bga_kernels::cc::instrumented::{
 
 fn main() {
     let ctx = ExperimentContext::from_env();
-    print_section("Predictor ablation: total mispredictions per kernel variant and predictor model");
+    print_section(
+        "Predictor ablation: total mispredictions per kernel variant and predictor model",
+    );
     print_header(&[
         "graph",
         "kernel",
@@ -112,7 +114,11 @@ fn main() {
                 ),
                 _ => (
                     bfs_branch_based_instrumented_with(g, root, TwoLevelAdaptivePredictor::new(10)),
-                    bfs_branch_avoiding_instrumented_with(g, root, TwoLevelAdaptivePredictor::new(10)),
+                    bfs_branch_avoiding_instrumented_with(
+                        g,
+                        root,
+                        TwoLevelAdaptivePredictor::new(10),
+                    ),
                 ),
             };
             emit_row(

@@ -51,7 +51,9 @@ fn main() {
         ]);
     }
 
-    print_section("Lemma 1: final predictor state after a loop with n >= 3 (from the worst-case start)");
+    print_section(
+        "Lemma 1: final predictor state after a loop with n >= 3 (from the worst-case start)",
+    );
     print_header(&["n", "final_state"]);
     for n in [3u64, 5, 17, 1000] {
         let run = simulate_simple_loop(TwoBitState::StronglyNotTaken, n);
@@ -66,8 +68,14 @@ fn main() {
         ]);
     }
 
-    print_section("Markov model: steady-state miss rate of the 2-bit predictor on an i.i.d. branch");
-    print_header(&["taken_probability", "two_bit_miss_rate", "best_static_miss_rate"]);
+    print_section(
+        "Markov model: steady-state miss rate of the 2-bit predictor on an i.i.d. branch",
+    );
+    print_header(&[
+        "taken_probability",
+        "two_bit_miss_rate",
+        "best_static_miss_rate",
+    ]);
     for i in 0..=10u32 {
         let p = i as f64 / 10.0;
         print_csv_row(&[

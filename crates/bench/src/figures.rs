@@ -83,7 +83,12 @@ pub fn time_figure(ctx: &ExperimentContext, figure: &str, kernel: Kernel) {
 /// Figures 4/5 (SV) and 7/8 (BFS): a raw counter per step. The counters do
 /// not depend on the machine model, so there is one series per graph, plus
 /// the branch-based / branch-avoiding ratio the paper annotates.
-pub fn counter_figure(ctx: &ExperimentContext, figure: &str, kernel: Kernel, metric: CounterMetric) {
+pub fn counter_figure(
+    ctx: &ExperimentContext,
+    figure: &str,
+    kernel: Kernel,
+    metric: CounterMetric,
+) {
     print_section(&format!(
         "{figure}: {} {} per {}",
         kernel.title(),
@@ -111,7 +116,13 @@ pub fn counter_figure(ctx: &ExperimentContext, figure: &str, kernel: Kernel, met
             print_csv_row(&[
                 CsvField::Str(sg.name()),
                 CsvField::Int(step as u64 + 1),
-                CsvField::Float(based.steps.get(step).map(|s| metric.value(s)).unwrap_or(f64::NAN)),
+                CsvField::Float(
+                    based
+                        .steps
+                        .get(step)
+                        .map(|s| metric.value(s))
+                        .unwrap_or(f64::NAN),
+                ),
                 CsvField::Float(
                     avoiding
                         .steps
@@ -139,7 +150,10 @@ pub fn bounds_figure(ctx: &ExperimentContext) {
     for sg in &ctx.suite {
         let (based, avoiding) = sv_pair(&sg.graph);
         let bound = sv_misprediction_lower_bound(sg.graph.num_vertices(), avoiding.iterations());
-        for (variant, run) in [("branch-based", &based.counters), ("branch-avoiding", &avoiding.counters)] {
+        for (variant, run) in [
+            ("branch-based", &based.counters),
+            ("branch-avoiding", &avoiding.counters),
+        ] {
             let m = run.total().branch_mispredictions;
             print_csv_row(&[
                 CsvField::Str(sg.name()),
@@ -167,7 +181,10 @@ pub fn bounds_figure(ctx: &ExperimentContext) {
         let found = based.result.reached_count();
         let lower = bfs_misprediction_lower_bound(found);
         let upper = bfs_misprediction_upper_bound(found);
-        for (variant, run) in [("branch-based", &based.counters), ("branch-avoiding", &avoiding.counters)] {
+        for (variant, run) in [
+            ("branch-based", &based.counters),
+            ("branch-avoiding", &avoiding.counters),
+        ] {
             let m = run.total().branch_mispredictions;
             print_csv_row(&[
                 CsvField::Str(sg.name()),
@@ -185,7 +202,10 @@ pub fn bounds_figure(ctx: &ExperimentContext) {
 /// mispredictions, loads and stores per edge, pooled over every graph's
 /// per-step samples, for the branch-based variants of SV and BFS.
 pub fn correlations_figure(ctx: &ExperimentContext) {
-    for (name, kernel) in [("Figure 10a (SV)", Kernel::Sv), ("Figure 10b (BFS)", Kernel::Bfs)] {
+    for (name, kernel) in [
+        ("Figure 10a (SV)", Kernel::Sv),
+        ("Figure 10b (BFS)", Kernel::Bfs),
+    ] {
         print_section(&format!(
             "{name}: per-edge correlations of the branch-based kernel, pooled over graphs"
         ));

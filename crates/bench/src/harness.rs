@@ -5,12 +5,8 @@ use bga_branchsim::{all_machine_models, MachineModel};
 use bga_graph::properties::largest_component;
 use bga_graph::suite::{benchmark_suite, SuiteGraph, SuiteScale};
 use bga_graph::{CsrGraph, VertexId};
-use bga_kernels::bfs::{
-    bfs_branch_avoiding_instrumented, bfs_branch_based_instrumented, BfsRun,
-};
-use bga_kernels::cc::{
-    sv_branch_avoiding_instrumented, sv_branch_based_instrumented, SvRun,
-};
+use bga_kernels::bfs::{bfs_branch_avoiding_instrumented, bfs_branch_based_instrumented, BfsRun};
+use bga_kernels::cc::{sv_branch_avoiding_instrumented, sv_branch_based_instrumented, SvRun};
 
 /// Everything a figure/table binary needs: the five suite graphs and the
 /// seven machine models.
@@ -112,6 +108,9 @@ mod tests {
         let (sv_based, sv_avoiding) = sv_pair(g);
         assert!(sv_based.labels.same_partition(&sv_avoiding.labels));
         let (bfs_based, bfs_avoiding) = bfs_pair(g);
-        assert_eq!(bfs_based.result.distances(), bfs_avoiding.result.distances());
+        assert_eq!(
+            bfs_based.result.distances(),
+            bfs_avoiding.result.distances()
+        );
     }
 }

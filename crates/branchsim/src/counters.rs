@@ -62,7 +62,9 @@ impl PerfCounters {
                 .saturating_sub(earlier.branch_mispredictions),
             loads: self.loads.saturating_sub(earlier.loads),
             stores: self.stores.saturating_sub(earlier.stores),
-            conditional_moves: self.conditional_moves.saturating_sub(earlier.conditional_moves),
+            conditional_moves: self
+                .conditional_moves
+                .saturating_sub(earlier.conditional_moves),
         }
     }
 

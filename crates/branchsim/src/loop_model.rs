@@ -142,7 +142,10 @@ mod tests {
         for n in 3..50 {
             let (lo, hi) = lemma2_bounds(n).unwrap();
             let (min, max) = loop_misprediction_bounds(n);
-            assert!(min >= lo && max <= hi, "n={n}: [{min},{max}] outside [{lo},{hi}]");
+            assert!(
+                min >= lo && max <= hi,
+                "n={n}: [{min},{max}] outside [{lo},{hi}]"
+            );
         }
         // Tightness: worst case Strongly-Not-Taken gives exactly 3, best case
         // Strongly-Taken gives exactly 1.
@@ -154,7 +157,9 @@ mod tests {
     fn lemma3_and_corollary1() {
         // k repeated executions, n >= 3 first then n >= 1.
         for k in 2u64..40 {
-            let trip_counts: Vec<u64> = (0..k).map(|i| if i == 0 { 5 } else { 2 + (i % 3) }).collect();
+            let trip_counts: Vec<u64> = (0..k)
+                .map(|i| if i == 0 { 5 } else { 2 + (i % 3) })
+                .collect();
             for &init in &TwoBitState::ALL {
                 let run = simulate_repeated_loop(init, &trip_counts);
                 assert!(
@@ -190,7 +195,10 @@ mod tests {
         let (lo, hi) = lemma5_bounds();
         for &init in &TwoBitState::ALL {
             let run = simulate_simple_loop(init, 1);
-            assert!(run.mispredictions >= lo && run.mispredictions <= hi, "{init:?}");
+            assert!(
+                run.mispredictions >= lo && run.mispredictions <= hi,
+                "{init:?}"
+            );
             // The paper states the predictor "returns to its initial state";
             // in prediction terms that is exact, and in FSA terms it is exact
             // for every state except Strongly-Taken (which relaxes one step
@@ -213,7 +221,10 @@ mod tests {
         let (lo, hi) = lemma6_bounds();
         for &init in &TwoBitState::ALL {
             let run = simulate_simple_loop(init, 2);
-            assert!(run.mispredictions >= lo && run.mispredictions <= hi, "{init:?}");
+            assert!(
+                run.mispredictions >= lo && run.mispredictions <= hi,
+                "{init:?}"
+            );
             assert!(
                 matches!(run.final_state, WeaklyTaken | WeaklyNotTaken),
                 "{init:?} ended {:?}",

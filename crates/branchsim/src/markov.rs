@@ -150,7 +150,10 @@ mod tests {
     #[test]
     fn miss_rate_is_maximal_at_half() {
         let half = steady_state_miss_rate(0.5);
-        assert!((half - 0.5).abs() < 1e-9, "at p=0.5 the rate is exactly 0.5");
+        assert!(
+            (half - 0.5).abs() < 1e-9,
+            "at p=0.5 the rate is exactly 0.5"
+        );
         for &p in &[0.1, 0.3, 0.45, 0.55, 0.8, 0.95] {
             assert!(steady_state_miss_rate(p) <= half + 1e-12);
         }
@@ -173,7 +176,10 @@ mod tests {
             let p = i as f64 / 100.0;
             let dynamic = steady_state_miss_rate(p);
             let oracle = oracle_static_miss_rate(p);
-            assert!(dynamic <= 2.0 * oracle + 1e-9, "p={p}: {dynamic} vs {oracle}");
+            assert!(
+                dynamic <= 2.0 * oracle + 1e-9,
+                "p={p}: {dynamic} vs {oracle}"
+            );
         }
     }
 

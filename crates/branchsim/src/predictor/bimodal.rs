@@ -17,7 +17,10 @@ impl BimodalPredictor {
     /// Creates a bimodal predictor with `2^index_bits` counters, all starting
     /// weakly-not-taken.
     pub fn new(index_bits: u32) -> Self {
-        assert!(index_bits > 0 && index_bits <= 24, "index_bits must be 1..=24");
+        assert!(
+            index_bits > 0 && index_bits <= 24,
+            "index_bits must be 1..=24"
+        );
         BimodalPredictor {
             table: vec![TwoBitState::WeaklyNotTaken; 1 << index_bits],
             index_bits,

@@ -18,7 +18,10 @@ pub struct GsharePredictor {
 impl GsharePredictor {
     /// Creates a gshare predictor with `2^index_bits` counters.
     pub fn new(index_bits: u32) -> Self {
-        assert!(index_bits > 0 && index_bits <= 24, "index_bits must be 1..=24");
+        assert!(
+            index_bits > 0 && index_bits <= 24,
+            "index_bits must be 1..=24"
+        );
         GsharePredictor {
             table: vec![TwoBitState::WeaklyNotTaken; 1 << index_bits],
             history: 0,
@@ -75,7 +78,11 @@ mod tests {
         let mut p = GsharePredictor::new(10);
         let mut misses_late = 0;
         for i in 0..200 {
-            let outcome = if i % 2 == 0 { Outcome::Taken } else { Outcome::NotTaken };
+            let outcome = if i % 2 == 0 {
+                Outcome::Taken
+            } else {
+                Outcome::NotTaken
+            };
             let correct = p.record(A, outcome);
             if i >= 100 && !correct {
                 misses_late += 1;

@@ -93,7 +93,12 @@ mod tests {
     const LOOP: BranchSite = BranchSite::new(0, "loop");
     const DATA: BranchSite = BranchSite::new(1, "data");
 
-    fn misses_on<F: Fn(usize) -> bool>(p: &mut TournamentPredictor, site: BranchSite, n: usize, f: F) -> u64 {
+    fn misses_on<F: Fn(usize) -> bool>(
+        p: &mut TournamentPredictor,
+        site: BranchSite,
+        n: usize,
+        f: F,
+    ) -> u64 {
         (0..n)
             .filter(|&i| !p.record(site, Outcome::from_bool(f(i))))
             .count() as u64
@@ -119,7 +124,10 @@ mod tests {
                 late_misses += 1;
             }
         }
-        assert_eq!(late_misses, 0, "tournament should converge on a period-2 pattern");
+        assert_eq!(
+            late_misses, 0,
+            "tournament should converge on a period-2 pattern"
+        );
     }
 
     #[test]

@@ -23,10 +23,7 @@ impl TwoLevelAdaptivePredictor {
         );
         TwoLevelAdaptivePredictor {
             histories: [0; MAX_BRANCH_SITES],
-            tables: vec![
-                vec![TwoBitState::WeaklyNotTaken; 1 << history_bits];
-                MAX_BRANCH_SITES
-            ],
+            tables: vec![vec![TwoBitState::WeaklyNotTaken; 1 << history_bits]; MAX_BRANCH_SITES],
             history_bits,
         }
     }

@@ -71,7 +71,10 @@ impl BranchTrace {
     /// Replays the trace through every predictor and returns
     /// `(predictor name, mispredictions)` pairs — the core of the predictor
     /// ablation experiment.
-    pub fn replay_all(&self, predictors: &mut [Box<dyn PredictorModel>]) -> Vec<(&'static str, u64)> {
+    pub fn replay_all(
+        &self,
+        predictors: &mut [Box<dyn PredictorModel>],
+    ) -> Vec<(&'static str, u64)> {
         predictors
             .iter_mut()
             .map(|p| {

@@ -1,6 +1,6 @@
 //! `bga bfs`: run a BFS variant from a root and print a summary.
 
-use super::cc::flag_value;
+use super::cc::{flag_value, parse_threads};
 use super::graph_input::load_graph;
 use bga_graph::properties::largest_component;
 use bga_kernels::bfs::{
@@ -9,7 +9,11 @@ use bga_kernels::bfs::{
     bottom_up::bfs_bottom_up,
     direction_optimizing::{bfs_direction_optimizing, DirectionConfig},
     frontier::check_bfs_invariants,
-    BfsResult,
+    BfsResult, BfsRun,
+};
+use bga_parallel::{
+    par_bfs_branch_avoiding, par_bfs_branch_avoiding_instrumented, par_bfs_branch_based,
+    par_bfs_branch_based_instrumented, resolve_threads,
 };
 use std::time::Instant;
 
@@ -20,6 +24,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
     };
     let variant = flag_value(args, "--variant").unwrap_or("branch-based");
     let instrumented = args.iter().any(|a| a == "--instrumented");
+    let threads = parse_threads(args)?;
 
     let graph = load_graph(graph_spec)?;
     let root = match flag_value(args, "--root") {
@@ -35,10 +40,26 @@ pub fn run(args: &[String]) -> Result<(), String> {
     );
 
     if instrumented {
-        let run = match variant {
-            "branch-based" => bfs_branch_based_instrumented(&graph, root),
-            "branch-avoiding" => bfs_branch_avoiding_instrumented(&graph, root),
-            other => {
+        let run = match (variant, threads) {
+            ("branch-based", None) => bfs_branch_based_instrumented(&graph, root),
+            ("branch-avoiding", None) => bfs_branch_avoiding_instrumented(&graph, root),
+            ("branch-based", Some(t)) => {
+                let par = par_bfs_branch_based_instrumented(&graph, root, t);
+                println!("threads: {}", par.threads);
+                BfsRun {
+                    result: par.result,
+                    counters: par.counters,
+                }
+            }
+            ("branch-avoiding", Some(t)) => {
+                let par = par_bfs_branch_avoiding_instrumented(&graph, root, t);
+                println!("threads: {}", par.threads);
+                BfsRun {
+                    result: par.result,
+                    counters: par.counters,
+                }
+            }
+            (other, _) => {
                 return Err(format!(
                     "--instrumented supports branch-based and branch-avoiding, not {other:?}"
                 ))
@@ -55,15 +76,27 @@ pub fn run(args: &[String]) -> Result<(), String> {
         return Ok(());
     }
 
+    // Report the resolved worker count before the timed region so the
+    // stdout write does not bias sequential-vs-parallel wall clocks.
+    if let Some(t) = threads {
+        println!("threads: {}", resolve_threads(t));
+    }
     let start = Instant::now();
-    let result: BfsResult = match variant {
-        "branch-based" => bfs_branch_based(&graph, root),
-        "branch-avoiding" => bfs_branch_avoiding(&graph, root),
-        "bottom-up" => bfs_bottom_up(&graph, root),
-        "direction-optimizing" => {
+    let result: BfsResult = match (variant, threads) {
+        ("branch-based", None) => bfs_branch_based(&graph, root),
+        ("branch-avoiding", None) => bfs_branch_avoiding(&graph, root),
+        ("branch-based", Some(t)) => par_bfs_branch_based(&graph, root, t),
+        ("branch-avoiding", Some(t)) => par_bfs_branch_avoiding(&graph, root, t),
+        ("bottom-up", None) => bfs_bottom_up(&graph, root),
+        ("direction-optimizing", None) => {
             bfs_direction_optimizing(&graph, root, DirectionConfig::default())
         }
-        other => return Err(format!("unknown bfs variant {other:?}")),
+        (other, None) => return Err(format!("unknown bfs variant {other:?}")),
+        (other, Some(_)) => {
+            return Err(format!(
+                "--threads supports branch-based and branch-avoiding, not {other:?}"
+            ))
+        }
     };
     let elapsed = start.elapsed();
     check_bfs_invariants(&graph, root, &result)?;
@@ -87,7 +120,12 @@ mod tests {
 
     #[test]
     fn runs_every_uninstrumented_variant_on_a_builtin_graph() {
-        for variant in ["branch-based", "branch-avoiding", "bottom-up", "direction-optimizing"] {
+        for variant in [
+            "branch-based",
+            "branch-avoiding",
+            "bottom-up",
+            "direction-optimizing",
+        ] {
             assert!(
                 super::run(&strings(&["cond-mat-2005", "--variant", variant])).is_ok(),
                 "{variant} failed"
@@ -95,5 +133,39 @@ mod tests {
         }
         assert!(super::run(&strings(&["cond-mat-2005", "--variant", "nope"])).is_err());
         assert!(super::run(&strings(&["cond-mat-2005", "--root", "abc"])).is_err());
+    }
+
+    #[test]
+    fn threads_flag_selects_the_parallel_kernels() {
+        for variant in ["branch-based", "branch-avoiding"] {
+            assert!(
+                super::run(&strings(&[
+                    "cond-mat-2005",
+                    "--variant",
+                    variant,
+                    "--threads",
+                    "2"
+                ]))
+                .is_ok(),
+                "{variant} with --threads failed"
+            );
+        }
+        assert!(super::run(&strings(&[
+            "cond-mat-2005",
+            "--variant",
+            "branch-avoiding",
+            "--threads",
+            "2",
+            "--instrumented"
+        ]))
+        .is_ok());
+        assert!(super::run(&strings(&[
+            "cond-mat-2005",
+            "--variant",
+            "bottom-up",
+            "--threads",
+            "2"
+        ]))
+        .is_err());
     }
 }

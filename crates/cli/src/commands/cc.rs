@@ -2,8 +2,12 @@
 
 use super::graph_input::load_graph;
 use bga_kernels::cc::{
-    baseline, sv_branch_avoiding_instrumented, sv_branch_based_instrumented,
-    sv_branch_avoiding, sv_branch_based, sv_hybrid, ComponentLabels, HybridConfig,
+    baseline, sv_branch_avoiding, sv_branch_avoiding_instrumented, sv_branch_based,
+    sv_branch_based_instrumented, sv_hybrid, ComponentLabels, HybridConfig,
+};
+use bga_parallel::{
+    par_sv_branch_avoiding, par_sv_branch_avoiding_instrumented, par_sv_branch_based,
+    par_sv_branch_based_instrumented, resolve_threads,
 };
 use std::time::Instant;
 
@@ -14,6 +18,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
     };
     let variant = flag_value(args, "--variant").unwrap_or("branch-avoiding");
     let instrumented = args.iter().any(|a| a == "--instrumented");
+    let threads = parse_threads(args)?;
 
     let graph = load_graph(graph_spec)?;
     println!(
@@ -23,10 +28,26 @@ pub fn run(args: &[String]) -> Result<(), String> {
     );
 
     if instrumented {
-        let run = match variant {
-            "branch-based" => sv_branch_based_instrumented(&graph),
-            "branch-avoiding" => sv_branch_avoiding_instrumented(&graph),
-            other => {
+        let run = match (variant, threads) {
+            ("branch-based", None) => sv_branch_based_instrumented(&graph),
+            ("branch-avoiding", None) => sv_branch_avoiding_instrumented(&graph),
+            ("branch-based", Some(t)) => {
+                let par = par_sv_branch_based_instrumented(&graph, t);
+                println!("threads: {}", par.threads);
+                bga_kernels::cc::SvRun {
+                    labels: par.labels,
+                    counters: par.counters,
+                }
+            }
+            ("branch-avoiding", Some(t)) => {
+                let par = par_sv_branch_avoiding_instrumented(&graph, t);
+                println!("threads: {}", par.threads);
+                bga_kernels::cc::SvRun {
+                    labels: par.labels,
+                    counters: par.counters,
+                }
+            }
+            (other, _) => {
                 return Err(format!(
                     "--instrumented supports branch-based and branch-avoiding, not {other:?}"
                 ))
@@ -46,19 +67,47 @@ pub fn run(args: &[String]) -> Result<(), String> {
         return Ok(());
     }
 
+    // Report the resolved worker count before the timed region so the
+    // stdout write does not bias sequential-vs-parallel wall clocks.
+    if let Some(t) = threads {
+        println!("threads: {}", resolve_threads(t));
+    }
     let start = Instant::now();
-    let labels: ComponentLabels = match variant {
-        "branch-based" => sv_branch_based(&graph),
-        "branch-avoiding" => sv_branch_avoiding(&graph),
-        "hybrid" => sv_hybrid(&graph, HybridConfig::default()),
-        "union-find" => baseline::cc_union_find(&graph),
-        "bfs" => baseline::cc_bfs(&graph),
-        other => return Err(format!("unknown cc variant {other:?}")),
+    let labels: ComponentLabels = match (variant, threads) {
+        ("branch-based", None) => sv_branch_based(&graph),
+        ("branch-avoiding", None) => sv_branch_avoiding(&graph),
+        ("branch-based", Some(t)) => par_sv_branch_based(&graph, t),
+        ("branch-avoiding", Some(t)) => par_sv_branch_avoiding(&graph, t),
+        ("hybrid", None) => sv_hybrid(&graph, HybridConfig::default()),
+        ("union-find", None) => baseline::cc_union_find(&graph),
+        ("bfs", None) => baseline::cc_bfs(&graph),
+        (other, None) => return Err(format!("unknown cc variant {other:?}")),
+        (other, Some(_)) => {
+            return Err(format!(
+                "--threads supports branch-based and branch-avoiding, not {other:?}"
+            ))
+        }
     };
     let elapsed = start.elapsed();
     print_labels_summary(variant, &labels);
     println!("wall clock: {:.3} ms", elapsed.as_secs_f64() * 1e3);
     Ok(())
+}
+
+/// Parses `--threads N`: `None` when the flag is absent (sequential
+/// kernels), `Some(0)` meaning "all cores", `Some(n)` otherwise. A bare
+/// `--threads` with no value is an error, not a silent sequential run.
+pub(super) fn parse_threads(args: &[String]) -> Result<Option<usize>, String> {
+    match flag_value(args, "--threads") {
+        None if args.iter().any(|a| a == "--threads") => {
+            Err("--threads requires a value (0 means all cores)".to_string())
+        }
+        None => Ok(None),
+        Some(text) => text
+            .parse::<usize>()
+            .map(Some)
+            .map_err(|e| format!("invalid --threads value {text:?}: {e}")),
+    }
 }
 
 fn print_labels_summary(variant: &str, labels: &ComponentLabels) {
@@ -94,5 +143,39 @@ mod tests {
         assert!(run(&strings(&["cond-mat-2005", "--variant", "union-find"])).is_ok());
         assert!(run(&strings(&["cond-mat-2005", "--variant", "nope"])).is_err());
         assert!(run(&[]).is_err());
+    }
+
+    #[test]
+    fn threads_flag_selects_the_parallel_kernels() {
+        for variant in ["branch-based", "branch-avoiding"] {
+            assert!(run(&strings(&[
+                "cond-mat-2005",
+                "--variant",
+                variant,
+                "--threads",
+                "2"
+            ]))
+            .is_ok());
+            assert!(run(&strings(&[
+                "cond-mat-2005",
+                "--variant",
+                variant,
+                "--threads",
+                "2",
+                "--instrumented"
+            ]))
+            .is_ok());
+        }
+        // Sequential-only variants reject --threads, and the value must parse.
+        assert!(run(&strings(&[
+            "cond-mat-2005",
+            "--variant",
+            "hybrid",
+            "--threads",
+            "2"
+        ]))
+        .is_err());
+        assert!(run(&strings(&["cond-mat-2005", "--threads", "two"])).is_err());
+        assert!(run(&strings(&["cond-mat-2005", "--threads"])).is_err());
     }
 }

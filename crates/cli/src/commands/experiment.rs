@@ -1,17 +1,29 @@
-//! `bga experiment`: quick textual versions of the paper's tables and a
-//! suite summary. The full per-figure harnesses live in `bga-bench`.
+//! `bga experiment`: quick textual versions of the paper's tables, a suite
+//! summary, and the strong-scaling experiment for the parallel kernels. The
+//! full per-figure harnesses live in `bga-bench`.
 
 use bga_branchsim::all_machine_models;
 use bga_graph::suite::{benchmark_suite, suite_table, SuiteScale};
 use bga_kernels::bfs::bfs_branch_based_instrumented;
 use bga_kernels::cc::{sv_branch_avoiding_instrumented, sv_branch_based_instrumented};
+use bga_parallel::{par_sv_branch_avoiding, par_sv_branch_based};
 use bga_perfmodel::timing::modeled_speedup;
+use std::time::Instant;
+
+/// Experiment names, for the help/error text.
+pub const EXPERIMENTS: &str = "table1, table2, suite-summary, scaling";
+
+/// Thread counts the scaling experiment sweeps.
+const SCALING_THREADS: [usize; 4] = [1, 2, 4, 8];
 
 /// Runs the `experiment` subcommand.
 pub fn run(args: &[String]) -> Result<(), String> {
     match args.first().map(|s| s.as_str()) {
         Some("table1") => {
-            println!("{:<12} {:<10} {:<22} {:>6}  {:>5} {:>6} {:>6}", "uarch", "isa", "processor", "GHz", "L1KiB", "L2KiB", "L3KiB");
+            println!(
+                "{:<12} {:<10} {:<22} {:>6}  {:>5} {:>6} {:>6}",
+                "uarch", "isa", "processor", "GHz", "L1KiB", "L2KiB", "L3KiB"
+            );
             for m in all_machine_models() {
                 println!(
                     "{:<12} {:<10} {:<22} {:>6.1}  {:>5} {:>6} {:>6}",
@@ -55,47 +67,122 @@ pub fn run(args: &[String]) -> Result<(), String> {
                 "graph", "sv-sweeps", "bfs-levels", "sv-speedup(Haswell)", "sv-speedup(Bonnell)"
             );
             let machines = all_machine_models();
-            let haswell = machines.iter().find(|m| m.name == "Haswell").expect("exists");
-            let bonnell = machines.iter().find(|m| m.name == "Bonnell").expect("exists");
+            let haswell = machines
+                .iter()
+                .find(|m| m.name == "Haswell")
+                .expect("exists");
+            let bonnell = machines
+                .iter()
+                .find(|m| m.name == "Bonnell")
+                .expect("exists");
 
             // Each suite graph is analysed independently, so fan the five of
-            // them out over scoped threads and collect rows under a mutex.
-            let rows = parking_lot::Mutex::new(Vec::<(usize, String)>::new());
-            crossbeam::thread::scope(|scope| {
-                for (index, sg) in suite.iter().enumerate() {
-                    let rows = &rows;
-                    scope.spawn(move |_| {
-                        let based = sv_branch_based_instrumented(&sg.graph);
-                        let avoiding = sv_branch_avoiding_instrumented(&sg.graph);
-                        let bfs = bfs_branch_based_instrumented(&sg.graph, 0);
-                        let s_h = modeled_speedup(&based.counters, &avoiding.counters, haswell)
-                            .unwrap_or(f64::NAN);
-                        let s_b = modeled_speedup(&based.counters, &avoiding.counters, bonnell)
-                            .unwrap_or(f64::NAN);
-                        let line = format!(
-                            "{:<15} {:>10} {:>12} {:>20.3} {:>22.3}",
-                            sg.name(),
-                            based.iterations(),
-                            bfs.levels(),
-                            s_h,
-                            s_b
-                        );
-                        rows.lock().push((index, line));
-                    });
-                }
-            })
-            .map_err(|_| "a suite-analysis thread panicked".to_string())?;
-
-            let mut rows = rows.into_inner();
-            rows.sort_by_key(|(index, _)| *index);
-            for (_, line) in rows {
+            // them out over scoped threads; joining the handles in spawn
+            // order keeps the rows ordered and turns a worker panic into a
+            // clean CLI error instead of aborting the process.
+            let rows: Vec<std::thread::Result<String>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = suite
+                    .iter()
+                    .map(|sg| {
+                        scope.spawn(move || {
+                            let based = sv_branch_based_instrumented(&sg.graph);
+                            let avoiding = sv_branch_avoiding_instrumented(&sg.graph);
+                            let bfs = bfs_branch_based_instrumented(&sg.graph, 0);
+                            let s_h = modeled_speedup(&based.counters, &avoiding.counters, haswell)
+                                .unwrap_or(f64::NAN);
+                            let s_b = modeled_speedup(&based.counters, &avoiding.counters, bonnell)
+                                .unwrap_or(f64::NAN);
+                            format!(
+                                "{:<15} {:>10} {:>12} {:>20.3} {:>22.3}",
+                                sg.name(),
+                                based.iterations(),
+                                bfs.levels(),
+                                s_h,
+                                s_b
+                            )
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join()).collect()
+            });
+            for row in rows {
+                let line = row.map_err(|_| "a suite-analysis thread panicked".to_string())?;
                 println!("{line}");
             }
             Ok(())
         }
-        Some(other) => Err(format!("unknown experiment {other:?}")),
-        None => Err("experiment needs a name (table1, table2, suite-summary)".to_string()),
+        Some("scaling") => {
+            run_scaling();
+            Ok(())
+        }
+        Some(other) => Err(format!(
+            "unknown experiment {other:?} (expected one of: {EXPERIMENTS})"
+        )),
+        None => Err(format!("experiment needs a name ({EXPERIMENTS})")),
     }
+}
+
+/// Strong-scaling sweep: both parallel SV variants on every suite graph at
+/// 1, 2, 4 and 8 worker threads, with per-thread-count wall-clock timings
+/// and the speedup of each configuration over its own single-thread run.
+fn run_scaling() {
+    let suite = benchmark_suite(SuiteScale::Small, 42);
+    println!(
+        "{:<15} {:<16} {:>8} {:>12} {:>10}",
+        "graph", "variant", "threads", "time(ms)", "speedup"
+    );
+    type SvKernel = fn(&bga_graph::CsrGraph, usize) -> bga_kernels::cc::ComponentLabels;
+    let kernels: [(&str, SvKernel); 2] = [
+        ("branch-based", par_sv_branch_based),
+        ("branch-avoiding", par_sv_branch_avoiding),
+    ];
+    for sg in &suite {
+        for (variant, kernel) in kernels {
+            let mut single_thread_ms = None;
+            for threads in SCALING_THREADS {
+                let start = Instant::now();
+                let labels = kernel(&sg.graph, threads);
+                let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+                // Guard against a miscompiled/misbehaving run: the label set
+                // must stay consistent across thread counts.
+                assert_eq!(labels.len(), sg.graph.num_vertices());
+                let baseline = *single_thread_ms.get_or_insert(elapsed_ms);
+                println!(
+                    "{:<15} {:<16} {:>8} {:>12.3} {:>9.2}x",
+                    sg.name(),
+                    variant,
+                    threads,
+                    elapsed_ms,
+                    baseline / elapsed_ms.max(f64::MIN_POSITIVE)
+                );
+            }
+        }
+    }
+    // Contrast line mirroring the paper's message: identical results from
+    // both hooking disciplines.
+    let g = &suite[0].graph;
+    let based = par_sv_branch_based(g, 0);
+    let avoiding = par_sv_branch_avoiding(g, 0);
+    assert_eq!(based.as_slice(), avoiding.as_slice());
+    println!(
+        "check: CAS-loop and fetch-min hooking agree on {} ({} components)",
+        suite[0].name(),
+        based.component_count()
+    );
+}
+
+/// Sequential-vs-parallel sanity check used by the tests: both execution
+/// modes must produce identical labels on a suite graph.
+#[cfg(test)]
+fn parallel_matches_sequential() -> bool {
+    use bga_kernels::cc::{sv_branch_avoiding, sv_branch_based};
+    let suite = benchmark_suite(SuiteScale::Small, 42);
+    let g = &suite[2].graph; // coAuthorsDBLP stand-in
+    let seq = sv_branch_based(g);
+    let seq_avoiding = sv_branch_avoiding(g);
+    let par = par_sv_branch_based(g, 2);
+    let par_avoiding = par_sv_branch_avoiding(g, 2);
+    seq.as_slice() == par.as_slice() && seq_avoiding.as_slice() == par_avoiding.as_slice()
 }
 
 #[cfg(test)]
@@ -106,5 +193,18 @@ mod tests {
         assert!(super::run(&["table2".to_string()]).is_ok());
         assert!(super::run(&["bogus".to_string()]).is_err());
         assert!(super::run(&[]).is_err());
+    }
+
+    #[test]
+    fn error_text_lists_the_scaling_experiment() {
+        let err = super::run(&["bogus".to_string()]).unwrap_err();
+        assert!(err.contains("scaling"), "error text was {err:?}");
+        let err = super::run(&[]).unwrap_err();
+        assert!(err.contains("scaling"), "error text was {err:?}");
+    }
+
+    #[test]
+    fn scaling_inputs_agree_across_execution_modes() {
+        assert!(super::parallel_matches_sequential());
     }
 }

@@ -7,8 +7,10 @@ use bga_graph::generators::{
 use bga_graph::io::write_metis;
 use bga_graph::CsrGraph;
 
-/// Runs the `generate` subcommand: `generate <family> <args..> <out.metis>`.
+/// Runs the `generate` subcommand:
+/// `generate <family> <args..> [--seed S] <out.metis>`.
 pub fn run(args: &[String]) -> Result<(), String> {
+    let (seed, args) = extract_seed(args)?;
     if args.len() < 2 {
         return Err("generate needs a family, its parameters and an output path".to_string());
     }
@@ -16,7 +18,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
     let output = args.last().expect("checked length above");
     let params = &args[1..args.len() - 1];
 
-    let graph = build(family, params)?;
+    let graph = build(family, params, seed)?;
     write_metis(&graph, output).map_err(|e| format!("failed to write {output}: {e}"))?;
     println!(
         "wrote {} ({} vertices, {} edges) in METIS format",
@@ -27,7 +29,37 @@ pub fn run(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn build(family: &str, params: &[String]) -> Result<CsrGraph, String> {
+/// Pulls an optional `--seed S` flag out of the argument list, returning
+/// the seed (default 42) and the remaining positional arguments.
+fn extract_seed(args: &[String]) -> Result<(u64, Vec<String>), String> {
+    let Some(position) = args.iter().position(|a| a == "--seed") else {
+        return Ok((42, args.to_vec()));
+    };
+    let value = args
+        .get(position + 1)
+        .ok_or_else(|| "--seed requires a value".to_string())?;
+    let seed = value
+        .parse::<u64>()
+        .map_err(|e| format!("invalid --seed value {value:?}: {e}"))?;
+    let mut rest = args.to_vec();
+    rest.drain(position..=position + 1);
+    Ok((seed, rest))
+}
+
+fn build(family: &str, params: &[String], seed: u64) -> Result<CsrGraph, String> {
+    // Surplus positional parameters are rejected rather than silently
+    // ignored — a trailing number is almost always a seed the user expected
+    // to take effect (that is what `--seed` is for).
+    let arity = |expected: usize| -> Result<(), String> {
+        if params.len() == expected {
+            Ok(())
+        } else {
+            Err(format!(
+                "{family} takes {expected} parameter(s), got {} (use --seed S for the seed)",
+                params.len()
+            ))
+        }
+    };
     let int = |i: usize, name: &str| -> Result<usize, String> {
         params
             .get(i)
@@ -42,26 +74,66 @@ fn build(family: &str, params: &[String]) -> Result<CsrGraph, String> {
             .parse::<f64>()
             .map_err(|e| format!("invalid {name}: {e}"))
     };
-    let seed = 42u64;
 
     let graph = match family {
-        "path" => path_graph(int(0, "n")?),
-        "cycle" => cycle_graph(int(0, "n")?),
-        "star" => star_graph(int(0, "n")?),
-        "complete" => complete_graph(int(0, "n")?),
-        "tree" => random_tree(int(0, "n")?, seed),
-        "gnp" => erdos_renyi_gnp(int(0, "n")?, float(1, "p")?, seed),
-        "gnm" => erdos_renyi_gnm(int(0, "n")?, int(1, "m")?, seed),
-        "ba" => barabasi_albert(int(0, "n")?, int(1, "m")?, seed),
-        "ws" => watts_strogatz(int(0, "n")?, int(1, "k")?, float(2, "beta")?, seed),
-        "grid2d" => grid_2d(int(0, "rows")?, int(1, "cols")?, MeshStencil::Moore),
-        "grid3d" => grid_3d(int(0, "nx")?, int(1, "ny")?, int(2, "nz")?, MeshStencil::Moore),
-        "rmat" => rmat(
-            int(0, "scale")? as u32,
-            int(1, "edges")?,
-            RmatParams::default(),
-            seed,
-        ),
+        "path" => {
+            arity(1)?;
+            path_graph(int(0, "n")?)
+        }
+        "cycle" => {
+            arity(1)?;
+            cycle_graph(int(0, "n")?)
+        }
+        "star" => {
+            arity(1)?;
+            star_graph(int(0, "n")?)
+        }
+        "complete" => {
+            arity(1)?;
+            complete_graph(int(0, "n")?)
+        }
+        "tree" => {
+            arity(1)?;
+            random_tree(int(0, "n")?, seed)
+        }
+        "gnp" => {
+            arity(2)?;
+            erdos_renyi_gnp(int(0, "n")?, float(1, "p")?, seed)
+        }
+        "gnm" => {
+            arity(2)?;
+            erdos_renyi_gnm(int(0, "n")?, int(1, "m")?, seed)
+        }
+        "ba" => {
+            arity(2)?;
+            barabasi_albert(int(0, "n")?, int(1, "m")?, seed)
+        }
+        "ws" => {
+            arity(3)?;
+            watts_strogatz(int(0, "n")?, int(1, "k")?, float(2, "beta")?, seed)
+        }
+        "grid2d" => {
+            arity(2)?;
+            grid_2d(int(0, "rows")?, int(1, "cols")?, MeshStencil::Moore)
+        }
+        "grid3d" => {
+            arity(3)?;
+            grid_3d(
+                int(0, "nx")?,
+                int(1, "ny")?,
+                int(2, "nz")?,
+                MeshStencil::Moore,
+            )
+        }
+        "rmat" => {
+            arity(2)?;
+            rmat(
+                int(0, "scale")? as u32,
+                int(1, "edges")?,
+                RmatParams::default(),
+                seed,
+            )
+        }
         other => return Err(format!("unknown graph family {other:?}")),
     };
     Ok(graph)
@@ -77,15 +149,42 @@ mod tests {
 
     #[test]
     fn builds_each_family() {
-        assert_eq!(build("path", &strings(&["5"])).unwrap().num_edges(), 4);
-        assert_eq!(build("ba", &strings(&["50", "2"])).unwrap().num_vertices(), 50);
+        assert_eq!(build("path", &strings(&["5"]), 42).unwrap().num_edges(), 4);
         assert_eq!(
-            build("grid3d", &strings(&["3", "3", "3"])).unwrap().num_vertices(),
+            build("ba", &strings(&["50", "2"]), 42)
+                .unwrap()
+                .num_vertices(),
+            50
+        );
+        assert_eq!(
+            build("grid3d", &strings(&["3", "3", "3"]), 42)
+                .unwrap()
+                .num_vertices(),
             27
         );
-        assert!(build("unknown", &strings(&["1"])).is_err());
-        assert!(build("gnp", &strings(&["10"])).is_err());
-        assert!(build("gnp", &strings(&["10", "x"])).is_err());
+        assert!(build("unknown", &strings(&["1"]), 42).is_err());
+        assert!(build("gnp", &strings(&["10"]), 42).is_err());
+        assert!(build("gnp", &strings(&["10", "x"]), 42).is_err());
+        // Surplus positional parameters (e.g. a would-be seed) are rejected.
+        assert!(build("ba", &strings(&["50", "2", "7"]), 42).is_err());
+    }
+
+    #[test]
+    fn seed_flag_changes_the_graph() {
+        let (default_seed, rest) = extract_seed(&strings(&["ba", "50", "2", "out"])).unwrap();
+        assert_eq!(default_seed, 42);
+        assert_eq!(rest.len(), 4);
+        let (seed, rest) =
+            extract_seed(&strings(&["ba", "50", "2", "--seed", "7", "out"])).unwrap();
+        assert_eq!(seed, 7);
+        assert_eq!(rest, strings(&["ba", "50", "2", "out"]));
+        assert!(extract_seed(&strings(&["ba", "--seed"])).is_err());
+        assert!(extract_seed(&strings(&["ba", "--seed", "x"])).is_err());
+        let a = build("ba", &strings(&["60", "2"]), 7).unwrap();
+        let b = build("ba", &strings(&["60", "2"]), 8).unwrap();
+        let again = build("ba", &strings(&["60", "2"]), 7).unwrap();
+        assert_eq!(a, again, "same seed must reproduce the same graph");
+        assert_ne!(a, b, "different seeds should differ");
     }
 
     #[test]

@@ -184,7 +184,10 @@ mod tests {
 
     #[test]
     fn self_loops_dropped_by_default() {
-        let g = GraphBuilder::undirected(2).add_edge(1, 1).add_edge(0, 1).build();
+        let g = GraphBuilder::undirected(2)
+            .add_edge(1, 1)
+            .add_edge(0, 1)
+            .build();
         assert_eq!(g.num_edges(), 1);
         assert_eq!(g.neighbors(1), &[0]);
     }

@@ -111,7 +111,7 @@ impl CsrGraph {
     /// Iterator over all vertex ids `0..|V|`.
     #[inline]
     pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
-        (0..self.num_vertices() as VertexId).into_iter()
+        0..self.num_vertices() as VertexId
     }
 
     /// Iterator over every directed edge slot `(u, v)`.
@@ -331,7 +331,10 @@ impl fmt::Display for CsrError {
                 "last offset {last_offset} does not match adjacency length {adjacency_len}"
             ),
             CsrError::TargetOutOfRange { slot, target } => {
-                write!(f, "adjacency slot {slot} targets out-of-range vertex {target}")
+                write!(
+                    f,
+                    "adjacency slot {slot} targets out-of-range vertex {target}"
+                )
             }
             CsrError::UnsortedNeighbors { vertex } => {
                 write!(f, "neighbour list of vertex {vertex} is not sorted")
@@ -448,7 +451,9 @@ mod tests {
     #[test]
     fn transpose_of_directed_path() {
         // 0 -> 1 -> 2
-        let g = GraphBuilder::directed(3).add_edges([(0, 1), (1, 2)]).build();
+        let g = GraphBuilder::directed(3)
+            .add_edges([(0, 1), (1, 2)])
+            .build();
         let t = g.transpose();
         assert_eq!(t.neighbors(0), &[] as &[VertexId]);
         assert_eq!(t.neighbors(1), &[0]);

@@ -9,7 +9,10 @@ use rand::{Rng, SeedableRng};
 /// `p`. Uses geometric skipping so the cost is proportional to the number of
 /// generated edges rather than `n^2`, which keeps large sparse instances fast.
 pub fn erdos_renyi_gnp(n: usize, p: f64, seed: u64) -> CsrGraph {
-    assert!((0.0..=1.0).contains(&p), "edge probability must be in [0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "edge probability must be in [0, 1]"
+    );
     let mut b = GraphBuilder::undirected(n);
     if n < 2 || p == 0.0 {
         return b.build();

@@ -13,7 +13,10 @@ use rand::SeedableRng;
 ///
 /// Panics if `n * d` is odd or `d >= n` (no simple d-regular graph exists).
 pub fn random_regular(n: usize, d: usize, seed: u64) -> CsrGraph {
-    assert!(n * d % 2 == 0, "n * d must be even for a d-regular graph");
+    assert!(
+        (n * d).is_multiple_of(2),
+        "n * d must be even for a d-regular graph"
+    );
     assert!(d < n, "degree must be smaller than the vertex count");
     if n == 0 || d == 0 {
         return GraphBuilder::undirected(n).build();

@@ -95,7 +95,11 @@ mod tests {
         let g = rmat(8, 1000, RmatParams::default(), 1);
         assert_eq!(g.num_vertices(), 256);
         assert!(g.num_edges() <= 1000);
-        assert!(g.num_edges() > 500, "too many collisions: {}", g.num_edges());
+        assert!(
+            g.num_edges() > 500,
+            "too many collisions: {}",
+            g.num_edges()
+        );
     }
 
     #[test]
@@ -151,6 +155,16 @@ mod tests {
     #[test]
     #[should_panic(expected = "invalid R-MAT parameters")]
     fn generator_rejects_bad_params() {
-        rmat(5, 10, RmatParams { a: 1.0, b: 1.0, c: 0.0, d: 0.0 }, 1);
+        rmat(
+            5,
+            10,
+            RmatParams {
+                a: 1.0,
+                b: 1.0,
+                c: 0.0,
+                d: 0.0,
+            },
+            1,
+        );
     }
 }

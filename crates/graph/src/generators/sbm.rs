@@ -21,9 +21,7 @@ pub fn stochastic_block_model(
     let mut community_of = vec![0usize; n];
     let mut start = 0usize;
     for (cid, &size) in community_sizes.iter().enumerate() {
-        for v in start..start + size {
-            community_of[v] = cid;
-        }
+        community_of[start..start + size].fill(cid);
         start += size;
     }
 

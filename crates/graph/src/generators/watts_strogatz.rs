@@ -9,7 +9,10 @@ use rand::{Rng, SeedableRng};
 /// `k` nearest ring neighbours (`k` must be even and `< n`), then every edge
 /// is rewired to a uniformly random endpoint with probability `beta`.
 pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> CsrGraph {
-    assert!(k % 2 == 0, "k must be even (k/2 neighbours on each side)");
+    assert!(
+        k.is_multiple_of(2),
+        "k must be even (k/2 neighbours on each side)"
+    );
     assert!(k < n || n == 0, "k must be smaller than n");
     assert!((0.0..=1.0).contains(&beta), "beta must be in [0, 1]");
     let mut rng = StdRng::seed_from_u64(seed);

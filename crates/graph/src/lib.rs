@@ -40,6 +40,6 @@ pub mod suite;
 pub mod transform;
 
 pub use builder::{from_directed_edge_list, from_edge_list, GraphBuilder};
-pub use csr::{CsrGraph, CsrError, EdgeIndex, VertexId};
+pub use csr::{CsrError, CsrGraph, EdgeIndex, VertexId};
 pub use degree::{degree_histogram, degree_stats, DegreeStats};
 pub use suite::{benchmark_suite, SuiteGraph, SuiteGraphId, SuiteScale};

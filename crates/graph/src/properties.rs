@@ -85,7 +85,9 @@ impl UnionFind {
                 min_of_root[r] = v;
             }
         }
-        (0..n as u32).map(|v| min_of_root[self.find(v) as usize]).collect()
+        (0..n as u32)
+            .map(|v| min_of_root[self.find(v) as usize])
+            .collect()
     }
 }
 
@@ -125,7 +127,10 @@ pub fn component_sizes(graph: &CsrGraph) -> std::collections::BTreeMap<u32, usiz
 pub fn largest_component(graph: &CsrGraph) -> Vec<VertexId> {
     let labels = connected_components_union_find(graph);
     let sizes = component_sizes(graph);
-    let Some((&best_label, _)) = sizes.iter().max_by_key(|&(label, size)| (*size, std::cmp::Reverse(*label))) else {
+    let Some((&best_label, _)) = sizes
+        .iter()
+        .max_by_key(|&(label, size)| (*size, std::cmp::Reverse(*label)))
+    else {
         return Vec::new();
     };
     labels

@@ -108,7 +108,7 @@ impl SuiteGraphId {
     /// sweeps instead of the tens of iterations the paper's figures show.
     pub fn generate(self, scale: SuiteScale, seed: u64) -> CsrGraph {
         let raw = self.generate_unpermuted(scale, seed);
-        crate::transform::relabel_random(&raw, seed ^ 0x5EED_1AB)
+        crate::transform::relabel_random(&raw, seed ^ 0x05EE_D1AB)
     }
 
     /// The stand-in with the generator's native vertex numbering (mesh ids
@@ -116,19 +116,11 @@ impl SuiteGraphId {
     pub fn generate_unpermuted(self, scale: SuiteScale, seed: u64) -> CsrGraph {
         match (self, scale) {
             // audikw1: large dense 3-D FEM matrix -> cube mesh, Moore stencil.
-            (SuiteGraphId::Audikw1, SuiteScale::Small) => {
-                grid_3d(24, 24, 24, MeshStencil::Moore)
-            }
-            (SuiteGraphId::Audikw1, SuiteScale::Full) => {
-                grid_3d(98, 98, 98, MeshStencil::Moore)
-            }
+            (SuiteGraphId::Audikw1, SuiteScale::Small) => grid_3d(24, 24, 24, MeshStencil::Moore),
+            (SuiteGraphId::Audikw1, SuiteScale::Full) => grid_3d(98, 98, 98, MeshStencil::Moore),
             // auto: partitioning mesh, sparser connectivity, many BFS levels.
-            (SuiteGraphId::Auto, SuiteScale::Small) => {
-                grid_3d(40, 16, 12, MeshStencil::VonNeumann)
-            }
-            (SuiteGraphId::Auto, SuiteScale::Full) => {
-                grid_3d(160, 62, 45, MeshStencil::VonNeumann)
-            }
+            (SuiteGraphId::Auto, SuiteScale::Small) => grid_3d(40, 16, 12, MeshStencil::VonNeumann),
+            (SuiteGraphId::Auto, SuiteScale::Full) => grid_3d(160, 62, 45, MeshStencil::VonNeumann),
             // coAuthorsDBLP: power-law collaboration network.
             (SuiteGraphId::CoAuthorsDblp, SuiteScale::Small) => {
                 barabasi_albert(12_000, 3, seed ^ 0xD1B2)
@@ -148,12 +140,8 @@ impl SuiteGraphId {
                 barabasi_albert(40_421, 4, seed ^ 0xC0DD)
             }
             // ldoor: elongated FEM mesh (a door-shaped part), long diameter.
-            (SuiteGraphId::Ldoor, SuiteScale::Small) => {
-                grid_3d(80, 14, 12, MeshStencil::Moore)
-            }
-            (SuiteGraphId::Ldoor, SuiteScale::Full) => {
-                grid_3d(330, 60, 48, MeshStencil::Moore)
-            }
+            (SuiteGraphId::Ldoor, SuiteScale::Small) => grid_3d(80, 14, 12, MeshStencil::Moore),
+            (SuiteGraphId::Ldoor, SuiteScale::Full) => grid_3d(330, 60, 48, MeshStencil::Moore),
         }
     }
 }

@@ -8,8 +8,8 @@
 //! applies a seeded random permutation to the vertex ids so the synthetic
 //! stand-ins exhibit iteration counts comparable to the paper's.
 
-use crate::csr::{CsrGraph, VertexId};
 use crate::builder::GraphBuilder;
+use crate::csr::{CsrGraph, VertexId};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;

@@ -2,7 +2,9 @@
 //! behaviour, I/O round trips and structural transforms.
 
 use bga_graph::generators::{erdos_renyi_gnm, erdos_renyi_gnp};
-use bga_graph::io::{read_edge_list_str, read_metis_str, write_edge_list_string, write_metis_string};
+use bga_graph::io::{
+    read_edge_list_str, read_metis_str, write_edge_list_string, write_metis_string,
+};
 use bga_graph::properties::{
     bfs_distances_reference, connected_component_count, pseudo_diameter, UNREACHED,
 };
@@ -14,10 +16,8 @@ use proptest::prelude::*;
 fn arbitrary_graph() -> impl Strategy<Value = (usize, Vec<(VertexId, VertexId)>)> {
     (2usize..60).prop_flat_map(|n| {
         let max_edges = n * (n - 1) / 2;
-        let edges = prop::collection::vec(
-            (0..n as VertexId, 0..n as VertexId),
-            0..max_edges.min(150),
-        );
+        let edges =
+            prop::collection::vec((0..n as VertexId, 0..n as VertexId), 0..max_edges.min(150));
         (Just(n), edges)
     })
 }

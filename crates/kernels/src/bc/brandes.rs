@@ -135,7 +135,9 @@ pub fn betweenness_centrality_branch_avoiding(graph: &CsrGraph) -> Vec<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bga_graph::generators::{barabasi_albert, complete_graph, cycle_graph, path_graph, star_graph};
+    use bga_graph::generators::{
+        barabasi_albert, complete_graph, cycle_graph, path_graph, star_graph,
+    };
     use bga_graph::properties::bfs_distances_reference;
     use bga_graph::{CsrGraph, GraphBuilder};
 
@@ -163,12 +165,7 @@ mod tests {
         centrality
     }
 
-    fn enumerate_shortest_paths(
-        graph: &CsrGraph,
-        ds: &[u32],
-        s: u32,
-        t: u32,
-    ) -> Vec<Vec<u32>> {
+    fn enumerate_shortest_paths(graph: &CsrGraph, ds: &[u32], s: u32, t: u32) -> Vec<Vec<u32>> {
         if s == t {
             return vec![vec![s]];
         }
@@ -198,8 +195,8 @@ mod tests {
         let bc = betweenness_centrality(&g);
         // Centre lies on every one of the C(5,2) = 10 leaf pairs' paths.
         assert!((bc[0] - 10.0).abs() < 1e-9);
-        for leaf in 1..6 {
-            assert!(bc[leaf].abs() < 1e-9);
+        for centrality in &bc[1..6] {
+            assert!(centrality.abs() < 1e-9);
         }
     }
 
@@ -228,7 +225,16 @@ mod tests {
             cycle_graph(7),
             path_graph(8),
             GraphBuilder::undirected(7)
-                .add_edges([(0, 1), (1, 2), (2, 3), (3, 0), (2, 4), (4, 5), (3, 5), (5, 6)])
+                .add_edges([
+                    (0, 1),
+                    (1, 2),
+                    (2, 3),
+                    (3, 0),
+                    (2, 4),
+                    (4, 5),
+                    (3, 5),
+                    (5, 6),
+                ])
                 .build(),
             barabasi_albert(12, 2, 3),
         ];
@@ -243,7 +249,9 @@ mod tests {
             star_graph(20),
             cycle_graph(15),
             barabasi_albert(150, 2, 4),
-            GraphBuilder::undirected(5).add_edges([(0, 1), (2, 3)]).build(), // disconnected
+            GraphBuilder::undirected(5)
+                .add_edges([(0, 1), (2, 3)])
+                .build(), // disconnected
         ];
         for g in &graphs {
             assert_close(

@@ -82,7 +82,9 @@ mod tests {
 
     #[test]
     fn disconnected_components_are_not_visited() {
-        let g = GraphBuilder::undirected(6).add_edges([(0, 1), (4, 5)]).build();
+        let g = GraphBuilder::undirected(6)
+            .add_edges([(0, 1), (4, 5)])
+            .build();
         let r = bfs_bottom_up(&g, 0);
         assert_eq!(r.reached_count(), 2);
         assert_eq!(r.distance(4), INFINITY);

@@ -89,7 +89,9 @@ pub fn check_bfs_invariants(
             return Err(format!("edge ({u}, {v}) spans levels {du} -> {dv}"));
         }
         if du != INFINITY && dv == INFINITY {
-            return Err(format!("vertex {v} unreached despite reached neighbour {u}"));
+            return Err(format!(
+                "vertex {v} unreached despite reached neighbour {u}"
+            ));
         }
     }
     for v in graph.vertices() {
@@ -102,7 +104,9 @@ pub fn check_bfs_invariants(
             .iter()
             .any(|&u| d[u as usize] != INFINITY && d[u as usize] + 1 == dv);
         if !has_parent {
-            return Err(format!("vertex {v} at level {dv} has no parent one level up"));
+            return Err(format!(
+                "vertex {v} at level {dv} has no parent one level up"
+            ));
         }
     }
     Ok(())

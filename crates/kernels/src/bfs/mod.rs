@@ -50,7 +50,11 @@ mod tests {
         ];
         for g in &graphs {
             let expected = bfs_distances_reference(g, 0);
-            assert_eq!(bfs_branch_based(g, 0).distances(), &expected[..], "branch-based");
+            assert_eq!(
+                bfs_branch_based(g, 0).distances(),
+                &expected[..],
+                "branch-based"
+            );
             assert_eq!(
                 bfs_branch_avoiding(g, 0).distances(),
                 &expected[..],

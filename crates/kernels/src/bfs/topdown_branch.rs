@@ -69,7 +69,9 @@ mod tests {
 
     #[test]
     fn disconnected_vertices_stay_unreached() {
-        let g = GraphBuilder::undirected(5).add_edges([(0, 1), (2, 3)]).build();
+        let g = GraphBuilder::undirected(5)
+            .add_edges([(0, 1), (2, 3)])
+            .build();
         let r = bfs_branch_based(&g, 0);
         assert_eq!(r.distance(1), 1);
         assert_eq!(r.distance(2), INFINITY);

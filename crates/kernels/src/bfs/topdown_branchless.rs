@@ -66,8 +66,8 @@ pub fn bfs_branch_avoiding(graph: &CsrGraph, root: VertexId) -> BfsResult {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use super::super::topdown_branch::bfs_branch_based;
+    use super::*;
     use bga_graph::generators::{
         barabasi_albert, complete_graph, cycle_graph, grid_2d, path_graph, star_graph, MeshStencil,
     };

@@ -43,7 +43,9 @@ mod tests {
     fn union_find_and_bfs_agree() {
         let graphs = vec![
             GraphBuilder::undirected(0).build(),
-            GraphBuilder::undirected(5).add_edges([(0, 1), (3, 4)]).build(),
+            GraphBuilder::undirected(5)
+                .add_edges([(0, 1), (3, 4)])
+                .build(),
             path_graph(30),
             erdos_renyi_gnp(200, 0.01, 13),
         ];

@@ -232,7 +232,10 @@ mod tests {
     fn instrumented_kernels_match_reference_labels() {
         for g in test_graphs() {
             let expected = connected_components_union_find(&g);
-            assert_eq!(sv_branch_based_instrumented(&g).labels.canonical(), expected);
+            assert_eq!(
+                sv_branch_based_instrumented(&g).labels.canonical(),
+                expected
+            );
             assert_eq!(
                 sv_branch_avoiding_instrumented(&g).labels.canonical(),
                 expected
@@ -346,7 +349,10 @@ mod tests {
     fn conditional_moves_appear_only_in_the_avoiding_variant() {
         let g = path_graph(30);
         assert_eq!(
-            sv_branch_based_instrumented(&g).counters.total().conditional_moves,
+            sv_branch_based_instrumented(&g)
+                .counters
+                .total()
+                .conditional_moves,
             0
         );
         let avoiding = sv_branch_avoiding_instrumented(&g).counters.total();

@@ -52,7 +52,11 @@ mod tests {
         for g in &graphs {
             let expected = connected_components_union_find(g);
             assert_eq!(sv_branch_based(g).canonical(), expected, "branch-based");
-            assert_eq!(sv_branch_avoiding(g).canonical(), expected, "branch-avoiding");
+            assert_eq!(
+                sv_branch_avoiding(g).canonical(),
+                expected,
+                "branch-avoiding"
+            );
             assert_eq!(
                 sv_hybrid(g, HybridConfig::default()).canonical(),
                 expected,

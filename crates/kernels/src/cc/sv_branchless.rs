@@ -54,7 +54,10 @@ mod tests {
 
     #[test]
     fn empty_and_trivial_graphs() {
-        assert_eq!(sv_branch_avoiding(&GraphBuilder::undirected(0).build()).len(), 0);
+        assert_eq!(
+            sv_branch_avoiding(&GraphBuilder::undirected(0).build()).len(),
+            0
+        );
         let isolated = GraphBuilder::undirected(4).build();
         assert_eq!(sv_branch_avoiding(&isolated).as_slice(), &[0, 1, 2, 3]);
     }
@@ -69,7 +72,7 @@ mod tests {
         ];
         for g in &graphs {
             assert_eq!(
-                sv_branch_avoiding(&g).canonical(),
+                sv_branch_avoiding(g).canonical(),
                 connected_components_union_find(g)
             );
         }

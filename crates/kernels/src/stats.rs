@@ -71,7 +71,10 @@ impl RunCounters {
         if !baseline_min.is_finite() || baseline_min <= 0.0 {
             return Vec::new();
         }
-        self.steps.iter().map(|s| metric(s) / baseline_min).collect()
+        self.steps
+            .iter()
+            .map(|s| metric(s) / baseline_min)
+            .collect()
     }
 }
 
@@ -135,20 +138,25 @@ mod tests {
     #[test]
     fn series_extracts_metric_in_order() {
         let r = run(&[(10, 1), (20, 2), (30, 3)]);
-        assert_eq!(r.series(|s| s.counters.instructions as f64), vec![10.0, 20.0, 30.0]);
+        assert_eq!(
+            r.series(|s| s.counters.instructions as f64),
+            vec![10.0, 20.0, 30.0]
+        );
     }
 
     #[test]
     fn ratio_normalizes_to_baseline_minimum() {
         let baseline = run(&[(40, 0), (20, 0), (80, 0)]);
         let candidate = run(&[(60, 0), (10, 0)]);
-        let ratios =
-            candidate.ratio_to_baseline_min(&baseline, |s| s.counters.instructions as f64);
+        let ratios = candidate.ratio_to_baseline_min(&baseline, |s| s.counters.instructions as f64);
         assert_eq!(ratios, vec![3.0, 0.5]);
         // Figure 3 style: the baseline normalized to itself has minimum 1.0.
         let self_ratios =
             baseline.ratio_to_baseline_min(&baseline, |s| s.counters.instructions as f64);
-        assert_eq!(self_ratios.iter().cloned().fold(f64::INFINITY, f64::min), 1.0);
+        assert_eq!(
+            self_ratios.iter().cloned().fold(f64::INFINITY, f64::min),
+            1.0
+        );
     }
 
     #[test]

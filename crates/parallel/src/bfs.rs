@@ -1,0 +1,440 @@
+//! Parallel level-synchronous top-down BFS.
+//!
+//! Each level, the current frontier is split into degree-aware,
+//! edge-balanced chunks (see [`crate::pool`]); every worker scans its chunk
+//! into a private next-frontier buffer, and the buffers are concatenated in
+//! chunk order. The two variants differ only in how an edge claims its
+//! endpoint, reproducing the paper's Algorithms 4 and 5 in the concurrent
+//! setting:
+//!
+//! * [`par_bfs_branch_based`] — test `distance == INFINITY`, then claim the
+//!   vertex with a `compare_exchange`; both the test and the CAS are
+//!   data-dependent branches.
+//! * [`par_bfs_branch_avoiding`] — a single `fetch_min(next_level)` per
+//!   edge; the candidate is written into the worker's buffer
+//!   unconditionally and the buffer length advances by the branch-free
+//!   `(prev > next_level) as usize`, the same "write past the end" trick
+//!   the sequential branch-avoiding kernel uses.
+//!
+//! Distances only ever step from `INFINITY` to the unique BFS level of a
+//! vertex, and within a level every contender writes the same value, so
+//! **distances are deterministic and identical to the sequential kernels
+//! for every thread count**. The discovery *order* inside a level depends
+//! on which worker wins a race and is therefore not stable across runs
+//! with more than one thread (it is still a valid BFS order).
+
+use crate::counters::{collect_run, merge_thread_steps, ThreadTally};
+use crate::pool::{balanced_prefix_ranges, effective_chunks, resolve_threads, run_chunks};
+use bga_graph::{CsrGraph, VertexId};
+use bga_kernels::bfs::{BfsResult, INFINITY};
+use bga_kernels::stats::RunCounters;
+use std::sync::atomic::{AtomicU32, Ordering::Relaxed};
+
+/// Result of an instrumented parallel BFS run.
+#[derive(Clone, Debug)]
+pub struct ParBfsRun {
+    /// Distances and discovery order (distances match the sequential
+    /// kernels; order is one valid BFS order).
+    pub result: BfsResult,
+    /// Per-level counters merged across worker threads.
+    pub counters: RunCounters,
+    /// Worker count the run actually used.
+    pub threads: usize,
+}
+
+impl ParBfsRun {
+    /// Number of BFS levels traversed.
+    pub fn levels(&self) -> usize {
+        self.counters.num_steps()
+    }
+}
+
+fn infinite_distances(n: usize) -> Vec<AtomicU32> {
+    (0..n).map(|_| AtomicU32::new(INFINITY)).collect()
+}
+
+fn into_distances(distances: Vec<AtomicU32>) -> Vec<u32> {
+    distances.into_iter().map(AtomicU32::into_inner).collect()
+}
+
+/// Degree prefix sums of the frontier: `prefix[i]` = edge slots owned by
+/// `frontier[..i]`. Input to the edge-balanced chunker.
+fn frontier_degree_prefix(graph: &CsrGraph, frontier: &[VertexId]) -> Vec<usize> {
+    let mut prefix = Vec::with_capacity(frontier.len() + 1);
+    let mut sum = 0usize;
+    prefix.push(0);
+    for &v in frontier {
+        sum += graph.degree(v);
+        prefix.push(sum);
+    }
+    prefix
+}
+
+/// Parallel branch-based top-down BFS from `root`. `threads == 0` uses
+/// every available core; a root outside the vertex range yields an
+/// all-unreached result, as in the sequential kernels.
+pub fn par_bfs_branch_based(graph: &CsrGraph, root: VertexId, threads: usize) -> BfsResult {
+    let threads = resolve_threads(threads);
+    let n = graph.num_vertices();
+    let distances = infinite_distances(n);
+    if (root as usize) >= n {
+        return BfsResult::new(into_distances(distances), Vec::new());
+    }
+    distances[root as usize].store(0, Relaxed);
+    let mut frontier = vec![root];
+    let mut order = vec![root];
+    let mut next_level = 0u32;
+
+    while !frontier.is_empty() {
+        next_level += 1;
+        let prefix = frontier_degree_prefix(graph, &frontier);
+        let level_chunks = effective_chunks(*prefix.last().unwrap_or(&0), threads);
+        let ranges = balanced_prefix_ranges(&prefix, level_chunks);
+        let distances = &distances;
+        let current = &frontier;
+        let buffers: Vec<Vec<VertexId>> = run_chunks(ranges, |_chunk, range| {
+            let mut local = Vec::new();
+            for &v in &current[range] {
+                for &w in graph.neighbors(v) {
+                    // Data-dependent test, then claim the vertex with a CAS;
+                    // exactly one contender per vertex succeeds.
+                    if distances[w as usize].load(Relaxed) == INFINITY
+                        && distances[w as usize]
+                            .compare_exchange(INFINITY, next_level, Relaxed, Relaxed)
+                            .is_ok()
+                    {
+                        local.push(w);
+                    }
+                }
+            }
+            local
+        });
+        frontier = buffers.concat();
+        order.extend_from_slice(&frontier);
+    }
+    BfsResult::new(into_distances(distances), order)
+}
+
+/// Parallel branch-avoiding top-down BFS from `root`: one `fetch_min` per
+/// edge and branch-free buffer advancement. `threads == 0` uses every
+/// available core.
+pub fn par_bfs_branch_avoiding(graph: &CsrGraph, root: VertexId, threads: usize) -> BfsResult {
+    let threads = resolve_threads(threads);
+    let n = graph.num_vertices();
+    let distances = infinite_distances(n);
+    if (root as usize) >= n {
+        return BfsResult::new(into_distances(distances), Vec::new());
+    }
+    distances[root as usize].store(0, Relaxed);
+    let mut frontier = vec![root];
+    let mut order = vec![root];
+    let mut next_level = 0u32;
+
+    while !frontier.is_empty() {
+        next_level += 1;
+        let prefix = frontier_degree_prefix(graph, &frontier);
+        let level_chunks = effective_chunks(*prefix.last().unwrap_or(&0), threads);
+        let ranges = balanced_prefix_ranges(&prefix, level_chunks);
+        let distances = &distances;
+        let current = &frontier;
+        let prefix_ref = &prefix;
+        let buffers: Vec<Vec<VertexId>> = run_chunks(ranges, |_chunk, range| {
+            // One slot per potential discovery plus the overflow slot the
+            // unconditional write of a non-discovery lands in. A chunk can
+            // discover at most min(chunk edges, |V|) vertices, so cap the
+            // zero-initialization at |V| rather than memsetting one word
+            // per edge on dense chunks.
+            let chunk_edges = prefix_ref[range.end] - prefix_ref[range.start];
+            let mut buffer = vec![0 as VertexId; chunk_edges.min(n) + 1];
+            let mut len = 0usize;
+            for &v in &current[range] {
+                for &w in graph.neighbors(v) {
+                    // The priority write: unconditional atomic minimum.
+                    let prev = distances[w as usize].fetch_min(next_level, Relaxed);
+                    // Unconditional candidate write; the slot is claimed by
+                    // the branch-free length increment iff this edge won the
+                    // discovery (exactly one fetch_min per vertex observes a
+                    // previous value above the level being written).
+                    buffer[len] = w;
+                    len += usize::from(prev > next_level);
+                }
+            }
+            buffer.truncate(len);
+            buffer
+        });
+        frontier = buffers.concat();
+        order.extend_from_slice(&frontier);
+    }
+    BfsResult::new(into_distances(distances), order)
+}
+
+/// Instrumented parallel branch-based BFS: per-worker tallies merged into
+/// one [`bga_kernels::stats::StepCounters`] per level.
+pub fn par_bfs_branch_based_instrumented(
+    graph: &CsrGraph,
+    root: VertexId,
+    threads: usize,
+) -> ParBfsRun {
+    let threads = resolve_threads(threads);
+    let n = graph.num_vertices();
+    let distances = infinite_distances(n);
+    if (root as usize) >= n {
+        return ParBfsRun {
+            result: BfsResult::new(into_distances(distances), Vec::new()),
+            counters: RunCounters::default(),
+            threads,
+        };
+    }
+    distances[root as usize].store(0, Relaxed);
+    let mut frontier = vec![root];
+    let mut order = vec![root];
+    let mut next_level = 0u32;
+    let mut steps = Vec::new();
+
+    while !frontier.is_empty() {
+        next_level += 1;
+        let level_index = steps.len();
+        let prefix = frontier_degree_prefix(graph, &frontier);
+        let level_chunks = effective_chunks(*prefix.last().unwrap_or(&0), threads);
+        let ranges = balanced_prefix_ranges(&prefix, level_chunks);
+        let distances = &distances;
+        let current = &frontier;
+        let outcomes: Vec<(Vec<VertexId>, _)> = run_chunks(ranges, |_chunk, range| {
+            let mut local = Vec::new();
+            let mut tally = ThreadTally::default();
+            for &v in &current[range] {
+                tally.vertices += 1;
+                tally.branches += 1; // frontier-loop bound
+                for &w in graph.neighbors(v) {
+                    tally.edges += 1;
+                    tally.loads += 1;
+                    tally.branches += 2; // neighbour-loop bound + visited test
+                    tally.data_branches += 1;
+                    if distances[w as usize].load(Relaxed) == INFINITY {
+                        // CAS claim: load + (on success) store + queue push.
+                        tally.loads += 1;
+                        tally.branches += 1;
+                        tally.data_branches += 1;
+                        if distances[w as usize]
+                            .compare_exchange(INFINITY, next_level, Relaxed, Relaxed)
+                            .is_ok()
+                        {
+                            tally.stores += 2; // distance + queue slot
+                            tally.updates += 1;
+                            local.push(w);
+                        }
+                    }
+                }
+            }
+            (local, tally.into_step(level_index))
+        });
+        frontier = Vec::new();
+        let mut level_steps = Vec::new();
+        for (buffer, step) in outcomes {
+            frontier.extend_from_slice(&buffer);
+            level_steps.push(step);
+        }
+        order.extend_from_slice(&frontier);
+        steps.push(merge_thread_steps(level_index, level_steps));
+    }
+    ParBfsRun {
+        result: BfsResult::new(into_distances(distances), order),
+        counters: collect_run(steps),
+        threads,
+    }
+}
+
+/// Instrumented parallel branch-avoiding BFS; see
+/// [`par_bfs_branch_based_instrumented`] for the accounting scheme.
+pub fn par_bfs_branch_avoiding_instrumented(
+    graph: &CsrGraph,
+    root: VertexId,
+    threads: usize,
+) -> ParBfsRun {
+    let threads = resolve_threads(threads);
+    let n = graph.num_vertices();
+    let distances = infinite_distances(n);
+    if (root as usize) >= n {
+        return ParBfsRun {
+            result: BfsResult::new(into_distances(distances), Vec::new()),
+            counters: RunCounters::default(),
+            threads,
+        };
+    }
+    distances[root as usize].store(0, Relaxed);
+    let mut frontier = vec![root];
+    let mut order = vec![root];
+    let mut next_level = 0u32;
+    let mut steps = Vec::new();
+
+    while !frontier.is_empty() {
+        next_level += 1;
+        let level_index = steps.len();
+        let prefix = frontier_degree_prefix(graph, &frontier);
+        let level_chunks = effective_chunks(*prefix.last().unwrap_or(&0), threads);
+        let ranges = balanced_prefix_ranges(&prefix, level_chunks);
+        let distances = &distances;
+        let current = &frontier;
+        let prefix_ref = &prefix;
+        let outcomes: Vec<(Vec<VertexId>, _)> = run_chunks(ranges, |_chunk, range| {
+            let chunk_edges = prefix_ref[range.end] - prefix_ref[range.start];
+            let mut buffer = vec![0 as VertexId; chunk_edges.min(n) + 1];
+            let mut len = 0usize;
+            let mut tally = ThreadTally::default();
+            for &v in &current[range] {
+                tally.vertices += 1;
+                tally.branches += 1; // frontier-loop bound
+                for &w in graph.neighbors(v) {
+                    let prev = distances[w as usize].fetch_min(next_level, Relaxed);
+                    buffer[len] = w;
+                    len += usize::from(prev > next_level);
+                    tally.edges += 1;
+                    // fetch_min = load + predicated min + store; the queue
+                    // slot write is unconditional; length advance is an add.
+                    tally.loads += 1;
+                    tally.stores += 2;
+                    tally.conditional_moves += 2;
+                    tally.branches += 1; // neighbour-loop bound only
+                    tally.updates += u64::from(prev > next_level);
+                }
+            }
+            buffer.truncate(len);
+            (buffer, tally.into_step(level_index))
+        });
+        frontier = Vec::new();
+        let mut level_steps = Vec::new();
+        for (buffer, step) in outcomes {
+            frontier.extend_from_slice(&buffer);
+            level_steps.push(step);
+        }
+        order.extend_from_slice(&frontier);
+        steps.push(merge_thread_steps(level_index, level_steps));
+    }
+    ParBfsRun {
+        result: BfsResult::new(into_distances(distances), order),
+        counters: collect_run(steps),
+        threads,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bga_graph::generators::{
+        barabasi_albert, complete_graph, grid_2d, path_graph, star_graph, MeshStencil,
+    };
+    use bga_graph::properties::bfs_distances_reference;
+    use bga_graph::GraphBuilder;
+    use bga_kernels::bfs::frontier::check_bfs_invariants;
+
+    fn shapes() -> Vec<CsrGraph> {
+        vec![
+            GraphBuilder::undirected(1).build(),
+            GraphBuilder::undirected(6)
+                .add_edges([(0, 1), (1, 2), (3, 4)])
+                .build(),
+            path_graph(60),
+            star_graph(40),
+            complete_graph(12),
+            grid_2d(11, 7, MeshStencil::Moore),
+            barabasi_albert(500, 3, 13),
+            // Above PARALLEL_GRAIN, so per-level chunking fans out for real.
+            barabasi_albert(3_000, 4, 13),
+        ]
+    }
+
+    #[test]
+    fn distances_match_reference_for_every_thread_count() {
+        for g in &shapes() {
+            for root in [0u32, (g.num_vertices() as u32).saturating_sub(1)] {
+                let expected = bfs_distances_reference(g, root);
+                for threads in [1, 2, 3, 8] {
+                    assert_eq!(
+                        par_bfs_branch_based(g, root, threads).distances(),
+                        &expected[..],
+                        "branch-based, {threads} threads, root {root}"
+                    );
+                    assert_eq!(
+                        par_bfs_branch_avoiding(g, root, threads).distances(),
+                        &expected[..],
+                        "branch-avoiding, {threads} threads, root {root}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn discovery_order_is_a_valid_bfs_order() {
+        let g = grid_2d(9, 9, MeshStencil::VonNeumann);
+        for threads in [1, 2, 8] {
+            for result in [
+                par_bfs_branch_based(&g, 0, threads),
+                par_bfs_branch_avoiding(&g, 0, threads),
+            ] {
+                assert!(check_bfs_invariants(&g, 0, &result).is_ok());
+                let order = result.visit_order();
+                assert_eq!(order.len(), result.reached_count());
+                // Level-monotone visit order, root first.
+                assert_eq!(order[0], 0);
+                for pair in order.windows(2) {
+                    assert!(result.distance(pair[0]) <= result.distance(pair[1]));
+                }
+                // No duplicates.
+                let mut sorted = order.to_vec();
+                sorted.sort_unstable();
+                sorted.dedup();
+                assert_eq!(sorted.len(), order.len());
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_range_root_reaches_nothing() {
+        let g = path_graph(5);
+        for threads in [1, 4] {
+            assert_eq!(par_bfs_branch_based(&g, 99, threads).reached_count(), 0);
+            assert_eq!(par_bfs_branch_avoiding(&g, 99, threads).reached_count(), 0);
+            assert_eq!(
+                par_bfs_branch_based_instrumented(&g, 99, threads).levels(),
+                0
+            );
+        }
+    }
+
+    #[test]
+    fn instrumented_levels_cover_the_whole_traversal() {
+        let g = barabasi_albert(800, 3, 7);
+        for threads in [1, 2, 8] {
+            let run = par_bfs_branch_based_instrumented(&g, 0, threads);
+            let total_vertices: u64 = run
+                .counters
+                .steps
+                .iter()
+                .map(|s| s.vertices_processed)
+                .sum();
+            assert_eq!(total_vertices as usize, run.result.reached_count());
+            let expected_edges: usize = run.result.visit_order().iter().map(|&v| g.degree(v)).sum();
+            assert_eq!(
+                run.counters.total_edges_traversed() as usize,
+                expected_edges
+            );
+            assert_eq!(run.levels(), run.result.level_count());
+        }
+    }
+
+    #[test]
+    fn branch_contrast_survives_parallelism() {
+        let g = grid_2d(45, 45, MeshStencil::Moore);
+        let based = par_bfs_branch_based_instrumented(&g, 0, 4);
+        let avoiding = par_bfs_branch_avoiding_instrumented(&g, 0, 4);
+        assert_eq!(based.result.distances(), avoiding.result.distances());
+        let b = based.counters.total();
+        let a = avoiding.counters.total();
+        // The avoiding kernel trades the per-edge branch for per-edge stores.
+        assert!(b.branches > a.branches);
+        assert!(a.stores > b.stores);
+        assert!(b.branch_mispredictions > 0);
+        assert_eq!(a.branch_mispredictions, 0);
+    }
+}

@@ -1,0 +1,59 @@
+//! # bga-parallel
+//!
+//! Multi-threaded branch-avoiding kernels for the *Branch-Avoiding Graph
+//! Algorithms* (SPAA 2015) reproduction. The paper frames the
+//! branch-avoiding Shiloach-Vishkin hook as a *priority write* — an
+//! unconditional minimum — which maps directly onto lock-free
+//! `AtomicU32::fetch_min`; this crate realises that observation:
+//!
+//! * [`sv`] — parallel Shiloach-Vishkin connected components, where
+//!   branch-based hooking is a compare-and-swap loop and branch-avoiding
+//!   hooking is one `fetch_min` per edge.
+//! * [`bfs`] — parallel level-synchronous top-down BFS with per-thread
+//!   frontier buffers and a branch-avoiding `fetch_min` distance update.
+//! * [`pool`] — the scoped-thread execution layer both kernels share:
+//!   `std::thread::scope` workers over degree-aware, edge-balanced
+//!   contiguous chunks. No dependencies beyond `std`.
+//! * [`counters`] — per-thread [`bga_kernels::stats::StepCounters`] tallies
+//!   that merge into the existing [`bga_kernels::stats::RunCounters`], so
+//!   instrumented parallel runs feed the same figures/report machinery as
+//!   the sequential kernels.
+//!
+//! Results are deterministic where it matters: SV labels and BFS distances
+//! are identical to the sequential kernels for every thread count (the BFS
+//! discovery *order* within a level may vary across runs).
+//!
+//! ```
+//! use bga_graph::generators::{grid_2d, MeshStencil};
+//! use bga_kernels::cc::sv_branch_avoiding;
+//! use bga_parallel::{par_bfs_branch_avoiding, par_sv_branch_avoiding};
+//!
+//! let g = grid_2d(16, 16, MeshStencil::VonNeumann);
+//! // Identical labels to the sequential kernel, at any thread count.
+//! assert_eq!(
+//!     par_sv_branch_avoiding(&g, 4).as_slice(),
+//!     sv_branch_avoiding(&g).as_slice(),
+//! );
+//! // threads == 0 means "use every available core".
+//! let bfs = par_bfs_branch_avoiding(&g, 0, 0);
+//! assert_eq!(bfs.reached_count(), g.num_vertices());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod bfs;
+pub mod counters;
+pub mod pool;
+pub mod sv;
+
+pub use bfs::{
+    par_bfs_branch_avoiding, par_bfs_branch_avoiding_instrumented, par_bfs_branch_based,
+    par_bfs_branch_based_instrumented, ParBfsRun,
+};
+pub use counters::{merge_thread_steps, ThreadTally};
+pub use pool::{edge_balanced_ranges, resolve_threads, run_chunks};
+pub use sv::{
+    par_sv_branch_avoiding, par_sv_branch_avoiding_instrumented, par_sv_branch_based,
+    par_sv_branch_based_instrumented, ParSvRun,
+};

@@ -1,0 +1,211 @@
+//! Scoped-thread execution layer shared by the parallel kernels.
+//!
+//! Deliberately dependency-free: workers are `std::thread::scope` threads,
+//! and work distribution is *edge-balanced chunking* — contiguous vertex
+//! (or frontier) ranges chosen so each worker owns roughly the same number
+//! of adjacency slots rather than the same number of vertices. On power-law
+//! graphs a vertex-balanced split can hand one thread a hub with half the
+//! edges; balancing on the degree prefix sums (which the CSR offsets array
+//! already is) fixes that for free.
+
+use std::ops::Range;
+
+/// Most workers any kernel will spawn, however large the request. Each
+/// chunk is one OS thread per sweep/level, so an unbounded request (say
+/// `--threads 50000`) would die in `thread::spawn` rather than fail
+/// cleanly; past this many workers there is no graph large enough in this
+/// workspace for more fan-out to help.
+pub const MAX_THREADS: usize = 256;
+
+/// Resolves a requested worker count: `0` means "use the machine", any
+/// other value is taken literally, capped at [`MAX_THREADS`].
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested > 0 {
+        requested.min(MAX_THREADS)
+    } else {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+            .min(MAX_THREADS)
+    }
+}
+
+/// Minimum number of weight units (edge slots) that justifies fanning work
+/// out to more than one thread. Below this, spawn overhead dominates — a
+/// BFS level with a ten-vertex frontier is faster on the calling thread.
+pub const PARALLEL_GRAIN: usize = 4096;
+
+/// Number of chunks actually worth using for `total_weight` units of work:
+/// `1` when the work is below [`PARALLEL_GRAIN`], the requested thread
+/// count otherwise. Depends only on the workload, so chunking (and with it
+/// every deterministic guarantee) is stable across runs.
+pub fn effective_chunks(total_weight: usize, threads: usize) -> usize {
+    if total_weight < PARALLEL_GRAIN {
+        1
+    } else {
+        threads.max(1)
+    }
+}
+
+/// Splits `0..prefix.len() - 1` into up to `chunks` contiguous ranges with
+/// approximately equal weight, where `prefix` is a non-decreasing prefix-sum
+/// array (`prefix[i]` = total weight of items `0..i`).
+///
+/// Falls back to an even item split when the total weight is zero, and never
+/// returns more ranges than items. Ranges are returned in order and exactly
+/// cover the item span.
+pub fn balanced_prefix_ranges(prefix: &[usize], chunks: usize) -> Vec<Range<usize>> {
+    let items = prefix.len().saturating_sub(1);
+    let chunks = chunks.max(1).min(items.max(1));
+    if items == 0 {
+        // One empty range, so callers can treat "no items" uniformly.
+        return std::iter::once(0..0).collect();
+    }
+    let total = prefix[items];
+    if total == 0 {
+        // No weight to balance: split the items evenly instead.
+        return (0..chunks)
+            .map(|k| (items * k / chunks)..(items * (k + 1) / chunks))
+            .collect();
+    }
+    let mut ranges = Vec::with_capacity(chunks);
+    let mut start = 0usize;
+    for k in 1..=chunks {
+        let end = if k == chunks {
+            items
+        } else {
+            // First item boundary whose cumulative weight reaches the k-th
+            // equal share. `partition_point` over the prefix array lands on a
+            // valid boundary in 0..=items.
+            let target = (total as u128 * k as u128 / chunks as u128) as usize;
+            prefix
+                .partition_point(|&w| w < target)
+                .min(items)
+                .max(start)
+        };
+        ranges.push(start..end);
+        start = end;
+    }
+    ranges
+}
+
+/// Edge-balanced contiguous vertex ranges for a CSR graph, derived directly
+/// from its offsets array (which is the degree prefix-sum).
+pub fn edge_balanced_ranges(offsets: &[usize], chunks: usize) -> Vec<Range<usize>> {
+    balanced_prefix_ranges(offsets, chunks)
+}
+
+/// Runs `f(chunk_index, range)` for every range, one scoped thread per
+/// range, and returns the results in range order. With a single range the
+/// closure runs on the calling thread — thread count 1 has zero spawn
+/// overhead and exactly sequential behaviour.
+///
+/// Panics in a worker propagate to the caller.
+pub fn run_chunks<T, F>(ranges: Vec<Range<usize>>, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, Range<usize>) -> T + Sync,
+{
+    if ranges.len() <= 1 {
+        return ranges
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| f(i, r))
+            .collect();
+    }
+    std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .enumerate()
+            .map(|(index, range)| scope.spawn(move || f(index, range)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("bga-parallel worker thread panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bga_graph::generators::{barabasi_albert, star_graph};
+
+    fn check_cover(ranges: &[Range<usize>], items: usize) {
+        assert_eq!(ranges.first().unwrap().start, 0);
+        assert_eq!(ranges.last().unwrap().end, items);
+        for pair in ranges.windows(2) {
+            assert_eq!(pair[0].end, pair[1].start, "ranges must tile the span");
+        }
+    }
+
+    #[test]
+    fn ranges_tile_the_vertex_span() {
+        let g = barabasi_albert(500, 3, 7);
+        for chunks in [1, 2, 3, 8, 499, 500, 501] {
+            let ranges = edge_balanced_ranges(g.offsets(), chunks);
+            check_cover(&ranges, g.num_vertices());
+            assert!(ranges.len() <= chunks.max(1));
+        }
+    }
+
+    #[test]
+    fn edge_weight_is_roughly_balanced() {
+        let g = barabasi_albert(2_000, 4, 11);
+        let chunks = 8;
+        let ranges = edge_balanced_ranges(g.offsets(), chunks);
+        let offsets = g.offsets();
+        let total = g.num_edge_slots();
+        for r in &ranges {
+            let weight = offsets[r.end] - offsets[r.start];
+            // Each chunk holds at most an equal share plus one max-degree row.
+            assert!(
+                weight <= total / chunks + g.max_degree(),
+                "chunk {r:?} holds {weight} of {total} edge slots"
+            );
+        }
+    }
+
+    #[test]
+    fn hub_vertex_does_not_break_chunking() {
+        // A star's hub owns half of all edge slots; the split must still
+        // tile the span without panicking or producing inverted ranges.
+        let g = star_graph(64);
+        let ranges = edge_balanced_ranges(g.offsets(), 4);
+        check_cover(&ranges, g.num_vertices());
+        for r in &ranges {
+            assert!(r.start <= r.end);
+        }
+    }
+
+    #[test]
+    fn zero_weight_falls_back_to_even_split() {
+        let offsets = vec![0usize; 11]; // 10 isolated vertices
+        let ranges = balanced_prefix_ranges(&offsets, 4);
+        check_cover(&ranges, 10);
+        assert!(ranges.iter().all(|r| r.len() <= 3));
+    }
+
+    #[test]
+    fn empty_and_degenerate_inputs() {
+        assert_eq!(balanced_prefix_ranges(&[0], 4), vec![0..0]);
+        assert_eq!(balanced_prefix_ranges(&[], 4), vec![0..0]);
+        let one = balanced_prefix_ranges(&[0, 5], 8);
+        check_cover(&one, 1);
+    }
+
+    #[test]
+    fn run_chunks_returns_results_in_range_order() {
+        let ranges = vec![0..3, 3..7, 7..10];
+        let sums = run_chunks(ranges, |index, range| (index, range.sum::<usize>()));
+        assert_eq!(sums, vec![(0, 3), (1, 18), (2, 24)]);
+    }
+
+    #[test]
+    fn resolve_threads_handles_zero_and_caps_huge_requests() {
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(3), 3);
+        assert_eq!(resolve_threads(50_000), MAX_THREADS);
+    }
+}

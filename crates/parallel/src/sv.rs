@@ -1,0 +1,355 @@
+//! Parallel Shiloach-Vishkin connected components.
+//!
+//! The paper (Section 6.3) observes that the branch-avoiding hook is a
+//! *priority write* — an unconditional "store the minimum" — which makes it
+//! concurrency-friendly: in the parallel setting it is exactly one
+//! `AtomicU32::fetch_min` per edge, with no compare-and-swap loop and no
+//! data-dependent branch. The branch-based hook, by contrast, must test
+//! `cu < cv` and then win the store with a CAS retry loop. Both variants
+//! reproduce the sequential kernels' contrast in the concurrent setting:
+//!
+//! * [`par_sv_branch_based`] — per edge: load both labels, **branch** on the
+//!   comparison, and claim the improvement with `compare_exchange_weak`.
+//! * [`par_sv_branch_avoiding`] — per edge: load the neighbour label and
+//!   issue a single `fetch_min`; change detection is the branch-free
+//!   `prev ^ min(prev, cu)` accumulation, mirroring the sequential kernel's
+//!   `change |= cv ^ cv_init`.
+//!
+//! Both run sweeps over edge-balanced vertex chunks (see [`crate::pool`])
+//! until a sweep changes nothing. Labels decrease monotonically towards the
+//! per-component minimum vertex id — the same unique fixed point the
+//! sequential kernels converge to — so the **final labels are identical to
+//! the sequential result for every thread count**, even though the number
+//! of sweeps and the intra-sweep interleaving may differ.
+
+use crate::counters::{collect_run, merge_thread_steps, ThreadTally};
+use crate::pool::{edge_balanced_ranges, effective_chunks, resolve_threads, run_chunks};
+use bga_graph::CsrGraph;
+use bga_kernels::cc::ComponentLabels;
+use bga_kernels::stats::RunCounters;
+use std::sync::atomic::{AtomicU32, Ordering::Relaxed};
+
+/// Result of an instrumented parallel SV run.
+#[derive(Clone, Debug)]
+pub struct ParSvRun {
+    /// Final component labels (identical to the sequential kernels').
+    pub labels: ComponentLabels,
+    /// Per-sweep counters merged across worker threads.
+    pub counters: RunCounters,
+    /// Worker count the run actually used.
+    pub threads: usize,
+}
+
+impl ParSvRun {
+    /// Number of sweeps the algorithm executed.
+    pub fn iterations(&self) -> usize {
+        self.counters.num_steps()
+    }
+}
+
+fn identity_labels(n: usize) -> Vec<AtomicU32> {
+    (0..n as u32).map(AtomicU32::new).collect()
+}
+
+fn into_labels(ccid: Vec<AtomicU32>) -> ComponentLabels {
+    ComponentLabels::new(ccid.into_iter().map(AtomicU32::into_inner).collect())
+}
+
+/// Parallel branch-based SV: CAS-loop hooking. `threads == 0` uses every
+/// available core.
+pub fn par_sv_branch_based(graph: &CsrGraph, threads: usize) -> ComponentLabels {
+    par_sv_branch_based_with_stats(graph, threads).0
+}
+
+/// As [`par_sv_branch_based`], also returning the sweep count.
+pub fn par_sv_branch_based_with_stats(
+    graph: &CsrGraph,
+    threads: usize,
+) -> (ComponentLabels, usize) {
+    let threads = resolve_threads(threads);
+    let ranges = edge_balanced_ranges(
+        graph.offsets(),
+        effective_chunks(graph.num_edge_slots(), threads),
+    );
+    let ccid = identity_labels(graph.num_vertices());
+    let mut sweeps = 0usize;
+    loop {
+        sweeps += 1;
+        let ccid = &ccid;
+        let changes = run_chunks(ranges.clone(), |_chunk, range| {
+            let mut changed = false;
+            for v in range {
+                for &u in graph.neighbors(v as u32) {
+                    let cu = ccid[u as usize].load(Relaxed);
+                    let mut cv = ccid[v].load(Relaxed);
+                    // Data-dependent branch, then win the store via CAS.
+                    while cu < cv {
+                        match ccid[v].compare_exchange_weak(cv, cu, Relaxed, Relaxed) {
+                            Ok(_) => {
+                                changed = true;
+                                break;
+                            }
+                            Err(current) => cv = current,
+                        }
+                    }
+                }
+            }
+            changed
+        });
+        if !changes.into_iter().any(|c| c) {
+            break;
+        }
+    }
+    (into_labels(ccid), sweeps)
+}
+
+/// Parallel branch-avoiding SV: one `fetch_min` per edge, no data-dependent
+/// branch. `threads == 0` uses every available core.
+pub fn par_sv_branch_avoiding(graph: &CsrGraph, threads: usize) -> ComponentLabels {
+    par_sv_branch_avoiding_with_stats(graph, threads).0
+}
+
+/// As [`par_sv_branch_avoiding`], also returning the sweep count.
+pub fn par_sv_branch_avoiding_with_stats(
+    graph: &CsrGraph,
+    threads: usize,
+) -> (ComponentLabels, usize) {
+    let threads = resolve_threads(threads);
+    let ranges = edge_balanced_ranges(
+        graph.offsets(),
+        effective_chunks(graph.num_edge_slots(), threads),
+    );
+    let ccid = identity_labels(graph.num_vertices());
+    let mut sweeps = 0usize;
+    loop {
+        sweeps += 1;
+        let ccid = &ccid;
+        let changes = run_chunks(ranges.clone(), |_chunk, range| {
+            let mut change = 0u32;
+            for v in range {
+                for &u in graph.neighbors(v as u32) {
+                    let cu = ccid[u as usize].load(Relaxed);
+                    // The priority write: unconditional atomic minimum.
+                    let prev = ccid[v].fetch_min(cu, Relaxed);
+                    // Branch-free change accumulation: non-zero iff the
+                    // label moved, mirroring the sequential kernel.
+                    change |= prev ^ prev.min(cu);
+                }
+            }
+            change
+        });
+        if changes.into_iter().all(|c| c == 0) {
+            break;
+        }
+    }
+    (into_labels(ccid), sweeps)
+}
+
+/// Instrumented parallel branch-based SV: every worker tallies the loads,
+/// stores and branches it executes; tallies merge into one
+/// [`bga_kernels::stats::StepCounters`] per sweep.
+pub fn par_sv_branch_based_instrumented(graph: &CsrGraph, threads: usize) -> ParSvRun {
+    let threads = resolve_threads(threads);
+    let ranges = edge_balanced_ranges(
+        graph.offsets(),
+        effective_chunks(graph.num_edge_slots(), threads),
+    );
+    let ccid = identity_labels(graph.num_vertices());
+    let mut steps = Vec::new();
+    loop {
+        let sweep = steps.len();
+        let ccid = &ccid;
+        let tallies = run_chunks(ranges.clone(), |_chunk, range| {
+            let mut tally = ThreadTally::default();
+            for v in range {
+                tally.vertices += 1;
+                for &u in graph.neighbors(v as u32) {
+                    tally.edges += 1;
+                    let cu = ccid[u as usize].load(Relaxed);
+                    let mut cv = ccid[v].load(Relaxed);
+                    tally.loads += 2;
+                    tally.branches += 1; // inner-loop bound
+                    loop {
+                        // The data-dependent comparison.
+                        tally.branches += 1;
+                        tally.data_branches += 1;
+                        if cu >= cv {
+                            break;
+                        }
+                        // CAS: one load plus (on success) one store.
+                        tally.loads += 1;
+                        match ccid[v].compare_exchange_weak(cv, cu, Relaxed, Relaxed) {
+                            Ok(_) => {
+                                tally.stores += 1;
+                                tally.updates += 1;
+                                break;
+                            }
+                            Err(current) => cv = current,
+                        }
+                    }
+                }
+                tally.branches += 1; // outer-loop bound
+            }
+            tally.into_step(sweep)
+        });
+        let merged = merge_thread_steps(sweep, tallies);
+        let changed = merged.updates > 0;
+        steps.push(merged);
+        if !changed {
+            break;
+        }
+    }
+    ParSvRun {
+        labels: into_labels(ccid),
+        counters: collect_run(steps),
+        threads,
+    }
+}
+
+/// Instrumented parallel branch-avoiding SV; see
+/// [`par_sv_branch_based_instrumented`] for the accounting scheme.
+pub fn par_sv_branch_avoiding_instrumented(graph: &CsrGraph, threads: usize) -> ParSvRun {
+    let threads = resolve_threads(threads);
+    let ranges = edge_balanced_ranges(
+        graph.offsets(),
+        effective_chunks(graph.num_edge_slots(), threads),
+    );
+    let ccid = identity_labels(graph.num_vertices());
+    let mut steps = Vec::new();
+    loop {
+        let sweep = steps.len();
+        let ccid = &ccid;
+        let tallies = run_chunks(ranges.clone(), |_chunk, range| {
+            let mut tally = ThreadTally::default();
+            for v in range {
+                tally.vertices += 1;
+                for &u in graph.neighbors(v as u32) {
+                    tally.edges += 1;
+                    let cu = ccid[u as usize].load(Relaxed);
+                    let prev = ccid[v].fetch_min(cu, Relaxed);
+                    // fetch_min = load + predicated min + store, no branch.
+                    tally.loads += 2;
+                    tally.stores += 1;
+                    tally.conditional_moves += 1;
+                    tally.branches += 1; // inner-loop bound only
+                    tally.updates += u64::from(prev > cu);
+                }
+                tally.branches += 1; // outer-loop bound
+            }
+            tally.into_step(sweep)
+        });
+        let merged = merge_thread_steps(sweep, tallies);
+        let changed = merged.updates > 0;
+        steps.push(merged);
+        if !changed {
+            break;
+        }
+    }
+    ParSvRun {
+        labels: into_labels(ccid),
+        counters: collect_run(steps),
+        threads,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bga_graph::generators::{barabasi_albert, erdos_renyi_gnp, grid_2d, MeshStencil};
+    use bga_graph::properties::connected_components_union_find;
+    use bga_graph::GraphBuilder;
+    use bga_kernels::cc::{sv_branch_avoiding, sv_branch_based};
+
+    fn shapes() -> Vec<CsrGraph> {
+        vec![
+            GraphBuilder::undirected(0).build(),
+            GraphBuilder::undirected(5).build(),
+            GraphBuilder::undirected(7)
+                .add_edges([(0, 1), (1, 2), (3, 4), (5, 6)])
+                .build(),
+            grid_2d(13, 9, MeshStencil::VonNeumann),
+            erdos_renyi_gnp(400, 0.008, 3),
+            barabasi_albert(500, 2, 17),
+            // Above PARALLEL_GRAIN, so chunking fans out for real.
+            barabasi_albert(4_000, 3, 23),
+        ]
+    }
+
+    #[test]
+    fn labels_match_sequential_for_every_thread_count() {
+        for g in &shapes() {
+            let seq_based = sv_branch_based(g);
+            let seq_avoiding = sv_branch_avoiding(g);
+            assert_eq!(seq_based.as_slice(), seq_avoiding.as_slice());
+            for threads in [1, 2, 3, 8] {
+                assert_eq!(
+                    par_sv_branch_based(g, threads).as_slice(),
+                    seq_based.as_slice(),
+                    "branch-based, {threads} threads"
+                );
+                assert_eq!(
+                    par_sv_branch_avoiding(g, threads).as_slice(),
+                    seq_based.as_slice(),
+                    "branch-avoiding, {threads} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_partition_matches_union_find() {
+        let g = erdos_renyi_gnp(300, 0.01, 9);
+        let expected = connected_components_union_find(&g);
+        assert_eq!(par_sv_branch_based(&g, 4).canonical(), expected);
+        assert_eq!(par_sv_branch_avoiding(&g, 4).canonical(), expected);
+    }
+
+    #[test]
+    fn single_thread_sweep_count_matches_sequential() {
+        use bga_kernels::cc::sv_branch::sv_branch_based_with_stats;
+        let g = grid_2d(17, 5, MeshStencil::Moore);
+        let (_, seq_sweeps) = sv_branch_based_with_stats(&g);
+        let (_, par_sweeps) = par_sv_branch_based_with_stats(&g, 1);
+        assert_eq!(seq_sweeps, par_sweeps);
+        let (_, par_avoid_sweeps) = par_sv_branch_avoiding_with_stats(&g, 1);
+        assert_eq!(seq_sweeps, par_avoid_sweeps);
+    }
+
+    #[test]
+    fn instrumented_runs_account_for_every_edge_each_sweep() {
+        let g = barabasi_albert(2_000, 3, 5);
+        for threads in [1, 2, 8] {
+            for run in [
+                par_sv_branch_based_instrumented(&g, threads),
+                par_sv_branch_avoiding_instrumented(&g, threads),
+            ] {
+                assert_eq!(run.threads, threads);
+                for step in &run.counters.steps {
+                    assert_eq!(step.edges_traversed as usize, g.num_edge_slots());
+                    assert_eq!(step.vertices_processed as usize, g.num_vertices());
+                }
+                // The final sweep is the fixed-point check: no updates.
+                assert_eq!(run.counters.steps.last().unwrap().updates, 0);
+                assert_eq!(run.labels.canonical(), connected_components_union_find(&g));
+            }
+        }
+    }
+
+    #[test]
+    fn branch_contrast_survives_parallelism() {
+        // The branch-based kernel executes a data-dependent branch per edge
+        // that the branch-avoiding kernel replaces with a fetch-min, so it
+        // must report strictly more branches and a non-zero misprediction
+        // bound, while the avoiding kernel reports more stores.
+        let g = erdos_renyi_gnp(1_500, 0.004, 21);
+        let based = par_sv_branch_based_instrumented(&g, 4);
+        let avoiding = par_sv_branch_avoiding_instrumented(&g, 4);
+        let b = based.counters.total();
+        let a = avoiding.counters.total();
+        assert!(b.branches > a.branches, "{} <= {}", b.branches, a.branches);
+        assert!(b.branch_mispredictions > 0);
+        assert_eq!(a.branch_mispredictions, 0);
+        assert!(a.stores > b.stores, "{} <= {}", a.stores, b.stores);
+        assert!(a.conditional_moves > 0);
+    }
+}

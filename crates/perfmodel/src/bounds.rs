@@ -70,7 +70,10 @@ mod tests {
     fn bounds_grow_with_workload() {
         assert!(sv_misprediction_lower_bound(100, 5) > sv_misprediction_lower_bound(100, 4));
         assert!(sv_misprediction_lower_bound(200, 5) > sv_misprediction_lower_bound(100, 5));
-        assert!(bfs_misprediction_upper_bound(50) >= 3 * bfs_misprediction_lower_bound(50) - 2 * O1_SLACK);
+        assert!(
+            bfs_misprediction_upper_bound(50)
+                >= 3 * bfs_misprediction_lower_bound(50) - 2 * O1_SLACK
+        );
     }
 
     #[test]

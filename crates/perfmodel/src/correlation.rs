@@ -156,10 +156,10 @@ mod tests {
             })
             .collect();
         let m = correlation_matrix(&samples);
-        for i in 0..6 {
-            assert_eq!(m[i][i], 1.0);
-            for j in 0..6 {
-                assert!((m[i][j] - m[j][i]).abs() < 1e-12);
+        for (i, row) in m.iter().enumerate() {
+            assert_eq!(row[i], 1.0);
+            for (j, value) in row.iter().enumerate() {
+                assert!((value - m[j][i]).abs() < 1e-12);
             }
         }
     }

@@ -23,16 +23,18 @@ pub fn geometric_mean(values: &[f64]) -> Option<f64> {
 
 /// Minimum; `None` for an empty slice.
 pub fn min(values: &[f64]) -> Option<f64> {
-    values.iter().copied().fold(None, |acc, x| {
-        Some(acc.map_or(x, |a: f64| a.min(x)))
-    })
+    values
+        .iter()
+        .copied()
+        .fold(None, |acc, x| Some(acc.map_or(x, |a: f64| a.min(x))))
 }
 
 /// Maximum; `None` for an empty slice.
 pub fn max(values: &[f64]) -> Option<f64> {
-    values.iter().copied().fold(None, |acc, x| {
-        Some(acc.map_or(x, |a: f64| a.max(x)))
-    })
+    values
+        .iter()
+        .copied()
+        .fold(None, |acc, x| Some(acc.map_or(x, |a: f64| a.max(x))))
 }
 
 /// Population standard deviation; `None` for fewer than one value.

@@ -31,7 +31,9 @@ impl TimedRun {
         self.step_cycles
             .iter()
             .copied()
-            .fold(None, |acc: Option<f64>, x| Some(acc.map_or(x, |a| a.min(x))))
+            .fold(None, |acc: Option<f64>, x| {
+                Some(acc.map_or(x, |a| a.min(x)))
+            })
     }
 
     /// Each step divided by the fastest step of `baseline` — exactly the
@@ -168,8 +170,6 @@ mod tests {
         // predicated operations on the narrow in-order core.
         let mut counters = PerfCounters::zero();
         counters.conditional_moves = 1000;
-        assert!(
-            bonnell().modeled_cycles(&counters) > haswell().modeled_cycles(&counters)
-        );
+        assert!(bonnell().modeled_cycles(&counters) > haswell().modeled_cycles(&counters));
     }
 }

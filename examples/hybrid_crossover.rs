@@ -46,8 +46,8 @@ fn main() {
         let mut best = f64::INFINITY;
         let mut best_switch = 0;
         for k in 0..=sweeps {
-            let cost: f64 = t_avoiding.iter().take(k).sum::<f64>()
-                + t_based.iter().skip(k).sum::<f64>();
+            let cost: f64 =
+                t_avoiding.iter().take(k).sum::<f64>() + t_based.iter().skip(k).sum::<f64>();
             if cost < best {
                 best = cost;
                 best_switch = k;
@@ -57,7 +57,9 @@ fn main() {
         println!(
             "{:<12} {:>10} {:>16.2} {:>16.2} {:>14.2} {:>12}",
             machine.name,
-            crossover.map(|c| (c + 1).to_string()).unwrap_or_else(|| "none".to_string()),
+            crossover
+                .map(|c| (c + 1).to_string())
+                .unwrap_or_else(|| "none".to_string()),
             total_based / 1e6,
             total_avoiding / 1e6,
             best / 1e6,

@@ -43,7 +43,9 @@ fn main() {
     for n in [0u64, 1, 2, 3, 10, 1000] {
         let worst = simulate_simple_loop(TwoBitState::StronglyNotTaken, n).mispredictions;
         let best = simulate_simple_loop(TwoBitState::StronglyTaken, n).mispredictions;
-        println!("simple loop, n = {n:>4}: between {best} and {worst} mispredictions (Lemmas 2/4/5/6)");
+        println!(
+            "simple loop, n = {n:>4}: between {best} and {worst} mispredictions (Lemmas 2/4/5/6)"
+        );
     }
     for p in [0.1, 0.3, 0.5, 0.9] {
         println!(

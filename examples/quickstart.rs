@@ -21,7 +21,10 @@ fn main() {
     let based = sv_branch_based_instrumented(&graph);
     let avoiding = sv_branch_avoiding_instrumented(&graph);
     assert!(based.labels.same_partition(&avoiding.labels));
-    println!("\nShiloach-Vishkin connected components ({} sweeps)", based.iterations());
+    println!(
+        "\nShiloach-Vishkin connected components ({} sweeps)",
+        based.iterations()
+    );
     println!("  components found: {}", based.labels.component_count());
     println!("  branch-based    : {}", based.counters.total());
     println!("  branch-avoiding : {}", avoiding.counters.total());
@@ -42,12 +45,19 @@ fn main() {
     let root = 0;
     let bfs_based = bfs_branch_based_instrumented(&graph, root);
     let bfs_avoiding = bfs_branch_avoiding_instrumented(&graph, root);
-    assert_eq!(bfs_based.result.distances(), bfs_avoiding.result.distances());
-    println!("\nTop-down BFS from vertex {root} ({} levels)", bfs_based.levels());
+    assert_eq!(
+        bfs_based.result.distances(),
+        bfs_avoiding.result.distances()
+    );
+    println!(
+        "\nTop-down BFS from vertex {root} ({} levels)",
+        bfs_based.levels()
+    );
     println!("  branch-based    : {}", bfs_based.counters.total());
     println!("  branch-avoiding : {}", bfs_avoiding.counters.total());
     println!(
         "  store blow-up   : {:.1}x more stores in the branch-avoiding variant",
-        bfs_avoiding.counters.total().stores as f64 / bfs_based.counters.total().stores.max(1) as f64
+        bfs_avoiding.counters.total().stores as f64
+            / bfs_based.counters.total().stores.max(1) as f64
     );
 }

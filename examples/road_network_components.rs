@@ -54,7 +54,10 @@ fn main() {
     };
     let (labels, report) = sv_hybrid_with_report(&network, config);
     println!("connected regions: {}", labels.component_count());
-    println!("largest region: {} junctions", labels.largest_component_size());
+    println!(
+        "largest region: {} junctions",
+        labels.largest_component_size()
+    );
     println!(
         "hybrid kernel: {} sweeps, switched to branch-based at sweep {:?}",
         report.iterations, report.switched_at

@@ -33,8 +33,16 @@ fn main() {
         based.result.reached_count(),
         based.result.level_count()
     );
-    println!("{:<6} {:>10} {:>14} {:>14} {:>14}", "level", "members", "based stores", "avoid stores", "avoid/based");
-    for (b, a) in based.counters.steps.iter().zip(avoiding.counters.steps.iter()) {
+    println!(
+        "{:<6} {:>10} {:>14} {:>14} {:>14}",
+        "level", "members", "based stores", "avoid stores", "avoid/based"
+    );
+    for (b, a) in based
+        .counters
+        .steps
+        .iter()
+        .zip(avoiding.counters.steps.iter())
+    {
         println!(
             "{:<6} {:>10} {:>14} {:>14} {:>14.1}",
             b.step,

@@ -1,7 +1,7 @@
 //! # branch-avoiding-graphs
 //!
 //! Umbrella crate for the reproduction of **"Branch-Avoiding Graph
-//! Algorithms"** (Green, Dukhan, Vuduc — SPAA 2015). It re-exports the four
+//! Algorithms"** (Green, Dukhan, Vuduc — SPAA 2015). It re-exports the five
 //! library crates of the workspace so applications can depend on a single
 //! crate:
 //!
@@ -14,6 +14,9 @@
 //!   extensions and instrumented variants.
 //! * [`perfmodel`] ([`bga_perfmodel`]) — misprediction bounds, modelled-time
 //!   conversion and correlation analysis.
+//! * [`parallel`] ([`bga_parallel`]) — multi-threaded kernels: atomic
+//!   fetch-min Shiloach-Vishkin and level-synchronous parallel BFS over
+//!   scoped threads with edge-balanced chunking.
 //!
 //! ```
 //! use branch_avoiding_graphs::prelude::*;
@@ -35,6 +38,7 @@
 pub use bga_branchsim as branchsim;
 pub use bga_graph as graph;
 pub use bga_kernels as kernels;
+pub use bga_parallel as parallel;
 pub use bga_perfmodel as perfmodel;
 
 /// Convenient re-exports of the items most applications need.
@@ -53,6 +57,9 @@ pub mod prelude {
     pub use bga_kernels::cc::{
         sv_branch_avoiding, sv_branch_avoiding_instrumented, sv_branch_based,
         sv_branch_based_instrumented, sv_hybrid, ComponentLabels, HybridConfig,
+    };
+    pub use bga_parallel::{
+        par_bfs_branch_avoiding, par_bfs_branch_based, par_sv_branch_avoiding, par_sv_branch_based,
     };
     pub use bga_perfmodel::timing::{modeled_speedup, time_run};
 }

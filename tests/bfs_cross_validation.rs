@@ -25,11 +25,15 @@ fn assert_all_variants_agree(graph: &branch_avoiding_graphs::graph::CsrGraph, ro
         &expected[..]
     );
     assert_eq!(
-        bfs_branch_based_instrumented(graph, root).result.distances(),
+        bfs_branch_based_instrumented(graph, root)
+            .result
+            .distances(),
         &expected[..]
     );
     assert_eq!(
-        bfs_branch_avoiding_instrumented(graph, root).result.distances(),
+        bfs_branch_avoiding_instrumented(graph, root)
+            .result
+            .distances(),
         &expected[..]
     );
 }
@@ -65,15 +69,15 @@ fn bfs_invariants_hold_for_both_paper_variants() {
 fn per_level_counters_cover_the_whole_traversal() {
     let g = barabasi_albert(2_000, 3, 9);
     let run = bfs_branch_based_instrumented(&g, 0);
-    let total_vertices: u64 = run.counters.steps.iter().map(|s| s.vertices_processed).sum();
+    let total_vertices: u64 = run
+        .counters
+        .steps
+        .iter()
+        .map(|s| s.vertices_processed)
+        .sum();
     assert_eq!(total_vertices as usize, run.result.reached_count());
     let total_edges: u64 = run.counters.steps.iter().map(|s| s.edges_traversed).sum();
-    let expected_edges: usize = run
-        .result
-        .visit_order()
-        .iter()
-        .map(|&v| g.degree(v))
-        .sum();
+    let expected_edges: usize = run.result.visit_order().iter().map(|&v| g.degree(v)).sum();
     assert_eq!(total_edges as usize, expected_edges);
 }
 

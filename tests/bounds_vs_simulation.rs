@@ -2,9 +2,7 @@
 //! Sections 3-5) hold for the mispredictions measured by the simulation
 //! substrate, across graph families and predictor variants.
 
-use branch_avoiding_graphs::branchsim::loop_model::{
-    simulate_repeated_loop, simulate_simple_loop,
-};
+use branch_avoiding_graphs::branchsim::loop_model::{simulate_repeated_loop, simulate_simple_loop};
 use branch_avoiding_graphs::branchsim::markov::steady_state_miss_rate;
 use branch_avoiding_graphs::branchsim::TwoBitState;
 use branch_avoiding_graphs::graph::generators::{

@@ -9,7 +9,7 @@ use branch_avoiding_graphs::graph::properties::connected_components_union_find;
 use branch_avoiding_graphs::graph::transform::relabel_random;
 use branch_avoiding_graphs::graph::GraphBuilder;
 use branch_avoiding_graphs::kernels::cc::{
-    baseline, sv_branch_avoiding, sv_branch_based, sv_branch_avoiding_instrumented,
+    baseline, sv_branch_avoiding, sv_branch_avoiding_instrumented, sv_branch_based,
     sv_branch_based_instrumented, sv_hybrid, HybridConfig,
 };
 use proptest::prelude::*;
@@ -18,7 +18,10 @@ fn assert_all_variants_agree(graph: &branch_avoiding_graphs::graph::CsrGraph) {
     let expected = connected_components_union_find(graph);
     assert_eq!(sv_branch_based(graph).canonical(), expected);
     assert_eq!(sv_branch_avoiding(graph).canonical(), expected);
-    assert_eq!(sv_hybrid(graph, HybridConfig::default()).canonical(), expected);
+    assert_eq!(
+        sv_hybrid(graph, HybridConfig::default()).canonical(),
+        expected
+    );
     assert_eq!(baseline::cc_bfs(graph).canonical(), expected);
     assert_eq!(
         sv_branch_based_instrumented(graph).labels.canonical(),

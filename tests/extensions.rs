@@ -11,10 +11,10 @@ use branch_avoiding_graphs::graph::transform::relabel_random;
 use branch_avoiding_graphs::kernels::bc::{
     betweenness_centrality, betweenness_centrality_branch_avoiding,
 };
+use branch_avoiding_graphs::kernels::bfs::bfs_branch_based;
 use branch_avoiding_graphs::kernels::bfs::direction_optimizing::{
     bfs_direction_optimizing, DirectionConfig,
 };
-use branch_avoiding_graphs::kernels::bfs::bfs_branch_based;
 use branch_avoiding_graphs::kernels::cc::{
     sv_branch_based, sv_shortcut_branch_avoiding, sv_shortcut_branch_based,
 };

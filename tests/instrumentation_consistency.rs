@@ -31,11 +31,19 @@ fn sv_branch_counts_match_the_loop_structure_exactly() {
         let v = g.num_vertices() as u64;
         let based = sv_branch_based_instrumented(&g);
         for step in &based.counters.steps {
-            assert_eq!(step.counters.branches, (v + 1) + (e + v) + e, "branch-based sweep");
+            assert_eq!(
+                step.counters.branches,
+                (v + 1) + (e + v) + e,
+                "branch-based sweep"
+            );
         }
         let avoiding = sv_branch_avoiding_instrumented(&g);
         for step in &avoiding.counters.steps {
-            assert_eq!(step.counters.branches, (v + 1) + (e + v), "branch-avoiding sweep");
+            assert_eq!(
+                step.counters.branches,
+                (v + 1) + (e + v),
+                "branch-avoiding sweep"
+            );
         }
     }
 }
@@ -66,7 +74,10 @@ fn sv_conditional_move_counts_match_edges() {
         assert_eq!(step.counters.conditional_moves, g.num_edge_slots() as u64);
     }
     assert_eq!(
-        sv_branch_based_instrumented(&g).counters.total().conditional_moves,
+        sv_branch_based_instrumented(&g)
+            .counters
+            .total()
+            .conditional_moves,
         0
     );
 }
@@ -83,8 +94,8 @@ fn bfs_store_blowup_tracks_average_degree() {
         let reached = based.result.reached_count() as f64;
         let edges = based.counters.total_edges_traversed() as f64;
         let expected_ratio = edges / reached;
-        let actual_ratio = avoiding.counters.total().stores as f64
-            / based.counters.total().stores.max(1) as f64;
+        let actual_ratio =
+            avoiding.counters.total().stores as f64 / based.counters.total().stores.max(1) as f64;
         assert!(
             (actual_ratio / expected_ratio - 1.0).abs() < 0.25,
             "store ratio {actual_ratio:.2} should be near the average degree {expected_ratio:.2}"

@@ -1,0 +1,167 @@
+//! Integration tests for the `bga-parallel` subsystem: parallel SV labels
+//! and parallel BFS distances must be identical to the sequential kernels
+//! and the reference implementations — on the Table-2 suite stand-ins and
+//! on randomly relabelled generator graphs — deterministically, for thread
+//! counts 1, 2 and 8.
+
+use branch_avoiding_graphs::graph::generators::{barabasi_albert, erdos_renyi_gnm};
+use branch_avoiding_graphs::graph::properties::{
+    bfs_distances_reference, connected_components_union_find,
+};
+use branch_avoiding_graphs::graph::suite::{benchmark_suite, SuiteScale};
+use branch_avoiding_graphs::graph::transform::relabel_random;
+use branch_avoiding_graphs::graph::CsrGraph;
+use branch_avoiding_graphs::kernels::bfs::{bfs_branch_avoiding, bfs_branch_based};
+use branch_avoiding_graphs::kernels::cc::{sv_branch_avoiding, sv_branch_based};
+use branch_avoiding_graphs::parallel::{
+    par_bfs_branch_avoiding, par_bfs_branch_avoiding_instrumented, par_bfs_branch_based,
+    par_bfs_branch_based_instrumented, par_sv_branch_avoiding, par_sv_branch_avoiding_instrumented,
+    par_sv_branch_based, par_sv_branch_based_instrumented,
+};
+use proptest::prelude::*;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn assert_parallel_sv_matches_sequential(graph: &CsrGraph) {
+    let expected = sv_branch_based(graph);
+    assert_eq!(
+        expected.as_slice(),
+        sv_branch_avoiding(graph).as_slice(),
+        "sequential variants disagree — broken precondition"
+    );
+    for threads in THREAD_COUNTS {
+        assert_eq!(
+            par_sv_branch_based(graph, threads).as_slice(),
+            expected.as_slice(),
+            "parallel branch-based SV diverged at {threads} threads"
+        );
+        assert_eq!(
+            par_sv_branch_avoiding(graph, threads).as_slice(),
+            expected.as_slice(),
+            "parallel branch-avoiding SV diverged at {threads} threads"
+        );
+    }
+}
+
+fn assert_parallel_bfs_matches_sequential(graph: &CsrGraph, root: u32) {
+    let expected = bfs_distances_reference(graph, root);
+    assert_eq!(bfs_branch_based(graph, root).distances(), &expected[..]);
+    assert_eq!(bfs_branch_avoiding(graph, root).distances(), &expected[..]);
+    for threads in THREAD_COUNTS {
+        assert_eq!(
+            par_bfs_branch_based(graph, root, threads).distances(),
+            &expected[..],
+            "parallel branch-based BFS diverged at {threads} threads"
+        );
+        assert_eq!(
+            par_bfs_branch_avoiding(graph, root, threads).distances(),
+            &expected[..],
+            "parallel branch-avoiding BFS diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn suite_graphs_cross_validate_at_every_thread_count() {
+    for sg in benchmark_suite(SuiteScale::Small, 42) {
+        assert_parallel_sv_matches_sequential(&sg.graph);
+        assert_parallel_bfs_matches_sequential(&sg.graph, 0);
+        // Partition sanity against the union-find reference.
+        let expected = connected_components_union_find(&sg.graph);
+        assert_eq!(par_sv_branch_avoiding(&sg.graph, 8).canonical(), expected);
+    }
+}
+
+#[test]
+fn parallel_runs_are_deterministic_across_repeats() {
+    let g = relabel_random(&barabasi_albert(3_000, 3, 11), 4);
+    for threads in THREAD_COUNTS {
+        let first_sv = par_sv_branch_avoiding(&g, threads);
+        let first_bfs = par_bfs_branch_avoiding(&g, 0, threads);
+        for _ in 0..3 {
+            assert_eq!(
+                par_sv_branch_avoiding(&g, threads).as_slice(),
+                first_sv.as_slice()
+            );
+            assert_eq!(
+                par_bfs_branch_avoiding(&g, 0, threads).distances(),
+                first_bfs.distances()
+            );
+        }
+    }
+}
+
+#[test]
+fn instrumented_parallel_counters_merge_consistently() {
+    let g = relabel_random(&barabasi_albert(2_000, 3, 9), 1);
+    for threads in THREAD_COUNTS {
+        let sv = par_sv_branch_avoiding_instrumented(&g, threads);
+        // Every sweep touches every edge slot exactly once, regardless of
+        // how the work was chunked across threads.
+        for step in &sv.counters.steps {
+            assert_eq!(step.edges_traversed as usize, g.num_edge_slots());
+        }
+        assert_eq!(sv.labels.canonical(), connected_components_union_find(&g));
+
+        let sv_based = par_sv_branch_based_instrumented(&g, threads);
+        assert_eq!(sv_based.labels.as_slice(), sv.labels.as_slice());
+        // The concurrent contrast the paper predicts: branch-based executes
+        // strictly more branches, branch-avoiding strictly more stores.
+        let based_totals = sv_based.counters.total();
+        let avoiding_totals = sv.counters.total();
+        assert!(based_totals.branches > avoiding_totals.branches);
+        assert!(avoiding_totals.stores > based_totals.stores);
+
+        let bfs = par_bfs_branch_based_instrumented(&g, 0, threads);
+        let per_level_vertices: u64 = bfs
+            .counters
+            .steps
+            .iter()
+            .map(|s| s.vertices_processed)
+            .sum();
+        assert_eq!(per_level_vertices as usize, bfs.result.reached_count());
+        assert_eq!(bfs.levels(), bfs.result.level_count());
+
+        let bfs_avoiding = par_bfs_branch_avoiding_instrumented(&g, 0, threads);
+        assert_eq!(bfs_avoiding.result.distances(), bfs.result.distances());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random sparse graphs with randomly permuted labels: parallel SV and
+    /// BFS agree with the sequential kernels at 1, 2 and 8 threads.
+    #[test]
+    fn random_relabelled_graphs_cross_validate(
+        n in 2usize..150,
+        edge_factor in 0usize..5,
+        seed in 0u64..1_000,
+        relabel_seed in 0u64..1_000,
+        root_pick in 0usize..1_000,
+    ) {
+        let m = (n * edge_factor / 2).min(n * (n - 1) / 2);
+        let g = relabel_random(&erdos_renyi_gnm(n, m, seed), relabel_seed);
+        assert_parallel_sv_matches_sequential(&g);
+        assert_parallel_bfs_matches_sequential(&g, (root_pick % n) as u32);
+    }
+
+    /// The parallel branch-avoiding BFS queue never holds duplicates.
+    #[test]
+    fn parallel_branch_avoiding_queue_is_duplicate_free(
+        n in 2usize..120,
+        edge_factor in 1usize..5,
+        seed in 0u64..500,
+    ) {
+        let m = (n * edge_factor / 2).min(n * (n - 1) / 2);
+        let g = erdos_renyi_gnm(n, m, seed);
+        for threads in THREAD_COUNTS {
+            let result = par_bfs_branch_avoiding(&g, 0, threads);
+            let mut order = result.visit_order().to_vec();
+            let reached = result.reached_count();
+            order.sort_unstable();
+            order.dedup();
+            prop_assert_eq!(order.len(), reached);
+        }
+    }
+}

@@ -34,7 +34,10 @@ fn table2_rows_carry_the_papers_sizes() {
     let suite = benchmark_suite(SuiteScale::Small, 42);
     let table = suite_table(&suite);
     let total_paper_edges: usize = table.iter().map(|r| r.paper_edges).sum();
-    assert_eq!(total_paper_edges, 38_354_076 + 3_314_611 + 977_676 + 175_691 + 22_785_136);
+    assert_eq!(
+        total_paper_edges,
+        38_354_076 + 3_314_611 + 977_676 + 175_691 + 22_785_136
+    );
     for row in &table {
         assert!(row.standin_vertices > 0);
         assert!(row.standin_edges > row.standin_vertices / 2);

@@ -1,0 +1,213 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! provides the bench-definition API the workspace's `benches/` files use
+//! (`criterion_group!` / `criterion_main!`, [`Criterion::benchmark_group`],
+//! `bench_with_input`, [`BenchmarkId`], [`black_box`]) backed by a small
+//! wall-clock harness: each benchmark runs a short warm-up, then
+//! `sample_size` timed samples, and prints the per-iteration mean and
+//! minimum. No statistical analysis, plots or baselines — the point is that
+//! `cargo bench` runs and reports honest relative numbers offline.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard hint, matching `criterion::black_box`.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Identifier for one benchmark: a function name plus a parameter label.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`, e.g. `branch_avoiding/coAuthorsDBLP`.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// A bare id with no parameter.
+    pub fn from_name(name: &str) -> Self {
+        BenchmarkId {
+            id: name.to_string(),
+        }
+    }
+
+    /// An id that is just the parameter, for groups whose name already
+    /// identifies the function.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.id.fmt(f)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId::from_name(name)
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Passed to the measurement closure; [`Bencher::iter`] times the routine.
+pub struct Bencher {
+    samples: usize,
+    result: Option<SampleStats>,
+}
+
+#[derive(Clone, Copy)]
+struct SampleStats {
+    mean: Duration,
+    min: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`: one untimed warm-up call, then `samples` timed
+    /// calls. The return value is passed through [`black_box`] so the
+    /// computation cannot be optimized away.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            let elapsed = start.elapsed();
+            total += elapsed;
+            min = min.min(elapsed);
+        }
+        self.result = Some(SampleStats {
+            mean: total / self.samples as u32,
+            min,
+        });
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark (min 2).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(id, |bencher| f(bencher, input));
+        self
+    }
+
+    /// Runs one benchmark with no input. The id may be a plain string.
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        self.run(id.into(), |bencher| f(bencher));
+        self
+    }
+
+    fn run<F: FnOnce(&mut Bencher)>(&mut self, id: BenchmarkId, f: F) {
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            result: None,
+        };
+        f(&mut bencher);
+        match bencher.result {
+            Some(stats) => println!(
+                "{}/{:<40} mean {:>12.3?}  min {:>12.3?}  ({} samples)",
+                self.name, id, stats.mean, stats.min, self.sample_size
+            ),
+            None => println!("{}/{} ran no iterations", self.name, id),
+        }
+    }
+
+    /// Ends the group (printing happens per-benchmark; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Mirror of `criterion::Criterion`, the harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("== bench group: {name}");
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: 10,
+            _criterion: self,
+        }
+    }
+}
+
+/// Mirror of `criterion_group!`: defines a function running each benchmark
+/// function against a fresh [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Mirror of `criterion_main!`: a `main` that runs the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("smoke");
+        group.sample_size(3);
+        let input = vec![1u64, 2, 3];
+        group.bench_with_input(BenchmarkId::new("sum", "tiny"), &input, |b, v| {
+            b.iter(|| v.iter().sum::<u64>())
+        });
+        group.bench_function(BenchmarkId::from_name("noop"), |b| b.iter(|| 1 + 1));
+        group.finish();
+    }
+}

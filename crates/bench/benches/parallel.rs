@@ -1,13 +1,18 @@
 //! Criterion wall-clock benches for the parallel kernels: branch-based
-//! (CAS-loop) vs branch-avoiding (fetch-min) Shiloach-Vishkin and parallel
-//! top-down BFS across thread counts. This is the strong-scaling companion
-//! to `bga experiment scaling` — the relative ordering across hooking
+//! (CAS-loop) vs branch-avoiding (fetch-min) Shiloach-Vishkin, parallel
+//! top-down and direction-optimizing BFS across thread counts, and the
+//! persistent-pool vs per-sweep `thread::scope` contrast on a
+//! high-diameter graph. This is the strong-scaling companion to
+//! `bga experiment scaling` — the relative ordering across hooking
 //! disciplines and the per-thread-count trend are the point, not absolute
 //! numbers.
 
+use bga_graph::generators::{grid_2d, MeshStencil};
 use bga_graph::suite::{benchmark_suite, SuiteScale};
 use bga_parallel::{
-    par_bfs_branch_avoiding, par_bfs_branch_based, par_sv_branch_avoiding, par_sv_branch_based,
+    par_bfs_branch_avoiding, par_bfs_branch_avoiding_on, par_bfs_branch_based,
+    par_bfs_direction_optimizing, par_sv_branch_avoiding, par_sv_branch_based, ScopedExecutor,
+    WorkerPool,
 };
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -52,9 +57,54 @@ fn bench_parallel_bfs(c: &mut Criterion) {
             &sg.graph,
             |b, g| b.iter(|| par_bfs_branch_avoiding(g, 0, threads)),
         );
+        group.bench_with_input(
+            BenchmarkId::new("direction_optimizing", format!("{}x{threads}", sg.name())),
+            &sg.graph,
+            |b, g| b.iter(|| par_bfs_direction_optimizing(g, 0, threads)),
+        );
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_parallel_sv, bench_parallel_bfs);
+/// The spawn-overhead contrast the persistent pool exists for: BFS over a
+/// high-diameter mesh is hundreds of levels with tiny frontiers, so the
+/// per-level cost of standing up workers dominates. A small grain forces
+/// every level to fan out; the pool then pays one condvar wake per level
+/// where the scoped executor pays `threads - 1` thread spawns + joins. On
+/// the `pool` rows should beat the matching `thread_scope` rows clearly —
+/// even on a single-core runner, since thread spawn/join cost is
+/// core-count independent (the explicit thread counts below fan out
+/// regardless of how many cores the host reports).
+fn bench_small_frontier_pool_vs_scope(c: &mut Criterion) {
+    // ~100x60 VonNeumann mesh, diameter ≈ 160: frontiers of a few dozen
+    // vertices for ~160 levels.
+    let graph = grid_2d(100, 60, MeshStencil::VonNeumann);
+    let mut group = c.benchmark_group("small_frontier_bfs");
+    group.sample_size(10);
+    // Force per-level fan-out even on tiny frontiers, so the hand-off
+    // mechanism itself is what gets measured.
+    let grain = 64;
+    for threads in [2usize, 4, 8] {
+        let pool = WorkerPool::new(threads);
+        group.bench_with_input(
+            BenchmarkId::new("pool", format!("mesh100x60x{threads}")),
+            &graph,
+            |b, g| b.iter(|| par_bfs_branch_avoiding_on(g, 0, &pool, grain)),
+        );
+        let scoped = ScopedExecutor::new(threads);
+        group.bench_with_input(
+            BenchmarkId::new("thread_scope", format!("mesh100x60x{threads}")),
+            &graph,
+            |b, g| b.iter(|| par_bfs_branch_avoiding_on(g, 0, &scoped, grain)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_parallel_sv,
+    bench_parallel_bfs,
+    bench_small_frontier_pool_vs_scope
+);
 criterion_main!(benches);

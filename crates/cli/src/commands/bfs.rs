@@ -13,16 +13,46 @@ use bga_kernels::bfs::{
 };
 use bga_parallel::{
     par_bfs_branch_avoiding, par_bfs_branch_avoiding_instrumented, par_bfs_branch_based,
-    par_bfs_branch_based_instrumented, resolve_threads,
+    par_bfs_branch_based_instrumented, par_bfs_direction_optimizing_with_config, resolve_threads,
 };
 use std::time::Instant;
+
+/// Parses `--strategy`: the direction policy for the direction-optimizing
+/// traversal. `None` when the flag is absent.
+fn parse_strategy(args: &[String]) -> Result<Option<DirectionConfig>, String> {
+    match flag_value(args, "--strategy") {
+        None if args.iter().any(|a| a == "--strategy") => {
+            Err("--strategy requires a value (auto, top-down or bottom-up)".to_string())
+        }
+        None => Ok(None),
+        Some("auto") => Ok(Some(DirectionConfig::default())),
+        Some("top-down") => Ok(Some(DirectionConfig::always_top_down())),
+        Some("bottom-up") => Ok(Some(DirectionConfig::always_bottom_up())),
+        Some(other) => Err(format!(
+            "unknown strategy {other:?} (expected auto, top-down or bottom-up)"
+        )),
+    }
+}
 
 /// Runs the `bfs` subcommand.
 pub fn run(args: &[String]) -> Result<(), String> {
     let Some(graph_spec) = args.first() else {
         return Err("bfs needs a graph".to_string());
     };
-    let variant = flag_value(args, "--variant").unwrap_or("branch-based");
+    let strategy = parse_strategy(args)?;
+    // `--strategy` implies the direction-optimizing traversal; `--variant`
+    // keeps selecting among the classic kernels otherwise.
+    let default_variant = if strategy.is_some() {
+        "direction-optimizing"
+    } else {
+        "branch-based"
+    };
+    let variant = flag_value(args, "--variant").unwrap_or(default_variant);
+    if strategy.is_some() && variant != "direction-optimizing" {
+        return Err(format!(
+            "--strategy applies to the direction-optimizing variant, not {variant:?}"
+        ));
+    }
     let instrumented = args.iter().any(|a| a == "--instrumented");
     let threads = parse_threads(args)?;
 
@@ -81,6 +111,8 @@ pub fn run(args: &[String]) -> Result<(), String> {
     if let Some(t) = threads {
         println!("threads: {}", resolve_threads(t));
     }
+    let config = strategy.unwrap_or_default();
+    let mut directions = None;
     let start = Instant::now();
     let result: BfsResult = match (variant, threads) {
         ("branch-based", None) => bfs_branch_based(&graph, root),
@@ -88,19 +120,30 @@ pub fn run(args: &[String]) -> Result<(), String> {
         ("branch-based", Some(t)) => par_bfs_branch_based(&graph, root, t),
         ("branch-avoiding", Some(t)) => par_bfs_branch_avoiding(&graph, root, t),
         ("bottom-up", None) => bfs_bottom_up(&graph, root),
-        ("direction-optimizing", None) => {
-            bfs_direction_optimizing(&graph, root, DirectionConfig::default())
+        ("direction-optimizing", None) => bfs_direction_optimizing(&graph, root, config),
+        ("direction-optimizing", Some(t)) => {
+            let run = par_bfs_direction_optimizing_with_config(&graph, root, t, config);
+            directions = Some((run.directions.len(), run.bottom_up_levels()));
+            run.result
         }
         (other, None) => return Err(format!("unknown bfs variant {other:?}")),
         (other, Some(_)) => {
             return Err(format!(
-                "--threads supports branch-based and branch-avoiding, not {other:?}"
+                "--threads supports branch-based, branch-avoiding and \
+                 direction-optimizing, not {other:?}"
             ))
         }
     };
     let elapsed = start.elapsed();
     check_bfs_invariants(&graph, root, &result)?;
     print_result_summary(variant, &result);
+    if let Some((levels, bottom_up)) = directions {
+        println!(
+            "directions: {} top-down, {} bottom-up levels",
+            levels - bottom_up,
+            bottom_up
+        );
+    }
     println!("wall clock: {:.3} ms", elapsed.as_secs_f64() * 1e3);
     Ok(())
 }
@@ -137,7 +180,7 @@ mod tests {
 
     #[test]
     fn threads_flag_selects_the_parallel_kernels() {
-        for variant in ["branch-based", "branch-avoiding"] {
+        for variant in ["branch-based", "branch-avoiding", "direction-optimizing"] {
             assert!(
                 super::run(&strings(&[
                     "cond-mat-2005",
@@ -165,6 +208,37 @@ mod tests {
             "bottom-up",
             "--threads",
             "2"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn strategy_flag_drives_the_direction_optimizing_traversal() {
+        // The worked example from the README: auto strategy on all cores.
+        for strategy in ["auto", "top-down", "bottom-up"] {
+            assert!(
+                super::run(&strings(&[
+                    "cond-mat-2005",
+                    "--threads",
+                    "8",
+                    "--strategy",
+                    strategy
+                ]))
+                .is_ok(),
+                "--strategy {strategy} failed"
+            );
+        }
+        // Sequential direction-optimizing honours the strategy too.
+        assert!(super::run(&strings(&["cond-mat-2005", "--strategy", "bottom-up"])).is_ok());
+        // Bad or conflicting usages fail loudly.
+        assert!(super::run(&strings(&["cond-mat-2005", "--strategy", "sideways"])).is_err());
+        assert!(super::run(&strings(&["cond-mat-2005", "--strategy"])).is_err());
+        assert!(super::run(&strings(&[
+            "cond-mat-2005",
+            "--variant",
+            "branch-based",
+            "--strategy",
+            "auto"
         ]))
         .is_err());
     }

@@ -6,7 +6,9 @@ use bga_branchsim::all_machine_models;
 use bga_graph::suite::{benchmark_suite, suite_table, SuiteScale};
 use bga_kernels::bfs::bfs_branch_based_instrumented;
 use bga_kernels::cc::{sv_branch_avoiding_instrumented, sv_branch_based_instrumented};
-use bga_parallel::{par_sv_branch_avoiding, par_sv_branch_based};
+use bga_parallel::{
+    par_bfs_direction_optimizing, par_sv_branch_avoiding, par_sv_branch_based, resolve_threads,
+};
 use bga_perfmodel::timing::modeled_speedup;
 use std::time::Instant;
 
@@ -122,10 +124,21 @@ pub fn run(args: &[String]) -> Result<(), String> {
     }
 }
 
-/// Strong-scaling sweep: both parallel SV variants on every suite graph at
-/// 1, 2, 4 and 8 worker threads, with per-thread-count wall-clock timings
-/// and the speedup of each configuration over its own single-thread run.
+/// Strong-scaling sweep: both parallel SV variants and direction-optimizing
+/// BFS on every suite graph at 1, 2, 4 and 8 worker threads, with
+/// per-thread-count wall-clock timings and the speedup of each
+/// configuration over its own single-thread run.
 fn run_scaling() {
+    // On a single-core host every configuration runs the same one worker,
+    // so "speedup" is pool overhead, not scaling. Say so up front instead
+    // of silently reporting ≈1.0x.
+    if resolve_threads(0) == 1 {
+        println!(
+            "warning: this host reports a single available core; speedups \
+             below measure pool overhead, not strong scaling — rerun on a \
+             multicore host for meaningful numbers"
+        );
+    }
     let suite = benchmark_suite(SuiteScale::Small, 42);
     println!(
         "{:<15} {:<16} {:>8} {:>12} {:>10}",
@@ -156,6 +169,24 @@ fn run_scaling() {
                     baseline / elapsed_ms.max(f64::MIN_POSITIVE)
                 );
             }
+        }
+        // Direction-optimizing BFS on the same sweep: the frontier-shape
+        // regime where the persistent pool and bitmap frontiers matter.
+        let mut single_thread_ms = None;
+        for threads in SCALING_THREADS {
+            let start = Instant::now();
+            let result = par_bfs_direction_optimizing(&sg.graph, 0, threads);
+            let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+            assert_eq!(result.distances().len(), sg.graph.num_vertices());
+            let baseline = *single_thread_ms.get_or_insert(elapsed_ms);
+            println!(
+                "{:<15} {:<16} {:>8} {:>12.3} {:>9.2}x",
+                sg.name(),
+                "bfs dir-opt",
+                threads,
+                elapsed_ms,
+                baseline / elapsed_ms.max(f64::MIN_POSITIVE)
+            );
         }
     }
     // Contrast line mirroring the paper's message: identical results from

@@ -10,16 +10,19 @@ mod graph_input;
 pub const USAGE: &str = "usage:
   bga generate <path|cycle|star|complete|tree|gnp|gnm|ba|ws|grid2d|grid3d|rmat> <args..> [--seed S] <out.metis>
   bga cc  <graph> [--variant branch-based|branch-avoiding|hybrid|union-find|bfs] [--instrumented] [--threads N]
-  bga bfs <graph> [--root R] [--variant branch-based|branch-avoiding|bottom-up|direction-optimizing] [--instrumented] [--threads N]
+  bga bfs <graph> [--root R] [--variant branch-based|branch-avoiding|bottom-up|direction-optimizing] [--strategy auto|top-down|bottom-up] [--instrumented] [--threads N]
   bga experiment <table1|table2|suite-summary|scaling>
 
 <graph> is a METIS (.metis/.graph) or edge-list file, or a built-in suite
 name: audikw1, auto, coAuthorsDBLP, cond-mat-2005, ldoor.
 
---threads N runs the branch-based / branch-avoiding kernels on N worker
-threads from the bga-parallel crate (N = 0 uses every available core);
-labels and distances are identical to the sequential kernels. The scaling
-experiment sweeps both parallel SV variants over 1, 2, 4 and 8 threads.";
+--threads N runs the branch-based / branch-avoiding / direction-optimizing
+kernels on a persistent N-worker pool from the bga-parallel crate (N = 0
+uses every available core); labels and distances are identical to the
+sequential kernels. --strategy picks the direction policy of the
+direction-optimizing traversal (auto = the α/β frontier heuristic). The
+scaling experiment sweeps the parallel SV and BFS kernels over 1, 2, 4 and
+8 threads.";
 
 /// Routes the raw argument list to the subcommand implementations.
 pub fn dispatch(args: &[String]) -> Result<(), String> {

@@ -6,11 +6,12 @@
 //! benchmark suite can compare the branch behaviour of the paper's classic
 //! top-down kernels against the algorithmic state of the art it cites.
 
-use super::frontier::BfsResult;
+use super::frontier::{BfsResult, Bitmap};
 use super::INFINITY;
 use bga_graph::{CsrGraph, VertexId};
 
-/// Switching thresholds for the direction-optimizing traversal.
+/// Switching thresholds for the direction-optimizing traversal (the α/β
+/// heuristic of Beamer et al., expressed as frontier fractions).
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct DirectionConfig {
     /// Switch to bottom-up when `frontier size / |V|` exceeds this value.
@@ -24,6 +25,26 @@ impl Default for DirectionConfig {
         DirectionConfig {
             to_bottom_up: 0.05,
             to_top_down: 0.01,
+        }
+    }
+}
+
+impl DirectionConfig {
+    /// Thresholds that never trigger the bottom-up switch: a pure
+    /// top-down traversal (the frontier fraction can never exceed 1).
+    pub fn always_top_down() -> Self {
+        DirectionConfig {
+            to_bottom_up: 2.0,
+            to_top_down: 0.0,
+        }
+    }
+
+    /// Thresholds that switch to bottom-up on the first level and never
+    /// switch back.
+    pub fn always_bottom_up() -> Self {
+        DirectionConfig {
+            to_bottom_up: 0.0,
+            to_top_down: -1.0,
         }
     }
 }
@@ -44,6 +65,9 @@ pub fn bfs_direction_optimizing(
     let mut frontier: Vec<VertexId> = vec![root];
     let mut level = 0u32;
     let mut bottom_up = false;
+    // One bitmap allocation reused (cleared) across bottom-up levels, as
+    // in the parallel kernel.
+    let mut in_frontier = Bitmap::new(n);
 
     while !frontier.is_empty() {
         let frontier_fraction = frontier.len() as f64 / n.max(1) as f64;
@@ -55,12 +79,20 @@ pub fn bfs_direction_optimizing(
 
         let mut next: Vec<VertexId> = Vec::new();
         if bottom_up {
+            // Frontier membership as a bitmap: the per-edge test becomes
+            // one load + mask instead of chasing the distances array, and
+            // it is the same representation the parallel bottom-up step
+            // scans concurrently.
+            in_frontier.clear();
+            for &v in &frontier {
+                in_frontier.set(v as usize);
+            }
             for v in 0..n as u32 {
                 if distances[v as usize] != INFINITY {
                     continue;
                 }
                 for &u in graph.neighbors(v) {
-                    if distances[u as usize] == level {
+                    if in_frontier.get(u as usize) {
                         distances[v as usize] = level + 1;
                         next.push(v);
                         break;
@@ -107,16 +139,8 @@ mod tests {
     #[test]
     fn pure_top_down_and_pure_bottom_up_configs_agree() {
         let g = barabasi_albert(300, 2, 5);
-        let never_switch = DirectionConfig {
-            to_bottom_up: 2.0,
-            to_top_down: 0.0,
-        };
-        let always_switch = DirectionConfig {
-            to_bottom_up: 0.0,
-            to_top_down: -1.0,
-        };
-        let a = bfs_direction_optimizing(&g, 0, never_switch);
-        let b = bfs_direction_optimizing(&g, 0, always_switch);
+        let a = bfs_direction_optimizing(&g, 0, DirectionConfig::always_top_down());
+        let b = bfs_direction_optimizing(&g, 0, DirectionConfig::always_bottom_up());
         assert_eq!(a.distances(), b.distances());
     }
 

@@ -1,7 +1,139 @@
 //! BFS result type and frontier helpers shared by the BFS variants.
+//!
+//! Besides the queue-style frontier the top-down kernels use implicitly
+//! (a `Vec` of vertex ids), this module provides [`Bitmap`] — a dense
+//! frontier of one `AtomicU64` word per 64 vertices. Membership insertion
+//! is a single branchless `fetch_or`, which makes the bitmap safe to fill
+//! from many threads at once and cheap to test from the bottom-up
+//! direction, where every unvisited vertex asks "is any neighbour of mine
+//! in the frontier?". The sequential direction-optimizing kernel and the
+//! parallel crate share this one representation.
 
 use super::INFINITY;
 use bga_graph::VertexId;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+/// Bits per bitmap word.
+const WORD_BITS: usize = u64::BITS as usize;
+
+/// A dense vertex set: one bit per vertex, one [`AtomicU64`] per 64
+/// vertices. Insertion ([`Bitmap::set`]) is a branchless `fetch_or`
+/// through `&self`, so a single bitmap can be filled concurrently from
+/// many threads; clearing and draining take `&mut self` and are meant for
+/// the single-threaded seams between sweeps.
+#[derive(Debug, Default)]
+pub struct Bitmap {
+    words: Vec<AtomicU64>,
+    len: usize,
+}
+
+impl Bitmap {
+    /// An empty set over the domain `0..len`.
+    pub fn new(len: usize) -> Self {
+        Bitmap {
+            words: (0..len.div_ceil(WORD_BITS))
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+            len,
+        }
+    }
+
+    /// Size of the domain (not the number of set bits).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the domain is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts `index` into the set: one unconditional `fetch_or`, no
+    /// data-dependent branch. Returns `true` when this call set the bit
+    /// (the branch-free analogue of "was newly discovered"). Safe to call
+    /// concurrently; exactly one of the racing callers for a bit sees
+    /// `true`.
+    pub fn set(&self, index: usize) -> bool {
+        debug_assert!(
+            index < self.len,
+            "bit {index} outside domain 0..{}",
+            self.len
+        );
+        let bit = 1u64 << (index % WORD_BITS);
+        let prev = self.words[index / WORD_BITS].fetch_or(bit, Relaxed);
+        prev & bit == 0
+    }
+
+    /// True when `index` is in the set.
+    pub fn get(&self, index: usize) -> bool {
+        debug_assert!(
+            index < self.len,
+            "bit {index} outside domain 0..{}",
+            self.len
+        );
+        let bit = 1u64 << (index % WORD_BITS);
+        self.words[index / WORD_BITS].load(Relaxed) & bit != 0
+    }
+
+    /// Removes every element. `&mut self`: clearing is a between-sweeps
+    /// operation, never concurrent with insertion.
+    pub fn clear(&mut self) {
+        for word in &mut self.words {
+            *word.get_mut() = 0;
+        }
+    }
+
+    /// Number of elements in the set (popcount over the words).
+    pub fn count(&self) -> usize {
+        self.words
+            .iter()
+            .map(|w| w.load(Relaxed).count_ones() as usize)
+            .sum()
+    }
+
+    /// Number of backing words, for callers that scan the bitmap in
+    /// parallel word ranges.
+    pub fn num_words(&self) -> usize {
+        self.words.len()
+    }
+
+    /// The set bits within a word range, in ascending index order. Useful
+    /// for chunked parallel scans: `word_range` partitions compose into
+    /// the full, ordered element sequence.
+    pub fn iter_set_in_words(
+        &self,
+        words: std::ops::Range<usize>,
+    ) -> impl Iterator<Item = usize> + '_ {
+        self.words[words.clone()]
+            .iter()
+            .zip(words)
+            .flat_map(|(word, word_index)| {
+                let mut bits = word.load(Relaxed);
+                std::iter::from_fn(move || {
+                    if bits == 0 {
+                        return None;
+                    }
+                    let bit = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(word_index * WORD_BITS + bit)
+                })
+            })
+    }
+
+    /// Every set bit in ascending order.
+    pub fn iter_set(&self) -> impl Iterator<Item = usize> + '_ {
+        self.iter_set_in_words(0..self.words.len())
+    }
+}
+
+/// Builds a bitmap over `0..len` containing the given frontier vertices.
+pub fn bitmap_from_frontier(len: usize, frontier: &[VertexId]) -> Bitmap {
+    let bitmap = Bitmap::new(len);
+    for &v in frontier {
+        bitmap.set(v as usize);
+    }
+    bitmap
+}
 
 /// The output of a BFS kernel: the distance of every vertex from the root
 /// (`INFINITY` when unreached) and the visit order.
@@ -155,6 +287,51 @@ mod tests {
         let d = bfs_distances_reference(&g, 0);
         let r = BfsResult::new(d, vec![0, 1, 2, 3, 4]);
         assert!(check_bfs_invariants(&g, 0, &r).is_ok());
+    }
+
+    #[test]
+    fn bitmap_set_get_count_roundtrip() {
+        let bitmap = Bitmap::new(130);
+        assert_eq!(bitmap.len(), 130);
+        assert!(!bitmap.is_empty());
+        assert!(Bitmap::new(0).is_empty());
+        assert_eq!(bitmap.count(), 0);
+        // First insertion reports "newly set", the second does not.
+        assert!(bitmap.set(0));
+        assert!(!bitmap.set(0));
+        assert!(bitmap.set(63));
+        assert!(bitmap.set(64));
+        assert!(bitmap.set(129));
+        assert_eq!(bitmap.count(), 4);
+        for i in 0..130 {
+            assert_eq!(bitmap.get(i), [0, 63, 64, 129].contains(&i), "bit {i}");
+        }
+    }
+
+    #[test]
+    fn bitmap_scan_is_ordered_and_chunkable() {
+        let members = [3usize, 5, 64, 65, 127, 128, 200];
+        let bitmap = bitmap_from_frontier(201, &members.map(|v| v as u32));
+        let scanned: Vec<usize> = bitmap.iter_set().collect();
+        assert_eq!(scanned, members);
+        // Word-range partitions compose into the same ordered sequence.
+        let words = bitmap.num_words();
+        let split = words / 2;
+        let chunked: Vec<usize> = bitmap
+            .iter_set_in_words(0..split)
+            .chain(bitmap.iter_set_in_words(split..words))
+            .collect();
+        assert_eq!(chunked, members);
+    }
+
+    #[test]
+    fn bitmap_clear_resets_every_word() {
+        let mut bitmap = bitmap_from_frontier(100, &[0, 64, 99]);
+        assert_eq!(bitmap.count(), 3);
+        bitmap.clear();
+        assert_eq!(bitmap.count(), 0);
+        assert_eq!(bitmap.iter_set().count(), 0);
+        assert!(bitmap.set(64));
     }
 
     #[test]

@@ -21,7 +21,7 @@ pub mod instrumented;
 pub mod topdown_branch;
 pub mod topdown_branchless;
 
-pub use frontier::BfsResult;
+pub use frontier::{bitmap_from_frontier, BfsResult, Bitmap};
 pub use instrumented::{bfs_branch_avoiding_instrumented, bfs_branch_based_instrumented, BfsRun};
 pub use topdown_branch::bfs_branch_based;
 pub use topdown_branchless::bfs_branch_avoiding;

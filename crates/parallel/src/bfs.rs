@@ -1,11 +1,14 @@
-//! Parallel level-synchronous top-down BFS.
+//! Parallel level-synchronous BFS: top-down, and direction-optimizing.
 //!
-//! Each level, the current frontier is split into degree-aware,
-//! edge-balanced chunks (see [`crate::pool`]); every worker scans its chunk
-//! into a private next-frontier buffer, and the buffers are concatenated in
-//! chunk order. The two variants differ only in how an edge claims its
-//! endpoint, reproducing the paper's Algorithms 4 and 5 in the concurrent
-//! setting:
+//! Every level, the current frontier is split into degree-aware,
+//! edge-balanced chunks (see [`crate::pool`]) and executed on a persistent
+//! [`WorkerPool`] — workers are spawned once per run and woken per level,
+//! so a high-diameter graph with thousands of tiny frontiers pays the
+//! thread-creation cost once, not once per level. Each worker scans its
+//! chunk into a private next-frontier buffer, and the buffers are
+//! concatenated in chunk order. The two top-down variants differ only in
+//! how an edge claims its endpoint, reproducing the paper's Algorithms 4
+//! and 5 in the concurrent setting:
 //!
 //! * [`par_bfs_branch_based`] — test `distance == INFINITY`, then claim the
 //!   vertex with a `compare_exchange`; both the test and the CAS are
@@ -16,16 +19,30 @@
 //!   `(prev > next_level) as usize`, the same "write past the end" trick
 //!   the sequential branch-avoiding kernel uses.
 //!
+//! [`par_bfs_direction_optimizing`] composes the branch-avoiding top-down
+//! step with a *bottom-up* step over a shared [`Bitmap`] frontier (one
+//! `fetch_or` word per 64 vertices): when the frontier grows past the
+//! [`DirectionConfig`] threshold, every still-unvisited vertex scans its
+//! own neighbours for a parent in the frontier bitmap instead of the
+//! frontier pushing outwards — the direction-switching regime of Beamer et
+//! al. that the paper evaluates branch-avoidance against.
+//!
 //! Distances only ever step from `INFINITY` to the unique BFS level of a
 //! vertex, and within a level every contender writes the same value, so
 //! **distances are deterministic and identical to the sequential kernels
-//! for every thread count**. The discovery *order* inside a level depends
-//! on which worker wins a race and is therefore not stable across runs
-//! with more than one thread (it is still a valid BFS order).
+//! for every thread count**. The discovery *order* inside a top-down level
+//! depends on which worker wins a race and is therefore not stable across
+//! runs with more than one thread (it is still a valid BFS order);
+//! bottom-up levels discover in ascending vertex order.
 
+use crate::bitmap::{par_fill_bitmap, Bitmap};
 use crate::counters::{collect_run, merge_thread_steps, ThreadTally};
-use crate::pool::{balanced_prefix_ranges, effective_chunks, resolve_threads, run_chunks};
+use crate::pool::{
+    balanced_prefix_ranges, edge_balanced_ranges, effective_chunks_with_grain, Execute, PoolConfig,
+    WorkerPool,
+};
 use bga_graph::{CsrGraph, VertexId};
+use bga_kernels::bfs::direction_optimizing::DirectionConfig;
 use bga_kernels::bfs::{BfsResult, INFINITY};
 use bga_kernels::stats::RunCounters;
 use std::sync::atomic::{AtomicU32, Ordering::Relaxed};
@@ -46,6 +63,37 @@ impl ParBfsRun {
     /// Number of BFS levels traversed.
     pub fn levels(&self) -> usize {
         self.counters.num_steps()
+    }
+}
+
+/// Traversal direction one BFS level ran in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// The frontier pushed outwards (paper Algorithms 4/5).
+    TopDown,
+    /// Unvisited vertices pulled from the frontier bitmap.
+    BottomUp,
+}
+
+/// Result of a parallel direction-optimizing BFS run.
+#[derive(Clone, Debug)]
+pub struct ParDirBfsRun {
+    /// Distances and discovery order.
+    pub result: BfsResult,
+    /// Direction of each expansion step (one per level whose frontier was
+    /// non-empty, starting with the root's own expansion).
+    pub directions: Vec<Direction>,
+    /// Worker count the run actually used.
+    pub threads: usize,
+}
+
+impl ParDirBfsRun {
+    /// Number of levels that ran bottom-up.
+    pub fn bottom_up_levels(&self) -> usize {
+        self.directions
+            .iter()
+            .filter(|&&d| d == Direction::BottomUp)
+            .count()
     }
 }
 
@@ -70,11 +118,132 @@ fn frontier_degree_prefix(graph: &CsrGraph, frontier: &[VertexId]) -> Vec<usize>
     prefix
 }
 
+/// One branch-based top-down level: every frontier chunk claims neighbours
+/// with a CAS; returns the next frontier in chunk order.
+fn level_topdown_based<E: Execute>(
+    graph: &CsrGraph,
+    exec: &E,
+    grain: usize,
+    distances: &[AtomicU32],
+    frontier: &[VertexId],
+    next_level: u32,
+) -> Vec<VertexId> {
+    let prefix = frontier_degree_prefix(graph, frontier);
+    let chunks =
+        effective_chunks_with_grain(*prefix.last().unwrap_or(&0), exec.parallelism(), grain);
+    let ranges = balanced_prefix_ranges(&prefix, chunks);
+    let buffers: Vec<Vec<VertexId>> = exec.run(ranges, |_chunk, range| {
+        let mut local = Vec::new();
+        for &v in &frontier[range] {
+            for &w in graph.neighbors(v) {
+                // Data-dependent test, then claim the vertex with a CAS;
+                // exactly one contender per vertex succeeds.
+                if distances[w as usize].load(Relaxed) == INFINITY
+                    && distances[w as usize]
+                        .compare_exchange(INFINITY, next_level, Relaxed, Relaxed)
+                        .is_ok()
+                {
+                    local.push(w);
+                }
+            }
+        }
+        local
+    });
+    buffers.concat()
+}
+
+/// One branch-avoiding top-down level: one `fetch_min` per edge, buffer
+/// length advanced branch-free; returns the next frontier in chunk order.
+fn level_topdown_avoiding<E: Execute>(
+    graph: &CsrGraph,
+    exec: &E,
+    grain: usize,
+    distances: &[AtomicU32],
+    frontier: &[VertexId],
+    next_level: u32,
+) -> Vec<VertexId> {
+    let n = graph.num_vertices();
+    let prefix = frontier_degree_prefix(graph, frontier);
+    let chunks =
+        effective_chunks_with_grain(*prefix.last().unwrap_or(&0), exec.parallelism(), grain);
+    let ranges = balanced_prefix_ranges(&prefix, chunks);
+    let prefix_ref = &prefix;
+    let buffers: Vec<Vec<VertexId>> = exec.run(ranges, |_chunk, range| {
+        // One slot per potential discovery plus the overflow slot the
+        // unconditional write of a non-discovery lands in. A chunk can
+        // discover at most min(chunk edges, |V|) vertices, so cap the
+        // zero-initialization at |V| rather than memsetting one word
+        // per edge on dense chunks.
+        let chunk_edges = prefix_ref[range.end] - prefix_ref[range.start];
+        let mut buffer = vec![0 as VertexId; chunk_edges.min(n) + 1];
+        let mut len = 0usize;
+        for &v in &frontier[range] {
+            for &w in graph.neighbors(v) {
+                // The priority write: unconditional atomic minimum.
+                let prev = distances[w as usize].fetch_min(next_level, Relaxed);
+                // Unconditional candidate write; the slot is claimed by
+                // the branch-free length increment iff this edge won the
+                // discovery (exactly one fetch_min per vertex observes a
+                // previous value above the level being written).
+                buffer[len] = w;
+                len += usize::from(prev > next_level);
+            }
+        }
+        buffer.truncate(len);
+        buffer
+    });
+    buffers.concat()
+}
+
+/// One bottom-up level over the frontier bitmap: every still-unvisited
+/// vertex in an edge-balanced chunk scans its neighbours for a parent in
+/// `in_frontier`. Discoveries are race-free (each vertex belongs to one
+/// chunk), so the next frontier comes back in ascending vertex order.
+fn level_bottom_up<E: Execute>(
+    graph: &CsrGraph,
+    exec: &E,
+    bu_ranges: &[std::ops::Range<usize>],
+    distances: &[AtomicU32],
+    in_frontier: &Bitmap,
+    next_level: u32,
+) -> Vec<VertexId> {
+    let buffers: Vec<Vec<VertexId>> = exec.run(bu_ranges.to_vec(), |_chunk, range| {
+        let mut local = Vec::new();
+        for v in range {
+            if distances[v].load(Relaxed) != INFINITY {
+                continue;
+            }
+            for &u in graph.neighbors(v as VertexId) {
+                if in_frontier.get(u as usize) {
+                    distances[v].store(next_level, Relaxed);
+                    local.push(v as VertexId);
+                    break;
+                }
+            }
+        }
+        local
+    });
+    buffers.concat()
+}
+
 /// Parallel branch-based top-down BFS from `root`. `threads == 0` uses
 /// every available core; a root outside the vertex range yields an
 /// all-unreached result, as in the sequential kernels.
 pub fn par_bfs_branch_based(graph: &CsrGraph, root: VertexId, threads: usize) -> BfsResult {
-    let threads = resolve_threads(threads);
+    let config = PoolConfig::from_env(threads);
+    let pool = WorkerPool::with_config(&config);
+    par_bfs_branch_based_on(graph, root, &pool, config.grain)
+}
+
+/// [`par_bfs_branch_based`] on an explicit executor — the seam the
+/// benchmarks use to compare the persistent pool against per-level
+/// `thread::scope` spawns.
+pub fn par_bfs_branch_based_on<E: Execute>(
+    graph: &CsrGraph,
+    root: VertexId,
+    exec: &E,
+    grain: usize,
+) -> BfsResult {
     let n = graph.num_vertices();
     let distances = infinite_distances(n);
     if (root as usize) >= n {
@@ -87,29 +256,7 @@ pub fn par_bfs_branch_based(graph: &CsrGraph, root: VertexId, threads: usize) ->
 
     while !frontier.is_empty() {
         next_level += 1;
-        let prefix = frontier_degree_prefix(graph, &frontier);
-        let level_chunks = effective_chunks(*prefix.last().unwrap_or(&0), threads);
-        let ranges = balanced_prefix_ranges(&prefix, level_chunks);
-        let distances = &distances;
-        let current = &frontier;
-        let buffers: Vec<Vec<VertexId>> = run_chunks(ranges, |_chunk, range| {
-            let mut local = Vec::new();
-            for &v in &current[range] {
-                for &w in graph.neighbors(v) {
-                    // Data-dependent test, then claim the vertex with a CAS;
-                    // exactly one contender per vertex succeeds.
-                    if distances[w as usize].load(Relaxed) == INFINITY
-                        && distances[w as usize]
-                            .compare_exchange(INFINITY, next_level, Relaxed, Relaxed)
-                            .is_ok()
-                    {
-                        local.push(w);
-                    }
-                }
-            }
-            local
-        });
-        frontier = buffers.concat();
+        frontier = level_topdown_based(graph, exec, grain, &distances, &frontier, next_level);
         order.extend_from_slice(&frontier);
     }
     BfsResult::new(into_distances(distances), order)
@@ -119,7 +266,18 @@ pub fn par_bfs_branch_based(graph: &CsrGraph, root: VertexId, threads: usize) ->
 /// edge and branch-free buffer advancement. `threads == 0` uses every
 /// available core.
 pub fn par_bfs_branch_avoiding(graph: &CsrGraph, root: VertexId, threads: usize) -> BfsResult {
-    let threads = resolve_threads(threads);
+    let config = PoolConfig::from_env(threads);
+    let pool = WorkerPool::with_config(&config);
+    par_bfs_branch_avoiding_on(graph, root, &pool, config.grain)
+}
+
+/// [`par_bfs_branch_avoiding`] on an explicit executor.
+pub fn par_bfs_branch_avoiding_on<E: Execute>(
+    graph: &CsrGraph,
+    root: VertexId,
+    exec: &E,
+    grain: usize,
+) -> BfsResult {
     let n = graph.num_vertices();
     let distances = infinite_distances(n);
     if (root as usize) >= n {
@@ -132,40 +290,107 @@ pub fn par_bfs_branch_avoiding(graph: &CsrGraph, root: VertexId, threads: usize)
 
     while !frontier.is_empty() {
         next_level += 1;
-        let prefix = frontier_degree_prefix(graph, &frontier);
-        let level_chunks = effective_chunks(*prefix.last().unwrap_or(&0), threads);
-        let ranges = balanced_prefix_ranges(&prefix, level_chunks);
-        let distances = &distances;
-        let current = &frontier;
-        let prefix_ref = &prefix;
-        let buffers: Vec<Vec<VertexId>> = run_chunks(ranges, |_chunk, range| {
-            // One slot per potential discovery plus the overflow slot the
-            // unconditional write of a non-discovery lands in. A chunk can
-            // discover at most min(chunk edges, |V|) vertices, so cap the
-            // zero-initialization at |V| rather than memsetting one word
-            // per edge on dense chunks.
-            let chunk_edges = prefix_ref[range.end] - prefix_ref[range.start];
-            let mut buffer = vec![0 as VertexId; chunk_edges.min(n) + 1];
-            let mut len = 0usize;
-            for &v in &current[range] {
-                for &w in graph.neighbors(v) {
-                    // The priority write: unconditional atomic minimum.
-                    let prev = distances[w as usize].fetch_min(next_level, Relaxed);
-                    // Unconditional candidate write; the slot is claimed by
-                    // the branch-free length increment iff this edge won the
-                    // discovery (exactly one fetch_min per vertex observes a
-                    // previous value above the level being written).
-                    buffer[len] = w;
-                    len += usize::from(prev > next_level);
-                }
-            }
-            buffer.truncate(len);
-            buffer
-        });
-        frontier = buffers.concat();
+        frontier = level_topdown_avoiding(graph, exec, grain, &distances, &frontier, next_level);
         order.extend_from_slice(&frontier);
     }
     BfsResult::new(into_distances(distances), order)
+}
+
+/// Parallel direction-optimizing BFS from `root` with the default
+/// [`DirectionConfig`]. `threads == 0` uses every available core.
+pub fn par_bfs_direction_optimizing(graph: &CsrGraph, root: VertexId, threads: usize) -> BfsResult {
+    par_bfs_direction_optimizing_with_config(graph, root, threads, DirectionConfig::default())
+        .result
+}
+
+/// Parallel direction-optimizing BFS with explicit switching thresholds;
+/// also reports the direction every level ran in.
+pub fn par_bfs_direction_optimizing_with_config(
+    graph: &CsrGraph,
+    root: VertexId,
+    threads: usize,
+    config: DirectionConfig,
+) -> ParDirBfsRun {
+    let pool_config = PoolConfig::from_env(threads);
+    let pool = WorkerPool::with_config(&pool_config);
+    par_bfs_direction_optimizing_on(graph, root, &pool, pool_config.grain, config)
+}
+
+/// [`par_bfs_direction_optimizing_with_config`] on an explicit executor.
+///
+/// The switching heuristic mirrors the sequential kernel exactly: switch
+/// to bottom-up when the frontier fraction exceeds
+/// [`DirectionConfig::to_bottom_up`], back to top-down when it falls below
+/// [`DirectionConfig::to_top_down`]. Frontier sizes are deterministic, so
+/// the per-level directions — and therefore the distances — are identical
+/// to the sequential direction-optimizing kernel at every thread count.
+pub fn par_bfs_direction_optimizing_on<E: Execute>(
+    graph: &CsrGraph,
+    root: VertexId,
+    exec: &E,
+    grain: usize,
+    config: DirectionConfig,
+) -> ParDirBfsRun {
+    let n = graph.num_vertices();
+    let threads = exec.parallelism();
+    let distances = infinite_distances(n);
+    if (root as usize) >= n {
+        return ParDirBfsRun {
+            result: BfsResult::new(into_distances(distances), Vec::new()),
+            directions: Vec::new(),
+            threads,
+        };
+    }
+    distances[root as usize].store(0, Relaxed);
+    let mut frontier = vec![root];
+    let mut order = vec![root];
+    let mut next_level = 0u32;
+    let mut bottom_up = false;
+    let mut directions = Vec::new();
+
+    // Bottom-up sweeps scan the whole vertex range, so their edge-balanced
+    // chunking is level-independent: compute it once per run.
+    let bu_chunks = effective_chunks_with_grain(graph.num_edge_slots(), threads, grain);
+    let bu_ranges = edge_balanced_ranges(graph.offsets(), bu_chunks);
+    // One bitmap allocation reused (cleared) across bottom-up levels.
+    let mut in_frontier = Bitmap::new(n);
+
+    while !frontier.is_empty() {
+        let frontier_fraction = frontier.len() as f64 / n.max(1) as f64;
+        if !bottom_up && frontier_fraction > config.to_bottom_up {
+            bottom_up = true;
+        } else if bottom_up && frontier_fraction < config.to_top_down {
+            bottom_up = false;
+        }
+        directions.push(if bottom_up {
+            Direction::BottomUp
+        } else {
+            Direction::TopDown
+        });
+
+        next_level += 1;
+        frontier = if bottom_up {
+            in_frontier.clear();
+            let fill_chunks = effective_chunks_with_grain(frontier.len(), threads, grain);
+            par_fill_bitmap(exec, &in_frontier, &frontier, fill_chunks);
+            level_bottom_up(
+                graph,
+                exec,
+                &bu_ranges,
+                &distances,
+                &in_frontier,
+                next_level,
+            )
+        } else {
+            level_topdown_avoiding(graph, exec, grain, &distances, &frontier, next_level)
+        };
+        order.extend_from_slice(&frontier);
+    }
+    ParDirBfsRun {
+        result: BfsResult::new(into_distances(distances), order),
+        directions,
+        threads,
+    }
 }
 
 /// Instrumented parallel branch-based BFS: per-worker tallies merged into
@@ -175,7 +400,10 @@ pub fn par_bfs_branch_based_instrumented(
     root: VertexId,
     threads: usize,
 ) -> ParBfsRun {
-    let threads = resolve_threads(threads);
+    let config = PoolConfig::from_env(threads);
+    let pool = WorkerPool::with_config(&config);
+    let threads = pool.threads();
+    let grain = config.grain;
     let n = graph.num_vertices();
     let distances = infinite_distances(n);
     if (root as usize) >= n {
@@ -195,11 +423,12 @@ pub fn par_bfs_branch_based_instrumented(
         next_level += 1;
         let level_index = steps.len();
         let prefix = frontier_degree_prefix(graph, &frontier);
-        let level_chunks = effective_chunks(*prefix.last().unwrap_or(&0), threads);
+        let level_chunks =
+            effective_chunks_with_grain(*prefix.last().unwrap_or(&0), threads, grain);
         let ranges = balanced_prefix_ranges(&prefix, level_chunks);
         let distances = &distances;
         let current = &frontier;
-        let outcomes: Vec<(Vec<VertexId>, _)> = run_chunks(ranges, |_chunk, range| {
+        let outcomes: Vec<(Vec<VertexId>, _)> = pool.run(ranges, |_chunk, range| {
             let mut local = Vec::new();
             let mut tally = ThreadTally::default();
             for &v in &current[range] {
@@ -251,7 +480,10 @@ pub fn par_bfs_branch_avoiding_instrumented(
     root: VertexId,
     threads: usize,
 ) -> ParBfsRun {
-    let threads = resolve_threads(threads);
+    let config = PoolConfig::from_env(threads);
+    let pool = WorkerPool::with_config(&config);
+    let threads = pool.threads();
+    let grain = config.grain;
     let n = graph.num_vertices();
     let distances = infinite_distances(n);
     if (root as usize) >= n {
@@ -271,12 +503,13 @@ pub fn par_bfs_branch_avoiding_instrumented(
         next_level += 1;
         let level_index = steps.len();
         let prefix = frontier_degree_prefix(graph, &frontier);
-        let level_chunks = effective_chunks(*prefix.last().unwrap_or(&0), threads);
+        let level_chunks =
+            effective_chunks_with_grain(*prefix.last().unwrap_or(&0), threads, grain);
         let ranges = balanced_prefix_ranges(&prefix, level_chunks);
         let distances = &distances;
         let current = &frontier;
         let prefix_ref = &prefix;
-        let outcomes: Vec<(Vec<VertexId>, _)> = run_chunks(ranges, |_chunk, range| {
+        let outcomes: Vec<(Vec<VertexId>, _)> = pool.run(ranges, |_chunk, range| {
             let chunk_edges = prefix_ref[range.end] - prefix_ref[range.start];
             let mut buffer = vec![0 as VertexId; chunk_edges.min(n) + 1];
             let mut len = 0usize;
@@ -325,6 +558,7 @@ mod tests {
     };
     use bga_graph::properties::bfs_distances_reference;
     use bga_graph::GraphBuilder;
+    use bga_kernels::bfs::direction_optimizing::bfs_direction_optimizing;
     use bga_kernels::bfs::frontier::check_bfs_invariants;
 
     fn shapes() -> Vec<CsrGraph> {
@@ -359,8 +593,76 @@ mod tests {
                         &expected[..],
                         "branch-avoiding, {threads} threads, root {root}"
                     );
+                    assert_eq!(
+                        par_bfs_direction_optimizing(g, root, threads).distances(),
+                        &expected[..],
+                        "direction-optimizing, {threads} threads, root {root}"
+                    );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn direction_optimizing_matches_sequential_levels_and_directions() {
+        for g in &shapes() {
+            let seq = bfs_direction_optimizing(g, 0, DirectionConfig::default());
+            for threads in [1, 2, 8] {
+                let par = par_bfs_direction_optimizing_with_config(
+                    g,
+                    0,
+                    threads,
+                    DirectionConfig::default(),
+                );
+                assert_eq!(par.result.distances(), seq.distances(), "{threads} threads");
+                assert_eq!(par.result.level_count(), seq.level_count());
+                // One expansion step per level with a non-empty frontier.
+                assert_eq!(par.directions.len(), par.result.level_count());
+            }
+        }
+    }
+
+    #[test]
+    fn pinned_direction_configs_are_honoured() {
+        let g = barabasi_albert(800, 4, 11);
+        let expected = bfs_distances_reference(&g, 0);
+        let top =
+            par_bfs_direction_optimizing_with_config(&g, 0, 4, DirectionConfig::always_top_down());
+        assert_eq!(top.bottom_up_levels(), 0);
+        assert_eq!(top.result.distances(), &expected[..]);
+        let bottom =
+            par_bfs_direction_optimizing_with_config(&g, 0, 4, DirectionConfig::always_bottom_up());
+        assert_eq!(bottom.bottom_up_levels(), bottom.directions.len());
+        assert!(bottom.bottom_up_levels() > 0);
+        assert_eq!(bottom.result.distances(), &expected[..]);
+        // The default heuristic actually mixes directions on a power-law
+        // graph: its explosive second level crosses the 5% threshold.
+        let auto = par_bfs_direction_optimizing_with_config(&g, 0, 4, DirectionConfig::default());
+        assert!(auto.bottom_up_levels() > 0);
+        assert!(auto.bottom_up_levels() < auto.directions.len());
+        assert_eq!(auto.threads, 4);
+    }
+
+    #[test]
+    fn bottom_up_discovery_order_is_level_monotone_and_duplicate_free() {
+        let g = grid_2d(20, 20, MeshStencil::VonNeumann);
+        for threads in [1, 2, 8] {
+            let run = par_bfs_direction_optimizing_with_config(
+                &g,
+                0,
+                threads,
+                DirectionConfig::always_bottom_up(),
+            );
+            assert!(check_bfs_invariants(&g, 0, &run.result).is_ok());
+            let order = run.result.visit_order();
+            assert_eq!(order.len(), run.result.reached_count());
+            for pair in order.windows(2) {
+                assert!(run.result.distance(pair[0]) <= run.result.distance(pair[1]));
+            }
+            let mut sorted = order.to_vec();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), order.len());
         }
     }
 
@@ -396,8 +698,38 @@ mod tests {
             assert_eq!(par_bfs_branch_based(&g, 99, threads).reached_count(), 0);
             assert_eq!(par_bfs_branch_avoiding(&g, 99, threads).reached_count(), 0);
             assert_eq!(
+                par_bfs_direction_optimizing(&g, 99, threads).reached_count(),
+                0
+            );
+            assert_eq!(
                 par_bfs_branch_based_instrumented(&g, 99, threads).levels(),
                 0
+            );
+        }
+    }
+
+    #[test]
+    fn pool_and_scoped_executors_agree() {
+        use crate::pool::ScopedExecutor;
+        let g = barabasi_albert(1_500, 3, 19);
+        let expected = bfs_distances_reference(&g, 0);
+        let pool = WorkerPool::new(4);
+        let scoped = ScopedExecutor::new(4);
+        // Grain of 1 forces fan-out on every level, even tiny ones.
+        for grain in [1, 64, 4096] {
+            assert_eq!(
+                par_bfs_branch_avoiding_on(&g, 0, &pool, grain).distances(),
+                &expected[..]
+            );
+            assert_eq!(
+                par_bfs_branch_based_on(&g, 0, &scoped, grain).distances(),
+                &expected[..]
+            );
+            assert_eq!(
+                par_bfs_direction_optimizing_on(&g, 0, &pool, grain, DirectionConfig::default())
+                    .result
+                    .distances(),
+                &expected[..]
             );
         }
     }

@@ -1,0 +1,85 @@
+//! Concurrent frontier-bitmap helpers for the parallel kernels.
+//!
+//! The [`Bitmap`] type itself lives in `bga_kernels::bfs::frontier` so the
+//! sequential direction-optimizing kernel can share the representation;
+//! this module re-exports it and adds the multi-threaded operation the
+//! parallel BFS needs: filling a bitmap from a queue-style frontier with
+//! all workers. Insertion is `fetch_or` — branchless and race-free — so a
+//! fill can run on every worker at once. (The reverse direction needs no
+//! helper: bottom-up levels collect their discoveries into per-chunk
+//! queues directly, and ordered scans are [`Bitmap::iter_set_in_words`]
+//! over disjoint word ranges.)
+
+use crate::pool::{even_ranges, Execute};
+use bga_graph::VertexId;
+pub use bga_kernels::bfs::frontier::{bitmap_from_frontier, Bitmap};
+
+/// Inserts `frontier` into `bitmap` using every worker of `exec`. Each
+/// worker owns a contiguous slice of the frontier; insertions are
+/// unconditional `fetch_or`s, so overlapping words race benignly.
+pub fn par_fill_bitmap<E: Execute>(
+    exec: &E,
+    bitmap: &Bitmap,
+    frontier: &[VertexId],
+    chunks: usize,
+) {
+    let ranges = even_ranges(frontier.len(), chunks);
+    exec.run(ranges, |_chunk, range| {
+        for &v in &frontier[range] {
+            bitmap.set(v as usize);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::WorkerPool;
+
+    #[test]
+    fn concurrent_insertion_loses_no_bits_and_claims_each_once() {
+        // Eight threads hammer one bitmap, every vertex inserted by two
+        // different threads: every bit must end set, and each must have
+        // been "newly set" exactly once across all insertions.
+        let n = 10_000usize;
+        let bitmap = Bitmap::new(n);
+        let claims: Vec<usize> = std::thread::scope(|scope| {
+            let bitmap = &bitmap;
+            let handles: Vec<_> = (0..8)
+                .map(|t| {
+                    scope.spawn(move || {
+                        // Threads t and (t+4)%8 insert the same stripe.
+                        let stripe = t % 4;
+                        (0..n)
+                            .filter(|v| v % 4 == stripe)
+                            .map(|v| usize::from(bitmap.set(v)))
+                            .sum::<usize>()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(claims.iter().sum::<usize>(), n, "each bit claimed once");
+        assert_eq!(bitmap.count(), n);
+        assert_eq!(bitmap.iter_set().count(), n);
+    }
+
+    #[test]
+    fn pool_fill_and_scan_roundtrip() {
+        let pool = WorkerPool::new(4);
+        let frontier: Vec<VertexId> = (0..5_000).step_by(3).collect();
+        let bitmap = Bitmap::new(5_000);
+        par_fill_bitmap(&pool, &bitmap, &frontier, 4);
+        assert_eq!(bitmap.count(), frontier.len());
+        let scanned: Vec<VertexId> = bitmap.iter_set().map(|v| v as VertexId).collect();
+        assert_eq!(scanned, frontier, "scan is ordered and complete");
+    }
+
+    #[test]
+    fn empty_fill_is_a_no_op() {
+        let pool = WorkerPool::new(2);
+        let bitmap = Bitmap::new(64);
+        par_fill_bitmap(&pool, &bitmap, &[], 4);
+        assert_eq!(bitmap.count(), 0);
+    }
+}

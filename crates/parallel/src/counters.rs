@@ -6,6 +6,9 @@
 //! actually executes into a thread-local [`StepCounters`]; the per-thread
 //! tallies for one sweep/level are then merged into a single step and fed
 //! into the same [`RunCounters`] series the figures and reports consume.
+//! The tallies are accumulated inside pool chunks and returned through
+//! [`crate::pool::Execute::run`] in chunk order, so merging is
+//! deterministic regardless of which worker ran which chunk.
 //!
 //! One honest limitation: real branch *mispredictions* cannot be observed
 //! without a predictor simulation, so the merged counters carry the paper's

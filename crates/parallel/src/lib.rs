@@ -9,11 +9,19 @@
 //! * [`sv`] — parallel Shiloach-Vishkin connected components, where
 //!   branch-based hooking is a compare-and-swap loop and branch-avoiding
 //!   hooking is one `fetch_min` per edge.
-//! * [`bfs`] — parallel level-synchronous top-down BFS with per-thread
-//!   frontier buffers and a branch-avoiding `fetch_min` distance update.
-//! * [`pool`] — the scoped-thread execution layer both kernels share:
-//!   `std::thread::scope` workers over degree-aware, edge-balanced
-//!   contiguous chunks. No dependencies beyond `std`.
+//! * [`bfs`] — parallel level-synchronous BFS: top-down with per-thread
+//!   frontier buffers and a branch-avoiding `fetch_min` distance update,
+//!   plus direction-optimizing BFS whose bottom-up levels pull from a
+//!   shared atomic bitmap frontier.
+//! * [`pool`] — the execution layer both kernels share: a persistent
+//!   [`WorkerPool`] of condvar-parked workers handed edge-balanced chunks
+//!   through an atomic claim counter (spawned once per run, woken once per
+//!   sweep/level), with the old per-sweep `std::thread::scope` behaviour
+//!   kept as [`ScopedExecutor`] for benchmarking. No dependencies beyond
+//!   `std`.
+//! * [`bitmap`] — concurrent helpers for the `Bitmap` frontier shared with
+//!   `bga_kernels::bfs::frontier` (branchless `fetch_or` insertion, one
+//!   `AtomicU64` word per 64 vertices).
 //! * [`counters`] — per-thread [`bga_kernels::stats::StepCounters`] tallies
 //!   that merge into the existing [`bga_kernels::stats::RunCounters`], so
 //!   instrumented parallel runs feed the same figures/report machinery as
@@ -21,12 +29,12 @@
 //!
 //! Results are deterministic where it matters: SV labels and BFS distances
 //! are identical to the sequential kernels for every thread count (the BFS
-//! discovery *order* within a level may vary across runs).
+//! discovery *order* within a top-down level may vary across runs).
 //!
 //! ```
 //! use bga_graph::generators::{grid_2d, MeshStencil};
 //! use bga_kernels::cc::sv_branch_avoiding;
-//! use bga_parallel::{par_bfs_branch_avoiding, par_sv_branch_avoiding};
+//! use bga_parallel::{par_bfs_direction_optimizing, par_sv_branch_avoiding};
 //!
 //! let g = grid_2d(16, 16, MeshStencil::VonNeumann);
 //! // Identical labels to the sequential kernel, at any thread count.
@@ -35,7 +43,7 @@
 //!     sv_branch_avoiding(&g).as_slice(),
 //! );
 //! // threads == 0 means "use every available core".
-//! let bfs = par_bfs_branch_avoiding(&g, 0, 0);
+//! let bfs = par_bfs_direction_optimizing(&g, 0, 0);
 //! assert_eq!(bfs.reached_count(), g.num_vertices());
 //! ```
 
@@ -43,17 +51,24 @@
 #![warn(rust_2018_idioms)]
 
 pub mod bfs;
+pub mod bitmap;
 pub mod counters;
 pub mod pool;
 pub mod sv;
 
 pub use bfs::{
-    par_bfs_branch_avoiding, par_bfs_branch_avoiding_instrumented, par_bfs_branch_based,
-    par_bfs_branch_based_instrumented, ParBfsRun,
+    par_bfs_branch_avoiding, par_bfs_branch_avoiding_instrumented, par_bfs_branch_avoiding_on,
+    par_bfs_branch_based, par_bfs_branch_based_instrumented, par_bfs_branch_based_on,
+    par_bfs_direction_optimizing, par_bfs_direction_optimizing_on,
+    par_bfs_direction_optimizing_with_config, Direction, ParBfsRun, ParDirBfsRun,
 };
+pub use bitmap::{bitmap_from_frontier, par_fill_bitmap, Bitmap};
 pub use counters::{merge_thread_steps, ThreadTally};
-pub use pool::{edge_balanced_ranges, resolve_threads, run_chunks};
+pub use pool::{
+    edge_balanced_ranges, resolve_threads, run_chunks, Execute, PoolConfig, ScopedExecutor,
+    WorkerPool, GRAIN_ENV_VAR, PARALLEL_GRAIN,
+};
 pub use sv::{
-    par_sv_branch_avoiding, par_sv_branch_avoiding_instrumented, par_sv_branch_based,
-    par_sv_branch_based_instrumented, ParSvRun,
+    par_sv_branch_avoiding, par_sv_branch_avoiding_instrumented, par_sv_branch_avoiding_on,
+    par_sv_branch_based, par_sv_branch_based_instrumented, par_sv_branch_based_on, ParSvRun,
 };

@@ -1,20 +1,40 @@
-//! Scoped-thread execution layer shared by the parallel kernels.
+//! Execution layer shared by the parallel kernels: work distribution by
+//! *edge-balanced chunking* and two executors for the resulting chunks.
 //!
-//! Deliberately dependency-free: workers are `std::thread::scope` threads,
-//! and work distribution is *edge-balanced chunking* — contiguous vertex
-//! (or frontier) ranges chosen so each worker owns roughly the same number
-//! of adjacency slots rather than the same number of vertices. On power-law
+//! Work distribution is deliberately simple — contiguous vertex (or
+//! frontier) ranges chosen so each worker owns roughly the same number of
+//! adjacency slots rather than the same number of vertices. On power-law
 //! graphs a vertex-balanced split can hand one thread a hub with half the
 //! edges; balancing on the degree prefix sums (which the CSR offsets array
 //! already is) fixes that for free.
+//!
+//! Two executors implement the [`Execute`] seam the kernels run on:
+//!
+//! * [`WorkerPool`] — the default: long-lived workers parked on a
+//!   condvar/epoch barrier, woken once per sweep/level and handed chunks
+//!   through an atomic claim counter. Spawn cost is paid once per *run*,
+//!   not once per level, which is what makes BFS over a high-diameter
+//!   graph (thousands of small frontiers) fast.
+//! * [`ScopedExecutor`] — the previous behaviour, one `std::thread::scope`
+//!   spawn per chunk per sweep. Kept as the baseline the benchmarks
+//!   compare the pool against.
+//!
+//! Everything is dependency-free `std`.
 
 use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{
+    AtomicUsize,
+    Ordering::{AcqRel, Acquire, Relaxed},
+};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
 
 /// Most workers any kernel will spawn, however large the request. Each
-/// chunk is one OS thread per sweep/level, so an unbounded request (say
-/// `--threads 50000`) would die in `thread::spawn` rather than fail
-/// cleanly; past this many workers there is no graph large enough in this
-/// workspace for more fan-out to help.
+/// worker is one OS thread, so an unbounded request (say `--threads 50000`)
+/// would die in `thread::spawn` rather than fail cleanly; past this many
+/// workers there is no graph large enough in this workspace for more
+/// fan-out to help.
 pub const MAX_THREADS: usize = 256;
 
 /// Resolves a requested worker count: `0` means "use the machine", any
@@ -30,21 +50,72 @@ pub fn resolve_threads(requested: usize) -> usize {
     }
 }
 
-/// Minimum number of weight units (edge slots) that justifies fanning work
-/// out to more than one thread. Below this, spawn overhead dominates — a
-/// BFS level with a ten-vertex frontier is faster on the calling thread.
+/// Default minimum number of weight units (edge slots) that justifies
+/// fanning work out to more than one thread. Below this, hand-off overhead
+/// dominates — a BFS level with a ten-vertex frontier is faster on the
+/// calling thread. Override per run with [`PoolConfig::grain`] or the
+/// `BGA_PARALLEL_GRAIN` environment variable.
 pub const PARALLEL_GRAIN: usize = 4096;
 
+/// Environment variable that overrides [`PARALLEL_GRAIN`] for every kernel
+/// entry point that builds its configuration via [`PoolConfig::from_env`],
+/// so scaling experiments can sweep the grain without recompiling.
+pub const GRAIN_ENV_VAR: &str = "BGA_PARALLEL_GRAIN";
+
+/// Tuning knobs for one parallel kernel invocation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PoolConfig {
+    /// Worker count (already resolved — never 0).
+    pub threads: usize,
+    /// Minimum weight units before a sweep/level fans out (see
+    /// [`PARALLEL_GRAIN`]).
+    pub grain: usize,
+}
+
+impl PoolConfig {
+    /// A config with an explicit grain; `threads` is resolved as in
+    /// [`resolve_threads`].
+    pub fn new(threads: usize, grain: usize) -> Self {
+        PoolConfig {
+            threads: resolve_threads(threads),
+            grain: grain.max(1),
+        }
+    }
+
+    /// The config the public kernel entry points use: requested thread
+    /// count, grain from `BGA_PARALLEL_GRAIN` when set (and a positive
+    /// integer), [`PARALLEL_GRAIN`] otherwise.
+    pub fn from_env(requested_threads: usize) -> Self {
+        let grain = parse_grain_override(std::env::var(GRAIN_ENV_VAR).ok().as_deref())
+            .unwrap_or(PARALLEL_GRAIN);
+        PoolConfig::new(requested_threads, grain)
+    }
+}
+
+/// Parses a `BGA_PARALLEL_GRAIN` value: `Some(n)` for a positive integer,
+/// `None` for anything else (absent, empty, zero, garbage). Split out from
+/// the environment read so the policy is unit-testable.
+pub fn parse_grain_override(value: Option<&str>) -> Option<usize> {
+    value
+        .and_then(|text| text.trim().parse::<usize>().ok())
+        .filter(|&grain| grain > 0)
+}
+
 /// Number of chunks actually worth using for `total_weight` units of work:
-/// `1` when the work is below [`PARALLEL_GRAIN`], the requested thread
-/// count otherwise. Depends only on the workload, so chunking (and with it
-/// every deterministic guarantee) is stable across runs.
-pub fn effective_chunks(total_weight: usize, threads: usize) -> usize {
-    if total_weight < PARALLEL_GRAIN {
+/// `1` when the work is below `grain`, the requested thread count
+/// otherwise. Depends only on the workload, so chunking (and with it every
+/// deterministic guarantee) is stable across runs.
+pub fn effective_chunks_with_grain(total_weight: usize, threads: usize, grain: usize) -> usize {
+    if total_weight < grain {
         1
     } else {
         threads.max(1)
     }
+}
+
+/// [`effective_chunks_with_grain`] at the default [`PARALLEL_GRAIN`].
+pub fn effective_chunks(total_weight: usize, threads: usize) -> usize {
+    effective_chunks_with_grain(total_weight, threads, PARALLEL_GRAIN)
 }
 
 /// Splits `0..prefix.len() - 1` into up to `chunks` contiguous ranges with
@@ -95,6 +166,37 @@ pub fn edge_balanced_ranges(offsets: &[usize], chunks: usize) -> Vec<Range<usize
     balanced_prefix_ranges(offsets, chunks)
 }
 
+/// Evenly splits `0..items` into up to `chunks` contiguous ranges. For work
+/// whose per-item cost is uniform (bitmap fills, word scans), where the
+/// degree-prefix machinery would be overkill.
+pub fn even_ranges(items: usize, chunks: usize) -> Vec<Range<usize>> {
+    let chunks = chunks.max(1).min(items.max(1));
+    if items == 0 {
+        return std::iter::once(0..0).collect();
+    }
+    (0..chunks)
+        .map(|k| (items * k / chunks)..(items * (k + 1) / chunks))
+        .collect()
+}
+
+/// The seam the parallel kernels run on: execute `f(chunk_index, range)`
+/// for every range and return the results in range order.
+///
+/// Implementations must guarantee that every closure invocation has
+/// returned before `run` returns (the kernels borrow stack-local state into
+/// `f`), and that results land at the index of their chunk.
+pub trait Execute: Sync {
+    /// Worker count this executor fans out to (used to pick chunk counts).
+    fn parallelism(&self) -> usize;
+
+    /// Runs `f` over every range, returning results in range order. A
+    /// panic in any invocation propagates to the caller.
+    fn run<T, F>(&self, ranges: Vec<Range<usize>>, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize, Range<usize>) -> T + Sync;
+}
+
 /// Runs `f(chunk_index, range)` for every range, one scoped thread per
 /// range, and returns the results in range order. With a single range the
 /// closure runs on the calling thread — thread count 1 has zero spawn
@@ -125,6 +227,330 @@ where
             .map(|h| h.join().expect("bga-parallel worker thread panicked"))
             .collect()
     })
+}
+
+/// The pre-pool behaviour as an [`Execute`] implementation: spawn one
+/// scoped thread per chunk, every sweep. Kept so benchmarks can measure
+/// what the persistent pool saves.
+#[derive(Clone, Copy, Debug)]
+pub struct ScopedExecutor {
+    /// Worker count reported to the chunkers.
+    pub threads: usize,
+}
+
+impl ScopedExecutor {
+    /// A scoped executor for a resolved thread count.
+    pub fn new(threads: usize) -> Self {
+        ScopedExecutor {
+            threads: resolve_threads(threads),
+        }
+    }
+}
+
+impl Execute for ScopedExecutor {
+    fn parallelism(&self) -> usize {
+        self.threads
+    }
+
+    fn run<T, F>(&self, ranges: Vec<Range<usize>>, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize, Range<usize>) -> T + Sync,
+    {
+        run_chunks(ranges, f)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Persistent worker pool
+// ---------------------------------------------------------------------------
+
+/// One published batch of work. Workers claim chunk indices through
+/// `next_chunk` and report through `completed`; the submitter waits until
+/// `completed == chunks`. A fresh `Job` is allocated per [`WorkerPool::run`]
+/// call so a worker that wakes late and still holds the *previous* job can
+/// only ever observe an exhausted claim counter — it can never claim (and
+/// thus never dereference the task of) a batch that has already retired.
+struct Job {
+    /// Type-erased task: runs chunk `i`. Points into the submitting
+    /// `run` call's stack frame; guaranteed valid until `completed ==
+    /// chunks`, which `run` awaits before returning. Never dereferenced
+    /// after the claim counter is exhausted, so the dangling pointer a
+    /// stale worker may still hold is inert.
+    task: *const (dyn Fn(usize) + Sync),
+    /// Next chunk index to hand out.
+    next_chunk: AtomicUsize,
+    /// Chunks whose task invocation has returned.
+    completed: AtomicUsize,
+    /// Total chunk count of this batch.
+    chunks: usize,
+    /// First panic payload captured from a worker, re-thrown by the
+    /// submitter.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+// SAFETY: `task` is only dereferenced while the submitting `run` frame is
+// alive (see the completion protocol above); the closure itself is `Sync`,
+// and all other fields are synchronisation primitives.
+unsafe impl Send for Job {}
+unsafe impl Sync for Job {}
+
+impl Job {
+    /// Claims and executes chunks until the batch is exhausted. Returns
+    /// once this thread can take no more work; the batch may still be
+    /// finishing on other threads.
+    fn work(&self, done_lock: &Mutex<()>, done_cv: &Condvar) {
+        loop {
+            let index = self.next_chunk.fetch_add(1, Relaxed);
+            if index >= self.chunks {
+                return;
+            }
+            // SAFETY: a successful claim proves the batch is still live
+            // (the submitter cannot return before this chunk completes),
+            // so the task pointer is valid.
+            let task = unsafe { &*self.task };
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| task(index))) {
+                let mut slot = self.panic.lock().unwrap();
+                slot.get_or_insert(payload);
+            }
+            // Count the chunk even on panic so the submitter never
+            // deadlocks; it re-throws the payload after the barrier.
+            if self.completed.fetch_add(1, AcqRel) + 1 == self.chunks {
+                // Take the lock so a submitter between its predicate check
+                // and `wait` cannot miss this notification.
+                let _guard = done_lock.lock().unwrap();
+                done_cv.notify_all();
+            }
+        }
+    }
+}
+
+/// Epoch-stamped job hand-off cell the workers sleep on.
+struct Control {
+    /// Bumped once per published batch; workers run a batch at most once.
+    epoch: u64,
+    /// The current batch, if any.
+    job: Option<Arc<Job>>,
+    /// Set once, by `Drop`: workers exit instead of sleeping.
+    shutdown: bool,
+}
+
+struct Shared {
+    control: Mutex<Control>,
+    /// Wakes parked workers when a batch is published or on shutdown.
+    work_cv: Condvar,
+    /// Pair backing the submitter's completion wait.
+    done_lock: Mutex<()>,
+    done_cv: Condvar,
+}
+
+/// A persistent pool of parked worker threads, reused across every
+/// sweep/level of a kernel run.
+///
+/// `threads == n` means *n-way parallelism*: `n - 1` parked workers plus
+/// the submitting thread, which always participates in its own batches —
+/// `WorkerPool::new(1)` spawns nothing and runs everything inline, giving
+/// exactly sequential behaviour. Batches are handed out as chunk indices
+/// through an atomic claim counter, so a chunk list longer than the worker
+/// count load-balances dynamically on top of the static edge-balanced
+/// split.
+///
+/// Dropping the pool parks no new work, wakes every worker and joins them.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    threads: usize,
+}
+
+impl WorkerPool {
+    /// Creates a pool with `threads`-way parallelism (resolved as in
+    /// [`resolve_threads`]; `0` means "use the machine").
+    pub fn new(threads: usize) -> Self {
+        let threads = resolve_threads(threads);
+        let shared = Arc::new(Shared {
+            control: Mutex::new(Control {
+                epoch: 0,
+                job: None,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_lock: Mutex::new(()),
+            done_cv: Condvar::new(),
+        });
+        let handles = (1..threads)
+            .map(|index| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("bga-pool-{index}"))
+                    .spawn(move || worker_main(&shared))
+                    .expect("failed to spawn bga-parallel pool worker")
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            handles,
+            threads,
+        }
+    }
+
+    /// A pool sized by a [`PoolConfig`].
+    pub fn with_config(config: &PoolConfig) -> Self {
+        WorkerPool::new(config.threads)
+    }
+
+    /// Worker parallelism of the pool (including the submitting thread).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    fn publish(&self, job: &Arc<Job>) {
+        let mut control = self.shared.control.lock().unwrap();
+        control.epoch += 1;
+        control.job = Some(Arc::clone(job));
+        drop(control);
+        self.shared.work_cv.notify_all();
+    }
+}
+
+impl Execute for WorkerPool {
+    fn parallelism(&self) -> usize {
+        self.threads
+    }
+
+    fn run<T, F>(&self, ranges: Vec<Range<usize>>, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize, Range<usize>) -> T + Sync,
+    {
+        let chunks = ranges.len();
+        // Single chunk or no parked workers: run inline — zero hand-off
+        // overhead and exactly sequential behaviour.
+        if chunks <= 1 || self.handles.is_empty() {
+            return ranges
+                .into_iter()
+                .enumerate()
+                .map(|(i, r)| f(i, r))
+                .collect();
+        }
+
+        // One write-once slot per chunk; each index is claimed exactly
+        // once, so each cell is written by exactly one thread.
+        let slots: Vec<ResultSlot<T>> = (0..chunks).map(|_| ResultSlot::new()).collect();
+        let task = |index: usize| {
+            let value = f(index, ranges[index].clone());
+            // SAFETY: `index` was claimed exactly once (atomic counter),
+            // so this is the only write to the slot.
+            unsafe { slots[index].write(value) };
+        };
+        let task_ref: &(dyn Fn(usize) + Sync) = &task;
+        // SAFETY: the 'static lifetime is a lie confined to this frame: the
+        // completion barrier below guarantees every dereference of the
+        // pointer happens before `run` returns, and stale holders never
+        // dereference an exhausted job (see `Job`).
+        let task_static: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(task_ref) };
+        let job = Arc::new(Job {
+            task: task_static as *const _,
+            next_chunk: AtomicUsize::new(0),
+            completed: AtomicUsize::new(0),
+            chunks,
+            panic: Mutex::new(None),
+        });
+
+        self.publish(&job);
+        // The submitter is a full participant: it claims chunks like any
+        // worker, so a batch completes even if every parked worker is slow
+        // to wake.
+        job.work(&self.shared.done_lock, &self.shared.done_cv);
+
+        // Completion barrier: wait until every chunk's task invocation has
+        // returned. The Acquire load pairs with the workers' AcqRel
+        // `completed` increments, making their slot writes visible.
+        let mut guard = self.shared.done_lock.lock().unwrap();
+        while job.completed.load(Acquire) < chunks {
+            guard = self.shared.done_cv.wait(guard).unwrap();
+        }
+        drop(guard);
+
+        if let Some(payload) = job.panic.lock().unwrap().take() {
+            resume_unwind(payload);
+        }
+        slots
+            .into_iter()
+            // SAFETY: all chunks completed without panicking, so every
+            // slot was written.
+            .map(|slot| unsafe { slot.take() })
+            .collect()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut control = self.shared.control.lock().unwrap();
+            control.shutdown = true;
+        }
+        self.shared.work_cv.notify_all();
+        for handle in self.handles.drain(..) {
+            // A worker only panics if the panic machinery itself failed
+            // (task panics are caught); surface that instead of hiding it.
+            handle.join().expect("bga-parallel pool worker panicked");
+        }
+    }
+}
+
+fn worker_main(shared: &Shared) {
+    let mut seen_epoch = 0u64;
+    loop {
+        let job = {
+            let mut control = shared.control.lock().unwrap();
+            loop {
+                if control.shutdown {
+                    return;
+                }
+                if control.epoch != seen_epoch {
+                    seen_epoch = control.epoch;
+                    break control.job.clone().expect("epoch bumped without a job");
+                }
+                control = shared.work_cv.wait(control).unwrap();
+            }
+        };
+        job.work(&shared.done_lock, &shared.done_cv);
+    }
+}
+
+/// A write-once cell, written by exactly one pool worker and read by the
+/// submitter after the completion barrier.
+struct ResultSlot<T> {
+    value: std::cell::UnsafeCell<Option<T>>,
+}
+
+// SAFETY: the claim counter ensures exactly one writer per slot, and the
+// completion barrier (Release increment / Acquire load of `completed`)
+// orders the write before the submitter's read.
+unsafe impl<T: Send> Sync for ResultSlot<T> {}
+
+impl<T> ResultSlot<T> {
+    fn new() -> Self {
+        ResultSlot {
+            value: std::cell::UnsafeCell::new(None),
+        }
+    }
+
+    /// # Safety
+    /// Must be called at most once per slot, from the thread that claimed
+    /// the slot's chunk index.
+    unsafe fn write(&self, value: T) {
+        *self.value.get() = Some(value);
+    }
+
+    /// # Safety
+    /// Must only be called after the completion barrier, with the slot
+    /// written.
+    unsafe fn take(self) -> T {
+        self.value
+            .into_inner()
+            .expect("pool chunk completed without writing its result")
+    }
 }
 
 #[cfg(test)]
@@ -180,6 +606,20 @@ mod tests {
     }
 
     #[test]
+    fn one_giant_item_dominating_the_prefix_still_tiles() {
+        // A single item carrying all the weight: every boundary collapses
+        // around it, but the ranges must stay ordered and covering.
+        let prefix = vec![0, 0, 0, 1_000_000, 1_000_000, 1_000_000];
+        for chunks in [1, 2, 3, 5, 9] {
+            let ranges = balanced_prefix_ranges(&prefix, chunks);
+            check_cover(&ranges, 5);
+            for r in &ranges {
+                assert!(r.start <= r.end);
+            }
+        }
+    }
+
+    #[test]
     fn zero_weight_falls_back_to_even_split() {
         let offsets = vec![0usize; 11]; // 10 isolated vertices
         let ranges = balanced_prefix_ranges(&offsets, 4);
@@ -196,6 +636,30 @@ mod tests {
     }
 
     #[test]
+    fn more_chunks_than_items_never_over_splits() {
+        // chunks > items: one range per item at most, still a tiling.
+        let prefix = vec![0, 3, 7];
+        let ranges = balanced_prefix_ranges(&prefix, 16);
+        check_cover(&ranges, 2);
+        assert!(ranges.len() <= 2);
+        let even = even_ranges(2, 16);
+        check_cover(&even, 2);
+        assert!(even.len() <= 2);
+    }
+
+    #[test]
+    fn even_ranges_tile_and_balance() {
+        assert_eq!(even_ranges(0, 4), vec![0..0]);
+        for (items, chunks) in [(10, 3), (7, 7), (1, 5), (100, 8)] {
+            let ranges = even_ranges(items, chunks);
+            check_cover(&ranges, items);
+            let max = ranges.iter().map(Range::len).max().unwrap();
+            let min = ranges.iter().map(Range::len).min().unwrap();
+            assert!(max - min <= 1, "{ranges:?}");
+        }
+    }
+
+    #[test]
     fn run_chunks_returns_results_in_range_order() {
         let ranges = vec![0..3, 3..7, 7..10];
         let sums = run_chunks(ranges, |index, range| (index, range.sum::<usize>()));
@@ -207,5 +671,96 @@ mod tests {
         assert!(resolve_threads(0) >= 1);
         assert_eq!(resolve_threads(3), 3);
         assert_eq!(resolve_threads(50_000), MAX_THREADS);
+    }
+
+    #[test]
+    fn grain_override_parsing() {
+        assert_eq!(parse_grain_override(None), None);
+        assert_eq!(parse_grain_override(Some("")), None);
+        assert_eq!(parse_grain_override(Some("0")), None);
+        assert_eq!(parse_grain_override(Some("-3")), None);
+        assert_eq!(parse_grain_override(Some("grain")), None);
+        assert_eq!(parse_grain_override(Some("1")), Some(1));
+        assert_eq!(parse_grain_override(Some(" 8192 ")), Some(8192));
+    }
+
+    #[test]
+    fn pool_config_resolves_threads_and_clamps_grain() {
+        let config = PoolConfig::new(3, 0);
+        assert_eq!(config.threads, 3);
+        assert_eq!(config.grain, 1);
+        assert!(PoolConfig::from_env(1).threads == 1);
+        assert_eq!(PoolConfig::new(50_000, 64).threads, MAX_THREADS);
+    }
+
+    #[test]
+    fn effective_chunks_respects_the_grain() {
+        assert_eq!(effective_chunks(PARALLEL_GRAIN - 1, 8), 1);
+        assert_eq!(effective_chunks(PARALLEL_GRAIN, 8), 8);
+        assert_eq!(effective_chunks_with_grain(10, 8, 1), 8);
+        assert_eq!(effective_chunks_with_grain(10, 8, 100), 1);
+        assert_eq!(effective_chunks_with_grain(10, 0, 1), 1);
+    }
+
+    #[test]
+    fn pool_runs_chunks_in_range_order() {
+        let pool = WorkerPool::new(4);
+        let ranges = vec![0..3, 3..7, 7..10];
+        let sums = pool.run(ranges, |index, range| (index, range.sum::<usize>()));
+        assert_eq!(sums, vec![(0, 3), (1, 18), (2, 24)]);
+    }
+
+    #[test]
+    fn pool_is_reusable_across_many_batches() {
+        // The point of the pool: hundreds of small batches on the same
+        // workers, interleaved with inline single-chunk batches.
+        let pool = WorkerPool::new(3);
+        for round in 0..200usize {
+            let chunks = 1 + round % 5;
+            let ranges = even_ranges(round + 1, chunks);
+            let got: usize = pool
+                .run(ranges, |_i, range| range.sum::<usize>())
+                .into_iter()
+                .sum();
+            assert_eq!(got, (round + 1) * round / 2, "round {round}");
+        }
+    }
+
+    #[test]
+    fn pool_with_one_thread_runs_inline() {
+        let pool = WorkerPool::new(1);
+        assert_eq!(pool.threads(), 1);
+        let caller = std::thread::current().id();
+        let ids = pool.run(vec![0..1, 1..2], |_, _| std::thread::current().id());
+        assert!(ids.iter().all(|&id| id == caller));
+    }
+
+    #[test]
+    fn pool_matches_scoped_executor_results() {
+        let g = barabasi_albert(600, 3, 5);
+        let ranges = edge_balanced_ranges(g.offsets(), 4);
+        let offsets = g.offsets();
+        let weight = |_i: usize, r: Range<usize>| offsets[r.end] - offsets[r.start];
+        let pool = WorkerPool::new(4);
+        let scoped = ScopedExecutor::new(4);
+        assert_eq!(pool.run(ranges.clone(), weight), scoped.run(ranges, weight));
+        assert_eq!(pool.parallelism(), scoped.parallelism());
+    }
+
+    #[test]
+    fn pool_propagates_worker_panics() {
+        let pool = WorkerPool::new(4);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(vec![0..1, 1..2, 2..3, 3..4], |index, _| {
+                if index == 2 {
+                    panic!("chunk 2 exploded");
+                }
+                index
+            })
+        }));
+        assert!(outcome.is_err());
+        // The pool survives the panic and keeps serving batches.
+        let sums = pool.run(vec![0..2, 2..4], |_, range| range.sum::<usize>());
+        assert_eq!(sums, vec![1, 5]);
     }
 }

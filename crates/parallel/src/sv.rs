@@ -15,15 +15,19 @@
 //!   `prev ^ min(prev, cu)` accumulation, mirroring the sequential kernel's
 //!   `change |= cv ^ cv_init`.
 //!
-//! Both run sweeps over edge-balanced vertex chunks (see [`crate::pool`])
-//! until a sweep changes nothing. Labels decrease monotonically towards the
-//! per-component minimum vertex id — the same unique fixed point the
-//! sequential kernels converge to — so the **final labels are identical to
-//! the sequential result for every thread count**, even though the number
-//! of sweeps and the intra-sweep interleaving may differ.
+//! Both run sweeps over edge-balanced vertex chunks on a persistent
+//! [`WorkerPool`] (see [`crate::pool`]) until a sweep changes nothing —
+//! workers are spawned once per run and woken per sweep, not respawned.
+//! Labels decrease monotonically towards the per-component minimum vertex
+//! id — the same unique fixed point the sequential kernels converge to —
+//! so the **final labels are identical to the sequential result for every
+//! thread count**, even though the number of sweeps and the intra-sweep
+//! interleaving may differ.
 
 use crate::counters::{collect_run, merge_thread_steps, ThreadTally};
-use crate::pool::{edge_balanced_ranges, effective_chunks, resolve_threads, run_chunks};
+use crate::pool::{
+    edge_balanced_ranges, effective_chunks_with_grain, Execute, PoolConfig, WorkerPool,
+};
 use bga_graph::CsrGraph;
 use bga_kernels::cc::ComponentLabels;
 use bga_kernels::stats::RunCounters;
@@ -66,17 +70,29 @@ pub fn par_sv_branch_based_with_stats(
     graph: &CsrGraph,
     threads: usize,
 ) -> (ComponentLabels, usize) {
-    let threads = resolve_threads(threads);
+    let config = PoolConfig::from_env(threads);
+    let pool = WorkerPool::with_config(&config);
+    par_sv_branch_based_on(graph, &pool, config.grain)
+}
+
+/// [`par_sv_branch_based_with_stats`] on an explicit executor — the seam
+/// the benchmarks use to compare the persistent pool against per-sweep
+/// `thread::scope` spawns.
+pub fn par_sv_branch_based_on<E: Execute>(
+    graph: &CsrGraph,
+    exec: &E,
+    grain: usize,
+) -> (ComponentLabels, usize) {
     let ranges = edge_balanced_ranges(
         graph.offsets(),
-        effective_chunks(graph.num_edge_slots(), threads),
+        effective_chunks_with_grain(graph.num_edge_slots(), exec.parallelism(), grain),
     );
     let ccid = identity_labels(graph.num_vertices());
     let mut sweeps = 0usize;
     loop {
         sweeps += 1;
         let ccid = &ccid;
-        let changes = run_chunks(ranges.clone(), |_chunk, range| {
+        let changes = exec.run(ranges.clone(), |_chunk, range| {
             let mut changed = false;
             for v in range {
                 for &u in graph.neighbors(v as u32) {
@@ -114,17 +130,27 @@ pub fn par_sv_branch_avoiding_with_stats(
     graph: &CsrGraph,
     threads: usize,
 ) -> (ComponentLabels, usize) {
-    let threads = resolve_threads(threads);
+    let config = PoolConfig::from_env(threads);
+    let pool = WorkerPool::with_config(&config);
+    par_sv_branch_avoiding_on(graph, &pool, config.grain)
+}
+
+/// [`par_sv_branch_avoiding_with_stats`] on an explicit executor.
+pub fn par_sv_branch_avoiding_on<E: Execute>(
+    graph: &CsrGraph,
+    exec: &E,
+    grain: usize,
+) -> (ComponentLabels, usize) {
     let ranges = edge_balanced_ranges(
         graph.offsets(),
-        effective_chunks(graph.num_edge_slots(), threads),
+        effective_chunks_with_grain(graph.num_edge_slots(), exec.parallelism(), grain),
     );
     let ccid = identity_labels(graph.num_vertices());
     let mut sweeps = 0usize;
     loop {
         sweeps += 1;
         let ccid = &ccid;
-        let changes = run_chunks(ranges.clone(), |_chunk, range| {
+        let changes = exec.run(ranges.clone(), |_chunk, range| {
             let mut change = 0u32;
             for v in range {
                 for &u in graph.neighbors(v as u32) {
@@ -149,17 +175,19 @@ pub fn par_sv_branch_avoiding_with_stats(
 /// stores and branches it executes; tallies merge into one
 /// [`bga_kernels::stats::StepCounters`] per sweep.
 pub fn par_sv_branch_based_instrumented(graph: &CsrGraph, threads: usize) -> ParSvRun {
-    let threads = resolve_threads(threads);
+    let config = PoolConfig::from_env(threads);
+    let pool = WorkerPool::with_config(&config);
+    let threads = pool.threads();
     let ranges = edge_balanced_ranges(
         graph.offsets(),
-        effective_chunks(graph.num_edge_slots(), threads),
+        effective_chunks_with_grain(graph.num_edge_slots(), threads, config.grain),
     );
     let ccid = identity_labels(graph.num_vertices());
     let mut steps = Vec::new();
     loop {
         let sweep = steps.len();
         let ccid = &ccid;
-        let tallies = run_chunks(ranges.clone(), |_chunk, range| {
+        let tallies = pool.run(ranges.clone(), |_chunk, range| {
             let mut tally = ThreadTally::default();
             for v in range {
                 tally.vertices += 1;
@@ -209,17 +237,19 @@ pub fn par_sv_branch_based_instrumented(graph: &CsrGraph, threads: usize) -> Par
 /// Instrumented parallel branch-avoiding SV; see
 /// [`par_sv_branch_based_instrumented`] for the accounting scheme.
 pub fn par_sv_branch_avoiding_instrumented(graph: &CsrGraph, threads: usize) -> ParSvRun {
-    let threads = resolve_threads(threads);
+    let config = PoolConfig::from_env(threads);
+    let pool = WorkerPool::with_config(&config);
+    let threads = pool.threads();
     let ranges = edge_balanced_ranges(
         graph.offsets(),
-        effective_chunks(graph.num_edge_slots(), threads),
+        effective_chunks_with_grain(graph.num_edge_slots(), threads, config.grain),
     );
     let ccid = identity_labels(graph.num_vertices());
     let mut steps = Vec::new();
     loop {
         let sweep = steps.len();
         let ccid = &ccid;
-        let tallies = run_chunks(ranges.clone(), |_chunk, range| {
+        let tallies = pool.run(ranges.clone(), |_chunk, range| {
             let mut tally = ThreadTally::default();
             for v in range {
                 tally.vertices += 1;
@@ -255,6 +285,7 @@ pub fn par_sv_branch_avoiding_instrumented(graph: &CsrGraph, threads: usize) -> 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pool::ScopedExecutor;
     use bga_graph::generators::{barabasi_albert, erdos_renyi_gnp, grid_2d, MeshStencil};
     use bga_graph::properties::connected_components_union_find;
     use bga_graph::GraphBuilder;
@@ -293,6 +324,23 @@ mod tests {
                     "branch-avoiding, {threads} threads"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn pool_and_scoped_executors_agree() {
+        let g = barabasi_albert(2_000, 3, 29);
+        let expected = sv_branch_based(&g);
+        let pool = WorkerPool::new(4);
+        let scoped = ScopedExecutor::new(4);
+        // Grain of 1 forces fan-out on every sweep, even on tiny graphs.
+        for grain in [1, 4096] {
+            let (pool_labels, _) = par_sv_branch_avoiding_on(&g, &pool, grain);
+            let (scoped_labels, _) = par_sv_branch_avoiding_on(&g, &scoped, grain);
+            assert_eq!(pool_labels.as_slice(), expected.as_slice());
+            assert_eq!(scoped_labels.as_slice(), expected.as_slice());
+            let (pool_based, _) = par_sv_branch_based_on(&g, &pool, grain);
+            assert_eq!(pool_based.as_slice(), expected.as_slice());
         }
     }
 

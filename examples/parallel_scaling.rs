@@ -15,8 +15,8 @@ use branch_avoiding_graphs::graph::CsrGraph;
 use branch_avoiding_graphs::kernels::bfs::bfs_branch_based;
 use branch_avoiding_graphs::kernels::cc::sv_branch_based;
 use branch_avoiding_graphs::parallel::{
-    par_bfs_branch_avoiding, par_bfs_branch_based, par_sv_branch_avoiding, par_sv_branch_based,
-    resolve_threads,
+    par_bfs_branch_avoiding, par_bfs_branch_based, par_bfs_direction_optimizing,
+    par_sv_branch_avoiding, par_sv_branch_based, resolve_threads,
 };
 use std::time::Instant;
 
@@ -98,6 +98,15 @@ fn main() {
                 bfs_avoid_base = ms;
             }
             report("bfs fetch-min (avoiding)", threads, ms, bfs_avoid_base);
+        }
+        let mut bfs_diropt_base = 0.0;
+        for &threads in &thread_counts {
+            let (result, ms) = time_ms(|| par_bfs_direction_optimizing(graph, 0, threads));
+            assert_eq!(result.distances(), seq_distances.distances());
+            if threads == 1 {
+                bfs_diropt_base = ms;
+            }
+            report("bfs direction-optimizing", threads, ms, bfs_diropt_base);
         }
         println!();
     }

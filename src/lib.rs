@@ -15,8 +15,9 @@
 //! * [`perfmodel`] ([`bga_perfmodel`]) — misprediction bounds, modelled-time
 //!   conversion and correlation analysis.
 //! * [`parallel`] ([`bga_parallel`]) — multi-threaded kernels: atomic
-//!   fetch-min Shiloach-Vishkin and level-synchronous parallel BFS over
-//!   scoped threads with edge-balanced chunking.
+//!   fetch-min Shiloach-Vishkin and level-synchronous parallel BFS
+//!   (top-down and direction-optimizing over a shared bitmap frontier) on
+//!   a persistent worker pool with edge-balanced chunking.
 //!
 //! ```
 //! use branch_avoiding_graphs::prelude::*;
@@ -52,14 +53,18 @@ pub mod prelude {
     pub use bga_graph::{CsrGraph, GraphBuilder, VertexId};
     pub use bga_kernels::bfs::{
         bfs_branch_avoiding, bfs_branch_avoiding_instrumented, bfs_branch_based,
-        bfs_branch_based_instrumented, BfsResult,
+        bfs_branch_based_instrumented,
+        direction_optimizing::{bfs_direction_optimizing, DirectionConfig},
+        BfsResult, Bitmap,
     };
     pub use bga_kernels::cc::{
         sv_branch_avoiding, sv_branch_avoiding_instrumented, sv_branch_based,
         sv_branch_based_instrumented, sv_hybrid, ComponentLabels, HybridConfig,
     };
     pub use bga_parallel::{
-        par_bfs_branch_avoiding, par_bfs_branch_based, par_sv_branch_avoiding, par_sv_branch_based,
+        par_bfs_branch_avoiding, par_bfs_branch_based, par_bfs_direction_optimizing,
+        par_bfs_direction_optimizing_with_config, par_sv_branch_avoiding, par_sv_branch_based,
+        PoolConfig, WorkerPool,
     };
     pub use bga_perfmodel::timing::{modeled_speedup, time_run};
 }

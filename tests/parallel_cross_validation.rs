@@ -11,12 +11,16 @@ use branch_avoiding_graphs::graph::properties::{
 use branch_avoiding_graphs::graph::suite::{benchmark_suite, SuiteScale};
 use branch_avoiding_graphs::graph::transform::relabel_random;
 use branch_avoiding_graphs::graph::CsrGraph;
+use branch_avoiding_graphs::kernels::bfs::direction_optimizing::{
+    bfs_direction_optimizing, DirectionConfig,
+};
 use branch_avoiding_graphs::kernels::bfs::{bfs_branch_avoiding, bfs_branch_based};
 use branch_avoiding_graphs::kernels::cc::{sv_branch_avoiding, sv_branch_based};
 use branch_avoiding_graphs::parallel::{
     par_bfs_branch_avoiding, par_bfs_branch_avoiding_instrumented, par_bfs_branch_based,
-    par_bfs_branch_based_instrumented, par_sv_branch_avoiding, par_sv_branch_avoiding_instrumented,
-    par_sv_branch_based, par_sv_branch_based_instrumented,
+    par_bfs_branch_based_instrumented, par_bfs_direction_optimizing,
+    par_bfs_direction_optimizing_with_config, par_sv_branch_avoiding,
+    par_sv_branch_avoiding_instrumented, par_sv_branch_based, par_sv_branch_based_instrumented,
 };
 use proptest::prelude::*;
 
@@ -47,6 +51,8 @@ fn assert_parallel_bfs_matches_sequential(graph: &CsrGraph, root: u32) {
     let expected = bfs_distances_reference(graph, root);
     assert_eq!(bfs_branch_based(graph, root).distances(), &expected[..]);
     assert_eq!(bfs_branch_avoiding(graph, root).distances(), &expected[..]);
+    let seq_diropt = bfs_direction_optimizing(graph, root, DirectionConfig::default());
+    assert_eq!(seq_diropt.distances(), &expected[..]);
     for threads in THREAD_COUNTS {
         assert_eq!(
             par_bfs_branch_based(graph, root, threads).distances(),
@@ -57,6 +63,11 @@ fn assert_parallel_bfs_matches_sequential(graph: &CsrGraph, root: u32) {
             par_bfs_branch_avoiding(graph, root, threads).distances(),
             &expected[..],
             "parallel branch-avoiding BFS diverged at {threads} threads"
+        );
+        assert_eq!(
+            par_bfs_direction_optimizing(graph, root, threads).distances(),
+            seq_diropt.distances(),
+            "parallel direction-optimizing BFS diverged at {threads} threads"
         );
     }
 }
@@ -89,6 +100,38 @@ fn parallel_runs_are_deterministic_across_repeats() {
             );
         }
     }
+}
+
+#[test]
+fn direction_optimizing_strategies_cross_validate() {
+    // Every pinned strategy and the auto heuristic produce reference
+    // distances at every thread count, and the auto heuristic picks the
+    // same per-level directions as the sequential kernel (frontier sizes
+    // are deterministic, so switching is too).
+    let g = relabel_random(&barabasi_albert(2_500, 4, 31), 9);
+    let expected = bfs_distances_reference(&g, 0);
+    for config in [
+        DirectionConfig::default(),
+        DirectionConfig::always_top_down(),
+        DirectionConfig::always_bottom_up(),
+    ] {
+        let seq = bfs_direction_optimizing(&g, 0, config);
+        assert_eq!(seq.distances(), &expected[..]);
+        for threads in THREAD_COUNTS {
+            let par = par_bfs_direction_optimizing_with_config(&g, 0, threads, config);
+            assert_eq!(
+                par.result.distances(),
+                &expected[..],
+                "diverged at {threads} threads with {config:?}"
+            );
+            assert_eq!(par.result.level_count(), seq.level_count());
+        }
+    }
+    // The default thresholds actually exercise both directions on this
+    // power-law graph — otherwise the test above proves less than it says.
+    let run = par_bfs_direction_optimizing_with_config(&g, 0, 2, DirectionConfig::default());
+    assert!(run.bottom_up_levels() > 0);
+    assert!(run.bottom_up_levels() < run.directions.len());
 }
 
 #[test]

@@ -1,7 +1,8 @@
 //! Criterion wall-clock benches for the parallel kernels: branch-based
 //! (CAS-loop) vs branch-avoiding (fetch-min) Shiloach-Vishkin, parallel
-//! top-down and direction-optimizing BFS across thread counts, and the
-//! persistent-pool vs per-sweep `thread::scope` contrast on a
+//! top-down and direction-optimizing BFS across thread counts,
+//! sampled-source Brandes betweenness in both hooking disciplines, and
+//! the persistent-pool vs per-sweep `thread::scope` contrast on a
 //! high-diameter graph. This is the strong-scaling companion to
 //! `bga experiment scaling` — the relative ordering across hooking
 //! disciplines and the per-thread-count trend are the point, not absolute
@@ -10,9 +11,9 @@
 use bga_graph::generators::{grid_2d, MeshStencil};
 use bga_graph::suite::{benchmark_suite, SuiteScale};
 use bga_parallel::{
-    par_bfs_branch_avoiding, par_bfs_branch_avoiding_on, par_bfs_branch_based,
-    par_bfs_direction_optimizing, par_sv_branch_avoiding, par_sv_branch_based, ScopedExecutor,
-    WorkerPool,
+    par_betweenness_centrality_sources, par_bfs_branch_avoiding, par_bfs_branch_avoiding_on,
+    par_bfs_branch_based, par_bfs_direction_optimizing, par_sv_branch_avoiding,
+    par_sv_branch_based, BcVariant, ScopedExecutor, WorkerPool,
 };
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -66,6 +67,46 @@ fn bench_parallel_bfs(c: &mut Criterion) {
     group.finish();
 }
 
+/// Parallel Brandes betweenness over a fixed source sample: each source is
+/// a full engine-driven BFS plus a reverse level sweep, so this measures
+/// the traversal engine end to end (forward fan-out, level-bound
+/// recording, pull-style dependency accumulation) in both hooking
+/// disciplines.
+fn bench_parallel_bc(c: &mut Criterion) {
+    let suite = benchmark_suite(SuiteScale::Small, 42);
+    let mut group = c.benchmark_group("parallel_bc");
+    group.sample_size(10);
+    // coAuthorsDBLP stand-in: short diameter, explosive levels.
+    let sg = &suite[2];
+    let sources: Vec<u32> = (0..8).collect();
+    for threads in THREAD_COUNTS {
+        group.bench_with_input(
+            BenchmarkId::new("branch_based", format!("{}x{threads}", sg.name())),
+            &sg.graph,
+            |b, g| {
+                b.iter(|| {
+                    par_betweenness_centrality_sources(g, &sources, threads, BcVariant::BranchBased)
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("branch_avoiding", format!("{}x{threads}", sg.name())),
+            &sg.graph,
+            |b, g| {
+                b.iter(|| {
+                    par_betweenness_centrality_sources(
+                        g,
+                        &sources,
+                        threads,
+                        BcVariant::BranchAvoiding,
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 /// The spawn-overhead contrast the persistent pool exists for: BFS over a
 /// high-diameter mesh is hundreds of levels with tiny frontiers, so the
 /// per-level cost of standing up workers dominates. A small grain forces
@@ -105,6 +146,7 @@ criterion_group!(
     benches,
     bench_parallel_sv,
     bench_parallel_bfs,
+    bench_parallel_bc,
     bench_small_frontier_pool_vs_scope
 );
 criterion_main!(benches);

@@ -13,7 +13,8 @@ use bga_kernels::bfs::{
 };
 use bga_parallel::{
     par_bfs_branch_avoiding, par_bfs_branch_avoiding_instrumented, par_bfs_branch_based,
-    par_bfs_branch_based_instrumented, par_bfs_direction_optimizing_with_config, resolve_threads,
+    par_bfs_branch_based_instrumented, par_bfs_direction_optimizing_instrumented,
+    par_bfs_direction_optimizing_with_config, resolve_threads,
 };
 use std::time::Instant;
 
@@ -70,6 +71,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
     );
 
     if instrumented {
+        let mut directions = None;
         let run = match (variant, threads) {
             ("branch-based", None) => bfs_branch_based_instrumented(&graph, root),
             ("branch-avoiding", None) => bfs_branch_avoiding_instrumented(&graph, root),
@@ -89,13 +91,37 @@ pub fn run(args: &[String]) -> Result<(), String> {
                     counters: par.counters,
                 }
             }
+            ("direction-optimizing", Some(t)) => {
+                // Bottom-up levels tally for real here: the engine threads
+                // a ThreadTally through the bitmap claim as well.
+                let par = par_bfs_direction_optimizing_instrumented(
+                    &graph,
+                    root,
+                    t,
+                    strategy.unwrap_or_default(),
+                );
+                println!("threads: {}", par.threads);
+                directions = Some((par.directions.len(), par.bottom_up_levels()));
+                BfsRun {
+                    result: par.result,
+                    counters: par.counters,
+                }
+            }
             (other, _) => {
                 return Err(format!(
-                    "--instrumented supports branch-based and branch-avoiding, not {other:?}"
+                    "--instrumented supports branch-based, branch-avoiding and \
+                     direction-optimizing --threads, not {other:?}"
                 ))
             }
         };
         print_result_summary(variant, &run.result);
+        if let Some((levels, bottom_up)) = directions {
+            println!(
+                "directions: {} top-down, {} bottom-up levels",
+                levels - bottom_up,
+                bottom_up
+            );
+        }
         println!("totals: {}", run.counters.total());
         for step in &run.counters.steps {
             println!(
@@ -230,6 +256,25 @@ mod tests {
         }
         // Sequential direction-optimizing honours the strategy too.
         assert!(super::run(&strings(&["cond-mat-2005", "--strategy", "bottom-up"])).is_ok());
+        // Instrumented direction-optimizing runs report real per-level
+        // tallies for the bottom-up levels.
+        assert!(super::run(&strings(&[
+            "cond-mat-2005",
+            "--threads",
+            "2",
+            "--strategy",
+            "bottom-up",
+            "--instrumented"
+        ]))
+        .is_ok());
+        // ... but only on the parallel path.
+        assert!(super::run(&strings(&[
+            "cond-mat-2005",
+            "--variant",
+            "direction-optimizing",
+            "--instrumented"
+        ]))
+        .is_err());
         // Bad or conflicting usages fail loudly.
         assert!(super::run(&strings(&["cond-mat-2005", "--strategy", "sideways"])).is_err());
         assert!(super::run(&strings(&["cond-mat-2005", "--strategy"])).is_err());

@@ -3,11 +3,13 @@
 //! full per-figure harnesses live in `bga-bench`.
 
 use bga_branchsim::all_machine_models;
+use bga_graph::properties::connected_component_count;
 use bga_graph::suite::{benchmark_suite, suite_table, SuiteScale};
 use bga_kernels::bfs::bfs_branch_based_instrumented;
 use bga_kernels::cc::{sv_branch_avoiding_instrumented, sv_branch_based_instrumented};
 use bga_parallel::{
-    par_bfs_direction_optimizing, par_sv_branch_avoiding, par_sv_branch_based, resolve_threads,
+    par_betweenness_centrality_sources, par_bfs_direction_optimizing, par_sv_branch_avoiding,
+    par_sv_branch_based, resolve_threads, BcVariant,
 };
 use bga_perfmodel::timing::modeled_speedup;
 use std::time::Instant;
@@ -17,6 +19,10 @@ pub const EXPERIMENTS: &str = "table1, table2, suite-summary, scaling";
 
 /// Thread counts the scaling experiment sweeps.
 const SCALING_THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// How many BFS sources the scaling experiment's betweenness rows
+/// accumulate (full all-sources Brandes would dwarf every other row).
+const BC_SCALING_SOURCES: usize = 4;
 
 /// Runs the `experiment` subcommand.
 pub fn run(args: &[String]) -> Result<(), String> {
@@ -130,13 +136,15 @@ pub fn run(args: &[String]) -> Result<(), String> {
 /// configuration over its own single-thread run.
 fn run_scaling() {
     // On a single-core host every configuration runs the same one worker,
-    // so "speedup" is pool overhead, not scaling. Say so up front instead
-    // of silently reporting ≈1.0x.
+    // so "speedup" is pool overhead, not scaling. Say so up front — naming
+    // the kernels the warning applies to — instead of silently reporting
+    // ≈1.0x.
     if resolve_threads(0) == 1 {
         println!(
-            "warning: this host reports a single available core; speedups \
-             below measure pool overhead, not strong scaling — rerun on a \
-             multicore host for meaningful numbers"
+            "warning: single available core — the sv branch-based, \
+             sv branch-avoiding, bfs dir-opt and bc branch-avoiding \
+             speedups below measure pool overhead, not strong scaling; \
+             rerun on a multicore host for meaningful numbers"
         );
     }
     let suite = benchmark_suite(SuiteScale::Small, 42);
@@ -188,6 +196,34 @@ fn run_scaling() {
                 baseline / elapsed_ms.max(f64::MIN_POSITIVE)
             );
         }
+        // Brandes betweenness over a fixed source sample.
+        if let Some(note) = bc_scaling_skip_note(connected_component_count(&sg.graph)) {
+            println!("{:<15} {:<16} {note}", sg.name(), "bc branch-avoid");
+        } else {
+            let sources: Vec<u32> =
+                (0..BC_SCALING_SOURCES.min(sg.graph.num_vertices()) as u32).collect();
+            let mut single_thread_ms = None;
+            for threads in SCALING_THREADS {
+                let start = Instant::now();
+                let scores = par_betweenness_centrality_sources(
+                    &sg.graph,
+                    &sources,
+                    threads,
+                    BcVariant::BranchAvoiding,
+                );
+                let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+                assert_eq!(scores.len(), sg.graph.num_vertices());
+                let baseline = *single_thread_ms.get_or_insert(elapsed_ms);
+                println!(
+                    "{:<15} {:<16} {:>8} {:>12.3} {:>9.2}x",
+                    sg.name(),
+                    "bc branch-avoid",
+                    threads,
+                    elapsed_ms,
+                    baseline / elapsed_ms.max(f64::MIN_POSITIVE)
+                );
+            }
+        }
     }
     // Contrast line mirroring the paper's message: identical results from
     // both hooking disciplines.
@@ -200,6 +236,21 @@ fn run_scaling() {
         suite[0].name(),
         based.component_count()
     );
+}
+
+/// Why the scaling experiment's betweenness rows are skipped for a graph
+/// with this many connected components, or `None` when they should run.
+/// Betweenness only counts vertex pairs *within* a component (there are
+/// no shortest paths across components), so on a disconnected graph a
+/// small source sample would mix per-component normalizations into one
+/// misleading column.
+fn bc_scaling_skip_note(components: usize) -> Option<String> {
+    (components > 1).then(|| {
+        format!(
+            "skipped: graph has {components} components; sampled-source \
+             betweenness normalises per component"
+        )
+    })
 }
 
 /// Sequential-vs-parallel sanity check used by the tests: both execution
@@ -237,5 +288,13 @@ mod tests {
     #[test]
     fn scaling_inputs_agree_across_execution_modes() {
         assert!(super::parallel_matches_sequential());
+    }
+
+    #[test]
+    fn bc_rows_are_skipped_exactly_for_disconnected_graphs() {
+        assert!(super::bc_scaling_skip_note(1).is_none());
+        let note = super::bc_scaling_skip_note(3).unwrap();
+        assert!(note.contains("3 components"), "{note:?}");
+        assert!(note.contains("per component"), "{note:?}");
     }
 }

@@ -1,5 +1,6 @@
 //! Subcommand dispatch for the `bga` binary.
 
+mod bc;
 mod bfs;
 mod cc;
 mod experiment;
@@ -11,6 +12,7 @@ pub const USAGE: &str = "usage:
   bga generate <path|cycle|star|complete|tree|gnp|gnm|ba|ws|grid2d|grid3d|rmat> <args..> [--seed S] <out.metis>
   bga cc  <graph> [--variant branch-based|branch-avoiding|hybrid|union-find|bfs] [--instrumented] [--threads N]
   bga bfs <graph> [--root R] [--variant branch-based|branch-avoiding|bottom-up|direction-optimizing] [--strategy auto|top-down|bottom-up] [--instrumented] [--threads N]
+  bga bc  <graph> [--variant branch-based|branch-avoiding] [--sources K] [--threads N]
   bga experiment <table1|table2|suite-summary|scaling>
 
 <graph> is a METIS (.metis/.graph) or edge-list file, or a built-in suite
@@ -18,11 +20,13 @@ name: audikw1, auto, coAuthorsDBLP, cond-mat-2005, ldoor.
 
 --threads N runs the branch-based / branch-avoiding / direction-optimizing
 kernels on a persistent N-worker pool from the bga-parallel crate (N = 0
-uses every available core); labels and distances are identical to the
-sequential kernels. --strategy picks the direction policy of the
-direction-optimizing traversal (auto = the α/β frontier heuristic). The
-scaling experiment sweeps the parallel SV and BFS kernels over 1, 2, 4 and
-8 threads.";
+uses every available core); labels, distances and centrality scores are
+identical to the sequential kernels. --strategy picks the direction policy
+of the direction-optimizing traversal (auto = the α/β frontier heuristic).
+bga bc runs Brandes betweenness centrality (--sources K restricts the
+accumulation to K sources and reports un-normalized partial sums). The
+scaling experiment sweeps the parallel SV, BFS and BC kernels over 1, 2, 4
+and 8 threads.";
 
 /// Routes the raw argument list to the subcommand implementations.
 pub fn dispatch(args: &[String]) -> Result<(), String> {
@@ -33,6 +37,7 @@ pub fn dispatch(args: &[String]) -> Result<(), String> {
         "generate" => generate::run(rest),
         "cc" => cc::run(rest),
         "bfs" => bfs::run(rest),
+        "bc" => bc::run(rest),
         "experiment" => experiment::run(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");

@@ -1,67 +1,128 @@
 //! Brandes' betweenness centrality for unweighted, undirected graphs.
+//!
+//! Shortest-path counts (σ) are kept in `u64` and accumulate with
+//! **wrapping** arithmetic: on dense FEM-mesh graphs the true counts grow
+//! combinatorially and exceed any fixed-width integer, and the parallel
+//! kernels' atomic `fetch_add` wraps by definition. Wrapping keeps σ
+//! exact whenever the true counts fit in 64 bits and keeps every kernel —
+//! sequential and parallel, branch-based and branch-avoiding —
+//! bit-consistent with each other beyond that point (the scores then lose
+//! their exact path-counting interpretation but stay deterministic).
 
 use crate::select::{select_u32, select_u64};
 use bga_graph::{CsrGraph, VertexId};
+
+/// Reusable per-source working set of a branch-based Brandes
+/// accumulation, so an all-sources (or sampled-sources) run allocates
+/// nothing per source.
+struct BrandesScratch {
+    distances: Vec<u32>,
+    sigma: Vec<u64>,
+    delta: Vec<f64>,
+    order: Vec<VertexId>,
+}
+
+impl BrandesScratch {
+    fn new(n: usize) -> Self {
+        BrandesScratch {
+            distances: vec![u32::MAX; n],
+            sigma: vec![0u64; n],
+            delta: vec![0.0f64; n],
+            order: Vec::with_capacity(n),
+        }
+    }
+
+    /// Adds the (un-halved) dependency contributions of `source` into
+    /// `centrality`: the branch-based forward BFS computing distances and
+    /// shortest-path counts, then dependency accumulation in reverse BFS
+    /// order.
+    fn accumulate_source(&mut self, graph: &CsrGraph, source: VertexId, centrality: &mut [f64]) {
+        // Forward phase: BFS computing distances and shortest-path counts.
+        self.distances.iter_mut().for_each(|d| *d = u32::MAX);
+        self.sigma.iter_mut().for_each(|s| *s = 0);
+        self.delta.iter_mut().for_each(|d| *d = 0.0);
+        self.order.clear();
+
+        self.distances[source as usize] = 0;
+        self.sigma[source as usize] = 1;
+        self.order.push(source);
+        let mut head = 0usize;
+        while head < self.order.len() {
+            let v = self.order[head];
+            head += 1;
+            let next = self.distances[v as usize] + 1;
+            for &w in graph.neighbors(v) {
+                if self.distances[w as usize] == u32::MAX {
+                    self.distances[w as usize] = next;
+                    self.order.push(w);
+                }
+                if self.distances[w as usize] == next {
+                    // Wrapping, not checked: path counts on dense meshes
+                    // exceed u64 (see the module doc), and the parallel
+                    // kernels' atomic fetch_add wraps by definition —
+                    // keeping the same modular arithmetic keeps every
+                    // kernel bit-consistent.
+                    self.sigma[w as usize] =
+                        self.sigma[w as usize].wrapping_add(self.sigma[v as usize]);
+                }
+            }
+        }
+
+        // Backward phase: dependency accumulation in reverse BFS order.
+        for &w in self.order.iter().rev() {
+            if w == source {
+                continue;
+            }
+            let dw = self.distances[w as usize];
+            let coefficient = (1.0 + self.delta[w as usize]) / self.sigma[w as usize] as f64;
+            for &v in graph.neighbors(w) {
+                if self.distances[v as usize] + 1 == dw {
+                    self.delta[v as usize] += self.sigma[v as usize] as f64 * coefficient;
+                }
+            }
+            centrality[w as usize] += self.delta[w as usize];
+        }
+    }
+}
 
 /// Exact betweenness centrality (Brandes 2001) with the branch-based
 /// forward phase: per traversed edge, `if d[w] == INF { ... }` and
 /// `if d[w] == d[v] + 1 { sigma[w] += sigma[v] }`.
 ///
 /// Scores are the standard undirected convention (each pair counted once,
-/// i.e. the accumulated dependencies are halved).
+/// i.e. the accumulated dependencies are halved). On a disconnected graph
+/// only pairs *within* a component contribute — there are no shortest
+/// paths across components — so scores normalise per component, not over
+/// all vertex pairs.
 pub fn betweenness_centrality(graph: &CsrGraph) -> Vec<f64> {
     let n = graph.num_vertices();
     let mut centrality = vec![0.0f64; n];
-    let mut distances = vec![u32::MAX; n];
-    let mut sigma = vec![0u64; n];
-    let mut delta = vec![0.0f64; n];
-    let mut order: Vec<VertexId> = Vec::with_capacity(n);
-
+    let mut scratch = BrandesScratch::new(n);
     for source in 0..n as u32 {
-        // Forward phase: BFS computing distances and shortest-path counts.
-        distances.iter_mut().for_each(|d| *d = u32::MAX);
-        sigma.iter_mut().for_each(|s| *s = 0);
-        delta.iter_mut().for_each(|d| *d = 0.0);
-        order.clear();
-
-        distances[source as usize] = 0;
-        sigma[source as usize] = 1;
-        order.push(source);
-        let mut head = 0usize;
-        while head < order.len() {
-            let v = order[head];
-            head += 1;
-            let next = distances[v as usize] + 1;
-            for &w in graph.neighbors(v) {
-                if distances[w as usize] == u32::MAX {
-                    distances[w as usize] = next;
-                    order.push(w);
-                }
-                if distances[w as usize] == next {
-                    sigma[w as usize] += sigma[v as usize];
-                }
-            }
-        }
-
-        // Backward phase: dependency accumulation in reverse BFS order.
-        for &w in order.iter().rev() {
-            if w == source {
-                continue;
-            }
-            let dw = distances[w as usize];
-            let coefficient = (1.0 + delta[w as usize]) / sigma[w as usize] as f64;
-            for &v in graph.neighbors(w) {
-                if distances[v as usize] + 1 == dw {
-                    delta[v as usize] += sigma[v as usize] as f64 * coefficient;
-                }
-            }
-            centrality[w as usize] += delta[w as usize];
-        }
+        scratch.accumulate_source(graph, source, &mut centrality);
     }
-
     // Each undirected pair was counted twice (once per endpoint as source).
     for c in &mut centrality {
         *c /= 2.0;
+    }
+    centrality
+}
+
+/// Partial Brandes accumulation: the **un-halved** dependency sums over
+/// the given `sources` only (out-of-range sources are ignored). With all
+/// vertices as sources this is exactly twice [`betweenness_centrality`];
+/// with a subset it is the raw accumulation that sampled-source
+/// approximations scale. The forward phase is the branch-based one; the
+/// parallel crate cross-validates both of its forward variants against
+/// this.
+pub fn betweenness_centrality_sources(graph: &CsrGraph, sources: &[VertexId]) -> Vec<f64> {
+    let n = graph.num_vertices();
+    let mut centrality = vec![0.0f64; n];
+    let mut scratch = BrandesScratch::new(n);
+    for &source in sources {
+        if (source as usize) < n {
+            scratch.accumulate_source(graph, source, &mut centrality);
+        }
     }
     centrality
 }
@@ -103,9 +164,11 @@ pub fn betweenness_centrality_branch_avoiding(graph: &CsrGraph) -> Vec<f64> {
                 // Branch-free distance update.
                 distances[w as usize] = select_u32(undiscovered, next, old);
                 // Branch-free shortest-path-count accumulation: add sigma_v
-                // exactly when w now sits one level below v.
+                // exactly when w now sits one level below v (wrapping, as
+                // in the branch-based kernel).
                 let on_shortest_path = distances[w as usize] == next;
-                sigma[w as usize] += select_u64(on_shortest_path, sigma_v, 0);
+                sigma[w as usize] =
+                    sigma[w as usize].wrapping_add(select_u64(on_shortest_path, sigma_v, 0));
             }
         }
 
@@ -259,6 +322,23 @@ mod tests {
                 &betweenness_centrality_branch_avoiding(g),
             );
         }
+    }
+
+    #[test]
+    fn sources_accumulation_is_the_unhalved_full_run() {
+        let g = barabasi_albert(60, 2, 9);
+        let full = betweenness_centrality(&g);
+        let all: Vec<u32> = (0..g.num_vertices() as u32).collect();
+        let partial = betweenness_centrality_sources(&g, &all);
+        let halved: Vec<f64> = partial.iter().map(|c| c / 2.0).collect();
+        assert_close(&full, &halved);
+        // Empty and out-of-range source sets contribute nothing.
+        assert!(betweenness_centrality_sources(&g, &[])
+            .iter()
+            .all(|&c| c == 0.0));
+        assert!(betweenness_centrality_sources(&g, &[9_999])
+            .iter()
+            .all(|&c| c == 0.0));
     }
 
     #[test]

@@ -11,10 +11,15 @@
 //! * [`brandes::betweenness_centrality_branch_avoiding`] — the same
 //!   algorithm with both per-edge tests converted to branch-free selects,
 //!   mirroring the paper's SV/BFS transformation.
+//! * [`brandes::betweenness_centrality_sources`] — the un-normalized
+//!   accumulation over an explicit source set, the reference the parallel
+//!   crate's sampled-source runs cross-validate against.
 //!
-//! Both produce identical centrality scores; tests cross-validate them
+//! All produce consistent centrality scores; tests cross-validate them
 //! against a brute-force all-pairs shortest-path counter on small graphs.
 
 pub mod brandes;
 
-pub use brandes::{betweenness_centrality, betweenness_centrality_branch_avoiding};
+pub use brandes::{
+    betweenness_centrality, betweenness_centrality_branch_avoiding, betweenness_centrality_sources,
+};

@@ -192,6 +192,25 @@ impl BfsResult {
         }
         sizes
     }
+
+    /// Contiguous ranges of [`Self::visit_order`] holding each level's
+    /// vertices: `level_bounds()[l]` spans the vertices at distance `l`,
+    /// starting with `0..1` for the root. Valid because every BFS kernel
+    /// in this workspace discovers vertices in level-monotone order. This
+    /// recovers, from any finished `BfsResult`, the same boundaries the
+    /// parallel traversal engine records live during a run (its Brandes
+    /// back-sweep walks them in reverse); the cross-validation tests
+    /// assert the two stay identical.
+    pub fn level_bounds(&self) -> Vec<std::ops::Range<usize>> {
+        let sizes = self.level_sizes();
+        let mut bounds = Vec::with_capacity(sizes.len());
+        let mut start = 0usize;
+        for size in sizes {
+            bounds.push(start..start + size);
+            start += size;
+        }
+        bounds
+    }
 }
 
 /// Validates the BFS invariants against the graph: the root has distance 0,
@@ -264,6 +283,24 @@ mod tests {
         assert_eq!(r.level_sizes(), vec![1, 1, 1, 1, 1]);
         assert_eq!(r.distance(3), 3);
         assert_eq!(r.visit_order()[0], 0);
+    }
+
+    #[test]
+    fn level_bounds_tile_the_visit_order() {
+        let r = path_result();
+        let bounds = r.level_bounds();
+        assert_eq!(bounds.len(), r.level_count());
+        assert_eq!(bounds[0], 0..1);
+        let mut covered = 0usize;
+        for (level, bound) in bounds.iter().enumerate() {
+            assert_eq!(bound.start, covered);
+            covered = bound.end;
+            for &v in &r.visit_order()[bound.clone()] {
+                assert_eq!(r.distance(v), level as u32);
+            }
+        }
+        assert_eq!(covered, r.visit_order().len());
+        assert!(BfsResult::new(vec![], vec![]).level_bounds().is_empty());
     }
 
     #[test]

@@ -1,0 +1,420 @@
+//! Parallel Brandes betweenness centrality on the traversal engine.
+//!
+//! Brandes' algorithm is a sequence of BFS traversals (one per source)
+//! plus a dependency back-sweep — exactly the shape the engine
+//! ([`crate::engine`]) was extracted for. The forward phase of each
+//! source runs as an engine-driven level-synchronous BFS whose kernel
+//! also accumulates shortest-path counts (σ), in the two hooking
+//! disciplines the paper contrasts:
+//!
+//! * [`BcVariant::BranchAvoiding`] — per edge, one unconditional
+//!   `fetch_min(next_level)` on the distance (the priority write) with
+//!   the branch-free "write past the end" queue claim, and one
+//!   unconditional `fetch_add` on σ whose addend is predicated to
+//!   σ(parent) exactly when the edge lands on the next level — no
+//!   data-dependent branch anywhere in the inner loop.
+//! * [`BcVariant::BranchBased`] — per edge, test `distance == INFINITY`
+//!   and claim the vertex with a `compare_exchange`, then branch again on
+//!   the level test before the σ `fetch_add` — the CAS discipline of
+//!   paper Algorithm 4, mirroring the SV pair.
+//!
+//! σ is accumulated in integers, so the forward phase is exact and
+//! deterministic at every thread count. The dependency accumulation then
+//! walks the recorded level boundaries ([`crate::engine::LevelRun::level_bounds`])
+//! in reverse; each level's vertices *pull* their dependency from the
+//! finished level below, so every δ is written by exactly one chunk —
+//! race-free without floating-point atomics — and computed from a fixed
+//! neighbour order, which makes the final scores **bit-identical across
+//! thread counts and executors**. Against the sequential
+//! [`bga_kernels::bc::betweenness_centrality`] (whose back-phase *pushes*
+//! in reverse BFS order) scores agree to floating-point reassociation,
+//! verified within a 1e-9 relative tolerance by the cross-validation
+//! tests at 1, 2 and 8 threads.
+//!
+//! **Normalization.** Full runs use the standard undirected convention:
+//! every unordered pair is counted from both endpoints and the total is
+//! halved. On a disconnected graph shortest paths exist only *within* a
+//! component, so scores are effectively normalised per component.
+//! Sampled-source runs ([`par_betweenness_centrality_sources`]) return
+//! the raw, un-halved accumulation over the given sources — the quantity
+//! sampled-source approximations scale — and are cross-validated against
+//! [`bga_kernels::bc::betweenness_centrality_sources`].
+
+use crate::engine::{
+    frontier_degree_prefix, LevelCtx, LevelKernel, LevelLoop, LevelRun, TraversalState,
+};
+use crate::pool::{
+    balanced_prefix_ranges, effective_chunks_with_grain, Execute, PoolConfig, WorkerPool,
+};
+use bga_graph::{CsrGraph, VertexId};
+use bga_kernels::bfs::direction_optimizing::DirectionConfig;
+use bga_kernels::bfs::INFINITY;
+use std::ops::Range;
+use std::sync::atomic::Ordering::Relaxed;
+
+/// Which forward-phase hooking discipline a parallel betweenness run uses.
+/// Both produce identical σ counts and (bit-identical) scores; they differ
+/// only in the per-edge instruction mix, mirroring the SV pair.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BcVariant {
+    /// Test-and-CAS distance claim, branch-guarded σ accumulation.
+    BranchBased,
+    /// `fetch_min` distance claim, predicated unconditional σ `fetch_add`.
+    BranchAvoiding,
+}
+
+/// Brandes forward phase as a level kernel: BFS discovery plus σ
+/// accumulation, in the discipline selected by `BRANCH_AVOIDING`. Runs
+/// strictly top-down (σ accumulation needs every cross-level edge, which
+/// the early-exit bottom-up claim would skip).
+struct BcForward<const BRANCH_AVOIDING: bool>;
+
+impl<const BRANCH_AVOIDING: bool> LevelKernel for BcForward<BRANCH_AVOIDING> {
+    fn top_down_chunk(
+        &self,
+        ctx: &LevelCtx<'_>,
+        frontier: &[VertexId],
+        range: Range<usize>,
+        chunk_edges: usize,
+        _tally: &mut crate::counters::ThreadTally,
+    ) -> Vec<VertexId> {
+        let distances = ctx.state.distances();
+        let sigma = ctx.state.sigma().expect("BC traversal state carries sigma");
+        let next_level = ctx.next_level;
+        if BRANCH_AVOIDING {
+            let mut buffer = vec![0 as VertexId; chunk_edges.min(ctx.graph.num_vertices()) + 1];
+            let mut len = 0usize;
+            for &v in &frontier[range] {
+                // σ(v) is final: the level barrier ran before this chunk.
+                let sigma_v = sigma[v as usize].load(Relaxed);
+                for &w in ctx.graph.neighbors(v) {
+                    // The priority write, with the branch-free queue claim.
+                    let prev = distances[w as usize].fetch_min(next_level, Relaxed);
+                    buffer[len] = w;
+                    len += usize::from(prev > next_level);
+                    // Unconditional σ accumulation with a predicated
+                    // addend: σ_v exactly when w sits at `next_level`
+                    // (`prev >= next_level` covers both "this edge
+                    // discovered w" and "another edge of this level did"),
+                    // zero when w lives on an earlier level.
+                    sigma[w as usize].fetch_add(u64::from(prev >= next_level) * sigma_v, Relaxed);
+                }
+            }
+            buffer.truncate(len);
+            buffer
+        } else {
+            let mut local = Vec::new();
+            for &v in &frontier[range] {
+                let sigma_v = sigma[v as usize].load(Relaxed);
+                for &w in ctx.graph.neighbors(v) {
+                    let dw = distances[w as usize].load(Relaxed);
+                    if dw == INFINITY {
+                        // Data-dependent test, then claim with a CAS;
+                        // exactly one contender per vertex succeeds.
+                        if distances[w as usize]
+                            .compare_exchange(INFINITY, next_level, Relaxed, Relaxed)
+                            .is_ok()
+                        {
+                            local.push(w);
+                        }
+                        // Whichever contender won, d(w) is now
+                        // `next_level` (within a level every writer writes
+                        // the same value), so this edge lies on a shortest
+                        // path and must contribute σ_v.
+                        sigma[w as usize].fetch_add(sigma_v, Relaxed);
+                    } else if dw == next_level {
+                        sigma[w as usize].fetch_add(sigma_v, Relaxed);
+                    }
+                }
+            }
+            local
+        }
+    }
+}
+
+/// Pull-style dependency accumulation for one finished source: walk the
+/// recorded level boundaries deepest-first; every vertex of a level reads
+/// the finished δ of its children one level down, so δ writes are
+/// disjoint per chunk and the per-vertex sum has a fixed order.
+fn accumulate_dependencies<E: Execute>(
+    graph: &CsrGraph,
+    exec: &E,
+    grain: usize,
+    run: &LevelRun,
+    state: &TraversalState,
+    delta: &mut [f64],
+    centrality: &mut [f64],
+) {
+    let (order, level_bounds) = (&run.order, &run.level_bounds);
+    let levels = level_bounds.len();
+    if levels < 2 {
+        return;
+    }
+    for d in delta.iter_mut() {
+        *d = 0.0;
+    }
+    let distances = state.distances();
+    let sigma = state.sigma().expect("BC traversal state carries sigma");
+    let threads = exec.parallelism();
+    // The deepest level's δ is zero by definition, so start one above it.
+    for level in (1..levels - 1).rev() {
+        let members = &order[level_bounds[level].clone()];
+        let prefix = frontier_degree_prefix(graph, members);
+        let chunks = effective_chunks_with_grain(*prefix.last().unwrap_or(&0), threads, grain);
+        let ranges = balanced_prefix_ranges(&prefix, chunks);
+        let child_level = level as u32 + 1;
+        let delta_ref: &[f64] = delta;
+        let buffers: Vec<Vec<f64>> = exec.run(ranges, move |_chunk, range| {
+            members[range]
+                .iter()
+                .map(|&w| {
+                    let sigma_w = sigma[w as usize].load(Relaxed) as f64;
+                    let mut acc = 0.0f64;
+                    for &x in graph.neighbors(w) {
+                        // Pull from the children one level deeper; their δ
+                        // was finished by the previous iteration's barrier.
+                        if distances[x as usize].load(Relaxed) == child_level {
+                            acc += sigma_w * (1.0 + delta_ref[x as usize])
+                                / sigma[x as usize].load(Relaxed) as f64;
+                        }
+                    }
+                    acc
+                })
+                .collect()
+        });
+        // Disjoint per-vertex results, written back on the submitting
+        // thread in level order.
+        let mut index = 0usize;
+        for buffer in buffers {
+            for value in buffer {
+                let w = members[index] as usize;
+                delta[w] = value;
+                centrality[w] += value;
+                index += 1;
+            }
+        }
+    }
+}
+
+/// The shared all/sampled-sources driver: un-halved accumulation.
+fn par_bc_accumulate_on<E: Execute>(
+    graph: &CsrGraph,
+    sources: &[VertexId],
+    exec: &E,
+    grain: usize,
+    variant: BcVariant,
+) -> Vec<f64> {
+    let n = graph.num_vertices();
+    let mut centrality = vec![0.0f64; n];
+    let mut delta = vec![0.0f64; n];
+    let mut state = TraversalState::with_sigma(n);
+    let level_loop = LevelLoop::new(graph, exec, grain, DirectionConfig::always_top_down());
+    for &source in sources {
+        if (source as usize) >= n {
+            continue;
+        }
+        state.reset();
+        let run = match variant {
+            BcVariant::BranchAvoiding => level_loop.run(&state, source, &BcForward::<true>),
+            BcVariant::BranchBased => level_loop.run(&state, source, &BcForward::<false>),
+        };
+        accumulate_dependencies(
+            graph,
+            exec,
+            grain,
+            &run,
+            &state,
+            &mut delta,
+            &mut centrality,
+        );
+    }
+    centrality
+}
+
+/// Exact parallel betweenness centrality over all sources with the
+/// branch-avoiding forward phase (the default discipline, as in the
+/// sequential pair). `threads == 0` uses every available core. Scores
+/// match [`bga_kernels::bc::betweenness_centrality`] to floating-point
+/// reassociation and are bit-identical across thread counts.
+pub fn par_betweenness_centrality(graph: &CsrGraph, threads: usize) -> Vec<f64> {
+    par_betweenness_centrality_with_variant(graph, threads, BcVariant::BranchAvoiding)
+}
+
+/// Exact parallel betweenness centrality with an explicit forward-phase
+/// discipline.
+pub fn par_betweenness_centrality_with_variant(
+    graph: &CsrGraph,
+    threads: usize,
+    variant: BcVariant,
+) -> Vec<f64> {
+    let config = PoolConfig::from_env(threads);
+    let pool = WorkerPool::with_config(&config);
+    par_betweenness_centrality_on(graph, &pool, config.grain, variant)
+}
+
+/// [`par_betweenness_centrality_with_variant`] on an explicit executor —
+/// the seam the benchmarks and forced-fan-out tests use.
+pub fn par_betweenness_centrality_on<E: Execute>(
+    graph: &CsrGraph,
+    exec: &E,
+    grain: usize,
+    variant: BcVariant,
+) -> Vec<f64> {
+    let all: Vec<VertexId> = (0..graph.num_vertices() as VertexId).collect();
+    let mut centrality = par_bc_accumulate_on(graph, &all, exec, grain, variant);
+    // Each undirected pair was counted twice (once per endpoint as source).
+    for c in &mut centrality {
+        *c /= 2.0;
+    }
+    centrality
+}
+
+/// Partial parallel accumulation over an explicit source set: the raw,
+/// **un-halved** dependency sums (out-of-range sources are ignored), the
+/// quantity sampled-source approximations scale. With all vertices as
+/// sources this is exactly twice [`par_betweenness_centrality`].
+pub fn par_betweenness_centrality_sources(
+    graph: &CsrGraph,
+    sources: &[VertexId],
+    threads: usize,
+    variant: BcVariant,
+) -> Vec<f64> {
+    let config = PoolConfig::from_env(threads);
+    let pool = WorkerPool::with_config(&config);
+    par_betweenness_centrality_sources_on(graph, sources, &pool, config.grain, variant)
+}
+
+/// [`par_betweenness_centrality_sources`] on an explicit executor.
+pub fn par_betweenness_centrality_sources_on<E: Execute>(
+    graph: &CsrGraph,
+    sources: &[VertexId],
+    exec: &E,
+    grain: usize,
+    variant: BcVariant,
+) -> Vec<f64> {
+    par_bc_accumulate_on(graph, sources, exec, grain, variant)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bga_graph::generators::{
+        barabasi_albert, complete_graph, cycle_graph, grid_2d, path_graph, star_graph, MeshStencil,
+    };
+    use bga_graph::GraphBuilder;
+    use bga_kernels::bc::{betweenness_centrality, betweenness_centrality_sources};
+
+    /// 1e-9 tolerance, scaled by magnitude: sequential and parallel runs
+    /// sum the same dependencies in different orders, so agreement is up
+    /// to floating-point reassociation.
+    fn assert_close(a: &[f64], b: &[f64]) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+            let tolerance = 1e-9 * x.abs().max(y.abs()).max(1.0);
+            assert!((x - y).abs() < tolerance, "vertex {i}: {x} vs {y}");
+        }
+    }
+
+    fn shapes() -> Vec<CsrGraph> {
+        vec![
+            GraphBuilder::undirected(0).build(),
+            GraphBuilder::undirected(1).build(),
+            GraphBuilder::undirected(5)
+                .add_edges([(0, 1), (2, 3)])
+                .build(), // disconnected
+            path_graph(9),
+            star_graph(20),
+            cycle_graph(15),
+            complete_graph(8),
+            grid_2d(7, 6, MeshStencil::VonNeumann),
+            barabasi_albert(150, 2, 4),
+        ]
+    }
+
+    #[test]
+    fn full_scores_match_sequential_brandes_at_every_thread_count() {
+        for g in &shapes() {
+            let expected = betweenness_centrality(g);
+            for threads in [1, 2, 8] {
+                for variant in [BcVariant::BranchBased, BcVariant::BranchAvoiding] {
+                    let scores = par_betweenness_centrality_with_variant(g, threads, variant);
+                    assert_close(&scores, &expected);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scores_are_bit_identical_across_threads_and_variants() {
+        let g = barabasi_albert(300, 3, 7);
+        let reference = par_betweenness_centrality(&g, 1);
+        for threads in [2, 3, 8] {
+            for variant in [BcVariant::BranchBased, BcVariant::BranchAvoiding] {
+                let scores = par_betweenness_centrality_with_variant(&g, threads, variant);
+                for (a, b) in reference.iter().zip(scores.iter()) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "{threads} threads, {variant:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_sources_match_the_sequential_partial_accumulation() {
+        let g = barabasi_albert(400, 2, 11);
+        let sources = [0u32, 7, 123, 399];
+        let expected = betweenness_centrality_sources(&g, &sources);
+        for threads in [1, 2, 8] {
+            for variant in [BcVariant::BranchBased, BcVariant::BranchAvoiding] {
+                let scores = par_betweenness_centrality_sources(&g, &sources, threads, variant);
+                assert_close(&scores, &expected);
+            }
+        }
+        // Out-of-range sources are ignored, not a panic.
+        let none = par_betweenness_centrality_sources(&g, &[9_999], 2, BcVariant::BranchAvoiding);
+        assert!(none.iter().all(|&c| c == 0.0));
+    }
+
+    #[test]
+    fn executors_and_grains_agree() {
+        use crate::pool::ScopedExecutor;
+        let g = grid_2d(9, 8, MeshStencil::Moore);
+        let expected = betweenness_centrality(&g);
+        let pool = WorkerPool::new(4);
+        let scoped = ScopedExecutor::new(4);
+        // Grain 1 forces every level and back-sweep slice to fan out.
+        for grain in [1, 4096] {
+            for variant in [BcVariant::BranchBased, BcVariant::BranchAvoiding] {
+                assert_close(
+                    &par_betweenness_centrality_on(&g, &pool, grain, variant),
+                    &expected,
+                );
+            }
+            assert_close(
+                &par_betweenness_centrality_on(&g, &scoped, grain, BcVariant::BranchAvoiding),
+                &expected,
+            );
+        }
+    }
+
+    #[test]
+    fn star_centre_carries_all_paths() {
+        let g = star_graph(6);
+        let scores = par_betweenness_centrality(&g, 4);
+        // Centre lies on every one of the C(5,2) = 10 leaf pairs' paths.
+        assert!((scores[0] - 10.0).abs() < 1e-9);
+        for score in &scores[1..6] {
+            assert!(score.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn disconnected_components_accumulate_independently() {
+        // Two paths of three: the middles carry exactly their component's
+        // single straddling pair — the per-component normalization.
+        let g = GraphBuilder::undirected(6)
+            .add_edges([(0, 1), (1, 2), (3, 4), (4, 5)])
+            .build();
+        let scores = par_betweenness_centrality(&g, 2);
+        assert_close(&scores, &[0.0, 1.0, 0.0, 0.0, 1.0, 0.0]);
+    }
+}

@@ -1,31 +1,28 @@
 //! Parallel level-synchronous BFS: top-down, and direction-optimizing.
 //!
-//! Every level, the current frontier is split into degree-aware,
-//! edge-balanced chunks (see [`crate::pool`]) and executed on a persistent
-//! [`WorkerPool`] — workers are spawned once per run and woken per level,
-//! so a high-diameter graph with thousands of tiny frontiers pays the
-//! thread-creation cost once, not once per level. Each worker scans its
-//! chunk into a private next-frontier buffer, and the buffers are
-//! concatenated in chunk order. The two top-down variants differ only in
-//! how an edge claims its endpoint, reproducing the paper's Algorithms 4
-//! and 5 in the concurrent setting:
+//! All variants are thin clients of the traversal engine
+//! ([`crate::engine`]): the [`LevelLoop`] owns frontier flipping, direction
+//! switching, chunk dispatch and tally merging, and the two kernels below
+//! supply only the per-edge claim discipline, reproducing the paper's
+//! Algorithms 4 and 5 in the concurrent setting:
 //!
-//! * [`par_bfs_branch_based`] — test `distance == INFINITY`, then claim the
+//! * [`BranchBasedLevel`] — test `distance == INFINITY`, then claim the
 //!   vertex with a `compare_exchange`; both the test and the CAS are
 //!   data-dependent branches.
-//! * [`par_bfs_branch_avoiding`] — a single `fetch_min(next_level)` per
-//!   edge; the candidate is written into the worker's buffer
-//!   unconditionally and the buffer length advances by the branch-free
+//! * [`BranchAvoidingLevel`] — a single `fetch_min(next_level)` per edge;
+//!   the candidate is written into the chunk's buffer unconditionally and
+//!   the buffer length advances by the branch-free
 //!   `(prev > next_level) as usize`, the same "write past the end" trick
 //!   the sequential branch-avoiding kernel uses.
 //!
-//! [`par_bfs_direction_optimizing`] composes the branch-avoiding top-down
-//! step with a *bottom-up* step over a shared [`Bitmap`] frontier (one
-//! `fetch_or` word per 64 vertices): when the frontier grows past the
-//! [`DirectionConfig`] threshold, every still-unvisited vertex scans its
-//! own neighbours for a parent in the frontier bitmap instead of the
-//! frontier pushing outwards — the direction-switching regime of Beamer et
-//! al. that the paper evaluates branch-avoidance against.
+//! [`par_bfs_direction_optimizing`] runs the branch-avoiding kernel under
+//! a [`DirectionConfig`] that lets the engine switch to *bottom-up* levels
+//! over a shared bitmap frontier — the direction-switching regime of
+//! Beamer et al. that the paper evaluates branch-avoidance against. Both
+//! kernels carry a `TALLY` const parameter: with it, every chunk accounts
+//! its loads/stores/branches into a [`crate::counters::ThreadTally`]
+//! (including the bottom-up levels), without it the tally code compiles
+//! out entirely.
 //!
 //! Distances only ever step from `INFINITY` to the unique BFS level of a
 //! vertex, and within a level every contender writes the same value, so
@@ -35,17 +32,18 @@
 //! runs with more than one thread (it is still a valid BFS order);
 //! bottom-up levels discover in ascending vertex order.
 
-use crate::bitmap::{par_fill_bitmap, Bitmap};
-use crate::counters::{collect_run, merge_thread_steps, ThreadTally};
-use crate::pool::{
-    balanced_prefix_ranges, edge_balanced_ranges, effective_chunks_with_grain, Execute, PoolConfig,
-    WorkerPool,
-};
+use crate::counters::ThreadTally;
+use crate::engine::{bottom_up_claim, LevelCtx, LevelKernel, LevelLoop, TraversalState};
+use crate::pool::{Execute, PoolConfig, WorkerPool};
 use bga_graph::{CsrGraph, VertexId};
 use bga_kernels::bfs::direction_optimizing::DirectionConfig;
+use bga_kernels::bfs::frontier::Bitmap;
 use bga_kernels::bfs::{BfsResult, INFINITY};
 use bga_kernels::stats::RunCounters;
-use std::sync::atomic::{AtomicU32, Ordering::Relaxed};
+use std::ops::Range;
+use std::sync::atomic::Ordering::Relaxed;
+
+pub use crate::engine::Direction;
 
 /// Result of an instrumented parallel BFS run.
 #[derive(Clone, Debug)]
@@ -66,15 +64,6 @@ impl ParBfsRun {
     }
 }
 
-/// Traversal direction one BFS level ran in.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum Direction {
-    /// The frontier pushed outwards (paper Algorithms 4/5).
-    TopDown,
-    /// Unvisited vertices pulled from the frontier bitmap.
-    BottomUp,
-}
-
 /// Result of a parallel direction-optimizing BFS run.
 #[derive(Clone, Debug)]
 pub struct ParDirBfsRun {
@@ -83,6 +72,10 @@ pub struct ParDirBfsRun {
     /// Direction of each expansion step (one per level whose frontier was
     /// non-empty, starting with the root's own expansion).
     pub directions: Vec<Direction>,
+    /// Per-level counters (top-down *and* bottom-up levels) — populated
+    /// only by [`par_bfs_direction_optimizing_instrumented`], empty
+    /// otherwise.
+    pub counters: RunCounters,
     /// Worker count the run actually used.
     pub threads: usize,
 }
@@ -97,88 +90,108 @@ impl ParDirBfsRun {
     }
 }
 
-fn infinite_distances(n: usize) -> Vec<AtomicU32> {
-    (0..n).map(|_| AtomicU32::new(INFINITY)).collect()
-}
+/// Top-down expansion claiming vertices with a data-dependent test plus a
+/// CAS (paper Algorithm 4 in the concurrent setting). With `TALLY`, every
+/// operation is accounted into the chunk's [`ThreadTally`].
+pub struct BranchBasedLevel<const TALLY: bool>;
 
-fn into_distances(distances: Vec<AtomicU32>) -> Vec<u32> {
-    distances.into_iter().map(AtomicU32::into_inner).collect()
-}
-
-/// Degree prefix sums of the frontier: `prefix[i]` = edge slots owned by
-/// `frontier[..i]`. Input to the edge-balanced chunker.
-fn frontier_degree_prefix(graph: &CsrGraph, frontier: &[VertexId]) -> Vec<usize> {
-    let mut prefix = Vec::with_capacity(frontier.len() + 1);
-    let mut sum = 0usize;
-    prefix.push(0);
-    for &v in frontier {
-        sum += graph.degree(v);
-        prefix.push(sum);
+impl<const TALLY: bool> LevelKernel for BranchBasedLevel<TALLY> {
+    fn instrumented(&self) -> bool {
+        TALLY
     }
-    prefix
-}
 
-/// One branch-based top-down level: every frontier chunk claims neighbours
-/// with a CAS; returns the next frontier in chunk order.
-fn level_topdown_based<E: Execute>(
-    graph: &CsrGraph,
-    exec: &E,
-    grain: usize,
-    distances: &[AtomicU32],
-    frontier: &[VertexId],
-    next_level: u32,
-) -> Vec<VertexId> {
-    let prefix = frontier_degree_prefix(graph, frontier);
-    let chunks =
-        effective_chunks_with_grain(*prefix.last().unwrap_or(&0), exec.parallelism(), grain);
-    let ranges = balanced_prefix_ranges(&prefix, chunks);
-    let buffers: Vec<Vec<VertexId>> = exec.run(ranges, |_chunk, range| {
+    fn top_down_chunk(
+        &self,
+        ctx: &LevelCtx<'_>,
+        frontier: &[VertexId],
+        range: Range<usize>,
+        _chunk_edges: usize,
+        tally: &mut ThreadTally,
+    ) -> Vec<VertexId> {
+        let distances = ctx.state.distances();
+        let next_level = ctx.next_level;
         let mut local = Vec::new();
         for &v in &frontier[range] {
-            for &w in graph.neighbors(v) {
+            if TALLY {
+                tally.vertices += 1;
+                tally.branches += 1; // frontier-loop bound
+            }
+            for &w in ctx.graph.neighbors(v) {
+                if TALLY {
+                    tally.edges += 1;
+                    tally.loads += 1;
+                    tally.branches += 2; // neighbour-loop bound + visited test
+                    tally.data_branches += 1;
+                }
                 // Data-dependent test, then claim the vertex with a CAS;
                 // exactly one contender per vertex succeeds.
-                if distances[w as usize].load(Relaxed) == INFINITY
-                    && distances[w as usize]
+                if distances[w as usize].load(Relaxed) == INFINITY {
+                    if TALLY {
+                        tally.loads += 1;
+                        tally.branches += 1;
+                        tally.data_branches += 1;
+                    }
+                    if distances[w as usize]
                         .compare_exchange(INFINITY, next_level, Relaxed, Relaxed)
                         .is_ok()
-                {
-                    local.push(w);
+                    {
+                        if TALLY {
+                            tally.stores += 2; // distance + queue slot
+                            tally.updates += 1;
+                        }
+                        local.push(w);
+                    }
                 }
             }
         }
         local
-    });
-    buffers.concat()
+    }
+
+    fn bottom_up_chunk(
+        &self,
+        ctx: &LevelCtx<'_>,
+        in_frontier: &Bitmap,
+        range: Range<usize>,
+        tally: &mut ThreadTally,
+    ) -> Vec<VertexId> {
+        bottom_up_claim::<TALLY>(ctx, in_frontier, range, tally)
+    }
 }
 
-/// One branch-avoiding top-down level: one `fetch_min` per edge, buffer
-/// length advanced branch-free; returns the next frontier in chunk order.
-fn level_topdown_avoiding<E: Execute>(
-    graph: &CsrGraph,
-    exec: &E,
-    grain: usize,
-    distances: &[AtomicU32],
-    frontier: &[VertexId],
-    next_level: u32,
-) -> Vec<VertexId> {
-    let n = graph.num_vertices();
-    let prefix = frontier_degree_prefix(graph, frontier);
-    let chunks =
-        effective_chunks_with_grain(*prefix.last().unwrap_or(&0), exec.parallelism(), grain);
-    let ranges = balanced_prefix_ranges(&prefix, chunks);
-    let prefix_ref = &prefix;
-    let buffers: Vec<Vec<VertexId>> = exec.run(ranges, |_chunk, range| {
+/// Top-down expansion with one `fetch_min` per edge and branch-free
+/// buffer advancement (paper Algorithm 5 in the concurrent setting); its
+/// bottom-up step is the shared bitmap claim. With `TALLY`, every
+/// operation is accounted into the chunk's [`ThreadTally`].
+pub struct BranchAvoidingLevel<const TALLY: bool>;
+
+impl<const TALLY: bool> LevelKernel for BranchAvoidingLevel<TALLY> {
+    fn instrumented(&self) -> bool {
+        TALLY
+    }
+
+    fn top_down_chunk(
+        &self,
+        ctx: &LevelCtx<'_>,
+        frontier: &[VertexId],
+        range: Range<usize>,
+        chunk_edges: usize,
+        tally: &mut ThreadTally,
+    ) -> Vec<VertexId> {
+        let distances = ctx.state.distances();
+        let next_level = ctx.next_level;
         // One slot per potential discovery plus the overflow slot the
         // unconditional write of a non-discovery lands in. A chunk can
         // discover at most min(chunk edges, |V|) vertices, so cap the
-        // zero-initialization at |V| rather than memsetting one word
-        // per edge on dense chunks.
-        let chunk_edges = prefix_ref[range.end] - prefix_ref[range.start];
-        let mut buffer = vec![0 as VertexId; chunk_edges.min(n) + 1];
+        // zero-initialization at |V| rather than memsetting one word per
+        // edge on dense chunks.
+        let mut buffer = vec![0 as VertexId; chunk_edges.min(ctx.graph.num_vertices()) + 1];
         let mut len = 0usize;
         for &v in &frontier[range] {
-            for &w in graph.neighbors(v) {
+            if TALLY {
+                tally.vertices += 1;
+                tally.branches += 1; // frontier-loop bound
+            }
+            for &w in ctx.graph.neighbors(v) {
                 // The priority write: unconditional atomic minimum.
                 let prev = distances[w as usize].fetch_min(next_level, Relaxed);
                 // Unconditional candidate write; the slot is claimed by
@@ -187,43 +200,31 @@ fn level_topdown_avoiding<E: Execute>(
                 // previous value above the level being written).
                 buffer[len] = w;
                 len += usize::from(prev > next_level);
+                if TALLY {
+                    tally.edges += 1;
+                    // fetch_min = load + predicated min + store; the queue
+                    // slot write is unconditional; length advance is an add.
+                    tally.loads += 1;
+                    tally.stores += 2;
+                    tally.conditional_moves += 2;
+                    tally.branches += 1; // neighbour-loop bound only
+                    tally.updates += u64::from(prev > next_level);
+                }
             }
         }
         buffer.truncate(len);
         buffer
-    });
-    buffers.concat()
-}
+    }
 
-/// One bottom-up level over the frontier bitmap: every still-unvisited
-/// vertex in an edge-balanced chunk scans its neighbours for a parent in
-/// `in_frontier`. Discoveries are race-free (each vertex belongs to one
-/// chunk), so the next frontier comes back in ascending vertex order.
-fn level_bottom_up<E: Execute>(
-    graph: &CsrGraph,
-    exec: &E,
-    bu_ranges: &[std::ops::Range<usize>],
-    distances: &[AtomicU32],
-    in_frontier: &Bitmap,
-    next_level: u32,
-) -> Vec<VertexId> {
-    let buffers: Vec<Vec<VertexId>> = exec.run(bu_ranges.to_vec(), |_chunk, range| {
-        let mut local = Vec::new();
-        for v in range {
-            if distances[v].load(Relaxed) != INFINITY {
-                continue;
-            }
-            for &u in graph.neighbors(v as VertexId) {
-                if in_frontier.get(u as usize) {
-                    distances[v].store(next_level, Relaxed);
-                    local.push(v as VertexId);
-                    break;
-                }
-            }
-        }
-        local
-    });
-    buffers.concat()
+    fn bottom_up_chunk(
+        &self,
+        ctx: &LevelCtx<'_>,
+        in_frontier: &Bitmap,
+        range: Range<usize>,
+        tally: &mut ThreadTally,
+    ) -> Vec<VertexId> {
+        bottom_up_claim::<TALLY>(ctx, in_frontier, range, tally)
+    }
 }
 
 /// Parallel branch-based top-down BFS from `root`. `threads == 0` uses
@@ -244,22 +245,13 @@ pub fn par_bfs_branch_based_on<E: Execute>(
     exec: &E,
     grain: usize,
 ) -> BfsResult {
-    let n = graph.num_vertices();
-    let distances = infinite_distances(n);
-    if (root as usize) >= n {
-        return BfsResult::new(into_distances(distances), Vec::new());
-    }
-    distances[root as usize].store(0, Relaxed);
-    let mut frontier = vec![root];
-    let mut order = vec![root];
-    let mut next_level = 0u32;
-
-    while !frontier.is_empty() {
-        next_level += 1;
-        frontier = level_topdown_based(graph, exec, grain, &distances, &frontier, next_level);
-        order.extend_from_slice(&frontier);
-    }
-    BfsResult::new(into_distances(distances), order)
+    let state = TraversalState::new(graph.num_vertices());
+    let run = LevelLoop::new(graph, exec, grain, DirectionConfig::always_top_down()).run(
+        &state,
+        root,
+        &BranchBasedLevel::<false>,
+    );
+    BfsResult::new(state.into_distances(), run.order)
 }
 
 /// Parallel branch-avoiding top-down BFS from `root`: one `fetch_min` per
@@ -278,22 +270,13 @@ pub fn par_bfs_branch_avoiding_on<E: Execute>(
     exec: &E,
     grain: usize,
 ) -> BfsResult {
-    let n = graph.num_vertices();
-    let distances = infinite_distances(n);
-    if (root as usize) >= n {
-        return BfsResult::new(into_distances(distances), Vec::new());
-    }
-    distances[root as usize].store(0, Relaxed);
-    let mut frontier = vec![root];
-    let mut order = vec![root];
-    let mut next_level = 0u32;
-
-    while !frontier.is_empty() {
-        next_level += 1;
-        frontier = level_topdown_avoiding(graph, exec, grain, &distances, &frontier, next_level);
-        order.extend_from_slice(&frontier);
-    }
-    BfsResult::new(into_distances(distances), order)
+    let state = TraversalState::new(graph.num_vertices());
+    let run = LevelLoop::new(graph, exec, grain, DirectionConfig::always_top_down()).run(
+        &state,
+        root,
+        &BranchAvoidingLevel::<false>,
+    );
+    BfsResult::new(state.into_distances(), run.order)
 }
 
 /// Parallel direction-optimizing BFS from `root` with the default
@@ -331,65 +314,41 @@ pub fn par_bfs_direction_optimizing_on<E: Execute>(
     grain: usize,
     config: DirectionConfig,
 ) -> ParDirBfsRun {
-    let n = graph.num_vertices();
-    let threads = exec.parallelism();
-    let distances = infinite_distances(n);
-    if (root as usize) >= n {
-        return ParDirBfsRun {
-            result: BfsResult::new(into_distances(distances), Vec::new()),
-            directions: Vec::new(),
-            threads,
-        };
-    }
-    distances[root as usize].store(0, Relaxed);
-    let mut frontier = vec![root];
-    let mut order = vec![root];
-    let mut next_level = 0u32;
-    let mut bottom_up = false;
-    let mut directions = Vec::new();
-
-    // Bottom-up sweeps scan the whole vertex range, so their edge-balanced
-    // chunking is level-independent: compute it once per run.
-    let bu_chunks = effective_chunks_with_grain(graph.num_edge_slots(), threads, grain);
-    let bu_ranges = edge_balanced_ranges(graph.offsets(), bu_chunks);
-    // One bitmap allocation reused (cleared) across bottom-up levels.
-    let mut in_frontier = Bitmap::new(n);
-
-    while !frontier.is_empty() {
-        let frontier_fraction = frontier.len() as f64 / n.max(1) as f64;
-        if !bottom_up && frontier_fraction > config.to_bottom_up {
-            bottom_up = true;
-        } else if bottom_up && frontier_fraction < config.to_top_down {
-            bottom_up = false;
-        }
-        directions.push(if bottom_up {
-            Direction::BottomUp
-        } else {
-            Direction::TopDown
-        });
-
-        next_level += 1;
-        frontier = if bottom_up {
-            in_frontier.clear();
-            let fill_chunks = effective_chunks_with_grain(frontier.len(), threads, grain);
-            par_fill_bitmap(exec, &in_frontier, &frontier, fill_chunks);
-            level_bottom_up(
-                graph,
-                exec,
-                &bu_ranges,
-                &distances,
-                &in_frontier,
-                next_level,
-            )
-        } else {
-            level_topdown_avoiding(graph, exec, grain, &distances, &frontier, next_level)
-        };
-        order.extend_from_slice(&frontier);
-    }
+    let state = TraversalState::new(graph.num_vertices());
+    let run =
+        LevelLoop::new(graph, exec, grain, config).run(&state, root, &BranchAvoidingLevel::<false>);
     ParDirBfsRun {
-        result: BfsResult::new(into_distances(distances), order),
-        directions,
-        threads,
+        result: BfsResult::new(state.into_distances(), run.order),
+        directions: run.directions,
+        counters: run.counters,
+        threads: exec.parallelism(),
+    }
+}
+
+/// Instrumented parallel direction-optimizing BFS: per-worker tallies of
+/// *both* directions — the top-down `fetch_min` levels and the bottom-up
+/// bitmap-claim levels — merged into one
+/// [`bga_kernels::stats::StepCounters`] per level, so a `--strategy
+/// bottom-up` run reports real counter rows instead of empty tallies.
+pub fn par_bfs_direction_optimizing_instrumented(
+    graph: &CsrGraph,
+    root: VertexId,
+    threads: usize,
+    config: DirectionConfig,
+) -> ParDirBfsRun {
+    let pool_config = PoolConfig::from_env(threads);
+    let pool = WorkerPool::with_config(&pool_config);
+    let state = TraversalState::new(graph.num_vertices());
+    let run = LevelLoop::new(graph, &pool, pool_config.grain, config).run(
+        &state,
+        root,
+        &BranchAvoidingLevel::<true>,
+    );
+    ParDirBfsRun {
+        result: BfsResult::new(state.into_distances(), run.order),
+        directions: run.directions,
+        counters: run.counters,
+        threads: pool.threads(),
     }
 }
 
@@ -402,74 +361,18 @@ pub fn par_bfs_branch_based_instrumented(
 ) -> ParBfsRun {
     let config = PoolConfig::from_env(threads);
     let pool = WorkerPool::with_config(&config);
-    let threads = pool.threads();
-    let grain = config.grain;
-    let n = graph.num_vertices();
-    let distances = infinite_distances(n);
-    if (root as usize) >= n {
-        return ParBfsRun {
-            result: BfsResult::new(into_distances(distances), Vec::new()),
-            counters: RunCounters::default(),
-            threads,
-        };
-    }
-    distances[root as usize].store(0, Relaxed);
-    let mut frontier = vec![root];
-    let mut order = vec![root];
-    let mut next_level = 0u32;
-    let mut steps = Vec::new();
-
-    while !frontier.is_empty() {
-        next_level += 1;
-        let level_index = steps.len();
-        let prefix = frontier_degree_prefix(graph, &frontier);
-        let level_chunks =
-            effective_chunks_with_grain(*prefix.last().unwrap_or(&0), threads, grain);
-        let ranges = balanced_prefix_ranges(&prefix, level_chunks);
-        let distances = &distances;
-        let current = &frontier;
-        let outcomes: Vec<(Vec<VertexId>, _)> = pool.run(ranges, |_chunk, range| {
-            let mut local = Vec::new();
-            let mut tally = ThreadTally::default();
-            for &v in &current[range] {
-                tally.vertices += 1;
-                tally.branches += 1; // frontier-loop bound
-                for &w in graph.neighbors(v) {
-                    tally.edges += 1;
-                    tally.loads += 1;
-                    tally.branches += 2; // neighbour-loop bound + visited test
-                    tally.data_branches += 1;
-                    if distances[w as usize].load(Relaxed) == INFINITY {
-                        // CAS claim: load + (on success) store + queue push.
-                        tally.loads += 1;
-                        tally.branches += 1;
-                        tally.data_branches += 1;
-                        if distances[w as usize]
-                            .compare_exchange(INFINITY, next_level, Relaxed, Relaxed)
-                            .is_ok()
-                        {
-                            tally.stores += 2; // distance + queue slot
-                            tally.updates += 1;
-                            local.push(w);
-                        }
-                    }
-                }
-            }
-            (local, tally.into_step(level_index))
-        });
-        frontier = Vec::new();
-        let mut level_steps = Vec::new();
-        for (buffer, step) in outcomes {
-            frontier.extend_from_slice(&buffer);
-            level_steps.push(step);
-        }
-        order.extend_from_slice(&frontier);
-        steps.push(merge_thread_steps(level_index, level_steps));
-    }
+    let state = TraversalState::new(graph.num_vertices());
+    let run = LevelLoop::new(
+        graph,
+        &pool,
+        config.grain,
+        DirectionConfig::always_top_down(),
+    )
+    .run(&state, root, &BranchBasedLevel::<true>);
     ParBfsRun {
-        result: BfsResult::new(into_distances(distances), order),
-        counters: collect_run(steps),
-        threads,
+        result: BfsResult::new(state.into_distances(), run.order),
+        counters: run.counters,
+        threads: pool.threads(),
     }
 }
 
@@ -482,71 +385,18 @@ pub fn par_bfs_branch_avoiding_instrumented(
 ) -> ParBfsRun {
     let config = PoolConfig::from_env(threads);
     let pool = WorkerPool::with_config(&config);
-    let threads = pool.threads();
-    let grain = config.grain;
-    let n = graph.num_vertices();
-    let distances = infinite_distances(n);
-    if (root as usize) >= n {
-        return ParBfsRun {
-            result: BfsResult::new(into_distances(distances), Vec::new()),
-            counters: RunCounters::default(),
-            threads,
-        };
-    }
-    distances[root as usize].store(0, Relaxed);
-    let mut frontier = vec![root];
-    let mut order = vec![root];
-    let mut next_level = 0u32;
-    let mut steps = Vec::new();
-
-    while !frontier.is_empty() {
-        next_level += 1;
-        let level_index = steps.len();
-        let prefix = frontier_degree_prefix(graph, &frontier);
-        let level_chunks =
-            effective_chunks_with_grain(*prefix.last().unwrap_or(&0), threads, grain);
-        let ranges = balanced_prefix_ranges(&prefix, level_chunks);
-        let distances = &distances;
-        let current = &frontier;
-        let prefix_ref = &prefix;
-        let outcomes: Vec<(Vec<VertexId>, _)> = pool.run(ranges, |_chunk, range| {
-            let chunk_edges = prefix_ref[range.end] - prefix_ref[range.start];
-            let mut buffer = vec![0 as VertexId; chunk_edges.min(n) + 1];
-            let mut len = 0usize;
-            let mut tally = ThreadTally::default();
-            for &v in &current[range] {
-                tally.vertices += 1;
-                tally.branches += 1; // frontier-loop bound
-                for &w in graph.neighbors(v) {
-                    let prev = distances[w as usize].fetch_min(next_level, Relaxed);
-                    buffer[len] = w;
-                    len += usize::from(prev > next_level);
-                    tally.edges += 1;
-                    // fetch_min = load + predicated min + store; the queue
-                    // slot write is unconditional; length advance is an add.
-                    tally.loads += 1;
-                    tally.stores += 2;
-                    tally.conditional_moves += 2;
-                    tally.branches += 1; // neighbour-loop bound only
-                    tally.updates += u64::from(prev > next_level);
-                }
-            }
-            buffer.truncate(len);
-            (buffer, tally.into_step(level_index))
-        });
-        frontier = Vec::new();
-        let mut level_steps = Vec::new();
-        for (buffer, step) in outcomes {
-            frontier.extend_from_slice(&buffer);
-            level_steps.push(step);
-        }
-        order.extend_from_slice(&frontier);
-        steps.push(merge_thread_steps(level_index, level_steps));
-    }
+    let state = TraversalState::new(graph.num_vertices());
+    let run = LevelLoop::new(
+        graph,
+        &pool,
+        config.grain,
+        DirectionConfig::always_top_down(),
+    )
+    .run(&state, root, &BranchAvoidingLevel::<true>);
     ParBfsRun {
-        result: BfsResult::new(into_distances(distances), order),
-        counters: collect_run(steps),
-        threads,
+        result: BfsResult::new(state.into_distances(), run.order),
+        counters: run.counters,
+        threads: pool.threads(),
     }
 }
 
@@ -618,6 +468,8 @@ mod tests {
                 assert_eq!(par.result.level_count(), seq.level_count());
                 // One expansion step per level with a non-empty frontier.
                 assert_eq!(par.directions.len(), par.result.level_count());
+                // Uninstrumented runs carry no counter steps.
+                assert_eq!(par.counters.num_steps(), 0);
             }
         }
     }
@@ -752,6 +604,44 @@ mod tests {
                 expected_edges
             );
             assert_eq!(run.levels(), run.result.level_count());
+        }
+    }
+
+    #[test]
+    fn instrumented_bottom_up_levels_report_real_tallies() {
+        let g = barabasi_albert(800, 4, 11);
+        for threads in [1, 2, 8] {
+            let run = par_bfs_direction_optimizing_instrumented(
+                &g,
+                0,
+                threads,
+                DirectionConfig::always_bottom_up(),
+            );
+            assert!(run.bottom_up_levels() > 0);
+            assert_eq!(run.counters.num_steps(), run.directions.len());
+            // Every discovery beyond the root was tallied by some level,
+            // and bottom-up levels account the neighbour probes they made.
+            let updates: u64 = run.counters.steps.iter().map(|s| s.updates).sum();
+            assert_eq!(updates as usize, run.result.reached_count() - 1);
+            for (step, direction) in run.counters.steps.iter().zip(&run.directions) {
+                if *direction == Direction::BottomUp && step.updates > 0 {
+                    assert!(step.edges_traversed > 0, "empty bottom-up tally");
+                    assert!(step.counters.loads > 0);
+                    assert!(step.counters.stores >= 2 * step.updates);
+                }
+            }
+            // The auto heuristic mixes directions on this graph and still
+            // tallies every level.
+            let auto = par_bfs_direction_optimizing_instrumented(
+                &g,
+                0,
+                threads,
+                DirectionConfig::default(),
+            );
+            assert!(auto.bottom_up_levels() > 0);
+            assert_eq!(auto.counters.num_steps(), auto.directions.len());
+            let auto_updates: u64 = auto.counters.steps.iter().map(|s| s.updates).sum();
+            assert_eq!(auto_updates as usize, auto.result.reached_count() - 1);
         }
     }
 

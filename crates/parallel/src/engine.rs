@@ -1,0 +1,748 @@
+//! The reusable parallel traversal engine every kernel in this crate runs
+//! on.
+//!
+//! Before this module existed, `bfs.rs` hand-rolled one level loop per
+//! variant (plain and instrumented, top-down and direction-optimizing) and
+//! `sv.rs` duplicated the sweep-until-fixpoint driver the same way. The
+//! engine factors the loops out once and leaves the kernels with only the
+//! part that actually differs — how one chunk of one level/sweep claims
+//! its vertices:
+//!
+//! * [`TraversalState`] — the shared per-vertex state of a
+//!   level-synchronous traversal: atomic distances, plus optional atomic
+//!   shortest-path counts (σ) for Brandes betweenness centrality.
+//! * [`LevelLoop`] — the level-synchronous driver. It owns queue↔bitmap
+//!   frontier flipping, direction switching via
+//!   [`DirectionConfig`], per-level [`ThreadTally`] merging into
+//!   [`bga_kernels::stats::StepCounters`], and chunk dispatch over the
+//!   [`Execute`] seam. Kernels implement [`LevelKernel`]; the loop hands
+//!   them edge-balanced chunks and concatenates their discoveries in
+//!   chunk order, which is what keeps distances deterministic.
+//! * [`SweepLoop`] — the fixpoint driver for label-propagation kernels
+//!   (Shiloach-Vishkin): run edge-balanced sweeps over the whole vertex
+//!   range until no chunk reports a change, merging tallies per sweep.
+//!
+//! Chunking policy: top-down levels balance on the *frontier's* degree
+//! prefix sums ([`frontier_degree_prefix`]); bottom-up levels balance on
+//! the degree of the *still-unvisited* vertices
+//! ([`unvisited_degree_prefix`]) — late levels, where the hubs are
+//! usually visited already, would be badly skewed by the whole-graph
+//! split; sweeps balance on the CSR offsets directly. All three reduce to
+//! [`balanced_prefix_ranges`] over the [`Execute::parallelism`] and the
+//! configured grain.
+
+use crate::bitmap::par_fill_bitmap;
+use crate::counters::{collect_run, merge_thread_steps, ThreadTally};
+use crate::pool::{
+    balanced_prefix_ranges, edge_balanced_ranges, effective_chunks_with_grain, Execute,
+};
+use bga_graph::{CsrGraph, VertexId};
+use bga_kernels::bfs::direction_optimizing::DirectionConfig;
+use bga_kernels::bfs::frontier::Bitmap;
+use bga_kernels::bfs::INFINITY;
+use bga_kernels::stats::RunCounters;
+use std::ops::Range;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering::Relaxed};
+
+/// Traversal direction one level ran in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// The frontier pushed outwards (paper Algorithms 4/5).
+    TopDown,
+    /// Unvisited vertices pulled from the frontier bitmap.
+    BottomUp,
+}
+
+/// Shared per-vertex state of a level-synchronous traversal: the atomic
+/// distance array every kernel updates, plus an optional atomic
+/// shortest-path-count (σ) array for betweenness centrality. Allocated
+/// once and reusable across runs via [`TraversalState::reset`], which is
+/// what makes an all-sources Brandes accumulation allocation-free per
+/// source.
+pub struct TraversalState {
+    distances: Vec<AtomicU32>,
+    sigma: Option<Vec<AtomicU64>>,
+}
+
+impl TraversalState {
+    /// Distance-only state over `n` vertices, all unreached.
+    pub fn new(n: usize) -> Self {
+        TraversalState {
+            distances: (0..n).map(|_| AtomicU32::new(INFINITY)).collect(),
+            sigma: None,
+        }
+    }
+
+    /// State carrying shortest-path counts as well, for Brandes-style
+    /// kernels.
+    pub fn with_sigma(n: usize) -> Self {
+        TraversalState {
+            sigma: Some((0..n).map(|_| AtomicU64::new(0)).collect()),
+            ..TraversalState::new(n)
+        }
+    }
+
+    /// Number of vertices the state covers.
+    pub fn len(&self) -> usize {
+        self.distances.len()
+    }
+
+    /// True when the state covers no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.distances.is_empty()
+    }
+
+    /// The atomic distance array (`INFINITY` = unreached).
+    pub fn distances(&self) -> &[AtomicU32] {
+        &self.distances
+    }
+
+    /// The atomic shortest-path-count array, if this state carries one.
+    pub fn sigma(&self) -> Option<&[AtomicU64]> {
+        self.sigma.as_deref()
+    }
+
+    /// Marks `root` as the traversal origin: distance 0, one shortest
+    /// path. Called by [`LevelLoop::run`]; `root` must be in range.
+    pub fn init_root(&self, root: VertexId) {
+        self.distances[root as usize].store(0, Relaxed);
+        if let Some(sigma) = &self.sigma {
+            sigma[root as usize].store(1, Relaxed);
+        }
+    }
+
+    /// Returns the state to "every vertex unreached" without reallocating
+    /// (plain stores through `&mut self` — no atomic traffic).
+    pub fn reset(&mut self) {
+        for d in &mut self.distances {
+            *d.get_mut() = INFINITY;
+        }
+        if let Some(sigma) = &mut self.sigma {
+            for s in sigma {
+                *s.get_mut() = 0;
+            }
+        }
+    }
+
+    /// Consumes the state into a plain distance vector.
+    pub fn into_distances(self) -> Vec<u32> {
+        self.distances
+            .into_iter()
+            .map(AtomicU32::into_inner)
+            .collect()
+    }
+}
+
+/// Read-only per-level context handed to [`LevelKernel`] chunk methods.
+pub struct LevelCtx<'a> {
+    /// The graph being traversed.
+    pub graph: &'a CsrGraph,
+    /// Shared traversal state (distances, optional σ).
+    pub state: &'a TraversalState,
+    /// The level being discovered by this expansion (root is level 0, the
+    /// first expansion writes level 1).
+    pub next_level: u32,
+}
+
+/// How one kernel expands a single chunk of a level. Implementations
+/// supply the per-edge claim discipline (CAS vs `fetch_min`, σ
+/// accumulation, …); [`LevelLoop`] supplies everything around it.
+pub trait LevelKernel: Sync {
+    /// Whether [`LevelLoop::run`] should merge the per-chunk
+    /// [`ThreadTally`]s into per-level step counters. Kernels that do not
+    /// tally should leave this `false` so runs report no (rather than
+    /// all-zero) steps.
+    fn instrumented(&self) -> bool {
+        false
+    }
+
+    /// Expand the top-down chunk `frontier[range]` at
+    /// [`LevelCtx::next_level`], returning the vertices this chunk
+    /// discovered. `chunk_edges` is the number of adjacency slots the
+    /// chunk owns (for sizing write-past-the-end buffers).
+    fn top_down_chunk(
+        &self,
+        ctx: &LevelCtx<'_>,
+        frontier: &[VertexId],
+        range: Range<usize>,
+        chunk_edges: usize,
+        tally: &mut ThreadTally,
+    ) -> Vec<VertexId>;
+
+    /// Claim the bottom-up vertex chunk `range`: every still-unvisited
+    /// vertex scans its neighbours for a parent in `in_frontier`. The
+    /// default is the plain (untallied) BFS claim; kernels whose state
+    /// goes beyond distances must override this or pin the direction to
+    /// top-down via their [`DirectionConfig`].
+    fn bottom_up_chunk(
+        &self,
+        ctx: &LevelCtx<'_>,
+        in_frontier: &Bitmap,
+        range: Range<usize>,
+        tally: &mut ThreadTally,
+    ) -> Vec<VertexId> {
+        bottom_up_claim::<false>(ctx, in_frontier, range, tally)
+    }
+}
+
+/// The standard bottom-up claim: each still-unvisited vertex in `range`
+/// scans its neighbours until it finds one in `in_frontier`, then adopts
+/// [`LevelCtx::next_level`]. Discoveries are race-free (each vertex
+/// belongs to exactly one chunk), so concatenating chunk results yields
+/// the next frontier in ascending vertex order.
+///
+/// With `TALLY` the claim accounts for its work: one load and a
+/// data-dependent visited test per scanned vertex, one load plus a
+/// data-dependent frontier-membership test per neighbour probe, and two
+/// stores (distance + queue slot) per discovery — the accounting the
+/// instrumented direction-optimizing BFS reports for its bottom-up
+/// levels.
+pub fn bottom_up_claim<const TALLY: bool>(
+    ctx: &LevelCtx<'_>,
+    in_frontier: &Bitmap,
+    range: Range<usize>,
+    tally: &mut ThreadTally,
+) -> Vec<VertexId> {
+    let distances = ctx.state.distances();
+    let mut local = Vec::new();
+    for v in range {
+        if TALLY {
+            tally.loads += 1;
+            tally.branches += 2; // loop bound + visited test
+            tally.data_branches += 1;
+        }
+        if distances[v].load(Relaxed) != INFINITY {
+            continue;
+        }
+        if TALLY {
+            tally.vertices += 1;
+        }
+        for &u in ctx.graph.neighbors(v as VertexId) {
+            if TALLY {
+                tally.edges += 1;
+                tally.loads += 1;
+                tally.branches += 2; // neighbour-loop bound + frontier test
+                tally.data_branches += 1;
+            }
+            if in_frontier.get(u as usize) {
+                distances[v].store(ctx.next_level, Relaxed);
+                if TALLY {
+                    tally.stores += 2; // distance + queue slot
+                    tally.updates += 1;
+                }
+                local.push(v as VertexId);
+                break;
+            }
+        }
+    }
+    local
+}
+
+/// Degree prefix sums of a frontier: `prefix[i]` = adjacency slots owned
+/// by `frontier[..i]`. Input to the edge-balanced chunker for top-down
+/// levels and for the betweenness back-sweep's per-level slices.
+pub fn frontier_degree_prefix(graph: &CsrGraph, frontier: &[VertexId]) -> Vec<usize> {
+    let mut prefix = Vec::with_capacity(frontier.len() + 1);
+    let mut sum = 0usize;
+    prefix.push(0);
+    for &v in frontier {
+        sum += graph.degree(v);
+        prefix.push(sum);
+    }
+    prefix
+}
+
+/// Degree prefix sums restricted to *unvisited* vertices: `prefix[v]` =
+/// adjacency slots owned by still-unvisited vertices `0..v`. The
+/// bottom-up chunker balances on this instead of the whole-graph offsets
+/// array, so a level late in the traversal — where the hubs are usually
+/// visited already — still splits its remaining scan work evenly. The
+/// accumulation is branch-free (visited vertices contribute zero weight),
+/// and the result is deterministic because distances are.
+pub fn unvisited_degree_prefix(graph: &CsrGraph, distances: &[AtomicU32]) -> Vec<usize> {
+    let mut prefix = Vec::with_capacity(graph.num_vertices() + 1);
+    let mut sum = 0usize;
+    prefix.push(0);
+    for (v, distance) in distances.iter().enumerate() {
+        sum += graph.degree(v as VertexId) * usize::from(distance.load(Relaxed) == INFINITY);
+        prefix.push(sum);
+    }
+    prefix
+}
+
+/// Everything a finished [`LevelLoop::run`] reports besides the distances
+/// (which live in the [`TraversalState`] the caller handed in).
+#[derive(Clone, Debug)]
+pub struct LevelRun {
+    /// Vertices in discovery order, root first. Level-monotone: each
+    /// level's discoveries are contiguous.
+    pub order: Vec<VertexId>,
+    /// Contiguous ranges of `order` holding each level's vertices
+    /// (`level_bounds[l]` spans the vertices at distance `l`, starting
+    /// with `0..1` for the root). The betweenness back-sweep walks these
+    /// in reverse.
+    pub level_bounds: Vec<Range<usize>>,
+    /// Direction of each expansion step (one per level whose frontier
+    /// was non-empty, starting with the root's own expansion).
+    pub directions: Vec<Direction>,
+    /// Per-level counters merged across chunks — empty unless the kernel
+    /// reported itself [`LevelKernel::instrumented`].
+    pub counters: RunCounters,
+}
+
+/// The level-synchronous driver: owns frontier flipping between the queue
+/// (top-down) and bitmap (bottom-up) representations, direction switching
+/// via [`DirectionConfig`], chunk dispatch over [`Execute`], and per-level
+/// tally merging. Kernels only see one chunk at a time.
+pub struct LevelLoop<'a, E: Execute> {
+    graph: &'a CsrGraph,
+    exec: &'a E,
+    grain: usize,
+    config: DirectionConfig,
+}
+
+impl<'a, E: Execute> LevelLoop<'a, E> {
+    /// A level loop over `graph` on `exec`, fanning a level out only when
+    /// it carries at least `grain` weight units, switching directions per
+    /// `config` (use [`DirectionConfig::always_top_down`] for classic
+    /// top-down traversals).
+    pub fn new(graph: &'a CsrGraph, exec: &'a E, grain: usize, config: DirectionConfig) -> Self {
+        LevelLoop {
+            graph,
+            exec,
+            grain,
+            config,
+        }
+    }
+
+    /// Runs the traversal from `root`. The caller provides the state
+    /// (already reset); the loop initialises the root, expands level by
+    /// level until the frontier empties, and reports order, level
+    /// boundaries, directions and (for instrumented kernels) merged
+    /// counters. A root outside the vertex range yields an empty run, as
+    /// in the sequential kernels.
+    ///
+    /// Distances are deterministic for every executor and grain: within a
+    /// level every contender writes the same value, and the switching
+    /// heuristic sees deterministic frontier sizes.
+    pub fn run<K: LevelKernel>(
+        &self,
+        state: &TraversalState,
+        root: VertexId,
+        kernel: &K,
+    ) -> LevelRun {
+        let n = self.graph.num_vertices();
+        let threads = self.exec.parallelism();
+        if (root as usize) >= n {
+            return LevelRun {
+                order: Vec::new(),
+                level_bounds: Vec::new(),
+                directions: Vec::new(),
+                counters: RunCounters::default(),
+            };
+        }
+        state.init_root(root);
+        let mut frontier = vec![root];
+        let mut order = vec![root];
+        // (`once(..).collect()` rather than `vec![0..1]`, which clippy
+        // reads as a possible attempt to collect the range's elements.)
+        let mut level_bounds: Vec<Range<usize>> = std::iter::once(0..1).collect();
+        let mut next_level = 0u32;
+        let mut bottom_up = false;
+        let mut directions = Vec::new();
+        let mut steps = Vec::new();
+        // One bitmap allocation reused (cleared) across bottom-up levels.
+        let mut in_frontier = Bitmap::new(n);
+
+        while !frontier.is_empty() {
+            let frontier_fraction = frontier.len() as f64 / n.max(1) as f64;
+            if !bottom_up && frontier_fraction > self.config.to_bottom_up {
+                bottom_up = true;
+            } else if bottom_up && frontier_fraction < self.config.to_top_down {
+                bottom_up = false;
+            }
+            directions.push(if bottom_up {
+                Direction::BottomUp
+            } else {
+                Direction::TopDown
+            });
+
+            next_level += 1;
+            let ctx = LevelCtx {
+                graph: self.graph,
+                state,
+                next_level,
+            };
+            let outcomes: Vec<(Vec<VertexId>, ThreadTally)> = if bottom_up {
+                // Flip the queue frontier into the shared bitmap, then let
+                // every chunk of still-unvisited vertices pull from it.
+                in_frontier.clear();
+                let fill_chunks = effective_chunks_with_grain(frontier.len(), threads, self.grain);
+                par_fill_bitmap(self.exec, &in_frontier, &frontier, fill_chunks);
+                let prefix = unvisited_degree_prefix(self.graph, state.distances());
+                let chunks =
+                    effective_chunks_with_grain(*prefix.last().unwrap_or(&0), threads, self.grain);
+                let ranges = balanced_prefix_ranges(&prefix, chunks);
+                let (ctx, bitmap) = (&ctx, &in_frontier);
+                self.exec.run(ranges, move |_chunk, range| {
+                    let mut tally = ThreadTally::default();
+                    let found = kernel.bottom_up_chunk(ctx, bitmap, range, &mut tally);
+                    (found, tally)
+                })
+            } else {
+                let prefix = frontier_degree_prefix(self.graph, &frontier);
+                let chunks =
+                    effective_chunks_with_grain(*prefix.last().unwrap_or(&0), threads, self.grain);
+                let ranges = balanced_prefix_ranges(&prefix, chunks);
+                let (ctx, prefix_ref, frontier_ref) = (&ctx, &prefix, &frontier);
+                self.exec.run(ranges, move |_chunk, range| {
+                    let mut tally = ThreadTally::default();
+                    let chunk_edges = prefix_ref[range.end] - prefix_ref[range.start];
+                    let found =
+                        kernel.top_down_chunk(ctx, frontier_ref, range, chunk_edges, &mut tally);
+                    (found, tally)
+                })
+            };
+
+            if kernel.instrumented() {
+                let level_index = steps.len();
+                steps.push(merge_thread_steps(
+                    level_index,
+                    outcomes.iter().map(|(_, t)| t.into_step(level_index)),
+                ));
+            }
+            let start = order.len();
+            frontier = outcomes.into_iter().flat_map(|(found, _)| found).collect();
+            order.extend_from_slice(&frontier);
+            if !frontier.is_empty() {
+                level_bounds.push(start..order.len());
+            }
+        }
+        LevelRun {
+            order,
+            level_bounds,
+            directions,
+            counters: collect_run(steps),
+        }
+    }
+}
+
+/// How one kernel processes a single vertex chunk of one sweep. The
+/// kernel owns its label state (typically a borrowed `&[AtomicU32]`);
+/// [`SweepLoop`] owns the chunking and the fixpoint detection.
+pub trait SweepKernel: Sync {
+    /// Whether [`SweepLoop::run`] should merge per-chunk tallies into
+    /// per-sweep step counters.
+    fn instrumented(&self) -> bool {
+        false
+    }
+
+    /// Process the vertex chunk `range` of one sweep; return whether this
+    /// chunk changed anything (drives fixpoint detection).
+    fn sweep_chunk(&self, graph: &CsrGraph, range: Range<usize>, tally: &mut ThreadTally) -> bool;
+}
+
+/// Result of a [`SweepLoop`] run.
+#[derive(Clone, Debug)]
+pub struct SweepRun {
+    /// Number of sweeps executed, including the final fixpoint-check
+    /// sweep that changed nothing.
+    pub sweeps: usize,
+    /// Per-sweep counters merged across chunks — empty unless the kernel
+    /// reported itself [`SweepKernel::instrumented`].
+    pub counters: RunCounters,
+}
+
+/// The fixpoint driver for label-propagation kernels: repeats
+/// edge-balanced sweeps over the whole vertex range until no chunk
+/// reports a change. Chunk ranges are computed once per run (the sweep
+/// domain never changes), so every sweep reuses the same deterministic
+/// split.
+pub struct SweepLoop<'a, E: Execute> {
+    graph: &'a CsrGraph,
+    exec: &'a E,
+    grain: usize,
+}
+
+impl<'a, E: Execute> SweepLoop<'a, E> {
+    /// A sweep loop over `graph` on `exec` with the given fan-out grain.
+    pub fn new(graph: &'a CsrGraph, exec: &'a E, grain: usize) -> Self {
+        SweepLoop { graph, exec, grain }
+    }
+
+    /// Runs sweeps until the kernel reaches its fixpoint.
+    pub fn run<K: SweepKernel>(&self, kernel: &K) -> SweepRun {
+        let ranges = edge_balanced_ranges(
+            self.graph.offsets(),
+            effective_chunks_with_grain(
+                self.graph.num_edge_slots(),
+                self.exec.parallelism(),
+                self.grain,
+            ),
+        );
+        let mut steps = Vec::new();
+        let mut sweeps = 0usize;
+        loop {
+            sweeps += 1;
+            let outcomes: Vec<(bool, ThreadTally)> =
+                self.exec.run(ranges.clone(), |_chunk, range| {
+                    let mut tally = ThreadTally::default();
+                    let changed = kernel.sweep_chunk(self.graph, range, &mut tally);
+                    (changed, tally)
+                });
+            let changed = outcomes.iter().any(|&(c, _)| c);
+            if kernel.instrumented() {
+                let sweep_index = steps.len();
+                steps.push(merge_thread_steps(
+                    sweep_index,
+                    outcomes.iter().map(|(_, t)| t.into_step(sweep_index)),
+                ));
+            }
+            if !changed {
+                break;
+            }
+        }
+        SweepRun {
+            sweeps,
+            counters: collect_run(steps),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::{edge_balanced_ranges, ScopedExecutor, WorkerPool};
+    use bga_graph::generators::{complete_graph, path_graph, star_graph};
+    use bga_graph::GraphBuilder;
+
+    /// The plain branch-avoiding BFS claim, used to exercise the loop
+    /// seams directly without going through `bfs.rs`.
+    struct ProbeKernel;
+
+    impl LevelKernel for ProbeKernel {
+        fn top_down_chunk(
+            &self,
+            ctx: &LevelCtx<'_>,
+            frontier: &[VertexId],
+            range: Range<usize>,
+            chunk_edges: usize,
+            _tally: &mut ThreadTally,
+        ) -> Vec<VertexId> {
+            let distances = ctx.state.distances();
+            let mut buffer = vec![0 as VertexId; chunk_edges.min(ctx.graph.num_vertices()) + 1];
+            let mut len = 0usize;
+            for &v in &frontier[range] {
+                for &w in ctx.graph.neighbors(v) {
+                    let prev = distances[w as usize].fetch_min(ctx.next_level, Relaxed);
+                    buffer[len] = w;
+                    len += usize::from(prev > ctx.next_level);
+                }
+            }
+            buffer.truncate(len);
+            buffer
+        }
+    }
+
+    fn run_probe(
+        graph: &CsrGraph,
+        root: VertexId,
+        config: DirectionConfig,
+    ) -> (Vec<u32>, LevelRun) {
+        let pool = WorkerPool::new(4);
+        let state = TraversalState::new(graph.num_vertices());
+        let run = LevelLoop::new(graph, &pool, 1, config).run(&state, root, &ProbeKernel);
+        (state.into_distances(), run)
+    }
+
+    #[test]
+    fn single_vertex_graph_yields_one_root_level() {
+        let g = GraphBuilder::undirected(1).build();
+        let (distances, run) = run_probe(&g, 0, DirectionConfig::default());
+        assert_eq!(distances, vec![0]);
+        assert_eq!(run.order, vec![0]);
+        assert_eq!(run.level_bounds, vec![0..1]);
+        // One expansion step ran (and found nothing).
+        assert_eq!(run.directions.len(), 1);
+    }
+
+    #[test]
+    fn isolated_root_expands_an_empty_level_and_stops() {
+        let g = GraphBuilder::undirected(4).add_edges([(1, 2)]).build();
+        let (distances, run) = run_probe(&g, 0, DirectionConfig::default());
+        assert_eq!(distances, vec![0, INFINITY, INFINITY, INFINITY]);
+        assert_eq!(run.order, vec![0]);
+        assert_eq!(run.level_bounds, vec![0..1]);
+    }
+
+    #[test]
+    fn out_of_range_root_yields_an_empty_run() {
+        let g = path_graph(3);
+        let (distances, run) = run_probe(&g, 99, DirectionConfig::default());
+        assert!(distances.iter().all(|&d| d == INFINITY));
+        assert!(run.order.is_empty());
+        assert!(run.level_bounds.is_empty());
+        assert!(run.directions.is_empty());
+    }
+
+    #[test]
+    fn all_vertices_level_flips_to_bitmap_and_back() {
+        // Star from the hub: level 1 is every other vertex at once, which
+        // crosses any bottom-up threshold immediately; the follow-up
+        // expansion from that full frontier is empty.
+        let g = star_graph(40);
+        let (distances, run) = run_probe(&g, 0, DirectionConfig::default());
+        assert_eq!(distances[0], 0);
+        assert!(distances[1..].iter().all(|&d| d == 1));
+        assert_eq!(run.level_bounds, vec![0..1, 1..40]);
+        // Level 1 discoveries come back in ascending vertex order when the
+        // expansion ran bottom-up.
+        if run.directions.first() == Some(&Direction::BottomUp) {
+            let level1 = &run.order[1..];
+            assert!(level1.windows(2).all(|p| p[0] < p[1]));
+        }
+    }
+
+    #[test]
+    fn complete_graph_bottom_up_level_covers_everything() {
+        let g = complete_graph(12);
+        let (distances, run) = run_probe(&g, 3, DirectionConfig::always_bottom_up());
+        assert!(distances.iter().enumerate().all(|(v, &d)| {
+            if v == 3 {
+                d == 0
+            } else {
+                d == 1
+            }
+        }));
+        assert_eq!(run.directions, vec![Direction::BottomUp; 2]);
+        assert_eq!(run.level_bounds.len(), 2);
+        assert_eq!(run.level_bounds[1].len(), 11);
+    }
+
+    #[test]
+    fn level_bounds_tile_the_order_per_level() {
+        let g = path_graph(30);
+        for config in [
+            DirectionConfig::default(),
+            DirectionConfig::always_bottom_up(),
+        ] {
+            let (distances, run) = run_probe(&g, 0, config);
+            assert_eq!(run.level_bounds.len(), 30);
+            let mut covered = 0usize;
+            for (level, bound) in run.level_bounds.iter().enumerate() {
+                assert_eq!(bound.start, covered);
+                covered = bound.end;
+                for &v in &run.order[bound.clone()] {
+                    assert_eq!(distances[v as usize], level as u32);
+                }
+            }
+            assert_eq!(covered, run.order.len());
+        }
+    }
+
+    #[test]
+    fn executors_agree_on_engine_runs() {
+        let g = star_graph(50);
+        let pool = WorkerPool::new(3);
+        let scoped = ScopedExecutor::new(3);
+        let state_a = TraversalState::new(g.num_vertices());
+        let state_b = TraversalState::new(g.num_vertices());
+        let run_a =
+            LevelLoop::new(&g, &pool, 1, DirectionConfig::default()).run(&state_a, 0, &ProbeKernel);
+        let run_b = LevelLoop::new(&g, &scoped, 1, DirectionConfig::default()).run(
+            &state_b,
+            0,
+            &ProbeKernel,
+        );
+        assert_eq!(state_a.into_distances(), state_b.into_distances());
+        assert_eq!(run_a.level_bounds, run_b.level_bounds);
+        assert_eq!(run_a.directions, run_b.directions);
+    }
+
+    #[test]
+    fn reset_clears_distances_and_sigma() {
+        let mut state = TraversalState::with_sigma(5);
+        state.init_root(2);
+        assert_eq!(state.distances()[2].load(Relaxed), 0);
+        assert_eq!(state.sigma().unwrap()[2].load(Relaxed), 1);
+        state.reset();
+        assert!(state
+            .distances()
+            .iter()
+            .all(|d| d.load(Relaxed) == INFINITY));
+        assert!(state.sigma().unwrap().iter().all(|s| s.load(Relaxed) == 0));
+        assert_eq!(state.len(), 5);
+        assert!(!state.is_empty());
+        assert!(TraversalState::new(0).is_empty());
+    }
+
+    #[test]
+    fn unvisited_degree_chunker_outbalances_the_whole_graph_split_on_skew() {
+        // A star with the hub already visited: the hub owns half of every
+        // adjacency slot, so the whole-graph edge-balanced split gives one
+        // chunk almost no *remaining* work while the others carry ~21
+        // unvisited slots each. Balancing on the unvisited-degree prefix
+        // splits the 63 remaining slots evenly instead.
+        let g = star_graph(64);
+        let state = TraversalState::new(g.num_vertices());
+        state.distances()[0].store(0, Relaxed); // hub visited
+        let unvisited_weight = |r: &Range<usize>| -> usize {
+            r.clone()
+                .filter(|&v| state.distances()[v].load(Relaxed) == INFINITY)
+                .map(|v| g.degree(v as VertexId))
+                .sum()
+        };
+        let chunks = 4;
+        let old_max = edge_balanced_ranges(g.offsets(), chunks)
+            .iter()
+            .map(unvisited_weight)
+            .max()
+            .unwrap();
+        let prefix = unvisited_degree_prefix(&g, state.distances());
+        assert_eq!(*prefix.last().unwrap(), 63);
+        let new_ranges = balanced_prefix_ranges(&prefix, chunks);
+        let new_max = new_ranges.iter().map(unvisited_weight).max().unwrap();
+        assert!(
+            new_max < old_max,
+            "degree-aware split max {new_max} should beat whole-graph split max {old_max}"
+        );
+        // Each chunk holds at most an equal share plus one max-degree
+        // unvisited row.
+        assert!(new_max <= 63 / chunks + 1);
+        // The ranges still tile the vertex span.
+        assert_eq!(new_ranges.first().unwrap().start, 0);
+        assert_eq!(new_ranges.last().unwrap().end, g.num_vertices());
+    }
+
+    #[test]
+    fn sweep_loop_counts_the_fixpoint_sweep() {
+        // A kernel that reports change for its first two sweeps, then
+        // settles: the loop must run exactly three sweeps.
+        use std::sync::atomic::AtomicUsize;
+        struct Settling {
+            rounds: AtomicUsize,
+        }
+        impl SweepKernel for Settling {
+            fn sweep_chunk(
+                &self,
+                _graph: &CsrGraph,
+                range: Range<usize>,
+                _tally: &mut ThreadTally,
+            ) -> bool {
+                // Only the first chunk of a sweep advances the round.
+                if range.start == 0 {
+                    return self.rounds.fetch_add(1, Relaxed) < 2;
+                }
+                false
+            }
+        }
+        let g = path_graph(10);
+        let pool = WorkerPool::new(2);
+        let kernel = Settling {
+            rounds: AtomicUsize::new(0),
+        };
+        let run = SweepLoop::new(&g, &pool, 1).run(&kernel);
+        assert_eq!(run.sweeps, 3);
+        assert_eq!(run.counters.num_steps(), 0, "uninstrumented: no steps");
+    }
+}

@@ -4,8 +4,15 @@
 //! Algorithms* (SPAA 2015) reproduction. The paper frames the
 //! branch-avoiding Shiloach-Vishkin hook as a *priority write* — an
 //! unconditional minimum — which maps directly onto lock-free
-//! `AtomicU32::fetch_min`; this crate realises that observation:
+//! `AtomicU32::fetch_min`; this crate realises that observation on a
+//! shared traversal engine:
 //!
+//! * [`engine`] — the reusable core every kernel is a client of:
+//!   [`TraversalState`] (atomic distances, optional σ counts), the
+//!   [`LevelLoop`] level-synchronous driver (queue↔bitmap frontier
+//!   flipping, direction switching, per-level tally merging, chunk
+//!   dispatch over [`Execute`]) and the [`SweepLoop`] fixpoint driver for
+//!   label propagation.
 //! * [`sv`] — parallel Shiloach-Vishkin connected components, where
 //!   branch-based hooking is a compare-and-swap loop and branch-avoiding
 //!   hooking is one `fetch_min` per edge.
@@ -13,7 +20,12 @@
 //!   frontier buffers and a branch-avoiding `fetch_min` distance update,
 //!   plus direction-optimizing BFS whose bottom-up levels pull from a
 //!   shared atomic bitmap frontier.
-//! * [`pool`] — the execution layer both kernels share: a persistent
+//! * [`bc`] — parallel Brandes betweenness centrality: engine-driven
+//!   forward BFS accumulating shortest-path counts (branch-avoiding
+//!   `fetch_min`/`fetch_add` vs branch-based CAS), then a reverse
+//!   level-sweep dependency accumulation over the recorded level
+//!   boundaries.
+//! * [`pool`] — the execution layer underneath: a persistent
 //!   [`WorkerPool`] of condvar-parked workers handed edge-balanced chunks
 //!   through an atomic claim counter (spawned once per run, woken once per
 //!   sweep/level), with the old per-sweep `std::thread::scope` behaviour
@@ -27,9 +39,12 @@
 //!   instrumented parallel runs feed the same figures/report machinery as
 //!   the sequential kernels.
 //!
-//! Results are deterministic where it matters: SV labels and BFS distances
-//! are identical to the sequential kernels for every thread count (the BFS
-//! discovery *order* within a top-down level may vary across runs).
+//! Results are deterministic where it matters: SV labels, BFS distances
+//! and betweenness scores are identical to the sequential kernels for
+//! every thread count (the BFS discovery *order* within a top-down level
+//! may vary across runs; betweenness scores are bit-identical across
+//! thread counts and match the sequential kernel up to floating-point
+//! reassociation).
 //!
 //! ```
 //! use bga_graph::generators::{grid_2d, MeshStencil};
@@ -50,20 +65,30 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod bc;
 pub mod bfs;
 pub mod bitmap;
 pub mod counters;
+pub mod engine;
 pub mod pool;
 pub mod sv;
 
+pub use bc::{
+    par_betweenness_centrality, par_betweenness_centrality_on, par_betweenness_centrality_sources,
+    par_betweenness_centrality_sources_on, par_betweenness_centrality_with_variant, BcVariant,
+};
 pub use bfs::{
     par_bfs_branch_avoiding, par_bfs_branch_avoiding_instrumented, par_bfs_branch_avoiding_on,
     par_bfs_branch_based, par_bfs_branch_based_instrumented, par_bfs_branch_based_on,
-    par_bfs_direction_optimizing, par_bfs_direction_optimizing_on,
-    par_bfs_direction_optimizing_with_config, Direction, ParBfsRun, ParDirBfsRun,
+    par_bfs_direction_optimizing, par_bfs_direction_optimizing_instrumented,
+    par_bfs_direction_optimizing_on, par_bfs_direction_optimizing_with_config, Direction,
+    ParBfsRun, ParDirBfsRun,
 };
 pub use bitmap::{bitmap_from_frontier, par_fill_bitmap, Bitmap};
 pub use counters::{merge_thread_steps, ThreadTally};
+pub use engine::{
+    LevelCtx, LevelKernel, LevelLoop, LevelRun, SweepKernel, SweepLoop, SweepRun, TraversalState,
+};
 pub use pool::{
     edge_balanced_ranges, resolve_threads, run_chunks, Execute, PoolConfig, ScopedExecutor,
     WorkerPool, GRAIN_ENV_VAR, PARALLEL_GRAIN,

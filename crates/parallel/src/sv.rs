@@ -15,22 +15,24 @@
 //!   `prev ^ min(prev, cu)` accumulation, mirroring the sequential kernel's
 //!   `change |= cv ^ cv_init`.
 //!
-//! Both run sweeps over edge-balanced vertex chunks on a persistent
-//! [`WorkerPool`] (see [`crate::pool`]) until a sweep changes nothing —
-//! workers are spawned once per run and woken per sweep, not respawned.
-//! Labels decrease monotonically towards the per-component minimum vertex
-//! id — the same unique fixed point the sequential kernels converge to —
-//! so the **final labels are identical to the sequential result for every
-//! thread count**, even though the number of sweeps and the intra-sweep
-//! interleaving may differ.
+//! Both are thin clients of the engine's [`SweepLoop`]
+//! (see [`crate::engine`]), which owns the edge-balanced chunking, the
+//! sweep-until-fixpoint driver and the per-sweep tally merging; the two
+//! [`SweepKernel`]s below supply only the per-edge hooking discipline,
+//! with a `TALLY` const parameter that compiles the counter accounting in
+//! or out. Labels decrease monotonically towards the per-component
+//! minimum vertex id — the same unique fixed point the sequential kernels
+//! converge to — so the **final labels are identical to the sequential
+//! result for every thread count**, even though the number of sweeps and
+//! the intra-sweep interleaving may differ.
 
-use crate::counters::{collect_run, merge_thread_steps, ThreadTally};
-use crate::pool::{
-    edge_balanced_ranges, effective_chunks_with_grain, Execute, PoolConfig, WorkerPool,
-};
+use crate::counters::ThreadTally;
+use crate::engine::{SweepKernel, SweepLoop};
+use crate::pool::{Execute, PoolConfig, WorkerPool};
 use bga_graph::CsrGraph;
 use bga_kernels::cc::ComponentLabels;
 use bga_kernels::stats::RunCounters;
+use std::ops::Range;
 use std::sync::atomic::{AtomicU32, Ordering::Relaxed};
 
 /// Result of an instrumented parallel SV run.
@@ -59,6 +61,107 @@ fn into_labels(ccid: Vec<AtomicU32>) -> ComponentLabels {
     ComponentLabels::new(ccid.into_iter().map(AtomicU32::into_inner).collect())
 }
 
+/// CAS-loop hooking over a borrowed label array: the branch-based sweep
+/// kernel.
+struct BranchBasedSweep<'a, const TALLY: bool> {
+    ccid: &'a [AtomicU32],
+}
+
+impl<const TALLY: bool> SweepKernel for BranchBasedSweep<'_, TALLY> {
+    fn instrumented(&self) -> bool {
+        TALLY
+    }
+
+    fn sweep_chunk(&self, graph: &CsrGraph, range: Range<usize>, tally: &mut ThreadTally) -> bool {
+        let mut changed = false;
+        for v in range {
+            if TALLY {
+                tally.vertices += 1;
+            }
+            for &u in graph.neighbors(v as u32) {
+                let cu = self.ccid[u as usize].load(Relaxed);
+                let mut cv = self.ccid[v].load(Relaxed);
+                if TALLY {
+                    tally.edges += 1;
+                    tally.loads += 2;
+                    tally.branches += 1; // inner-loop bound
+                }
+                loop {
+                    // The data-dependent comparison, then win the store
+                    // via CAS.
+                    if TALLY {
+                        tally.branches += 1;
+                        tally.data_branches += 1;
+                    }
+                    if cu >= cv {
+                        break;
+                    }
+                    if TALLY {
+                        tally.loads += 1;
+                    }
+                    match self.ccid[v].compare_exchange_weak(cv, cu, Relaxed, Relaxed) {
+                        Ok(_) => {
+                            if TALLY {
+                                tally.stores += 1;
+                                tally.updates += 1;
+                            }
+                            changed = true;
+                            break;
+                        }
+                        Err(current) => cv = current,
+                    }
+                }
+            }
+            if TALLY {
+                tally.branches += 1; // outer-loop bound
+            }
+        }
+        changed
+    }
+}
+
+/// Fetch-min hooking over a borrowed label array: the branch-avoiding
+/// sweep kernel.
+struct BranchAvoidingSweep<'a, const TALLY: bool> {
+    ccid: &'a [AtomicU32],
+}
+
+impl<const TALLY: bool> SweepKernel for BranchAvoidingSweep<'_, TALLY> {
+    fn instrumented(&self) -> bool {
+        TALLY
+    }
+
+    fn sweep_chunk(&self, graph: &CsrGraph, range: Range<usize>, tally: &mut ThreadTally) -> bool {
+        let mut change = 0u32;
+        for v in range {
+            if TALLY {
+                tally.vertices += 1;
+            }
+            for &u in graph.neighbors(v as u32) {
+                let cu = self.ccid[u as usize].load(Relaxed);
+                // The priority write: unconditional atomic minimum.
+                let prev = self.ccid[v].fetch_min(cu, Relaxed);
+                // Branch-free change accumulation: non-zero iff the label
+                // moved, mirroring the sequential kernel.
+                change |= prev ^ prev.min(cu);
+                if TALLY {
+                    tally.edges += 1;
+                    // fetch_min = load + predicated min + store, no branch.
+                    tally.loads += 2;
+                    tally.stores += 1;
+                    tally.conditional_moves += 1;
+                    tally.branches += 1; // inner-loop bound only
+                    tally.updates += u64::from(prev > cu);
+                }
+            }
+            if TALLY {
+                tally.branches += 1; // outer-loop bound
+            }
+        }
+        change != 0
+    }
+}
+
 /// Parallel branch-based SV: CAS-loop hooking. `threads == 0` uses every
 /// available core.
 pub fn par_sv_branch_based(graph: &CsrGraph, threads: usize) -> ComponentLabels {
@@ -83,40 +186,9 @@ pub fn par_sv_branch_based_on<E: Execute>(
     exec: &E,
     grain: usize,
 ) -> (ComponentLabels, usize) {
-    let ranges = edge_balanced_ranges(
-        graph.offsets(),
-        effective_chunks_with_grain(graph.num_edge_slots(), exec.parallelism(), grain),
-    );
     let ccid = identity_labels(graph.num_vertices());
-    let mut sweeps = 0usize;
-    loop {
-        sweeps += 1;
-        let ccid = &ccid;
-        let changes = exec.run(ranges.clone(), |_chunk, range| {
-            let mut changed = false;
-            for v in range {
-                for &u in graph.neighbors(v as u32) {
-                    let cu = ccid[u as usize].load(Relaxed);
-                    let mut cv = ccid[v].load(Relaxed);
-                    // Data-dependent branch, then win the store via CAS.
-                    while cu < cv {
-                        match ccid[v].compare_exchange_weak(cv, cu, Relaxed, Relaxed) {
-                            Ok(_) => {
-                                changed = true;
-                                break;
-                            }
-                            Err(current) => cv = current,
-                        }
-                    }
-                }
-            }
-            changed
-        });
-        if !changes.into_iter().any(|c| c) {
-            break;
-        }
-    }
-    (into_labels(ccid), sweeps)
+    let run = SweepLoop::new(graph, exec, grain).run(&BranchBasedSweep::<false> { ccid: &ccid });
+    (into_labels(ccid), run.sweeps)
 }
 
 /// Parallel branch-avoiding SV: one `fetch_min` per edge, no data-dependent
@@ -141,34 +213,9 @@ pub fn par_sv_branch_avoiding_on<E: Execute>(
     exec: &E,
     grain: usize,
 ) -> (ComponentLabels, usize) {
-    let ranges = edge_balanced_ranges(
-        graph.offsets(),
-        effective_chunks_with_grain(graph.num_edge_slots(), exec.parallelism(), grain),
-    );
     let ccid = identity_labels(graph.num_vertices());
-    let mut sweeps = 0usize;
-    loop {
-        sweeps += 1;
-        let ccid = &ccid;
-        let changes = exec.run(ranges.clone(), |_chunk, range| {
-            let mut change = 0u32;
-            for v in range {
-                for &u in graph.neighbors(v as u32) {
-                    let cu = ccid[u as usize].load(Relaxed);
-                    // The priority write: unconditional atomic minimum.
-                    let prev = ccid[v].fetch_min(cu, Relaxed);
-                    // Branch-free change accumulation: non-zero iff the
-                    // label moved, mirroring the sequential kernel.
-                    change |= prev ^ prev.min(cu);
-                }
-            }
-            change
-        });
-        if changes.into_iter().all(|c| c == 0) {
-            break;
-        }
-    }
-    (into_labels(ccid), sweeps)
+    let run = SweepLoop::new(graph, exec, grain).run(&BranchAvoidingSweep::<false> { ccid: &ccid });
+    (into_labels(ccid), run.sweeps)
 }
 
 /// Instrumented parallel branch-based SV: every worker tallies the loads,
@@ -177,60 +224,13 @@ pub fn par_sv_branch_avoiding_on<E: Execute>(
 pub fn par_sv_branch_based_instrumented(graph: &CsrGraph, threads: usize) -> ParSvRun {
     let config = PoolConfig::from_env(threads);
     let pool = WorkerPool::with_config(&config);
-    let threads = pool.threads();
-    let ranges = edge_balanced_ranges(
-        graph.offsets(),
-        effective_chunks_with_grain(graph.num_edge_slots(), threads, config.grain),
-    );
     let ccid = identity_labels(graph.num_vertices());
-    let mut steps = Vec::new();
-    loop {
-        let sweep = steps.len();
-        let ccid = &ccid;
-        let tallies = pool.run(ranges.clone(), |_chunk, range| {
-            let mut tally = ThreadTally::default();
-            for v in range {
-                tally.vertices += 1;
-                for &u in graph.neighbors(v as u32) {
-                    tally.edges += 1;
-                    let cu = ccid[u as usize].load(Relaxed);
-                    let mut cv = ccid[v].load(Relaxed);
-                    tally.loads += 2;
-                    tally.branches += 1; // inner-loop bound
-                    loop {
-                        // The data-dependent comparison.
-                        tally.branches += 1;
-                        tally.data_branches += 1;
-                        if cu >= cv {
-                            break;
-                        }
-                        // CAS: one load plus (on success) one store.
-                        tally.loads += 1;
-                        match ccid[v].compare_exchange_weak(cv, cu, Relaxed, Relaxed) {
-                            Ok(_) => {
-                                tally.stores += 1;
-                                tally.updates += 1;
-                                break;
-                            }
-                            Err(current) => cv = current,
-                        }
-                    }
-                }
-                tally.branches += 1; // outer-loop bound
-            }
-            tally.into_step(sweep)
-        });
-        let merged = merge_thread_steps(sweep, tallies);
-        let changed = merged.updates > 0;
-        steps.push(merged);
-        if !changed {
-            break;
-        }
-    }
+    let run =
+        SweepLoop::new(graph, &pool, config.grain).run(&BranchBasedSweep::<true> { ccid: &ccid });
     ParSvRun {
         labels: into_labels(ccid),
-        counters: collect_run(steps),
-        threads,
+        counters: run.counters,
+        threads: pool.threads(),
     }
 }
 
@@ -239,46 +239,13 @@ pub fn par_sv_branch_based_instrumented(graph: &CsrGraph, threads: usize) -> Par
 pub fn par_sv_branch_avoiding_instrumented(graph: &CsrGraph, threads: usize) -> ParSvRun {
     let config = PoolConfig::from_env(threads);
     let pool = WorkerPool::with_config(&config);
-    let threads = pool.threads();
-    let ranges = edge_balanced_ranges(
-        graph.offsets(),
-        effective_chunks_with_grain(graph.num_edge_slots(), threads, config.grain),
-    );
     let ccid = identity_labels(graph.num_vertices());
-    let mut steps = Vec::new();
-    loop {
-        let sweep = steps.len();
-        let ccid = &ccid;
-        let tallies = pool.run(ranges.clone(), |_chunk, range| {
-            let mut tally = ThreadTally::default();
-            for v in range {
-                tally.vertices += 1;
-                for &u in graph.neighbors(v as u32) {
-                    tally.edges += 1;
-                    let cu = ccid[u as usize].load(Relaxed);
-                    let prev = ccid[v].fetch_min(cu, Relaxed);
-                    // fetch_min = load + predicated min + store, no branch.
-                    tally.loads += 2;
-                    tally.stores += 1;
-                    tally.conditional_moves += 1;
-                    tally.branches += 1; // inner-loop bound only
-                    tally.updates += u64::from(prev > cu);
-                }
-                tally.branches += 1; // outer-loop bound
-            }
-            tally.into_step(sweep)
-        });
-        let merged = merge_thread_steps(sweep, tallies);
-        let changed = merged.updates > 0;
-        steps.push(merged);
-        if !changed {
-            break;
-        }
-    }
+    let run = SweepLoop::new(graph, &pool, config.grain)
+        .run(&BranchAvoidingSweep::<true> { ccid: &ccid });
     ParSvRun {
         labels: into_labels(ccid),
-        counters: collect_run(steps),
-        threads,
+        counters: run.counters,
+        threads: pool.threads(),
     }
 }
 

@@ -14,10 +14,12 @@
 //!   extensions and instrumented variants.
 //! * [`perfmodel`] ([`bga_perfmodel`]) — misprediction bounds, modelled-time
 //!   conversion and correlation analysis.
-//! * [`parallel`] ([`bga_parallel`]) — multi-threaded kernels: atomic
-//!   fetch-min Shiloach-Vishkin and level-synchronous parallel BFS
-//!   (top-down and direction-optimizing over a shared bitmap frontier) on
-//!   a persistent worker pool with edge-balanced chunking.
+//! * [`parallel`] ([`bga_parallel`]) — multi-threaded kernels on one
+//!   traversal engine: atomic fetch-min Shiloach-Vishkin,
+//!   level-synchronous parallel BFS (top-down and direction-optimizing
+//!   over a shared bitmap frontier) and parallel Brandes betweenness
+//!   centrality, all on a persistent worker pool with edge-balanced
+//!   chunking.
 //!
 //! ```
 //! use branch_avoiding_graphs::prelude::*;
@@ -51,6 +53,10 @@ pub mod prelude {
     pub use bga_graph::properties;
     pub use bga_graph::suite::{benchmark_suite, SuiteGraphId, SuiteScale};
     pub use bga_graph::{CsrGraph, GraphBuilder, VertexId};
+    pub use bga_kernels::bc::{
+        betweenness_centrality, betweenness_centrality_branch_avoiding,
+        betweenness_centrality_sources,
+    };
     pub use bga_kernels::bfs::{
         bfs_branch_avoiding, bfs_branch_avoiding_instrumented, bfs_branch_based,
         bfs_branch_based_instrumented,
@@ -62,9 +68,11 @@ pub mod prelude {
         sv_branch_based_instrumented, sv_hybrid, ComponentLabels, HybridConfig,
     };
     pub use bga_parallel::{
-        par_bfs_branch_avoiding, par_bfs_branch_based, par_bfs_direction_optimizing,
-        par_bfs_direction_optimizing_with_config, par_sv_branch_avoiding, par_sv_branch_based,
-        PoolConfig, WorkerPool,
+        par_betweenness_centrality, par_betweenness_centrality_sources,
+        par_betweenness_centrality_with_variant, par_bfs_branch_avoiding, par_bfs_branch_based,
+        par_bfs_direction_optimizing, par_bfs_direction_optimizing_with_config,
+        par_sv_branch_avoiding, par_sv_branch_based, BcVariant, LevelLoop, PoolConfig, SweepLoop,
+        TraversalState, WorkerPool,
     };
     pub use bga_perfmodel::timing::{modeled_speedup, time_run};
 }

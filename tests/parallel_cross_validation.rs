@@ -1,8 +1,8 @@
-//! Integration tests for the `bga-parallel` subsystem: parallel SV labels
-//! and parallel BFS distances must be identical to the sequential kernels
-//! and the reference implementations — on the Table-2 suite stand-ins and
-//! on randomly relabelled generator graphs — deterministically, for thread
-//! counts 1, 2 and 8.
+//! Integration tests for the `bga-parallel` subsystem: parallel SV labels,
+//! parallel BFS distances and parallel Brandes betweenness scores must be
+//! identical to the sequential kernels and the reference implementations —
+//! on the Table-2 suite stand-ins and on randomly relabelled generator
+//! graphs — deterministically, for thread counts 1, 2 and 8.
 
 use branch_avoiding_graphs::graph::generators::{barabasi_albert, erdos_renyi_gnm};
 use branch_avoiding_graphs::graph::properties::{
@@ -11,11 +11,15 @@ use branch_avoiding_graphs::graph::properties::{
 use branch_avoiding_graphs::graph::suite::{benchmark_suite, SuiteScale};
 use branch_avoiding_graphs::graph::transform::relabel_random;
 use branch_avoiding_graphs::graph::CsrGraph;
+use branch_avoiding_graphs::kernels::bc::{betweenness_centrality, betweenness_centrality_sources};
 use branch_avoiding_graphs::kernels::bfs::direction_optimizing::{
     bfs_direction_optimizing, DirectionConfig,
 };
 use branch_avoiding_graphs::kernels::bfs::{bfs_branch_avoiding, bfs_branch_based};
 use branch_avoiding_graphs::kernels::cc::{sv_branch_avoiding, sv_branch_based};
+use branch_avoiding_graphs::parallel::{
+    par_betweenness_centrality_sources, par_betweenness_centrality_with_variant, BcVariant,
+};
 use branch_avoiding_graphs::parallel::{
     par_bfs_branch_avoiding, par_bfs_branch_avoiding_instrumented, par_bfs_branch_based,
     par_bfs_branch_based_instrumented, par_bfs_direction_optimizing,
@@ -80,6 +84,82 @@ fn suite_graphs_cross_validate_at_every_thread_count() {
         // Partition sanity against the union-find reference.
         let expected = connected_components_union_find(&sg.graph);
         assert_eq!(par_sv_branch_avoiding(&sg.graph, 8).canonical(), expected);
+    }
+}
+
+/// 1e-9 tolerance, scaled by magnitude: sequential (push-style) and
+/// parallel (pull-style) back-sweeps sum the same dependencies in
+/// different orders, so agreement is up to floating-point reassociation.
+fn assert_scores_close(a: &[f64], b: &[f64], context: &str) {
+    assert_eq!(a.len(), b.len(), "{context}");
+    for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+        let tolerance = 1e-9 * x.abs().max(y.abs()).max(1.0);
+        assert!(
+            (x - y).abs() < tolerance,
+            "{context}: vertex {i}: {x} vs {y}"
+        );
+    }
+}
+
+#[test]
+fn bc_suite_graphs_cross_validate_at_every_thread_count() {
+    // Full all-sources Brandes on the suite stand-ins is quadratic in the
+    // graph size, so the suite check accumulates a fixed source sample and
+    // compares against the sequential partial accumulation; full-run
+    // equivalence is covered on generator graphs below.
+    let sources = [0u32, 3, 101];
+    for sg in benchmark_suite(SuiteScale::Small, 42) {
+        let expected = betweenness_centrality_sources(&sg.graph, &sources);
+        for threads in THREAD_COUNTS {
+            for variant in [BcVariant::BranchBased, BcVariant::BranchAvoiding] {
+                let scores =
+                    par_betweenness_centrality_sources(&sg.graph, &sources, threads, variant);
+                assert_scores_close(
+                    &scores,
+                    &expected,
+                    &format!("{} at {threads} threads, {variant:?}", sg.name()),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn bc_full_scores_match_sequential_brandes() {
+    let graphs = [
+        relabel_random(&barabasi_albert(250, 2, 5), 3),
+        relabel_random(&erdos_renyi_gnm(180, 420, 17), 8), // has isolated vertices
+    ];
+    for g in &graphs {
+        let expected = betweenness_centrality(g);
+        for threads in THREAD_COUNTS {
+            for variant in [BcVariant::BranchBased, BcVariant::BranchAvoiding] {
+                let scores = par_betweenness_centrality_with_variant(g, threads, variant);
+                assert_scores_close(
+                    &scores,
+                    &expected,
+                    &format!("{threads} threads, {variant:?}"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn bc_scores_are_bit_deterministic_across_threads() {
+    // The pull-style back-sweep computes every dependency from a fixed
+    // neighbour order, so scores are bit-identical across thread counts,
+    // executors and repeats — not merely within tolerance.
+    let g = relabel_random(&barabasi_albert(500, 3, 29), 12);
+    let sources: Vec<u32> = (0..16).collect();
+    let reference = par_betweenness_centrality_sources(&g, &sources, 1, BcVariant::BranchAvoiding);
+    for threads in THREAD_COUNTS {
+        for variant in [BcVariant::BranchBased, BcVariant::BranchAvoiding] {
+            let scores = par_betweenness_centrality_sources(&g, &sources, threads, variant);
+            for (a, b) in reference.iter().zip(scores.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{threads} threads, {variant:?}");
+            }
+        }
     }
 }
 
@@ -187,6 +267,51 @@ proptest! {
         let g = relabel_random(&erdos_renyi_gnm(n, m, seed), relabel_seed);
         assert_parallel_sv_matches_sequential(&g);
         assert_parallel_bfs_matches_sequential(&g, (root_pick % n) as u32);
+    }
+
+    /// Engine seam check: a `LevelLoop` driven directly with the public
+    /// branch-avoiding kernel — grain 1, every direction policy — equals
+    /// the sequential BFS on randomly relabelled generator graphs, and its
+    /// recorded level bounds tile the discovery order level by level.
+    #[test]
+    fn engine_driven_bfs_equals_sequential_bfs(
+        n in 2usize..120,
+        edge_factor in 0usize..5,
+        seed in 0u64..500,
+        relabel_seed in 0u64..500,
+    ) {
+        use branch_avoiding_graphs::parallel::bfs::BranchAvoidingLevel;
+        use branch_avoiding_graphs::parallel::{LevelLoop, TraversalState, WorkerPool};
+        let m = (n * edge_factor / 2).min(n * (n - 1) / 2);
+        let g = relabel_random(&erdos_renyi_gnm(n, m, seed), relabel_seed);
+        let expected = bfs_distances_reference(&g, 0);
+        let pool = WorkerPool::new(4);
+        for config in [
+            DirectionConfig::default(),
+            DirectionConfig::always_top_down(),
+            DirectionConfig::always_bottom_up(),
+        ] {
+            let state = TraversalState::new(g.num_vertices());
+            let run = LevelLoop::new(&g, &pool, 1, config).run(&state, 0, &BranchAvoidingLevel::<false>);
+            let distances = state.into_distances();
+            prop_assert_eq!(&distances[..], &expected[..]);
+            let mut covered = 0usize;
+            for (level, bound) in run.level_bounds.iter().enumerate() {
+                prop_assert_eq!(bound.start, covered);
+                covered = bound.end;
+                for &v in &run.order[bound.clone()] {
+                    prop_assert_eq!(distances[v as usize], level as u32);
+                }
+            }
+            prop_assert_eq!(covered, run.order.len());
+            // The boundaries the engine records live are exactly the ones
+            // `BfsResult::level_bounds` recovers from the finished result.
+            let result = branch_avoiding_graphs::kernels::bfs::BfsResult::new(
+                distances,
+                run.order.clone(),
+            );
+            prop_assert_eq!(result.level_bounds(), run.level_bounds);
+        }
     }
 
     /// The parallel branch-avoiding BFS queue never holds duplicates.

@@ -1,19 +1,20 @@
 //! Criterion wall-clock benches for the parallel kernels: branch-based
 //! (CAS-loop) vs branch-avoiding (fetch-min) Shiloach-Vishkin, parallel
 //! top-down and direction-optimizing BFS across thread counts,
-//! sampled-source Brandes betweenness in both hooking disciplines, and
-//! the persistent-pool vs per-sweep `thread::scope` contrast on a
-//! high-diameter graph. This is the strong-scaling companion to
-//! `bga experiment scaling` — the relative ordering across hooking
-//! disciplines and the per-thread-count trend are the point, not absolute
-//! numbers.
+//! sampled-source Brandes betweenness, k-core peeling and unit-weight
+//! SSSP in both hooking disciplines, and the persistent-pool vs per-sweep
+//! `thread::scope` contrast on a high-diameter graph. This is the
+//! strong-scaling companion to `bga experiment scaling` — the relative
+//! ordering across hooking disciplines and the per-thread-count trend are
+//! the point, not absolute numbers.
 
 use bga_graph::generators::{grid_2d, MeshStencil};
 use bga_graph::suite::{benchmark_suite, SuiteScale};
 use bga_parallel::{
     par_betweenness_centrality_sources, par_bfs_branch_avoiding, par_bfs_branch_avoiding_on,
-    par_bfs_branch_based, par_bfs_direction_optimizing, par_sv_branch_avoiding,
-    par_sv_branch_based, BcVariant, ScopedExecutor, WorkerPool,
+    par_bfs_branch_based, par_bfs_direction_optimizing, par_kcore_with_variant,
+    par_sssp_unit_with_variant, par_sv_branch_avoiding, par_sv_branch_based, BcVariant,
+    KcoreVariant, ScopedExecutor, SsspVariant, WorkerPool,
 };
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -107,6 +108,57 @@ fn bench_parallel_bc(c: &mut Criterion) {
     group.finish();
 }
 
+/// Parallel k-core peeling: per-`k` seed sweeps plus cascade rounds over
+/// atomic degree counters, in both decrement disciplines (unconditional
+/// `fetch_sub` + predicated enqueue vs test-and-CAS). The power-law graph
+/// has the deep core structure where the cascade actually iterates.
+fn bench_parallel_kcore(c: &mut Criterion) {
+    let suite = benchmark_suite(SuiteScale::Small, 42);
+    let mut group = c.benchmark_group("parallel_kcore");
+    group.sample_size(10);
+    // coAuthorsDBLP stand-in: skewed degrees, non-trivial degeneracy.
+    let sg = &suite[2];
+    for threads in THREAD_COUNTS {
+        group.bench_with_input(
+            BenchmarkId::new("branch_based", format!("{}x{threads}", sg.name())),
+            &sg.graph,
+            |b, g| b.iter(|| par_kcore_with_variant(g, threads, KcoreVariant::BranchBased)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("branch_avoiding", format!("{}x{threads}", sg.name())),
+            &sg.graph,
+            |b, g| b.iter(|| par_kcore_with_variant(g, threads, KcoreVariant::BranchAvoiding)),
+        );
+    }
+    group.finish();
+}
+
+/// Parallel unit-weight SSSP (delta-stepping degenerated onto the level
+/// loop) in both relaxation disciplines, on the long-diameter mesh where
+/// the engine runs many settling phases.
+fn bench_parallel_sssp(c: &mut Criterion) {
+    let suite = benchmark_suite(SuiteScale::Small, 42);
+    let mut group = c.benchmark_group("parallel_sssp");
+    group.sample_size(10);
+    // ldoor stand-in: many small buckets, the frontier-flip regime.
+    let sg = &suite[4];
+    for threads in THREAD_COUNTS {
+        group.bench_with_input(
+            BenchmarkId::new("branch_based", format!("{}x{threads}", sg.name())),
+            &sg.graph,
+            |b, g| b.iter(|| par_sssp_unit_with_variant(g, 0, threads, SsspVariant::BranchBased)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("branch_avoiding", format!("{}x{threads}", sg.name())),
+            &sg.graph,
+            |b, g| {
+                b.iter(|| par_sssp_unit_with_variant(g, 0, threads, SsspVariant::BranchAvoiding))
+            },
+        );
+    }
+    group.finish();
+}
+
 /// The spawn-overhead contrast the persistent pool exists for: BFS over a
 /// high-diameter mesh is hundreds of levels with tiny frontiers, so the
 /// per-level cost of standing up workers dominates. A small grain forces
@@ -147,6 +199,8 @@ criterion_group!(
     bench_parallel_sv,
     bench_parallel_bfs,
     bench_parallel_bc,
+    bench_parallel_kcore,
+    bench_parallel_sssp,
     bench_small_frontier_pool_vs_scope
 );
 criterion_main!(benches);

@@ -1,6 +1,7 @@
 //! `bga experiment`: quick textual versions of the paper's tables, a suite
-//! summary, and the strong-scaling experiment for the parallel kernels. The
-//! full per-figure harnesses live in `bga-bench`.
+//! summary, and the strong-scaling experiment for the parallel kernels
+//! (`scaling --json` emits the rows as the JSON document CI archives as
+//! `BENCH_pr.json`). The full per-figure harnesses live in `bga-bench`.
 
 use bga_branchsim::all_machine_models;
 use bga_graph::properties::connected_component_count;
@@ -8,8 +9,8 @@ use bga_graph::suite::{benchmark_suite, suite_table, SuiteScale};
 use bga_kernels::bfs::bfs_branch_based_instrumented;
 use bga_kernels::cc::{sv_branch_avoiding_instrumented, sv_branch_based_instrumented};
 use bga_parallel::{
-    par_betweenness_centrality_sources, par_bfs_direction_optimizing, par_sv_branch_avoiding,
-    par_sv_branch_based, resolve_threads, BcVariant,
+    par_betweenness_centrality_sources, par_bfs_direction_optimizing, par_kcore, par_sssp_unit,
+    par_sv_branch_avoiding, par_sv_branch_based, resolve_threads, BcVariant,
 };
 use bga_perfmodel::timing::modeled_speedup;
 use std::time::Instant;
@@ -120,7 +121,8 @@ pub fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         Some("scaling") => {
-            run_scaling();
+            let json = args.iter().any(|a| a == "--json");
+            run_scaling(json);
             Ok(())
         }
         Some(other) => Err(format!(
@@ -130,112 +132,209 @@ pub fn run(args: &[String]) -> Result<(), String> {
     }
 }
 
-/// Strong-scaling sweep: both parallel SV variants and direction-optimizing
-/// BFS on every suite graph at 1, 2, 4 and 8 worker threads, with
+/// One measured configuration of the scaling sweep.
+struct ScalingRow {
+    graph: &'static str,
+    kernel: &'static str,
+    variant: &'static str,
+    threads: usize,
+    time_ms: f64,
+    speedup: f64,
+}
+
+/// Sweeps one kernel over [`SCALING_THREADS`], timing each configuration
+/// and computing its speedup over the kernel's own single-thread run.
+fn sweep_kernel(
+    rows: &mut Vec<ScalingRow>,
+    graph: &'static str,
+    kernel: &'static str,
+    variant: &'static str,
+    mut run: impl FnMut(usize),
+) {
+    let mut single_thread_ms = None;
+    for threads in SCALING_THREADS {
+        let start = Instant::now();
+        run(threads);
+        let time_ms = start.elapsed().as_secs_f64() * 1e3;
+        let baseline = *single_thread_ms.get_or_insert(time_ms);
+        rows.push(ScalingRow {
+            graph,
+            kernel,
+            variant,
+            threads,
+            time_ms,
+            speedup: baseline / time_ms.max(f64::MIN_POSITIVE),
+        });
+    }
+}
+
+/// Strong-scaling sweep: the parallel SV variants, direction-optimizing
+/// BFS, sampled-source Brandes betweenness, k-core peeling and unit-weight
+/// SSSP on every suite graph at 1, 2, 4 and 8 worker threads, with
 /// per-thread-count wall-clock timings and the speedup of each
-/// configuration over its own single-thread run.
-fn run_scaling() {
+/// configuration over its own single-thread run. With `json` the rows are
+/// emitted as a single JSON document (the `BENCH_pr.json` CI artifact)
+/// instead of the table.
+fn run_scaling(json: bool) {
+    let single_core = resolve_threads(0) == 1;
     // On a single-core host every configuration runs the same one worker,
     // so "speedup" is pool overhead, not scaling. Say so up front — naming
     // the kernels the warning applies to — instead of silently reporting
-    // ≈1.0x.
-    if resolve_threads(0) == 1 {
+    // ≈1.0x. In JSON mode the flag rides along in the document.
+    if single_core && !json {
         println!(
-            "warning: single available core — the sv branch-based, \
-             sv branch-avoiding, bfs dir-opt and bc branch-avoiding \
-             speedups below measure pool overhead, not strong scaling; \
-             rerun on a multicore host for meaningful numbers"
+            "warning: single available core — the cc sv, bfs dir-opt, \
+             bc, kcore and sssp speedups below measure pool overhead, \
+             not strong scaling; rerun on a multicore host for \
+             meaningful numbers"
         );
     }
     let suite = benchmark_suite(SuiteScale::Small, 42);
-    println!(
-        "{:<15} {:<16} {:>8} {:>12} {:>10}",
-        "graph", "variant", "threads", "time(ms)", "speedup"
-    );
-    type SvKernel = fn(&bga_graph::CsrGraph, usize) -> bga_kernels::cc::ComponentLabels;
-    let kernels: [(&str, SvKernel); 2] = [
-        ("branch-based", par_sv_branch_based),
-        ("branch-avoiding", par_sv_branch_avoiding),
-    ];
+    let mut rows = Vec::new();
+    let mut skip_notes = Vec::new();
     for sg in &suite {
-        for (variant, kernel) in kernels {
-            let mut single_thread_ms = None;
-            for threads in SCALING_THREADS {
-                let start = Instant::now();
+        type SvKernel = fn(&bga_graph::CsrGraph, usize) -> bga_kernels::cc::ComponentLabels;
+        let sv_kernels: [(&str, SvKernel); 2] = [
+            ("branch-based", par_sv_branch_based),
+            ("branch-avoiding", par_sv_branch_avoiding),
+        ];
+        for (variant, kernel) in sv_kernels {
+            sweep_kernel(&mut rows, sg.name(), "cc", variant, |threads| {
                 let labels = kernel(&sg.graph, threads);
-                let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
-                // Guard against a miscompiled/misbehaving run: the label set
-                // must stay consistent across thread counts.
+                // Guard against a miscompiled/misbehaving run: the label
+                // set must stay consistent across thread counts.
                 assert_eq!(labels.len(), sg.graph.num_vertices());
-                let baseline = *single_thread_ms.get_or_insert(elapsed_ms);
-                println!(
-                    "{:<15} {:<16} {:>8} {:>12.3} {:>9.2}x",
-                    sg.name(),
-                    variant,
-                    threads,
-                    elapsed_ms,
-                    baseline / elapsed_ms.max(f64::MIN_POSITIVE)
-                );
-            }
+            });
         }
-        // Direction-optimizing BFS on the same sweep: the frontier-shape
-        // regime where the persistent pool and bitmap frontiers matter.
-        let mut single_thread_ms = None;
-        for threads in SCALING_THREADS {
-            let start = Instant::now();
+        // Direction-optimizing BFS: the frontier-shape regime where the
+        // persistent pool and bitmap frontiers matter.
+        sweep_kernel(&mut rows, sg.name(), "bfs", "dir-opt", |threads| {
             let result = par_bfs_direction_optimizing(&sg.graph, 0, threads);
-            let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
             assert_eq!(result.distances().len(), sg.graph.num_vertices());
-            let baseline = *single_thread_ms.get_or_insert(elapsed_ms);
-            println!(
-                "{:<15} {:<16} {:>8} {:>12.3} {:>9.2}x",
-                sg.name(),
-                "bfs dir-opt",
-                threads,
-                elapsed_ms,
-                baseline / elapsed_ms.max(f64::MIN_POSITIVE)
-            );
-        }
+        });
         // Brandes betweenness over a fixed source sample.
         if let Some(note) = bc_scaling_skip_note(connected_component_count(&sg.graph)) {
-            println!("{:<15} {:<16} {note}", sg.name(), "bc branch-avoid");
+            skip_notes.push((sg.name(), note));
         } else {
             let sources: Vec<u32> =
                 (0..BC_SCALING_SOURCES.min(sg.graph.num_vertices()) as u32).collect();
-            let mut single_thread_ms = None;
-            for threads in SCALING_THREADS {
-                let start = Instant::now();
+            sweep_kernel(&mut rows, sg.name(), "bc", "branch-avoiding", |threads| {
                 let scores = par_betweenness_centrality_sources(
                     &sg.graph,
                     &sources,
                     threads,
                     BcVariant::BranchAvoiding,
                 );
-                let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
                 assert_eq!(scores.len(), sg.graph.num_vertices());
-                let baseline = *single_thread_ms.get_or_insert(elapsed_ms);
-                println!(
-                    "{:<15} {:<16} {:>8} {:>12.3} {:>9.2}x",
-                    sg.name(),
-                    "bc branch-avoid",
-                    threads,
-                    elapsed_ms,
-                    baseline / elapsed_ms.max(f64::MIN_POSITIVE)
-                );
-            }
+            });
         }
+        // k-core peeling over atomic degree counters.
+        sweep_kernel(
+            &mut rows,
+            sg.name(),
+            "kcore",
+            "branch-avoiding",
+            |threads| {
+                let cores = par_kcore(&sg.graph, threads);
+                assert_eq!(cores.len(), sg.graph.num_vertices());
+            },
+        );
+        // Unit-weight SSSP on the engine's level loop.
+        sweep_kernel(&mut rows, sg.name(), "sssp", "branch-avoiding", |threads| {
+            let result = par_sssp_unit(&sg.graph, 0, threads);
+            assert_eq!(result.distances().len(), sg.graph.num_vertices());
+        });
     }
-    // Contrast line mirroring the paper's message: identical results from
-    // both hooking disciplines.
+    // Contrast check mirroring the paper's message: identical results from
+    // both hooking disciplines (runs in both output modes).
     let g = &suite[0].graph;
     let based = par_sv_branch_based(g, 0);
     let avoiding = par_sv_branch_avoiding(g, 0);
     assert_eq!(based.as_slice(), avoiding.as_slice());
+
+    if json {
+        println!("{}", render_scaling_json(single_core, &rows, &skip_notes));
+        return;
+    }
+    println!(
+        "{:<15} {:<22} {:>8} {:>12} {:>10}",
+        "graph", "kernel", "threads", "time(ms)", "speedup"
+    );
+    for row in &rows {
+        println!(
+            "{:<15} {:<22} {:>8} {:>12.3} {:>9.2}x",
+            row.graph,
+            format!("{}/{}", row.kernel, row.variant),
+            row.threads,
+            row.time_ms,
+            row.speedup
+        );
+    }
+    for (graph, note) in &skip_notes {
+        println!("{graph:<15} {:<22} {note}", "bc/branch-avoiding");
+    }
     println!(
         "check: CAS-loop and fetch-min hooking agree on {} ({} components)",
         suite[0].name(),
         based.component_count()
     );
+}
+
+/// Renders the scaling rows as the `BENCH_pr.json` document: a schema tag,
+/// the thread counts swept, the single-core-host flag, one object per
+/// measured configuration, and one object per deliberately skipped sweep
+/// (so a trend consumer can tell "skipped by design" from "rows went
+/// missing"). Hand-rolled (the workspace is offline, no serde); every
+/// value is a number, a bool or a known-safe ASCII name — except the skip
+/// reasons, which are escaped.
+fn render_scaling_json(
+    single_core: bool,
+    rows: &[ScalingRow],
+    skip_notes: &[(&str, String)],
+) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"bga-scaling-v1\",\n");
+    out.push_str(&format!(
+        "  \"threads_swept\": [{}],\n",
+        SCALING_THREADS.map(|t| t.to_string()).join(", ")
+    ));
+    out.push_str(&format!("  \"single_core_host\": {single_core},\n"));
+    out.push_str("  \"rows\": [\n");
+    for (index, row) in rows.iter().enumerate() {
+        let comma = if index + 1 < rows.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"graph\": \"{}\", \"kernel\": \"{}\", \"variant\": \"{}\", \
+             \"threads\": {}, \"time_ms\": {:.3}, \"speedup\": {:.3}}}{comma}\n",
+            row.graph, row.kernel, row.variant, row.threads, row.time_ms, row.speedup
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"skipped\": [\n");
+    for (index, (graph, reason)) in skip_notes.iter().enumerate() {
+        let comma = if index + 1 < skip_notes.len() {
+            ","
+        } else {
+            ""
+        };
+        out.push_str(&format!(
+            "    {{\"graph\": \"{graph}\", \"kernel\": \"bc\", \"reason\": \"{}\"}}{comma}\n",
+            json_escape(reason)
+        ));
+    }
+    out.push_str("  ]\n}");
+    out
+}
+
+/// Minimal JSON string escaping for the free-text skip reasons.
+fn json_escape(text: &str) -> String {
+    text.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            '\n' => "\\n".chars().collect(),
+            other => std::iter::once(other).collect(),
+        })
+        .collect()
 }
 
 /// Why the scaling experiment's betweenness rows are skipped for a graph
@@ -288,6 +387,50 @@ mod tests {
     #[test]
     fn scaling_inputs_agree_across_execution_modes() {
         assert!(super::parallel_matches_sequential());
+    }
+
+    #[test]
+    fn scaling_json_document_carries_every_kernel_family() {
+        let rows: Vec<super::ScalingRow> = ["cc", "bfs", "bc", "kcore", "sssp"]
+            .iter()
+            .map(|kernel| super::ScalingRow {
+                graph: "audikw1",
+                kernel,
+                variant: "branch-avoiding",
+                threads: 2,
+                time_ms: 1.5,
+                speedup: 1.9,
+            })
+            .collect();
+        let skips = vec![(
+            "auto",
+            "graph has 3 components; \"per component\"".to_string(),
+        )];
+        let doc = super::render_scaling_json(true, &rows, &skips);
+        assert!(doc.starts_with('{') && doc.ends_with('}'), "{doc}");
+        assert!(doc.contains("\"schema\": \"bga-scaling-v1\""));
+        assert!(doc.contains("\"single_core_host\": true"));
+        assert!(doc.contains("\"threads_swept\": [1, 2, 4, 8]"));
+        for kernel in ["cc", "bfs", "bc", "kcore", "sssp"] {
+            assert!(
+                doc.contains(&format!("\"kernel\": \"{kernel}\"")),
+                "missing {kernel} row in {doc}"
+            );
+        }
+        assert!(doc.contains("\"time_ms\": 1.500"));
+        assert!(doc.contains("\"speedup\": 1.900"));
+        // No trailing comma after the last row.
+        assert!(!doc.contains("}},\n  ]"));
+        // Deliberate skips are recorded (with quotes escaped), not dropped.
+        assert!(doc.contains("\"skipped\": ["));
+        assert!(doc.contains(
+            "{\"graph\": \"auto\", \"kernel\": \"bc\", \
+             \"reason\": \"graph has 3 components; \\\"per component\\\"\"}"
+        ));
+        // An empty sweep is still a well-formed document.
+        let empty = super::render_scaling_json(false, &[], &[]);
+        assert!(empty.contains("\"rows\": [\n  ],"));
+        assert!(empty.contains("\"skipped\": [\n  ]"));
     }
 
     #[test]

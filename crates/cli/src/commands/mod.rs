@@ -6,6 +6,8 @@ mod cc;
 mod experiment;
 mod generate;
 mod graph_input;
+mod kcore;
+mod sssp;
 
 /// Usage text printed on argument errors.
 pub const USAGE: &str = "usage:
@@ -13,20 +15,26 @@ pub const USAGE: &str = "usage:
   bga cc  <graph> [--variant branch-based|branch-avoiding|hybrid|union-find|bfs] [--instrumented] [--threads N]
   bga bfs <graph> [--root R] [--variant branch-based|branch-avoiding|bottom-up|direction-optimizing] [--strategy auto|top-down|bottom-up] [--instrumented] [--threads N]
   bga bc  <graph> [--variant branch-based|branch-avoiding] [--sources K] [--threads N]
-  bga experiment <table1|table2|suite-summary|scaling>
+  bga kcore <graph> [--variant branch-based|branch-avoiding] [--instrumented] [--threads N]
+  bga sssp <graph> [--root R] [--delta D] [--variant branch-based|branch-avoiding] [--instrumented] [--threads N]
+  bga experiment <table1|table2|suite-summary|scaling [--json]>
 
 <graph> is a METIS (.metis/.graph) or edge-list file, or a built-in suite
 name: audikw1, auto, coAuthorsDBLP, cond-mat-2005, ldoor.
 
 --threads N runs the branch-based / branch-avoiding / direction-optimizing
 kernels on a persistent N-worker pool from the bga-parallel crate (N = 0
-uses every available core); labels, distances and centrality scores are
-identical to the sequential kernels. --strategy picks the direction policy
-of the direction-optimizing traversal (auto = the α/β frontier heuristic).
-bga bc runs Brandes betweenness centrality (--sources K restricts the
-accumulation to K sources and reports un-normalized partial sums). The
-scaling experiment sweeps the parallel SV, BFS and BC kernels over 1, 2, 4
-and 8 threads.";
+uses every available core); labels, distances, centrality scores, core
+numbers and SSSP distances are identical to the sequential kernels.
+--strategy picks the direction policy of the direction-optimizing
+traversal (auto = the α/β frontier heuristic). bga bc runs Brandes
+betweenness centrality (--sources K restricts the accumulation to K
+sources and reports un-normalized partial sums). bga kcore peels the
+k-core decomposition; bga sssp settles unit-weight shortest paths
+(sequentially by delta-stepping, --delta D picks the bucket width). The
+scaling experiment sweeps the parallel SV, BFS, BC, k-core and SSSP
+kernels over 1, 2, 4 and 8 threads; --json emits the rows as a JSON
+document for the CI bench artifact.";
 
 /// Routes the raw argument list to the subcommand implementations.
 pub fn dispatch(args: &[String]) -> Result<(), String> {
@@ -38,6 +46,8 @@ pub fn dispatch(args: &[String]) -> Result<(), String> {
         "cc" => cc::run(rest),
         "bfs" => bfs::run(rest),
         "bc" => bc::run(rest),
+        "kcore" => kcore::run(rest),
+        "sssp" => sssp::run(rest),
         "experiment" => experiment::run(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");

@@ -1,0 +1,201 @@
+//! `bga sssp`: run unit-weight single-source shortest paths and print a
+//! summary.
+//!
+//! Without `--threads` the sequential delta-stepping reference runs
+//! (`--delta D` picks the bucket width; distances are identical for every
+//! width). With `--threads N` the parallel client runs the engine's level
+//! loop — on unit weights every delta-stepping bucket *is* a BFS level —
+//! in the requested relaxation discipline.
+
+use super::cc::{flag_value, parse_threads};
+use super::graph_input::load_graph;
+use bga_graph::properties::largest_component;
+use bga_kernels::sssp::{sssp_unit_delta_stepping_with_delta, SsspResult};
+use bga_parallel::{
+    par_sssp_unit_instrumented, par_sssp_unit_with_variant, resolve_threads, SsspVariant,
+};
+use std::time::Instant;
+
+/// Runs the `sssp` subcommand.
+pub fn run(args: &[String]) -> Result<(), String> {
+    let Some(graph_spec) = args.first() else {
+        return Err("sssp needs a graph".to_string());
+    };
+    let variant = flag_value(args, "--variant").unwrap_or("branch-avoiding");
+    let sssp_variant = match variant {
+        "branch-based" => SsspVariant::BranchBased,
+        "branch-avoiding" => SsspVariant::BranchAvoiding,
+        other => {
+            return Err(format!(
+                "unknown sssp variant {other:?} (expected branch-based or branch-avoiding)"
+            ))
+        }
+    };
+    let threads = parse_threads(args)?;
+    let instrumented = args.iter().any(|a| a == "--instrumented");
+    let delta = match flag_value(args, "--delta") {
+        None if args.iter().any(|a| a == "--delta") => {
+            return Err("--delta requires a bucket width (≥ 1)".to_string())
+        }
+        None => 1u32,
+        Some(text) => {
+            let value = text
+                .parse::<u32>()
+                .map_err(|e| format!("invalid --delta value {text:?}: {e}"))?;
+            if value == 0 {
+                return Err("--delta must be ≥ 1 (a bucket has positive width)".to_string());
+            }
+            value
+        }
+    };
+    if threads.is_some() && delta != 1 {
+        return Err(
+            "--delta applies to the sequential delta-stepping reference; the parallel \
+             client always runs the Δ = 1 (level-per-bucket) degeneration"
+                .to_string(),
+        );
+    }
+    // The sequential reference has a single relaxation discipline; reject
+    // an explicit variant request it could not honour.
+    if threads.is_none() && flag_value(args, "--variant").is_some() {
+        return Err(
+            "the sequential run is the delta-stepping reference; add --threads N \
+             to pick a branch-based or branch-avoiding parallel relaxation"
+                .to_string(),
+        );
+    }
+    if threads.is_none() && instrumented {
+        return Err("--instrumented requires --threads N (parallel runs only)".to_string());
+    }
+
+    let graph = load_graph(graph_spec)?;
+    let source = match flag_value(args, "--root") {
+        Some(text) => text
+            .parse::<u32>()
+            .map_err(|e| format!("invalid --root value {text:?}: {e}"))?,
+        None => largest_component(&graph).first().copied().unwrap_or(0),
+    };
+    println!(
+        "graph: {} vertices, {} edges; source: {source}",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+    // Report the resolved worker count before the timed region so the
+    // stdout write does not bias sequential-vs-parallel wall clocks.
+    if let Some(t) = threads {
+        println!("threads: {}", resolve_threads(t));
+    }
+
+    if let (Some(t), true) = (threads, instrumented) {
+        let run = par_sssp_unit_instrumented(&graph, source, t, sssp_variant);
+        print_result_summary(variant, &run.result);
+        println!(
+            "directions: {} top-down, {} bottom-up phases",
+            run.directions.len() - run.bottom_up_phases(),
+            run.bottom_up_phases()
+        );
+        println!("totals: {}", run.counters.total());
+        for step in &run.counters.steps {
+            println!(
+                "  phase {:>3}: {} (settled {})",
+                step.step, step.counters, step.updates
+            );
+        }
+        return Ok(());
+    }
+
+    let start = Instant::now();
+    let result = match threads {
+        None => sssp_unit_delta_stepping_with_delta(&graph, source, delta),
+        Some(t) => par_sssp_unit_with_variant(&graph, source, t, sssp_variant),
+    };
+    let elapsed = start.elapsed();
+    print_result_summary(
+        if threads.is_some() {
+            variant
+        } else {
+            "delta-stepping"
+        },
+        &result,
+    );
+    if threads.is_none() {
+        println!("delta: {delta}");
+    }
+    println!("wall clock: {:.3} ms", elapsed.as_secs_f64() * 1e3);
+    Ok(())
+}
+
+fn print_result_summary(variant: &str, result: &SsspResult) {
+    println!("variant: {variant}");
+    println!("settled: {} vertices", result.reached_count());
+    match result.max_distance() {
+        Some(d) => println!("max distance: {d}"),
+        None => println!("max distance: (nothing settled)"),
+    }
+    println!("relaxation phases: {}", result.phases());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn runs_sequential_and_parallel_on_a_builtin_graph() {
+        assert!(run(&strings(&["cond-mat-2005"])).is_ok());
+        assert!(run(&strings(&["cond-mat-2005", "--delta", "4"])).is_ok());
+        assert!(run(&strings(&["cond-mat-2005", "--root", "7"])).is_ok());
+        for variant in ["branch-based", "branch-avoiding"] {
+            assert!(
+                run(&strings(&[
+                    "cond-mat-2005",
+                    "--variant",
+                    variant,
+                    "--threads",
+                    "2"
+                ]))
+                .is_ok(),
+                "{variant} with --threads failed"
+            );
+        }
+        assert!(run(&strings(&[
+            "cond-mat-2005",
+            "--threads",
+            "2",
+            "--instrumented"
+        ]))
+        .is_ok());
+    }
+
+    #[test]
+    fn bad_usage_fails_loudly() {
+        assert!(run(&[]).is_err());
+        assert!(run(&strings(&[
+            "cond-mat-2005",
+            "--variant",
+            "sideways",
+            "--threads",
+            "2"
+        ]))
+        .is_err());
+        assert!(run(&strings(&["cond-mat-2005", "--variant", "branch-avoiding"])).is_err());
+        assert!(run(&strings(&["cond-mat-2005", "--instrumented"])).is_err());
+        assert!(run(&strings(&["cond-mat-2005", "--root", "abc"])).is_err());
+        assert!(run(&strings(&["cond-mat-2005", "--delta"])).is_err());
+        assert!(run(&strings(&["cond-mat-2005", "--delta", "nope"])).is_err());
+        // An explicit zero is rejected, not silently clamped to 1.
+        assert!(run(&strings(&["cond-mat-2005", "--delta", "0"])).is_err());
+        // --delta is a sequential-reference knob.
+        assert!(run(&strings(&[
+            "cond-mat-2005",
+            "--delta",
+            "2",
+            "--threads",
+            "2"
+        ]))
+        .is_err());
+    }
+}

@@ -3,7 +3,7 @@
 //! In the bottom-up direction each *unvisited* vertex scans its own
 //! neighbours looking for a parent in the previous frontier, instead of the
 //! frontier pushing outwards. Beamer et al.'s direction-optimizing BFS
-//! (cited as [8] in the paper) switches between the two directions; this
+//! (cited as \[8\] in the paper) switches between the two directions; this
 //! module provides the pure bottom-up kernel, and
 //! [`super::direction_optimizing`] the switching version. It is included as
 //! an extension experiment: the bottom-up inner loop has an early `break`

@@ -1,4 +1,4 @@
-//! Direction-optimizing BFS (extension, Beamer et al., cited as [8]).
+//! Direction-optimizing BFS (extension, Beamer et al., cited as \[8\]).
 //!
 //! Runs top-down while the frontier is small and switches to bottom-up when
 //! the frontier grows past a configurable fraction of the vertices, then

@@ -3,7 +3,7 @@
 //! The paper's second case study (Section 5): classic top-down BFS in a
 //! branch-based form (paper Alg. 4) and a branch-avoiding form (paper
 //! Alg. 5), plus the bottom-up and direction-optimizing variants referenced
-//! as related work ([8] Beamer et al.) as extensions.
+//! as related work (\[8\] Beamer et al.) as extensions.
 //!
 //! * [`topdown_branch`] / [`topdown_branchless`] — plain Rust kernels for
 //!   wall-clock measurement.

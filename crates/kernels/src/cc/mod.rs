@@ -10,7 +10,7 @@
 //! * [`instrumented`] — the same two algorithms written against
 //!   [`bga_branchsim::ExecMachine`], producing exact per-iteration counter
 //!   series (Figures 3-5, 9a, 10a).
-//! * [`sv_hybrid`] — the crossover hybrid the paper suggests in Section 6.2.
+//! * [`sv_hybrid()`] — the crossover hybrid the paper suggests in Section 6.2.
 //! * [`baseline`] — union-find and BFS-based reference implementations used
 //!   to cross-validate every SV variant.
 

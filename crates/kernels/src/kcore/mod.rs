@@ -1,0 +1,117 @@
+//! k-core decomposition (extension).
+//!
+//! The *k-core* of a graph is the maximal subgraph in which every vertex
+//! has degree at least `k`; the *coreness* (core number) of a vertex is
+//! the largest `k` for which it belongs to the k-core. Coreness is
+//! computed by *peeling*: repeatedly remove every vertex whose remaining
+//! degree is at most the current `k`, recording `k` as its core number,
+//! then advance `k` once no such vertex remains. The removal cascade at a
+//! fixed `k` is confluent — whatever order vertices are peeled in, the set
+//! removed at each `k` is the same — which is what makes the parallel
+//! formulation in `bga-parallel` deterministic.
+//!
+//! * [`peeling::kcore_peeling`] — the sequential reference: the
+//!   Batagelj–Zaveršnik bucket algorithm, O(|V| + |E|), peeling vertices
+//!   in ascending remaining-degree order.
+//! * [`CoreDecomposition`] — the per-vertex core numbers with the summary
+//!   accessors the CLI and experiments report.
+//!
+//! The paper's thesis extends here the same way it does to BFS and SV:
+//! the inner peeling step is "decrement a neighbour's counter and test a
+//! threshold", which branch-avoiding code turns into an unconditional
+//! atomic `fetch_sub` plus a predicated enqueue (see
+//! `bga_parallel::kcore`).
+
+pub mod peeling;
+
+pub use peeling::kcore_peeling;
+
+/// Per-vertex core numbers produced by a k-core decomposition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CoreDecomposition {
+    core: Vec<u32>,
+}
+
+impl CoreDecomposition {
+    /// Wraps per-vertex core numbers.
+    pub fn new(core: Vec<u32>) -> Self {
+        CoreDecomposition { core }
+    }
+
+    /// Core number of vertex `v`.
+    pub fn core(&self, v: u32) -> u32 {
+        self.core[v as usize]
+    }
+
+    /// The core numbers, indexed by vertex id.
+    pub fn as_slice(&self) -> &[u32] {
+        &self.core
+    }
+
+    /// Number of vertices the decomposition covers.
+    pub fn len(&self) -> usize {
+        self.core.len()
+    }
+
+    /// True when the decomposition covers no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.core.is_empty()
+    }
+
+    /// The degeneracy of the graph: the largest `k` with a non-empty
+    /// k-core (0 for an empty graph).
+    pub fn degeneracy(&self) -> u32 {
+        self.core.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Number of vertices in the k-core (coreness ≥ `k`).
+    pub fn k_core_size(&self, k: u32) -> usize {
+        self.core.iter().filter(|&&c| c >= k).count()
+    }
+
+    /// Histogram of core numbers: `histogram()[k]` is the number of
+    /// vertices with coreness exactly `k`. Empty for an empty graph.
+    pub fn histogram(&self) -> Vec<usize> {
+        if self.core.is_empty() {
+            return Vec::new();
+        }
+        let mut counts = vec![0usize; self.degeneracy() as usize + 1];
+        for &c in &self.core {
+            counts[c as usize] += 1;
+        }
+        counts
+    }
+
+    /// Consumes the decomposition into the raw core-number vector.
+    pub fn into_inner(self) -> Vec<u32> {
+        self.core
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_accessors() {
+        let d = CoreDecomposition::new(vec![2, 1, 2, 0, 1]);
+        assert_eq!(d.core(0), 2);
+        assert_eq!(d.len(), 5);
+        assert!(!d.is_empty());
+        assert_eq!(d.degeneracy(), 2);
+        assert_eq!(d.k_core_size(0), 5);
+        assert_eq!(d.k_core_size(1), 4);
+        assert_eq!(d.k_core_size(2), 2);
+        assert_eq!(d.k_core_size(3), 0);
+        assert_eq!(d.histogram(), vec![1, 2, 2]);
+    }
+
+    #[test]
+    fn empty_decomposition() {
+        let d = CoreDecomposition::new(Vec::new());
+        assert!(d.is_empty());
+        assert_eq!(d.degeneracy(), 0);
+        assert_eq!(d.histogram(), Vec::<usize>::new());
+        assert_eq!(d.into_inner(), Vec::<u32>::new());
+    }
+}

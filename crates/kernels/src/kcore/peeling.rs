@@ -1,0 +1,176 @@
+//! Sequential k-core peeling: the Batagelj–Zaveršnik bucket algorithm.
+//!
+//! Vertices are bucket-sorted by remaining degree and peeled in ascending
+//! order; peeling a vertex decrements each still-unpeeled neighbour's
+//! degree and moves it one bucket down in O(1) by swapping it with the
+//! first member of its bucket. The whole decomposition is O(|V| + |E|).
+//! Degrees are never decremented below the degree of the vertex currently
+//! being peeled, so the recorded removal degrees are non-decreasing over
+//! the peel order — which is exactly why the removal degree *is* the core
+//! number.
+
+use super::CoreDecomposition;
+use bga_graph::{CsrGraph, VertexId};
+
+/// k-core decomposition of `graph` by bucket peeling. Returns one core
+/// number per vertex; isolated vertices have coreness 0.
+pub fn kcore_peeling(graph: &CsrGraph) -> CoreDecomposition {
+    let n = graph.num_vertices();
+    if n == 0 {
+        return CoreDecomposition::new(Vec::new());
+    }
+    let mut degree: Vec<usize> = (0..n).map(|v| graph.degree(v as VertexId)).collect();
+    let max_degree = graph.max_degree();
+
+    // Bucket sort vertices by degree: `bins[d]` is the start of degree-d
+    // vertices in `vert`, `pos[v]` is v's index in `vert`.
+    let mut bins = vec![0usize; max_degree + 2];
+    for &d in &degree {
+        bins[d] += 1;
+    }
+    let mut start = 0usize;
+    for bin in bins.iter_mut() {
+        let count = *bin;
+        *bin = start;
+        start += count;
+    }
+    let mut vert = vec![0 as VertexId; n];
+    let mut pos = vec![0usize; n];
+    for v in 0..n {
+        let d = degree[v];
+        vert[bins[d]] = v as VertexId;
+        pos[v] = bins[d];
+        bins[d] += 1;
+    }
+    // Restore the bucket starts (the insertion pass advanced them).
+    for d in (1..bins.len()).rev() {
+        bins[d] = bins[d - 1];
+    }
+    bins[0] = 0;
+
+    // Peel in ascending remaining-degree order.
+    let mut core = vec![0u32; n];
+    for i in 0..n {
+        let v = vert[i] as usize;
+        core[v] = degree[v] as u32;
+        for &u in graph.neighbors(v as VertexId) {
+            let u = u as usize;
+            if degree[u] > degree[v] {
+                // Move u one bucket down: swap it with the first member of
+                // its current bucket, then shrink the bucket by one.
+                let du = degree[u];
+                let pu = pos[u];
+                let pw = bins[du];
+                let w = vert[pw];
+                if u as VertexId != w {
+                    vert[pu] = w;
+                    pos[w as usize] = pu;
+                    vert[pw] = u as VertexId;
+                    pos[u] = pw;
+                }
+                bins[du] += 1;
+                degree[u] -= 1;
+            }
+        }
+    }
+    CoreDecomposition::new(core)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bga_graph::generators::{
+        barabasi_albert, complete_graph, cycle_graph, erdos_renyi_gnm, grid_2d, path_graph,
+        star_graph, MeshStencil,
+    };
+    use bga_graph::GraphBuilder;
+
+    /// Brute-force reference: repeatedly strip vertices of remaining
+    /// degree ≤ k from scratch. Quadratic, only for small shapes.
+    fn kcore_naive(graph: &CsrGraph) -> Vec<u32> {
+        let n = graph.num_vertices();
+        let mut core = vec![0u32; n];
+        let mut active = vec![true; n];
+        let mut remaining = n;
+        let mut k = 0u32;
+        while remaining > 0 {
+            loop {
+                let peel: Vec<usize> = (0..n)
+                    .filter(|&v| {
+                        active[v]
+                            && graph
+                                .neighbors(v as VertexId)
+                                .iter()
+                                .filter(|&&u| active[u as usize])
+                                .count() as u32
+                                <= k
+                    })
+                    .collect();
+                if peel.is_empty() {
+                    break;
+                }
+                for v in peel {
+                    active[v] = false;
+                    core[v] = k;
+                    remaining -= 1;
+                }
+            }
+            k += 1;
+        }
+        core
+    }
+
+    #[test]
+    fn matches_naive_reference_on_assorted_shapes() {
+        let shapes = vec![
+            GraphBuilder::undirected(0).build(),
+            GraphBuilder::undirected(1).build(),
+            GraphBuilder::undirected(5).build(), // all isolated
+            GraphBuilder::undirected(7)
+                .add_edges([(0, 1), (1, 2), (3, 4), (5, 6)])
+                .build(),
+            path_graph(12),
+            cycle_graph(9),
+            star_graph(10),
+            complete_graph(6),
+            grid_2d(6, 5, MeshStencil::VonNeumann),
+            erdos_renyi_gnm(60, 150, 7),
+            barabasi_albert(80, 3, 11),
+        ];
+        for g in &shapes {
+            assert_eq!(
+                kcore_peeling(g).as_slice(),
+                &kcore_naive(g)[..],
+                "peeling disagrees with naive stripping on {} vertices",
+                g.num_vertices()
+            );
+        }
+    }
+
+    #[test]
+    fn closed_form_families() {
+        // Path: endpoints and interior all have coreness 1.
+        let path = kcore_peeling(&path_graph(10));
+        assert!(path.as_slice().iter().all(|&c| c == 1));
+        // Cycle: every vertex has coreness 2.
+        let cycle = kcore_peeling(&cycle_graph(8));
+        assert!(cycle.as_slice().iter().all(|&c| c == 2));
+        // Star: everything peels at k = 1 (leaves first, then the hub).
+        let star = kcore_peeling(&star_graph(9));
+        assert!(star.as_slice().iter().all(|&c| c == 1));
+        // Complete graph on n vertices: coreness n - 1 everywhere.
+        let complete = kcore_peeling(&complete_graph(7));
+        assert!(complete.as_slice().iter().all(|&c| c == 6));
+        assert_eq!(complete.degeneracy(), 6);
+    }
+
+    #[test]
+    fn histogram_counts_every_vertex_once() {
+        let g = barabasi_albert(200, 3, 3);
+        let d = kcore_peeling(&g);
+        assert_eq!(d.histogram().iter().sum::<usize>(), g.num_vertices());
+        assert_eq!(d.k_core_size(0), g.num_vertices());
+        assert!(d.k_core_size(d.degeneracy()) > 0);
+        assert_eq!(d.k_core_size(d.degeneracy() + 1), 0);
+    }
+}

@@ -1,0 +1,163 @@
+//! Sequential delta-stepping on unit weights.
+//!
+//! Meyer & Sanders' delta-stepping partitions tentative distances into
+//! buckets of width `Δ` and settles them in ascending order; edges of
+//! weight ≤ `Δ` ("light" — on a unit-weight graph, all of them) are
+//! relaxed in repeated phases until the current bucket stops refilling.
+//! With `Δ = 1` a relaxation from bucket `i` can only land in bucket
+//! `i + 1`, so every bucket settles in exactly one phase and the loop *is*
+//! level-synchronous BFS — the degeneration the parallel client exploits.
+//! Larger deltas genuinely run multiple phases per bucket (a relaxation
+//! from distance `Δi` to `Δi + 1` stays in bucket `i`), which the tests
+//! use to check the bucket loop is more than a relabelled BFS.
+
+use super::SsspResult;
+use crate::bfs::INFINITY;
+use bga_graph::{CsrGraph, VertexId};
+
+/// Unit-weight SSSP from `source` by delta-stepping with `Δ = 1` (the
+/// BFS-degenerate configuration). A source outside the vertex range
+/// yields an all-unreached result, as in the BFS kernels.
+pub fn sssp_unit_delta_stepping(graph: &CsrGraph, source: VertexId) -> SsspResult {
+    sssp_unit_delta_stepping_with_delta(graph, source, 1)
+}
+
+/// Unit-weight SSSP from `source` by delta-stepping with an explicit
+/// bucket width (`delta` is clamped to ≥ 1). Distances are identical for
+/// every `delta`; only the phase structure changes.
+pub fn sssp_unit_delta_stepping_with_delta(
+    graph: &CsrGraph,
+    source: VertexId,
+    delta: u32,
+) -> SsspResult {
+    let n = graph.num_vertices();
+    let mut distances = vec![INFINITY; n];
+    if (source as usize) >= n {
+        return SsspResult::new(distances, 0);
+    }
+    let delta = delta.max(1);
+    distances[source as usize] = 0;
+    let mut buckets: Vec<Vec<VertexId>> = vec![vec![source]];
+    let mut phases = 0usize;
+    let mut index = 0usize;
+    while index < buckets.len() {
+        // Phase loop: relaxations out of bucket `index` may refill it when
+        // `delta > 1`, so keep draining until it stays empty.
+        loop {
+            let batch = std::mem::take(&mut buckets[index]);
+            if batch.is_empty() {
+                break;
+            }
+            let mut live = false;
+            for v in batch {
+                let dv = distances[v as usize];
+                // Stale entry: v improved into an earlier bucket after this
+                // copy was queued. Skip it; the live copy settles it.
+                if (dv / delta) as usize != index {
+                    continue;
+                }
+                live = true;
+                let candidate = dv + 1;
+                for &w in graph.neighbors(v) {
+                    if candidate < distances[w as usize] {
+                        distances[w as usize] = candidate;
+                        let bucket = (candidate / delta) as usize;
+                        if bucket >= buckets.len() {
+                            buckets.resize(bucket + 1, Vec::new());
+                        }
+                        buckets[bucket].push(w);
+                    }
+                }
+            }
+            // A batch of nothing but stale copies is bookkeeping, not a
+            // relaxation phase.
+            phases += usize::from(live);
+        }
+        index += 1;
+    }
+    SsspResult::new(distances, phases)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bga_graph::generators::{
+        barabasi_albert, complete_graph, cycle_graph, erdos_renyi_gnm, grid_2d, path_graph,
+        star_graph, MeshStencil,
+    };
+    use bga_graph::properties::bfs_distances_reference;
+    use bga_graph::GraphBuilder;
+
+    fn shapes() -> Vec<CsrGraph> {
+        vec![
+            GraphBuilder::undirected(1).build(),
+            GraphBuilder::undirected(6)
+                .add_edges([(0, 1), (1, 2), (3, 4)])
+                .build(),
+            path_graph(20),
+            cycle_graph(11),
+            star_graph(15),
+            complete_graph(7),
+            grid_2d(8, 7, MeshStencil::VonNeumann),
+            erdos_renyi_gnm(120, 300, 13),
+            barabasi_albert(200, 2, 9),
+        ]
+    }
+
+    #[test]
+    fn every_delta_matches_the_bfs_reference() {
+        for g in &shapes() {
+            for root in [0u32, (g.num_vertices() as u32).saturating_sub(1)] {
+                let expected = bfs_distances_reference(g, root);
+                for delta in [1u32, 2, 3, 7] {
+                    let run = sssp_unit_delta_stepping_with_delta(g, root, delta);
+                    assert_eq!(
+                        run.distances(),
+                        &expected[..],
+                        "delta {delta}, root {root}, {} vertices",
+                        g.num_vertices()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unit_delta_phase_count_is_the_level_count() {
+        // Δ = 1 degenerates to BFS: one phase per non-empty distance level.
+        let g = path_graph(9);
+        let run = sssp_unit_delta_stepping(&g, 0);
+        assert_eq!(run.phases(), 9);
+        assert_eq!(run.max_distance(), Some(8));
+        // An isolated root settles in one phase reaching only itself.
+        let lonely = GraphBuilder::undirected(3).add_edges([(1, 2)]).build();
+        let run = sssp_unit_delta_stepping(&lonely, 0);
+        assert_eq!(run.phases(), 1);
+        assert_eq!(run.reached_count(), 1);
+    }
+
+    #[test]
+    fn wide_deltas_run_multiple_phases_per_bucket() {
+        // On a path with Δ = 4, bucket 0 holds distances 0..=3 and must
+        // drain over several phases — more phases than buckets, fewer than
+        // levels only when buckets merge levels.
+        let g = path_graph(13);
+        let run = sssp_unit_delta_stepping_with_delta(&g, 0, 4);
+        assert_eq!(run.max_distance(), Some(12));
+        // 13 levels in buckets of 4 → 4 buckets, but each bucket takes one
+        // phase per level it covers: the phase count stays 13.
+        assert_eq!(run.phases(), 13);
+    }
+
+    #[test]
+    fn out_of_range_source_reaches_nothing() {
+        let g = path_graph(4);
+        let run = sssp_unit_delta_stepping(&g, 99);
+        assert_eq!(run.reached_count(), 0);
+        assert_eq!(run.phases(), 0);
+        assert_eq!(run.max_distance(), None);
+        let empty = sssp_unit_delta_stepping(&GraphBuilder::undirected(0).build(), 0);
+        assert_eq!(empty.distances().len(), 0);
+        assert_eq!(empty.phases(), 0);
+    }
+}

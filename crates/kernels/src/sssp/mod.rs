@@ -1,0 +1,99 @@
+//! Single-source shortest paths on unit weights (extension).
+//!
+//! The paper's introduction lists SSSP among the traversal-shaped
+//! algorithm families its findings extend to. This module provides the
+//! *unit-weight* case, where delta-stepping (Meyer & Sanders) collapses
+//! into level-synchronous BFS: with every edge weight 1 and `Δ = 1`, the
+//! bucket holding tentative distances in `[i, i + 1)` is exactly BFS
+//! level `i`, each bucket settles in a single relaxation phase, and the
+//! settling order is the BFS level order. That degeneration is the bridge
+//! the parallel client rides: `bga_parallel::sssp` runs the engine's
+//! level loop (queue↔bitmap frontier flipping included) and inherits the
+//! branch-based/branch-avoiding contrast of the BFS kernels.
+//!
+//! * [`delta_stepping::sssp_unit_delta_stepping`] — the sequential
+//!   reference, a real bucketed delta-stepping loop (any `Δ ≥ 1`) whose
+//!   unit-weight distances are cross-validated against the BFS reference.
+//! * [`SsspResult`] — distances plus the number of relaxation phases the
+//!   run settled in.
+
+pub mod delta_stepping;
+
+pub use delta_stepping::{sssp_unit_delta_stepping, sssp_unit_delta_stepping_with_delta};
+
+use crate::bfs::INFINITY;
+
+/// Result of a single-source shortest-path run on unit weights.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SsspResult {
+    distances: Vec<u32>,
+    phases: usize,
+}
+
+impl SsspResult {
+    /// Wraps per-vertex distances (`INFINITY` = unreached) and the number
+    /// of relaxation phases the run executed.
+    pub fn new(distances: Vec<u32>, phases: usize) -> Self {
+        SsspResult { distances, phases }
+    }
+
+    /// Distance of every vertex from the source (`u32::MAX` = unreached).
+    pub fn distances(&self) -> &[u32] {
+        &self.distances
+    }
+
+    /// Distance of vertex `v` from the source.
+    pub fn distance(&self, v: u32) -> u32 {
+        self.distances[v as usize]
+    }
+
+    /// Number of relaxation phases the run executed. With `Δ = 1` this is
+    /// the number of non-empty distance levels (eccentricity + 1); larger
+    /// deltas may settle one bucket over several phases.
+    pub fn phases(&self) -> usize {
+        self.phases
+    }
+
+    /// Number of vertices reached from the source (including it).
+    pub fn reached_count(&self) -> usize {
+        self.distances.iter().filter(|&&d| d != INFINITY).count()
+    }
+
+    /// The largest finite distance, or `None` when nothing was reached
+    /// (source out of range).
+    pub fn max_distance(&self) -> Option<u32> {
+        self.distances
+            .iter()
+            .copied()
+            .filter(|&d| d != INFINITY)
+            .max()
+    }
+
+    /// Consumes the result into the raw distance vector.
+    pub fn into_distances(self) -> Vec<u32> {
+        self.distances
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_accessors() {
+        let r = SsspResult::new(vec![0, 1, INFINITY, 2], 3);
+        assert_eq!(r.distance(0), 0);
+        assert_eq!(r.distances(), &[0, 1, INFINITY, 2]);
+        assert_eq!(r.phases(), 3);
+        assert_eq!(r.reached_count(), 3);
+        assert_eq!(r.max_distance(), Some(2));
+        assert_eq!(r.into_distances(), vec![0, 1, INFINITY, 2]);
+    }
+
+    #[test]
+    fn unreached_runs_have_no_max_distance() {
+        let r = SsspResult::new(vec![INFINITY, INFINITY], 0);
+        assert_eq!(r.reached_count(), 0);
+        assert_eq!(r.max_distance(), None);
+    }
+}

@@ -25,16 +25,17 @@
 //! Chunking policy: top-down levels balance on the *frontier's* degree
 //! prefix sums ([`frontier_degree_prefix`]); bottom-up levels balance on
 //! the degree of the *still-unvisited* vertices
-//! ([`unvisited_degree_prefix`]) — late levels, where the hubs are
-//! usually visited already, would be badly skewed by the whole-graph
-//! split; sweeps balance on the CSR offsets directly. All three reduce to
-//! [`balanced_prefix_ranges`] over the [`Execute::parallelism`] and the
-//! configured grain.
+//! ([`unvisited_degree_prefix`], computed as a chunked two-pass parallel
+//! prefix sum by [`par_unvisited_degree_prefix`] when the executor can
+//! fan out) — late levels, where the hubs are usually visited already,
+//! would be badly skewed by the whole-graph split; sweeps balance on the
+//! CSR offsets directly. All three reduce to [`balanced_prefix_ranges`]
+//! over the [`Execute::parallelism`] and the configured grain.
 
 use crate::bitmap::par_fill_bitmap;
 use crate::counters::{collect_run, merge_thread_steps, ThreadTally};
 use crate::pool::{
-    balanced_prefix_ranges, edge_balanced_ranges, effective_chunks_with_grain, Execute,
+    balanced_prefix_ranges, edge_balanced_ranges, effective_chunks_with_grain, even_ranges, Execute,
 };
 use bga_graph::{CsrGraph, VertexId};
 use bga_kernels::bfs::direction_optimizing::DirectionConfig;
@@ -270,6 +271,81 @@ pub fn unvisited_degree_prefix(graph: &CsrGraph, distances: &[AtomicU32]) -> Vec
     prefix
 }
 
+/// Shared output buffer for the chunked prefix-sum: every chunk writes a
+/// disjoint index range, so plain (non-atomic) writes through the raw
+/// pointer are race-free.
+struct DisjointPrefixWriter(*mut usize);
+
+// SAFETY: chunks write disjoint index ranges (the `even_ranges` tiling),
+// and `Execute::run` guarantees every closure invocation returns before
+// the buffer is read.
+unsafe impl Sync for DisjointPrefixWriter {}
+
+impl DisjointPrefixWriter {
+    /// # Safety
+    /// `index` must be in bounds and owned by exactly one chunk.
+    unsafe fn write(&self, index: usize, value: usize) {
+        *self.0.add(index) = value;
+    }
+}
+
+/// [`unvisited_degree_prefix`] computed as a chunked two-pass prefix sum
+/// over the [`Execute`] seam: pass one reduces each vertex chunk to its
+/// unvisited-degree total, a (chunk-count-sized) sequential scan turns the
+/// totals into per-chunk offsets, and pass two has every chunk fill its
+/// disjoint slice of the output. Falls back to the sequential
+/// single-pass accumulation when the executor has no parallelism or the
+/// graph is below the grain — the O(n)-per-level sequential wall the
+/// bottom-up chunker used to pay only falls on runs that can actually
+/// fan out.
+///
+/// The caller must guarantee `distances` has no concurrent writers for
+/// the duration of the call (the level loop computes the prefix between
+/// level barriers, where that holds by construction); both passes then
+/// observe identical values and the result is bit-identical to the
+/// sequential accumulation.
+pub fn par_unvisited_degree_prefix<E: Execute>(
+    graph: &CsrGraph,
+    distances: &[AtomicU32],
+    exec: &E,
+    grain: usize,
+) -> Vec<usize> {
+    let n = graph.num_vertices();
+    let chunks = effective_chunks_with_grain(n, exec.parallelism(), grain);
+    if exec.parallelism() == 1 || chunks <= 1 {
+        return unvisited_degree_prefix(graph, distances);
+    }
+    let weight = |v: usize| {
+        graph.degree(v as VertexId) * usize::from(distances[v].load(Relaxed) == INFINITY)
+    };
+    let ranges = even_ranges(n, chunks);
+    // Pass 1: reduce every chunk to its total unvisited degree.
+    let totals: Vec<usize> = exec.run(ranges.clone(), |_chunk, range| range.map(weight).sum());
+    // Sequential scan over the (tiny) per-chunk totals.
+    let mut offsets = Vec::with_capacity(totals.len());
+    let mut running = 0usize;
+    for total in &totals {
+        offsets.push(running);
+        running += total;
+    }
+    // Pass 2: every chunk fills its disjoint slice of the output.
+    let mut prefix = vec![0usize; n + 1];
+    let writer = DisjointPrefixWriter(prefix.as_mut_ptr());
+    let (writer_ref, offsets_ref) = (&writer, &offsets);
+    exec.run(ranges, move |chunk, range| {
+        let mut sum = offsets_ref[chunk];
+        for v in range {
+            sum += weight(v);
+            // SAFETY: chunk ranges tile `0..n`, so the written indices
+            // `range.start + 1 ..= range.end` are disjoint across chunks
+            // and in bounds of the `n + 1`-element buffer; index 0 is the
+            // pre-initialised leading zero no chunk touches.
+            unsafe { writer_ref.write(v + 1, sum) };
+        }
+    });
+    prefix
+}
+
 /// Everything a finished [`LevelLoop::run`] reports besides the distances
 /// (which live in the [`TraversalState`] the caller handed in).
 #[derive(Clone, Debug)]
@@ -379,7 +455,14 @@ impl<'a, E: Execute> LevelLoop<'a, E> {
                 in_frontier.clear();
                 let fill_chunks = effective_chunks_with_grain(frontier.len(), threads, self.grain);
                 par_fill_bitmap(self.exec, &in_frontier, &frontier, fill_chunks);
-                let prefix = unvisited_degree_prefix(self.graph, state.distances());
+                // Between-level barrier: no distance writes are in flight,
+                // so the two-pass parallel prefix sees stable values.
+                let prefix = par_unvisited_degree_prefix(
+                    self.graph,
+                    state.distances(),
+                    self.exec,
+                    self.grain,
+                );
                 let chunks =
                     effective_chunks_with_grain(*prefix.last().unwrap_or(&0), threads, self.grain);
                 let ranges = balanced_prefix_ranges(&prefix, chunks);
@@ -712,6 +795,58 @@ mod tests {
         // The ranges still tile the vertex span.
         assert_eq!(new_ranges.first().unwrap().start, 0);
         assert_eq!(new_ranges.last().unwrap().end, g.num_vertices());
+    }
+
+    #[test]
+    fn parallel_prefix_matches_sequential_on_assorted_visitation_patterns() {
+        use bga_graph::generators::barabasi_albert;
+        let g = barabasi_albert(3_000, 3, 41);
+        let state = TraversalState::new(g.num_vertices());
+        // Visit a scattered subset so the weights are non-trivial.
+        for v in (0..g.num_vertices()).step_by(3) {
+            state.distances()[v].store(1, Relaxed);
+        }
+        let expected = unvisited_degree_prefix(&g, state.distances());
+        let pool = WorkerPool::new(4);
+        let scoped = ScopedExecutor::new(3);
+        for grain in [1, 64, 4096] {
+            assert_eq!(
+                par_unvisited_degree_prefix(&g, state.distances(), &pool, grain),
+                expected,
+                "pool, grain {grain}"
+            );
+            assert_eq!(
+                par_unvisited_degree_prefix(&g, state.distances(), &scoped, grain),
+                expected,
+                "scoped, grain {grain}"
+            );
+        }
+        // Single-thread executors take the sequential path and still agree.
+        let single = WorkerPool::new(1);
+        assert_eq!(
+            par_unvisited_degree_prefix(&g, state.distances(), &single, 1),
+            expected
+        );
+    }
+
+    #[test]
+    fn parallel_prefix_handles_degenerate_inputs() {
+        let pool = WorkerPool::new(4);
+        // Empty graph: just the leading zero.
+        let empty = GraphBuilder::undirected(0).build();
+        let state = TraversalState::new(0);
+        assert_eq!(
+            par_unvisited_degree_prefix(&empty, state.distances(), &pool, 1),
+            vec![0]
+        );
+        // Everything visited: an all-zero prefix of the right length.
+        let g = star_graph(10);
+        let state = TraversalState::new(g.num_vertices());
+        for d in state.distances() {
+            d.store(0, Relaxed);
+        }
+        let prefix = par_unvisited_degree_prefix(&g, state.distances(), &pool, 1);
+        assert_eq!(prefix, vec![0; g.num_vertices() + 1]);
     }
 
     #[test]

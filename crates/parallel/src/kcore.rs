@@ -1,0 +1,559 @@
+//! Parallel k-core decomposition by concurrent peeling.
+//!
+//! Peeling is traversal-shaped in exactly the way the paper cares about:
+//! the inner step is "decrement a neighbour's degree counter and test a
+//! threshold", which is a branch per edge in the textbook form and a
+//! *priority decrement* in the branch-avoiding form. The two variants
+//! reproduce the SV/BFS contrast on atomic degree counters:
+//!
+//! * [`KcoreVariant::BranchAvoiding`] — per edge, one unconditional
+//!   `fetch_sub(1)` on the neighbour's degree plus a *predicated enqueue*:
+//!   the neighbour is written into the chunk's buffer unconditionally and
+//!   the buffer length advances by the branch-free
+//!   `(prev == k + 1) as usize` — exactly one decrement per vertex
+//!   observes the crossing from `k + 1` to `k`, so the next frontier is
+//!   duplicate-free without any test.
+//! * [`KcoreVariant::BranchBased`] — per edge, a data-dependent test
+//!   (`degree > k`?) guarding a `compare_exchange_weak` decrement loop,
+//!   with a second branch on the crossing to enqueue — the CAS discipline
+//!   of the branch-based SV hook.
+//!
+//! The driver is the sweep-until-fixpoint shape of the engine's
+//! `SweepLoop`, specialised to peeling rounds: for each `k` a chunked
+//! *seed sweep* over the vertex range collects every still-unpeeled
+//! vertex whose degree has fallen to ≤ `k` (a branch-free predicated
+//! collect), then *cascade rounds* expand the frontier — peel its
+//! vertices (store `core = k`), decrement their neighbours, enqueue the
+//! crossers — until the frontier empties, at which point every remaining
+//! vertex has degree > `k` (the fixpoint) and `k` advances. The seed
+//! sweep also reports the minimum unpeeled degree, so a `k` that would
+//! peel nothing is jumped over in one step rather than swept value by
+//! value (a complete graph peels in two sweeps, not `n`). Chunking,
+//! dispatch and tally merging all run over the same [`Execute`] seam and
+//! [`balanced_prefix_ranges`] chunkers as the level loop.
+//!
+//! The removal cascade at a fixed `k` is confluent — the set peeled at
+//! each `k` does not depend on the order the cascade discovers it — so
+//! **core numbers are deterministic and identical to the sequential
+//! [`bga_kernels::kcore::kcore_peeling`] for every thread count, grain
+//! and executor**. The frontier *order* inside a cascade round depends on
+//! which worker wins the crossing decrement and is not stable across
+//! runs; only the membership is. The two variants leave different residual
+//! values in the (discarded) degree counters of already-peeled vertices —
+//! the branch-avoiding kernel keeps decrementing them, the branch-based
+//! kernel skips them — but active vertices see identical degrees in both.
+
+use crate::counters::{collect_run, merge_thread_steps, ThreadTally};
+use crate::engine::frontier_degree_prefix;
+use crate::pool::{
+    balanced_prefix_ranges, effective_chunks_with_grain, even_ranges, Execute, PoolConfig,
+    WorkerPool,
+};
+use bga_graph::{CsrGraph, VertexId};
+use bga_kernels::kcore::CoreDecomposition;
+use bga_kernels::stats::RunCounters;
+use std::ops::Range;
+use std::sync::atomic::{AtomicU32, Ordering::Relaxed};
+
+/// Core value of a vertex that has not been peeled yet.
+const UNPEELED: u32 = u32::MAX;
+
+/// Which per-edge peeling discipline a parallel k-core run uses. Both
+/// produce identical core numbers; they differ only in the instruction
+/// mix, mirroring the SV pair.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KcoreVariant {
+    /// Test-and-CAS degree decrement, branch-guarded enqueue.
+    BranchBased,
+    /// Unconditional `fetch_sub` decrement, predicated enqueue.
+    BranchAvoiding,
+}
+
+/// Result of an instrumented parallel k-core run.
+#[derive(Clone, Debug)]
+pub struct ParKcoreRun {
+    /// Core numbers (identical to the sequential peeling's).
+    pub cores: CoreDecomposition,
+    /// Per-dispatch counters (seed sweeps and cascade rounds) merged
+    /// across worker threads.
+    pub counters: RunCounters,
+    /// Worker count the run actually used.
+    pub threads: usize,
+    /// Number of cascade rounds across all `k` (frontier expansions).
+    pub rounds: usize,
+}
+
+/// Seed sweep chunk: collect every still-unpeeled vertex in `range` whose
+/// degree has fallen to ≤ `k`, with a branch-free predicated collect
+/// (unconditional slot write, arithmetic length advance). Also reports
+/// the minimum unpeeled degree in the range (`u32::MAX` when none), which
+/// lets the driver jump `k` over empty peel rounds instead of sweeping
+/// every intermediate value.
+fn seed_chunk<const TALLY: bool>(
+    degree: &[AtomicU32],
+    core: &[AtomicU32],
+    k: u32,
+    range: Range<usize>,
+    tally: &mut ThreadTally,
+) -> (Vec<VertexId>, u32) {
+    let mut buffer = vec![0 as VertexId; range.len() + 1];
+    let mut len = 0usize;
+    let mut min_degree = u32::MAX;
+    for v in range {
+        let unpeeled = core[v].load(Relaxed) == UNPEELED;
+        let d = degree[v].load(Relaxed);
+        buffer[len] = v as VertexId;
+        len += usize::from(unpeeled & (d <= k));
+        // Branch-free min over the unpeeled degrees (peeled counters keep
+        // decaying and must not drag the minimum down).
+        min_degree = min_degree.min(if unpeeled { d } else { u32::MAX });
+        if TALLY {
+            tally.loads += 2;
+            tally.stores += 1; // unconditional slot write
+            tally.conditional_moves += 2; // predicated length advance + min
+            tally.branches += 1; // loop bound only
+        }
+    }
+    buffer.truncate(len);
+    (buffer, min_degree)
+}
+
+/// Branch-avoiding cascade chunk: peel `frontier[range]` at `k`, issue one
+/// unconditional `fetch_sub` per edge, and claim next-frontier slots with
+/// the branch-free `(prev == k + 1)` length advance. Exactly one decrement
+/// per vertex observes the crossing, so the concatenated discoveries are
+/// duplicate-free.
+#[allow(clippy::too_many_arguments)]
+fn cascade_chunk_avoiding<const TALLY: bool>(
+    graph: &CsrGraph,
+    degree: &[AtomicU32],
+    core: &[AtomicU32],
+    k: u32,
+    frontier: &[VertexId],
+    range: Range<usize>,
+    chunk_edges: usize,
+    tally: &mut ThreadTally,
+) -> Vec<VertexId> {
+    // One slot per potential crossing plus the overflow slot the
+    // unconditional write of a non-crossing lands in.
+    let mut buffer = vec![0 as VertexId; chunk_edges.min(graph.num_vertices()) + 1];
+    let mut len = 0usize;
+    for &v in &frontier[range] {
+        // Each frontier vertex belongs to exactly one chunk: the core
+        // store is race-free.
+        core[v as usize].store(k, Relaxed);
+        if TALLY {
+            tally.vertices += 1;
+            tally.updates += 1;
+            tally.stores += 1;
+            tally.branches += 1; // frontier-loop bound
+        }
+        for &u in graph.neighbors(v) {
+            // The priority decrement: unconditional atomic fetch_sub.
+            let prev = degree[u as usize].fetch_sub(1, Relaxed);
+            // Unconditional candidate write; the slot is claimed iff this
+            // decrement crossed the k threshold.
+            buffer[len] = u;
+            len += usize::from(prev == k + 1);
+            if TALLY {
+                tally.edges += 1;
+                // fetch_sub = load + sub + store; the queue slot write is
+                // unconditional; length advance is predicated arithmetic.
+                tally.loads += 1;
+                tally.stores += 2;
+                tally.conditional_moves += 1;
+                tally.branches += 1; // neighbour-loop bound only
+            }
+        }
+    }
+    buffer.truncate(len);
+    buffer
+}
+
+/// Branch-based cascade chunk: peel `frontier[range]` at `k`, and for
+/// every edge test the neighbour's degree before claiming the decrement
+/// with a CAS loop; the winner of the `k + 1 → k` transition enqueues.
+fn cascade_chunk_based<const TALLY: bool>(
+    graph: &CsrGraph,
+    degree: &[AtomicU32],
+    core: &[AtomicU32],
+    k: u32,
+    frontier: &[VertexId],
+    range: Range<usize>,
+    tally: &mut ThreadTally,
+) -> Vec<VertexId> {
+    let mut local = Vec::new();
+    for &v in &frontier[range] {
+        core[v as usize].store(k, Relaxed);
+        if TALLY {
+            tally.vertices += 1;
+            tally.updates += 1;
+            tally.stores += 1;
+            tally.branches += 1; // frontier-loop bound
+        }
+        for &u in graph.neighbors(v) {
+            if TALLY {
+                tally.edges += 1;
+                tally.loads += 1;
+                tally.branches += 2; // neighbour-loop bound + threshold test
+                tally.data_branches += 1;
+            }
+            let mut d = degree[u as usize].load(Relaxed);
+            loop {
+                // Data-dependent test: already at or below the threshold
+                // (peeled, queued, or doomed) — skip the decrement.
+                if d <= k {
+                    break;
+                }
+                if TALLY {
+                    tally.loads += 1;
+                }
+                match degree[u as usize].compare_exchange_weak(d, d - 1, Relaxed, Relaxed) {
+                    Ok(_) => {
+                        if TALLY {
+                            tally.stores += 1;
+                            tally.branches += 1; // crossing test
+                            tally.data_branches += 1;
+                        }
+                        // Exactly one CAS wins the k + 1 → k transition.
+                        if d == k + 1 {
+                            if TALLY {
+                                tally.stores += 1; // queue slot
+                            }
+                            local.push(u);
+                        }
+                        break;
+                    }
+                    Err(current) => {
+                        if TALLY {
+                            tally.branches += 1; // CAS retry test
+                            tally.data_branches += 1;
+                        }
+                        d = current;
+                    }
+                }
+            }
+        }
+    }
+    local
+}
+
+/// The peeling driver: seed sweep + cascade rounds per `k`, over any
+/// executor. Returns core numbers, the cascade-round count and (when
+/// `TALLY`) the per-dispatch counter series.
+fn peel_on<E: Execute, const BRANCH_AVOIDING: bool, const TALLY: bool>(
+    graph: &CsrGraph,
+    exec: &E,
+    grain: usize,
+) -> (CoreDecomposition, usize, RunCounters) {
+    let n = graph.num_vertices();
+    let threads = exec.parallelism();
+    let degree: Vec<AtomicU32> = (0..n)
+        .map(|v| AtomicU32::new(graph.degree(v as VertexId) as u32))
+        .collect();
+    let core: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNPEELED)).collect();
+    let (degree_ref, core_ref) = (&degree[..], &core[..]);
+    let mut peeled = 0usize;
+    let mut k = 0u32;
+    let mut rounds = 0usize;
+    let mut steps = Vec::new();
+    while peeled < n {
+        // Seed sweep for this k: every chunk scans a vertex range; the
+        // fixpoint of the previous k guarantees seeds have degree == k.
+        let seed_ranges = even_ranges(n, effective_chunks_with_grain(n, threads, grain));
+        let outcomes: Vec<((Vec<VertexId>, u32), ThreadTally)> =
+            exec.run(seed_ranges, move |_chunk, range| {
+                let mut tally = ThreadTally::default();
+                let found = seed_chunk::<TALLY>(degree_ref, core_ref, k, range, &mut tally);
+                (found, tally)
+            });
+        if TALLY {
+            let index = steps.len();
+            steps.push(merge_thread_steps(
+                index,
+                outcomes.iter().map(|(_, t)| t.into_step(index)),
+            ));
+        }
+        let min_unpeeled = outcomes
+            .iter()
+            .map(|((_, min), _)| *min)
+            .min()
+            .unwrap_or(u32::MAX);
+        let mut frontier: Vec<VertexId> = outcomes.into_iter().flat_map(|((f, _), _)| f).collect();
+        if frontier.is_empty() {
+            // Nothing peels at this k. Unpeeled vertices remain (the loop
+            // guard saw peeled < n), so jump straight to their smallest
+            // degree — on a graph with a dense inner core this replaces
+            // degeneracy-many empty whole-graph sweeps with one.
+            debug_assert!(min_unpeeled > k && min_unpeeled < u32::MAX);
+            k = min_unpeeled;
+            continue;
+        }
+        while !frontier.is_empty() {
+            rounds += 1;
+            peeled += frontier.len();
+            let prefix = frontier_degree_prefix(graph, &frontier);
+            let chunks = effective_chunks_with_grain(*prefix.last().unwrap_or(&0), threads, grain);
+            let ranges = balanced_prefix_ranges(&prefix, chunks);
+            let (frontier_ref, prefix_ref) = (&frontier, &prefix);
+            let outcomes: Vec<(Vec<VertexId>, ThreadTally)> =
+                exec.run(ranges, move |_chunk, range| {
+                    let mut tally = ThreadTally::default();
+                    let found = if BRANCH_AVOIDING {
+                        let chunk_edges = prefix_ref[range.end] - prefix_ref[range.start];
+                        cascade_chunk_avoiding::<TALLY>(
+                            graph,
+                            degree_ref,
+                            core_ref,
+                            k,
+                            frontier_ref,
+                            range,
+                            chunk_edges,
+                            &mut tally,
+                        )
+                    } else {
+                        cascade_chunk_based::<TALLY>(
+                            graph,
+                            degree_ref,
+                            core_ref,
+                            k,
+                            frontier_ref,
+                            range,
+                            &mut tally,
+                        )
+                    };
+                    (found, tally)
+                });
+            if TALLY {
+                let index = steps.len();
+                steps.push(merge_thread_steps(
+                    index,
+                    outcomes.iter().map(|(_, t)| t.into_step(index)),
+                ));
+            }
+            frontier = outcomes.into_iter().flat_map(|(f, _)| f).collect();
+        }
+        k += 1;
+    }
+    let cores = CoreDecomposition::new(core.into_iter().map(AtomicU32::into_inner).collect());
+    (cores, rounds, collect_run(steps))
+}
+
+/// Parallel k-core decomposition with the branch-avoiding peel (the
+/// default discipline, as in the SV/BFS pairs). `threads == 0` uses every
+/// available core. Core numbers are identical to
+/// [`bga_kernels::kcore::kcore_peeling`] at every thread count.
+pub fn par_kcore(graph: &CsrGraph, threads: usize) -> CoreDecomposition {
+    par_kcore_with_variant(graph, threads, KcoreVariant::BranchAvoiding)
+}
+
+/// Parallel k-core decomposition with an explicit peeling discipline.
+pub fn par_kcore_with_variant(
+    graph: &CsrGraph,
+    threads: usize,
+    variant: KcoreVariant,
+) -> CoreDecomposition {
+    par_kcore_with_stats(graph, threads, variant).0
+}
+
+/// As [`par_kcore_with_variant`], also returning the cascade-round count.
+pub fn par_kcore_with_stats(
+    graph: &CsrGraph,
+    threads: usize,
+    variant: KcoreVariant,
+) -> (CoreDecomposition, usize) {
+    let config = PoolConfig::from_env(threads);
+    let pool = WorkerPool::with_config(&config);
+    par_kcore_on(graph, &pool, config.grain, variant)
+}
+
+/// [`par_kcore_with_stats`] on an explicit executor — the seam the
+/// benchmarks and forced-fan-out tests use.
+pub fn par_kcore_on<E: Execute>(
+    graph: &CsrGraph,
+    exec: &E,
+    grain: usize,
+    variant: KcoreVariant,
+) -> (CoreDecomposition, usize) {
+    let (cores, rounds, _) = match variant {
+        KcoreVariant::BranchAvoiding => peel_on::<E, true, false>(graph, exec, grain),
+        KcoreVariant::BranchBased => peel_on::<E, false, false>(graph, exec, grain),
+    };
+    (cores, rounds)
+}
+
+/// Instrumented parallel k-core: every worker tallies the loads, stores
+/// and branches it executes; tallies merge into one
+/// [`bga_kernels::stats::StepCounters`] per dispatch (seed sweeps and
+/// cascade rounds alike).
+pub fn par_kcore_instrumented(
+    graph: &CsrGraph,
+    threads: usize,
+    variant: KcoreVariant,
+) -> ParKcoreRun {
+    let config = PoolConfig::from_env(threads);
+    let pool = WorkerPool::with_config(&config);
+    let (cores, rounds, counters) = match variant {
+        KcoreVariant::BranchAvoiding => peel_on::<_, true, true>(graph, &pool, config.grain),
+        KcoreVariant::BranchBased => peel_on::<_, false, true>(graph, &pool, config.grain),
+    };
+    ParKcoreRun {
+        cores,
+        counters,
+        threads: pool.threads(),
+        rounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::ScopedExecutor;
+    use bga_graph::generators::{
+        barabasi_albert, complete_graph, cycle_graph, erdos_renyi_gnm, grid_2d, path_graph,
+        star_graph, MeshStencil,
+    };
+    use bga_graph::GraphBuilder;
+    use bga_kernels::kcore::kcore_peeling;
+
+    fn shapes() -> Vec<CsrGraph> {
+        vec![
+            GraphBuilder::undirected(0).build(),
+            GraphBuilder::undirected(1).build(),
+            GraphBuilder::undirected(5).build(), // all isolated
+            GraphBuilder::undirected(7)
+                .add_edges([(0, 1), (1, 2), (3, 4), (5, 6)])
+                .build(),
+            path_graph(40),
+            cycle_graph(17),
+            star_graph(30),
+            complete_graph(9),
+            grid_2d(11, 9, MeshStencil::Moore),
+            erdos_renyi_gnm(300, 900, 5),
+            barabasi_albert(500, 3, 13),
+            // Above PARALLEL_GRAIN, so chunking fans out for real.
+            barabasi_albert(5_000, 4, 23),
+        ]
+    }
+
+    #[test]
+    fn cores_match_sequential_peeling_for_every_thread_count() {
+        for g in &shapes() {
+            let expected = kcore_peeling(g);
+            for threads in [1, 2, 3, 8] {
+                for variant in [KcoreVariant::BranchBased, KcoreVariant::BranchAvoiding] {
+                    assert_eq!(
+                        par_kcore_with_variant(g, threads, variant).as_slice(),
+                        expected.as_slice(),
+                        "{variant:?}, {threads} threads, {} vertices",
+                        g.num_vertices()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn executors_and_grains_agree() {
+        let g = barabasi_albert(2_000, 3, 31);
+        let expected = kcore_peeling(&g);
+        let pool = WorkerPool::new(4);
+        let scoped = ScopedExecutor::new(4);
+        // Grain 1 forces every seed sweep and cascade round to fan out.
+        for grain in [1, 4096] {
+            for variant in [KcoreVariant::BranchBased, KcoreVariant::BranchAvoiding] {
+                let (pool_cores, pool_rounds) = par_kcore_on(&g, &pool, grain, variant);
+                let (scoped_cores, scoped_rounds) = par_kcore_on(&g, &scoped, grain, variant);
+                assert_eq!(pool_cores.as_slice(), expected.as_slice());
+                assert_eq!(scoped_cores.as_slice(), expected.as_slice());
+                // Cascade structure is deterministic, not just the values.
+                assert_eq!(pool_rounds, scoped_rounds, "{variant:?} grain {grain}");
+            }
+        }
+    }
+
+    #[test]
+    fn cascade_rounds_track_the_peel_structure() {
+        // A path peels from both ends inwards: ~n/2 cascade rounds at k=1.
+        let g = path_graph(20);
+        let (cores, rounds) = par_kcore_with_stats(&g, 2, KcoreVariant::BranchAvoiding);
+        assert!(cores.as_slice().iter().all(|&c| c == 1));
+        assert_eq!(rounds, 10);
+        // A complete graph peels in one round once k reaches n - 1.
+        let g = complete_graph(8);
+        let (cores, rounds) = par_kcore_with_stats(&g, 2, KcoreVariant::BranchAvoiding);
+        assert!(cores.as_slice().iter().all(|&c| c == 7));
+        assert_eq!(rounds, 1);
+        // The empty graph peels nothing in zero rounds.
+        let g = GraphBuilder::undirected(0).build();
+        let (cores, rounds) = par_kcore_with_stats(&g, 2, KcoreVariant::BranchAvoiding);
+        assert!(cores.is_empty());
+        assert_eq!(rounds, 0);
+    }
+
+    #[test]
+    fn empty_peel_rounds_are_jumped_not_swept() {
+        // A complete graph peels nothing until k = n - 1: the driver must
+        // jump there off the first sweep's minimum-degree report instead
+        // of sweeping every intermediate k. Dispatches: the empty k = 0
+        // sweep, the k = 31 seed sweep, one cascade round.
+        let g = complete_graph(32);
+        let run = par_kcore_instrumented(&g, 2, KcoreVariant::BranchAvoiding);
+        assert!(run.cores.as_slice().iter().all(|&c| c == 31));
+        assert_eq!(run.rounds, 1);
+        assert_eq!(run.counters.num_steps(), 3);
+    }
+
+    #[test]
+    fn instrumented_runs_account_the_peel() {
+        let g = barabasi_albert(2_000, 3, 7);
+        for threads in [1, 2, 8] {
+            for variant in [KcoreVariant::BranchBased, KcoreVariant::BranchAvoiding] {
+                let run = par_kcore_instrumented(&g, threads, variant);
+                assert_eq!(run.threads, threads);
+                assert_eq!(run.cores.as_slice(), kcore_peeling(&g).as_slice());
+                assert!(run.rounds > 0);
+                // Every vertex is peeled exactly once across all rounds.
+                let peeled: u64 = run.counters.steps.iter().map(|s| s.updates).sum();
+                assert_eq!(peeled as usize, g.num_vertices());
+                // Every adjacency slot is traversed exactly once (each
+                // vertex expands its full neighbour list when peeled).
+                assert_eq!(
+                    run.counters.total_edges_traversed() as usize,
+                    g.num_edge_slots(),
+                    "{variant:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn branch_contrast_survives_parallelism() {
+        // The branch-based peel executes a data-dependent branch per edge
+        // that the branch-avoiding peel replaces with a fetch_sub, so it
+        // must report strictly more branches and a non-zero misprediction
+        // bound, while the avoiding peel reports more stores and real
+        // predicated-operation counts.
+        let g = erdos_renyi_gnm(1_500, 4_500, 21);
+        let based = par_kcore_instrumented(&g, 4, KcoreVariant::BranchBased);
+        let avoiding = par_kcore_instrumented(&g, 4, KcoreVariant::BranchAvoiding);
+        assert_eq!(based.cores.as_slice(), avoiding.cores.as_slice());
+        let b = based.counters.total();
+        let a = avoiding.counters.total();
+        assert!(b.branches > a.branches, "{} <= {}", b.branches, a.branches);
+        assert!(b.branch_mispredictions > 0);
+        assert_eq!(a.branch_mispredictions, 0);
+        assert!(a.stores > b.stores, "{} <= {}", a.stores, b.stores);
+        assert!(a.conditional_moves > 0);
+    }
+
+    #[test]
+    fn degeneracy_and_histogram_survive_the_parallel_path() {
+        let g = barabasi_albert(400, 3, 3);
+        let seq = kcore_peeling(&g);
+        let par = par_kcore(&g, 4);
+        assert_eq!(par.degeneracy(), seq.degeneracy());
+        assert_eq!(par.histogram(), seq.histogram());
+        assert_eq!(par.k_core_size(2), seq.k_core_size(2));
+    }
+}

@@ -25,6 +25,15 @@
 //!   `fetch_min`/`fetch_add` vs branch-based CAS), then a reverse
 //!   level-sweep dependency accumulation over the recorded level
 //!   boundaries.
+//! * [`kcore`] — parallel k-core decomposition by concurrent peeling over
+//!   atomic degree counters: branch-avoiding unconditional `fetch_sub`
+//!   with a predicated next-frontier enqueue vs a branch-based
+//!   test-and-CAS decrement, driven by per-`k` seed sweeps plus cascade
+//!   rounds over the same chunking seams.
+//! * [`sssp`] — parallel unit-weight SSSP: delta-stepping degenerated
+//!   onto the engine's level loop (bucket `i` *is* level `i` on unit
+//!   weights), reusing the BFS relaxation kernels and the queue↔bitmap
+//!   frontier flip.
 //! * [`pool`] — the execution layer underneath: a persistent
 //!   [`WorkerPool`] of condvar-parked workers handed edge-balanced chunks
 //!   through an atomic claim counter (spawned once per run, woken once per
@@ -70,7 +79,9 @@ pub mod bfs;
 pub mod bitmap;
 pub mod counters;
 pub mod engine;
+pub mod kcore;
 pub mod pool;
+pub mod sssp;
 pub mod sv;
 
 pub use bc::{
@@ -89,9 +100,17 @@ pub use counters::{merge_thread_steps, ThreadTally};
 pub use engine::{
     LevelCtx, LevelKernel, LevelLoop, LevelRun, SweepKernel, SweepLoop, SweepRun, TraversalState,
 };
+pub use kcore::{
+    par_kcore, par_kcore_instrumented, par_kcore_on, par_kcore_with_stats, par_kcore_with_variant,
+    KcoreVariant, ParKcoreRun,
+};
 pub use pool::{
     edge_balanced_ranges, resolve_threads, run_chunks, Execute, PoolConfig, ScopedExecutor,
     WorkerPool, GRAIN_ENV_VAR, PARALLEL_GRAIN,
+};
+pub use sssp::{
+    par_sssp_unit, par_sssp_unit_instrumented, par_sssp_unit_on, par_sssp_unit_with_variant,
+    ParSsspRun, SsspVariant,
 };
 pub use sv::{
     par_sv_branch_avoiding, par_sv_branch_avoiding_instrumented, par_sv_branch_avoiding_on,

@@ -1,0 +1,264 @@
+//! Parallel unit-weight SSSP: delta-stepping degenerated onto the level
+//! loop.
+//!
+//! On unit weights, delta-stepping's buckets collapse into BFS levels
+//! (see [`bga_kernels::sssp`]): bucket `i` *is* distance level `i`, every
+//! bucket settles in one relaxation phase, and the settling order is the
+//! level order. The parallel client therefore rides the traversal engine
+//! ([`crate::engine::LevelLoop`]) directly — each settling phase is one
+//! engine level, with the queue↔bitmap frontier flip and α/β direction
+//! switching intact — and reuses the BFS level kernels verbatim for the
+//! per-edge relaxation discipline:
+//!
+//! * [`SsspVariant::BranchAvoiding`] — one `fetch_min(next_level)` per
+//!   edge with the branch-free "write past the end" bucket claim
+//!   ([`crate::bfs::BranchAvoidingLevel`]).
+//! * [`SsspVariant::BranchBased`] — test `distance == INFINITY`, then
+//!   claim with a `compare_exchange`
+//!   ([`crate::bfs::BranchBasedLevel`]).
+//!
+//! Distances are deterministic and identical to the sequential
+//! [`bga_kernels::sssp::sssp_unit_delta_stepping`] reference (and to the
+//! BFS reference it cross-validates against) for every thread count,
+//! grain and executor; the reported phase count equals the sequential
+//! Δ = 1 phase count. What the SSSP framing adds over `par_bfs_*` is the
+//! bucket vocabulary the delta-stepping literature uses — phases, settled
+//! buckets — reported as such, so a future weighted generalisation slots
+//! in behind the same API.
+
+use crate::bfs::{BranchAvoidingLevel, BranchBasedLevel};
+use crate::engine::{Direction, LevelLoop, TraversalState};
+use crate::pool::{Execute, PoolConfig, WorkerPool};
+use bga_graph::{CsrGraph, VertexId};
+use bga_kernels::bfs::direction_optimizing::DirectionConfig;
+use bga_kernels::sssp::SsspResult;
+use bga_kernels::stats::RunCounters;
+
+/// Which per-edge relaxation discipline a parallel unit-weight SSSP run
+/// uses. Both settle identical distances; they differ only in the
+/// instruction mix, mirroring the BFS pair.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SsspVariant {
+    /// Test-and-CAS distance claim.
+    BranchBased,
+    /// `fetch_min` distance claim with the predicated bucket write.
+    BranchAvoiding,
+}
+
+/// Result of an instrumented parallel unit-weight SSSP run.
+#[derive(Clone, Debug)]
+pub struct ParSsspRun {
+    /// Distances and phase count (identical to the sequential reference).
+    pub result: SsspResult,
+    /// Direction each settling phase ran in (top-down queue expansion or
+    /// bottom-up bitmap pull).
+    pub directions: Vec<Direction>,
+    /// Per-phase counters merged across worker threads — populated only
+    /// by [`par_sssp_unit_instrumented`], empty otherwise.
+    pub counters: RunCounters,
+    /// Worker count the run actually used.
+    pub threads: usize,
+}
+
+impl ParSsspRun {
+    /// Number of settling phases that ran bottom-up over the bitmap.
+    pub fn bottom_up_phases(&self) -> usize {
+        self.directions
+            .iter()
+            .filter(|&&d| d == Direction::BottomUp)
+            .count()
+    }
+}
+
+/// Parallel unit-weight SSSP from `source` with the branch-avoiding
+/// relaxation (the default discipline) and the default direction
+/// heuristic. `threads == 0` uses every available core; a source outside
+/// the vertex range yields an all-unreached result.
+pub fn par_sssp_unit(graph: &CsrGraph, source: VertexId, threads: usize) -> SsspResult {
+    par_sssp_unit_with_variant(graph, source, threads, SsspVariant::BranchAvoiding)
+}
+
+/// Parallel unit-weight SSSP with an explicit relaxation discipline.
+pub fn par_sssp_unit_with_variant(
+    graph: &CsrGraph,
+    source: VertexId,
+    threads: usize,
+    variant: SsspVariant,
+) -> SsspResult {
+    let config = PoolConfig::from_env(threads);
+    let pool = WorkerPool::with_config(&config);
+    par_sssp_unit_on(graph, source, &pool, config.grain, variant)
+}
+
+/// [`par_sssp_unit_with_variant`] on an explicit executor — the seam the
+/// benchmarks and forced-fan-out tests use.
+pub fn par_sssp_unit_on<E: Execute>(
+    graph: &CsrGraph,
+    source: VertexId,
+    exec: &E,
+    grain: usize,
+    variant: SsspVariant,
+) -> SsspResult {
+    let state = TraversalState::new(graph.num_vertices());
+    let level_loop = LevelLoop::new(graph, exec, grain, DirectionConfig::default());
+    let run = match variant {
+        SsspVariant::BranchAvoiding => {
+            level_loop.run(&state, source, &BranchAvoidingLevel::<false>)
+        }
+        SsspVariant::BranchBased => level_loop.run(&state, source, &BranchBasedLevel::<false>),
+    };
+    SsspResult::new(state.into_distances(), run.directions.len())
+}
+
+/// Instrumented parallel unit-weight SSSP: per-worker tallies of every
+/// settling phase (top-down and bottom-up alike) merged into one
+/// [`bga_kernels::stats::StepCounters`] per phase.
+pub fn par_sssp_unit_instrumented(
+    graph: &CsrGraph,
+    source: VertexId,
+    threads: usize,
+    variant: SsspVariant,
+) -> ParSsspRun {
+    let config = PoolConfig::from_env(threads);
+    let pool = WorkerPool::with_config(&config);
+    let state = TraversalState::new(graph.num_vertices());
+    let level_loop = LevelLoop::new(graph, &pool, config.grain, DirectionConfig::default());
+    let run = match variant {
+        SsspVariant::BranchAvoiding => level_loop.run(&state, source, &BranchAvoidingLevel::<true>),
+        SsspVariant::BranchBased => level_loop.run(&state, source, &BranchBasedLevel::<true>),
+    };
+    ParSsspRun {
+        result: SsspResult::new(state.into_distances(), run.directions.len()),
+        directions: run.directions,
+        counters: run.counters,
+        threads: pool.threads(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::ScopedExecutor;
+    use bga_graph::generators::{
+        barabasi_albert, complete_graph, grid_2d, path_graph, star_graph, MeshStencil,
+    };
+    use bga_graph::properties::bfs_distances_reference;
+    use bga_graph::GraphBuilder;
+    use bga_kernels::sssp::sssp_unit_delta_stepping;
+
+    fn shapes() -> Vec<CsrGraph> {
+        vec![
+            GraphBuilder::undirected(1).build(),
+            GraphBuilder::undirected(6)
+                .add_edges([(0, 1), (1, 2), (3, 4)])
+                .build(),
+            path_graph(50),
+            star_graph(35),
+            complete_graph(10),
+            grid_2d(12, 8, MeshStencil::Moore),
+            barabasi_albert(600, 3, 17),
+            // Above PARALLEL_GRAIN, so per-phase chunking fans out for real.
+            barabasi_albert(4_000, 4, 29),
+        ]
+    }
+
+    #[test]
+    fn distances_and_phases_match_the_sequential_reference() {
+        for g in &shapes() {
+            for source in [0u32, (g.num_vertices() as u32).saturating_sub(1)] {
+                let seq = sssp_unit_delta_stepping(g, source);
+                assert_eq!(seq.distances(), &bfs_distances_reference(g, source)[..]);
+                for threads in [1, 2, 8] {
+                    for variant in [SsspVariant::BranchBased, SsspVariant::BranchAvoiding] {
+                        let par = par_sssp_unit_with_variant(g, source, threads, variant);
+                        assert_eq!(
+                            par.distances(),
+                            seq.distances(),
+                            "{variant:?}, {threads} threads, source {source}"
+                        );
+                        assert_eq!(
+                            par.phases(),
+                            seq.phases(),
+                            "{variant:?}, {threads} threads, source {source}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn executors_and_grains_agree() {
+        let g = barabasi_albert(1_500, 3, 19);
+        let expected = sssp_unit_delta_stepping(&g, 0);
+        let pool = WorkerPool::new(4);
+        let scoped = ScopedExecutor::new(4);
+        // Grain 1 forces every settling phase to fan out.
+        for grain in [1, 64, 4096] {
+            for variant in [SsspVariant::BranchBased, SsspVariant::BranchAvoiding] {
+                let run = par_sssp_unit_on(&g, 0, &pool, grain, variant);
+                assert_eq!(run.distances(), expected.distances());
+                assert_eq!(run.phases(), expected.phases());
+            }
+            let run = par_sssp_unit_on(&g, 0, &scoped, grain, SsspVariant::BranchAvoiding);
+            assert_eq!(run.distances(), expected.distances());
+        }
+    }
+
+    #[test]
+    fn direction_flip_engages_on_explosive_frontiers() {
+        // A star's second phase covers every remaining vertex at once,
+        // which crosses the default bottom-up threshold — the SSSP client
+        // inherits the engine's frontier flip, not just top-down levels.
+        let g = star_graph(2_000);
+        let run = par_sssp_unit_instrumented(&g, 0, 2, SsspVariant::BranchAvoiding);
+        assert!(run.bottom_up_phases() > 0);
+        assert_eq!(run.result.max_distance(), Some(1));
+        assert_eq!(run.result.reached_count(), 2_000);
+    }
+
+    #[test]
+    fn instrumented_phases_cover_the_whole_settlement() {
+        let g = barabasi_albert(800, 3, 7);
+        for variant in [SsspVariant::BranchBased, SsspVariant::BranchAvoiding] {
+            for threads in [1, 2, 8] {
+                let run = par_sssp_unit_instrumented(&g, 0, threads, variant);
+                assert_eq!(run.threads, threads);
+                assert_eq!(run.counters.num_steps(), run.directions.len());
+                assert_eq!(run.result.phases(), run.directions.len());
+                // Every settled vertex beyond the source was claimed by
+                // exactly one phase's relaxations.
+                let updates: u64 = run.counters.steps.iter().map(|s| s.updates).sum();
+                assert_eq!(updates as usize, run.result.reached_count() - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_range_source_reaches_nothing() {
+        let g = path_graph(5);
+        for threads in [1, 4] {
+            let run = par_sssp_unit(&g, 99, threads);
+            assert_eq!(run.reached_count(), 0);
+            assert_eq!(run.phases(), 0);
+            assert_eq!(run.max_distance(), None);
+        }
+    }
+
+    #[test]
+    fn branch_contrast_survives_parallelism() {
+        // A long thin mesh keeps every frontier under the bottom-up
+        // threshold, so both runs stay on the top-down kernels whose
+        // instruction mix is the contrast under test.
+        let g = grid_2d(100, 16, MeshStencil::VonNeumann);
+        let based = par_sssp_unit_instrumented(&g, 0, 4, SsspVariant::BranchBased);
+        let avoiding = par_sssp_unit_instrumented(&g, 0, 4, SsspVariant::BranchAvoiding);
+        assert_eq!(based.result.distances(), avoiding.result.distances());
+        let b = based.counters.total();
+        let a = avoiding.counters.total();
+        assert!(b.branches > a.branches);
+        assert!(a.stores > b.stores);
+        assert!(b.branch_mispredictions > 0);
+        assert_eq!(a.branch_mispredictions, 0);
+    }
+}

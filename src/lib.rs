@@ -11,15 +11,17 @@
 //!   instrumented execution machine and the Table-1 machine cost models.
 //! * [`kernels`] ([`bga_kernels`]) — branch-based and branch-avoiding
 //!   Shiloach-Vishkin connected components and top-down BFS, baselines,
-//!   extensions and instrumented variants.
+//!   extensions (Brandes betweenness, k-core bucket peeling, unit-weight
+//!   delta-stepping SSSP) and instrumented variants.
 //! * [`perfmodel`] ([`bga_perfmodel`]) — misprediction bounds, modelled-time
 //!   conversion and correlation analysis.
 //! * [`parallel`] ([`bga_parallel`]) — multi-threaded kernels on one
 //!   traversal engine: atomic fetch-min Shiloach-Vishkin,
 //!   level-synchronous parallel BFS (top-down and direction-optimizing
-//!   over a shared bitmap frontier) and parallel Brandes betweenness
-//!   centrality, all on a persistent worker pool with edge-balanced
-//!   chunking.
+//!   over a shared bitmap frontier), parallel Brandes betweenness
+//!   centrality, k-core peeling over atomic degree counters and
+//!   unit-weight SSSP on the level loop, all on a persistent worker pool
+//!   with edge-balanced chunking.
 //!
 //! ```
 //! use branch_avoiding_graphs::prelude::*;
@@ -67,12 +69,17 @@ pub mod prelude {
         sv_branch_avoiding, sv_branch_avoiding_instrumented, sv_branch_based,
         sv_branch_based_instrumented, sv_hybrid, ComponentLabels, HybridConfig,
     };
+    pub use bga_kernels::kcore::{kcore_peeling, CoreDecomposition};
+    pub use bga_kernels::sssp::{
+        sssp_unit_delta_stepping, sssp_unit_delta_stepping_with_delta, SsspResult,
+    };
     pub use bga_parallel::{
         par_betweenness_centrality, par_betweenness_centrality_sources,
         par_betweenness_centrality_with_variant, par_bfs_branch_avoiding, par_bfs_branch_based,
-        par_bfs_direction_optimizing, par_bfs_direction_optimizing_with_config,
-        par_sv_branch_avoiding, par_sv_branch_based, BcVariant, LevelLoop, PoolConfig, SweepLoop,
-        TraversalState, WorkerPool,
+        par_bfs_direction_optimizing, par_bfs_direction_optimizing_with_config, par_kcore,
+        par_kcore_with_variant, par_sssp_unit, par_sssp_unit_with_variant, par_sv_branch_avoiding,
+        par_sv_branch_based, BcVariant, KcoreVariant, LevelLoop, PoolConfig, SsspVariant,
+        SweepLoop, TraversalState, WorkerPool,
     };
     pub use bga_perfmodel::timing::{modeled_speedup, time_run};
 }

@@ -1,5 +1,6 @@
 //! Integration tests for the `bga-parallel` subsystem: parallel SV labels,
-//! parallel BFS distances and parallel Brandes betweenness scores must be
+//! parallel BFS distances, parallel Brandes betweenness scores, parallel
+//! k-core numbers and parallel unit-weight SSSP distances must be
 //! identical to the sequential kernels and the reference implementations —
 //! on the Table-2 suite stand-ins and on randomly relabelled generator
 //! graphs — deterministically, for thread counts 1, 2 and 8.
@@ -17,6 +18,10 @@ use branch_avoiding_graphs::kernels::bfs::direction_optimizing::{
 };
 use branch_avoiding_graphs::kernels::bfs::{bfs_branch_avoiding, bfs_branch_based};
 use branch_avoiding_graphs::kernels::cc::{sv_branch_avoiding, sv_branch_based};
+use branch_avoiding_graphs::kernels::kcore::kcore_peeling;
+use branch_avoiding_graphs::kernels::sssp::{
+    sssp_unit_delta_stepping, sssp_unit_delta_stepping_with_delta,
+};
 use branch_avoiding_graphs::parallel::{
     par_betweenness_centrality_sources, par_betweenness_centrality_with_variant, BcVariant,
 };
@@ -25,6 +30,9 @@ use branch_avoiding_graphs::parallel::{
     par_bfs_branch_based_instrumented, par_bfs_direction_optimizing,
     par_bfs_direction_optimizing_with_config, par_sv_branch_avoiding,
     par_sv_branch_avoiding_instrumented, par_sv_branch_based, par_sv_branch_based_instrumented,
+};
+use branch_avoiding_graphs::parallel::{
+    par_kcore_with_variant, par_sssp_unit_with_variant, KcoreVariant, SsspVariant,
 };
 use proptest::prelude::*;
 
@@ -161,6 +169,132 @@ fn bc_scores_are_bit_deterministic_across_threads() {
             }
         }
     }
+}
+
+fn assert_parallel_kcore_matches_sequential(graph: &CsrGraph) {
+    let expected = kcore_peeling(graph);
+    for threads in THREAD_COUNTS {
+        for variant in [KcoreVariant::BranchBased, KcoreVariant::BranchAvoiding] {
+            assert_eq!(
+                par_kcore_with_variant(graph, threads, variant).as_slice(),
+                expected.as_slice(),
+                "parallel {variant:?} k-core diverged at {threads} threads"
+            );
+        }
+    }
+}
+
+fn assert_parallel_sssp_matches_sequential(graph: &CsrGraph, source: u32) {
+    let expected = sssp_unit_delta_stepping(graph, source);
+    assert_eq!(
+        expected.distances(),
+        &bfs_distances_reference(graph, source)[..],
+        "sequential delta-stepping diverged from the BFS reference"
+    );
+    for threads in THREAD_COUNTS {
+        for variant in [SsspVariant::BranchBased, SsspVariant::BranchAvoiding] {
+            let par = par_sssp_unit_with_variant(graph, source, threads, variant);
+            assert_eq!(
+                par.distances(),
+                expected.distances(),
+                "parallel {variant:?} SSSP diverged at {threads} threads"
+            );
+            assert_eq!(
+                par.phases(),
+                expected.phases(),
+                "phase count diverged at {threads} threads ({variant:?})"
+            );
+        }
+    }
+}
+
+#[test]
+fn kcore_suite_graphs_cross_validate_at_every_thread_count() {
+    for sg in benchmark_suite(SuiteScale::Small, 42) {
+        assert_parallel_kcore_matches_sequential(&sg.graph);
+    }
+}
+
+#[test]
+fn kcore_engine_edge_cases() {
+    use branch_avoiding_graphs::graph::GraphBuilder;
+    // Empty graph, single vertex, isolated vertices only, and several
+    // disconnected components of different degeneracies.
+    let shapes = vec![
+        GraphBuilder::undirected(0).build(),
+        GraphBuilder::undirected(1).build(),
+        GraphBuilder::undirected(6).build(),
+        GraphBuilder::undirected(10)
+            .add_edges([
+                (0, 1),
+                (1, 2),
+                (2, 0), // triangle: coreness 2
+                (3, 4), // edge: coreness 1
+                (5, 6),
+                (6, 7),
+                (7, 5),
+                (5, 8),
+            ])
+            .build(),
+    ];
+    for g in &shapes {
+        assert_parallel_kcore_matches_sequential(g);
+    }
+    // Spot-check the disconnected decomposition directly.
+    let cores = par_kcore_with_variant(&shapes[3], 2, KcoreVariant::BranchAvoiding);
+    assert_eq!(cores.as_slice(), &[2, 2, 2, 1, 1, 2, 2, 2, 1, 0]);
+}
+
+#[test]
+fn kcore_runs_are_deterministic_across_repeats() {
+    let g = relabel_random(&barabasi_albert(3_000, 3, 37), 6);
+    for threads in THREAD_COUNTS {
+        let first = par_kcore_with_variant(&g, threads, KcoreVariant::BranchAvoiding);
+        for _ in 0..3 {
+            assert_eq!(
+                par_kcore_with_variant(&g, threads, KcoreVariant::BranchAvoiding).as_slice(),
+                first.as_slice()
+            );
+        }
+    }
+}
+
+#[test]
+fn sssp_suite_graphs_cross_validate_at_every_thread_count() {
+    for sg in benchmark_suite(SuiteScale::Small, 42) {
+        assert_parallel_sssp_matches_sequential(&sg.graph, 0);
+    }
+}
+
+#[test]
+fn sssp_engine_edge_cases() {
+    use branch_avoiding_graphs::graph::GraphBuilder;
+    let shapes = vec![
+        GraphBuilder::undirected(1).build(),
+        GraphBuilder::undirected(5).build(), // all isolated
+        GraphBuilder::undirected(8)
+            .add_edges([(0, 1), (1, 2), (4, 5), (5, 6), (6, 7)])
+            .build(), // disconnected components
+    ];
+    for g in &shapes {
+        for source in 0..g.num_vertices() as u32 {
+            assert_parallel_sssp_matches_sequential(g, source);
+        }
+    }
+    // Out-of-range sources settle nothing at every thread count, like the
+    // sequential reference and the BFS kernels.
+    let g = &shapes[2];
+    assert_eq!(sssp_unit_delta_stepping(g, 99).reached_count(), 0);
+    for threads in THREAD_COUNTS {
+        let run = par_sssp_unit_with_variant(g, 99, threads, SsspVariant::BranchAvoiding);
+        assert_eq!(run.reached_count(), 0);
+        assert_eq!(run.phases(), 0);
+    }
+    // Empty graph: nothing to settle, no phases.
+    let empty = GraphBuilder::undirected(0).build();
+    let run = par_sssp_unit_with_variant(&empty, 0, 2, SsspVariant::BranchAvoiding);
+    assert_eq!(run.distances().len(), 0);
+    assert_eq!(run.phases(), 0);
 }
 
 #[test]
@@ -311,6 +445,64 @@ proptest! {
                 run.order.clone(),
             );
             prop_assert_eq!(result.level_bounds(), run.level_bounds);
+        }
+    }
+
+    /// Random sparse graphs with randomly permuted labels: parallel k-core
+    /// numbers (both peel disciplines) agree with sequential bucket
+    /// peeling at 1, 2 and 8 threads.
+    #[test]
+    fn kcore_random_relabelled_graphs_cross_validate(
+        n in 1usize..120,
+        edge_factor in 0usize..6,
+        seed in 0u64..1_000,
+        relabel_seed in 0u64..1_000,
+    ) {
+        let m = (n * edge_factor / 2).min(n * (n - 1) / 2);
+        let g = relabel_random(&erdos_renyi_gnm(n, m, seed), relabel_seed);
+        let expected = kcore_peeling(&g);
+        for threads in THREAD_COUNTS {
+            for variant in [KcoreVariant::BranchBased, KcoreVariant::BranchAvoiding] {
+                prop_assert_eq!(
+                    par_kcore_with_variant(&g, threads, variant).as_slice(),
+                    expected.as_slice(),
+                    "{:?} at {} threads", variant, threads
+                );
+            }
+        }
+    }
+
+    /// Random sparse graphs with randomly permuted labels: sequential
+    /// delta-stepping settles reference distances for every bucket width,
+    /// and the parallel client agrees at 1, 2 and 8 threads in both
+    /// relaxation disciplines.
+    #[test]
+    fn sssp_random_relabelled_graphs_cross_validate(
+        n in 1usize..120,
+        edge_factor in 0usize..6,
+        seed in 0u64..1_000,
+        relabel_seed in 0u64..1_000,
+        root_pick in 0usize..1_000,
+    ) {
+        let m = (n * edge_factor / 2).min(n * (n - 1) / 2);
+        let g = relabel_random(&erdos_renyi_gnm(n, m, seed), relabel_seed);
+        let source = (root_pick % n) as u32;
+        let expected = bfs_distances_reference(&g, source);
+        for delta in [1u32, 2, 5] {
+            prop_assert_eq!(
+                sssp_unit_delta_stepping_with_delta(&g, source, delta).distances(),
+                &expected[..],
+                "sequential delta {} diverged", delta
+            );
+        }
+        for threads in THREAD_COUNTS {
+            for variant in [SsspVariant::BranchBased, SsspVariant::BranchAvoiding] {
+                prop_assert_eq!(
+                    par_sssp_unit_with_variant(&g, source, threads, variant).distances(),
+                    &expected[..],
+                    "{:?} at {} threads", variant, threads
+                );
+            }
         }
     }
 

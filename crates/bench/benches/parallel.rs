@@ -1,8 +1,9 @@
 //! Criterion wall-clock benches for the parallel kernels: branch-based
 //! (CAS-loop) vs branch-avoiding (fetch-min) Shiloach-Vishkin, parallel
 //! top-down and direction-optimizing BFS across thread counts,
-//! sampled-source Brandes betweenness, k-core peeling and unit-weight
-//! SSSP in both hooking disciplines, and the persistent-pool vs per-sweep
+//! sampled-source Brandes betweenness, k-core peeling, unit-weight SSSP
+//! and weighted delta-stepping SSSP in both hooking disciplines, and the
+//! persistent-pool vs per-sweep
 //! `thread::scope` contrast on a high-diameter graph. This is the
 //! strong-scaling companion to `bga experiment scaling` — the relative
 //! ordering across hooking disciplines and the per-thread-count trend are
@@ -10,11 +11,12 @@
 
 use bga_graph::generators::{grid_2d, MeshStencil};
 use bga_graph::suite::{benchmark_suite, SuiteScale};
+use bga_graph::uniform_weights;
 use bga_parallel::{
     par_betweenness_centrality_sources, par_bfs_branch_avoiding, par_bfs_branch_avoiding_on,
     par_bfs_branch_based, par_bfs_direction_optimizing, par_kcore_with_variant,
-    par_sssp_unit_with_variant, par_sv_branch_avoiding, par_sv_branch_based, BcVariant,
-    KcoreVariant, ScopedExecutor, SsspVariant, WorkerPool,
+    par_sssp_unit_with_variant, par_sssp_weighted_with_variant, par_sv_branch_avoiding,
+    par_sv_branch_based, BcVariant, KcoreVariant, ScopedExecutor, SsspVariant, WorkerPool,
 };
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -159,6 +161,48 @@ fn bench_parallel_sssp(c: &mut Criterion) {
     group.finish();
 }
 
+/// Parallel weighted delta-stepping SSSP on the engine's bucket loop, in
+/// both relaxation disciplines. Seeded uniform weights in 1..=32 with
+/// Δ = 4 exercise the full machinery — light phases re-relaxed within a
+/// bucket plus deferred heavy passes — on the power-law graph whose
+/// skewed frontiers stress the per-pass chunker.
+fn bench_parallel_sssp_weighted(c: &mut Criterion) {
+    let suite = benchmark_suite(SuiteScale::Small, 42);
+    let mut group = c.benchmark_group("parallel_sssp_weighted");
+    group.sample_size(10);
+    // coAuthorsDBLP stand-in: skewed degrees, short weighted diameter.
+    let sg = &suite[2];
+    let wg = uniform_weights(&sg.graph, 32, 42);
+    let delta = 4;
+    for threads in THREAD_COUNTS {
+        group.bench_with_input(
+            BenchmarkId::new("branch_based", format!("{}x{threads}", sg.name())),
+            &wg,
+            |b, g| {
+                b.iter(|| {
+                    par_sssp_weighted_with_variant(g, 0, delta, threads, SsspVariant::BranchBased)
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("branch_avoiding", format!("{}x{threads}", sg.name())),
+            &wg,
+            |b, g| {
+                b.iter(|| {
+                    par_sssp_weighted_with_variant(
+                        g,
+                        0,
+                        delta,
+                        threads,
+                        SsspVariant::BranchAvoiding,
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 /// The spawn-overhead contrast the persistent pool exists for: BFS over a
 /// high-diameter mesh is hundreds of levels with tiny frontiers, so the
 /// per-level cost of standing up workers dominates. A small grain forces
@@ -201,6 +245,7 @@ criterion_group!(
     bench_parallel_bc,
     bench_parallel_kcore,
     bench_parallel_sssp,
+    bench_parallel_sssp_weighted,
     bench_small_frontier_pool_vs_scope
 );
 criterion_main!(benches);

@@ -1,0 +1,626 @@
+//! `bga bench compare`: diff two `bga experiment scaling --json` documents
+//! (the `BENCH_pr.json` CI artifacts) and flag wall-clock regressions.
+//!
+//! CI archives one scaling document per run; comparing the current run
+//! against the previous one turns those snapshots into a trend. The
+//! comparison is row-by-row on the `(graph, kernel, variant, threads)`
+//! key: a row whose `time_ms` grew by more than the threshold (default
+//! 10%) is reported as a regression, a row that shrank by more than the
+//! threshold as an improvement, and rows present on only one side are
+//! listed so schema growth (new kernels) is visible rather than silent.
+//! CI runners are shared machines, so the step is wired *non-blocking* —
+//! pass `--fail-on-regression` to turn regressions into a non-zero exit.
+//!
+//! Documents with schema `bga-scaling-v1` (PR 4) and `bga-scaling-v2`
+//! (adds the weighted SSSP rows) are both accepted; the parser is a
+//! dependency-free recursive-descent JSON reader (the workspace builds
+//! offline, so there is no serde to lean on).
+
+use std::fs;
+
+/// Regression threshold in percent when `--threshold` is absent.
+const DEFAULT_THRESHOLD_PCT: f64 = 10.0;
+
+/// Schemas this comparator understands.
+const KNOWN_SCHEMAS: [&str; 2] = ["bga-scaling-v1", "bga-scaling-v2"];
+
+/// Runs the `bench` subcommand family (currently just `compare`).
+pub fn run(args: &[String]) -> Result<(), String> {
+    match args.first().map(|s| s.as_str()) {
+        Some("compare") => compare(&args[1..]),
+        Some(other) => Err(format!("unknown bench action {other:?} (expected compare)")),
+        None => Err("bench needs an action (compare <old.json> <new.json>)".to_string()),
+    }
+}
+
+fn compare(args: &[String]) -> Result<(), String> {
+    // Positional scan that skips flags and their values (--threshold takes
+    // one, --fail-on-regression takes none).
+    let mut positional: Vec<&String> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--threshold" {
+            let _ = iter.next();
+        } else if !arg.starts_with("--") {
+            positional.push(arg);
+        }
+    }
+    let [old_path, new_path] = positional.as_slice() else {
+        return Err("bench compare needs exactly two files: <old.json> <new.json>".to_string());
+    };
+    let threshold = match super::cc::flag_value(args, "--threshold") {
+        None if args.iter().any(|a| a == "--threshold") => {
+            return Err("--threshold requires a percentage value".to_string())
+        }
+        None => DEFAULT_THRESHOLD_PCT,
+        Some(text) => {
+            let value = text
+                .parse::<f64>()
+                .map_err(|e| format!("invalid --threshold value {text:?}: {e}"))?;
+            if !value.is_finite() || value <= 0.0 {
+                return Err("--threshold must be a positive percentage".to_string());
+            }
+            value
+        }
+    };
+    let fail_on_regression = args.iter().any(|a| a == "--fail-on-regression");
+
+    let old_doc = load_scaling_document(old_path)?;
+    let new_doc = load_scaling_document(new_path)?;
+    println!(
+        "comparing {} ({}) -> {} ({}), threshold {threshold}%",
+        old_path, old_doc.schema, new_path, new_doc.schema
+    );
+    if old_doc.single_core_host || new_doc.single_core_host {
+        println!(
+            "note: at least one document was measured on a single-core host; \
+             times are pool overhead, not scaling"
+        );
+    }
+
+    let mut regressions = 0usize;
+    let mut improvements = 0usize;
+    let mut compared = 0usize;
+    for row in &new_doc.rows {
+        let Some(old_row) = old_doc
+            .rows
+            .iter()
+            .find(|candidate| candidate.key() == row.key())
+        else {
+            println!("  new row (no baseline): {}", row.describe());
+            continue;
+        };
+        compared += 1;
+        if old_row.time_ms <= 0.0 {
+            continue;
+        }
+        let pct = (row.time_ms - old_row.time_ms) / old_row.time_ms * 100.0;
+        if pct > threshold {
+            regressions += 1;
+            println!(
+                "  REGRESSION {}: {:.3} ms -> {:.3} ms (+{pct:.1}%)",
+                row.describe(),
+                old_row.time_ms,
+                row.time_ms
+            );
+        } else if pct < -threshold {
+            improvements += 1;
+            println!(
+                "  improvement {}: {:.3} ms -> {:.3} ms ({pct:.1}%)",
+                row.describe(),
+                old_row.time_ms,
+                row.time_ms
+            );
+        }
+    }
+    for row in &old_doc.rows {
+        if !new_doc
+            .rows
+            .iter()
+            .any(|candidate| candidate.key() == row.key())
+        {
+            println!("  removed row (was in baseline): {}", row.describe());
+        }
+    }
+    println!(
+        "compared {compared} rows: {regressions} regression(s), \
+         {improvements} improvement(s) beyond {threshold}%"
+    );
+    if regressions > 0 && fail_on_regression {
+        return Err(format!(
+            "{regressions} row(s) regressed by more than {threshold}%"
+        ));
+    }
+    Ok(())
+}
+
+/// One measured configuration out of a scaling document.
+#[derive(Debug, Clone, PartialEq)]
+struct BenchRow {
+    graph: String,
+    kernel: String,
+    variant: String,
+    threads: u64,
+    time_ms: f64,
+}
+
+impl BenchRow {
+    fn key(&self) -> (&str, &str, &str, u64) {
+        (&self.graph, &self.kernel, &self.variant, self.threads)
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "{} {}/{} @{} threads",
+            self.graph, self.kernel, self.variant, self.threads
+        )
+    }
+}
+
+/// A parsed scaling document: schema tag, host flag, rows.
+struct ScalingDocument {
+    schema: String,
+    single_core_host: bool,
+    rows: Vec<BenchRow>,
+}
+
+fn load_scaling_document(path: &str) -> Result<ScalingDocument, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    parse_scaling_document(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Extracts the fields the comparator needs from a scaling JSON document.
+fn parse_scaling_document(text: &str) -> Result<ScalingDocument, String> {
+    let value = Json::parse(text)?;
+    let schema = value
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or("document has no \"schema\" string")?
+        .to_string();
+    if !KNOWN_SCHEMAS.contains(&schema.as_str()) {
+        return Err(format!(
+            "unknown schema {schema:?} (expected one of {KNOWN_SCHEMAS:?})"
+        ));
+    }
+    let single_core_host = value
+        .get("single_core_host")
+        .and_then(Json::as_bool)
+        .unwrap_or(false);
+    let rows_value = value
+        .get("rows")
+        .and_then(Json::as_array)
+        .ok_or("document has no \"rows\" array")?;
+    let mut rows = Vec::with_capacity(rows_value.len());
+    for (index, row) in rows_value.iter().enumerate() {
+        let field_str = |name: &str| {
+            row.get(name)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or(format!("row {index} has no {name:?} string"))
+        };
+        let field_num = |name: &str| {
+            row.get(name)
+                .and_then(Json::as_f64)
+                .ok_or(format!("row {index} has no {name:?} number"))
+        };
+        rows.push(BenchRow {
+            graph: field_str("graph")?,
+            kernel: field_str("kernel")?,
+            variant: field_str("variant")?,
+            threads: field_num("threads")? as u64,
+            time_ms: field_num("time_ms")?,
+        });
+    }
+    Ok(ScalingDocument {
+        schema,
+        single_core_host,
+        rows,
+    })
+}
+
+/// A parsed JSON value. Objects keep insertion order in a flat pair list —
+/// the documents here are tiny, so linear key lookup is fine.
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<Json>),
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parses a complete JSON document, rejecting trailing garbage.
+    fn parse(text: &str) -> Result<Json, String> {
+        let mut parser = JsonParser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        parser.skip_whitespace();
+        let value = parser.parse_value()?;
+        parser.skip_whitespace();
+        if parser.pos != parser.bytes.len() {
+            return Err(format!("trailing garbage at byte {}", parser.pos));
+        }
+        Ok(value)
+    }
+
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Recursive-descent JSON reader over raw bytes. Supports the full value
+/// grammar the scaling documents use (objects, arrays, strings with the
+/// standard escapes, numbers, booleans, null).
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl JsonParser<'_> {
+    fn skip_whitespace(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), String> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected {:?} at byte {}, found {:?}",
+                byte as char,
+                self.pos,
+                self.peek().map(|b| b as char)
+            ))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Json, String> {
+        self.skip_whitespace();
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(Json::String(self.parse_string()?)),
+            Some(b't') => self.parse_literal("true", Json::Bool(true)),
+            Some(b'f') => self.parse_literal("false", Json::Bool(false)),
+            Some(b'n') => self.parse_literal("null", Json::Null),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.parse_number(),
+            other => Err(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|b| b as char),
+                self.pos
+            )),
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(pairs));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.parse_string()?;
+            self.skip_whitespace();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            pairs.push((key, value));
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(pairs));
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or '}}' at byte {}, found {:?}",
+                        self.pos,
+                        other.map(|b| b as char)
+                    ))
+                }
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or ']' at byte {}, found {:?}",
+                        self.pos,
+                        other.map(|b| b as char)
+                    ))
+                }
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let escaped = self
+                        .peek()
+                        .ok_or_else(|| "unterminated escape".to_string())?;
+                    self.pos += 1;
+                    match escaped {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| "non-ASCII \\u escape".to_string())?,
+                                16,
+                            )
+                            .map_err(|e| format!("bad \\u escape: {e}"))?;
+                            self.pos += 4;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| "invalid \\u code point".to_string())?,
+                            );
+                        }
+                        other => {
+                            return Err(format!("unknown escape '\\{}'", other as char));
+                        }
+                    }
+                }
+                Some(_) => {
+                    // Copy one UTF-8 scalar (the bytes came from a &str, so
+                    // boundaries are valid).
+                    let rest = &self.bytes[self.pos..];
+                    let ch = std::str::from_utf8(rest)
+                        .map_err(|_| "invalid UTF-8 in string".to_string())?
+                        .chars()
+                        .next()
+                        .unwrap();
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while self.peek().is_some_and(|b| {
+            b.is_ascii_digit() || b == b'.' || b == b'e' || b == b'E' || b == b'+' || b == b'-'
+        }) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        text.parse::<f64>()
+            .map(Json::Number)
+            .map_err(|e| format!("invalid number {text:?} at byte {start}: {e}"))
+    }
+
+    fn parse_literal(&mut self, literal: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+            self.pos += literal.len();
+            Ok(value)
+        } else {
+            Err(format!("expected {literal:?} at byte {}", self.pos))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(schema: &str, rows: &[(&str, &str, &str, u64, f64)]) -> String {
+        let mut out = format!(
+            "{{\n  \"schema\": \"{schema}\",\n  \"threads_swept\": [1, 2],\n  \
+             \"single_core_host\": false,\n  \"rows\": [\n"
+        );
+        for (index, (graph, kernel, variant, threads, time_ms)) in rows.iter().enumerate() {
+            let comma = if index + 1 < rows.len() { "," } else { "" };
+            out.push_str(&format!(
+                "    {{\"graph\": \"{graph}\", \"kernel\": \"{kernel}\", \
+                 \"variant\": \"{variant}\", \"threads\": {threads}, \
+                 \"time_ms\": {time_ms}, \"speedup\": 1.0}}{comma}\n"
+            ));
+        }
+        out.push_str("  ],\n  \"skipped\": []\n}");
+        out
+    }
+
+    fn write_temp(name: &str, content: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("bga_bench_compare_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        std::fs::write(&path, content).unwrap();
+        path
+    }
+
+    fn strings(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn json_parser_handles_the_scaling_grammar() {
+        let value = Json::parse(&doc(
+            "bga-scaling-v2",
+            &[("audikw1", "sssp", "weighted", 2, 1.5)],
+        ))
+        .unwrap();
+        assert_eq!(
+            value.get("schema").and_then(Json::as_str),
+            Some("bga-scaling-v2")
+        );
+        assert_eq!(
+            value.get("single_core_host").and_then(Json::as_bool),
+            Some(false)
+        );
+        let rows = value.get("rows").and_then(Json::as_array).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].get("time_ms").and_then(Json::as_f64), Some(1.5));
+        // Escapes, null, negative/exponent numbers.
+        let value = Json::parse(r#"{"a": "q\"\nA", "b": null, "c": -1.5e2}"#).unwrap();
+        assert_eq!(value.get("a").and_then(Json::as_str), Some("q\"\nA"));
+        assert_eq!(value.get("b"), Some(&Json::Null));
+        assert_eq!(value.get("c").and_then(Json::as_f64), Some(-150.0));
+        // Garbage is rejected.
+        assert!(Json::parse("{\"a\": }").is_err());
+        assert!(Json::parse("{} extra").is_err());
+        assert!(Json::parse("[1, 2").is_err());
+    }
+
+    #[test]
+    fn document_parser_validates_schema_and_rows() {
+        let parsed = parse_scaling_document(&doc(
+            "bga-scaling-v1",
+            &[("auto", "cc", "branch-based", 4, 2.0)],
+        ))
+        .unwrap();
+        assert_eq!(parsed.schema, "bga-scaling-v1");
+        assert_eq!(parsed.rows.len(), 1);
+        assert_eq!(parsed.rows[0].key(), ("auto", "cc", "branch-based", 4));
+        // Unknown schema and missing fields are loud errors.
+        assert!(parse_scaling_document(&doc("bga-scaling-v99", &[])).is_err());
+        assert!(parse_scaling_document("{\"rows\": []}").is_err());
+        assert!(parse_scaling_document(
+            "{\"schema\": \"bga-scaling-v1\", \"rows\": [{\"graph\": \"x\"}]}"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn compare_flags_regressions_and_respects_the_threshold() {
+        let old = write_temp(
+            "old.json",
+            &doc(
+                "bga-scaling-v1",
+                &[
+                    ("audikw1", "cc", "branch-based", 1, 10.0),
+                    ("audikw1", "cc", "branch-based", 2, 10.0),
+                ],
+            ),
+        );
+        let new = write_temp(
+            "new.json",
+            &doc(
+                "bga-scaling-v2",
+                &[
+                    ("audikw1", "cc", "branch-based", 1, 10.5), // +5%: fine
+                    ("audikw1", "cc", "branch-based", 2, 15.0), // +50%: regression
+                    ("audikw1", "sssp", "weighted", 2, 3.0),    // new row
+                ],
+            ),
+        );
+        let args = strings(&["compare", old.to_str().unwrap(), new.to_str().unwrap()]);
+        // Non-blocking by default.
+        assert!(run(&args).is_ok());
+        // --fail-on-regression turns the regression into an error.
+        let mut failing = args.clone();
+        failing.push("--fail-on-regression".to_string());
+        let err = run(&failing).unwrap_err();
+        assert!(err.contains("regressed"), "{err}");
+        // A huge threshold silences it again.
+        let mut relaxed = failing.clone();
+        relaxed.extend(strings(&["--threshold", "100"]));
+        assert!(run(&relaxed).is_ok());
+    }
+
+    #[test]
+    fn compare_bad_usage_is_loud() {
+        assert!(run(&strings(&[])).is_err());
+        assert!(run(&strings(&["diff", "a", "b"])).is_err());
+        assert!(run(&strings(&["compare", "only-one.json"])).is_err());
+        assert!(run(&strings(&["compare", "/no/a.json", "/no/b.json"])).is_err());
+        let good = write_temp("good.json", &doc("bga-scaling-v1", &[]));
+        let args = |extra: &[&str]| {
+            let mut v = strings(&["compare", good.to_str().unwrap(), good.to_str().unwrap()]);
+            v.extend(strings(extra));
+            v
+        };
+        assert!(run(&args(&["--threshold"])).is_err());
+        assert!(run(&args(&["--threshold", "abc"])).is_err());
+        assert!(run(&args(&["--threshold", "-5"])).is_err());
+        // Comparing a document against itself is a clean no-op.
+        assert!(run(&args(&[])).is_ok());
+    }
+}

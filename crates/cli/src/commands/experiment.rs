@@ -6,11 +6,12 @@
 use bga_branchsim::all_machine_models;
 use bga_graph::properties::connected_component_count;
 use bga_graph::suite::{benchmark_suite, suite_table, SuiteScale};
+use bga_graph::uniform_weights;
 use bga_kernels::bfs::bfs_branch_based_instrumented;
 use bga_kernels::cc::{sv_branch_avoiding_instrumented, sv_branch_based_instrumented};
 use bga_parallel::{
     par_betweenness_centrality_sources, par_bfs_direction_optimizing, par_kcore, par_sssp_unit,
-    par_sv_branch_avoiding, par_sv_branch_based, resolve_threads, BcVariant,
+    par_sssp_weighted, par_sv_branch_avoiding, par_sv_branch_based, resolve_threads, BcVariant,
 };
 use bga_perfmodel::timing::modeled_speedup;
 use std::time::Instant;
@@ -24,6 +25,17 @@ const SCALING_THREADS: [usize; 4] = [1, 2, 4, 8];
 /// How many BFS sources the scaling experiment's betweenness rows
 /// accumulate (full all-sources Brandes would dwarf every other row).
 const BC_SCALING_SOURCES: usize = 4;
+
+/// Bucket width of the weighted SSSP scaling rows. With weights drawn
+/// from `1..=32`, Δ = 4 genuinely splits light from heavy edges, so the
+/// rows measure the full bucket loop (light phases + deferred heavy
+/// passes), not a degenerate configuration.
+const WEIGHTED_SSSP_DELTA: u32 = 4;
+
+/// Weight range and seed of the weighted scaling rows (the `bga sssp
+/// --weights uniform` defaults).
+const WEIGHTED_SSSP_MAX_WEIGHT: u32 = 32;
+const WEIGHTED_SSSP_SEED: u64 = 42;
 
 /// Runs the `experiment` subcommand.
 pub fn run(args: &[String]) -> Result<(), String> {
@@ -169,8 +181,9 @@ fn sweep_kernel(
 }
 
 /// Strong-scaling sweep: the parallel SV variants, direction-optimizing
-/// BFS, sampled-source Brandes betweenness, k-core peeling and unit-weight
-/// SSSP on every suite graph at 1, 2, 4 and 8 worker threads, with
+/// BFS, sampled-source Brandes betweenness, k-core peeling, unit-weight
+/// SSSP and weighted delta-stepping SSSP on every suite graph at 1, 2, 4
+/// and 8 worker threads, with
 /// per-thread-count wall-clock timings and the speedup of each
 /// configuration over its own single-thread run. With `json` the rows are
 /// emitted as a single JSON document (the `BENCH_pr.json` CI artifact)
@@ -244,6 +257,13 @@ fn run_scaling(json: bool) {
             let result = par_sssp_unit(&sg.graph, 0, threads);
             assert_eq!(result.distances().len(), sg.graph.num_vertices());
         });
+        // Weighted delta-stepping SSSP on the engine's bucket loop, over
+        // seeded uniform weights (the `--weights uniform` assignment).
+        let wg = uniform_weights(&sg.graph, WEIGHTED_SSSP_MAX_WEIGHT, WEIGHTED_SSSP_SEED);
+        sweep_kernel(&mut rows, sg.name(), "sssp", "weighted", |threads| {
+            let result = par_sssp_weighted(&wg, 0, WEIGHTED_SSSP_DELTA, threads);
+            assert_eq!(result.distances().len(), sg.graph.num_vertices());
+        });
     }
     // Contrast check mirroring the paper's message: identical results from
     // both hooking disciplines (runs in both output modes).
@@ -280,9 +300,11 @@ fn run_scaling(json: bool) {
     );
 }
 
-/// Renders the scaling rows as the `BENCH_pr.json` document: a schema tag,
-/// the thread counts swept, the single-core-host flag, one object per
-/// measured configuration, and one object per deliberately skipped sweep
+/// Renders the scaling rows as the `BENCH_pr.json` document: a schema tag
+/// (`bga-scaling-v2` — v2 added the weighted SSSP rows; `bga bench
+/// compare` accepts both v1 and v2), the thread counts swept, the
+/// single-core-host flag, one object per measured configuration, and one
+/// object per deliberately skipped sweep
 /// (so a trend consumer can tell "skipped by design" from "rows went
 /// missing"). Hand-rolled (the workspace is offline, no serde); every
 /// value is a number, a bool or a known-safe ASCII name — except the skip
@@ -293,7 +315,7 @@ fn render_scaling_json(
     skip_notes: &[(&str, String)],
 ) -> String {
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": \"bga-scaling-v1\",\n");
+    out.push_str("  \"schema\": \"bga-scaling-v2\",\n");
     out.push_str(&format!(
         "  \"threads_swept\": [{}],\n",
         SCALING_THREADS.map(|t| t.to_string()).join(", ")
@@ -391,7 +413,7 @@ mod tests {
 
     #[test]
     fn scaling_json_document_carries_every_kernel_family() {
-        let rows: Vec<super::ScalingRow> = ["cc", "bfs", "bc", "kcore", "sssp"]
+        let mut rows: Vec<super::ScalingRow> = ["cc", "bfs", "bc", "kcore", "sssp"]
             .iter()
             .map(|kernel| super::ScalingRow {
                 graph: "audikw1",
@@ -402,13 +424,22 @@ mod tests {
                 speedup: 1.9,
             })
             .collect();
+        rows.push(super::ScalingRow {
+            graph: "audikw1",
+            kernel: "sssp",
+            variant: "weighted",
+            threads: 2,
+            time_ms: 1.5,
+            speedup: 1.9,
+        });
         let skips = vec![(
             "auto",
             "graph has 3 components; \"per component\"".to_string(),
         )];
         let doc = super::render_scaling_json(true, &rows, &skips);
         assert!(doc.starts_with('{') && doc.ends_with('}'), "{doc}");
-        assert!(doc.contains("\"schema\": \"bga-scaling-v1\""));
+        assert!(doc.contains("\"schema\": \"bga-scaling-v2\""));
+        assert!(doc.contains("\"variant\": \"weighted\""));
         assert!(doc.contains("\"single_core_host\": true"));
         assert!(doc.contains("\"threads_swept\": [1, 2, 4, 8]"));
         for kernel in ["cc", "bfs", "bc", "kcore", "sssp"] {

@@ -1,20 +1,26 @@
-//! Graph loading shared by the `cc` and `bfs` subcommands: built-in suite
-//! names or files on disk (METIS or edge-list, selected by extension).
+//! Graph loading shared by the kernel subcommands: built-in suite names
+//! or files on disk (METIS or edge-list, selected by extension), in both
+//! unweighted and weight-preserving forms.
 
-use bga_graph::io::{read_edge_list, read_metis};
+use bga_graph::io::{read_edge_list, read_metis, read_weighted_edge_list, read_weighted_metis};
 use bga_graph::suite::{SuiteGraphId, SuiteScale};
-use bga_graph::CsrGraph;
+use bga_graph::{CsrGraph, WeightedCsrGraph};
 use std::path::Path;
 
-/// Loads a graph from a suite name or a file path.
-///
-/// Suite names map to the small-scale synthetic stand-ins with seed 42 (the
-/// same graphs the `bga-bench` harnesses use by default). Files ending in
-/// `.metis` or `.graph` are parsed as METIS; anything else as an edge list.
-pub fn load_graph(spec: &str) -> Result<CsrGraph, String> {
+/// On-disk graph formats, resolved by file extension.
+enum GraphFormat {
+    Metis,
+    EdgeList,
+}
+
+/// Resolves a suite name to its id, `spec` to an existing file plus its
+/// format otherwise. This is the single dispatch both the unweighted and
+/// the weighted loader share, so extension rules and error text cannot
+/// drift between them.
+fn resolve_spec(spec: &str) -> Result<Result<SuiteGraphId, (&Path, GraphFormat)>, String> {
     for id in SuiteGraphId::ALL {
         if id.name().eq_ignore_ascii_case(spec) {
-            return Ok(id.generate(SuiteScale::Small, 42));
+            return Ok(Ok(id));
         }
     }
     let path = Path::new(spec);
@@ -27,9 +33,48 @@ pub fn load_graph(spec: &str) -> Result<CsrGraph, String> {
         .extension()
         .and_then(|e| e.to_str())
         .map(|e| e.to_ascii_lowercase());
-    let result = match by_extension.as_deref() {
-        Some("metis") | Some("graph") => read_metis(path).map_err(|e| e.to_string()),
-        _ => read_edge_list(path).map_err(|e| e.to_string()),
+    let format = match by_extension.as_deref() {
+        Some("metis") | Some("graph") => GraphFormat::Metis,
+        _ => GraphFormat::EdgeList,
+    };
+    Ok(Err((path, format)))
+}
+
+/// Loads a graph from a suite name or a file path.
+///
+/// Suite names map to the small-scale synthetic stand-ins with seed 42 (the
+/// same graphs the `bga-bench` harnesses use by default). Files ending in
+/// `.metis` or `.graph` are parsed as METIS; anything else as an edge list.
+pub fn load_graph(spec: &str) -> Result<CsrGraph, String> {
+    let (path, format) = match resolve_spec(spec)? {
+        Ok(id) => return Ok(id.generate(SuiteScale::Small, 42)),
+        Err(file) => file,
+    };
+    let result = match format {
+        GraphFormat::Metis => read_metis(path),
+        GraphFormat::EdgeList => read_edge_list(path),
+    };
+    result.map_err(|e| format!("failed to read {spec}: {e}"))
+}
+
+/// Loads a *weighted* graph from a file path, preserving the file's edge
+/// weights (`u v w` columns in edge lists, edge-weighted `fmt` in METIS;
+/// files without weights lift to unit weights). Suite names have no
+/// weight data on disk — callers wanting weighted suite graphs should
+/// load them unweighted and apply `bga_graph::uniform_weights`.
+pub fn load_weighted_graph(spec: &str) -> Result<WeightedCsrGraph, String> {
+    let (path, format) = match resolve_spec(spec)? {
+        Ok(_) => {
+            return Err(format!(
+                "built-in suite graph {spec:?} carries no weights on disk; \
+                 use --weights uniform to assign seeded weights"
+            ))
+        }
+        Err(file) => file,
+    };
+    let result = match format {
+        GraphFormat::Metis => read_weighted_metis(path),
+        GraphFormat::EdgeList => read_weighted_edge_list(path),
     };
     result.map_err(|e| format!("failed to read {spec}: {e}"))
 }
@@ -59,5 +104,22 @@ mod tests {
         let g = load_graph(path.to_str().unwrap()).unwrap();
         assert_eq!(g.num_vertices(), 3);
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn weighted_files_load_with_their_weights() {
+        let dir = std::env::temp_dir().join("bga_cli_wtest");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tiny.edges");
+        std::fs::write(&path, "0 1 5\n1 2 3\n").unwrap();
+        let g = load_weighted_graph(path.to_str().unwrap()).unwrap();
+        assert_eq!(g.weight_of_edge(0, 1), Some(5));
+        assert_eq!(g.weight_of_edge(2, 1), Some(3));
+        std::fs::remove_file(path).ok();
+        // Suite names are rejected with a pointer at --weights uniform.
+        let err = load_weighted_graph("cond-mat-2005").unwrap_err();
+        assert!(err.contains("uniform"), "{err}");
+        // Missing files are reported.
+        assert!(load_weighted_graph("/no/such/file.edges").is_err());
     }
 }

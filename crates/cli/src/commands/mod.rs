@@ -1,6 +1,7 @@
 //! Subcommand dispatch for the `bga` binary.
 
 mod bc;
+mod bench_compare;
 mod bfs;
 mod cc;
 mod experiment;
@@ -16,8 +17,9 @@ pub const USAGE: &str = "usage:
   bga bfs <graph> [--root R] [--variant branch-based|branch-avoiding|bottom-up|direction-optimizing] [--strategy auto|top-down|bottom-up] [--instrumented] [--threads N]
   bga bc  <graph> [--variant branch-based|branch-avoiding] [--sources K] [--threads N]
   bga kcore <graph> [--variant branch-based|branch-avoiding] [--instrumented] [--threads N]
-  bga sssp <graph> [--root R] [--delta D] [--variant branch-based|branch-avoiding] [--instrumented] [--threads N]
+  bga sssp <graph> [--root R] [--delta D] [--weights unit|uniform|file] [--variant branch-based|branch-avoiding] [--instrumented] [--threads N]
   bga experiment <table1|table2|suite-summary|scaling [--json]>
+  bga bench compare <old.json> <new.json> [--threshold PCT] [--fail-on-regression]
 
 <graph> is a METIS (.metis/.graph) or edge-list file, or a built-in suite
 name: audikw1, auto, coAuthorsDBLP, cond-mat-2005, ldoor.
@@ -30,11 +32,15 @@ numbers and SSSP distances are identical to the sequential kernels.
 traversal (auto = the α/β frontier heuristic). bga bc runs Brandes
 betweenness centrality (--sources K restricts the accumulation to K
 sources and reports un-normalized partial sums). bga kcore peels the
-k-core decomposition; bga sssp settles unit-weight shortest paths
-(sequentially by delta-stepping, --delta D picks the bucket width). The
-scaling experiment sweeps the parallel SV, BFS, BC, k-core and SSSP
-kernels over 1, 2, 4 and 8 threads; --json emits the rows as a JSON
-document for the CI bench artifact.";
+k-core decomposition. bga sssp settles shortest paths by delta-stepping:
+--weights unit (default) is the BFS-degenerate unit case, uniform assigns
+seeded weights 1..=32, file keeps the graph file's own weights (u v w
+edge lists, edge-weighted METIS); --delta D picks the bucket width.
+The scaling experiment sweeps the parallel SV, BFS, BC, k-core and SSSP
+(unit + weighted) kernels over 1, 2, 4 and 8 threads; --json emits the
+rows as the bga-scaling-v2 JSON document for the CI bench artifact, and
+bga bench compare diffs two such documents, flagging time regressions
+beyond the threshold (default 10%).";
 
 /// Routes the raw argument list to the subcommand implementations.
 pub fn dispatch(args: &[String]) -> Result<(), String> {
@@ -49,6 +55,7 @@ pub fn dispatch(args: &[String]) -> Result<(), String> {
         "kcore" => kcore::run(rest),
         "sssp" => sssp::run(rest),
         "experiment" => experiment::run(rest),
+        "bench" => bench_compare::run(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())

@@ -1,25 +1,63 @@
-//! `bga sssp`: run unit-weight single-source shortest paths and print a
-//! summary.
+//! `bga sssp`: run single-source shortest paths and print a summary.
 //!
-//! Without `--threads` the sequential delta-stepping reference runs
-//! (`--delta D` picks the bucket width; distances are identical for every
-//! width). With `--threads N` the parallel client runs the engine's level
-//! loop — on unit weights every delta-stepping bucket *is* a BFS level —
-//! in the requested relaxation discipline.
+//! `--weights` picks the weight regime:
+//!
+//! * `unit` (default) — every edge weighs 1. Without `--threads` the
+//!   sequential delta-stepping reference runs (`--delta D` picks the
+//!   bucket width; distances are identical for every width). With
+//!   `--threads N` the parallel client runs the engine's level loop — on
+//!   unit weights every delta-stepping bucket *is* a BFS level — in the
+//!   requested relaxation discipline.
+//! * `uniform` — seeded pseudo-random weights in `1..=32` (seed 42,
+//!   symmetric per edge) on the loaded graph. Sequential runs the real
+//!   weighted delta-stepping reference; `--threads N` runs the parallel
+//!   bucket-loop client. `--delta` picks the bucket width in both modes.
+//! * `file` — the graph file's own weights (`u v w` edge lists,
+//!   edge-weighted METIS). Requires a file path, not a suite name.
 
 use super::cc::{flag_value, parse_threads};
-use super::graph_input::load_graph;
+use super::graph_input::{load_graph, load_weighted_graph};
 use bga_graph::properties::largest_component;
-use bga_kernels::sssp::{sssp_unit_delta_stepping_with_delta, SsspResult};
+use bga_graph::{uniform_weights, WeightedCsrGraph};
+use bga_kernels::sssp::{sssp_delta_stepping, sssp_unit_delta_stepping_with_delta, SsspResult};
 use bga_parallel::{
-    par_sssp_unit_instrumented, par_sssp_unit_with_variant, resolve_threads, SsspVariant,
+    par_sssp_unit_instrumented, par_sssp_unit_with_variant, par_sssp_weighted_instrumented,
+    par_sssp_weighted_with_variant, resolve_threads, SsspVariant,
 };
 use std::time::Instant;
+
+/// Largest weight `--weights uniform` assigns (drawn from `1..=32`).
+const UNIFORM_MAX_WEIGHT: u32 = 32;
+
+/// Seed of the `--weights uniform` assignment, matching the suite's
+/// stand-in seed so runs are reproducible.
+const UNIFORM_SEED: u64 = 42;
+
+/// Weight regime of one `bga sssp` invocation.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum WeightsMode {
+    Unit,
+    Uniform,
+    File,
+}
 
 /// Runs the `sssp` subcommand.
 pub fn run(args: &[String]) -> Result<(), String> {
     let Some(graph_spec) = args.first() else {
         return Err("sssp needs a graph".to_string());
+    };
+    let weights_mode = match flag_value(args, "--weights") {
+        None if args.iter().any(|a| a == "--weights") => {
+            return Err("--weights requires a mode (unit, uniform or file)".to_string())
+        }
+        None | Some("unit") => WeightsMode::Unit,
+        Some("uniform") => WeightsMode::Uniform,
+        Some("file") => WeightsMode::File,
+        Some(other) => {
+            return Err(format!(
+                "unknown weights mode {other:?} (expected unit, uniform or file)"
+            ))
+        }
     };
     let variant = flag_value(args, "--variant").unwrap_or("branch-avoiding");
     let sssp_variant = match variant {
@@ -48,15 +86,16 @@ pub fn run(args: &[String]) -> Result<(), String> {
             value
         }
     };
-    if threads.is_some() && delta != 1 {
+    if weights_mode == WeightsMode::Unit && threads.is_some() && delta != 1 {
         return Err(
             "--delta applies to the sequential delta-stepping reference; the parallel \
-             client always runs the Δ = 1 (level-per-bucket) degeneration"
+             unit-weight client always runs the Δ = 1 (level-per-bucket) degeneration \
+             (use --weights uniform/file for the bucketed parallel client)"
                 .to_string(),
         );
     }
-    // The sequential reference has a single relaxation discipline; reject
-    // an explicit variant request it could not honour.
+    // The sequential references have a single relaxation discipline;
+    // reject an explicit variant request they could not honour.
     if threads.is_none() && flag_value(args, "--variant").is_some() {
         return Err(
             "the sequential run is the delta-stepping reference; add --threads N \
@@ -68,18 +107,46 @@ pub fn run(args: &[String]) -> Result<(), String> {
         return Err("--instrumented requires --threads N (parallel runs only)".to_string());
     }
 
-    let graph = load_graph(graph_spec)?;
+    let weighted: Option<WeightedCsrGraph> = match weights_mode {
+        WeightsMode::Unit => None,
+        WeightsMode::Uniform => Some(uniform_weights(
+            &load_graph(graph_spec)?,
+            UNIFORM_MAX_WEIGHT,
+            UNIFORM_SEED,
+        )),
+        WeightsMode::File => Some(load_weighted_graph(graph_spec)?),
+    };
+    // Borrow the CSR out of the weighted graph rather than cloning it —
+    // it is only read for sizes and the default-root pick.
+    let loaded;
+    let graph = match &weighted {
+        Some(wg) => wg.csr(),
+        None => {
+            loaded = load_graph(graph_spec)?;
+            &loaded
+        }
+    };
     let source = match flag_value(args, "--root") {
         Some(text) => text
             .parse::<u32>()
             .map_err(|e| format!("invalid --root value {text:?}: {e}"))?,
-        None => largest_component(&graph).first().copied().unwrap_or(0),
+        None => largest_component(graph).first().copied().unwrap_or(0),
     };
     println!(
         "graph: {} vertices, {} edges; source: {source}",
         graph.num_vertices(),
         graph.num_edges()
     );
+    match (weights_mode, &weighted) {
+        (WeightsMode::Uniform, Some(wg)) => println!(
+            "weights: uniform 1..={UNIFORM_MAX_WEIGHT} (seed {UNIFORM_SEED}), max {}",
+            wg.max_weight().unwrap_or(1)
+        ),
+        (WeightsMode::File, Some(wg)) => {
+            println!("weights: from file, max {}", wg.max_weight().unwrap_or(1))
+        }
+        _ => {}
+    }
     // Report the resolved worker count before the timed region so the
     // stdout write does not bias sequential-vs-parallel wall clocks.
     if let Some(t) = threads {
@@ -87,27 +154,49 @@ pub fn run(args: &[String]) -> Result<(), String> {
     }
 
     if let (Some(t), true) = (threads, instrumented) {
-        let run = par_sssp_unit_instrumented(&graph, source, t, sssp_variant);
-        print_result_summary(variant, &run.result);
-        println!(
-            "directions: {} top-down, {} bottom-up phases",
-            run.directions.len() - run.bottom_up_phases(),
-            run.bottom_up_phases()
-        );
-        println!("totals: {}", run.counters.total());
-        for step in &run.counters.steps {
-            println!(
-                "  phase {:>3}: {} (settled {})",
-                step.step, step.counters, step.updates
-            );
+        match &weighted {
+            None => {
+                let run = par_sssp_unit_instrumented(graph, source, t, sssp_variant);
+                print_result_summary(variant, &run.result);
+                println!(
+                    "directions: {} top-down, {} bottom-up phases",
+                    run.directions.len() - run.bottom_up_phases(),
+                    run.bottom_up_phases()
+                );
+                println!("totals: {}", run.counters.total());
+                for step in &run.counters.steps {
+                    println!(
+                        "  phase {:>3}: {} (settled {})",
+                        step.step, step.counters, step.updates
+                    );
+                }
+            }
+            Some(wg) => {
+                let run = par_sssp_weighted_instrumented(wg, source, delta, t, sssp_variant);
+                print_result_summary(variant, &run.result);
+                println!("delta: {delta}");
+                println!(
+                    "buckets settled: {}; heavy phases: {}",
+                    run.buckets_settled, run.heavy_phases
+                );
+                println!("totals: {}", run.counters.total());
+                for step in &run.counters.steps {
+                    println!(
+                        "  pass {:>3}: {} (claimed {})",
+                        step.step, step.counters, step.updates
+                    );
+                }
+            }
         }
         return Ok(());
     }
 
     let start = Instant::now();
-    let result = match threads {
-        None => sssp_unit_delta_stepping_with_delta(&graph, source, delta),
-        Some(t) => par_sssp_unit_with_variant(&graph, source, t, sssp_variant),
+    let result = match (&weighted, threads) {
+        (None, None) => sssp_unit_delta_stepping_with_delta(graph, source, delta),
+        (None, Some(t)) => par_sssp_unit_with_variant(graph, source, t, sssp_variant),
+        (Some(wg), None) => sssp_delta_stepping(wg, source, delta),
+        (Some(wg), Some(t)) => par_sssp_weighted_with_variant(wg, source, delta, t, sssp_variant),
     };
     let elapsed = start.elapsed();
     print_result_summary(
@@ -118,7 +207,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
         },
         &result,
     );
-    if threads.is_none() {
+    if threads.is_none() || weighted.is_some() {
         println!("delta: {delta}");
     }
     println!("wall clock: {:.3} ms", elapsed.as_secs_f64() * 1e3);
@@ -171,6 +260,72 @@ mod tests {
     }
 
     #[test]
+    fn runs_weighted_modes() {
+        // Sequential weighted reference on seeded uniform weights.
+        assert!(run(&strings(&["cond-mat-2005", "--weights", "uniform"])).is_ok());
+        assert!(run(&strings(&[
+            "cond-mat-2005",
+            "--weights",
+            "uniform",
+            "--delta",
+            "4"
+        ]))
+        .is_ok());
+        // Parallel bucket-loop client, both disciplines, --delta allowed.
+        for variant in ["branch-based", "branch-avoiding"] {
+            assert!(
+                run(&strings(&[
+                    "cond-mat-2005",
+                    "--weights",
+                    "uniform",
+                    "--variant",
+                    variant,
+                    "--threads",
+                    "2",
+                    "--delta",
+                    "4"
+                ]))
+                .is_ok(),
+                "weighted {variant} with --threads failed"
+            );
+        }
+        // Instrumented weighted run reports bucket/pass structure.
+        assert!(run(&strings(&[
+            "cond-mat-2005",
+            "--weights",
+            "uniform",
+            "--threads",
+            "2",
+            "--instrumented"
+        ]))
+        .is_ok());
+        // File mode round-trips through the weighted readers.
+        let dir = std::env::temp_dir().join("bga_cli_sssp_wtest");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tiny.edges");
+        std::fs::write(&path, "0 1 5\n1 2 3\n2 3 9\n").unwrap();
+        assert!(run(&strings(&[
+            path.to_str().unwrap(),
+            "--weights",
+            "file",
+            "--root",
+            "0"
+        ]))
+        .is_ok());
+        assert!(run(&strings(&[
+            path.to_str().unwrap(),
+            "--weights",
+            "file",
+            "--threads",
+            "2",
+            "--delta",
+            "4"
+        ]))
+        .is_ok());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
     fn bad_usage_fails_loudly() {
         assert!(run(&[]).is_err());
         assert!(run(&strings(&[
@@ -188,13 +343,27 @@ mod tests {
         assert!(run(&strings(&["cond-mat-2005", "--delta", "nope"])).is_err());
         // An explicit zero is rejected, not silently clamped to 1.
         assert!(run(&strings(&["cond-mat-2005", "--delta", "0"])).is_err());
-        // --delta is a sequential-reference knob.
+        // --delta is a sequential-reference knob in unit mode only.
         assert!(run(&strings(&[
             "cond-mat-2005",
             "--delta",
             "2",
             "--threads",
             "2"
+        ]))
+        .is_err());
+        // Weights-flag misuse.
+        assert!(run(&strings(&["cond-mat-2005", "--weights"])).is_err());
+        assert!(run(&strings(&["cond-mat-2005", "--weights", "sideways"])).is_err());
+        // Suite names carry no file weights.
+        assert!(run(&strings(&["cond-mat-2005", "--weights", "file"])).is_err());
+        // Sequential weighted runs reject an explicit variant too.
+        assert!(run(&strings(&[
+            "cond-mat-2005",
+            "--weights",
+            "uniform",
+            "--variant",
+            "branch-avoiding"
         ]))
         .is_err());
     }

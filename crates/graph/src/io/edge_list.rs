@@ -1,13 +1,17 @@
-//! Plain whitespace-separated edge-list reader/writer.
+//! Plain whitespace-separated edge-list reader/writer, in unweighted
+//! (`u v`) and weighted (`u v w`) forms.
 
 use super::IoError;
 use crate::builder::GraphBuilder;
 use crate::csr::{CsrGraph, VertexId};
+use crate::weighted::{EdgeWeight, WeightedCsrGraph, WeightedGraphBuilder};
 use std::fs;
 use std::path::Path;
 
 /// Parses an undirected graph from edge-list text: one `u v` pair per line,
-/// blank lines and lines starting with `#` or `%` ignored.
+/// blank lines and lines starting with `#` or `%` ignored. Extra columns
+/// (e.g. edge weights) are tolerated and dropped — use
+/// [`read_weighted_edge_list_str`] to keep them.
 pub fn read_edge_list_str(text: &str) -> Result<CsrGraph, IoError> {
     let mut builder = GraphBuilder::undirected(0);
     for (idx, raw) in text.lines().enumerate() {
@@ -18,13 +22,45 @@ pub fn read_edge_list_str(text: &str) -> Result<CsrGraph, IoError> {
         let mut parts = line.split_whitespace();
         let u = parse_vertex(parts.next(), idx + 1, "missing source vertex")?;
         let v = parse_vertex(parts.next(), idx + 1, "missing target vertex")?;
-        if parts.next().is_some() {
-            // Extra columns (e.g. edge weights) are tolerated and ignored —
-            // the paper's algorithms are unweighted.
-        }
+        // Extra columns (e.g. edge weights) are tolerated and dropped here;
+        // the weighted reader surfaces them.
+        let _ = parts.next();
         builder.push_edge(u, v);
     }
     Ok(builder.build())
+}
+
+/// Parses an undirected *weighted* graph from edge-list text: one
+/// `u v [w]` triple per line (`w` defaults to 1 when the column is
+/// absent), the same comment rules as [`read_edge_list_str`]. Weights must
+/// be positive integers — a zero weight is a parse error, not a silent
+/// drop, because the delta-stepping kernels require strictly positive
+/// weights. Duplicate edges collapse to their minimum weight (the
+/// shortest-path-preserving policy of
+/// [`crate::weighted::WeightedGraphBuilder`]).
+pub fn read_weighted_edge_list_str(text: &str) -> Result<WeightedCsrGraph, IoError> {
+    let mut builder = WeightedGraphBuilder::undirected(0);
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let u = parse_vertex(parts.next(), idx + 1, "missing source vertex")?;
+        let v = parse_vertex(parts.next(), idx + 1, "missing target vertex")?;
+        let weight = match parts.next() {
+            None => 1,
+            Some(token) => parse_weight(token, idx + 1)?,
+        };
+        builder.push_edge(u, v, weight);
+    }
+    Ok(builder.build())
+}
+
+/// Reads a weighted edge-list file from disk.
+pub fn read_weighted_edge_list<P: AsRef<Path>>(path: P) -> Result<WeightedCsrGraph, IoError> {
+    let text = fs::read_to_string(path)?;
+    read_weighted_edge_list_str(&text)
 }
 
 /// Reads an edge-list file from disk.
@@ -54,6 +90,44 @@ pub fn write_edge_list<P: AsRef<Path>>(graph: &CsrGraph, path: P) -> Result<(), 
     Ok(())
 }
 
+/// Serializes a weighted graph as edge-list text (`u v w` per undirected
+/// edge, `u <= v`), prefixed by a comment describing the sizes.
+pub fn write_weighted_edge_list_string(graph: &WeightedCsrGraph) -> String {
+    let mut out = String::with_capacity(graph.num_edges() * 16 + 64);
+    out.push_str(&format!(
+        "# vertices {} edges {} weighted\n",
+        graph.num_vertices(),
+        graph.num_edges()
+    ));
+    for (u, v, w) in graph.edges_weighted() {
+        out.push_str(&format!("{u} {v} {w}\n"));
+    }
+    out
+}
+
+/// Writes the weighted edge-list representation to a file.
+pub fn write_weighted_edge_list<P: AsRef<Path>>(
+    graph: &WeightedCsrGraph,
+    path: P,
+) -> Result<(), IoError> {
+    fs::write(path, write_weighted_edge_list_string(graph))?;
+    Ok(())
+}
+
+fn parse_weight(token: &str, line: usize) -> Result<EdgeWeight, IoError> {
+    let weight = token.parse::<EdgeWeight>().map_err(|e| IoError::Parse {
+        line,
+        message: format!("invalid edge weight {token:?}: {e}"),
+    })?;
+    if weight == 0 {
+        return Err(IoError::Parse {
+            line,
+            message: "edge weight 0 is forbidden (weights must be >= 1)".to_string(),
+        });
+    }
+    Ok(weight)
+}
+
 fn parse_vertex(token: Option<&str>, line: usize, missing: &str) -> Result<VertexId, IoError> {
     let token = token.ok_or_else(|| IoError::Parse {
         line,
@@ -80,6 +154,55 @@ mod tests {
     fn ignores_extra_columns() {
         let g = read_edge_list_str("0 1 5.0\n1 2 0.25\n").unwrap();
         assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn weighted_reader_surfaces_the_third_column() {
+        // The unweighted reader drops these weights; the weighted one must
+        // keep them — this is the regression test for the parse-and-drop
+        // behaviour the weighted CSR replaced.
+        let text = "# c\n0 1 5\n1 2 3\n2 3\n";
+        let g = read_weighted_edge_list_str(text).unwrap();
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.weight_of_edge(0, 1), Some(5));
+        assert_eq!(g.weight_of_edge(1, 0), Some(5));
+        assert_eq!(g.weight_of_edge(1, 2), Some(3));
+        // A missing weight column defaults to 1.
+        assert_eq!(g.weight_of_edge(2, 3), Some(1));
+        // The unweighted reader on the same text agrees on structure.
+        assert_eq!(read_edge_list_str(text).unwrap(), *g.csr());
+    }
+
+    #[test]
+    fn weighted_reader_rejects_bad_weights() {
+        let err = read_weighted_edge_list_str("0 1 0\n").unwrap_err();
+        assert!(err.to_string().contains("forbidden"), "{err}");
+        let err = read_weighted_edge_list_str("0 1 -3\n").unwrap_err();
+        assert!(err.to_string().contains("invalid edge weight"), "{err}");
+        let err = read_weighted_edge_list_str("0 1 2.5\n").unwrap_err();
+        assert!(err.to_string().contains("line 1"), "{err}");
+    }
+
+    #[test]
+    fn weighted_round_trip_preserves_weights() {
+        let g = read_weighted_edge_list_str("0 1 5\n1 2 3\n2 3 9\n3 0 1\n").unwrap();
+        let text = write_weighted_edge_list_string(&g);
+        let back = read_weighted_edge_list_str(&text).unwrap();
+        assert_eq!(g, back);
+        // And through a file on disk.
+        let dir = std::env::temp_dir().join("bga_graph_wio_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tiny.wedges");
+        write_weighted_edge_list(&g, &path).unwrap();
+        assert_eq!(read_weighted_edge_list(&path).unwrap(), g);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn weighted_duplicate_edges_collapse_to_the_minimum() {
+        let g = read_weighted_edge_list_str("0 1 9\n1 0 4\n").unwrap();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.weight_of_edge(0, 1), Some(4));
     }
 
     #[test]

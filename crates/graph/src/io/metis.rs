@@ -3,18 +3,36 @@
 //! Header line: `<num_vertices> <num_edges> [fmt]`. Then one line per vertex
 //! listing its neighbours with **1-based** vertex ids. This is the format the
 //! 10th DIMACS Implementation Challenge distributes the paper's test graphs
-//! in. Only the unweighted variants (`fmt` absent, `0`, or `00`) are
-//! supported; weighted graphs are rejected with a parse error because the
-//! paper's kernels are unweighted.
+//! in.
+//!
+//! [`read_metis_str`] handles the unweighted variants (`fmt` absent, `0`,
+//! or `00`) and rejects everything else; [`read_weighted_metis_str`]
+//! additionally accepts the edge-weighted variant (`fmt` ending in `1`,
+//! e.g. `1` or `001`, where every neighbour id is followed by its edge
+//! weight) and lifts unweighted files to unit weights. Vertex-weighted
+//! variants (`fmt` with a second-from-right `1`, e.g. `011`) are not
+//! supported by either reader.
 
 use super::IoError;
 use crate::builder::GraphBuilder;
 use crate::csr::{CsrGraph, VertexId};
+use crate::weighted::{EdgeWeight, WeightedCsrGraph, WeightedGraphBuilder};
 use std::fs;
 use std::path::Path;
 
-/// Parses a METIS-format graph from text.
-pub fn read_metis_str(text: &str) -> Result<CsrGraph, IoError> {
+/// One adjacency entry parsed out of a METIS document: `(source, target,
+/// weight)` with weight 1 for unweighted files.
+struct MetisDocument {
+    n: usize,
+    m: usize,
+    header_line_no: usize,
+    edges: Vec<(VertexId, VertexId, EdgeWeight)>,
+}
+
+/// Shared METIS parser. `accept_edge_weights` selects whether an
+/// edge-weighted `fmt` (trailing `1`) is honoured or rejected;
+/// vertex-weighted formats are always rejected.
+fn parse_metis_document(text: &str, accept_edge_weights: bool) -> Result<MetisDocument, IoError> {
     let mut lines = text
         .lines()
         .enumerate()
@@ -28,16 +46,32 @@ pub fn read_metis_str(text: &str) -> Result<CsrGraph, IoError> {
     let mut parts = header.split_whitespace();
     let n: usize = parse_number(parts.next(), header_line_no, "vertex count")?;
     let m: usize = parse_number(parts.next(), header_line_no, "edge count")?;
+    let mut edge_weighted = false;
     if let Some(fmt) = parts.next() {
-        if fmt.chars().any(|c| c != '0') {
+        let mut chars = fmt.chars().rev();
+        edge_weighted = chars.next() == Some('1');
+        let vertex_weighted = chars.any(|c| c != '0');
+        if vertex_weighted || fmt.chars().any(|c| c != '0' && c != '1') {
             return Err(IoError::Parse {
                 line: header_line_no,
-                message: format!("weighted METIS format {fmt:?} is not supported"),
+                message: format!(
+                    "METIS format {fmt:?} is not supported (vertex weights and \
+                     non-binary fmt codes are rejected)"
+                ),
+            });
+        }
+        if edge_weighted && !accept_edge_weights {
+            return Err(IoError::Parse {
+                line: header_line_no,
+                message: format!(
+                    "edge-weighted METIS format {fmt:?} is not supported by the \
+                     unweighted reader; use the weighted reader"
+                ),
             });
         }
     }
 
-    let mut builder = GraphBuilder::undirected(n);
+    let mut edges = Vec::new();
     let mut vertex_lines = 0usize;
     for (line_no, raw) in lines {
         if vertex_lines >= n {
@@ -50,7 +84,8 @@ pub fn read_metis_str(text: &str) -> Result<CsrGraph, IoError> {
             });
         }
         let u = vertex_lines as VertexId;
-        for token in raw.split_whitespace() {
+        let mut tokens = raw.split_whitespace();
+        while let Some(token) = tokens.next() {
             let neighbor: usize = token.parse().map_err(|e| IoError::Parse {
                 line: line_no,
                 message: format!("invalid neighbour id {token:?}: {e}"),
@@ -61,7 +96,26 @@ pub fn read_metis_str(text: &str) -> Result<CsrGraph, IoError> {
                     message: format!("neighbour id {neighbor} outside 1..={n}"),
                 });
             }
-            builder.push_edge(u, (neighbor - 1) as VertexId);
+            let weight = if edge_weighted {
+                let token = tokens.next().ok_or_else(|| IoError::Parse {
+                    line: line_no,
+                    message: format!("neighbour {neighbor} is missing its edge weight"),
+                })?;
+                let weight: EdgeWeight = token.parse().map_err(|e| IoError::Parse {
+                    line: line_no,
+                    message: format!("invalid edge weight {token:?}: {e}"),
+                })?;
+                if weight == 0 {
+                    return Err(IoError::Parse {
+                        line: line_no,
+                        message: "edge weight 0 is forbidden (weights must be >= 1)".to_string(),
+                    });
+                }
+                weight
+            } else {
+                1
+            };
+            edges.push((u, (neighbor - 1) as VertexId, weight));
         }
         vertex_lines += 1;
     }
@@ -71,23 +125,58 @@ pub fn read_metis_str(text: &str) -> Result<CsrGraph, IoError> {
             message: format!("expected {n} vertex lines, found {vertex_lines}"),
         });
     }
-    let graph = builder.build();
-    if graph.num_edges() != m {
-        // DIMACS files occasionally miscount; warn by error only when wildly
-        // off (strict mode would reject legitimate files with self-loops
-        // removed). A mismatch above 1% is treated as a corrupt file.
-        let declared = m as f64;
-        let actual = graph.num_edges() as f64;
-        if declared > 0.0 && (actual - declared).abs() / declared > 0.01 {
-            return Err(IoError::Parse {
-                line: header_line_no,
-                message: format!(
-                    "header declares {m} edges but adjacency lists contain {}",
-                    graph.num_edges()
-                ),
-            });
-        }
+    Ok(MetisDocument {
+        n,
+        m,
+        header_line_no,
+        edges,
+    })
+}
+
+/// DIMACS files occasionally miscount; error only when wildly off (strict
+/// mode would reject legitimate files with self-loops removed). A mismatch
+/// above 1% is treated as a corrupt file.
+fn check_edge_count(declared: usize, actual: usize, header_line_no: usize) -> Result<(), IoError> {
+    if declared > 0 && (actual as f64 - declared as f64).abs() / declared as f64 > 0.01 {
+        return Err(IoError::Parse {
+            line: header_line_no,
+            message: format!(
+                "header declares {declared} edges but adjacency lists contain {actual}"
+            ),
+        });
     }
+    Ok(())
+}
+
+/// Parses a METIS-format graph from text (unweighted formats only).
+pub fn read_metis_str(text: &str) -> Result<CsrGraph, IoError> {
+    let doc = parse_metis_document(text, false)?;
+    let mut builder = GraphBuilder::undirected(doc.n);
+    for &(u, v, _) in &doc.edges {
+        builder.push_edge(u, v);
+    }
+    let graph = builder.build();
+    check_edge_count(doc.m, graph.num_edges(), doc.header_line_no)?;
+    Ok(graph)
+}
+
+/// Parses a METIS-format graph from text, preserving edge weights: an
+/// edge-weighted `fmt` (e.g. `1` or `001`) yields the declared weights, an
+/// unweighted file yields unit weights. The adjacency lists of an
+/// undirected METIS file name each edge twice; if the two occurrences
+/// disagree on the weight, the minimum wins (the shortest-path-preserving
+/// collapse of [`crate::weighted::WeightedGraphBuilder`]).
+pub fn read_weighted_metis_str(text: &str) -> Result<WeightedCsrGraph, IoError> {
+    let doc = parse_metis_document(text, true)?;
+    let mut builder = WeightedGraphBuilder::undirected(doc.n);
+    for &(u, v, w) in &doc.edges {
+        if u == v {
+            continue; // self-loops are dropped, as in the unweighted reader
+        }
+        builder.push_edge(u, v, w);
+    }
+    let graph = builder.build();
+    check_edge_count(doc.m, graph.num_edges(), doc.header_line_no)?;
     Ok(graph)
 }
 
@@ -95,6 +184,12 @@ pub fn read_metis_str(text: &str) -> Result<CsrGraph, IoError> {
 pub fn read_metis<P: AsRef<Path>>(path: P) -> Result<CsrGraph, IoError> {
     let text = fs::read_to_string(path)?;
     read_metis_str(&text)
+}
+
+/// Reads a weighted METIS file from disk.
+pub fn read_weighted_metis<P: AsRef<Path>>(path: P) -> Result<WeightedCsrGraph, IoError> {
+    let text = fs::read_to_string(path)?;
+    read_weighted_metis_str(&text)
 }
 
 /// Serializes the graph in METIS format (1-based neighbour lists).
@@ -116,6 +211,32 @@ pub fn write_metis_string(graph: &CsrGraph) -> String {
 /// Writes the METIS representation to a file.
 pub fn write_metis<P: AsRef<Path>>(graph: &CsrGraph, path: P) -> Result<(), IoError> {
     fs::write(path, write_metis_string(graph))?;
+    Ok(())
+}
+
+/// Serializes a weighted graph in edge-weighted METIS format (`fmt` =
+/// `001`, each 1-based neighbour id followed by its edge weight).
+pub fn write_weighted_metis_string(graph: &WeightedCsrGraph) -> String {
+    let csr = graph.csr();
+    let mut out = String::with_capacity(csr.num_edge_slots() * 12 + 64);
+    out.push_str(&format!("{} {} 001\n", csr.num_vertices(), csr.num_edges()));
+    for v in csr.vertices() {
+        let line: Vec<String> = graph
+            .neighbors_weighted(v)
+            .map(|(u, w)| format!("{} {w}", u + 1))
+            .collect();
+        out.push_str(&line.join(" "));
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes the weighted METIS representation to a file.
+pub fn write_weighted_metis<P: AsRef<Path>>(
+    graph: &WeightedCsrGraph,
+    path: P,
+) -> Result<(), IoError> {
+    fs::write(path, write_weighted_metis_string(graph))?;
     Ok(())
 }
 
@@ -155,6 +276,60 @@ mod tests {
     fn rejects_weighted_format() {
         let err = read_metis_str("2 1 011\n2\n1\n").unwrap_err();
         assert!(err.to_string().contains("not supported"));
+        // A purely edge-weighted fmt is also rejected by the unweighted
+        // reader, pointing at the weighted one.
+        let err = read_metis_str("2 1 1\n2 5\n1 5\n").unwrap_err();
+        assert!(err.to_string().contains("weighted reader"), "{err}");
+    }
+
+    #[test]
+    fn weighted_reader_parses_edge_weights() {
+        // Triangle with distinct weights, fmt "1": neighbour/weight pairs.
+        let text = "3 3 1\n2 4 3 7\n1 4 3 2\n1 7 2 2\n";
+        let g = read_weighted_metis_str(text).unwrap();
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.weight_of_edge(0, 1), Some(4));
+        assert_eq!(g.weight_of_edge(0, 2), Some(7));
+        assert_eq!(g.weight_of_edge(1, 2), Some(2));
+        // fmt "001" is the same thing.
+        let g2 = read_weighted_metis_str("3 3 001\n2 4 3 7\n1 4 3 2\n1 7 2 2\n").unwrap();
+        assert_eq!(g, g2);
+        // An unweighted file lifts to unit weights.
+        let unit = read_weighted_metis_str("2 1\n2\n1\n").unwrap();
+        assert!(unit.is_unit());
+        // Vertex-weighted formats stay rejected.
+        assert!(read_weighted_metis_str("2 1 011\n1 2 5\n1 1 5\n").is_err());
+    }
+
+    #[test]
+    fn weighted_reader_rejects_bad_weight_columns() {
+        // Missing weight after a neighbour id.
+        let err = read_weighted_metis_str("2 1 1\n2\n1 5\n").unwrap_err();
+        assert!(err.to_string().contains("missing its edge weight"), "{err}");
+        // Zero weight.
+        let err = read_weighted_metis_str("2 1 1\n2 0\n1 0\n").unwrap_err();
+        assert!(err.to_string().contains("forbidden"), "{err}");
+        // Garbage weight.
+        let err = read_weighted_metis_str("2 1 1\n2 x\n1 x\n").unwrap_err();
+        assert!(err.to_string().contains("invalid edge weight"), "{err}");
+    }
+
+    #[test]
+    fn weighted_metis_round_trip_preserves_weights() {
+        use crate::generators::{grid_2d, MeshStencil};
+        use crate::weighted::uniform_weights;
+        let g = uniform_weights(&grid_2d(5, 4, MeshStencil::Moore), 30, 11);
+        let text = write_weighted_metis_string(&g);
+        assert!(text.starts_with(&format!("{} {} 001\n", g.num_vertices(), g.num_edges())));
+        let back = read_weighted_metis_str(&text).unwrap();
+        assert_eq!(g, back);
+        // And through a file on disk.
+        let dir = std::env::temp_dir().join("bga_graph_wmetis_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tiny.wmetis");
+        write_weighted_metis(&g, &path).unwrap();
+        assert_eq!(read_weighted_metis(&path).unwrap(), g);
+        std::fs::remove_file(path).ok();
     }
 
     #[test]

@@ -12,8 +12,15 @@
 mod edge_list;
 mod metis;
 
-pub use edge_list::{read_edge_list, read_edge_list_str, write_edge_list, write_edge_list_string};
-pub use metis::{read_metis, read_metis_str, write_metis, write_metis_string};
+pub use edge_list::{
+    read_edge_list, read_edge_list_str, read_weighted_edge_list, read_weighted_edge_list_str,
+    write_edge_list, write_edge_list_string, write_weighted_edge_list,
+    write_weighted_edge_list_string,
+};
+pub use metis::{
+    read_metis, read_metis_str, read_weighted_metis, read_weighted_metis_str, write_metis,
+    write_metis_string, write_weighted_metis, write_weighted_metis_string,
+};
 
 use std::fmt;
 use std::io;
@@ -78,5 +85,15 @@ mod tests {
         let via_metis = read_metis_str(&write_metis_string(&g)).unwrap();
         let via_edges = read_edge_list_str(&write_edge_list_string(&g)).unwrap();
         assert_eq!(via_metis, via_edges);
+    }
+
+    #[test]
+    fn weighted_formats_agree_with_each_other() {
+        use crate::weighted::uniform_weights;
+        let g = uniform_weights(&barabasi_albert(60, 2, 5), 20, 8);
+        let via_metis = read_weighted_metis_str(&write_weighted_metis_string(&g)).unwrap();
+        let via_edges = read_weighted_edge_list_str(&write_weighted_edge_list_string(&g)).unwrap();
+        assert_eq!(via_metis, via_edges);
+        assert_eq!(via_metis, g);
     }
 }

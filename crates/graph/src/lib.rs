@@ -13,8 +13,13 @@
 //!   social/collaboration networks) and the classic shapes used in tests.
 //! * [`io`] — edge-list and METIS/DIMACS-10 readers and writers, so the
 //!   paper's original graphs can be dropped in when available.
+//! * [`weighted`] — [`WeightedCsrGraph`]: per-edge `u32` weights parallel
+//!   to the adjacency array, a weighted builder, and the
+//!   [`uniform_weights`]/[`unit_weights`] lifts that turn any generator
+//!   output into a weighted graph.
 //! * [`properties`] — reference implementations (union-find connected
-//!   components, queue BFS, pseudo-diameter) used as ground truth.
+//!   components, queue BFS, Bellman-Ford weighted distances,
+//!   pseudo-diameter) used as ground truth.
 //! * [`suite`] — synthetic stand-ins for the five Table-2 graphs.
 //!
 //! ```
@@ -38,8 +43,12 @@ pub mod io;
 pub mod properties;
 pub mod suite;
 pub mod transform;
+pub mod weighted;
 
 pub use builder::{from_directed_edge_list, from_edge_list, GraphBuilder};
 pub use csr::{CsrError, CsrGraph, EdgeIndex, VertexId};
 pub use degree::{degree_histogram, degree_stats, DegreeStats};
 pub use suite::{benchmark_suite, SuiteGraph, SuiteGraphId, SuiteScale};
+pub use weighted::{
+    uniform_weights, unit_weights, EdgeWeight, WeightedCsrGraph, WeightedGraphBuilder,
+};

@@ -6,6 +6,7 @@
 //! characterizing the synthetic benchmark suite (Table 2 of the paper).
 
 use crate::csr::{CsrGraph, VertexId};
+use crate::weighted::WeightedCsrGraph;
 use std::collections::VecDeque;
 
 /// Distance value meaning "not reached" in BFS results.
@@ -164,6 +165,42 @@ pub fn bfs_distances_reference(graph: &CsrGraph, root: VertexId) -> Vec<u32> {
     dist
 }
 
+/// Reference weighted shortest-path distances from `root` by Bellman-Ford
+/// relaxation to a fixpoint: sweep every edge slot until nothing improves.
+/// Deliberately the *simplest obviously-correct* weighted SSSP — `O(|V| ·
+/// |E|)`, no buckets, no heap — so it can serve as independent ground
+/// truth for both the Dijkstra and the delta-stepping kernels in
+/// `bga-kernels`. Distances saturate at [`UNREACHED`] (weights are
+/// strictly positive, so there are no negative cycles and the fixpoint
+/// exists). Unreached vertices get [`UNREACHED`].
+pub fn bellman_ford_reference(graph: &WeightedCsrGraph, root: VertexId) -> Vec<u32> {
+    let n = graph.num_vertices();
+    let mut dist = vec![UNREACHED; n];
+    if (root as usize) >= n {
+        return dist;
+    }
+    dist[root as usize] = 0;
+    loop {
+        let mut changed = false;
+        for u in graph.csr().vertices() {
+            let du = dist[u as usize];
+            if du == UNREACHED {
+                continue;
+            }
+            for (v, w) in graph.neighbors_weighted(u) {
+                let candidate = du.saturating_add(w);
+                if candidate < dist[v as usize] {
+                    dist[v as usize] = candidate;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            return dist;
+        }
+    }
+}
+
 /// Eccentricity of `root` within its component (maximum finite BFS distance).
 pub fn eccentricity(graph: &CsrGraph, root: VertexId) -> u32 {
     bfs_distances_reference(graph, root)
@@ -272,6 +309,26 @@ mod tests {
         let g = path_graph(3);
         let d = bfs_distances_reference(&g, 99);
         assert!(d.iter().all(|&x| x == UNREACHED));
+    }
+
+    #[test]
+    fn bellman_ford_matches_bfs_on_unit_weights_and_hand_checks() {
+        use crate::weighted::{unit_weights, WeightedGraphBuilder};
+        let g = cycle_graph(9);
+        assert_eq!(
+            bellman_ford_reference(&unit_weights(&g), 0),
+            bfs_distances_reference(&g, 0)
+        );
+        // Weighted hand check: the direct 0-2 edge is heavier than the
+        // two-hop detour through 1.
+        let w = WeightedGraphBuilder::undirected(4)
+            .add_edges([(0, 1, 2), (1, 2, 3), (0, 2, 10)])
+            .build();
+        assert_eq!(bellman_ford_reference(&w, 0), vec![0, 2, 5, UNREACHED]);
+        // Out-of-range root reaches nothing.
+        assert!(bellman_ford_reference(&w, 99)
+            .iter()
+            .all(|&d| d == UNREACHED));
     }
 
     #[test]

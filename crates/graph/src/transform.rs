@@ -10,6 +10,7 @@
 
 use crate::builder::GraphBuilder;
 use crate::csr::{CsrGraph, VertexId};
+use crate::weighted::{WeightedCsrGraph, WeightedGraphBuilder};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -57,6 +58,44 @@ pub fn relabel_with(graph: &CsrGraph, permutation: &[VertexId]) -> CsrGraph {
     builder.build()
 }
 
+/// Returns an isomorphic copy of a weighted graph with vertex ids permuted
+/// by a seeded random permutation; every edge keeps its weight, so all
+/// shortest-path distances are preserved up to the relabelling.
+pub fn relabel_random_weighted(graph: &WeightedCsrGraph, seed: u64) -> WeightedCsrGraph {
+    let n = graph.num_vertices();
+    let mut permutation: Vec<VertexId> = (0..n as VertexId).collect();
+    permutation.shuffle(&mut StdRng::seed_from_u64(seed));
+    relabel_with_weighted(graph, &permutation)
+}
+
+/// Relabels a weighted graph with an explicit permutation, preserving
+/// weights. Panics if `permutation` is not a permutation of `0..|V|` (the
+/// same contract as [`relabel_with`]).
+pub fn relabel_with_weighted(
+    graph: &WeightedCsrGraph,
+    permutation: &[VertexId],
+) -> WeightedCsrGraph {
+    let n = graph.num_vertices();
+    assert_eq!(permutation.len(), n, "permutation length must equal |V|");
+    let mut seen = vec![false; n];
+    for &p in permutation {
+        assert!(
+            (p as usize) < n && !seen[p as usize],
+            "relabelling map is not a permutation of 0..|V|"
+        );
+        seen[p as usize] = true;
+    }
+    let mut builder = if graph.csr().is_undirected() {
+        WeightedGraphBuilder::undirected(n)
+    } else {
+        WeightedGraphBuilder::directed(n)
+    };
+    for (u, v, w) in graph.edges_weighted() {
+        builder.push_edge(permutation[u as usize], permutation[v as usize], w);
+    }
+    builder.build()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -99,6 +138,38 @@ mod tests {
     fn rejects_non_permutations() {
         let g = path_graph(4);
         relabel_with(&g, &[0, 0, 1, 2]);
+    }
+
+    #[test]
+    fn weighted_relabelling_preserves_weights_up_to_the_permutation() {
+        use crate::weighted::uniform_weights;
+        let g = uniform_weights(&grid_2d(5, 6, MeshStencil::VonNeumann), 16, 3);
+        let r = relabel_random_weighted(&g, 77);
+        assert_eq!(g.num_edges(), r.num_edges());
+        // Same weight multiset, same per-seed determinism.
+        let mut a: Vec<_> = g.edges_weighted().map(|(_, _, w)| w).collect();
+        let mut b: Vec<_> = r.edges_weighted().map(|(_, _, w)| w).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+        assert_eq!(relabel_random_weighted(&g, 77), r);
+        // Identity permutation round-trips exactly.
+        let identity: Vec<u32> = (0..g.num_vertices() as u32).collect();
+        assert_eq!(relabel_with_weighted(&g, &identity), g);
+        // Per-edge check through an explicit small permutation.
+        let small = crate::weighted::WeightedGraphBuilder::undirected(3)
+            .add_edges([(0, 1, 5), (1, 2, 8)])
+            .build();
+        let relabelled = relabel_with_weighted(&small, &[2, 0, 1]);
+        assert_eq!(relabelled.weight_of_edge(2, 0), Some(5));
+        assert_eq!(relabelled.weight_of_edge(0, 1), Some(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation")]
+    fn weighted_relabelling_rejects_non_permutations() {
+        let g = crate::weighted::unit_weights(&path_graph(4));
+        relabel_with_weighted(&g, &[0, 0, 1, 2]);
     }
 
     #[test]

@@ -1,0 +1,510 @@
+//! Weighted CSR graphs.
+//!
+//! [`WeightedCsrGraph`] pairs a [`CsrGraph`] with a `u32` weight per edge
+//! slot, stored in an array parallel to the adjacency array — the layout
+//! delta-stepping SSSP iterates over (one contiguous scan yields neighbour
+//! and weight together). Weights are strictly positive: delta-stepping's
+//! bucket invariant ("a relaxation out of bucket `i` never lands below
+//! bucket `i`") requires every edge to make forward progress, so
+//! zero-weight edges are rejected at every construction seam.
+//!
+//! Construction paths:
+//!
+//! * [`WeightedGraphBuilder`] — the weighted analogue of
+//!   [`crate::builder::GraphBuilder`]: edges in any order, undirected
+//!   symmetrization, self-loop removal, duplicate edges collapsed to their
+//!   minimum weight.
+//! * [`unit_weights`] / [`uniform_weights`] — lift an existing unweighted
+//!   [`CsrGraph`] (any generator output) into the weighted world, either
+//!   with all-ones weights or with seeded pseudo-random weights that are
+//!   symmetric per undirected edge.
+//! * [`WeightedCsrGraph::from_parts`] — raw-parts constructor for the file
+//!   readers and tests, validating every invariant.
+
+use crate::csr::{CsrGraph, VertexId};
+use std::fmt;
+
+/// Per-edge weight. `u32` keeps the weights array as compact as the
+/// adjacency array; distances are `u32` too (saturating at
+/// [`crate::properties::UNREACHED`]), matching the atomic distance cells
+/// the parallel kernels `fetch_min` into.
+pub type EdgeWeight = u32;
+
+/// An immutable weighted graph: a [`CsrGraph`] plus one strictly positive
+/// `u32` weight per edge slot.
+///
+/// Invariants (checked by [`WeightedCsrGraph::from_parts`]):
+///
+/// * `weights.len() == csr.num_edge_slots()`
+/// * every weight is `>= 1`
+/// * for undirected graphs the weights are symmetric: slot `(u, v)` and
+///   slot `(v, u)` carry the same weight, so shortest paths are
+///   well-defined on the undirected interpretation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WeightedCsrGraph {
+    csr: CsrGraph,
+    weights: Vec<EdgeWeight>,
+}
+
+impl WeightedCsrGraph {
+    /// Builds a weighted graph from a validated CSR structure and its
+    /// parallel weights array, checking the weighted invariants.
+    pub fn from_parts(csr: CsrGraph, weights: Vec<EdgeWeight>) -> Result<Self, WeightedCsrError> {
+        if weights.len() != csr.num_edge_slots() {
+            return Err(WeightedCsrError::LengthMismatch {
+                weights: weights.len(),
+                edge_slots: csr.num_edge_slots(),
+            });
+        }
+        if let Some(slot) = weights.iter().position(|&w| w == 0) {
+            return Err(WeightedCsrError::ZeroWeight { slot });
+        }
+        let graph = WeightedCsrGraph { csr, weights };
+        if graph.csr.is_undirected() {
+            for u in graph.csr.vertices() {
+                let base = graph.csr.offsets()[u as usize];
+                for (i, &v) in graph.csr.neighbors(u).iter().enumerate() {
+                    let w = graph.weights[base + i];
+                    if graph.weight_of_edge(v, u) != Some(w) {
+                        return Err(WeightedCsrError::AsymmetricWeight { u, v });
+                    }
+                }
+            }
+        }
+        Ok(graph)
+    }
+
+    /// The underlying unweighted CSR structure.
+    #[inline]
+    pub fn csr(&self) -> &CsrGraph {
+        &self.csr
+    }
+
+    /// The raw weights array, parallel to [`CsrGraph::adjacency`].
+    #[inline]
+    pub fn weights(&self) -> &[EdgeWeight] {
+        &self.weights
+    }
+
+    /// Number of vertices `|V|`.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.csr.num_vertices()
+    }
+
+    /// Number of logical edges (see [`CsrGraph::num_edges`]).
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.csr.num_edges()
+    }
+
+    /// The neighbours of `v`, sorted ascending.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        self.csr.neighbors(v)
+    }
+
+    /// The weights of `v`'s edge slots, parallel to [`Self::neighbors`].
+    #[inline]
+    pub fn weights_of(&self, v: VertexId) -> &[EdgeWeight] {
+        let v = v as usize;
+        &self.weights[self.csr.offsets()[v]..self.csr.offsets()[v + 1]]
+    }
+
+    /// Iterator over `(neighbour, weight)` pairs of `v`.
+    #[inline]
+    pub fn neighbors_weighted(
+        &self,
+        v: VertexId,
+    ) -> impl Iterator<Item = (VertexId, EdgeWeight)> + '_ {
+        self.neighbors(v)
+            .iter()
+            .copied()
+            .zip(self.weights_of(v).iter().copied())
+    }
+
+    /// Weight of the edge slot `(u, v)`, or `None` when absent (binary
+    /// search over the sorted neighbour list).
+    pub fn weight_of_edge(&self, u: VertexId, v: VertexId) -> Option<EdgeWeight> {
+        if (u as usize) >= self.num_vertices() {
+            return None;
+        }
+        let slot = self.csr.neighbors(u).binary_search(&v).ok()?;
+        Some(self.weights[self.csr.offsets()[u as usize] + slot])
+    }
+
+    /// Iterator over logical weighted edges: `(u, v, w)` with `u <= v` for
+    /// undirected graphs, every edge slot for directed graphs. This is what
+    /// the file writers serialize.
+    pub fn edges_weighted(&self) -> impl Iterator<Item = (VertexId, VertexId, EdgeWeight)> + '_ {
+        let undirected = self.csr.is_undirected();
+        self.csr
+            .vertices()
+            .flat_map(move |u| self.neighbors_weighted(u).map(move |(v, w)| (u, v, w)))
+            .filter(move |&(u, v, _)| !undirected || u <= v)
+    }
+
+    /// The largest edge weight, or `None` for an edgeless graph. The
+    /// delta-stepping kernels use this to decide whether a run has any
+    /// heavy edges at all for a given `Δ`.
+    pub fn max_weight(&self) -> Option<EdgeWeight> {
+        self.weights.iter().copied().max()
+    }
+
+    /// True when every edge weighs exactly 1 (the unit-weight degeneration
+    /// where delta-stepping collapses into BFS).
+    pub fn is_unit(&self) -> bool {
+        self.weights.iter().all(|&w| w == 1)
+    }
+}
+
+/// Lifts an unweighted graph into the weighted world with every edge at
+/// weight 1. SSSP on the result equals BFS, which the cross-validation
+/// tests exploit.
+pub fn unit_weights(graph: &CsrGraph) -> WeightedCsrGraph {
+    WeightedCsrGraph {
+        weights: vec![1; graph.num_edge_slots()],
+        csr: graph.clone(),
+    }
+}
+
+/// Lifts an unweighted graph into the weighted world with seeded
+/// pseudo-random weights drawn uniformly from `1..=max_weight`
+/// (`max_weight` is clamped to `>= 1`).
+///
+/// The weight of an edge is a pure function of the *unordered* endpoint
+/// pair and the seed, so undirected graphs come out symmetric by
+/// construction and the same `(graph, seed)` always yields the same
+/// weighted graph — this is the weighted variant of every generator in
+/// [`crate::generators`] (compose: `uniform_weights(&grid_2d(..), 32, 7)`).
+pub fn uniform_weights(graph: &CsrGraph, max_weight: EdgeWeight, seed: u64) -> WeightedCsrGraph {
+    let max_weight = max_weight.max(1) as u64;
+    let mut weights = Vec::with_capacity(graph.num_edge_slots());
+    for u in graph.vertices() {
+        for &v in graph.neighbors(u) {
+            let (a, b) = (u.min(v) as u64, u.max(v) as u64);
+            let mixed = splitmix64(seed ^ (a << 32 | b));
+            weights.push(1 + (mixed % max_weight) as EdgeWeight);
+        }
+    }
+    WeightedCsrGraph {
+        weights,
+        csr: graph.clone(),
+    }
+}
+
+/// SplitMix64 finalizer: a cheap, well-mixed hash for the per-edge weight
+/// derivation (no RNG state to thread through the edge scan).
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Incremental builder for [`WeightedCsrGraph`], the weighted analogue of
+/// [`crate::builder::GraphBuilder`]: edges in any order, optional
+/// symmetrization (undirected mode), self-loops dropped, duplicate edges
+/// collapsed to their *minimum* weight (the only collapse policy under
+/// which the shortest-path metric is unaffected by duplication).
+///
+/// ```
+/// use bga_graph::weighted::WeightedGraphBuilder;
+/// let g = WeightedGraphBuilder::undirected(3)
+///     .add_edge(0, 1, 4)
+///     .add_edge(1, 2, 7)
+///     .build();
+/// assert_eq!(g.weight_of_edge(1, 0), Some(4));
+/// assert_eq!(g.weight_of_edge(1, 2), Some(7));
+/// ```
+///
+/// # Panics
+///
+/// Zero-weight edges are forbidden (see the module docs); adding one
+/// panics immediately rather than surfacing a confusing bucket-invariant
+/// failure deep inside a delta-stepping run.
+#[derive(Clone, Debug)]
+pub struct WeightedGraphBuilder {
+    num_vertices: usize,
+    edges: Vec<(VertexId, VertexId, EdgeWeight)>,
+    undirected: bool,
+}
+
+impl WeightedGraphBuilder {
+    /// Builder for an undirected weighted graph on `num_vertices` vertices.
+    /// Every added edge is stored in both directions with the same weight.
+    pub fn undirected(num_vertices: usize) -> Self {
+        WeightedGraphBuilder {
+            num_vertices,
+            edges: Vec::new(),
+            undirected: true,
+        }
+    }
+
+    /// Builder for a directed weighted graph on `num_vertices` vertices.
+    pub fn directed(num_vertices: usize) -> Self {
+        WeightedGraphBuilder {
+            num_vertices,
+            edges: Vec::new(),
+            undirected: false,
+        }
+    }
+
+    /// Adds a single weighted edge. Endpoints outside `0..num_vertices`
+    /// grow the vertex set, matching the unweighted builder.
+    pub fn add_edge(mut self, u: VertexId, v: VertexId, weight: EdgeWeight) -> Self {
+        self.push_edge(u, v, weight);
+        self
+    }
+
+    /// Adds many weighted edges at once.
+    pub fn add_edges<I>(mut self, edges: I) -> Self
+    where
+        I: IntoIterator<Item = (VertexId, VertexId, EdgeWeight)>,
+    {
+        for (u, v, w) in edges {
+            self.push_edge(u, v, w);
+        }
+        self
+    }
+
+    /// In-place edge insertion for loops that cannot use the chaining API.
+    pub fn push_edge(&mut self, u: VertexId, v: VertexId, weight: EdgeWeight) {
+        assert!(
+            weight >= 1,
+            "zero-weight edge ({u}, {v}): weighted graphs require strictly positive weights"
+        );
+        let needed = (u.max(v) as usize) + 1;
+        if needed > self.num_vertices {
+            self.num_vertices = needed;
+        }
+        self.edges.push((u, v, weight));
+    }
+
+    /// Number of edges currently buffered (before dedup/symmetrization).
+    pub fn pending_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Finalizes the builder into a validated [`WeightedCsrGraph`].
+    pub fn build(self) -> WeightedCsrGraph {
+        let WeightedGraphBuilder {
+            num_vertices,
+            edges,
+            undirected,
+        } = self;
+
+        let mut slots: Vec<(VertexId, VertexId, EdgeWeight)> =
+            Vec::with_capacity(edges.len() * if undirected { 2 } else { 1 });
+        for (u, v, w) in edges {
+            if u == v {
+                continue;
+            }
+            slots.push((u, v, w));
+            if undirected {
+                slots.push((v, u, w));
+            }
+        }
+        // Sorting puts duplicates of an edge adjacent with the smallest
+        // weight first, so keep-first dedup is the min-weight collapse.
+        slots.sort_unstable();
+        slots.dedup_by_key(|&mut (u, v, _)| (u, v));
+
+        let mut offsets = vec![0usize; num_vertices + 1];
+        for &(u, _, _) in &slots {
+            offsets[u as usize + 1] += 1;
+        }
+        for v in 0..num_vertices {
+            offsets[v + 1] += offsets[v];
+        }
+        let (adjacency, weights): (Vec<VertexId>, Vec<EdgeWeight>) =
+            slots.into_iter().map(|(_, v, w)| (v, w)).unzip();
+
+        let csr = CsrGraph::from_raw_parts(offsets, adjacency, undirected)
+            .expect("weighted builder must always produce a structurally valid CSR graph");
+        WeightedCsrGraph::from_parts(csr, weights)
+            .expect("weighted builder must always produce valid symmetric positive weights")
+    }
+}
+
+/// Errors detected when constructing a weighted graph from raw parts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WeightedCsrError {
+    /// The weights array length does not match the number of edge slots.
+    LengthMismatch {
+        /// Length of the supplied weights array.
+        weights: usize,
+        /// Number of edge slots in the CSR structure.
+        edge_slots: usize,
+    },
+    /// An edge slot carried weight zero (forbidden; see the module docs).
+    ZeroWeight {
+        /// Index of the offending edge slot.
+        slot: usize,
+    },
+    /// An undirected graph's slots `(u, v)` and `(v, u)` disagree on the
+    /// weight (or the reverse slot is missing).
+    AsymmetricWeight {
+        /// Source endpoint of the offending slot.
+        u: VertexId,
+        /// Target endpoint of the offending slot.
+        v: VertexId,
+    },
+}
+
+impl fmt::Display for WeightedCsrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WeightedCsrError::LengthMismatch {
+                weights,
+                edge_slots,
+            } => write!(
+                f,
+                "weights array has {weights} entries for {edge_slots} edge slots"
+            ),
+            WeightedCsrError::ZeroWeight { slot } => {
+                write!(f, "edge slot {slot} has weight 0 (weights must be >= 1)")
+            }
+            WeightedCsrError::AsymmetricWeight { u, v } => write!(
+                f,
+                "undirected edge ({u}, {v}) has asymmetric or missing reverse weight"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for WeightedCsrError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::generators::{barabasi_albert, grid_2d, path_graph, MeshStencil};
+
+    #[test]
+    fn builder_symmetrizes_and_keeps_minimum_duplicate_weight() {
+        let g = WeightedGraphBuilder::undirected(3)
+            .add_edge(0, 1, 9)
+            .add_edge(1, 0, 4)
+            .add_edge(1, 2, 2)
+            .build();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.weight_of_edge(0, 1), Some(4));
+        assert_eq!(g.weight_of_edge(1, 0), Some(4));
+        assert_eq!(g.weight_of_edge(2, 1), Some(2));
+        assert_eq!(g.weight_of_edge(0, 2), None);
+        assert_eq!(g.max_weight(), Some(4));
+        assert!(!g.is_unit());
+    }
+
+    #[test]
+    fn directed_builder_keeps_directions_separate() {
+        let g = WeightedGraphBuilder::directed(2).add_edge(0, 1, 3).build();
+        assert_eq!(g.weight_of_edge(0, 1), Some(3));
+        assert_eq!(g.weight_of_edge(1, 0), None);
+        assert_eq!(g.edges_weighted().collect::<Vec<_>>(), vec![(0, 1, 3)]);
+    }
+
+    #[test]
+    fn self_loops_are_dropped_and_vertex_set_grows() {
+        let g = WeightedGraphBuilder::undirected(1)
+            .add_edge(2, 2, 5)
+            .add_edge(0, 4, 1)
+            .build();
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_edges(), 1);
+        assert!(g.is_unit());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-weight")]
+    fn zero_weight_edges_are_forbidden() {
+        WeightedGraphBuilder::undirected(2).add_edge(0, 1, 0);
+    }
+
+    #[test]
+    fn from_parts_validates_every_invariant() {
+        let csr = GraphBuilder::undirected(2).add_edge(0, 1).build();
+        // Length mismatch.
+        assert!(matches!(
+            WeightedCsrGraph::from_parts(csr.clone(), vec![1]),
+            Err(WeightedCsrError::LengthMismatch { .. })
+        ));
+        // Zero weight.
+        assert!(matches!(
+            WeightedCsrGraph::from_parts(csr.clone(), vec![1, 0]),
+            Err(WeightedCsrError::ZeroWeight { slot: 1 })
+        ));
+        // Asymmetric weight on an undirected graph.
+        assert!(matches!(
+            WeightedCsrGraph::from_parts(csr.clone(), vec![1, 2]),
+            Err(WeightedCsrError::AsymmetricWeight { .. })
+        ));
+        // Valid.
+        let g = WeightedCsrGraph::from_parts(csr, vec![7, 7]).unwrap();
+        assert_eq!(g.weights_of(0), &[7]);
+        // Directed graphs skip the symmetry check.
+        let d = GraphBuilder::directed(2).add_edge(0, 1).build();
+        assert!(WeightedCsrGraph::from_parts(d, vec![3]).is_ok());
+    }
+
+    #[test]
+    fn unit_weights_lift_any_graph() {
+        let g = unit_weights(&path_graph(5));
+        assert!(g.is_unit());
+        assert_eq!(g.max_weight(), Some(1));
+        assert_eq!(g.weights().len(), g.csr().num_edge_slots());
+        assert_eq!(
+            unit_weights(&GraphBuilder::undirected(0).build()).max_weight(),
+            None
+        );
+    }
+
+    #[test]
+    fn uniform_weights_are_symmetric_deterministic_and_in_range() {
+        for graph in [
+            grid_2d(6, 7, MeshStencil::Moore),
+            barabasi_albert(200, 3, 11),
+        ] {
+            let a = uniform_weights(&graph, 32, 42);
+            let b = uniform_weights(&graph, 32, 42);
+            assert_eq!(a, b, "same seed must reproduce the same weights");
+            assert_ne!(a, uniform_weights(&graph, 32, 43));
+            assert!(a.weights().iter().all(|&w| (1..=32).contains(&w)));
+            // Symmetry holds by construction and passes the validator.
+            assert!(WeightedCsrGraph::from_parts(a.csr().clone(), a.weights().to_vec()).is_ok());
+            // The weights actually vary (not a degenerate constant).
+            assert!(a.weights().iter().any(|&w| w != a.weights()[0]));
+        }
+        // max_weight is clamped to >= 1.
+        assert!(uniform_weights(&path_graph(3), 0, 1).is_unit());
+    }
+
+    #[test]
+    fn weighted_accessors_line_up_with_the_csr() {
+        let g = WeightedGraphBuilder::undirected(4)
+            .add_edges([(0, 1, 2), (0, 2, 3), (2, 3, 9)])
+            .build();
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.weights_of(0), &[2, 3]);
+        let pairs: Vec<_> = g.neighbors_weighted(2).collect();
+        assert_eq!(pairs, vec![(0, 3), (3, 9)]);
+        let edges: Vec<_> = g.edges_weighted().collect();
+        assert_eq!(edges, vec![(0, 1, 2), (0, 2, 3), (2, 3, 9)]);
+        assert_eq!(g.max_weight(), Some(9));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = WeightedCsrError::ZeroWeight { slot: 3 };
+        assert!(e.to_string().contains("slot 3"));
+        let e = WeightedCsrError::AsymmetricWeight { u: 1, v: 2 };
+        assert!(e.to_string().contains("(1, 2)"));
+        let e = WeightedCsrError::LengthMismatch {
+            weights: 2,
+            edge_slots: 4,
+        };
+        assert!(e.to_string().contains("2"));
+        assert!(e.to_string().contains("4"));
+    }
+}

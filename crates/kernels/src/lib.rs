@@ -55,5 +55,5 @@ pub mod stats;
 pub use bfs::{bfs_branch_avoiding, bfs_branch_based, BfsResult};
 pub use cc::{sv_branch_avoiding, sv_branch_based, ComponentLabels};
 pub use kcore::{kcore_peeling, CoreDecomposition};
-pub use sssp::{sssp_unit_delta_stepping, SsspResult};
+pub use sssp::{sssp_delta_stepping, sssp_dijkstra, sssp_unit_delta_stepping, SsspResult};
 pub use stats::{RunCounters, StepCounters};

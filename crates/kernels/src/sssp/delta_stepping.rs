@@ -1,19 +1,28 @@
-//! Sequential delta-stepping on unit weights.
+//! Sequential delta-stepping, weighted and unit-weight.
 //!
 //! Meyer & Sanders' delta-stepping partitions tentative distances into
-//! buckets of width `Δ` and settles them in ascending order; edges of
-//! weight ≤ `Δ` ("light" — on a unit-weight graph, all of them) are
-//! relaxed in repeated phases until the current bucket stops refilling.
-//! With `Δ = 1` a relaxation from bucket `i` can only land in bucket
-//! `i + 1`, so every bucket settles in exactly one phase and the loop *is*
-//! level-synchronous BFS — the degeneration the parallel client exploits.
-//! Larger deltas genuinely run multiple phases per bucket (a relaxation
-//! from distance `Δi` to `Δi + 1` stays in bucket `i`), which the tests
-//! use to check the bucket loop is more than a relabelled BFS.
+//! buckets of width `Δ` and settles them in ascending order. Edges of
+//! weight ≤ `Δ` are *light*: relaxing one can re-fill the current bucket,
+//! so light edges are relaxed in repeated phases until the bucket stops
+//! refilling (re-relaxation within a bucket). Edges of weight > `Δ` are
+//! *heavy*: their relaxations always land in strictly later buckets, so
+//! they are relaxed exactly once per settled vertex, after its bucket has
+//! drained.
+//!
+//! One core serves both weight regimes — [`sssp_delta_stepping`] reads the
+//! per-slot weights of a [`WeightedCsrGraph`], the `sssp_unit_*` entry
+//! points instantiate the same loop with a constant weight of 1 (no heavy
+//! edges, so the heavy pass compiles away). On unit weights with `Δ = 1` a
+//! relaxation from bucket `i` can only land in bucket `i + 1`, every
+//! bucket settles in exactly one phase and the loop *is* level-synchronous
+//! BFS — the degeneration the parallel unit client exploits. Larger deltas
+//! genuinely run multiple phases per bucket (a relaxation from distance
+//! `Δi` to `Δi + 1` stays in bucket `i`), which the tests use to check the
+//! bucket loop is more than a relabelled BFS.
 
 use super::SsspResult;
 use crate::bfs::INFINITY;
-use bga_graph::{CsrGraph, VertexId};
+use bga_graph::{CsrGraph, VertexId, WeightedCsrGraph};
 
 /// Unit-weight SSSP from `source` by delta-stepping with `Δ = 1` (the
 /// BFS-degenerate configuration). A source outside the vertex range
@@ -30,24 +39,65 @@ pub fn sssp_unit_delta_stepping_with_delta(
     source: VertexId,
     delta: u32,
 ) -> SsspResult {
-    let n = graph.num_vertices();
+    delta_stepping_core(graph, |_| 1, 1, source, delta)
+}
+
+/// Weighted SSSP from `source` by delta-stepping with bucket width
+/// `delta` (clamped to ≥ 1): light/heavy edge split at `Δ`, re-relaxation
+/// within a bucket, heavy relaxations deferred until the bucket settles.
+/// Distances are identical for every `delta` (and to the
+/// [`bga_graph::properties::bellman_ford_reference`] ground truth); only
+/// the phase structure changes. Distances saturate at `u32::MAX`
+/// (= unreached), so pathologically heavy paths degrade to "unreached"
+/// rather than wrapping.
+pub fn sssp_delta_stepping(graph: &WeightedCsrGraph, source: VertexId, delta: u32) -> SsspResult {
+    let weights = graph.weights();
+    delta_stepping_core(
+        graph.csr(),
+        |slot| weights[slot],
+        graph.max_weight().unwrap_or(1),
+        source,
+        delta,
+    )
+}
+
+/// The shared bucket loop. `weight_of` maps an edge-slot index to its
+/// weight; `max_weight` bounds it so the heavy pass is skipped entirely
+/// when no edge can be heavy (the unit-weight instantiation).
+///
+/// Phase accounting: every batch that expanded at least one live vertex
+/// counts as one light phase, and a heavy pass counts as one phase iff it
+/// improved at least one distance — bookkeeping-only sweeps (nothing but
+/// stale copies) are not phases.
+fn delta_stepping_core(
+    csr: &CsrGraph,
+    weight_of: impl Fn(usize) -> u32,
+    max_weight: u32,
+    source: VertexId,
+    delta: u32,
+) -> SsspResult {
+    let n = csr.num_vertices();
     let mut distances = vec![INFINITY; n];
     if (source as usize) >= n {
         return SsspResult::new(distances, 0);
     }
     let delta = delta.max(1);
+    let has_heavy = max_weight > delta;
     distances[source as usize] = 0;
-    let mut buckets: Vec<Vec<VertexId>> = vec![vec![source]];
+    // Buckets are kept *sparse*: keyed by index rather than dense-indexed,
+    // so memory scales with the pending entries and stepping to the next
+    // non-empty bucket is a map lookup — a single `u v 1000000000` edge
+    // must not allocate (or sweep) a billion empty buckets.
+    let mut buckets: std::collections::BTreeMap<usize, Vec<VertexId>> =
+        std::collections::BTreeMap::new();
+    buckets.insert(0, vec![source]);
     let mut phases = 0usize;
-    let mut index = 0usize;
-    while index < buckets.len() {
-        // Phase loop: relaxations out of bucket `index` may refill it when
-        // `delta > 1`, so keep draining until it stays empty.
-        loop {
-            let batch = std::mem::take(&mut buckets[index]);
-            if batch.is_empty() {
-                break;
-            }
+    while let Some((&index, _)) = buckets.first_key_value() {
+        // Unique live vertices of this bucket, recorded for the heavy pass.
+        let mut settled: Vec<VertexId> = Vec::new();
+        // Phase loop: light relaxations out of bucket `index` may refill
+        // it, so keep draining until it stays empty.
+        while let Some(batch) = buckets.remove(&index) {
             let mut live = false;
             for v in batch {
                 let dv = distances[v as usize];
@@ -57,15 +107,22 @@ pub fn sssp_unit_delta_stepping_with_delta(
                     continue;
                 }
                 live = true;
-                let candidate = dv + 1;
-                for &w in graph.neighbors(v) {
+                if has_heavy {
+                    settled.push(v);
+                }
+                let base = csr.offsets()[v as usize];
+                for (i, &w) in csr.neighbors(v).iter().enumerate() {
+                    let wt = weight_of(base + i);
+                    if wt > delta {
+                        continue; // heavy: deferred to the bucket's close
+                    }
+                    let candidate = dv.saturating_add(wt);
                     if candidate < distances[w as usize] {
                         distances[w as usize] = candidate;
-                        let bucket = (candidate / delta) as usize;
-                        if bucket >= buckets.len() {
-                            buckets.resize(bucket + 1, Vec::new());
-                        }
-                        buckets[bucket].push(w);
+                        buckets
+                            .entry((candidate / delta) as usize)
+                            .or_default()
+                            .push(w);
                     }
                 }
             }
@@ -73,7 +130,38 @@ pub fn sssp_unit_delta_stepping_with_delta(
             // relaxation phase.
             phases += usize::from(live);
         }
-        index += 1;
+        if has_heavy && !settled.is_empty() {
+            // Heavy pass: every vertex settled by this bucket relaxes its
+            // heavy edges once, at its now-final distance. A vertex that
+            // re-entered the bucket after a within-bucket improvement was
+            // recorded once per live expansion; dedup before relaxing.
+            settled.sort_unstable();
+            settled.dedup();
+            let mut improved = false;
+            for v in settled {
+                let dv = distances[v as usize];
+                let base = csr.offsets()[v as usize];
+                for (i, &w) in csr.neighbors(v).iter().enumerate() {
+                    let wt = weight_of(base + i);
+                    if wt <= delta {
+                        continue;
+                    }
+                    let candidate = dv.saturating_add(wt);
+                    if candidate < distances[w as usize] {
+                        distances[w as usize] = candidate;
+                        improved = true;
+                        buckets
+                            .entry((candidate / delta) as usize)
+                            .or_default()
+                            .push(w);
+                    }
+                }
+            }
+            phases += usize::from(improved);
+        }
+        // Every remaining entry targets a strictly later bucket (weights
+        // are positive and buckets below `index` are settled), so the next
+        // `first_key_value` advances monotonically.
     }
     SsspResult::new(distances, phases)
 }
@@ -85,7 +173,8 @@ mod tests {
         barabasi_albert, complete_graph, cycle_graph, erdos_renyi_gnm, grid_2d, path_graph,
         star_graph, MeshStencil,
     };
-    use bga_graph::properties::bfs_distances_reference;
+    use bga_graph::properties::{bellman_ford_reference, bfs_distances_reference};
+    use bga_graph::weighted::{uniform_weights, WeightedGraphBuilder};
     use bga_graph::GraphBuilder;
 
     fn shapes() -> Vec<CsrGraph> {
@@ -120,6 +209,96 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn weighted_deltas_match_the_bellman_ford_reference() {
+        for (seed, g) in shapes().iter().enumerate() {
+            let wg = uniform_weights(g, 24, seed as u64);
+            for root in [0u32, (g.num_vertices() as u32).saturating_sub(1)] {
+                let expected = bellman_ford_reference(&wg, root);
+                for delta in [1u32, 4, 24, 32] {
+                    let run = sssp_delta_stepping(&wg, root, delta);
+                    assert_eq!(
+                        run.distances(),
+                        &expected[..],
+                        "delta {delta}, root {root}, {} vertices",
+                        g.num_vertices()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_on_unit_weights_equals_the_unit_kernel() {
+        use bga_graph::weighted::unit_weights;
+        let g = barabasi_albert(300, 3, 5);
+        let wg = unit_weights(&g);
+        for delta in [1u32, 3] {
+            let weighted = sssp_delta_stepping(&wg, 0, delta);
+            let unit = sssp_unit_delta_stepping_with_delta(&g, 0, delta);
+            assert_eq!(weighted.distances(), unit.distances());
+            assert_eq!(weighted.phases(), unit.phases());
+        }
+    }
+
+    #[test]
+    fn heavy_edges_are_deferred_but_not_lost() {
+        // Path 0 -2- 1 -2- 2 plus a heavy shortcut 0 -5- 2: with Δ = 2 the
+        // shortcut is heavy, relaxed only when bucket 0 settles; the light
+        // path then undercuts it (4 < 5).
+        let g = WeightedGraphBuilder::undirected(3)
+            .add_edges([(0, 1, 2), (1, 2, 2), (0, 2, 5)])
+            .build();
+        let run = sssp_delta_stepping(&g, 0, 2);
+        assert_eq!(run.distances(), &[0, 2, 4]);
+        // With the shortcut cheap enough to win (weight 3), the heavy
+        // relaxation must actually reach vertex 2.
+        let g = WeightedGraphBuilder::undirected(3)
+            .add_edges([(0, 1, 2), (1, 2, 2), (0, 2, 3)])
+            .build();
+        let run = sssp_delta_stepping(&g, 0, 2);
+        assert_eq!(run.distances(), &[0, 2, 3]);
+    }
+
+    #[test]
+    fn wide_buckets_rerelax_within_the_bucket() {
+        // Weighted path 0 -1- 1 -1- 2 -1- 3 with Δ = 8: everything lives in
+        // bucket 0 and settles over repeated light phases (one per hop).
+        let g = WeightedGraphBuilder::undirected(4)
+            .add_edges([(0, 1, 1), (1, 2, 1), (2, 3, 1)])
+            .build();
+        let run = sssp_delta_stepping(&g, 0, 8);
+        assert_eq!(run.distances(), &[0, 1, 2, 3]);
+        assert_eq!(run.phases(), 4, "one light phase per hop, all in bucket 0");
+    }
+
+    #[test]
+    fn huge_weights_do_not_blow_up_the_bucket_structure() {
+        // Buckets are sparse: a single billion-weight edge must not
+        // allocate (or sweep) a billion empty buckets — this regression
+        // test hangs/OOMs if buckets ever go back to dense indexing.
+        let g = WeightedGraphBuilder::undirected(3)
+            .add_edges([(0, 1, 1_000_000_000), (1, 2, 1_000_000_000)])
+            .build();
+        for delta in [1u32, 4] {
+            let run = sssp_delta_stepping(&g, 0, delta);
+            assert_eq!(run.distances(), &[0, 1_000_000_000, 2_000_000_000]);
+        }
+        // Saturating distances: a path that would overflow u32 degrades to
+        // "unreached", not a wrapped small distance.
+        let g = WeightedGraphBuilder::undirected(3)
+            .add_edges([(0, 1, u32::MAX - 1), (1, 2, u32::MAX - 1)])
+            .build();
+        let run = sssp_delta_stepping(&g, 0, 1);
+        assert_eq!(run.distances()[1], u32::MAX - 1);
+        assert_eq!(run.distances()[2], INFINITY);
+        assert_eq!(
+            run.distances(),
+            &bellman_ford_reference(&g, 0)[..],
+            "saturation must match the ground truth"
+        );
     }
 
     #[test]
@@ -159,5 +338,10 @@ mod tests {
         let empty = sssp_unit_delta_stepping(&GraphBuilder::undirected(0).build(), 0);
         assert_eq!(empty.distances().len(), 0);
         assert_eq!(empty.phases(), 0);
+        // The weighted entry point behaves identically.
+        let wg = uniform_weights(&g, 9, 1);
+        let run = sssp_delta_stepping(&wg, 99, 4);
+        assert_eq!(run.reached_count(), 0);
+        assert_eq!(run.phases(), 0);
     }
 }

@@ -1,0 +1,116 @@
+//! Sequential Dijkstra on weighted graphs — the heap-ordered reference the
+//! delta-stepping kernels (sequential and parallel) cross-validate
+//! against.
+//!
+//! Deliberately the textbook lazy-deletion formulation: a binary heap of
+//! `(tentative distance, vertex)` pairs, popping the closest unsettled
+//! vertex and skipping stale entries. No buckets, no `Δ`, no phases — a
+//! structurally different algorithm from delta-stepping, which is exactly
+//! what makes agreement between the two meaningful. (The
+//! [`bga_graph::properties::bellman_ford_reference`] fixpoint sweep is the
+//! third, even simpler, witness.)
+
+use super::SsspResult;
+use crate::bfs::INFINITY;
+use bga_graph::{VertexId, WeightedCsrGraph};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Weighted SSSP from `source` by Dijkstra's algorithm. Distances saturate
+/// at `u32::MAX` (= unreached). The result's `phases()` reports the number
+/// of vertices settled (live heap pops) — Dijkstra settles one vertex per
+/// step, so that is its natural analogue of a relaxation phase. A source
+/// outside the vertex range yields an all-unreached result.
+pub fn sssp_dijkstra(graph: &WeightedCsrGraph, source: VertexId) -> SsspResult {
+    let n = graph.num_vertices();
+    let mut distances = vec![INFINITY; n];
+    if (source as usize) >= n {
+        return SsspResult::new(distances, 0);
+    }
+    distances[source as usize] = 0;
+    let mut heap = BinaryHeap::new();
+    heap.push(Reverse((0u32, source)));
+    let mut settled = 0usize;
+    while let Some(Reverse((d, v))) = heap.pop() {
+        // Lazy deletion: a vertex improved after this entry was pushed is
+        // settled by its smaller copy; this one is stale.
+        if d != distances[v as usize] {
+            continue;
+        }
+        settled += 1;
+        for (w, wt) in graph.neighbors_weighted(v) {
+            let candidate = d.saturating_add(wt);
+            if candidate < distances[w as usize] {
+                distances[w as usize] = candidate;
+                heap.push(Reverse((candidate, w)));
+            }
+        }
+    }
+    SsspResult::new(distances, settled)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bga_graph::generators::{barabasi_albert, grid_2d, path_graph, MeshStencil};
+    use bga_graph::properties::{bellman_ford_reference, bfs_distances_reference};
+    use bga_graph::weighted::{uniform_weights, unit_weights, WeightedGraphBuilder};
+    use bga_graph::GraphBuilder;
+
+    #[test]
+    fn matches_bellman_ford_on_random_weighted_graphs() {
+        for seed in 0..4u64 {
+            let wg = uniform_weights(&barabasi_albert(150, 3, seed), 20, seed);
+            for root in [0u32, 149] {
+                assert_eq!(
+                    sssp_dijkstra(&wg, root).distances(),
+                    &bellman_ford_reference(&wg, root)[..],
+                    "seed {seed}, root {root}"
+                );
+            }
+        }
+        let wg = uniform_weights(&grid_2d(9, 8, MeshStencil::Moore), 12, 3);
+        assert_eq!(
+            sssp_dijkstra(&wg, 5).distances(),
+            &bellman_ford_reference(&wg, 5)[..]
+        );
+    }
+
+    #[test]
+    fn unit_weights_reduce_to_bfs() {
+        let g = barabasi_albert(200, 2, 7);
+        let run = sssp_dijkstra(&unit_weights(&g), 0);
+        assert_eq!(run.distances(), &bfs_distances_reference(&g, 0)[..]);
+        // Every reached vertex was settled exactly once.
+        assert_eq!(run.phases(), run.reached_count());
+    }
+
+    #[test]
+    fn hand_checked_weighted_path() {
+        let g = WeightedGraphBuilder::undirected(4)
+            .add_edges([(0, 1, 2), (1, 2, 3), (0, 2, 10), (2, 3, 1)])
+            .build();
+        let run = sssp_dijkstra(&g, 0);
+        assert_eq!(run.distances(), &[0, 2, 5, 6]);
+        assert_eq!(run.phases(), 4);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        // Out-of-range source.
+        let wg = unit_weights(&path_graph(3));
+        let run = sssp_dijkstra(&wg, 99);
+        assert_eq!(run.reached_count(), 0);
+        assert_eq!(run.phases(), 0);
+        // Empty graph.
+        let empty = unit_weights(&GraphBuilder::undirected(0).build());
+        assert_eq!(sssp_dijkstra(&empty, 0).distances().len(), 0);
+        // Disconnected component stays unreached.
+        let wg = WeightedGraphBuilder::undirected(4)
+            .add_edges([(0, 1, 5)])
+            .build();
+        let run = sssp_dijkstra(&wg, 0);
+        assert_eq!(run.distances(), &[0, 5, INFINITY, INFINITY]);
+        assert_eq!(run.reached_count(), 2);
+    }
+}

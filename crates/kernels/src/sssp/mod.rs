@@ -1,25 +1,36 @@
-//! Single-source shortest paths on unit weights (extension).
+//! Single-source shortest paths (extension), weighted and unit-weight.
 //!
 //! The paper's introduction lists SSSP among the traversal-shaped
-//! algorithm families its findings extend to. This module provides the
-//! *unit-weight* case, where delta-stepping (Meyer & Sanders) collapses
-//! into level-synchronous BFS: with every edge weight 1 and `Δ = 1`, the
-//! bucket holding tentative distances in `[i, i + 1)` is exactly BFS
+//! algorithm families its findings extend to. Delta-stepping (Meyer &
+//! Sanders) is the scalable frame: tentative distances are partitioned
+//! into buckets of width `Δ`, light edges (weight ≤ `Δ`) are re-relaxed
+//! within a bucket, heavy edges once per settled vertex. On *unit*
+//! weights with `Δ = 1` the loop collapses into level-synchronous BFS:
+//! the bucket holding tentative distances in `[i, i + 1)` is exactly BFS
 //! level `i`, each bucket settles in a single relaxation phase, and the
-//! settling order is the BFS level order. That degeneration is the bridge
-//! the parallel client rides: `bga_parallel::sssp` runs the engine's
-//! level loop (queue↔bitmap frontier flipping included) and inherits the
-//! branch-based/branch-avoiding contrast of the BFS kernels.
+//! settling order is the BFS level order. The parallel clients ride both
+//! regimes: `bga_parallel::sssp` runs the unit case on the engine's level
+//! loop and the weighted case on the engine's bucket loop, inheriting the
+//! branch-based/branch-avoiding contrast either way.
 //!
-//! * [`delta_stepping::sssp_unit_delta_stepping`] — the sequential
-//!   reference, a real bucketed delta-stepping loop (any `Δ ≥ 1`) whose
-//!   unit-weight distances are cross-validated against the BFS reference.
+//! * [`delta_stepping::sssp_delta_stepping`] — the sequential weighted
+//!   kernel: a real bucketed delta-stepping loop with the light/heavy
+//!   split at `Δ`.
+//! * [`delta_stepping::sssp_unit_delta_stepping`] — the unit-weight
+//!   instantiation of the same loop (any `Δ ≥ 1`), cross-validated
+//!   against the BFS reference.
+//! * [`dijkstra::sssp_dijkstra`] — the heap-ordered weighted reference
+//!   the delta-stepping kernels cross-validate against.
 //! * [`SsspResult`] — distances plus the number of relaxation phases the
 //!   run settled in.
 
 pub mod delta_stepping;
+pub mod dijkstra;
 
-pub use delta_stepping::{sssp_unit_delta_stepping, sssp_unit_delta_stepping_with_delta};
+pub use delta_stepping::{
+    sssp_delta_stepping, sssp_unit_delta_stepping, sssp_unit_delta_stepping_with_delta,
+};
+pub use dijkstra::sssp_dijkstra;
 
 use crate::bfs::INFINITY;
 

@@ -18,6 +18,15 @@
 //!   [`Execute`] seam. Kernels implement [`LevelKernel`]; the loop hands
 //!   them edge-balanced chunks and concatenates their discoveries in
 //!   chunk order, which is what keeps distances deterministic.
+//! * [`BucketLoop`] — the bucket-synchronous driver for weighted
+//!   delta-stepping: bucket-indexed frontiers of `(vertex, distance)`
+//!   snapshots, light phases re-relaxed until the bucket drains, one
+//!   deferred heavy pass per settled bucket, chunk dispatch over the
+//!   [`Execute`] seam and per-phase tally merging. Kernels implement
+//!   [`BucketKernel`] (the per-edge relaxation discipline for one
+//!   [`EdgeClass`]); the loop owns filing discoveries into buckets,
+//!   stale/duplicate elimination and the deterministic settled-bucket
+//!   bounds.
 //! * [`SweepLoop`] — the fixpoint driver for label-propagation kernels
 //!   (Shiloach-Vishkin): run edge-balanced sweeps over the whole vertex
 //!   range until no chunk reports a change, merging tallies per sweep.
@@ -37,7 +46,7 @@ use crate::counters::{collect_run, merge_thread_steps, ThreadTally};
 use crate::pool::{
     balanced_prefix_ranges, edge_balanced_ranges, effective_chunks_with_grain, even_ranges, Execute,
 };
-use bga_graph::{CsrGraph, VertexId};
+use bga_graph::{CsrGraph, VertexId, WeightedCsrGraph};
 use bga_kernels::bfs::direction_optimizing::DirectionConfig;
 use bga_kernels::bfs::frontier::Bitmap;
 use bga_kernels::bfs::INFINITY;
@@ -510,6 +519,293 @@ impl<'a, E: Execute> LevelLoop<'a, E> {
     }
 }
 
+/// Which edge class one bucket relaxation pass covers: delta-stepping
+/// relaxes *light* edges (weight ≤ `Δ`) in repeated phases while a bucket
+/// drains, and *heavy* edges (weight > `Δ`) exactly once per settled
+/// vertex after it has.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EdgeClass {
+    /// Weight ≤ `Δ`: may refill the current bucket, re-relaxed per phase.
+    Light,
+    /// Weight > `Δ`: always lands in a strictly later bucket, relaxed once.
+    Heavy,
+}
+
+/// Read-only per-pass context handed to [`BucketKernel`] chunk methods.
+pub struct BucketCtx<'a> {
+    /// The weighted graph being relaxed over.
+    pub graph: &'a WeightedCsrGraph,
+    /// Shared traversal state (atomic distances).
+    pub state: &'a TraversalState,
+    /// The bucket width `Δ` (≥ 1) splitting light from heavy edges.
+    pub delta: u32,
+}
+
+/// How one kernel relaxes a single chunk of one bucket pass.
+/// Implementations supply the per-edge relaxation discipline
+/// (unconditional `fetch_min` with a predicated enqueue vs test-and-CAS);
+/// [`BucketLoop`] supplies everything around it: batch formation with
+/// stale/duplicate elimination, frontier snapshots, chunk dispatch, filing
+/// discoveries into buckets and settled-order bookkeeping.
+pub trait BucketKernel: Sync {
+    /// Whether [`BucketLoop::run`] should merge the per-chunk
+    /// [`ThreadTally`]s into per-phase step counters.
+    fn instrumented(&self) -> bool {
+        false
+    }
+
+    /// Relax the `class` edges of `frontier[range]`, returning every
+    /// vertex whose distance this chunk improved (the loop re-reads the
+    /// improved distances between passes and files each discovery into its
+    /// bucket). Each frontier entry is a `(vertex, distance)` snapshot
+    /// taken at batch formation; kernels must relax from the snapshot, not
+    /// from a fresh load, so a phase's relaxations are a pure function of
+    /// its frontier and the phase structure stays identical across thread
+    /// counts. `chunk_edges` is the number of adjacency slots the chunk
+    /// owns (for sizing write-past-the-end buffers).
+    fn relax_chunk(
+        &self,
+        ctx: &BucketCtx<'_>,
+        frontier: &[(VertexId, u32)],
+        range: Range<usize>,
+        chunk_edges: usize,
+        class: EdgeClass,
+        tally: &mut ThreadTally,
+    ) -> Vec<VertexId>;
+}
+
+/// Everything a finished [`BucketLoop::run`] reports besides the distances
+/// (which live in the [`TraversalState`] the caller handed in).
+#[derive(Clone, Debug)]
+pub struct BucketRun {
+    /// Vertices in settle order, source first. Bucket-monotone and
+    /// duplicate-free: each settled bucket's vertices are contiguous, and
+    /// the order is identical for every executor, thread count and grain
+    /// (frontiers are sorted snapshots of deterministic sets).
+    pub order: Vec<VertexId>,
+    /// For each bucket that settled at least one vertex, its index and the
+    /// contiguous range of [`BucketRun::order`] holding its vertices.
+    pub bucket_bounds: Vec<(usize, Range<usize>)>,
+    /// Total relaxation phases: light phases (one per non-empty batch of a
+    /// draining bucket) plus heavy passes that improved at least one
+    /// distance. Deterministic across executors, thread counts and grains.
+    pub phases: usize,
+    /// How many of [`BucketRun::phases`] were heavy passes.
+    pub heavy_phases: usize,
+    /// Per-phase counters merged across chunks — empty unless the kernel
+    /// reported itself [`BucketKernel::instrumented`].
+    pub counters: RunCounters,
+}
+
+/// The bucket-synchronous driver for weighted delta-stepping: owns the
+/// bucket-indexed pending queues, batch formation (stale and duplicate
+/// copies eliminated, frontier sorted), light-phase re-relaxation until
+/// the bucket drains, the deferred heavy pass per settled bucket, chunk
+/// dispatch over [`Execute`] and per-phase tally merging. Kernels only
+/// see one chunk of one `(frontier, edge class)` pass at a time.
+///
+/// Determinism: a phase's relaxations are a pure function of its frontier
+/// snapshot, so the set of vertices improved per phase — and with it every
+/// frontier, the settle order, the phase count and the final distances —
+/// is identical for every executor, thread count and grain. (How many
+/// duplicate claims the chunks report may vary; the loop's filing
+/// deduplicates them.)
+pub struct BucketLoop<'a, E: Execute> {
+    graph: &'a WeightedCsrGraph,
+    exec: &'a E,
+    grain: usize,
+    delta: u32,
+}
+
+impl<'a, E: Execute> BucketLoop<'a, E> {
+    /// A bucket loop over `graph` on `exec` with bucket width `delta`
+    /// (clamped to ≥ 1), fanning a pass out only when it carries at least
+    /// `grain` weight units.
+    pub fn new(graph: &'a WeightedCsrGraph, exec: &'a E, grain: usize, delta: u32) -> Self {
+        BucketLoop {
+            graph,
+            exec,
+            grain,
+            delta: delta.max(1),
+        }
+    }
+
+    /// Runs weighted delta-stepping from `source`. The caller provides the
+    /// state (already reset); the loop initialises the source and settles
+    /// buckets in ascending order until every pending queue is empty. A
+    /// source outside the vertex range yields an empty run, as in the
+    /// sequential kernels.
+    pub fn run<K: BucketKernel>(
+        &self,
+        state: &TraversalState,
+        source: VertexId,
+        kernel: &K,
+    ) -> BucketRun {
+        let n = self.graph.num_vertices();
+        let delta = self.delta;
+        let mut run = BucketRun {
+            order: Vec::new(),
+            bucket_bounds: Vec::new(),
+            phases: 0,
+            heavy_phases: 0,
+            counters: RunCounters::default(),
+        };
+        if (source as usize) >= n {
+            return run;
+        }
+        state.init_root(source);
+        let distances = state.distances();
+        let has_heavy = self.graph.max_weight().unwrap_or(1) > delta;
+        // Pending copies per bucket, kept *sparse* (keyed by index, not
+        // dense-indexed): memory scales with the pending entries and
+        // stepping to the next non-empty bucket is a map lookup, so one
+        // huge file-supplied weight cannot allocate or sweep billions of
+        // empty buckets. A vertex may be filed several times (each
+        // improvement files a copy); formation keeps only the live,
+        // not-yet-expanded-at-this-distance one.
+        let mut buckets: std::collections::BTreeMap<usize, Vec<VertexId>> =
+            std::collections::BTreeMap::new();
+        buckets.insert(0, vec![source]);
+        // Distance at which each vertex was last expanded (`INFINITY` =
+        // never): lets a within-bucket improvement re-expand the vertex
+        // while same-distance duplicate copies are dropped.
+        let mut expanded_at = vec![INFINITY; n];
+        // Whether the vertex has already been recorded in the settle order.
+        let mut settled = vec![false; n];
+        let mut steps = Vec::new();
+        let ctx = BucketCtx {
+            graph: self.graph,
+            state,
+            delta,
+        };
+
+        while let Some((&index, _)) = buckets.first_key_value() {
+            let bucket_start = run.order.len();
+            // Phase loop: light relaxations out of bucket `index` may
+            // refill it, so keep draining until it stays empty.
+            while let Some(pending) = buckets.remove(&index) {
+                let mut frontier: Vec<(VertexId, u32)> = Vec::new();
+                for v in pending {
+                    let d = distances[v as usize].load(Relaxed);
+                    // Stale copy: v improved into an earlier bucket after
+                    // this copy was filed; its live copy settles it there.
+                    if (d / delta) as usize != index {
+                        continue;
+                    }
+                    // Duplicate copy: v was already expanded at exactly
+                    // this distance (several chunks claimed the same
+                    // improvement, or claims from different phases landed
+                    // in the same bucket).
+                    if expanded_at[v as usize] == d {
+                        continue;
+                    }
+                    expanded_at[v as usize] = d;
+                    if !settled[v as usize] {
+                        settled[v as usize] = true;
+                        run.order.push(v);
+                    }
+                    frontier.push((v, d));
+                }
+                if frontier.is_empty() {
+                    continue;
+                }
+                // The pending *set* is deterministic but its order is not
+                // (chunks race for claims); sorting restores a canonical
+                // frontier, which makes chunking — and the tallies — stable
+                // across runs too.
+                frontier.sort_unstable();
+                let found = self.dispatch(kernel, &ctx, &frontier, EdgeClass::Light, &mut steps);
+                run.phases += 1;
+                file_discoveries(&found, distances, delta, &mut buckets);
+            }
+            // Heavy pass: every vertex this bucket settled relaxes its
+            // heavy edges once, at its now-final distance.
+            if has_heavy && run.order.len() > bucket_start {
+                let frontier: Vec<(VertexId, u32)> = run.order[bucket_start..]
+                    .iter()
+                    .map(|&v| (v, distances[v as usize].load(Relaxed)))
+                    .collect();
+                let found = self.dispatch(kernel, &ctx, &frontier, EdgeClass::Heavy, &mut steps);
+                // A heavy pass that improved nothing is bookkeeping, not a
+                // relaxation phase (discovery emptiness is deterministic
+                // even though duplicate claim counts are not).
+                if found.iter().any(|chunk| !chunk.is_empty()) {
+                    run.phases += 1;
+                    run.heavy_phases += 1;
+                }
+                file_discoveries(&found, distances, delta, &mut buckets);
+            }
+            if run.order.len() > bucket_start {
+                run.bucket_bounds
+                    .push((index, bucket_start..run.order.len()));
+            }
+            // Every remaining entry targets a strictly later bucket
+            // (weights are positive and buckets below `index` are
+            // settled), so the next `first_key_value` advances
+            // monotonically.
+        }
+        run.counters = collect_run(steps);
+        run
+    }
+
+    /// Fans one `(frontier, edge class)` pass out over the executor,
+    /// merging per-chunk tallies into one step when instrumented. Returns
+    /// the per-chunk discovery lists in chunk order.
+    fn dispatch<K: BucketKernel>(
+        &self,
+        kernel: &K,
+        ctx: &BucketCtx<'_>,
+        frontier: &[(VertexId, u32)],
+        class: EdgeClass,
+        steps: &mut Vec<bga_kernels::stats::StepCounters>,
+    ) -> Vec<Vec<VertexId>> {
+        // Balance on the frontier's degree prefix (all edge slots — the
+        // class split is per-edge work the kernel skips cheaply).
+        let mut prefix = Vec::with_capacity(frontier.len() + 1);
+        let mut sum = 0usize;
+        prefix.push(0);
+        for &(v, _) in frontier {
+            sum += self.graph.csr().degree(v);
+            prefix.push(sum);
+        }
+        let chunks = effective_chunks_with_grain(sum, self.exec.parallelism(), self.grain);
+        let ranges = balanced_prefix_ranges(&prefix, chunks);
+        let (prefix_ref, frontier_ref) = (&prefix, frontier);
+        let outcomes: Vec<(Vec<VertexId>, ThreadTally)> =
+            self.exec.run(ranges, move |_chunk, range| {
+                let mut tally = ThreadTally::default();
+                let chunk_edges = prefix_ref[range.end] - prefix_ref[range.start];
+                let found =
+                    kernel.relax_chunk(ctx, frontier_ref, range, chunk_edges, class, &mut tally);
+                (found, tally)
+            });
+        if kernel.instrumented() {
+            let phase_index = steps.len();
+            steps.push(merge_thread_steps(
+                phase_index,
+                outcomes.iter().map(|(_, t)| t.into_step(phase_index)),
+            ));
+        }
+        outcomes.into_iter().map(|(found, _)| found).collect()
+    }
+}
+
+/// Files every discovered vertex into the bucket of its *current*
+/// distance (re-read after the pass barrier, so later claims within the
+/// same pass route the vertex to its best-known bucket). Claims are only
+/// made on strict improvements, so the distance is finite.
+fn file_discoveries(
+    found: &[Vec<VertexId>],
+    distances: &[AtomicU32],
+    delta: u32,
+    buckets: &mut std::collections::BTreeMap<usize, Vec<VertexId>>,
+) {
+    for &v in found.iter().flatten() {
+        let bucket = (distances[v as usize].load(Relaxed) / delta) as usize;
+        buckets.entry(bucket).or_default().push(v);
+    }
+}
+
 /// How one kernel processes a single vertex chunk of one sweep. The
 /// kernel owns its label state (typically a borrowed `&[AtomicU32]`);
 /// [`SweepLoop`] owns the chunking and the fixpoint detection.
@@ -847,6 +1143,148 @@ mod tests {
         }
         let prefix = par_unvisited_degree_prefix(&g, state.distances(), &pool, 1);
         assert_eq!(prefix, vec![0; g.num_vertices() + 1]);
+    }
+
+    /// A minimal branch-avoiding bucket kernel, used to exercise the
+    /// bucket-loop seams directly without going through `sssp.rs`.
+    struct ProbeRelax;
+
+    impl BucketKernel for ProbeRelax {
+        fn relax_chunk(
+            &self,
+            ctx: &BucketCtx<'_>,
+            frontier: &[(VertexId, u32)],
+            range: Range<usize>,
+            chunk_edges: usize,
+            class: EdgeClass,
+            _tally: &mut ThreadTally,
+        ) -> Vec<VertexId> {
+            let distances = ctx.state.distances();
+            let mut buffer = vec![0 as VertexId; chunk_edges + 1];
+            let mut len = 0usize;
+            for &(v, dv) in &frontier[range] {
+                for (w, wt) in ctx.graph.neighbors_weighted(v) {
+                    let wanted = (wt <= ctx.delta) == (class == EdgeClass::Light);
+                    let candidate = if wanted {
+                        dv.saturating_add(wt)
+                    } else {
+                        INFINITY
+                    };
+                    let prev = distances[w as usize].fetch_min(candidate, Relaxed);
+                    buffer[len] = w;
+                    len += usize::from(prev > candidate);
+                }
+            }
+            buffer.truncate(len);
+            buffer
+        }
+    }
+
+    fn run_bucket_probe(
+        graph: &bga_graph::WeightedCsrGraph,
+        source: VertexId,
+        delta: u32,
+        threads: usize,
+    ) -> (Vec<u32>, BucketRun) {
+        let pool = WorkerPool::new(threads);
+        let state = TraversalState::new(graph.num_vertices());
+        let run = BucketLoop::new(graph, &pool, 1, delta).run(&state, source, &ProbeRelax);
+        (state.into_distances(), run)
+    }
+
+    #[test]
+    fn bucket_loop_settles_a_weighted_path() {
+        use bga_graph::weighted::WeightedGraphBuilder;
+        // 0 -2- 1 -2- 2 plus a heavy shortcut 0 -5- 2 (Δ = 2): the light
+        // path wins, and the heavy pass must still have run.
+        let g = WeightedGraphBuilder::undirected(3)
+            .add_edges([(0, 1, 2), (1, 2, 2), (0, 2, 5)])
+            .build();
+        let (distances, run) = run_bucket_probe(&g, 0, 2, 4);
+        assert_eq!(distances, vec![0, 2, 4]);
+        assert_eq!(run.order, vec![0, 1, 2]);
+        // Buckets 0 (dist 0), 1 (dist 2), 2 (dist 4) each settle one vertex.
+        assert_eq!(run.bucket_bounds, vec![(0, 0..1), (1, 1..2), (2, 2..3)]);
+        // The heavy shortcut relaxed 2 into bucket 2 before the light path
+        // undercut it — exactly one improving heavy pass.
+        assert_eq!(run.heavy_phases, 1);
+    }
+
+    #[test]
+    fn bucket_loop_is_deterministic_across_executors_and_threads() {
+        use bga_graph::generators::barabasi_albert;
+        use bga_graph::weighted::uniform_weights;
+        let g = uniform_weights(&barabasi_albert(900, 3, 31), 20, 9);
+        let reference = run_bucket_probe(&g, 0, 4, 1);
+        for threads in [2, 8] {
+            let run = run_bucket_probe(&g, 0, 4, threads);
+            assert_eq!(run.0, reference.0, "{threads} threads");
+            assert_eq!(run.1.order, reference.1.order, "{threads} threads");
+            assert_eq!(run.1.bucket_bounds, reference.1.bucket_bounds);
+            assert_eq!(run.1.phases, reference.1.phases);
+            assert_eq!(run.1.heavy_phases, reference.1.heavy_phases);
+        }
+        let scoped = ScopedExecutor::new(4);
+        let state = TraversalState::new(g.num_vertices());
+        let run = BucketLoop::new(&g, &scoped, 1, 4).run(&state, 0, &ProbeRelax);
+        assert_eq!(state.into_distances(), reference.0);
+        assert_eq!(run.order, reference.1.order);
+        assert_eq!(run.phases, reference.1.phases);
+    }
+
+    #[test]
+    fn bucket_bounds_tile_the_settle_order_and_match_distances() {
+        use bga_graph::generators::{grid_2d, MeshStencil};
+        use bga_graph::weighted::uniform_weights;
+        let g = uniform_weights(&grid_2d(12, 9, MeshStencil::VonNeumann), 12, 4);
+        let (distances, run) = run_bucket_probe(&g, 0, 4, 3);
+        let mut covered = 0usize;
+        for (bucket, bound) in &run.bucket_bounds {
+            assert_eq!(bound.start, covered);
+            covered = bound.end;
+            for &v in &run.order[bound.clone()] {
+                assert_eq!(
+                    (distances[v as usize] / 4) as usize,
+                    *bucket,
+                    "vertex {v} settled in the wrong bucket"
+                );
+            }
+        }
+        assert_eq!(covered, run.order.len());
+        // Every reached vertex settled exactly once.
+        let reached = distances.iter().filter(|&&d| d != INFINITY).count();
+        assert_eq!(run.order.len(), reached);
+        let mut sorted = run.order.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), run.order.len());
+    }
+
+    #[test]
+    fn bucket_loop_degenerate_inputs() {
+        use bga_graph::weighted::unit_weights;
+        // Out-of-range source: empty run.
+        let g = unit_weights(&path_graph(3));
+        let (distances, run) = run_bucket_probe(&g, 99, 2, 2);
+        assert!(distances.iter().all(|&d| d == INFINITY));
+        assert!(run.order.is_empty());
+        assert!(run.bucket_bounds.is_empty());
+        assert_eq!(run.phases, 0);
+        // Empty graph.
+        let empty = unit_weights(&GraphBuilder::undirected(0).build());
+        let (distances, run) = run_bucket_probe(&empty, 0, 1, 2);
+        assert!(distances.is_empty());
+        assert_eq!(run.phases, 0);
+        // Isolated source settles itself in one light phase.
+        let lonely = unit_weights(&GraphBuilder::undirected(3).add_edges([(1, 2)]).build());
+        let (distances, run) = run_bucket_probe(&lonely, 0, 1, 2);
+        assert_eq!(distances[0], 0);
+        assert_eq!(run.order, vec![0]);
+        assert_eq!(run.phases, 1);
+        assert_eq!(run.heavy_phases, 0);
+        // Δ is clamped to >= 1 rather than dividing by zero.
+        let (distances, _) = run_bucket_probe(&unit_weights(&path_graph(4)), 0, 0, 2);
+        assert_eq!(distances, vec![0, 1, 2, 3]);
     }
 
     #[test]

@@ -11,8 +11,10 @@
 //!   [`TraversalState`] (atomic distances, optional σ counts), the
 //!   [`LevelLoop`] level-synchronous driver (queue↔bitmap frontier
 //!   flipping, direction switching, per-level tally merging, chunk
-//!   dispatch over [`Execute`]) and the [`SweepLoop`] fixpoint driver for
-//!   label propagation.
+//!   dispatch over [`Execute`]), the [`BucketLoop`] bucket-synchronous
+//!   driver for weighted delta-stepping (bucket-indexed frontiers,
+//!   light/heavy passes, deterministic settled-bucket bounds) and the
+//!   [`SweepLoop`] fixpoint driver for label propagation.
 //! * [`sv`] — parallel Shiloach-Vishkin connected components, where
 //!   branch-based hooking is a compare-and-swap loop and branch-avoiding
 //!   hooking is one `fetch_min` per edge.
@@ -30,10 +32,12 @@
 //!   with a predicated next-frontier enqueue vs a branch-based
 //!   test-and-CAS decrement, driven by per-`k` seed sweeps plus cascade
 //!   rounds over the same chunking seams.
-//! * [`sssp`] — parallel unit-weight SSSP: delta-stepping degenerated
-//!   onto the engine's level loop (bucket `i` *is* level `i` on unit
-//!   weights), reusing the BFS relaxation kernels and the queue↔bitmap
-//!   frontier flip.
+//! * [`sssp`] — parallel SSSP in both weight regimes: weighted
+//!   delta-stepping on the engine's bucket loop (light/heavy edge split at
+//!   `Δ`, unconditional `fetch_min` relaxation with a predicated enqueue
+//!   vs branch-based test-and-CAS), and the unit-weight degeneration on
+//!   the level loop (bucket `i` *is* level `i` on unit weights), reusing
+//!   the BFS relaxation kernels and the queue↔bitmap frontier flip.
 //! * [`pool`] — the execution layer underneath: a persistent
 //!   [`WorkerPool`] of condvar-parked workers handed edge-balanced chunks
 //!   through an atomic claim counter (spawned once per run, woken once per
@@ -98,7 +102,8 @@ pub use bfs::{
 pub use bitmap::{bitmap_from_frontier, par_fill_bitmap, Bitmap};
 pub use counters::{merge_thread_steps, ThreadTally};
 pub use engine::{
-    LevelCtx, LevelKernel, LevelLoop, LevelRun, SweepKernel, SweepLoop, SweepRun, TraversalState,
+    BucketCtx, BucketKernel, BucketLoop, BucketRun, EdgeClass, LevelCtx, LevelKernel, LevelLoop,
+    LevelRun, SweepKernel, SweepLoop, SweepRun, TraversalState,
 };
 pub use kcore::{
     par_kcore, par_kcore_instrumented, par_kcore_on, par_kcore_with_stats, par_kcore_with_variant,
@@ -110,7 +115,9 @@ pub use pool::{
 };
 pub use sssp::{
     par_sssp_unit, par_sssp_unit_instrumented, par_sssp_unit_on, par_sssp_unit_with_variant,
-    ParSsspRun, SsspVariant,
+    par_sssp_weighted, par_sssp_weighted_instrumented, par_sssp_weighted_on,
+    par_sssp_weighted_with_variant, BranchAvoidingRelax, BranchBasedRelax, ParSsspRun, ParWssspRun,
+    SsspVariant,
 };
 pub use sv::{
     par_sv_branch_avoiding, par_sv_branch_avoiding_instrumented, par_sv_branch_avoiding_on,

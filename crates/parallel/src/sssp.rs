@@ -1,38 +1,51 @@
-//! Parallel unit-weight SSSP: delta-stepping degenerated onto the level
-//! loop.
+//! Parallel SSSP: weighted delta-stepping on the engine's bucket loop,
+//! and the unit-weight degeneration on its level loop.
 //!
-//! On unit weights, delta-stepping's buckets collapse into BFS levels
-//! (see [`bga_kernels::sssp`]): bucket `i` *is* distance level `i`, every
-//! bucket settles in one relaxation phase, and the settling order is the
-//! level order. The parallel client therefore rides the traversal engine
-//! ([`crate::engine::LevelLoop`]) directly — each settling phase is one
-//! engine level, with the queue↔bitmap frontier flip and α/β direction
-//! switching intact — and reuses the BFS level kernels verbatim for the
-//! per-edge relaxation discipline:
+//! **Weighted** — the real thing. [`par_sssp_weighted`] runs
+//! [`crate::engine::BucketLoop`]: bucket-indexed frontiers, light-edge
+//! phases re-relaxed until the bucket drains, one deferred heavy pass per
+//! settled bucket. The per-edge relaxation discipline is the paper's
+//! contrast, realised as [`crate::engine::BucketKernel`]s const-generic
+//! over `TALLY`:
 //!
-//! * [`SsspVariant::BranchAvoiding`] — one `fetch_min(next_level)` per
-//!   edge with the branch-free "write past the end" bucket claim
-//!   ([`crate::bfs::BranchAvoidingLevel`]).
-//! * [`SsspVariant::BranchBased`] — test `distance == INFINITY`, then
-//!   claim with a `compare_exchange`
-//!   ([`crate::bfs::BranchBasedLevel`]).
+//! * [`SsspVariant::BranchAvoiding`] ([`BranchAvoidingRelax`]) — one
+//!   unconditional `fetch_min` per edge. The edge-class split is a
+//!   predicated mask (an edge of the wrong class relaxes with `INFINITY`,
+//!   a guaranteed no-op) and the discovery enqueue is the branch-free
+//!   "write past the end" advance, so the inner loop has no
+//!   data-dependent branch at all.
+//! * [`SsspVariant::BranchBased`] ([`BranchBasedRelax`]) — test the
+//!   distance, then claim with a `compare_exchange` retry loop; both the
+//!   test and the CAS are data-dependent branches.
 //!
-//! Distances are deterministic and identical to the sequential
-//! [`bga_kernels::sssp::sssp_unit_delta_stepping`] reference (and to the
-//! BFS reference it cross-validates against) for every thread count,
-//! grain and executor; the reported phase count equals the sequential
-//! Δ = 1 phase count. What the SSSP framing adds over `par_bfs_*` is the
-//! bucket vocabulary the delta-stepping literature uses — phases, settled
-//! buckets — reported as such, so a future weighted generalisation slots
-//! in behind the same API.
+//! Distances are bit-identical to the sequential
+//! [`bga_kernels::sssp::sssp_dijkstra`] and
+//! [`bga_kernels::sssp::sssp_delta_stepping`] references for every thread
+//! count, executor, grain, `Δ` and discipline; the phase structure is
+//! deterministic across thread counts (frontiers are snapshots — see the
+//! bucket-loop docs).
+//!
+//! **Unit-weight** — on unit weights delta-stepping's buckets collapse
+//! into BFS levels (see [`bga_kernels::sssp`]): bucket `i` *is* distance
+//! level `i` and every bucket settles in one phase. [`par_sssp_unit`]
+//! therefore rides [`crate::engine::LevelLoop`] — keeping the queue↔bitmap
+//! frontier flip and α/β direction switching — and reuses the BFS level
+//! kernels verbatim; its reported phase count equals the sequential Δ = 1
+//! phase count.
 
 use crate::bfs::{BranchAvoidingLevel, BranchBasedLevel};
-use crate::engine::{Direction, LevelLoop, TraversalState};
+use crate::counters::ThreadTally;
+use crate::engine::{
+    BucketCtx, BucketKernel, BucketLoop, Direction, EdgeClass, LevelLoop, TraversalState,
+};
 use crate::pool::{Execute, PoolConfig, WorkerPool};
-use bga_graph::{CsrGraph, VertexId};
+use bga_graph::{CsrGraph, VertexId, WeightedCsrGraph};
 use bga_kernels::bfs::direction_optimizing::DirectionConfig;
+use bga_kernels::bfs::INFINITY;
 use bga_kernels::sssp::SsspResult;
 use bga_kernels::stats::RunCounters;
+use std::ops::Range;
+use std::sync::atomic::Ordering::Relaxed;
 
 /// Which per-edge relaxation discipline a parallel unit-weight SSSP run
 /// uses. Both settle identical distances; they differ only in the
@@ -130,6 +143,240 @@ pub fn par_sssp_unit_instrumented(
     ParSsspRun {
         result: SsspResult::new(state.into_distances(), run.directions.len()),
         directions: run.directions,
+        counters: run.counters,
+        threads: pool.threads(),
+    }
+}
+
+/// Branch-avoiding weighted relaxation: one unconditional `fetch_min` per
+/// edge with the masked edge-class select and the predicated discovery
+/// enqueue — no data-dependent branch in the inner loop. With `TALLY`,
+/// every operation is accounted into the chunk's [`ThreadTally`].
+pub struct BranchAvoidingRelax<const TALLY: bool>;
+
+impl<const TALLY: bool> BucketKernel for BranchAvoidingRelax<TALLY> {
+    fn instrumented(&self) -> bool {
+        TALLY
+    }
+
+    fn relax_chunk(
+        &self,
+        ctx: &BucketCtx<'_>,
+        frontier: &[(VertexId, u32)],
+        range: Range<usize>,
+        chunk_edges: usize,
+        class: EdgeClass,
+        tally: &mut ThreadTally,
+    ) -> Vec<VertexId> {
+        let distances = ctx.state.distances();
+        let delta = ctx.delta;
+        // One slot per potential claim plus the overflow slot the
+        // unconditional write of a non-claim lands in. Unlike BFS, a chunk
+        // can claim the same vertex more than once (repeated improvements
+        // through different edges), so the bound is the chunk's edge
+        // count, not `|V|`.
+        let mut buffer = vec![0 as VertexId; chunk_edges + 1];
+        let mut len = 0usize;
+        for &(v, dv) in &frontier[range] {
+            if TALLY {
+                tally.vertices += 1;
+                tally.branches += 1; // frontier-loop bound
+            }
+            for (w, wt) in ctx.graph.neighbors_weighted(v) {
+                // Predicated class select: an edge of the wrong class
+                // relaxes with INFINITY, which `fetch_min` ignores.
+                let wanted = (wt <= delta) == (class == EdgeClass::Light);
+                let candidate = if wanted {
+                    dv.saturating_add(wt)
+                } else {
+                    INFINITY
+                };
+                // The priority write: unconditional atomic minimum.
+                let prev = distances[w as usize].fetch_min(candidate, Relaxed);
+                // Unconditional candidate write; the slot is claimed by
+                // the branch-free length increment iff this edge improved
+                // the distance.
+                buffer[len] = w;
+                len += usize::from(prev > candidate);
+                if TALLY {
+                    tally.edges += 1;
+                    // fetch_min = load + predicated min + store; the class
+                    // select is another predicated move; the queue slot
+                    // write is unconditional; length advance is an add.
+                    tally.loads += 1;
+                    tally.stores += 2;
+                    tally.conditional_moves += 3;
+                    tally.branches += 1; // neighbour-loop bound only
+                    tally.updates += u64::from(prev > candidate);
+                }
+            }
+        }
+        buffer.truncate(len);
+        buffer
+    }
+}
+
+/// Branch-based weighted relaxation: test the distance, then claim it
+/// with a `compare_exchange` retry loop (the weighted generalisation of
+/// the BFS test-and-CAS — a single CAS no longer suffices because a
+/// weighted cell can improve several times). With `TALLY`, every
+/// operation is accounted into the chunk's [`ThreadTally`].
+pub struct BranchBasedRelax<const TALLY: bool>;
+
+impl<const TALLY: bool> BucketKernel for BranchBasedRelax<TALLY> {
+    fn instrumented(&self) -> bool {
+        TALLY
+    }
+
+    fn relax_chunk(
+        &self,
+        ctx: &BucketCtx<'_>,
+        frontier: &[(VertexId, u32)],
+        range: Range<usize>,
+        _chunk_edges: usize,
+        class: EdgeClass,
+        tally: &mut ThreadTally,
+    ) -> Vec<VertexId> {
+        let distances = ctx.state.distances();
+        let delta = ctx.delta;
+        let mut local = Vec::new();
+        for &(v, dv) in &frontier[range] {
+            if TALLY {
+                tally.vertices += 1;
+                tally.branches += 1; // frontier-loop bound
+            }
+            for (w, wt) in ctx.graph.neighbors_weighted(v) {
+                if TALLY {
+                    tally.edges += 1;
+                    tally.loads += 1;
+                    tally.branches += 2; // neighbour-loop bound + class test
+                    tally.data_branches += 1;
+                }
+                // Data-dependent class test, then the distance test.
+                if (wt <= delta) != (class == EdgeClass::Light) {
+                    continue;
+                }
+                let candidate = dv.saturating_add(wt);
+                if TALLY {
+                    tally.loads += 1;
+                    tally.branches += 1; // improvement test
+                    tally.data_branches += 1;
+                }
+                let mut cur = distances[w as usize].load(Relaxed);
+                while candidate < cur {
+                    if TALLY {
+                        tally.loads += 1;
+                        tally.branches += 1; // CAS outcome
+                        tally.data_branches += 1;
+                    }
+                    match distances[w as usize].compare_exchange(cur, candidate, Relaxed, Relaxed) {
+                        Ok(_) => {
+                            if TALLY {
+                                tally.stores += 2; // distance + queue slot
+                                tally.updates += 1;
+                            }
+                            local.push(w);
+                            break;
+                        }
+                        Err(actual) => cur = actual,
+                    }
+                }
+            }
+        }
+        local
+    }
+}
+
+/// Result of an instrumented parallel weighted SSSP run.
+#[derive(Clone, Debug)]
+pub struct ParWssspRun {
+    /// Distances and total phase count (light phases + improving heavy
+    /// passes), deterministic across thread counts.
+    pub result: SsspResult,
+    /// Number of buckets that settled at least one vertex.
+    pub buckets_settled: usize,
+    /// How many of the phases were heavy passes.
+    pub heavy_phases: usize,
+    /// Per-phase counters merged across worker threads — populated only
+    /// by [`par_sssp_weighted_instrumented`], empty otherwise.
+    pub counters: RunCounters,
+    /// Worker count the run actually used.
+    pub threads: usize,
+}
+
+/// Parallel weighted delta-stepping SSSP from `source` with bucket width
+/// `delta` and the branch-avoiding relaxation (the default discipline).
+/// `threads == 0` uses every available core; a source outside the vertex
+/// range yields an all-unreached result. Distances are bit-identical to
+/// [`bga_kernels::sssp::sssp_dijkstra`] for every thread count and `delta`.
+pub fn par_sssp_weighted(
+    graph: &WeightedCsrGraph,
+    source: VertexId,
+    delta: u32,
+    threads: usize,
+) -> SsspResult {
+    par_sssp_weighted_with_variant(graph, source, delta, threads, SsspVariant::BranchAvoiding)
+}
+
+/// Parallel weighted delta-stepping with an explicit relaxation
+/// discipline.
+pub fn par_sssp_weighted_with_variant(
+    graph: &WeightedCsrGraph,
+    source: VertexId,
+    delta: u32,
+    threads: usize,
+    variant: SsspVariant,
+) -> SsspResult {
+    let config = PoolConfig::from_env(threads);
+    let pool = WorkerPool::with_config(&config);
+    par_sssp_weighted_on(graph, source, &pool, config.grain, delta, variant)
+}
+
+/// [`par_sssp_weighted_with_variant`] on an explicit executor — the seam
+/// the benchmarks and forced-fan-out tests use.
+pub fn par_sssp_weighted_on<E: Execute>(
+    graph: &WeightedCsrGraph,
+    source: VertexId,
+    exec: &E,
+    grain: usize,
+    delta: u32,
+    variant: SsspVariant,
+) -> SsspResult {
+    let state = TraversalState::new(graph.num_vertices());
+    let bucket_loop = BucketLoop::new(graph, exec, grain, delta);
+    let run = match variant {
+        SsspVariant::BranchAvoiding => {
+            bucket_loop.run(&state, source, &BranchAvoidingRelax::<false>)
+        }
+        SsspVariant::BranchBased => bucket_loop.run(&state, source, &BranchBasedRelax::<false>),
+    };
+    SsspResult::new(state.into_distances(), run.phases)
+}
+
+/// Instrumented parallel weighted delta-stepping: per-worker tallies of
+/// every relaxation pass (light and heavy alike) merged into one
+/// [`bga_kernels::stats::StepCounters`] per pass.
+pub fn par_sssp_weighted_instrumented(
+    graph: &WeightedCsrGraph,
+    source: VertexId,
+    delta: u32,
+    threads: usize,
+    variant: SsspVariant,
+) -> ParWssspRun {
+    let config = PoolConfig::from_env(threads);
+    let pool = WorkerPool::with_config(&config);
+    let state = TraversalState::new(graph.num_vertices());
+    let bucket_loop = BucketLoop::new(graph, &pool, config.grain, delta);
+    let run = match variant {
+        SsspVariant::BranchAvoiding => {
+            bucket_loop.run(&state, source, &BranchAvoidingRelax::<true>)
+        }
+        SsspVariant::BranchBased => bucket_loop.run(&state, source, &BranchBasedRelax::<true>),
+    };
+    ParWssspRun {
+        result: SsspResult::new(state.into_distances(), run.phases),
+        buckets_settled: run.bucket_bounds.len(),
+        heavy_phases: run.heavy_phases,
         counters: run.counters,
         threads: pool.threads(),
     }
@@ -260,5 +507,147 @@ mod tests {
         assert!(a.stores > b.stores);
         assert!(b.branch_mispredictions > 0);
         assert_eq!(a.branch_mispredictions, 0);
+    }
+
+    // ---- weighted (bucket-loop) client ----
+
+    use bga_graph::weighted::{uniform_weights, unit_weights};
+    use bga_kernels::sssp::{sssp_delta_stepping, sssp_dijkstra};
+
+    #[test]
+    fn weighted_distances_match_dijkstra_for_every_delta_and_thread_count() {
+        for (seed, g) in shapes().iter().enumerate() {
+            let wg = uniform_weights(g, 24, seed as u64);
+            for source in [0u32, (g.num_vertices() as u32).saturating_sub(1)] {
+                let expected = sssp_dijkstra(&wg, source);
+                for delta in [1u32, 4, 32] {
+                    assert_eq!(
+                        sssp_delta_stepping(&wg, source, delta).distances(),
+                        expected.distances(),
+                        "sequential delta-stepping diverged, delta {delta}"
+                    );
+                    for threads in [1, 2, 8] {
+                        for variant in [SsspVariant::BranchBased, SsspVariant::BranchAvoiding] {
+                            let par = par_sssp_weighted_with_variant(
+                                &wg, source, delta, threads, variant,
+                            );
+                            assert_eq!(
+                                par.distances(),
+                                expected.distances(),
+                                "{variant:?}, delta {delta}, {threads} threads, source {source}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_phase_structure_is_deterministic_across_thread_counts() {
+        let wg = uniform_weights(&barabasi_albert(1_200, 3, 23), 20, 7);
+        for delta in [1u32, 4, 32] {
+            for variant in [SsspVariant::BranchBased, SsspVariant::BranchAvoiding] {
+                let reference = par_sssp_weighted_instrumented(&wg, 0, delta, 1, variant);
+                for threads in [2, 8] {
+                    let run = par_sssp_weighted_instrumented(&wg, 0, delta, threads, variant);
+                    assert_eq!(run.result.phases(), reference.result.phases());
+                    assert_eq!(run.buckets_settled, reference.buckets_settled);
+                    assert_eq!(run.heavy_phases, reference.heavy_phases);
+                    assert_eq!(run.result.distances(), reference.result.distances());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_executors_and_grains_agree() {
+        let wg = uniform_weights(&barabasi_albert(1_500, 3, 19), 16, 3);
+        let expected = sssp_dijkstra(&wg, 0);
+        let pool = WorkerPool::new(4);
+        let scoped = ScopedExecutor::new(4);
+        // Grain 1 forces every relaxation pass to fan out.
+        for grain in [1, 64, 4096] {
+            for variant in [SsspVariant::BranchBased, SsspVariant::BranchAvoiding] {
+                let run = par_sssp_weighted_on(&wg, 0, &pool, grain, 4, variant);
+                assert_eq!(run.distances(), expected.distances());
+            }
+            let run = par_sssp_weighted_on(&wg, 0, &scoped, grain, 4, SsspVariant::BranchAvoiding);
+            assert_eq!(run.distances(), expected.distances());
+        }
+    }
+
+    #[test]
+    fn unit_weighted_graph_reduces_to_the_unit_client() {
+        let g = barabasi_albert(600, 3, 17);
+        let wg = unit_weights(&g);
+        let unit = par_sssp_unit(&g, 0, 4);
+        let weighted = par_sssp_weighted(&wg, 0, 1, 4);
+        assert_eq!(weighted.distances(), unit.distances());
+        // Δ = 1 on unit weights: buckets are levels, no heavy edges, one
+        // phase per bucket.
+        let run = par_sssp_weighted_instrumented(&wg, 0, 1, 2, SsspVariant::BranchAvoiding);
+        assert_eq!(run.heavy_phases, 0);
+        assert_eq!(run.result.phases(), run.buckets_settled);
+        assert_eq!(run.result.phases(), unit.phases());
+    }
+
+    #[test]
+    fn weighted_heavy_passes_engage_when_delta_splits_the_weights() {
+        // Weights 1..=24 with Δ = 4: plenty of heavy edges, and they must
+        // actually run as deferred passes.
+        let wg = uniform_weights(&barabasi_albert(800, 3, 7), 24, 7);
+        let run = par_sssp_weighted_instrumented(&wg, 0, 4, 2, SsspVariant::BranchAvoiding);
+        assert!(run.heavy_phases > 0, "expected deferred heavy passes");
+        assert!(run.result.phases() > run.heavy_phases);
+        // Instrumented counters cover every pass.
+        assert!(run.counters.num_steps() > 0);
+        assert_eq!(run.threads, 2);
+    }
+
+    #[test]
+    fn weighted_branch_contrast_survives_parallelism() {
+        let wg = uniform_weights(&grid_2d(60, 16, MeshStencil::VonNeumann), 8, 5);
+        let based = par_sssp_weighted_instrumented(&wg, 0, 3, 4, SsspVariant::BranchBased);
+        let avoiding = par_sssp_weighted_instrumented(&wg, 0, 3, 4, SsspVariant::BranchAvoiding);
+        assert_eq!(based.result.distances(), avoiding.result.distances());
+        let b = based.counters.total();
+        let a = avoiding.counters.total();
+        // The avoiding kernel trades data-dependent branches for stores
+        // and predicated moves.
+        assert!(b.branches > a.branches);
+        assert!(a.stores > b.stores);
+        assert!(b.branch_mispredictions > 0);
+        assert_eq!(a.branch_mispredictions, 0);
+    }
+
+    #[test]
+    fn weighted_huge_weights_do_not_blow_up_the_bucket_structure() {
+        use bga_graph::weighted::WeightedGraphBuilder;
+        // The bucket loop's pending queues are sparse; a billion-weight
+        // edge must complete instantly instead of materialising a billion
+        // empty buckets.
+        let g = WeightedGraphBuilder::undirected(3)
+            .add_edges([(0, 1, 1_000_000_000), (1, 2, 3)])
+            .build();
+        for variant in [SsspVariant::BranchBased, SsspVariant::BranchAvoiding] {
+            let run = par_sssp_weighted_with_variant(&g, 0, 1, 2, variant);
+            assert_eq!(run.distances(), &[0, 1_000_000_000, 1_000_000_003]);
+        }
+    }
+
+    #[test]
+    fn weighted_out_of_range_source_and_degenerate_graphs() {
+        use bga_graph::GraphBuilder;
+        let wg = unit_weights(&path_graph(5));
+        for threads in [1, 4] {
+            let run = par_sssp_weighted(&wg, 99, 2, threads);
+            assert_eq!(run.reached_count(), 0);
+            assert_eq!(run.phases(), 0);
+        }
+        let empty = unit_weights(&GraphBuilder::undirected(0).build());
+        let run = par_sssp_weighted(&empty, 0, 1, 2);
+        assert_eq!(run.distances().len(), 0);
+        assert_eq!(run.phases(), 0);
     }
 }

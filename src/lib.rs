@@ -19,9 +19,10 @@
 //!   traversal engine: atomic fetch-min Shiloach-Vishkin,
 //!   level-synchronous parallel BFS (top-down and direction-optimizing
 //!   over a shared bitmap frontier), parallel Brandes betweenness
-//!   centrality, k-core peeling over atomic degree counters and
-//!   unit-weight SSSP on the level loop, all on a persistent worker pool
-//!   with edge-balanced chunking.
+//!   centrality, k-core peeling over atomic degree counters, unit-weight
+//!   SSSP on the level loop and weighted delta-stepping SSSP on the
+//!   bucket loop, all on a persistent worker pool with edge-balanced
+//!   chunking.
 //!
 //! ```
 //! use branch_avoiding_graphs::prelude::*;
@@ -54,7 +55,10 @@ pub mod prelude {
     pub use bga_graph::generators;
     pub use bga_graph::properties;
     pub use bga_graph::suite::{benchmark_suite, SuiteGraphId, SuiteScale};
-    pub use bga_graph::{CsrGraph, GraphBuilder, VertexId};
+    pub use bga_graph::{
+        uniform_weights, unit_weights, CsrGraph, EdgeWeight, GraphBuilder, VertexId,
+        WeightedCsrGraph, WeightedGraphBuilder,
+    };
     pub use bga_kernels::bc::{
         betweenness_centrality, betweenness_centrality_branch_avoiding,
         betweenness_centrality_sources,
@@ -71,15 +75,17 @@ pub mod prelude {
     };
     pub use bga_kernels::kcore::{kcore_peeling, CoreDecomposition};
     pub use bga_kernels::sssp::{
-        sssp_unit_delta_stepping, sssp_unit_delta_stepping_with_delta, SsspResult,
+        sssp_delta_stepping, sssp_dijkstra, sssp_unit_delta_stepping,
+        sssp_unit_delta_stepping_with_delta, SsspResult,
     };
     pub use bga_parallel::{
         par_betweenness_centrality, par_betweenness_centrality_sources,
         par_betweenness_centrality_with_variant, par_bfs_branch_avoiding, par_bfs_branch_based,
         par_bfs_direction_optimizing, par_bfs_direction_optimizing_with_config, par_kcore,
-        par_kcore_with_variant, par_sssp_unit, par_sssp_unit_with_variant, par_sv_branch_avoiding,
-        par_sv_branch_based, BcVariant, KcoreVariant, LevelLoop, PoolConfig, SsspVariant,
-        SweepLoop, TraversalState, WorkerPool,
+        par_kcore_with_variant, par_sssp_unit, par_sssp_unit_with_variant, par_sssp_weighted,
+        par_sssp_weighted_with_variant, par_sv_branch_avoiding, par_sv_branch_based, BcVariant,
+        BucketLoop, KcoreVariant, LevelLoop, PoolConfig, SsspVariant, SweepLoop, TraversalState,
+        WorkerPool,
     };
     pub use bga_perfmodel::timing::{modeled_speedup, time_run};
 }

@@ -1,16 +1,21 @@
 //! Integration tests for the `bga-parallel` subsystem: parallel SV labels,
 //! parallel BFS distances, parallel Brandes betweenness scores, parallel
-//! k-core numbers and parallel unit-weight SSSP distances must be
-//! identical to the sequential kernels and the reference implementations —
-//! on the Table-2 suite stand-ins and on randomly relabelled generator
-//! graphs — deterministically, for thread counts 1, 2 and 8.
+//! k-core numbers and parallel SSSP distances (unit-weight on the level
+//! loop, weighted delta-stepping on the bucket loop, the latter under the
+//! `wsssp_` prefix the CI grain-1 filter selects) must be identical to the
+//! sequential kernels and the reference implementations — on the Table-2
+//! suite stand-ins and on randomly relabelled generator graphs —
+//! deterministically, for thread counts 1, 2 and 8.
 
 use branch_avoiding_graphs::graph::generators::{barabasi_albert, erdos_renyi_gnm};
+use branch_avoiding_graphs::graph::properties::bellman_ford_reference;
 use branch_avoiding_graphs::graph::properties::{
     bfs_distances_reference, connected_components_union_find,
 };
 use branch_avoiding_graphs::graph::suite::{benchmark_suite, SuiteScale};
 use branch_avoiding_graphs::graph::transform::relabel_random;
+use branch_avoiding_graphs::graph::transform::relabel_random_weighted;
+use branch_avoiding_graphs::graph::weighted::{uniform_weights, unit_weights, WeightedCsrGraph};
 use branch_avoiding_graphs::graph::CsrGraph;
 use branch_avoiding_graphs::kernels::bc::{betweenness_centrality, betweenness_centrality_sources};
 use branch_avoiding_graphs::kernels::bfs::direction_optimizing::{
@@ -20,7 +25,8 @@ use branch_avoiding_graphs::kernels::bfs::{bfs_branch_avoiding, bfs_branch_based
 use branch_avoiding_graphs::kernels::cc::{sv_branch_avoiding, sv_branch_based};
 use branch_avoiding_graphs::kernels::kcore::kcore_peeling;
 use branch_avoiding_graphs::kernels::sssp::{
-    sssp_unit_delta_stepping, sssp_unit_delta_stepping_with_delta,
+    sssp_delta_stepping, sssp_dijkstra, sssp_unit_delta_stepping,
+    sssp_unit_delta_stepping_with_delta,
 };
 use branch_avoiding_graphs::parallel::{
     par_betweenness_centrality_sources, par_betweenness_centrality_with_variant, BcVariant,
@@ -33,6 +39,9 @@ use branch_avoiding_graphs::parallel::{
 };
 use branch_avoiding_graphs::parallel::{
     par_kcore_with_variant, par_sssp_unit_with_variant, KcoreVariant, SsspVariant,
+};
+use branch_avoiding_graphs::parallel::{
+    par_sssp_weighted_instrumented, par_sssp_weighted_with_variant,
 };
 use proptest::prelude::*;
 
@@ -297,6 +306,115 @@ fn sssp_engine_edge_cases() {
     assert_eq!(run.phases(), 0);
 }
 
+/// Δ widths the weighted cross-validation sweeps: degenerate (1), a real
+/// light/heavy split (4) and all-light (32, the maximum uniform weight).
+const WSSSP_DELTAS: [u32; 3] = [1, 4, 32];
+
+fn assert_parallel_wsssp_matches_dijkstra(graph: &WeightedCsrGraph, source: u32) {
+    let expected = sssp_dijkstra(graph, source);
+    assert_eq!(
+        expected.distances(),
+        &bellman_ford_reference(graph, source)[..],
+        "Dijkstra diverged from the Bellman-Ford ground truth"
+    );
+    for delta in WSSSP_DELTAS {
+        assert_eq!(
+            sssp_delta_stepping(graph, source, delta).distances(),
+            expected.distances(),
+            "sequential weighted delta-stepping diverged at delta {delta}"
+        );
+        for threads in THREAD_COUNTS {
+            for variant in [SsspVariant::BranchBased, SsspVariant::BranchAvoiding] {
+                let par = par_sssp_weighted_with_variant(graph, source, delta, threads, variant);
+                assert_eq!(
+                    par.distances(),
+                    expected.distances(),
+                    "parallel {variant:?} weighted SSSP diverged at {threads} threads, \
+                     delta {delta}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn wsssp_suite_graphs_cross_validate_at_every_thread_count() {
+    for sg in benchmark_suite(SuiteScale::Small, 42) {
+        // The `bga sssp --weights uniform` assignment: 1..=32, seed 42.
+        let wg = uniform_weights(&sg.graph, 32, 42);
+        assert_parallel_wsssp_matches_dijkstra(&wg, 0);
+    }
+}
+
+#[test]
+fn wsssp_engine_edge_cases() {
+    use branch_avoiding_graphs::graph::GraphBuilder;
+    let shapes = vec![
+        unit_weights(&GraphBuilder::undirected(0).build()), // empty graph
+        unit_weights(&GraphBuilder::undirected(1).build()), // single vertex
+        unit_weights(&GraphBuilder::undirected(5).build()), // all isolated
+        // Disconnected weighted components.
+        uniform_weights(
+            &GraphBuilder::undirected(8)
+                .add_edges([(0, 1), (1, 2), (4, 5), (5, 6), (6, 7)])
+                .build(),
+            16,
+            3,
+        ),
+    ];
+    for g in &shapes {
+        for source in 0..g.num_vertices() as u32 {
+            assert_parallel_wsssp_matches_dijkstra(g, source);
+        }
+    }
+    // Out-of-range sources settle nothing at every thread count.
+    let g = &shapes[3];
+    assert_eq!(sssp_dijkstra(g, 99).reached_count(), 0);
+    for threads in THREAD_COUNTS {
+        let run = par_sssp_weighted_with_variant(g, 99, 4, threads, SsspVariant::BranchAvoiding);
+        assert_eq!(run.reached_count(), 0);
+        assert_eq!(run.phases(), 0);
+    }
+    // Zero weights are forbidden at every construction seam.
+    assert!(WeightedCsrGraph::from_parts(
+        GraphBuilder::undirected(2).add_edge(0, 1).build(),
+        vec![0, 0]
+    )
+    .is_err());
+    assert!(
+        branch_avoiding_graphs::graph::io::read_weighted_edge_list_str("0 1 0\n").is_err(),
+        "weighted edge-list reader must reject zero weights"
+    );
+    assert!(
+        branch_avoiding_graphs::graph::io::read_weighted_metis_str("2 1 1\n2 0\n1 0\n").is_err(),
+        "weighted METIS reader must reject zero weights"
+    );
+}
+
+#[test]
+fn wsssp_phase_structure_is_deterministic_across_threads_and_repeats() {
+    let wg = relabel_random_weighted(&uniform_weights(&barabasi_albert(2_000, 3, 13), 24, 5), 8);
+    for delta in WSSSP_DELTAS {
+        let reference =
+            par_sssp_weighted_instrumented(&wg, 0, delta, 1, SsspVariant::BranchAvoiding);
+        for threads in THREAD_COUNTS {
+            for variant in [SsspVariant::BranchBased, SsspVariant::BranchAvoiding] {
+                for _ in 0..2 {
+                    let run = par_sssp_weighted_instrumented(&wg, 0, delta, threads, variant);
+                    assert_eq!(
+                        run.result.distances(),
+                        reference.result.distances(),
+                        "{variant:?} at {threads} threads, delta {delta}"
+                    );
+                    assert_eq!(run.result.phases(), reference.result.phases());
+                    assert_eq!(run.buckets_settled, reference.buckets_settled);
+                    assert_eq!(run.heavy_phases, reference.heavy_phases);
+                }
+            }
+        }
+    }
+}
+
 #[test]
 fn parallel_runs_are_deterministic_across_repeats() {
     let g = relabel_random(&barabasi_albert(3_000, 3, 11), 4);
@@ -502,6 +620,51 @@ proptest! {
                     &expected[..],
                     "{:?} at {} threads", variant, threads
                 );
+            }
+        }
+    }
+
+    /// Random sparse graphs with random positive weights and randomly
+    /// permuted labels: sequential weighted delta-stepping settles
+    /// Dijkstra's distances for every bucket width, and the parallel
+    /// bucket-loop client agrees at 1, 2 and 8 threads in both relaxation
+    /// disciplines.
+    #[test]
+    fn wsssp_random_relabelled_graphs_cross_validate(
+        n in 1usize..100,
+        edge_factor in 0usize..6,
+        seed in 0u64..1_000,
+        weight_seed in 0u64..1_000,
+        relabel_seed in 0u64..1_000,
+        root_pick in 0usize..1_000,
+    ) {
+        let m = (n * edge_factor / 2).min(n * (n - 1) / 2);
+        let g = relabel_random_weighted(
+            &uniform_weights(&erdos_renyi_gnm(n, m, seed), 24, weight_seed),
+            relabel_seed,
+        );
+        let source = (root_pick % n) as u32;
+        let expected = sssp_dijkstra(&g, source);
+        prop_assert_eq!(
+            expected.distances(),
+            &bellman_ford_reference(&g, source)[..],
+            "Dijkstra diverged from Bellman-Ford"
+        );
+        for delta in WSSSP_DELTAS {
+            prop_assert_eq!(
+                sssp_delta_stepping(&g, source, delta).distances(),
+                expected.distances(),
+                "sequential delta {} diverged", delta
+            );
+            for threads in THREAD_COUNTS {
+                for variant in [SsspVariant::BranchBased, SsspVariant::BranchAvoiding] {
+                    prop_assert_eq!(
+                        par_sssp_weighted_with_variant(&g, source, delta, threads, variant)
+                            .distances(),
+                        expected.distances(),
+                        "{:?} at {} threads, delta {}", variant, threads, delta
+                    );
+                }
             }
         }
     }

@@ -13,7 +13,8 @@ use bga_kernels::bc::{
     betweenness_centrality, betweenness_centrality_branch_avoiding, betweenness_centrality_sources,
 };
 use bga_parallel::{
-    par_betweenness_centrality_sources, par_betweenness_centrality_with_variant, resolve_threads,
+    par_betweenness_centrality_sources, par_betweenness_centrality_sources_traced,
+    par_betweenness_centrality_traced, par_betweenness_centrality_with_variant, resolve_threads,
     BcVariant,
 };
 use std::time::Instant;
@@ -45,6 +46,11 @@ pub fn run(args: &[String]) -> Result<(), String> {
         ),
     };
 
+    let trace_path = super::trace::parse_trace_path(args)?;
+    if trace_path.is_some() && threads.is_none() {
+        return Err("--trace requires --threads N (only parallel runs are traced)".to_string());
+    }
+
     let graph = load_graph(graph_spec)?;
     println!(
         "graph: {} vertices, {} edges",
@@ -55,6 +61,23 @@ pub fn run(args: &[String]) -> Result<(), String> {
     // stdout write does not bias sequential-vs-parallel wall clocks.
     if let Some(t) = threads {
         println!("threads: {}", resolve_threads(t));
+    }
+
+    if let (Some(path), Some(t)) = (trace_path, threads) {
+        let sink = super::trace::open_trace_sink(path)?;
+        let scores = match source_count {
+            None => par_betweenness_centrality_traced(&graph, t, bc_variant, &sink),
+            Some(k) => par_betweenness_centrality_sources_traced(
+                &graph,
+                &sample_sources(&graph, k),
+                t,
+                bc_variant,
+                &sink,
+            ),
+        };
+        super::trace::finish_trace_sink(path, sink)?;
+        print_scores_summary(&graph, variant, source_count, &scores);
+        return Ok(());
     }
 
     // The sequential partial accumulation has one (branch-based) forward
@@ -87,7 +110,19 @@ pub fn run(args: &[String]) -> Result<(), String> {
     };
     let elapsed = start.elapsed();
 
-    println!("variant: {executed_variant}");
+    print_scores_summary(&graph, executed_variant, source_count, &scores);
+    println!("wall clock: {:.3} ms", elapsed.as_secs_f64() * 1e3);
+    Ok(())
+}
+
+/// Variant line, source-sample line, total centrality and the top-5 list.
+fn print_scores_summary(
+    graph: &bga_graph::CsrGraph,
+    variant: &str,
+    source_count: Option<usize>,
+    scores: &[f64],
+) {
+    println!("variant: {variant}");
     match source_count {
         Some(k) => println!(
             "sources: {} of {} (partial, un-normalized accumulation)",
@@ -97,11 +132,9 @@ pub fn run(args: &[String]) -> Result<(), String> {
         None => println!("sources: all {} (normalized scores)", graph.num_vertices()),
     }
     println!("total centrality: {:.3}", scores.iter().sum::<f64>());
-    for (rank, (v, score)) in top_vertices(&scores, 5).into_iter().enumerate() {
+    for (rank, (v, score)) in top_vertices(scores, 5).into_iter().enumerate() {
         println!("  #{:<2} vertex {v:>8}  score {score:.3}", rank + 1);
     }
-    println!("wall clock: {:.3} ms", elapsed.as_secs_f64() * 1e3);
-    Ok(())
 }
 
 /// The first `k` vertices as a source sample (clamped to the graph).
@@ -167,6 +200,28 @@ mod tests {
             "4"
         ]))
         .is_err());
+    }
+
+    #[test]
+    fn trace_flag_writes_a_jsonl_document() {
+        let dir = std::env::temp_dir().join("bga_cli_bc_trace");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bc.jsonl");
+        let path_str = path.to_str().unwrap();
+        assert!(run(&strings(&[
+            "cond-mat-2005",
+            "--sources",
+            "4",
+            "--threads",
+            "2",
+            "--trace",
+            path_str
+        ]))
+        .is_ok());
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.lines().next().unwrap().contains("bga-trace-v1"));
+        assert!(run(&strings(&["cond-mat-2005", "--trace", path_str])).is_err());
+        assert!(run(&strings(&["cond-mat-2005", "--threads", "2", "--trace"])).is_err());
     }
 
     #[test]

@@ -1,15 +1,18 @@
-//! `bga bench compare`: diff two `bga experiment scaling --json` documents
-//! (the `BENCH_pr.json` CI artifacts) and flag wall-clock regressions.
+//! `bga bench compare`: diff a new `bga experiment scaling --json`
+//! document (the `BENCH_pr.json` CI artifacts) against one or more
+//! baseline snapshots and flag wall-clock regressions.
 //!
-//! CI archives one scaling document per run; comparing the current run
-//! against the previous one turns those snapshots into a trend. The
-//! comparison is row-by-row on the `(graph, kernel, variant, threads)`
-//! key: a row whose `time_ms` grew by more than the threshold (default
-//! 10%) is reported as a regression, a row that shrank by more than the
-//! threshold as an improvement, and rows present on only one side are
-//! listed so schema growth (new kernels) is visible rather than silent.
-//! CI runners are shared machines, so the step is wired *non-blocking* —
-//! pass `--fail-on-regression` to turn regressions into a non-zero exit.
+//! CI caches the last few scaling documents; comparing the current run
+//! against the *median* of that window turns the snapshots into a trend
+//! that one noisy run cannot whipsaw — a single unlucky baseline neither
+//! masks a real regression nor invents one. The comparison is row-by-row
+//! on the `(graph, kernel, variant, threads)` key: a row whose `time_ms`
+//! grew beyond the threshold (default 10%) over the baseline median is a
+//! regression, one that shrank beyond it an improvement, and rows present
+//! on only one side are listed so schema growth (new kernels) is visible
+//! rather than silent. CI runners are shared machines, so the step is
+//! wired *non-blocking* — pass `--fail-on-regression` to turn regressions
+//! into a non-zero exit.
 //!
 //! Documents with schema `bga-scaling-v1` (PR 4) and `bga-scaling-v2`
 //! (adds the weighted SSSP rows) are both accepted; the parser is a
@@ -29,7 +32,9 @@ pub fn run(args: &[String]) -> Result<(), String> {
     match args.first().map(|s| s.as_str()) {
         Some("compare") => compare(&args[1..]),
         Some(other) => Err(format!("unknown bench action {other:?} (expected compare)")),
-        None => Err("bench needs an action (compare <old.json> <new.json>)".to_string()),
+        None => Err(
+            "bench needs an action (compare <old1.json> [<old2.json>...] <new.json>)".to_string(),
+        ),
     }
 }
 
@@ -45,8 +50,12 @@ fn compare(args: &[String]) -> Result<(), String> {
             positional.push(arg);
         }
     }
-    let [old_path, new_path] = positional.as_slice() else {
-        return Err("bench compare needs exactly two files: <old.json> <new.json>".to_string());
+    let Some((new_path, old_paths)) = positional.split_last().filter(|(_, olds)| !olds.is_empty())
+    else {
+        return Err(
+            "bench compare needs at least two files: <old1.json> [<old2.json>...] <new.json>"
+                .to_string(),
+        );
     };
     let threshold = match super::cc::flag_value(args, "--threshold") {
         None if args.iter().any(|a| a == "--threshold") => {
@@ -65,62 +74,90 @@ fn compare(args: &[String]) -> Result<(), String> {
     };
     let fail_on_regression = args.iter().any(|a| a == "--fail-on-regression");
 
-    let old_doc = load_scaling_document(old_path)?;
+    let old_docs: Vec<ScalingDocument> = old_paths
+        .iter()
+        .map(|path| load_scaling_document(path))
+        .collect::<Result<_, _>>()?;
     let new_doc = load_scaling_document(new_path)?;
     println!(
-        "comparing {} ({}) -> {} ({}), threshold {threshold}%",
-        old_path, old_doc.schema, new_path, new_doc.schema
+        "comparing median of {} baseline(s) -> {} ({}), threshold {threshold}%",
+        old_docs.len(),
+        new_path,
+        new_doc.schema
     );
-    if old_doc.single_core_host || new_doc.single_core_host {
+    for (path, doc) in old_paths.iter().zip(&old_docs) {
+        println!(
+            "  baseline {} ({}, {} rows)",
+            path,
+            doc.schema,
+            doc.rows.len()
+        );
+    }
+    if new_doc.single_core_host || old_docs.iter().any(|doc| doc.single_core_host) {
         println!(
             "note: at least one document was measured on a single-core host; \
              times are pool overhead, not scaling"
         );
     }
 
+    // Per-key baseline: the median time over every baseline document that
+    // carries the key (at most one row per document).
+    let baseline_time = |key: (&str, &str, &str, u64)| -> Option<f64> {
+        let mut samples: Vec<f64> = old_docs
+            .iter()
+            .filter_map(|doc| doc.rows.iter().find(|row| row.key() == key))
+            .map(|row| row.time_ms)
+            .collect();
+        (!samples.is_empty()).then(|| median(&mut samples))
+    };
+
     let mut regressions = 0usize;
     let mut improvements = 0usize;
     let mut compared = 0usize;
     for row in &new_doc.rows {
-        let Some(old_row) = old_doc
-            .rows
-            .iter()
-            .find(|candidate| candidate.key() == row.key())
-        else {
+        let Some(old_time) = baseline_time(row.key()) else {
             println!("  new row (no baseline): {}", row.describe());
             continue;
         };
         compared += 1;
-        if old_row.time_ms <= 0.0 {
+        if old_time <= 0.0 {
             continue;
         }
-        let pct = (row.time_ms - old_row.time_ms) / old_row.time_ms * 100.0;
+        let pct = (row.time_ms - old_time) / old_time * 100.0;
         if pct > threshold {
             regressions += 1;
             println!(
-                "  REGRESSION {}: {:.3} ms -> {:.3} ms (+{pct:.1}%)",
+                "  REGRESSION {}: median {:.3} ms -> {:.3} ms (+{pct:.1}%)",
                 row.describe(),
-                old_row.time_ms,
+                old_time,
                 row.time_ms
             );
         } else if pct < -threshold {
             improvements += 1;
             println!(
-                "  improvement {}: {:.3} ms -> {:.3} ms ({pct:.1}%)",
+                "  improvement {}: median {:.3} ms -> {:.3} ms ({pct:.1}%)",
                 row.describe(),
-                old_row.time_ms,
+                old_time,
                 row.time_ms
             );
         }
     }
-    for row in &old_doc.rows {
-        if !new_doc
-            .rows
-            .iter()
-            .any(|candidate| candidate.key() == row.key())
-        {
-            println!("  removed row (was in baseline): {}", row.describe());
+    let mut removed: Vec<&BenchRow> = Vec::new();
+    for doc in &old_docs {
+        for row in &doc.rows {
+            let seen = removed.iter().any(|prior| prior.key() == row.key());
+            if !seen
+                && !new_doc
+                    .rows
+                    .iter()
+                    .any(|candidate| candidate.key() == row.key())
+            {
+                removed.push(row);
+            }
         }
+    }
+    for row in removed {
+        println!("  removed row (was in a baseline): {}", row.describe());
     }
     println!(
         "compared {compared} rows: {regressions} regression(s), \
@@ -132,6 +169,18 @@ fn compare(args: &[String]) -> Result<(), String> {
         ));
     }
     Ok(())
+}
+
+/// Median of a non-empty sample; even-sized samples average the middle
+/// pair. Sorts in place.
+fn median(values: &mut [f64]) -> f64 {
+    values.sort_by(f64::total_cmp);
+    let mid = values.len() / 2;
+    if values.len() % 2 == 1 {
+        values[mid]
+    } else {
+        (values[mid - 1] + values[mid]) / 2.0
+    }
 }
 
 /// One measured configuration out of a scaling document.
@@ -603,6 +652,37 @@ mod tests {
         let mut relaxed = failing.clone();
         relaxed.extend(strings(&["--threshold", "100"]));
         assert!(run(&relaxed).is_ok());
+    }
+
+    #[test]
+    fn median_of_samples() {
+        assert_eq!(median(&mut [3.0]), 3.0);
+        assert_eq!(median(&mut [4.0, 1.0, 3.0]), 3.0);
+        assert_eq!(median(&mut [1.0, 2.0, 3.0, 10.0]), 2.5);
+    }
+
+    #[test]
+    fn compare_uses_the_median_of_multiple_baselines() {
+        let row = |t: f64| doc("bga-scaling-v1", &[("g", "cc", "branch-based", 1, t)]);
+        // Three baselines: 10, 100 (a noisy outlier), 11. Median = 11.
+        let b1 = write_temp("median_b1.json", &row(10.0));
+        let b2 = write_temp("median_b2.json", &row(100.0));
+        let b3 = write_temp("median_b3.json", &row(11.0));
+        let paths = |new: &std::path::Path| {
+            let mut v = strings(&["compare"]);
+            for p in [&b1, &b2, &b3] {
+                v.push(p.to_str().unwrap().to_string());
+            }
+            v.push(new.to_str().unwrap().to_string());
+            v.push("--fail-on-regression".to_string());
+            v
+        };
+        // +4.5% over the median: fine, even though the mean would say -59%.
+        let ok = write_temp("median_ok.json", &row(11.5));
+        assert!(run(&paths(&ok)).is_ok());
+        // +50% over the median: a regression the outlier cannot mask.
+        let bad = write_temp("median_bad.json", &row(16.5));
+        assert!(run(&paths(&bad)).is_err());
     }
 
     #[test]

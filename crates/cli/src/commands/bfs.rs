@@ -11,9 +11,11 @@ use bga_kernels::bfs::{
     frontier::check_bfs_invariants,
     BfsResult, BfsRun,
 };
+use bga_obs::step_table;
 use bga_parallel::{
-    par_bfs_branch_avoiding, par_bfs_branch_avoiding_instrumented, par_bfs_branch_based,
-    par_bfs_branch_based_instrumented, par_bfs_direction_optimizing_instrumented,
+    par_bfs_branch_avoiding, par_bfs_branch_avoiding_instrumented, par_bfs_branch_avoiding_traced,
+    par_bfs_branch_based, par_bfs_branch_based_instrumented, par_bfs_branch_based_traced,
+    par_bfs_direction_optimizing_instrumented, par_bfs_direction_optimizing_traced,
     par_bfs_direction_optimizing_with_config, resolve_threads,
 };
 use std::time::Instant;
@@ -56,6 +58,15 @@ pub fn run(args: &[String]) -> Result<(), String> {
     }
     let instrumented = args.iter().any(|a| a == "--instrumented");
     let threads = parse_threads(args)?;
+    let trace_path = super::trace::parse_trace_path(args)?;
+    if trace_path.is_some() && threads.is_none() {
+        return Err("--trace requires --threads N (only parallel runs are traced)".to_string());
+    }
+    if trace_path.is_some() && instrumented {
+        return Err(
+            "--trace and --instrumented are exclusive (the trace carries the counters)".to_string(),
+        );
+    }
 
     let graph = load_graph(graph_spec)?;
     let root = match flag_value(args, "--root") {
@@ -69,6 +80,49 @@ pub fn run(args: &[String]) -> Result<(), String> {
         graph.num_vertices(),
         graph.num_edges()
     );
+
+    if let (Some(path), Some(t)) = (trace_path, threads) {
+        let sink = super::trace::open_trace_sink(path)?;
+        let mut directions = None;
+        let (result, threads_used) = match variant {
+            "branch-based" => {
+                let run = par_bfs_branch_based_traced(&graph, root, t, &sink);
+                (run.result, run.threads)
+            }
+            "branch-avoiding" => {
+                let run = par_bfs_branch_avoiding_traced(&graph, root, t, &sink);
+                (run.result, run.threads)
+            }
+            "direction-optimizing" => {
+                let run = par_bfs_direction_optimizing_traced(
+                    &graph,
+                    root,
+                    t,
+                    strategy.unwrap_or_default(),
+                    &sink,
+                );
+                directions = Some((run.directions.len(), run.bottom_up_levels()));
+                (run.result, run.threads)
+            }
+            other => {
+                return Err(format!(
+                    "--trace supports branch-based, branch-avoiding and \
+                     direction-optimizing, not {other:?}"
+                ))
+            }
+        };
+        super::trace::finish_trace_sink(path, sink)?;
+        println!("threads: {threads_used}");
+        print_result_summary(variant, &result);
+        if let Some((levels, bottom_up)) = directions {
+            println!(
+                "directions: {} top-down, {} bottom-up levels",
+                levels - bottom_up,
+                bottom_up
+            );
+        }
+        return Ok(());
+    }
 
     if instrumented {
         let mut directions = None;
@@ -123,12 +177,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
             );
         }
         println!("totals: {}", run.counters.total());
-        for step in &run.counters.steps {
-            println!(
-                "  level {:>3}: {} (vertices {}, discovered {})",
-                step.step, step.counters, step.vertices_processed, step.updates
-            );
-        }
+        print!("{}", step_table("level", &run.counters.steps).render());
         return Ok(());
     }
 
@@ -234,6 +283,51 @@ mod tests {
             "bottom-up",
             "--threads",
             "2"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn trace_flag_writes_a_jsonl_document() {
+        let dir = std::env::temp_dir().join("bga_cli_bfs_trace");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bfs.jsonl");
+        let path_str = path.to_str().unwrap();
+        for variant in ["branch-based", "branch-avoiding", "direction-optimizing"] {
+            assert!(
+                super::run(&strings(&[
+                    "cond-mat-2005",
+                    "--variant",
+                    variant,
+                    "--threads",
+                    "2",
+                    "--trace",
+                    path_str
+                ]))
+                .is_ok(),
+                "{variant} with --trace failed"
+            );
+            let text = std::fs::read_to_string(&path).unwrap();
+            assert!(text.lines().next().unwrap().contains("bga-trace-v1"));
+        }
+        assert!(super::run(&strings(&["cond-mat-2005", "--trace", path_str])).is_err());
+        assert!(super::run(&strings(&[
+            "cond-mat-2005",
+            "--threads",
+            "2",
+            "--instrumented",
+            "--trace",
+            path_str
+        ]))
+        .is_err());
+        assert!(super::run(&strings(&[
+            "cond-mat-2005",
+            "--variant",
+            "bottom-up",
+            "--threads",
+            "2",
+            "--trace",
+            path_str
         ]))
         .is_err());
     }

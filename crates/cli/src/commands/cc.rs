@@ -5,9 +5,11 @@ use bga_kernels::cc::{
     baseline, sv_branch_avoiding, sv_branch_avoiding_instrumented, sv_branch_based,
     sv_branch_based_instrumented, sv_hybrid, ComponentLabels, HybridConfig,
 };
+use bga_obs::step_table;
 use bga_parallel::{
-    par_sv_branch_avoiding, par_sv_branch_avoiding_instrumented, par_sv_branch_based,
-    par_sv_branch_based_instrumented, resolve_threads,
+    par_sv_branch_avoiding, par_sv_branch_avoiding_instrumented, par_sv_branch_avoiding_traced,
+    par_sv_branch_based, par_sv_branch_based_instrumented, par_sv_branch_based_traced,
+    resolve_threads,
 };
 use std::time::Instant;
 
@@ -19,6 +21,15 @@ pub fn run(args: &[String]) -> Result<(), String> {
     let variant = flag_value(args, "--variant").unwrap_or("branch-avoiding");
     let instrumented = args.iter().any(|a| a == "--instrumented");
     let threads = parse_threads(args)?;
+    let trace_path = super::trace::parse_trace_path(args)?;
+    if trace_path.is_some() && threads.is_none() {
+        return Err("--trace requires --threads N (only parallel runs are traced)".to_string());
+    }
+    if trace_path.is_some() && instrumented {
+        return Err(
+            "--trace and --instrumented are exclusive (the trace carries the counters)".to_string(),
+        );
+    }
 
     let graph = load_graph(graph_spec)?;
     println!(
@@ -26,6 +37,24 @@ pub fn run(args: &[String]) -> Result<(), String> {
         graph.num_vertices(),
         graph.num_edges()
     );
+
+    if let (Some(path), Some(t)) = (trace_path, threads) {
+        let sink = super::trace::open_trace_sink(path)?;
+        let par = match variant {
+            "branch-based" => par_sv_branch_based_traced(&graph, t, &sink),
+            "branch-avoiding" => par_sv_branch_avoiding_traced(&graph, t, &sink),
+            other => {
+                return Err(format!(
+                    "--trace supports branch-based and branch-avoiding, not {other:?}"
+                ))
+            }
+        };
+        super::trace::finish_trace_sink(path, sink)?;
+        println!("threads: {}", par.threads);
+        print_labels_summary(variant, &par.labels);
+        println!("iterations: {}", par.counters.num_steps());
+        return Ok(());
+    }
 
     if instrumented {
         let run = match (variant, threads) {
@@ -56,14 +85,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
         print_labels_summary(variant, &run.labels);
         println!("iterations: {}", run.iterations());
         println!("totals: {}", run.counters.total());
-        for step in &run.counters.steps {
-            println!(
-                "  iteration {:>3}: {} (label updates {})",
-                step.step + 1,
-                step.counters,
-                step.updates
-            );
-        }
+        print!("{}", step_table("iteration", &run.counters.steps).render());
         return Ok(());
     }
 
@@ -143,6 +165,37 @@ mod tests {
         assert!(run(&strings(&["cond-mat-2005", "--variant", "union-find"])).is_ok());
         assert!(run(&strings(&["cond-mat-2005", "--variant", "nope"])).is_err());
         assert!(run(&[]).is_err());
+    }
+
+    #[test]
+    fn trace_flag_writes_a_jsonl_document() {
+        let dir = std::env::temp_dir().join("bga_cli_cc_trace");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cc.jsonl");
+        let path_str = path.to_str().unwrap();
+        assert!(run(&strings(&[
+            "cond-mat-2005",
+            "--threads",
+            "2",
+            "--trace",
+            path_str
+        ]))
+        .is_ok());
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.lines().next().unwrap().contains("bga-trace-v1"));
+        // Tracing needs the parallel path, excludes --instrumented, and a
+        // bare --trace is an error.
+        assert!(run(&strings(&["cond-mat-2005", "--trace", path_str])).is_err());
+        assert!(run(&strings(&[
+            "cond-mat-2005",
+            "--threads",
+            "2",
+            "--instrumented",
+            "--trace",
+            path_str
+        ]))
+        .is_err());
+        assert!(run(&strings(&["cond-mat-2005", "--threads", "2", "--trace"])).is_err());
     }
 
     #[test]

@@ -10,7 +10,10 @@
 use super::cc::{flag_value, parse_threads};
 use super::graph_input::load_graph;
 use bga_kernels::kcore::{kcore_peeling, CoreDecomposition};
-use bga_parallel::{par_kcore_instrumented, par_kcore_with_stats, resolve_threads, KcoreVariant};
+use bga_obs::step_table;
+use bga_parallel::{
+    par_kcore_instrumented, par_kcore_traced, par_kcore_with_stats, resolve_threads, KcoreVariant,
+};
 use std::time::Instant;
 
 /// Runs the `kcore` subcommand.
@@ -42,6 +45,15 @@ pub fn run(args: &[String]) -> Result<(), String> {
     if threads.is_none() && instrumented {
         return Err("--instrumented requires --threads N (parallel peels only)".to_string());
     }
+    let trace_path = super::trace::parse_trace_path(args)?;
+    if trace_path.is_some() && threads.is_none() {
+        return Err("--trace requires --threads N (only parallel peels are traced)".to_string());
+    }
+    if trace_path.is_some() && instrumented {
+        return Err(
+            "--trace and --instrumented are exclusive (the trace carries the counters)".to_string(),
+        );
+    }
 
     let graph = load_graph(graph_spec)?;
     println!(
@@ -55,17 +67,21 @@ pub fn run(args: &[String]) -> Result<(), String> {
         println!("threads: {}", resolve_threads(t));
     }
 
+    if let (Some(path), Some(t)) = (trace_path, threads) {
+        let sink = super::trace::open_trace_sink(path)?;
+        let run = par_kcore_traced(&graph, t, kcore_variant, &sink);
+        super::trace::finish_trace_sink(path, sink)?;
+        print_core_summary(variant, &run.cores);
+        println!("cascade rounds: {}", run.rounds);
+        return Ok(());
+    }
+
     if let (Some(t), true) = (threads, instrumented) {
         let run = par_kcore_instrumented(&graph, t, kcore_variant);
         print_core_summary(variant, &run.cores);
         println!("cascade rounds: {}", run.rounds);
         println!("totals: {}", run.counters.total());
-        for step in &run.counters.steps {
-            println!(
-                "  dispatch {:>3}: {} (vertices peeled {})",
-                step.step, step.counters, step.updates
-            );
-        }
+        print!("{}", step_table("dispatch", &run.counters.steps).render());
         return Ok(());
     }
 
@@ -143,6 +159,34 @@ mod tests {
             "--instrumented"
         ]))
         .is_ok());
+    }
+
+    #[test]
+    fn trace_flag_writes_a_jsonl_document() {
+        let dir = std::env::temp_dir().join("bga_cli_kcore_trace");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("kcore.jsonl");
+        let path_str = path.to_str().unwrap();
+        assert!(run(&strings(&[
+            "cond-mat-2005",
+            "--threads",
+            "2",
+            "--trace",
+            path_str
+        ]))
+        .is_ok());
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.lines().next().unwrap().contains("bga-trace-v1"));
+        assert!(run(&strings(&["cond-mat-2005", "--trace", path_str])).is_err());
+        assert!(run(&strings(&[
+            "cond-mat-2005",
+            "--threads",
+            "2",
+            "--instrumented",
+            "--trace",
+            path_str
+        ]))
+        .is_err());
     }
 
     #[test]

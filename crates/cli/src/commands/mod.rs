@@ -9,17 +9,19 @@ mod generate;
 mod graph_input;
 mod kcore;
 mod sssp;
+mod trace;
 
 /// Usage text printed on argument errors.
 pub const USAGE: &str = "usage:
   bga generate <path|cycle|star|complete|tree|gnp|gnm|ba|ws|grid2d|grid3d|rmat> <args..> [--seed S] <out.metis>
-  bga cc  <graph> [--variant branch-based|branch-avoiding|hybrid|union-find|bfs] [--instrumented] [--threads N]
-  bga bfs <graph> [--root R] [--variant branch-based|branch-avoiding|bottom-up|direction-optimizing] [--strategy auto|top-down|bottom-up] [--instrumented] [--threads N]
-  bga bc  <graph> [--variant branch-based|branch-avoiding] [--sources K] [--threads N]
-  bga kcore <graph> [--variant branch-based|branch-avoiding] [--instrumented] [--threads N]
-  bga sssp <graph> [--root R] [--delta D] [--weights unit|uniform|file] [--variant branch-based|branch-avoiding] [--instrumented] [--threads N]
+  bga cc  <graph> [--variant branch-based|branch-avoiding|hybrid|union-find|bfs] [--instrumented] [--threads N] [--trace FILE]
+  bga bfs <graph> [--root R] [--variant branch-based|branch-avoiding|bottom-up|direction-optimizing] [--strategy auto|top-down|bottom-up] [--instrumented] [--threads N] [--trace FILE]
+  bga bc  <graph> [--variant branch-based|branch-avoiding] [--sources K] [--threads N] [--trace FILE]
+  bga kcore <graph> [--variant branch-based|branch-avoiding] [--instrumented] [--threads N] [--trace FILE]
+  bga sssp <graph> [--root R] [--delta D] [--weights unit|uniform|file] [--variant branch-based|branch-avoiding] [--instrumented] [--threads N] [--trace FILE]
   bga experiment <table1|table2|suite-summary|scaling [--json]>
-  bga bench compare <old.json> <new.json> [--threshold PCT] [--fail-on-regression]
+  bga bench compare <old1.json> [<old2.json>...] <new.json> [--threshold PCT] [--fail-on-regression]
+  bga trace <report|validate> <trace.jsonl>
 
 <graph> is a METIS (.metis/.graph) or edge-list file, or a built-in suite
 name: audikw1, auto, coAuthorsDBLP, cond-mat-2005, ldoor.
@@ -39,8 +41,14 @@ edge lists, edge-weighted METIS); --delta D picks the bucket width.
 The scaling experiment sweeps the parallel SV, BFS, BC, k-core and SSSP
 (unit + weighted) kernels over 1, 2, 4 and 8 threads; --json emits the
 rows as the bga-scaling-v2 JSON document for the CI bench artifact, and
-bga bench compare diffs two such documents, flagging time regressions
-beyond the threshold (default 10%).";
+bga bench compare diffs a new document against the per-row median of one
+or more baseline documents, flagging time regressions beyond the
+threshold (default 10%). --trace FILE (parallel runs only) writes the
+run's bga-trace-v1 JSONL event stream — run header, one structured event
+per engine phase, worker-pool batch metrics, totals trailer — and
+bga trace report renders it (per-phase table, pool imbalance, the
+paper's misprediction-bound crossover summary); bga trace validate
+checks the stream invariants and gates the CI smoke step.";
 
 /// Routes the raw argument list to the subcommand implementations.
 pub fn dispatch(args: &[String]) -> Result<(), String> {
@@ -56,6 +64,7 @@ pub fn dispatch(args: &[String]) -> Result<(), String> {
         "sssp" => sssp::run(rest),
         "experiment" => experiment::run(rest),
         "bench" => bench_compare::run(rest),
+        "trace" => trace::run(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())

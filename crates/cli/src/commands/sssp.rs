@@ -20,9 +20,11 @@ use super::graph_input::{load_graph, load_weighted_graph};
 use bga_graph::properties::largest_component;
 use bga_graph::{uniform_weights, WeightedCsrGraph};
 use bga_kernels::sssp::{sssp_delta_stepping, sssp_unit_delta_stepping_with_delta, SsspResult};
+use bga_obs::step_table;
 use bga_parallel::{
-    par_sssp_unit_instrumented, par_sssp_unit_with_variant, par_sssp_weighted_instrumented,
-    par_sssp_weighted_with_variant, resolve_threads, SsspVariant,
+    par_sssp_unit_instrumented, par_sssp_unit_traced, par_sssp_unit_with_variant,
+    par_sssp_weighted_instrumented, par_sssp_weighted_traced, par_sssp_weighted_with_variant,
+    resolve_threads, SsspVariant,
 };
 use std::time::Instant;
 
@@ -106,6 +108,15 @@ pub fn run(args: &[String]) -> Result<(), String> {
     if threads.is_none() && instrumented {
         return Err("--instrumented requires --threads N (parallel runs only)".to_string());
     }
+    let trace_path = super::trace::parse_trace_path(args)?;
+    if trace_path.is_some() && threads.is_none() {
+        return Err("--trace requires --threads N (only parallel runs are traced)".to_string());
+    }
+    if trace_path.is_some() && instrumented {
+        return Err(
+            "--trace and --instrumented are exclusive (the trace carries the counters)".to_string(),
+        );
+    }
 
     let weighted: Option<WeightedCsrGraph> = match weights_mode {
         WeightsMode::Unit => None,
@@ -153,6 +164,33 @@ pub fn run(args: &[String]) -> Result<(), String> {
         println!("threads: {}", resolve_threads(t));
     }
 
+    if let (Some(path), Some(t)) = (trace_path, threads) {
+        let sink = super::trace::open_trace_sink(path)?;
+        match &weighted {
+            None => {
+                let run = par_sssp_unit_traced(graph, source, t, sssp_variant, &sink);
+                super::trace::finish_trace_sink(path, sink)?;
+                print_result_summary(variant, &run.result);
+                println!(
+                    "directions: {} top-down, {} bottom-up phases",
+                    run.directions.len() - run.bottom_up_phases(),
+                    run.bottom_up_phases()
+                );
+            }
+            Some(wg) => {
+                let run = par_sssp_weighted_traced(wg, source, delta, t, sssp_variant, &sink);
+                super::trace::finish_trace_sink(path, sink)?;
+                print_result_summary(variant, &run.result);
+                println!("delta: {delta}");
+                println!(
+                    "buckets settled: {}; heavy phases: {}",
+                    run.buckets_settled, run.heavy_phases
+                );
+            }
+        }
+        return Ok(());
+    }
+
     if let (Some(t), true) = (threads, instrumented) {
         match &weighted {
             None => {
@@ -164,12 +202,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
                     run.bottom_up_phases()
                 );
                 println!("totals: {}", run.counters.total());
-                for step in &run.counters.steps {
-                    println!(
-                        "  phase {:>3}: {} (settled {})",
-                        step.step, step.counters, step.updates
-                    );
-                }
+                print!("{}", step_table("phase", &run.counters.steps).render());
             }
             Some(wg) => {
                 let run = par_sssp_weighted_instrumented(wg, source, delta, t, sssp_variant);
@@ -180,12 +213,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
                     run.buckets_settled, run.heavy_phases
                 );
                 println!("totals: {}", run.counters.total());
-                for step in &run.counters.steps {
-                    println!(
-                        "  pass {:>3}: {} (claimed {})",
-                        step.step, step.counters, step.updates
-                    );
-                }
+                print!("{}", step_table("pass", &run.counters.steps).render());
             }
         }
         return Ok(());
@@ -323,6 +351,50 @@ mod tests {
         ]))
         .is_ok());
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn trace_flag_writes_a_jsonl_document() {
+        let dir = std::env::temp_dir().join("bga_cli_sssp_trace");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sssp.jsonl");
+        let path_str = path.to_str().unwrap();
+        // Unit-weight trace on the level loop.
+        assert!(run(&strings(&[
+            "cond-mat-2005",
+            "--threads",
+            "2",
+            "--trace",
+            path_str
+        ]))
+        .is_ok());
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.lines().next().unwrap().contains("bga-trace-v1"));
+        // Weighted trace on the bucket loop carries the delta.
+        assert!(run(&strings(&[
+            "cond-mat-2005",
+            "--weights",
+            "uniform",
+            "--delta",
+            "4",
+            "--threads",
+            "2",
+            "--trace",
+            path_str
+        ]))
+        .is_ok());
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.lines().next().unwrap().contains("\"delta\""));
+        assert!(run(&strings(&["cond-mat-2005", "--trace", path_str])).is_err());
+        assert!(run(&strings(&[
+            "cond-mat-2005",
+            "--threads",
+            "2",
+            "--instrumented",
+            "--trace",
+            path_str
+        ]))
+        .is_err());
     }
 
     #[test]

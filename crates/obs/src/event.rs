@@ -1,0 +1,586 @@
+//! The `bga-trace-v1` structured event vocabulary.
+//!
+//! One traced kernel run is a stream of [`TraceEvent`]s: a `run-start`
+//! header, one `phase` event per engine phase (BFS level, SV sweep,
+//! delta-stepping light/heavy pass, k-core seed/cascade round), optional
+//! worker-pool batch records, and a `run-end` trailer whose totals equal
+//! the sum of the phase counters. Events serialize one-per-line as compact
+//! JSON (JSONL); [`TraceEvent::to_json_line`] / [`TraceEvent::parse_line`]
+//! are exact inverses.
+
+use crate::json::{num, object, Json};
+use bga_kernels::stats::StepCounters;
+use std::ops::{Add, AddAssign};
+
+/// Schema tag carried by every `run-start` line.
+pub const TRACE_SCHEMA: &str = "bga-trace-v1";
+
+/// What kind of engine phase a [`PhaseEvent`] describes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PhaseKind {
+    /// A top-down frontier expansion level (`LevelLoop`).
+    TopDown,
+    /// A bottom-up (pull) level over the bitmap frontier (`LevelLoop`).
+    BottomUp,
+    /// One label-propagation sweep to fixpoint (`SweepLoop`).
+    Sweep,
+    /// A light-edge relaxation pass of one bucket (`BucketLoop`).
+    Light,
+    /// The deferred heavy-edge pass of a settled bucket (`BucketLoop`).
+    Heavy,
+    /// A k-core seed sweep over all unpeeled vertices.
+    Seed,
+    /// A k-core cascade round over the degree-underflow frontier.
+    Cascade,
+}
+
+impl PhaseKind {
+    /// The serialized name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PhaseKind::TopDown => "top-down",
+            PhaseKind::BottomUp => "bottom-up",
+            PhaseKind::Sweep => "sweep",
+            PhaseKind::Light => "light",
+            PhaseKind::Heavy => "heavy",
+            PhaseKind::Seed => "seed",
+            PhaseKind::Cascade => "cascade",
+        }
+    }
+}
+
+impl std::str::FromStr for PhaseKind {
+    type Err = String;
+
+    /// Parses a serialized name.
+    fn from_str(text: &str) -> Result<Self, Self::Err> {
+        Ok(match text {
+            "top-down" => PhaseKind::TopDown,
+            "bottom-up" => PhaseKind::BottomUp,
+            "sweep" => PhaseKind::Sweep,
+            "light" => PhaseKind::Light,
+            "heavy" => PhaseKind::Heavy,
+            "seed" => PhaseKind::Seed,
+            "cascade" => PhaseKind::Cascade,
+            other => return Err(format!("unknown phase kind {other:?}")),
+        })
+    }
+}
+
+/// Flat per-phase counter bundle: the microarchitectural tallies
+/// ([`bga_branchsim::PerfCounters`] fields) plus the workload metadata of a
+/// [`StepCounters`] record. All-zero for kernels run without `TALLY`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PhaseCounters {
+    /// Retired instructions.
+    pub instructions: u64,
+    /// Conditional branches executed.
+    pub branches: u64,
+    /// Modelled branch mispredictions.
+    pub mispredictions: u64,
+    /// Memory loads.
+    pub loads: u64,
+    /// Memory stores.
+    pub stores: u64,
+    /// Predicated (conditional-move) operations.
+    pub conditional_moves: u64,
+    /// Edge traversals (inner-loop trips).
+    pub edges: u64,
+    /// Vertices processed (frontier size / outer-loop trips).
+    pub vertices: u64,
+    /// Successful updates: labels lowered, vertices discovered, distances
+    /// claimed, vertices peeled — the kernel's monotone progress measure.
+    pub updates: u64,
+}
+
+impl From<&StepCounters> for PhaseCounters {
+    fn from(step: &StepCounters) -> Self {
+        PhaseCounters {
+            instructions: step.counters.instructions,
+            branches: step.counters.branches,
+            mispredictions: step.counters.branch_mispredictions,
+            loads: step.counters.loads,
+            stores: step.counters.stores,
+            conditional_moves: step.counters.conditional_moves,
+            edges: step.edges_traversed,
+            vertices: step.vertices_processed,
+            updates: step.updates,
+        }
+    }
+}
+
+impl Add for PhaseCounters {
+    type Output = PhaseCounters;
+    fn add(self, rhs: PhaseCounters) -> PhaseCounters {
+        PhaseCounters {
+            instructions: self.instructions + rhs.instructions,
+            branches: self.branches + rhs.branches,
+            mispredictions: self.mispredictions + rhs.mispredictions,
+            loads: self.loads + rhs.loads,
+            stores: self.stores + rhs.stores,
+            conditional_moves: self.conditional_moves + rhs.conditional_moves,
+            edges: self.edges + rhs.edges,
+            vertices: self.vertices + rhs.vertices,
+            updates: self.updates + rhs.updates,
+        }
+    }
+}
+
+impl AddAssign for PhaseCounters {
+    fn add_assign(&mut self, rhs: PhaseCounters) {
+        *self = *self + rhs;
+    }
+}
+
+impl PhaseCounters {
+    fn to_json(self) -> Json {
+        object(vec![
+            ("instructions", num(self.instructions)),
+            ("branches", num(self.branches)),
+            ("mispredictions", num(self.mispredictions)),
+            ("loads", num(self.loads)),
+            ("stores", num(self.stores)),
+            ("conditional_moves", num(self.conditional_moves)),
+            ("edges", num(self.edges)),
+            ("vertices", num(self.vertices)),
+            ("updates", num(self.updates)),
+        ])
+    }
+
+    fn from_json(value: &Json) -> Result<Self, String> {
+        Ok(PhaseCounters {
+            instructions: field_u64(value, "instructions")?,
+            branches: field_u64(value, "branches")?,
+            mispredictions: field_u64(value, "mispredictions")?,
+            loads: field_u64(value, "loads")?,
+            stores: field_u64(value, "stores")?,
+            conditional_moves: field_u64(value, "conditional_moves")?,
+            edges: field_u64(value, "edges")?,
+            vertices: field_u64(value, "vertices")?,
+            updates: field_u64(value, "updates")?,
+        })
+    }
+}
+
+/// One engine phase: a BFS level, an SV sweep, a delta-stepping pass or a
+/// k-core round, with its structure and merged tallies.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PhaseEvent {
+    /// 0-based phase index, strictly increasing within a run.
+    pub index: usize,
+    /// What kind of phase this was.
+    pub kind: PhaseKind,
+    /// Bucket index for delta-stepping phases, `None` elsewhere.
+    pub bucket: Option<usize>,
+    /// Input frontier size (vertices the phase dispatched over).
+    pub frontier: usize,
+    /// Vertices the phase added to the traversal order (discovered /
+    /// settled / peeled); label updates for sweeps.
+    pub discovered: usize,
+    /// For sweeps: whether any label changed (the fixpoint test).
+    pub changed: Option<bool>,
+    /// Merged per-thread tallies (all-zero when the kernel ran untallied).
+    pub counters: PhaseCounters,
+    /// Wall clock of the phase dispatch in nanoseconds.
+    pub wall_ns: u64,
+}
+
+/// One `bga-trace-v1` event.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TraceEvent {
+    /// Run header (first line; carries the schema tag).
+    RunStart {
+        /// Kernel name (`bfs`, `cc`, `bc`, `kcore`, `sssp`, `sssp-weighted`).
+        kernel: String,
+        /// Variant name (`branch-based`, `branch-avoiding`, ...).
+        variant: String,
+        /// Vertices in the graph.
+        vertices: usize,
+        /// Edge slots in the graph (directed slot count).
+        edges: usize,
+        /// Resolved worker count.
+        threads: usize,
+        /// Chunking grain in effect.
+        grain: usize,
+        /// Delta-stepping bucket width, when the kernel has one.
+        delta: Option<u32>,
+        /// Root / source vertex, when the kernel has one.
+        root: Option<u32>,
+    },
+    /// One engine phase.
+    Phase(PhaseEvent),
+    /// One worker-pool batch: how many chunks each participant claimed.
+    PoolBatch {
+        /// 0-based batch index in pool submission order.
+        batch: usize,
+        /// Chunks in the batch.
+        chunks: usize,
+        /// Chunks claimed per participant (slot 0 = the submitting thread).
+        claimed: Vec<u64>,
+        /// `max(claimed) * participants / chunks` — 1.0 is a perfectly even
+        /// batch, `participants` is one thread claiming everything.
+        imbalance: f64,
+    },
+    /// Pool lifetime totals for the traced run.
+    PoolSummary {
+        /// Batches the pool fanned out (inline batches are not counted).
+        batches: usize,
+        /// Times a worker parked on the condvar waiting for work.
+        parks: usize,
+        /// Times a parked worker was woken.
+        wakes: usize,
+    },
+    /// Run trailer; `totals` is the sum of every phase's counters.
+    RunEnd {
+        /// Number of phase events emitted.
+        phases: usize,
+        /// Sum of the per-phase counters.
+        totals: PhaseCounters,
+        /// Wall clock of the whole run in nanoseconds.
+        wall_ns: u64,
+    },
+}
+
+impl TraceEvent {
+    /// Serializes the event as one compact JSON line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        self.to_json().to_string()
+    }
+
+    fn to_json(&self) -> Json {
+        match self {
+            TraceEvent::RunStart {
+                kernel,
+                variant,
+                vertices,
+                edges,
+                threads,
+                grain,
+                delta,
+                root,
+            } => object(vec![
+                ("type", Json::String("run-start".to_string())),
+                ("schema", Json::String(TRACE_SCHEMA.to_string())),
+                ("kernel", Json::String(kernel.clone())),
+                ("variant", Json::String(variant.clone())),
+                ("vertices", num(*vertices as u64)),
+                ("edges", num(*edges as u64)),
+                ("threads", num(*threads as u64)),
+                ("grain", num(*grain as u64)),
+                ("delta", opt_num(delta.map(u64::from))),
+                ("root", opt_num(root.map(u64::from))),
+            ]),
+            TraceEvent::Phase(phase) => object(vec![
+                ("type", Json::String("phase".to_string())),
+                ("index", num(phase.index as u64)),
+                ("kind", Json::String(phase.kind.as_str().to_string())),
+                ("bucket", opt_num(phase.bucket.map(|b| b as u64))),
+                ("frontier", num(phase.frontier as u64)),
+                ("discovered", num(phase.discovered as u64)),
+                (
+                    "changed",
+                    match phase.changed {
+                        Some(c) => Json::Bool(c),
+                        None => Json::Null,
+                    },
+                ),
+                ("counters", phase.counters.to_json()),
+                ("wall_ns", num(phase.wall_ns)),
+            ]),
+            TraceEvent::PoolBatch {
+                batch,
+                chunks,
+                claimed,
+                imbalance,
+            } => object(vec![
+                ("type", Json::String("pool-batch".to_string())),
+                ("batch", num(*batch as u64)),
+                ("chunks", num(*chunks as u64)),
+                (
+                    "claimed",
+                    Json::Array(claimed.iter().map(|&c| num(c)).collect()),
+                ),
+                ("imbalance", Json::Number(*imbalance)),
+            ]),
+            TraceEvent::PoolSummary {
+                batches,
+                parks,
+                wakes,
+            } => object(vec![
+                ("type", Json::String("pool-summary".to_string())),
+                ("batches", num(*batches as u64)),
+                ("parks", num(*parks as u64)),
+                ("wakes", num(*wakes as u64)),
+            ]),
+            TraceEvent::RunEnd {
+                phases,
+                totals,
+                wall_ns,
+            } => object(vec![
+                ("type", Json::String("run-end".to_string())),
+                ("phases", num(*phases as u64)),
+                ("totals", totals.to_json()),
+                ("wall_ns", num(*wall_ns)),
+            ]),
+        }
+    }
+
+    /// Parses one JSONL line back into an event. `run-start` lines must
+    /// carry the [`TRACE_SCHEMA`] tag.
+    pub fn parse_line(line: &str) -> Result<TraceEvent, String> {
+        let value = Json::parse(line)?;
+        let event_type = value
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or("event has no \"type\" string")?;
+        match event_type {
+            "run-start" => {
+                let schema = value
+                    .get("schema")
+                    .and_then(Json::as_str)
+                    .ok_or("run-start has no \"schema\" string")?;
+                if schema != TRACE_SCHEMA {
+                    return Err(format!(
+                        "unknown trace schema {schema:?} (expected {TRACE_SCHEMA:?})"
+                    ));
+                }
+                Ok(TraceEvent::RunStart {
+                    kernel: field_str(&value, "kernel")?,
+                    variant: field_str(&value, "variant")?,
+                    vertices: field_u64(&value, "vertices")? as usize,
+                    edges: field_u64(&value, "edges")? as usize,
+                    threads: field_u64(&value, "threads")? as usize,
+                    grain: field_u64(&value, "grain")? as usize,
+                    delta: field_opt_u64(&value, "delta")?.map(|d| d as u32),
+                    root: field_opt_u64(&value, "root")?.map(|r| r as u32),
+                })
+            }
+            "phase" => Ok(TraceEvent::Phase(PhaseEvent {
+                index: field_u64(&value, "index")? as usize,
+                kind: field_str(&value, "kind")?.parse()?,
+                bucket: field_opt_u64(&value, "bucket")?.map(|b| b as usize),
+                frontier: field_u64(&value, "frontier")? as usize,
+                discovered: field_u64(&value, "discovered")? as usize,
+                changed: match value.get("changed") {
+                    None | Some(Json::Null) => None,
+                    Some(other) => Some(
+                        other
+                            .as_bool()
+                            .ok_or("phase \"changed\" is not a boolean")?,
+                    ),
+                },
+                counters: PhaseCounters::from_json(
+                    value.get("counters").ok_or("phase has no \"counters\"")?,
+                )?,
+                wall_ns: field_u64(&value, "wall_ns")?,
+            })),
+            "pool-batch" => Ok(TraceEvent::PoolBatch {
+                batch: field_u64(&value, "batch")? as usize,
+                chunks: field_u64(&value, "chunks")? as usize,
+                claimed: value
+                    .get("claimed")
+                    .and_then(Json::as_array)
+                    .ok_or("pool-batch has no \"claimed\" array")?
+                    .iter()
+                    .map(|item| item.as_u64().ok_or("non-integer claim count".to_string()))
+                    .collect::<Result<Vec<u64>, String>>()?,
+                imbalance: value
+                    .get("imbalance")
+                    .and_then(Json::as_f64)
+                    .ok_or("pool-batch has no \"imbalance\" number")?,
+            }),
+            "pool-summary" => Ok(TraceEvent::PoolSummary {
+                batches: field_u64(&value, "batches")? as usize,
+                parks: field_u64(&value, "parks")? as usize,
+                wakes: field_u64(&value, "wakes")? as usize,
+            }),
+            "run-end" => Ok(TraceEvent::RunEnd {
+                phases: field_u64(&value, "phases")? as usize,
+                totals: PhaseCounters::from_json(
+                    value.get("totals").ok_or("run-end has no \"totals\"")?,
+                )?,
+                wall_ns: field_u64(&value, "wall_ns")?,
+            }),
+            other => Err(format!("unknown event type {other:?}")),
+        }
+    }
+}
+
+fn opt_num(value: Option<u64>) -> Json {
+    match value {
+        Some(v) => num(v),
+        None => Json::Null,
+    }
+}
+
+fn field_str(value: &Json, name: &str) -> Result<String, String> {
+    value
+        .get(name)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or(format!("event has no {name:?} string"))
+}
+
+fn field_u64(value: &Json, name: &str) -> Result<u64, String> {
+    value
+        .get(name)
+        .and_then(Json::as_u64)
+        .ok_or(format!("event has no {name:?} integer"))
+}
+
+fn field_opt_u64(value: &Json, name: &str) -> Result<Option<u64>, String> {
+    match value.get(name) {
+        None | Some(Json::Null) => Ok(None),
+        Some(other) => other
+            .as_u64()
+            .map(Some)
+            .ok_or(format!("event field {name:?} is not an integer")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn sample_counters(scale: u64) -> PhaseCounters {
+        PhaseCounters {
+            instructions: 100 * scale,
+            branches: 40 * scale,
+            mispredictions: 10 * scale,
+            loads: 30 * scale,
+            stores: 20 * scale,
+            conditional_moves: 5 * scale,
+            edges: 60 * scale,
+            vertices: 12 * scale,
+            updates: 7 * scale,
+        }
+    }
+
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::RunStart {
+                kernel: "bfs".to_string(),
+                variant: "branch-avoiding".to_string(),
+                vertices: 100,
+                edges: 360,
+                threads: 2,
+                grain: 4096,
+                delta: None,
+                root: Some(0),
+            },
+            TraceEvent::Phase(PhaseEvent {
+                index: 0,
+                kind: PhaseKind::TopDown,
+                bucket: None,
+                frontier: 1,
+                discovered: 4,
+                changed: None,
+                counters: sample_counters(1),
+                wall_ns: 1200,
+            }),
+            TraceEvent::Phase(PhaseEvent {
+                index: 1,
+                kind: PhaseKind::BottomUp,
+                bucket: Some(3),
+                frontier: 4,
+                discovered: 95,
+                changed: Some(true),
+                counters: sample_counters(2),
+                wall_ns: 800,
+            }),
+            TraceEvent::PoolBatch {
+                batch: 0,
+                chunks: 8,
+                claimed: vec![5, 3],
+                imbalance: 1.25,
+            },
+            TraceEvent::PoolSummary {
+                batches: 2,
+                parks: 1,
+                wakes: 2,
+            },
+            TraceEvent::RunEnd {
+                phases: 2,
+                totals: sample_counters(3),
+                wall_ns: 2500,
+            },
+        ]
+    }
+
+    #[test]
+    fn every_event_round_trips_through_jsonl() {
+        for event in sample_events() {
+            let line = event.to_json_line();
+            assert!(!line.contains('\n'), "JSONL lines must be single lines");
+            let parsed = TraceEvent::parse_line(&line)
+                .unwrap_or_else(|e| panic!("parse failed for {line}: {e}"));
+            assert_eq!(parsed, event);
+        }
+    }
+
+    #[test]
+    fn run_start_carries_and_enforces_the_schema() {
+        let line = sample_events()[0].to_json_line();
+        assert!(line.contains("\"schema\":\"bga-trace-v1\""), "{line}");
+        let forged = line.replace("bga-trace-v1", "bga-trace-v0");
+        let err = TraceEvent::parse_line(&forged).unwrap_err();
+        assert!(err.contains("schema"), "{err}");
+    }
+
+    #[test]
+    fn phase_kinds_round_trip() {
+        for kind in [
+            PhaseKind::TopDown,
+            PhaseKind::BottomUp,
+            PhaseKind::Sweep,
+            PhaseKind::Light,
+            PhaseKind::Heavy,
+            PhaseKind::Seed,
+            PhaseKind::Cascade,
+        ] {
+            assert_eq!(kind.as_str().parse::<PhaseKind>().unwrap(), kind);
+        }
+        assert!("diagonal".parse::<PhaseKind>().is_err());
+    }
+
+    #[test]
+    fn phase_counters_map_from_step_counters() {
+        let step = StepCounters {
+            step: 4,
+            counters: bga_branchsim::PerfCounters {
+                instructions: 9,
+                branches: 8,
+                branch_mispredictions: 7,
+                loads: 6,
+                stores: 5,
+                conditional_moves: 4,
+            },
+            edges_traversed: 3,
+            vertices_processed: 2,
+            updates: 1,
+        };
+        let counters = PhaseCounters::from(&step);
+        assert_eq!(counters.instructions, 9);
+        assert_eq!(counters.mispredictions, 7);
+        assert_eq!(counters.edges, 3);
+        assert_eq!(counters.vertices, 2);
+        assert_eq!(counters.updates, 1);
+    }
+
+    #[test]
+    fn counters_add_field_wise() {
+        let sum = sample_counters(1) + sample_counters(2);
+        assert_eq!(sum, sample_counters(3));
+        let mut acc = PhaseCounters::default();
+        acc += sample_counters(2);
+        assert_eq!(acc, sample_counters(2));
+    }
+
+    #[test]
+    fn malformed_lines_fail_loudly() {
+        assert!(TraceEvent::parse_line("{}").is_err());
+        assert!(TraceEvent::parse_line("{\"type\": \"warp\"}").is_err());
+        assert!(TraceEvent::parse_line("{\"type\": \"phase\", \"index\": 0}").is_err());
+        assert!(TraceEvent::parse_line("not json").is_err());
+    }
+}

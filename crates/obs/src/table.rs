@@ -1,0 +1,206 @@
+//! Shared plain-text table rendering.
+//!
+//! One renderer serves both the CLI `--instrumented` printouts (which used
+//! to format per-kernel ad-hoc lines) and `bga trace report`.
+
+use crate::event::PhaseEvent;
+use bga_kernels::stats::StepCounters;
+
+/// A simple column-aligned text table.
+#[derive(Debug, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given column headers and no rows.
+    pub fn new(headers: &[&str]) -> Self {
+        Table {
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row; short rows are padded with empty cells.
+    pub fn row(&mut self, cells: Vec<String>) {
+        let mut cells = cells;
+        cells.resize(self.headers.len(), String::new());
+        self.rows.push(cells);
+    }
+
+    /// Whether no rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table: a header line, then one line per row, columns
+    /// separated by two spaces. Columns whose body cells are all numeric
+    /// are right-aligned; the rest are left-aligned.
+    pub fn render(&self) -> String {
+        let columns = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (index, cell) in row.iter().enumerate() {
+                widths[index] = widths[index].max(cell.len());
+            }
+        }
+        let numeric: Vec<bool> = (0..columns)
+            .map(|col| {
+                self.rows.iter().all(|row| {
+                    let cell = &row[col];
+                    cell.is_empty()
+                        || cell
+                            .chars()
+                            .next()
+                            .is_some_and(|c| c.is_ascii_digit() || c == '-')
+                })
+            })
+            .collect();
+        let mut out = String::new();
+        let push_line = |cells: &[String], out: &mut String| {
+            for (index, cell) in cells.iter().enumerate() {
+                if index > 0 {
+                    out.push_str("  ");
+                }
+                let width = widths[index];
+                if numeric[index] {
+                    out.push_str(&format!("{cell:>width$}"));
+                } else if index + 1 == cells.len() {
+                    // Don't pad the last column: trailing spaces are noise.
+                    out.push_str(cell);
+                } else {
+                    out.push_str(&format!("{cell:<width$}"));
+                }
+            }
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        push_line(&self.headers, &mut out);
+        for row in &self.rows {
+            push_line(row, &mut out);
+        }
+        out
+    }
+}
+
+/// The unified `--instrumented` table: one row per [`StepCounters`] record.
+/// `step_label` names the step column (`level`, `iteration`, `phase`,
+/// `pass`, `dispatch` — whatever the kernel calls its steps).
+pub fn step_table(step_label: &str, steps: &[StepCounters]) -> Table {
+    let mut table = Table::new(&[
+        step_label, "instr", "branches", "mispred", "loads", "stores", "cmovs", "edges",
+        "vertices", "updates",
+    ]);
+    for step in steps {
+        table.row(vec![
+            step.step.to_string(),
+            step.counters.instructions.to_string(),
+            step.counters.branches.to_string(),
+            step.counters.branch_mispredictions.to_string(),
+            step.counters.loads.to_string(),
+            step.counters.stores.to_string(),
+            step.counters.conditional_moves.to_string(),
+            step.edges_traversed.to_string(),
+            step.vertices_processed.to_string(),
+            step.updates.to_string(),
+        ]);
+    }
+    table
+}
+
+/// The `bga trace report` per-phase table: one row per [`PhaseEvent`].
+pub fn phase_table(phases: &[PhaseEvent]) -> Table {
+    let mut table = Table::new(&[
+        "phase",
+        "kind",
+        "bucket",
+        "frontier",
+        "discovered",
+        "branches",
+        "mispred",
+        "cmovs",
+        "edges",
+        "updates",
+        "wall_us",
+    ]);
+    for phase in phases {
+        table.row(vec![
+            phase.index.to_string(),
+            phase.kind.as_str().to_string(),
+            phase
+                .bucket
+                .map(|b| b.to_string())
+                .unwrap_or_else(|| "-".to_string()),
+            phase.frontier.to_string(),
+            phase.discovered.to_string(),
+            phase.counters.branches.to_string(),
+            phase.counters.mispredictions.to_string(),
+            phase.counters.conditional_moves.to_string(),
+            phase.counters.edges.to_string(),
+            phase.counters.updates.to_string(),
+            format!("{:.1}", phase.wall_ns as f64 / 1e3),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{PhaseCounters, PhaseKind};
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut table = Table::new(&["name", "count"]);
+        table.row(vec!["alpha".to_string(), "5".to_string()]);
+        table.row(vec!["b".to_string(), "12345".to_string()]);
+        let text = table.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        // Numeric column right-aligned under its header.
+        assert_eq!(lines[0], "name   count");
+        assert_eq!(lines[1], "alpha      5");
+        assert_eq!(lines[2], "b      12345");
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut table = Table::new(&["a", "b", "c"]);
+        table.row(vec!["x".to_string()]);
+        assert!(table.render().lines().count() == 2);
+        assert!(!table.is_empty());
+        assert!(Table::new(&["a"]).is_empty());
+    }
+
+    #[test]
+    fn step_table_has_one_row_per_step() {
+        let steps = vec![StepCounters::default(), StepCounters::default()];
+        let table = step_table("level", &steps);
+        let text = table.render();
+        assert_eq!(text.lines().count(), 3);
+        assert!(text.starts_with("level"));
+        assert!(text.contains("mispred"));
+    }
+
+    #[test]
+    fn phase_table_shows_kind_and_bucket() {
+        let table = phase_table(&[PhaseEvent {
+            index: 2,
+            kind: PhaseKind::Light,
+            bucket: Some(4),
+            frontier: 9,
+            discovered: 3,
+            changed: None,
+            counters: PhaseCounters::default(),
+            wall_ns: 1500,
+        }]);
+        let text = table.render();
+        assert!(text.contains("light"), "{text}");
+        let row = text.lines().nth(1).unwrap();
+        assert!(row.contains('4'), "{row}");
+        assert!(row.contains("1.5"), "{row}");
+    }
+}

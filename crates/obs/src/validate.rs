@@ -1,0 +1,308 @@
+//! Trace parsing and schema validation.
+//!
+//! `bga trace report` and the CI smoke step (`bga trace validate`) both
+//! funnel through [`parse_trace`] + [`validate_trace`]: a well-formed
+//! `bga-trace-v1` stream is non-empty, starts with the `run-start` header,
+//! numbers its phases consecutively from zero, and ends with a `run-end`
+//! trailer whose totals equal the sum of the per-phase counters.
+
+use crate::event::{PhaseCounters, PhaseEvent, TraceEvent};
+
+/// Worker-pool lifetime totals from the `pool-summary` event.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolTotals {
+    /// Batches the pool fanned out across workers.
+    pub batches: usize,
+    /// Worker park (condvar wait) count.
+    pub parks: usize,
+    /// Worker wake count.
+    pub wakes: usize,
+}
+
+/// A validated trace, digested for reporting.
+#[derive(Clone, Debug)]
+pub struct TraceReport {
+    /// Kernel name from the header.
+    pub kernel: String,
+    /// Variant name from the header.
+    pub variant: String,
+    /// Vertices in the traced graph.
+    pub vertices: usize,
+    /// Edge slots in the traced graph.
+    pub edges: usize,
+    /// Resolved worker count.
+    pub threads: usize,
+    /// Chunking grain in effect.
+    pub grain: usize,
+    /// Delta-stepping bucket width, when present.
+    pub delta: Option<u32>,
+    /// Root / source vertex, when present.
+    pub root: Option<u32>,
+    /// Every phase event, in index order.
+    pub phases: Vec<PhaseEvent>,
+    /// Number of `pool-batch` events.
+    pub pool_batches: usize,
+    /// Largest per-batch imbalance ratio (0 when no batches were recorded).
+    pub max_imbalance: f64,
+    /// Pool lifetime totals, when a `pool-summary` event was emitted.
+    pub pool: Option<PoolTotals>,
+    /// The `run-end` totals (== sum of phase counters).
+    pub totals: PhaseCounters,
+    /// Whole-run wall clock in nanoseconds.
+    pub wall_ns: u64,
+}
+
+/// Parses a JSONL trace document into its event stream. Blank lines are
+/// skipped; any malformed line is an error naming its line number.
+pub fn parse_trace(text: &str) -> Result<Vec<TraceEvent>, String> {
+    let mut events = Vec::new();
+    for (index, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let event = TraceEvent::parse_line(line).map_err(|e| format!("line {}: {e}", index + 1))?;
+        events.push(event);
+    }
+    Ok(events)
+}
+
+/// Checks the stream invariants and digests the events into a
+/// [`TraceReport`].
+pub fn validate_trace(events: &[TraceEvent]) -> Result<TraceReport, String> {
+    if events.is_empty() {
+        return Err("trace is empty".to_string());
+    }
+    let TraceEvent::RunStart {
+        kernel,
+        variant,
+        vertices,
+        edges,
+        threads,
+        grain,
+        delta,
+        root,
+    } = &events[0]
+    else {
+        return Err("trace does not start with a run-start event".to_string());
+    };
+    let mut report = TraceReport {
+        kernel: kernel.clone(),
+        variant: variant.clone(),
+        vertices: *vertices,
+        edges: *edges,
+        threads: *threads,
+        grain: *grain,
+        delta: *delta,
+        root: *root,
+        phases: Vec::new(),
+        pool_batches: 0,
+        max_imbalance: 0.0,
+        pool: None,
+        totals: PhaseCounters::default(),
+        wall_ns: 0,
+    };
+    let mut run_end: Option<(usize, PhaseCounters, u64)> = None;
+    for (position, event) in events.iter().enumerate().skip(1) {
+        if run_end.is_some() {
+            return Err(format!("event {position} follows the run-end trailer"));
+        }
+        match event {
+            TraceEvent::RunStart { .. } => {
+                return Err(format!("second run-start at event {position}"));
+            }
+            TraceEvent::Phase(phase) => {
+                let expected = report.phases.len();
+                if phase.index != expected {
+                    return Err(format!(
+                        "phase indices are not consecutive: expected {expected}, got {} \
+                         at event {position}",
+                        phase.index
+                    ));
+                }
+                report.phases.push(phase.clone());
+            }
+            TraceEvent::PoolBatch { imbalance, .. } => {
+                report.pool_batches += 1;
+                report.max_imbalance = report.max_imbalance.max(*imbalance);
+            }
+            TraceEvent::PoolSummary {
+                batches,
+                parks,
+                wakes,
+            } => {
+                if report.pool.is_some() {
+                    return Err(format!("second pool-summary at event {position}"));
+                }
+                report.pool = Some(PoolTotals {
+                    batches: *batches,
+                    parks: *parks,
+                    wakes: *wakes,
+                });
+            }
+            TraceEvent::RunEnd {
+                phases,
+                totals,
+                wall_ns,
+            } => {
+                run_end = Some((*phases, *totals, *wall_ns));
+            }
+        }
+    }
+    let Some((end_phases, end_totals, end_wall_ns)) = run_end else {
+        return Err("trace has no run-end trailer".to_string());
+    };
+    if end_phases != report.phases.len() {
+        return Err(format!(
+            "run-end claims {end_phases} phases but {} phase events were emitted",
+            report.phases.len()
+        ));
+    }
+    let summed = report
+        .phases
+        .iter()
+        .fold(PhaseCounters::default(), |acc, p| acc + p.counters);
+    if summed != end_totals {
+        return Err(format!(
+            "run-end totals do not equal the sum of the phase counters \
+             (summed {summed:?}, trailer {end_totals:?})"
+        ));
+    }
+    report.totals = end_totals;
+    report.wall_ns = end_wall_ns;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::PhaseKind;
+
+    fn counters(updates: u64) -> PhaseCounters {
+        PhaseCounters {
+            branches: 2 * updates,
+            updates,
+            ..PhaseCounters::default()
+        }
+    }
+
+    fn phase(index: usize, updates: u64) -> TraceEvent {
+        TraceEvent::Phase(PhaseEvent {
+            index,
+            kind: PhaseKind::Sweep,
+            bucket: None,
+            frontier: 10,
+            discovered: updates as usize,
+            changed: Some(updates > 0),
+            counters: counters(updates),
+            wall_ns: 100,
+        })
+    }
+
+    fn well_formed() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::RunStart {
+                kernel: "cc".to_string(),
+                variant: "branch-avoiding".to_string(),
+                vertices: 10,
+                edges: 30,
+                threads: 2,
+                grain: 4096,
+                delta: None,
+                root: None,
+            },
+            phase(0, 5),
+            phase(1, 0),
+            TraceEvent::PoolBatch {
+                batch: 0,
+                chunks: 4,
+                claimed: vec![3, 1],
+                imbalance: 1.5,
+            },
+            TraceEvent::PoolSummary {
+                batches: 1,
+                parks: 0,
+                wakes: 1,
+            },
+            TraceEvent::RunEnd {
+                phases: 2,
+                totals: counters(5),
+                wall_ns: 900,
+            },
+        ]
+    }
+
+    #[test]
+    fn accepts_a_well_formed_trace() {
+        let report = validate_trace(&well_formed()).unwrap();
+        assert_eq!(report.kernel, "cc");
+        assert_eq!(report.phases.len(), 2);
+        assert_eq!(report.pool_batches, 1);
+        assert_eq!(report.max_imbalance, 1.5);
+        assert_eq!(report.pool.unwrap().wakes, 1);
+        assert_eq!(report.totals, counters(5));
+        assert_eq!(report.wall_ns, 900);
+    }
+
+    #[test]
+    fn parse_trace_round_trips_a_document() {
+        let events = well_formed();
+        let text: String = events
+            .iter()
+            .map(|e| e.to_json_line() + "\n")
+            .collect::<Vec<_>>()
+            .join("");
+        assert_eq!(parse_trace(&text).unwrap(), events);
+        // A bad line is reported with its line number.
+        let err = parse_trace(&format!("{text}garbage")).unwrap_err();
+        assert!(err.starts_with("line 7:"), "{err}");
+    }
+
+    #[test]
+    fn rejects_structural_violations() {
+        assert!(validate_trace(&[]).unwrap_err().contains("empty"));
+
+        let mut headerless = well_formed();
+        headerless.remove(0);
+        assert!(validate_trace(&headerless)
+            .unwrap_err()
+            .contains("run-start"));
+
+        let mut no_end = well_formed();
+        no_end.pop();
+        assert!(validate_trace(&no_end).unwrap_err().contains("run-end"));
+
+        let mut skipped = well_formed();
+        skipped[2] = phase(5, 0);
+        assert!(validate_trace(&skipped)
+            .unwrap_err()
+            .contains("not consecutive"));
+
+        let mut double_start = well_formed();
+        double_start.insert(1, double_start[0].clone());
+        assert!(validate_trace(&double_start)
+            .unwrap_err()
+            .contains("second run-start"));
+    }
+
+    #[test]
+    fn rejects_totals_that_do_not_sum() {
+        let mut forged = well_formed();
+        let last = forged.len() - 1;
+        forged[last] = TraceEvent::RunEnd {
+            phases: 2,
+            totals: counters(6),
+            wall_ns: 900,
+        };
+        assert!(validate_trace(&forged).unwrap_err().contains("totals"));
+
+        let mut miscounted = well_formed();
+        miscounted[last] = TraceEvent::RunEnd {
+            phases: 3,
+            totals: counters(5),
+            wall_ns: 900,
+        };
+        assert!(validate_trace(&miscounted)
+            .unwrap_err()
+            .contains("phase events"));
+    }
+}

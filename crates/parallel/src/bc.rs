@@ -44,13 +44,17 @@ use crate::engine::{
     frontier_degree_prefix, LevelCtx, LevelKernel, LevelLoop, LevelRun, TraversalState,
 };
 use crate::pool::{
-    balanced_prefix_ranges, effective_chunks_with_grain, Execute, PoolConfig, WorkerPool,
+    balanced_prefix_ranges, effective_chunks_with_grain, Execute, PoolConfig, PoolMonitor,
+    WorkerPool,
 };
+use crate::trace::TraceRun;
 use bga_graph::{CsrGraph, VertexId};
 use bga_kernels::bfs::direction_optimizing::DirectionConfig;
 use bga_kernels::bfs::INFINITY;
+use bga_obs::{OffsetSink, TraceEvent, TraceSink};
 use std::ops::Range;
 use std::sync::atomic::Ordering::Relaxed;
+use std::sync::Arc;
 
 /// Which forward-phase hooking discipline a parallel betweenness run uses.
 /// Both produce identical σ counts and (bit-identical) scores; they differ
@@ -293,6 +297,111 @@ pub fn par_betweenness_centrality_sources_on<E: Execute>(
     variant: BcVariant,
 ) -> Vec<f64> {
     par_bc_accumulate_on(graph, sources, exec, grain, variant)
+}
+
+/// The traced multi-source driver: one run header for the whole
+/// accumulation, each source's forward traversal observed through an
+/// [`OffsetSink`] so phase indices stay consecutive across sources.
+fn par_bc_accumulate_traced<S: TraceSink>(
+    graph: &CsrGraph,
+    sources: &[VertexId],
+    threads: usize,
+    variant: BcVariant,
+    sink: &S,
+) -> Vec<f64> {
+    let config = PoolConfig::from_env(threads);
+    let monitor = PoolMonitor::new();
+    let pool = WorkerPool::with_monitor(config.threads, Arc::clone(&monitor));
+    let scope = TraceRun::start(
+        sink,
+        TraceEvent::RunStart {
+            kernel: "bc".to_string(),
+            variant: match variant {
+                BcVariant::BranchBased => "branch-based",
+                BcVariant::BranchAvoiding => "branch-avoiding",
+            }
+            .to_string(),
+            vertices: graph.num_vertices(),
+            edges: graph.num_edge_slots(),
+            threads: pool.threads(),
+            grain: config.grain,
+            delta: None,
+            root: if sources.len() == 1 {
+                sources.first().copied()
+            } else {
+                None
+            },
+        },
+    );
+    let n = graph.num_vertices();
+    let mut centrality = vec![0.0f64; n];
+    let mut delta = vec![0.0f64; n];
+    let mut state = TraversalState::with_sigma(n);
+    let level_loop = LevelLoop::new(
+        graph,
+        &pool,
+        config.grain,
+        DirectionConfig::always_top_down(),
+    );
+    for &source in sources {
+        if (source as usize) >= n {
+            continue;
+        }
+        state.reset();
+        let per_source = OffsetSink::new(&scope, scope.phases_so_far());
+        let run = match variant {
+            BcVariant::BranchAvoiding => {
+                level_loop.run_traced(&state, source, &BcForward::<true>, &per_source)
+            }
+            BcVariant::BranchBased => {
+                level_loop.run_traced(&state, source, &BcForward::<false>, &per_source)
+            }
+        };
+        accumulate_dependencies(
+            graph,
+            &pool,
+            config.grain,
+            &run,
+            &state,
+            &mut delta,
+            &mut centrality,
+        );
+    }
+    scope.finish(Some(monitor.take_metrics()));
+    centrality
+}
+
+/// [`par_betweenness_centrality_with_variant`] with a [`TraceSink`]
+/// receiving the run's `bga-trace-v1` event stream: one run header, the
+/// forward levels of *every* source as consecutive phase events, the
+/// worker pool's batch metrics and the run trailer. The forward kernels
+/// carry no tally parameter, so phase counters are all-zero; the
+/// structural fields (frontier, discovered, wall clock) are real.
+pub fn par_betweenness_centrality_traced<S: TraceSink>(
+    graph: &CsrGraph,
+    threads: usize,
+    variant: BcVariant,
+    sink: &S,
+) -> Vec<f64> {
+    let all: Vec<VertexId> = (0..graph.num_vertices() as VertexId).collect();
+    let mut centrality = par_bc_accumulate_traced(graph, &all, threads, variant, sink);
+    for c in &mut centrality {
+        *c /= 2.0;
+    }
+    centrality
+}
+
+/// [`par_betweenness_centrality_sources`] with a [`TraceSink`]; returns
+/// the raw, un-halved accumulation over the given sources. See
+/// [`par_betweenness_centrality_traced`] for the event stream shape.
+pub fn par_betweenness_centrality_sources_traced<S: TraceSink>(
+    graph: &CsrGraph,
+    sources: &[VertexId],
+    threads: usize,
+    variant: BcVariant,
+    sink: &S,
+) -> Vec<f64> {
+    par_bc_accumulate_traced(graph, sources, threads, variant, sink)
 }
 
 #[cfg(test)]

@@ -34,14 +34,17 @@
 
 use crate::counters::ThreadTally;
 use crate::engine::{bottom_up_claim, LevelCtx, LevelKernel, LevelLoop, TraversalState};
-use crate::pool::{Execute, PoolConfig, WorkerPool};
+use crate::pool::{Execute, PoolConfig, PoolMonitor, WorkerPool};
+use crate::trace::TraceRun;
 use bga_graph::{CsrGraph, VertexId};
 use bga_kernels::bfs::direction_optimizing::DirectionConfig;
 use bga_kernels::bfs::frontier::Bitmap;
 use bga_kernels::bfs::{BfsResult, INFINITY};
 use bga_kernels::stats::RunCounters;
+use bga_obs::{TraceEvent, TraceSink};
 use std::ops::Range;
 use std::sync::atomic::Ordering::Relaxed;
+use std::sync::Arc;
 
 pub use crate::engine::Direction;
 
@@ -398,6 +401,118 @@ pub fn par_bfs_branch_avoiding_instrumented(
         counters: run.counters,
         threads: pool.threads(),
     }
+}
+
+/// The shared traced-run driver: monitored pool, `run-start` header, one
+/// phase event per level, pool batch metrics and the `run-end` trailer,
+/// all delivered to `sink` as a complete `bga-trace-v1` stream. Kernels
+/// run with `TALLY` so the phase counters are real.
+fn par_bfs_traced_on<K: LevelKernel, S: TraceSink>(
+    graph: &CsrGraph,
+    root: VertexId,
+    threads: usize,
+    dir_config: DirectionConfig,
+    variant: &str,
+    kernel: &K,
+    sink: &S,
+) -> ParDirBfsRun {
+    let config = PoolConfig::from_env(threads);
+    let monitor = PoolMonitor::new();
+    let pool = WorkerPool::with_monitor(config.threads, Arc::clone(&monitor));
+    let scope = TraceRun::start(
+        sink,
+        TraceEvent::RunStart {
+            kernel: "bfs".to_string(),
+            variant: variant.to_string(),
+            vertices: graph.num_vertices(),
+            edges: graph.num_edge_slots(),
+            threads: pool.threads(),
+            grain: config.grain,
+            delta: None,
+            root: Some(root),
+        },
+    );
+    let state = TraversalState::new(graph.num_vertices());
+    let run = LevelLoop::new(graph, &pool, config.grain, dir_config)
+        .run_traced(&state, root, kernel, &scope);
+    scope.finish(Some(monitor.take_metrics()));
+    ParDirBfsRun {
+        result: BfsResult::new(state.into_distances(), run.order),
+        directions: run.directions,
+        counters: run.counters,
+        threads: pool.threads(),
+    }
+}
+
+/// [`par_bfs_branch_based_instrumented`] with a [`TraceSink`] receiving
+/// the run's `bga-trace-v1` event stream (header, per-level phases, pool
+/// metrics, trailer). Distances and counters are identical to the
+/// instrumented run.
+pub fn par_bfs_branch_based_traced<S: TraceSink>(
+    graph: &CsrGraph,
+    root: VertexId,
+    threads: usize,
+    sink: &S,
+) -> ParBfsRun {
+    let run = par_bfs_traced_on(
+        graph,
+        root,
+        threads,
+        DirectionConfig::always_top_down(),
+        "branch-based",
+        &BranchBasedLevel::<true>,
+        sink,
+    );
+    ParBfsRun {
+        result: run.result,
+        counters: run.counters,
+        threads: run.threads,
+    }
+}
+
+/// [`par_bfs_branch_avoiding_instrumented`] with a [`TraceSink`]; see
+/// [`par_bfs_branch_based_traced`].
+pub fn par_bfs_branch_avoiding_traced<S: TraceSink>(
+    graph: &CsrGraph,
+    root: VertexId,
+    threads: usize,
+    sink: &S,
+) -> ParBfsRun {
+    let run = par_bfs_traced_on(
+        graph,
+        root,
+        threads,
+        DirectionConfig::always_top_down(),
+        "branch-avoiding",
+        &BranchAvoidingLevel::<true>,
+        sink,
+    );
+    ParBfsRun {
+        result: run.result,
+        counters: run.counters,
+        threads: run.threads,
+    }
+}
+
+/// [`par_bfs_direction_optimizing_instrumented`] with a [`TraceSink`];
+/// phase events carry the direction each level ran in
+/// ([`bga_obs::PhaseKind::TopDown`] / [`bga_obs::PhaseKind::BottomUp`]).
+pub fn par_bfs_direction_optimizing_traced<S: TraceSink>(
+    graph: &CsrGraph,
+    root: VertexId,
+    threads: usize,
+    config: DirectionConfig,
+    sink: &S,
+) -> ParDirBfsRun {
+    par_bfs_traced_on(
+        graph,
+        root,
+        threads,
+        config,
+        "direction-optimizing",
+        &BranchAvoidingLevel::<true>,
+        sink,
+    )
 }
 
 #[cfg(test)]

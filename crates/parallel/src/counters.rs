@@ -8,7 +8,10 @@
 //! into the same [`RunCounters`] series the figures and reports consume.
 //! The tallies are accumulated inside pool chunks and returned through
 //! [`crate::pool::Execute::run`] in chunk order, so merging is
-//! deterministic regardless of which worker ran which chunk.
+//! deterministic regardless of which worker ran which chunk. The same
+//! merged steps feed the trace layer: each engine phase's
+//! [`StepCounters`] map field-for-field into a
+//! [`bga_obs::PhaseCounters`] on the emitted `bga-trace-v1` phase event.
 //!
 //! One honest limitation: real branch *mispredictions* cannot be observed
 //! without a predictor simulation, so the merged counters carry the paper's

@@ -51,8 +51,10 @@ use bga_kernels::bfs::direction_optimizing::DirectionConfig;
 use bga_kernels::bfs::frontier::Bitmap;
 use bga_kernels::bfs::INFINITY;
 use bga_kernels::stats::RunCounters;
+use bga_obs::{NoopSink, PhaseCounters, PhaseEvent, PhaseKind, TraceEvent, TraceSink};
 use std::ops::Range;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering::Relaxed};
+use std::time::Instant;
 
 /// Traversal direction one level ran in.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -416,6 +418,25 @@ impl<'a, E: Execute> LevelLoop<'a, E> {
         root: VertexId,
         kernel: &K,
     ) -> LevelRun {
+        self.run_traced(state, root, kernel, &NoopSink)
+    }
+
+    /// [`LevelLoop::run`] with a [`TraceSink`] observing the traversal:
+    /// one [`TraceEvent::Phase`] per expansion, carrying the direction the
+    /// level ran in, the frontier size it expanded, how many vertices it
+    /// discovered, the merged step counters (all-zero for untallied
+    /// kernels) and the wall-clock time of the expansion. With a
+    /// [`NoopSink`] this *is* [`LevelLoop::run`] — every emission site is
+    /// guarded by the sink's [`TraceSink::ENABLED`] constant, so the
+    /// untraced instantiation compiles to the same code and produces
+    /// bit-identical results.
+    pub fn run_traced<K: LevelKernel, S: TraceSink>(
+        &self,
+        state: &TraversalState,
+        root: VertexId,
+        kernel: &K,
+        sink: &S,
+    ) -> LevelRun {
         let n = self.graph.num_vertices();
         let threads = self.exec.parallelism();
         if (root as usize) >= n {
@@ -453,6 +474,8 @@ impl<'a, E: Execute> LevelLoop<'a, E> {
             });
 
             next_level += 1;
+            let phase_started = S::ENABLED.then(Instant::now);
+            let frontier_size = frontier.len();
             let ctx = LevelCtx {
                 graph: self.graph,
                 state,
@@ -496,18 +519,43 @@ impl<'a, E: Execute> LevelLoop<'a, E> {
                 })
             };
 
-            if kernel.instrumented() {
-                let level_index = steps.len();
-                steps.push(merge_thread_steps(
+            // The merged step feeds both the instrumented counter series
+            // and the trace event; it is skipped entirely when neither
+            // consumer is present (the hot untraced-untallied path).
+            let merged = if kernel.instrumented() || S::ENABLED {
+                let level_index = directions.len() - 1;
+                Some(merge_thread_steps(
                     level_index,
                     outcomes.iter().map(|(_, t)| t.into_step(level_index)),
-                ));
+                ))
+            } else {
+                None
+            };
+            if kernel.instrumented() {
+                steps.push(merged.unwrap());
             }
             let start = order.len();
             frontier = outcomes.into_iter().flat_map(|(found, _)| found).collect();
             order.extend_from_slice(&frontier);
             if !frontier.is_empty() {
                 level_bounds.push(start..order.len());
+            }
+            if S::ENABLED {
+                let step = merged.unwrap_or_default();
+                sink.emit(TraceEvent::Phase(PhaseEvent {
+                    index: directions.len() - 1,
+                    kind: if bottom_up {
+                        PhaseKind::BottomUp
+                    } else {
+                        PhaseKind::TopDown
+                    },
+                    bucket: None,
+                    frontier: frontier_size,
+                    discovered: frontier.len(),
+                    changed: None,
+                    counters: PhaseCounters::from(&step),
+                    wall_ns: phase_started.map_or(0, |t| t.elapsed().as_nanos() as u64),
+                }));
             }
         }
         LevelRun {
@@ -641,6 +689,25 @@ impl<'a, E: Execute> BucketLoop<'a, E> {
         source: VertexId,
         kernel: &K,
     ) -> BucketRun {
+        self.run_traced(state, source, kernel, &NoopSink)
+    }
+
+    /// [`BucketLoop::run`] with a [`TraceSink`] observing the bucket
+    /// schedule: one [`TraceEvent::Phase`] per dispatched pass —
+    /// [`PhaseKind::Light`] or [`PhaseKind::Heavy`], tagged with the
+    /// bucket index — carrying the pass's frontier size, the number of
+    /// *distinct* vertices it improved (deterministic, unlike raw claim
+    /// counts), the merged step counters and the pass's wall-clock time.
+    /// Non-improving heavy passes emit an event (they ran and cost time)
+    /// even though [`BucketRun::phases`] does not count them. With a
+    /// [`NoopSink`] this *is* [`BucketLoop::run`].
+    pub fn run_traced<K: BucketKernel, S: TraceSink>(
+        &self,
+        state: &TraversalState,
+        source: VertexId,
+        kernel: &K,
+        sink: &S,
+    ) -> BucketRun {
         let n = self.graph.num_vertices();
         let delta = self.delta;
         let mut run = BucketRun {
@@ -673,6 +740,10 @@ impl<'a, E: Execute> BucketLoop<'a, E> {
         // Whether the vertex has already been recorded in the settle order.
         let mut settled = vec![false; n];
         let mut steps = Vec::new();
+        // Dispatched passes, counted separately from `run.phases`: a
+        // non-improving heavy pass emits a trace event but is not a
+        // relaxation phase.
+        let mut dispatches = 0usize;
         let ctx = BucketCtx {
             graph: self.graph,
             state,
@@ -700,10 +771,6 @@ impl<'a, E: Execute> BucketLoop<'a, E> {
                         continue;
                     }
                     expanded_at[v as usize] = d;
-                    if !settled[v as usize] {
-                        settled[v as usize] = true;
-                        run.order.push(v);
-                    }
                     frontier.push((v, d));
                 }
                 if frontier.is_empty() {
@@ -712,9 +779,26 @@ impl<'a, E: Execute> BucketLoop<'a, E> {
                 // The pending *set* is deterministic but its order is not
                 // (chunks race for claims); sorting restores a canonical
                 // frontier, which makes chunking — and the tallies — stable
-                // across runs too.
+                // across runs too. The settle order must be recorded from
+                // the *sorted* frontier for the same reason: pending order
+                // leaks the duplicate-claim races.
                 frontier.sort_unstable();
-                let found = self.dispatch(kernel, &ctx, &frontier, EdgeClass::Light, &mut steps);
+                for &(v, _) in &frontier {
+                    if !settled[v as usize] {
+                        settled[v as usize] = true;
+                        run.order.push(v);
+                    }
+                }
+                let found = self.dispatch(
+                    kernel,
+                    &ctx,
+                    &frontier,
+                    EdgeClass::Light,
+                    &mut steps,
+                    sink,
+                    index,
+                    &mut dispatches,
+                );
                 run.phases += 1;
                 file_discoveries(&found, distances, delta, &mut buckets);
             }
@@ -725,7 +809,16 @@ impl<'a, E: Execute> BucketLoop<'a, E> {
                     .iter()
                     .map(|&v| (v, distances[v as usize].load(Relaxed)))
                     .collect();
-                let found = self.dispatch(kernel, &ctx, &frontier, EdgeClass::Heavy, &mut steps);
+                let found = self.dispatch(
+                    kernel,
+                    &ctx,
+                    &frontier,
+                    EdgeClass::Heavy,
+                    &mut steps,
+                    sink,
+                    index,
+                    &mut dispatches,
+                );
                 // A heavy pass that improved nothing is bookkeeping, not a
                 // relaxation phase (discovery emptiness is deterministic
                 // even though duplicate claim counts are not).
@@ -749,15 +842,20 @@ impl<'a, E: Execute> BucketLoop<'a, E> {
     }
 
     /// Fans one `(frontier, edge class)` pass out over the executor,
-    /// merging per-chunk tallies into one step when instrumented. Returns
-    /// the per-chunk discovery lists in chunk order.
-    fn dispatch<K: BucketKernel>(
+    /// merging per-chunk tallies into one step when instrumented and
+    /// emitting one trace event per pass when the sink is enabled.
+    /// Returns the per-chunk discovery lists in chunk order.
+    #[allow(clippy::too_many_arguments)]
+    fn dispatch<K: BucketKernel, S: TraceSink>(
         &self,
         kernel: &K,
         ctx: &BucketCtx<'_>,
         frontier: &[(VertexId, u32)],
         class: EdgeClass,
         steps: &mut Vec<bga_kernels::stats::StepCounters>,
+        sink: &S,
+        bucket: usize,
+        dispatches: &mut usize,
     ) -> Vec<Vec<VertexId>> {
         // Balance on the frontier's degree prefix (all edge slots — the
         // class split is per-edge work the kernel skips cheaply).
@@ -770,6 +868,7 @@ impl<'a, E: Execute> BucketLoop<'a, E> {
         }
         let chunks = effective_chunks_with_grain(sum, self.exec.parallelism(), self.grain);
         let ranges = balanced_prefix_ranges(&prefix, chunks);
+        let phase_started = S::ENABLED.then(Instant::now);
         let (prefix_ref, frontier_ref) = (&prefix, frontier);
         let outcomes: Vec<(Vec<VertexId>, ThreadTally)> =
             self.exec.run(ranges, move |_chunk, range| {
@@ -779,14 +878,44 @@ impl<'a, E: Execute> BucketLoop<'a, E> {
                     kernel.relax_chunk(ctx, frontier_ref, range, chunk_edges, class, &mut tally);
                 (found, tally)
             });
-        if kernel.instrumented() {
-            let phase_index = steps.len();
-            steps.push(merge_thread_steps(
+        let merged = if kernel.instrumented() || S::ENABLED {
+            let phase_index = *dispatches;
+            Some(merge_thread_steps(
                 phase_index,
                 outcomes.iter().map(|(_, t)| t.into_step(phase_index)),
-            ));
+            ))
+        } else {
+            None
+        };
+        if kernel.instrumented() {
+            steps.push(merged.unwrap());
         }
-        outcomes.into_iter().map(|(found, _)| found).collect()
+        let found: Vec<Vec<VertexId>> = outcomes.into_iter().map(|(found, _)| found).collect();
+        if S::ENABLED {
+            let step = merged.unwrap_or_default();
+            // Distinct improved vertices: the improved *set* is a pure
+            // function of the frontier snapshot (chunks merely race for
+            // duplicate claims of the same improvement), so the deduped
+            // count is deterministic where the raw claim total is not.
+            let mut improved: Vec<VertexId> = found.iter().flatten().copied().collect();
+            improved.sort_unstable();
+            improved.dedup();
+            sink.emit(TraceEvent::Phase(PhaseEvent {
+                index: *dispatches,
+                kind: match class {
+                    EdgeClass::Light => PhaseKind::Light,
+                    EdgeClass::Heavy => PhaseKind::Heavy,
+                },
+                bucket: Some(bucket),
+                frontier: frontier.len(),
+                discovered: improved.len(),
+                changed: None,
+                counters: PhaseCounters::from(&step),
+                wall_ns: phase_started.map_or(0, |t| t.elapsed().as_nanos() as u64),
+            }));
+        }
+        *dispatches += 1;
+        found
     }
 }
 
@@ -851,6 +980,16 @@ impl<'a, E: Execute> SweepLoop<'a, E> {
 
     /// Runs sweeps until the kernel reaches its fixpoint.
     pub fn run<K: SweepKernel>(&self, kernel: &K) -> SweepRun {
+        self.run_traced(kernel, &NoopSink)
+    }
+
+    /// [`SweepLoop::run`] with a [`TraceSink`] observing the fixpoint
+    /// iteration: one [`TraceEvent::Phase`] of kind [`PhaseKind::Sweep`]
+    /// per sweep, carrying the sweep domain size as `frontier`, the merged
+    /// change (update) count as `discovered`, whether the sweep changed
+    /// anything, the merged step counters and the sweep's wall-clock time.
+    /// With a [`NoopSink`] this *is* [`SweepLoop::run`].
+    pub fn run_traced<K: SweepKernel, S: TraceSink>(&self, kernel: &K, sink: &S) -> SweepRun {
         let ranges = edge_balanced_ranges(
             self.graph.offsets(),
             effective_chunks_with_grain(
@@ -863,6 +1002,7 @@ impl<'a, E: Execute> SweepLoop<'a, E> {
         let mut sweeps = 0usize;
         loop {
             sweeps += 1;
+            let phase_started = S::ENABLED.then(Instant::now);
             let outcomes: Vec<(bool, ThreadTally)> =
                 self.exec.run(ranges.clone(), |_chunk, range| {
                     let mut tally = ThreadTally::default();
@@ -870,12 +1010,30 @@ impl<'a, E: Execute> SweepLoop<'a, E> {
                     (changed, tally)
                 });
             let changed = outcomes.iter().any(|&(c, _)| c);
-            if kernel.instrumented() {
-                let sweep_index = steps.len();
-                steps.push(merge_thread_steps(
+            let merged = if kernel.instrumented() || S::ENABLED {
+                let sweep_index = sweeps - 1;
+                Some(merge_thread_steps(
                     sweep_index,
                     outcomes.iter().map(|(_, t)| t.into_step(sweep_index)),
-                ));
+                ))
+            } else {
+                None
+            };
+            if kernel.instrumented() {
+                steps.push(merged.unwrap());
+            }
+            if S::ENABLED {
+                let step = merged.unwrap_or_default();
+                sink.emit(TraceEvent::Phase(PhaseEvent {
+                    index: sweeps - 1,
+                    kind: PhaseKind::Sweep,
+                    bucket: None,
+                    frontier: self.graph.num_vertices(),
+                    discovered: step.updates as usize,
+                    changed: Some(changed),
+                    counters: PhaseCounters::from(&step),
+                    wall_ns: phase_started.map_or(0, |t| t.elapsed().as_nanos() as u64),
+                }));
             }
             if !changed {
                 break;

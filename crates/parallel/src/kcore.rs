@@ -47,13 +47,17 @@ use crate::counters::{collect_run, merge_thread_steps, ThreadTally};
 use crate::engine::frontier_degree_prefix;
 use crate::pool::{
     balanced_prefix_ranges, effective_chunks_with_grain, even_ranges, Execute, PoolConfig,
-    WorkerPool,
+    PoolMonitor, WorkerPool,
 };
+use crate::trace::TraceRun;
 use bga_graph::{CsrGraph, VertexId};
 use bga_kernels::kcore::CoreDecomposition;
 use bga_kernels::stats::RunCounters;
+use bga_obs::{NoopSink, PhaseCounters, PhaseEvent, PhaseKind, TraceEvent, TraceSink};
 use std::ops::Range;
 use std::sync::atomic::{AtomicU32, Ordering::Relaxed};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Core value of a vertex that has not been peeled yet.
 const UNPEELED: u32 = u32::MAX;
@@ -240,11 +244,18 @@ fn cascade_chunk_based<const TALLY: bool>(
 
 /// The peeling driver: seed sweep + cascade rounds per `k`, over any
 /// executor. Returns core numbers, the cascade-round count and (when
-/// `TALLY`) the per-dispatch counter series.
-fn peel_on<E: Execute, const BRANCH_AVOIDING: bool, const TALLY: bool>(
+/// `TALLY`) the per-dispatch counter series. A [`TraceSink`] observes the
+/// peel schedule: one [`PhaseKind::Seed`] phase per seed sweep (frontier
+/// = scan domain, discovered = seeds collected) and one
+/// [`PhaseKind::Cascade`] phase per cascade round (frontier = discovered
+/// = vertices peeled this round), each carrying the merged dispatch
+/// counters and wall clock. With a [`NoopSink`] the emission sites
+/// compile out entirely.
+fn peel_on<E: Execute, const BRANCH_AVOIDING: bool, const TALLY: bool, S: TraceSink>(
     graph: &CsrGraph,
     exec: &E,
     grain: usize,
+    sink: &S,
 ) -> (CoreDecomposition, usize, RunCounters) {
     let n = graph.num_vertices();
     let threads = exec.parallelism();
@@ -257,22 +268,28 @@ fn peel_on<E: Execute, const BRANCH_AVOIDING: bool, const TALLY: bool>(
     let mut k = 0u32;
     let mut rounds = 0usize;
     let mut steps = Vec::new();
+    // Dispatch ordinal for trace phase indices; equals `steps.len()` on
+    // instrumented runs (every dispatch pushes exactly one step).
+    let mut dispatches = 0usize;
     while peeled < n {
         // Seed sweep for this k: every chunk scans a vertex range; the
         // fixpoint of the previous k guarantees seeds have degree == k.
         let seed_ranges = even_ranges(n, effective_chunks_with_grain(n, threads, grain));
+        let phase_started = S::ENABLED.then(Instant::now);
         let outcomes: Vec<((Vec<VertexId>, u32), ThreadTally)> =
             exec.run(seed_ranges, move |_chunk, range| {
                 let mut tally = ThreadTally::default();
                 let found = seed_chunk::<TALLY>(degree_ref, core_ref, k, range, &mut tally);
                 (found, tally)
             });
+        let merged = (TALLY || S::ENABLED).then(|| {
+            merge_thread_steps(
+                dispatches,
+                outcomes.iter().map(|(_, t)| t.into_step(dispatches)),
+            )
+        });
         if TALLY {
-            let index = steps.len();
-            steps.push(merge_thread_steps(
-                index,
-                outcomes.iter().map(|(_, t)| t.into_step(index)),
-            ));
+            steps.push(merged.unwrap());
         }
         let min_unpeeled = outcomes
             .iter()
@@ -280,6 +297,20 @@ fn peel_on<E: Execute, const BRANCH_AVOIDING: bool, const TALLY: bool>(
             .min()
             .unwrap_or(u32::MAX);
         let mut frontier: Vec<VertexId> = outcomes.into_iter().flat_map(|((f, _), _)| f).collect();
+        if S::ENABLED {
+            let step = merged.unwrap_or_default();
+            sink.emit(TraceEvent::Phase(PhaseEvent {
+                index: dispatches,
+                kind: PhaseKind::Seed,
+                bucket: None,
+                frontier: n,
+                discovered: frontier.len(),
+                changed: None,
+                counters: PhaseCounters::from(&step),
+                wall_ns: phase_started.map_or(0, |t| t.elapsed().as_nanos() as u64),
+            }));
+        }
+        dispatches += 1;
         if frontier.is_empty() {
             // Nothing peels at this k. Unpeeled vertices remain (the loop
             // guard saw peeled < n), so jump straight to their smallest
@@ -296,6 +327,7 @@ fn peel_on<E: Execute, const BRANCH_AVOIDING: bool, const TALLY: bool>(
             let chunks = effective_chunks_with_grain(*prefix.last().unwrap_or(&0), threads, grain);
             let ranges = balanced_prefix_ranges(&prefix, chunks);
             let (frontier_ref, prefix_ref) = (&frontier, &prefix);
+            let phase_started = S::ENABLED.then(Instant::now);
             let outcomes: Vec<(Vec<VertexId>, ThreadTally)> =
                 exec.run(ranges, move |_chunk, range| {
                     let mut tally = ThreadTally::default();
@@ -324,13 +356,29 @@ fn peel_on<E: Execute, const BRANCH_AVOIDING: bool, const TALLY: bool>(
                     };
                     (found, tally)
                 });
+            let merged = (TALLY || S::ENABLED).then(|| {
+                merge_thread_steps(
+                    dispatches,
+                    outcomes.iter().map(|(_, t)| t.into_step(dispatches)),
+                )
+            });
             if TALLY {
-                let index = steps.len();
-                steps.push(merge_thread_steps(
-                    index,
-                    outcomes.iter().map(|(_, t)| t.into_step(index)),
-                ));
+                steps.push(merged.unwrap());
             }
+            if S::ENABLED {
+                let step = merged.unwrap_or_default();
+                sink.emit(TraceEvent::Phase(PhaseEvent {
+                    index: dispatches,
+                    kind: PhaseKind::Cascade,
+                    bucket: None,
+                    frontier: frontier.len(),
+                    discovered: frontier.len(),
+                    changed: None,
+                    counters: PhaseCounters::from(&step),
+                    wall_ns: phase_started.map_or(0, |t| t.elapsed().as_nanos() as u64),
+                }));
+            }
+            dispatches += 1;
             frontier = outcomes.into_iter().flat_map(|(f, _)| f).collect();
         }
         k += 1;
@@ -376,8 +424,8 @@ pub fn par_kcore_on<E: Execute>(
     variant: KcoreVariant,
 ) -> (CoreDecomposition, usize) {
     let (cores, rounds, _) = match variant {
-        KcoreVariant::BranchAvoiding => peel_on::<E, true, false>(graph, exec, grain),
-        KcoreVariant::BranchBased => peel_on::<E, false, false>(graph, exec, grain),
+        KcoreVariant::BranchAvoiding => peel_on::<E, true, false, _>(graph, exec, grain, &NoopSink),
+        KcoreVariant::BranchBased => peel_on::<E, false, false, _>(graph, exec, grain, &NoopSink),
     };
     (cores, rounds)
 }
@@ -394,9 +442,63 @@ pub fn par_kcore_instrumented(
     let config = PoolConfig::from_env(threads);
     let pool = WorkerPool::with_config(&config);
     let (cores, rounds, counters) = match variant {
-        KcoreVariant::BranchAvoiding => peel_on::<_, true, true>(graph, &pool, config.grain),
-        KcoreVariant::BranchBased => peel_on::<_, false, true>(graph, &pool, config.grain),
+        KcoreVariant::BranchAvoiding => {
+            peel_on::<_, true, true, _>(graph, &pool, config.grain, &NoopSink)
+        }
+        KcoreVariant::BranchBased => {
+            peel_on::<_, false, true, _>(graph, &pool, config.grain, &NoopSink)
+        }
     };
+    ParKcoreRun {
+        cores,
+        counters,
+        threads: pool.threads(),
+        rounds,
+    }
+}
+
+/// [`par_kcore_instrumented`] with a [`TraceSink`] receiving the run's
+/// `bga-trace-v1` event stream: the run header, one [`PhaseKind::Seed`]
+/// phase per seed sweep (frontier = scan domain, discovered = seeds
+/// collected) and one [`PhaseKind::Cascade`] phase per cascade round
+/// (frontier = discovered = vertices peeled), the worker pool's batch
+/// metrics and the run trailer. Core numbers and counters are identical
+/// to the instrumented run.
+pub fn par_kcore_traced<S: TraceSink>(
+    graph: &CsrGraph,
+    threads: usize,
+    variant: KcoreVariant,
+    sink: &S,
+) -> ParKcoreRun {
+    let config = PoolConfig::from_env(threads);
+    let monitor = PoolMonitor::new();
+    let pool = WorkerPool::with_monitor(config.threads, Arc::clone(&monitor));
+    let scope = TraceRun::start(
+        sink,
+        TraceEvent::RunStart {
+            kernel: "kcore".to_string(),
+            variant: match variant {
+                KcoreVariant::BranchBased => "branch-based",
+                KcoreVariant::BranchAvoiding => "branch-avoiding",
+            }
+            .to_string(),
+            vertices: graph.num_vertices(),
+            edges: graph.num_edge_slots(),
+            threads: pool.threads(),
+            grain: config.grain,
+            delta: None,
+            root: None,
+        },
+    );
+    let (cores, rounds, counters) = match variant {
+        KcoreVariant::BranchAvoiding => {
+            peel_on::<_, true, true, _>(graph, &pool, config.grain, &scope)
+        }
+        KcoreVariant::BranchBased => {
+            peel_on::<_, false, true, _>(graph, &pool, config.grain, &scope)
+        }
+    };
+    scope.finish(Some(monitor.take_metrics()));
     ParKcoreRun {
         cores,
         counters,

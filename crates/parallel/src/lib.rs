@@ -52,6 +52,16 @@
 //!   instrumented parallel runs feed the same figures/report machinery as
 //!   the sequential kernels.
 //!
+//! Every engine loop also carries a [`bga_obs::TraceSink`] seam
+//! (`run_traced` on [`LevelLoop`], [`SweepLoop`] and [`BucketLoop`]), and
+//! each kernel has a `par_*_traced` entry point that emits the full
+//! `bga-trace-v1` event stream — run header, one structured event per
+//! phase, worker-pool batch metrics from a monitored pool
+//! ([`pool::PoolMonitor`]) and a totals trailer. The sink is a const
+//! generic switch like the kernels' `TALLY`: instantiated with
+//! [`bga_obs::NoopSink`], every emission site compiles out and the traced
+//! paths are bit-identical to the untraced ones.
+//!
 //! Results are deterministic where it matters: SV labels, BFS distances
 //! and betweenness scores are identical to the sequential kernels for
 //! every thread count (the BFS discovery *order* within a top-down level
@@ -87,16 +97,19 @@ pub mod kcore;
 pub mod pool;
 pub mod sssp;
 pub mod sv;
+mod trace;
 
 pub use bc::{
     par_betweenness_centrality, par_betweenness_centrality_on, par_betweenness_centrality_sources,
-    par_betweenness_centrality_sources_on, par_betweenness_centrality_with_variant, BcVariant,
+    par_betweenness_centrality_sources_on, par_betweenness_centrality_sources_traced,
+    par_betweenness_centrality_traced, par_betweenness_centrality_with_variant, BcVariant,
 };
 pub use bfs::{
     par_bfs_branch_avoiding, par_bfs_branch_avoiding_instrumented, par_bfs_branch_avoiding_on,
-    par_bfs_branch_based, par_bfs_branch_based_instrumented, par_bfs_branch_based_on,
-    par_bfs_direction_optimizing, par_bfs_direction_optimizing_instrumented,
-    par_bfs_direction_optimizing_on, par_bfs_direction_optimizing_with_config, Direction,
+    par_bfs_branch_avoiding_traced, par_bfs_branch_based, par_bfs_branch_based_instrumented,
+    par_bfs_branch_based_on, par_bfs_branch_based_traced, par_bfs_direction_optimizing,
+    par_bfs_direction_optimizing_instrumented, par_bfs_direction_optimizing_on,
+    par_bfs_direction_optimizing_traced, par_bfs_direction_optimizing_with_config, Direction,
     ParBfsRun, ParDirBfsRun,
 };
 pub use bitmap::{bitmap_from_frontier, par_fill_bitmap, Bitmap};
@@ -106,20 +119,21 @@ pub use engine::{
     LevelRun, SweepKernel, SweepLoop, SweepRun, TraversalState,
 };
 pub use kcore::{
-    par_kcore, par_kcore_instrumented, par_kcore_on, par_kcore_with_stats, par_kcore_with_variant,
-    KcoreVariant, ParKcoreRun,
+    par_kcore, par_kcore_instrumented, par_kcore_on, par_kcore_traced, par_kcore_with_stats,
+    par_kcore_with_variant, KcoreVariant, ParKcoreRun,
 };
 pub use pool::{
-    edge_balanced_ranges, resolve_threads, run_chunks, Execute, PoolConfig, ScopedExecutor,
-    WorkerPool, GRAIN_ENV_VAR, PARALLEL_GRAIN,
+    edge_balanced_ranges, resolve_threads, run_chunks, BatchRecord, Execute, PoolConfig,
+    PoolMetrics, PoolMonitor, ScopedExecutor, WorkerPool, GRAIN_ENV_VAR, PARALLEL_GRAIN,
 };
 pub use sssp::{
-    par_sssp_unit, par_sssp_unit_instrumented, par_sssp_unit_on, par_sssp_unit_with_variant,
-    par_sssp_weighted, par_sssp_weighted_instrumented, par_sssp_weighted_on,
-    par_sssp_weighted_with_variant, BranchAvoidingRelax, BranchBasedRelax, ParSsspRun, ParWssspRun,
-    SsspVariant,
+    par_sssp_unit, par_sssp_unit_instrumented, par_sssp_unit_on, par_sssp_unit_traced,
+    par_sssp_unit_with_variant, par_sssp_weighted, par_sssp_weighted_instrumented,
+    par_sssp_weighted_on, par_sssp_weighted_traced, par_sssp_weighted_with_variant,
+    BranchAvoidingRelax, BranchBasedRelax, ParSsspRun, ParWssspRun, SsspVariant,
 };
 pub use sv::{
     par_sv_branch_avoiding, par_sv_branch_avoiding_instrumented, par_sv_branch_avoiding_on,
-    par_sv_branch_based, par_sv_branch_based_instrumented, par_sv_branch_based_on, ParSvRun,
+    par_sv_branch_avoiding_traced, par_sv_branch_based, par_sv_branch_based_instrumented,
+    par_sv_branch_based_on, par_sv_branch_based_traced, ParSvRun,
 };

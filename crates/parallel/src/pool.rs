@@ -24,7 +24,7 @@
 use std::ops::Range;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{
-    AtomicUsize,
+    AtomicU64, AtomicUsize,
     Ordering::{AcqRel, Acquire, Relaxed},
 };
 use std::sync::{Arc, Condvar, Mutex};
@@ -265,6 +265,75 @@ impl Execute for ScopedExecutor {
 // Persistent worker pool
 // ---------------------------------------------------------------------------
 
+/// Work-distribution record of one fanned-out batch: how many chunks it
+/// had and how many each participant claimed. Inline batches (single
+/// chunk, or a pool with no parked workers) are not recorded — there is no
+/// distribution to observe.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BatchRecord {
+    /// Total chunk count of the batch.
+    pub chunks: usize,
+    /// Chunks claimed per participant: slot 0 is the submitting thread,
+    /// slots `1..` the parked workers in spawn order. Sums to
+    /// [`BatchRecord::chunks`].
+    pub claimed: Vec<u64>,
+}
+
+impl BatchRecord {
+    /// Ratio of the busiest participant's claim count to a perfectly even
+    /// share (`1.0` = perfect balance, `participants` = one thread claimed
+    /// everything). `1.0` for degenerate empty batches.
+    pub fn imbalance(&self) -> f64 {
+        let max = self.claimed.iter().copied().max().unwrap_or(0);
+        if self.chunks == 0 || self.claimed.is_empty() {
+            return 1.0;
+        }
+        max as f64 * self.claimed.len() as f64 / self.chunks as f64
+    }
+}
+
+/// Metrics drained from a [`PoolMonitor`]: every fanned-out batch's claim
+/// distribution plus the pool-wide park/wake totals.
+#[derive(Clone, Debug, Default)]
+pub struct PoolMetrics {
+    /// One record per fanned-out batch, in submission order.
+    pub batches: Vec<BatchRecord>,
+    /// Times a worker parked on the job condvar.
+    pub parks: u64,
+    /// Times a parked worker was woken.
+    pub wakes: u64,
+}
+
+/// Observes a [`WorkerPool`]'s work distribution: attach one via
+/// [`WorkerPool::with_monitor`] and drain it with
+/// [`PoolMonitor::take_metrics`] after (or between) runs. An unmonitored
+/// pool allocates and records nothing.
+#[derive(Debug, Default)]
+pub struct PoolMonitor {
+    parks: AtomicU64,
+    wakes: AtomicU64,
+    batches: Mutex<Vec<BatchRecord>>,
+}
+
+impl PoolMonitor {
+    /// A fresh monitor, ready to attach to a pool.
+    pub fn new() -> Arc<Self> {
+        Arc::new(PoolMonitor::default())
+    }
+
+    /// Drains everything recorded so far, resetting the monitor. Call
+    /// between kernel runs to attribute batches to the run that issued
+    /// them. (Park/wake counts are pool-wide: a worker parked because no
+    /// batch was in flight is still a park.)
+    pub fn take_metrics(&self) -> PoolMetrics {
+        PoolMetrics {
+            batches: std::mem::take(&mut self.batches.lock().unwrap()),
+            parks: self.parks.swap(0, Relaxed),
+            wakes: self.wakes.swap(0, Relaxed),
+        }
+    }
+}
+
 /// One published batch of work. Workers claim chunk indices through
 /// `next_chunk` and report through `completed`; the submitter waits until
 /// `completed == chunks`. A fresh `Job` is allocated per [`WorkerPool::run`]
@@ -284,6 +353,12 @@ struct Job {
     completed: AtomicUsize,
     /// Total chunk count of this batch.
     chunks: usize,
+    /// Per-participant claim tallies (slot 0 = submitter, then workers in
+    /// spawn order), allocated only when the pool carries a
+    /// [`PoolMonitor`]. Claims are recorded before the `completed`
+    /// increment, so the submitter's completion barrier makes them
+    /// visible.
+    claimed: Option<Vec<AtomicU64>>,
     /// First panic payload captured from a worker, re-thrown by the
     /// submitter.
     panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
@@ -296,14 +371,18 @@ unsafe impl Send for Job {}
 unsafe impl Sync for Job {}
 
 impl Job {
-    /// Claims and executes chunks until the batch is exhausted. Returns
-    /// once this thread can take no more work; the batch may still be
-    /// finishing on other threads.
-    fn work(&self, done_lock: &Mutex<()>, done_cv: &Condvar) {
+    /// Claims and executes chunks until the batch is exhausted; `who` is
+    /// the claiming participant (0 = submitter, then workers in spawn
+    /// order). Returns once this thread can take no more work; the batch
+    /// may still be finishing on other threads.
+    fn work(&self, who: usize, done_lock: &Mutex<()>, done_cv: &Condvar) {
         loop {
             let index = self.next_chunk.fetch_add(1, Relaxed);
             if index >= self.chunks {
                 return;
+            }
+            if let Some(claimed) = &self.claimed {
+                claimed[who].fetch_add(1, Relaxed);
             }
             // SAFETY: a successful claim proves the batch is still live
             // (the submitter cannot return before this chunk completes),
@@ -342,6 +421,9 @@ struct Shared {
     /// Pair backing the submitter's completion wait.
     done_lock: Mutex<()>,
     done_cv: Condvar,
+    /// Attached observer, if any; `None` keeps the hot path free of any
+    /// recording.
+    monitor: Option<Arc<PoolMonitor>>,
 }
 
 /// A persistent pool of parked worker threads, reused across every
@@ -366,6 +448,16 @@ impl WorkerPool {
     /// Creates a pool with `threads`-way parallelism (resolved as in
     /// [`resolve_threads`]; `0` means "use the machine").
     pub fn new(threads: usize) -> Self {
+        WorkerPool::build(threads, None)
+    }
+
+    /// A pool with an attached [`PoolMonitor`] recording every fanned-out
+    /// batch's claim distribution and the workers' park/wake counts.
+    pub fn with_monitor(threads: usize, monitor: Arc<PoolMonitor>) -> Self {
+        WorkerPool::build(threads, Some(monitor))
+    }
+
+    fn build(threads: usize, monitor: Option<Arc<PoolMonitor>>) -> Self {
         let threads = resolve_threads(threads);
         let shared = Arc::new(Shared {
             control: Mutex::new(Control {
@@ -376,13 +468,14 @@ impl WorkerPool {
             work_cv: Condvar::new(),
             done_lock: Mutex::new(()),
             done_cv: Condvar::new(),
+            monitor,
         });
         let handles = (1..threads)
             .map(|index| {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("bga-pool-{index}"))
-                    .spawn(move || worker_main(&shared))
+                    .spawn(move || worker_main(&shared, index))
                     .expect("failed to spawn bga-parallel pool worker")
             })
             .collect();
@@ -453,6 +546,11 @@ impl Execute for WorkerPool {
             next_chunk: AtomicUsize::new(0),
             completed: AtomicUsize::new(0),
             chunks,
+            claimed: self
+                .shared
+                .monitor
+                .as_ref()
+                .map(|_| (0..self.threads).map(|_| AtomicU64::new(0)).collect()),
             panic: Mutex::new(None),
         });
 
@@ -460,7 +558,7 @@ impl Execute for WorkerPool {
         // The submitter is a full participant: it claims chunks like any
         // worker, so a batch completes even if every parked worker is slow
         // to wake.
-        job.work(&self.shared.done_lock, &self.shared.done_cv);
+        job.work(0, &self.shared.done_lock, &self.shared.done_cv);
 
         // Completion barrier: wait until every chunk's task invocation has
         // returned. The Acquire load pairs with the workers' AcqRel
@@ -470,6 +568,17 @@ impl Execute for WorkerPool {
             guard = self.shared.done_cv.wait(guard).unwrap();
         }
         drop(guard);
+
+        // All claims happen before their chunk's AcqRel `completed`
+        // increment, so after the barrier the tallies are final.
+        if let (Some(monitor), Some(claimed)) = (&self.shared.monitor, &job.claimed) {
+            let claimed: Vec<u64> = claimed.iter().map(|c| c.load(Relaxed)).collect();
+            monitor
+                .batches
+                .lock()
+                .unwrap()
+                .push(BatchRecord { chunks, claimed });
+        }
 
         if let Some(payload) = job.panic.lock().unwrap().take() {
             resume_unwind(payload);
@@ -498,7 +607,7 @@ impl Drop for WorkerPool {
     }
 }
 
-fn worker_main(shared: &Shared) {
+fn worker_main(shared: &Shared, who: usize) {
     let mut seen_epoch = 0u64;
     loop {
         let job = {
@@ -511,10 +620,16 @@ fn worker_main(shared: &Shared) {
                     seen_epoch = control.epoch;
                     break control.job.clone().expect("epoch bumped without a job");
                 }
+                if let Some(monitor) = &shared.monitor {
+                    monitor.parks.fetch_add(1, Relaxed);
+                }
                 control = shared.work_cv.wait(control).unwrap();
+                if let Some(monitor) = &shared.monitor {
+                    monitor.wakes.fetch_add(1, Relaxed);
+                }
             }
         };
-        job.work(&shared.done_lock, &shared.done_cv);
+        job.work(who, &shared.done_lock, &shared.done_cv);
     }
 }
 
@@ -745,6 +860,68 @@ mod tests {
         let scoped = ScopedExecutor::new(4);
         assert_eq!(pool.run(ranges.clone(), weight), scoped.run(ranges, weight));
         assert_eq!(pool.parallelism(), scoped.parallelism());
+    }
+
+    #[test]
+    fn monitored_pool_records_batches_and_claims() {
+        let monitor = PoolMonitor::new();
+        let pool = WorkerPool::with_monitor(4, Arc::clone(&monitor));
+        for _ in 0..3 {
+            pool.run(even_ranges(64, 8), |_i, range| range.sum::<usize>());
+        }
+        // Inline batches are not recorded: a single chunk is exactly the
+        // case that stays on the calling thread.
+        #[allow(clippy::single_range_in_vec_init)]
+        pool.run(vec![0..5], |_i, range| range.sum::<usize>());
+        let metrics = monitor.take_metrics();
+        assert_eq!(metrics.batches.len(), 3);
+        for batch in &metrics.batches {
+            assert_eq!(batch.chunks, 8);
+            assert_eq!(batch.claimed.len(), 4);
+            assert_eq!(batch.claimed.iter().sum::<u64>(), 8);
+            assert!(batch.imbalance() >= 1.0 - 1e-9);
+            assert!(batch.imbalance() <= 4.0 + 1e-9);
+        }
+        // Draining resets the monitor.
+        assert!(monitor.take_metrics().batches.is_empty());
+    }
+
+    #[test]
+    fn unmonitored_pool_records_nothing_and_batch_imbalance_is_sane() {
+        let pool = WorkerPool::new(3);
+        pool.run(even_ranges(30, 6), |_i, range| range.len());
+        // No monitor: nothing to drain, nothing allocated — just assert the
+        // record math directly.
+        let even = BatchRecord {
+            chunks: 8,
+            claimed: vec![2, 2, 2, 2],
+        };
+        assert!((even.imbalance() - 1.0).abs() < 1e-9);
+        let skewed = BatchRecord {
+            chunks: 8,
+            claimed: vec![8, 0, 0, 0],
+        };
+        assert!((skewed.imbalance() - 4.0).abs() < 1e-9);
+        let degenerate = BatchRecord {
+            chunks: 0,
+            claimed: Vec::new(),
+        };
+        assert!((degenerate.imbalance() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn monitor_counts_parks_and_wakes() {
+        let monitor = PoolMonitor::new();
+        {
+            let pool = WorkerPool::with_monitor(2, Arc::clone(&monitor));
+            // Give the worker a chance to park at least once, then feed it.
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            pool.run(even_ranges(16, 4), |_i, range| range.sum::<usize>());
+        }
+        let metrics = monitor.take_metrics();
+        assert!(metrics.parks >= 1, "worker never parked");
+        // Shutdown wakes the parked worker, so wakes keep pace with parks.
+        assert!(metrics.wakes >= 1, "worker never woke");
     }
 
     #[test]

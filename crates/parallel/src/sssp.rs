@@ -38,14 +38,17 @@ use crate::counters::ThreadTally;
 use crate::engine::{
     BucketCtx, BucketKernel, BucketLoop, Direction, EdgeClass, LevelLoop, TraversalState,
 };
-use crate::pool::{Execute, PoolConfig, WorkerPool};
+use crate::pool::{Execute, PoolConfig, PoolMonitor, WorkerPool};
+use crate::trace::TraceRun;
 use bga_graph::{CsrGraph, VertexId, WeightedCsrGraph};
 use bga_kernels::bfs::direction_optimizing::DirectionConfig;
 use bga_kernels::bfs::INFINITY;
 use bga_kernels::sssp::SsspResult;
 use bga_kernels::stats::RunCounters;
+use bga_obs::{TraceEvent, TraceSink};
 use std::ops::Range;
 use std::sync::atomic::Ordering::Relaxed;
+use std::sync::Arc;
 
 /// Which per-edge relaxation discipline a parallel unit-weight SSSP run
 /// uses. Both settle identical distances; they differ only in the
@@ -56,6 +59,16 @@ pub enum SsspVariant {
     BranchBased,
     /// `fetch_min` distance claim with the predicated bucket write.
     BranchAvoiding,
+}
+
+impl SsspVariant {
+    /// The serialized variant name trace headers carry.
+    fn as_str(self) -> &'static str {
+        match self {
+            SsspVariant::BranchBased => "branch-based",
+            SsspVariant::BranchAvoiding => "branch-avoiding",
+        }
+    }
 }
 
 /// Result of an instrumented parallel unit-weight SSSP run.
@@ -140,6 +153,53 @@ pub fn par_sssp_unit_instrumented(
         SsspVariant::BranchAvoiding => level_loop.run(&state, source, &BranchAvoidingLevel::<true>),
         SsspVariant::BranchBased => level_loop.run(&state, source, &BranchBasedLevel::<true>),
     };
+    ParSsspRun {
+        result: SsspResult::new(state.into_distances(), run.directions.len()),
+        directions: run.directions,
+        counters: run.counters,
+        threads: pool.threads(),
+    }
+}
+
+/// [`par_sssp_unit_instrumented`] with a [`TraceSink`] receiving the
+/// run's `bga-trace-v1` event stream: the run header, one phase event per
+/// settling level (tagged with the direction it ran in), the worker
+/// pool's batch metrics and the run trailer. Distances and counters are
+/// identical to the instrumented run.
+pub fn par_sssp_unit_traced<S: TraceSink>(
+    graph: &CsrGraph,
+    source: VertexId,
+    threads: usize,
+    variant: SsspVariant,
+    sink: &S,
+) -> ParSsspRun {
+    let config = PoolConfig::from_env(threads);
+    let monitor = PoolMonitor::new();
+    let pool = WorkerPool::with_monitor(config.threads, Arc::clone(&monitor));
+    let scope = TraceRun::start(
+        sink,
+        TraceEvent::RunStart {
+            kernel: "sssp".to_string(),
+            variant: variant.as_str().to_string(),
+            vertices: graph.num_vertices(),
+            edges: graph.num_edge_slots(),
+            threads: pool.threads(),
+            grain: config.grain,
+            delta: None,
+            root: Some(source),
+        },
+    );
+    let state = TraversalState::new(graph.num_vertices());
+    let level_loop = LevelLoop::new(graph, &pool, config.grain, DirectionConfig::default());
+    let run = match variant {
+        SsspVariant::BranchAvoiding => {
+            level_loop.run_traced(&state, source, &BranchAvoidingLevel::<true>, &scope)
+        }
+        SsspVariant::BranchBased => {
+            level_loop.run_traced(&state, source, &BranchBasedLevel::<true>, &scope)
+        }
+    };
+    scope.finish(Some(monitor.take_metrics()));
     ParSsspRun {
         result: SsspResult::new(state.into_distances(), run.directions.len()),
         directions: run.directions,
@@ -373,6 +433,56 @@ pub fn par_sssp_weighted_instrumented(
         }
         SsspVariant::BranchBased => bucket_loop.run(&state, source, &BranchBasedRelax::<true>),
     };
+    ParWssspRun {
+        result: SsspResult::new(state.into_distances(), run.phases),
+        buckets_settled: run.bucket_bounds.len(),
+        heavy_phases: run.heavy_phases,
+        counters: run.counters,
+        threads: pool.threads(),
+    }
+}
+
+/// [`par_sssp_weighted_instrumented`] with a [`TraceSink`] receiving the
+/// run's `bga-trace-v1` event stream: the run header (carrying `delta`),
+/// one [`bga_obs::PhaseKind::Light`] / [`bga_obs::PhaseKind::Heavy`]
+/// phase per dispatched relaxation pass tagged with its bucket index, the
+/// worker pool's batch metrics and the run trailer. Distances, phase
+/// structure and counters are identical to the instrumented run.
+pub fn par_sssp_weighted_traced<S: TraceSink>(
+    graph: &WeightedCsrGraph,
+    source: VertexId,
+    delta: u32,
+    threads: usize,
+    variant: SsspVariant,
+    sink: &S,
+) -> ParWssspRun {
+    let config = PoolConfig::from_env(threads);
+    let monitor = PoolMonitor::new();
+    let pool = WorkerPool::with_monitor(config.threads, Arc::clone(&monitor));
+    let scope = TraceRun::start(
+        sink,
+        TraceEvent::RunStart {
+            kernel: "sssp-weighted".to_string(),
+            variant: variant.as_str().to_string(),
+            vertices: graph.num_vertices(),
+            edges: graph.csr().num_edge_slots(),
+            threads: pool.threads(),
+            grain: config.grain,
+            delta: Some(delta),
+            root: Some(source),
+        },
+    );
+    let state = TraversalState::new(graph.num_vertices());
+    let bucket_loop = BucketLoop::new(graph, &pool, config.grain, delta);
+    let run = match variant {
+        SsspVariant::BranchAvoiding => {
+            bucket_loop.run_traced(&state, source, &BranchAvoidingRelax::<true>, &scope)
+        }
+        SsspVariant::BranchBased => {
+            bucket_loop.run_traced(&state, source, &BranchBasedRelax::<true>, &scope)
+        }
+    };
+    scope.finish(Some(monitor.take_metrics()));
     ParWssspRun {
         result: SsspResult::new(state.into_distances(), run.phases),
         buckets_settled: run.bucket_bounds.len(),

@@ -28,12 +28,15 @@
 
 use crate::counters::ThreadTally;
 use crate::engine::{SweepKernel, SweepLoop};
-use crate::pool::{Execute, PoolConfig, WorkerPool};
+use crate::pool::{Execute, PoolConfig, PoolMonitor, WorkerPool};
+use crate::trace::TraceRun;
 use bga_graph::CsrGraph;
 use bga_kernels::cc::ComponentLabels;
 use bga_kernels::stats::RunCounters;
+use bga_obs::{TraceEvent, TraceSink};
 use std::ops::Range;
 use std::sync::atomic::{AtomicU32, Ordering::Relaxed};
+use std::sync::Arc;
 
 /// Result of an instrumented parallel SV run.
 #[derive(Clone, Debug)]
@@ -247,6 +250,73 @@ pub fn par_sv_branch_avoiding_instrumented(graph: &CsrGraph, threads: usize) -> 
         counters: run.counters,
         threads: pool.threads(),
     }
+}
+
+/// The shared traced-run driver for both sweep disciplines.
+fn par_sv_traced_impl<S: TraceSink>(
+    graph: &CsrGraph,
+    threads: usize,
+    branch_avoiding: bool,
+    sink: &S,
+) -> ParSvRun {
+    let config = PoolConfig::from_env(threads);
+    let monitor = PoolMonitor::new();
+    let pool = WorkerPool::with_monitor(config.threads, Arc::clone(&monitor));
+    let scope = TraceRun::start(
+        sink,
+        TraceEvent::RunStart {
+            kernel: "cc".to_string(),
+            variant: if branch_avoiding {
+                "branch-avoiding"
+            } else {
+                "branch-based"
+            }
+            .to_string(),
+            vertices: graph.num_vertices(),
+            edges: graph.num_edge_slots(),
+            threads: pool.threads(),
+            grain: config.grain,
+            delta: None,
+            root: None,
+        },
+    );
+    let ccid = identity_labels(graph.num_vertices());
+    let sweep_loop = SweepLoop::new(graph, &pool, config.grain);
+    let run = if branch_avoiding {
+        sweep_loop.run_traced(&BranchAvoidingSweep::<true> { ccid: &ccid }, &scope)
+    } else {
+        sweep_loop.run_traced(&BranchBasedSweep::<true> { ccid: &ccid }, &scope)
+    };
+    scope.finish(Some(monitor.take_metrics()));
+    ParSvRun {
+        labels: into_labels(ccid),
+        counters: run.counters,
+        threads: pool.threads(),
+    }
+}
+
+/// [`par_sv_branch_based_instrumented`] with a [`TraceSink`] receiving
+/// the run's `bga-trace-v1` event stream: the run header, one
+/// [`bga_obs::PhaseKind::Sweep`] phase per sweep (including the final
+/// no-change fixpoint sweep), the worker pool's batch metrics and the
+/// run trailer. Labels and counters are identical to the instrumented
+/// run.
+pub fn par_sv_branch_based_traced<S: TraceSink>(
+    graph: &CsrGraph,
+    threads: usize,
+    sink: &S,
+) -> ParSvRun {
+    par_sv_traced_impl(graph, threads, false, sink)
+}
+
+/// [`par_sv_branch_avoiding_instrumented`] with a [`TraceSink`]; see
+/// [`par_sv_branch_based_traced`].
+pub fn par_sv_branch_avoiding_traced<S: TraceSink>(
+    graph: &CsrGraph,
+    threads: usize,
+    sink: &S,
+) -> ParSvRun {
+    par_sv_traced_impl(graph, threads, true, sink)
 }
 
 #[cfg(test)]

@@ -1,0 +1,192 @@
+//! Run-level trace scaffolding shared by the traced kernel entry points.
+//!
+//! The engine loops emit bare [`TraceEvent::Phase`] events; what turns a
+//! stream of phases into a well-formed `bga-trace-v1` document is the
+//! [`TraceRun`] wrapper below: it emits the `run-start` header, counts and
+//! accumulates every phase that flows through it, replays the worker
+//! pool's collected metrics, and closes the stream with a `run-end`
+//! trailer whose totals are exactly the sum of the forwarded phase
+//! counters — the invariant `bga trace validate` checks.
+
+use crate::pool::PoolMetrics;
+use bga_obs::{PhaseCounters, TraceEvent, TraceSink};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Scopes one kernel run over an inner sink: header on construction,
+/// phase accounting while the engine runs, pool metrics and trailer on
+/// [`TraceRun::finish`]. Implements [`TraceSink`] itself so it can be
+/// handed straight to the engine loops' `run_traced`; with a disabled
+/// inner sink every method is a no-op.
+pub(crate) struct TraceRun<'a, S: TraceSink> {
+    inner: &'a S,
+    /// `(phase events forwarded, summed phase counters)`.
+    acc: Mutex<(usize, PhaseCounters)>,
+    started: Option<Instant>,
+}
+
+impl<'a, S: TraceSink> TraceRun<'a, S> {
+    /// Emits the `run-start` header and opens the run scope.
+    pub(crate) fn start(inner: &'a S, header: TraceEvent) -> Self {
+        let started = S::ENABLED.then(Instant::now);
+        if S::ENABLED {
+            inner.emit(header);
+        }
+        TraceRun {
+            inner,
+            acc: Mutex::new((0, PhaseCounters::default())),
+            started,
+        }
+    }
+
+    /// Phase events forwarded so far — the offset base multi-source
+    /// drivers (Brandes) give each per-source
+    /// [`bga_obs::OffsetSink`] so the whole run's indices stay
+    /// consecutive.
+    pub(crate) fn phases_so_far(&self) -> usize {
+        self.acc.lock().unwrap().0
+    }
+
+    /// Replays the pool's collected metrics (when monitored) and emits
+    /// the `run-end` trailer.
+    pub(crate) fn finish(self, metrics: Option<PoolMetrics>) {
+        if !S::ENABLED {
+            return;
+        }
+        if let Some(metrics) = &metrics {
+            emit_pool_metrics(self.inner, metrics);
+        }
+        let (phases, totals) = *self.acc.lock().unwrap();
+        self.inner.emit(TraceEvent::RunEnd {
+            phases,
+            totals,
+            wall_ns: self.started.map_or(0, |t| t.elapsed().as_nanos() as u64),
+        });
+    }
+}
+
+impl<S: TraceSink> TraceSink for TraceRun<'_, S> {
+    const ENABLED: bool = S::ENABLED;
+
+    fn emit(&self, event: TraceEvent) {
+        if let TraceEvent::Phase(phase) = &event {
+            let mut acc = self.acc.lock().unwrap();
+            acc.0 += 1;
+            acc.1 += phase.counters;
+        }
+        self.inner.emit(event);
+    }
+}
+
+/// Replays collected [`PoolMetrics`] as one `pool-batch` event per
+/// recorded batch followed by the `pool-summary` totals.
+fn emit_pool_metrics<S: TraceSink>(sink: &S, metrics: &PoolMetrics) {
+    for (batch, record) in metrics.batches.iter().enumerate() {
+        sink.emit(TraceEvent::PoolBatch {
+            batch,
+            chunks: record.chunks,
+            claimed: record.claimed.clone(),
+            imbalance: record.imbalance(),
+        });
+    }
+    sink.emit(TraceEvent::PoolSummary {
+        batches: metrics.batches.len(),
+        parks: metrics.parks as usize,
+        wakes: metrics.wakes as usize,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::BatchRecord;
+    use bga_obs::{MemorySink, NoopSink, PhaseEvent, PhaseKind};
+
+    fn phase(counters_scale: u64) -> TraceEvent {
+        TraceEvent::Phase(PhaseEvent {
+            index: 0,
+            kind: PhaseKind::TopDown,
+            bucket: None,
+            frontier: 1,
+            discovered: 1,
+            changed: None,
+            counters: PhaseCounters {
+                updates: counters_scale,
+                edges: 2 * counters_scale,
+                ..PhaseCounters::default()
+            },
+            wall_ns: 0,
+        })
+    }
+
+    #[test]
+    fn run_scope_brackets_phases_with_header_and_totals() {
+        let sink = MemorySink::new();
+        let scope = TraceRun::start(
+            &sink,
+            TraceEvent::RunStart {
+                kernel: "bfs".to_string(),
+                variant: "branch-avoiding".to_string(),
+                vertices: 4,
+                edges: 6,
+                threads: 2,
+                grain: 64,
+                delta: None,
+                root: Some(0),
+            },
+        );
+        scope.emit(phase(1));
+        assert_eq!(scope.phases_so_far(), 1);
+        scope.emit(phase(2));
+        scope.finish(Some(PoolMetrics {
+            batches: vec![BatchRecord {
+                chunks: 4,
+                claimed: vec![3, 1],
+            }],
+            parks: 5,
+            wakes: 4,
+        }));
+        let events = sink.take();
+        assert_eq!(events.len(), 6);
+        assert!(matches!(events[0], TraceEvent::RunStart { .. }));
+        assert!(matches!(
+            events[3],
+            TraceEvent::PoolBatch {
+                batch: 0,
+                chunks: 4,
+                ..
+            }
+        ));
+        assert!(matches!(
+            events[4],
+            TraceEvent::PoolSummary {
+                batches: 1,
+                parks: 5,
+                wakes: 4
+            }
+        ));
+        match &events[5] {
+            TraceEvent::RunEnd { phases, totals, .. } => {
+                assert_eq!(*phases, 2);
+                assert_eq!(totals.updates, 3);
+                assert_eq!(totals.edges, 6);
+            }
+            other => panic!("expected run-end, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn disabled_scope_emits_nothing() {
+        let scope = TraceRun::start(
+            &NoopSink,
+            TraceEvent::RunEnd {
+                phases: 0,
+                totals: PhaseCounters::default(),
+                wall_ns: 0,
+            },
+        );
+        const _: () = assert!(!TraceRun::<'static, NoopSink>::ENABLED);
+        assert!(scope.started.is_none());
+        scope.finish(None);
+    }
+}

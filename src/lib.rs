@@ -1,7 +1,7 @@
 //! # branch-avoiding-graphs
 //!
 //! Umbrella crate for the reproduction of **"Branch-Avoiding Graph
-//! Algorithms"** (Green, Dukhan, Vuduc — SPAA 2015). It re-exports the five
+//! Algorithms"** (Green, Dukhan, Vuduc — SPAA 2015). It re-exports the six
 //! library crates of the workspace so applications can depend on a single
 //! crate:
 //!
@@ -15,6 +15,12 @@
 //!   delta-stepping SSSP) and instrumented variants.
 //! * [`perfmodel`] ([`bga_perfmodel`]) — misprediction bounds, modelled-time
 //!   conversion and correlation analysis.
+//! * [`obs`] ([`bga_obs`]) — the structured tracing layer: `bga-trace-v1`
+//!   events, the [`bga_obs::TraceSink`] seam the parallel engine loops
+//!   emit through (compiled out entirely with the no-op sink), a
+//!   dependency-free JSONL writer/parser, stream validation and the
+//!   shared table renderer behind the CLI's `--instrumented` and
+//!   `trace report` output.
 //! * [`parallel`] ([`bga_parallel`]) — multi-threaded kernels on one
 //!   traversal engine: atomic fetch-min Shiloach-Vishkin,
 //!   level-synchronous parallel BFS (top-down and direction-optimizing
@@ -44,6 +50,7 @@
 pub use bga_branchsim as branchsim;
 pub use bga_graph as graph;
 pub use bga_kernels as kernels;
+pub use bga_obs as obs;
 pub use bga_parallel as parallel;
 pub use bga_perfmodel as perfmodel;
 
@@ -78,13 +85,21 @@ pub mod prelude {
         sssp_delta_stepping, sssp_dijkstra, sssp_unit_delta_stepping,
         sssp_unit_delta_stepping_with_delta, SsspResult,
     };
+    pub use bga_obs::{
+        parse_trace, validate_trace, JsonlSink, MemorySink, NoopSink, PhaseCounters, PhaseEvent,
+        PhaseKind, TraceEvent, TraceReport, TraceSink, TRACE_SCHEMA,
+    };
     pub use bga_parallel::{
         par_betweenness_centrality, par_betweenness_centrality_sources,
-        par_betweenness_centrality_with_variant, par_bfs_branch_avoiding, par_bfs_branch_based,
-        par_bfs_direction_optimizing, par_bfs_direction_optimizing_with_config, par_kcore,
-        par_kcore_with_variant, par_sssp_unit, par_sssp_unit_with_variant, par_sssp_weighted,
-        par_sssp_weighted_with_variant, par_sv_branch_avoiding, par_sv_branch_based, BcVariant,
-        BucketLoop, KcoreVariant, LevelLoop, PoolConfig, SsspVariant, SweepLoop, TraversalState,
+        par_betweenness_centrality_traced, par_betweenness_centrality_with_variant,
+        par_bfs_branch_avoiding, par_bfs_branch_avoiding_traced, par_bfs_branch_based,
+        par_bfs_branch_based_traced, par_bfs_direction_optimizing,
+        par_bfs_direction_optimizing_traced, par_bfs_direction_optimizing_with_config, par_kcore,
+        par_kcore_traced, par_kcore_with_variant, par_sssp_unit, par_sssp_unit_traced,
+        par_sssp_unit_with_variant, par_sssp_weighted, par_sssp_weighted_traced,
+        par_sssp_weighted_with_variant, par_sv_branch_avoiding, par_sv_branch_avoiding_traced,
+        par_sv_branch_based, par_sv_branch_based_traced, BcVariant, BucketLoop, KcoreVariant,
+        LevelLoop, PoolConfig, PoolMetrics, PoolMonitor, SsspVariant, SweepLoop, TraversalState,
         WorkerPool,
     };
     pub use bga_perfmodel::timing::{modeled_speedup, time_run};

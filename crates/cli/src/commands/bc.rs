@@ -7,22 +7,24 @@
 //! reports the raw, un-halved partial sums — the quantity sampled-source
 //! approximations scale.
 
-use super::cc::{flag_value, parse_threads};
+use super::cc::{deadline_token, flag_value, parse_threads};
 use super::graph_input::load_graph;
+use super::CliError;
 use bga_kernels::bc::{
     betweenness_centrality, betweenness_centrality_branch_avoiding, betweenness_centrality_sources,
 };
 use bga_parallel::{
     par_betweenness_centrality_sources, par_betweenness_centrality_sources_traced,
-    par_betweenness_centrality_traced, par_betweenness_centrality_with_variant, resolve_threads,
-    BcVariant,
+    par_betweenness_centrality_sources_traced_with_cancel,
+    par_betweenness_centrality_sources_with_cancel, par_betweenness_centrality_traced,
+    par_betweenness_centrality_with_variant, resolve_threads, BcVariant, RunOutcome,
 };
 use std::time::Instant;
 
 /// Runs the `bc` subcommand.
-pub fn run(args: &[String]) -> Result<(), String> {
+pub fn run(args: &[String]) -> Result<(), CliError> {
     let Some(graph_spec) = args.first() else {
-        return Err("bc needs a graph".to_string());
+        return Err("bc needs a graph".into());
     };
     let variant = flag_value(args, "--variant").unwrap_or("branch-avoiding");
     let bc_variant = match variant {
@@ -31,13 +33,14 @@ pub fn run(args: &[String]) -> Result<(), String> {
         other => {
             return Err(format!(
                 "unknown bc variant {other:?} (expected branch-based or branch-avoiding)"
-            ))
+            )
+            .into())
         }
     };
     let threads = parse_threads(args)?;
     let source_count = match flag_value(args, "--sources") {
         None if args.iter().any(|a| a == "--sources") => {
-            return Err("--sources requires a count".to_string())
+            return Err("--sources requires a count".into())
         }
         None => None,
         Some(text) => Some(
@@ -48,7 +51,15 @@ pub fn run(args: &[String]) -> Result<(), String> {
 
     let trace_path = super::trace::parse_trace_path(args)?;
     if trace_path.is_some() && threads.is_none() {
-        return Err("--trace requires --threads N (only parallel runs are traced)".to_string());
+        return Err("--trace requires --threads N (only parallel runs are traced)".into());
+    }
+    let token = deadline_token(args, threads, false)?;
+    if token.is_some() && source_count.is_none() {
+        return Err(
+            "--timeout-ms requires --sources K (the sampled accumulation is the \
+             cancellable path: an interrupted run is exact over a source prefix)"
+                .into(),
+        );
     }
 
     let graph = load_graph(graph_spec)?;
@@ -65,18 +76,54 @@ pub fn run(args: &[String]) -> Result<(), String> {
 
     if let (Some(path), Some(t)) = (trace_path, threads) {
         let sink = super::trace::open_trace_sink(path)?;
-        let scores = match source_count {
-            None => par_betweenness_centrality_traced(&graph, t, bc_variant, &sink),
-            Some(k) => par_betweenness_centrality_sources_traced(
+        let mut outcome = RunOutcome::Completed;
+        let mut sources_done = None;
+        let scores = match (source_count, &token) {
+            (None, _) => par_betweenness_centrality_traced(&graph, t, bc_variant, &sink),
+            (Some(k), None) => par_betweenness_centrality_sources_traced(
                 &graph,
                 &sample_sources(&graph, k),
                 t,
                 bc_variant,
                 &sink,
             ),
+            (Some(k), Some(tok)) => {
+                let (scores, done, o) = par_betweenness_centrality_sources_traced_with_cancel(
+                    &graph,
+                    &sample_sources(&graph, k),
+                    t,
+                    bc_variant,
+                    &sink,
+                    tok,
+                );
+                outcome = o;
+                sources_done = Some(done);
+                scores
+            }
         };
         super::trace::finish_trace_sink(path, sink)?;
         print_scores_summary(&graph, variant, source_count, &scores);
+        if let Some(done) = sources_done {
+            println!("sources completed: {done}");
+        }
+        super::check_deadline(&outcome)?;
+        return Ok(());
+    }
+
+    if let (Some(t), Some(k), Some(tok)) = (threads, source_count, &token) {
+        let start = Instant::now();
+        let (scores, done, outcome) = par_betweenness_centrality_sources_with_cancel(
+            &graph,
+            &sample_sources(&graph, k),
+            t,
+            bc_variant,
+            tok,
+        );
+        let elapsed = start.elapsed();
+        print_scores_summary(&graph, variant, source_count, &scores);
+        println!("sources completed: {done}");
+        println!("wall clock: {:.3} ms", elapsed.as_secs_f64() * 1e3);
+        super::check_deadline(&outcome)?;
         return Ok(());
     }
 
@@ -90,7 +137,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
             return Err(
                 "sequential --sources runs the branch-based accumulation only; \
                  add --threads N for the branch-avoiding forward phase"
-                    .to_string(),
+                    .into(),
             );
         }
         executed_variant = "branch-based";
@@ -222,6 +269,75 @@ mod tests {
         assert!(text.lines().next().unwrap().contains("bga-trace-v1"));
         assert!(run(&strings(&["cond-mat-2005", "--trace", path_str])).is_err());
         assert!(run(&strings(&["cond-mat-2005", "--threads", "2", "--trace"])).is_err());
+    }
+
+    #[test]
+    fn timeout_flag_bounds_the_sampled_accumulation() {
+        use super::super::CliError;
+        assert_eq!(
+            run(&strings(&[
+                "cond-mat-2005",
+                "--sources",
+                "4",
+                "--threads",
+                "2",
+                "--timeout-ms",
+                "60000"
+            ])),
+            Ok(())
+        );
+        // An expired deadline stops before any source finishes; the
+        // scores reported are the (empty) exact prefix accumulation.
+        assert_eq!(
+            run(&strings(&[
+                "cond-mat-2005",
+                "--sources",
+                "8",
+                "--threads",
+                "2",
+                "--timeout-ms",
+                "0"
+            ])),
+            Err(CliError::DeadlineExpired)
+        );
+        // The full normalized run has no cancellable path, and a deadline
+        // still needs --threads.
+        assert!(run(&strings(&[
+            "cond-mat-2005",
+            "--threads",
+            "2",
+            "--timeout-ms",
+            "5"
+        ]))
+        .is_err());
+        assert!(run(&strings(&[
+            "cond-mat-2005",
+            "--sources",
+            "4",
+            "--timeout-ms",
+            "5"
+        ]))
+        .is_err());
+        // A timed-out traced run still writes an interrupted trace.
+        let dir = std::env::temp_dir().join("bga_cli_bc_timeout");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bc.jsonl");
+        assert_eq!(
+            run(&strings(&[
+                "cond-mat-2005",
+                "--sources",
+                "8",
+                "--threads",
+                "2",
+                "--timeout-ms",
+                "0",
+                "--trace",
+                path.to_str().unwrap()
+            ])),
+            Err(CliError::DeadlineExpired)
+        );
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"interrupted\""));
     }
 
     #[test]

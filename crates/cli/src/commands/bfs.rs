@@ -1,7 +1,8 @@
 //! `bga bfs`: run a BFS variant from a root and print a summary.
 
-use super::cc::{flag_value, parse_threads};
+use super::cc::{deadline_token, flag_value, parse_threads};
 use super::graph_input::load_graph;
+use super::CliError;
 use bga_graph::properties::largest_component;
 use bga_kernels::bfs::{
     bfs_branch_avoiding, bfs_branch_avoiding_instrumented, bfs_branch_based,
@@ -14,9 +15,12 @@ use bga_kernels::bfs::{
 use bga_obs::step_table;
 use bga_parallel::{
     par_bfs_branch_avoiding, par_bfs_branch_avoiding_instrumented, par_bfs_branch_avoiding_traced,
+    par_bfs_branch_avoiding_traced_with_cancel, par_bfs_branch_avoiding_with_cancel,
     par_bfs_branch_based, par_bfs_branch_based_instrumented, par_bfs_branch_based_traced,
+    par_bfs_branch_based_traced_with_cancel, par_bfs_branch_based_with_cancel,
     par_bfs_direction_optimizing_instrumented, par_bfs_direction_optimizing_traced,
-    par_bfs_direction_optimizing_with_config, resolve_threads,
+    par_bfs_direction_optimizing_traced_with_cancel, par_bfs_direction_optimizing_with_cancel,
+    par_bfs_direction_optimizing_with_config, resolve_threads, RunOutcome,
 };
 use std::time::Instant;
 
@@ -38,9 +42,9 @@ fn parse_strategy(args: &[String]) -> Result<Option<DirectionConfig>, String> {
 }
 
 /// Runs the `bfs` subcommand.
-pub fn run(args: &[String]) -> Result<(), String> {
+pub fn run(args: &[String]) -> Result<(), CliError> {
     let Some(graph_spec) = args.first() else {
-        return Err("bfs needs a graph".to_string());
+        return Err("bfs needs a graph".into());
     };
     let strategy = parse_strategy(args)?;
     // `--strategy` implies the direction-optimizing traversal; `--variant`
@@ -54,19 +58,21 @@ pub fn run(args: &[String]) -> Result<(), String> {
     if strategy.is_some() && variant != "direction-optimizing" {
         return Err(format!(
             "--strategy applies to the direction-optimizing variant, not {variant:?}"
-        ));
+        )
+        .into());
     }
     let instrumented = args.iter().any(|a| a == "--instrumented");
     let threads = parse_threads(args)?;
     let trace_path = super::trace::parse_trace_path(args)?;
     if trace_path.is_some() && threads.is_none() {
-        return Err("--trace requires --threads N (only parallel runs are traced)".to_string());
+        return Err("--trace requires --threads N (only parallel runs are traced)".into());
     }
     if trace_path.is_some() && instrumented {
         return Err(
-            "--trace and --instrumented are exclusive (the trace carries the counters)".to_string(),
+            "--trace and --instrumented are exclusive (the trace carries the counters)".into(),
         );
     }
+    let token = deadline_token(args, threads, instrumented)?;
 
     let graph = load_graph(graph_spec)?;
     let root = match flag_value(args, "--root") {
@@ -84,16 +90,17 @@ pub fn run(args: &[String]) -> Result<(), String> {
     if let (Some(path), Some(t)) = (trace_path, threads) {
         let sink = super::trace::open_trace_sink(path)?;
         let mut directions = None;
-        let (result, threads_used) = match variant {
-            "branch-based" => {
+        let mut outcome = RunOutcome::Completed;
+        let (result, threads_used) = match (variant, &token) {
+            ("branch-based", None) => {
                 let run = par_bfs_branch_based_traced(&graph, root, t, &sink);
                 (run.result, run.threads)
             }
-            "branch-avoiding" => {
+            ("branch-avoiding", None) => {
                 let run = par_bfs_branch_avoiding_traced(&graph, root, t, &sink);
                 (run.result, run.threads)
             }
-            "direction-optimizing" => {
+            ("direction-optimizing", None) => {
                 let run = par_bfs_direction_optimizing_traced(
                     &graph,
                     root,
@@ -104,11 +111,36 @@ pub fn run(args: &[String]) -> Result<(), String> {
                 directions = Some((run.directions.len(), run.bottom_up_levels()));
                 (run.result, run.threads)
             }
-            other => {
+            ("branch-based", Some(tok)) => {
+                let (run, o) = par_bfs_branch_based_traced_with_cancel(&graph, root, t, &sink, tok);
+                outcome = o;
+                (run.result, run.threads)
+            }
+            ("branch-avoiding", Some(tok)) => {
+                let (run, o) =
+                    par_bfs_branch_avoiding_traced_with_cancel(&graph, root, t, &sink, tok);
+                outcome = o;
+                (run.result, run.threads)
+            }
+            ("direction-optimizing", Some(tok)) => {
+                let (run, o) = par_bfs_direction_optimizing_traced_with_cancel(
+                    &graph,
+                    root,
+                    t,
+                    strategy.unwrap_or_default(),
+                    &sink,
+                    tok,
+                );
+                outcome = o;
+                directions = Some((run.directions.len(), run.bottom_up_levels()));
+                (run.result, run.threads)
+            }
+            (other, _) => {
                 return Err(format!(
                     "--trace supports branch-based, branch-avoiding and \
                      direction-optimizing, not {other:?}"
-                ))
+                )
+                .into())
             }
         };
         super::trace::finish_trace_sink(path, sink)?;
@@ -121,6 +153,54 @@ pub fn run(args: &[String]) -> Result<(), String> {
                 bottom_up
             );
         }
+        super::check_deadline(&outcome)?;
+        return Ok(());
+    }
+
+    if let (Some(t), Some(tok)) = (threads, &token) {
+        println!("threads: {}", resolve_threads(t));
+        let config = strategy.unwrap_or_default();
+        let mut directions = None;
+        let start = Instant::now();
+        let (result, outcome) = match variant {
+            "branch-based" => {
+                let (run, o) = par_bfs_branch_based_with_cancel(&graph, root, t, tok);
+                (run.result, o)
+            }
+            "branch-avoiding" => {
+                let (run, o) = par_bfs_branch_avoiding_with_cancel(&graph, root, t, tok);
+                (run.result, o)
+            }
+            "direction-optimizing" => {
+                let (run, o) =
+                    par_bfs_direction_optimizing_with_cancel(&graph, root, t, config, tok);
+                directions = Some((run.directions.len(), run.bottom_up_levels()));
+                (run.result, o)
+            }
+            other => {
+                return Err(format!(
+                    "--timeout-ms supports branch-based, branch-avoiding and \
+                     direction-optimizing, not {other:?}"
+                )
+                .into())
+            }
+        };
+        let elapsed = start.elapsed();
+        // An interrupted traversal is a valid prefix, not a full BFS; the
+        // invariant checker only applies to completed runs.
+        if outcome.is_completed() {
+            check_bfs_invariants(&graph, root, &result)?;
+        }
+        print_result_summary(variant, &result);
+        if let Some((levels, bottom_up)) = directions {
+            println!(
+                "directions: {} top-down, {} bottom-up levels",
+                levels - bottom_up,
+                bottom_up
+            );
+        }
+        println!("wall clock: {:.3} ms", elapsed.as_secs_f64() * 1e3);
+        super::check_deadline(&outcome)?;
         return Ok(());
     }
 
@@ -165,7 +245,8 @@ pub fn run(args: &[String]) -> Result<(), String> {
                 return Err(format!(
                     "--instrumented supports branch-based, branch-avoiding and \
                      direction-optimizing --threads, not {other:?}"
-                ))
+                )
+                .into())
             }
         };
         print_result_summary(variant, &run.result);
@@ -201,12 +282,13 @@ pub fn run(args: &[String]) -> Result<(), String> {
             directions = Some((run.directions.len(), run.bottom_up_levels()));
             run.result
         }
-        (other, None) => return Err(format!("unknown bfs variant {other:?}")),
+        (other, None) => return Err(format!("unknown bfs variant {other:?}").into()),
         (other, Some(_)) => {
             return Err(format!(
                 "--threads supports branch-based, branch-avoiding and \
                  direction-optimizing, not {other:?}"
-            ))
+            )
+            .into())
         }
     };
     let elapsed = start.elapsed();
@@ -330,6 +412,71 @@ mod tests {
             path_str
         ]))
         .is_err());
+    }
+
+    #[test]
+    fn timeout_flag_bounds_the_parallel_run() {
+        use super::super::CliError;
+        // Every parallel variant honours a generous deadline and expires
+        // an already-passed one at the first level boundary.
+        for variant in ["branch-based", "branch-avoiding", "direction-optimizing"] {
+            assert_eq!(
+                super::run(&strings(&[
+                    "cond-mat-2005",
+                    "--variant",
+                    variant,
+                    "--threads",
+                    "2",
+                    "--timeout-ms",
+                    "60000"
+                ])),
+                Ok(()),
+                "{variant} with a generous deadline failed"
+            );
+            assert_eq!(
+                super::run(&strings(&[
+                    "cond-mat-2005",
+                    "--variant",
+                    variant,
+                    "--threads",
+                    "2",
+                    "--timeout-ms",
+                    "0"
+                ])),
+                Err(CliError::DeadlineExpired),
+                "{variant} with an expired deadline did not time out"
+            );
+        }
+        // bottom-up has no parallel cancellable path; sequential runs and
+        // instrumented runs have no deadline seam at all.
+        assert!(super::run(&strings(&["cond-mat-2005", "--timeout-ms", "5"])).is_err());
+        assert!(super::run(&strings(&[
+            "cond-mat-2005",
+            "--threads",
+            "2",
+            "--instrumented",
+            "--timeout-ms",
+            "5"
+        ]))
+        .is_err());
+        // A timed-out traced run still writes an interrupted trace.
+        let dir = std::env::temp_dir().join("bga_cli_bfs_timeout");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bfs.jsonl");
+        assert_eq!(
+            super::run(&strings(&[
+                "cond-mat-2005",
+                "--threads",
+                "2",
+                "--timeout-ms",
+                "0",
+                "--trace",
+                path.to_str().unwrap()
+            ])),
+            Err(CliError::DeadlineExpired)
+        );
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"interrupted\""));
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! `bga cc`: run a connected-components variant and print a summary.
 
 use super::graph_input::load_graph;
+use super::CliError;
 use bga_kernels::cc::{
     baseline, sv_branch_avoiding, sv_branch_avoiding_instrumented, sv_branch_based,
     sv_branch_based_instrumented, sv_hybrid, ComponentLabels, HybridConfig,
@@ -8,28 +9,31 @@ use bga_kernels::cc::{
 use bga_obs::step_table;
 use bga_parallel::{
     par_sv_branch_avoiding, par_sv_branch_avoiding_instrumented, par_sv_branch_avoiding_traced,
+    par_sv_branch_avoiding_traced_with_cancel, par_sv_branch_avoiding_with_cancel,
     par_sv_branch_based, par_sv_branch_based_instrumented, par_sv_branch_based_traced,
-    resolve_threads,
+    par_sv_branch_based_traced_with_cancel, par_sv_branch_based_with_cancel, resolve_threads,
+    CancelToken, RunOutcome,
 };
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Runs the `cc` subcommand.
-pub fn run(args: &[String]) -> Result<(), String> {
+pub fn run(args: &[String]) -> Result<(), CliError> {
     let Some(graph_spec) = args.first() else {
-        return Err("cc needs a graph".to_string());
+        return Err("cc needs a graph".into());
     };
     let variant = flag_value(args, "--variant").unwrap_or("branch-avoiding");
     let instrumented = args.iter().any(|a| a == "--instrumented");
     let threads = parse_threads(args)?;
     let trace_path = super::trace::parse_trace_path(args)?;
     if trace_path.is_some() && threads.is_none() {
-        return Err("--trace requires --threads N (only parallel runs are traced)".to_string());
+        return Err("--trace requires --threads N (only parallel runs are traced)".into());
     }
     if trace_path.is_some() && instrumented {
         return Err(
-            "--trace and --instrumented are exclusive (the trace carries the counters)".to_string(),
+            "--trace and --instrumented are exclusive (the trace carries the counters)".into(),
         );
     }
+    let token = deadline_token(args, threads, instrumented)?;
 
     let graph = load_graph(graph_spec)?;
     println!(
@@ -40,19 +44,50 @@ pub fn run(args: &[String]) -> Result<(), String> {
 
     if let (Some(path), Some(t)) = (trace_path, threads) {
         let sink = super::trace::open_trace_sink(path)?;
-        let par = match variant {
-            "branch-based" => par_sv_branch_based_traced(&graph, t, &sink),
-            "branch-avoiding" => par_sv_branch_avoiding_traced(&graph, t, &sink),
-            other => {
+        let (par, outcome) = match (variant, &token) {
+            ("branch-based", None) => (par_sv_branch_based_traced(&graph, t, &sink), None),
+            ("branch-avoiding", None) => (par_sv_branch_avoiding_traced(&graph, t, &sink), None),
+            ("branch-based", Some(tok)) => {
+                let (par, outcome) = par_sv_branch_based_traced_with_cancel(&graph, t, &sink, tok);
+                (par, Some(outcome))
+            }
+            ("branch-avoiding", Some(tok)) => {
+                let (par, outcome) =
+                    par_sv_branch_avoiding_traced_with_cancel(&graph, t, &sink, tok);
+                (par, Some(outcome))
+            }
+            (other, _) => {
                 return Err(format!(
                     "--trace supports branch-based and branch-avoiding, not {other:?}"
-                ))
+                )
+                .into())
             }
         };
         super::trace::finish_trace_sink(path, sink)?;
         println!("threads: {}", par.threads);
         print_labels_summary(variant, &par.labels);
         println!("iterations: {}", par.counters.num_steps());
+        super::check_deadline(&outcome.unwrap_or(RunOutcome::Completed))?;
+        return Ok(());
+    }
+
+    if let (Some(t), Some(tok)) = (threads, &token) {
+        println!("threads: {}", resolve_threads(t));
+        let start = Instant::now();
+        let (par, outcome) = match variant {
+            "branch-based" => par_sv_branch_based_with_cancel(&graph, t, tok),
+            "branch-avoiding" => par_sv_branch_avoiding_with_cancel(&graph, t, tok),
+            other => {
+                return Err(format!(
+                    "--timeout-ms supports branch-based and branch-avoiding, not {other:?}"
+                )
+                .into())
+            }
+        };
+        let elapsed = start.elapsed();
+        print_labels_summary(variant, &par.labels);
+        println!("wall clock: {:.3} ms", elapsed.as_secs_f64() * 1e3);
+        super::check_deadline(&outcome)?;
         return Ok(());
     }
 
@@ -79,7 +114,8 @@ pub fn run(args: &[String]) -> Result<(), String> {
             (other, _) => {
                 return Err(format!(
                     "--instrumented supports branch-based and branch-avoiding, not {other:?}"
-                ))
+                )
+                .into())
             }
         };
         print_labels_summary(variant, &run.labels);
@@ -103,17 +139,63 @@ pub fn run(args: &[String]) -> Result<(), String> {
         ("hybrid", None) => sv_hybrid(&graph, HybridConfig::default()),
         ("union-find", None) => baseline::cc_union_find(&graph),
         ("bfs", None) => baseline::cc_bfs(&graph),
-        (other, None) => return Err(format!("unknown cc variant {other:?}")),
+        (other, None) => return Err(format!("unknown cc variant {other:?}").into()),
         (other, Some(_)) => {
             return Err(format!(
                 "--threads supports branch-based and branch-avoiding, not {other:?}"
-            ))
+            )
+            .into())
         }
     };
     let elapsed = start.elapsed();
     print_labels_summary(variant, &labels);
     println!("wall clock: {:.3} ms", elapsed.as_secs_f64() * 1e3);
     Ok(())
+}
+
+/// Parses `--timeout-ms T`: the wall-clock budget of a deadline-bounded
+/// run, `None` when the flag is absent. A bare `--timeout-ms` with no
+/// value is an error, not a silently unbounded run.
+pub(super) fn parse_timeout(args: &[String]) -> Result<Option<Duration>, String> {
+    match flag_value(args, "--timeout-ms") {
+        None if args.iter().any(|a| a == "--timeout-ms") => {
+            Err("--timeout-ms requires a value in milliseconds".to_string())
+        }
+        None => Ok(None),
+        Some(text) => text
+            .parse::<u64>()
+            .map(|ms| Some(Duration::from_millis(ms)))
+            .map_err(|e| format!("invalid --timeout-ms value {text:?}: {e}")),
+    }
+}
+
+/// The shared `--timeout-ms` front end of the kernel commands: parses the
+/// flag, enforces that a deadline needs a parallel cancellable run (the
+/// sequential references and the instrumented paths have no cancellation
+/// seam), and arms a [`CancelToken`] whose deadline starts now —
+/// deliberately before graph loading, so the budget covers the whole
+/// invocation the way a supervisor's timeout would.
+pub(super) fn deadline_token(
+    args: &[String],
+    threads: Option<usize>,
+    instrumented: bool,
+) -> Result<Option<CancelToken>, String> {
+    let Some(timeout) = parse_timeout(args)? else {
+        return Ok(None);
+    };
+    if threads.is_none() {
+        return Err(
+            "--timeout-ms requires --threads N (only parallel runs are cancellable)".to_string(),
+        );
+    }
+    if instrumented {
+        return Err(
+            "--timeout-ms and --instrumented are exclusive (the instrumented paths \
+             have no cancellation seam)"
+                .to_string(),
+        );
+    }
+    Ok(Some(CancelToken::new().with_deadline_in(timeout)))
 }
 
 /// Parses `--threads N`: `None` when the flag is absent (sequential
@@ -196,6 +278,74 @@ mod tests {
         ]))
         .is_err());
         assert!(run(&strings(&["cond-mat-2005", "--threads", "2", "--trace"])).is_err());
+    }
+
+    #[test]
+    fn timeout_flag_bounds_the_parallel_run() {
+        use super::super::CliError;
+        // A generous deadline completes normally.
+        assert_eq!(
+            run(&strings(&[
+                "cond-mat-2005",
+                "--threads",
+                "2",
+                "--timeout-ms",
+                "60000"
+            ])),
+            Ok(())
+        );
+        // An already-expired deadline stops at the first phase boundary
+        // and maps to the dedicated timeout error, not a usage message.
+        assert_eq!(
+            run(&strings(&[
+                "cond-mat-2005",
+                "--threads",
+                "2",
+                "--timeout-ms",
+                "0"
+            ])),
+            Err(CliError::DeadlineExpired)
+        );
+        // Usage guards: a deadline needs a parallel, uninstrumented run
+        // and a parseable value.
+        for bad in [
+            &["cond-mat-2005", "--timeout-ms", "5"][..],
+            &["cond-mat-2005", "--threads", "2", "--timeout-ms"][..],
+            &["cond-mat-2005", "--threads", "2", "--timeout-ms", "abc"][..],
+            &[
+                "cond-mat-2005",
+                "--threads",
+                "2",
+                "--instrumented",
+                "--timeout-ms",
+                "5",
+            ][..],
+        ] {
+            assert!(
+                matches!(run(&strings(bad)), Err(CliError::Message(_))),
+                "{bad:?} did not fail as a usage error"
+            );
+        }
+        // A timed-out traced run still writes a complete trace document
+        // whose trailer carries the interruption.
+        let dir = std::env::temp_dir().join("bga_cli_cc_timeout");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cc.jsonl");
+        let path_str = path.to_str().unwrap();
+        assert_eq!(
+            run(&strings(&[
+                "cond-mat-2005",
+                "--threads",
+                "2",
+                "--timeout-ms",
+                "0",
+                "--trace",
+                path_str
+            ])),
+            Err(CliError::DeadlineExpired)
+        );
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"interrupted\""));
     }
 
     #[test]

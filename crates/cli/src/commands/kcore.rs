@@ -7,19 +7,21 @@
 //! unconditional `fetch_sub` per edge with a predicated enqueue). Core
 //! numbers are identical in every mode.
 
-use super::cc::{flag_value, parse_threads};
+use super::cc::{deadline_token, flag_value, parse_threads};
 use super::graph_input::load_graph;
+use super::CliError;
 use bga_kernels::kcore::{kcore_peeling, CoreDecomposition};
 use bga_obs::step_table;
 use bga_parallel::{
-    par_kcore_instrumented, par_kcore_traced, par_kcore_with_stats, resolve_threads, KcoreVariant,
+    par_kcore_instrumented, par_kcore_traced, par_kcore_traced_with_cancel, par_kcore_with_cancel,
+    par_kcore_with_stats, resolve_threads, KcoreVariant, RunOutcome,
 };
 use std::time::Instant;
 
 /// Runs the `kcore` subcommand.
-pub fn run(args: &[String]) -> Result<(), String> {
+pub fn run(args: &[String]) -> Result<(), CliError> {
     let Some(graph_spec) = args.first() else {
-        return Err("kcore needs a graph".to_string());
+        return Err("kcore needs a graph".into());
     };
     let variant = flag_value(args, "--variant").unwrap_or("branch-avoiding");
     let kcore_variant = match variant {
@@ -28,7 +30,8 @@ pub fn run(args: &[String]) -> Result<(), String> {
         other => {
             return Err(format!(
                 "unknown kcore variant {other:?} (expected branch-based or branch-avoiding)"
-            ))
+            )
+            .into())
         }
     };
     let threads = parse_threads(args)?;
@@ -39,21 +42,22 @@ pub fn run(args: &[String]) -> Result<(), String> {
         return Err(
             "the sequential run is the bucket-peeling reference; add --threads N \
              to pick a branch-based or branch-avoiding parallel peel"
-                .to_string(),
+                .into(),
         );
     }
     if threads.is_none() && instrumented {
-        return Err("--instrumented requires --threads N (parallel peels only)".to_string());
+        return Err("--instrumented requires --threads N (parallel peels only)".into());
     }
     let trace_path = super::trace::parse_trace_path(args)?;
     if trace_path.is_some() && threads.is_none() {
-        return Err("--trace requires --threads N (only parallel peels are traced)".to_string());
+        return Err("--trace requires --threads N (only parallel peels are traced)".into());
     }
     if trace_path.is_some() && instrumented {
         return Err(
-            "--trace and --instrumented are exclusive (the trace carries the counters)".to_string(),
+            "--trace and --instrumented are exclusive (the trace carries the counters)".into(),
         );
     }
+    let token = deadline_token(args, threads, instrumented)?;
 
     let graph = load_graph(graph_spec)?;
     println!(
@@ -69,10 +73,30 @@ pub fn run(args: &[String]) -> Result<(), String> {
 
     if let (Some(path), Some(t)) = (trace_path, threads) {
         let sink = super::trace::open_trace_sink(path)?;
-        let run = par_kcore_traced(&graph, t, kcore_variant, &sink);
+        let (run, outcome) = match &token {
+            None => (par_kcore_traced(&graph, t, kcore_variant, &sink), None),
+            Some(tok) => {
+                let (run, outcome) =
+                    par_kcore_traced_with_cancel(&graph, t, kcore_variant, &sink, tok);
+                (run, Some(outcome))
+            }
+        };
         super::trace::finish_trace_sink(path, sink)?;
-        print_core_summary(variant, &run.cores);
+        let outcome = outcome.unwrap_or(RunOutcome::Completed);
+        print_full_or_partial_summary(variant, &run.cores, &outcome);
         println!("cascade rounds: {}", run.rounds);
+        super::check_deadline(&outcome)?;
+        return Ok(());
+    }
+
+    if let (Some(t), Some(tok)) = (threads, &token) {
+        let start = Instant::now();
+        let (run, outcome) = par_kcore_with_cancel(&graph, t, kcore_variant, tok);
+        let elapsed = start.elapsed();
+        print_full_or_partial_summary(variant, &run.cores, &outcome);
+        println!("cascade rounds: {}", run.rounds);
+        println!("wall clock: {:.3} ms", elapsed.as_secs_f64() * 1e3);
+        super::check_deadline(&outcome)?;
         return Ok(());
     }
 
@@ -107,6 +131,27 @@ pub fn run(args: &[String]) -> Result<(), String> {
     }
     println!("wall clock: {:.3} ms", elapsed.as_secs_f64() * 1e3);
     Ok(())
+}
+
+/// The cancellable paths' summary: a completed peel prints the usual core
+/// structure; an interrupted one reports the peeled prefix instead — the
+/// unpeeled vertices still carry the `u32::MAX` "not yet peeled" marker,
+/// so the degeneracy/histogram view would be meaningless (and huge).
+fn print_full_or_partial_summary(
+    variant: &str,
+    cores: &CoreDecomposition,
+    outcome: &bga_parallel::RunOutcome,
+) {
+    if outcome.is_completed() {
+        print_core_summary(variant, cores);
+    } else {
+        let peeled = cores.as_slice().iter().filter(|&&c| c != u32::MAX).count();
+        println!("variant: {variant}");
+        println!(
+            "peeled: {peeled} of {} vertices (final core numbers; the rest interrupted)",
+            cores.len()
+        );
+    }
 }
 
 fn print_core_summary(variant: &str, cores: &CoreDecomposition) {
@@ -187,6 +232,60 @@ mod tests {
             path_str
         ]))
         .is_err());
+    }
+
+    #[test]
+    fn timeout_flag_bounds_the_parallel_peel() {
+        use super::super::CliError;
+        assert_eq!(
+            run(&strings(&[
+                "cond-mat-2005",
+                "--threads",
+                "2",
+                "--timeout-ms",
+                "60000"
+            ])),
+            Ok(())
+        );
+        assert_eq!(
+            run(&strings(&[
+                "cond-mat-2005",
+                "--threads",
+                "2",
+                "--timeout-ms",
+                "0"
+            ])),
+            Err(CliError::DeadlineExpired)
+        );
+        // A deadline needs the parallel peel and excludes --instrumented.
+        assert!(run(&strings(&["cond-mat-2005", "--timeout-ms", "5"])).is_err());
+        assert!(run(&strings(&[
+            "cond-mat-2005",
+            "--threads",
+            "2",
+            "--instrumented",
+            "--timeout-ms",
+            "5"
+        ]))
+        .is_err());
+        // A timed-out traced run still writes an interrupted trace.
+        let dir = std::env::temp_dir().join("bga_cli_kcore_timeout");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("kcore.jsonl");
+        assert_eq!(
+            run(&strings(&[
+                "cond-mat-2005",
+                "--threads",
+                "2",
+                "--timeout-ms",
+                "0",
+                "--trace",
+                path.to_str().unwrap()
+            ])),
+            Err(CliError::DeadlineExpired)
+        );
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"interrupted\""));
     }
 
     #[test]

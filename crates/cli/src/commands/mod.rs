@@ -11,14 +11,61 @@ mod kcore;
 mod sssp;
 mod trace;
 
+use bga_parallel::RunOutcome;
+
+/// Process exit code for a `--timeout-ms` expiry (124, matching
+/// coreutils `timeout`), distinct from the generic failure code so
+/// scripts can tell "ran out of time" from "bad usage".
+pub const TIMEOUT_EXIT_CODE: u8 = 124;
+
+/// How a `bga` invocation failed.
+#[derive(Debug, PartialEq, Eq)]
+pub enum CliError {
+    /// Argument or runtime error; `main` prints it with the usage text.
+    Message(String),
+    /// A `--timeout-ms` deadline expired mid-run; `main` maps it to
+    /// [`TIMEOUT_EXIT_CODE`] without the usage text (the arguments were
+    /// fine — the run was just slower than the budget).
+    DeadlineExpired,
+}
+
+impl From<String> for CliError {
+    fn from(message: String) -> Self {
+        CliError::Message(message)
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(message: &str) -> Self {
+        CliError::Message(message.to_string())
+    }
+}
+
+/// Folds a cancellable run's outcome into the command result. The CLI
+/// only ever arms deadlines, so any interruption is a timeout: report
+/// how far the run got (the partial summary above it is valid monotone
+/// state) and surface the dedicated exit code.
+pub(crate) fn check_deadline(outcome: &RunOutcome) -> Result<(), CliError> {
+    match outcome {
+        RunOutcome::Completed => Ok(()),
+        RunOutcome::Interrupted { phases_done, .. } => {
+            eprintln!(
+                "timeout: deadline expired after {phases_done} completed engine phases \
+                 (partial results above are valid monotone bounds)"
+            );
+            Err(CliError::DeadlineExpired)
+        }
+    }
+}
+
 /// Usage text printed on argument errors.
 pub const USAGE: &str = "usage:
   bga generate <path|cycle|star|complete|tree|gnp|gnm|ba|ws|grid2d|grid3d|rmat> <args..> [--seed S] <out.metis>
-  bga cc  <graph> [--variant branch-based|branch-avoiding|hybrid|union-find|bfs] [--instrumented] [--threads N] [--trace FILE]
-  bga bfs <graph> [--root R] [--variant branch-based|branch-avoiding|bottom-up|direction-optimizing] [--strategy auto|top-down|bottom-up] [--instrumented] [--threads N] [--trace FILE]
-  bga bc  <graph> [--variant branch-based|branch-avoiding] [--sources K] [--threads N] [--trace FILE]
-  bga kcore <graph> [--variant branch-based|branch-avoiding] [--instrumented] [--threads N] [--trace FILE]
-  bga sssp <graph> [--root R] [--delta D] [--weights unit|uniform|file] [--variant branch-based|branch-avoiding] [--instrumented] [--threads N] [--trace FILE]
+  bga cc  <graph> [--variant branch-based|branch-avoiding|hybrid|union-find|bfs] [--instrumented] [--threads N] [--trace FILE] [--timeout-ms T]
+  bga bfs <graph> [--root R] [--variant branch-based|branch-avoiding|bottom-up|direction-optimizing] [--strategy auto|top-down|bottom-up] [--instrumented] [--threads N] [--trace FILE] [--timeout-ms T]
+  bga bc  <graph> [--variant branch-based|branch-avoiding] [--sources K] [--threads N] [--trace FILE] [--timeout-ms T]
+  bga kcore <graph> [--variant branch-based|branch-avoiding] [--instrumented] [--threads N] [--trace FILE] [--timeout-ms T]
+  bga sssp <graph> [--root R] [--delta D] [--weights unit|uniform|file] [--variant branch-based|branch-avoiding] [--instrumented] [--threads N] [--trace FILE] [--timeout-ms T]
   bga experiment <table1|table2|suite-summary|scaling [--json]>
   bga bench compare <old1.json> [<old2.json>...] <new.json> [--threshold PCT] [--fail-on-regression]
   bga trace <report|validate> <trace.jsonl>
@@ -48,27 +95,32 @@ run's bga-trace-v1 JSONL event stream — run header, one structured event
 per engine phase, worker-pool batch metrics, totals trailer — and
 bga trace report renders it (per-phase table, pool imbalance, the
 paper's misprediction-bound crossover summary); bga trace validate
-checks the stream invariants and gates the CI smoke step.";
+checks the stream invariants and gates the CI smoke step.
+--timeout-ms T (parallel runs only; bga bc needs --sources) arms a
+wall-clock deadline checked at every engine phase boundary: an expired
+run stops promptly, prints the valid partial summary it reached (every
+distance/label/core bound is a correct monotone bound), marks a --trace
+stream as interrupted, and exits with code 124.";
 
 /// Routes the raw argument list to the subcommand implementations.
-pub fn dispatch(args: &[String]) -> Result<(), String> {
+pub fn dispatch(args: &[String]) -> Result<(), CliError> {
     let Some((command, rest)) = args.split_first() else {
-        return Err("missing subcommand".to_string());
+        return Err("missing subcommand".into());
     };
     match command.as_str() {
-        "generate" => generate::run(rest),
+        "generate" => generate::run(rest).map_err(CliError::from),
         "cc" => cc::run(rest),
         "bfs" => bfs::run(rest),
         "bc" => bc::run(rest),
         "kcore" => kcore::run(rest),
         "sssp" => sssp::run(rest),
-        "experiment" => experiment::run(rest),
-        "bench" => bench_compare::run(rest),
-        "trace" => trace::run(rest),
+        "experiment" => experiment::run(rest).map_err(CliError::from),
+        "bench" => bench_compare::run(rest).map_err(CliError::from),
+        "trace" => trace::run(rest).map_err(CliError::from),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
         }
-        other => Err(format!("unknown subcommand {other:?}")),
+        other => Err(format!("unknown subcommand {other:?}").into()),
     }
 }

@@ -15,16 +15,18 @@
 //! * `file` — the graph file's own weights (`u v w` edge lists,
 //!   edge-weighted METIS). Requires a file path, not a suite name.
 
-use super::cc::{flag_value, parse_threads};
+use super::cc::{deadline_token, flag_value, parse_threads};
 use super::graph_input::{load_graph, load_weighted_graph};
+use super::CliError;
 use bga_graph::properties::largest_component;
 use bga_graph::{uniform_weights, WeightedCsrGraph};
 use bga_kernels::sssp::{sssp_delta_stepping, sssp_unit_delta_stepping_with_delta, SsspResult};
 use bga_obs::step_table;
 use bga_parallel::{
-    par_sssp_unit_instrumented, par_sssp_unit_traced, par_sssp_unit_with_variant,
-    par_sssp_weighted_instrumented, par_sssp_weighted_traced, par_sssp_weighted_with_variant,
-    resolve_threads, SsspVariant,
+    par_sssp_unit_instrumented, par_sssp_unit_traced, par_sssp_unit_traced_with_cancel,
+    par_sssp_unit_with_cancel, par_sssp_unit_with_variant, par_sssp_weighted_instrumented,
+    par_sssp_weighted_traced, par_sssp_weighted_traced_with_cancel, par_sssp_weighted_with_cancel,
+    par_sssp_weighted_with_variant, resolve_threads, SsspVariant,
 };
 use std::time::Instant;
 
@@ -44,21 +46,21 @@ enum WeightsMode {
 }
 
 /// Runs the `sssp` subcommand.
-pub fn run(args: &[String]) -> Result<(), String> {
+pub fn run(args: &[String]) -> Result<(), CliError> {
     let Some(graph_spec) = args.first() else {
-        return Err("sssp needs a graph".to_string());
+        return Err("sssp needs a graph".into());
     };
     let weights_mode = match flag_value(args, "--weights") {
         None if args.iter().any(|a| a == "--weights") => {
-            return Err("--weights requires a mode (unit, uniform or file)".to_string())
+            return Err("--weights requires a mode (unit, uniform or file)".into())
         }
         None | Some("unit") => WeightsMode::Unit,
         Some("uniform") => WeightsMode::Uniform,
         Some("file") => WeightsMode::File,
         Some(other) => {
-            return Err(format!(
-                "unknown weights mode {other:?} (expected unit, uniform or file)"
-            ))
+            return Err(
+                format!("unknown weights mode {other:?} (expected unit, uniform or file)").into(),
+            )
         }
     };
     let variant = flag_value(args, "--variant").unwrap_or("branch-avoiding");
@@ -68,14 +70,15 @@ pub fn run(args: &[String]) -> Result<(), String> {
         other => {
             return Err(format!(
                 "unknown sssp variant {other:?} (expected branch-based or branch-avoiding)"
-            ))
+            )
+            .into())
         }
     };
     let threads = parse_threads(args)?;
     let instrumented = args.iter().any(|a| a == "--instrumented");
     let delta = match flag_value(args, "--delta") {
         None if args.iter().any(|a| a == "--delta") => {
-            return Err("--delta requires a bucket width (≥ 1)".to_string())
+            return Err("--delta requires a bucket width (≥ 1)".into())
         }
         None => 1u32,
         Some(text) => {
@@ -83,7 +86,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
                 .parse::<u32>()
                 .map_err(|e| format!("invalid --delta value {text:?}: {e}"))?;
             if value == 0 {
-                return Err("--delta must be ≥ 1 (a bucket has positive width)".to_string());
+                return Err("--delta must be ≥ 1 (a bucket has positive width)".into());
             }
             value
         }
@@ -93,7 +96,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
             "--delta applies to the sequential delta-stepping reference; the parallel \
              unit-weight client always runs the Δ = 1 (level-per-bucket) degeneration \
              (use --weights uniform/file for the bucketed parallel client)"
-                .to_string(),
+                .into(),
         );
     }
     // The sequential references have a single relaxation discipline;
@@ -102,21 +105,22 @@ pub fn run(args: &[String]) -> Result<(), String> {
         return Err(
             "the sequential run is the delta-stepping reference; add --threads N \
              to pick a branch-based or branch-avoiding parallel relaxation"
-                .to_string(),
+                .into(),
         );
     }
     if threads.is_none() && instrumented {
-        return Err("--instrumented requires --threads N (parallel runs only)".to_string());
+        return Err("--instrumented requires --threads N (parallel runs only)".into());
     }
     let trace_path = super::trace::parse_trace_path(args)?;
     if trace_path.is_some() && threads.is_none() {
-        return Err("--trace requires --threads N (only parallel runs are traced)".to_string());
+        return Err("--trace requires --threads N (only parallel runs are traced)".into());
     }
     if trace_path.is_some() && instrumented {
         return Err(
-            "--trace and --instrumented are exclusive (the trace carries the counters)".to_string(),
+            "--trace and --instrumented are exclusive (the trace carries the counters)".into(),
         );
     }
+    let token = deadline_token(args, threads, instrumented)?;
 
     let weighted: Option<WeightedCsrGraph> = match weights_mode {
         WeightsMode::Unit => None,
@@ -166,9 +170,24 @@ pub fn run(args: &[String]) -> Result<(), String> {
 
     if let (Some(path), Some(t)) = (trace_path, threads) {
         let sink = super::trace::open_trace_sink(path)?;
-        match &weighted {
-            None => {
-                let run = par_sssp_unit_traced(graph, source, t, sssp_variant, &sink);
+        let mut outcome = bga_parallel::RunOutcome::Completed;
+        match (&weighted, &token) {
+            (None, tok) => {
+                let run = match tok {
+                    None => par_sssp_unit_traced(graph, source, t, sssp_variant, &sink),
+                    Some(tok) => {
+                        let (run, o) = par_sssp_unit_traced_with_cancel(
+                            graph,
+                            source,
+                            t,
+                            sssp_variant,
+                            &sink,
+                            tok,
+                        );
+                        outcome = o;
+                        run
+                    }
+                };
                 super::trace::finish_trace_sink(path, sink)?;
                 print_result_summary(variant, &run.result);
                 println!(
@@ -177,8 +196,23 @@ pub fn run(args: &[String]) -> Result<(), String> {
                     run.bottom_up_phases()
                 );
             }
-            Some(wg) => {
-                let run = par_sssp_weighted_traced(wg, source, delta, t, sssp_variant, &sink);
+            (Some(wg), tok) => {
+                let run = match tok {
+                    None => par_sssp_weighted_traced(wg, source, delta, t, sssp_variant, &sink),
+                    Some(tok) => {
+                        let (run, o) = par_sssp_weighted_traced_with_cancel(
+                            wg,
+                            source,
+                            delta,
+                            t,
+                            sssp_variant,
+                            &sink,
+                            tok,
+                        );
+                        outcome = o;
+                        run
+                    }
+                };
                 super::trace::finish_trace_sink(path, sink)?;
                 print_result_summary(variant, &run.result);
                 println!("delta: {delta}");
@@ -188,6 +222,30 @@ pub fn run(args: &[String]) -> Result<(), String> {
                 );
             }
         }
+        super::check_deadline(&outcome)?;
+        return Ok(());
+    }
+
+    if let (Some(t), Some(tok)) = (threads, &token) {
+        let start = Instant::now();
+        let (result, outcome) = match &weighted {
+            None => {
+                let (run, o) = par_sssp_unit_with_cancel(graph, source, t, sssp_variant, tok);
+                (run.result, o)
+            }
+            Some(wg) => {
+                let (run, o) =
+                    par_sssp_weighted_with_cancel(wg, source, delta, t, sssp_variant, tok);
+                (run.result, o)
+            }
+        };
+        let elapsed = start.elapsed();
+        print_result_summary(variant, &result);
+        if weighted.is_some() {
+            println!("delta: {delta}");
+        }
+        println!("wall clock: {:.3} ms", elapsed.as_secs_f64() * 1e3);
+        super::check_deadline(&outcome)?;
         return Ok(());
     }
 
@@ -395,6 +453,56 @@ mod tests {
             path_str
         ]))
         .is_err());
+    }
+
+    #[test]
+    fn timeout_flag_bounds_both_parallel_clients() {
+        use super::super::CliError;
+        // Unit-weight level loop and weighted bucket loop both honour a
+        // generous deadline and expire an already-passed one promptly.
+        for extra in [&[][..], &["--weights", "uniform", "--delta", "4"][..]] {
+            let mut ok_args = vec!["cond-mat-2005", "--threads", "2", "--timeout-ms", "60000"];
+            ok_args.extend_from_slice(extra);
+            assert_eq!(run(&strings(&ok_args)), Ok(()), "{extra:?} failed");
+            let mut expired_args = vec!["cond-mat-2005", "--threads", "2", "--timeout-ms", "0"];
+            expired_args.extend_from_slice(extra);
+            assert_eq!(
+                run(&strings(&expired_args)),
+                Err(CliError::DeadlineExpired),
+                "{extra:?} did not time out"
+            );
+        }
+        // A deadline needs the parallel path and excludes --instrumented.
+        assert!(run(&strings(&["cond-mat-2005", "--timeout-ms", "5"])).is_err());
+        assert!(run(&strings(&[
+            "cond-mat-2005",
+            "--threads",
+            "2",
+            "--instrumented",
+            "--timeout-ms",
+            "5"
+        ]))
+        .is_err());
+        // A timed-out traced weighted run still writes an interrupted trace.
+        let dir = std::env::temp_dir().join("bga_cli_sssp_timeout");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sssp.jsonl");
+        assert_eq!(
+            run(&strings(&[
+                "cond-mat-2005",
+                "--weights",
+                "uniform",
+                "--threads",
+                "2",
+                "--timeout-ms",
+                "0",
+                "--trace",
+                path.to_str().unwrap()
+            ])),
+            Err(CliError::DeadlineExpired)
+        );
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"interrupted\""));
     }
 
     #[test]

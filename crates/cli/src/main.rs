@@ -23,7 +23,10 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match commands::dispatch(&args) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(message) => {
+        // The command already reported how far it got; the arguments were
+        // fine, so no usage text — just the dedicated exit code.
+        Err(commands::CliError::DeadlineExpired) => ExitCode::from(commands::TIMEOUT_EXIT_CODE),
+        Err(commands::CliError::Message(message)) => {
             eprintln!("error: {message}");
             eprintln!();
             eprintln!("{}", commands::USAGE);

@@ -1,7 +1,7 @@
 //! Plain whitespace-separated edge-list reader/writer, in unweighted
 //! (`u v`) and weighted (`u v w`) forms.
 
-use super::IoError;
+use super::{apply_read_faults, IoError};
 use crate::builder::GraphBuilder;
 use crate::csr::{CsrGraph, VertexId};
 use crate::weighted::{EdgeWeight, WeightedCsrGraph, WeightedGraphBuilder};
@@ -59,13 +59,13 @@ pub fn read_weighted_edge_list_str(text: &str) -> Result<WeightedCsrGraph, IoErr
 
 /// Reads a weighted edge-list file from disk.
 pub fn read_weighted_edge_list<P: AsRef<Path>>(path: P) -> Result<WeightedCsrGraph, IoError> {
-    let text = fs::read_to_string(path)?;
+    let text = apply_read_faults(fs::read_to_string(path)?);
     read_weighted_edge_list_str(&text)
 }
 
 /// Reads an edge-list file from disk.
 pub fn read_edge_list<P: AsRef<Path>>(path: P) -> Result<CsrGraph, IoError> {
-    let text = fs::read_to_string(path)?;
+    let text = apply_read_faults(fs::read_to_string(path)?);
     read_edge_list_str(&text)
 }
 
@@ -133,10 +133,19 @@ fn parse_vertex(token: Option<&str>, line: usize, missing: &str) -> Result<Verte
         line,
         message: missing.to_string(),
     })?;
-    token.parse::<VertexId>().map_err(|e| IoError::Parse {
+    let id = token.parse::<VertexId>().map_err(|e| IoError::Parse {
         line,
         message: format!("invalid vertex id {token:?}: {e}"),
-    })
+    })?;
+    // u32::MAX doubles as the "unreached" sentinel throughout the kernels
+    // (and id + 1 must fit the vertex count), so the last id is reserved.
+    if id == VertexId::MAX {
+        return Err(IoError::Parse {
+            line,
+            message: format!("vertex id {id} is reserved (the unreached sentinel)"),
+        });
+    }
+    Ok(id)
 }
 
 #[cfg(test)]

@@ -13,7 +13,7 @@
 //! variants (`fmt` with a second-from-right `1`, e.g. `011`) are not
 //! supported by either reader.
 
-use super::IoError;
+use super::{apply_read_faults, IoError};
 use crate::builder::GraphBuilder;
 use crate::csr::{CsrGraph, VertexId};
 use crate::weighted::{EdgeWeight, WeightedCsrGraph, WeightedGraphBuilder};
@@ -45,6 +45,16 @@ fn parse_metis_document(text: &str, accept_edge_weights: bool) -> Result<MetisDo
     })?;
     let mut parts = header.split_whitespace();
     let n: usize = parse_number(parts.next(), header_line_no, "vertex count")?;
+    // Vertex ids are 32-bit throughout (and u32::MAX is the unreached
+    // sentinel): a header declaring more vertices than the id space holds
+    // is corrupt, and catching it here keeps a hostile header from even
+    // beginning to drive allocations.
+    if n >= VertexId::MAX as usize {
+        return Err(IoError::Parse {
+            line: header_line_no,
+            message: format!("vertex count {n} exceeds the 32-bit vertex id space"),
+        });
+    }
     let m: usize = parse_number(parts.next(), header_line_no, "edge count")?;
     let mut edge_weighted = false;
     if let Some(fmt) = parts.next() {
@@ -182,13 +192,13 @@ pub fn read_weighted_metis_str(text: &str) -> Result<WeightedCsrGraph, IoError> 
 
 /// Reads a METIS file from disk.
 pub fn read_metis<P: AsRef<Path>>(path: P) -> Result<CsrGraph, IoError> {
-    let text = fs::read_to_string(path)?;
+    let text = apply_read_faults(fs::read_to_string(path)?);
     read_metis_str(&text)
 }
 
 /// Reads a weighted METIS file from disk.
 pub fn read_weighted_metis<P: AsRef<Path>>(path: P) -> Result<WeightedCsrGraph, IoError> {
-    let text = fs::read_to_string(path)?;
+    let text = apply_read_faults(fs::read_to_string(path)?);
     read_weighted_metis_str(&text)
 }
 

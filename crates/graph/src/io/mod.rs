@@ -25,6 +25,29 @@ pub use metis::{
 use std::fmt;
 use std::io;
 
+/// Debug-only I/O fault seam for the robustness suite. When the
+/// `BGA_FAULT` spec (the same environment variable `bga-parallel`'s
+/// fault-injection harness reads; checked as a plain substring here
+/// because the dependency direction forbids sharing the parsed plan)
+/// contains `io:short-read`, every file reader sees its input truncated
+/// to half its bytes — simulating a short read / truncated download — so
+/// the structured-error paths of the parsers are exercised against real
+/// files. Compiles to the identity in release builds.
+pub(crate) fn apply_read_faults(text: String) -> String {
+    if cfg!(debug_assertions) {
+        if let Ok(spec) = std::env::var("BGA_FAULT") {
+            if spec.split(',').any(|part| part.trim() == "io:short-read") {
+                let mut keep = text.len() / 2;
+                while keep > 0 && !text.is_char_boundary(keep) {
+                    keep -= 1;
+                }
+                return text[..keep].to_string();
+            }
+        }
+    }
+    text
+}
+
 /// Errors produced while reading or writing graph files.
 #[derive(Debug)]
 pub enum IoError {

@@ -1,0 +1,207 @@
+//! Corrupt-input corpus for every graph reader.
+//!
+//! Whatever bytes arrive — truncated downloads, spliced garbage, overflowing
+//! numbers, lying headers — the four readers must return a structured
+//! [`bga_graph::io::IoError`] or a valid graph. Never a panic, and never an
+//! unbounded allocation driven by a hostile header.
+
+use bga_graph::generators::{barabasi_albert, grid_2d, MeshStencil};
+use bga_graph::io::{
+    read_edge_list, read_edge_list_str, read_metis, read_metis_str, read_weighted_edge_list_str,
+    read_weighted_metis_str, write_metis_string, IoError,
+};
+use proptest::prelude::*;
+
+/// The seed documents the mutations start from: one valid instance of each
+/// format (the METIS texts double as edge-list garbage and vice versa, which
+/// is itself part of the corpus).
+fn seeds() -> Vec<String> {
+    vec![
+        "# comment\n0 1\n1 2\n2 0\n".to_string(),
+        "0 1 5\n1 2 3\n2 3 9\n".to_string(),
+        "4 4\n2 3\n1 3 4\n1 2\n2\n".to_string(),
+        "3 3 1\n2 4 3 7\n1 4 3 2\n1 7 2 2\n".to_string(),
+        write_metis_string(&grid_2d(5, 4, MeshStencil::VonNeumann)),
+    ]
+}
+
+/// Applies one deterministic corruption to `text`.
+fn corrupt(text: &str, kind: u8, pos: usize) -> String {
+    let lines: Vec<&str> = text.lines().collect();
+    match kind % 8 {
+        // Truncate mid-document (short read).
+        0 => {
+            let mut cut = pos % (text.len() + 1);
+            while cut > 0 && !text.is_char_boundary(cut) {
+                cut -= 1;
+            }
+            text[..cut].to_string()
+        }
+        // Splice a line of lexical garbage.
+        1 => {
+            let at = pos % (lines.len() + 1);
+            let mut out: Vec<&str> = lines.clone();
+            out.insert(at, "xyz -1 1e9 \u{fffd}");
+            out.join("\n")
+        }
+        // Splice numbers that overflow 32-bit ids / usize.
+        2 => {
+            let at = pos % (lines.len() + 1);
+            let mut out: Vec<&str> = lines.clone();
+            out.insert(at, "99999999999999999999 4294967295");
+            out.join("\n")
+        }
+        // Drop a line (inconsistent with any METIS header).
+        3 => {
+            let mut out: Vec<&str> = lines.clone();
+            if !out.is_empty() {
+                out.remove(pos % out.len());
+            }
+            out.join("\n")
+        }
+        // Duplicate a line (too many vertex lines).
+        4 => {
+            let mut out: Vec<&str> = lines.clone();
+            if !out.is_empty() {
+                let line = out[pos % out.len()];
+                out.push(line);
+            }
+            out.join("\n")
+        }
+        // Replace the header with a hostile one claiming absurd sizes.
+        5 => format!("4294967295 18446744073709551615 001\n{text}"),
+        // Sprinkle a reserved-sentinel vertex id.
+        6 => format!("{text}\n4294967295 0\n"),
+        // Glue two documents together with no separator.
+        7 => format!("{text}{text}"),
+        _ => unreachable!(),
+    }
+}
+
+/// Every reader either parses or reports a structured error; a parsed graph
+/// must be structurally valid.
+fn assert_never_panics(input: &str) {
+    if let Ok(g) = read_edge_list_str(input) {
+        assert!(
+            g.validate().is_ok(),
+            "edge-list reader built an invalid graph"
+        );
+    }
+    if let Ok(g) = read_weighted_edge_list_str(input) {
+        assert!(g.csr().validate().is_ok());
+    }
+    if let Ok(g) = read_metis_str(input) {
+        assert!(g.validate().is_ok(), "METIS reader built an invalid graph");
+    }
+    if let Ok(g) = read_weighted_metis_str(input) {
+        assert!(g.csr().validate().is_ok());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// One corruption applied to any seed never panics any reader.
+    #[test]
+    fn single_corruptions_never_panic(
+        seed_index in 0usize..5,
+        kind in 0u8..8,
+        pos in 0usize..4096,
+    ) {
+        let input = corrupt(&seeds()[seed_index], kind, pos);
+        assert_never_panics(&input);
+    }
+
+    /// Two stacked corruptions (the realistic "truncated *and* garbled"
+    /// case) never panic either.
+    #[test]
+    fn stacked_corruptions_never_panic(
+        seed_index in 0usize..5,
+        first in 0u8..8,
+        second in 0u8..8,
+        pos in 0usize..4096,
+    ) {
+        let once = corrupt(&seeds()[seed_index], first, pos);
+        let twice = corrupt(&once, second, pos / 3);
+        assert_never_panics(&twice);
+    }
+}
+
+#[test]
+fn truncated_files_report_structured_errors() {
+    // A METIS document cut anywhere inside the vertex lines must produce a
+    // parse error naming the inconsistency, not a panic.
+    let text = write_metis_string(&barabasi_albert(40, 2, 7));
+    for cut in [text.len() / 4, text.len() / 2, 3 * text.len() / 4] {
+        let mut cut = cut;
+        while !text.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        match read_metis_str(&text[..cut]) {
+            Err(IoError::Parse { .. }) => {}
+            Err(other) => panic!("expected a parse error, got {other}"),
+            Ok(_) => panic!("truncated METIS file parsed cleanly at byte {cut}"),
+        }
+    }
+}
+
+#[test]
+fn overflowing_ids_are_rejected_not_allocated() {
+    // 2^32 overflows VertexId.
+    assert!(matches!(
+        read_edge_list_str("0 4294967296\n"),
+        Err(IoError::Parse { line: 1, .. })
+    ));
+    // u32::MAX parses but is the reserved unreached sentinel.
+    let err = read_edge_list_str("0 4294967295\n").unwrap_err();
+    assert!(err.to_string().contains("reserved"), "{err}");
+    // A METIS header claiming the whole 32-bit id space is rejected before
+    // any allocation happens.
+    let err = read_metis_str("4294967295 1\n2\n1\n").unwrap_err();
+    assert!(err.to_string().contains("id space"), "{err}");
+}
+
+#[test]
+fn inconsistent_metis_headers_are_rejected() {
+    // More vertex lines than declared.
+    assert!(read_metis_str("2 1\n2\n1\n1\n").is_err());
+    // Fewer vertex lines than declared.
+    assert!(read_metis_str("5 1\n2\n1\n").is_err());
+    // Wildly wrong edge count.
+    assert!(read_metis_str("3 500\n2\n1\n\n").is_err());
+}
+
+#[test]
+fn non_utf8_files_are_io_errors_not_panics() {
+    let dir = std::env::temp_dir().join("bga_graph_corrupt_io_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("binary.edges");
+    std::fs::write(&path, [0x30, 0x20, 0xff, 0xfe, 0x00, 0x31]).unwrap();
+    assert!(matches!(read_edge_list(&path), Err(IoError::Io(_))));
+    assert!(matches!(read_metis(&path), Err(IoError::Io(_))));
+    std::fs::remove_file(path).ok();
+}
+
+#[cfg(debug_assertions)]
+#[test]
+fn short_read_fault_injection_truncates_file_reads() {
+    // `BGA_FAULT=io:short-read` makes every file reader see half the file,
+    // driving the same truncation errors a real short read would. The env
+    // var is process-global, so this test owns it briefly; no other test in
+    // this binary reads it.
+    let g = barabasi_albert(60, 2, 9);
+    let dir = std::env::temp_dir().join("bga_graph_short_read_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("whole.metis");
+    std::fs::write(&path, write_metis_string(&g)).unwrap();
+    assert_eq!(read_metis(&path).unwrap(), g);
+    std::env::set_var("BGA_FAULT", "io:short-read");
+    let result = read_metis(&path);
+    std::env::remove_var("BGA_FAULT");
+    match result {
+        Err(IoError::Parse { .. }) => {}
+        Err(other) => panic!("expected a parse error from the short read, got {other}"),
+        Ok(_) => panic!("short read went unnoticed"),
+    }
+    std::fs::remove_file(path).ok();
+}

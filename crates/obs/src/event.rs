@@ -230,6 +230,15 @@ pub enum TraceEvent {
         /// Times a parked worker was woken.
         wakes: usize,
     },
+    /// A non-fatal degradation notice (e.g. the worker pool lost threads
+    /// and fell back to sequential execution). Warnings do not perturb the
+    /// phase numbering or the counter totals.
+    Warning {
+        /// Stable machine-readable code (`pool-degraded`, ...).
+        code: String,
+        /// Human-readable description of what degraded.
+        message: String,
+    },
     /// Run trailer; `totals` is the sum of every phase's counters.
     RunEnd {
         /// Number of phase events emitted.
@@ -238,6 +247,11 @@ pub enum TraceEvent {
         totals: PhaseCounters,
         /// Wall clock of the whole run in nanoseconds.
         wall_ns: u64,
+        /// `None` for a run that converged; for an interrupted run, the
+        /// reason it stopped early (`cancelled`, `deadline`,
+        /// `phase-budget`). The phase stream before the trailer is still
+        /// well-formed — the run is valid, merely unconverged.
+        interrupted: Option<String>,
     },
 }
 
@@ -312,16 +326,30 @@ impl TraceEvent {
                 ("parks", num(*parks as u64)),
                 ("wakes", num(*wakes as u64)),
             ]),
+            TraceEvent::Warning { code, message } => object(vec![
+                ("type", Json::String("warning".to_string())),
+                ("code", Json::String(code.clone())),
+                ("message", Json::String(message.clone())),
+            ]),
             TraceEvent::RunEnd {
                 phases,
                 totals,
                 wall_ns,
-            } => object(vec![
-                ("type", Json::String("run-end".to_string())),
-                ("phases", num(*phases as u64)),
-                ("totals", totals.to_json()),
-                ("wall_ns", num(*wall_ns)),
-            ]),
+                interrupted,
+            } => {
+                let mut fields = vec![
+                    ("type", Json::String("run-end".to_string())),
+                    ("phases", num(*phases as u64)),
+                    ("totals", totals.to_json()),
+                    ("wall_ns", num(*wall_ns)),
+                ];
+                // Omitted entirely for completed runs, so pre-existing
+                // trailers and new ones share one serialized form.
+                if let Some(reason) = interrupted {
+                    fields.push(("interrupted", Json::String(reason.clone())));
+                }
+                object(fields)
+            }
         }
     }
 
@@ -394,12 +422,17 @@ impl TraceEvent {
                 parks: field_u64(&value, "parks")? as usize,
                 wakes: field_u64(&value, "wakes")? as usize,
             }),
+            "warning" => Ok(TraceEvent::Warning {
+                code: field_str(&value, "code")?,
+                message: field_str(&value, "message")?,
+            }),
             "run-end" => Ok(TraceEvent::RunEnd {
                 phases: field_u64(&value, "phases")? as usize,
                 totals: PhaseCounters::from_json(
                     value.get("totals").ok_or("run-end has no \"totals\"")?,
                 )?,
                 wall_ns: field_u64(&value, "wall_ns")?,
+                interrupted: field_opt_str(&value, "interrupted")?,
             }),
             other => Err(format!("unknown event type {other:?}")),
         }
@@ -435,6 +468,16 @@ fn field_opt_u64(value: &Json, name: &str) -> Result<Option<u64>, String> {
             .as_u64()
             .map(Some)
             .ok_or(format!("event field {name:?} is not an integer")),
+    }
+}
+
+fn field_opt_str(value: &Json, name: &str) -> Result<Option<String>, String> {
+    match value.get(name) {
+        None | Some(Json::Null) => Ok(None),
+        Some(other) => other
+            .as_str()
+            .map(|s| Some(s.to_string()))
+            .ok_or(format!("event field {name:?} is not a string")),
     }
 }
 
@@ -499,10 +542,21 @@ mod tests {
                 parks: 1,
                 wakes: 2,
             },
+            TraceEvent::Warning {
+                code: "pool-degraded".to_string(),
+                message: "1 of 2 workers lost; running sequentially".to_string(),
+            },
             TraceEvent::RunEnd {
                 phases: 2,
                 totals: sample_counters(3),
                 wall_ns: 2500,
+                interrupted: None,
+            },
+            TraceEvent::RunEnd {
+                phases: 2,
+                totals: sample_counters(3),
+                wall_ns: 2500,
+                interrupted: Some("deadline".to_string()),
             },
         ]
     }
@@ -574,6 +628,32 @@ mod tests {
         let mut acc = PhaseCounters::default();
         acc += sample_counters(2);
         assert_eq!(acc, sample_counters(2));
+    }
+
+    #[test]
+    fn completed_trailers_omit_the_interrupted_field() {
+        let completed = TraceEvent::RunEnd {
+            phases: 1,
+            totals: sample_counters(1),
+            wall_ns: 10,
+            interrupted: None,
+        };
+        let line = completed.to_json_line();
+        assert!(!line.contains("interrupted"), "{line}");
+        assert_eq!(TraceEvent::parse_line(&line).unwrap(), completed);
+
+        let interrupted = TraceEvent::RunEnd {
+            phases: 1,
+            totals: sample_counters(1),
+            wall_ns: 10,
+            interrupted: Some("cancelled".to_string()),
+        };
+        let line = interrupted.to_json_line();
+        assert!(line.contains("\"interrupted\":\"cancelled\""), "{line}");
+        assert_eq!(TraceEvent::parse_line(&line).unwrap(), interrupted);
+        // A non-string reason is rejected, not silently dropped.
+        let forged = line.replace("\"cancelled\"", "3");
+        assert!(TraceEvent::parse_line(&forged).is_err());
     }
 
     #[test]

@@ -46,10 +46,15 @@ pub struct TraceReport {
     pub max_imbalance: f64,
     /// Pool lifetime totals, when a `pool-summary` event was emitted.
     pub pool: Option<PoolTotals>,
+    /// Degradation warnings, as `(code, message)` pairs in emission order.
+    pub warnings: Vec<(String, String)>,
     /// The `run-end` totals (== sum of phase counters).
     pub totals: PhaseCounters,
     /// Whole-run wall clock in nanoseconds.
     pub wall_ns: u64,
+    /// Interruption reason from the trailer; `None` for a run that
+    /// converged. An interrupted trace is still structurally valid.
+    pub interrupted: Option<String>,
 }
 
 /// Parses a JSONL trace document into its event stream. Blank lines are
@@ -98,10 +103,12 @@ pub fn validate_trace(events: &[TraceEvent]) -> Result<TraceReport, String> {
         pool_batches: 0,
         max_imbalance: 0.0,
         pool: None,
+        warnings: Vec::new(),
         totals: PhaseCounters::default(),
         wall_ns: 0,
+        interrupted: None,
     };
-    let mut run_end: Option<(usize, PhaseCounters, u64)> = None;
+    let mut run_end: Option<(usize, PhaseCounters, u64, Option<String>)> = None;
     for (position, event) in events.iter().enumerate().skip(1) {
         if run_end.is_some() {
             return Err(format!("event {position} follows the run-end trailer"));
@@ -139,16 +146,20 @@ pub fn validate_trace(events: &[TraceEvent]) -> Result<TraceReport, String> {
                     wakes: *wakes,
                 });
             }
+            TraceEvent::Warning { code, message } => {
+                report.warnings.push((code.clone(), message.clone()));
+            }
             TraceEvent::RunEnd {
                 phases,
                 totals,
                 wall_ns,
+                interrupted,
             } => {
-                run_end = Some((*phases, *totals, *wall_ns));
+                run_end = Some((*phases, *totals, *wall_ns, interrupted.clone()));
             }
         }
     }
-    let Some((end_phases, end_totals, end_wall_ns)) = run_end else {
+    let Some((end_phases, end_totals, end_wall_ns, end_interrupted)) = run_end else {
         return Err("trace has no run-end trailer".to_string());
     };
     if end_phases != report.phases.len() {
@@ -169,6 +180,7 @@ pub fn validate_trace(events: &[TraceEvent]) -> Result<TraceReport, String> {
     }
     report.totals = end_totals;
     report.wall_ns = end_wall_ns;
+    report.interrupted = end_interrupted;
     Ok(report)
 }
 
@@ -227,6 +239,7 @@ mod tests {
                 phases: 2,
                 totals: counters(5),
                 wall_ns: 900,
+                interrupted: None,
             },
         ]
     }
@@ -292,6 +305,7 @@ mod tests {
             phases: 2,
             totals: counters(6),
             wall_ns: 900,
+            interrupted: None,
         };
         assert!(validate_trace(&forged).unwrap_err().contains("totals"));
 
@@ -300,9 +314,45 @@ mod tests {
             phases: 3,
             totals: counters(5),
             wall_ns: 900,
+            interrupted: None,
         };
         assert!(validate_trace(&miscounted)
             .unwrap_err()
             .contains("phase events"));
+    }
+
+    #[test]
+    fn interrupted_traces_validate_and_surface_the_reason() {
+        let mut events = well_formed();
+        let last = events.len() - 1;
+        events[last] = TraceEvent::RunEnd {
+            phases: 2,
+            totals: counters(5),
+            wall_ns: 900,
+            interrupted: Some("deadline".to_string()),
+        };
+        let report = validate_trace(&events).unwrap();
+        assert_eq!(report.interrupted.as_deref(), Some("deadline"));
+        // Completed runs report no interruption.
+        assert_eq!(validate_trace(&well_formed()).unwrap().interrupted, None);
+    }
+
+    #[test]
+    fn warnings_are_collected_without_perturbing_the_stream() {
+        let mut events = well_formed();
+        events.insert(
+            3,
+            TraceEvent::Warning {
+                code: "pool-degraded".to_string(),
+                message: "workers lost".to_string(),
+            },
+        );
+        let report = validate_trace(&events).unwrap();
+        assert_eq!(report.phases.len(), 2);
+        assert_eq!(
+            report.warnings,
+            vec![("pool-degraded".to_string(), "workers lost".to_string())]
+        );
+        assert_eq!(report.totals, counters(5));
     }
 }

@@ -40,6 +40,7 @@
 //! sampled-source approximations scale — and are cross-validated against
 //! [`bga_kernels::bc::betweenness_centrality_sources`].
 
+use crate::cancel::{self, CancelToken, RunOutcome};
 use crate::engine::{
     frontier_degree_prefix, LevelCtx, LevelKernel, LevelLoop, LevelRun, TraversalState,
 };
@@ -47,11 +48,11 @@ use crate::pool::{
     balanced_prefix_ranges, effective_chunks_with_grain, Execute, PoolConfig, PoolMonitor,
     WorkerPool,
 };
-use crate::trace::TraceRun;
+use crate::trace::{emit_degradation_warning, TraceRun};
 use bga_graph::{CsrGraph, VertexId};
 use bga_kernels::bfs::direction_optimizing::DirectionConfig;
 use bga_kernels::bfs::INFINITY;
-use bga_obs::{OffsetSink, TraceEvent, TraceSink};
+use bga_obs::{NoopSink, OffsetSink, TraceEvent, TraceSink};
 use std::ops::Range;
 use std::sync::atomic::Ordering::Relaxed;
 use std::sync::Arc;
@@ -309,6 +310,24 @@ fn par_bc_accumulate_traced<S: TraceSink>(
     variant: BcVariant,
     sink: &S,
 ) -> Vec<f64> {
+    par_bc_accumulate_impl(graph, sources, threads, variant, sink, None).0
+}
+
+/// The shared monitored driver behind the traced and cancellable
+/// multi-source entry points. The token is checked between sources
+/// (against the total forward phases emitted so far) and inside each
+/// source's forward traversal at every level boundary; a source whose
+/// traversal is interrupted contributes nothing, so the returned scores
+/// are always the *exact* accumulation over the first `sources_done`
+/// sources.
+fn par_bc_accumulate_impl<S: TraceSink>(
+    graph: &CsrGraph,
+    sources: &[VertexId],
+    threads: usize,
+    variant: BcVariant,
+    sink: &S,
+    token: Option<&CancelToken>,
+) -> (Vec<f64>, usize, RunOutcome) {
     let config = PoolConfig::from_env(threads);
     let monitor = PoolMonitor::new();
     let pool = WorkerPool::with_monitor(config.threads, Arc::clone(&monitor));
@@ -343,20 +362,35 @@ fn par_bc_accumulate_traced<S: TraceSink>(
         config.grain,
         DirectionConfig::always_top_down(),
     );
+    let mut sources_done = 0usize;
+    // Counted here rather than through the scope so the budget works with
+    // a disabled sink too (a NoopSink never sees the phase events).
+    let mut total_phases = 0usize;
+    let mut outcome = RunOutcome::Completed;
     for &source in sources {
         if (source as usize) >= n {
+            sources_done += 1;
             continue;
+        }
+        if let Some(stop) = cancel::check(token, total_phases) {
+            outcome = stop;
+            break;
         }
         state.reset();
         let per_source = OffsetSink::new(&scope, scope.phases_so_far());
-        let run = match variant {
+        let (run, forward_outcome) = match variant {
             BcVariant::BranchAvoiding => {
-                level_loop.run_traced(&state, source, &BcForward::<true>, &per_source)
+                level_loop.run_loop(&state, source, &BcForward::<true>, &per_source, token)
             }
             BcVariant::BranchBased => {
-                level_loop.run_traced(&state, source, &BcForward::<false>, &per_source)
+                level_loop.run_loop(&state, source, &BcForward::<false>, &per_source, token)
             }
         };
+        if !forward_outcome.is_completed() {
+            outcome = forward_outcome;
+            break;
+        }
+        total_phases += run.directions.len();
         accumulate_dependencies(
             graph,
             &pool,
@@ -366,9 +400,44 @@ fn par_bc_accumulate_traced<S: TraceSink>(
             &mut delta,
             &mut centrality,
         );
+        sources_done += 1;
     }
-    scope.finish(Some(monitor.take_metrics()));
-    centrality
+    emit_degradation_warning(&pool, &scope);
+    scope.finish_with_outcome(Some(monitor.take_metrics()), &outcome);
+    (centrality, sources_done, outcome)
+}
+
+/// [`par_betweenness_centrality_sources`] with a [`CancelToken`]. Returns
+/// the raw un-halved scores, the number of sources whose contribution is
+/// fully accumulated, and the outcome: an interrupted run's scores are
+/// the exact accumulation over that source prefix (an interrupted
+/// source's partial traversal is discarded, never half-counted), so
+/// callers can use them as a sampled-source approximation or resume by
+/// re-running over `sources[sources_done..]` and summing.
+pub fn par_betweenness_centrality_sources_with_cancel(
+    graph: &CsrGraph,
+    sources: &[VertexId],
+    threads: usize,
+    variant: BcVariant,
+    cancel: &CancelToken,
+) -> (Vec<f64>, usize, RunOutcome) {
+    par_bc_accumulate_impl(graph, sources, threads, variant, &NoopSink, Some(cancel))
+}
+
+/// [`par_betweenness_centrality_sources_traced`] with a [`CancelToken`]:
+/// an interrupted run still emits a complete `bga-trace-v1` document
+/// whose trailer carries the interruption reason. See
+/// [`par_betweenness_centrality_sources_with_cancel`] for the
+/// partial-result semantics.
+pub fn par_betweenness_centrality_sources_traced_with_cancel<S: TraceSink>(
+    graph: &CsrGraph,
+    sources: &[VertexId],
+    threads: usize,
+    variant: BcVariant,
+    sink: &S,
+    cancel: &CancelToken,
+) -> (Vec<f64>, usize, RunOutcome) {
+    par_bc_accumulate_impl(graph, sources, threads, variant, sink, Some(cancel))
 }
 
 /// [`par_betweenness_centrality_with_variant`] with a [`TraceSink`]
@@ -514,6 +583,44 @@ mod tests {
         for score in &scores[1..6] {
             assert!(score.abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn interrupted_accumulations_are_exact_over_the_source_prefix() {
+        let g = barabasi_albert(200, 2, 9);
+        let sources: Vec<VertexId> = (0..40).collect();
+        // A global phase budget cuts between sources once the total
+        // forward-level count crosses it; the surviving scores must be
+        // exactly the accumulation over the completed prefix.
+        let token = CancelToken::new().with_phase_budget(12);
+        let (scores, done, outcome) = par_betweenness_centrality_sources_with_cancel(
+            &g,
+            &sources,
+            2,
+            BcVariant::BranchAvoiding,
+            &token,
+        );
+        assert!(!outcome.is_completed());
+        assert!(done > 0 && done < sources.len(), "done = {done}");
+        let expected = betweenness_centrality_sources(&g, &sources[..done]);
+        assert_close(&scores, &expected);
+    }
+
+    #[test]
+    fn uncancelled_bc_tokens_complete_and_match() {
+        let g = grid_2d(7, 6, MeshStencil::VonNeumann);
+        let sources: Vec<VertexId> = (0..g.num_vertices() as VertexId).collect();
+        let token = CancelToken::new();
+        let (scores, done, outcome) = par_betweenness_centrality_sources_with_cancel(
+            &g,
+            &sources,
+            2,
+            BcVariant::BranchBased,
+            &token,
+        );
+        assert!(outcome.is_completed());
+        assert_eq!(done, sources.len());
+        assert_close(&scores, &betweenness_centrality_sources(&g, &sources));
     }
 
     #[test]

@@ -32,16 +32,17 @@
 //! runs with more than one thread (it is still a valid BFS order);
 //! bottom-up levels discover in ascending vertex order.
 
+use crate::cancel::{CancelToken, RunOutcome};
 use crate::counters::ThreadTally;
 use crate::engine::{bottom_up_claim, LevelCtx, LevelKernel, LevelLoop, TraversalState};
 use crate::pool::{Execute, PoolConfig, PoolMonitor, WorkerPool};
-use crate::trace::TraceRun;
+use crate::trace::{emit_degradation_warning, TraceRun};
 use bga_graph::{CsrGraph, VertexId};
 use bga_kernels::bfs::direction_optimizing::DirectionConfig;
 use bga_kernels::bfs::frontier::Bitmap;
 use bga_kernels::bfs::{BfsResult, INFINITY};
 use bga_kernels::stats::RunCounters;
-use bga_obs::{TraceEvent, TraceSink};
+use bga_obs::{NoopSink, TraceEvent, TraceSink};
 use std::ops::Range;
 use std::sync::atomic::Ordering::Relaxed;
 use std::sync::Arc;
@@ -407,6 +408,7 @@ pub fn par_bfs_branch_avoiding_instrumented(
 /// phase event per level, pool batch metrics and the `run-end` trailer,
 /// all delivered to `sink` as a complete `bga-trace-v1` stream. Kernels
 /// run with `TALLY` so the phase counters are real.
+#[allow(clippy::too_many_arguments)]
 fn par_bfs_traced_on<K: LevelKernel, S: TraceSink>(
     graph: &CsrGraph,
     root: VertexId,
@@ -415,7 +417,8 @@ fn par_bfs_traced_on<K: LevelKernel, S: TraceSink>(
     variant: &str,
     kernel: &K,
     sink: &S,
-) -> ParDirBfsRun {
+    cancel: Option<&CancelToken>,
+) -> (ParDirBfsRun, RunOutcome) {
     let config = PoolConfig::from_env(threads);
     let monitor = PoolMonitor::new();
     let pool = WorkerPool::with_monitor(config.threads, Arc::clone(&monitor));
@@ -433,15 +436,17 @@ fn par_bfs_traced_on<K: LevelKernel, S: TraceSink>(
         },
     );
     let state = TraversalState::new(graph.num_vertices());
-    let run = LevelLoop::new(graph, &pool, config.grain, dir_config)
-        .run_traced(&state, root, kernel, &scope);
-    scope.finish(Some(monitor.take_metrics()));
-    ParDirBfsRun {
+    let (run, outcome) = LevelLoop::new(graph, &pool, config.grain, dir_config)
+        .run_loop(&state, root, kernel, &scope, cancel);
+    emit_degradation_warning(&pool, &scope);
+    scope.finish_with_outcome(Some(monitor.take_metrics()), &outcome);
+    let result = ParDirBfsRun {
         result: BfsResult::new(state.into_distances(), run.order),
         directions: run.directions,
         counters: run.counters,
         threads: pool.threads(),
-    }
+    };
+    (result, outcome)
 }
 
 /// [`par_bfs_branch_based_instrumented`] with a [`TraceSink`] receiving
@@ -462,7 +467,9 @@ pub fn par_bfs_branch_based_traced<S: TraceSink>(
         "branch-based",
         &BranchBasedLevel::<true>,
         sink,
-    );
+        None,
+    )
+    .0;
     ParBfsRun {
         result: run.result,
         counters: run.counters,
@@ -486,7 +493,9 @@ pub fn par_bfs_branch_avoiding_traced<S: TraceSink>(
         "branch-avoiding",
         &BranchAvoidingLevel::<true>,
         sink,
-    );
+        None,
+    )
+    .0;
     ParBfsRun {
         result: run.result,
         counters: run.counters,
@@ -512,6 +521,170 @@ pub fn par_bfs_direction_optimizing_traced<S: TraceSink>(
         "direction-optimizing",
         &BranchAvoidingLevel::<true>,
         sink,
+        None,
+    )
+    .0
+}
+
+/// [`par_bfs_branch_avoiding`] with a [`CancelToken`] checked at every
+/// level boundary. An interrupted run returns the levels that completed:
+/// distances behind the cut are final BFS levels, everything beyond is
+/// still `INFINITY` — a valid partial traversal, as every distance only
+/// ever moves from `INFINITY` to its unique level.
+pub fn par_bfs_branch_avoiding_with_cancel(
+    graph: &CsrGraph,
+    root: VertexId,
+    threads: usize,
+    cancel: &CancelToken,
+) -> (ParBfsRun, RunOutcome) {
+    let (run, outcome) = par_bfs_traced_on(
+        graph,
+        root,
+        threads,
+        DirectionConfig::always_top_down(),
+        "branch-avoiding",
+        &BranchAvoidingLevel::<true>,
+        &NoopSink,
+        Some(cancel),
+    );
+    (
+        ParBfsRun {
+            result: run.result,
+            counters: run.counters,
+            threads: run.threads,
+        },
+        outcome,
+    )
+}
+
+/// [`par_bfs_branch_based`] with a [`CancelToken`]; see
+/// [`par_bfs_branch_avoiding_with_cancel`].
+pub fn par_bfs_branch_based_with_cancel(
+    graph: &CsrGraph,
+    root: VertexId,
+    threads: usize,
+    cancel: &CancelToken,
+) -> (ParBfsRun, RunOutcome) {
+    let (run, outcome) = par_bfs_traced_on(
+        graph,
+        root,
+        threads,
+        DirectionConfig::always_top_down(),
+        "branch-based",
+        &BranchBasedLevel::<true>,
+        &NoopSink,
+        Some(cancel),
+    );
+    (
+        ParBfsRun {
+            result: run.result,
+            counters: run.counters,
+            threads: run.threads,
+        },
+        outcome,
+    )
+}
+
+/// [`par_bfs_direction_optimizing_with_config`] with a [`CancelToken`];
+/// see [`par_bfs_branch_avoiding_with_cancel`].
+pub fn par_bfs_direction_optimizing_with_cancel(
+    graph: &CsrGraph,
+    root: VertexId,
+    threads: usize,
+    config: DirectionConfig,
+    cancel: &CancelToken,
+) -> (ParDirBfsRun, RunOutcome) {
+    par_bfs_traced_on(
+        graph,
+        root,
+        threads,
+        config,
+        "direction-optimizing",
+        &BranchAvoidingLevel::<true>,
+        &NoopSink,
+        Some(cancel),
+    )
+}
+
+/// [`par_bfs_branch_avoiding_traced`] with a [`CancelToken`]: the traced,
+/// cancellable driver. An interrupted run still emits a complete
+/// `bga-trace-v1` document — header, one phase per completed level, pool
+/// metrics and a trailer marked with the interruption reason.
+pub fn par_bfs_branch_avoiding_traced_with_cancel<S: TraceSink>(
+    graph: &CsrGraph,
+    root: VertexId,
+    threads: usize,
+    sink: &S,
+    cancel: &CancelToken,
+) -> (ParBfsRun, RunOutcome) {
+    let (run, outcome) = par_bfs_traced_on(
+        graph,
+        root,
+        threads,
+        DirectionConfig::always_top_down(),
+        "branch-avoiding",
+        &BranchAvoidingLevel::<true>,
+        sink,
+        Some(cancel),
+    );
+    (
+        ParBfsRun {
+            result: run.result,
+            counters: run.counters,
+            threads: run.threads,
+        },
+        outcome,
+    )
+}
+
+/// [`par_bfs_branch_based_traced`] with a [`CancelToken`]; see
+/// [`par_bfs_branch_avoiding_traced_with_cancel`].
+pub fn par_bfs_branch_based_traced_with_cancel<S: TraceSink>(
+    graph: &CsrGraph,
+    root: VertexId,
+    threads: usize,
+    sink: &S,
+    cancel: &CancelToken,
+) -> (ParBfsRun, RunOutcome) {
+    let (run, outcome) = par_bfs_traced_on(
+        graph,
+        root,
+        threads,
+        DirectionConfig::always_top_down(),
+        "branch-based",
+        &BranchBasedLevel::<true>,
+        sink,
+        Some(cancel),
+    );
+    (
+        ParBfsRun {
+            result: run.result,
+            counters: run.counters,
+            threads: run.threads,
+        },
+        outcome,
+    )
+}
+
+/// [`par_bfs_direction_optimizing_traced`] with a [`CancelToken`]; see
+/// [`par_bfs_branch_avoiding_traced_with_cancel`].
+pub fn par_bfs_direction_optimizing_traced_with_cancel<S: TraceSink>(
+    graph: &CsrGraph,
+    root: VertexId,
+    threads: usize,
+    config: DirectionConfig,
+    sink: &S,
+    cancel: &CancelToken,
+) -> (ParDirBfsRun, RunOutcome) {
+    par_bfs_traced_on(
+        graph,
+        root,
+        threads,
+        config,
+        "direction-optimizing",
+        &BranchAvoidingLevel::<true>,
+        sink,
+        Some(cancel),
     )
 }
 
@@ -773,5 +946,53 @@ mod tests {
         assert!(a.stores > b.stores);
         assert!(b.branch_mispredictions > 0);
         assert_eq!(a.branch_mispredictions, 0);
+    }
+
+    #[test]
+    fn phase_budget_cuts_bfs_at_an_exact_level() {
+        // On a path, level k discovers exactly vertex k, so a budget of 5
+        // phases leaves distances 0..=5 final and everything beyond
+        // untouched — the partial state the cancellation API promises.
+        let g = path_graph(40);
+        let token = CancelToken::new().with_phase_budget(5);
+        let (run, outcome) = par_bfs_branch_avoiding_with_cancel(&g, 0, 2, &token);
+        assert_eq!(
+            outcome.reason(),
+            Some(crate::cancel::InterruptReason::PhaseBudgetExhausted)
+        );
+        for (v, &d) in run.result.distances().iter().enumerate() {
+            if v <= 5 {
+                assert_eq!(d, v as u32);
+            } else {
+                assert_eq!(d, INFINITY);
+            }
+        }
+        assert_eq!(run.result.visit_order(), &[0, 1, 2, 3, 4, 5]);
+
+        let (based, based_outcome) = par_bfs_branch_based_with_cancel(&g, 0, 2, &token);
+        assert!(!based_outcome.is_completed());
+        assert_eq!(based.result.distances(), run.result.distances());
+    }
+
+    #[test]
+    fn uncancelled_bfs_tokens_complete_and_match_the_plain_run() {
+        let g = barabasi_albert(500, 3, 13);
+        let token = CancelToken::new();
+        let (run, outcome) =
+            par_bfs_direction_optimizing_with_cancel(&g, 0, 4, DirectionConfig::default(), &token);
+        assert!(outcome.is_completed());
+        let reference = par_bfs_direction_optimizing(&g, 0, 4);
+        assert_eq!(run.result.distances(), reference.distances());
+
+        let pre_cancelled = CancelToken::new();
+        pre_cancelled.cancel();
+        let (cut, cut_outcome) = par_bfs_branch_avoiding_with_cancel(&g, 0, 2, &pre_cancelled);
+        assert_eq!(
+            cut_outcome.reason(),
+            Some(crate::cancel::InterruptReason::Cancelled)
+        );
+        // Only the root was seeded before the first phase boundary check.
+        assert_eq!(cut.result.reached_count(), 1);
+        assert_eq!(cut.result.distances()[0], 0);
     }
 }

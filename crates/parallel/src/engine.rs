@@ -42,6 +42,7 @@
 //! over the [`Execute::parallelism`] and the configured grain.
 
 use crate::bitmap::par_fill_bitmap;
+use crate::cancel::{self, CancelToken, RunOutcome};
 use crate::counters::{collect_run, merge_thread_steps, ThreadTally};
 use crate::pool::{
     balanced_prefix_ranges, edge_balanced_ranges, effective_chunks_with_grain, even_ranges, Execute,
@@ -91,6 +92,16 @@ impl TraversalState {
         TraversalState {
             sigma: Some((0..n).map(|_| AtomicU64::new(0)).collect()),
             ..TraversalState::new(n)
+        }
+    }
+
+    /// State seeded from an existing distance vector — the resume path:
+    /// the partial distances an interrupted run left behind become the
+    /// starting upper bounds of the resumed one.
+    pub fn from_distances(distances: &[u32]) -> Self {
+        TraversalState {
+            distances: distances.iter().copied().map(AtomicU32::new).collect(),
+            sigma: None,
         }
     }
 
@@ -437,15 +448,57 @@ impl<'a, E: Execute> LevelLoop<'a, E> {
         kernel: &K,
         sink: &S,
     ) -> LevelRun {
+        self.run_loop(state, root, kernel, sink, None).0
+    }
+
+    /// [`LevelLoop::run`] with a [`CancelToken`] checked at every level
+    /// boundary. An interrupted run returns the levels it completed — the
+    /// distances in `state` are valid monotone upper bounds, and `order` /
+    /// `level_bounds` cover exactly the levels that finished — together
+    /// with the [`RunOutcome`] saying why it stopped.
+    pub fn run_cancellable<K: LevelKernel>(
+        &self,
+        state: &TraversalState,
+        root: VertexId,
+        kernel: &K,
+        cancel: &CancelToken,
+    ) -> (LevelRun, RunOutcome) {
+        self.run_loop(state, root, kernel, &NoopSink, Some(cancel))
+    }
+
+    /// [`LevelLoop::run_traced`] with a [`CancelToken`]: the traced,
+    /// cancellable driver. Phase events are emitted for completed levels
+    /// only, so the stream stays consistent with the returned run; the
+    /// caller's `run-end` trailer marks the interruption.
+    pub fn run_traced_cancellable<K: LevelKernel, S: TraceSink>(
+        &self,
+        state: &TraversalState,
+        root: VertexId,
+        kernel: &K,
+        sink: &S,
+        cancel: &CancelToken,
+    ) -> (LevelRun, RunOutcome) {
+        self.run_loop(state, root, kernel, sink, Some(cancel))
+    }
+
+    pub(crate) fn run_loop<K: LevelKernel, S: TraceSink>(
+        &self,
+        state: &TraversalState,
+        root: VertexId,
+        kernel: &K,
+        sink: &S,
+        cancel: Option<&CancelToken>,
+    ) -> (LevelRun, RunOutcome) {
         let n = self.graph.num_vertices();
         let threads = self.exec.parallelism();
         if (root as usize) >= n {
-            return LevelRun {
+            let run = LevelRun {
                 order: Vec::new(),
                 level_bounds: Vec::new(),
                 directions: Vec::new(),
                 counters: RunCounters::default(),
             };
+            return (run, RunOutcome::Completed);
         }
         state.init_root(root);
         let mut frontier = vec![root];
@@ -459,8 +512,16 @@ impl<'a, E: Execute> LevelLoop<'a, E> {
         let mut steps = Vec::new();
         // One bitmap allocation reused (cleared) across bottom-up levels.
         let mut in_frontier = Bitmap::new(n);
+        let mut outcome = RunOutcome::Completed;
 
         while !frontier.is_empty() {
+            // Level boundary: every completed level's distance writes are
+            // fully published, so stopping here leaves the state a valid
+            // set of monotone upper bounds.
+            if let Some(stop) = cancel::check(cancel, directions.len()) {
+                outcome = stop;
+                break;
+            }
             let frontier_fraction = frontier.len() as f64 / n.max(1) as f64;
             if !bottom_up && frontier_fraction > self.config.to_bottom_up {
                 bottom_up = true;
@@ -558,12 +619,13 @@ impl<'a, E: Execute> LevelLoop<'a, E> {
                 }));
             }
         }
-        LevelRun {
+        let run = LevelRun {
             order,
             level_bounds,
             directions,
             counters: collect_run(steps),
-        }
+        };
+        (run, outcome)
     }
 }
 
@@ -708,6 +770,69 @@ impl<'a, E: Execute> BucketLoop<'a, E> {
         kernel: &K,
         sink: &S,
     ) -> BucketRun {
+        self.run_loop(state, source, kernel, sink, None, false).0
+    }
+
+    /// [`BucketLoop::run`] with a [`CancelToken`] checked before every
+    /// dispatched pass. An interrupted run returns only the fully settled
+    /// buckets in `order` / `bucket_bounds` (a bucket cut mid-drain is
+    /// dropped from the settle order — its distances may still improve),
+    /// while the distances in `state` remain valid monotone upper bounds
+    /// for *every* vertex touched so far; [`BucketLoop::run_resumed`]
+    /// converges them to the uninterrupted fixpoint.
+    pub fn run_cancellable<K: BucketKernel>(
+        &self,
+        state: &TraversalState,
+        source: VertexId,
+        kernel: &K,
+        cancel: &CancelToken,
+    ) -> (BucketRun, RunOutcome) {
+        self.run_loop(state, source, kernel, &NoopSink, Some(cancel), false)
+    }
+
+    /// [`BucketLoop::run_traced`] with a [`CancelToken`]: the traced,
+    /// cancellable driver. Phase events cover the dispatched passes only,
+    /// so the stream stays consistent; the caller's `run-end` trailer
+    /// marks the interruption.
+    pub fn run_traced_cancellable<K: BucketKernel, S: TraceSink>(
+        &self,
+        state: &TraversalState,
+        source: VertexId,
+        kernel: &K,
+        sink: &S,
+        cancel: &CancelToken,
+    ) -> (BucketRun, RunOutcome) {
+        self.run_loop(state, source, kernel, sink, Some(cancel), false)
+    }
+
+    /// Resumes delta-stepping from partial state: every vertex with a
+    /// finite distance is re-filed as pending in the bucket of that
+    /// distance, and the loop runs to convergence from there. Because the
+    /// branch-avoiding relaxation is a monotone idempotent `fetch_min`,
+    /// resuming from any valid upper-bound state — in particular the state
+    /// an interrupted [`BucketLoop::run_cancellable`] left behind —
+    /// converges to distances bit-identical to an uninterrupted run.
+    /// (The settle order restarts from the resume point and is not
+    /// comparable to the uninterrupted order.)
+    pub fn run_resumed<K: BucketKernel>(
+        &self,
+        state: &TraversalState,
+        source: VertexId,
+        kernel: &K,
+    ) -> BucketRun {
+        self.run_loop(state, source, kernel, &NoopSink, None, true)
+            .0
+    }
+
+    pub(crate) fn run_loop<K: BucketKernel, S: TraceSink>(
+        &self,
+        state: &TraversalState,
+        source: VertexId,
+        kernel: &K,
+        sink: &S,
+        cancel: Option<&CancelToken>,
+        resume: bool,
+    ) -> (BucketRun, RunOutcome) {
         let n = self.graph.num_vertices();
         let delta = self.delta;
         let mut run = BucketRun {
@@ -718,7 +843,7 @@ impl<'a, E: Execute> BucketLoop<'a, E> {
             counters: RunCounters::default(),
         };
         if (source as usize) >= n {
-            return run;
+            return (run, RunOutcome::Completed);
         }
         state.init_root(source);
         let distances = state.distances();
@@ -732,7 +857,23 @@ impl<'a, E: Execute> BucketLoop<'a, E> {
         // not-yet-expanded-at-this-distance one.
         let mut buckets: std::collections::BTreeMap<usize, Vec<VertexId>> =
             std::collections::BTreeMap::new();
-        buckets.insert(0, vec![source]);
+        if resume {
+            // Re-file *every* finite-distance vertex as pending, not just
+            // the frontier an interrupted run would have kept: a vertex
+            // whose distance is already optimal still has to re-relax its
+            // out-edges, because its neighbours' bounds may predate it.
+            for (v, distance) in distances.iter().enumerate() {
+                let d = distance.load(Relaxed);
+                if d != INFINITY {
+                    buckets
+                        .entry((d / delta) as usize)
+                        .or_default()
+                        .push(v as VertexId);
+                }
+            }
+        } else {
+            buckets.insert(0, vec![source]);
+        }
         // Distance at which each vertex was last expanded (`INFINITY` =
         // never): lets a within-bucket improvement re-expand the vertex
         // while same-distance duplicate copies are dropped.
@@ -750,11 +891,21 @@ impl<'a, E: Execute> BucketLoop<'a, E> {
             delta,
         };
 
-        while let Some((&index, _)) = buckets.first_key_value() {
+        let mut outcome = RunOutcome::Completed;
+        'buckets: while let Some((&index, _)) = buckets.first_key_value() {
             let bucket_start = run.order.len();
             // Phase loop: light relaxations out of bucket `index` may
             // refill it, so keep draining until it stays empty.
             while let Some(pending) = buckets.remove(&index) {
+                // Pass boundary: all prior distance writes are published.
+                // A bucket cut mid-drain is not settled, so its vertices
+                // are dropped from the reported order (their distances may
+                // still improve); the distance state itself stays valid.
+                if let Some(stop) = cancel::check(cancel, dispatches) {
+                    outcome = stop;
+                    run.order.truncate(bucket_start);
+                    break 'buckets;
+                }
                 let mut frontier: Vec<(VertexId, u32)> = Vec::new();
                 for v in pending {
                     let d = distances[v as usize].load(Relaxed);
@@ -838,7 +989,7 @@ impl<'a, E: Execute> BucketLoop<'a, E> {
             // monotonically.
         }
         run.counters = collect_run(steps);
-        run
+        (run, outcome)
     }
 
     /// Fans one `(frontier, edge class)` pass out over the executor,
@@ -990,6 +1141,39 @@ impl<'a, E: Execute> SweepLoop<'a, E> {
     /// anything, the merged step counters and the sweep's wall-clock time.
     /// With a [`NoopSink`] this *is* [`SweepLoop::run`].
     pub fn run_traced<K: SweepKernel, S: TraceSink>(&self, kernel: &K, sink: &S) -> SweepRun {
+        self.run_loop(kernel, sink, None).0
+    }
+
+    /// [`SweepLoop::run`] with a [`CancelToken`] checked at every sweep
+    /// boundary. An interrupted run reports the sweeps that completed; the
+    /// kernel's label state is whatever those sweeps left behind — for
+    /// monotone label-propagation kernels, valid upper bounds that a
+    /// fresh run over the same state converges to the same fixpoint.
+    pub fn run_cancellable<K: SweepKernel>(
+        &self,
+        kernel: &K,
+        cancel: &CancelToken,
+    ) -> (SweepRun, RunOutcome) {
+        self.run_loop(kernel, &NoopSink, Some(cancel))
+    }
+
+    /// [`SweepLoop::run_traced`] with a [`CancelToken`]: the traced,
+    /// cancellable driver.
+    pub fn run_traced_cancellable<K: SweepKernel, S: TraceSink>(
+        &self,
+        kernel: &K,
+        sink: &S,
+        cancel: &CancelToken,
+    ) -> (SweepRun, RunOutcome) {
+        self.run_loop(kernel, sink, Some(cancel))
+    }
+
+    pub(crate) fn run_loop<K: SweepKernel, S: TraceSink>(
+        &self,
+        kernel: &K,
+        sink: &S,
+        cancel: Option<&CancelToken>,
+    ) -> (SweepRun, RunOutcome) {
         let ranges = edge_balanced_ranges(
             self.graph.offsets(),
             effective_chunks_with_grain(
@@ -1000,7 +1184,14 @@ impl<'a, E: Execute> SweepLoop<'a, E> {
         );
         let mut steps = Vec::new();
         let mut sweeps = 0usize;
+        let mut outcome = RunOutcome::Completed;
         loop {
+            // Sweep boundary: between sweeps no label writes are in
+            // flight, so stopping leaves the kernel's state consistent.
+            if let Some(stop) = cancel::check(cancel, sweeps) {
+                outcome = stop;
+                break;
+            }
             sweeps += 1;
             let phase_started = S::ENABLED.then(Instant::now);
             let outcomes: Vec<(bool, ThreadTally)> =
@@ -1039,10 +1230,11 @@ impl<'a, E: Execute> SweepLoop<'a, E> {
                 break;
             }
         }
-        SweepRun {
+        let run = SweepRun {
             sweeps,
             counters: collect_run(steps),
-        }
+        };
+        (run, outcome)
     }
 }
 
@@ -1443,6 +1635,160 @@ mod tests {
         // Δ is clamped to >= 1 rather than dividing by zero.
         let (distances, _) = run_bucket_probe(&unit_weights(&path_graph(4)), 0, 0, 2);
         assert_eq!(distances, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn level_loop_phase_budget_cuts_at_an_exact_level() {
+        use crate::cancel::InterruptReason;
+        let g = path_graph(30);
+        let pool = WorkerPool::new(2);
+        let state = TraversalState::new(g.num_vertices());
+        let cancel = CancelToken::new().with_phase_budget(5);
+        let (run, outcome) = LevelLoop::new(&g, &pool, 1, DirectionConfig::always_top_down())
+            .run_cancellable(&state, 0, &ProbeKernel, &cancel);
+        assert_eq!(
+            outcome,
+            RunOutcome::Interrupted {
+                reason: InterruptReason::PhaseBudgetExhausted,
+                phases_done: 5,
+            }
+        );
+        // Exactly the completed levels are reported, and the distances
+        // behind them are final while everything beyond is untouched.
+        assert_eq!(run.directions.len(), 5);
+        assert_eq!(run.order, vec![0, 1, 2, 3, 4, 5]);
+        let distances = state.into_distances();
+        for (v, &d) in distances.iter().enumerate() {
+            if v <= 5 {
+                assert_eq!(d, v as u32);
+            } else {
+                assert_eq!(d, INFINITY);
+            }
+        }
+    }
+
+    #[test]
+    fn cancelled_tokens_stop_runs_before_the_first_phase() {
+        let g = path_graph(10);
+        let pool = WorkerPool::new(2);
+        let state = TraversalState::new(g.num_vertices());
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let (run, outcome) = LevelLoop::new(&g, &pool, 1, DirectionConfig::default())
+            .run_cancellable(&state, 0, &ProbeKernel, &cancel);
+        assert!(!outcome.is_completed());
+        assert!(run.directions.is_empty());
+        // Only the root was initialised.
+        assert_eq!(state.distances()[0].load(Relaxed), 0);
+        assert!(state.distances()[1..]
+            .iter()
+            .all(|d| d.load(Relaxed) == INFINITY));
+    }
+
+    #[test]
+    fn unlimited_tokens_complete_and_match_the_plain_run() {
+        let g = star_graph(40);
+        let pool = WorkerPool::new(3);
+        let state_plain = TraversalState::new(g.num_vertices());
+        let plain = LevelLoop::new(&g, &pool, 1, DirectionConfig::default()).run(
+            &state_plain,
+            0,
+            &ProbeKernel,
+        );
+        let state_cancel = TraversalState::new(g.num_vertices());
+        let (run, outcome) = LevelLoop::new(&g, &pool, 1, DirectionConfig::default())
+            .run_cancellable(&state_cancel, 0, &ProbeKernel, &CancelToken::new());
+        assert_eq!(outcome, RunOutcome::Completed);
+        assert_eq!(run.level_bounds, plain.level_bounds);
+        assert_eq!(state_cancel.into_distances(), state_plain.into_distances());
+    }
+
+    #[test]
+    fn bucket_loop_interruption_keeps_settled_buckets_and_resume_converges() {
+        use bga_graph::generators::barabasi_albert;
+        use bga_graph::weighted::uniform_weights;
+        let g = uniform_weights(&barabasi_albert(600, 3, 17), 20, 5);
+        let pool = WorkerPool::new(4);
+        // The uninterrupted reference.
+        let reference = {
+            let state = TraversalState::new(g.num_vertices());
+            let run = BucketLoop::new(&g, &pool, 1, 4).run(&state, 0, &ProbeRelax);
+            (state.into_distances(), run)
+        };
+        // Cut the run after a handful of passes, then resume it.
+        let state = TraversalState::new(g.num_vertices());
+        let cancel = CancelToken::new().with_phase_budget(3);
+        let loop_ = BucketLoop::new(&g, &pool, 1, 4);
+        let (partial, outcome) = loop_.run_cancellable(&state, 0, &ProbeRelax, &cancel);
+        assert!(!outcome.is_completed());
+        // The budget bounds dispatched passes; one deferred heavy pass may
+        // slip in between checks, but the run is genuinely cut short.
+        assert!(partial.phases <= 4);
+        assert!(partial.phases < reference.1.phases);
+        // Partial distances are valid upper bounds on the true distances.
+        for (v, d) in state.distances().iter().enumerate() {
+            assert!(d.load(Relaxed) >= reference.0[v]);
+        }
+        // Reported settle order is a prefix of the reference order (only
+        // fully settled buckets survive the cut).
+        assert_eq!(
+            partial.order.as_slice(),
+            &reference.1.order[..partial.order.len()]
+        );
+        // Resuming from the partial state converges bit-identically.
+        let resumed = loop_.run_resumed(&state, 0, &ProbeRelax);
+        assert_eq!(state.into_distances(), reference.0);
+        assert!(resumed.phases > 0);
+    }
+
+    #[test]
+    fn bucket_loop_resume_from_scratch_matches_a_plain_run() {
+        use bga_graph::weighted::WeightedGraphBuilder;
+        let g = WeightedGraphBuilder::undirected(3)
+            .add_edges([(0, 1, 2), (1, 2, 2), (0, 2, 5)])
+            .build();
+        let pool = WorkerPool::new(2);
+        let state = TraversalState::new(g.num_vertices());
+        BucketLoop::new(&g, &pool, 1, 2).run_resumed(&state, 0, &ProbeRelax);
+        assert_eq!(state.into_distances(), vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn sweep_loop_phase_budget_counts_completed_sweeps() {
+        use crate::cancel::InterruptReason;
+        use std::sync::atomic::AtomicUsize;
+        struct Endless {
+            rounds: AtomicUsize,
+        }
+        impl SweepKernel for Endless {
+            fn sweep_chunk(
+                &self,
+                _graph: &CsrGraph,
+                range: Range<usize>,
+                _tally: &mut ThreadTally,
+            ) -> bool {
+                if range.start == 0 {
+                    self.rounds.fetch_add(1, Relaxed);
+                }
+                true // never converges on its own
+            }
+        }
+        let g = path_graph(10);
+        let pool = WorkerPool::new(2);
+        let kernel = Endless {
+            rounds: AtomicUsize::new(0),
+        };
+        let cancel = CancelToken::new().with_phase_budget(4);
+        let (run, outcome) = SweepLoop::new(&g, &pool, 1).run_cancellable(&kernel, &cancel);
+        assert_eq!(
+            outcome,
+            RunOutcome::Interrupted {
+                reason: InterruptReason::PhaseBudgetExhausted,
+                phases_done: 4,
+            }
+        );
+        assert_eq!(run.sweeps, 4);
+        assert_eq!(kernel.rounds.load(Relaxed), 4);
     }
 
     #[test]

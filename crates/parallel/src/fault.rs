@@ -1,0 +1,268 @@
+//! Deterministic fault injection for the worker pool, behind a
+//! compile-out seam.
+//!
+//! The robustness suite needs to make workers panic, stall and die at
+//! *chosen, reproducible* points; production builds must pay nothing for
+//! that capability. The seam follows the kernels' `TALLY` discipline:
+//! every injection site is guarded by `if FAULT_INJECTION { ... }`, and
+//! [`FAULT_INJECTION`] is a `const` that is `true` only in debug builds —
+//! release builds fold the branches away entirely.
+//!
+//! A [`FaultPlan`] addresses faults by *batch ordinal*: the pool counts
+//! fanned-out batches (inline single-chunk dispatches are not batches) and
+//! consults the plan per batch. Plans come from the builder API in tests
+//! or from the `BGA_FAULT` environment variable, a comma-separated spec:
+//!
+//! ```text
+//! phase:3:panic         panic inside a task of batch 3 (caught by the
+//!                       pool, re-thrown to the submitter)
+//! phase:2:delay-ms:50   sleep 50 ms inside a task of batch 2
+//! io:short-read         truncate graph reader input (handled by
+//!                       bga-graph's IO layer, which parses the same spec)
+//! ```
+//!
+//! Worker-death faults ([`FaultPlan::kill_worker`]) are builder-only: they
+//! panic a named worker *between* batches — never between a chunk claim
+//! and its completion, so the completion barrier cannot wedge — and are
+//! how the pool's degradation paths (health probe, sequential fallback,
+//! non-panicking shutdown) are exercised.
+
+use std::time::Duration;
+
+/// Whether fault-injection sites are compiled in. `true` in debug builds,
+/// `false` (and constant-folded away) in release builds.
+pub const FAULT_INJECTION: bool = cfg!(debug_assertions);
+
+/// Environment variable holding a fault spec (see the module docs for the
+/// grammar). Read by [`FaultPlan::from_env`] in debug builds only.
+pub const FAULT_ENV_VAR: &str = "BGA_FAULT";
+
+/// One injected fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Fault {
+    /// Panic inside the first task of batch `batch`.
+    Panic { batch: usize },
+    /// Sleep `millis` inside the first task of batch `batch`.
+    Delay { batch: usize, millis: u64 },
+    /// Kill (panic) worker `worker` when it picks up batch `batch` or any
+    /// later batch, before it claims any chunk.
+    KillWorker { batch: usize, worker: usize },
+    /// Truncate graph reader input (consumed by `bga-graph`, not the
+    /// pool).
+    IoShortRead,
+}
+
+/// A deterministic schedule of injected faults, consulted by the worker
+/// pool per fanned-out batch. An empty plan (the default) injects
+/// nothing; in release builds every plan behaves as empty because the
+/// check sites compile out.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// The plan from `BGA_FAULT`, empty when the variable is unset or the
+    /// build is release. A malformed spec is an error — a fault harness
+    /// that silently injects nothing would pass every test vacuously.
+    pub fn from_env() -> Result<Self, String> {
+        if !FAULT_INJECTION {
+            return Ok(FaultPlan::new());
+        }
+        match std::env::var(FAULT_ENV_VAR) {
+            Ok(spec) => parse_fault_spec(&spec),
+            Err(_) => Ok(FaultPlan::new()),
+        }
+    }
+
+    /// Whether the plan holds no faults at all.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Adds a panic inside a task of batch `batch`.
+    pub fn panic_in_batch(mut self, batch: usize) -> Self {
+        self.faults.push(Fault::Panic { batch });
+        self
+    }
+
+    /// Adds a panic inside one task of every batch in `batches`.
+    pub fn panic_in_batches(mut self, batches: impl IntoIterator<Item = usize>) -> Self {
+        for batch in batches {
+            self.faults.push(Fault::Panic { batch });
+        }
+        self
+    }
+
+    /// Adds a delay inside a task of batch `batch`.
+    pub fn delay_batch(mut self, batch: usize, millis: u64) -> Self {
+        self.faults.push(Fault::Delay { batch, millis });
+        self
+    }
+
+    /// Kills parked worker `worker` (1-based, as in the pool's participant
+    /// numbering — slot 0 is the submitter and cannot be killed) the next
+    /// time it picks up a batch with ordinal `batch` or later. The "or
+    /// later" matters: a parked worker only ever picks up the *latest*
+    /// published batch, so an exact-ordinal match could be skipped by
+    /// scheduling noise, while this form is guaranteed to fire on the
+    /// worker's next pick-up.
+    ///
+    /// # Panics
+    /// If `worker` is 0.
+    pub fn kill_worker(mut self, batch: usize, worker: usize) -> Self {
+        assert!(worker > 0, "worker 0 is the submitting thread");
+        self.faults.push(Fault::KillWorker { batch, worker });
+        self
+    }
+
+    /// Adds the graph-IO short-read fault.
+    pub fn io_short_read(mut self) -> Self {
+        self.faults.push(Fault::IoShortRead);
+        self
+    }
+
+    /// Whether a task of batch `batch` should panic.
+    pub fn panic_at(&self, batch: usize) -> bool {
+        self.faults.contains(&Fault::Panic { batch })
+    }
+
+    /// The injected delay for batch `batch`, if any.
+    pub fn delay_at(&self, batch: usize) -> Option<Duration> {
+        self.faults.iter().find_map(|f| match f {
+            Fault::Delay { batch: b, millis } if *b == batch => {
+                Some(Duration::from_millis(*millis))
+            }
+            _ => None,
+        })
+    }
+
+    /// Whether worker `worker` should die when picking up batch `batch`.
+    pub fn kill_at(&self, batch: usize, worker: usize) -> bool {
+        self.faults.iter().any(|f| match f {
+            Fault::KillWorker {
+                batch: from,
+                worker: w,
+            } => *w == worker && batch >= *from,
+            _ => false,
+        })
+    }
+
+    /// Whether the plan carries the graph-IO short-read fault.
+    pub fn short_read(&self) -> bool {
+        self.faults.contains(&Fault::IoShortRead)
+    }
+}
+
+/// Parses a comma-separated `BGA_FAULT` spec (see the module docs for the
+/// grammar). Split out from the environment read so the policy is
+/// unit-testable.
+pub fn parse_fault_spec(spec: &str) -> Result<FaultPlan, String> {
+    let mut plan = FaultPlan::new();
+    for part in spec.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = part.split(':').collect();
+        let fault = match fields.as_slice() {
+            ["io", "short-read"] => Fault::IoShortRead,
+            ["phase", batch, "panic"] => Fault::Panic {
+                batch: parse_index(batch, part)?,
+            },
+            ["phase", batch, "delay-ms", millis] => Fault::Delay {
+                batch: parse_index(batch, part)?,
+                millis: millis
+                    .parse()
+                    .map_err(|_| format!("bad delay in fault spec {part:?}"))?,
+            },
+            _ => return Err(format!("unknown fault spec {part:?}")),
+        };
+        plan.faults.push(fault);
+    }
+    Ok(plan)
+}
+
+fn parse_index(text: &str, spec: &str) -> Result<usize, String> {
+    text.parse()
+        .map_err(|_| format!("bad batch index in fault spec {spec:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plans_inject_nothing() {
+        let plan = FaultPlan::new();
+        assert!(plan.is_empty());
+        assert!(!plan.panic_at(0));
+        assert_eq!(plan.delay_at(0), None);
+        assert!(!plan.kill_at(0, 1));
+        assert!(!plan.short_read());
+    }
+
+    #[test]
+    fn builder_faults_are_addressable() {
+        let plan = FaultPlan::new()
+            .panic_in_batch(3)
+            .delay_batch(2, 50)
+            .kill_worker(1, 2)
+            .io_short_read();
+        assert!(!plan.is_empty());
+        assert!(plan.panic_at(3) && !plan.panic_at(2));
+        assert_eq!(plan.delay_at(2), Some(Duration::from_millis(50)));
+        assert_eq!(plan.delay_at(3), None);
+        assert!(plan.kill_at(1, 2), "kill fires at its batch");
+        assert!(plan.kill_at(5, 2), "kill fires at any later batch");
+        assert!(!plan.kill_at(0, 2), "kill does not fire before its batch");
+        assert!(!plan.kill_at(1, 1), "kill names one worker");
+        assert!(plan.short_read());
+    }
+
+    #[test]
+    fn batch_ranges_expand() {
+        let plan = FaultPlan::new().panic_in_batches(0..100);
+        assert!((0..100).all(|b| plan.panic_at(b)));
+        assert!(!plan.panic_at(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "worker 0")]
+    fn the_submitter_cannot_be_killed() {
+        let _ = FaultPlan::new().kill_worker(0, 0);
+    }
+
+    #[test]
+    fn spec_grammar_round_trips() {
+        let plan = parse_fault_spec("phase:3:panic, phase:2:delay-ms:50,io:short-read").unwrap();
+        assert_eq!(
+            plan,
+            FaultPlan::new()
+                .panic_in_batch(3)
+                .delay_batch(2, 50)
+                .io_short_read()
+        );
+        assert_eq!(parse_fault_spec("").unwrap(), FaultPlan::new());
+        assert_eq!(parse_fault_spec(" , ").unwrap(), FaultPlan::new());
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected() {
+        for bad in [
+            "phase:panic",
+            "phase:x:panic",
+            "phase:1:delay-ms:soon",
+            "phase:1:explode",
+            "io:long-read",
+            "coffee",
+        ] {
+            assert!(parse_fault_spec(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+}

@@ -43,13 +43,14 @@
 //! the branch-avoiding kernel keeps decrementing them, the branch-based
 //! kernel skips them — but active vertices see identical degrees in both.
 
+use crate::cancel::{self, CancelToken, RunOutcome};
 use crate::counters::{collect_run, merge_thread_steps, ThreadTally};
 use crate::engine::frontier_degree_prefix;
 use crate::pool::{
     balanced_prefix_ranges, effective_chunks_with_grain, even_ranges, Execute, PoolConfig,
     PoolMonitor, WorkerPool,
 };
-use crate::trace::TraceRun;
+use crate::trace::{emit_degradation_warning, TraceRun};
 use bga_graph::{CsrGraph, VertexId};
 use bga_kernels::kcore::CoreDecomposition;
 use bga_kernels::stats::RunCounters;
@@ -256,7 +257,8 @@ fn peel_on<E: Execute, const BRANCH_AVOIDING: bool, const TALLY: bool, S: TraceS
     exec: &E,
     grain: usize,
     sink: &S,
-) -> (CoreDecomposition, usize, RunCounters) {
+    cancel: Option<&CancelToken>,
+) -> (CoreDecomposition, usize, RunCounters, RunOutcome) {
     let n = graph.num_vertices();
     let threads = exec.parallelism();
     let degree: Vec<AtomicU32> = (0..n)
@@ -271,7 +273,16 @@ fn peel_on<E: Execute, const BRANCH_AVOIDING: bool, const TALLY: bool, S: TraceS
     // Dispatch ordinal for trace phase indices; equals `steps.len()` on
     // instrumented runs (every dispatch pushes exactly one step).
     let mut dispatches = 0usize;
-    while peeled < n {
+    let mut outcome = RunOutcome::Completed;
+    'peel: while peeled < n {
+        // Cancellation seam: between peel dispatches (seed sweeps and
+        // cascade rounds), so an interrupted run leaves every vertex
+        // peeled so far with its final core number and everything else
+        // still marked unpeeled.
+        if let Some(stop) = cancel::check(cancel, dispatches) {
+            outcome = stop;
+            break 'peel;
+        }
         // Seed sweep for this k: every chunk scans a vertex range; the
         // fixpoint of the previous k guarantees seeds have degree == k.
         let seed_ranges = even_ranges(n, effective_chunks_with_grain(n, threads, grain));
@@ -321,6 +332,10 @@ fn peel_on<E: Execute, const BRANCH_AVOIDING: bool, const TALLY: bool, S: TraceS
             continue;
         }
         while !frontier.is_empty() {
+            if let Some(stop) = cancel::check(cancel, dispatches) {
+                outcome = stop;
+                break 'peel;
+            }
             rounds += 1;
             peeled += frontier.len();
             let prefix = frontier_degree_prefix(graph, &frontier);
@@ -384,7 +399,7 @@ fn peel_on<E: Execute, const BRANCH_AVOIDING: bool, const TALLY: bool, S: TraceS
         k += 1;
     }
     let cores = CoreDecomposition::new(core.into_iter().map(AtomicU32::into_inner).collect());
-    (cores, rounds, collect_run(steps))
+    (cores, rounds, collect_run(steps), outcome)
 }
 
 /// Parallel k-core decomposition with the branch-avoiding peel (the
@@ -423,9 +438,13 @@ pub fn par_kcore_on<E: Execute>(
     grain: usize,
     variant: KcoreVariant,
 ) -> (CoreDecomposition, usize) {
-    let (cores, rounds, _) = match variant {
-        KcoreVariant::BranchAvoiding => peel_on::<E, true, false, _>(graph, exec, grain, &NoopSink),
-        KcoreVariant::BranchBased => peel_on::<E, false, false, _>(graph, exec, grain, &NoopSink),
+    let (cores, rounds, _, _) = match variant {
+        KcoreVariant::BranchAvoiding => {
+            peel_on::<E, true, false, _>(graph, exec, grain, &NoopSink, None)
+        }
+        KcoreVariant::BranchBased => {
+            peel_on::<E, false, false, _>(graph, exec, grain, &NoopSink, None)
+        }
     };
     (cores, rounds)
 }
@@ -441,12 +460,12 @@ pub fn par_kcore_instrumented(
 ) -> ParKcoreRun {
     let config = PoolConfig::from_env(threads);
     let pool = WorkerPool::with_config(&config);
-    let (cores, rounds, counters) = match variant {
+    let (cores, rounds, counters, _) = match variant {
         KcoreVariant::BranchAvoiding => {
-            peel_on::<_, true, true, _>(graph, &pool, config.grain, &NoopSink)
+            peel_on::<_, true, true, _>(graph, &pool, config.grain, &NoopSink, None)
         }
         KcoreVariant::BranchBased => {
-            peel_on::<_, false, true, _>(graph, &pool, config.grain, &NoopSink)
+            peel_on::<_, false, true, _>(graph, &pool, config.grain, &NoopSink, None)
         }
     };
     ParKcoreRun {
@@ -470,6 +489,19 @@ pub fn par_kcore_traced<S: TraceSink>(
     variant: KcoreVariant,
     sink: &S,
 ) -> ParKcoreRun {
+    par_kcore_run_impl(graph, threads, variant, sink, None).0
+}
+
+/// Shared monitored driver behind the traced and cancellable k-core
+/// entry points: run header, cancellable peel, pool-degradation warning,
+/// metrics replay and an outcome-marked trailer.
+fn par_kcore_run_impl<S: TraceSink>(
+    graph: &CsrGraph,
+    threads: usize,
+    variant: KcoreVariant,
+    sink: &S,
+    cancel: Option<&CancelToken>,
+) -> (ParKcoreRun, RunOutcome) {
     let config = PoolConfig::from_env(threads);
     let monitor = PoolMonitor::new();
     let pool = WorkerPool::with_monitor(config.threads, Arc::clone(&monitor));
@@ -490,21 +522,53 @@ pub fn par_kcore_traced<S: TraceSink>(
             root: None,
         },
     );
-    let (cores, rounds, counters) = match variant {
+    let (cores, rounds, counters, outcome) = match variant {
         KcoreVariant::BranchAvoiding => {
-            peel_on::<_, true, true, _>(graph, &pool, config.grain, &scope)
+            peel_on::<_, true, true, _>(graph, &pool, config.grain, &scope, cancel)
         }
         KcoreVariant::BranchBased => {
-            peel_on::<_, false, true, _>(graph, &pool, config.grain, &scope)
+            peel_on::<_, false, true, _>(graph, &pool, config.grain, &scope, cancel)
         }
     };
-    scope.finish(Some(monitor.take_metrics()));
-    ParKcoreRun {
-        cores,
-        counters,
-        threads: pool.threads(),
-        rounds,
-    }
+    emit_degradation_warning(&pool, &scope);
+    scope.finish_with_outcome(Some(monitor.take_metrics()), &outcome);
+    (
+        ParKcoreRun {
+            cores,
+            counters,
+            threads: pool.threads(),
+            rounds,
+        },
+        outcome,
+    )
+}
+
+/// [`par_kcore_with_variant`] with a [`CancelToken`] checked between peel
+/// dispatches (seed sweeps and cascade rounds). An interrupted run leaves
+/// every vertex peeled so far carrying its final core number — the
+/// cascade at a fixed `k` is confluent, so a peeled prefix is always a
+/// prefix of the full decomposition — and every unpeeled vertex marked
+/// `u32::MAX`.
+pub fn par_kcore_with_cancel(
+    graph: &CsrGraph,
+    threads: usize,
+    variant: KcoreVariant,
+    cancel: &CancelToken,
+) -> (ParKcoreRun, RunOutcome) {
+    par_kcore_run_impl(graph, threads, variant, &NoopSink, Some(cancel))
+}
+
+/// [`par_kcore_traced`] with a [`CancelToken`]: an interrupted run still
+/// emits a complete `bga-trace-v1` document whose trailer carries the
+/// interruption reason.
+pub fn par_kcore_traced_with_cancel<S: TraceSink>(
+    graph: &CsrGraph,
+    threads: usize,
+    variant: KcoreVariant,
+    sink: &S,
+    cancel: &CancelToken,
+) -> (ParKcoreRun, RunOutcome) {
+    par_kcore_run_impl(graph, threads, variant, sink, Some(cancel))
 }
 
 #[cfg(test)]
@@ -647,6 +711,42 @@ mod tests {
         assert_eq!(a.branch_mispredictions, 0);
         assert!(a.stores > b.stores, "{} <= {}", a.stores, b.stores);
         assert!(a.conditional_moves > 0);
+    }
+
+    #[test]
+    fn interrupted_peels_keep_final_cores_for_the_peeled_prefix() {
+        use crate::cancel::InterruptReason;
+        // A path peels at k = 1 over ~n/2 cascade rounds, so a small
+        // dispatch budget cuts mid-cascade with a real peeled prefix.
+        let g = path_graph(40);
+        let expected = kcore_peeling(&g);
+        let token = CancelToken::new().with_phase_budget(4);
+        let (run, outcome) = par_kcore_with_cancel(&g, 2, KcoreVariant::BranchAvoiding, &token);
+        assert_eq!(
+            outcome.reason(),
+            Some(InterruptReason::PhaseBudgetExhausted)
+        );
+        let peeled: Vec<usize> = (0..g.num_vertices())
+            .filter(|&v| run.cores.as_slice()[v] != u32::MAX)
+            .collect();
+        assert!(!peeled.is_empty(), "budget 4 should peel something");
+        assert!(
+            peeled.len() < g.num_vertices(),
+            "budget 4 should not finish"
+        );
+        // Every peeled vertex already carries its final core number.
+        for &v in &peeled {
+            assert_eq!(run.cores.as_slice()[v], expected.as_slice()[v]);
+        }
+    }
+
+    #[test]
+    fn uncancelled_kcore_tokens_complete_and_match() {
+        let g = barabasi_albert(500, 3, 13);
+        let token = CancelToken::new();
+        let (run, outcome) = par_kcore_with_cancel(&g, 2, KcoreVariant::BranchBased, &token);
+        assert!(outcome.is_completed());
+        assert_eq!(run.cores.as_slice(), kcore_peeling(&g).as_slice());
     }
 
     #[test]

@@ -44,6 +44,15 @@
 //!   sweep/level), with the old per-sweep `std::thread::scope` behaviour
 //!   kept as [`ScopedExecutor`] for benchmarking. No dependencies beyond
 //!   `std`.
+//! * [`cancel`] — cooperative cancellation: a [`CancelToken`] (shared
+//!   flag, optional monotonic deadline, optional phase budget) checked by
+//!   every engine loop at phase boundaries, and the structured
+//!   [`RunOutcome`] cancellable entry points report. Interruption is cheap
+//!   *because* the kernels are branch-avoiding: monotone idempotent
+//!   updates leave partial state valid and resumable.
+//! * [`fault`] — deterministic fault injection for the robustness suite
+//!   ([`FaultPlan`], the `BGA_FAULT` spec), behind a `TALLY`-style const
+//!   seam that compiles out of release builds.
 //! * [`bitmap`] — concurrent helpers for the `Bitmap` frontier shared with
 //!   `bga_kernels::bfs::frontier` (branchless `fetch_or` insertion, one
 //!   `AtomicU64` word per 64 vertices).
@@ -91,8 +100,10 @@
 pub mod bc;
 pub mod bfs;
 pub mod bitmap;
+pub mod cancel;
 pub mod counters;
 pub mod engine;
+pub mod fault;
 pub mod kcore;
 pub mod pool;
 pub mod sssp;
@@ -102,38 +113,51 @@ mod trace;
 pub use bc::{
     par_betweenness_centrality, par_betweenness_centrality_on, par_betweenness_centrality_sources,
     par_betweenness_centrality_sources_on, par_betweenness_centrality_sources_traced,
-    par_betweenness_centrality_traced, par_betweenness_centrality_with_variant, BcVariant,
+    par_betweenness_centrality_sources_traced_with_cancel,
+    par_betweenness_centrality_sources_with_cancel, par_betweenness_centrality_traced,
+    par_betweenness_centrality_with_variant, BcVariant,
 };
 pub use bfs::{
     par_bfs_branch_avoiding, par_bfs_branch_avoiding_instrumented, par_bfs_branch_avoiding_on,
-    par_bfs_branch_avoiding_traced, par_bfs_branch_based, par_bfs_branch_based_instrumented,
-    par_bfs_branch_based_on, par_bfs_branch_based_traced, par_bfs_direction_optimizing,
+    par_bfs_branch_avoiding_traced, par_bfs_branch_avoiding_traced_with_cancel,
+    par_bfs_branch_avoiding_with_cancel, par_bfs_branch_based, par_bfs_branch_based_instrumented,
+    par_bfs_branch_based_on, par_bfs_branch_based_traced, par_bfs_branch_based_traced_with_cancel,
+    par_bfs_branch_based_with_cancel, par_bfs_direction_optimizing,
     par_bfs_direction_optimizing_instrumented, par_bfs_direction_optimizing_on,
-    par_bfs_direction_optimizing_traced, par_bfs_direction_optimizing_with_config, Direction,
+    par_bfs_direction_optimizing_traced, par_bfs_direction_optimizing_traced_with_cancel,
+    par_bfs_direction_optimizing_with_cancel, par_bfs_direction_optimizing_with_config, Direction,
     ParBfsRun, ParDirBfsRun,
 };
 pub use bitmap::{bitmap_from_frontier, par_fill_bitmap, Bitmap};
+pub use cancel::{CancelToken, InterruptReason, RunOutcome};
 pub use counters::{merge_thread_steps, ThreadTally};
 pub use engine::{
     BucketCtx, BucketKernel, BucketLoop, BucketRun, EdgeClass, LevelCtx, LevelKernel, LevelLoop,
     LevelRun, SweepKernel, SweepLoop, SweepRun, TraversalState,
 };
+pub use fault::{parse_fault_spec, FaultPlan, FAULT_ENV_VAR, FAULT_INJECTION};
 pub use kcore::{
-    par_kcore, par_kcore_instrumented, par_kcore_on, par_kcore_traced, par_kcore_with_stats,
+    par_kcore, par_kcore_instrumented, par_kcore_on, par_kcore_traced,
+    par_kcore_traced_with_cancel, par_kcore_with_cancel, par_kcore_with_stats,
     par_kcore_with_variant, KcoreVariant, ParKcoreRun,
 };
 pub use pool::{
-    edge_balanced_ranges, resolve_threads, run_chunks, BatchRecord, Execute, PoolConfig,
+    edge_balanced_ranges, resolve_threads, run_chunks, BatchRecord, Execute, PoolConfig, PoolError,
     PoolMetrics, PoolMonitor, ScopedExecutor, WorkerPool, GRAIN_ENV_VAR, PARALLEL_GRAIN,
 };
 pub use sssp::{
     par_sssp_unit, par_sssp_unit_instrumented, par_sssp_unit_on, par_sssp_unit_traced,
-    par_sssp_unit_with_variant, par_sssp_weighted, par_sssp_weighted_instrumented,
-    par_sssp_weighted_on, par_sssp_weighted_traced, par_sssp_weighted_with_variant,
-    BranchAvoidingRelax, BranchBasedRelax, ParSsspRun, ParWssspRun, SsspVariant,
+    par_sssp_unit_traced_with_cancel, par_sssp_unit_with_cancel, par_sssp_unit_with_variant,
+    par_sssp_weighted, par_sssp_weighted_instrumented, par_sssp_weighted_on,
+    par_sssp_weighted_resumed, par_sssp_weighted_traced, par_sssp_weighted_traced_with_cancel,
+    par_sssp_weighted_with_cancel, par_sssp_weighted_with_variant, BranchAvoidingRelax,
+    BranchBasedRelax, ParSsspRun, ParWssspRun, SsspVariant,
 };
 pub use sv::{
     par_sv_branch_avoiding, par_sv_branch_avoiding_instrumented, par_sv_branch_avoiding_on,
-    par_sv_branch_avoiding_traced, par_sv_branch_based, par_sv_branch_based_instrumented,
-    par_sv_branch_based_on, par_sv_branch_based_traced, ParSvRun,
+    par_sv_branch_avoiding_resumed, par_sv_branch_avoiding_traced,
+    par_sv_branch_avoiding_traced_with_cancel, par_sv_branch_avoiding_with_cancel,
+    par_sv_branch_based, par_sv_branch_based_instrumented, par_sv_branch_based_on,
+    par_sv_branch_based_resumed, par_sv_branch_based_traced,
+    par_sv_branch_based_traced_with_cancel, par_sv_branch_based_with_cancel, ParSvRun,
 };

@@ -21,6 +21,7 @@
 //!
 //! Everything is dependency-free `std`.
 
+use crate::fault::{FaultPlan, FAULT_INJECTION};
 use std::ops::Range;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{
@@ -222,10 +223,24 @@ where
             .enumerate()
             .map(|(index, range)| scope.spawn(move || f(index, range)))
             .collect();
-        handles
+        // Join every worker before propagating, then re-throw the first
+        // panic payload itself — `expect` here would abort the process
+        // with a double panic while later handles are still unjoined.
+        let mut first_panic = None;
+        let results: Vec<T> = handles
             .into_iter()
-            .map(|h| h.join().expect("bga-parallel worker thread panicked"))
-            .collect()
+            .filter_map(|h| match h.join() {
+                Ok(value) => Some(value),
+                Err(payload) => {
+                    first_panic.get_or_insert(payload);
+                    None
+                }
+            })
+            .collect();
+        if let Some(payload) = first_panic {
+            resume_unwind(payload);
+        }
+        results
     })
 }
 
@@ -362,6 +377,9 @@ struct Job {
     /// First panic payload captured from a worker, re-thrown by the
     /// submitter.
     panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    /// Fanned-out batch ordinal, used only to address injected faults
+    /// (dead weight in release builds, where the fault seam compiles out).
+    fault_batch: usize,
 }
 
 // SAFETY: `task` is only dereferenced while the submitting `run` frame is
@@ -424,7 +442,35 @@ struct Shared {
     /// Attached observer, if any; `None` keeps the hot path free of any
     /// recording.
     monitor: Option<Arc<PoolMonitor>>,
+    /// Workers that died abnormally (their unwind guard increments this).
+    lost: AtomicUsize,
+    /// Injected-fault schedule; empty outside the robustness harness and
+    /// inert in release builds.
+    faults: FaultPlan,
+    /// Fanned-out batches so far, the index injected faults address.
+    fault_batches: AtomicUsize,
 }
+
+/// Structured report of abnormal worker deaths, returned by
+/// [`WorkerPool::shutdown`] instead of a panic-during-drop.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PoolError {
+    /// Workers whose threads terminated by panic over the pool's lifetime.
+    pub lost_workers: usize,
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} pool worker{} died abnormally",
+            self.lost_workers,
+            if self.lost_workers == 1 { "" } else { "s" }
+        )
+    }
+}
+
+impl std::error::Error for PoolError {}
 
 /// A persistent pool of parked worker threads, reused across every
 /// sweep/level of a kernel run.
@@ -448,16 +494,34 @@ impl WorkerPool {
     /// Creates a pool with `threads`-way parallelism (resolved as in
     /// [`resolve_threads`]; `0` means "use the machine").
     pub fn new(threads: usize) -> Self {
-        WorkerPool::build(threads, None)
+        WorkerPool::build(threads, None, WorkerPool::env_faults())
     }
 
     /// A pool with an attached [`PoolMonitor`] recording every fanned-out
     /// batch's claim distribution and the workers' park/wake counts.
     pub fn with_monitor(threads: usize, monitor: Arc<PoolMonitor>) -> Self {
-        WorkerPool::build(threads, Some(monitor))
+        WorkerPool::build(threads, Some(monitor), WorkerPool::env_faults())
     }
 
-    fn build(threads: usize, monitor: Option<Arc<PoolMonitor>>) -> Self {
+    /// A pool with an explicit injected-fault schedule — the robustness
+    /// harness's constructor. In release builds the plan is inert (the
+    /// fault seam compiles out; see [`FAULT_INJECTION`]).
+    pub fn with_faults(threads: usize, faults: FaultPlan) -> Self {
+        WorkerPool::build(threads, None, faults)
+    }
+
+    /// The `BGA_FAULT` plan in debug builds, an empty plan otherwise. A
+    /// malformed spec panics: a fault harness that silently injects
+    /// nothing would pass every robustness test vacuously.
+    fn env_faults() -> FaultPlan {
+        if FAULT_INJECTION {
+            FaultPlan::from_env().expect("malformed BGA_FAULT fault spec")
+        } else {
+            FaultPlan::new()
+        }
+    }
+
+    fn build(threads: usize, monitor: Option<Arc<PoolMonitor>>, faults: FaultPlan) -> Self {
         let threads = resolve_threads(threads);
         let shared = Arc::new(Shared {
             control: Mutex::new(Control {
@@ -469,6 +533,9 @@ impl WorkerPool {
             done_lock: Mutex::new(()),
             done_cv: Condvar::new(),
             monitor,
+            lost: AtomicUsize::new(0),
+            faults,
+            fault_batches: AtomicUsize::new(0),
         });
         let handles = (1..threads)
             .map(|index| {
@@ -496,6 +563,50 @@ impl WorkerPool {
         self.threads
     }
 
+    /// Health probe: parked workers that died abnormally since the pool
+    /// was built. A healthy pool reports 0.
+    pub fn lost_workers(&self) -> usize {
+        self.shared.lost.load(Relaxed).min(self.handles.len())
+    }
+
+    /// Health probe: parked workers still alive (the submitting thread is
+    /// not counted). When this reaches 0 the pool degrades to sequential
+    /// execution on the submitting thread instead of aborting.
+    pub fn live_workers(&self) -> usize {
+        self.handles.len() - self.lost_workers()
+    }
+
+    /// Shuts the pool down, joining every worker, and reports how many
+    /// died abnormally instead of propagating their panics — the
+    /// structured alternative to dropping the pool.
+    pub fn shutdown(mut self) -> Result<(), PoolError> {
+        let lost_workers = self.join_workers();
+        // Drop would repeat the shutdown protocol on an already-drained
+        // handle list — harmless, but pointless.
+        std::mem::forget(self);
+        if lost_workers == 0 {
+            Ok(())
+        } else {
+            Err(PoolError { lost_workers })
+        }
+    }
+
+    /// The shutdown protocol shared by [`WorkerPool::shutdown`] and
+    /// `Drop`: park no new work, wake everyone, join all handles. Returns
+    /// the number of workers whose threads terminated by panic. Never
+    /// panics itself, so it is safe to run during unwinding.
+    fn join_workers(&mut self) -> usize {
+        if let Ok(mut control) = self.shared.control.lock() {
+            control.shutdown = true;
+        }
+        self.shared.work_cv.notify_all();
+        self.handles
+            .drain(..)
+            .map(JoinHandle::join)
+            .filter(Result::is_err)
+            .count()
+    }
+
     fn publish(&self, job: &Arc<Job>) {
         let mut control = self.shared.control.lock().unwrap();
         control.epoch += 1;
@@ -516,9 +627,11 @@ impl Execute for WorkerPool {
         F: Fn(usize, Range<usize>) -> T + Sync,
     {
         let chunks = ranges.len();
-        // Single chunk or no parked workers: run inline — zero hand-off
-        // overhead and exactly sequential behaviour.
-        if chunks <= 1 || self.handles.is_empty() {
+        // Single chunk or no (live) parked workers: run inline — zero
+        // hand-off overhead and exactly sequential behaviour. A pool whose
+        // workers have all died degrades to this path rather than
+        // publishing batches nobody else will drain.
+        if chunks <= 1 || self.handles.is_empty() || self.live_workers() == 0 {
             return ranges
                 .into_iter()
                 .enumerate()
@@ -526,10 +639,27 @@ impl Execute for WorkerPool {
                 .collect();
         }
 
+        let fault_batch = if FAULT_INJECTION {
+            self.shared.fault_batches.fetch_add(1, Relaxed)
+        } else {
+            0
+        };
         // One write-once slot per chunk; each index is claimed exactly
         // once, so each cell is written by exactly one thread.
         let slots: Vec<ResultSlot<T>> = (0..chunks).map(|_| ResultSlot::new()).collect();
+        let faults = &self.shared.faults;
         let task = |index: usize| {
+            if FAULT_INJECTION && !faults.is_empty() && index == 0 {
+                // Injected task faults land in chunk 0 only, inside the
+                // pool's catch_unwind, so a panic propagates to the
+                // submitter exactly like a real kernel panic.
+                if let Some(delay) = faults.delay_at(fault_batch) {
+                    std::thread::sleep(delay);
+                }
+                if faults.panic_at(fault_batch) {
+                    panic!("injected fault: panic in batch {fault_batch}");
+                }
+            }
             let value = f(index, ranges[index].clone());
             // SAFETY: `index` was claimed exactly once (atomic counter),
             // so this is the only write to the slot.
@@ -552,6 +682,7 @@ impl Execute for WorkerPool {
                 .as_ref()
                 .map(|_| (0..self.threads).map(|_| AtomicU64::new(0)).collect()),
             panic: Mutex::new(None),
+            fault_batch,
         });
 
         self.publish(&job);
@@ -594,20 +725,27 @@ impl Execute for WorkerPool {
 
 impl Drop for WorkerPool {
     fn drop(&mut self) {
-        {
-            let mut control = self.shared.control.lock().unwrap();
-            control.shutdown = true;
-        }
-        self.shared.work_cv.notify_all();
-        for handle in self.handles.drain(..) {
-            // A worker only panics if the panic machinery itself failed
-            // (task panics are caught); surface that instead of hiding it.
-            handle.join().expect("bga-parallel pool worker panicked");
-        }
+        // Workers that died abnormally were already recorded by their
+        // unwind guard; re-panicking here would double panic when the pool
+        // is dropped during unwinding, aborting the process. Callers who
+        // want the structured report use [`WorkerPool::shutdown`].
+        let _ = self.join_workers();
     }
 }
 
 fn worker_main(shared: &Shared, who: usize) {
+    /// Records an abnormal worker death so the pool's health probe and
+    /// sequential fallback see it; a normal (shutdown) return records
+    /// nothing.
+    struct LossGuard<'a>(&'a Shared);
+    impl Drop for LossGuard<'_> {
+        fn drop(&mut self) {
+            if std::thread::panicking() {
+                self.0.lost.fetch_add(1, Relaxed);
+            }
+        }
+    }
+    let _guard = LossGuard(shared);
     let mut seen_epoch = 0u64;
     loop {
         let job = {
@@ -629,6 +767,17 @@ fn worker_main(shared: &Shared, who: usize) {
                 }
             }
         };
+        // Injected worker deaths fire here, *between* batches — after the
+        // pick-up, before any chunk claim — so a killed worker can never
+        // strand a claimed-but-uncompleted chunk and wedge the completion
+        // barrier. The submitter (who drains every unclaimed chunk itself)
+        // still completes the batch.
+        if FAULT_INJECTION && shared.faults.kill_at(job.fault_batch, who) {
+            panic!(
+                "injected fault: worker {who} killed at batch {}",
+                job.fault_batch
+            );
+        }
         job.work(who, &shared.done_lock, &shared.done_cv);
     }
 }
@@ -939,5 +1088,125 @@ mod tests {
         // The pool survives the panic and keeps serving batches.
         let sums = pool.run(vec![0..2, 2..4], |_, range| range.sum::<usize>());
         assert_eq!(sums, vec![1, 5]);
+    }
+
+    #[test]
+    fn healthy_pools_report_no_losses_and_shut_down_cleanly() {
+        let pool = WorkerPool::new(3);
+        assert_eq!(pool.lost_workers(), 0);
+        assert_eq!(pool.live_workers(), 2);
+        pool.run(even_ranges(16, 4), |_i, range| range.sum::<usize>());
+        assert_eq!(pool.lost_workers(), 0);
+        assert_eq!(pool.shutdown(), Ok(()));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)] // the fault seam compiles out of release builds
+    fn injected_task_panics_propagate_and_the_pool_survives() {
+        // `phase:0:panic` and `phase:2:panic`: batches 0 and 2 panic in a
+        // task, batches 1 and 3 succeed. Task panics are caught per chunk,
+        // so no worker thread dies.
+        let plan = FaultPlan::new().panic_in_batch(0).panic_in_batch(2);
+        let pool = WorkerPool::with_faults(4, plan);
+        for batch in 0..4usize {
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                pool.run(even_ranges(20, 4), |_i, range| range.sum::<usize>())
+            }));
+            if batch % 2 == 0 {
+                assert!(outcome.is_err(), "batch {batch} should panic");
+            } else {
+                assert_eq!(outcome.unwrap().iter().sum::<usize>(), 190);
+            }
+        }
+        assert_eq!(pool.lost_workers(), 0, "task panics are not worker deaths");
+        assert_eq!(pool.shutdown(), Ok(()));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)] // the fault seam compiles out of release builds
+    fn injected_delays_slow_a_batch_without_failing_it() {
+        let pool = WorkerPool::with_faults(2, FaultPlan::new().delay_batch(0, 10));
+        let started = std::time::Instant::now();
+        let sums = pool.run(even_ranges(8, 4), |_i, range| range.sum::<usize>());
+        assert_eq!(sums.iter().sum::<usize>(), 28);
+        assert!(started.elapsed() >= std::time::Duration::from_millis(10));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)] // the fault seam compiles out of release builds
+    fn dead_workers_degrade_the_pool_to_inline_execution() {
+        // Kill both parked workers on their next batch pick-up. The
+        // batches still complete (the submitter drains every chunk), the
+        // health probe sees the losses, later batches run inline, and
+        // shutdown reports the deaths instead of panicking.
+        let plan = FaultPlan::new().kill_worker(0, 1).kill_worker(0, 2);
+        let pool = WorkerPool::with_faults(3, plan);
+        // Parked workers race the submitter to pick a batch up; every
+        // batch completes regardless, and each worker dies the first time
+        // it wakes for one. Spin batches until both are gone.
+        let mut spins = 0;
+        while pool.lost_workers() < 2 {
+            let sums = pool.run(even_ranges(24, 6), |_i, range| range.sum::<usize>());
+            assert_eq!(sums.iter().sum::<usize>(), 276);
+            spins += 1;
+            assert!(spins < 10_000, "workers never picked up a batch");
+            std::thread::yield_now();
+        }
+        assert_eq!(pool.live_workers(), 0);
+        // All workers dead: batches fall back to the submitting thread.
+        let sums = pool.run(even_ranges(24, 6), |_i, range| range.sum::<usize>());
+        assert_eq!(sums.iter().sum::<usize>(), 276);
+        assert_eq!(pool.shutdown(), Err(PoolError { lost_workers: 2 }));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)] // the fault seam compiles out of release builds
+    fn dropping_a_degraded_pool_does_not_panic() {
+        let pool = WorkerPool::with_faults(2, FaultPlan::new().kill_worker(0, 1));
+        let mut spins = 0;
+        while pool.lost_workers() < 1 {
+            pool.run(even_ranges(8, 4), |_i, range| range.sum::<usize>());
+            spins += 1;
+            assert!(spins < 10_000, "worker never picked up a batch");
+            std::thread::yield_now();
+        }
+        drop(pool); // must not double panic
+    }
+
+    #[test]
+    #[cfg(debug_assertions)] // the fault seam compiles out of release builds
+    fn repeated_injected_panics_never_wedge_the_pool() {
+        // The acceptance bar: 100 consecutive batches, every one with an
+        // injected panic, and the pool neither deadlocks nor aborts — each
+        // panic propagates to the submitter as an Err and the next batch
+        // runs normally.
+        let plan = FaultPlan::new().panic_in_batches(0..100);
+        let pool = WorkerPool::with_faults(4, plan);
+        for batch in 0..100 {
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                pool.run(even_ranges(16, 4), |_i, range| range.sum::<usize>())
+            }));
+            assert!(outcome.is_err(), "batch {batch} should have panicked");
+        }
+        // Batch 100 is past the plan: the pool still works.
+        let sums = pool.run(even_ranges(16, 4), |_i, range| range.sum::<usize>());
+        assert_eq!(sums.iter().sum::<usize>(), 120);
+        assert_eq!(pool.lost_workers(), 0);
+        assert_eq!(pool.shutdown(), Ok(()));
+    }
+
+    #[test]
+    fn run_chunks_rethrows_the_original_panic_payload() {
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            run_chunks(vec![0..1, 1..2, 2..3], |index, _| {
+                if index == 1 {
+                    panic!("scoped chunk 1 exploded");
+                }
+                index
+            })
+        }));
+        let payload = outcome.unwrap_err();
+        let message = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(message, "scoped chunk 1 exploded");
     }
 }

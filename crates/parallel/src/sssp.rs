@@ -34,18 +34,19 @@
 //! phase count.
 
 use crate::bfs::{BranchAvoidingLevel, BranchBasedLevel};
+use crate::cancel::{CancelToken, RunOutcome};
 use crate::counters::ThreadTally;
 use crate::engine::{
     BucketCtx, BucketKernel, BucketLoop, Direction, EdgeClass, LevelLoop, TraversalState,
 };
 use crate::pool::{Execute, PoolConfig, PoolMonitor, WorkerPool};
-use crate::trace::TraceRun;
+use crate::trace::{emit_degradation_warning, TraceRun};
 use bga_graph::{CsrGraph, VertexId, WeightedCsrGraph};
 use bga_kernels::bfs::direction_optimizing::DirectionConfig;
 use bga_kernels::bfs::INFINITY;
 use bga_kernels::sssp::SsspResult;
 use bga_kernels::stats::RunCounters;
-use bga_obs::{TraceEvent, TraceSink};
+use bga_obs::{NoopSink, TraceEvent, TraceSink};
 use std::ops::Range;
 use std::sync::atomic::Ordering::Relaxed;
 use std::sync::Arc;
@@ -173,6 +174,20 @@ pub fn par_sssp_unit_traced<S: TraceSink>(
     variant: SsspVariant,
     sink: &S,
 ) -> ParSsspRun {
+    par_sssp_unit_run_impl(graph, source, threads, variant, sink, None).0
+}
+
+/// Shared monitored driver behind the traced and cancellable unit-weight
+/// entry points: run header, cancellable level loop, pool-degradation
+/// warning, metrics replay and an outcome-marked trailer.
+fn par_sssp_unit_run_impl<S: TraceSink>(
+    graph: &CsrGraph,
+    source: VertexId,
+    threads: usize,
+    variant: SsspVariant,
+    sink: &S,
+    cancel: Option<&CancelToken>,
+) -> (ParSsspRun, RunOutcome) {
     let config = PoolConfig::from_env(threads);
     let monitor = PoolMonitor::new();
     let pool = WorkerPool::with_monitor(config.threads, Arc::clone(&monitor));
@@ -191,21 +206,53 @@ pub fn par_sssp_unit_traced<S: TraceSink>(
     );
     let state = TraversalState::new(graph.num_vertices());
     let level_loop = LevelLoop::new(graph, &pool, config.grain, DirectionConfig::default());
-    let run = match variant {
+    let (run, outcome) = match variant {
         SsspVariant::BranchAvoiding => {
-            level_loop.run_traced(&state, source, &BranchAvoidingLevel::<true>, &scope)
+            level_loop.run_loop(&state, source, &BranchAvoidingLevel::<true>, &scope, cancel)
         }
         SsspVariant::BranchBased => {
-            level_loop.run_traced(&state, source, &BranchBasedLevel::<true>, &scope)
+            level_loop.run_loop(&state, source, &BranchBasedLevel::<true>, &scope, cancel)
         }
     };
-    scope.finish(Some(monitor.take_metrics()));
-    ParSsspRun {
-        result: SsspResult::new(state.into_distances(), run.directions.len()),
-        directions: run.directions,
-        counters: run.counters,
-        threads: pool.threads(),
-    }
+    emit_degradation_warning(&pool, &scope);
+    scope.finish_with_outcome(Some(monitor.take_metrics()), &outcome);
+    (
+        ParSsspRun {
+            result: SsspResult::new(state.into_distances(), run.directions.len()),
+            directions: run.directions,
+            counters: run.counters,
+            threads: pool.threads(),
+        },
+        outcome,
+    )
+}
+
+/// [`par_sssp_unit_with_variant`] with a [`CancelToken`] checked at every
+/// settling-phase boundary. An interrupted run returns the levels that
+/// completed: distances behind the cut are final, everything beyond is
+/// still unreached — a valid partial traversal.
+pub fn par_sssp_unit_with_cancel(
+    graph: &CsrGraph,
+    source: VertexId,
+    threads: usize,
+    variant: SsspVariant,
+    cancel: &CancelToken,
+) -> (ParSsspRun, RunOutcome) {
+    par_sssp_unit_run_impl(graph, source, threads, variant, &NoopSink, Some(cancel))
+}
+
+/// [`par_sssp_unit_traced`] with a [`CancelToken`]: an interrupted run
+/// still emits a complete `bga-trace-v1` document whose trailer carries
+/// the interruption reason.
+pub fn par_sssp_unit_traced_with_cancel<S: TraceSink>(
+    graph: &CsrGraph,
+    source: VertexId,
+    threads: usize,
+    variant: SsspVariant,
+    sink: &S,
+    cancel: &CancelToken,
+) -> (ParSsspRun, RunOutcome) {
+    par_sssp_unit_run_impl(graph, source, threads, variant, sink, Some(cancel))
 }
 
 /// Branch-avoiding weighted relaxation: one unconditional `fetch_min` per
@@ -456,6 +503,24 @@ pub fn par_sssp_weighted_traced<S: TraceSink>(
     variant: SsspVariant,
     sink: &S,
 ) -> ParWssspRun {
+    par_sssp_weighted_run_impl(graph, source, delta, threads, variant, None, sink, None).0
+}
+
+/// Shared monitored driver behind the traced, cancellable and resumed
+/// weighted entry points. With `initial` distances the bucket loop
+/// re-files every finite-distance vertex and converges from that
+/// upper-bound state instead of starting at the source.
+#[allow(clippy::too_many_arguments)]
+fn par_sssp_weighted_run_impl<S: TraceSink>(
+    graph: &WeightedCsrGraph,
+    source: VertexId,
+    delta: u32,
+    threads: usize,
+    variant: SsspVariant,
+    initial: Option<&[u32]>,
+    sink: &S,
+    cancel: Option<&CancelToken>,
+) -> (ParWssspRun, RunOutcome) {
     let config = PoolConfig::from_env(threads);
     let monitor = PoolMonitor::new();
     let pool = WorkerPool::with_monitor(config.threads, Arc::clone(&monitor));
@@ -472,24 +537,117 @@ pub fn par_sssp_weighted_traced<S: TraceSink>(
             root: Some(source),
         },
     );
-    let state = TraversalState::new(graph.num_vertices());
-    let bucket_loop = BucketLoop::new(graph, &pool, config.grain, delta);
-    let run = match variant {
-        SsspVariant::BranchAvoiding => {
-            bucket_loop.run_traced(&state, source, &BranchAvoidingRelax::<true>, &scope)
-        }
-        SsspVariant::BranchBased => {
-            bucket_loop.run_traced(&state, source, &BranchBasedRelax::<true>, &scope)
-        }
+    let resume = initial.is_some();
+    let state = match initial {
+        Some(distances) => TraversalState::from_distances(distances),
+        None => TraversalState::new(graph.num_vertices()),
     };
-    scope.finish(Some(monitor.take_metrics()));
-    ParWssspRun {
-        result: SsspResult::new(state.into_distances(), run.phases),
-        buckets_settled: run.bucket_bounds.len(),
-        heavy_phases: run.heavy_phases,
-        counters: run.counters,
-        threads: pool.threads(),
-    }
+    let bucket_loop = BucketLoop::new(graph, &pool, config.grain, delta);
+    let (run, outcome) = match variant {
+        SsspVariant::BranchAvoiding => bucket_loop.run_loop(
+            &state,
+            source,
+            &BranchAvoidingRelax::<true>,
+            &scope,
+            cancel,
+            resume,
+        ),
+        SsspVariant::BranchBased => bucket_loop.run_loop(
+            &state,
+            source,
+            &BranchBasedRelax::<true>,
+            &scope,
+            cancel,
+            resume,
+        ),
+    };
+    emit_degradation_warning(&pool, &scope);
+    scope.finish_with_outcome(Some(monitor.take_metrics()), &outcome);
+    (
+        ParWssspRun {
+            result: SsspResult::new(state.into_distances(), run.phases),
+            buckets_settled: run.bucket_bounds.len(),
+            heavy_phases: run.heavy_phases,
+            counters: run.counters,
+            threads: pool.threads(),
+        },
+        outcome,
+    )
+}
+
+/// [`par_sssp_weighted_with_variant`] with a [`CancelToken`] checked at
+/// every relaxation-pass boundary. An interrupted run keeps every fully
+/// settled bucket's distances final and leaves the rest as valid monotone
+/// upper bounds — state [`par_sssp_weighted_resumed`] converges to the
+/// uninterrupted fixpoint bit-identically.
+pub fn par_sssp_weighted_with_cancel(
+    graph: &WeightedCsrGraph,
+    source: VertexId,
+    delta: u32,
+    threads: usize,
+    variant: SsspVariant,
+    cancel: &CancelToken,
+) -> (ParWssspRun, RunOutcome) {
+    par_sssp_weighted_run_impl(
+        graph,
+        source,
+        delta,
+        threads,
+        variant,
+        None,
+        &NoopSink,
+        Some(cancel),
+    )
+}
+
+/// [`par_sssp_weighted_traced`] with a [`CancelToken`]: an interrupted
+/// run still emits a complete `bga-trace-v1` document whose trailer
+/// carries the interruption reason.
+pub fn par_sssp_weighted_traced_with_cancel<S: TraceSink>(
+    graph: &WeightedCsrGraph,
+    source: VertexId,
+    delta: u32,
+    threads: usize,
+    variant: SsspVariant,
+    sink: &S,
+    cancel: &CancelToken,
+) -> (ParWssspRun, RunOutcome) {
+    par_sssp_weighted_run_impl(
+        graph,
+        source,
+        delta,
+        threads,
+        variant,
+        None,
+        sink,
+        Some(cancel),
+    )
+}
+
+/// Resumes weighted delta-stepping from the partial distances an
+/// interrupted [`par_sssp_weighted_with_cancel`] returned: every vertex
+/// with a finite distance is re-filed into the bucket of that distance
+/// and the loop runs to convergence. Because the relaxations are monotone
+/// `fetch_min`s, the result is bit-identical to an uninterrupted run.
+pub fn par_sssp_weighted_resumed(
+    graph: &WeightedCsrGraph,
+    source: VertexId,
+    delta: u32,
+    threads: usize,
+    distances: &[u32],
+    variant: SsspVariant,
+) -> ParWssspRun {
+    par_sssp_weighted_run_impl(
+        graph,
+        source,
+        delta,
+        threads,
+        variant,
+        Some(distances),
+        &NoopSink,
+        None,
+    )
+    .0
 }
 
 #[cfg(test)]
@@ -744,6 +902,66 @@ mod tests {
             let run = par_sssp_weighted_with_variant(&g, 0, 1, 2, variant);
             assert_eq!(run.distances(), &[0, 1_000_000_000, 1_000_000_003]);
         }
+    }
+
+    #[test]
+    fn unit_phase_budget_cuts_at_an_exact_level() {
+        use crate::cancel::InterruptReason;
+        let g = path_graph(40);
+        let token = CancelToken::new().with_phase_budget(6);
+        let (run, outcome) =
+            par_sssp_unit_with_cancel(&g, 0, 2, SsspVariant::BranchAvoiding, &token);
+        assert_eq!(
+            outcome.reason(),
+            Some(InterruptReason::PhaseBudgetExhausted)
+        );
+        for (v, &d) in run.result.distances().iter().enumerate() {
+            if v <= 6 {
+                assert_eq!(d, v as u32);
+            } else {
+                assert_eq!(d, INFINITY);
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_interrupted_runs_resume_bit_identical() {
+        let wg = uniform_weights(&barabasi_albert(700, 3, 11), 20, 9);
+        let expected = sssp_dijkstra(&wg, 0);
+        for variant in [SsspVariant::BranchBased, SsspVariant::BranchAvoiding] {
+            let token = CancelToken::new().with_phase_budget(3);
+            let (partial, outcome) = par_sssp_weighted_with_cancel(&wg, 0, 4, 2, variant, &token);
+            assert!(!outcome.is_completed(), "{variant:?} run was not cut");
+            // Partial distances are valid monotone upper bounds.
+            for (v, &d) in partial.result.distances().iter().enumerate() {
+                assert!(d >= expected.distances()[v], "vertex {v} below optimum");
+            }
+            assert_ne!(partial.result.distances(), expected.distances());
+            let resumed =
+                par_sssp_weighted_resumed(&wg, 0, 4, 2, partial.result.distances(), variant);
+            assert_eq!(resumed.result.distances(), expected.distances());
+        }
+        // Resuming from scratch (all INFINITY except the source's own
+        // zero after seeding) degenerates to a plain run.
+        let from_scratch = par_sssp_weighted_resumed(
+            &wg,
+            0,
+            4,
+            2,
+            &vec![INFINITY; wg.num_vertices()],
+            SsspVariant::BranchAvoiding,
+        );
+        assert_eq!(from_scratch.result.distances(), expected.distances());
+    }
+
+    #[test]
+    fn weighted_uncancelled_tokens_complete_and_match() {
+        let wg = uniform_weights(&barabasi_albert(600, 3, 17), 16, 3);
+        let token = CancelToken::new();
+        let (run, outcome) =
+            par_sssp_weighted_with_cancel(&wg, 0, 4, 2, SsspVariant::BranchAvoiding, &token);
+        assert!(outcome.is_completed());
+        assert_eq!(run.result.distances(), sssp_dijkstra(&wg, 0).distances());
     }
 
     #[test]

@@ -26,14 +26,15 @@
 //! result for every thread count**, even though the number of sweeps and
 //! the intra-sweep interleaving may differ.
 
+use crate::cancel::{CancelToken, RunOutcome};
 use crate::counters::ThreadTally;
 use crate::engine::{SweepKernel, SweepLoop};
 use crate::pool::{Execute, PoolConfig, PoolMonitor, WorkerPool};
-use crate::trace::TraceRun;
+use crate::trace::{emit_degradation_warning, TraceRun};
 use bga_graph::CsrGraph;
 use bga_kernels::cc::ComponentLabels;
 use bga_kernels::stats::RunCounters;
-use bga_obs::{TraceEvent, TraceSink};
+use bga_obs::{NoopSink, TraceEvent, TraceSink};
 use std::ops::Range;
 use std::sync::atomic::{AtomicU32, Ordering::Relaxed};
 use std::sync::Arc;
@@ -252,13 +253,17 @@ pub fn par_sv_branch_avoiding_instrumented(graph: &CsrGraph, threads: usize) -> 
     }
 }
 
-/// The shared traced-run driver for both sweep disciplines.
-fn par_sv_traced_impl<S: TraceSink>(
+/// The shared traced/cancellable run driver for both sweep disciplines.
+/// `initial` labels (instead of the identity) are how an interrupted run
+/// is resumed; `cancel` is checked at every sweep boundary.
+fn par_sv_run_impl<S: TraceSink>(
     graph: &CsrGraph,
     threads: usize,
     branch_avoiding: bool,
+    initial: Option<&ComponentLabels>,
     sink: &S,
-) -> ParSvRun {
+    cancel: Option<&CancelToken>,
+) -> (ParSvRun, RunOutcome) {
     let config = PoolConfig::from_env(threads);
     let monitor = PoolMonitor::new();
     let pool = WorkerPool::with_monitor(config.threads, Arc::clone(&monitor));
@@ -280,19 +285,29 @@ fn par_sv_traced_impl<S: TraceSink>(
             root: None,
         },
     );
-    let ccid = identity_labels(graph.num_vertices());
-    let sweep_loop = SweepLoop::new(graph, &pool, config.grain);
-    let run = if branch_avoiding {
-        sweep_loop.run_traced(&BranchAvoidingSweep::<true> { ccid: &ccid }, &scope)
-    } else {
-        sweep_loop.run_traced(&BranchBasedSweep::<true> { ccid: &ccid }, &scope)
+    let ccid: Vec<AtomicU32> = match initial {
+        Some(labels) => labels
+            .as_slice()
+            .iter()
+            .copied()
+            .map(AtomicU32::new)
+            .collect(),
+        None => identity_labels(graph.num_vertices()),
     };
-    scope.finish(Some(monitor.take_metrics()));
-    ParSvRun {
+    let sweep_loop = SweepLoop::new(graph, &pool, config.grain);
+    let (run, outcome) = if branch_avoiding {
+        sweep_loop.run_loop(&BranchAvoidingSweep::<true> { ccid: &ccid }, &scope, cancel)
+    } else {
+        sweep_loop.run_loop(&BranchBasedSweep::<true> { ccid: &ccid }, &scope, cancel)
+    };
+    emit_degradation_warning(&pool, &scope);
+    scope.finish_with_outcome(Some(monitor.take_metrics()), &outcome);
+    let result = ParSvRun {
         labels: into_labels(ccid),
         counters: run.counters,
         threads: pool.threads(),
-    }
+    };
+    (result, outcome)
 }
 
 /// [`par_sv_branch_based_instrumented`] with a [`TraceSink`] receiving
@@ -306,7 +321,7 @@ pub fn par_sv_branch_based_traced<S: TraceSink>(
     threads: usize,
     sink: &S,
 ) -> ParSvRun {
-    par_sv_traced_impl(graph, threads, false, sink)
+    par_sv_run_impl(graph, threads, false, None, sink, None).0
 }
 
 /// [`par_sv_branch_avoiding_instrumented`] with a [`TraceSink`]; see
@@ -316,7 +331,81 @@ pub fn par_sv_branch_avoiding_traced<S: TraceSink>(
     threads: usize,
     sink: &S,
 ) -> ParSvRun {
-    par_sv_traced_impl(graph, threads, true, sink)
+    par_sv_run_impl(graph, threads, true, None, sink, None).0
+}
+
+/// [`par_sv_branch_based`] with a [`CancelToken`] checked at every sweep
+/// boundary. An interrupted run returns the labels as the completed
+/// sweeps left them — valid monotone upper bounds (every label is ≥ its
+/// final value and ≤ its identity start) that
+/// [`par_sv_branch_based_resumed`] converges to the exact fixpoint.
+pub fn par_sv_branch_based_with_cancel(
+    graph: &CsrGraph,
+    threads: usize,
+    cancel: &CancelToken,
+) -> (ParSvRun, RunOutcome) {
+    par_sv_run_impl(graph, threads, false, None, &NoopSink, Some(cancel))
+}
+
+/// [`par_sv_branch_avoiding`] with a [`CancelToken`]; see
+/// [`par_sv_branch_based_with_cancel`].
+pub fn par_sv_branch_avoiding_with_cancel(
+    graph: &CsrGraph,
+    threads: usize,
+    cancel: &CancelToken,
+) -> (ParSvRun, RunOutcome) {
+    par_sv_run_impl(graph, threads, true, None, &NoopSink, Some(cancel))
+}
+
+/// [`par_sv_branch_based_traced`] with a [`CancelToken`]: the traced,
+/// cancellable driver. An interrupted run still emits a complete
+/// `bga-trace-v1` document — header, one phase per completed sweep, pool
+/// metrics and a trailer marked with the interruption reason — that
+/// passes `bga trace validate`.
+pub fn par_sv_branch_based_traced_with_cancel<S: TraceSink>(
+    graph: &CsrGraph,
+    threads: usize,
+    sink: &S,
+    cancel: &CancelToken,
+) -> (ParSvRun, RunOutcome) {
+    par_sv_run_impl(graph, threads, false, None, sink, Some(cancel))
+}
+
+/// [`par_sv_branch_avoiding_traced`] with a [`CancelToken`]; see
+/// [`par_sv_branch_based_traced_with_cancel`].
+pub fn par_sv_branch_avoiding_traced_with_cancel<S: TraceSink>(
+    graph: &CsrGraph,
+    threads: usize,
+    sink: &S,
+    cancel: &CancelToken,
+) -> (ParSvRun, RunOutcome) {
+    par_sv_run_impl(graph, threads, true, None, sink, Some(cancel))
+}
+
+/// Resumes branch-based SV from partial labels (typically the state an
+/// interrupted [`par_sv_branch_based_with_cancel`] returned): sweeps
+/// continue lowering the given labels instead of the identity. Because
+/// hooking is monotone, any valid upper-bound labelling converges to the
+/// same per-component-minimum fixpoint an uninterrupted run reaches —
+/// bit-identical labels.
+pub fn par_sv_branch_based_resumed(
+    graph: &CsrGraph,
+    threads: usize,
+    labels: &ComponentLabels,
+) -> ParSvRun {
+    par_sv_run_impl(graph, threads, false, Some(labels), &NoopSink, None).0
+}
+
+/// Resumes branch-avoiding SV from partial labels; see
+/// [`par_sv_branch_based_resumed`]. The priority-write formulation makes
+/// the resume argument direct: `fetch_min` is idempotent and order-free,
+/// so replaying sweeps over an interrupted labelling loses nothing.
+pub fn par_sv_branch_avoiding_resumed(
+    graph: &CsrGraph,
+    threads: usize,
+    labels: &ComponentLabels,
+) -> ParSvRun {
+    par_sv_run_impl(graph, threads, true, Some(labels), &NoopSink, None).0
 }
 
 #[cfg(test)]
@@ -418,6 +507,54 @@ mod tests {
                 assert_eq!(run.labels.canonical(), connected_components_union_find(&g));
             }
         }
+    }
+
+    #[test]
+    fn cancelled_sweeps_return_resumable_partial_labels() {
+        use crate::cancel::InterruptReason;
+        // A sweep chains labels forward through ascending vertex ids, so
+        // most graphs converge in very few sweeps. This zigzag path
+        // alternates low and high ids along the walk, forcing the minimum
+        // label to cross a descending edge — one hop per sweep — so a
+        // one-sweep budget cuts the run genuinely short.
+        let m = 30u32;
+        let n = 2 * m;
+        let walk: Vec<u32> = (0..n)
+            .map(|i| if i % 2 == 0 { i / 2 } else { n - 1 - i / 2 })
+            .collect();
+        let g = GraphBuilder::undirected(n as usize)
+            .add_edges(walk.windows(2).map(|w| (w[0], w[1])).collect::<Vec<_>>())
+            .build();
+        let expected = sv_branch_avoiding(&g);
+        let cancel = CancelToken::new().with_phase_budget(1);
+        let (partial, outcome) = par_sv_branch_avoiding_with_cancel(&g, 4, &cancel);
+        assert_eq!(
+            outcome.reason(),
+            Some(InterruptReason::PhaseBudgetExhausted)
+        );
+        // Partial labels are valid monotone bounds: below the identity
+        // start, above (or at) the fixpoint.
+        let partial_labels = partial.labels.as_slice();
+        assert_ne!(partial_labels, expected.as_slice());
+        for (v, &label) in partial_labels.iter().enumerate() {
+            assert!(label <= v as u32);
+            assert!(label >= expected.as_slice()[v]);
+        }
+        // Resuming converges to labels bit-identical to the fixpoint, for
+        // both disciplines.
+        let resumed = par_sv_branch_avoiding_resumed(&g, 4, &partial.labels);
+        assert_eq!(resumed.labels.as_slice(), expected.as_slice());
+        let resumed_based = par_sv_branch_based_resumed(&g, 4, &partial.labels);
+        assert_eq!(resumed_based.labels.as_slice(), expected.as_slice());
+    }
+
+    #[test]
+    fn uncancelled_tokens_leave_runs_complete() {
+        let g = erdos_renyi_gnp(300, 0.01, 9);
+        let cancel = CancelToken::new();
+        let (run, outcome) = par_sv_branch_based_with_cancel(&g, 2, &cancel);
+        assert!(outcome.is_completed());
+        assert_eq!(run.labels.as_slice(), sv_branch_based(&g).as_slice());
     }
 
     #[test]

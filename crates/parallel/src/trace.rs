@@ -8,7 +8,8 @@
 //! trailer whose totals are exactly the sum of the forwarded phase
 //! counters — the invariant `bga trace validate` checks.
 
-use crate::pool::PoolMetrics;
+use crate::cancel::RunOutcome;
+use crate::pool::{PoolMetrics, WorkerPool};
 use bga_obs::{PhaseCounters, TraceEvent, TraceSink};
 use std::sync::Mutex;
 use std::time::Instant;
@@ -48,8 +49,11 @@ impl<'a, S: TraceSink> TraceRun<'a, S> {
     }
 
     /// Replays the pool's collected metrics (when monitored) and emits
-    /// the `run-end` trailer.
-    pub(crate) fn finish(self, metrics: Option<PoolMetrics>) {
+    /// the `run-end` trailer. A completed outcome leaves the trailer
+    /// plain; an interrupted one marks it with the reason, so the stream
+    /// stays a valid `bga-trace-v1` document (header, consecutive phases,
+    /// totals that sum) that *says* it stopped early.
+    pub(crate) fn finish_with_outcome(self, metrics: Option<PoolMetrics>, outcome: &RunOutcome) {
         if !S::ENABLED {
             return;
         }
@@ -61,6 +65,7 @@ impl<'a, S: TraceSink> TraceRun<'a, S> {
             phases,
             totals,
             wall_ns: self.started.map_or(0, |t| t.elapsed().as_nanos() as u64),
+            interrupted: outcome.reason_str().map(str::to_string),
         });
     }
 }
@@ -75,6 +80,26 @@ impl<S: TraceSink> TraceSink for TraceRun<'_, S> {
             acc.1 += phase.counters;
         }
         self.inner.emit(event);
+    }
+}
+
+/// Emits a `pool-degraded` [`TraceEvent::Warning`] when the run's pool
+/// lost workers: the run still completed (dead workers' chunks are
+/// drained by the survivors and the submitting thread; with no survivors
+/// the pool falls back to inline execution), but the schedule degraded
+/// and the trace should say so. Guarded by the sink's `ENABLED` constant
+/// like every other emission site.
+pub(crate) fn emit_degradation_warning<S: TraceSink>(pool: &WorkerPool, sink: &S) {
+    if S::ENABLED && pool.lost_workers() > 0 {
+        sink.emit(TraceEvent::Warning {
+            code: "pool-degraded".to_string(),
+            message: format!(
+                "{} of {} pool workers lost; their chunks ran on surviving \
+                 threads (inline once none survive)",
+                pool.lost_workers(),
+                pool.threads().saturating_sub(1),
+            ),
+        });
     }
 }
 
@@ -138,14 +163,17 @@ mod tests {
         scope.emit(phase(1));
         assert_eq!(scope.phases_so_far(), 1);
         scope.emit(phase(2));
-        scope.finish(Some(PoolMetrics {
-            batches: vec![BatchRecord {
-                chunks: 4,
-                claimed: vec![3, 1],
-            }],
-            parks: 5,
-            wakes: 4,
-        }));
+        scope.finish_with_outcome(
+            Some(PoolMetrics {
+                batches: vec![BatchRecord {
+                    chunks: 4,
+                    claimed: vec![3, 1],
+                }],
+                parks: 5,
+                wakes: 4,
+            }),
+            &RunOutcome::Completed,
+        );
         let events = sink.take();
         assert_eq!(events.len(), 6);
         assert!(matches!(events[0], TraceEvent::RunStart { .. }));
@@ -176,6 +204,74 @@ mod tests {
     }
 
     #[test]
+    fn interrupted_outcomes_mark_the_trailer() {
+        use crate::cancel::InterruptReason;
+        let sink = MemorySink::new();
+        let scope = TraceRun::start(
+            &sink,
+            TraceEvent::RunStart {
+                kernel: "cc".to_string(),
+                variant: "branch-avoiding".to_string(),
+                vertices: 4,
+                edges: 6,
+                threads: 2,
+                grain: 64,
+                delta: None,
+                root: None,
+            },
+        );
+        scope.emit(phase(1));
+        scope.finish_with_outcome(
+            None,
+            &RunOutcome::Interrupted {
+                reason: InterruptReason::DeadlineExpired,
+                phases_done: 1,
+            },
+        );
+        let events = sink.take();
+        match events.last() {
+            Some(TraceEvent::RunEnd {
+                phases,
+                interrupted,
+                ..
+            }) => {
+                assert_eq!(*phases, 1);
+                assert_eq!(interrupted.as_deref(), Some("deadline"));
+            }
+            other => panic!("expected run-end, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[cfg(debug_assertions)] // the fault seam compiles out of release builds
+    fn lost_workers_surface_as_a_degradation_warning() {
+        use crate::fault::FaultPlan;
+        use crate::pool::{even_ranges, Execute};
+
+        let pool = WorkerPool::with_faults(2, FaultPlan::new().kill_worker(0, 1));
+        let mut spins = 0;
+        while pool.lost_workers() < 1 {
+            pool.run(even_ranges(8, 4), |_i, range| range.sum::<usize>());
+            spins += 1;
+            assert!(spins < 10_000, "worker never picked up a batch");
+            std::thread::yield_now();
+        }
+        let sink = MemorySink::new();
+        emit_degradation_warning(&pool, &sink);
+        match sink.take().as_slice() {
+            [TraceEvent::Warning { code, message }] => {
+                assert_eq!(code, "pool-degraded");
+                assert!(message.contains("1 of 1"), "unexpected message {message:?}");
+            }
+            other => panic!("expected one pool-degraded warning, got {other:?}"),
+        }
+        // A healthy pool warns about nothing.
+        let healthy = WorkerPool::new(2);
+        emit_degradation_warning(&healthy, &sink);
+        assert!(sink.take().is_empty());
+    }
+
+    #[test]
     fn disabled_scope_emits_nothing() {
         let scope = TraceRun::start(
             &NoopSink,
@@ -183,10 +279,11 @@ mod tests {
                 phases: 0,
                 totals: PhaseCounters::default(),
                 wall_ns: 0,
+                interrupted: None,
             },
         );
         const _: () = assert!(!TraceRun::<'static, NoopSink>::ENABLED);
         assert!(scope.started.is_none());
-        scope.finish(None);
+        scope.finish_with_outcome(None, &RunOutcome::Completed);
     }
 }

@@ -68,6 +68,36 @@ fn traced_runs_round_trip_and_validate() {
     assert_eq!(report.totals, summed);
 }
 
+/// A run cancelled mid-traversal still emits a complete, validating
+/// `bga-trace-v1` document: header, one phase per completed sweep, and a
+/// trailer whose `interrupted` field carries the reason — the same stream
+/// `bga trace validate` accepts from a `--timeout-ms`-expired CLI run.
+#[test]
+fn interrupted_traced_runs_still_round_trip_and_validate() {
+    use branch_avoiding_graphs::parallel::{
+        par_sv_branch_avoiding_traced_with_cancel, CancelToken,
+    };
+    let g = generators::grid_2d(16, 16, generators::MeshStencil::VonNeumann);
+    let token = CancelToken::new().with_phase_budget(1);
+    let (events, report) = round_trip(|sink| {
+        let (_, outcome) = par_sv_branch_avoiding_traced_with_cancel(&g, 2, sink, &token);
+        assert!(!outcome.is_completed(), "a 16x16 grid needs several sweeps");
+    });
+    match events.last() {
+        Some(TraceEvent::RunEnd {
+            phases,
+            interrupted,
+            ..
+        }) => {
+            assert_eq!(*phases, 1, "budget 1 allows exactly one sweep");
+            assert_eq!(interrupted.as_deref(), Some("phase-budget"));
+        }
+        other => panic!("trailer is not a run-end event: {other:?}"),
+    }
+    assert_eq!(report.interrupted.as_deref(), Some("phase-budget"));
+    assert_eq!(report.phases.len(), 1);
+}
+
 #[test]
 fn tampered_streams_are_rejected() {
     let g = generators::grid_2d(8, 8, generators::MeshStencil::VonNeumann);
@@ -118,6 +148,9 @@ fn normalized(events: Vec<TraceEvent>) -> Vec<TraceEvent> {
         .into_iter()
         .filter_map(|event| match event {
             TraceEvent::PoolBatch { .. } | TraceEvent::PoolSummary { .. } => None,
+            // A degradation warning is load-bearing: a healthy run emits
+            // none, so one showing up SHOULD fail the determinism check.
+            warning @ TraceEvent::Warning { .. } => Some(warning),
             TraceEvent::RunStart {
                 kernel,
                 variant,
@@ -140,10 +173,16 @@ fn normalized(events: Vec<TraceEvent>) -> Vec<TraceEvent> {
                 phase.wall_ns = 0;
                 Some(TraceEvent::Phase(phase))
             }
-            TraceEvent::RunEnd { phases, totals, .. } => Some(TraceEvent::RunEnd {
+            TraceEvent::RunEnd {
+                phases,
+                totals,
+                interrupted,
+                ..
+            } => Some(TraceEvent::RunEnd {
                 phases,
                 totals,
                 wall_ns: 0,
+                interrupted,
             }),
         })
         .collect()

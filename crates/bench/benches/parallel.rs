@@ -11,7 +11,7 @@
 
 use bga_graph::generators::{grid_2d, MeshStencil};
 use bga_graph::suite::{benchmark_suite, SuiteScale};
-use bga_graph::uniform_weights;
+use bga_graph::{uniform_weights, CompressedCsrGraph, CompressedWeightedGraph};
 use bga_parallel::{
     par_betweenness_centrality_sources, par_bfs_branch_avoiding, par_bfs_branch_avoiding_on,
     par_bfs_branch_based, par_bfs_direction_optimizing, par_kcore_with_variant,
@@ -203,6 +203,82 @@ fn bench_parallel_sssp_weighted(c: &mut Criterion) {
     group.finish();
 }
 
+/// The compressed-representation contrast: raw decode throughput of the
+/// branch-avoiding varint cursor (a full adjacency sweep summing every
+/// decoded neighbour), then BFS and unit SSSP on the delta-varint
+/// [`CompressedCsrGraph`] against the same kernels on the `Vec` CSR, plus
+/// the weighted bucket loop on [`CompressedWeightedGraph`]. The
+/// csr-vs-compressed gap at matched thread counts is the decode overhead
+/// the compression ratio buys back in adjacency bandwidth.
+fn bench_parallel_compressed(c: &mut Criterion) {
+    let suite = benchmark_suite(SuiteScale::Small, 42);
+    let mut group = c.benchmark_group("parallel_compressed");
+    group.sample_size(10);
+    // coAuthorsDBLP stand-in: skewed degrees, where gap coding pays most.
+    let sg = &suite[2];
+    let cg = CompressedCsrGraph::from_csr(&sg.graph);
+    let wg = uniform_weights(&sg.graph, 32, 42);
+    let cwg = CompressedWeightedGraph::from_weighted(&wg);
+    let delta = 4;
+    // Sequential full-sweep decode: every adjacency list walked once.
+    group.bench_with_input(BenchmarkId::new("decode_sweep", sg.name()), &cg, |b, g| {
+        b.iter(|| {
+            let mut sum = 0u64;
+            for v in 0..g.num_vertices() as u32 {
+                for w in g.neighbor_cursor(v) {
+                    sum = sum.wrapping_add(w as u64);
+                }
+            }
+            sum
+        })
+    });
+    for threads in THREAD_COUNTS {
+        group.bench_with_input(
+            BenchmarkId::new("bfs_csr", format!("{}x{threads}", sg.name())),
+            &sg.graph,
+            |b, g| b.iter(|| par_bfs_branch_avoiding(g, 0, threads)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("bfs_compressed", format!("{}x{threads}", sg.name())),
+            &cg,
+            |b, g| b.iter(|| par_bfs_branch_avoiding(g, 0, threads)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("sssp_csr", format!("{}x{threads}", sg.name())),
+            &sg.graph,
+            |b, g| {
+                b.iter(|| par_sssp_unit_with_variant(g, 0, threads, SsspVariant::BranchAvoiding))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("sssp_compressed", format!("{}x{threads}", sg.name())),
+            &cg,
+            |b, g| {
+                b.iter(|| par_sssp_unit_with_variant(g, 0, threads, SsspVariant::BranchAvoiding))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new(
+                "sssp_weighted_compressed",
+                format!("{}x{threads}", sg.name()),
+            ),
+            &cwg,
+            |b, g| {
+                b.iter(|| {
+                    par_sssp_weighted_with_variant(
+                        g,
+                        0,
+                        delta,
+                        threads,
+                        SsspVariant::BranchAvoiding,
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 /// The spawn-overhead contrast the persistent pool exists for: BFS over a
 /// high-diameter mesh is hundreds of levels with tiny frontiers, so the
 /// per-level cost of standing up workers dominates. A small grain forces
@@ -246,6 +322,7 @@ criterion_group!(
     bench_parallel_kcore,
     bench_parallel_sssp,
     bench_parallel_sssp_weighted,
+    bench_parallel_compressed,
     bench_small_frontier_pool_vs_scope
 );
 criterion_main!(benches);

@@ -1,9 +1,10 @@
 //! `bga bfs`: run a BFS variant from a root and print a summary.
 
 use super::cc::{deadline_token, flag_value, parse_threads};
-use super::graph_input::load_graph;
+use super::graph_input::{footprint_line, load_graph};
 use super::CliError;
 use bga_graph::properties::largest_component;
+use bga_graph::AdjacencySource;
 use bga_kernels::bfs::{
     bfs_branch_avoiding, bfs_branch_avoiding_instrumented, bfs_branch_based,
     bfs_branch_based_instrumented,
@@ -257,6 +258,7 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
                 bottom_up
             );
         }
+        println!("{}", footprint_line(&graph.footprint()));
         println!("totals: {}", run.counters.total());
         print!("{}", step_table("level", &run.counters.steps).render());
         return Ok(());

@@ -1,7 +1,8 @@
 //! `bga cc`: run a connected-components variant and print a summary.
 
-use super::graph_input::load_graph;
+use super::graph_input::{footprint_line, load_graph};
 use super::CliError;
+use bga_graph::AdjacencySource;
 use bga_kernels::cc::{
     baseline, sv_branch_avoiding, sv_branch_avoiding_instrumented, sv_branch_based,
     sv_branch_based_instrumented, sv_hybrid, ComponentLabels, HybridConfig,
@@ -120,6 +121,7 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
         };
         print_labels_summary(variant, &run.labels);
         println!("iterations: {}", run.iterations());
+        println!("{}", footprint_line(&graph.footprint()));
         println!("totals: {}", run.counters.total());
         print!("{}", step_table("iteration", &run.counters.steps).render());
         return Ok(());

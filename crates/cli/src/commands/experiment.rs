@@ -6,7 +6,7 @@
 use bga_branchsim::all_machine_models;
 use bga_graph::properties::connected_component_count;
 use bga_graph::suite::{benchmark_suite, suite_table, SuiteScale};
-use bga_graph::uniform_weights;
+use bga_graph::{uniform_weights, CompressedCsrGraph, CompressedWeightedGraph};
 use bga_kernels::bfs::bfs_branch_based_instrumented;
 use bga_kernels::cc::{sv_branch_avoiding_instrumented, sv_branch_based_instrumented};
 use bga_parallel::{
@@ -183,7 +183,9 @@ fn sweep_kernel(
 /// Strong-scaling sweep: the parallel SV variants, direction-optimizing
 /// BFS, sampled-source Brandes betweenness, k-core peeling, unit-weight
 /// SSSP and weighted delta-stepping SSSP on every suite graph at 1, 2, 4
-/// and 8 worker threads, with
+/// and 8 worker threads — plus the BFS and SSSP sweeps repeated on the
+/// delta-varint compressed representation so decode overhead is a tracked
+/// quantity — with
 /// per-thread-count wall-clock timings and the speedup of each
 /// configuration over its own single-thread run. With `json` the rows are
 /// emitted as a single JSON document (the `BENCH_pr.json` CI artifact)
@@ -264,6 +266,35 @@ fn run_scaling(json: bool) {
             let result = par_sssp_weighted(&wg, 0, WEIGHTED_SSSP_DELTA, threads);
             assert_eq!(result.distances().len(), sg.graph.num_vertices());
         });
+        // The same traversals on the delta-varint compressed representation:
+        // the time_ms delta against the rows above is the decode overhead
+        // `bga bench compare` tracks across snapshots.
+        let cg = CompressedCsrGraph::from_csr(&sg.graph);
+        sweep_kernel(
+            &mut rows,
+            sg.name(),
+            "bfs",
+            "dir-opt-compressed",
+            |threads| {
+                let result = par_bfs_direction_optimizing(&cg, 0, threads);
+                assert_eq!(result.distances().len(), sg.graph.num_vertices());
+            },
+        );
+        sweep_kernel(&mut rows, sg.name(), "sssp", "compressed", |threads| {
+            let result = par_sssp_unit(&cg, 0, threads);
+            assert_eq!(result.distances().len(), sg.graph.num_vertices());
+        });
+        let cwg = CompressedWeightedGraph::from_weighted(&wg);
+        sweep_kernel(
+            &mut rows,
+            sg.name(),
+            "sssp",
+            "weighted-compressed",
+            |threads| {
+                let result = par_sssp_weighted(&cwg, 0, WEIGHTED_SSSP_DELTA, threads);
+                assert_eq!(result.distances().len(), sg.graph.num_vertices());
+            },
+        );
     }
     // Contrast check mirroring the paper's message: identical results from
     // both hooking disciplines (runs in both output modes).
@@ -432,6 +463,14 @@ mod tests {
             time_ms: 1.5,
             speedup: 1.9,
         });
+        rows.push(super::ScalingRow {
+            graph: "audikw1",
+            kernel: "sssp",
+            variant: "compressed",
+            threads: 2,
+            time_ms: 1.7,
+            speedup: 1.8,
+        });
         let skips = vec![(
             "auto",
             "graph has 3 components; \"per component\"".to_string(),
@@ -440,6 +479,7 @@ mod tests {
         assert!(doc.starts_with('{') && doc.ends_with('}'), "{doc}");
         assert!(doc.contains("\"schema\": \"bga-scaling-v2\""));
         assert!(doc.contains("\"variant\": \"weighted\""));
+        assert!(doc.contains("\"variant\": \"compressed\""));
         assert!(doc.contains("\"single_core_host\": true"));
         assert!(doc.contains("\"threads_swept\": [1, 2, 4, 8]"));
         for kernel in ["cc", "bfs", "bc", "kcore", "sssp"] {

@@ -2,15 +2,21 @@
 //! or files on disk (METIS or edge-list, selected by extension), in both
 //! unweighted and weight-preserving forms.
 
-use bga_graph::io::{read_edge_list, read_metis, read_weighted_edge_list, read_weighted_metis};
+use bga_graph::io::{
+    read_compressed_binary_file, read_edge_list, read_metis, read_weighted_edge_list,
+    read_weighted_metis,
+};
 use bga_graph::suite::{SuiteGraphId, SuiteScale};
-use bga_graph::{CsrGraph, WeightedCsrGraph};
+use bga_graph::{CsrGraph, GraphFootprint, WeightedCsrGraph};
 use std::path::Path;
 
 /// On-disk graph formats, resolved by file extension.
 enum GraphFormat {
     Metis,
     EdgeList,
+    /// `bga-csr-v1` delta-varint binary (`.bgacsr`), written by
+    /// `bga graph convert`.
+    Compressed,
 }
 
 /// Resolves a suite name to its id, `spec` to an existing file plus its
@@ -35,9 +41,25 @@ fn resolve_spec(spec: &str) -> Result<Result<SuiteGraphId, (&Path, GraphFormat)>
         .map(|e| e.to_ascii_lowercase());
     let format = match by_extension.as_deref() {
         Some("metis") | Some("graph") => GraphFormat::Metis,
+        Some("bgacsr") => GraphFormat::Compressed,
         _ => GraphFormat::EdgeList,
     };
     Ok(Err((path, format)))
+}
+
+/// Renders a [`GraphFootprint`] as the one-line summary the
+/// `--instrumented` paths and `bga graph convert` print. The ratio is
+/// against the raw `Vec` CSR layout of the same graph (>1 = smaller).
+pub(super) fn footprint_line(fp: &GraphFootprint) -> String {
+    format!(
+        "footprint: {} representation, {} adjacency + {} index = {} bytes \
+         ({:.2}x vs raw CSR)",
+        fp.representation,
+        fp.adjacency_bytes,
+        fp.index_bytes,
+        fp.total_bytes(),
+        fp.ratio()
+    )
 }
 
 /// Loads a graph from a suite name or a file path.
@@ -53,6 +75,10 @@ pub fn load_graph(spec: &str) -> Result<CsrGraph, String> {
     let result = match format {
         GraphFormat::Metis => read_metis(path),
         GraphFormat::EdgeList => read_edge_list(path),
+        // The kernel subcommands run the Vec CSR; decoding up front keeps
+        // every variant (incl. the sequential kernels) available. Run
+        // `bga experiment scaling` for the compressed execution path.
+        GraphFormat::Compressed => read_compressed_binary_file(path).map(|g| g.to_csr()),
     };
     result.map_err(|e| format!("failed to read {spec}: {e}"))
 }
@@ -75,6 +101,12 @@ pub fn load_weighted_graph(spec: &str) -> Result<WeightedCsrGraph, String> {
     let result = match format {
         GraphFormat::Metis => read_weighted_metis(path),
         GraphFormat::EdgeList => read_weighted_edge_list(path),
+        GraphFormat::Compressed => {
+            return Err(format!(
+                "{spec:?} is a bga-csr-v1 binary, which carries no weights; \
+                 use --weights uniform or a weighted METIS/edge-list file"
+            ))
+        }
     };
     result.map_err(|e| format!("failed to read {spec}: {e}"))
 }
@@ -104,6 +136,31 @@ mod tests {
         let g = load_graph(path.to_str().unwrap()).unwrap();
         assert_eq!(g.num_vertices(), 3);
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn compressed_binaries_load_and_reject_weighted_use() {
+        use bga_graph::io::write_compressed_binary_file;
+        use bga_graph::CompressedCsrGraph;
+        let dir = std::env::temp_dir().join("bga_cli_bgacsr_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tiny.bgacsr");
+        let g = load_graph("cond-mat-2005").unwrap();
+        write_compressed_binary_file(&path, &CompressedCsrGraph::from_csr(&g)).unwrap();
+        let back = load_graph(path.to_str().unwrap()).unwrap();
+        assert_eq!(g, back);
+        let err = load_weighted_graph(path.to_str().unwrap()).unwrap_err();
+        assert!(err.contains("no weights"), "{err}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn footprint_lines_carry_the_ratio() {
+        use bga_graph::AdjacencySource;
+        let g = load_graph("cond-mat-2005").unwrap();
+        let line = footprint_line(&g.footprint());
+        assert!(line.starts_with("footprint: csr"), "{line}");
+        assert!(line.contains("1.00x"), "{line}");
     }
 
     #[test]

@@ -8,8 +8,9 @@
 //! numbers are identical in every mode.
 
 use super::cc::{deadline_token, flag_value, parse_threads};
-use super::graph_input::load_graph;
+use super::graph_input::{footprint_line, load_graph};
 use super::CliError;
+use bga_graph::AdjacencySource;
 use bga_kernels::kcore::{kcore_peeling, CoreDecomposition};
 use bga_obs::step_table;
 use bga_parallel::{
@@ -104,6 +105,7 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
         let run = par_kcore_instrumented(&graph, t, kcore_variant);
         print_core_summary(variant, &run.cores);
         println!("cascade rounds: {}", run.rounds);
+        println!("{}", footprint_line(&graph.footprint()));
         println!("totals: {}", run.counters.total());
         print!("{}", step_table("dispatch", &run.counters.steps).render());
         return Ok(());

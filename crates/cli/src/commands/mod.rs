@@ -6,6 +6,7 @@ mod bfs;
 mod cc;
 mod experiment;
 mod generate;
+mod graph_convert;
 mod graph_input;
 mod kcore;
 mod sssp;
@@ -69,9 +70,13 @@ pub const USAGE: &str = "usage:
   bga experiment <table1|table2|suite-summary|scaling [--json]>
   bga bench compare <old1.json> [<old2.json>...] <new.json> [--threshold PCT] [--fail-on-regression]
   bga trace <report|validate> <trace.jsonl>
+  bga graph convert <in> <out>
 
-<graph> is a METIS (.metis/.graph) or edge-list file, or a built-in suite
-name: audikw1, auto, coAuthorsDBLP, cond-mat-2005, ldoor.
+<graph> is a METIS (.metis/.graph), edge-list, or bga-csr-v1 compressed
+binary (.bgacsr) file, or a built-in suite name: audikw1, auto,
+coAuthorsDBLP, cond-mat-2005, ldoor. bga graph convert translates between
+the three formats (target picked by the output extension; converting to
+.bgacsr prints the compression footprint).
 
 --threads N runs the branch-based / branch-avoiding / direction-optimizing
 kernels on a persistent N-worker pool from the bga-parallel crate (N = 0
@@ -117,6 +122,7 @@ pub fn dispatch(args: &[String]) -> Result<(), CliError> {
         "experiment" => experiment::run(rest).map_err(CliError::from),
         "bench" => bench_compare::run(rest).map_err(CliError::from),
         "trace" => trace::run(rest).map_err(CliError::from),
+        "graph" => graph_convert::run(rest).map_err(CliError::from),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())

@@ -16,10 +16,10 @@
 //!   edge-weighted METIS). Requires a file path, not a suite name.
 
 use super::cc::{deadline_token, flag_value, parse_threads};
-use super::graph_input::{load_graph, load_weighted_graph};
+use super::graph_input::{footprint_line, load_graph, load_weighted_graph};
 use super::CliError;
 use bga_graph::properties::largest_component;
-use bga_graph::{uniform_weights, WeightedCsrGraph};
+use bga_graph::{uniform_weights, AdjacencySource, WeightedAdjacencySource, WeightedCsrGraph};
 use bga_kernels::sssp::{sssp_delta_stepping, sssp_unit_delta_stepping_with_delta, SsspResult};
 use bga_obs::step_table;
 use bga_parallel::{
@@ -259,6 +259,7 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
                     run.directions.len() - run.bottom_up_phases(),
                     run.bottom_up_phases()
                 );
+                println!("{}", footprint_line(&graph.footprint()));
                 println!("totals: {}", run.counters.total());
                 print!("{}", step_table("phase", &run.counters.steps).render());
             }
@@ -270,6 +271,7 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
                     "buckets settled: {}; heavy phases: {}",
                     run.buckets_settled, run.heavy_phases
                 );
+                println!("{}", footprint_line(&wg.footprint()));
                 println!("totals: {}", run.counters.total());
                 print!("{}", step_table("pass", &run.counters.steps).render());
             }

@@ -92,6 +92,17 @@ fn report(args: &[String]) -> Result<(), String> {
         "graph: {} vertices, {} edge slots",
         report.vertices, report.edges
     );
+    if let Some(fp) = &report.footprint {
+        println!(
+            "footprint: {} representation, {} adjacency + {} index = {} bytes \
+             ({:.2}x vs raw CSR)",
+            fp.representation,
+            fp.adjacency_bytes,
+            fp.index_bytes,
+            fp.total_bytes(),
+            fp.ratio()
+        );
+    }
     print!("threads: {}; grain: {}", report.threads, report.grain);
     if let Some(delta) = report.delta {
         print!("; delta: {delta}");

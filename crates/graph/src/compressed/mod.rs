@@ -1,0 +1,480 @@
+//! Delta-varint compressed CSR: the second graph representation.
+//!
+//! [`CompressedCsrGraph`] stores each vertex's sorted neighbour list as a
+//! byte-aligned varint block:
+//!
+//! ```text
+//! block(v) = varint(degree)
+//!            varint(zigzag(first_neighbour - v))     (if degree > 0)
+//!            varint(gap) * (degree - 1)              (gap = w[i] - w[i-1])
+//! ```
+//!
+//! The first neighbour is zig-zag encoded relative to the source vertex —
+//! locality in real graphs makes that delta small — and subsequent gaps
+//! are non-negative raw varints (a zero gap encodes the duplicate
+//! neighbours [`CsrGraph`] permits). A degree-0 vertex still owns one
+//! payload byte (`0x00`), so every vertex has a distinct block start.
+//!
+//! In place of the `Vec<usize>` offsets array, a [`RankSelectBitmap`]
+//! marks block starts with one bit per payload byte: `select1(v)` is the
+//! byte offset of vertex `v`'s block. The decode path
+//! ([`super::compressed::varint::decode_varint`] via [`NeighborCursor`])
+//! is branch-avoiding: continuation-bit arithmetic over an 8-byte window,
+//! masked shifts, and an eager one-ahead decode so `next()` never takes a
+//! data-dependent branch on the byte stream.
+//!
+//! [`CsrGraph`]: crate::csr::CsrGraph
+//! [`RankSelectBitmap`]: rank::RankSelectBitmap
+
+pub mod rank;
+pub mod varint;
+mod weighted;
+
+pub use weighted::CompressedWeightedGraph;
+
+use crate::adjacency::{csr_layout_bytes, AdjacencySource, GraphFootprint};
+use crate::csr::{CsrGraph, VertexId};
+use rank::RankSelectBitmap;
+use std::borrow::Cow;
+use varint::{
+    decode_varint, decode_varint_checked, encode_varint, zigzag_decode, zigzag_encode,
+    PADDING_BYTES,
+};
+
+/// A CSR graph with delta-varint compressed adjacency and a rank/select
+/// offsets index. Construct with [`CompressedCsrGraph::from_csr`] or load
+/// a validated byte stream with [`CompressedCsrGraph::from_parts`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CompressedCsrGraph {
+    /// Varint blocks back to back, plus [`PADDING_BYTES`] trailing zeros
+    /// so the windowed decoder can always load 8 bytes.
+    payload: Vec<u8>,
+    /// Payload length excluding the decoder padding.
+    payload_len: usize,
+    /// One bit per payload byte, set at each vertex's block start.
+    index: RankSelectBitmap,
+    num_vertices: usize,
+    num_edge_slots: usize,
+    undirected: bool,
+}
+
+impl CompressedCsrGraph {
+    /// Compresses a [`CsrGraph`]. The encoding is lossless: neighbour
+    /// order (including duplicates) is preserved exactly.
+    pub fn from_csr(graph: &CsrGraph) -> Self {
+        let n = graph.num_vertices();
+        let mut payload = Vec::new();
+        let mut starts = Vec::with_capacity(n);
+        for v in graph.vertices() {
+            starts.push(payload.len());
+            let neighbors = graph.neighbors(v);
+            encode_varint(neighbors.len() as u64, &mut payload);
+            if let Some((&first, rest)) = neighbors.split_first() {
+                encode_varint(zigzag_encode(i64::from(first) - i64::from(v)), &mut payload);
+                let mut prev = first;
+                for &w in rest {
+                    encode_varint(u64::from(w - prev), &mut payload);
+                    prev = w;
+                }
+            }
+        }
+        let payload_len = payload.len();
+        payload.extend_from_slice(&[0u8; PADDING_BYTES]);
+        let index = RankSelectBitmap::from_set_positions(payload_len, &starts);
+        CompressedCsrGraph {
+            payload,
+            payload_len,
+            index,
+            num_vertices: n,
+            num_edge_slots: graph.num_edge_slots(),
+            undirected: graph.is_undirected(),
+        }
+    }
+
+    /// Reassembles a graph from its serialized parts (`payload` without
+    /// decoder padding, the index bitmap's backing words), validating the
+    /// whole stream: block starts must match the bitmap, every varint must
+    /// terminate inside the payload, neighbours must be sorted and in
+    /// range, and the edge/vertex counts must add up. Malformed streams
+    /// are rejected here once so the hot decode path stays unchecked.
+    pub fn from_parts(
+        num_vertices: usize,
+        num_edge_slots: usize,
+        undirected: bool,
+        payload: Vec<u8>,
+        index_words: Vec<u64>,
+    ) -> Result<Self, String> {
+        let payload_len = payload.len();
+        if index_words.len() != payload_len.div_ceil(64) {
+            return Err(format!(
+                "index has {} words but {payload_len} payload bytes need {}",
+                index_words.len(),
+                payload_len.div_ceil(64)
+            ));
+        }
+        if !payload_len.is_multiple_of(64) {
+            if let Some(&last) = index_words.last() {
+                if last >> (payload_len % 64) != 0 {
+                    return Err("index carries bits beyond the payload".to_string());
+                }
+            }
+        }
+        let index = RankSelectBitmap::from_words(index_words, payload_len);
+        if index.count_ones() != num_vertices {
+            return Err(format!(
+                "index marks {} block starts for {num_vertices} vertices",
+                index.count_ones()
+            ));
+        }
+
+        let mut pos = 0usize;
+        let mut total_edges = 0usize;
+        {
+            let mut block_starts = index.iter_ones();
+            for v in 0..num_vertices {
+                if block_starts.next() != Some(pos) {
+                    return Err(format!("vertex {v}: block start does not match the index"));
+                }
+                let (degree, len) = decode_varint_checked(&payload, pos)
+                    .ok_or_else(|| format!("vertex {v}: truncated degree header"))?;
+                pos += len;
+                let degree = usize::try_from(degree)
+                    .map_err(|_| format!("vertex {v}: degree overflows usize"))?;
+                if degree > 0 {
+                    let (code, len) = decode_varint_checked(&payload, pos)
+                        .ok_or_else(|| format!("vertex {v}: truncated first neighbour"))?;
+                    pos += len;
+                    let first = i64::try_from(v).unwrap() + zigzag_decode(code);
+                    if first < 0 || first >= num_vertices as i64 {
+                        return Err(format!("vertex {v}: first neighbour {first} out of range"));
+                    }
+                    let mut prev = first as u64;
+                    for slot in 1..degree {
+                        let (gap, len) = decode_varint_checked(&payload, pos).ok_or_else(|| {
+                            format!("vertex {v}: truncated gap at neighbour slot {slot}")
+                        })?;
+                        pos += len;
+                        let next = prev + gap;
+                        if next >= num_vertices as u64 {
+                            return Err(format!("vertex {v}: neighbour {next} out of range"));
+                        }
+                        prev = next;
+                    }
+                }
+                total_edges += degree;
+            }
+        }
+        if pos != payload_len {
+            return Err(format!(
+                "payload has {} trailing bytes past the last block",
+                payload_len - pos
+            ));
+        }
+        if total_edges != num_edge_slots {
+            return Err(format!(
+                "blocks encode {total_edges} edge slots, header claims {num_edge_slots}"
+            ));
+        }
+
+        let mut payload = payload;
+        payload.extend_from_slice(&[0u8; PADDING_BYTES]);
+        Ok(CompressedCsrGraph {
+            payload,
+            payload_len,
+            index,
+            num_vertices,
+            num_edge_slots,
+            undirected,
+        })
+    }
+
+    /// Decompresses back to the `Vec` CSR layout.
+    pub fn to_csr(&self) -> CsrGraph {
+        let mut offsets = Vec::with_capacity(self.num_vertices + 1);
+        offsets.push(0usize);
+        let mut adjacency = Vec::with_capacity(self.num_edge_slots);
+        for v in 0..self.num_vertices {
+            adjacency.extend(self.neighbor_cursor(v as VertexId));
+            offsets.push(adjacency.len());
+        }
+        CsrGraph::from_raw_parts(offsets, adjacency, self.undirected)
+            .expect("a validated compressed graph always decompresses to a valid CSR")
+    }
+
+    /// Number of vertices `|V|`.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Number of directed edge slots.
+    pub fn num_edge_slots(&self) -> usize {
+        self.num_edge_slots
+    }
+
+    /// Whether the graph was constructed as undirected.
+    pub fn is_undirected(&self) -> bool {
+        self.undirected
+    }
+
+    /// Out-degree of `v`, decoded from the block header at `select1(v)`.
+    pub fn degree(&self, v: VertexId) -> usize {
+        let pos = self.index.select1(v as usize);
+        decode_varint(&self.payload, pos).0 as usize
+    }
+
+    /// Branch-avoiding cursor over the neighbours of `v`.
+    pub fn neighbor_cursor(&self, v: VertexId) -> NeighborCursor<'_> {
+        NeighborCursor::new(self, v)
+    }
+
+    /// The compressed payload, without the decoder padding — what the
+    /// on-disk format serializes.
+    pub fn payload(&self) -> &[u8] {
+        &self.payload[..self.payload_len]
+    }
+
+    /// The offsets bitmap's backing words — what the on-disk format
+    /// serializes next to the payload.
+    pub fn index_words(&self) -> &[u64] {
+        self.index.words()
+    }
+
+    fn compute_footprint(&self) -> GraphFootprint {
+        GraphFootprint {
+            representation: "compressed",
+            adjacency_bytes: self.payload.len() as u64,
+            index_bytes: self.index.heap_bytes() as u64,
+            csr_bytes: csr_layout_bytes(self.num_vertices, self.num_edge_slots),
+        }
+    }
+}
+
+impl AdjacencySource for CompressedCsrGraph {
+    type Cursor<'a> = NeighborCursor<'a>;
+
+    #[inline]
+    fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    #[inline]
+    fn num_edge_slots(&self) -> usize {
+        self.num_edge_slots
+    }
+
+    #[inline]
+    fn is_undirected(&self) -> bool {
+        self.undirected
+    }
+
+    #[inline]
+    fn degree(&self, v: VertexId) -> usize {
+        CompressedCsrGraph::degree(self, v)
+    }
+
+    #[inline]
+    fn neighbor_cursor(&self, v: VertexId) -> Self::Cursor<'_> {
+        CompressedCsrGraph::neighbor_cursor(self, v)
+    }
+
+    fn degree_prefix(&self) -> Cow<'_, [usize]> {
+        // Materialise the CSR offsets from the block headers: one degree
+        // decode per vertex, block starts straight off the index bitmap.
+        let mut prefix = Vec::with_capacity(self.num_vertices + 1);
+        prefix.push(0usize);
+        let mut total = 0usize;
+        for pos in self.index.iter_ones() {
+            let (degree, _) = decode_varint(&self.payload, pos);
+            total += degree as usize;
+            prefix.push(total);
+        }
+        Cow::Owned(prefix)
+    }
+
+    fn footprint(&self) -> GraphFootprint {
+        self.compute_footprint()
+    }
+}
+
+/// Iterator over one vertex's neighbours, decoding delta varints with the
+/// branch-avoiding windowed decoder.
+///
+/// The cursor keeps one decoded value of lookahead: `next()` returns the
+/// stored value and eagerly decodes the following gap, so the hot loop is
+/// pure arithmetic — the only branch is the loop-termination count check,
+/// which every iterator shares. The eager decode after the final element
+/// reads into the next block or the stream padding; the result is
+/// discarded, and the padding guarantees the 8-byte window is always in
+/// bounds.
+#[derive(Clone, Debug)]
+pub struct NeighborCursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    remaining: usize,
+    next_val: VertexId,
+}
+
+impl<'a> NeighborCursor<'a> {
+    fn new(graph: &'a CompressedCsrGraph, v: VertexId) -> Self {
+        let mut pos = graph.index.select1(v as usize);
+        let (degree, len) = decode_varint(&graph.payload, pos);
+        pos += len;
+        let mut next_val = 0;
+        if degree > 0 {
+            let (code, len) = decode_varint(&graph.payload, pos);
+            pos += len;
+            next_val = (i64::from(v) + zigzag_decode(code)) as VertexId;
+        }
+        NeighborCursor {
+            bytes: &graph.payload,
+            pos,
+            remaining: degree as usize,
+            next_val,
+        }
+    }
+}
+
+impl Iterator for NeighborCursor<'_> {
+    type Item = VertexId;
+
+    #[inline]
+    fn next(&mut self) -> Option<VertexId> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let current = self.next_val;
+        // Eager lookahead: decode the next gap unconditionally. Past the
+        // last neighbour this reads the following block header or the
+        // padding; the value is never yielded.
+        let (gap, len) = decode_varint(self.bytes, self.pos);
+        self.pos += len;
+        self.next_val = self.next_val.wrapping_add(gap as VertexId);
+        Some(current)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for NeighborCursor<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{barabasi_albert, complete_graph, path_graph, star_graph};
+
+    fn round_trip_cases() -> Vec<CsrGraph> {
+        vec![
+            CsrGraph::empty(0),
+            path_graph(1),
+            path_graph(2),
+            star_graph(50),
+            complete_graph(12),
+            barabasi_albert(500, 4, 9),
+            // Duplicate neighbours (zero gaps) and a self-loop.
+            CsrGraph::from_raw_parts(vec![0, 3, 4, 4], vec![0, 1, 1, 2], false).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn compression_round_trips_every_case() {
+        for csr in round_trip_cases() {
+            let compressed = CompressedCsrGraph::from_csr(&csr);
+            assert_eq!(compressed.num_vertices(), csr.num_vertices());
+            assert_eq!(compressed.num_edge_slots(), csr.num_edge_slots());
+            assert_eq!(compressed.is_undirected(), csr.is_undirected());
+            assert_eq!(compressed.to_csr(), csr);
+        }
+    }
+
+    #[test]
+    fn cursors_and_degrees_match_the_csr() {
+        let csr = barabasi_albert(400, 3, 5);
+        let compressed = CompressedCsrGraph::from_csr(&csr);
+        for v in csr.vertices() {
+            assert_eq!(compressed.degree(v), csr.degree(v));
+            let neighbors: Vec<VertexId> = compressed.neighbor_cursor(v).collect();
+            assert_eq!(neighbors, csr.neighbors(v), "vertex {v}");
+            assert_eq!(compressed.neighbor_cursor(v).len(), csr.degree(v));
+        }
+        assert_eq!(
+            AdjacencySource::degree_prefix(&compressed).as_ref(),
+            csr.offsets()
+        );
+    }
+
+    #[test]
+    fn serialized_parts_round_trip_through_validation() {
+        let csr = barabasi_albert(300, 3, 11);
+        let compressed = CompressedCsrGraph::from_csr(&csr);
+        let rebuilt = CompressedCsrGraph::from_parts(
+            compressed.num_vertices(),
+            compressed.num_edge_slots(),
+            compressed.is_undirected(),
+            compressed.payload().to_vec(),
+            compressed.index_words().to_vec(),
+        )
+        .expect("valid parts must load");
+        assert_eq!(rebuilt, compressed);
+    }
+
+    #[test]
+    fn footprint_shrinks_a_real_graph() {
+        let csr = barabasi_albert(2000, 8, 3);
+        let compressed = CompressedCsrGraph::from_csr(&csr);
+        let fp = AdjacencySource::footprint(&compressed);
+        assert_eq!(fp.representation, "compressed");
+        assert_eq!(fp.csr_bytes, AdjacencySource::footprint(&csr).csr_bytes);
+        assert!(
+            fp.total_bytes() < fp.csr_bytes,
+            "{} compressed bytes vs {} csr bytes",
+            fp.total_bytes(),
+            fp.csr_bytes
+        );
+        assert!(fp.ratio() > 1.0);
+    }
+
+    #[test]
+    fn corrupt_parts_are_rejected() {
+        let csr = star_graph(20);
+        let good = CompressedCsrGraph::from_csr(&csr);
+        let n = good.num_vertices();
+        let m = good.num_edge_slots();
+        let payload = good.payload().to_vec();
+        let words = good.index_words().to_vec();
+
+        // Truncated payload.
+        let mut short = payload.clone();
+        short.pop();
+        assert!(CompressedCsrGraph::from_parts(n, m, true, short, words.clone()).is_err());
+        // Wrong edge count in the header.
+        assert!(
+            CompressedCsrGraph::from_parts(n, m + 1, true, payload.clone(), words.clone()).is_err()
+        );
+        // Wrong vertex count.
+        assert!(
+            CompressedCsrGraph::from_parts(n + 1, m, true, payload.clone(), words.clone()).is_err()
+        );
+        // Flipped payload byte: either a block-start mismatch, a range
+        // error, or a count mismatch — never a panic.
+        for i in 0..payload.len() {
+            let mut corrupt = payload.clone();
+            corrupt[i] ^= 0x81;
+            let _ = CompressedCsrGraph::from_parts(n, m, true, corrupt, words.clone());
+        }
+        // A continuation run with no terminator must not panic either.
+        let endless = vec![0x80u8; 12];
+        let endless_words = vec![1u64];
+        assert!(CompressedCsrGraph::from_parts(1, 0, false, endless, endless_words).is_err());
+    }
+
+    #[test]
+    fn empty_graph_compresses_to_nothing() {
+        let compressed = CompressedCsrGraph::from_csr(&CsrGraph::empty(0));
+        assert_eq!(compressed.payload(), &[] as &[u8]);
+        assert_eq!(compressed.index_words().len(), 0);
+        assert_eq!(AdjacencySource::degree_prefix(&compressed).as_ref(), &[0]);
+    }
+}

@@ -1,0 +1,266 @@
+//! Succinct rank/select bitmap backing the compressed graph's offsets.
+//!
+//! A plain CSR keeps a `Vec<usize>` of `|V| + 1` byte offsets — 8 bytes
+//! per vertex, often more than the compressed adjacency payload itself.
+//! [`RankSelectBitmap`] replaces it with one bit per payload byte (set
+//! exactly at the first byte of each vertex's block) plus a small select
+//! sample table: `select1(v)` recovers the byte position where vertex
+//! `v`'s block starts, which is all the decoder needs.
+//!
+//! `select1` runs in two steps: jump to the sampled position of the
+//! nearest preceding `SELECT_SAMPLE_RATE`-th set bit, then popcount whole
+//! words forward (`u64::count_ones`) and finish inside the final word with
+//! a short clear-lowest-bit scan. The word scan touches at most
+//! `SELECT_SAMPLE_RATE` set bits' worth of words, so lookups are O(1)
+//! amortised with a tiny constant.
+
+/// Bits per backing word.
+const WORD_BITS: usize = 64;
+
+/// One select sample is stored per this many set bits.
+const SELECT_SAMPLE_RATE: usize = 64;
+
+/// An immutable bitmap with O(1)-amortised `select1`, used as the offsets
+/// index of [`crate::compressed::CompressedCsrGraph`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RankSelectBitmap {
+    words: Vec<u64>,
+    len_bits: usize,
+    ones: usize,
+    /// `samples[i]` = bit position of the `(i * SELECT_SAMPLE_RATE)`-th
+    /// set bit (0-based).
+    samples: Vec<u64>,
+}
+
+impl RankSelectBitmap {
+    /// Builds the bitmap over the domain `0..len_bits` with the given bit
+    /// positions set. Positions must be strictly ascending and in range.
+    pub fn from_set_positions(len_bits: usize, positions: &[usize]) -> Self {
+        let mut words = vec![0u64; len_bits.div_ceil(WORD_BITS)];
+        let mut samples = Vec::with_capacity(positions.len() / SELECT_SAMPLE_RATE + 1);
+        let mut prev: Option<usize> = None;
+        for (rank, &pos) in positions.iter().enumerate() {
+            assert!(pos < len_bits, "bit {pos} outside domain 0..{len_bits}");
+            assert!(
+                prev.is_none_or(|p| p < pos),
+                "set positions must be strictly ascending"
+            );
+            prev = Some(pos);
+            words[pos / WORD_BITS] |= 1u64 << (pos % WORD_BITS);
+            if rank % SELECT_SAMPLE_RATE == 0 {
+                samples.push(pos as u64);
+            }
+        }
+        RankSelectBitmap {
+            words,
+            len_bits,
+            ones: positions.len(),
+            samples,
+        }
+    }
+
+    /// Rebuilds the index structure from raw backing words (the on-disk
+    /// representation stores only the words; samples are derived).
+    pub fn from_words(words: Vec<u64>, len_bits: usize) -> Self {
+        assert!(
+            words.len() == len_bits.div_ceil(WORD_BITS),
+            "word count {} does not cover {len_bits} bits",
+            words.len()
+        );
+        // Bits beyond the domain must be clear so popcounts stay honest.
+        if !len_bits.is_multiple_of(WORD_BITS) {
+            if let Some(&last) = words.last() {
+                assert!(
+                    last >> (len_bits % WORD_BITS) == 0,
+                    "backing words carry bits beyond the domain"
+                );
+            }
+        }
+        let mut ones = 0usize;
+        let mut samples = Vec::new();
+        for (w, &word) in words.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                if ones.is_multiple_of(SELECT_SAMPLE_RATE) {
+                    samples.push((w * WORD_BITS + bits.trailing_zeros() as usize) as u64);
+                }
+                ones += 1;
+                bits &= bits - 1;
+            }
+        }
+        RankSelectBitmap {
+            words,
+            len_bits,
+            ones,
+            samples,
+        }
+    }
+
+    /// Size of the domain in bits.
+    pub fn len_bits(&self) -> usize {
+        self.len_bits
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.ones
+    }
+
+    /// The raw backing words (little-endian bit order within each word) —
+    /// what the on-disk format serializes.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// True when bit `pos` is set.
+    pub fn get(&self, pos: usize) -> bool {
+        debug_assert!(pos < self.len_bits);
+        self.words[pos / WORD_BITS] & (1u64 << (pos % WORD_BITS)) != 0
+    }
+
+    /// Number of set bits strictly below `pos`.
+    pub fn rank1(&self, pos: usize) -> usize {
+        debug_assert!(pos <= self.len_bits);
+        let full_words = pos / WORD_BITS;
+        let mut rank: usize = self.words[..full_words]
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum();
+        if !pos.is_multiple_of(WORD_BITS) {
+            let mask = (1u64 << (pos % WORD_BITS)) - 1;
+            rank += (self.words[full_words] & mask).count_ones() as usize;
+        }
+        rank
+    }
+
+    /// Position of the `k`-th set bit (0-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `k >= count_ones()`.
+    pub fn select1(&self, k: usize) -> usize {
+        assert!(
+            k < self.ones,
+            "select1({k}) with only {} set bits",
+            self.ones
+        );
+        // Jump to the sampled set bit at or below rank k, then popcount
+        // words forward until the word holding the target.
+        let sample_rank = (k / SELECT_SAMPLE_RATE) * SELECT_SAMPLE_RATE;
+        let sample_pos = self.samples[k / SELECT_SAMPLE_RATE] as usize;
+        let mut word_index = sample_pos / WORD_BITS;
+        // Set bits of the sample's word below (and including) the sample
+        // itself are already counted by sample_rank.
+        let mut remaining = k - sample_rank;
+        let mut word = self.words[word_index] & !((1u64 << (sample_pos % WORD_BITS)) - 1);
+        loop {
+            let ones_here = word.count_ones() as usize;
+            if remaining < ones_here {
+                // The target lives in this word: clear its lowest
+                // `remaining` set bits, the next one is the answer.
+                let mut bits = word;
+                for _ in 0..remaining {
+                    bits &= bits - 1;
+                }
+                return word_index * WORD_BITS + bits.trailing_zeros() as usize;
+            }
+            remaining -= ones_here;
+            word_index += 1;
+            word = self.words[word_index];
+        }
+    }
+
+    /// Heap bytes of the index: backing words plus select samples.
+    pub fn heap_bytes(&self) -> usize {
+        self.words.len() * 8 + self.samples.len() * 8
+    }
+
+    /// Iterator over the positions of all set bits, ascending.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(w, &word)| {
+            let mut bits = word;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    return None;
+                }
+                let bit = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(w * WORD_BITS + bit)
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference_positions() -> Vec<usize> {
+        // Dense run, sparse tail, word-boundary straddles, and a long gap
+        // so several samples land in the same word region.
+        let mut positions: Vec<usize> = (0..200).collect();
+        positions.extend([255, 256, 257, 320, 1000, 4095]);
+        positions
+    }
+
+    #[test]
+    fn select_inverts_rank_on_an_assorted_bitmap() {
+        let positions = reference_positions();
+        let bitmap = RankSelectBitmap::from_set_positions(4096, &positions);
+        assert_eq!(bitmap.count_ones(), positions.len());
+        assert_eq!(bitmap.len_bits(), 4096);
+        for (k, &pos) in positions.iter().enumerate() {
+            assert_eq!(bitmap.select1(k), pos, "select1({k})");
+            assert_eq!(bitmap.rank1(pos), k, "rank1({pos})");
+            assert!(bitmap.get(pos));
+        }
+        assert_eq!(bitmap.rank1(4096), positions.len());
+        assert_eq!(bitmap.iter_ones().collect::<Vec<_>>(), positions);
+    }
+
+    #[test]
+    fn word_round_trip_rebuilds_identical_index() {
+        let positions = reference_positions();
+        let bitmap = RankSelectBitmap::from_set_positions(4096, &positions);
+        let rebuilt = RankSelectBitmap::from_words(bitmap.words().to_vec(), 4096);
+        assert_eq!(bitmap, rebuilt);
+    }
+
+    #[test]
+    fn single_bit_and_empty_domains() {
+        let empty = RankSelectBitmap::from_set_positions(0, &[]);
+        assert_eq!(empty.count_ones(), 0);
+        assert_eq!(empty.words().len(), 0);
+        let one = RankSelectBitmap::from_set_positions(1, &[0]);
+        assert_eq!(one.select1(0), 0);
+        assert_eq!(one.rank1(1), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "select1")]
+    fn select_beyond_the_population_panics() {
+        RankSelectBitmap::from_set_positions(8, &[3]).select1(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn unsorted_positions_are_rejected() {
+        RankSelectBitmap::from_set_positions(8, &[3, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond the domain")]
+    fn stray_bits_beyond_the_domain_are_rejected() {
+        RankSelectBitmap::from_words(vec![u64::MAX], 8);
+    }
+
+    #[test]
+    fn heap_bytes_stays_near_one_bit_per_domain_bit() {
+        let positions: Vec<usize> = (0..10_000).step_by(3).collect();
+        let bitmap = RankSelectBitmap::from_set_positions(10_000, &positions);
+        // words: 10_000/64 rounded up = 157 * 8 bytes; samples: ones/64.
+        let expected_words = 10_000usize.div_ceil(64) * 8;
+        let expected_samples = positions.len().div_ceil(64) * 8;
+        assert_eq!(bitmap.heap_bytes(), expected_words + expected_samples);
+    }
+}

@@ -1,0 +1,216 @@
+//! Byte-aligned varint codec with a branch-avoiding decoder.
+//!
+//! The encoder is the standard LEB128 layout: seven payload bits per byte,
+//! the high bit of each byte set when another byte follows. What differs
+//! from a textbook decoder is the decode path: instead of the per-byte
+//! `if byte & 0x80` continuation test — a data-dependent branch whose
+//! outcome changes with every encoded length, exactly the misprediction
+//! pattern *Branch-Avoiding Graph Algorithms* (SPAA 2015) eliminates from
+//! its kernels — [`decode_varint`] loads a full 8-byte little-endian
+//! window and resolves the length with continuation-bit arithmetic:
+//!
+//! 1. `!window & 0x8080…80` has its lowest set bit at the first byte whose
+//!    continuation bit is clear, so `trailing_zeros >> 3` *is* the number
+//!    of continuation bytes — no loop, no branch.
+//! 2. The window is masked down to the encoded bytes and the seven-bit
+//!    groups are collapsed with three masked shift-or steps (a fixed
+//!    log₂(8)-deep reduction), again without inspecting any byte
+//!    individually.
+//!
+//! The window trick requires 8 readable bytes at every decode position;
+//! [`PADDING_BYTES`] zero bytes appended to a stream guarantee that (a
+//! zero byte has a clear continuation bit, so a decode started inside the
+//! padding terminates immediately).
+//!
+//! Every value the graph encoder produces fits in [`MAX_VARINT_BYTES`]
+//! bytes: deltas are zig-zagged 33-bit quantities at most (the signed
+//! difference of two `u32` vertex ids), and degrees are bounded by the
+//! `usize` edge count, which the on-disk format caps well below 2³⁵.
+
+/// Maximum encoded length this codec accepts: 5 bytes carry 35 payload
+/// bits, enough for any zig-zagged `u32` delta (33 bits) with headroom.
+pub const MAX_VARINT_BYTES: usize = 5;
+
+/// Zero bytes a stream must append past its last encoded byte so the
+/// windowed decoder can always load 8 bytes.
+pub const PADDING_BYTES: usize = 8;
+
+/// Largest value [`encode_varint`] accepts (35 payload bits).
+pub const MAX_VARINT_VALUE: u64 = (1 << (7 * MAX_VARINT_BYTES as u32)) - 1;
+
+/// All continuation bits of an 8-byte window.
+const CONTINUATION_MASK: u64 = 0x8080_8080_8080_8080;
+
+/// All payload bits of an 8-byte window.
+const PAYLOAD_MASK: u64 = 0x7f7f_7f7f_7f7f_7f7f;
+
+/// Appends the LEB128 encoding of `value` to `out`.
+///
+/// # Panics
+///
+/// Panics when `value` exceeds [`MAX_VARINT_VALUE`] — the graph encoders
+/// never produce such a value, and rejecting it here keeps the decoder's
+/// fixed-window length arithmetic total.
+pub fn encode_varint(mut value: u64, out: &mut Vec<u8>) {
+    assert!(
+        value <= MAX_VARINT_VALUE,
+        "varint value {value} exceeds the {MAX_VARINT_BYTES}-byte cap"
+    );
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Decodes one varint from `bytes` starting at `pos`, returning the value
+/// and the number of bytes consumed. Branch-avoiding: the length comes
+/// from continuation-bit arithmetic over an 8-byte window and the payload
+/// from masked shifts; no byte is tested individually.
+///
+/// The caller must guarantee `pos + 8 <= bytes.len()` (streams carry
+/// [`PADDING_BYTES`] trailing zeros for exactly this reason) and that the
+/// stream was produced by [`encode_varint`] (at most [`MAX_VARINT_BYTES`]
+/// continuation bytes). Malformed streams are rejected once at
+/// construction/load time, not per decode.
+#[inline(always)]
+pub fn decode_varint(bytes: &[u8], pos: usize) -> (u64, usize) {
+    let window = u64::from_le_bytes(bytes[pos..pos + 8].try_into().unwrap());
+    // Lowest clear continuation bit → encoded length, branch-free.
+    let stop = !window & CONTINUATION_MASK;
+    let len = (stop.trailing_zeros() >> 3) as usize + 1;
+    // Keep only the encoded bytes (len <= 8, and len is >= 1, so the
+    // shift amount stays in 0..64).
+    let masked = window & (u64::MAX >> (64 - 8 * len));
+    // Collapse the seven-bit groups: three masked shift-or steps gather
+    // 8×7 payload bits into the low 56 bits.
+    let mut v = masked & PAYLOAD_MASK;
+    v = (v & 0x7f00_7f00_7f00_7f00) >> 1 | (v & 0x007f_007f_007f_007f);
+    v = (v & 0x3fff_0000_3fff_0000) >> 2 | (v & 0x0000_3fff_0000_3fff);
+    v = (v & 0x0fff_ffff_0000_0000) >> 4 | (v & 0x0000_0000_0fff_ffff);
+    (v, len)
+}
+
+/// Bounds- and length-checked decode for validation paths (construction
+/// and on-disk loading). Returns `None` when the varint runs past the end
+/// of `bytes` or exceeds [`MAX_VARINT_BYTES`]. Branchy and slow by design
+/// — the hot path uses [`decode_varint`] on streams this function has
+/// already vetted.
+pub(crate) fn decode_varint_checked(bytes: &[u8], pos: usize) -> Option<(u64, usize)> {
+    let mut value = 0u64;
+    for i in 0..MAX_VARINT_BYTES {
+        let byte = *bytes.get(pos + i)?;
+        value |= u64::from(byte & 0x7f) << (7 * i);
+        if byte & 0x80 == 0 {
+            return Some((value, i + 1));
+        }
+    }
+    None
+}
+
+/// Zig-zag encoding of a signed delta: interleaves negative and positive
+/// values so small-magnitude deltas of either sign encode short.
+#[inline(always)]
+pub fn zigzag_encode(value: i64) -> u64 {
+    ((value << 1) ^ (value >> 63)) as u64
+}
+
+/// Inverse of [`zigzag_encode`].
+#[inline(always)]
+pub fn zigzag_decode(value: u64) -> i64 {
+    ((value >> 1) as i64) ^ -((value & 1) as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(value: u64) {
+        let mut buf = Vec::new();
+        encode_varint(value, &mut buf);
+        assert!(buf.len() <= MAX_VARINT_BYTES, "value {value}");
+        buf.extend_from_slice(&[0u8; PADDING_BYTES]);
+        let (decoded, len) = decode_varint(&buf, 0);
+        assert_eq!(decoded, value);
+        assert_eq!(len, buf.len() - PADDING_BYTES);
+    }
+
+    #[test]
+    fn varint_round_trips_across_every_length_boundary() {
+        for value in [
+            0u64,
+            1,
+            0x7f,
+            0x80,
+            0x3fff,
+            0x4000,
+            0x1f_ffff,
+            0x20_0000,
+            0xfff_ffff,
+            0x1000_0000,
+            u32::MAX as u64,
+            (u32::MAX as u64) << 1, // largest zig-zagged u32 delta
+            (1 << 33) | 12345,
+            MAX_VARINT_VALUE,
+        ] {
+            round_trip(value);
+        }
+    }
+
+    #[test]
+    fn consecutive_varints_decode_back_to_back() {
+        let values = [0u64, 300, 7, u32::MAX as u64, 1 << 21, 42];
+        let mut buf = Vec::new();
+        for &v in &values {
+            encode_varint(v, &mut buf);
+        }
+        buf.extend_from_slice(&[0u8; PADDING_BYTES]);
+        let mut pos = 0;
+        for &v in &values {
+            let (decoded, len) = decode_varint(&buf, pos);
+            assert_eq!(decoded, v);
+            pos += len;
+        }
+        assert_eq!(pos, buf.len() - PADDING_BYTES);
+    }
+
+    #[test]
+    fn decoding_inside_padding_yields_zero() {
+        let buf = vec![0u8; PADDING_BYTES];
+        assert_eq!(decode_varint(&buf, 0), (0, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn oversized_values_are_rejected_at_encode_time() {
+        encode_varint(MAX_VARINT_VALUE + 1, &mut Vec::new());
+    }
+
+    #[test]
+    fn zigzag_round_trips_at_the_extremes() {
+        for delta in [
+            0i64,
+            1,
+            -1,
+            2,
+            -2,
+            i64::from(i32::MAX),
+            i64::from(i32::MIN),
+            u32::MAX as i64,    // first neighbour u32::MAX of source 0
+            -(u32::MAX as i64), // first neighbour 0 of source u32::MAX
+        ] {
+            let encoded = zigzag_encode(delta);
+            assert_eq!(zigzag_decode(encoded), delta, "delta {delta}");
+            // Every graph delta stays within the 5-byte cap.
+            assert!(encoded <= MAX_VARINT_VALUE);
+        }
+        // Small magnitudes of either sign encode to small codes.
+        assert_eq!(zigzag_encode(0), 0);
+        assert_eq!(zigzag_encode(-1), 1);
+        assert_eq!(zigzag_encode(1), 2);
+    }
+}

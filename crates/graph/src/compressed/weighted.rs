@@ -1,0 +1,271 @@
+//! Weighted companion of [`CompressedCsrGraph`]: interleaved
+//! `(delta, weight)` varint pairs per edge.
+//!
+//! The block layout extends the unweighted one — after the degree header,
+//! each edge contributes the neighbour delta varint (zig-zag for the
+//! first, raw gap after) immediately followed by its weight varint:
+//!
+//! ```text
+//! block(v) = varint(degree)
+//!            [varint(delta_0) varint(w_0)] [varint(gap_1) varint(w_1)] …
+//! ```
+//!
+//! Interleaving keeps one sequential stream per vertex, so the cursor's
+//! eager-lookahead decode touches exactly the bytes a weighted relaxation
+//! consumes. The maximum edge weight is computed once at construction
+//! because the bucket-synchronous engine sizes its bucket range from it.
+//!
+//! [`CompressedCsrGraph`]: super::CompressedCsrGraph
+
+use super::rank::RankSelectBitmap;
+use super::varint::{decode_varint, encode_varint, zigzag_decode, zigzag_encode, PADDING_BYTES};
+use crate::adjacency::{csr_layout_bytes, GraphFootprint, WeightedAdjacencySource};
+use crate::csr::VertexId;
+use crate::weighted::{EdgeWeight, WeightedCsrGraph};
+
+/// Padding for the weighted stream: the cursor's eager lookahead decodes
+/// two varints (gap then weight) past the last edge, so the second decode
+/// window can start up to one varint beyond the payload end.
+const WEIGHTED_PADDING: usize = 2 * PADDING_BYTES;
+
+/// A weighted graph with delta-varint compressed adjacency, weights
+/// interleaved with the neighbour deltas. Built in memory from a
+/// [`WeightedCsrGraph`]; the `bga-csr-v1` on-disk format covers only the
+/// unweighted representation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CompressedWeightedGraph {
+    payload: Vec<u8>,
+    payload_len: usize,
+    index: RankSelectBitmap,
+    num_vertices: usize,
+    num_edge_slots: usize,
+    max_weight: Option<EdgeWeight>,
+}
+
+impl CompressedWeightedGraph {
+    /// Compresses a [`WeightedCsrGraph`], preserving neighbour order and
+    /// per-edge weights exactly.
+    pub fn from_weighted(graph: &WeightedCsrGraph) -> Self {
+        let n = graph.num_vertices();
+        let mut payload = Vec::new();
+        let mut starts = Vec::with_capacity(n);
+        for v in graph.csr().vertices() {
+            starts.push(payload.len());
+            encode_varint(graph.csr().degree(v) as u64, &mut payload);
+            let mut prev: Option<VertexId> = None;
+            for (w, weight) in graph.neighbors_weighted(v) {
+                match prev {
+                    None => encode_varint(zigzag_encode(i64::from(w) - i64::from(v)), &mut payload),
+                    Some(p) => encode_varint(u64::from(w - p), &mut payload),
+                }
+                encode_varint(u64::from(weight), &mut payload);
+                prev = Some(w);
+            }
+        }
+        let payload_len = payload.len();
+        payload.extend_from_slice(&[0u8; WEIGHTED_PADDING]);
+        let index = RankSelectBitmap::from_set_positions(payload_len, &starts);
+        CompressedWeightedGraph {
+            payload,
+            payload_len,
+            index,
+            num_vertices: n,
+            num_edge_slots: graph.csr().num_edge_slots(),
+            max_weight: graph.max_weight(),
+        }
+    }
+
+    /// Decompresses back to the parallel-array layout.
+    pub fn to_weighted(&self) -> WeightedCsrGraph {
+        let mut offsets = Vec::with_capacity(self.num_vertices + 1);
+        offsets.push(0usize);
+        let mut adjacency = Vec::with_capacity(self.num_edge_slots);
+        let mut weights = Vec::with_capacity(self.num_edge_slots);
+        for v in 0..self.num_vertices {
+            for (w, weight) in self.weighted_neighbor_cursor(v as VertexId) {
+                adjacency.push(w);
+                weights.push(weight);
+            }
+            offsets.push(adjacency.len());
+        }
+        let csr = crate::csr::CsrGraph::from_raw_parts(offsets, adjacency, true)
+            .expect("a compressed weighted graph always decompresses to a valid CSR");
+        WeightedCsrGraph::from_parts(csr, weights).expect("decompressed weights always validate")
+    }
+
+    /// Number of vertices `|V|`.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Number of directed edge slots.
+    pub fn num_edge_slots(&self) -> usize {
+        self.num_edge_slots
+    }
+
+    /// Out-degree of `v`.
+    pub fn degree(&self, v: VertexId) -> usize {
+        let pos = self.index.select1(v as usize);
+        decode_varint(&self.payload, pos).0 as usize
+    }
+
+    /// The largest edge weight, or `None` for an edgeless graph.
+    pub fn max_weight(&self) -> Option<EdgeWeight> {
+        self.max_weight
+    }
+
+    /// Branch-avoiding cursor over the `(neighbour, weight)` pairs of `v`.
+    pub fn weighted_neighbor_cursor(&self, v: VertexId) -> WeightedNeighborCursor<'_> {
+        WeightedNeighborCursor::new(self, v)
+    }
+}
+
+impl WeightedAdjacencySource for CompressedWeightedGraph {
+    type WeightedCursor<'a> = WeightedNeighborCursor<'a>;
+
+    #[inline]
+    fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    #[inline]
+    fn num_edge_slots(&self) -> usize {
+        self.num_edge_slots
+    }
+
+    #[inline]
+    fn degree(&self, v: VertexId) -> usize {
+        CompressedWeightedGraph::degree(self, v)
+    }
+
+    #[inline]
+    fn weighted_neighbor_cursor(&self, v: VertexId) -> Self::WeightedCursor<'_> {
+        CompressedWeightedGraph::weighted_neighbor_cursor(self, v)
+    }
+
+    #[inline]
+    fn max_weight(&self) -> Option<EdgeWeight> {
+        self.max_weight
+    }
+
+    fn footprint(&self) -> GraphFootprint {
+        let weight_bytes = (self.num_edge_slots * std::mem::size_of::<EdgeWeight>()) as u64;
+        GraphFootprint {
+            representation: "compressed",
+            adjacency_bytes: self.payload.len() as u64,
+            index_bytes: self.index.heap_bytes() as u64,
+            csr_bytes: csr_layout_bytes(self.num_vertices, self.num_edge_slots) + weight_bytes,
+        }
+    }
+}
+
+/// Iterator over one vertex's `(neighbour, weight)` pairs with the same
+/// eager-lookahead, branch-avoiding decode scheme as
+/// [`super::NeighborCursor`].
+#[derive(Clone, Debug)]
+pub struct WeightedNeighborCursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    remaining: usize,
+    next_val: VertexId,
+    next_weight: EdgeWeight,
+}
+
+impl<'a> WeightedNeighborCursor<'a> {
+    fn new(graph: &'a CompressedWeightedGraph, v: VertexId) -> Self {
+        let mut pos = graph.index.select1(v as usize);
+        let (degree, len) = decode_varint(&graph.payload, pos);
+        pos += len;
+        let mut next_val = 0;
+        let mut next_weight = 0;
+        if degree > 0 {
+            let (code, len) = decode_varint(&graph.payload, pos);
+            pos += len;
+            next_val = (i64::from(v) + zigzag_decode(code)) as VertexId;
+            let (weight, len) = decode_varint(&graph.payload, pos);
+            pos += len;
+            next_weight = weight as EdgeWeight;
+        }
+        WeightedNeighborCursor {
+            bytes: &graph.payload,
+            pos,
+            remaining: degree as usize,
+            next_val,
+            next_weight,
+        }
+    }
+}
+
+impl Iterator for WeightedNeighborCursor<'_> {
+    type Item = (VertexId, EdgeWeight);
+
+    #[inline]
+    fn next(&mut self) -> Option<(VertexId, EdgeWeight)> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let current = (self.next_val, self.next_weight);
+        // Eager lookahead over the (gap, weight) pair; past the last edge
+        // this reads the next block header or padding, never yielded.
+        let (gap, len) = decode_varint(self.bytes, self.pos);
+        self.pos += len;
+        self.next_val = self.next_val.wrapping_add(gap as VertexId);
+        let (weight, len) = decode_varint(self.bytes, self.pos);
+        self.pos += len;
+        self.next_weight = weight as EdgeWeight;
+        Some(current)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for WeightedNeighborCursor<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{barabasi_albert, path_graph, star_graph};
+    use crate::weighted::{uniform_weights, unit_weights};
+
+    #[test]
+    fn weighted_compression_round_trips() {
+        for weighted in [
+            unit_weights(&path_graph(1)),
+            unit_weights(&star_graph(30)),
+            uniform_weights(&barabasi_albert(400, 3, 5), 64, 7),
+        ] {
+            let compressed = CompressedWeightedGraph::from_weighted(&weighted);
+            assert_eq!(compressed.num_vertices(), weighted.num_vertices());
+            assert_eq!(compressed.num_edge_slots(), weighted.csr().num_edge_slots());
+            assert_eq!(compressed.max_weight(), weighted.max_weight());
+            assert_eq!(compressed.to_weighted(), weighted);
+        }
+    }
+
+    #[test]
+    fn weighted_cursors_match_the_parallel_arrays() {
+        let weighted = uniform_weights(&barabasi_albert(300, 4, 2), 100, 13);
+        let compressed = CompressedWeightedGraph::from_weighted(&weighted);
+        for v in weighted.csr().vertices() {
+            let pairs: Vec<(VertexId, EdgeWeight)> =
+                compressed.weighted_neighbor_cursor(v).collect();
+            let reference: Vec<(VertexId, EdgeWeight)> = weighted.neighbors_weighted(v).collect();
+            assert_eq!(pairs, reference, "vertex {v}");
+            assert_eq!(compressed.degree(v), weighted.csr().degree(v));
+        }
+    }
+
+    #[test]
+    fn weighted_footprint_reports_the_weighted_baseline() {
+        let weighted = uniform_weights(&barabasi_albert(1000, 6, 4), 32, 5);
+        let compressed = CompressedWeightedGraph::from_weighted(&weighted);
+        let fp = WeightedAdjacencySource::footprint(&compressed);
+        let baseline = WeightedAdjacencySource::footprint(&weighted);
+        assert_eq!(fp.representation, "compressed");
+        assert_eq!(fp.csr_bytes, baseline.csr_bytes);
+        assert!(fp.total_bytes() < fp.csr_bytes);
+    }
+}

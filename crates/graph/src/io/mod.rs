@@ -8,10 +8,17 @@
 //!   Challenge graphs the paper uses (Table 2), so the real `audikw1`,
 //!   `auto`, `coAuthorsDBLP`, `cond-mat-2005` and `ldoor` files can be
 //!   dropped in directly when available.
+//! * **`bga-csr-v1` binary** — the delta-varint compressed representation
+//!   serialized with an mmap-ready layout (see [`read_compressed_binary_file`]).
 
+mod binary;
 mod edge_list;
 mod metis;
 
+pub use binary::{
+    read_compressed_binary_bytes, read_compressed_binary_file, write_compressed_binary,
+    write_compressed_binary_bytes, write_compressed_binary_file, BGA_CSR_MAGIC, BGA_CSR_VERSION,
+};
 pub use edge_list::{
     read_edge_list, read_edge_list_str, read_weighted_edge_list, read_weighted_edge_list_str,
     write_edge_list, write_edge_list_string, write_weighted_edge_list,

@@ -17,6 +17,13 @@
 //!   to the adjacency array, a weighted builder, and the
 //!   [`uniform_weights`]/[`unit_weights`] lifts that turn any generator
 //!   output into a weighted graph.
+//! * [`compressed`] — [`CompressedCsrGraph`] and
+//!   [`CompressedWeightedGraph`]: delta-varint adjacency with a
+//!   branch-avoiding decoder and a rank/select offsets bitmap, several
+//!   times smaller than the `Vec` layout on the bench suite.
+//! * [`adjacency`] — the [`AdjacencySource`]/[`WeightedAdjacencySource`]
+//!   seam both representations implement, so the parallel kernels run on
+//!   either one through the same generic entry points.
 //! * [`properties`] — reference implementations (union-find connected
 //!   components, queue BFS, Bellman-Ford weighted distances,
 //!   pseudo-diameter) used as ground truth.
@@ -35,7 +42,9 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod adjacency;
 pub mod builder;
+pub mod compressed;
 pub mod csr;
 pub mod degree;
 pub mod generators;
@@ -45,7 +54,9 @@ pub mod suite;
 pub mod transform;
 pub mod weighted;
 
+pub use adjacency::{AdjacencySource, GraphFootprint, WeightedAdjacencySource};
 pub use builder::{from_directed_edge_list, from_edge_list, GraphBuilder};
+pub use compressed::{CompressedCsrGraph, CompressedWeightedGraph, NeighborCursor};
 pub use csr::{CsrError, CsrGraph, EdgeIndex, VertexId};
 pub use degree::{degree_histogram, degree_stats, DegreeStats};
 pub use suite::{benchmark_suite, SuiteGraph, SuiteGraphId, SuiteScale};

@@ -1,0 +1,148 @@
+//! Property-based round-trip tests for the compressed CSR subsystem:
+//! varint primitives over the full zig-zagged u32 delta domain (covering
+//! a first neighbour of `u32::MAX` relative to source 0 and vice versa),
+//! arbitrary sorted adjacency — including self loops (self-delta 0) and
+//! duplicate neighbours (gap 0) that `GraphBuilder` would normalise away
+//! — through compression and back, and the `bga-csr-v1` binary format.
+
+use bga_graph::compressed::varint::{
+    decode_varint, encode_varint, zigzag_decode, zigzag_encode, MAX_VARINT_BYTES, PADDING_BYTES,
+};
+use bga_graph::generators::barabasi_albert;
+use bga_graph::io::{read_compressed_binary_bytes, write_compressed_binary_bytes};
+use bga_graph::{AdjacencySource, CompressedCsrGraph, CsrGraph, GraphBuilder, VertexId};
+use proptest::prelude::*;
+
+/// Strategy: a random simple undirected graph given as (n, edge list).
+fn arbitrary_graph() -> impl Strategy<Value = (usize, Vec<(VertexId, VertexId)>)> {
+    (1usize..50).prop_flat_map(|n| {
+        let max_edges = n * (n - 1) / 2;
+        let edges =
+            prop::collection::vec((0..n as VertexId, 0..n as VertexId), 0..max_edges.min(120));
+        (Just(n), edges)
+    })
+}
+
+/// Strategy: raw sorted adjacency with self loops and duplicates allowed —
+/// shapes the builder normalises away but the format must still carry
+/// (self-delta 0, gap 0).
+fn arbitrary_raw_adjacency() -> impl Strategy<Value = (Vec<usize>, Vec<VertexId>)> {
+    (1usize..30).prop_flat_map(|n| {
+        prop::collection::vec(prop::collection::vec(0..n as VertexId, 0..8), n..n + 1).prop_map(
+            move |mut lists| {
+                let mut offsets = vec![0usize];
+                let mut adjacency = Vec::new();
+                for list in &mut lists {
+                    list.sort_unstable();
+                    adjacency.extend_from_slice(list);
+                    offsets.push(adjacency.len());
+                }
+                (offsets, adjacency)
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The branch-avoiding varint decoder inverts the encoder for every
+    /// value the format can carry: gaps up to `u32::MAX` and zig-zagged
+    /// first deltas up to `(u32::MAX as u64) << 1` (source 0 with first
+    /// neighbour `u32::MAX`, and source `u32::MAX` with first neighbour 0).
+    #[test]
+    fn varint_primitives_round_trip(value in 0u64..=((u32::MAX as u64) << 1)) {
+        let mut bytes = Vec::new();
+        encode_varint(value, &mut bytes);
+        prop_assert!(bytes.len() <= MAX_VARINT_BYTES);
+        let encoded_len = bytes.len();
+        bytes.resize(encoded_len + PADDING_BYTES, 0);
+        let (decoded, next) = decode_varint(&bytes, 0);
+        prop_assert_eq!(decoded, value);
+        prop_assert_eq!(next, encoded_len);
+    }
+
+    /// Zig-zag coding inverts over the full signed delta range a u32
+    /// vertex pair can produce.
+    #[test]
+    fn zigzag_round_trips(delta in -(u32::MAX as i64)..=(u32::MAX as i64)) {
+        prop_assert_eq!(zigzag_decode(zigzag_encode(delta)), delta);
+    }
+
+    /// Compressing an arbitrary builder graph and decoding it back — via
+    /// both the cursor and the bulk `to_csr` — reproduces the original
+    /// exactly, and the footprint bookkeeping stays consistent.
+    #[test]
+    fn builder_graphs_round_trip((n, edges) in arbitrary_graph()) {
+        let g = GraphBuilder::undirected(n).add_edges(edges).build();
+        let cg = CompressedCsrGraph::from_csr(&g);
+        prop_assert_eq!(cg.num_vertices(), g.num_vertices());
+        prop_assert_eq!(cg.num_edge_slots(), g.num_edge_slots());
+        for v in 0..n as VertexId {
+            let decoded: Vec<VertexId> = cg.neighbor_cursor(v).collect();
+            prop_assert_eq!(decoded.as_slice(), g.neighbors(v));
+        }
+        prop_assert_eq!(&cg.to_csr(), &g);
+        // Footprint bookkeeping: adjacency covers the payload (plus the
+        // fixed decoder padding), the index covers its backing words (plus
+        // rank samples), and csr_bytes prices the Vec layout exactly.
+        let fp = cg.footprint();
+        prop_assert!(fp.adjacency_bytes as usize >= cg.payload().len());
+        prop_assert!(fp.index_bytes as usize >= cg.index_words().len() * 8);
+        prop_assert_eq!(
+            fp.csr_bytes,
+            4 * g.num_edge_slots() as u64 + 8 * (g.num_vertices() as u64 + 1)
+        );
+    }
+
+    /// Raw sorted adjacency with self loops (self-delta 0) and duplicate
+    /// neighbours (gap 0) survives compression bit-for-bit.
+    #[test]
+    fn degenerate_adjacency_round_trips((offsets, adjacency) in arbitrary_raw_adjacency()) {
+        let g = CsrGraph::from_raw_parts(offsets, adjacency, false).unwrap();
+        let cg = CompressedCsrGraph::from_csr(&g);
+        for v in 0..g.num_vertices() as VertexId {
+            let decoded: Vec<VertexId> = cg.neighbor_cursor(v).collect();
+            prop_assert_eq!(decoded.as_slice(), g.neighbors(v));
+        }
+        prop_assert_eq!(&cg.to_csr(), &g);
+    }
+
+    /// The bga-csr-v1 binary layer is lossless over arbitrary graphs.
+    #[test]
+    fn binary_format_round_trips((n, edges) in arbitrary_graph()) {
+        let g = GraphBuilder::undirected(n).add_edges(edges).build();
+        let cg = CompressedCsrGraph::from_csr(&g);
+        let bytes = write_compressed_binary_bytes(&cg);
+        let back = read_compressed_binary_bytes(&bytes).unwrap();
+        prop_assert_eq!(&back.to_csr(), &g);
+        prop_assert_eq!(back.payload(), cg.payload());
+        prop_assert_eq!(back.index_words(), cg.index_words());
+    }
+}
+
+/// Deterministic gap edge cases: a self loop at vertex 0 (zig-zag delta
+/// 0), a duplicate pair (gap 0), and the extreme first-delta in both
+/// directions exercised through a real (small) graph whose first
+/// neighbour is maximally far from its source.
+#[test]
+fn hand_picked_gap_edge_cases() {
+    // Self loop and duplicate slots via raw parts.
+    let g = CsrGraph::from_raw_parts(vec![0, 3, 4], vec![0, 1, 1, 0], false).unwrap();
+    let cg = CompressedCsrGraph::from_csr(&g);
+    assert_eq!(cg.neighbor_cursor(0).collect::<Vec<_>>(), vec![0, 1, 1]);
+    assert_eq!(cg.neighbor_cursor(1).collect::<Vec<_>>(), vec![0]);
+    assert_eq!(cg.to_csr(), g);
+
+    // A star whose leaves all point far below / above the hub: large
+    // negative and positive first deltas in one structure.
+    let star = barabasi_albert(200, 1, 7);
+    let compressed = CompressedCsrGraph::from_csr(&star);
+    assert_eq!(compressed.to_csr(), star);
+
+    // Degree-zero vertices are a single 0x00 block.
+    let empty = CsrGraph::empty(5);
+    let cempty = CompressedCsrGraph::from_csr(&empty);
+    assert_eq!(cempty.payload(), &[0, 0, 0, 0, 0]);
+    assert_eq!(cempty.to_csr(), empty);
+}

@@ -67,6 +67,37 @@ impl std::str::FromStr for PhaseKind {
     }
 }
 
+/// Memory footprint of the graph representation a traced run iterated,
+/// carried by the `run-start` header as flat optional fields
+/// (`footprint_repr`, `footprint_adjacency_bytes`,
+/// `footprint_index_bytes`, `footprint_csr_bytes`) so older traces
+/// without them still parse.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RunFootprint {
+    /// Representation name (`"csr"` or `"compressed"`).
+    pub representation: String,
+    /// Bytes holding the adjacency payload.
+    pub adjacency_bytes: u64,
+    /// Bytes holding the offsets structure.
+    pub index_bytes: u64,
+    /// Bytes the plain `Vec` CSR layout of the same graph occupies — the
+    /// baseline the compression ratio is measured against.
+    pub csr_bytes: u64,
+}
+
+impl RunFootprint {
+    /// Total bytes of the representation (payload + index).
+    pub fn total_bytes(&self) -> u64 {
+        self.adjacency_bytes + self.index_bytes
+    }
+
+    /// Compression ratio versus the plain CSR layout (`> 1` means the
+    /// representation is smaller; 1.0 for CSR itself).
+    pub fn ratio(&self) -> f64 {
+        self.csr_bytes as f64 / (self.total_bytes().max(1)) as f64
+    }
+}
+
 /// Flat per-phase counter bundle: the microarchitectural tallies
 /// ([`bga_branchsim::PerfCounters`] fields) plus the workload metadata of a
 /// [`StepCounters`] record. All-zero for kernels run without `TALLY`.
@@ -206,6 +237,9 @@ pub enum TraceEvent {
         delta: Option<u32>,
         /// Root / source vertex, when the kernel has one.
         root: Option<u32>,
+        /// Memory footprint of the graph representation, when the caller
+        /// measured one (absent in traces from older writers).
+        footprint: Option<RunFootprint>,
     },
     /// One engine phase.
     Phase(PhaseEvent),
@@ -272,18 +306,30 @@ impl TraceEvent {
                 grain,
                 delta,
                 root,
-            } => object(vec![
-                ("type", Json::String("run-start".to_string())),
-                ("schema", Json::String(TRACE_SCHEMA.to_string())),
-                ("kernel", Json::String(kernel.clone())),
-                ("variant", Json::String(variant.clone())),
-                ("vertices", num(*vertices as u64)),
-                ("edges", num(*edges as u64)),
-                ("threads", num(*threads as u64)),
-                ("grain", num(*grain as u64)),
-                ("delta", opt_num(delta.map(u64::from))),
-                ("root", opt_num(root.map(u64::from))),
-            ]),
+                footprint,
+            } => {
+                let mut fields = vec![
+                    ("type", Json::String("run-start".to_string())),
+                    ("schema", Json::String(TRACE_SCHEMA.to_string())),
+                    ("kernel", Json::String(kernel.clone())),
+                    ("variant", Json::String(variant.clone())),
+                    ("vertices", num(*vertices as u64)),
+                    ("edges", num(*edges as u64)),
+                    ("threads", num(*threads as u64)),
+                    ("grain", num(*grain as u64)),
+                    ("delta", opt_num(delta.map(u64::from))),
+                    ("root", opt_num(root.map(u64::from))),
+                ];
+                // Omitted entirely when unmeasured, so headers written
+                // before the footprint fields existed share one form.
+                if let Some(fp) = footprint {
+                    fields.push(("footprint_repr", Json::String(fp.representation.clone())));
+                    fields.push(("footprint_adjacency_bytes", num(fp.adjacency_bytes)));
+                    fields.push(("footprint_index_bytes", num(fp.index_bytes)));
+                    fields.push(("footprint_csr_bytes", num(fp.csr_bytes)));
+                }
+                object(fields)
+            }
             TraceEvent::Phase(phase) => object(vec![
                 ("type", Json::String("phase".to_string())),
                 ("index", num(phase.index as u64)),
@@ -381,6 +427,15 @@ impl TraceEvent {
                     grain: field_u64(&value, "grain")? as usize,
                     delta: field_opt_u64(&value, "delta")?.map(|d| d as u32),
                     root: field_opt_u64(&value, "root")?.map(|r| r as u32),
+                    footprint: match field_opt_str(&value, "footprint_repr")? {
+                        None => None,
+                        Some(representation) => Some(RunFootprint {
+                            representation,
+                            adjacency_bytes: field_u64(&value, "footprint_adjacency_bytes")?,
+                            index_bytes: field_u64(&value, "footprint_index_bytes")?,
+                            csr_bytes: field_u64(&value, "footprint_csr_bytes")?,
+                        }),
+                    },
                 })
             }
             "phase" => Ok(TraceEvent::Phase(PhaseEvent {
@@ -510,6 +565,23 @@ mod tests {
                 grain: 4096,
                 delta: None,
                 root: Some(0),
+                footprint: None,
+            },
+            TraceEvent::RunStart {
+                kernel: "bfs".to_string(),
+                variant: "branch-avoiding".to_string(),
+                vertices: 100,
+                edges: 360,
+                threads: 2,
+                grain: 4096,
+                delta: None,
+                root: Some(0),
+                footprint: Some(RunFootprint {
+                    representation: "compressed".to_string(),
+                    adjacency_bytes: 410,
+                    index_bytes: 72,
+                    csr_bytes: 2248,
+                }),
             },
             TraceEvent::Phase(PhaseEvent {
                 index: 0,
@@ -653,6 +725,29 @@ mod tests {
         assert_eq!(TraceEvent::parse_line(&line).unwrap(), interrupted);
         // A non-string reason is rejected, not silently dropped.
         let forged = line.replace("\"cancelled\"", "3");
+        assert!(TraceEvent::parse_line(&forged).is_err());
+    }
+
+    #[test]
+    fn footprint_headers_round_trip_and_stay_optional() {
+        let with = &sample_events()[1];
+        let line = with.to_json_line();
+        assert!(line.contains("\"footprint_repr\":\"compressed\""), "{line}");
+        assert_eq!(TraceEvent::parse_line(&line).unwrap(), *with);
+        let TraceEvent::RunStart {
+            footprint: Some(fp),
+            ..
+        } = with
+        else {
+            panic!("sample 1 carries a footprint");
+        };
+        assert_eq!(fp.total_bytes(), 482);
+        assert!(fp.ratio() > 4.0 && fp.ratio() < 5.0, "{}", fp.ratio());
+        // Headers from writers that predate the footprint fields parse to
+        // `None` rather than erroring.
+        assert!(!sample_events()[0].to_json_line().contains("footprint"));
+        // A half-present footprint is rejected, not silently zeroed.
+        let forged = line.replace("\"footprint_adjacency_bytes\":410,", "");
         assert!(TraceEvent::parse_line(&forged).is_err());
     }
 

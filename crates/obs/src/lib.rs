@@ -33,7 +33,7 @@ pub mod sink;
 pub mod table;
 pub mod validate;
 
-pub use event::{PhaseCounters, PhaseEvent, PhaseKind, TraceEvent, TRACE_SCHEMA};
+pub use event::{PhaseCounters, PhaseEvent, PhaseKind, RunFootprint, TraceEvent, TRACE_SCHEMA};
 pub use sink::{JsonlSink, MemorySink, NoopSink, OffsetSink, TraceSink};
 pub use table::{phase_table, step_table, Table};
 pub use validate::{parse_trace, validate_trace, PoolTotals, TraceReport};

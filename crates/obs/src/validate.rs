@@ -6,7 +6,7 @@
 //! numbers its phases consecutively from zero, and ends with a `run-end`
 //! trailer whose totals equal the sum of the per-phase counters.
 
-use crate::event::{PhaseCounters, PhaseEvent, TraceEvent};
+use crate::event::{PhaseCounters, PhaseEvent, RunFootprint, TraceEvent};
 
 /// Worker-pool lifetime totals from the `pool-summary` event.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -38,6 +38,9 @@ pub struct TraceReport {
     pub delta: Option<u32>,
     /// Root / source vertex, when present.
     pub root: Option<u32>,
+    /// Graph memory footprint from the header, when the producing build
+    /// recorded one (older traces predate the field).
+    pub footprint: Option<RunFootprint>,
     /// Every phase event, in index order.
     pub phases: Vec<PhaseEvent>,
     /// Number of `pool-batch` events.
@@ -86,6 +89,7 @@ pub fn validate_trace(events: &[TraceEvent]) -> Result<TraceReport, String> {
         grain,
         delta,
         root,
+        footprint,
     } = &events[0]
     else {
         return Err("trace does not start with a run-start event".to_string());
@@ -99,6 +103,7 @@ pub fn validate_trace(events: &[TraceEvent]) -> Result<TraceReport, String> {
         grain: *grain,
         delta: *delta,
         root: *root,
+        footprint: footprint.clone(),
         phases: Vec::new(),
         pool_batches: 0,
         max_imbalance: 0.0,
@@ -221,6 +226,12 @@ mod tests {
                 grain: 4096,
                 delta: None,
                 root: None,
+                footprint: Some(RunFootprint {
+                    representation: "compressed".to_string(),
+                    adjacency_bytes: 40,
+                    index_bytes: 16,
+                    csr_bytes: 208,
+                }),
             },
             phase(0, 5),
             phase(1, 0),
@@ -254,6 +265,9 @@ mod tests {
         assert_eq!(report.pool.unwrap().wakes, 1);
         assert_eq!(report.totals, counters(5));
         assert_eq!(report.wall_ns, 900);
+        let fp = report.footprint.unwrap();
+        assert_eq!(fp.representation, "compressed");
+        assert_eq!(fp.total_bytes(), 56);
     }
 
     #[test]

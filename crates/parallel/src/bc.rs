@@ -48,8 +48,8 @@ use crate::pool::{
     balanced_prefix_ranges, effective_chunks_with_grain, Execute, PoolConfig, PoolMonitor,
     WorkerPool,
 };
-use crate::trace::{emit_degradation_warning, TraceRun};
-use bga_graph::{CsrGraph, VertexId};
+use crate::trace::{emit_degradation_warning, run_footprint, TraceRun};
+use bga_graph::{AdjacencySource, VertexId};
 use bga_kernels::bfs::direction_optimizing::DirectionConfig;
 use bga_kernels::bfs::INFINITY;
 use bga_obs::{NoopSink, OffsetSink, TraceEvent, TraceSink};
@@ -74,10 +74,12 @@ pub enum BcVariant {
 /// the early-exit bottom-up claim would skip).
 struct BcForward<const BRANCH_AVOIDING: bool>;
 
-impl<const BRANCH_AVOIDING: bool> LevelKernel for BcForward<BRANCH_AVOIDING> {
+impl<G: AdjacencySource, const BRANCH_AVOIDING: bool> LevelKernel<G>
+    for BcForward<BRANCH_AVOIDING>
+{
     fn top_down_chunk(
         &self,
-        ctx: &LevelCtx<'_>,
+        ctx: &LevelCtx<'_, G>,
         frontier: &[VertexId],
         range: Range<usize>,
         chunk_edges: usize,
@@ -92,7 +94,7 @@ impl<const BRANCH_AVOIDING: bool> LevelKernel for BcForward<BRANCH_AVOIDING> {
             for &v in &frontier[range] {
                 // σ(v) is final: the level barrier ran before this chunk.
                 let sigma_v = sigma[v as usize].load(Relaxed);
-                for &w in ctx.graph.neighbors(v) {
+                for w in ctx.graph.neighbor_cursor(v) {
                     // The priority write, with the branch-free queue claim.
                     let prev = distances[w as usize].fetch_min(next_level, Relaxed);
                     buffer[len] = w;
@@ -111,7 +113,7 @@ impl<const BRANCH_AVOIDING: bool> LevelKernel for BcForward<BRANCH_AVOIDING> {
             let mut local = Vec::new();
             for &v in &frontier[range] {
                 let sigma_v = sigma[v as usize].load(Relaxed);
-                for &w in ctx.graph.neighbors(v) {
+                for w in ctx.graph.neighbor_cursor(v) {
                     let dw = distances[w as usize].load(Relaxed);
                     if dw == INFINITY {
                         // Data-dependent test, then claim with a CAS;
@@ -141,8 +143,8 @@ impl<const BRANCH_AVOIDING: bool> LevelKernel for BcForward<BRANCH_AVOIDING> {
 /// recorded level boundaries deepest-first; every vertex of a level reads
 /// the finished δ of its children one level down, so δ writes are
 /// disjoint per chunk and the per-vertex sum has a fixed order.
-fn accumulate_dependencies<E: Execute>(
-    graph: &CsrGraph,
+fn accumulate_dependencies<G: AdjacencySource, E: Execute>(
+    graph: &G,
     exec: &E,
     grain: usize,
     run: &LevelRun,
@@ -175,7 +177,7 @@ fn accumulate_dependencies<E: Execute>(
                 .map(|&w| {
                     let sigma_w = sigma[w as usize].load(Relaxed) as f64;
                     let mut acc = 0.0f64;
-                    for &x in graph.neighbors(w) {
+                    for x in graph.neighbor_cursor(w) {
                         // Pull from the children one level deeper; their δ
                         // was finished by the previous iteration's barrier.
                         if distances[x as usize].load(Relaxed) == child_level {
@@ -202,8 +204,8 @@ fn accumulate_dependencies<E: Execute>(
 }
 
 /// The shared all/sampled-sources driver: un-halved accumulation.
-fn par_bc_accumulate_on<E: Execute>(
-    graph: &CsrGraph,
+fn par_bc_accumulate_on<G: AdjacencySource, E: Execute>(
+    graph: &G,
     sources: &[VertexId],
     exec: &E,
     grain: usize,
@@ -241,14 +243,14 @@ fn par_bc_accumulate_on<E: Execute>(
 /// sequential pair). `threads == 0` uses every available core. Scores
 /// match [`bga_kernels::bc::betweenness_centrality`] to floating-point
 /// reassociation and are bit-identical across thread counts.
-pub fn par_betweenness_centrality(graph: &CsrGraph, threads: usize) -> Vec<f64> {
+pub fn par_betweenness_centrality<G: AdjacencySource>(graph: &G, threads: usize) -> Vec<f64> {
     par_betweenness_centrality_with_variant(graph, threads, BcVariant::BranchAvoiding)
 }
 
 /// Exact parallel betweenness centrality with an explicit forward-phase
 /// discipline.
-pub fn par_betweenness_centrality_with_variant(
-    graph: &CsrGraph,
+pub fn par_betweenness_centrality_with_variant<G: AdjacencySource>(
+    graph: &G,
     threads: usize,
     variant: BcVariant,
 ) -> Vec<f64> {
@@ -259,8 +261,8 @@ pub fn par_betweenness_centrality_with_variant(
 
 /// [`par_betweenness_centrality_with_variant`] on an explicit executor —
 /// the seam the benchmarks and forced-fan-out tests use.
-pub fn par_betweenness_centrality_on<E: Execute>(
-    graph: &CsrGraph,
+pub fn par_betweenness_centrality_on<G: AdjacencySource, E: Execute>(
+    graph: &G,
     exec: &E,
     grain: usize,
     variant: BcVariant,
@@ -278,8 +280,8 @@ pub fn par_betweenness_centrality_on<E: Execute>(
 /// **un-halved** dependency sums (out-of-range sources are ignored), the
 /// quantity sampled-source approximations scale. With all vertices as
 /// sources this is exactly twice [`par_betweenness_centrality`].
-pub fn par_betweenness_centrality_sources(
-    graph: &CsrGraph,
+pub fn par_betweenness_centrality_sources<G: AdjacencySource>(
+    graph: &G,
     sources: &[VertexId],
     threads: usize,
     variant: BcVariant,
@@ -290,8 +292,8 @@ pub fn par_betweenness_centrality_sources(
 }
 
 /// [`par_betweenness_centrality_sources`] on an explicit executor.
-pub fn par_betweenness_centrality_sources_on<E: Execute>(
-    graph: &CsrGraph,
+pub fn par_betweenness_centrality_sources_on<G: AdjacencySource, E: Execute>(
+    graph: &G,
     sources: &[VertexId],
     exec: &E,
     grain: usize,
@@ -303,8 +305,8 @@ pub fn par_betweenness_centrality_sources_on<E: Execute>(
 /// The traced multi-source driver: one run header for the whole
 /// accumulation, each source's forward traversal observed through an
 /// [`OffsetSink`] so phase indices stay consecutive across sources.
-fn par_bc_accumulate_traced<S: TraceSink>(
-    graph: &CsrGraph,
+fn par_bc_accumulate_traced<G: AdjacencySource, S: TraceSink>(
+    graph: &G,
     sources: &[VertexId],
     threads: usize,
     variant: BcVariant,
@@ -320,8 +322,8 @@ fn par_bc_accumulate_traced<S: TraceSink>(
 /// traversal is interrupted contributes nothing, so the returned scores
 /// are always the *exact* accumulation over the first `sources_done`
 /// sources.
-fn par_bc_accumulate_impl<S: TraceSink>(
-    graph: &CsrGraph,
+fn par_bc_accumulate_impl<G: AdjacencySource, S: TraceSink>(
+    graph: &G,
     sources: &[VertexId],
     threads: usize,
     variant: BcVariant,
@@ -350,6 +352,7 @@ fn par_bc_accumulate_impl<S: TraceSink>(
             } else {
                 None
             },
+            footprint: Some(run_footprint(graph.footprint())),
         },
     );
     let n = graph.num_vertices();
@@ -414,8 +417,8 @@ fn par_bc_accumulate_impl<S: TraceSink>(
 /// source's partial traversal is discarded, never half-counted), so
 /// callers can use them as a sampled-source approximation or resume by
 /// re-running over `sources[sources_done..]` and summing.
-pub fn par_betweenness_centrality_sources_with_cancel(
-    graph: &CsrGraph,
+pub fn par_betweenness_centrality_sources_with_cancel<G: AdjacencySource>(
+    graph: &G,
     sources: &[VertexId],
     threads: usize,
     variant: BcVariant,
@@ -429,8 +432,8 @@ pub fn par_betweenness_centrality_sources_with_cancel(
 /// whose trailer carries the interruption reason. See
 /// [`par_betweenness_centrality_sources_with_cancel`] for the
 /// partial-result semantics.
-pub fn par_betweenness_centrality_sources_traced_with_cancel<S: TraceSink>(
-    graph: &CsrGraph,
+pub fn par_betweenness_centrality_sources_traced_with_cancel<G: AdjacencySource, S: TraceSink>(
+    graph: &G,
     sources: &[VertexId],
     threads: usize,
     variant: BcVariant,
@@ -446,8 +449,8 @@ pub fn par_betweenness_centrality_sources_traced_with_cancel<S: TraceSink>(
 /// worker pool's batch metrics and the run trailer. The forward kernels
 /// carry no tally parameter, so phase counters are all-zero; the
 /// structural fields (frontier, discovered, wall clock) are real.
-pub fn par_betweenness_centrality_traced<S: TraceSink>(
-    graph: &CsrGraph,
+pub fn par_betweenness_centrality_traced<G: AdjacencySource, S: TraceSink>(
+    graph: &G,
     threads: usize,
     variant: BcVariant,
     sink: &S,
@@ -463,8 +466,8 @@ pub fn par_betweenness_centrality_traced<S: TraceSink>(
 /// [`par_betweenness_centrality_sources`] with a [`TraceSink`]; returns
 /// the raw, un-halved accumulation over the given sources. See
 /// [`par_betweenness_centrality_traced`] for the event stream shape.
-pub fn par_betweenness_centrality_sources_traced<S: TraceSink>(
-    graph: &CsrGraph,
+pub fn par_betweenness_centrality_sources_traced<G: AdjacencySource, S: TraceSink>(
+    graph: &G,
     sources: &[VertexId],
     threads: usize,
     variant: BcVariant,
@@ -479,7 +482,7 @@ mod tests {
     use bga_graph::generators::{
         barabasi_albert, complete_graph, cycle_graph, grid_2d, path_graph, star_graph, MeshStencil,
     };
-    use bga_graph::GraphBuilder;
+    use bga_graph::{CsrGraph, GraphBuilder};
     use bga_kernels::bc::{betweenness_centrality, betweenness_centrality_sources};
 
     /// 1e-9 tolerance, scaled by magnitude: sequential and parallel runs

@@ -36,8 +36,8 @@ use crate::cancel::{CancelToken, RunOutcome};
 use crate::counters::ThreadTally;
 use crate::engine::{bottom_up_claim, LevelCtx, LevelKernel, LevelLoop, TraversalState};
 use crate::pool::{Execute, PoolConfig, PoolMonitor, WorkerPool};
-use crate::trace::{emit_degradation_warning, TraceRun};
-use bga_graph::{CsrGraph, VertexId};
+use crate::trace::{emit_degradation_warning, run_footprint, TraceRun};
+use bga_graph::{AdjacencySource, VertexId};
 use bga_kernels::bfs::direction_optimizing::DirectionConfig;
 use bga_kernels::bfs::frontier::Bitmap;
 use bga_kernels::bfs::{BfsResult, INFINITY};
@@ -99,14 +99,14 @@ impl ParDirBfsRun {
 /// operation is accounted into the chunk's [`ThreadTally`].
 pub struct BranchBasedLevel<const TALLY: bool>;
 
-impl<const TALLY: bool> LevelKernel for BranchBasedLevel<TALLY> {
+impl<G: AdjacencySource, const TALLY: bool> LevelKernel<G> for BranchBasedLevel<TALLY> {
     fn instrumented(&self) -> bool {
         TALLY
     }
 
     fn top_down_chunk(
         &self,
-        ctx: &LevelCtx<'_>,
+        ctx: &LevelCtx<'_, G>,
         frontier: &[VertexId],
         range: Range<usize>,
         _chunk_edges: usize,
@@ -120,7 +120,7 @@ impl<const TALLY: bool> LevelKernel for BranchBasedLevel<TALLY> {
                 tally.vertices += 1;
                 tally.branches += 1; // frontier-loop bound
             }
-            for &w in ctx.graph.neighbors(v) {
+            for w in ctx.graph.neighbor_cursor(v) {
                 if TALLY {
                     tally.edges += 1;
                     tally.loads += 1;
@@ -153,12 +153,12 @@ impl<const TALLY: bool> LevelKernel for BranchBasedLevel<TALLY> {
 
     fn bottom_up_chunk(
         &self,
-        ctx: &LevelCtx<'_>,
+        ctx: &LevelCtx<'_, G>,
         in_frontier: &Bitmap,
         range: Range<usize>,
         tally: &mut ThreadTally,
     ) -> Vec<VertexId> {
-        bottom_up_claim::<TALLY>(ctx, in_frontier, range, tally)
+        bottom_up_claim::<G, TALLY>(ctx, in_frontier, range, tally)
     }
 }
 
@@ -168,14 +168,14 @@ impl<const TALLY: bool> LevelKernel for BranchBasedLevel<TALLY> {
 /// operation is accounted into the chunk's [`ThreadTally`].
 pub struct BranchAvoidingLevel<const TALLY: bool>;
 
-impl<const TALLY: bool> LevelKernel for BranchAvoidingLevel<TALLY> {
+impl<G: AdjacencySource, const TALLY: bool> LevelKernel<G> for BranchAvoidingLevel<TALLY> {
     fn instrumented(&self) -> bool {
         TALLY
     }
 
     fn top_down_chunk(
         &self,
-        ctx: &LevelCtx<'_>,
+        ctx: &LevelCtx<'_, G>,
         frontier: &[VertexId],
         range: Range<usize>,
         chunk_edges: usize,
@@ -195,7 +195,7 @@ impl<const TALLY: bool> LevelKernel for BranchAvoidingLevel<TALLY> {
                 tally.vertices += 1;
                 tally.branches += 1; // frontier-loop bound
             }
-            for &w in ctx.graph.neighbors(v) {
+            for w in ctx.graph.neighbor_cursor(v) {
                 // The priority write: unconditional atomic minimum.
                 let prev = distances[w as usize].fetch_min(next_level, Relaxed);
                 // Unconditional candidate write; the slot is claimed by
@@ -222,19 +222,23 @@ impl<const TALLY: bool> LevelKernel for BranchAvoidingLevel<TALLY> {
 
     fn bottom_up_chunk(
         &self,
-        ctx: &LevelCtx<'_>,
+        ctx: &LevelCtx<'_, G>,
         in_frontier: &Bitmap,
         range: Range<usize>,
         tally: &mut ThreadTally,
     ) -> Vec<VertexId> {
-        bottom_up_claim::<TALLY>(ctx, in_frontier, range, tally)
+        bottom_up_claim::<G, TALLY>(ctx, in_frontier, range, tally)
     }
 }
 
 /// Parallel branch-based top-down BFS from `root`. `threads == 0` uses
 /// every available core; a root outside the vertex range yields an
 /// all-unreached result, as in the sequential kernels.
-pub fn par_bfs_branch_based(graph: &CsrGraph, root: VertexId, threads: usize) -> BfsResult {
+pub fn par_bfs_branch_based<G: AdjacencySource>(
+    graph: &G,
+    root: VertexId,
+    threads: usize,
+) -> BfsResult {
     let config = PoolConfig::from_env(threads);
     let pool = WorkerPool::with_config(&config);
     par_bfs_branch_based_on(graph, root, &pool, config.grain)
@@ -243,8 +247,8 @@ pub fn par_bfs_branch_based(graph: &CsrGraph, root: VertexId, threads: usize) ->
 /// [`par_bfs_branch_based`] on an explicit executor — the seam the
 /// benchmarks use to compare the persistent pool against per-level
 /// `thread::scope` spawns.
-pub fn par_bfs_branch_based_on<E: Execute>(
-    graph: &CsrGraph,
+pub fn par_bfs_branch_based_on<G: AdjacencySource, E: Execute>(
+    graph: &G,
     root: VertexId,
     exec: &E,
     grain: usize,
@@ -261,15 +265,19 @@ pub fn par_bfs_branch_based_on<E: Execute>(
 /// Parallel branch-avoiding top-down BFS from `root`: one `fetch_min` per
 /// edge and branch-free buffer advancement. `threads == 0` uses every
 /// available core.
-pub fn par_bfs_branch_avoiding(graph: &CsrGraph, root: VertexId, threads: usize) -> BfsResult {
+pub fn par_bfs_branch_avoiding<G: AdjacencySource>(
+    graph: &G,
+    root: VertexId,
+    threads: usize,
+) -> BfsResult {
     let config = PoolConfig::from_env(threads);
     let pool = WorkerPool::with_config(&config);
     par_bfs_branch_avoiding_on(graph, root, &pool, config.grain)
 }
 
 /// [`par_bfs_branch_avoiding`] on an explicit executor.
-pub fn par_bfs_branch_avoiding_on<E: Execute>(
-    graph: &CsrGraph,
+pub fn par_bfs_branch_avoiding_on<G: AdjacencySource, E: Execute>(
+    graph: &G,
     root: VertexId,
     exec: &E,
     grain: usize,
@@ -285,15 +293,19 @@ pub fn par_bfs_branch_avoiding_on<E: Execute>(
 
 /// Parallel direction-optimizing BFS from `root` with the default
 /// [`DirectionConfig`]. `threads == 0` uses every available core.
-pub fn par_bfs_direction_optimizing(graph: &CsrGraph, root: VertexId, threads: usize) -> BfsResult {
+pub fn par_bfs_direction_optimizing<G: AdjacencySource>(
+    graph: &G,
+    root: VertexId,
+    threads: usize,
+) -> BfsResult {
     par_bfs_direction_optimizing_with_config(graph, root, threads, DirectionConfig::default())
         .result
 }
 
 /// Parallel direction-optimizing BFS with explicit switching thresholds;
 /// also reports the direction every level ran in.
-pub fn par_bfs_direction_optimizing_with_config(
-    graph: &CsrGraph,
+pub fn par_bfs_direction_optimizing_with_config<G: AdjacencySource>(
+    graph: &G,
     root: VertexId,
     threads: usize,
     config: DirectionConfig,
@@ -311,8 +323,8 @@ pub fn par_bfs_direction_optimizing_with_config(
 /// [`DirectionConfig::to_top_down`]. Frontier sizes are deterministic, so
 /// the per-level directions — and therefore the distances — are identical
 /// to the sequential direction-optimizing kernel at every thread count.
-pub fn par_bfs_direction_optimizing_on<E: Execute>(
-    graph: &CsrGraph,
+pub fn par_bfs_direction_optimizing_on<G: AdjacencySource, E: Execute>(
+    graph: &G,
     root: VertexId,
     exec: &E,
     grain: usize,
@@ -334,8 +346,8 @@ pub fn par_bfs_direction_optimizing_on<E: Execute>(
 /// bitmap-claim levels — merged into one
 /// [`bga_kernels::stats::StepCounters`] per level, so a `--strategy
 /// bottom-up` run reports real counter rows instead of empty tallies.
-pub fn par_bfs_direction_optimizing_instrumented(
-    graph: &CsrGraph,
+pub fn par_bfs_direction_optimizing_instrumented<G: AdjacencySource>(
+    graph: &G,
     root: VertexId,
     threads: usize,
     config: DirectionConfig,
@@ -358,8 +370,8 @@ pub fn par_bfs_direction_optimizing_instrumented(
 
 /// Instrumented parallel branch-based BFS: per-worker tallies merged into
 /// one [`bga_kernels::stats::StepCounters`] per level.
-pub fn par_bfs_branch_based_instrumented(
-    graph: &CsrGraph,
+pub fn par_bfs_branch_based_instrumented<G: AdjacencySource>(
+    graph: &G,
     root: VertexId,
     threads: usize,
 ) -> ParBfsRun {
@@ -382,8 +394,8 @@ pub fn par_bfs_branch_based_instrumented(
 
 /// Instrumented parallel branch-avoiding BFS; see
 /// [`par_bfs_branch_based_instrumented`] for the accounting scheme.
-pub fn par_bfs_branch_avoiding_instrumented(
-    graph: &CsrGraph,
+pub fn par_bfs_branch_avoiding_instrumented<G: AdjacencySource>(
+    graph: &G,
     root: VertexId,
     threads: usize,
 ) -> ParBfsRun {
@@ -409,8 +421,8 @@ pub fn par_bfs_branch_avoiding_instrumented(
 /// all delivered to `sink` as a complete `bga-trace-v1` stream. Kernels
 /// run with `TALLY` so the phase counters are real.
 #[allow(clippy::too_many_arguments)]
-fn par_bfs_traced_on<K: LevelKernel, S: TraceSink>(
-    graph: &CsrGraph,
+fn par_bfs_traced_on<G: AdjacencySource, K: LevelKernel<G>, S: TraceSink>(
+    graph: &G,
     root: VertexId,
     threads: usize,
     dir_config: DirectionConfig,
@@ -433,6 +445,7 @@ fn par_bfs_traced_on<K: LevelKernel, S: TraceSink>(
             grain: config.grain,
             delta: None,
             root: Some(root),
+            footprint: Some(run_footprint(graph.footprint())),
         },
     );
     let state = TraversalState::new(graph.num_vertices());
@@ -453,8 +466,8 @@ fn par_bfs_traced_on<K: LevelKernel, S: TraceSink>(
 /// the run's `bga-trace-v1` event stream (header, per-level phases, pool
 /// metrics, trailer). Distances and counters are identical to the
 /// instrumented run.
-pub fn par_bfs_branch_based_traced<S: TraceSink>(
-    graph: &CsrGraph,
+pub fn par_bfs_branch_based_traced<G: AdjacencySource, S: TraceSink>(
+    graph: &G,
     root: VertexId,
     threads: usize,
     sink: &S,
@@ -479,8 +492,8 @@ pub fn par_bfs_branch_based_traced<S: TraceSink>(
 
 /// [`par_bfs_branch_avoiding_instrumented`] with a [`TraceSink`]; see
 /// [`par_bfs_branch_based_traced`].
-pub fn par_bfs_branch_avoiding_traced<S: TraceSink>(
-    graph: &CsrGraph,
+pub fn par_bfs_branch_avoiding_traced<G: AdjacencySource, S: TraceSink>(
+    graph: &G,
     root: VertexId,
     threads: usize,
     sink: &S,
@@ -506,8 +519,8 @@ pub fn par_bfs_branch_avoiding_traced<S: TraceSink>(
 /// [`par_bfs_direction_optimizing_instrumented`] with a [`TraceSink`];
 /// phase events carry the direction each level ran in
 /// ([`bga_obs::PhaseKind::TopDown`] / [`bga_obs::PhaseKind::BottomUp`]).
-pub fn par_bfs_direction_optimizing_traced<S: TraceSink>(
-    graph: &CsrGraph,
+pub fn par_bfs_direction_optimizing_traced<G: AdjacencySource, S: TraceSink>(
+    graph: &G,
     root: VertexId,
     threads: usize,
     config: DirectionConfig,
@@ -531,8 +544,8 @@ pub fn par_bfs_direction_optimizing_traced<S: TraceSink>(
 /// distances behind the cut are final BFS levels, everything beyond is
 /// still `INFINITY` — a valid partial traversal, as every distance only
 /// ever moves from `INFINITY` to its unique level.
-pub fn par_bfs_branch_avoiding_with_cancel(
-    graph: &CsrGraph,
+pub fn par_bfs_branch_avoiding_with_cancel<G: AdjacencySource>(
+    graph: &G,
     root: VertexId,
     threads: usize,
     cancel: &CancelToken,
@@ -559,8 +572,8 @@ pub fn par_bfs_branch_avoiding_with_cancel(
 
 /// [`par_bfs_branch_based`] with a [`CancelToken`]; see
 /// [`par_bfs_branch_avoiding_with_cancel`].
-pub fn par_bfs_branch_based_with_cancel(
-    graph: &CsrGraph,
+pub fn par_bfs_branch_based_with_cancel<G: AdjacencySource>(
+    graph: &G,
     root: VertexId,
     threads: usize,
     cancel: &CancelToken,
@@ -587,8 +600,8 @@ pub fn par_bfs_branch_based_with_cancel(
 
 /// [`par_bfs_direction_optimizing_with_config`] with a [`CancelToken`];
 /// see [`par_bfs_branch_avoiding_with_cancel`].
-pub fn par_bfs_direction_optimizing_with_cancel(
-    graph: &CsrGraph,
+pub fn par_bfs_direction_optimizing_with_cancel<G: AdjacencySource>(
+    graph: &G,
     root: VertexId,
     threads: usize,
     config: DirectionConfig,
@@ -610,8 +623,8 @@ pub fn par_bfs_direction_optimizing_with_cancel(
 /// cancellable driver. An interrupted run still emits a complete
 /// `bga-trace-v1` document — header, one phase per completed level, pool
 /// metrics and a trailer marked with the interruption reason.
-pub fn par_bfs_branch_avoiding_traced_with_cancel<S: TraceSink>(
-    graph: &CsrGraph,
+pub fn par_bfs_branch_avoiding_traced_with_cancel<G: AdjacencySource, S: TraceSink>(
+    graph: &G,
     root: VertexId,
     threads: usize,
     sink: &S,
@@ -639,8 +652,8 @@ pub fn par_bfs_branch_avoiding_traced_with_cancel<S: TraceSink>(
 
 /// [`par_bfs_branch_based_traced`] with a [`CancelToken`]; see
 /// [`par_bfs_branch_avoiding_traced_with_cancel`].
-pub fn par_bfs_branch_based_traced_with_cancel<S: TraceSink>(
-    graph: &CsrGraph,
+pub fn par_bfs_branch_based_traced_with_cancel<G: AdjacencySource, S: TraceSink>(
+    graph: &G,
     root: VertexId,
     threads: usize,
     sink: &S,
@@ -668,8 +681,8 @@ pub fn par_bfs_branch_based_traced_with_cancel<S: TraceSink>(
 
 /// [`par_bfs_direction_optimizing_traced`] with a [`CancelToken`]; see
 /// [`par_bfs_branch_avoiding_traced_with_cancel`].
-pub fn par_bfs_direction_optimizing_traced_with_cancel<S: TraceSink>(
-    graph: &CsrGraph,
+pub fn par_bfs_direction_optimizing_traced_with_cancel<G: AdjacencySource, S: TraceSink>(
+    graph: &G,
     root: VertexId,
     threads: usize,
     config: DirectionConfig,
@@ -695,7 +708,7 @@ mod tests {
         barabasi_albert, complete_graph, grid_2d, path_graph, star_graph, MeshStencil,
     };
     use bga_graph::properties::bfs_distances_reference;
-    use bga_graph::GraphBuilder;
+    use bga_graph::{CsrGraph, GraphBuilder};
     use bga_kernels::bfs::direction_optimizing::bfs_direction_optimizing;
     use bga_kernels::bfs::frontier::check_bfs_invariants;
 

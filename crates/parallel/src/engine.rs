@@ -38,8 +38,15 @@
 //! prefix sum by [`par_unvisited_degree_prefix`] when the executor can
 //! fan out) — late levels, where the hubs are usually visited already,
 //! would be badly skewed by the whole-graph split; sweeps balance on the
-//! CSR offsets directly. All three reduce to [`balanced_prefix_ranges`]
-//! over the [`Execute::parallelism`] and the configured grain.
+//! representation's degree prefix ([`AdjacencySource::degree_prefix`]).
+//! All three reduce to [`balanced_prefix_ranges`] over the
+//! [`Execute::parallelism`] and the configured grain.
+//!
+//! Every loop, context and kernel trait is generic over the graph
+//! representation — [`AdjacencySource`] for the level and sweep drivers,
+//! [`WeightedAdjacencySource`] for the bucket driver — so the same engine
+//! runs unchanged on the `Vec` CSR and on the delta-varint compressed
+//! form, and produces bit-identical results on both.
 
 use crate::bitmap::par_fill_bitmap;
 use crate::cancel::{self, CancelToken, RunOutcome};
@@ -47,7 +54,7 @@ use crate::counters::{collect_run, merge_thread_steps, ThreadTally};
 use crate::pool::{
     balanced_prefix_ranges, edge_balanced_ranges, effective_chunks_with_grain, even_ranges, Execute,
 };
-use bga_graph::{CsrGraph, VertexId, WeightedCsrGraph};
+use bga_graph::{AdjacencySource, VertexId, WeightedAdjacencySource};
 use bga_kernels::bfs::direction_optimizing::DirectionConfig;
 use bga_kernels::bfs::frontier::Bitmap;
 use bga_kernels::bfs::INFINITY;
@@ -157,9 +164,10 @@ impl TraversalState {
 }
 
 /// Read-only per-level context handed to [`LevelKernel`] chunk methods.
-pub struct LevelCtx<'a> {
-    /// The graph being traversed.
-    pub graph: &'a CsrGraph,
+pub struct LevelCtx<'a, G: AdjacencySource> {
+    /// The graph being traversed — any [`AdjacencySource`], so the same
+    /// kernels run on the `Vec` CSR and the compressed representation.
+    pub graph: &'a G,
     /// Shared traversal state (distances, optional σ).
     pub state: &'a TraversalState,
     /// The level being discovered by this expansion (root is level 0, the
@@ -169,8 +177,12 @@ pub struct LevelCtx<'a> {
 
 /// How one kernel expands a single chunk of a level. Implementations
 /// supply the per-edge claim discipline (CAS vs `fetch_min`, σ
-/// accumulation, …); [`LevelLoop`] supplies everything around it.
-pub trait LevelKernel: Sync {
+/// accumulation, …); [`LevelLoop`] supplies everything around it. The
+/// trait is generic over the graph representation: kernels iterate
+/// neighbours through [`AdjacencySource::neighbor_cursor`], so one
+/// `impl<G: AdjacencySource> LevelKernel<G>` covers both the `Vec` CSR
+/// and the compressed delta-varint form.
+pub trait LevelKernel<G: AdjacencySource>: Sync {
     /// Whether [`LevelLoop::run`] should merge the per-chunk
     /// [`ThreadTally`]s into per-level step counters. Kernels that do not
     /// tally should leave this `false` so runs report no (rather than
@@ -185,7 +197,7 @@ pub trait LevelKernel: Sync {
     /// chunk owns (for sizing write-past-the-end buffers).
     fn top_down_chunk(
         &self,
-        ctx: &LevelCtx<'_>,
+        ctx: &LevelCtx<'_, G>,
         frontier: &[VertexId],
         range: Range<usize>,
         chunk_edges: usize,
@@ -199,12 +211,12 @@ pub trait LevelKernel: Sync {
     /// top-down via their [`DirectionConfig`].
     fn bottom_up_chunk(
         &self,
-        ctx: &LevelCtx<'_>,
+        ctx: &LevelCtx<'_, G>,
         in_frontier: &Bitmap,
         range: Range<usize>,
         tally: &mut ThreadTally,
     ) -> Vec<VertexId> {
-        bottom_up_claim::<false>(ctx, in_frontier, range, tally)
+        bottom_up_claim::<G, false>(ctx, in_frontier, range, tally)
     }
 }
 
@@ -214,45 +226,73 @@ pub trait LevelKernel: Sync {
 /// belongs to exactly one chunk), so concatenating chunk results yields
 /// the next frontier in ascending vertex order.
 ///
-/// With `TALLY` the claim accounts for its work: one load and a
-/// data-dependent visited test per scanned vertex, one load plus a
-/// data-dependent frontier-membership test per neighbour probe, and two
-/// stores (distance + queue slot) per discovery — the accounting the
-/// instrumented direction-optimizing BFS reports for its bottom-up
-/// levels.
-pub fn bottom_up_claim<const TALLY: bool>(
-    ctx: &LevelCtx<'_>,
+/// The untallied path walks the chunk **word-at-a-time**: for each block
+/// of 64 vertices it builds an unvisited mask with branch-free predicated
+/// ORs (one `u64::from(d == INFINITY) << bit` per vertex — no
+/// data-dependent branch, and a pattern autovectorizers turn into SIMD
+/// compares), then iterates the mask's set bits with
+/// `u64::trailing_zeros` / clear-lowest-bit. Visited-heavy late levels
+/// skip 64 vertices per `mask == 0` test instead of taking one
+/// unpredictable visited-branch per vertex. Bits are consumed in
+/// ascending order, so discoveries — and with them the frontier and every
+/// downstream distance — are bit-identical to the per-vertex scan.
+///
+/// With `TALLY` the claim keeps the original per-vertex loop and accounts
+/// for its work: one load and a data-dependent visited test per scanned
+/// vertex, one load plus a data-dependent frontier-membership test per
+/// neighbour probe, and two stores (distance + queue slot) per discovery
+/// — the accounting the instrumented direction-optimizing BFS reports for
+/// its bottom-up levels.
+pub fn bottom_up_claim<G: AdjacencySource, const TALLY: bool>(
+    ctx: &LevelCtx<'_, G>,
     in_frontier: &Bitmap,
     range: Range<usize>,
     tally: &mut ThreadTally,
 ) -> Vec<VertexId> {
     let distances = ctx.state.distances();
     let mut local = Vec::new();
-    for v in range {
-        if TALLY {
-            tally.loads += 1;
-            tally.branches += 2; // loop bound + visited test
-            tally.data_branches += 1;
+    if !TALLY {
+        // Word-at-a-time scan over 64-vertex blocks of the chunk.
+        let mut v = range.start;
+        while v < range.end {
+            let block = v & !63;
+            let hi = (block + 64).min(range.end);
+            let mut unvisited = 0u64;
+            for (u, d) in distances.iter().enumerate().take(hi).skip(v) {
+                unvisited |= u64::from(d.load(Relaxed) == INFINITY) << (u - block);
+            }
+            while unvisited != 0 {
+                let u = block + unvisited.trailing_zeros() as usize;
+                unvisited &= unvisited - 1;
+                for w in ctx.graph.neighbor_cursor(u as VertexId) {
+                    if in_frontier.get(w as usize) {
+                        distances[u].store(ctx.next_level, Relaxed);
+                        local.push(u as VertexId);
+                        break;
+                    }
+                }
+            }
+            v = hi;
         }
+        return local;
+    }
+    for v in range {
+        tally.loads += 1;
+        tally.branches += 2; // loop bound + visited test
+        tally.data_branches += 1;
         if distances[v].load(Relaxed) != INFINITY {
             continue;
         }
-        if TALLY {
-            tally.vertices += 1;
-        }
-        for &u in ctx.graph.neighbors(v as VertexId) {
-            if TALLY {
-                tally.edges += 1;
-                tally.loads += 1;
-                tally.branches += 2; // neighbour-loop bound + frontier test
-                tally.data_branches += 1;
-            }
+        tally.vertices += 1;
+        for u in ctx.graph.neighbor_cursor(v as VertexId) {
+            tally.edges += 1;
+            tally.loads += 1;
+            tally.branches += 2; // neighbour-loop bound + frontier test
+            tally.data_branches += 1;
             if in_frontier.get(u as usize) {
                 distances[v].store(ctx.next_level, Relaxed);
-                if TALLY {
-                    tally.stores += 2; // distance + queue slot
-                    tally.updates += 1;
-                }
+                tally.stores += 2; // distance + queue slot
+                tally.updates += 1;
                 local.push(v as VertexId);
                 break;
             }
@@ -264,7 +304,7 @@ pub fn bottom_up_claim<const TALLY: bool>(
 /// Degree prefix sums of a frontier: `prefix[i]` = adjacency slots owned
 /// by `frontier[..i]`. Input to the edge-balanced chunker for top-down
 /// levels and for the betweenness back-sweep's per-level slices.
-pub fn frontier_degree_prefix(graph: &CsrGraph, frontier: &[VertexId]) -> Vec<usize> {
+pub fn frontier_degree_prefix<G: AdjacencySource>(graph: &G, frontier: &[VertexId]) -> Vec<usize> {
     let mut prefix = Vec::with_capacity(frontier.len() + 1);
     let mut sum = 0usize;
     prefix.push(0);
@@ -282,7 +322,10 @@ pub fn frontier_degree_prefix(graph: &CsrGraph, frontier: &[VertexId]) -> Vec<us
 /// visited already — still splits its remaining scan work evenly. The
 /// accumulation is branch-free (visited vertices contribute zero weight),
 /// and the result is deterministic because distances are.
-pub fn unvisited_degree_prefix(graph: &CsrGraph, distances: &[AtomicU32]) -> Vec<usize> {
+pub fn unvisited_degree_prefix<G: AdjacencySource>(
+    graph: &G,
+    distances: &[AtomicU32],
+) -> Vec<usize> {
     let mut prefix = Vec::with_capacity(graph.num_vertices() + 1);
     let mut sum = 0usize;
     prefix.push(0);
@@ -326,8 +369,8 @@ impl DisjointPrefixWriter {
 /// level barriers, where that holds by construction); both passes then
 /// observe identical values and the result is bit-identical to the
 /// sequential accumulation.
-pub fn par_unvisited_degree_prefix<E: Execute>(
-    graph: &CsrGraph,
+pub fn par_unvisited_degree_prefix<G: AdjacencySource, E: Execute>(
+    graph: &G,
     distances: &[AtomicU32],
     exec: &E,
     grain: usize,
@@ -392,19 +435,19 @@ pub struct LevelRun {
 /// (top-down) and bitmap (bottom-up) representations, direction switching
 /// via [`DirectionConfig`], chunk dispatch over [`Execute`], and per-level
 /// tally merging. Kernels only see one chunk at a time.
-pub struct LevelLoop<'a, E: Execute> {
-    graph: &'a CsrGraph,
+pub struct LevelLoop<'a, G: AdjacencySource, E: Execute> {
+    graph: &'a G,
     exec: &'a E,
     grain: usize,
     config: DirectionConfig,
 }
 
-impl<'a, E: Execute> LevelLoop<'a, E> {
+impl<'a, G: AdjacencySource, E: Execute> LevelLoop<'a, G, E> {
     /// A level loop over `graph` on `exec`, fanning a level out only when
     /// it carries at least `grain` weight units, switching directions per
     /// `config` (use [`DirectionConfig::always_top_down`] for classic
     /// top-down traversals).
-    pub fn new(graph: &'a CsrGraph, exec: &'a E, grain: usize, config: DirectionConfig) -> Self {
+    pub fn new(graph: &'a G, exec: &'a E, grain: usize, config: DirectionConfig) -> Self {
         LevelLoop {
             graph,
             exec,
@@ -423,7 +466,7 @@ impl<'a, E: Execute> LevelLoop<'a, E> {
     /// Distances are deterministic for every executor and grain: within a
     /// level every contender writes the same value, and the switching
     /// heuristic sees deterministic frontier sizes.
-    pub fn run<K: LevelKernel>(
+    pub fn run<K: LevelKernel<G>>(
         &self,
         state: &TraversalState,
         root: VertexId,
@@ -441,7 +484,7 @@ impl<'a, E: Execute> LevelLoop<'a, E> {
     /// guarded by the sink's [`TraceSink::ENABLED`] constant, so the
     /// untraced instantiation compiles to the same code and produces
     /// bit-identical results.
-    pub fn run_traced<K: LevelKernel, S: TraceSink>(
+    pub fn run_traced<K: LevelKernel<G>, S: TraceSink>(
         &self,
         state: &TraversalState,
         root: VertexId,
@@ -456,7 +499,7 @@ impl<'a, E: Execute> LevelLoop<'a, E> {
     /// distances in `state` are valid monotone upper bounds, and `order` /
     /// `level_bounds` cover exactly the levels that finished — together
     /// with the [`RunOutcome`] saying why it stopped.
-    pub fn run_cancellable<K: LevelKernel>(
+    pub fn run_cancellable<K: LevelKernel<G>>(
         &self,
         state: &TraversalState,
         root: VertexId,
@@ -470,7 +513,7 @@ impl<'a, E: Execute> LevelLoop<'a, E> {
     /// cancellable driver. Phase events are emitted for completed levels
     /// only, so the stream stays consistent with the returned run; the
     /// caller's `run-end` trailer marks the interruption.
-    pub fn run_traced_cancellable<K: LevelKernel, S: TraceSink>(
+    pub fn run_traced_cancellable<K: LevelKernel<G>, S: TraceSink>(
         &self,
         state: &TraversalState,
         root: VertexId,
@@ -481,7 +524,7 @@ impl<'a, E: Execute> LevelLoop<'a, E> {
         self.run_loop(state, root, kernel, sink, Some(cancel))
     }
 
-    pub(crate) fn run_loop<K: LevelKernel, S: TraceSink>(
+    pub(crate) fn run_loop<K: LevelKernel<G>, S: TraceSink>(
         &self,
         state: &TraversalState,
         root: VertexId,
@@ -642,9 +685,11 @@ pub enum EdgeClass {
 }
 
 /// Read-only per-pass context handed to [`BucketKernel`] chunk methods.
-pub struct BucketCtx<'a> {
-    /// The weighted graph being relaxed over.
-    pub graph: &'a WeightedCsrGraph,
+pub struct BucketCtx<'a, W: WeightedAdjacencySource> {
+    /// The weighted graph being relaxed over — any
+    /// [`WeightedAdjacencySource`], so the same kernels run on the
+    /// parallel-array CSR and the compressed representation.
+    pub graph: &'a W,
     /// Shared traversal state (atomic distances).
     pub state: &'a TraversalState,
     /// The bucket width `Δ` (≥ 1) splitting light from heavy edges.
@@ -657,7 +702,7 @@ pub struct BucketCtx<'a> {
 /// [`BucketLoop`] supplies everything around it: batch formation with
 /// stale/duplicate elimination, frontier snapshots, chunk dispatch, filing
 /// discoveries into buckets and settled-order bookkeeping.
-pub trait BucketKernel: Sync {
+pub trait BucketKernel<W: WeightedAdjacencySource>: Sync {
     /// Whether [`BucketLoop::run`] should merge the per-chunk
     /// [`ThreadTally`]s into per-phase step counters.
     fn instrumented(&self) -> bool {
@@ -675,7 +720,7 @@ pub trait BucketKernel: Sync {
     /// owns (for sizing write-past-the-end buffers).
     fn relax_chunk(
         &self,
-        ctx: &BucketCtx<'_>,
+        ctx: &BucketCtx<'_, W>,
         frontier: &[(VertexId, u32)],
         range: Range<usize>,
         chunk_edges: usize,
@@ -720,18 +765,18 @@ pub struct BucketRun {
 /// is identical for every executor, thread count and grain. (How many
 /// duplicate claims the chunks report may vary; the loop's filing
 /// deduplicates them.)
-pub struct BucketLoop<'a, E: Execute> {
-    graph: &'a WeightedCsrGraph,
+pub struct BucketLoop<'a, W: WeightedAdjacencySource, E: Execute> {
+    graph: &'a W,
     exec: &'a E,
     grain: usize,
     delta: u32,
 }
 
-impl<'a, E: Execute> BucketLoop<'a, E> {
+impl<'a, W: WeightedAdjacencySource, E: Execute> BucketLoop<'a, W, E> {
     /// A bucket loop over `graph` on `exec` with bucket width `delta`
     /// (clamped to ≥ 1), fanning a pass out only when it carries at least
     /// `grain` weight units.
-    pub fn new(graph: &'a WeightedCsrGraph, exec: &'a E, grain: usize, delta: u32) -> Self {
+    pub fn new(graph: &'a W, exec: &'a E, grain: usize, delta: u32) -> Self {
         BucketLoop {
             graph,
             exec,
@@ -745,7 +790,7 @@ impl<'a, E: Execute> BucketLoop<'a, E> {
     /// buckets in ascending order until every pending queue is empty. A
     /// source outside the vertex range yields an empty run, as in the
     /// sequential kernels.
-    pub fn run<K: BucketKernel>(
+    pub fn run<K: BucketKernel<W>>(
         &self,
         state: &TraversalState,
         source: VertexId,
@@ -763,7 +808,7 @@ impl<'a, E: Execute> BucketLoop<'a, E> {
     /// Non-improving heavy passes emit an event (they ran and cost time)
     /// even though [`BucketRun::phases`] does not count them. With a
     /// [`NoopSink`] this *is* [`BucketLoop::run`].
-    pub fn run_traced<K: BucketKernel, S: TraceSink>(
+    pub fn run_traced<K: BucketKernel<W>, S: TraceSink>(
         &self,
         state: &TraversalState,
         source: VertexId,
@@ -780,7 +825,7 @@ impl<'a, E: Execute> BucketLoop<'a, E> {
     /// while the distances in `state` remain valid monotone upper bounds
     /// for *every* vertex touched so far; [`BucketLoop::run_resumed`]
     /// converges them to the uninterrupted fixpoint.
-    pub fn run_cancellable<K: BucketKernel>(
+    pub fn run_cancellable<K: BucketKernel<W>>(
         &self,
         state: &TraversalState,
         source: VertexId,
@@ -794,7 +839,7 @@ impl<'a, E: Execute> BucketLoop<'a, E> {
     /// cancellable driver. Phase events cover the dispatched passes only,
     /// so the stream stays consistent; the caller's `run-end` trailer
     /// marks the interruption.
-    pub fn run_traced_cancellable<K: BucketKernel, S: TraceSink>(
+    pub fn run_traced_cancellable<K: BucketKernel<W>, S: TraceSink>(
         &self,
         state: &TraversalState,
         source: VertexId,
@@ -814,7 +859,7 @@ impl<'a, E: Execute> BucketLoop<'a, E> {
     /// converges to distances bit-identical to an uninterrupted run.
     /// (The settle order restarts from the resume point and is not
     /// comparable to the uninterrupted order.)
-    pub fn run_resumed<K: BucketKernel>(
+    pub fn run_resumed<K: BucketKernel<W>>(
         &self,
         state: &TraversalState,
         source: VertexId,
@@ -824,7 +869,7 @@ impl<'a, E: Execute> BucketLoop<'a, E> {
             .0
     }
 
-    pub(crate) fn run_loop<K: BucketKernel, S: TraceSink>(
+    pub(crate) fn run_loop<K: BucketKernel<W>, S: TraceSink>(
         &self,
         state: &TraversalState,
         source: VertexId,
@@ -997,10 +1042,10 @@ impl<'a, E: Execute> BucketLoop<'a, E> {
     /// emitting one trace event per pass when the sink is enabled.
     /// Returns the per-chunk discovery lists in chunk order.
     #[allow(clippy::too_many_arguments)]
-    fn dispatch<K: BucketKernel, S: TraceSink>(
+    fn dispatch<K: BucketKernel<W>, S: TraceSink>(
         &self,
         kernel: &K,
-        ctx: &BucketCtx<'_>,
+        ctx: &BucketCtx<'_, W>,
         frontier: &[(VertexId, u32)],
         class: EdgeClass,
         steps: &mut Vec<bga_kernels::stats::StepCounters>,
@@ -1014,7 +1059,7 @@ impl<'a, E: Execute> BucketLoop<'a, E> {
         let mut sum = 0usize;
         prefix.push(0);
         for &(v, _) in frontier {
-            sum += self.graph.csr().degree(v);
+            sum += self.graph.degree(v);
             prefix.push(sum);
         }
         let chunks = effective_chunks_with_grain(sum, self.exec.parallelism(), self.grain);
@@ -1089,7 +1134,7 @@ fn file_discoveries(
 /// How one kernel processes a single vertex chunk of one sweep. The
 /// kernel owns its label state (typically a borrowed `&[AtomicU32]`);
 /// [`SweepLoop`] owns the chunking and the fixpoint detection.
-pub trait SweepKernel: Sync {
+pub trait SweepKernel<G: AdjacencySource>: Sync {
     /// Whether [`SweepLoop::run`] should merge per-chunk tallies into
     /// per-sweep step counters.
     fn instrumented(&self) -> bool {
@@ -1098,7 +1143,7 @@ pub trait SweepKernel: Sync {
 
     /// Process the vertex chunk `range` of one sweep; return whether this
     /// chunk changed anything (drives fixpoint detection).
-    fn sweep_chunk(&self, graph: &CsrGraph, range: Range<usize>, tally: &mut ThreadTally) -> bool;
+    fn sweep_chunk(&self, graph: &G, range: Range<usize>, tally: &mut ThreadTally) -> bool;
 }
 
 /// Result of a [`SweepLoop`] run.
@@ -1117,20 +1162,20 @@ pub struct SweepRun {
 /// reports a change. Chunk ranges are computed once per run (the sweep
 /// domain never changes), so every sweep reuses the same deterministic
 /// split.
-pub struct SweepLoop<'a, E: Execute> {
-    graph: &'a CsrGraph,
+pub struct SweepLoop<'a, G: AdjacencySource, E: Execute> {
+    graph: &'a G,
     exec: &'a E,
     grain: usize,
 }
 
-impl<'a, E: Execute> SweepLoop<'a, E> {
+impl<'a, G: AdjacencySource, E: Execute> SweepLoop<'a, G, E> {
     /// A sweep loop over `graph` on `exec` with the given fan-out grain.
-    pub fn new(graph: &'a CsrGraph, exec: &'a E, grain: usize) -> Self {
+    pub fn new(graph: &'a G, exec: &'a E, grain: usize) -> Self {
         SweepLoop { graph, exec, grain }
     }
 
     /// Runs sweeps until the kernel reaches its fixpoint.
-    pub fn run<K: SweepKernel>(&self, kernel: &K) -> SweepRun {
+    pub fn run<K: SweepKernel<G>>(&self, kernel: &K) -> SweepRun {
         self.run_traced(kernel, &NoopSink)
     }
 
@@ -1140,7 +1185,7 @@ impl<'a, E: Execute> SweepLoop<'a, E> {
     /// change (update) count as `discovered`, whether the sweep changed
     /// anything, the merged step counters and the sweep's wall-clock time.
     /// With a [`NoopSink`] this *is* [`SweepLoop::run`].
-    pub fn run_traced<K: SweepKernel, S: TraceSink>(&self, kernel: &K, sink: &S) -> SweepRun {
+    pub fn run_traced<K: SweepKernel<G>, S: TraceSink>(&self, kernel: &K, sink: &S) -> SweepRun {
         self.run_loop(kernel, sink, None).0
     }
 
@@ -1149,7 +1194,7 @@ impl<'a, E: Execute> SweepLoop<'a, E> {
     /// kernel's label state is whatever those sweeps left behind — for
     /// monotone label-propagation kernels, valid upper bounds that a
     /// fresh run over the same state converges to the same fixpoint.
-    pub fn run_cancellable<K: SweepKernel>(
+    pub fn run_cancellable<K: SweepKernel<G>>(
         &self,
         kernel: &K,
         cancel: &CancelToken,
@@ -1159,7 +1204,7 @@ impl<'a, E: Execute> SweepLoop<'a, E> {
 
     /// [`SweepLoop::run_traced`] with a [`CancelToken`]: the traced,
     /// cancellable driver.
-    pub fn run_traced_cancellable<K: SweepKernel, S: TraceSink>(
+    pub fn run_traced_cancellable<K: SweepKernel<G>, S: TraceSink>(
         &self,
         kernel: &K,
         sink: &S,
@@ -1168,14 +1213,18 @@ impl<'a, E: Execute> SweepLoop<'a, E> {
         self.run_loop(kernel, sink, Some(cancel))
     }
 
-    pub(crate) fn run_loop<K: SweepKernel, S: TraceSink>(
+    pub(crate) fn run_loop<K: SweepKernel<G>, S: TraceSink>(
         &self,
         kernel: &K,
         sink: &S,
         cancel: Option<&CancelToken>,
     ) -> (SweepRun, RunOutcome) {
+        // The sweep domain never changes, so the degree prefix — borrowed
+        // for free from a CSR, materialised once per run from the
+        // compressed index — is computed exactly once.
+        let prefix = self.graph.degree_prefix();
         let ranges = edge_balanced_ranges(
-            self.graph.offsets(),
+            prefix.as_ref(),
             effective_chunks_with_grain(
                 self.graph.num_edge_slots(),
                 self.exec.parallelism(),
@@ -1243,16 +1292,16 @@ mod tests {
     use super::*;
     use crate::pool::{edge_balanced_ranges, ScopedExecutor, WorkerPool};
     use bga_graph::generators::{complete_graph, path_graph, star_graph};
-    use bga_graph::GraphBuilder;
+    use bga_graph::{CsrGraph, GraphBuilder};
 
     /// The plain branch-avoiding BFS claim, used to exercise the loop
     /// seams directly without going through `bfs.rs`.
     struct ProbeKernel;
 
-    impl LevelKernel for ProbeKernel {
+    impl<G: AdjacencySource> LevelKernel<G> for ProbeKernel {
         fn top_down_chunk(
             &self,
-            ctx: &LevelCtx<'_>,
+            ctx: &LevelCtx<'_, G>,
             frontier: &[VertexId],
             range: Range<usize>,
             chunk_edges: usize,
@@ -1262,7 +1311,7 @@ mod tests {
             let mut buffer = vec![0 as VertexId; chunk_edges.min(ctx.graph.num_vertices()) + 1];
             let mut len = 0usize;
             for &v in &frontier[range] {
-                for &w in ctx.graph.neighbors(v) {
+                for w in ctx.graph.neighbor_cursor(v) {
                     let prev = distances[w as usize].fetch_min(ctx.next_level, Relaxed);
                     buffer[len] = w;
                     len += usize::from(prev > ctx.next_level);
@@ -1495,14 +1544,83 @@ mod tests {
         assert_eq!(prefix, vec![0; g.num_vertices() + 1]);
     }
 
+    #[test]
+    fn word_at_a_time_claim_matches_the_per_bit_scan() {
+        use bga_graph::generators::barabasi_albert;
+        use bga_graph::CompressedCsrGraph;
+        // Scattered visited pattern + a scattered frontier, claimed over
+        // assorted unaligned ranges: the popcount walk (TALLY = false)
+        // must discover exactly what the per-vertex scan (TALLY = true)
+        // does, in the same ascending order, on both representations.
+        let g = barabasi_albert(700, 3, 23);
+        let compressed = CompressedCsrGraph::from_csr(&g);
+        let n = g.num_vertices();
+        let in_frontier = Bitmap::new(n);
+        let seed_state = |state: &TraversalState| {
+            for v in (0..n).step_by(3) {
+                state.distances()[v].store(1, Relaxed);
+            }
+        };
+        for v in (0..n).step_by(3) {
+            in_frontier.set(v);
+        }
+        for range in [0..n, 1..n - 1, 63..130, 64..128, 5..6, 0..0] {
+            let word_state = TraversalState::new(n);
+            seed_state(&word_state);
+            let bit_state = TraversalState::new(n);
+            seed_state(&bit_state);
+            let mut tally = ThreadTally::default();
+            let by_word = bottom_up_claim::<CsrGraph, false>(
+                &LevelCtx {
+                    graph: &g,
+                    state: &word_state,
+                    next_level: 2,
+                },
+                &in_frontier,
+                range.clone(),
+                &mut tally,
+            );
+            let by_bit = bottom_up_claim::<CsrGraph, true>(
+                &LevelCtx {
+                    graph: &g,
+                    state: &bit_state,
+                    next_level: 2,
+                },
+                &in_frontier,
+                range.clone(),
+                &mut tally,
+            );
+            assert_eq!(by_word, by_bit, "range {range:?}");
+            assert_eq!(
+                word_state.into_distances(),
+                bit_state.into_distances(),
+                "range {range:?}"
+            );
+            // The compressed representation claims the same set too.
+            let compressed_state = TraversalState::new(n);
+            seed_state(&compressed_state);
+            let by_compressed = bottom_up_claim::<CompressedCsrGraph, false>(
+                &LevelCtx {
+                    graph: &compressed,
+                    state: &compressed_state,
+                    next_level: 2,
+                },
+                &in_frontier,
+                range.clone(),
+                &mut tally,
+            );
+            assert_eq!(by_compressed, by_bit, "compressed, range {range:?}");
+        }
+    }
+
     /// A minimal branch-avoiding bucket kernel, used to exercise the
     /// bucket-loop seams directly without going through `sssp.rs`.
     struct ProbeRelax;
 
-    impl BucketKernel for ProbeRelax {
+    impl<W: WeightedAdjacencySource> BucketKernel<W> for ProbeRelax {
         fn relax_chunk(
             &self,
-            ctx: &BucketCtx<'_>,
+            ctx: &BucketCtx<'_, W>,
             frontier: &[(VertexId, u32)],
             range: Range<usize>,
             chunk_edges: usize,
@@ -1513,7 +1631,7 @@ mod tests {
             let mut buffer = vec![0 as VertexId; chunk_edges + 1];
             let mut len = 0usize;
             for &(v, dv) in &frontier[range] {
-                for (w, wt) in ctx.graph.neighbors_weighted(v) {
+                for (w, wt) in ctx.graph.weighted_neighbor_cursor(v) {
                     let wanted = (wt <= ctx.delta) == (class == EdgeClass::Light);
                     let candidate = if wanted {
                         dv.saturating_add(wt)
@@ -1760,10 +1878,10 @@ mod tests {
         struct Endless {
             rounds: AtomicUsize,
         }
-        impl SweepKernel for Endless {
+        impl<G: AdjacencySource> SweepKernel<G> for Endless {
             fn sweep_chunk(
                 &self,
-                _graph: &CsrGraph,
+                _graph: &G,
                 range: Range<usize>,
                 _tally: &mut ThreadTally,
             ) -> bool {
@@ -1799,10 +1917,10 @@ mod tests {
         struct Settling {
             rounds: AtomicUsize,
         }
-        impl SweepKernel for Settling {
+        impl<G: AdjacencySource> SweepKernel<G> for Settling {
             fn sweep_chunk(
                 &self,
-                _graph: &CsrGraph,
+                _graph: &G,
                 range: Range<usize>,
                 _tally: &mut ThreadTally,
             ) -> bool {

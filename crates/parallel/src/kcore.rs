@@ -50,8 +50,8 @@ use crate::pool::{
     balanced_prefix_ranges, effective_chunks_with_grain, even_ranges, Execute, PoolConfig,
     PoolMonitor, WorkerPool,
 };
-use crate::trace::{emit_degradation_warning, TraceRun};
-use bga_graph::{CsrGraph, VertexId};
+use crate::trace::{emit_degradation_warning, run_footprint, TraceRun};
+use bga_graph::{AdjacencySource, VertexId};
 use bga_kernels::kcore::CoreDecomposition;
 use bga_kernels::stats::RunCounters;
 use bga_obs::{NoopSink, PhaseCounters, PhaseEvent, PhaseKind, TraceEvent, TraceSink};
@@ -129,8 +129,8 @@ fn seed_chunk<const TALLY: bool>(
 /// per vertex observes the crossing, so the concatenated discoveries are
 /// duplicate-free.
 #[allow(clippy::too_many_arguments)]
-fn cascade_chunk_avoiding<const TALLY: bool>(
-    graph: &CsrGraph,
+fn cascade_chunk_avoiding<G: AdjacencySource, const TALLY: bool>(
+    graph: &G,
     degree: &[AtomicU32],
     core: &[AtomicU32],
     k: u32,
@@ -153,7 +153,7 @@ fn cascade_chunk_avoiding<const TALLY: bool>(
             tally.stores += 1;
             tally.branches += 1; // frontier-loop bound
         }
-        for &u in graph.neighbors(v) {
+        for u in graph.neighbor_cursor(v) {
             // The priority decrement: unconditional atomic fetch_sub.
             let prev = degree[u as usize].fetch_sub(1, Relaxed);
             // Unconditional candidate write; the slot is claimed iff this
@@ -178,8 +178,8 @@ fn cascade_chunk_avoiding<const TALLY: bool>(
 /// Branch-based cascade chunk: peel `frontier[range]` at `k`, and for
 /// every edge test the neighbour's degree before claiming the decrement
 /// with a CAS loop; the winner of the `k + 1 → k` transition enqueues.
-fn cascade_chunk_based<const TALLY: bool>(
-    graph: &CsrGraph,
+fn cascade_chunk_based<G: AdjacencySource, const TALLY: bool>(
+    graph: &G,
     degree: &[AtomicU32],
     core: &[AtomicU32],
     k: u32,
@@ -196,7 +196,7 @@ fn cascade_chunk_based<const TALLY: bool>(
             tally.stores += 1;
             tally.branches += 1; // frontier-loop bound
         }
-        for &u in graph.neighbors(v) {
+        for u in graph.neighbor_cursor(v) {
             if TALLY {
                 tally.edges += 1;
                 tally.loads += 1;
@@ -252,8 +252,14 @@ fn cascade_chunk_based<const TALLY: bool>(
 /// = vertices peeled this round), each carrying the merged dispatch
 /// counters and wall clock. With a [`NoopSink`] the emission sites
 /// compile out entirely.
-fn peel_on<E: Execute, const BRANCH_AVOIDING: bool, const TALLY: bool, S: TraceSink>(
-    graph: &CsrGraph,
+fn peel_on<
+    G: AdjacencySource,
+    E: Execute,
+    const BRANCH_AVOIDING: bool,
+    const TALLY: bool,
+    S: TraceSink,
+>(
+    graph: &G,
     exec: &E,
     grain: usize,
     sink: &S,
@@ -348,7 +354,7 @@ fn peel_on<E: Execute, const BRANCH_AVOIDING: bool, const TALLY: bool, S: TraceS
                     let mut tally = ThreadTally::default();
                     let found = if BRANCH_AVOIDING {
                         let chunk_edges = prefix_ref[range.end] - prefix_ref[range.start];
-                        cascade_chunk_avoiding::<TALLY>(
+                        cascade_chunk_avoiding::<G, TALLY>(
                             graph,
                             degree_ref,
                             core_ref,
@@ -359,7 +365,7 @@ fn peel_on<E: Execute, const BRANCH_AVOIDING: bool, const TALLY: bool, S: TraceS
                             &mut tally,
                         )
                     } else {
-                        cascade_chunk_based::<TALLY>(
+                        cascade_chunk_based::<G, TALLY>(
                             graph,
                             degree_ref,
                             core_ref,
@@ -406,13 +412,13 @@ fn peel_on<E: Execute, const BRANCH_AVOIDING: bool, const TALLY: bool, S: TraceS
 /// default discipline, as in the SV/BFS pairs). `threads == 0` uses every
 /// available core. Core numbers are identical to
 /// [`bga_kernels::kcore::kcore_peeling`] at every thread count.
-pub fn par_kcore(graph: &CsrGraph, threads: usize) -> CoreDecomposition {
+pub fn par_kcore<G: AdjacencySource>(graph: &G, threads: usize) -> CoreDecomposition {
     par_kcore_with_variant(graph, threads, KcoreVariant::BranchAvoiding)
 }
 
 /// Parallel k-core decomposition with an explicit peeling discipline.
-pub fn par_kcore_with_variant(
-    graph: &CsrGraph,
+pub fn par_kcore_with_variant<G: AdjacencySource>(
+    graph: &G,
     threads: usize,
     variant: KcoreVariant,
 ) -> CoreDecomposition {
@@ -420,8 +426,8 @@ pub fn par_kcore_with_variant(
 }
 
 /// As [`par_kcore_with_variant`], also returning the cascade-round count.
-pub fn par_kcore_with_stats(
-    graph: &CsrGraph,
+pub fn par_kcore_with_stats<G: AdjacencySource>(
+    graph: &G,
     threads: usize,
     variant: KcoreVariant,
 ) -> (CoreDecomposition, usize) {
@@ -432,18 +438,18 @@ pub fn par_kcore_with_stats(
 
 /// [`par_kcore_with_stats`] on an explicit executor — the seam the
 /// benchmarks and forced-fan-out tests use.
-pub fn par_kcore_on<E: Execute>(
-    graph: &CsrGraph,
+pub fn par_kcore_on<G: AdjacencySource, E: Execute>(
+    graph: &G,
     exec: &E,
     grain: usize,
     variant: KcoreVariant,
 ) -> (CoreDecomposition, usize) {
     let (cores, rounds, _, _) = match variant {
         KcoreVariant::BranchAvoiding => {
-            peel_on::<E, true, false, _>(graph, exec, grain, &NoopSink, None)
+            peel_on::<G, E, true, false, _>(graph, exec, grain, &NoopSink, None)
         }
         KcoreVariant::BranchBased => {
-            peel_on::<E, false, false, _>(graph, exec, grain, &NoopSink, None)
+            peel_on::<G, E, false, false, _>(graph, exec, grain, &NoopSink, None)
         }
     };
     (cores, rounds)
@@ -453,8 +459,8 @@ pub fn par_kcore_on<E: Execute>(
 /// and branches it executes; tallies merge into one
 /// [`bga_kernels::stats::StepCounters`] per dispatch (seed sweeps and
 /// cascade rounds alike).
-pub fn par_kcore_instrumented(
-    graph: &CsrGraph,
+pub fn par_kcore_instrumented<G: AdjacencySource>(
+    graph: &G,
     threads: usize,
     variant: KcoreVariant,
 ) -> ParKcoreRun {
@@ -462,10 +468,10 @@ pub fn par_kcore_instrumented(
     let pool = WorkerPool::with_config(&config);
     let (cores, rounds, counters, _) = match variant {
         KcoreVariant::BranchAvoiding => {
-            peel_on::<_, true, true, _>(graph, &pool, config.grain, &NoopSink, None)
+            peel_on::<G, _, true, true, _>(graph, &pool, config.grain, &NoopSink, None)
         }
         KcoreVariant::BranchBased => {
-            peel_on::<_, false, true, _>(graph, &pool, config.grain, &NoopSink, None)
+            peel_on::<G, _, false, true, _>(graph, &pool, config.grain, &NoopSink, None)
         }
     };
     ParKcoreRun {
@@ -483,8 +489,8 @@ pub fn par_kcore_instrumented(
 /// (frontier = discovered = vertices peeled), the worker pool's batch
 /// metrics and the run trailer. Core numbers and counters are identical
 /// to the instrumented run.
-pub fn par_kcore_traced<S: TraceSink>(
-    graph: &CsrGraph,
+pub fn par_kcore_traced<G: AdjacencySource, S: TraceSink>(
+    graph: &G,
     threads: usize,
     variant: KcoreVariant,
     sink: &S,
@@ -495,8 +501,8 @@ pub fn par_kcore_traced<S: TraceSink>(
 /// Shared monitored driver behind the traced and cancellable k-core
 /// entry points: run header, cancellable peel, pool-degradation warning,
 /// metrics replay and an outcome-marked trailer.
-fn par_kcore_run_impl<S: TraceSink>(
-    graph: &CsrGraph,
+fn par_kcore_run_impl<G: AdjacencySource, S: TraceSink>(
+    graph: &G,
     threads: usize,
     variant: KcoreVariant,
     sink: &S,
@@ -520,14 +526,15 @@ fn par_kcore_run_impl<S: TraceSink>(
             grain: config.grain,
             delta: None,
             root: None,
+            footprint: Some(run_footprint(graph.footprint())),
         },
     );
     let (cores, rounds, counters, outcome) = match variant {
         KcoreVariant::BranchAvoiding => {
-            peel_on::<_, true, true, _>(graph, &pool, config.grain, &scope, cancel)
+            peel_on::<G, _, true, true, _>(graph, &pool, config.grain, &scope, cancel)
         }
         KcoreVariant::BranchBased => {
-            peel_on::<_, false, true, _>(graph, &pool, config.grain, &scope, cancel)
+            peel_on::<G, _, false, true, _>(graph, &pool, config.grain, &scope, cancel)
         }
     };
     emit_degradation_warning(&pool, &scope);
@@ -549,8 +556,8 @@ fn par_kcore_run_impl<S: TraceSink>(
 /// cascade at a fixed `k` is confluent, so a peeled prefix is always a
 /// prefix of the full decomposition — and every unpeeled vertex marked
 /// `u32::MAX`.
-pub fn par_kcore_with_cancel(
-    graph: &CsrGraph,
+pub fn par_kcore_with_cancel<G: AdjacencySource>(
+    graph: &G,
     threads: usize,
     variant: KcoreVariant,
     cancel: &CancelToken,
@@ -561,8 +568,8 @@ pub fn par_kcore_with_cancel(
 /// [`par_kcore_traced`] with a [`CancelToken`]: an interrupted run still
 /// emits a complete `bga-trace-v1` document whose trailer carries the
 /// interruption reason.
-pub fn par_kcore_traced_with_cancel<S: TraceSink>(
-    graph: &CsrGraph,
+pub fn par_kcore_traced_with_cancel<G: AdjacencySource, S: TraceSink>(
+    graph: &G,
     threads: usize,
     variant: KcoreVariant,
     sink: &S,
@@ -579,7 +586,7 @@ mod tests {
         barabasi_albert, complete_graph, cycle_graph, erdos_renyi_gnm, grid_2d, path_graph,
         star_graph, MeshStencil,
     };
-    use bga_graph::GraphBuilder;
+    use bga_graph::{CsrGraph, GraphBuilder};
     use bga_kernels::kcore::kcore_peeling;
 
     fn shapes() -> Vec<CsrGraph> {

@@ -40,8 +40,8 @@ use crate::engine::{
     BucketCtx, BucketKernel, BucketLoop, Direction, EdgeClass, LevelLoop, TraversalState,
 };
 use crate::pool::{Execute, PoolConfig, PoolMonitor, WorkerPool};
-use crate::trace::{emit_degradation_warning, TraceRun};
-use bga_graph::{CsrGraph, VertexId, WeightedCsrGraph};
+use crate::trace::{emit_degradation_warning, run_footprint, TraceRun};
+use bga_graph::{AdjacencySource, VertexId, WeightedAdjacencySource};
 use bga_kernels::bfs::direction_optimizing::DirectionConfig;
 use bga_kernels::bfs::INFINITY;
 use bga_kernels::sssp::SsspResult;
@@ -101,13 +101,17 @@ impl ParSsspRun {
 /// relaxation (the default discipline) and the default direction
 /// heuristic. `threads == 0` uses every available core; a source outside
 /// the vertex range yields an all-unreached result.
-pub fn par_sssp_unit(graph: &CsrGraph, source: VertexId, threads: usize) -> SsspResult {
+pub fn par_sssp_unit<G: AdjacencySource>(
+    graph: &G,
+    source: VertexId,
+    threads: usize,
+) -> SsspResult {
     par_sssp_unit_with_variant(graph, source, threads, SsspVariant::BranchAvoiding)
 }
 
 /// Parallel unit-weight SSSP with an explicit relaxation discipline.
-pub fn par_sssp_unit_with_variant(
-    graph: &CsrGraph,
+pub fn par_sssp_unit_with_variant<G: AdjacencySource>(
+    graph: &G,
     source: VertexId,
     threads: usize,
     variant: SsspVariant,
@@ -119,8 +123,8 @@ pub fn par_sssp_unit_with_variant(
 
 /// [`par_sssp_unit_with_variant`] on an explicit executor — the seam the
 /// benchmarks and forced-fan-out tests use.
-pub fn par_sssp_unit_on<E: Execute>(
-    graph: &CsrGraph,
+pub fn par_sssp_unit_on<G: AdjacencySource, E: Execute>(
+    graph: &G,
     source: VertexId,
     exec: &E,
     grain: usize,
@@ -140,8 +144,8 @@ pub fn par_sssp_unit_on<E: Execute>(
 /// Instrumented parallel unit-weight SSSP: per-worker tallies of every
 /// settling phase (top-down and bottom-up alike) merged into one
 /// [`bga_kernels::stats::StepCounters`] per phase.
-pub fn par_sssp_unit_instrumented(
-    graph: &CsrGraph,
+pub fn par_sssp_unit_instrumented<G: AdjacencySource>(
+    graph: &G,
     source: VertexId,
     threads: usize,
     variant: SsspVariant,
@@ -167,8 +171,8 @@ pub fn par_sssp_unit_instrumented(
 /// settling level (tagged with the direction it ran in), the worker
 /// pool's batch metrics and the run trailer. Distances and counters are
 /// identical to the instrumented run.
-pub fn par_sssp_unit_traced<S: TraceSink>(
-    graph: &CsrGraph,
+pub fn par_sssp_unit_traced<G: AdjacencySource, S: TraceSink>(
+    graph: &G,
     source: VertexId,
     threads: usize,
     variant: SsspVariant,
@@ -180,8 +184,8 @@ pub fn par_sssp_unit_traced<S: TraceSink>(
 /// Shared monitored driver behind the traced and cancellable unit-weight
 /// entry points: run header, cancellable level loop, pool-degradation
 /// warning, metrics replay and an outcome-marked trailer.
-fn par_sssp_unit_run_impl<S: TraceSink>(
-    graph: &CsrGraph,
+fn par_sssp_unit_run_impl<G: AdjacencySource, S: TraceSink>(
+    graph: &G,
     source: VertexId,
     threads: usize,
     variant: SsspVariant,
@@ -202,6 +206,7 @@ fn par_sssp_unit_run_impl<S: TraceSink>(
             grain: config.grain,
             delta: None,
             root: Some(source),
+            footprint: Some(run_footprint(graph.footprint())),
         },
     );
     let state = TraversalState::new(graph.num_vertices());
@@ -231,8 +236,8 @@ fn par_sssp_unit_run_impl<S: TraceSink>(
 /// settling-phase boundary. An interrupted run returns the levels that
 /// completed: distances behind the cut are final, everything beyond is
 /// still unreached — a valid partial traversal.
-pub fn par_sssp_unit_with_cancel(
-    graph: &CsrGraph,
+pub fn par_sssp_unit_with_cancel<G: AdjacencySource>(
+    graph: &G,
     source: VertexId,
     threads: usize,
     variant: SsspVariant,
@@ -244,8 +249,8 @@ pub fn par_sssp_unit_with_cancel(
 /// [`par_sssp_unit_traced`] with a [`CancelToken`]: an interrupted run
 /// still emits a complete `bga-trace-v1` document whose trailer carries
 /// the interruption reason.
-pub fn par_sssp_unit_traced_with_cancel<S: TraceSink>(
-    graph: &CsrGraph,
+pub fn par_sssp_unit_traced_with_cancel<G: AdjacencySource, S: TraceSink>(
+    graph: &G,
     source: VertexId,
     threads: usize,
     variant: SsspVariant,
@@ -261,14 +266,14 @@ pub fn par_sssp_unit_traced_with_cancel<S: TraceSink>(
 /// every operation is accounted into the chunk's [`ThreadTally`].
 pub struct BranchAvoidingRelax<const TALLY: bool>;
 
-impl<const TALLY: bool> BucketKernel for BranchAvoidingRelax<TALLY> {
+impl<W: WeightedAdjacencySource, const TALLY: bool> BucketKernel<W> for BranchAvoidingRelax<TALLY> {
     fn instrumented(&self) -> bool {
         TALLY
     }
 
     fn relax_chunk(
         &self,
-        ctx: &BucketCtx<'_>,
+        ctx: &BucketCtx<'_, W>,
         frontier: &[(VertexId, u32)],
         range: Range<usize>,
         chunk_edges: usize,
@@ -289,7 +294,7 @@ impl<const TALLY: bool> BucketKernel for BranchAvoidingRelax<TALLY> {
                 tally.vertices += 1;
                 tally.branches += 1; // frontier-loop bound
             }
-            for (w, wt) in ctx.graph.neighbors_weighted(v) {
+            for (w, wt) in ctx.graph.weighted_neighbor_cursor(v) {
                 // Predicated class select: an edge of the wrong class
                 // relaxes with INFINITY, which `fetch_min` ignores.
                 let wanted = (wt <= delta) == (class == EdgeClass::Light);
@@ -330,14 +335,14 @@ impl<const TALLY: bool> BucketKernel for BranchAvoidingRelax<TALLY> {
 /// operation is accounted into the chunk's [`ThreadTally`].
 pub struct BranchBasedRelax<const TALLY: bool>;
 
-impl<const TALLY: bool> BucketKernel for BranchBasedRelax<TALLY> {
+impl<W: WeightedAdjacencySource, const TALLY: bool> BucketKernel<W> for BranchBasedRelax<TALLY> {
     fn instrumented(&self) -> bool {
         TALLY
     }
 
     fn relax_chunk(
         &self,
-        ctx: &BucketCtx<'_>,
+        ctx: &BucketCtx<'_, W>,
         frontier: &[(VertexId, u32)],
         range: Range<usize>,
         _chunk_edges: usize,
@@ -352,7 +357,7 @@ impl<const TALLY: bool> BucketKernel for BranchBasedRelax<TALLY> {
                 tally.vertices += 1;
                 tally.branches += 1; // frontier-loop bound
             }
-            for (w, wt) in ctx.graph.neighbors_weighted(v) {
+            for (w, wt) in ctx.graph.weighted_neighbor_cursor(v) {
                 if TALLY {
                     tally.edges += 1;
                     tally.loads += 1;
@@ -416,8 +421,8 @@ pub struct ParWssspRun {
 /// `threads == 0` uses every available core; a source outside the vertex
 /// range yields an all-unreached result. Distances are bit-identical to
 /// [`bga_kernels::sssp::sssp_dijkstra`] for every thread count and `delta`.
-pub fn par_sssp_weighted(
-    graph: &WeightedCsrGraph,
+pub fn par_sssp_weighted<W: WeightedAdjacencySource>(
+    graph: &W,
     source: VertexId,
     delta: u32,
     threads: usize,
@@ -427,8 +432,8 @@ pub fn par_sssp_weighted(
 
 /// Parallel weighted delta-stepping with an explicit relaxation
 /// discipline.
-pub fn par_sssp_weighted_with_variant(
-    graph: &WeightedCsrGraph,
+pub fn par_sssp_weighted_with_variant<W: WeightedAdjacencySource>(
+    graph: &W,
     source: VertexId,
     delta: u32,
     threads: usize,
@@ -441,8 +446,8 @@ pub fn par_sssp_weighted_with_variant(
 
 /// [`par_sssp_weighted_with_variant`] on an explicit executor — the seam
 /// the benchmarks and forced-fan-out tests use.
-pub fn par_sssp_weighted_on<E: Execute>(
-    graph: &WeightedCsrGraph,
+pub fn par_sssp_weighted_on<W: WeightedAdjacencySource, E: Execute>(
+    graph: &W,
     source: VertexId,
     exec: &E,
     grain: usize,
@@ -463,8 +468,8 @@ pub fn par_sssp_weighted_on<E: Execute>(
 /// Instrumented parallel weighted delta-stepping: per-worker tallies of
 /// every relaxation pass (light and heavy alike) merged into one
 /// [`bga_kernels::stats::StepCounters`] per pass.
-pub fn par_sssp_weighted_instrumented(
-    graph: &WeightedCsrGraph,
+pub fn par_sssp_weighted_instrumented<W: WeightedAdjacencySource>(
+    graph: &W,
     source: VertexId,
     delta: u32,
     threads: usize,
@@ -495,8 +500,8 @@ pub fn par_sssp_weighted_instrumented(
 /// phase per dispatched relaxation pass tagged with its bucket index, the
 /// worker pool's batch metrics and the run trailer. Distances, phase
 /// structure and counters are identical to the instrumented run.
-pub fn par_sssp_weighted_traced<S: TraceSink>(
-    graph: &WeightedCsrGraph,
+pub fn par_sssp_weighted_traced<W: WeightedAdjacencySource, S: TraceSink>(
+    graph: &W,
     source: VertexId,
     delta: u32,
     threads: usize,
@@ -511,8 +516,8 @@ pub fn par_sssp_weighted_traced<S: TraceSink>(
 /// re-files every finite-distance vertex and converges from that
 /// upper-bound state instead of starting at the source.
 #[allow(clippy::too_many_arguments)]
-fn par_sssp_weighted_run_impl<S: TraceSink>(
-    graph: &WeightedCsrGraph,
+fn par_sssp_weighted_run_impl<W: WeightedAdjacencySource, S: TraceSink>(
+    graph: &W,
     source: VertexId,
     delta: u32,
     threads: usize,
@@ -530,11 +535,12 @@ fn par_sssp_weighted_run_impl<S: TraceSink>(
             kernel: "sssp-weighted".to_string(),
             variant: variant.as_str().to_string(),
             vertices: graph.num_vertices(),
-            edges: graph.csr().num_edge_slots(),
+            edges: graph.num_edge_slots(),
             threads: pool.threads(),
             grain: config.grain,
             delta: Some(delta),
             root: Some(source),
+            footprint: Some(run_footprint(graph.footprint())),
         },
     );
     let resume = initial.is_some();
@@ -580,8 +586,8 @@ fn par_sssp_weighted_run_impl<S: TraceSink>(
 /// settled bucket's distances final and leaves the rest as valid monotone
 /// upper bounds — state [`par_sssp_weighted_resumed`] converges to the
 /// uninterrupted fixpoint bit-identically.
-pub fn par_sssp_weighted_with_cancel(
-    graph: &WeightedCsrGraph,
+pub fn par_sssp_weighted_with_cancel<W: WeightedAdjacencySource>(
+    graph: &W,
     source: VertexId,
     delta: u32,
     threads: usize,
@@ -603,8 +609,8 @@ pub fn par_sssp_weighted_with_cancel(
 /// [`par_sssp_weighted_traced`] with a [`CancelToken`]: an interrupted
 /// run still emits a complete `bga-trace-v1` document whose trailer
 /// carries the interruption reason.
-pub fn par_sssp_weighted_traced_with_cancel<S: TraceSink>(
-    graph: &WeightedCsrGraph,
+pub fn par_sssp_weighted_traced_with_cancel<W: WeightedAdjacencySource, S: TraceSink>(
+    graph: &W,
     source: VertexId,
     delta: u32,
     threads: usize,
@@ -629,8 +635,8 @@ pub fn par_sssp_weighted_traced_with_cancel<S: TraceSink>(
 /// with a finite distance is re-filed into the bucket of that distance
 /// and the loop runs to convergence. Because the relaxations are monotone
 /// `fetch_min`s, the result is bit-identical to an uninterrupted run.
-pub fn par_sssp_weighted_resumed(
-    graph: &WeightedCsrGraph,
+pub fn par_sssp_weighted_resumed<W: WeightedAdjacencySource>(
+    graph: &W,
     source: VertexId,
     delta: u32,
     threads: usize,
@@ -658,7 +664,7 @@ mod tests {
         barabasi_albert, complete_graph, grid_2d, path_graph, star_graph, MeshStencil,
     };
     use bga_graph::properties::bfs_distances_reference;
-    use bga_graph::GraphBuilder;
+    use bga_graph::{CsrGraph, GraphBuilder};
     use bga_kernels::sssp::sssp_unit_delta_stepping;
 
     fn shapes() -> Vec<CsrGraph> {

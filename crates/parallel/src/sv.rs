@@ -30,8 +30,8 @@ use crate::cancel::{CancelToken, RunOutcome};
 use crate::counters::ThreadTally;
 use crate::engine::{SweepKernel, SweepLoop};
 use crate::pool::{Execute, PoolConfig, PoolMonitor, WorkerPool};
-use crate::trace::{emit_degradation_warning, TraceRun};
-use bga_graph::CsrGraph;
+use crate::trace::{emit_degradation_warning, run_footprint, TraceRun};
+use bga_graph::AdjacencySource;
 use bga_kernels::cc::ComponentLabels;
 use bga_kernels::stats::RunCounters;
 use bga_obs::{NoopSink, TraceEvent, TraceSink};
@@ -71,18 +71,18 @@ struct BranchBasedSweep<'a, const TALLY: bool> {
     ccid: &'a [AtomicU32],
 }
 
-impl<const TALLY: bool> SweepKernel for BranchBasedSweep<'_, TALLY> {
+impl<G: AdjacencySource, const TALLY: bool> SweepKernel<G> for BranchBasedSweep<'_, TALLY> {
     fn instrumented(&self) -> bool {
         TALLY
     }
 
-    fn sweep_chunk(&self, graph: &CsrGraph, range: Range<usize>, tally: &mut ThreadTally) -> bool {
+    fn sweep_chunk(&self, graph: &G, range: Range<usize>, tally: &mut ThreadTally) -> bool {
         let mut changed = false;
         for v in range {
             if TALLY {
                 tally.vertices += 1;
             }
-            for &u in graph.neighbors(v as u32) {
+            for u in graph.neighbor_cursor(v as u32) {
                 let cu = self.ccid[u as usize].load(Relaxed);
                 let mut cv = self.ccid[v].load(Relaxed);
                 if TALLY {
@@ -130,18 +130,18 @@ struct BranchAvoidingSweep<'a, const TALLY: bool> {
     ccid: &'a [AtomicU32],
 }
 
-impl<const TALLY: bool> SweepKernel for BranchAvoidingSweep<'_, TALLY> {
+impl<G: AdjacencySource, const TALLY: bool> SweepKernel<G> for BranchAvoidingSweep<'_, TALLY> {
     fn instrumented(&self) -> bool {
         TALLY
     }
 
-    fn sweep_chunk(&self, graph: &CsrGraph, range: Range<usize>, tally: &mut ThreadTally) -> bool {
+    fn sweep_chunk(&self, graph: &G, range: Range<usize>, tally: &mut ThreadTally) -> bool {
         let mut change = 0u32;
         for v in range {
             if TALLY {
                 tally.vertices += 1;
             }
-            for &u in graph.neighbors(v as u32) {
+            for u in graph.neighbor_cursor(v as u32) {
                 let cu = self.ccid[u as usize].load(Relaxed);
                 // The priority write: unconditional atomic minimum.
                 let prev = self.ccid[v].fetch_min(cu, Relaxed);
@@ -168,13 +168,13 @@ impl<const TALLY: bool> SweepKernel for BranchAvoidingSweep<'_, TALLY> {
 
 /// Parallel branch-based SV: CAS-loop hooking. `threads == 0` uses every
 /// available core.
-pub fn par_sv_branch_based(graph: &CsrGraph, threads: usize) -> ComponentLabels {
+pub fn par_sv_branch_based<G: AdjacencySource>(graph: &G, threads: usize) -> ComponentLabels {
     par_sv_branch_based_with_stats(graph, threads).0
 }
 
 /// As [`par_sv_branch_based`], also returning the sweep count.
-pub fn par_sv_branch_based_with_stats(
-    graph: &CsrGraph,
+pub fn par_sv_branch_based_with_stats<G: AdjacencySource>(
+    graph: &G,
     threads: usize,
 ) -> (ComponentLabels, usize) {
     let config = PoolConfig::from_env(threads);
@@ -185,8 +185,8 @@ pub fn par_sv_branch_based_with_stats(
 /// [`par_sv_branch_based_with_stats`] on an explicit executor — the seam
 /// the benchmarks use to compare the persistent pool against per-sweep
 /// `thread::scope` spawns.
-pub fn par_sv_branch_based_on<E: Execute>(
-    graph: &CsrGraph,
+pub fn par_sv_branch_based_on<G: AdjacencySource, E: Execute>(
+    graph: &G,
     exec: &E,
     grain: usize,
 ) -> (ComponentLabels, usize) {
@@ -197,13 +197,13 @@ pub fn par_sv_branch_based_on<E: Execute>(
 
 /// Parallel branch-avoiding SV: one `fetch_min` per edge, no data-dependent
 /// branch. `threads == 0` uses every available core.
-pub fn par_sv_branch_avoiding(graph: &CsrGraph, threads: usize) -> ComponentLabels {
+pub fn par_sv_branch_avoiding<G: AdjacencySource>(graph: &G, threads: usize) -> ComponentLabels {
     par_sv_branch_avoiding_with_stats(graph, threads).0
 }
 
 /// As [`par_sv_branch_avoiding`], also returning the sweep count.
-pub fn par_sv_branch_avoiding_with_stats(
-    graph: &CsrGraph,
+pub fn par_sv_branch_avoiding_with_stats<G: AdjacencySource>(
+    graph: &G,
     threads: usize,
 ) -> (ComponentLabels, usize) {
     let config = PoolConfig::from_env(threads);
@@ -212,8 +212,8 @@ pub fn par_sv_branch_avoiding_with_stats(
 }
 
 /// [`par_sv_branch_avoiding_with_stats`] on an explicit executor.
-pub fn par_sv_branch_avoiding_on<E: Execute>(
-    graph: &CsrGraph,
+pub fn par_sv_branch_avoiding_on<G: AdjacencySource, E: Execute>(
+    graph: &G,
     exec: &E,
     grain: usize,
 ) -> (ComponentLabels, usize) {
@@ -225,7 +225,7 @@ pub fn par_sv_branch_avoiding_on<E: Execute>(
 /// Instrumented parallel branch-based SV: every worker tallies the loads,
 /// stores and branches it executes; tallies merge into one
 /// [`bga_kernels::stats::StepCounters`] per sweep.
-pub fn par_sv_branch_based_instrumented(graph: &CsrGraph, threads: usize) -> ParSvRun {
+pub fn par_sv_branch_based_instrumented<G: AdjacencySource>(graph: &G, threads: usize) -> ParSvRun {
     let config = PoolConfig::from_env(threads);
     let pool = WorkerPool::with_config(&config);
     let ccid = identity_labels(graph.num_vertices());
@@ -240,7 +240,10 @@ pub fn par_sv_branch_based_instrumented(graph: &CsrGraph, threads: usize) -> Par
 
 /// Instrumented parallel branch-avoiding SV; see
 /// [`par_sv_branch_based_instrumented`] for the accounting scheme.
-pub fn par_sv_branch_avoiding_instrumented(graph: &CsrGraph, threads: usize) -> ParSvRun {
+pub fn par_sv_branch_avoiding_instrumented<G: AdjacencySource>(
+    graph: &G,
+    threads: usize,
+) -> ParSvRun {
     let config = PoolConfig::from_env(threads);
     let pool = WorkerPool::with_config(&config);
     let ccid = identity_labels(graph.num_vertices());
@@ -256,8 +259,8 @@ pub fn par_sv_branch_avoiding_instrumented(graph: &CsrGraph, threads: usize) -> 
 /// The shared traced/cancellable run driver for both sweep disciplines.
 /// `initial` labels (instead of the identity) are how an interrupted run
 /// is resumed; `cancel` is checked at every sweep boundary.
-fn par_sv_run_impl<S: TraceSink>(
-    graph: &CsrGraph,
+fn par_sv_run_impl<G: AdjacencySource, S: TraceSink>(
+    graph: &G,
     threads: usize,
     branch_avoiding: bool,
     initial: Option<&ComponentLabels>,
@@ -283,6 +286,7 @@ fn par_sv_run_impl<S: TraceSink>(
             grain: config.grain,
             delta: None,
             root: None,
+            footprint: Some(run_footprint(graph.footprint())),
         },
     );
     let ccid: Vec<AtomicU32> = match initial {
@@ -316,8 +320,8 @@ fn par_sv_run_impl<S: TraceSink>(
 /// no-change fixpoint sweep), the worker pool's batch metrics and the
 /// run trailer. Labels and counters are identical to the instrumented
 /// run.
-pub fn par_sv_branch_based_traced<S: TraceSink>(
-    graph: &CsrGraph,
+pub fn par_sv_branch_based_traced<G: AdjacencySource, S: TraceSink>(
+    graph: &G,
     threads: usize,
     sink: &S,
 ) -> ParSvRun {
@@ -326,8 +330,8 @@ pub fn par_sv_branch_based_traced<S: TraceSink>(
 
 /// [`par_sv_branch_avoiding_instrumented`] with a [`TraceSink`]; see
 /// [`par_sv_branch_based_traced`].
-pub fn par_sv_branch_avoiding_traced<S: TraceSink>(
-    graph: &CsrGraph,
+pub fn par_sv_branch_avoiding_traced<G: AdjacencySource, S: TraceSink>(
+    graph: &G,
     threads: usize,
     sink: &S,
 ) -> ParSvRun {
@@ -339,8 +343,8 @@ pub fn par_sv_branch_avoiding_traced<S: TraceSink>(
 /// sweeps left them — valid monotone upper bounds (every label is ≥ its
 /// final value and ≤ its identity start) that
 /// [`par_sv_branch_based_resumed`] converges to the exact fixpoint.
-pub fn par_sv_branch_based_with_cancel(
-    graph: &CsrGraph,
+pub fn par_sv_branch_based_with_cancel<G: AdjacencySource>(
+    graph: &G,
     threads: usize,
     cancel: &CancelToken,
 ) -> (ParSvRun, RunOutcome) {
@@ -349,8 +353,8 @@ pub fn par_sv_branch_based_with_cancel(
 
 /// [`par_sv_branch_avoiding`] with a [`CancelToken`]; see
 /// [`par_sv_branch_based_with_cancel`].
-pub fn par_sv_branch_avoiding_with_cancel(
-    graph: &CsrGraph,
+pub fn par_sv_branch_avoiding_with_cancel<G: AdjacencySource>(
+    graph: &G,
     threads: usize,
     cancel: &CancelToken,
 ) -> (ParSvRun, RunOutcome) {
@@ -362,8 +366,8 @@ pub fn par_sv_branch_avoiding_with_cancel(
 /// `bga-trace-v1` document — header, one phase per completed sweep, pool
 /// metrics and a trailer marked with the interruption reason — that
 /// passes `bga trace validate`.
-pub fn par_sv_branch_based_traced_with_cancel<S: TraceSink>(
-    graph: &CsrGraph,
+pub fn par_sv_branch_based_traced_with_cancel<G: AdjacencySource, S: TraceSink>(
+    graph: &G,
     threads: usize,
     sink: &S,
     cancel: &CancelToken,
@@ -373,8 +377,8 @@ pub fn par_sv_branch_based_traced_with_cancel<S: TraceSink>(
 
 /// [`par_sv_branch_avoiding_traced`] with a [`CancelToken`]; see
 /// [`par_sv_branch_based_traced_with_cancel`].
-pub fn par_sv_branch_avoiding_traced_with_cancel<S: TraceSink>(
-    graph: &CsrGraph,
+pub fn par_sv_branch_avoiding_traced_with_cancel<G: AdjacencySource, S: TraceSink>(
+    graph: &G,
     threads: usize,
     sink: &S,
     cancel: &CancelToken,
@@ -388,8 +392,8 @@ pub fn par_sv_branch_avoiding_traced_with_cancel<S: TraceSink>(
 /// hooking is monotone, any valid upper-bound labelling converges to the
 /// same per-component-minimum fixpoint an uninterrupted run reaches —
 /// bit-identical labels.
-pub fn par_sv_branch_based_resumed(
-    graph: &CsrGraph,
+pub fn par_sv_branch_based_resumed<G: AdjacencySource>(
+    graph: &G,
     threads: usize,
     labels: &ComponentLabels,
 ) -> ParSvRun {
@@ -400,8 +404,8 @@ pub fn par_sv_branch_based_resumed(
 /// [`par_sv_branch_based_resumed`]. The priority-write formulation makes
 /// the resume argument direct: `fetch_min` is idempotent and order-free,
 /// so replaying sweeps over an interrupted labelling loses nothing.
-pub fn par_sv_branch_avoiding_resumed(
-    graph: &CsrGraph,
+pub fn par_sv_branch_avoiding_resumed<G: AdjacencySource>(
+    graph: &G,
     threads: usize,
     labels: &ComponentLabels,
 ) -> ParSvRun {
@@ -414,7 +418,7 @@ mod tests {
     use crate::pool::ScopedExecutor;
     use bga_graph::generators::{barabasi_albert, erdos_renyi_gnp, grid_2d, MeshStencil};
     use bga_graph::properties::connected_components_union_find;
-    use bga_graph::GraphBuilder;
+    use bga_graph::{CsrGraph, GraphBuilder};
     use bga_kernels::cc::{sv_branch_avoiding, sv_branch_based};
 
     fn shapes() -> Vec<CsrGraph> {

@@ -10,7 +10,8 @@
 
 use crate::cancel::RunOutcome;
 use crate::pool::{PoolMetrics, WorkerPool};
-use bga_obs::{PhaseCounters, TraceEvent, TraceSink};
+use bga_graph::GraphFootprint;
+use bga_obs::{PhaseCounters, RunFootprint, TraceEvent, TraceSink};
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -80,6 +81,18 @@ impl<S: TraceSink> TraceSink for TraceRun<'_, S> {
             acc.1 += phase.counters;
         }
         self.inner.emit(event);
+    }
+}
+
+/// Converts the graph crate's [`GraphFootprint`] into the owned form the
+/// `run-start` header carries (`bga-obs` cannot depend on `bga-graph`, so
+/// the trace schema keeps its own copy of the shape).
+pub(crate) fn run_footprint(fp: GraphFootprint) -> RunFootprint {
+    RunFootprint {
+        representation: fp.representation.to_string(),
+        adjacency_bytes: fp.adjacency_bytes,
+        index_bytes: fp.index_bytes,
+        csr_bytes: fp.csr_bytes,
     }
 }
 
@@ -158,6 +171,7 @@ mod tests {
                 grain: 64,
                 delta: None,
                 root: Some(0),
+                footprint: None,
             },
         );
         scope.emit(phase(1));
@@ -218,6 +232,7 @@ mod tests {
                 grain: 64,
                 delta: None,
                 root: None,
+                footprint: None,
             },
         );
         scope.emit(phase(1));

@@ -158,6 +158,7 @@ fn normalized(events: Vec<TraceEvent>) -> Vec<TraceEvent> {
                 edges,
                 delta,
                 root,
+                footprint,
                 ..
             } => Some(TraceEvent::RunStart {
                 kernel,
@@ -168,6 +169,7 @@ fn normalized(events: Vec<TraceEvent>) -> Vec<TraceEvent> {
                 grain: 0,
                 delta,
                 root,
+                footprint,
             }),
             TraceEvent::Phase(mut phase) => {
                 phase.wall_ns = 0;

@@ -12,15 +12,19 @@
 use bga_graph::generators::{grid_2d, MeshStencil};
 use bga_graph::suite::{benchmark_suite, SuiteScale};
 use bga_graph::{uniform_weights, CompressedCsrGraph, CompressedWeightedGraph};
-use bga_parallel::{
-    par_betweenness_centrality_sources, par_bfs_branch_avoiding, par_bfs_branch_avoiding_on,
-    par_bfs_branch_based, par_bfs_direction_optimizing, par_kcore_with_variant,
-    par_sssp_unit_with_variant, par_sssp_weighted_with_variant, par_sv_branch_avoiding,
-    par_sv_branch_based, BcVariant, KcoreVariant, ScopedExecutor, SsspVariant, WorkerPool,
+use bga_kernels::bfs::direction_optimizing::DirectionConfig;
+use bga_parallel::request::{
+    run_betweenness, run_bfs, run_bfs_on, run_components, run_kcore, run_sssp_unit,
+    run_sssp_weighted,
 };
+use bga_parallel::{BfsStrategy, RunConfig, ScopedExecutor, Variant, WorkerPool};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn cfg(threads: usize) -> RunConfig<'static> {
+    RunConfig::new().threads(threads)
+}
 
 fn bench_parallel_sv(c: &mut Criterion) {
     let suite = benchmark_suite(SuiteScale::Small, 42);
@@ -33,12 +37,12 @@ fn bench_parallel_sv(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("branch_based", format!("{}x{threads}", sg.name())),
             &sg.graph,
-            |b, g| b.iter(|| par_sv_branch_based(g, threads)),
+            |b, g| b.iter(|| run_components(g, Variant::BranchBased, &cfg(threads))),
         );
         group.bench_with_input(
             BenchmarkId::new("branch_avoiding", format!("{}x{threads}", sg.name())),
             &sg.graph,
-            |b, g| b.iter(|| par_sv_branch_avoiding(g, threads)),
+            |b, g| b.iter(|| run_components(g, Variant::BranchAvoiding, &cfg(threads))),
         );
     }
     group.finish();
@@ -54,17 +58,40 @@ fn bench_parallel_bfs(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("branch_based", format!("{}x{threads}", sg.name())),
             &sg.graph,
-            |b, g| b.iter(|| par_bfs_branch_based(g, 0, threads)),
+            |b, g| {
+                b.iter(|| {
+                    run_bfs(
+                        g,
+                        0,
+                        BfsStrategy::Plain(Variant::BranchBased),
+                        &cfg(threads),
+                    )
+                })
+            },
         );
         group.bench_with_input(
             BenchmarkId::new("branch_avoiding", format!("{}x{threads}", sg.name())),
             &sg.graph,
-            |b, g| b.iter(|| par_bfs_branch_avoiding(g, 0, threads)),
+            |b, g| {
+                b.iter(|| {
+                    run_bfs(
+                        g,
+                        0,
+                        BfsStrategy::Plain(Variant::BranchAvoiding),
+                        &cfg(threads),
+                    )
+                })
+            },
         );
         group.bench_with_input(
             BenchmarkId::new("direction_optimizing", format!("{}x{threads}", sg.name())),
             &sg.graph,
-            |b, g| b.iter(|| par_bfs_direction_optimizing(g, 0, threads)),
+            |b, g| {
+                b.iter(|| {
+                    let strategy = BfsStrategy::DirectionOptimizing(DirectionConfig::default());
+                    run_bfs(g, 0, strategy, &cfg(threads))
+                })
+            },
         );
     }
     group.finish();
@@ -87,9 +114,7 @@ fn bench_parallel_bc(c: &mut Criterion) {
             BenchmarkId::new("branch_based", format!("{}x{threads}", sg.name())),
             &sg.graph,
             |b, g| {
-                b.iter(|| {
-                    par_betweenness_centrality_sources(g, &sources, threads, BcVariant::BranchBased)
-                })
+                b.iter(|| run_betweenness(g, Variant::BranchBased, Some(&sources), &cfg(threads)))
             },
         );
         group.bench_with_input(
@@ -97,12 +122,7 @@ fn bench_parallel_bc(c: &mut Criterion) {
             &sg.graph,
             |b, g| {
                 b.iter(|| {
-                    par_betweenness_centrality_sources(
-                        g,
-                        &sources,
-                        threads,
-                        BcVariant::BranchAvoiding,
-                    )
+                    run_betweenness(g, Variant::BranchAvoiding, Some(&sources), &cfg(threads))
                 })
             },
         );
@@ -124,12 +144,12 @@ fn bench_parallel_kcore(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("branch_based", format!("{}x{threads}", sg.name())),
             &sg.graph,
-            |b, g| b.iter(|| par_kcore_with_variant(g, threads, KcoreVariant::BranchBased)),
+            |b, g| b.iter(|| run_kcore(g, Variant::BranchBased, &cfg(threads))),
         );
         group.bench_with_input(
             BenchmarkId::new("branch_avoiding", format!("{}x{threads}", sg.name())),
             &sg.graph,
-            |b, g| b.iter(|| par_kcore_with_variant(g, threads, KcoreVariant::BranchAvoiding)),
+            |b, g| b.iter(|| run_kcore(g, Variant::BranchAvoiding, &cfg(threads))),
         );
     }
     group.finish();
@@ -148,14 +168,12 @@ fn bench_parallel_sssp(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("branch_based", format!("{}x{threads}", sg.name())),
             &sg.graph,
-            |b, g| b.iter(|| par_sssp_unit_with_variant(g, 0, threads, SsspVariant::BranchBased)),
+            |b, g| b.iter(|| run_sssp_unit(g, 0, Variant::BranchBased, &cfg(threads))),
         );
         group.bench_with_input(
             BenchmarkId::new("branch_avoiding", format!("{}x{threads}", sg.name())),
             &sg.graph,
-            |b, g| {
-                b.iter(|| par_sssp_unit_with_variant(g, 0, threads, SsspVariant::BranchAvoiding))
-            },
+            |b, g| b.iter(|| run_sssp_unit(g, 0, Variant::BranchAvoiding, &cfg(threads))),
         );
     }
     group.finish();
@@ -178,25 +196,13 @@ fn bench_parallel_sssp_weighted(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("branch_based", format!("{}x{threads}", sg.name())),
             &wg,
-            |b, g| {
-                b.iter(|| {
-                    par_sssp_weighted_with_variant(g, 0, delta, threads, SsspVariant::BranchBased)
-                })
-            },
+            |b, g| b.iter(|| run_sssp_weighted(g, 0, delta, Variant::BranchBased, &cfg(threads))),
         );
         group.bench_with_input(
             BenchmarkId::new("branch_avoiding", format!("{}x{threads}", sg.name())),
             &wg,
             |b, g| {
-                b.iter(|| {
-                    par_sssp_weighted_with_variant(
-                        g,
-                        0,
-                        delta,
-                        threads,
-                        SsspVariant::BranchAvoiding,
-                    )
-                })
+                b.iter(|| run_sssp_weighted(g, 0, delta, Variant::BranchAvoiding, &cfg(threads)))
             },
         );
     }
@@ -236,26 +242,40 @@ fn bench_parallel_compressed(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("bfs_csr", format!("{}x{threads}", sg.name())),
             &sg.graph,
-            |b, g| b.iter(|| par_bfs_branch_avoiding(g, 0, threads)),
+            |b, g| {
+                b.iter(|| {
+                    run_bfs(
+                        g,
+                        0,
+                        BfsStrategy::Plain(Variant::BranchAvoiding),
+                        &cfg(threads),
+                    )
+                })
+            },
         );
         group.bench_with_input(
             BenchmarkId::new("bfs_compressed", format!("{}x{threads}", sg.name())),
             &cg,
-            |b, g| b.iter(|| par_bfs_branch_avoiding(g, 0, threads)),
+            |b, g| {
+                b.iter(|| {
+                    run_bfs(
+                        g,
+                        0,
+                        BfsStrategy::Plain(Variant::BranchAvoiding),
+                        &cfg(threads),
+                    )
+                })
+            },
         );
         group.bench_with_input(
             BenchmarkId::new("sssp_csr", format!("{}x{threads}", sg.name())),
             &sg.graph,
-            |b, g| {
-                b.iter(|| par_sssp_unit_with_variant(g, 0, threads, SsspVariant::BranchAvoiding))
-            },
+            |b, g| b.iter(|| run_sssp_unit(g, 0, Variant::BranchAvoiding, &cfg(threads))),
         );
         group.bench_with_input(
             BenchmarkId::new("sssp_compressed", format!("{}x{threads}", sg.name())),
             &cg,
-            |b, g| {
-                b.iter(|| par_sssp_unit_with_variant(g, 0, threads, SsspVariant::BranchAvoiding))
-            },
+            |b, g| b.iter(|| run_sssp_unit(g, 0, Variant::BranchAvoiding, &cfg(threads))),
         );
         group.bench_with_input(
             BenchmarkId::new(
@@ -264,15 +284,7 @@ fn bench_parallel_compressed(c: &mut Criterion) {
             ),
             &cwg,
             |b, g| {
-                b.iter(|| {
-                    par_sssp_weighted_with_variant(
-                        g,
-                        0,
-                        delta,
-                        threads,
-                        SsspVariant::BranchAvoiding,
-                    )
-                })
+                b.iter(|| run_sssp_weighted(g, 0, delta, Variant::BranchAvoiding, &cfg(threads)))
             },
         );
     }
@@ -302,13 +314,33 @@ fn bench_small_frontier_pool_vs_scope(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("pool", format!("mesh100x60x{threads}")),
             &graph,
-            |b, g| b.iter(|| par_bfs_branch_avoiding_on(g, 0, &pool, grain)),
+            |b, g| {
+                b.iter(|| {
+                    run_bfs_on(
+                        g,
+                        0,
+                        BfsStrategy::Plain(Variant::BranchAvoiding),
+                        &pool,
+                        grain,
+                    )
+                })
+            },
         );
         let scoped = ScopedExecutor::new(threads);
         group.bench_with_input(
             BenchmarkId::new("thread_scope", format!("mesh100x60x{threads}")),
             &graph,
-            |b, g| b.iter(|| par_bfs_branch_avoiding_on(g, 0, &scoped, grain)),
+            |b, g| {
+                b.iter(|| {
+                    run_bfs_on(
+                        g,
+                        0,
+                        BfsStrategy::Plain(Variant::BranchAvoiding),
+                        &scoped,
+                        grain,
+                    )
+                })
+            },
         );
     }
     group.finish();

@@ -7,18 +7,14 @@
 //! reports the raw, un-halved partial sums — the quantity sampled-source
 //! approximations scale.
 
-use super::cc::{deadline_token, flag_value, parse_threads};
+use super::common_args::{flag_value, CommonArgs};
 use super::graph_input::load_graph;
 use super::CliError;
 use bga_kernels::bc::{
     betweenness_centrality, betweenness_centrality_branch_avoiding, betweenness_centrality_sources,
 };
-use bga_parallel::{
-    par_betweenness_centrality_sources, par_betweenness_centrality_sources_traced,
-    par_betweenness_centrality_sources_traced_with_cancel,
-    par_betweenness_centrality_sources_with_cancel, par_betweenness_centrality_traced,
-    par_betweenness_centrality_with_variant, resolve_threads, BcVariant, RunOutcome,
-};
+use bga_parallel::request::run_betweenness;
+use bga_parallel::{resolve_threads, Variant};
 use std::time::Instant;
 
 /// Runs the `bc` subcommand.
@@ -26,18 +22,18 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
     let Some(graph_spec) = args.first() else {
         return Err("bc needs a graph".into());
     };
-    let variant = flag_value(args, "--variant").unwrap_or("branch-avoiding");
-    let bc_variant = match variant {
-        "branch-based" => BcVariant::BranchBased,
-        "branch-avoiding" => BcVariant::BranchAvoiding,
-        other => {
-            return Err(format!(
-                "unknown bc variant {other:?} (expected branch-based or branch-avoiding)"
-            )
-            .into())
-        }
-    };
-    let threads = parse_threads(args)?;
+    let common = CommonArgs::parse(args)?;
+    let variant = common.variant_or("branch-avoiding");
+    let bc_variant: Variant = variant.parse().map_err(|_| {
+        format!("unknown bc variant {variant:?} (expected branch-based or branch-avoiding)")
+    })?;
+    // Accumulation counters live in the trace stream for bc; there is no
+    // per-operation tally path like the traversal kernels have.
+    if common.instrumented {
+        return Err(
+            "bc has no --instrumented counters; use --trace FILE for per-phase data".into(),
+        );
+    }
     let source_count = match flag_value(args, "--sources") {
         None if args.iter().any(|a| a == "--sources") => {
             return Err("--sources requires a count".into())
@@ -48,13 +44,7 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
                 .map_err(|e| format!("invalid --sources value {text:?}: {e}"))?,
         ),
     };
-
-    let trace_path = super::trace::parse_trace_path(args)?;
-    if trace_path.is_some() && threads.is_none() {
-        return Err("--trace requires --threads N (only parallel runs are traced)".into());
-    }
-    let token = deadline_token(args, threads, false)?;
-    if token.is_some() && source_count.is_none() {
+    if common.token.is_some() && source_count.is_none() {
         return Err(
             "--timeout-ms requires --sources K (the sampled accumulation is the \
              cancellable path: an interrupted run is exact over a source prefix)"
@@ -68,63 +58,36 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
         graph.num_vertices(),
         graph.num_edges()
     );
-    // Report the resolved worker count before the timed region so the
-    // stdout write does not bias sequential-vs-parallel wall clocks.
-    if let Some(t) = threads {
+
+    if let Some(t) = common.threads {
+        // Report the resolved worker count before the timed region so the
+        // stdout write does not bias sequential-vs-parallel wall clocks.
         println!("threads: {}", resolve_threads(t));
-    }
-
-    if let (Some(path), Some(t)) = (trace_path, threads) {
-        let sink = super::trace::open_trace_sink(path)?;
-        let mut outcome = RunOutcome::Completed;
-        let mut sources_done = None;
-        let scores = match (source_count, &token) {
-            (None, _) => par_betweenness_centrality_traced(&graph, t, bc_variant, &sink),
-            (Some(k), None) => par_betweenness_centrality_sources_traced(
-                &graph,
-                &sample_sources(&graph, k),
-                t,
-                bc_variant,
-                &sink,
-            ),
-            (Some(k), Some(tok)) => {
-                let (scores, done, o) = par_betweenness_centrality_sources_traced_with_cancel(
-                    &graph,
-                    &sample_sources(&graph, k),
-                    t,
-                    bc_variant,
-                    &sink,
-                    tok,
-                );
-                outcome = o;
-                sources_done = Some(done);
-                scores
-            }
-        };
-        super::trace::finish_trace_sink(path, sink)?;
-        print_scores_summary(&graph, variant, source_count, &scores);
-        if let Some(done) = sources_done {
-            println!("sources completed: {done}");
-        }
-        super::check_deadline(&outcome)?;
-        return Ok(());
-    }
-
-    if let (Some(t), Some(k), Some(tok)) = (threads, source_count, &token) {
+        let sources = source_count.map(|k| sample_sources(&graph, k));
         let start = Instant::now();
-        let (scores, done, outcome) = par_betweenness_centrality_sources_with_cancel(
-            &graph,
-            &sample_sources(&graph, k),
-            t,
-            bc_variant,
-            tok,
-        );
+        let (run, outcome) = match common.trace_path {
+            Some(path) => {
+                let sink = super::trace::open_trace_sink(path)?;
+                let run = run_betweenness(
+                    &graph,
+                    bc_variant,
+                    sources.as_deref(),
+                    &common.run_config().traced(&sink),
+                );
+                super::trace::finish_trace_sink(path, sink)?;
+                run
+            }
+            None => run_betweenness(&graph, bc_variant, sources.as_deref(), &common.run_config()),
+        };
         let elapsed = start.elapsed();
-        print_scores_summary(&graph, variant, source_count, &scores);
-        println!("sources completed: {done}");
-        println!("wall clock: {:.3} ms", elapsed.as_secs_f64() * 1e3);
-        super::check_deadline(&outcome)?;
-        return Ok(());
+        print_scores_summary(&graph, variant, source_count, &run.scores);
+        if common.token.is_some() {
+            println!("sources completed: {}", run.sources_done);
+        }
+        if common.trace_path.is_none() {
+            println!("wall clock: {:.3} ms", elapsed.as_secs_f64() * 1e3);
+        }
+        return super::check_deadline(&outcome);
     }
 
     // The sequential partial accumulation has one (branch-based) forward
@@ -132,8 +95,8 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
     // kernels. Reject an explicit request the run could not honour, and
     // report the variant that actually executed.
     let mut executed_variant = variant;
-    if threads.is_none() && source_count.is_some() {
-        if bc_variant == BcVariant::BranchAvoiding && flag_value(args, "--variant").is_some() {
+    if source_count.is_some() {
+        if bc_variant == Variant::BranchAvoiding && common.variant.is_some() {
             return Err(
                 "sequential --sources runs the branch-based accumulation only; \
                  add --threads N for the branch-avoiding forward phase"
@@ -144,16 +107,12 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
     }
 
     let start = Instant::now();
-    let scores = match (threads, source_count) {
-        (None, None) => match bc_variant {
-            BcVariant::BranchBased => betweenness_centrality(&graph),
-            BcVariant::BranchAvoiding => betweenness_centrality_branch_avoiding(&graph),
+    let scores = match source_count {
+        None => match bc_variant {
+            Variant::BranchBased => betweenness_centrality(&graph),
+            Variant::BranchAvoiding => betweenness_centrality_branch_avoiding(&graph),
         },
-        (None, Some(k)) => betweenness_centrality_sources(&graph, &sample_sources(&graph, k)),
-        (Some(t), None) => par_betweenness_centrality_with_variant(&graph, t, bc_variant),
-        (Some(t), Some(k)) => {
-            par_betweenness_centrality_sources(&graph, &sample_sources(&graph, k), t, bc_variant)
-        }
+        Some(k) => betweenness_centrality_sources(&graph, &sample_sources(&graph, k)),
     };
     let elapsed = start.elapsed();
 
@@ -347,6 +306,8 @@ mod tests {
         assert!(run(&strings(&["cond-mat-2005", "--sources"])).is_err());
         assert!(run(&strings(&["cond-mat-2005", "--sources", "two"])).is_err());
         assert!(run(&strings(&["cond-mat-2005", "--threads", "x"])).is_err());
+        // bc tallies live in the trace stream, not an --instrumented path.
+        assert!(run(&strings(&["cond-mat-2005", "--instrumented"])).is_err());
     }
 
     #[test]

@@ -63,7 +63,7 @@ fn compare(args: &[String]) -> Result<(), String> {
                 .to_string(),
         );
     };
-    let threshold = match super::cc::flag_value(args, "--threshold") {
+    let threshold = match super::common_args::flag_value(args, "--threshold") {
         None if args.iter().any(|a| a == "--threshold") => {
             return Err("--threshold requires a percentage value".to_string())
         }
@@ -114,7 +114,9 @@ fn compare(args: &[String]) -> Result<(), String> {
         );
     }
     if new_doc.single_core_host || old_docs.iter().any(|(_, doc)| doc.single_core_host) {
-        println!(
+        // Diagnostics go to stderr like the baseline-skip warning above:
+        // scripts pipe this command's stdout as the comparison report.
+        eprintln!(
             "note: at least one document was measured on a single-core host; \
              times are pool overhead, not scaling"
         );

@@ -1,6 +1,6 @@
 //! `bga bfs`: run a BFS variant from a root and print a summary.
 
-use super::cc::{deadline_token, flag_value, parse_threads};
+use super::common_args::{flag_value, CommonArgs};
 use super::graph_input::{footprint_line, load_graph};
 use super::CliError;
 use bga_graph::properties::largest_component;
@@ -11,18 +11,11 @@ use bga_kernels::bfs::{
     bottom_up::bfs_bottom_up,
     direction_optimizing::{bfs_direction_optimizing, DirectionConfig},
     frontier::check_bfs_invariants,
-    BfsResult, BfsRun,
+    BfsResult,
 };
 use bga_obs::step_table;
-use bga_parallel::{
-    par_bfs_branch_avoiding, par_bfs_branch_avoiding_instrumented, par_bfs_branch_avoiding_traced,
-    par_bfs_branch_avoiding_traced_with_cancel, par_bfs_branch_avoiding_with_cancel,
-    par_bfs_branch_based, par_bfs_branch_based_instrumented, par_bfs_branch_based_traced,
-    par_bfs_branch_based_traced_with_cancel, par_bfs_branch_based_with_cancel,
-    par_bfs_direction_optimizing_instrumented, par_bfs_direction_optimizing_traced,
-    par_bfs_direction_optimizing_traced_with_cancel, par_bfs_direction_optimizing_with_cancel,
-    par_bfs_direction_optimizing_with_config, resolve_threads, RunOutcome,
-};
+use bga_parallel::request::run_bfs;
+use bga_parallel::{resolve_threads, BfsStrategy, Variant};
 use std::time::Instant;
 
 /// Parses `--strategy`: the direction policy for the direction-optimizing
@@ -47,6 +40,7 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
     let Some(graph_spec) = args.first() else {
         return Err("bfs needs a graph".into());
     };
+    let common = CommonArgs::parse(args)?;
     let strategy = parse_strategy(args)?;
     // `--strategy` implies the direction-optimizing traversal; `--variant`
     // keeps selecting among the classic kernels otherwise.
@@ -55,25 +49,13 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
     } else {
         "branch-based"
     };
-    let variant = flag_value(args, "--variant").unwrap_or(default_variant);
+    let variant = common.variant_or(default_variant);
     if strategy.is_some() && variant != "direction-optimizing" {
         return Err(format!(
             "--strategy applies to the direction-optimizing variant, not {variant:?}"
         )
         .into());
     }
-    let instrumented = args.iter().any(|a| a == "--instrumented");
-    let threads = parse_threads(args)?;
-    let trace_path = super::trace::parse_trace_path(args)?;
-    if trace_path.is_some() && threads.is_none() {
-        return Err("--trace requires --threads N (only parallel runs are traced)".into());
-    }
-    if trace_path.is_some() && instrumented {
-        return Err(
-            "--trace and --instrumented are exclusive (the trace carries the counters)".into(),
-        );
-    }
-    let token = deadline_token(args, threads, instrumented)?;
 
     let graph = load_graph(graph_spec)?;
     let root = match flag_value(args, "--root") {
@@ -88,161 +70,63 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
         graph.num_edges()
     );
 
-    if let (Some(path), Some(t)) = (trace_path, threads) {
-        let sink = super::trace::open_trace_sink(path)?;
-        let mut directions = None;
-        let mut outcome = RunOutcome::Completed;
-        let (result, threads_used) = match (variant, &token) {
-            ("branch-based", None) => {
-                let run = par_bfs_branch_based_traced(&graph, root, t, &sink);
-                (run.result, run.threads)
+    if let Some(t) = common.threads {
+        let requested: BfsStrategy = match variant {
+            "branch-based" => BfsStrategy::Plain(Variant::BranchBased),
+            "branch-avoiding" => BfsStrategy::Plain(Variant::BranchAvoiding),
+            "direction-optimizing" => {
+                BfsStrategy::DirectionOptimizing(strategy.unwrap_or_default())
             }
-            ("branch-avoiding", None) => {
-                let run = par_bfs_branch_avoiding_traced(&graph, root, t, &sink);
-                (run.result, run.threads)
-            }
-            ("direction-optimizing", None) => {
-                let run = par_bfs_direction_optimizing_traced(
-                    &graph,
-                    root,
-                    t,
-                    strategy.unwrap_or_default(),
-                    &sink,
-                );
-                directions = Some((run.directions.len(), run.bottom_up_levels()));
-                (run.result, run.threads)
-            }
-            ("branch-based", Some(tok)) => {
-                let (run, o) = par_bfs_branch_based_traced_with_cancel(&graph, root, t, &sink, tok);
-                outcome = o;
-                (run.result, run.threads)
-            }
-            ("branch-avoiding", Some(tok)) => {
-                let (run, o) =
-                    par_bfs_branch_avoiding_traced_with_cancel(&graph, root, t, &sink, tok);
-                outcome = o;
-                (run.result, run.threads)
-            }
-            ("direction-optimizing", Some(tok)) => {
-                let (run, o) = par_bfs_direction_optimizing_traced_with_cancel(
-                    &graph,
-                    root,
-                    t,
-                    strategy.unwrap_or_default(),
-                    &sink,
-                    tok,
-                );
-                outcome = o;
-                directions = Some((run.directions.len(), run.bottom_up_levels()));
-                (run.result, run.threads)
-            }
-            (other, _) => {
+            other => {
                 return Err(format!(
-                    "--trace supports branch-based, branch-avoiding and \
+                    "--threads supports branch-based, branch-avoiding and \
                      direction-optimizing, not {other:?}"
                 )
                 .into())
             }
         };
-        super::trace::finish_trace_sink(path, sink)?;
-        println!("threads: {threads_used}");
-        print_result_summary(variant, &result);
-        if let Some((levels, bottom_up)) = directions {
-            println!(
-                "directions: {} top-down, {} bottom-up levels",
-                levels - bottom_up,
-                bottom_up
-            );
-        }
-        super::check_deadline(&outcome)?;
-        return Ok(());
-    }
-
-    if let (Some(t), Some(tok)) = (threads, &token) {
+        // Report the resolved worker count before the timed region so the
+        // stdout write does not bias sequential-vs-parallel wall clocks.
         println!("threads: {}", resolve_threads(t));
-        let config = strategy.unwrap_or_default();
-        let mut directions = None;
         let start = Instant::now();
-        let (result, outcome) = match variant {
-            "branch-based" => {
-                let (run, o) = par_bfs_branch_based_with_cancel(&graph, root, t, tok);
-                (run.result, o)
+        let (par, outcome) = match common.trace_path {
+            Some(path) => {
+                let sink = super::trace::open_trace_sink(path)?;
+                let run = run_bfs(&graph, root, requested, &common.run_config().traced(&sink));
+                super::trace::finish_trace_sink(path, sink)?;
+                run
             }
-            "branch-avoiding" => {
-                let (run, o) = par_bfs_branch_avoiding_with_cancel(&graph, root, t, tok);
-                (run.result, o)
-            }
-            "direction-optimizing" => {
-                let (run, o) =
-                    par_bfs_direction_optimizing_with_cancel(&graph, root, t, config, tok);
-                directions = Some((run.directions.len(), run.bottom_up_levels()));
-                (run.result, o)
-            }
-            other => {
-                return Err(format!(
-                    "--timeout-ms supports branch-based, branch-avoiding and \
-                     direction-optimizing, not {other:?}"
-                )
-                .into())
-            }
+            None => run_bfs(&graph, root, requested, &common.run_config()),
         };
         let elapsed = start.elapsed();
         // An interrupted traversal is a valid prefix, not a full BFS; the
         // invariant checker only applies to completed runs.
         if outcome.is_completed() {
-            check_bfs_invariants(&graph, root, &result)?;
+            check_bfs_invariants(&graph, root, &par.result)?;
         }
-        print_result_summary(variant, &result);
-        if let Some((levels, bottom_up)) = directions {
+        print_result_summary(variant, &par.result);
+        if variant == "direction-optimizing" {
             println!(
                 "directions: {} top-down, {} bottom-up levels",
-                levels - bottom_up,
-                bottom_up
+                par.directions.len() - par.bottom_up_levels(),
+                par.bottom_up_levels()
             );
         }
-        println!("wall clock: {:.3} ms", elapsed.as_secs_f64() * 1e3);
-        super::check_deadline(&outcome)?;
-        return Ok(());
+        if common.instrumented {
+            println!("{}", footprint_line(&graph.footprint()));
+            println!("totals: {}", par.counters.total());
+            print!("{}", step_table("level", &par.counters.steps).render());
+        } else if common.trace_path.is_none() {
+            println!("wall clock: {:.3} ms", elapsed.as_secs_f64() * 1e3);
+        }
+        return super::check_deadline(&outcome);
     }
 
-    if instrumented {
-        let mut directions = None;
-        let run = match (variant, threads) {
-            ("branch-based", None) => bfs_branch_based_instrumented(&graph, root),
-            ("branch-avoiding", None) => bfs_branch_avoiding_instrumented(&graph, root),
-            ("branch-based", Some(t)) => {
-                let par = par_bfs_branch_based_instrumented(&graph, root, t);
-                println!("threads: {}", par.threads);
-                BfsRun {
-                    result: par.result,
-                    counters: par.counters,
-                }
-            }
-            ("branch-avoiding", Some(t)) => {
-                let par = par_bfs_branch_avoiding_instrumented(&graph, root, t);
-                println!("threads: {}", par.threads);
-                BfsRun {
-                    result: par.result,
-                    counters: par.counters,
-                }
-            }
-            ("direction-optimizing", Some(t)) => {
-                // Bottom-up levels tally for real here: the engine threads
-                // a ThreadTally through the bitmap claim as well.
-                let par = par_bfs_direction_optimizing_instrumented(
-                    &graph,
-                    root,
-                    t,
-                    strategy.unwrap_or_default(),
-                );
-                println!("threads: {}", par.threads);
-                directions = Some((par.directions.len(), par.bottom_up_levels()));
-                BfsRun {
-                    result: par.result,
-                    counters: par.counters,
-                }
-            }
-            (other, _) => {
+    if common.instrumented {
+        let run = match variant {
+            "branch-based" => bfs_branch_based_instrumented(&graph, root),
+            "branch-avoiding" => bfs_branch_avoiding_instrumented(&graph, root),
+            other => {
                 return Err(format!(
                     "--instrumented supports branch-based, branch-avoiding and \
                      direction-optimizing --threads, not {other:?}"
@@ -251,58 +135,24 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
             }
         };
         print_result_summary(variant, &run.result);
-        if let Some((levels, bottom_up)) = directions {
-            println!(
-                "directions: {} top-down, {} bottom-up levels",
-                levels - bottom_up,
-                bottom_up
-            );
-        }
         println!("{}", footprint_line(&graph.footprint()));
         println!("totals: {}", run.counters.total());
         print!("{}", step_table("level", &run.counters.steps).render());
         return Ok(());
     }
 
-    // Report the resolved worker count before the timed region so the
-    // stdout write does not bias sequential-vs-parallel wall clocks.
-    if let Some(t) = threads {
-        println!("threads: {}", resolve_threads(t));
-    }
     let config = strategy.unwrap_or_default();
-    let mut directions = None;
     let start = Instant::now();
-    let result: BfsResult = match (variant, threads) {
-        ("branch-based", None) => bfs_branch_based(&graph, root),
-        ("branch-avoiding", None) => bfs_branch_avoiding(&graph, root),
-        ("branch-based", Some(t)) => par_bfs_branch_based(&graph, root, t),
-        ("branch-avoiding", Some(t)) => par_bfs_branch_avoiding(&graph, root, t),
-        ("bottom-up", None) => bfs_bottom_up(&graph, root),
-        ("direction-optimizing", None) => bfs_direction_optimizing(&graph, root, config),
-        ("direction-optimizing", Some(t)) => {
-            let run = par_bfs_direction_optimizing_with_config(&graph, root, t, config);
-            directions = Some((run.directions.len(), run.bottom_up_levels()));
-            run.result
-        }
-        (other, None) => return Err(format!("unknown bfs variant {other:?}").into()),
-        (other, Some(_)) => {
-            return Err(format!(
-                "--threads supports branch-based, branch-avoiding and \
-                 direction-optimizing, not {other:?}"
-            )
-            .into())
-        }
+    let result: BfsResult = match variant {
+        "branch-based" => bfs_branch_based(&graph, root),
+        "branch-avoiding" => bfs_branch_avoiding(&graph, root),
+        "bottom-up" => bfs_bottom_up(&graph, root),
+        "direction-optimizing" => bfs_direction_optimizing(&graph, root, config),
+        other => return Err(format!("unknown bfs variant {other:?}").into()),
     };
     let elapsed = start.elapsed();
     check_bfs_invariants(&graph, root, &result)?;
     print_result_summary(variant, &result);
-    if let Some((levels, bottom_up)) = directions {
-        println!(
-            "directions: {} top-down, {} bottom-up levels",
-            levels - bottom_up,
-            bottom_up
-        );
-    }
     println!("wall clock: {:.3} ms", elapsed.as_secs_f64() * 1e3);
     Ok(())
 }

@@ -1,5 +1,6 @@
 //! `bga cc`: run a connected-components variant and print a summary.
 
+use super::common_args::CommonArgs;
 use super::graph_input::{footprint_line, load_graph};
 use super::CliError;
 use bga_graph::AdjacencySource;
@@ -8,33 +9,17 @@ use bga_kernels::cc::{
     sv_branch_based_instrumented, sv_hybrid, ComponentLabels, HybridConfig,
 };
 use bga_obs::step_table;
-use bga_parallel::{
-    par_sv_branch_avoiding, par_sv_branch_avoiding_instrumented, par_sv_branch_avoiding_traced,
-    par_sv_branch_avoiding_traced_with_cancel, par_sv_branch_avoiding_with_cancel,
-    par_sv_branch_based, par_sv_branch_based_instrumented, par_sv_branch_based_traced,
-    par_sv_branch_based_traced_with_cancel, par_sv_branch_based_with_cancel, resolve_threads,
-    CancelToken, RunOutcome,
-};
-use std::time::{Duration, Instant};
+use bga_parallel::request::run_components;
+use bga_parallel::{resolve_threads, Variant};
+use std::time::Instant;
 
 /// Runs the `cc` subcommand.
 pub fn run(args: &[String]) -> Result<(), CliError> {
     let Some(graph_spec) = args.first() else {
         return Err("cc needs a graph".into());
     };
-    let variant = flag_value(args, "--variant").unwrap_or("branch-avoiding");
-    let instrumented = args.iter().any(|a| a == "--instrumented");
-    let threads = parse_threads(args)?;
-    let trace_path = super::trace::parse_trace_path(args)?;
-    if trace_path.is_some() && threads.is_none() {
-        return Err("--trace requires --threads N (only parallel runs are traced)".into());
-    }
-    if trace_path.is_some() && instrumented {
-        return Err(
-            "--trace and --instrumented are exclusive (the trace carries the counters)".into(),
-        );
-    }
-    let token = deadline_token(args, threads, instrumented)?;
+    let common = CommonArgs::parse(args)?;
+    let variant = common.variant_or("branch-avoiding");
 
     let graph = load_graph(graph_spec)?;
     println!(
@@ -43,76 +28,43 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
         graph.num_edges()
     );
 
-    if let (Some(path), Some(t)) = (trace_path, threads) {
-        let sink = super::trace::open_trace_sink(path)?;
-        let (par, outcome) = match (variant, &token) {
-            ("branch-based", None) => (par_sv_branch_based_traced(&graph, t, &sink), None),
-            ("branch-avoiding", None) => (par_sv_branch_avoiding_traced(&graph, t, &sink), None),
-            ("branch-based", Some(tok)) => {
-                let (par, outcome) = par_sv_branch_based_traced_with_cancel(&graph, t, &sink, tok);
-                (par, Some(outcome))
-            }
-            ("branch-avoiding", Some(tok)) => {
-                let (par, outcome) =
-                    par_sv_branch_avoiding_traced_with_cancel(&graph, t, &sink, tok);
-                (par, Some(outcome))
-            }
-            (other, _) => {
-                return Err(format!(
-                    "--trace supports branch-based and branch-avoiding, not {other:?}"
-                )
-                .into())
-            }
-        };
-        super::trace::finish_trace_sink(path, sink)?;
-        println!("threads: {}", par.threads);
-        print_labels_summary(variant, &par.labels);
-        println!("iterations: {}", par.counters.num_steps());
-        super::check_deadline(&outcome.unwrap_or(RunOutcome::Completed))?;
-        return Ok(());
-    }
-
-    if let (Some(t), Some(tok)) = (threads, &token) {
+    if let Some(t) = common.threads {
+        let parsed: Variant = variant.parse().map_err(|_| {
+            format!("--threads supports branch-based and branch-avoiding, not {variant:?}")
+        })?;
+        // Report the resolved worker count before the timed region so the
+        // stdout write does not bias sequential-vs-parallel wall clocks.
         println!("threads: {}", resolve_threads(t));
         let start = Instant::now();
-        let (par, outcome) = match variant {
-            "branch-based" => par_sv_branch_based_with_cancel(&graph, t, tok),
-            "branch-avoiding" => par_sv_branch_avoiding_with_cancel(&graph, t, tok),
-            other => {
-                return Err(format!(
-                    "--timeout-ms supports branch-based and branch-avoiding, not {other:?}"
-                )
-                .into())
+        let (par, outcome) = match common.trace_path {
+            Some(path) => {
+                let sink = super::trace::open_trace_sink(path)?;
+                let run = run_components(&graph, parsed, &common.run_config().traced(&sink));
+                super::trace::finish_trace_sink(path, sink)?;
+                run
             }
+            None => run_components(&graph, parsed, &common.run_config()),
         };
         let elapsed = start.elapsed();
         print_labels_summary(variant, &par.labels);
-        println!("wall clock: {:.3} ms", elapsed.as_secs_f64() * 1e3);
-        super::check_deadline(&outcome)?;
-        return Ok(());
+        if common.instrumented {
+            println!("iterations: {}", par.iterations());
+            println!("{}", footprint_line(&graph.footprint()));
+            println!("totals: {}", par.counters.total());
+            print!("{}", step_table("iteration", &par.counters.steps).render());
+        } else if common.trace_path.is_some() {
+            println!("iterations: {}", par.counters.num_steps());
+        } else {
+            println!("wall clock: {:.3} ms", elapsed.as_secs_f64() * 1e3);
+        }
+        return super::check_deadline(&outcome);
     }
 
-    if instrumented {
-        let run = match (variant, threads) {
-            ("branch-based", None) => sv_branch_based_instrumented(&graph),
-            ("branch-avoiding", None) => sv_branch_avoiding_instrumented(&graph),
-            ("branch-based", Some(t)) => {
-                let par = par_sv_branch_based_instrumented(&graph, t);
-                println!("threads: {}", par.threads);
-                bga_kernels::cc::SvRun {
-                    labels: par.labels,
-                    counters: par.counters,
-                }
-            }
-            ("branch-avoiding", Some(t)) => {
-                let par = par_sv_branch_avoiding_instrumented(&graph, t);
-                println!("threads: {}", par.threads);
-                bga_kernels::cc::SvRun {
-                    labels: par.labels,
-                    counters: par.counters,
-                }
-            }
-            (other, _) => {
+    if common.instrumented {
+        let run = match variant {
+            "branch-based" => sv_branch_based_instrumented(&graph),
+            "branch-avoiding" => sv_branch_avoiding_instrumented(&graph),
+            other => {
                 return Err(format!(
                     "--instrumented supports branch-based and branch-avoiding, not {other:?}"
                 )
@@ -127,93 +79,19 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
         return Ok(());
     }
 
-    // Report the resolved worker count before the timed region so the
-    // stdout write does not bias sequential-vs-parallel wall clocks.
-    if let Some(t) = threads {
-        println!("threads: {}", resolve_threads(t));
-    }
     let start = Instant::now();
-    let labels: ComponentLabels = match (variant, threads) {
-        ("branch-based", None) => sv_branch_based(&graph),
-        ("branch-avoiding", None) => sv_branch_avoiding(&graph),
-        ("branch-based", Some(t)) => par_sv_branch_based(&graph, t),
-        ("branch-avoiding", Some(t)) => par_sv_branch_avoiding(&graph, t),
-        ("hybrid", None) => sv_hybrid(&graph, HybridConfig::default()),
-        ("union-find", None) => baseline::cc_union_find(&graph),
-        ("bfs", None) => baseline::cc_bfs(&graph),
-        (other, None) => return Err(format!("unknown cc variant {other:?}").into()),
-        (other, Some(_)) => {
-            return Err(format!(
-                "--threads supports branch-based and branch-avoiding, not {other:?}"
-            )
-            .into())
-        }
+    let labels: ComponentLabels = match variant {
+        "branch-based" => sv_branch_based(&graph),
+        "branch-avoiding" => sv_branch_avoiding(&graph),
+        "hybrid" => sv_hybrid(&graph, HybridConfig::default()),
+        "union-find" => baseline::cc_union_find(&graph),
+        "bfs" => baseline::cc_bfs(&graph),
+        other => return Err(format!("unknown cc variant {other:?}").into()),
     };
     let elapsed = start.elapsed();
     print_labels_summary(variant, &labels);
     println!("wall clock: {:.3} ms", elapsed.as_secs_f64() * 1e3);
     Ok(())
-}
-
-/// Parses `--timeout-ms T`: the wall-clock budget of a deadline-bounded
-/// run, `None` when the flag is absent. A bare `--timeout-ms` with no
-/// value is an error, not a silently unbounded run.
-pub(super) fn parse_timeout(args: &[String]) -> Result<Option<Duration>, String> {
-    match flag_value(args, "--timeout-ms") {
-        None if args.iter().any(|a| a == "--timeout-ms") => {
-            Err("--timeout-ms requires a value in milliseconds".to_string())
-        }
-        None => Ok(None),
-        Some(text) => text
-            .parse::<u64>()
-            .map(|ms| Some(Duration::from_millis(ms)))
-            .map_err(|e| format!("invalid --timeout-ms value {text:?}: {e}")),
-    }
-}
-
-/// The shared `--timeout-ms` front end of the kernel commands: parses the
-/// flag, enforces that a deadline needs a parallel cancellable run (the
-/// sequential references and the instrumented paths have no cancellation
-/// seam), and arms a [`CancelToken`] whose deadline starts now —
-/// deliberately before graph loading, so the budget covers the whole
-/// invocation the way a supervisor's timeout would.
-pub(super) fn deadline_token(
-    args: &[String],
-    threads: Option<usize>,
-    instrumented: bool,
-) -> Result<Option<CancelToken>, String> {
-    let Some(timeout) = parse_timeout(args)? else {
-        return Ok(None);
-    };
-    if threads.is_none() {
-        return Err(
-            "--timeout-ms requires --threads N (only parallel runs are cancellable)".to_string(),
-        );
-    }
-    if instrumented {
-        return Err(
-            "--timeout-ms and --instrumented are exclusive (the instrumented paths \
-             have no cancellation seam)"
-                .to_string(),
-        );
-    }
-    Ok(Some(CancelToken::new().with_deadline_in(timeout)))
-}
-
-/// Parses `--threads N`: `None` when the flag is absent (sequential
-/// kernels), `Some(0)` meaning "all cores", `Some(n)` otherwise. A bare
-/// `--threads` with no value is an error, not a silent sequential run.
-pub(super) fn parse_threads(args: &[String]) -> Result<Option<usize>, String> {
-    match flag_value(args, "--threads") {
-        None if args.iter().any(|a| a == "--threads") => {
-            Err("--threads requires a value (0 means all cores)".to_string())
-        }
-        None => Ok(None),
-        Some(text) => text
-            .parse::<usize>()
-            .map(Some)
-            .map_err(|e| format!("invalid --threads value {text:?}: {e}")),
-    }
 }
 
 fn print_labels_summary(variant: &str, labels: &ComponentLabels) {
@@ -222,26 +100,12 @@ fn print_labels_summary(variant: &str, labels: &ComponentLabels) {
     println!("largest component: {}", labels.largest_component_size());
 }
 
-pub(super) fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .map(|s| s.as_str())
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn strings(parts: &[&str]) -> Vec<String> {
         parts.iter().map(|s| s.to_string()).collect()
-    }
-
-    #[test]
-    fn flag_parsing() {
-        let args = strings(&["g", "--variant", "hybrid", "--instrumented"]);
-        assert_eq!(flag_value(&args, "--variant"), Some("hybrid"));
-        assert_eq!(flag_value(&args, "--root"), None);
     }
 
     #[test]

@@ -8,11 +8,12 @@ use bga_graph::properties::connected_component_count;
 use bga_graph::suite::{benchmark_suite, suite_table, SuiteScale};
 use bga_graph::{uniform_weights, CompressedCsrGraph, CompressedWeightedGraph};
 use bga_kernels::bfs::bfs_branch_based_instrumented;
+use bga_kernels::bfs::direction_optimizing::DirectionConfig;
 use bga_kernels::cc::{sv_branch_avoiding_instrumented, sv_branch_based_instrumented};
-use bga_parallel::{
-    par_betweenness_centrality_sources, par_bfs_direction_optimizing, par_kcore, par_sssp_unit,
-    par_sssp_weighted, par_sv_branch_avoiding, par_sv_branch_based, resolve_threads, BcVariant,
+use bga_parallel::request::{
+    run_betweenness, run_bfs, run_components, run_kcore, run_sssp_unit, run_sssp_weighted,
 };
+use bga_parallel::{resolve_threads, BfsStrategy, RunConfig, Variant};
 use bga_perfmodel::timing::modeled_speedup;
 use std::time::Instant;
 
@@ -207,25 +208,22 @@ fn run_scaling(json: bool) {
     let suite = benchmark_suite(SuiteScale::Small, 42);
     let mut rows = Vec::new();
     let mut skip_notes = Vec::new();
+    let config_for = |threads: usize| RunConfig::new().threads(threads);
     for sg in &suite {
-        type SvKernel = fn(&bga_graph::CsrGraph, usize) -> bga_kernels::cc::ComponentLabels;
-        let sv_kernels: [(&str, SvKernel); 2] = [
-            ("branch-based", par_sv_branch_based),
-            ("branch-avoiding", par_sv_branch_avoiding),
-        ];
-        for (variant, kernel) in sv_kernels {
-            sweep_kernel(&mut rows, sg.name(), "cc", variant, |threads| {
-                let labels = kernel(&sg.graph, threads);
+        for sv_variant in [Variant::BranchBased, Variant::BranchAvoiding] {
+            sweep_kernel(&mut rows, sg.name(), "cc", sv_variant.as_str(), |threads| {
+                let (run, _) = run_components(&sg.graph, sv_variant, &config_for(threads));
                 // Guard against a miscompiled/misbehaving run: the label
                 // set must stay consistent across thread counts.
-                assert_eq!(labels.len(), sg.graph.num_vertices());
+                assert_eq!(run.labels.len(), sg.graph.num_vertices());
             });
         }
         // Direction-optimizing BFS: the frontier-shape regime where the
         // persistent pool and bitmap frontiers matter.
+        let dir_opt = BfsStrategy::DirectionOptimizing(DirectionConfig::default());
         sweep_kernel(&mut rows, sg.name(), "bfs", "dir-opt", |threads| {
-            let result = par_bfs_direction_optimizing(&sg.graph, 0, threads);
-            assert_eq!(result.distances().len(), sg.graph.num_vertices());
+            let (run, _) = run_bfs(&sg.graph, 0, dir_opt, &config_for(threads));
+            assert_eq!(run.result.distances().len(), sg.graph.num_vertices());
         });
         // Brandes betweenness over a fixed source sample.
         if let Some(note) = bc_scaling_skip_note(connected_component_count(&sg.graph)) {
@@ -234,13 +232,13 @@ fn run_scaling(json: bool) {
             let sources: Vec<u32> =
                 (0..BC_SCALING_SOURCES.min(sg.graph.num_vertices()) as u32).collect();
             sweep_kernel(&mut rows, sg.name(), "bc", "branch-avoiding", |threads| {
-                let scores = par_betweenness_centrality_sources(
+                let (run, _) = run_betweenness(
                     &sg.graph,
-                    &sources,
-                    threads,
-                    BcVariant::BranchAvoiding,
+                    Variant::BranchAvoiding,
+                    Some(&sources),
+                    &config_for(threads),
                 );
-                assert_eq!(scores.len(), sg.graph.num_vertices());
+                assert_eq!(run.scores.len(), sg.graph.num_vertices());
             });
         }
         // k-core peeling over atomic degree counters.
@@ -250,21 +248,28 @@ fn run_scaling(json: bool) {
             "kcore",
             "branch-avoiding",
             |threads| {
-                let cores = par_kcore(&sg.graph, threads);
-                assert_eq!(cores.len(), sg.graph.num_vertices());
+                let (run, _) = run_kcore(&sg.graph, Variant::BranchAvoiding, &config_for(threads));
+                assert_eq!(run.cores.len(), sg.graph.num_vertices());
             },
         );
         // Unit-weight SSSP on the engine's level loop.
         sweep_kernel(&mut rows, sg.name(), "sssp", "branch-avoiding", |threads| {
-            let result = par_sssp_unit(&sg.graph, 0, threads);
-            assert_eq!(result.distances().len(), sg.graph.num_vertices());
+            let (run, _) =
+                run_sssp_unit(&sg.graph, 0, Variant::BranchAvoiding, &config_for(threads));
+            assert_eq!(run.result.distances().len(), sg.graph.num_vertices());
         });
         // Weighted delta-stepping SSSP on the engine's bucket loop, over
         // seeded uniform weights (the `--weights uniform` assignment).
         let wg = uniform_weights(&sg.graph, WEIGHTED_SSSP_MAX_WEIGHT, WEIGHTED_SSSP_SEED);
         sweep_kernel(&mut rows, sg.name(), "sssp", "weighted", |threads| {
-            let result = par_sssp_weighted(&wg, 0, WEIGHTED_SSSP_DELTA, threads);
-            assert_eq!(result.distances().len(), sg.graph.num_vertices());
+            let (run, _) = run_sssp_weighted(
+                &wg,
+                0,
+                WEIGHTED_SSSP_DELTA,
+                Variant::BranchAvoiding,
+                &config_for(threads),
+            );
+            assert_eq!(run.result.distances().len(), sg.graph.num_vertices());
         });
         // The same traversals on the delta-varint compressed representation:
         // the time_ms delta against the rows above is the decode overhead
@@ -276,13 +281,13 @@ fn run_scaling(json: bool) {
             "bfs",
             "dir-opt-compressed",
             |threads| {
-                let result = par_bfs_direction_optimizing(&cg, 0, threads);
-                assert_eq!(result.distances().len(), sg.graph.num_vertices());
+                let (run, _) = run_bfs(&cg, 0, dir_opt, &config_for(threads));
+                assert_eq!(run.result.distances().len(), sg.graph.num_vertices());
             },
         );
         sweep_kernel(&mut rows, sg.name(), "sssp", "compressed", |threads| {
-            let result = par_sssp_unit(&cg, 0, threads);
-            assert_eq!(result.distances().len(), sg.graph.num_vertices());
+            let (run, _) = run_sssp_unit(&cg, 0, Variant::BranchAvoiding, &config_for(threads));
+            assert_eq!(run.result.distances().len(), sg.graph.num_vertices());
         });
         let cwg = CompressedWeightedGraph::from_weighted(&wg);
         sweep_kernel(
@@ -291,17 +296,24 @@ fn run_scaling(json: bool) {
             "sssp",
             "weighted-compressed",
             |threads| {
-                let result = par_sssp_weighted(&cwg, 0, WEIGHTED_SSSP_DELTA, threads);
-                assert_eq!(result.distances().len(), sg.graph.num_vertices());
+                let (run, _) = run_sssp_weighted(
+                    &cwg,
+                    0,
+                    WEIGHTED_SSSP_DELTA,
+                    Variant::BranchAvoiding,
+                    &config_for(threads),
+                );
+                assert_eq!(run.result.distances().len(), sg.graph.num_vertices());
             },
         );
     }
     // Contrast check mirroring the paper's message: identical results from
     // both hooking disciplines (runs in both output modes).
     let g = &suite[0].graph;
-    let based = par_sv_branch_based(g, 0);
-    let avoiding = par_sv_branch_avoiding(g, 0);
-    assert_eq!(based.as_slice(), avoiding.as_slice());
+    let (based, _) = run_components(g, Variant::BranchBased, &config_for(0));
+    let (avoiding, _) = run_components(g, Variant::BranchAvoiding, &config_for(0));
+    let based = based.labels;
+    assert_eq!(based.as_slice(), avoiding.labels.as_slice());
 
     if json {
         println!("{}", render_scaling_json(single_core, &rows, &skip_notes));
@@ -414,9 +426,11 @@ fn parallel_matches_sequential() -> bool {
     let g = &suite[2].graph; // coAuthorsDBLP stand-in
     let seq = sv_branch_based(g);
     let seq_avoiding = sv_branch_avoiding(g);
-    let par = par_sv_branch_based(g, 2);
-    let par_avoiding = par_sv_branch_avoiding(g, 2);
-    seq.as_slice() == par.as_slice() && seq_avoiding.as_slice() == par_avoiding.as_slice()
+    let config = RunConfig::new().threads(2);
+    let (par, _) = run_components(g, Variant::BranchBased, &config);
+    let (par_avoiding, _) = run_components(g, Variant::BranchAvoiding, &config);
+    seq.as_slice() == par.labels.as_slice()
+        && seq_avoiding.as_slice() == par_avoiding.labels.as_slice()
 }
 
 #[cfg(test)]

@@ -7,16 +7,14 @@
 //! unconditional `fetch_sub` per edge with a predicated enqueue). Core
 //! numbers are identical in every mode.
 
-use super::cc::{deadline_token, flag_value, parse_threads};
+use super::common_args::CommonArgs;
 use super::graph_input::{footprint_line, load_graph};
 use super::CliError;
 use bga_graph::AdjacencySource;
 use bga_kernels::kcore::{kcore_peeling, CoreDecomposition};
 use bga_obs::step_table;
-use bga_parallel::{
-    par_kcore_instrumented, par_kcore_traced, par_kcore_traced_with_cancel, par_kcore_with_cancel,
-    par_kcore_with_stats, resolve_threads, KcoreVariant, RunOutcome,
-};
+use bga_parallel::request::run_kcore;
+use bga_parallel::{resolve_threads, Variant};
 use std::time::Instant;
 
 /// Runs the `kcore` subcommand.
@@ -24,41 +22,23 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
     let Some(graph_spec) = args.first() else {
         return Err("kcore needs a graph".into());
     };
-    let variant = flag_value(args, "--variant").unwrap_or("branch-avoiding");
-    let kcore_variant = match variant {
-        "branch-based" => KcoreVariant::BranchBased,
-        "branch-avoiding" => KcoreVariant::BranchAvoiding,
-        other => {
-            return Err(format!(
-                "unknown kcore variant {other:?} (expected branch-based or branch-avoiding)"
-            )
-            .into())
-        }
-    };
-    let threads = parse_threads(args)?;
-    let instrumented = args.iter().any(|a| a == "--instrumented");
+    let common = CommonArgs::parse(args)?;
+    let variant = common.variant_or("branch-avoiding");
+    let kcore_variant: Variant = variant.parse().map_err(|_| {
+        format!("unknown kcore variant {variant:?} (expected branch-based or branch-avoiding)")
+    })?;
     // The sequential reference is bucket peeling — neither hooking
     // discipline. Reject an explicit variant request it could not honour.
-    if threads.is_none() && flag_value(args, "--variant").is_some() {
+    if common.threads.is_none() && common.variant.is_some() {
         return Err(
             "the sequential run is the bucket-peeling reference; add --threads N \
              to pick a branch-based or branch-avoiding parallel peel"
                 .into(),
         );
     }
-    if threads.is_none() && instrumented {
+    if common.threads.is_none() && common.instrumented {
         return Err("--instrumented requires --threads N (parallel peels only)".into());
     }
-    let trace_path = super::trace::parse_trace_path(args)?;
-    if trace_path.is_some() && threads.is_none() {
-        return Err("--trace requires --threads N (only parallel peels are traced)".into());
-    }
-    if trace_path.is_some() && instrumented {
-        return Err(
-            "--trace and --instrumented are exclusive (the trace carries the counters)".into(),
-        );
-    }
-    let token = deadline_token(args, threads, instrumented)?;
 
     let graph = load_graph(graph_spec)?;
     println!(
@@ -66,71 +46,38 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
         graph.num_vertices(),
         graph.num_edges()
     );
-    // Report the resolved worker count before the timed region so the
-    // stdout write does not bias sequential-vs-parallel wall clocks.
-    if let Some(t) = threads {
+
+    if let Some(t) = common.threads {
+        // Report the resolved worker count before the timed region so the
+        // stdout write does not bias sequential-vs-parallel wall clocks.
         println!("threads: {}", resolve_threads(t));
-    }
-
-    if let (Some(path), Some(t)) = (trace_path, threads) {
-        let sink = super::trace::open_trace_sink(path)?;
-        let (run, outcome) = match &token {
-            None => (par_kcore_traced(&graph, t, kcore_variant, &sink), None),
-            Some(tok) => {
-                let (run, outcome) =
-                    par_kcore_traced_with_cancel(&graph, t, kcore_variant, &sink, tok);
-                (run, Some(outcome))
-            }
-        };
-        super::trace::finish_trace_sink(path, sink)?;
-        let outcome = outcome.unwrap_or(RunOutcome::Completed);
-        print_full_or_partial_summary(variant, &run.cores, &outcome);
-        println!("cascade rounds: {}", run.rounds);
-        super::check_deadline(&outcome)?;
-        return Ok(());
-    }
-
-    if let (Some(t), Some(tok)) = (threads, &token) {
         let start = Instant::now();
-        let (run, outcome) = par_kcore_with_cancel(&graph, t, kcore_variant, tok);
+        let (run, outcome) = match common.trace_path {
+            Some(path) => {
+                let sink = super::trace::open_trace_sink(path)?;
+                let run = run_kcore(&graph, kcore_variant, &common.run_config().traced(&sink));
+                super::trace::finish_trace_sink(path, sink)?;
+                run
+            }
+            None => run_kcore(&graph, kcore_variant, &common.run_config()),
+        };
         let elapsed = start.elapsed();
         print_full_or_partial_summary(variant, &run.cores, &outcome);
         println!("cascade rounds: {}", run.rounds);
-        println!("wall clock: {:.3} ms", elapsed.as_secs_f64() * 1e3);
-        super::check_deadline(&outcome)?;
-        return Ok(());
-    }
-
-    if let (Some(t), true) = (threads, instrumented) {
-        let run = par_kcore_instrumented(&graph, t, kcore_variant);
-        print_core_summary(variant, &run.cores);
-        println!("cascade rounds: {}", run.rounds);
-        println!("{}", footprint_line(&graph.footprint()));
-        println!("totals: {}", run.counters.total());
-        print!("{}", step_table("dispatch", &run.counters.steps).render());
-        return Ok(());
+        if common.instrumented {
+            println!("{}", footprint_line(&graph.footprint()));
+            println!("totals: {}", run.counters.total());
+            print!("{}", step_table("dispatch", &run.counters.steps).render());
+        } else if common.trace_path.is_none() {
+            println!("wall clock: {:.3} ms", elapsed.as_secs_f64() * 1e3);
+        }
+        return super::check_deadline(&outcome);
     }
 
     let start = Instant::now();
-    let (cores, rounds) = match threads {
-        None => (kcore_peeling(&graph), None),
-        Some(t) => {
-            let (cores, rounds) = par_kcore_with_stats(&graph, t, kcore_variant);
-            (cores, Some(rounds))
-        }
-    };
+    let cores = kcore_peeling(&graph);
     let elapsed = start.elapsed();
-    print_core_summary(
-        if threads.is_some() {
-            variant
-        } else {
-            "peeling"
-        },
-        &cores,
-    );
-    if let Some(rounds) = rounds {
-        println!("cascade rounds: {rounds}");
-    }
+    print_core_summary("peeling", &cores);
     println!("wall clock: {:.3} ms", elapsed.as_secs_f64() * 1e3);
     Ok(())
 }

@@ -4,11 +4,14 @@ mod bc;
 mod bench_compare;
 mod bfs;
 mod cc;
+mod common_args;
 mod experiment;
 mod generate;
 mod graph_convert;
 mod graph_input;
 mod kcore;
+mod query;
+mod serve;
 mod sssp;
 mod trace;
 
@@ -71,6 +74,8 @@ pub const USAGE: &str = "usage:
   bga bench compare <old1.json> [<old2.json>...] <new.json> [--threshold PCT] [--fail-on-regression]
   bga trace <report|validate> <trace.jsonl>
   bga graph convert <in> <out>
+  bga serve <graph> [--addr HOST:PORT] [--threads N] [--cache N] [--compressed]
+  bga query <addr> <distance|path --root R --target T | component|core|bc-rank --vertex V | stats | shutdown> [--variant V] [--timeout-ms T]
 
 <graph> is a METIS (.metis/.graph), edge-list, or bga-csr-v1 compressed
 binary (.bgacsr) file, or a built-in suite name: audikw1, auto,
@@ -105,7 +110,14 @@ checks the stream invariants and gates the CI smoke step.
 wall-clock deadline checked at every engine phase boundary: an expired
 run stops promptly, prints the valid partial summary it reached (every
 distance/label/core bound is a correct monotone bound), marks a --trace
-stream as interrupted, and exits with code 124.";
+stream as interrupted, and exits with code 124.
+bga serve loads <graph> once into an immutable snapshot (--compressed
+serves the delta-varint CSR) and answers distance / path / component /
+core / bc-rank queries concurrently over newline-delimited bga-serve-v1
+JSON on TCP, memoizing complete traversals in an LRU (--cache N entries)
+and answering over-deadline queries (timeout_ms in the request) with a
+partial response; bga query is the one-shot scripted client — it prints
+the server's raw JSON response line on stdout.";
 
 /// Routes the raw argument list to the subcommand implementations.
 pub fn dispatch(args: &[String]) -> Result<(), CliError> {
@@ -123,6 +135,8 @@ pub fn dispatch(args: &[String]) -> Result<(), CliError> {
         "bench" => bench_compare::run(rest).map_err(CliError::from),
         "trace" => trace::run(rest).map_err(CliError::from),
         "graph" => graph_convert::run(rest).map_err(CliError::from),
+        "serve" => serve::run(rest).map_err(CliError::from),
+        "query" => query::run(rest).map_err(CliError::from),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())

@@ -1,0 +1,188 @@
+//! `bga query`: one-shot scripted client for a running `bga serve`.
+//!
+//! Connects, sends one `bga-serve-v1` request line, prints the server's
+//! raw JSON response line on stdout and exits — so CI and shell
+//! pipelines can drive the server without `nc`. An `error` response
+//! exits non-zero (after printing the line) so assertions are one
+//! `bga query ... || fail` away.
+
+use super::common_args::flag_value;
+use bga_obs::{QueryKind, ServeRequest, ServeResponse};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+/// Parses a vertex-valued flag that the query kind requires.
+fn vertex_flag(args: &[String], flag: &str, kind: &str) -> Result<u32, String> {
+    let Some(text) = flag_value(args, flag) else {
+        return Err(format!("{kind} queries need {flag} V"));
+    };
+    text.parse::<u32>()
+        .map_err(|e| format!("invalid {flag} value {text:?}: {e}"))
+}
+
+/// Builds the request the CLI arguments describe.
+fn build_request(kind: &str, args: &[String]) -> Result<ServeRequest, String> {
+    let query = match kind {
+        "stats" => return Ok(ServeRequest::Stats),
+        "shutdown" => return Ok(ServeRequest::Shutdown),
+        "distance" => QueryKind::Distance {
+            root: vertex_flag(args, "--root", kind)?,
+            target: vertex_flag(args, "--target", kind)?,
+        },
+        "path" => QueryKind::Path {
+            root: vertex_flag(args, "--root", kind)?,
+            target: vertex_flag(args, "--target", kind)?,
+        },
+        "component" => QueryKind::Component {
+            vertex: vertex_flag(args, "--vertex", kind)?,
+        },
+        "core" => QueryKind::Core {
+            vertex: vertex_flag(args, "--vertex", kind)?,
+        },
+        "bc-rank" => QueryKind::BcRank {
+            vertex: vertex_flag(args, "--vertex", kind)?,
+        },
+        other => {
+            return Err(format!(
+                "unknown query kind {other:?} (expected distance, path, component, core, \
+                 bc-rank, stats or shutdown)"
+            ))
+        }
+    };
+    let timeout_ms = match flag_value(args, "--timeout-ms") {
+        None if args.iter().any(|a| a == "--timeout-ms") => {
+            return Err("--timeout-ms requires a value in milliseconds".to_string())
+        }
+        None => None,
+        Some(text) => Some(
+            text.parse::<u64>()
+                .map_err(|e| format!("invalid --timeout-ms value {text:?}: {e}"))?,
+        ),
+    };
+    let variant = match flag_value(args, "--variant") {
+        None if args.iter().any(|a| a == "--variant") => {
+            return Err("--variant requires a value".to_string())
+        }
+        other => other.map(str::to_string),
+    };
+    Ok(ServeRequest::Query {
+        kind: query,
+        variant,
+        timeout_ms,
+    })
+}
+
+/// Runs the `query` subcommand.
+pub fn run(args: &[String]) -> Result<(), String> {
+    let [addr, kind, rest @ ..] = args else {
+        return Err(
+            "query needs an address and a kind: bga query <addr> <distance|path|component|\
+             core|bc-rank|stats|shutdown> [flags]"
+                .to_string(),
+        );
+    };
+    let request = build_request(kind, rest)?;
+    let stream =
+        TcpStream::connect(addr.as_str()).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let mut writer = stream
+        .try_clone()
+        .map_err(|e| format!("cannot clone connection: {e}"))?;
+    writer
+        .write_all(format!("{}\n", request.to_json_line()).as_bytes())
+        .and_then(|()| writer.flush())
+        .map_err(|e| format!("cannot send request to {addr}: {e}"))?;
+    let mut line = String::new();
+    BufReader::new(stream)
+        .read_line(&mut line)
+        .map_err(|e| format!("cannot read response from {addr}: {e}"))?;
+    if line.is_empty() {
+        return Err(format!("{addr} closed the connection without responding"));
+    }
+    print!("{line}");
+    if !line.ends_with('\n') {
+        println!();
+    }
+    match ServeResponse::parse_line(&line) {
+        Ok(ServeResponse::Error { message }) => Err(format!("server error: {message}")),
+        Ok(_) => Ok(()),
+        Err(e) => Err(format!("unparseable response from {addr}: {e}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn builds_every_request_kind() {
+        let distance =
+            build_request("distance", &strings(&["--root", "0", "--target", "9"])).unwrap();
+        assert!(matches!(
+            distance,
+            ServeRequest::Query {
+                kind: QueryKind::Distance { root: 0, target: 9 },
+                ..
+            }
+        ));
+        let path = build_request(
+            "path",
+            &strings(&["--root", "1", "--target", "2", "--variant", "branch-based"]),
+        )
+        .unwrap();
+        let ServeRequest::Query { variant, .. } = &path else {
+            panic!("expected a query");
+        };
+        assert_eq!(variant.as_deref(), Some("branch-based"));
+        let core =
+            build_request("core", &strings(&["--vertex", "3", "--timeout-ms", "50"])).unwrap();
+        let ServeRequest::Query { timeout_ms, .. } = &core else {
+            panic!("expected a query");
+        };
+        assert_eq!(*timeout_ms, Some(50));
+        assert!(matches!(
+            build_request("component", &strings(&["--vertex", "4"])).unwrap(),
+            ServeRequest::Query {
+                kind: QueryKind::Component { vertex: 4 },
+                ..
+            }
+        ));
+        assert!(matches!(
+            build_request("bc-rank", &strings(&["--vertex", "5"])).unwrap(),
+            ServeRequest::Query {
+                kind: QueryKind::BcRank { vertex: 5 },
+                ..
+            }
+        ));
+        assert!(matches!(
+            build_request("stats", &[]).unwrap(),
+            ServeRequest::Stats
+        ));
+        assert!(matches!(
+            build_request("shutdown", &[]).unwrap(),
+            ServeRequest::Shutdown
+        ));
+    }
+
+    #[test]
+    fn bad_usage_fails_loudly() {
+        assert!(run(&[]).is_err());
+        assert!(run(&strings(&["127.0.0.1:1"])).is_err());
+        assert!(build_request("warp", &[]).is_err());
+        assert!(build_request("distance", &strings(&["--root", "0"])).is_err());
+        assert!(build_request("component", &[]).is_err());
+        assert!(build_request("component", &strings(&["--vertex", "x"])).is_err());
+        assert!(build_request("core", &strings(&["--vertex", "1", "--timeout-ms"])).is_err());
+        assert!(build_request("core", &strings(&["--vertex", "1", "--variant"])).is_err());
+    }
+
+    #[test]
+    fn unreachable_server_is_a_loud_error() {
+        // Port 1 on localhost is essentially never listening.
+        let err = run(&strings(&["127.0.0.1:1", "stats"])).unwrap_err();
+        assert!(err.contains("cannot connect"), "{err}");
+    }
+}

@@ -15,19 +15,15 @@
 //! * `file` — the graph file's own weights (`u v w` edge lists,
 //!   edge-weighted METIS). Requires a file path, not a suite name.
 
-use super::cc::{deadline_token, flag_value, parse_threads};
+use super::common_args::{flag_value, CommonArgs};
 use super::graph_input::{footprint_line, load_graph, load_weighted_graph};
 use super::CliError;
 use bga_graph::properties::largest_component;
 use bga_graph::{uniform_weights, AdjacencySource, WeightedAdjacencySource, WeightedCsrGraph};
 use bga_kernels::sssp::{sssp_delta_stepping, sssp_unit_delta_stepping_with_delta, SsspResult};
 use bga_obs::step_table;
-use bga_parallel::{
-    par_sssp_unit_instrumented, par_sssp_unit_traced, par_sssp_unit_traced_with_cancel,
-    par_sssp_unit_with_cancel, par_sssp_unit_with_variant, par_sssp_weighted_instrumented,
-    par_sssp_weighted_traced, par_sssp_weighted_traced_with_cancel, par_sssp_weighted_with_cancel,
-    par_sssp_weighted_with_variant, resolve_threads, SsspVariant,
-};
+use bga_parallel::request::{run_sssp_unit, run_sssp_weighted};
+use bga_parallel::{resolve_threads, Variant};
 use std::time::Instant;
 
 /// Largest weight `--weights uniform` assigns (drawn from `1..=32`).
@@ -50,6 +46,7 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
     let Some(graph_spec) = args.first() else {
         return Err("sssp needs a graph".into());
     };
+    let common = CommonArgs::parse(args)?;
     let weights_mode = match flag_value(args, "--weights") {
         None if args.iter().any(|a| a == "--weights") => {
             return Err("--weights requires a mode (unit, uniform or file)".into())
@@ -63,19 +60,10 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
             )
         }
     };
-    let variant = flag_value(args, "--variant").unwrap_or("branch-avoiding");
-    let sssp_variant = match variant {
-        "branch-based" => SsspVariant::BranchBased,
-        "branch-avoiding" => SsspVariant::BranchAvoiding,
-        other => {
-            return Err(format!(
-                "unknown sssp variant {other:?} (expected branch-based or branch-avoiding)"
-            )
-            .into())
-        }
-    };
-    let threads = parse_threads(args)?;
-    let instrumented = args.iter().any(|a| a == "--instrumented");
+    let variant = common.variant_or("branch-avoiding");
+    let sssp_variant: Variant = variant.parse().map_err(|_| {
+        format!("unknown sssp variant {variant:?} (expected branch-based or branch-avoiding)")
+    })?;
     let delta = match flag_value(args, "--delta") {
         None if args.iter().any(|a| a == "--delta") => {
             return Err("--delta requires a bucket width (≥ 1)".into())
@@ -91,7 +79,7 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
             value
         }
     };
-    if weights_mode == WeightsMode::Unit && threads.is_some() && delta != 1 {
+    if weights_mode == WeightsMode::Unit && common.threads.is_some() && delta != 1 {
         return Err(
             "--delta applies to the sequential delta-stepping reference; the parallel \
              unit-weight client always runs the Δ = 1 (level-per-bucket) degeneration \
@@ -101,26 +89,16 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
     }
     // The sequential references have a single relaxation discipline;
     // reject an explicit variant request they could not honour.
-    if threads.is_none() && flag_value(args, "--variant").is_some() {
+    if common.threads.is_none() && common.variant.is_some() {
         return Err(
             "the sequential run is the delta-stepping reference; add --threads N \
              to pick a branch-based or branch-avoiding parallel relaxation"
                 .into(),
         );
     }
-    if threads.is_none() && instrumented {
+    if common.threads.is_none() && common.instrumented {
         return Err("--instrumented requires --threads N (parallel runs only)".into());
     }
-    let trace_path = super::trace::parse_trace_path(args)?;
-    if trace_path.is_some() && threads.is_none() {
-        return Err("--trace requires --threads N (only parallel runs are traced)".into());
-    }
-    if trace_path.is_some() && instrumented {
-        return Err(
-            "--trace and --instrumented are exclusive (the trace carries the counters)".into(),
-        );
-    }
-    let token = deadline_token(args, threads, instrumented)?;
 
     let weighted: Option<WeightedCsrGraph> = match weights_mode {
         WeightsMode::Unit => None,
@@ -162,142 +140,95 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
         }
         _ => {}
     }
-    // Report the resolved worker count before the timed region so the
-    // stdout write does not bias sequential-vs-parallel wall clocks.
-    if let Some(t) = threads {
-        println!("threads: {}", resolve_threads(t));
-    }
 
-    if let (Some(path), Some(t)) = (trace_path, threads) {
-        let sink = super::trace::open_trace_sink(path)?;
-        let mut outcome = bga_parallel::RunOutcome::Completed;
-        match (&weighted, &token) {
-            (None, tok) => {
-                let run = match tok {
-                    None => par_sssp_unit_traced(graph, source, t, sssp_variant, &sink),
-                    Some(tok) => {
-                        let (run, o) = par_sssp_unit_traced_with_cancel(
+    if let Some(t) = common.threads {
+        // Report the resolved worker count before the timed region so the
+        // stdout write does not bias sequential-vs-parallel wall clocks.
+        println!("threads: {}", resolve_threads(t));
+        match &weighted {
+            None => {
+                let start = Instant::now();
+                let (run, outcome) = match common.trace_path {
+                    Some(path) => {
+                        let sink = super::trace::open_trace_sink(path)?;
+                        let run = run_sssp_unit(
                             graph,
                             source,
-                            t,
                             sssp_variant,
-                            &sink,
-                            tok,
+                            &common.run_config().traced(&sink),
                         );
-                        outcome = o;
+                        super::trace::finish_trace_sink(path, sink)?;
                         run
                     }
+                    None => run_sssp_unit(graph, source, sssp_variant, &common.run_config()),
                 };
-                super::trace::finish_trace_sink(path, sink)?;
+                let elapsed = start.elapsed();
                 print_result_summary(variant, &run.result);
-                println!(
-                    "directions: {} top-down, {} bottom-up phases",
-                    run.directions.len() - run.bottom_up_phases(),
-                    run.bottom_up_phases()
-                );
+                if common.trace_path.is_some() || common.instrumented {
+                    println!(
+                        "directions: {} top-down, {} bottom-up phases",
+                        run.directions.len() - run.bottom_up_phases(),
+                        run.bottom_up_phases()
+                    );
+                }
+                if common.instrumented {
+                    println!("{}", footprint_line(&graph.footprint()));
+                    println!("totals: {}", run.counters.total());
+                    print!("{}", step_table("phase", &run.counters.steps).render());
+                } else if common.trace_path.is_none() {
+                    println!("wall clock: {:.3} ms", elapsed.as_secs_f64() * 1e3);
+                }
+                super::check_deadline(&outcome)?;
             }
-            (Some(wg), tok) => {
-                let run = match tok {
-                    None => par_sssp_weighted_traced(wg, source, delta, t, sssp_variant, &sink),
-                    Some(tok) => {
-                        let (run, o) = par_sssp_weighted_traced_with_cancel(
+            Some(wg) => {
+                let start = Instant::now();
+                let (run, outcome) = match common.trace_path {
+                    Some(path) => {
+                        let sink = super::trace::open_trace_sink(path)?;
+                        let run = run_sssp_weighted(
                             wg,
                             source,
                             delta,
-                            t,
                             sssp_variant,
-                            &sink,
-                            tok,
+                            &common.run_config().traced(&sink),
                         );
-                        outcome = o;
+                        super::trace::finish_trace_sink(path, sink)?;
                         run
                     }
+                    None => {
+                        run_sssp_weighted(wg, source, delta, sssp_variant, &common.run_config())
+                    }
                 };
-                super::trace::finish_trace_sink(path, sink)?;
+                let elapsed = start.elapsed();
                 print_result_summary(variant, &run.result);
                 println!("delta: {delta}");
-                println!(
-                    "buckets settled: {}; heavy phases: {}",
-                    run.buckets_settled, run.heavy_phases
-                );
-            }
-        }
-        super::check_deadline(&outcome)?;
-        return Ok(());
-    }
-
-    if let (Some(t), Some(tok)) = (threads, &token) {
-        let start = Instant::now();
-        let (result, outcome) = match &weighted {
-            None => {
-                let (run, o) = par_sssp_unit_with_cancel(graph, source, t, sssp_variant, tok);
-                (run.result, o)
-            }
-            Some(wg) => {
-                let (run, o) =
-                    par_sssp_weighted_with_cancel(wg, source, delta, t, sssp_variant, tok);
-                (run.result, o)
-            }
-        };
-        let elapsed = start.elapsed();
-        print_result_summary(variant, &result);
-        if weighted.is_some() {
-            println!("delta: {delta}");
-        }
-        println!("wall clock: {:.3} ms", elapsed.as_secs_f64() * 1e3);
-        super::check_deadline(&outcome)?;
-        return Ok(());
-    }
-
-    if let (Some(t), true) = (threads, instrumented) {
-        match &weighted {
-            None => {
-                let run = par_sssp_unit_instrumented(graph, source, t, sssp_variant);
-                print_result_summary(variant, &run.result);
-                println!(
-                    "directions: {} top-down, {} bottom-up phases",
-                    run.directions.len() - run.bottom_up_phases(),
-                    run.bottom_up_phases()
-                );
-                println!("{}", footprint_line(&graph.footprint()));
-                println!("totals: {}", run.counters.total());
-                print!("{}", step_table("phase", &run.counters.steps).render());
-            }
-            Some(wg) => {
-                let run = par_sssp_weighted_instrumented(wg, source, delta, t, sssp_variant);
-                print_result_summary(variant, &run.result);
-                println!("delta: {delta}");
-                println!(
-                    "buckets settled: {}; heavy phases: {}",
-                    run.buckets_settled, run.heavy_phases
-                );
-                println!("{}", footprint_line(&wg.footprint()));
-                println!("totals: {}", run.counters.total());
-                print!("{}", step_table("pass", &run.counters.steps).render());
+                if common.trace_path.is_some() || common.instrumented {
+                    println!(
+                        "buckets settled: {}; heavy phases: {}",
+                        run.buckets_settled, run.heavy_phases
+                    );
+                }
+                if common.instrumented {
+                    println!("{}", footprint_line(&wg.footprint()));
+                    println!("totals: {}", run.counters.total());
+                    print!("{}", step_table("pass", &run.counters.steps).render());
+                } else if common.trace_path.is_none() {
+                    println!("wall clock: {:.3} ms", elapsed.as_secs_f64() * 1e3);
+                }
+                super::check_deadline(&outcome)?;
             }
         }
         return Ok(());
     }
 
     let start = Instant::now();
-    let result = match (&weighted, threads) {
-        (None, None) => sssp_unit_delta_stepping_with_delta(graph, source, delta),
-        (None, Some(t)) => par_sssp_unit_with_variant(graph, source, t, sssp_variant),
-        (Some(wg), None) => sssp_delta_stepping(wg, source, delta),
-        (Some(wg), Some(t)) => par_sssp_weighted_with_variant(wg, source, delta, t, sssp_variant),
+    let result = match &weighted {
+        None => sssp_unit_delta_stepping_with_delta(graph, source, delta),
+        Some(wg) => sssp_delta_stepping(wg, source, delta),
     };
     let elapsed = start.elapsed();
-    print_result_summary(
-        if threads.is_some() {
-            variant
-        } else {
-            "delta-stepping"
-        },
-        &result,
-    );
-    if threads.is_none() || weighted.is_some() {
-        println!("delta: {delta}");
-    }
+    print_result_summary("delta-stepping", &result);
+    println!("delta: {delta}");
     println!("wall clock: {:.3} ms", elapsed.as_secs_f64() * 1e3);
     Ok(())
 }

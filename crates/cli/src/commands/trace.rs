@@ -22,7 +22,7 @@ pub(super) type FileSink = JsonlSink<BufWriter<File>>;
 /// Parses `--trace FILE`: `None` when the flag is absent. A bare
 /// `--trace` with no path is an error, not a silently untraced run.
 pub(super) fn parse_trace_path(args: &[String]) -> Result<Option<&str>, String> {
-    match super::cc::flag_value(args, "--trace") {
+    match super::common_args::flag_value(args, "--trace") {
         None if args.iter().any(|a| a == "--trace") => {
             Err("--trace requires an output file path".to_string())
         }
@@ -186,7 +186,8 @@ fn print_bound_summary(report: &TraceReport) {
 mod tests {
     use super::*;
     use bga_graph::generators::{grid_2d, MeshStencil};
-    use bga_parallel::{par_bfs_branch_avoiding_traced, par_sv_branch_based_traced, SsspVariant};
+    use bga_parallel::request::{run_bfs, run_components, run_sssp_unit};
+    use bga_parallel::{BfsStrategy, RunConfig, Variant};
 
     fn strings(parts: &[&str]) -> Vec<String> {
         parts.iter().map(|s| s.to_string()).collect()
@@ -204,21 +205,21 @@ mod tests {
     fn real_trace(name: &str, kernel: &str) -> std::path::PathBuf {
         let graph = grid_2d(8, 8, MeshStencil::VonNeumann);
         let sink = JsonlSink::new(Vec::new());
+        let config = RunConfig::new().threads(2).traced(&sink);
         match kernel {
             "cc" => {
-                par_sv_branch_based_traced(&graph, 2, &sink);
+                run_components(&graph, Variant::BranchBased, &config);
             }
             "bfs" => {
-                par_bfs_branch_avoiding_traced(&graph, 0, 2, &sink);
-            }
-            "sssp" => {
-                bga_parallel::par_sssp_unit_traced(
+                run_bfs(
                     &graph,
                     0,
-                    2,
-                    SsspVariant::BranchAvoiding,
-                    &sink,
+                    BfsStrategy::Plain(Variant::BranchAvoiding),
+                    &config,
                 );
+            }
+            "sssp" => {
+                run_sssp_unit(&graph, 0, Variant::BranchAvoiding, &config);
             }
             other => panic!("no traced fixture for {other}"),
         }

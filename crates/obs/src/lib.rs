@@ -29,11 +29,15 @@
 
 pub mod event;
 pub mod json;
+pub mod serve;
 pub mod sink;
 pub mod table;
 pub mod validate;
 
 pub use event::{PhaseCounters, PhaseEvent, PhaseKind, RunFootprint, TraceEvent, TRACE_SCHEMA};
+pub use serve::{
+    QueryKind, QueryPayload, QueryStatus, ServeRequest, ServeResponse, ServeStats, SERVE_SCHEMA,
+};
 pub use sink::{JsonlSink, MemorySink, NoopSink, OffsetSink, TraceSink};
 pub use table::{phase_table, step_table, Table};
 pub use validate::{parse_trace, validate_trace, PoolTotals, TraceReport};

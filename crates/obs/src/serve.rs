@@ -1,0 +1,629 @@
+//! Wire schema for the `bga serve` query protocol (`bga-serve-v1`).
+//!
+//! The server speaks newline-delimited JSON over TCP: one request object
+//! per line in, one response object per line out, in order. This module
+//! owns both sides of the codec — [`ServeRequest`] / [`ServeResponse`]
+//! round-trip through the dependency-free [`crate::json`] machinery the
+//! trace layer already uses — so the server, the CLI client and the
+//! concurrency tests all share one parser.
+//!
+//! Requests:
+//!
+//! ```json
+//! {"op":"query","kind":"distance","root":0,"target":9}
+//! {"op":"query","kind":"path","root":0,"target":9,"variant":"branch-based"}
+//! {"op":"query","kind":"component","vertex":3}
+//! {"op":"query","kind":"core","vertex":3,"timeout_ms":50}
+//! {"op":"query","kind":"bc-rank","vertex":3}
+//! {"op":"stats"}
+//! {"op":"shutdown"}
+//! ```
+//!
+//! Responses carry `"status"` — `"ok"`, `"partial"` (the query's deadline
+//! expired and the payload reflects only the completed phases) or
+//! `"error"` — plus the query-kind-specific payload, a `"cached"` flag
+//! and the server-side service time in microseconds.
+
+use crate::json::{num, object, Json};
+
+/// Schema identifier for the serve protocol.
+pub const SERVE_SCHEMA: &str = "bga-serve-v1";
+
+/// What a query asks of the loaded graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryKind {
+    /// BFS hop distance from `root` to `target`.
+    Distance {
+        /// Traversal root.
+        root: u32,
+        /// Vertex whose distance is reported.
+        target: u32,
+    },
+    /// One shortest (fewest-hop) path from `root` to `target`.
+    Path {
+        /// Traversal root.
+        root: u32,
+        /// Path endpoint.
+        target: u32,
+    },
+    /// Connected-component label of `vertex`.
+    Component {
+        /// Vertex whose component id is reported.
+        vertex: u32,
+    },
+    /// Core number of `vertex` from the k-core decomposition.
+    Core {
+        /// Vertex whose core number is reported.
+        vertex: u32,
+    },
+    /// Betweenness-centrality rank (0 = most central) and score of
+    /// `vertex`.
+    BcRank {
+        /// Vertex whose rank is reported.
+        vertex: u32,
+    },
+}
+
+impl QueryKind {
+    /// Wire name of this query kind.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            QueryKind::Distance { .. } => "distance",
+            QueryKind::Path { .. } => "path",
+            QueryKind::Component { .. } => "component",
+            QueryKind::Core { .. } => "core",
+            QueryKind::BcRank { .. } => "bc-rank",
+        }
+    }
+}
+
+/// One request line on a serve connection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeRequest {
+    /// Run (or serve from cache) a graph query.
+    Query {
+        /// What to compute.
+        kind: QueryKind,
+        /// Relaxation discipline, `"branch-avoiding"` (default) or
+        /// `"branch-based"`.
+        variant: Option<String>,
+        /// Per-query deadline; an over-budget traversal returns a
+        /// `"partial"` response instead of blocking the connection.
+        timeout_ms: Option<u64>,
+    },
+    /// Report the server's counters.
+    Stats,
+    /// Drain and stop the server.
+    Shutdown,
+}
+
+impl ServeRequest {
+    /// Serializes the request as one compact JSON line (no newline).
+    pub fn to_json_line(&self) -> String {
+        match self {
+            ServeRequest::Query {
+                kind,
+                variant,
+                timeout_ms,
+            } => {
+                let mut pairs = vec![
+                    ("op", Json::String("query".to_string())),
+                    ("kind", Json::String(kind.as_str().to_string())),
+                ];
+                match *kind {
+                    QueryKind::Distance { root, target } | QueryKind::Path { root, target } => {
+                        pairs.push(("root", num(u64::from(root))));
+                        pairs.push(("target", num(u64::from(target))));
+                    }
+                    QueryKind::Component { vertex }
+                    | QueryKind::Core { vertex }
+                    | QueryKind::BcRank { vertex } => {
+                        pairs.push(("vertex", num(u64::from(vertex))));
+                    }
+                }
+                if let Some(variant) = variant {
+                    pairs.push(("variant", Json::String(variant.clone())));
+                }
+                if let Some(ms) = timeout_ms {
+                    pairs.push(("timeout_ms", num(*ms)));
+                }
+                object(pairs).to_string()
+            }
+            ServeRequest::Stats => {
+                object(vec![("op", Json::String("stats".to_string()))]).to_string()
+            }
+            ServeRequest::Shutdown => {
+                object(vec![("op", Json::String("shutdown".to_string()))]).to_string()
+            }
+        }
+    }
+
+    /// Parses one request line.
+    pub fn parse_line(line: &str) -> Result<ServeRequest, String> {
+        let value = Json::parse(line.trim())?;
+        let op = value
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or("missing \"op\"")?;
+        match op {
+            "stats" => Ok(ServeRequest::Stats),
+            "shutdown" => Ok(ServeRequest::Shutdown),
+            "query" => {
+                let kind_name = value
+                    .get("kind")
+                    .and_then(Json::as_str)
+                    .ok_or("query missing \"kind\"")?;
+                let vertex_field = |key: &str| -> Result<u32, String> {
+                    value
+                        .get(key)
+                        .and_then(Json::as_u64)
+                        .and_then(|v| u32::try_from(v).ok())
+                        .ok_or_else(|| format!("query missing or invalid {key:?}"))
+                };
+                let kind = match kind_name {
+                    "distance" => QueryKind::Distance {
+                        root: vertex_field("root")?,
+                        target: vertex_field("target")?,
+                    },
+                    "path" => QueryKind::Path {
+                        root: vertex_field("root")?,
+                        target: vertex_field("target")?,
+                    },
+                    "component" => QueryKind::Component {
+                        vertex: vertex_field("vertex")?,
+                    },
+                    "core" => QueryKind::Core {
+                        vertex: vertex_field("vertex")?,
+                    },
+                    "bc-rank" => QueryKind::BcRank {
+                        vertex: vertex_field("vertex")?,
+                    },
+                    other => return Err(format!("unknown query kind {other:?}")),
+                };
+                let variant = value
+                    .get("variant")
+                    .and_then(Json::as_str)
+                    .map(str::to_string);
+                let timeout_ms = value.get("timeout_ms").and_then(Json::as_u64);
+                Ok(ServeRequest::Query {
+                    kind,
+                    variant,
+                    timeout_ms,
+                })
+            }
+            other => Err(format!("unknown op {other:?}")),
+        }
+    }
+}
+
+/// Completion status of a served query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryStatus {
+    /// The query ran (or was served from cache) to completion.
+    Ok,
+    /// The query's deadline expired; the payload reflects only the phases
+    /// that completed (distances behind the cut are final, everything
+    /// beyond reports as unreached).
+    Partial,
+}
+
+impl QueryStatus {
+    /// Wire name of this status.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            QueryStatus::Ok => "ok",
+            QueryStatus::Partial => "partial",
+        }
+    }
+}
+
+/// Query-kind-specific response payload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryPayload {
+    /// Hop distance (`None` = unreached).
+    Distance(Option<u32>),
+    /// Shortest path root→target inclusive (`None` = unreached).
+    Path(Option<Vec<u32>>),
+    /// Component label.
+    Component(u32),
+    /// Core number.
+    Core(u32),
+    /// Betweenness rank (0 = most central) and the raw score.
+    BcRank {
+        /// Position in the descending score order.
+        rank: u32,
+        /// The vertex's betweenness score.
+        score: f64,
+    },
+}
+
+/// One response line on a serve connection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeResponse {
+    /// A served query's result.
+    Query {
+        /// Completion status.
+        status: QueryStatus,
+        /// The answer.
+        payload: QueryPayload,
+        /// Whether the backing traversal was served from the result cache.
+        cached: bool,
+        /// Server-side service time in microseconds.
+        micros: u64,
+    },
+    /// The stats counters.
+    Stats(ServeStats),
+    /// Acknowledges a shutdown request; the server drains and exits.
+    ShuttingDown,
+    /// A malformed or unanswerable request. The connection stays usable.
+    Error {
+        /// Human-readable cause.
+        message: String,
+    },
+}
+
+impl ServeResponse {
+    /// Serializes the response as one compact JSON line (no newline).
+    pub fn to_json_line(&self) -> String {
+        match self {
+            ServeResponse::Query {
+                status,
+                payload,
+                cached,
+                micros,
+            } => {
+                let mut pairs = vec![
+                    ("schema", Json::String(SERVE_SCHEMA.to_string())),
+                    ("status", Json::String(status.as_str().to_string())),
+                ];
+                match payload {
+                    QueryPayload::Distance(d) => {
+                        pairs.push(("kind", Json::String("distance".to_string())));
+                        pairs.push(("distance", d.map_or(Json::Null, |d| num(u64::from(d)))));
+                    }
+                    QueryPayload::Path(p) => {
+                        pairs.push(("kind", Json::String("path".to_string())));
+                        pairs.push((
+                            "path",
+                            p.as_ref().map_or(Json::Null, |p| {
+                                Json::Array(p.iter().map(|&v| num(u64::from(v))).collect())
+                            }),
+                        ));
+                    }
+                    QueryPayload::Component(c) => {
+                        pairs.push(("kind", Json::String("component".to_string())));
+                        pairs.push(("component", num(u64::from(*c))));
+                    }
+                    QueryPayload::Core(c) => {
+                        pairs.push(("kind", Json::String("core".to_string())));
+                        pairs.push(("core", num(u64::from(*c))));
+                    }
+                    QueryPayload::BcRank { rank, score } => {
+                        pairs.push(("kind", Json::String("bc-rank".to_string())));
+                        pairs.push(("rank", num(u64::from(*rank))));
+                        pairs.push(("score", Json::Number(*score)));
+                    }
+                }
+                pairs.push(("cached", Json::Bool(*cached)));
+                pairs.push(("micros", num(*micros)));
+                object(pairs).to_string()
+            }
+            ServeResponse::Stats(stats) => stats.to_json_line(),
+            ServeResponse::ShuttingDown => object(vec![
+                ("schema", Json::String(SERVE_SCHEMA.to_string())),
+                ("status", Json::String("shutting-down".to_string())),
+            ])
+            .to_string(),
+            ServeResponse::Error { message } => object(vec![
+                ("schema", Json::String(SERVE_SCHEMA.to_string())),
+                ("status", Json::String("error".to_string())),
+                ("error", Json::String(message.clone())),
+            ])
+            .to_string(),
+        }
+    }
+
+    /// Parses one response line (the client / test side).
+    pub fn parse_line(line: &str) -> Result<ServeResponse, String> {
+        let value = Json::parse(line.trim())?;
+        let status = value
+            .get("status")
+            .and_then(Json::as_str)
+            .ok_or("missing \"status\"")?;
+        match status {
+            "shutting-down" => return Ok(ServeResponse::ShuttingDown),
+            "error" => {
+                let message = value
+                    .get("error")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unknown error")
+                    .to_string();
+                return Ok(ServeResponse::Error { message });
+            }
+            "stats" => return ServeStats::from_json(&value).map(ServeResponse::Stats),
+            _ => {}
+        }
+        let status = match status {
+            "ok" => QueryStatus::Ok,
+            "partial" => QueryStatus::Partial,
+            other => return Err(format!("unknown status {other:?}")),
+        };
+        let kind = value
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or("missing \"kind\"")?;
+        let u32_field = |key: &str| -> Result<u32, String> {
+            value
+                .get(key)
+                .and_then(Json::as_u64)
+                .and_then(|v| u32::try_from(v).ok())
+                .ok_or_else(|| format!("missing or invalid {key:?}"))
+        };
+        let payload = match kind {
+            "distance" => QueryPayload::Distance(match value.get("distance") {
+                Some(Json::Null) | None => None,
+                Some(d) => Some(
+                    d.as_u64()
+                        .and_then(|v| u32::try_from(v).ok())
+                        .ok_or("invalid \"distance\"")?,
+                ),
+            }),
+            "path" => QueryPayload::Path(match value.get("path") {
+                Some(Json::Null) | None => None,
+                Some(p) => Some(
+                    p.as_array()
+                        .ok_or("invalid \"path\"")?
+                        .iter()
+                        .map(|v| {
+                            v.as_u64()
+                                .and_then(|v| u32::try_from(v).ok())
+                                .ok_or("invalid path vertex")
+                        })
+                        .collect::<Result<Vec<u32>, _>>()?,
+                ),
+            }),
+            "component" => QueryPayload::Component(u32_field("component")?),
+            "core" => QueryPayload::Core(u32_field("core")?),
+            "bc-rank" => QueryPayload::BcRank {
+                rank: u32_field("rank")?,
+                score: value
+                    .get("score")
+                    .and_then(Json::as_f64)
+                    .ok_or("missing \"score\"")?,
+            },
+            other => return Err(format!("unknown kind {other:?}")),
+        };
+        let cached = value
+            .get("cached")
+            .and_then(Json::as_bool)
+            .ok_or("missing \"cached\"")?;
+        let micros = value
+            .get("micros")
+            .and_then(Json::as_u64)
+            .ok_or("missing \"micros\"")?;
+        Ok(ServeResponse::Query {
+            status,
+            payload,
+            cached,
+            micros,
+        })
+    }
+}
+
+/// The server's observable counters, reported by the `stats` op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServeStats {
+    /// Query requests accepted (well-formed `query` ops).
+    pub queries: u64,
+    /// Queries answered out of the result cache without recomputation.
+    pub cache_hits: u64,
+    /// Queries that ran a traversal (and populated the cache).
+    pub cache_misses: u64,
+    /// Queries whose deadline expired, answered with a partial payload.
+    pub partials: u64,
+    /// Malformed or unanswerable request lines.
+    pub errors: u64,
+    /// Connections accepted over the server's lifetime.
+    pub connections: u64,
+    /// Traversal trees currently resident in the result cache.
+    pub cache_entries: u64,
+    /// Vertex count of the loaded snapshot.
+    pub graph_vertices: u64,
+    /// Edge-slot count of the loaded snapshot.
+    pub graph_edges: u64,
+    /// Snapshot epoch — bumps if the server ever reloads, invalidating
+    /// every cached tree keyed under an older epoch.
+    pub epoch: u64,
+    /// Worker threads each query traversal uses.
+    pub threads: u64,
+}
+
+impl ServeStats {
+    /// Serializes the counters as one compact JSON line (no newline).
+    pub fn to_json_line(&self) -> String {
+        object(vec![
+            ("schema", Json::String(SERVE_SCHEMA.to_string())),
+            ("status", Json::String("stats".to_string())),
+            ("queries", num(self.queries)),
+            ("cache_hits", num(self.cache_hits)),
+            ("cache_misses", num(self.cache_misses)),
+            ("partials", num(self.partials)),
+            ("errors", num(self.errors)),
+            ("connections", num(self.connections)),
+            ("cache_entries", num(self.cache_entries)),
+            ("graph_vertices", num(self.graph_vertices)),
+            ("graph_edges", num(self.graph_edges)),
+            ("epoch", num(self.epoch)),
+            ("threads", num(self.threads)),
+        ])
+        .to_string()
+    }
+
+    /// Extracts the counters from a parsed stats response.
+    pub fn from_json(value: &Json) -> Result<ServeStats, String> {
+        let field = |key: &str| -> Result<u64, String> {
+            value
+                .get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("stats missing {key:?}"))
+        };
+        Ok(ServeStats {
+            queries: field("queries")?,
+            cache_hits: field("cache_hits")?,
+            cache_misses: field("cache_misses")?,
+            partials: field("partials")?,
+            errors: field("errors")?,
+            connections: field("connections")?,
+            cache_entries: field("cache_entries")?,
+            graph_vertices: field("graph_vertices")?,
+            graph_edges: field("graph_edges")?,
+            epoch: field("epoch")?,
+            threads: field("threads")?,
+        })
+    }
+
+    /// Parses one stats line.
+    pub fn parse_line(line: &str) -> Result<ServeStats, String> {
+        ServeStats::from_json(&Json::parse(line.trim())?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip() {
+        let requests = [
+            ServeRequest::Query {
+                kind: QueryKind::Distance { root: 0, target: 9 },
+                variant: None,
+                timeout_ms: None,
+            },
+            ServeRequest::Query {
+                kind: QueryKind::Path { root: 3, target: 4 },
+                variant: Some("branch-based".to_string()),
+                timeout_ms: Some(50),
+            },
+            ServeRequest::Query {
+                kind: QueryKind::Component { vertex: 7 },
+                variant: None,
+                timeout_ms: None,
+            },
+            ServeRequest::Query {
+                kind: QueryKind::Core { vertex: 7 },
+                variant: None,
+                timeout_ms: Some(1),
+            },
+            ServeRequest::Query {
+                kind: QueryKind::BcRank { vertex: 2 },
+                variant: Some("branch-avoiding".to_string()),
+                timeout_ms: None,
+            },
+            ServeRequest::Stats,
+            ServeRequest::Shutdown,
+        ];
+        for request in requests {
+            let line = request.to_json_line();
+            assert_eq!(ServeRequest::parse_line(&line).unwrap(), request, "{line}");
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let responses = [
+            ServeResponse::Query {
+                status: QueryStatus::Ok,
+                payload: QueryPayload::Distance(Some(4)),
+                cached: true,
+                micros: 12,
+            },
+            ServeResponse::Query {
+                status: QueryStatus::Partial,
+                payload: QueryPayload::Distance(None),
+                cached: false,
+                micros: 900,
+            },
+            ServeResponse::Query {
+                status: QueryStatus::Ok,
+                payload: QueryPayload::Path(Some(vec![0, 3, 9])),
+                cached: false,
+                micros: 55,
+            },
+            ServeResponse::Query {
+                status: QueryStatus::Ok,
+                payload: QueryPayload::Path(None),
+                cached: false,
+                micros: 5,
+            },
+            ServeResponse::Query {
+                status: QueryStatus::Ok,
+                payload: QueryPayload::Component(2),
+                cached: true,
+                micros: 1,
+            },
+            ServeResponse::Query {
+                status: QueryStatus::Ok,
+                payload: QueryPayload::Core(3),
+                cached: false,
+                micros: 77,
+            },
+            ServeResponse::Query {
+                status: QueryStatus::Ok,
+                payload: QueryPayload::BcRank {
+                    rank: 0,
+                    score: 12.5,
+                },
+                cached: false,
+                micros: 400,
+            },
+            ServeResponse::ShuttingDown,
+            ServeResponse::Error {
+                message: "unknown op \"frobnicate\"".to_string(),
+            },
+        ];
+        for response in responses {
+            let line = response.to_json_line();
+            assert_eq!(
+                ServeResponse::parse_line(&line).unwrap(),
+                response,
+                "{line}"
+            );
+        }
+    }
+
+    #[test]
+    fn stats_round_trip() {
+        let stats = ServeStats {
+            queries: 10,
+            cache_hits: 4,
+            cache_misses: 6,
+            partials: 1,
+            errors: 2,
+            connections: 3,
+            cache_entries: 5,
+            graph_vertices: 100,
+            graph_edges: 400,
+            epoch: 1,
+            threads: 4,
+        };
+        let line = ServeResponse::Stats(stats).to_json_line();
+        assert_eq!(ServeStats::parse_line(&line).unwrap(), stats);
+        assert_eq!(
+            ServeResponse::parse_line(&line).unwrap(),
+            ServeResponse::Stats(stats)
+        );
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected_with_reasons() {
+        assert!(ServeRequest::parse_line("not json").is_err());
+        assert!(ServeRequest::parse_line("{}").is_err());
+        assert!(ServeRequest::parse_line(r#"{"op":"frobnicate"}"#).is_err());
+        assert!(ServeRequest::parse_line(r#"{"op":"query"}"#).is_err());
+        assert!(ServeRequest::parse_line(r#"{"op":"query","kind":"distance","root":0}"#).is_err());
+        assert!(
+            ServeRequest::parse_line(r#"{"op":"query","kind":"component","vertex":-1}"#).is_err()
+        );
+    }
+}

@@ -48,24 +48,35 @@ use crate::pool::{
     balanced_prefix_ranges, effective_chunks_with_grain, Execute, PoolConfig, PoolMonitor,
     WorkerPool,
 };
+use crate::request::{RunConfig, Variant};
 use crate::trace::{emit_degradation_warning, run_footprint, TraceRun};
 use bga_graph::{AdjacencySource, VertexId};
 use bga_kernels::bfs::direction_optimizing::DirectionConfig;
 use bga_kernels::bfs::INFINITY;
-use bga_obs::{NoopSink, OffsetSink, TraceEvent, TraceSink};
+use bga_obs::{OffsetSink, TraceEvent, TraceSink};
 use std::ops::Range;
 use std::sync::atomic::Ordering::Relaxed;
 use std::sync::Arc;
 
 /// Which forward-phase hooking discipline a parallel betweenness run uses.
 /// Both produce identical σ counts and (bit-identical) scores; they differ
-/// only in the per-edge instruction mix, mirroring the SV pair.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum BcVariant {
-    /// Test-and-CAS distance claim, branch-guarded σ accumulation.
-    BranchBased,
-    /// `fetch_min` distance claim, predicated unconditional σ `fetch_add`.
-    BranchAvoiding,
+/// only in the per-edge instruction mix, mirroring the SV pair. An alias
+/// of the unified [`crate::request::Variant`].
+pub use crate::request::Variant as BcVariant;
+
+/// Result of a parallel betweenness run through the request API.
+#[derive(Clone, Debug)]
+pub struct ParBcRun {
+    /// Per-vertex centrality scores. Full runs (no explicit source set)
+    /// use the standard halved undirected convention; sampled-source runs
+    /// return the raw un-halved accumulation.
+    pub scores: Vec<f64>,
+    /// Number of sources whose contribution is fully accumulated — equal
+    /// to the source count on a completed run, the exact prefix on an
+    /// interrupted one.
+    pub sources_done: usize,
+    /// Worker count the run actually used.
+    pub threads: usize,
 }
 
 /// Brandes forward phase as a level kernel: BFS discovery plus σ
@@ -238,60 +249,152 @@ fn par_bc_accumulate_on<G: AdjacencySource, E: Execute>(
     centrality
 }
 
+/// The unified request driver behind [`crate::request::run_betweenness`]:
+/// observed runs (trace sink or cancel token) go through the monitored
+/// multi-source driver, everything else through the unmonitored fast
+/// path. `sources: None` means the full accumulation over every vertex
+/// with the standard halved undirected convention; `Some` returns the raw
+/// un-halved sums over the given set. BC kernels carry no tally, so
+/// `RunConfig::instrumented` has no effect here.
+pub(crate) fn run_request<G: AdjacencySource, S: TraceSink>(
+    graph: &G,
+    variant: Variant,
+    sources: Option<&[VertexId]>,
+    config: &RunConfig<'_, S>,
+) -> (ParBcRun, RunOutcome) {
+    let pool_config = config.pool_config();
+    let all: Vec<VertexId>;
+    let source_list: &[VertexId] = match sources {
+        Some(list) => list,
+        None => {
+            all = (0..graph.num_vertices() as VertexId).collect();
+            &all
+        }
+    };
+    let (mut scores, sources_done, outcome) = if config.observed() {
+        par_bc_accumulate_impl(
+            graph,
+            source_list,
+            &pool_config,
+            variant,
+            config.sink,
+            config.cancel,
+        )
+    } else {
+        let pool = WorkerPool::with_config(&pool_config);
+        let scores = par_bc_accumulate_on(graph, source_list, &pool, pool_config.grain, variant);
+        (scores, source_list.len(), RunOutcome::Completed)
+    };
+    if sources.is_none() {
+        // Each undirected pair was counted twice (once per endpoint).
+        for c in &mut scores {
+            *c /= 2.0;
+        }
+    }
+    (
+        ParBcRun {
+            scores,
+            sources_done,
+            threads: pool_config.threads,
+        },
+        outcome,
+    )
+}
+
+/// [`run_request`] on an explicit executor: plain kernels, the bench seam.
+pub(crate) fn run_request_on<G: AdjacencySource, E: Execute>(
+    graph: &G,
+    variant: Variant,
+    sources: Option<&[VertexId]>,
+    exec: &E,
+    grain: usize,
+) -> ParBcRun {
+    let all: Vec<VertexId>;
+    let source_list: &[VertexId] = match sources {
+        Some(list) => list,
+        None => {
+            all = (0..graph.num_vertices() as VertexId).collect();
+            &all
+        }
+    };
+    let mut scores = par_bc_accumulate_on(graph, source_list, exec, grain, variant);
+    if sources.is_none() {
+        for c in &mut scores {
+            *c /= 2.0;
+        }
+    }
+    ParBcRun {
+        scores,
+        sources_done: source_list.len(),
+        threads: exec.parallelism(),
+    }
+}
+
 /// Exact parallel betweenness centrality over all sources with the
 /// branch-avoiding forward phase (the default discipline, as in the
 /// sequential pair). `threads == 0` uses every available core. Scores
 /// match [`bga_kernels::bc::betweenness_centrality`] to floating-point
 /// reassociation and are bit-identical across thread counts.
+#[deprecated(note = "use bga_parallel::request::run_betweenness with RunConfig")]
 pub fn par_betweenness_centrality<G: AdjacencySource>(graph: &G, threads: usize) -> Vec<f64> {
-    par_betweenness_centrality_with_variant(graph, threads, BcVariant::BranchAvoiding)
+    run_request(
+        graph,
+        Variant::BranchAvoiding,
+        None,
+        &RunConfig::new().threads(threads),
+    )
+    .0
+    .scores
 }
 
 /// Exact parallel betweenness centrality with an explicit forward-phase
 /// discipline.
+#[deprecated(note = "use bga_parallel::request::run_betweenness with RunConfig")]
 pub fn par_betweenness_centrality_with_variant<G: AdjacencySource>(
     graph: &G,
     threads: usize,
     variant: BcVariant,
 ) -> Vec<f64> {
-    let config = PoolConfig::from_env(threads);
-    let pool = WorkerPool::with_config(&config);
-    par_betweenness_centrality_on(graph, &pool, config.grain, variant)
+    run_request(graph, variant, None, &RunConfig::new().threads(threads))
+        .0
+        .scores
 }
 
 /// [`par_betweenness_centrality_with_variant`] on an explicit executor —
 /// the seam the benchmarks and forced-fan-out tests use.
+#[deprecated(note = "use bga_parallel::request::run_betweenness_on")]
 pub fn par_betweenness_centrality_on<G: AdjacencySource, E: Execute>(
     graph: &G,
     exec: &E,
     grain: usize,
     variant: BcVariant,
 ) -> Vec<f64> {
-    let all: Vec<VertexId> = (0..graph.num_vertices() as VertexId).collect();
-    let mut centrality = par_bc_accumulate_on(graph, &all, exec, grain, variant);
-    // Each undirected pair was counted twice (once per endpoint as source).
-    for c in &mut centrality {
-        *c /= 2.0;
-    }
-    centrality
+    run_request_on(graph, variant, None, exec, grain).scores
 }
 
 /// Partial parallel accumulation over an explicit source set: the raw,
 /// **un-halved** dependency sums (out-of-range sources are ignored), the
 /// quantity sampled-source approximations scale. With all vertices as
 /// sources this is exactly twice [`par_betweenness_centrality`].
+#[deprecated(note = "use bga_parallel::request::run_betweenness with RunConfig")]
 pub fn par_betweenness_centrality_sources<G: AdjacencySource>(
     graph: &G,
     sources: &[VertexId],
     threads: usize,
     variant: BcVariant,
 ) -> Vec<f64> {
-    let config = PoolConfig::from_env(threads);
-    let pool = WorkerPool::with_config(&config);
-    par_betweenness_centrality_sources_on(graph, sources, &pool, config.grain, variant)
+    run_request(
+        graph,
+        variant,
+        Some(sources),
+        &RunConfig::new().threads(threads),
+    )
+    .0
+    .scores
 }
 
 /// [`par_betweenness_centrality_sources`] on an explicit executor.
+#[deprecated(note = "use bga_parallel::request::run_betweenness_on")]
 pub fn par_betweenness_centrality_sources_on<G: AdjacencySource, E: Execute>(
     graph: &G,
     sources: &[VertexId],
@@ -299,20 +402,7 @@ pub fn par_betweenness_centrality_sources_on<G: AdjacencySource, E: Execute>(
     grain: usize,
     variant: BcVariant,
 ) -> Vec<f64> {
-    par_bc_accumulate_on(graph, sources, exec, grain, variant)
-}
-
-/// The traced multi-source driver: one run header for the whole
-/// accumulation, each source's forward traversal observed through an
-/// [`OffsetSink`] so phase indices stay consecutive across sources.
-fn par_bc_accumulate_traced<G: AdjacencySource, S: TraceSink>(
-    graph: &G,
-    sources: &[VertexId],
-    threads: usize,
-    variant: BcVariant,
-    sink: &S,
-) -> Vec<f64> {
-    par_bc_accumulate_impl(graph, sources, threads, variant, sink, None).0
+    run_request_on(graph, variant, Some(sources), exec, grain).scores
 }
 
 /// The shared monitored driver behind the traced and cancellable
@@ -325,23 +415,18 @@ fn par_bc_accumulate_traced<G: AdjacencySource, S: TraceSink>(
 fn par_bc_accumulate_impl<G: AdjacencySource, S: TraceSink>(
     graph: &G,
     sources: &[VertexId],
-    threads: usize,
-    variant: BcVariant,
+    config: &PoolConfig,
+    variant: Variant,
     sink: &S,
     token: Option<&CancelToken>,
 ) -> (Vec<f64>, usize, RunOutcome) {
-    let config = PoolConfig::from_env(threads);
     let monitor = PoolMonitor::new();
     let pool = WorkerPool::with_monitor(config.threads, Arc::clone(&monitor));
     let scope = TraceRun::start(
         sink,
         TraceEvent::RunStart {
             kernel: "bc".to_string(),
-            variant: match variant {
-                BcVariant::BranchBased => "branch-based",
-                BcVariant::BranchAvoiding => "branch-avoiding",
-            }
-            .to_string(),
+            variant: variant.as_str().to_string(),
             vertices: graph.num_vertices(),
             edges: graph.num_edge_slots(),
             threads: pool.threads(),
@@ -417,6 +502,7 @@ fn par_bc_accumulate_impl<G: AdjacencySource, S: TraceSink>(
 /// source's partial traversal is discarded, never half-counted), so
 /// callers can use them as a sampled-source approximation or resume by
 /// re-running over `sources[sources_done..]` and summing.
+#[deprecated(note = "use bga_parallel::request::run_betweenness with RunConfig::cancel")]
 pub fn par_betweenness_centrality_sources_with_cancel<G: AdjacencySource>(
     graph: &G,
     sources: &[VertexId],
@@ -424,7 +510,13 @@ pub fn par_betweenness_centrality_sources_with_cancel<G: AdjacencySource>(
     variant: BcVariant,
     cancel: &CancelToken,
 ) -> (Vec<f64>, usize, RunOutcome) {
-    par_bc_accumulate_impl(graph, sources, threads, variant, &NoopSink, Some(cancel))
+    let (run, outcome) = run_request(
+        graph,
+        variant,
+        Some(sources),
+        &RunConfig::new().threads(threads).cancel(cancel),
+    );
+    (run.scores, run.sources_done, outcome)
 }
 
 /// [`par_betweenness_centrality_sources_traced`] with a [`CancelToken`]:
@@ -432,6 +524,7 @@ pub fn par_betweenness_centrality_sources_with_cancel<G: AdjacencySource>(
 /// whose trailer carries the interruption reason. See
 /// [`par_betweenness_centrality_sources_with_cancel`] for the
 /// partial-result semantics.
+#[deprecated(note = "use bga_parallel::request::run_betweenness with RunConfig::traced + cancel")]
 pub fn par_betweenness_centrality_sources_traced_with_cancel<G: AdjacencySource, S: TraceSink>(
     graph: &G,
     sources: &[VertexId],
@@ -440,7 +533,16 @@ pub fn par_betweenness_centrality_sources_traced_with_cancel<G: AdjacencySource,
     sink: &S,
     cancel: &CancelToken,
 ) -> (Vec<f64>, usize, RunOutcome) {
-    par_bc_accumulate_impl(graph, sources, threads, variant, sink, Some(cancel))
+    let (run, outcome) = run_request(
+        graph,
+        variant,
+        Some(sources),
+        &RunConfig::new()
+            .threads(threads)
+            .traced(sink)
+            .cancel(cancel),
+    );
+    (run.scores, run.sources_done, outcome)
 }
 
 /// [`par_betweenness_centrality_with_variant`] with a [`TraceSink`]
@@ -449,23 +551,27 @@ pub fn par_betweenness_centrality_sources_traced_with_cancel<G: AdjacencySource,
 /// worker pool's batch metrics and the run trailer. The forward kernels
 /// carry no tally parameter, so phase counters are all-zero; the
 /// structural fields (frontier, discovered, wall clock) are real.
+#[deprecated(note = "use bga_parallel::request::run_betweenness with RunConfig::traced")]
 pub fn par_betweenness_centrality_traced<G: AdjacencySource, S: TraceSink>(
     graph: &G,
     threads: usize,
     variant: BcVariant,
     sink: &S,
 ) -> Vec<f64> {
-    let all: Vec<VertexId> = (0..graph.num_vertices() as VertexId).collect();
-    let mut centrality = par_bc_accumulate_traced(graph, &all, threads, variant, sink);
-    for c in &mut centrality {
-        *c /= 2.0;
-    }
-    centrality
+    run_request(
+        graph,
+        variant,
+        None,
+        &RunConfig::new().threads(threads).traced(sink),
+    )
+    .0
+    .scores
 }
 
 /// [`par_betweenness_centrality_sources`] with a [`TraceSink`]; returns
 /// the raw, un-halved accumulation over the given sources. See
 /// [`par_betweenness_centrality_traced`] for the event stream shape.
+#[deprecated(note = "use bga_parallel::request::run_betweenness with RunConfig::traced")]
 pub fn par_betweenness_centrality_sources_traced<G: AdjacencySource, S: TraceSink>(
     graph: &G,
     sources: &[VertexId],
@@ -473,7 +579,14 @@ pub fn par_betweenness_centrality_sources_traced<G: AdjacencySource, S: TraceSin
     variant: BcVariant,
     sink: &S,
 ) -> Vec<f64> {
-    par_bc_accumulate_traced(graph, sources, threads, variant, sink)
+    run_request(
+        graph,
+        variant,
+        Some(sources),
+        &RunConfig::new().threads(threads).traced(sink),
+    )
+    .0
+    .scores
 }
 
 #[cfg(test)]
@@ -512,13 +625,35 @@ mod tests {
         ]
     }
 
+    fn full_scores<G: AdjacencySource>(g: &G, threads: usize, variant: Variant) -> Vec<f64> {
+        run_request(g, variant, None, &RunConfig::new().threads(threads))
+            .0
+            .scores
+    }
+
+    fn sampled_scores<G: AdjacencySource>(
+        g: &G,
+        sources: &[VertexId],
+        threads: usize,
+        variant: Variant,
+    ) -> Vec<f64> {
+        run_request(
+            g,
+            variant,
+            Some(sources),
+            &RunConfig::new().threads(threads),
+        )
+        .0
+        .scores
+    }
+
     #[test]
     fn full_scores_match_sequential_brandes_at_every_thread_count() {
         for g in &shapes() {
             let expected = betweenness_centrality(g);
             for threads in [1, 2, 8] {
-                for variant in [BcVariant::BranchBased, BcVariant::BranchAvoiding] {
-                    let scores = par_betweenness_centrality_with_variant(g, threads, variant);
+                for variant in [Variant::BranchBased, Variant::BranchAvoiding] {
+                    let scores = full_scores(g, threads, variant);
                     assert_close(&scores, &expected);
                 }
             }
@@ -528,10 +663,10 @@ mod tests {
     #[test]
     fn scores_are_bit_identical_across_threads_and_variants() {
         let g = barabasi_albert(300, 3, 7);
-        let reference = par_betweenness_centrality(&g, 1);
+        let reference = full_scores(&g, 1, Variant::BranchAvoiding);
         for threads in [2, 3, 8] {
-            for variant in [BcVariant::BranchBased, BcVariant::BranchAvoiding] {
-                let scores = par_betweenness_centrality_with_variant(&g, threads, variant);
+            for variant in [Variant::BranchBased, Variant::BranchAvoiding] {
+                let scores = full_scores(&g, threads, variant);
                 for (a, b) in reference.iter().zip(scores.iter()) {
                     assert_eq!(a.to_bits(), b.to_bits(), "{threads} threads, {variant:?}");
                 }
@@ -545,13 +680,13 @@ mod tests {
         let sources = [0u32, 7, 123, 399];
         let expected = betweenness_centrality_sources(&g, &sources);
         for threads in [1, 2, 8] {
-            for variant in [BcVariant::BranchBased, BcVariant::BranchAvoiding] {
-                let scores = par_betweenness_centrality_sources(&g, &sources, threads, variant);
+            for variant in [Variant::BranchBased, Variant::BranchAvoiding] {
+                let scores = sampled_scores(&g, &sources, threads, variant);
                 assert_close(&scores, &expected);
             }
         }
         // Out-of-range sources are ignored, not a panic.
-        let none = par_betweenness_centrality_sources(&g, &[9_999], 2, BcVariant::BranchAvoiding);
+        let none = sampled_scores(&g, &[9_999], 2, Variant::BranchAvoiding);
         assert!(none.iter().all(|&c| c == 0.0));
     }
 
@@ -564,14 +699,14 @@ mod tests {
         let scoped = ScopedExecutor::new(4);
         // Grain 1 forces every level and back-sweep slice to fan out.
         for grain in [1, 4096] {
-            for variant in [BcVariant::BranchBased, BcVariant::BranchAvoiding] {
+            for variant in [Variant::BranchBased, Variant::BranchAvoiding] {
                 assert_close(
-                    &par_betweenness_centrality_on(&g, &pool, grain, variant),
+                    &run_request_on(&g, variant, None, &pool, grain).scores,
                     &expected,
                 );
             }
             assert_close(
-                &par_betweenness_centrality_on(&g, &scoped, grain, BcVariant::BranchAvoiding),
+                &run_request_on(&g, Variant::BranchAvoiding, None, &scoped, grain).scores,
                 &expected,
             );
         }
@@ -580,7 +715,7 @@ mod tests {
     #[test]
     fn star_centre_carries_all_paths() {
         let g = star_graph(6);
-        let scores = par_betweenness_centrality(&g, 4);
+        let scores = full_scores(&g, 4, Variant::BranchAvoiding);
         // Centre lies on every one of the C(5,2) = 10 leaf pairs' paths.
         assert!((scores[0] - 10.0).abs() < 1e-9);
         for score in &scores[1..6] {
@@ -596,17 +731,17 @@ mod tests {
         // forward-level count crosses it; the surviving scores must be
         // exactly the accumulation over the completed prefix.
         let token = CancelToken::new().with_phase_budget(12);
-        let (scores, done, outcome) = par_betweenness_centrality_sources_with_cancel(
+        let (run, outcome) = run_request(
             &g,
-            &sources,
-            2,
-            BcVariant::BranchAvoiding,
-            &token,
+            Variant::BranchAvoiding,
+            Some(&sources),
+            &RunConfig::new().threads(2).cancel(&token),
         );
         assert!(!outcome.is_completed());
+        let done = run.sources_done;
         assert!(done > 0 && done < sources.len(), "done = {done}");
         let expected = betweenness_centrality_sources(&g, &sources[..done]);
-        assert_close(&scores, &expected);
+        assert_close(&run.scores, &expected);
     }
 
     #[test]
@@ -614,16 +749,15 @@ mod tests {
         let g = grid_2d(7, 6, MeshStencil::VonNeumann);
         let sources: Vec<VertexId> = (0..g.num_vertices() as VertexId).collect();
         let token = CancelToken::new();
-        let (scores, done, outcome) = par_betweenness_centrality_sources_with_cancel(
+        let (run, outcome) = run_request(
             &g,
-            &sources,
-            2,
-            BcVariant::BranchBased,
-            &token,
+            Variant::BranchBased,
+            Some(&sources),
+            &RunConfig::new().threads(2).cancel(&token),
         );
         assert!(outcome.is_completed());
-        assert_eq!(done, sources.len());
-        assert_close(&scores, &betweenness_centrality_sources(&g, &sources));
+        assert_eq!(run.sources_done, sources.len());
+        assert_close(&run.scores, &betweenness_centrality_sources(&g, &sources));
     }
 
     #[test]
@@ -633,7 +767,35 @@ mod tests {
         let g = GraphBuilder::undirected(6)
             .add_edges([(0, 1), (1, 2), (3, 4), (4, 5)])
             .build();
-        let scores = par_betweenness_centrality(&g, 2);
+        let scores = full_scores(&g, 2, Variant::BranchAvoiding);
         assert_close(&scores, &[0.0, 1.0, 0.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_the_request_api() {
+        let g = grid_2d(6, 5, MeshStencil::VonNeumann);
+        let expected = betweenness_centrality(&g);
+        assert_close(&par_betweenness_centrality(&g, 2), &expected);
+        assert_close(
+            &par_betweenness_centrality_with_variant(&g, 2, BcVariant::BranchBased),
+            &expected,
+        );
+        let sources = [0u32, 3, 7];
+        assert_close(
+            &par_betweenness_centrality_sources(&g, &sources, 2, BcVariant::BranchAvoiding),
+            &betweenness_centrality_sources(&g, &sources),
+        );
+        let token = CancelToken::new();
+        let (scores, done, outcome) = par_betweenness_centrality_sources_with_cancel(
+            &g,
+            &sources,
+            2,
+            BcVariant::BranchAvoiding,
+            &token,
+        );
+        assert!(outcome.is_completed());
+        assert_eq!(done, sources.len());
+        assert_close(&scores, &betweenness_centrality_sources(&g, &sources));
     }
 }

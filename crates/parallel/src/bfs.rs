@@ -36,13 +36,14 @@ use crate::cancel::{CancelToken, RunOutcome};
 use crate::counters::ThreadTally;
 use crate::engine::{bottom_up_claim, LevelCtx, LevelKernel, LevelLoop, TraversalState};
 use crate::pool::{Execute, PoolConfig, PoolMonitor, WorkerPool};
+use crate::request::{BfsStrategy, RunConfig, Variant};
 use crate::trace::{emit_degradation_warning, run_footprint, TraceRun};
 use bga_graph::{AdjacencySource, VertexId};
 use bga_kernels::bfs::direction_optimizing::DirectionConfig;
 use bga_kernels::bfs::frontier::Bitmap;
 use bga_kernels::bfs::{BfsResult, INFINITY};
 use bga_kernels::stats::RunCounters;
-use bga_obs::{NoopSink, TraceEvent, TraceSink};
+use bga_obs::{TraceEvent, TraceSink};
 use std::ops::Range;
 use std::sync::atomic::Ordering::Relaxed;
 use std::sync::Arc;
@@ -231,108 +232,97 @@ impl<G: AdjacencySource, const TALLY: bool> LevelKernel<G> for BranchAvoidingLev
     }
 }
 
-/// Parallel branch-based top-down BFS from `root`. `threads == 0` uses
-/// every available core; a root outside the vertex range yields an
-/// all-unreached result, as in the sequential kernels.
-pub fn par_bfs_branch_based<G: AdjacencySource>(
-    graph: &G,
-    root: VertexId,
-    threads: usize,
-) -> BfsResult {
-    let config = PoolConfig::from_env(threads);
-    let pool = WorkerPool::with_config(&config);
-    par_bfs_branch_based_on(graph, root, &pool, config.grain)
+/// The direction schedule a strategy pins (always top-down for the plain
+/// disciplines, the configured thresholds for direction-optimizing).
+fn strategy_directions(strategy: BfsStrategy) -> DirectionConfig {
+    match strategy {
+        BfsStrategy::Plain(_) => DirectionConfig::always_top_down(),
+        BfsStrategy::DirectionOptimizing(config) => config,
+    }
 }
 
-/// [`par_bfs_branch_based`] on an explicit executor — the seam the
-/// benchmarks use to compare the persistent pool against per-level
-/// `thread::scope` spawns.
-pub fn par_bfs_branch_based_on<G: AdjacencySource, E: Execute>(
+/// The unified request driver behind [`crate::request::run_bfs`]: observed
+/// runs (trace sink or cancel token) go through the monitored driver,
+/// everything else through the unmonitored fast path with the tally
+/// compiled in or out by `config.instrumented`.
+pub(crate) fn run_request<G: AdjacencySource, S: TraceSink>(
     graph: &G,
     root: VertexId,
-    exec: &E,
-    grain: usize,
-) -> BfsResult {
-    let state = TraversalState::new(graph.num_vertices());
-    let run = LevelLoop::new(graph, exec, grain, DirectionConfig::always_top_down()).run(
-        &state,
-        root,
-        &BranchBasedLevel::<false>,
-    );
-    BfsResult::new(state.into_distances(), run.order)
-}
-
-/// Parallel branch-avoiding top-down BFS from `root`: one `fetch_min` per
-/// edge and branch-free buffer advancement. `threads == 0` uses every
-/// available core.
-pub fn par_bfs_branch_avoiding<G: AdjacencySource>(
-    graph: &G,
-    root: VertexId,
-    threads: usize,
-) -> BfsResult {
-    let config = PoolConfig::from_env(threads);
-    let pool = WorkerPool::with_config(&config);
-    par_bfs_branch_avoiding_on(graph, root, &pool, config.grain)
-}
-
-/// [`par_bfs_branch_avoiding`] on an explicit executor.
-pub fn par_bfs_branch_avoiding_on<G: AdjacencySource, E: Execute>(
-    graph: &G,
-    root: VertexId,
-    exec: &E,
-    grain: usize,
-) -> BfsResult {
-    let state = TraversalState::new(graph.num_vertices());
-    let run = LevelLoop::new(graph, exec, grain, DirectionConfig::always_top_down()).run(
-        &state,
-        root,
-        &BranchAvoidingLevel::<false>,
-    );
-    BfsResult::new(state.into_distances(), run.order)
-}
-
-/// Parallel direction-optimizing BFS from `root` with the default
-/// [`DirectionConfig`]. `threads == 0` uses every available core.
-pub fn par_bfs_direction_optimizing<G: AdjacencySource>(
-    graph: &G,
-    root: VertexId,
-    threads: usize,
-) -> BfsResult {
-    par_bfs_direction_optimizing_with_config(graph, root, threads, DirectionConfig::default())
-        .result
-}
-
-/// Parallel direction-optimizing BFS with explicit switching thresholds;
-/// also reports the direction every level ran in.
-pub fn par_bfs_direction_optimizing_with_config<G: AdjacencySource>(
-    graph: &G,
-    root: VertexId,
-    threads: usize,
-    config: DirectionConfig,
-) -> ParDirBfsRun {
-    let pool_config = PoolConfig::from_env(threads);
+    strategy: BfsStrategy,
+    config: &RunConfig<'_, S>,
+) -> (ParDirBfsRun, RunOutcome) {
+    let pool_config = config.pool_config();
+    if config.observed() {
+        let dir_config = strategy_directions(strategy);
+        let name = strategy.as_str();
+        return match strategy {
+            BfsStrategy::Plain(Variant::BranchBased) => par_bfs_traced_on(
+                graph,
+                root,
+                &pool_config,
+                dir_config,
+                name,
+                &BranchBasedLevel::<true>,
+                config.sink,
+                config.cancel,
+            ),
+            _ => par_bfs_traced_on(
+                graph,
+                root,
+                &pool_config,
+                dir_config,
+                name,
+                &BranchAvoidingLevel::<true>,
+                config.sink,
+                config.cancel,
+            ),
+        };
+    }
     let pool = WorkerPool::with_config(&pool_config);
-    par_bfs_direction_optimizing_on(graph, root, &pool, pool_config.grain, config)
+    let run = run_plain_on(
+        graph,
+        root,
+        strategy,
+        config.instrumented,
+        &pool,
+        pool_config.grain,
+    );
+    (run, RunOutcome::Completed)
 }
 
-/// [`par_bfs_direction_optimizing_with_config`] on an explicit executor.
-///
-/// The switching heuristic mirrors the sequential kernel exactly: switch
-/// to bottom-up when the frontier fraction exceeds
-/// [`DirectionConfig::to_bottom_up`], back to top-down when it falls below
-/// [`DirectionConfig::to_top_down`]. Frontier sizes are deterministic, so
-/// the per-level directions — and therefore the distances — are identical
-/// to the sequential direction-optimizing kernel at every thread count.
-pub fn par_bfs_direction_optimizing_on<G: AdjacencySource, E: Execute>(
+/// [`run_request`] on an explicit executor: plain kernels, the bench seam.
+pub(crate) fn run_request_on<G: AdjacencySource, E: Execute>(
     graph: &G,
     root: VertexId,
+    strategy: BfsStrategy,
     exec: &E,
     grain: usize,
-    config: DirectionConfig,
+) -> ParDirBfsRun {
+    run_plain_on(graph, root, strategy, false, exec, grain)
+}
+
+/// The unmonitored level-loop driver shared by the plain and instrumented
+/// paths.
+fn run_plain_on<G: AdjacencySource, E: Execute>(
+    graph: &G,
+    root: VertexId,
+    strategy: BfsStrategy,
+    instrumented: bool,
+    exec: &E,
+    grain: usize,
 ) -> ParDirBfsRun {
     let state = TraversalState::new(graph.num_vertices());
-    let run =
-        LevelLoop::new(graph, exec, grain, config).run(&state, root, &BranchAvoidingLevel::<false>);
+    let level_loop = LevelLoop::new(graph, exec, grain, strategy_directions(strategy));
+    let run = match (strategy, instrumented) {
+        (BfsStrategy::Plain(Variant::BranchBased), false) => {
+            level_loop.run(&state, root, &BranchBasedLevel::<false>)
+        }
+        (BfsStrategy::Plain(Variant::BranchBased), true) => {
+            level_loop.run(&state, root, &BranchBasedLevel::<true>)
+        }
+        (_, false) => level_loop.run(&state, root, &BranchAvoidingLevel::<false>),
+        (_, true) => level_loop.run(&state, root, &BranchAvoidingLevel::<true>),
+    };
     ParDirBfsRun {
         result: BfsResult::new(state.into_distances(), run.order),
         directions: run.directions,
@@ -341,79 +331,210 @@ pub fn par_bfs_direction_optimizing_on<G: AdjacencySource, E: Execute>(
     }
 }
 
+/// Drops the direction schedule from a run — the legacy shape of the
+/// fixed-direction entry points.
+fn narrow(run: ParDirBfsRun) -> ParBfsRun {
+    ParBfsRun {
+        result: run.result,
+        counters: run.counters,
+        threads: run.threads,
+    }
+}
+
+/// Parallel branch-based top-down BFS from `root`. `threads == 0` uses
+/// every available core; a root outside the vertex range yields an
+/// all-unreached result, as in the sequential kernels.
+#[deprecated(note = "use bga_parallel::request::run_bfs with RunConfig")]
+pub fn par_bfs_branch_based<G: AdjacencySource>(
+    graph: &G,
+    root: VertexId,
+    threads: usize,
+) -> BfsResult {
+    run_request(
+        graph,
+        root,
+        BfsStrategy::Plain(Variant::BranchBased),
+        &RunConfig::new().threads(threads),
+    )
+    .0
+    .result
+}
+
+/// [`par_bfs_branch_based`] on an explicit executor — the seam the
+/// benchmarks use to compare the persistent pool against per-level
+/// `thread::scope` spawns.
+#[deprecated(note = "use bga_parallel::request::run_bfs_on")]
+pub fn par_bfs_branch_based_on<G: AdjacencySource, E: Execute>(
+    graph: &G,
+    root: VertexId,
+    exec: &E,
+    grain: usize,
+) -> BfsResult {
+    run_request_on(
+        graph,
+        root,
+        BfsStrategy::Plain(Variant::BranchBased),
+        exec,
+        grain,
+    )
+    .result
+}
+
+/// Parallel branch-avoiding top-down BFS from `root`: one `fetch_min` per
+/// edge and branch-free buffer advancement. `threads == 0` uses every
+/// available core.
+#[deprecated(note = "use bga_parallel::request::run_bfs with RunConfig")]
+pub fn par_bfs_branch_avoiding<G: AdjacencySource>(
+    graph: &G,
+    root: VertexId,
+    threads: usize,
+) -> BfsResult {
+    run_request(
+        graph,
+        root,
+        BfsStrategy::Plain(Variant::BranchAvoiding),
+        &RunConfig::new().threads(threads),
+    )
+    .0
+    .result
+}
+
+/// [`par_bfs_branch_avoiding`] on an explicit executor.
+#[deprecated(note = "use bga_parallel::request::run_bfs_on")]
+pub fn par_bfs_branch_avoiding_on<G: AdjacencySource, E: Execute>(
+    graph: &G,
+    root: VertexId,
+    exec: &E,
+    grain: usize,
+) -> BfsResult {
+    run_request_on(
+        graph,
+        root,
+        BfsStrategy::Plain(Variant::BranchAvoiding),
+        exec,
+        grain,
+    )
+    .result
+}
+
+/// Parallel direction-optimizing BFS from `root` with the default
+/// [`DirectionConfig`]. `threads == 0` uses every available core.
+#[deprecated(note = "use bga_parallel::request::run_bfs with RunConfig")]
+pub fn par_bfs_direction_optimizing<G: AdjacencySource>(
+    graph: &G,
+    root: VertexId,
+    threads: usize,
+) -> BfsResult {
+    run_request(
+        graph,
+        root,
+        BfsStrategy::DirectionOptimizing(DirectionConfig::default()),
+        &RunConfig::new().threads(threads),
+    )
+    .0
+    .result
+}
+
+/// Parallel direction-optimizing BFS with explicit switching thresholds;
+/// also reports the direction every level ran in.
+///
+/// The switching heuristic mirrors the sequential kernel exactly: switch
+/// to bottom-up when the frontier fraction exceeds
+/// [`DirectionConfig::to_bottom_up`], back to top-down when it falls below
+/// [`DirectionConfig::to_top_down`]. Frontier sizes are deterministic, so
+/// the per-level directions — and therefore the distances — are identical
+/// to the sequential direction-optimizing kernel at every thread count.
+#[deprecated(note = "use bga_parallel::request::run_bfs with RunConfig")]
+pub fn par_bfs_direction_optimizing_with_config<G: AdjacencySource>(
+    graph: &G,
+    root: VertexId,
+    threads: usize,
+    config: DirectionConfig,
+) -> ParDirBfsRun {
+    run_request(
+        graph,
+        root,
+        BfsStrategy::DirectionOptimizing(config),
+        &RunConfig::new().threads(threads),
+    )
+    .0
+}
+
+/// [`par_bfs_direction_optimizing_with_config`] on an explicit executor.
+#[deprecated(note = "use bga_parallel::request::run_bfs_on")]
+pub fn par_bfs_direction_optimizing_on<G: AdjacencySource, E: Execute>(
+    graph: &G,
+    root: VertexId,
+    exec: &E,
+    grain: usize,
+    config: DirectionConfig,
+) -> ParDirBfsRun {
+    run_request_on(
+        graph,
+        root,
+        BfsStrategy::DirectionOptimizing(config),
+        exec,
+        grain,
+    )
+}
+
 /// Instrumented parallel direction-optimizing BFS: per-worker tallies of
 /// *both* directions — the top-down `fetch_min` levels and the bottom-up
 /// bitmap-claim levels — merged into one
 /// [`bga_kernels::stats::StepCounters`] per level, so a `--strategy
 /// bottom-up` run reports real counter rows instead of empty tallies.
+#[deprecated(note = "use bga_parallel::request::run_bfs with RunConfig::instrumented")]
 pub fn par_bfs_direction_optimizing_instrumented<G: AdjacencySource>(
     graph: &G,
     root: VertexId,
     threads: usize,
     config: DirectionConfig,
 ) -> ParDirBfsRun {
-    let pool_config = PoolConfig::from_env(threads);
-    let pool = WorkerPool::with_config(&pool_config);
-    let state = TraversalState::new(graph.num_vertices());
-    let run = LevelLoop::new(graph, &pool, pool_config.grain, config).run(
-        &state,
+    run_request(
+        graph,
         root,
-        &BranchAvoidingLevel::<true>,
-    );
-    ParDirBfsRun {
-        result: BfsResult::new(state.into_distances(), run.order),
-        directions: run.directions,
-        counters: run.counters,
-        threads: pool.threads(),
-    }
+        BfsStrategy::DirectionOptimizing(config),
+        &RunConfig::new().threads(threads).instrumented(true),
+    )
+    .0
 }
 
 /// Instrumented parallel branch-based BFS: per-worker tallies merged into
 /// one [`bga_kernels::stats::StepCounters`] per level.
+#[deprecated(note = "use bga_parallel::request::run_bfs with RunConfig::instrumented")]
 pub fn par_bfs_branch_based_instrumented<G: AdjacencySource>(
     graph: &G,
     root: VertexId,
     threads: usize,
 ) -> ParBfsRun {
-    let config = PoolConfig::from_env(threads);
-    let pool = WorkerPool::with_config(&config);
-    let state = TraversalState::new(graph.num_vertices());
-    let run = LevelLoop::new(
-        graph,
-        &pool,
-        config.grain,
-        DirectionConfig::always_top_down(),
+    narrow(
+        run_request(
+            graph,
+            root,
+            BfsStrategy::Plain(Variant::BranchBased),
+            &RunConfig::new().threads(threads).instrumented(true),
+        )
+        .0,
     )
-    .run(&state, root, &BranchBasedLevel::<true>);
-    ParBfsRun {
-        result: BfsResult::new(state.into_distances(), run.order),
-        counters: run.counters,
-        threads: pool.threads(),
-    }
 }
 
 /// Instrumented parallel branch-avoiding BFS; see
 /// [`par_bfs_branch_based_instrumented`] for the accounting scheme.
+#[deprecated(note = "use bga_parallel::request::run_bfs with RunConfig::instrumented")]
 pub fn par_bfs_branch_avoiding_instrumented<G: AdjacencySource>(
     graph: &G,
     root: VertexId,
     threads: usize,
 ) -> ParBfsRun {
-    let config = PoolConfig::from_env(threads);
-    let pool = WorkerPool::with_config(&config);
-    let state = TraversalState::new(graph.num_vertices());
-    let run = LevelLoop::new(
-        graph,
-        &pool,
-        config.grain,
-        DirectionConfig::always_top_down(),
+    narrow(
+        run_request(
+            graph,
+            root,
+            BfsStrategy::Plain(Variant::BranchAvoiding),
+            &RunConfig::new().threads(threads).instrumented(true),
+        )
+        .0,
     )
-    .run(&state, root, &BranchAvoidingLevel::<true>);
-    ParBfsRun {
-        result: BfsResult::new(state.into_distances(), run.order),
-        counters: run.counters,
-        threads: pool.threads(),
-    }
 }
 
 /// The shared traced-run driver: monitored pool, `run-start` header, one
@@ -424,14 +545,13 @@ pub fn par_bfs_branch_avoiding_instrumented<G: AdjacencySource>(
 fn par_bfs_traced_on<G: AdjacencySource, K: LevelKernel<G>, S: TraceSink>(
     graph: &G,
     root: VertexId,
-    threads: usize,
+    config: &PoolConfig,
     dir_config: DirectionConfig,
     variant: &str,
     kernel: &K,
     sink: &S,
     cancel: Option<&CancelToken>,
 ) -> (ParDirBfsRun, RunOutcome) {
-    let config = PoolConfig::from_env(threads);
     let monitor = PoolMonitor::new();
     let pool = WorkerPool::with_monitor(config.threads, Arc::clone(&monitor));
     let scope = TraceRun::start(
@@ -466,59 +586,48 @@ fn par_bfs_traced_on<G: AdjacencySource, K: LevelKernel<G>, S: TraceSink>(
 /// the run's `bga-trace-v1` event stream (header, per-level phases, pool
 /// metrics, trailer). Distances and counters are identical to the
 /// instrumented run.
+#[deprecated(note = "use bga_parallel::request::run_bfs with RunConfig::traced")]
 pub fn par_bfs_branch_based_traced<G: AdjacencySource, S: TraceSink>(
     graph: &G,
     root: VertexId,
     threads: usize,
     sink: &S,
 ) -> ParBfsRun {
-    let run = par_bfs_traced_on(
-        graph,
-        root,
-        threads,
-        DirectionConfig::always_top_down(),
-        "branch-based",
-        &BranchBasedLevel::<true>,
-        sink,
-        None,
+    narrow(
+        run_request(
+            graph,
+            root,
+            BfsStrategy::Plain(Variant::BranchBased),
+            &RunConfig::new().threads(threads).traced(sink),
+        )
+        .0,
     )
-    .0;
-    ParBfsRun {
-        result: run.result,
-        counters: run.counters,
-        threads: run.threads,
-    }
 }
 
 /// [`par_bfs_branch_avoiding_instrumented`] with a [`TraceSink`]; see
 /// [`par_bfs_branch_based_traced`].
+#[deprecated(note = "use bga_parallel::request::run_bfs with RunConfig::traced")]
 pub fn par_bfs_branch_avoiding_traced<G: AdjacencySource, S: TraceSink>(
     graph: &G,
     root: VertexId,
     threads: usize,
     sink: &S,
 ) -> ParBfsRun {
-    let run = par_bfs_traced_on(
-        graph,
-        root,
-        threads,
-        DirectionConfig::always_top_down(),
-        "branch-avoiding",
-        &BranchAvoidingLevel::<true>,
-        sink,
-        None,
+    narrow(
+        run_request(
+            graph,
+            root,
+            BfsStrategy::Plain(Variant::BranchAvoiding),
+            &RunConfig::new().threads(threads).traced(sink),
+        )
+        .0,
     )
-    .0;
-    ParBfsRun {
-        result: run.result,
-        counters: run.counters,
-        threads: run.threads,
-    }
 }
 
 /// [`par_bfs_direction_optimizing_instrumented`] with a [`TraceSink`];
 /// phase events carry the direction each level ran in
 /// ([`bga_obs::PhaseKind::TopDown`] / [`bga_obs::PhaseKind::BottomUp`]).
+#[deprecated(note = "use bga_parallel::request::run_bfs with RunConfig::traced")]
 pub fn par_bfs_direction_optimizing_traced<G: AdjacencySource, S: TraceSink>(
     graph: &G,
     root: VertexId,
@@ -526,15 +635,11 @@ pub fn par_bfs_direction_optimizing_traced<G: AdjacencySource, S: TraceSink>(
     config: DirectionConfig,
     sink: &S,
 ) -> ParDirBfsRun {
-    par_bfs_traced_on(
+    run_request(
         graph,
         root,
-        threads,
-        config,
-        "direction-optimizing",
-        &BranchAvoidingLevel::<true>,
-        sink,
-        None,
+        BfsStrategy::DirectionOptimizing(config),
+        &RunConfig::new().threads(threads).traced(sink),
     )
     .0
 }
@@ -544,62 +649,43 @@ pub fn par_bfs_direction_optimizing_traced<G: AdjacencySource, S: TraceSink>(
 /// distances behind the cut are final BFS levels, everything beyond is
 /// still `INFINITY` — a valid partial traversal, as every distance only
 /// ever moves from `INFINITY` to its unique level.
+#[deprecated(note = "use bga_parallel::request::run_bfs with RunConfig::cancel")]
 pub fn par_bfs_branch_avoiding_with_cancel<G: AdjacencySource>(
     graph: &G,
     root: VertexId,
     threads: usize,
     cancel: &CancelToken,
 ) -> (ParBfsRun, RunOutcome) {
-    let (run, outcome) = par_bfs_traced_on(
+    let (run, outcome) = run_request(
         graph,
         root,
-        threads,
-        DirectionConfig::always_top_down(),
-        "branch-avoiding",
-        &BranchAvoidingLevel::<true>,
-        &NoopSink,
-        Some(cancel),
+        BfsStrategy::Plain(Variant::BranchAvoiding),
+        &RunConfig::new().threads(threads).cancel(cancel),
     );
-    (
-        ParBfsRun {
-            result: run.result,
-            counters: run.counters,
-            threads: run.threads,
-        },
-        outcome,
-    )
+    (narrow(run), outcome)
 }
 
 /// [`par_bfs_branch_based`] with a [`CancelToken`]; see
 /// [`par_bfs_branch_avoiding_with_cancel`].
+#[deprecated(note = "use bga_parallel::request::run_bfs with RunConfig::cancel")]
 pub fn par_bfs_branch_based_with_cancel<G: AdjacencySource>(
     graph: &G,
     root: VertexId,
     threads: usize,
     cancel: &CancelToken,
 ) -> (ParBfsRun, RunOutcome) {
-    let (run, outcome) = par_bfs_traced_on(
+    let (run, outcome) = run_request(
         graph,
         root,
-        threads,
-        DirectionConfig::always_top_down(),
-        "branch-based",
-        &BranchBasedLevel::<true>,
-        &NoopSink,
-        Some(cancel),
+        BfsStrategy::Plain(Variant::BranchBased),
+        &RunConfig::new().threads(threads).cancel(cancel),
     );
-    (
-        ParBfsRun {
-            result: run.result,
-            counters: run.counters,
-            threads: run.threads,
-        },
-        outcome,
-    )
+    (narrow(run), outcome)
 }
 
 /// [`par_bfs_direction_optimizing_with_config`] with a [`CancelToken`];
 /// see [`par_bfs_branch_avoiding_with_cancel`].
+#[deprecated(note = "use bga_parallel::request::run_bfs with RunConfig::cancel")]
 pub fn par_bfs_direction_optimizing_with_cancel<G: AdjacencySource>(
     graph: &G,
     root: VertexId,
@@ -607,15 +693,11 @@ pub fn par_bfs_direction_optimizing_with_cancel<G: AdjacencySource>(
     config: DirectionConfig,
     cancel: &CancelToken,
 ) -> (ParDirBfsRun, RunOutcome) {
-    par_bfs_traced_on(
+    run_request(
         graph,
         root,
-        threads,
-        config,
-        "direction-optimizing",
-        &BranchAvoidingLevel::<true>,
-        &NoopSink,
-        Some(cancel),
+        BfsStrategy::DirectionOptimizing(config),
+        &RunConfig::new().threads(threads).cancel(cancel),
     )
 }
 
@@ -623,6 +705,7 @@ pub fn par_bfs_direction_optimizing_with_cancel<G: AdjacencySource>(
 /// cancellable driver. An interrupted run still emits a complete
 /// `bga-trace-v1` document — header, one phase per completed level, pool
 /// metrics and a trailer marked with the interruption reason.
+#[deprecated(note = "use bga_parallel::request::run_bfs with RunConfig::traced + cancel")]
 pub fn par_bfs_branch_avoiding_traced_with_cancel<G: AdjacencySource, S: TraceSink>(
     graph: &G,
     root: VertexId,
@@ -630,28 +713,21 @@ pub fn par_bfs_branch_avoiding_traced_with_cancel<G: AdjacencySource, S: TraceSi
     sink: &S,
     cancel: &CancelToken,
 ) -> (ParBfsRun, RunOutcome) {
-    let (run, outcome) = par_bfs_traced_on(
+    let (run, outcome) = run_request(
         graph,
         root,
-        threads,
-        DirectionConfig::always_top_down(),
-        "branch-avoiding",
-        &BranchAvoidingLevel::<true>,
-        sink,
-        Some(cancel),
+        BfsStrategy::Plain(Variant::BranchAvoiding),
+        &RunConfig::new()
+            .threads(threads)
+            .traced(sink)
+            .cancel(cancel),
     );
-    (
-        ParBfsRun {
-            result: run.result,
-            counters: run.counters,
-            threads: run.threads,
-        },
-        outcome,
-    )
+    (narrow(run), outcome)
 }
 
 /// [`par_bfs_branch_based_traced`] with a [`CancelToken`]; see
 /// [`par_bfs_branch_avoiding_traced_with_cancel`].
+#[deprecated(note = "use bga_parallel::request::run_bfs with RunConfig::traced + cancel")]
 pub fn par_bfs_branch_based_traced_with_cancel<G: AdjacencySource, S: TraceSink>(
     graph: &G,
     root: VertexId,
@@ -659,28 +735,21 @@ pub fn par_bfs_branch_based_traced_with_cancel<G: AdjacencySource, S: TraceSink>
     sink: &S,
     cancel: &CancelToken,
 ) -> (ParBfsRun, RunOutcome) {
-    let (run, outcome) = par_bfs_traced_on(
+    let (run, outcome) = run_request(
         graph,
         root,
-        threads,
-        DirectionConfig::always_top_down(),
-        "branch-based",
-        &BranchBasedLevel::<true>,
-        sink,
-        Some(cancel),
+        BfsStrategy::Plain(Variant::BranchBased),
+        &RunConfig::new()
+            .threads(threads)
+            .traced(sink)
+            .cancel(cancel),
     );
-    (
-        ParBfsRun {
-            result: run.result,
-            counters: run.counters,
-            threads: run.threads,
-        },
-        outcome,
-    )
+    (narrow(run), outcome)
 }
 
 /// [`par_bfs_direction_optimizing_traced`] with a [`CancelToken`]; see
 /// [`par_bfs_branch_avoiding_traced_with_cancel`].
+#[deprecated(note = "use bga_parallel::request::run_bfs with RunConfig::traced + cancel")]
 pub fn par_bfs_direction_optimizing_traced_with_cancel<G: AdjacencySource, S: TraceSink>(
     graph: &G,
     root: VertexId,
@@ -689,15 +758,14 @@ pub fn par_bfs_direction_optimizing_traced_with_cancel<G: AdjacencySource, S: Tr
     sink: &S,
     cancel: &CancelToken,
 ) -> (ParDirBfsRun, RunOutcome) {
-    par_bfs_traced_on(
+    run_request(
         graph,
         root,
-        threads,
-        config,
-        "direction-optimizing",
-        &BranchAvoidingLevel::<true>,
-        sink,
-        Some(cancel),
+        BfsStrategy::DirectionOptimizing(config),
+        &RunConfig::new()
+            .threads(threads)
+            .traced(sink)
+            .cancel(cancel),
     )
 }
 
@@ -728,6 +796,52 @@ mod tests {
         ]
     }
 
+    fn bfs<G: AdjacencySource>(
+        g: &G,
+        root: VertexId,
+        threads: usize,
+        variant: Variant,
+    ) -> BfsResult {
+        run_request(
+            g,
+            root,
+            BfsStrategy::Plain(variant),
+            &RunConfig::new().threads(threads),
+        )
+        .0
+        .result
+    }
+
+    fn dir_bfs<G: AdjacencySource>(
+        g: &G,
+        root: VertexId,
+        threads: usize,
+        config: DirectionConfig,
+    ) -> ParDirBfsRun {
+        run_request(
+            g,
+            root,
+            BfsStrategy::DirectionOptimizing(config),
+            &RunConfig::new().threads(threads),
+        )
+        .0
+    }
+
+    fn instrumented<G: AdjacencySource>(
+        g: &G,
+        root: VertexId,
+        threads: usize,
+        strategy: BfsStrategy,
+    ) -> ParDirBfsRun {
+        run_request(
+            g,
+            root,
+            strategy,
+            &RunConfig::new().threads(threads).instrumented(true),
+        )
+        .0
+    }
+
     #[test]
     fn distances_match_reference_for_every_thread_count() {
         for g in &shapes() {
@@ -735,17 +849,19 @@ mod tests {
                 let expected = bfs_distances_reference(g, root);
                 for threads in [1, 2, 3, 8] {
                     assert_eq!(
-                        par_bfs_branch_based(g, root, threads).distances(),
+                        bfs(g, root, threads, Variant::BranchBased).distances(),
                         &expected[..],
                         "branch-based, {threads} threads, root {root}"
                     );
                     assert_eq!(
-                        par_bfs_branch_avoiding(g, root, threads).distances(),
+                        bfs(g, root, threads, Variant::BranchAvoiding).distances(),
                         &expected[..],
                         "branch-avoiding, {threads} threads, root {root}"
                     );
                     assert_eq!(
-                        par_bfs_direction_optimizing(g, root, threads).distances(),
+                        dir_bfs(g, root, threads, DirectionConfig::default())
+                            .result
+                            .distances(),
                         &expected[..],
                         "direction-optimizing, {threads} threads, root {root}"
                     );
@@ -759,12 +875,7 @@ mod tests {
         for g in &shapes() {
             let seq = bfs_direction_optimizing(g, 0, DirectionConfig::default());
             for threads in [1, 2, 8] {
-                let par = par_bfs_direction_optimizing_with_config(
-                    g,
-                    0,
-                    threads,
-                    DirectionConfig::default(),
-                );
+                let par = dir_bfs(g, 0, threads, DirectionConfig::default());
                 assert_eq!(par.result.distances(), seq.distances(), "{threads} threads");
                 assert_eq!(par.result.level_count(), seq.level_count());
                 // One expansion step per level with a non-empty frontier.
@@ -779,18 +890,16 @@ mod tests {
     fn pinned_direction_configs_are_honoured() {
         let g = barabasi_albert(800, 4, 11);
         let expected = bfs_distances_reference(&g, 0);
-        let top =
-            par_bfs_direction_optimizing_with_config(&g, 0, 4, DirectionConfig::always_top_down());
+        let top = dir_bfs(&g, 0, 4, DirectionConfig::always_top_down());
         assert_eq!(top.bottom_up_levels(), 0);
         assert_eq!(top.result.distances(), &expected[..]);
-        let bottom =
-            par_bfs_direction_optimizing_with_config(&g, 0, 4, DirectionConfig::always_bottom_up());
+        let bottom = dir_bfs(&g, 0, 4, DirectionConfig::always_bottom_up());
         assert_eq!(bottom.bottom_up_levels(), bottom.directions.len());
         assert!(bottom.bottom_up_levels() > 0);
         assert_eq!(bottom.result.distances(), &expected[..]);
         // The default heuristic actually mixes directions on a power-law
         // graph: its explosive second level crosses the 5% threshold.
-        let auto = par_bfs_direction_optimizing_with_config(&g, 0, 4, DirectionConfig::default());
+        let auto = dir_bfs(&g, 0, 4, DirectionConfig::default());
         assert!(auto.bottom_up_levels() > 0);
         assert!(auto.bottom_up_levels() < auto.directions.len());
         assert_eq!(auto.threads, 4);
@@ -800,12 +909,7 @@ mod tests {
     fn bottom_up_discovery_order_is_level_monotone_and_duplicate_free() {
         let g = grid_2d(20, 20, MeshStencil::VonNeumann);
         for threads in [1, 2, 8] {
-            let run = par_bfs_direction_optimizing_with_config(
-                &g,
-                0,
-                threads,
-                DirectionConfig::always_bottom_up(),
-            );
+            let run = dir_bfs(&g, 0, threads, DirectionConfig::always_bottom_up());
             assert!(check_bfs_invariants(&g, 0, &run.result).is_ok());
             let order = run.result.visit_order();
             assert_eq!(order.len(), run.result.reached_count());
@@ -824,8 +928,8 @@ mod tests {
         let g = grid_2d(9, 9, MeshStencil::VonNeumann);
         for threads in [1, 2, 8] {
             for result in [
-                par_bfs_branch_based(&g, 0, threads),
-                par_bfs_branch_avoiding(&g, 0, threads),
+                bfs(&g, 0, threads, Variant::BranchBased),
+                bfs(&g, 0, threads, Variant::BranchAvoiding),
             ] {
                 assert!(check_bfs_invariants(&g, 0, &result).is_ok());
                 let order = result.visit_order();
@@ -848,16 +952,22 @@ mod tests {
     fn out_of_range_root_reaches_nothing() {
         let g = path_graph(5);
         for threads in [1, 4] {
-            assert_eq!(par_bfs_branch_based(&g, 99, threads).reached_count(), 0);
-            assert_eq!(par_bfs_branch_avoiding(&g, 99, threads).reached_count(), 0);
             assert_eq!(
-                par_bfs_direction_optimizing(&g, 99, threads).reached_count(),
+                bfs(&g, 99, threads, Variant::BranchBased).reached_count(),
                 0
             );
             assert_eq!(
-                par_bfs_branch_based_instrumented(&g, 99, threads).levels(),
+                bfs(&g, 99, threads, Variant::BranchAvoiding).reached_count(),
                 0
             );
+            assert_eq!(
+                dir_bfs(&g, 99, threads, DirectionConfig::default())
+                    .result
+                    .reached_count(),
+                0
+            );
+            let instr = instrumented(&g, 99, threads, BfsStrategy::Plain(Variant::BranchBased));
+            assert_eq!(narrow(instr).levels(), 0);
         }
     }
 
@@ -871,17 +981,39 @@ mod tests {
         // Grain of 1 forces fan-out on every level, even tiny ones.
         for grain in [1, 64, 4096] {
             assert_eq!(
-                par_bfs_branch_avoiding_on(&g, 0, &pool, grain).distances(),
+                run_request_on(
+                    &g,
+                    0,
+                    BfsStrategy::Plain(Variant::BranchAvoiding),
+                    &pool,
+                    grain
+                )
+                .result
+                .distances(),
                 &expected[..]
             );
             assert_eq!(
-                par_bfs_branch_based_on(&g, 0, &scoped, grain).distances(),
+                run_request_on(
+                    &g,
+                    0,
+                    BfsStrategy::Plain(Variant::BranchBased),
+                    &scoped,
+                    grain
+                )
+                .result
+                .distances(),
                 &expected[..]
             );
             assert_eq!(
-                par_bfs_direction_optimizing_on(&g, 0, &pool, grain, DirectionConfig::default())
-                    .result
-                    .distances(),
+                run_request_on(
+                    &g,
+                    0,
+                    BfsStrategy::DirectionOptimizing(DirectionConfig::default()),
+                    &pool,
+                    grain
+                )
+                .result
+                .distances(),
                 &expected[..]
             );
         }
@@ -891,7 +1023,12 @@ mod tests {
     fn instrumented_levels_cover_the_whole_traversal() {
         let g = barabasi_albert(800, 3, 7);
         for threads in [1, 2, 8] {
-            let run = par_bfs_branch_based_instrumented(&g, 0, threads);
+            let run = narrow(instrumented(
+                &g,
+                0,
+                threads,
+                BfsStrategy::Plain(Variant::BranchBased),
+            ));
             let total_vertices: u64 = run
                 .counters
                 .steps
@@ -912,11 +1049,11 @@ mod tests {
     fn instrumented_bottom_up_levels_report_real_tallies() {
         let g = barabasi_albert(800, 4, 11);
         for threads in [1, 2, 8] {
-            let run = par_bfs_direction_optimizing_instrumented(
+            let run = instrumented(
                 &g,
                 0,
                 threads,
-                DirectionConfig::always_bottom_up(),
+                BfsStrategy::DirectionOptimizing(DirectionConfig::always_bottom_up()),
             );
             assert!(run.bottom_up_levels() > 0);
             assert_eq!(run.counters.num_steps(), run.directions.len());
@@ -933,11 +1070,11 @@ mod tests {
             }
             // The auto heuristic mixes directions on this graph and still
             // tallies every level.
-            let auto = par_bfs_direction_optimizing_instrumented(
+            let auto = instrumented(
                 &g,
                 0,
                 threads,
-                DirectionConfig::default(),
+                BfsStrategy::DirectionOptimizing(DirectionConfig::default()),
             );
             assert!(auto.bottom_up_levels() > 0);
             assert_eq!(auto.counters.num_steps(), auto.directions.len());
@@ -949,8 +1086,8 @@ mod tests {
     #[test]
     fn branch_contrast_survives_parallelism() {
         let g = grid_2d(45, 45, MeshStencil::Moore);
-        let based = par_bfs_branch_based_instrumented(&g, 0, 4);
-        let avoiding = par_bfs_branch_avoiding_instrumented(&g, 0, 4);
+        let based = instrumented(&g, 0, 4, BfsStrategy::Plain(Variant::BranchBased));
+        let avoiding = instrumented(&g, 0, 4, BfsStrategy::Plain(Variant::BranchAvoiding));
         assert_eq!(based.result.distances(), avoiding.result.distances());
         let b = based.counters.total();
         let a = avoiding.counters.total();
@@ -968,7 +1105,12 @@ mod tests {
         // untouched — the partial state the cancellation API promises.
         let g = path_graph(40);
         let token = CancelToken::new().with_phase_budget(5);
-        let (run, outcome) = par_bfs_branch_avoiding_with_cancel(&g, 0, 2, &token);
+        let (run, outcome) = run_request(
+            &g,
+            0,
+            BfsStrategy::Plain(Variant::BranchAvoiding),
+            &RunConfig::new().threads(2).cancel(&token),
+        );
         assert_eq!(
             outcome.reason(),
             Some(crate::cancel::InterruptReason::PhaseBudgetExhausted)
@@ -982,7 +1124,12 @@ mod tests {
         }
         assert_eq!(run.result.visit_order(), &[0, 1, 2, 3, 4, 5]);
 
-        let (based, based_outcome) = par_bfs_branch_based_with_cancel(&g, 0, 2, &token);
+        let (based, based_outcome) = run_request(
+            &g,
+            0,
+            BfsStrategy::Plain(Variant::BranchBased),
+            &RunConfig::new().threads(2).cancel(&token),
+        );
         assert!(!based_outcome.is_completed());
         assert_eq!(based.result.distances(), run.result.distances());
     }
@@ -991,15 +1138,24 @@ mod tests {
     fn uncancelled_bfs_tokens_complete_and_match_the_plain_run() {
         let g = barabasi_albert(500, 3, 13);
         let token = CancelToken::new();
-        let (run, outcome) =
-            par_bfs_direction_optimizing_with_cancel(&g, 0, 4, DirectionConfig::default(), &token);
+        let (run, outcome) = run_request(
+            &g,
+            0,
+            BfsStrategy::DirectionOptimizing(DirectionConfig::default()),
+            &RunConfig::new().threads(4).cancel(&token),
+        );
         assert!(outcome.is_completed());
-        let reference = par_bfs_direction_optimizing(&g, 0, 4);
-        assert_eq!(run.result.distances(), reference.distances());
+        let reference = dir_bfs(&g, 0, 4, DirectionConfig::default());
+        assert_eq!(run.result.distances(), reference.result.distances());
 
         let pre_cancelled = CancelToken::new();
         pre_cancelled.cancel();
-        let (cut, cut_outcome) = par_bfs_branch_avoiding_with_cancel(&g, 0, 2, &pre_cancelled);
+        let (cut, cut_outcome) = run_request(
+            &g,
+            0,
+            BfsStrategy::Plain(Variant::BranchAvoiding),
+            &RunConfig::new().threads(2).cancel(&pre_cancelled),
+        );
         assert_eq!(
             cut_outcome.reason(),
             Some(crate::cancel::InterruptReason::Cancelled)
@@ -1007,5 +1163,25 @@ mod tests {
         // Only the root was seeded before the first phase boundary check.
         assert_eq!(cut.result.reached_count(), 1);
         assert_eq!(cut.result.distances()[0], 0);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_the_request_api() {
+        let g = barabasi_albert(400, 3, 17);
+        let expected = bfs_distances_reference(&g, 0);
+        assert_eq!(par_bfs_branch_based(&g, 0, 2).distances(), &expected[..]);
+        assert_eq!(par_bfs_branch_avoiding(&g, 0, 2).distances(), &expected[..]);
+        assert_eq!(
+            par_bfs_direction_optimizing(&g, 0, 2).distances(),
+            &expected[..]
+        );
+        let instr = par_bfs_branch_avoiding_instrumented(&g, 0, 2);
+        assert_eq!(instr.result.distances(), &expected[..]);
+        assert!(instr.counters.num_steps() > 0);
+        let token = CancelToken::new();
+        let (cancelled, outcome) = par_bfs_branch_based_with_cancel(&g, 0, 2, &token);
+        assert!(outcome.is_completed());
+        assert_eq!(cancelled.result.distances(), &expected[..]);
     }
 }

@@ -50,6 +50,7 @@ use crate::pool::{
     balanced_prefix_ranges, effective_chunks_with_grain, even_ranges, Execute, PoolConfig,
     PoolMonitor, WorkerPool,
 };
+use crate::request::{RunConfig, Variant};
 use crate::trace::{emit_degradation_warning, run_footprint, TraceRun};
 use bga_graph::{AdjacencySource, VertexId};
 use bga_kernels::kcore::CoreDecomposition;
@@ -65,14 +66,9 @@ const UNPEELED: u32 = u32::MAX;
 
 /// Which per-edge peeling discipline a parallel k-core run uses. Both
 /// produce identical core numbers; they differ only in the instruction
-/// mix, mirroring the SV pair.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum KcoreVariant {
-    /// Test-and-CAS degree decrement, branch-guarded enqueue.
-    BranchBased,
-    /// Unconditional `fetch_sub` decrement, predicated enqueue.
-    BranchAvoiding,
-}
+/// mix, mirroring the SV pair. An alias of the unified
+/// [`crate::request::Variant`].
+pub use crate::request::Variant as KcoreVariant;
 
 /// Result of an instrumented parallel k-core run.
 #[derive(Clone, Debug)]
@@ -408,78 +404,136 @@ fn peel_on<
     (cores, rounds, collect_run(steps), outcome)
 }
 
+/// The unified request driver behind [`crate::request::run_kcore`]:
+/// observed runs (trace sink or cancel token) go through the monitored
+/// driver, everything else through the unmonitored fast path with the
+/// tally compiled in or out by `config.instrumented`.
+pub(crate) fn run_request<G: AdjacencySource, S: TraceSink>(
+    graph: &G,
+    variant: Variant,
+    config: &RunConfig<'_, S>,
+) -> (ParKcoreRun, RunOutcome) {
+    let pool_config = config.pool_config();
+    if config.observed() {
+        return par_kcore_run_impl(graph, &pool_config, variant, config.sink, config.cancel);
+    }
+    let pool = WorkerPool::with_config(&pool_config);
+    let grain = pool_config.grain;
+    let (cores, rounds, counters, outcome) = match (variant, config.instrumented) {
+        (Variant::BranchAvoiding, false) => {
+            peel_on::<G, _, true, false, _>(graph, &pool, grain, &NoopSink, None)
+        }
+        (Variant::BranchAvoiding, true) => {
+            peel_on::<G, _, true, true, _>(graph, &pool, grain, &NoopSink, None)
+        }
+        (Variant::BranchBased, false) => {
+            peel_on::<G, _, false, false, _>(graph, &pool, grain, &NoopSink, None)
+        }
+        (Variant::BranchBased, true) => {
+            peel_on::<G, _, false, true, _>(graph, &pool, grain, &NoopSink, None)
+        }
+    };
+    (
+        ParKcoreRun {
+            cores,
+            counters,
+            threads: pool.threads(),
+            rounds,
+        },
+        outcome,
+    )
+}
+
+/// [`run_request`] on an explicit executor: plain kernels, the bench seam.
+pub(crate) fn run_request_on<G: AdjacencySource, E: Execute>(
+    graph: &G,
+    variant: Variant,
+    exec: &E,
+    grain: usize,
+) -> ParKcoreRun {
+    let (cores, rounds, counters, _) = match variant {
+        Variant::BranchAvoiding => {
+            peel_on::<G, E, true, false, _>(graph, exec, grain, &NoopSink, None)
+        }
+        Variant::BranchBased => {
+            peel_on::<G, E, false, false, _>(graph, exec, grain, &NoopSink, None)
+        }
+    };
+    ParKcoreRun {
+        cores,
+        counters,
+        threads: exec.parallelism(),
+        rounds,
+    }
+}
+
 /// Parallel k-core decomposition with the branch-avoiding peel (the
 /// default discipline, as in the SV/BFS pairs). `threads == 0` uses every
 /// available core. Core numbers are identical to
 /// [`bga_kernels::kcore::kcore_peeling`] at every thread count.
+#[deprecated(note = "use bga_parallel::request::run_kcore with RunConfig")]
 pub fn par_kcore<G: AdjacencySource>(graph: &G, threads: usize) -> CoreDecomposition {
-    par_kcore_with_variant(graph, threads, KcoreVariant::BranchAvoiding)
+    run_request(
+        graph,
+        Variant::BranchAvoiding,
+        &RunConfig::new().threads(threads),
+    )
+    .0
+    .cores
 }
 
 /// Parallel k-core decomposition with an explicit peeling discipline.
+#[deprecated(note = "use bga_parallel::request::run_kcore with RunConfig")]
 pub fn par_kcore_with_variant<G: AdjacencySource>(
     graph: &G,
     threads: usize,
     variant: KcoreVariant,
 ) -> CoreDecomposition {
-    par_kcore_with_stats(graph, threads, variant).0
+    run_request(graph, variant, &RunConfig::new().threads(threads))
+        .0
+        .cores
 }
 
 /// As [`par_kcore_with_variant`], also returning the cascade-round count.
+#[deprecated(note = "use bga_parallel::request::run_kcore with RunConfig")]
 pub fn par_kcore_with_stats<G: AdjacencySource>(
     graph: &G,
     threads: usize,
     variant: KcoreVariant,
 ) -> (CoreDecomposition, usize) {
-    let config = PoolConfig::from_env(threads);
-    let pool = WorkerPool::with_config(&config);
-    par_kcore_on(graph, &pool, config.grain, variant)
+    let run = run_request(graph, variant, &RunConfig::new().threads(threads)).0;
+    (run.cores, run.rounds)
 }
 
 /// [`par_kcore_with_stats`] on an explicit executor — the seam the
 /// benchmarks and forced-fan-out tests use.
+#[deprecated(note = "use bga_parallel::request::run_kcore_on")]
 pub fn par_kcore_on<G: AdjacencySource, E: Execute>(
     graph: &G,
     exec: &E,
     grain: usize,
     variant: KcoreVariant,
 ) -> (CoreDecomposition, usize) {
-    let (cores, rounds, _, _) = match variant {
-        KcoreVariant::BranchAvoiding => {
-            peel_on::<G, E, true, false, _>(graph, exec, grain, &NoopSink, None)
-        }
-        KcoreVariant::BranchBased => {
-            peel_on::<G, E, false, false, _>(graph, exec, grain, &NoopSink, None)
-        }
-    };
-    (cores, rounds)
+    let run = run_request_on(graph, variant, exec, grain);
+    (run.cores, run.rounds)
 }
 
 /// Instrumented parallel k-core: every worker tallies the loads, stores
 /// and branches it executes; tallies merge into one
 /// [`bga_kernels::stats::StepCounters`] per dispatch (seed sweeps and
 /// cascade rounds alike).
+#[deprecated(note = "use bga_parallel::request::run_kcore with RunConfig::instrumented")]
 pub fn par_kcore_instrumented<G: AdjacencySource>(
     graph: &G,
     threads: usize,
     variant: KcoreVariant,
 ) -> ParKcoreRun {
-    let config = PoolConfig::from_env(threads);
-    let pool = WorkerPool::with_config(&config);
-    let (cores, rounds, counters, _) = match variant {
-        KcoreVariant::BranchAvoiding => {
-            peel_on::<G, _, true, true, _>(graph, &pool, config.grain, &NoopSink, None)
-        }
-        KcoreVariant::BranchBased => {
-            peel_on::<G, _, false, true, _>(graph, &pool, config.grain, &NoopSink, None)
-        }
-    };
-    ParKcoreRun {
-        cores,
-        counters,
-        threads: pool.threads(),
-        rounds,
-    }
+    run_request(
+        graph,
+        variant,
+        &RunConfig::new().threads(threads).instrumented(true),
+    )
+    .0
 }
 
 /// [`par_kcore_instrumented`] with a [`TraceSink`] receiving the run's
@@ -489,13 +543,19 @@ pub fn par_kcore_instrumented<G: AdjacencySource>(
 /// (frontier = discovered = vertices peeled), the worker pool's batch
 /// metrics and the run trailer. Core numbers and counters are identical
 /// to the instrumented run.
+#[deprecated(note = "use bga_parallel::request::run_kcore with RunConfig::traced")]
 pub fn par_kcore_traced<G: AdjacencySource, S: TraceSink>(
     graph: &G,
     threads: usize,
     variant: KcoreVariant,
     sink: &S,
 ) -> ParKcoreRun {
-    par_kcore_run_impl(graph, threads, variant, sink, None).0
+    run_request(
+        graph,
+        variant,
+        &RunConfig::new().threads(threads).traced(sink),
+    )
+    .0
 }
 
 /// Shared monitored driver behind the traced and cancellable k-core
@@ -503,23 +563,18 @@ pub fn par_kcore_traced<G: AdjacencySource, S: TraceSink>(
 /// metrics replay and an outcome-marked trailer.
 fn par_kcore_run_impl<G: AdjacencySource, S: TraceSink>(
     graph: &G,
-    threads: usize,
-    variant: KcoreVariant,
+    config: &PoolConfig,
+    variant: Variant,
     sink: &S,
     cancel: Option<&CancelToken>,
 ) -> (ParKcoreRun, RunOutcome) {
-    let config = PoolConfig::from_env(threads);
     let monitor = PoolMonitor::new();
     let pool = WorkerPool::with_monitor(config.threads, Arc::clone(&monitor));
     let scope = TraceRun::start(
         sink,
         TraceEvent::RunStart {
             kernel: "kcore".to_string(),
-            variant: match variant {
-                KcoreVariant::BranchBased => "branch-based",
-                KcoreVariant::BranchAvoiding => "branch-avoiding",
-            }
-            .to_string(),
+            variant: variant.as_str().to_string(),
             vertices: graph.num_vertices(),
             edges: graph.num_edge_slots(),
             threads: pool.threads(),
@@ -530,10 +585,10 @@ fn par_kcore_run_impl<G: AdjacencySource, S: TraceSink>(
         },
     );
     let (cores, rounds, counters, outcome) = match variant {
-        KcoreVariant::BranchAvoiding => {
+        Variant::BranchAvoiding => {
             peel_on::<G, _, true, true, _>(graph, &pool, config.grain, &scope, cancel)
         }
-        KcoreVariant::BranchBased => {
+        Variant::BranchBased => {
             peel_on::<G, _, false, true, _>(graph, &pool, config.grain, &scope, cancel)
         }
     };
@@ -556,18 +611,24 @@ fn par_kcore_run_impl<G: AdjacencySource, S: TraceSink>(
 /// cascade at a fixed `k` is confluent, so a peeled prefix is always a
 /// prefix of the full decomposition — and every unpeeled vertex marked
 /// `u32::MAX`.
+#[deprecated(note = "use bga_parallel::request::run_kcore with RunConfig::cancel")]
 pub fn par_kcore_with_cancel<G: AdjacencySource>(
     graph: &G,
     threads: usize,
     variant: KcoreVariant,
     cancel: &CancelToken,
 ) -> (ParKcoreRun, RunOutcome) {
-    par_kcore_run_impl(graph, threads, variant, &NoopSink, Some(cancel))
+    run_request(
+        graph,
+        variant,
+        &RunConfig::new().threads(threads).cancel(cancel),
+    )
 }
 
 /// [`par_kcore_traced`] with a [`CancelToken`]: an interrupted run still
 /// emits a complete `bga-trace-v1` document whose trailer carries the
 /// interruption reason.
+#[deprecated(note = "use bga_parallel::request::run_kcore with RunConfig::traced + cancel")]
 pub fn par_kcore_traced_with_cancel<G: AdjacencySource, S: TraceSink>(
     graph: &G,
     threads: usize,
@@ -575,7 +636,14 @@ pub fn par_kcore_traced_with_cancel<G: AdjacencySource, S: TraceSink>(
     sink: &S,
     cancel: &CancelToken,
 ) -> (ParKcoreRun, RunOutcome) {
-    par_kcore_run_impl(graph, threads, variant, sink, Some(cancel))
+    run_request(
+        graph,
+        variant,
+        &RunConfig::new()
+            .threads(threads)
+            .traced(sink)
+            .cancel(cancel),
+    )
 }
 
 #[cfg(test)]
@@ -609,14 +677,27 @@ mod tests {
         ]
     }
 
+    fn run<G: AdjacencySource>(g: &G, threads: usize, variant: Variant) -> ParKcoreRun {
+        run_request(g, variant, &RunConfig::new().threads(threads)).0
+    }
+
+    fn instrumented<G: AdjacencySource>(g: &G, threads: usize, variant: Variant) -> ParKcoreRun {
+        run_request(
+            g,
+            variant,
+            &RunConfig::new().threads(threads).instrumented(true),
+        )
+        .0
+    }
+
     #[test]
     fn cores_match_sequential_peeling_for_every_thread_count() {
         for g in &shapes() {
             let expected = kcore_peeling(g);
             for threads in [1, 2, 3, 8] {
-                for variant in [KcoreVariant::BranchBased, KcoreVariant::BranchAvoiding] {
+                for variant in [Variant::BranchBased, Variant::BranchAvoiding] {
                     assert_eq!(
-                        par_kcore_with_variant(g, threads, variant).as_slice(),
+                        run(g, threads, variant).cores.as_slice(),
                         expected.as_slice(),
                         "{variant:?}, {threads} threads, {} vertices",
                         g.num_vertices()
@@ -634,13 +715,16 @@ mod tests {
         let scoped = ScopedExecutor::new(4);
         // Grain 1 forces every seed sweep and cascade round to fan out.
         for grain in [1, 4096] {
-            for variant in [KcoreVariant::BranchBased, KcoreVariant::BranchAvoiding] {
-                let (pool_cores, pool_rounds) = par_kcore_on(&g, &pool, grain, variant);
-                let (scoped_cores, scoped_rounds) = par_kcore_on(&g, &scoped, grain, variant);
-                assert_eq!(pool_cores.as_slice(), expected.as_slice());
-                assert_eq!(scoped_cores.as_slice(), expected.as_slice());
+            for variant in [Variant::BranchBased, Variant::BranchAvoiding] {
+                let pool_run = run_request_on(&g, variant, &pool, grain);
+                let scoped_run = run_request_on(&g, variant, &scoped, grain);
+                assert_eq!(pool_run.cores.as_slice(), expected.as_slice());
+                assert_eq!(scoped_run.cores.as_slice(), expected.as_slice());
                 // Cascade structure is deterministic, not just the values.
-                assert_eq!(pool_rounds, scoped_rounds, "{variant:?} grain {grain}");
+                assert_eq!(
+                    pool_run.rounds, scoped_run.rounds,
+                    "{variant:?} grain {grain}"
+                );
             }
         }
     }
@@ -649,19 +733,19 @@ mod tests {
     fn cascade_rounds_track_the_peel_structure() {
         // A path peels from both ends inwards: ~n/2 cascade rounds at k=1.
         let g = path_graph(20);
-        let (cores, rounds) = par_kcore_with_stats(&g, 2, KcoreVariant::BranchAvoiding);
-        assert!(cores.as_slice().iter().all(|&c| c == 1));
-        assert_eq!(rounds, 10);
+        let r = run(&g, 2, Variant::BranchAvoiding);
+        assert!(r.cores.as_slice().iter().all(|&c| c == 1));
+        assert_eq!(r.rounds, 10);
         // A complete graph peels in one round once k reaches n - 1.
         let g = complete_graph(8);
-        let (cores, rounds) = par_kcore_with_stats(&g, 2, KcoreVariant::BranchAvoiding);
-        assert!(cores.as_slice().iter().all(|&c| c == 7));
-        assert_eq!(rounds, 1);
+        let r = run(&g, 2, Variant::BranchAvoiding);
+        assert!(r.cores.as_slice().iter().all(|&c| c == 7));
+        assert_eq!(r.rounds, 1);
         // The empty graph peels nothing in zero rounds.
         let g = GraphBuilder::undirected(0).build();
-        let (cores, rounds) = par_kcore_with_stats(&g, 2, KcoreVariant::BranchAvoiding);
-        assert!(cores.is_empty());
-        assert_eq!(rounds, 0);
+        let r = run(&g, 2, Variant::BranchAvoiding);
+        assert!(r.cores.is_empty());
+        assert_eq!(r.rounds, 0);
     }
 
     #[test]
@@ -671,7 +755,7 @@ mod tests {
         // of sweeping every intermediate k. Dispatches: the empty k = 0
         // sweep, the k = 31 seed sweep, one cascade round.
         let g = complete_graph(32);
-        let run = par_kcore_instrumented(&g, 2, KcoreVariant::BranchAvoiding);
+        let run = instrumented(&g, 2, Variant::BranchAvoiding);
         assert!(run.cores.as_slice().iter().all(|&c| c == 31));
         assert_eq!(run.rounds, 1);
         assert_eq!(run.counters.num_steps(), 3);
@@ -681,8 +765,8 @@ mod tests {
     fn instrumented_runs_account_the_peel() {
         let g = barabasi_albert(2_000, 3, 7);
         for threads in [1, 2, 8] {
-            for variant in [KcoreVariant::BranchBased, KcoreVariant::BranchAvoiding] {
-                let run = par_kcore_instrumented(&g, threads, variant);
+            for variant in [Variant::BranchBased, Variant::BranchAvoiding] {
+                let run = instrumented(&g, threads, variant);
                 assert_eq!(run.threads, threads);
                 assert_eq!(run.cores.as_slice(), kcore_peeling(&g).as_slice());
                 assert!(run.rounds > 0);
@@ -708,8 +792,8 @@ mod tests {
         // bound, while the avoiding peel reports more stores and real
         // predicated-operation counts.
         let g = erdos_renyi_gnm(1_500, 4_500, 21);
-        let based = par_kcore_instrumented(&g, 4, KcoreVariant::BranchBased);
-        let avoiding = par_kcore_instrumented(&g, 4, KcoreVariant::BranchAvoiding);
+        let based = instrumented(&g, 4, Variant::BranchBased);
+        let avoiding = instrumented(&g, 4, Variant::BranchAvoiding);
         assert_eq!(based.cores.as_slice(), avoiding.cores.as_slice());
         let b = based.counters.total();
         let a = avoiding.counters.total();
@@ -728,7 +812,11 @@ mod tests {
         let g = path_graph(40);
         let expected = kcore_peeling(&g);
         let token = CancelToken::new().with_phase_budget(4);
-        let (run, outcome) = par_kcore_with_cancel(&g, 2, KcoreVariant::BranchAvoiding, &token);
+        let (run, outcome) = run_request(
+            &g,
+            Variant::BranchAvoiding,
+            &RunConfig::new().threads(2).cancel(&token),
+        );
         assert_eq!(
             outcome.reason(),
             Some(InterruptReason::PhaseBudgetExhausted)
@@ -751,7 +839,11 @@ mod tests {
     fn uncancelled_kcore_tokens_complete_and_match() {
         let g = barabasi_albert(500, 3, 13);
         let token = CancelToken::new();
-        let (run, outcome) = par_kcore_with_cancel(&g, 2, KcoreVariant::BranchBased, &token);
+        let (run, outcome) = run_request(
+            &g,
+            Variant::BranchBased,
+            &RunConfig::new().threads(2).cancel(&token),
+        );
         assert!(outcome.is_completed());
         assert_eq!(run.cores.as_slice(), kcore_peeling(&g).as_slice());
     }
@@ -760,9 +852,29 @@ mod tests {
     fn degeneracy_and_histogram_survive_the_parallel_path() {
         let g = barabasi_albert(400, 3, 3);
         let seq = kcore_peeling(&g);
-        let par = par_kcore(&g, 4);
+        let par = run(&g, 4, Variant::BranchAvoiding).cores;
         assert_eq!(par.degeneracy(), seq.degeneracy());
         assert_eq!(par.histogram(), seq.histogram());
         assert_eq!(par.k_core_size(2), seq.k_core_size(2));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_the_request_api() {
+        let g = barabasi_albert(300, 3, 5);
+        let expected = kcore_peeling(&g);
+        assert_eq!(par_kcore(&g, 2).as_slice(), expected.as_slice());
+        assert_eq!(
+            par_kcore_with_variant(&g, 2, KcoreVariant::BranchBased).as_slice(),
+            expected.as_slice()
+        );
+        let instr = par_kcore_instrumented(&g, 2, KcoreVariant::BranchAvoiding);
+        assert_eq!(instr.cores.as_slice(), expected.as_slice());
+        assert!(instr.counters.num_steps() > 0);
+        let token = CancelToken::new();
+        let (cancelled, outcome) =
+            par_kcore_with_cancel(&g, 2, KcoreVariant::BranchAvoiding, &token);
+        assert!(outcome.is_completed());
+        assert_eq!(cancelled.cores.as_slice(), expected.as_slice());
     }
 }

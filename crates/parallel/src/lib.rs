@@ -61,15 +61,23 @@
 //!   instrumented parallel runs feed the same figures/report machinery as
 //!   the sequential kernels.
 //!
+//! Every kernel is driven through one front door: the [`request`] module.
+//! A [`request::RunConfig`] carries the run-shaping knobs (thread count,
+//! grain override, instrumentation, an optional [`bga_obs::TraceSink`],
+//! an optional [`CancelToken`]) and each kernel has a single typed entry
+//! point (`request::run_bfs`, `request::run_components`, ...) plus the
+//! dynamic [`request::run`] dispatch over a [`request::KernelRequest`].
+//! The historical `par_*_{with_variant,on,instrumented,traced,with_cancel}`
+//! entry points remain as deprecated one-line shims over the request API.
+//!
 //! Every engine loop also carries a [`bga_obs::TraceSink`] seam
-//! (`run_traced` on [`LevelLoop`], [`SweepLoop`] and [`BucketLoop`]), and
-//! each kernel has a `par_*_traced` entry point that emits the full
-//! `bga-trace-v1` event stream — run header, one structured event per
-//! phase, worker-pool batch metrics from a monitored pool
-//! ([`pool::PoolMonitor`]) and a totals trailer. The sink is a const
-//! generic switch like the kernels' `TALLY`: instantiated with
-//! [`bga_obs::NoopSink`], every emission site compiles out and the traced
-//! paths are bit-identical to the untraced ones.
+//! (`run_traced` on [`LevelLoop`], [`SweepLoop`] and [`BucketLoop`]); a
+//! traced request emits the full `bga-trace-v1` event stream — run
+//! header, one structured event per phase, worker-pool batch metrics from
+//! a monitored pool ([`pool::PoolMonitor`]) and a totals trailer. The
+//! sink is a const generic switch like the kernels' `TALLY`: instantiated
+//! with [`bga_obs::NoopSink`], every emission site compiles out and the
+//! traced paths are bit-identical to the untraced ones.
 //!
 //! Results are deterministic where it matters: SV labels, BFS distances
 //! and betweenness scores are identical to the sequential kernels for
@@ -81,17 +89,16 @@
 //! ```
 //! use bga_graph::generators::{grid_2d, MeshStencil};
 //! use bga_kernels::cc::sv_branch_avoiding;
-//! use bga_parallel::{par_bfs_direction_optimizing, par_sv_branch_avoiding};
+//! use bga_parallel::request::{run_bfs, run_components, BfsStrategy, RunConfig, Variant};
 //!
 //! let g = grid_2d(16, 16, MeshStencil::VonNeumann);
 //! // Identical labels to the sequential kernel, at any thread count.
-//! assert_eq!(
-//!     par_sv_branch_avoiding(&g, 4).as_slice(),
-//!     sv_branch_avoiding(&g).as_slice(),
-//! );
+//! let (cc, _) = run_components(&g, Variant::BranchAvoiding, &RunConfig::new().threads(4));
+//! assert_eq!(cc.labels.as_slice(), sv_branch_avoiding(&g).as_slice());
 //! // threads == 0 means "use every available core".
-//! let bfs = par_bfs_direction_optimizing(&g, 0, 0);
-//! assert_eq!(bfs.reached_count(), g.num_vertices());
+//! let strategy = BfsStrategy::Plain(Variant::BranchAvoiding);
+//! let (bfs, _) = run_bfs(&g, 0, strategy, &RunConfig::new());
+//! assert_eq!(bfs.result.reached_count(), g.num_vertices());
 //! ```
 
 #![warn(missing_docs)]
@@ -106,17 +113,22 @@ pub mod engine;
 pub mod fault;
 pub mod kcore;
 pub mod pool;
+pub mod request;
 pub mod sssp;
 pub mod sv;
 mod trace;
 
+pub use request::{BfsStrategy, KernelOutput, KernelRequest, RequestError, RunConfig, Variant};
+
+#[allow(deprecated)]
 pub use bc::{
     par_betweenness_centrality, par_betweenness_centrality_on, par_betweenness_centrality_sources,
     par_betweenness_centrality_sources_on, par_betweenness_centrality_sources_traced,
     par_betweenness_centrality_sources_traced_with_cancel,
     par_betweenness_centrality_sources_with_cancel, par_betweenness_centrality_traced,
-    par_betweenness_centrality_with_variant, BcVariant,
+    par_betweenness_centrality_with_variant, BcVariant, ParBcRun,
 };
+#[allow(deprecated)]
 pub use bfs::{
     par_bfs_branch_avoiding, par_bfs_branch_avoiding_instrumented, par_bfs_branch_avoiding_on,
     par_bfs_branch_avoiding_traced, par_bfs_branch_avoiding_traced_with_cancel,
@@ -136,6 +148,7 @@ pub use engine::{
     LevelRun, SweepKernel, SweepLoop, SweepRun, TraversalState,
 };
 pub use fault::{parse_fault_spec, FaultPlan, FAULT_ENV_VAR, FAULT_INJECTION};
+#[allow(deprecated)]
 pub use kcore::{
     par_kcore, par_kcore_instrumented, par_kcore_on, par_kcore_traced,
     par_kcore_traced_with_cancel, par_kcore_with_cancel, par_kcore_with_stats,
@@ -145,6 +158,7 @@ pub use pool::{
     edge_balanced_ranges, resolve_threads, run_chunks, BatchRecord, Execute, PoolConfig, PoolError,
     PoolMetrics, PoolMonitor, ScopedExecutor, WorkerPool, GRAIN_ENV_VAR, PARALLEL_GRAIN,
 };
+#[allow(deprecated)]
 pub use sssp::{
     par_sssp_unit, par_sssp_unit_instrumented, par_sssp_unit_on, par_sssp_unit_traced,
     par_sssp_unit_traced_with_cancel, par_sssp_unit_with_cancel, par_sssp_unit_with_variant,
@@ -153,6 +167,7 @@ pub use sssp::{
     par_sssp_weighted_with_cancel, par_sssp_weighted_with_variant, BranchAvoidingRelax,
     BranchBasedRelax, ParSsspRun, ParWssspRun, SsspVariant,
 };
+#[allow(deprecated)]
 pub use sv::{
     par_sv_branch_avoiding, par_sv_branch_avoiding_instrumented, par_sv_branch_avoiding_on,
     par_sv_branch_avoiding_resumed, par_sv_branch_avoiding_traced,

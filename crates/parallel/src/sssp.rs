@@ -40,37 +40,23 @@ use crate::engine::{
     BucketCtx, BucketKernel, BucketLoop, Direction, EdgeClass, LevelLoop, TraversalState,
 };
 use crate::pool::{Execute, PoolConfig, PoolMonitor, WorkerPool};
+use crate::request::{RunConfig, Variant};
 use crate::trace::{emit_degradation_warning, run_footprint, TraceRun};
 use bga_graph::{AdjacencySource, VertexId, WeightedAdjacencySource};
 use bga_kernels::bfs::direction_optimizing::DirectionConfig;
 use bga_kernels::bfs::INFINITY;
 use bga_kernels::sssp::SsspResult;
 use bga_kernels::stats::RunCounters;
-use bga_obs::{NoopSink, TraceEvent, TraceSink};
+use bga_obs::{TraceEvent, TraceSink};
 use std::ops::Range;
 use std::sync::atomic::Ordering::Relaxed;
 use std::sync::Arc;
 
-/// Which per-edge relaxation discipline a parallel unit-weight SSSP run
-/// uses. Both settle identical distances; they differ only in the
-/// instruction mix, mirroring the BFS pair.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum SsspVariant {
-    /// Test-and-CAS distance claim.
-    BranchBased,
-    /// `fetch_min` distance claim with the predicated bucket write.
-    BranchAvoiding,
-}
-
-impl SsspVariant {
-    /// The serialized variant name trace headers carry.
-    fn as_str(self) -> &'static str {
-        match self {
-            SsspVariant::BranchBased => "branch-based",
-            SsspVariant::BranchAvoiding => "branch-avoiding",
-        }
-    }
-}
+/// Which per-edge relaxation discipline a parallel SSSP run uses. Both
+/// settle identical distances; they differ only in the instruction mix,
+/// mirroring the BFS pair. An alias of the unified
+/// [`crate::request::Variant`].
+pub use crate::request::Variant as SsspVariant;
 
 /// Result of an instrumented parallel unit-weight SSSP run.
 #[derive(Clone, Debug)]
@@ -97,32 +83,111 @@ impl ParSsspRun {
     }
 }
 
+/// The unified unit-weight request driver behind
+/// [`crate::request::run_sssp_unit`]: observed runs (trace sink or cancel
+/// token) go through the monitored driver, everything else through the
+/// unmonitored fast path with the tally compiled in or out by
+/// `config.instrumented`.
+pub(crate) fn run_unit_request<G: AdjacencySource, S: TraceSink>(
+    graph: &G,
+    source: VertexId,
+    variant: Variant,
+    config: &RunConfig<'_, S>,
+) -> (ParSsspRun, RunOutcome) {
+    let pool_config = config.pool_config();
+    if config.observed() {
+        return par_sssp_unit_run_impl(
+            graph,
+            source,
+            &pool_config,
+            variant,
+            config.sink,
+            config.cancel,
+        );
+    }
+    let pool = WorkerPool::with_config(&pool_config);
+    let state = TraversalState::new(graph.num_vertices());
+    let level_loop = LevelLoop::new(graph, &pool, pool_config.grain, DirectionConfig::default());
+    let run = match (variant, config.instrumented) {
+        (Variant::BranchAvoiding, false) => {
+            level_loop.run(&state, source, &BranchAvoidingLevel::<false>)
+        }
+        (Variant::BranchAvoiding, true) => {
+            level_loop.run(&state, source, &BranchAvoidingLevel::<true>)
+        }
+        (Variant::BranchBased, false) => level_loop.run(&state, source, &BranchBasedLevel::<false>),
+        (Variant::BranchBased, true) => level_loop.run(&state, source, &BranchBasedLevel::<true>),
+    };
+    (
+        ParSsspRun {
+            result: SsspResult::new(state.into_distances(), run.directions.len()),
+            directions: run.directions,
+            counters: run.counters,
+            threads: pool.threads(),
+        },
+        RunOutcome::Completed,
+    )
+}
+
+/// [`run_unit_request`] on an explicit executor: plain kernels, the bench
+/// seam.
+pub(crate) fn run_unit_request_on<G: AdjacencySource, E: Execute>(
+    graph: &G,
+    source: VertexId,
+    variant: Variant,
+    exec: &E,
+    grain: usize,
+) -> ParSsspRun {
+    let state = TraversalState::new(graph.num_vertices());
+    let level_loop = LevelLoop::new(graph, exec, grain, DirectionConfig::default());
+    let run = match variant {
+        Variant::BranchAvoiding => level_loop.run(&state, source, &BranchAvoidingLevel::<false>),
+        Variant::BranchBased => level_loop.run(&state, source, &BranchBasedLevel::<false>),
+    };
+    ParSsspRun {
+        result: SsspResult::new(state.into_distances(), run.directions.len()),
+        directions: run.directions,
+        counters: run.counters,
+        threads: exec.parallelism(),
+    }
+}
+
 /// Parallel unit-weight SSSP from `source` with the branch-avoiding
 /// relaxation (the default discipline) and the default direction
 /// heuristic. `threads == 0` uses every available core; a source outside
 /// the vertex range yields an all-unreached result.
+#[deprecated(note = "use bga_parallel::request::run_sssp_unit with RunConfig")]
 pub fn par_sssp_unit<G: AdjacencySource>(
     graph: &G,
     source: VertexId,
     threads: usize,
 ) -> SsspResult {
-    par_sssp_unit_with_variant(graph, source, threads, SsspVariant::BranchAvoiding)
+    run_unit_request(
+        graph,
+        source,
+        Variant::BranchAvoiding,
+        &RunConfig::new().threads(threads),
+    )
+    .0
+    .result
 }
 
 /// Parallel unit-weight SSSP with an explicit relaxation discipline.
+#[deprecated(note = "use bga_parallel::request::run_sssp_unit with RunConfig")]
 pub fn par_sssp_unit_with_variant<G: AdjacencySource>(
     graph: &G,
     source: VertexId,
     threads: usize,
     variant: SsspVariant,
 ) -> SsspResult {
-    let config = PoolConfig::from_env(threads);
-    let pool = WorkerPool::with_config(&config);
-    par_sssp_unit_on(graph, source, &pool, config.grain, variant)
+    run_unit_request(graph, source, variant, &RunConfig::new().threads(threads))
+        .0
+        .result
 }
 
 /// [`par_sssp_unit_with_variant`] on an explicit executor — the seam the
 /// benchmarks and forced-fan-out tests use.
+#[deprecated(note = "use bga_parallel::request::run_sssp_unit_on")]
 pub fn par_sssp_unit_on<G: AdjacencySource, E: Execute>(
     graph: &G,
     source: VertexId,
@@ -130,40 +195,26 @@ pub fn par_sssp_unit_on<G: AdjacencySource, E: Execute>(
     grain: usize,
     variant: SsspVariant,
 ) -> SsspResult {
-    let state = TraversalState::new(graph.num_vertices());
-    let level_loop = LevelLoop::new(graph, exec, grain, DirectionConfig::default());
-    let run = match variant {
-        SsspVariant::BranchAvoiding => {
-            level_loop.run(&state, source, &BranchAvoidingLevel::<false>)
-        }
-        SsspVariant::BranchBased => level_loop.run(&state, source, &BranchBasedLevel::<false>),
-    };
-    SsspResult::new(state.into_distances(), run.directions.len())
+    run_unit_request_on(graph, source, variant, exec, grain).result
 }
 
 /// Instrumented parallel unit-weight SSSP: per-worker tallies of every
 /// settling phase (top-down and bottom-up alike) merged into one
 /// [`bga_kernels::stats::StepCounters`] per phase.
+#[deprecated(note = "use bga_parallel::request::run_sssp_unit with RunConfig::instrumented")]
 pub fn par_sssp_unit_instrumented<G: AdjacencySource>(
     graph: &G,
     source: VertexId,
     threads: usize,
     variant: SsspVariant,
 ) -> ParSsspRun {
-    let config = PoolConfig::from_env(threads);
-    let pool = WorkerPool::with_config(&config);
-    let state = TraversalState::new(graph.num_vertices());
-    let level_loop = LevelLoop::new(graph, &pool, config.grain, DirectionConfig::default());
-    let run = match variant {
-        SsspVariant::BranchAvoiding => level_loop.run(&state, source, &BranchAvoidingLevel::<true>),
-        SsspVariant::BranchBased => level_loop.run(&state, source, &BranchBasedLevel::<true>),
-    };
-    ParSsspRun {
-        result: SsspResult::new(state.into_distances(), run.directions.len()),
-        directions: run.directions,
-        counters: run.counters,
-        threads: pool.threads(),
-    }
+    run_unit_request(
+        graph,
+        source,
+        variant,
+        &RunConfig::new().threads(threads).instrumented(true),
+    )
+    .0
 }
 
 /// [`par_sssp_unit_instrumented`] with a [`TraceSink`] receiving the
@@ -171,6 +222,7 @@ pub fn par_sssp_unit_instrumented<G: AdjacencySource>(
 /// settling level (tagged with the direction it ran in), the worker
 /// pool's batch metrics and the run trailer. Distances and counters are
 /// identical to the instrumented run.
+#[deprecated(note = "use bga_parallel::request::run_sssp_unit with RunConfig::traced")]
 pub fn par_sssp_unit_traced<G: AdjacencySource, S: TraceSink>(
     graph: &G,
     source: VertexId,
@@ -178,7 +230,13 @@ pub fn par_sssp_unit_traced<G: AdjacencySource, S: TraceSink>(
     variant: SsspVariant,
     sink: &S,
 ) -> ParSsspRun {
-    par_sssp_unit_run_impl(graph, source, threads, variant, sink, None).0
+    run_unit_request(
+        graph,
+        source,
+        variant,
+        &RunConfig::new().threads(threads).traced(sink),
+    )
+    .0
 }
 
 /// Shared monitored driver behind the traced and cancellable unit-weight
@@ -187,12 +245,11 @@ pub fn par_sssp_unit_traced<G: AdjacencySource, S: TraceSink>(
 fn par_sssp_unit_run_impl<G: AdjacencySource, S: TraceSink>(
     graph: &G,
     source: VertexId,
-    threads: usize,
-    variant: SsspVariant,
+    config: &PoolConfig,
+    variant: Variant,
     sink: &S,
     cancel: Option<&CancelToken>,
 ) -> (ParSsspRun, RunOutcome) {
-    let config = PoolConfig::from_env(threads);
     let monitor = PoolMonitor::new();
     let pool = WorkerPool::with_monitor(config.threads, Arc::clone(&monitor));
     let scope = TraceRun::start(
@@ -236,6 +293,7 @@ fn par_sssp_unit_run_impl<G: AdjacencySource, S: TraceSink>(
 /// settling-phase boundary. An interrupted run returns the levels that
 /// completed: distances behind the cut are final, everything beyond is
 /// still unreached — a valid partial traversal.
+#[deprecated(note = "use bga_parallel::request::run_sssp_unit with RunConfig::cancel")]
 pub fn par_sssp_unit_with_cancel<G: AdjacencySource>(
     graph: &G,
     source: VertexId,
@@ -243,12 +301,20 @@ pub fn par_sssp_unit_with_cancel<G: AdjacencySource>(
     variant: SsspVariant,
     cancel: &CancelToken,
 ) -> (ParSsspRun, RunOutcome) {
-    par_sssp_unit_run_impl(graph, source, threads, variant, &NoopSink, Some(cancel))
+    run_unit_request(
+        graph,
+        source,
+        variant,
+        &RunConfig::new().threads(threads).cancel(cancel),
+    )
 }
 
 /// [`par_sssp_unit_traced`] with a [`CancelToken`]: an interrupted run
 /// still emits a complete `bga-trace-v1` document whose trailer carries
 /// the interruption reason.
+#[deprecated(
+    note = "use bga_parallel::request::run_sssp_unit with RunConfig::traced and RunConfig::cancel"
+)]
 pub fn par_sssp_unit_traced_with_cancel<G: AdjacencySource, S: TraceSink>(
     graph: &G,
     source: VertexId,
@@ -257,7 +323,15 @@ pub fn par_sssp_unit_traced_with_cancel<G: AdjacencySource, S: TraceSink>(
     sink: &S,
     cancel: &CancelToken,
 ) -> (ParSsspRun, RunOutcome) {
-    par_sssp_unit_run_impl(graph, source, threads, variant, sink, Some(cancel))
+    run_unit_request(
+        graph,
+        source,
+        variant,
+        &RunConfig::new()
+            .threads(threads)
+            .traced(sink)
+            .cancel(cancel),
+    )
 }
 
 /// Branch-avoiding weighted relaxation: one unconditional `fetch_min` per
@@ -416,22 +490,111 @@ pub struct ParWssspRun {
     pub threads: usize,
 }
 
+/// The unified weighted request driver behind
+/// [`crate::request::run_sssp_weighted`]: observed runs (trace sink,
+/// cancel token or resume distances) go through the monitored driver,
+/// everything else through the unmonitored fast path with the tally
+/// compiled in or out by `config.instrumented`.
+pub(crate) fn run_weighted_request<W: WeightedAdjacencySource, S: TraceSink>(
+    graph: &W,
+    source: VertexId,
+    delta: u32,
+    variant: Variant,
+    initial: Option<&[u32]>,
+    config: &RunConfig<'_, S>,
+) -> (ParWssspRun, RunOutcome) {
+    let pool_config = config.pool_config();
+    if config.observed() || initial.is_some() {
+        return par_sssp_weighted_run_impl(
+            graph,
+            source,
+            delta,
+            &pool_config,
+            variant,
+            initial,
+            config.sink,
+            config.cancel,
+        );
+    }
+    let pool = WorkerPool::with_config(&pool_config);
+    let state = TraversalState::new(graph.num_vertices());
+    let bucket_loop = BucketLoop::new(graph, &pool, pool_config.grain, delta);
+    let run = match (variant, config.instrumented) {
+        (Variant::BranchAvoiding, false) => {
+            bucket_loop.run(&state, source, &BranchAvoidingRelax::<false>)
+        }
+        (Variant::BranchAvoiding, true) => {
+            bucket_loop.run(&state, source, &BranchAvoidingRelax::<true>)
+        }
+        (Variant::BranchBased, false) => {
+            bucket_loop.run(&state, source, &BranchBasedRelax::<false>)
+        }
+        (Variant::BranchBased, true) => bucket_loop.run(&state, source, &BranchBasedRelax::<true>),
+    };
+    (
+        ParWssspRun {
+            result: SsspResult::new(state.into_distances(), run.phases),
+            buckets_settled: run.bucket_bounds.len(),
+            heavy_phases: run.heavy_phases,
+            counters: run.counters,
+            threads: pool.threads(),
+        },
+        RunOutcome::Completed,
+    )
+}
+
+/// [`run_weighted_request`] on an explicit executor: plain kernels, the
+/// bench seam.
+pub(crate) fn run_weighted_request_on<W: WeightedAdjacencySource, E: Execute>(
+    graph: &W,
+    source: VertexId,
+    delta: u32,
+    variant: Variant,
+    exec: &E,
+    grain: usize,
+) -> ParWssspRun {
+    let state = TraversalState::new(graph.num_vertices());
+    let bucket_loop = BucketLoop::new(graph, exec, grain, delta);
+    let run = match variant {
+        Variant::BranchAvoiding => bucket_loop.run(&state, source, &BranchAvoidingRelax::<false>),
+        Variant::BranchBased => bucket_loop.run(&state, source, &BranchBasedRelax::<false>),
+    };
+    ParWssspRun {
+        result: SsspResult::new(state.into_distances(), run.phases),
+        buckets_settled: run.bucket_bounds.len(),
+        heavy_phases: run.heavy_phases,
+        counters: run.counters,
+        threads: exec.parallelism(),
+    }
+}
+
 /// Parallel weighted delta-stepping SSSP from `source` with bucket width
 /// `delta` and the branch-avoiding relaxation (the default discipline).
 /// `threads == 0` uses every available core; a source outside the vertex
 /// range yields an all-unreached result. Distances are bit-identical to
 /// [`bga_kernels::sssp::sssp_dijkstra`] for every thread count and `delta`.
+#[deprecated(note = "use bga_parallel::request::run_sssp_weighted with RunConfig")]
 pub fn par_sssp_weighted<W: WeightedAdjacencySource>(
     graph: &W,
     source: VertexId,
     delta: u32,
     threads: usize,
 ) -> SsspResult {
-    par_sssp_weighted_with_variant(graph, source, delta, threads, SsspVariant::BranchAvoiding)
+    run_weighted_request(
+        graph,
+        source,
+        delta,
+        Variant::BranchAvoiding,
+        None,
+        &RunConfig::new().threads(threads),
+    )
+    .0
+    .result
 }
 
 /// Parallel weighted delta-stepping with an explicit relaxation
 /// discipline.
+#[deprecated(note = "use bga_parallel::request::run_sssp_weighted with RunConfig")]
 pub fn par_sssp_weighted_with_variant<W: WeightedAdjacencySource>(
     graph: &W,
     source: VertexId,
@@ -439,13 +602,21 @@ pub fn par_sssp_weighted_with_variant<W: WeightedAdjacencySource>(
     threads: usize,
     variant: SsspVariant,
 ) -> SsspResult {
-    let config = PoolConfig::from_env(threads);
-    let pool = WorkerPool::with_config(&config);
-    par_sssp_weighted_on(graph, source, &pool, config.grain, delta, variant)
+    run_weighted_request(
+        graph,
+        source,
+        delta,
+        variant,
+        None,
+        &RunConfig::new().threads(threads),
+    )
+    .0
+    .result
 }
 
 /// [`par_sssp_weighted_with_variant`] on an explicit executor — the seam
 /// the benchmarks and forced-fan-out tests use.
+#[deprecated(note = "use bga_parallel::request::run_sssp_weighted_on")]
 pub fn par_sssp_weighted_on<W: WeightedAdjacencySource, E: Execute>(
     graph: &W,
     source: VertexId,
@@ -454,20 +625,13 @@ pub fn par_sssp_weighted_on<W: WeightedAdjacencySource, E: Execute>(
     delta: u32,
     variant: SsspVariant,
 ) -> SsspResult {
-    let state = TraversalState::new(graph.num_vertices());
-    let bucket_loop = BucketLoop::new(graph, exec, grain, delta);
-    let run = match variant {
-        SsspVariant::BranchAvoiding => {
-            bucket_loop.run(&state, source, &BranchAvoidingRelax::<false>)
-        }
-        SsspVariant::BranchBased => bucket_loop.run(&state, source, &BranchBasedRelax::<false>),
-    };
-    SsspResult::new(state.into_distances(), run.phases)
+    run_weighted_request_on(graph, source, delta, variant, exec, grain).result
 }
 
 /// Instrumented parallel weighted delta-stepping: per-worker tallies of
 /// every relaxation pass (light and heavy alike) merged into one
 /// [`bga_kernels::stats::StepCounters`] per pass.
+#[deprecated(note = "use bga_parallel::request::run_sssp_weighted with RunConfig::instrumented")]
 pub fn par_sssp_weighted_instrumented<W: WeightedAdjacencySource>(
     graph: &W,
     source: VertexId,
@@ -475,23 +639,15 @@ pub fn par_sssp_weighted_instrumented<W: WeightedAdjacencySource>(
     threads: usize,
     variant: SsspVariant,
 ) -> ParWssspRun {
-    let config = PoolConfig::from_env(threads);
-    let pool = WorkerPool::with_config(&config);
-    let state = TraversalState::new(graph.num_vertices());
-    let bucket_loop = BucketLoop::new(graph, &pool, config.grain, delta);
-    let run = match variant {
-        SsspVariant::BranchAvoiding => {
-            bucket_loop.run(&state, source, &BranchAvoidingRelax::<true>)
-        }
-        SsspVariant::BranchBased => bucket_loop.run(&state, source, &BranchBasedRelax::<true>),
-    };
-    ParWssspRun {
-        result: SsspResult::new(state.into_distances(), run.phases),
-        buckets_settled: run.bucket_bounds.len(),
-        heavy_phases: run.heavy_phases,
-        counters: run.counters,
-        threads: pool.threads(),
-    }
+    run_weighted_request(
+        graph,
+        source,
+        delta,
+        variant,
+        None,
+        &RunConfig::new().threads(threads).instrumented(true),
+    )
+    .0
 }
 
 /// [`par_sssp_weighted_instrumented`] with a [`TraceSink`] receiving the
@@ -500,6 +656,7 @@ pub fn par_sssp_weighted_instrumented<W: WeightedAdjacencySource>(
 /// phase per dispatched relaxation pass tagged with its bucket index, the
 /// worker pool's batch metrics and the run trailer. Distances, phase
 /// structure and counters are identical to the instrumented run.
+#[deprecated(note = "use bga_parallel::request::run_sssp_weighted with RunConfig::traced")]
 pub fn par_sssp_weighted_traced<W: WeightedAdjacencySource, S: TraceSink>(
     graph: &W,
     source: VertexId,
@@ -508,7 +665,15 @@ pub fn par_sssp_weighted_traced<W: WeightedAdjacencySource, S: TraceSink>(
     variant: SsspVariant,
     sink: &S,
 ) -> ParWssspRun {
-    par_sssp_weighted_run_impl(graph, source, delta, threads, variant, None, sink, None).0
+    run_weighted_request(
+        graph,
+        source,
+        delta,
+        variant,
+        None,
+        &RunConfig::new().threads(threads).traced(sink),
+    )
+    .0
 }
 
 /// Shared monitored driver behind the traced, cancellable and resumed
@@ -520,13 +685,12 @@ fn par_sssp_weighted_run_impl<W: WeightedAdjacencySource, S: TraceSink>(
     graph: &W,
     source: VertexId,
     delta: u32,
-    threads: usize,
-    variant: SsspVariant,
+    config: &PoolConfig,
+    variant: Variant,
     initial: Option<&[u32]>,
     sink: &S,
     cancel: Option<&CancelToken>,
 ) -> (ParWssspRun, RunOutcome) {
-    let config = PoolConfig::from_env(threads);
     let monitor = PoolMonitor::new();
     let pool = WorkerPool::with_monitor(config.threads, Arc::clone(&monitor));
     let scope = TraceRun::start(
@@ -586,6 +750,7 @@ fn par_sssp_weighted_run_impl<W: WeightedAdjacencySource, S: TraceSink>(
 /// settled bucket's distances final and leaves the rest as valid monotone
 /// upper bounds — state [`par_sssp_weighted_resumed`] converges to the
 /// uninterrupted fixpoint bit-identically.
+#[deprecated(note = "use bga_parallel::request::run_sssp_weighted with RunConfig::cancel")]
 pub fn par_sssp_weighted_with_cancel<W: WeightedAdjacencySource>(
     graph: &W,
     source: VertexId,
@@ -594,21 +759,22 @@ pub fn par_sssp_weighted_with_cancel<W: WeightedAdjacencySource>(
     variant: SsspVariant,
     cancel: &CancelToken,
 ) -> (ParWssspRun, RunOutcome) {
-    par_sssp_weighted_run_impl(
+    run_weighted_request(
         graph,
         source,
         delta,
-        threads,
         variant,
         None,
-        &NoopSink,
-        Some(cancel),
+        &RunConfig::new().threads(threads).cancel(cancel),
     )
 }
 
 /// [`par_sssp_weighted_traced`] with a [`CancelToken`]: an interrupted
 /// run still emits a complete `bga-trace-v1` document whose trailer
 /// carries the interruption reason.
+#[deprecated(
+    note = "use bga_parallel::request::run_sssp_weighted with RunConfig::traced and RunConfig::cancel"
+)]
 pub fn par_sssp_weighted_traced_with_cancel<W: WeightedAdjacencySource, S: TraceSink>(
     graph: &W,
     source: VertexId,
@@ -618,15 +784,16 @@ pub fn par_sssp_weighted_traced_with_cancel<W: WeightedAdjacencySource, S: Trace
     sink: &S,
     cancel: &CancelToken,
 ) -> (ParWssspRun, RunOutcome) {
-    par_sssp_weighted_run_impl(
+    run_weighted_request(
         graph,
         source,
         delta,
-        threads,
         variant,
         None,
-        sink,
-        Some(cancel),
+        &RunConfig::new()
+            .threads(threads)
+            .traced(sink)
+            .cancel(cancel),
     )
 }
 
@@ -635,6 +802,7 @@ pub fn par_sssp_weighted_traced_with_cancel<W: WeightedAdjacencySource, S: Trace
 /// with a finite distance is re-filed into the bucket of that distance
 /// and the loop runs to convergence. Because the relaxations are monotone
 /// `fetch_min`s, the result is bit-identical to an uninterrupted run.
+#[deprecated(note = "use bga_parallel::request::run_sssp_weighted_resumed")]
 pub fn par_sssp_weighted_resumed<W: WeightedAdjacencySource>(
     graph: &W,
     source: VertexId,
@@ -643,15 +811,13 @@ pub fn par_sssp_weighted_resumed<W: WeightedAdjacencySource>(
     distances: &[u32],
     variant: SsspVariant,
 ) -> ParWssspRun {
-    par_sssp_weighted_run_impl(
+    run_weighted_request(
         graph,
         source,
         delta,
-        threads,
         variant,
         Some(distances),
-        &NoopSink,
-        None,
+        &RunConfig::new().threads(threads),
     )
     .0
 }
@@ -683,6 +849,80 @@ mod tests {
         ]
     }
 
+    fn unit<G: AdjacencySource>(g: &G, source: VertexId, threads: usize) -> SsspResult {
+        run_unit_request(
+            g,
+            source,
+            Variant::BranchAvoiding,
+            &RunConfig::new().threads(threads),
+        )
+        .0
+        .result
+    }
+
+    fn unit_variant<G: AdjacencySource>(
+        g: &G,
+        source: VertexId,
+        threads: usize,
+        variant: Variant,
+    ) -> SsspResult {
+        run_unit_request(g, source, variant, &RunConfig::new().threads(threads))
+            .0
+            .result
+    }
+
+    fn unit_instrumented<G: AdjacencySource>(
+        g: &G,
+        source: VertexId,
+        threads: usize,
+        variant: Variant,
+    ) -> ParSsspRun {
+        run_unit_request(
+            g,
+            source,
+            variant,
+            &RunConfig::new().threads(threads).instrumented(true),
+        )
+        .0
+    }
+
+    fn weighted<W: WeightedAdjacencySource>(
+        w: &W,
+        source: VertexId,
+        delta: u32,
+        threads: usize,
+        variant: Variant,
+    ) -> SsspResult {
+        run_weighted_request(
+            w,
+            source,
+            delta,
+            variant,
+            None,
+            &RunConfig::new().threads(threads),
+        )
+        .0
+        .result
+    }
+
+    fn weighted_instrumented<W: WeightedAdjacencySource>(
+        w: &W,
+        source: VertexId,
+        delta: u32,
+        threads: usize,
+        variant: Variant,
+    ) -> ParWssspRun {
+        run_weighted_request(
+            w,
+            source,
+            delta,
+            variant,
+            None,
+            &RunConfig::new().threads(threads).instrumented(true),
+        )
+        .0
+    }
+
     #[test]
     fn distances_and_phases_match_the_sequential_reference() {
         for g in &shapes() {
@@ -691,7 +931,7 @@ mod tests {
                 assert_eq!(seq.distances(), &bfs_distances_reference(g, source)[..]);
                 for threads in [1, 2, 8] {
                     for variant in [SsspVariant::BranchBased, SsspVariant::BranchAvoiding] {
-                        let par = par_sssp_unit_with_variant(g, source, threads, variant);
+                        let par = unit_variant(g, source, threads, variant);
                         assert_eq!(
                             par.distances(),
                             seq.distances(),
@@ -717,11 +957,11 @@ mod tests {
         // Grain 1 forces every settling phase to fan out.
         for grain in [1, 64, 4096] {
             for variant in [SsspVariant::BranchBased, SsspVariant::BranchAvoiding] {
-                let run = par_sssp_unit_on(&g, 0, &pool, grain, variant);
+                let run = run_unit_request_on(&g, 0, variant, &pool, grain).result;
                 assert_eq!(run.distances(), expected.distances());
                 assert_eq!(run.phases(), expected.phases());
             }
-            let run = par_sssp_unit_on(&g, 0, &scoped, grain, SsspVariant::BranchAvoiding);
+            let run = run_unit_request_on(&g, 0, Variant::BranchAvoiding, &scoped, grain).result;
             assert_eq!(run.distances(), expected.distances());
         }
     }
@@ -732,7 +972,7 @@ mod tests {
         // which crosses the default bottom-up threshold — the SSSP client
         // inherits the engine's frontier flip, not just top-down levels.
         let g = star_graph(2_000);
-        let run = par_sssp_unit_instrumented(&g, 0, 2, SsspVariant::BranchAvoiding);
+        let run = unit_instrumented(&g, 0, 2, Variant::BranchAvoiding);
         assert!(run.bottom_up_phases() > 0);
         assert_eq!(run.result.max_distance(), Some(1));
         assert_eq!(run.result.reached_count(), 2_000);
@@ -743,7 +983,7 @@ mod tests {
         let g = barabasi_albert(800, 3, 7);
         for variant in [SsspVariant::BranchBased, SsspVariant::BranchAvoiding] {
             for threads in [1, 2, 8] {
-                let run = par_sssp_unit_instrumented(&g, 0, threads, variant);
+                let run = unit_instrumented(&g, 0, threads, variant);
                 assert_eq!(run.threads, threads);
                 assert_eq!(run.counters.num_steps(), run.directions.len());
                 assert_eq!(run.result.phases(), run.directions.len());
@@ -759,7 +999,7 @@ mod tests {
     fn out_of_range_source_reaches_nothing() {
         let g = path_graph(5);
         for threads in [1, 4] {
-            let run = par_sssp_unit(&g, 99, threads);
+            let run = unit(&g, 99, threads);
             assert_eq!(run.reached_count(), 0);
             assert_eq!(run.phases(), 0);
             assert_eq!(run.max_distance(), None);
@@ -772,8 +1012,8 @@ mod tests {
         // threshold, so both runs stay on the top-down kernels whose
         // instruction mix is the contrast under test.
         let g = grid_2d(100, 16, MeshStencil::VonNeumann);
-        let based = par_sssp_unit_instrumented(&g, 0, 4, SsspVariant::BranchBased);
-        let avoiding = par_sssp_unit_instrumented(&g, 0, 4, SsspVariant::BranchAvoiding);
+        let based = unit_instrumented(&g, 0, 4, Variant::BranchBased);
+        let avoiding = unit_instrumented(&g, 0, 4, Variant::BranchAvoiding);
         assert_eq!(based.result.distances(), avoiding.result.distances());
         let b = based.counters.total();
         let a = avoiding.counters.total();
@@ -802,9 +1042,7 @@ mod tests {
                     );
                     for threads in [1, 2, 8] {
                         for variant in [SsspVariant::BranchBased, SsspVariant::BranchAvoiding] {
-                            let par = par_sssp_weighted_with_variant(
-                                &wg, source, delta, threads, variant,
-                            );
+                            let par = weighted(&wg, source, delta, threads, variant);
                             assert_eq!(
                                 par.distances(),
                                 expected.distances(),
@@ -822,9 +1060,9 @@ mod tests {
         let wg = uniform_weights(&barabasi_albert(1_200, 3, 23), 20, 7);
         for delta in [1u32, 4, 32] {
             for variant in [SsspVariant::BranchBased, SsspVariant::BranchAvoiding] {
-                let reference = par_sssp_weighted_instrumented(&wg, 0, delta, 1, variant);
+                let reference = weighted_instrumented(&wg, 0, delta, 1, variant);
                 for threads in [2, 8] {
-                    let run = par_sssp_weighted_instrumented(&wg, 0, delta, threads, variant);
+                    let run = weighted_instrumented(&wg, 0, delta, threads, variant);
                     assert_eq!(run.result.phases(), reference.result.phases());
                     assert_eq!(run.buckets_settled, reference.buckets_settled);
                     assert_eq!(run.heavy_phases, reference.heavy_phases);
@@ -843,10 +1081,11 @@ mod tests {
         // Grain 1 forces every relaxation pass to fan out.
         for grain in [1, 64, 4096] {
             for variant in [SsspVariant::BranchBased, SsspVariant::BranchAvoiding] {
-                let run = par_sssp_weighted_on(&wg, 0, &pool, grain, 4, variant);
+                let run = run_weighted_request_on(&wg, 0, 4, variant, &pool, grain).result;
                 assert_eq!(run.distances(), expected.distances());
             }
-            let run = par_sssp_weighted_on(&wg, 0, &scoped, grain, 4, SsspVariant::BranchAvoiding);
+            let run =
+                run_weighted_request_on(&wg, 0, 4, Variant::BranchAvoiding, &scoped, grain).result;
             assert_eq!(run.distances(), expected.distances());
         }
     }
@@ -855,12 +1094,12 @@ mod tests {
     fn unit_weighted_graph_reduces_to_the_unit_client() {
         let g = barabasi_albert(600, 3, 17);
         let wg = unit_weights(&g);
-        let unit = par_sssp_unit(&g, 0, 4);
-        let weighted = par_sssp_weighted(&wg, 0, 1, 4);
+        let unit = unit(&g, 0, 4);
+        let weighted = weighted(&wg, 0, 1, 4, Variant::BranchAvoiding);
         assert_eq!(weighted.distances(), unit.distances());
         // Δ = 1 on unit weights: buckets are levels, no heavy edges, one
         // phase per bucket.
-        let run = par_sssp_weighted_instrumented(&wg, 0, 1, 2, SsspVariant::BranchAvoiding);
+        let run = weighted_instrumented(&wg, 0, 1, 2, Variant::BranchAvoiding);
         assert_eq!(run.heavy_phases, 0);
         assert_eq!(run.result.phases(), run.buckets_settled);
         assert_eq!(run.result.phases(), unit.phases());
@@ -871,7 +1110,7 @@ mod tests {
         // Weights 1..=24 with Δ = 4: plenty of heavy edges, and they must
         // actually run as deferred passes.
         let wg = uniform_weights(&barabasi_albert(800, 3, 7), 24, 7);
-        let run = par_sssp_weighted_instrumented(&wg, 0, 4, 2, SsspVariant::BranchAvoiding);
+        let run = weighted_instrumented(&wg, 0, 4, 2, Variant::BranchAvoiding);
         assert!(run.heavy_phases > 0, "expected deferred heavy passes");
         assert!(run.result.phases() > run.heavy_phases);
         // Instrumented counters cover every pass.
@@ -882,8 +1121,8 @@ mod tests {
     #[test]
     fn weighted_branch_contrast_survives_parallelism() {
         let wg = uniform_weights(&grid_2d(60, 16, MeshStencil::VonNeumann), 8, 5);
-        let based = par_sssp_weighted_instrumented(&wg, 0, 3, 4, SsspVariant::BranchBased);
-        let avoiding = par_sssp_weighted_instrumented(&wg, 0, 3, 4, SsspVariant::BranchAvoiding);
+        let based = weighted_instrumented(&wg, 0, 3, 4, Variant::BranchBased);
+        let avoiding = weighted_instrumented(&wg, 0, 3, 4, Variant::BranchAvoiding);
         assert_eq!(based.result.distances(), avoiding.result.distances());
         let b = based.counters.total();
         let a = avoiding.counters.total();
@@ -905,7 +1144,7 @@ mod tests {
             .add_edges([(0, 1, 1_000_000_000), (1, 2, 3)])
             .build();
         for variant in [SsspVariant::BranchBased, SsspVariant::BranchAvoiding] {
-            let run = par_sssp_weighted_with_variant(&g, 0, 1, 2, variant);
+            let run = weighted(&g, 0, 1, 2, variant);
             assert_eq!(run.distances(), &[0, 1_000_000_000, 1_000_000_003]);
         }
     }
@@ -915,8 +1154,12 @@ mod tests {
         use crate::cancel::InterruptReason;
         let g = path_graph(40);
         let token = CancelToken::new().with_phase_budget(6);
-        let (run, outcome) =
-            par_sssp_unit_with_cancel(&g, 0, 2, SsspVariant::BranchAvoiding, &token);
+        let (run, outcome) = run_unit_request(
+            &g,
+            0,
+            Variant::BranchAvoiding,
+            &RunConfig::new().threads(2).cancel(&token),
+        );
         assert_eq!(
             outcome.reason(),
             Some(InterruptReason::PhaseBudgetExhausted)
@@ -936,27 +1179,42 @@ mod tests {
         let expected = sssp_dijkstra(&wg, 0);
         for variant in [SsspVariant::BranchBased, SsspVariant::BranchAvoiding] {
             let token = CancelToken::new().with_phase_budget(3);
-            let (partial, outcome) = par_sssp_weighted_with_cancel(&wg, 0, 4, 2, variant, &token);
+            let (partial, outcome) = run_weighted_request(
+                &wg,
+                0,
+                4,
+                variant,
+                None,
+                &RunConfig::new().threads(2).cancel(&token),
+            );
             assert!(!outcome.is_completed(), "{variant:?} run was not cut");
             // Partial distances are valid monotone upper bounds.
             for (v, &d) in partial.result.distances().iter().enumerate() {
                 assert!(d >= expected.distances()[v], "vertex {v} below optimum");
             }
             assert_ne!(partial.result.distances(), expected.distances());
-            let resumed =
-                par_sssp_weighted_resumed(&wg, 0, 4, 2, partial.result.distances(), variant);
+            let resumed = run_weighted_request(
+                &wg,
+                0,
+                4,
+                variant,
+                Some(partial.result.distances()),
+                &RunConfig::new().threads(2),
+            )
+            .0;
             assert_eq!(resumed.result.distances(), expected.distances());
         }
         // Resuming from scratch (all INFINITY except the source's own
         // zero after seeding) degenerates to a plain run.
-        let from_scratch = par_sssp_weighted_resumed(
+        let from_scratch = run_weighted_request(
             &wg,
             0,
             4,
-            2,
-            &vec![INFINITY; wg.num_vertices()],
-            SsspVariant::BranchAvoiding,
-        );
+            Variant::BranchAvoiding,
+            Some(&vec![INFINITY; wg.num_vertices()]),
+            &RunConfig::new().threads(2),
+        )
+        .0;
         assert_eq!(from_scratch.result.distances(), expected.distances());
     }
 
@@ -964,8 +1222,14 @@ mod tests {
     fn weighted_uncancelled_tokens_complete_and_match() {
         let wg = uniform_weights(&barabasi_albert(600, 3, 17), 16, 3);
         let token = CancelToken::new();
-        let (run, outcome) =
-            par_sssp_weighted_with_cancel(&wg, 0, 4, 2, SsspVariant::BranchAvoiding, &token);
+        let (run, outcome) = run_weighted_request(
+            &wg,
+            0,
+            4,
+            Variant::BranchAvoiding,
+            None,
+            &RunConfig::new().threads(2).cancel(&token),
+        );
         assert!(outcome.is_completed());
         assert_eq!(run.result.distances(), sssp_dijkstra(&wg, 0).distances());
     }
@@ -975,13 +1239,67 @@ mod tests {
         use bga_graph::GraphBuilder;
         let wg = unit_weights(&path_graph(5));
         for threads in [1, 4] {
-            let run = par_sssp_weighted(&wg, 99, 2, threads);
+            let run = weighted(&wg, 99, 2, threads, Variant::BranchAvoiding);
             assert_eq!(run.reached_count(), 0);
             assert_eq!(run.phases(), 0);
         }
         let empty = unit_weights(&GraphBuilder::undirected(0).build());
-        let run = par_sssp_weighted(&empty, 0, 1, 2);
+        let run = weighted(&empty, 0, 1, 2, Variant::BranchAvoiding);
         assert_eq!(run.distances().len(), 0);
         assert_eq!(run.phases(), 0);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_the_request_api() {
+        let g = barabasi_albert(400, 3, 13);
+        let wg = uniform_weights(&g, 12, 5);
+        let expected_unit = unit(&g, 0, 2);
+        assert_eq!(
+            par_sssp_unit(&g, 0, 2).distances(),
+            expected_unit.distances()
+        );
+        assert_eq!(
+            par_sssp_unit_with_variant(&g, 0, 2, SsspVariant::BranchBased).distances(),
+            expected_unit.distances()
+        );
+        let inst = par_sssp_unit_instrumented(&g, 0, 2, SsspVariant::BranchAvoiding);
+        assert_eq!(inst.result.distances(), expected_unit.distances());
+        assert!(inst.counters.num_steps() > 0);
+        let pool = WorkerPool::new(2);
+        assert_eq!(
+            par_sssp_unit_on(&g, 0, &pool, 64, SsspVariant::BranchAvoiding).distances(),
+            expected_unit.distances()
+        );
+        let token = CancelToken::new();
+        let (cancellable, outcome) =
+            par_sssp_unit_with_cancel(&g, 0, 2, SsspVariant::BranchAvoiding, &token);
+        assert!(outcome.is_completed());
+        assert_eq!(cancellable.result.distances(), expected_unit.distances());
+
+        let expected_weighted = weighted(&wg, 0, 4, 2, Variant::BranchAvoiding);
+        assert_eq!(
+            par_sssp_weighted(&wg, 0, 4, 2).distances(),
+            expected_weighted.distances()
+        );
+        assert_eq!(
+            par_sssp_weighted_with_variant(&wg, 0, 4, 2, SsspVariant::BranchBased).distances(),
+            expected_weighted.distances()
+        );
+        assert_eq!(
+            par_sssp_weighted_on(&wg, 0, &pool, 64, 4, SsspVariant::BranchAvoiding).distances(),
+            expected_weighted.distances()
+        );
+        let winst = par_sssp_weighted_instrumented(&wg, 0, 4, 2, SsspVariant::BranchAvoiding);
+        assert_eq!(winst.result.distances(), expected_weighted.distances());
+        let resumed = par_sssp_weighted_resumed(
+            &wg,
+            0,
+            4,
+            2,
+            &vec![INFINITY; wg.num_vertices()],
+            SsspVariant::BranchAvoiding,
+        );
+        assert_eq!(resumed.result.distances(), expected_weighted.distances());
     }
 }

@@ -30,21 +30,26 @@ use crate::cancel::{CancelToken, RunOutcome};
 use crate::counters::ThreadTally;
 use crate::engine::{SweepKernel, SweepLoop};
 use crate::pool::{Execute, PoolConfig, PoolMonitor, WorkerPool};
+use crate::request::{RunConfig, Variant};
 use crate::trace::{emit_degradation_warning, run_footprint, TraceRun};
 use bga_graph::AdjacencySource;
 use bga_kernels::cc::ComponentLabels;
 use bga_kernels::stats::RunCounters;
-use bga_obs::{NoopSink, TraceEvent, TraceSink};
+use bga_obs::{TraceEvent, TraceSink};
 use std::ops::Range;
 use std::sync::atomic::{AtomicU32, Ordering::Relaxed};
 use std::sync::Arc;
 
-/// Result of an instrumented parallel SV run.
+/// Result of a parallel SV run.
 #[derive(Clone, Debug)]
 pub struct ParSvRun {
     /// Final component labels (identical to the sequential kernels').
     pub labels: ComponentLabels,
-    /// Per-sweep counters merged across worker threads.
+    /// Number of sweeps executed, including the final fixpoint-check
+    /// sweep that changed nothing.
+    pub sweeps: usize,
+    /// Per-sweep counters merged across worker threads — populated only
+    /// on instrumented/observed runs, empty otherwise.
     pub counters: RunCounters,
     /// Worker count the run actually used.
     pub threads: usize,
@@ -166,94 +171,184 @@ impl<G: AdjacencySource, const TALLY: bool> SweepKernel<G> for BranchAvoidingSwe
     }
 }
 
+/// The unified request driver behind [`crate::request::run_components`]:
+/// routes observed runs (trace sink or cancel token) and resumes through
+/// the monitored driver, everything else through the unmonitored fast
+/// path with the tally compiled in or out by `config.instrumented`.
+pub(crate) fn run_request<G: AdjacencySource, S: TraceSink>(
+    graph: &G,
+    variant: Variant,
+    initial: Option<&ComponentLabels>,
+    config: &RunConfig<'_, S>,
+) -> (ParSvRun, RunOutcome) {
+    let pool_config = config.pool_config();
+    if config.observed() || initial.is_some() {
+        return par_sv_run_impl(
+            graph,
+            &pool_config,
+            variant,
+            initial,
+            config.sink,
+            config.cancel,
+        );
+    }
+    let pool = WorkerPool::with_config(&pool_config);
+    let ccid = identity_labels(graph.num_vertices());
+    let sweep_loop = SweepLoop::new(graph, &pool, pool_config.grain);
+    let run = match (variant, config.instrumented) {
+        (Variant::BranchAvoiding, false) => {
+            sweep_loop.run(&BranchAvoidingSweep::<false> { ccid: &ccid })
+        }
+        (Variant::BranchAvoiding, true) => {
+            sweep_loop.run(&BranchAvoidingSweep::<true> { ccid: &ccid })
+        }
+        (Variant::BranchBased, false) => sweep_loop.run(&BranchBasedSweep::<false> { ccid: &ccid }),
+        (Variant::BranchBased, true) => sweep_loop.run(&BranchBasedSweep::<true> { ccid: &ccid }),
+    };
+    (
+        ParSvRun {
+            labels: into_labels(ccid),
+            sweeps: run.sweeps,
+            counters: run.counters,
+            threads: pool.threads(),
+        },
+        RunOutcome::Completed,
+    )
+}
+
+/// [`run_request`] on an explicit executor: plain kernels, the bench seam.
+pub(crate) fn run_request_on<G: AdjacencySource, E: Execute>(
+    graph: &G,
+    variant: Variant,
+    exec: &E,
+    grain: usize,
+) -> ParSvRun {
+    let ccid = identity_labels(graph.num_vertices());
+    let sweep_loop = SweepLoop::new(graph, exec, grain);
+    let run = match variant {
+        Variant::BranchAvoiding => sweep_loop.run(&BranchAvoidingSweep::<false> { ccid: &ccid }),
+        Variant::BranchBased => sweep_loop.run(&BranchBasedSweep::<false> { ccid: &ccid }),
+    };
+    ParSvRun {
+        labels: into_labels(ccid),
+        sweeps: run.sweeps,
+        counters: run.counters,
+        threads: exec.parallelism(),
+    }
+}
+
 /// Parallel branch-based SV: CAS-loop hooking. `threads == 0` uses every
 /// available core.
+#[deprecated(note = "use bga_parallel::request::run_components with RunConfig")]
 pub fn par_sv_branch_based<G: AdjacencySource>(graph: &G, threads: usize) -> ComponentLabels {
-    par_sv_branch_based_with_stats(graph, threads).0
+    run_request(
+        graph,
+        Variant::BranchBased,
+        None,
+        &RunConfig::new().threads(threads),
+    )
+    .0
+    .labels
 }
 
 /// As [`par_sv_branch_based`], also returning the sweep count.
+#[deprecated(note = "use bga_parallel::request::run_components with RunConfig")]
 pub fn par_sv_branch_based_with_stats<G: AdjacencySource>(
     graph: &G,
     threads: usize,
 ) -> (ComponentLabels, usize) {
-    let config = PoolConfig::from_env(threads);
-    let pool = WorkerPool::with_config(&config);
-    par_sv_branch_based_on(graph, &pool, config.grain)
+    let run = run_request(
+        graph,
+        Variant::BranchBased,
+        None,
+        &RunConfig::new().threads(threads),
+    )
+    .0;
+    (run.labels, run.sweeps)
 }
 
 /// [`par_sv_branch_based_with_stats`] on an explicit executor — the seam
 /// the benchmarks use to compare the persistent pool against per-sweep
 /// `thread::scope` spawns.
+#[deprecated(note = "use bga_parallel::request::run_components_on")]
 pub fn par_sv_branch_based_on<G: AdjacencySource, E: Execute>(
     graph: &G,
     exec: &E,
     grain: usize,
 ) -> (ComponentLabels, usize) {
-    let ccid = identity_labels(graph.num_vertices());
-    let run = SweepLoop::new(graph, exec, grain).run(&BranchBasedSweep::<false> { ccid: &ccid });
-    (into_labels(ccid), run.sweeps)
+    let run = run_request_on(graph, Variant::BranchBased, exec, grain);
+    (run.labels, run.sweeps)
 }
 
 /// Parallel branch-avoiding SV: one `fetch_min` per edge, no data-dependent
 /// branch. `threads == 0` uses every available core.
+#[deprecated(note = "use bga_parallel::request::run_components with RunConfig")]
 pub fn par_sv_branch_avoiding<G: AdjacencySource>(graph: &G, threads: usize) -> ComponentLabels {
-    par_sv_branch_avoiding_with_stats(graph, threads).0
+    run_request(
+        graph,
+        Variant::BranchAvoiding,
+        None,
+        &RunConfig::new().threads(threads),
+    )
+    .0
+    .labels
 }
 
 /// As [`par_sv_branch_avoiding`], also returning the sweep count.
+#[deprecated(note = "use bga_parallel::request::run_components with RunConfig")]
 pub fn par_sv_branch_avoiding_with_stats<G: AdjacencySource>(
     graph: &G,
     threads: usize,
 ) -> (ComponentLabels, usize) {
-    let config = PoolConfig::from_env(threads);
-    let pool = WorkerPool::with_config(&config);
-    par_sv_branch_avoiding_on(graph, &pool, config.grain)
+    let run = run_request(
+        graph,
+        Variant::BranchAvoiding,
+        None,
+        &RunConfig::new().threads(threads),
+    )
+    .0;
+    (run.labels, run.sweeps)
 }
 
 /// [`par_sv_branch_avoiding_with_stats`] on an explicit executor.
+#[deprecated(note = "use bga_parallel::request::run_components_on")]
 pub fn par_sv_branch_avoiding_on<G: AdjacencySource, E: Execute>(
     graph: &G,
     exec: &E,
     grain: usize,
 ) -> (ComponentLabels, usize) {
-    let ccid = identity_labels(graph.num_vertices());
-    let run = SweepLoop::new(graph, exec, grain).run(&BranchAvoidingSweep::<false> { ccid: &ccid });
-    (into_labels(ccid), run.sweeps)
+    let run = run_request_on(graph, Variant::BranchAvoiding, exec, grain);
+    (run.labels, run.sweeps)
 }
 
 /// Instrumented parallel branch-based SV: every worker tallies the loads,
 /// stores and branches it executes; tallies merge into one
 /// [`bga_kernels::stats::StepCounters`] per sweep.
+#[deprecated(note = "use bga_parallel::request::run_components with RunConfig::instrumented")]
 pub fn par_sv_branch_based_instrumented<G: AdjacencySource>(graph: &G, threads: usize) -> ParSvRun {
-    let config = PoolConfig::from_env(threads);
-    let pool = WorkerPool::with_config(&config);
-    let ccid = identity_labels(graph.num_vertices());
-    let run =
-        SweepLoop::new(graph, &pool, config.grain).run(&BranchBasedSweep::<true> { ccid: &ccid });
-    ParSvRun {
-        labels: into_labels(ccid),
-        counters: run.counters,
-        threads: pool.threads(),
-    }
+    run_request(
+        graph,
+        Variant::BranchBased,
+        None,
+        &RunConfig::new().threads(threads).instrumented(true),
+    )
+    .0
 }
 
 /// Instrumented parallel branch-avoiding SV; see
 /// [`par_sv_branch_based_instrumented`] for the accounting scheme.
+#[deprecated(note = "use bga_parallel::request::run_components with RunConfig::instrumented")]
 pub fn par_sv_branch_avoiding_instrumented<G: AdjacencySource>(
     graph: &G,
     threads: usize,
 ) -> ParSvRun {
-    let config = PoolConfig::from_env(threads);
-    let pool = WorkerPool::with_config(&config);
-    let ccid = identity_labels(graph.num_vertices());
-    let run = SweepLoop::new(graph, &pool, config.grain)
-        .run(&BranchAvoidingSweep::<true> { ccid: &ccid });
-    ParSvRun {
-        labels: into_labels(ccid),
-        counters: run.counters,
-        threads: pool.threads(),
-    }
+    run_request(
+        graph,
+        Variant::BranchAvoiding,
+        None,
+        &RunConfig::new().threads(threads).instrumented(true),
+    )
+    .0
 }
 
 /// The shared traced/cancellable run driver for both sweep disciplines.
@@ -261,25 +356,19 @@ pub fn par_sv_branch_avoiding_instrumented<G: AdjacencySource>(
 /// is resumed; `cancel` is checked at every sweep boundary.
 fn par_sv_run_impl<G: AdjacencySource, S: TraceSink>(
     graph: &G,
-    threads: usize,
-    branch_avoiding: bool,
+    config: &PoolConfig,
+    variant: Variant,
     initial: Option<&ComponentLabels>,
     sink: &S,
     cancel: Option<&CancelToken>,
 ) -> (ParSvRun, RunOutcome) {
-    let config = PoolConfig::from_env(threads);
     let monitor = PoolMonitor::new();
     let pool = WorkerPool::with_monitor(config.threads, Arc::clone(&monitor));
     let scope = TraceRun::start(
         sink,
         TraceEvent::RunStart {
             kernel: "cc".to_string(),
-            variant: if branch_avoiding {
-                "branch-avoiding"
-            } else {
-                "branch-based"
-            }
-            .to_string(),
+            variant: variant.as_str().to_string(),
             vertices: graph.num_vertices(),
             edges: graph.num_edge_slots(),
             threads: pool.threads(),
@@ -299,15 +388,19 @@ fn par_sv_run_impl<G: AdjacencySource, S: TraceSink>(
         None => identity_labels(graph.num_vertices()),
     };
     let sweep_loop = SweepLoop::new(graph, &pool, config.grain);
-    let (run, outcome) = if branch_avoiding {
-        sweep_loop.run_loop(&BranchAvoidingSweep::<true> { ccid: &ccid }, &scope, cancel)
-    } else {
-        sweep_loop.run_loop(&BranchBasedSweep::<true> { ccid: &ccid }, &scope, cancel)
+    let (run, outcome) = match variant {
+        Variant::BranchAvoiding => {
+            sweep_loop.run_loop(&BranchAvoidingSweep::<true> { ccid: &ccid }, &scope, cancel)
+        }
+        Variant::BranchBased => {
+            sweep_loop.run_loop(&BranchBasedSweep::<true> { ccid: &ccid }, &scope, cancel)
+        }
     };
     emit_degradation_warning(&pool, &scope);
     scope.finish_with_outcome(Some(monitor.take_metrics()), &outcome);
     let result = ParSvRun {
         labels: into_labels(ccid),
+        sweeps: run.sweeps,
         counters: run.counters,
         threads: pool.threads(),
     };
@@ -320,22 +413,36 @@ fn par_sv_run_impl<G: AdjacencySource, S: TraceSink>(
 /// no-change fixpoint sweep), the worker pool's batch metrics and the
 /// run trailer. Labels and counters are identical to the instrumented
 /// run.
+#[deprecated(note = "use bga_parallel::request::run_components with RunConfig::traced")]
 pub fn par_sv_branch_based_traced<G: AdjacencySource, S: TraceSink>(
     graph: &G,
     threads: usize,
     sink: &S,
 ) -> ParSvRun {
-    par_sv_run_impl(graph, threads, false, None, sink, None).0
+    run_request(
+        graph,
+        Variant::BranchBased,
+        None,
+        &RunConfig::new().threads(threads).traced(sink),
+    )
+    .0
 }
 
 /// [`par_sv_branch_avoiding_instrumented`] with a [`TraceSink`]; see
 /// [`par_sv_branch_based_traced`].
+#[deprecated(note = "use bga_parallel::request::run_components with RunConfig::traced")]
 pub fn par_sv_branch_avoiding_traced<G: AdjacencySource, S: TraceSink>(
     graph: &G,
     threads: usize,
     sink: &S,
 ) -> ParSvRun {
-    par_sv_run_impl(graph, threads, true, None, sink, None).0
+    run_request(
+        graph,
+        Variant::BranchAvoiding,
+        None,
+        &RunConfig::new().threads(threads).traced(sink),
+    )
+    .0
 }
 
 /// [`par_sv_branch_based`] with a [`CancelToken`] checked at every sweep
@@ -343,22 +450,34 @@ pub fn par_sv_branch_avoiding_traced<G: AdjacencySource, S: TraceSink>(
 /// sweeps left them — valid monotone upper bounds (every label is ≥ its
 /// final value and ≤ its identity start) that
 /// [`par_sv_branch_based_resumed`] converges to the exact fixpoint.
+#[deprecated(note = "use bga_parallel::request::run_components with RunConfig::cancel")]
 pub fn par_sv_branch_based_with_cancel<G: AdjacencySource>(
     graph: &G,
     threads: usize,
     cancel: &CancelToken,
 ) -> (ParSvRun, RunOutcome) {
-    par_sv_run_impl(graph, threads, false, None, &NoopSink, Some(cancel))
+    run_request(
+        graph,
+        Variant::BranchBased,
+        None,
+        &RunConfig::new().threads(threads).cancel(cancel),
+    )
 }
 
 /// [`par_sv_branch_avoiding`] with a [`CancelToken`]; see
 /// [`par_sv_branch_based_with_cancel`].
+#[deprecated(note = "use bga_parallel::request::run_components with RunConfig::cancel")]
 pub fn par_sv_branch_avoiding_with_cancel<G: AdjacencySource>(
     graph: &G,
     threads: usize,
     cancel: &CancelToken,
 ) -> (ParSvRun, RunOutcome) {
-    par_sv_run_impl(graph, threads, true, None, &NoopSink, Some(cancel))
+    run_request(
+        graph,
+        Variant::BranchAvoiding,
+        None,
+        &RunConfig::new().threads(threads).cancel(cancel),
+    )
 }
 
 /// [`par_sv_branch_based_traced`] with a [`CancelToken`]: the traced,
@@ -366,24 +485,42 @@ pub fn par_sv_branch_avoiding_with_cancel<G: AdjacencySource>(
 /// `bga-trace-v1` document — header, one phase per completed sweep, pool
 /// metrics and a trailer marked with the interruption reason — that
 /// passes `bga trace validate`.
+#[deprecated(note = "use bga_parallel::request::run_components with RunConfig::traced + cancel")]
 pub fn par_sv_branch_based_traced_with_cancel<G: AdjacencySource, S: TraceSink>(
     graph: &G,
     threads: usize,
     sink: &S,
     cancel: &CancelToken,
 ) -> (ParSvRun, RunOutcome) {
-    par_sv_run_impl(graph, threads, false, None, sink, Some(cancel))
+    run_request(
+        graph,
+        Variant::BranchBased,
+        None,
+        &RunConfig::new()
+            .threads(threads)
+            .traced(sink)
+            .cancel(cancel),
+    )
 }
 
 /// [`par_sv_branch_avoiding_traced`] with a [`CancelToken`]; see
 /// [`par_sv_branch_based_traced_with_cancel`].
+#[deprecated(note = "use bga_parallel::request::run_components with RunConfig::traced + cancel")]
 pub fn par_sv_branch_avoiding_traced_with_cancel<G: AdjacencySource, S: TraceSink>(
     graph: &G,
     threads: usize,
     sink: &S,
     cancel: &CancelToken,
 ) -> (ParSvRun, RunOutcome) {
-    par_sv_run_impl(graph, threads, true, None, sink, Some(cancel))
+    run_request(
+        graph,
+        Variant::BranchAvoiding,
+        None,
+        &RunConfig::new()
+            .threads(threads)
+            .traced(sink)
+            .cancel(cancel),
+    )
 }
 
 /// Resumes branch-based SV from partial labels (typically the state an
@@ -392,34 +529,55 @@ pub fn par_sv_branch_avoiding_traced_with_cancel<G: AdjacencySource, S: TraceSin
 /// hooking is monotone, any valid upper-bound labelling converges to the
 /// same per-component-minimum fixpoint an uninterrupted run reaches —
 /// bit-identical labels.
+#[deprecated(note = "use bga_parallel::request::run_components_resumed")]
 pub fn par_sv_branch_based_resumed<G: AdjacencySource>(
     graph: &G,
     threads: usize,
     labels: &ComponentLabels,
 ) -> ParSvRun {
-    par_sv_run_impl(graph, threads, false, Some(labels), &NoopSink, None).0
+    run_request(
+        graph,
+        Variant::BranchBased,
+        Some(labels),
+        &RunConfig::new().threads(threads),
+    )
+    .0
 }
 
 /// Resumes branch-avoiding SV from partial labels; see
 /// [`par_sv_branch_based_resumed`]. The priority-write formulation makes
 /// the resume argument direct: `fetch_min` is idempotent and order-free,
 /// so replaying sweeps over an interrupted labelling loses nothing.
+#[deprecated(note = "use bga_parallel::request::run_components_resumed")]
 pub fn par_sv_branch_avoiding_resumed<G: AdjacencySource>(
     graph: &G,
     threads: usize,
     labels: &ComponentLabels,
 ) -> ParSvRun {
-    par_sv_run_impl(graph, threads, true, Some(labels), &NoopSink, None).0
+    run_request(
+        graph,
+        Variant::BranchAvoiding,
+        Some(labels),
+        &RunConfig::new().threads(threads),
+    )
+    .0
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::pool::ScopedExecutor;
+    use crate::request::{run_components, run_components_on, run_components_resumed};
     use bga_graph::generators::{barabasi_albert, erdos_renyi_gnp, grid_2d, MeshStencil};
     use bga_graph::properties::connected_components_union_find;
     use bga_graph::{CsrGraph, GraphBuilder};
     use bga_kernels::cc::{sv_branch_avoiding, sv_branch_based};
+
+    fn labels(g: &CsrGraph, variant: Variant, threads: usize) -> ComponentLabels {
+        run_components(g, variant, &RunConfig::new().threads(threads))
+            .0
+            .labels
+    }
 
     fn shapes() -> Vec<CsrGraph> {
         vec![
@@ -444,12 +602,12 @@ mod tests {
             assert_eq!(seq_based.as_slice(), seq_avoiding.as_slice());
             for threads in [1, 2, 3, 8] {
                 assert_eq!(
-                    par_sv_branch_based(g, threads).as_slice(),
+                    labels(g, Variant::BranchBased, threads).as_slice(),
                     seq_based.as_slice(),
                     "branch-based, {threads} threads"
                 );
                 assert_eq!(
-                    par_sv_branch_avoiding(g, threads).as_slice(),
+                    labels(g, Variant::BranchAvoiding, threads).as_slice(),
                     seq_based.as_slice(),
                     "branch-avoiding, {threads} threads"
                 );
@@ -465,12 +623,12 @@ mod tests {
         let scoped = ScopedExecutor::new(4);
         // Grain of 1 forces fan-out on every sweep, even on tiny graphs.
         for grain in [1, 4096] {
-            let (pool_labels, _) = par_sv_branch_avoiding_on(&g, &pool, grain);
-            let (scoped_labels, _) = par_sv_branch_avoiding_on(&g, &scoped, grain);
-            assert_eq!(pool_labels.as_slice(), expected.as_slice());
-            assert_eq!(scoped_labels.as_slice(), expected.as_slice());
-            let (pool_based, _) = par_sv_branch_based_on(&g, &pool, grain);
-            assert_eq!(pool_based.as_slice(), expected.as_slice());
+            let pool_run = run_components_on(&g, Variant::BranchAvoiding, &pool, grain);
+            let scoped_run = run_components_on(&g, Variant::BranchAvoiding, &scoped, grain);
+            assert_eq!(pool_run.labels.as_slice(), expected.as_slice());
+            assert_eq!(scoped_run.labels.as_slice(), expected.as_slice());
+            let pool_based = run_components_on(&g, Variant::BranchBased, &pool, grain);
+            assert_eq!(pool_based.labels.as_slice(), expected.as_slice());
         }
     }
 
@@ -478,8 +636,8 @@ mod tests {
     fn canonical_partition_matches_union_find() {
         let g = erdos_renyi_gnp(300, 0.01, 9);
         let expected = connected_components_union_find(&g);
-        assert_eq!(par_sv_branch_based(&g, 4).canonical(), expected);
-        assert_eq!(par_sv_branch_avoiding(&g, 4).canonical(), expected);
+        assert_eq!(labels(&g, Variant::BranchBased, 4).canonical(), expected);
+        assert_eq!(labels(&g, Variant::BranchAvoiding, 4).canonical(), expected);
     }
 
     #[test]
@@ -487,19 +645,25 @@ mod tests {
         use bga_kernels::cc::sv_branch::sv_branch_based_with_stats;
         let g = grid_2d(17, 5, MeshStencil::Moore);
         let (_, seq_sweeps) = sv_branch_based_with_stats(&g);
-        let (_, par_sweeps) = par_sv_branch_based_with_stats(&g, 1);
-        assert_eq!(seq_sweeps, par_sweeps);
-        let (_, par_avoid_sweeps) = par_sv_branch_avoiding_with_stats(&g, 1);
-        assert_eq!(seq_sweeps, par_avoid_sweeps);
+        let cfg = RunConfig::new().threads(1);
+        assert_eq!(
+            run_components(&g, Variant::BranchBased, &cfg).0.sweeps,
+            seq_sweeps
+        );
+        assert_eq!(
+            run_components(&g, Variant::BranchAvoiding, &cfg).0.sweeps,
+            seq_sweeps
+        );
     }
 
     #[test]
     fn instrumented_runs_account_for_every_edge_each_sweep() {
         let g = barabasi_albert(2_000, 3, 5);
         for threads in [1, 2, 8] {
+            let cfg = RunConfig::new().threads(threads).instrumented(true);
             for run in [
-                par_sv_branch_based_instrumented(&g, threads),
-                par_sv_branch_avoiding_instrumented(&g, threads),
+                run_components(&g, Variant::BranchBased, &cfg).0,
+                run_components(&g, Variant::BranchAvoiding, &cfg).0,
             ] {
                 assert_eq!(run.threads, threads);
                 for step in &run.counters.steps {
@@ -531,7 +695,11 @@ mod tests {
             .build();
         let expected = sv_branch_avoiding(&g);
         let cancel = CancelToken::new().with_phase_budget(1);
-        let (partial, outcome) = par_sv_branch_avoiding_with_cancel(&g, 4, &cancel);
+        let (partial, outcome) = run_components(
+            &g,
+            Variant::BranchAvoiding,
+            &RunConfig::new().threads(4).cancel(&cancel),
+        );
         assert_eq!(
             outcome.reason(),
             Some(InterruptReason::PhaseBudgetExhausted)
@@ -546,9 +714,11 @@ mod tests {
         }
         // Resuming converges to labels bit-identical to the fixpoint, for
         // both disciplines.
-        let resumed = par_sv_branch_avoiding_resumed(&g, 4, &partial.labels);
+        let cfg = RunConfig::new().threads(4);
+        let resumed = run_components_resumed(&g, Variant::BranchAvoiding, &partial.labels, &cfg).0;
         assert_eq!(resumed.labels.as_slice(), expected.as_slice());
-        let resumed_based = par_sv_branch_based_resumed(&g, 4, &partial.labels);
+        let resumed_based =
+            run_components_resumed(&g, Variant::BranchBased, &partial.labels, &cfg).0;
         assert_eq!(resumed_based.labels.as_slice(), expected.as_slice());
     }
 
@@ -556,9 +726,32 @@ mod tests {
     fn uncancelled_tokens_leave_runs_complete() {
         let g = erdos_renyi_gnp(300, 0.01, 9);
         let cancel = CancelToken::new();
-        let (run, outcome) = par_sv_branch_based_with_cancel(&g, 2, &cancel);
+        let (run, outcome) = run_components(
+            &g,
+            Variant::BranchBased,
+            &RunConfig::new().threads(2).cancel(&cancel),
+        );
         assert!(outcome.is_completed());
         assert_eq!(run.labels.as_slice(), sv_branch_based(&g).as_slice());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_the_request_api() {
+        // The legacy `par_sv_*` names survive as one-line shims; pin one
+        // representative of each axis to the RunConfig path.
+        let g = erdos_renyi_gnp(300, 0.01, 9);
+        let expected = labels(&g, Variant::BranchAvoiding, 2);
+        assert_eq!(
+            par_sv_branch_avoiding(&g, 2).as_slice(),
+            expected.as_slice()
+        );
+        let (with_stats, sweeps) = par_sv_branch_avoiding_with_stats(&g, 2);
+        assert_eq!(with_stats.as_slice(), expected.as_slice());
+        assert!(sweeps > 0);
+        let instrumented = par_sv_branch_based_instrumented(&g, 2);
+        assert_eq!(instrumented.labels.as_slice(), expected.as_slice());
+        assert!(!instrumented.counters.steps.is_empty());
     }
 
     #[test]
@@ -568,8 +761,9 @@ mod tests {
         // must report strictly more branches and a non-zero misprediction
         // bound, while the avoiding kernel reports more stores.
         let g = erdos_renyi_gnp(1_500, 0.004, 21);
-        let based = par_sv_branch_based_instrumented(&g, 4);
-        let avoiding = par_sv_branch_avoiding_instrumented(&g, 4);
+        let cfg = RunConfig::new().threads(4).instrumented(true);
+        let based = run_components(&g, Variant::BranchBased, &cfg).0;
+        let avoiding = run_components(&g, Variant::BranchAvoiding, &cfg).0;
         let b = based.counters.total();
         let a = avoiding.counters.total();
         assert!(b.branches > a.branches, "{} <= {}", b.branches, a.branches);

@@ -13,12 +13,15 @@ use branch_avoiding_graphs::graph::generators::{barabasi_albert, grid_2d, MeshSt
 use branch_avoiding_graphs::graph::transform::relabel_random;
 use branch_avoiding_graphs::graph::CsrGraph;
 use branch_avoiding_graphs::kernels::bfs::bfs_branch_based;
+use branch_avoiding_graphs::kernels::bfs::direction_optimizing::DirectionConfig;
 use branch_avoiding_graphs::kernels::cc::sv_branch_based;
-use branch_avoiding_graphs::parallel::{
-    par_bfs_branch_avoiding, par_bfs_branch_based, par_bfs_direction_optimizing,
-    par_sv_branch_avoiding, par_sv_branch_based, resolve_threads,
-};
+use branch_avoiding_graphs::parallel::request::{run_bfs, run_components};
+use branch_avoiding_graphs::parallel::{resolve_threads, BfsStrategy, RunConfig, Variant};
 use std::time::Instant;
+
+fn cfg(threads: usize) -> RunConfig<'static> {
+    RunConfig::new().threads(threads)
+}
 
 fn time_ms<T>(f: impl FnOnce() -> T) -> (T, f64) {
     let start = Instant::now();
@@ -68,7 +71,11 @@ fn main() {
         let mut bfs_based_base = 0.0;
         let mut bfs_avoid_base = 0.0;
         for &threads in &thread_counts {
-            let (labels, ms) = time_ms(|| par_sv_branch_based(graph, threads));
+            let (labels, ms) = time_ms(|| {
+                run_components(graph, Variant::BranchBased, &cfg(threads))
+                    .0
+                    .labels
+            });
             assert_eq!(labels.as_slice(), seq_labels.as_slice());
             if threads == 1 {
                 sv_based_base = ms;
@@ -76,7 +83,11 @@ fn main() {
             report("sv CAS-loop (branchy)", threads, ms, sv_based_base);
         }
         for &threads in &thread_counts {
-            let (labels, ms) = time_ms(|| par_sv_branch_avoiding(graph, threads));
+            let (labels, ms) = time_ms(|| {
+                run_components(graph, Variant::BranchAvoiding, &cfg(threads))
+                    .0
+                    .labels
+            });
             assert_eq!(labels.as_slice(), seq_labels.as_slice());
             if threads == 1 {
                 sv_avoid_base = ms;
@@ -84,7 +95,10 @@ fn main() {
             report("sv fetch-min (avoiding)", threads, ms, sv_avoid_base);
         }
         for &threads in &thread_counts {
-            let (result, ms) = time_ms(|| par_bfs_branch_based(graph, 0, threads));
+            let (result, ms) = time_ms(|| {
+                let strategy = BfsStrategy::Plain(Variant::BranchBased);
+                run_bfs(graph, 0, strategy, &cfg(threads)).0.result
+            });
             assert_eq!(result.distances(), seq_distances.distances());
             if threads == 1 {
                 bfs_based_base = ms;
@@ -92,7 +106,10 @@ fn main() {
             report("bfs CAS (branchy)", threads, ms, bfs_based_base);
         }
         for &threads in &thread_counts {
-            let (result, ms) = time_ms(|| par_bfs_branch_avoiding(graph, 0, threads));
+            let (result, ms) = time_ms(|| {
+                let strategy = BfsStrategy::Plain(Variant::BranchAvoiding);
+                run_bfs(graph, 0, strategy, &cfg(threads)).0.result
+            });
             assert_eq!(result.distances(), seq_distances.distances());
             if threads == 1 {
                 bfs_avoid_base = ms;
@@ -101,7 +118,10 @@ fn main() {
         }
         let mut bfs_diropt_base = 0.0;
         for &threads in &thread_counts {
-            let (result, ms) = time_ms(|| par_bfs_direction_optimizing(graph, 0, threads));
+            let (result, ms) = time_ms(|| {
+                let strategy = BfsStrategy::DirectionOptimizing(DirectionConfig::default());
+                run_bfs(graph, 0, strategy, &cfg(threads)).0.result
+            });
             assert_eq!(result.distances(), seq_distances.distances());
             if threads == 1 {
                 bfs_diropt_base = ms;

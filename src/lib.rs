@@ -1,7 +1,7 @@
 //! # branch-avoiding-graphs
 //!
 //! Umbrella crate for the reproduction of **"Branch-Avoiding Graph
-//! Algorithms"** (Green, Dukhan, Vuduc — SPAA 2015). It re-exports the six
+//! Algorithms"** (Green, Dukhan, Vuduc — SPAA 2015). It re-exports the
 //! library crates of the workspace so applications can depend on a single
 //! crate:
 //!
@@ -28,7 +28,12 @@
 //!   centrality, k-core peeling over atomic degree counters, unit-weight
 //!   SSSP on the level loop and weighted delta-stepping SSSP on the
 //!   bucket loop, all on a persistent worker pool with edge-balanced
-//!   chunking.
+//!   chunking — all behind one request API ([`bga_parallel::request`] /
+//!   [`bga_parallel::RunConfig`]).
+//! * [`serve`] ([`bga_serve`]) — the long-running TCP query server: one
+//!   immutable snapshot, concurrent distance / path / component / core /
+//!   betweenness-rank queries over newline-delimited `bga-serve-v1`
+//!   JSON, with an LRU result cache and per-query deadlines.
 //!
 //! ```
 //! use branch_avoiding_graphs::prelude::*;
@@ -53,6 +58,7 @@ pub use bga_kernels as kernels;
 pub use bga_obs as obs;
 pub use bga_parallel as parallel;
 pub use bga_perfmodel as perfmodel;
+pub use bga_serve as serve;
 
 /// Convenient re-exports of the items most applications need.
 pub mod prelude {
@@ -89,18 +95,14 @@ pub mod prelude {
         parse_trace, validate_trace, JsonlSink, MemorySink, NoopSink, PhaseCounters, PhaseEvent,
         PhaseKind, TraceEvent, TraceReport, TraceSink, TRACE_SCHEMA,
     };
+    pub use bga_parallel::request::{
+        run, run_betweenness, run_bfs, run_components, run_kcore, run_sssp_unit, run_sssp_weighted,
+        KernelOutput, KernelRequest, RequestError,
+    };
     pub use bga_parallel::{
-        par_betweenness_centrality, par_betweenness_centrality_sources,
-        par_betweenness_centrality_traced, par_betweenness_centrality_with_variant,
-        par_bfs_branch_avoiding, par_bfs_branch_avoiding_traced, par_bfs_branch_based,
-        par_bfs_branch_based_traced, par_bfs_direction_optimizing,
-        par_bfs_direction_optimizing_traced, par_bfs_direction_optimizing_with_config, par_kcore,
-        par_kcore_traced, par_kcore_with_variant, par_sssp_unit, par_sssp_unit_traced,
-        par_sssp_unit_with_variant, par_sssp_weighted, par_sssp_weighted_traced,
-        par_sssp_weighted_with_variant, par_sv_branch_avoiding, par_sv_branch_avoiding_traced,
-        par_sv_branch_based, par_sv_branch_based_traced, BcVariant, BucketLoop, KcoreVariant,
-        LevelLoop, PoolConfig, PoolMetrics, PoolMonitor, SsspVariant, SweepLoop, TraversalState,
-        WorkerPool,
+        BfsStrategy, BucketLoop, CancelToken, InterruptReason, LevelLoop, PoolConfig, PoolMetrics,
+        PoolMonitor, RunConfig, RunOutcome, SweepLoop, TraversalState, Variant, WorkerPool,
     };
     pub use bga_perfmodel::timing::{modeled_speedup, time_run};
+    pub use bga_serve::{ServeOptions, Server};
 }

@@ -11,11 +11,11 @@ use branch_avoiding_graphs::graph::generators::{barabasi_albert, erdos_renyi_gnm
 use branch_avoiding_graphs::graph::suite::{benchmark_suite, SuiteScale};
 use branch_avoiding_graphs::graph::weighted::uniform_weights;
 use branch_avoiding_graphs::graph::{CompressedCsrGraph, CompressedWeightedGraph, CsrGraph};
-use branch_avoiding_graphs::parallel::{
-    par_betweenness_centrality_sources_on, par_bfs_branch_avoiding_on, par_bfs_branch_based_on,
-    par_kcore_on, par_sssp_unit_on, par_sssp_weighted_on, par_sv_branch_avoiding_on,
-    par_sv_branch_based_on, BcVariant, KcoreVariant, SsspVariant, WorkerPool,
+use branch_avoiding_graphs::parallel::request::{
+    run_betweenness_on, run_bfs_on, run_components_on, run_kcore_on, run_sssp_unit_on,
+    run_sssp_weighted_on,
 };
+use branch_avoiding_graphs::parallel::{BfsStrategy, Variant, WorkerPool};
 
 const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
 const GRAIN: usize = 1;
@@ -31,39 +31,42 @@ fn assert_representations_agree(name: &str, graph: &CsrGraph) {
     for threads in THREAD_COUNTS {
         let pool = WorkerPool::new(threads);
         // SV connected components, both hooking disciplines.
-        let (csr_labels, _) = par_sv_branch_based_on(graph, &pool, GRAIN);
-        let (zip_labels, _) = par_sv_branch_based_on(&compressed, &pool, GRAIN);
+        let csr_labels = run_components_on(graph, Variant::BranchBased, &pool, GRAIN).labels;
+        let zip_labels = run_components_on(&compressed, Variant::BranchBased, &pool, GRAIN).labels;
         assert_eq!(
             csr_labels.as_slice(),
             zip_labels.as_slice(),
             "{name}: branch-based SV diverged at {threads} threads"
         );
-        let (csr_labels, _) = par_sv_branch_avoiding_on(graph, &pool, GRAIN);
-        let (zip_labels, _) = par_sv_branch_avoiding_on(&compressed, &pool, GRAIN);
+        let csr_labels = run_components_on(graph, Variant::BranchAvoiding, &pool, GRAIN).labels;
+        let zip_labels =
+            run_components_on(&compressed, Variant::BranchAvoiding, &pool, GRAIN).labels;
         assert_eq!(
             csr_labels.as_slice(),
             zip_labels.as_slice(),
             "{name}: branch-avoiding SV diverged at {threads} threads"
         );
         // BFS, both disciplines.
-        assert_eq!(
-            par_bfs_branch_based_on(graph, 0, &pool, GRAIN).distances(),
-            par_bfs_branch_based_on(&compressed, 0, &pool, GRAIN).distances(),
-            "{name}: branch-based BFS diverged at {threads} threads"
-        );
-        assert_eq!(
-            par_bfs_branch_avoiding_on(graph, 0, &pool, GRAIN).distances(),
-            par_bfs_branch_avoiding_on(&compressed, 0, &pool, GRAIN).distances(),
-            "{name}: branch-avoiding BFS diverged at {threads} threads"
-        );
+        for variant in [Variant::BranchBased, Variant::BranchAvoiding] {
+            let strategy = BfsStrategy::Plain(variant);
+            assert_eq!(
+                run_bfs_on(graph, 0, strategy, &pool, GRAIN)
+                    .result
+                    .distances(),
+                run_bfs_on(&compressed, 0, strategy, &pool, GRAIN)
+                    .result
+                    .distances(),
+                "{name}: {variant:?} BFS diverged at {threads} threads"
+            );
+        }
         // Brandes betweenness over a fixed source sample. f64 accumulation
         // order is fixed by the engine's deterministic level schedule, so
         // the scores must match bit-for-bit, not just approximately.
-        for variant in [BcVariant::BranchBased, BcVariant::BranchAvoiding] {
+        for variant in [Variant::BranchBased, Variant::BranchAvoiding] {
             let csr_scores =
-                par_betweenness_centrality_sources_on(graph, &sources, &pool, GRAIN, variant);
+                run_betweenness_on(graph, variant, Some(&sources), &pool, GRAIN).scores;
             let zip_scores =
-                par_betweenness_centrality_sources_on(&compressed, &sources, &pool, GRAIN, variant);
+                run_betweenness_on(&compressed, variant, Some(&sources), &pool, GRAIN).scores;
             assert_eq!(
                 csr_scores.iter().map(|s| s.to_bits()).collect::<Vec<_>>(),
                 zip_scores.iter().map(|s| s.to_bits()).collect::<Vec<_>>(),
@@ -71,9 +74,9 @@ fn assert_representations_agree(name: &str, graph: &CsrGraph) {
             );
         }
         // k-core peeling, both decrement disciplines.
-        for variant in [KcoreVariant::BranchBased, KcoreVariant::BranchAvoiding] {
-            let (csr_cores, _) = par_kcore_on(graph, &pool, GRAIN, variant);
-            let (zip_cores, _) = par_kcore_on(&compressed, &pool, GRAIN, variant);
+        for variant in [Variant::BranchBased, Variant::BranchAvoiding] {
+            let csr_cores = run_kcore_on(graph, variant, &pool, GRAIN).cores;
+            let zip_cores = run_kcore_on(&compressed, variant, &pool, GRAIN).cores;
             assert_eq!(
                 csr_cores.as_slice(),
                 zip_cores.as_slice(),
@@ -82,15 +85,22 @@ fn assert_representations_agree(name: &str, graph: &CsrGraph) {
         }
         // Unit SSSP on the level loop and weighted delta-stepping on the
         // bucket loop, both relaxation disciplines.
-        for variant in [SsspVariant::BranchBased, SsspVariant::BranchAvoiding] {
+        for variant in [Variant::BranchBased, Variant::BranchAvoiding] {
             assert_eq!(
-                par_sssp_unit_on(graph, 0, &pool, GRAIN, variant).distances(),
-                par_sssp_unit_on(&compressed, 0, &pool, GRAIN, variant).distances(),
+                run_sssp_unit_on(graph, 0, variant, &pool, GRAIN)
+                    .result
+                    .distances(),
+                run_sssp_unit_on(&compressed, 0, variant, &pool, GRAIN)
+                    .result
+                    .distances(),
                 "{name}: {variant:?} unit SSSP diverged at {threads} threads"
             );
             assert_eq!(
-                par_sssp_weighted_on(&weighted, 0, &pool, GRAIN, DELTA, variant).distances(),
-                par_sssp_weighted_on(&compressed_weighted, 0, &pool, GRAIN, DELTA, variant)
+                run_sssp_weighted_on(&weighted, 0, DELTA, variant, &pool, GRAIN)
+                    .result
+                    .distances(),
+                run_sssp_weighted_on(&compressed_weighted, 0, DELTA, variant, &pool, GRAIN)
+                    .result
                     .distances(),
                 "{name}: {variant:?} weighted SSSP diverged at {threads} threads"
             );

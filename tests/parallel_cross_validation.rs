@@ -21,31 +21,78 @@ use branch_avoiding_graphs::kernels::bc::{betweenness_centrality, betweenness_ce
 use branch_avoiding_graphs::kernels::bfs::direction_optimizing::{
     bfs_direction_optimizing, DirectionConfig,
 };
+use branch_avoiding_graphs::kernels::bfs::BfsResult;
 use branch_avoiding_graphs::kernels::bfs::{bfs_branch_avoiding, bfs_branch_based};
+use branch_avoiding_graphs::kernels::cc::ComponentLabels;
 use branch_avoiding_graphs::kernels::cc::{sv_branch_avoiding, sv_branch_based};
 use branch_avoiding_graphs::kernels::kcore::kcore_peeling;
+use branch_avoiding_graphs::kernels::kcore::CoreDecomposition;
+use branch_avoiding_graphs::kernels::sssp::SsspResult;
 use branch_avoiding_graphs::kernels::sssp::{
     sssp_delta_stepping, sssp_dijkstra, sssp_unit_delta_stepping,
     sssp_unit_delta_stepping_with_delta,
 };
-use branch_avoiding_graphs::parallel::{
-    par_betweenness_centrality_sources, par_betweenness_centrality_with_variant, BcVariant,
+use branch_avoiding_graphs::parallel::request::{
+    run_betweenness, run_bfs, run_components, run_kcore, run_sssp_unit, run_sssp_weighted,
 };
-use branch_avoiding_graphs::parallel::{
-    par_bfs_branch_avoiding, par_bfs_branch_avoiding_instrumented, par_bfs_branch_based,
-    par_bfs_branch_based_instrumented, par_bfs_direction_optimizing,
-    par_bfs_direction_optimizing_with_config, par_sv_branch_avoiding,
-    par_sv_branch_avoiding_instrumented, par_sv_branch_based, par_sv_branch_based_instrumented,
-};
-use branch_avoiding_graphs::parallel::{
-    par_kcore_with_variant, par_sssp_unit_with_variant, KcoreVariant, SsspVariant,
-};
-use branch_avoiding_graphs::parallel::{
-    par_sssp_weighted_instrumented, par_sssp_weighted_with_variant,
-};
+use branch_avoiding_graphs::parallel::{BfsStrategy, ParDirBfsRun, RunConfig, Variant};
 use proptest::prelude::*;
 
 const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn config(threads: usize) -> RunConfig<'static> {
+    RunConfig::new().threads(threads)
+}
+
+fn instrumented(threads: usize) -> RunConfig<'static> {
+    RunConfig::new().threads(threads).instrumented(true)
+}
+
+fn par_sv(g: &CsrGraph, threads: usize, variant: Variant) -> ComponentLabels {
+    run_components(g, variant, &config(threads)).0.labels
+}
+
+fn par_bfs(g: &CsrGraph, root: u32, threads: usize, variant: Variant) -> BfsResult {
+    run_bfs(g, root, BfsStrategy::Plain(variant), &config(threads))
+        .0
+        .result
+}
+
+fn par_dir_bfs(g: &CsrGraph, root: u32, threads: usize, config_: DirectionConfig) -> ParDirBfsRun {
+    run_bfs(
+        g,
+        root,
+        BfsStrategy::DirectionOptimizing(config_),
+        &config(threads),
+    )
+    .0
+}
+
+fn par_kcore(g: &CsrGraph, threads: usize, variant: Variant) -> CoreDecomposition {
+    run_kcore(g, variant, &config(threads)).0.cores
+}
+
+fn par_sssp(g: &CsrGraph, source: u32, threads: usize, variant: Variant) -> SsspResult {
+    run_sssp_unit(g, source, variant, &config(threads)).0.result
+}
+
+fn par_wsssp(
+    g: &WeightedCsrGraph,
+    source: u32,
+    delta: u32,
+    threads: usize,
+    variant: Variant,
+) -> SsspResult {
+    run_sssp_weighted(g, source, delta, variant, &config(threads))
+        .0
+        .result
+}
+
+fn par_bc(g: &CsrGraph, sources: Option<&[u32]>, threads: usize, variant: Variant) -> Vec<f64> {
+    run_betweenness(g, variant, sources, &config(threads))
+        .0
+        .scores
+}
 
 fn assert_parallel_sv_matches_sequential(graph: &CsrGraph) {
     let expected = sv_branch_based(graph);
@@ -56,12 +103,12 @@ fn assert_parallel_sv_matches_sequential(graph: &CsrGraph) {
     );
     for threads in THREAD_COUNTS {
         assert_eq!(
-            par_sv_branch_based(graph, threads).as_slice(),
+            par_sv(graph, threads, Variant::BranchBased).as_slice(),
             expected.as_slice(),
             "parallel branch-based SV diverged at {threads} threads"
         );
         assert_eq!(
-            par_sv_branch_avoiding(graph, threads).as_slice(),
+            par_sv(graph, threads, Variant::BranchAvoiding).as_slice(),
             expected.as_slice(),
             "parallel branch-avoiding SV diverged at {threads} threads"
         );
@@ -76,17 +123,19 @@ fn assert_parallel_bfs_matches_sequential(graph: &CsrGraph, root: u32) {
     assert_eq!(seq_diropt.distances(), &expected[..]);
     for threads in THREAD_COUNTS {
         assert_eq!(
-            par_bfs_branch_based(graph, root, threads).distances(),
+            par_bfs(graph, root, threads, Variant::BranchBased).distances(),
             &expected[..],
             "parallel branch-based BFS diverged at {threads} threads"
         );
         assert_eq!(
-            par_bfs_branch_avoiding(graph, root, threads).distances(),
+            par_bfs(graph, root, threads, Variant::BranchAvoiding).distances(),
             &expected[..],
             "parallel branch-avoiding BFS diverged at {threads} threads"
         );
         assert_eq!(
-            par_bfs_direction_optimizing(graph, root, threads).distances(),
+            par_dir_bfs(graph, root, threads, DirectionConfig::default())
+                .result
+                .distances(),
             seq_diropt.distances(),
             "parallel direction-optimizing BFS diverged at {threads} threads"
         );
@@ -100,7 +149,10 @@ fn suite_graphs_cross_validate_at_every_thread_count() {
         assert_parallel_bfs_matches_sequential(&sg.graph, 0);
         // Partition sanity against the union-find reference.
         let expected = connected_components_union_find(&sg.graph);
-        assert_eq!(par_sv_branch_avoiding(&sg.graph, 8).canonical(), expected);
+        assert_eq!(
+            par_sv(&sg.graph, 8, Variant::BranchAvoiding).canonical(),
+            expected
+        );
     }
 }
 
@@ -128,9 +180,8 @@ fn bc_suite_graphs_cross_validate_at_every_thread_count() {
     for sg in benchmark_suite(SuiteScale::Small, 42) {
         let expected = betweenness_centrality_sources(&sg.graph, &sources);
         for threads in THREAD_COUNTS {
-            for variant in [BcVariant::BranchBased, BcVariant::BranchAvoiding] {
-                let scores =
-                    par_betweenness_centrality_sources(&sg.graph, &sources, threads, variant);
+            for variant in [Variant::BranchBased, Variant::BranchAvoiding] {
+                let scores = par_bc(&sg.graph, Some(&sources), threads, variant);
                 assert_scores_close(
                     &scores,
                     &expected,
@@ -150,8 +201,8 @@ fn bc_full_scores_match_sequential_brandes() {
     for g in &graphs {
         let expected = betweenness_centrality(g);
         for threads in THREAD_COUNTS {
-            for variant in [BcVariant::BranchBased, BcVariant::BranchAvoiding] {
-                let scores = par_betweenness_centrality_with_variant(g, threads, variant);
+            for variant in [Variant::BranchBased, Variant::BranchAvoiding] {
+                let scores = par_bc(g, None, threads, variant);
                 assert_scores_close(
                     &scores,
                     &expected,
@@ -169,10 +220,10 @@ fn bc_scores_are_bit_deterministic_across_threads() {
     // executors and repeats — not merely within tolerance.
     let g = relabel_random(&barabasi_albert(500, 3, 29), 12);
     let sources: Vec<u32> = (0..16).collect();
-    let reference = par_betweenness_centrality_sources(&g, &sources, 1, BcVariant::BranchAvoiding);
+    let reference = par_bc(&g, Some(&sources), 1, Variant::BranchAvoiding);
     for threads in THREAD_COUNTS {
-        for variant in [BcVariant::BranchBased, BcVariant::BranchAvoiding] {
-            let scores = par_betweenness_centrality_sources(&g, &sources, threads, variant);
+        for variant in [Variant::BranchBased, Variant::BranchAvoiding] {
+            let scores = par_bc(&g, Some(&sources), threads, variant);
             for (a, b) in reference.iter().zip(scores.iter()) {
                 assert_eq!(a.to_bits(), b.to_bits(), "{threads} threads, {variant:?}");
             }
@@ -183,9 +234,9 @@ fn bc_scores_are_bit_deterministic_across_threads() {
 fn assert_parallel_kcore_matches_sequential(graph: &CsrGraph) {
     let expected = kcore_peeling(graph);
     for threads in THREAD_COUNTS {
-        for variant in [KcoreVariant::BranchBased, KcoreVariant::BranchAvoiding] {
+        for variant in [Variant::BranchBased, Variant::BranchAvoiding] {
             assert_eq!(
-                par_kcore_with_variant(graph, threads, variant).as_slice(),
+                par_kcore(graph, threads, variant).as_slice(),
                 expected.as_slice(),
                 "parallel {variant:?} k-core diverged at {threads} threads"
             );
@@ -201,8 +252,8 @@ fn assert_parallel_sssp_matches_sequential(graph: &CsrGraph, source: u32) {
         "sequential delta-stepping diverged from the BFS reference"
     );
     for threads in THREAD_COUNTS {
-        for variant in [SsspVariant::BranchBased, SsspVariant::BranchAvoiding] {
-            let par = par_sssp_unit_with_variant(graph, source, threads, variant);
+        for variant in [Variant::BranchBased, Variant::BranchAvoiding] {
+            let par = par_sssp(graph, source, threads, variant);
             assert_eq!(
                 par.distances(),
                 expected.distances(),
@@ -250,7 +301,7 @@ fn kcore_engine_edge_cases() {
         assert_parallel_kcore_matches_sequential(g);
     }
     // Spot-check the disconnected decomposition directly.
-    let cores = par_kcore_with_variant(&shapes[3], 2, KcoreVariant::BranchAvoiding);
+    let cores = par_kcore(&shapes[3], 2, Variant::BranchAvoiding);
     assert_eq!(cores.as_slice(), &[2, 2, 2, 1, 1, 2, 2, 2, 1, 0]);
 }
 
@@ -258,10 +309,10 @@ fn kcore_engine_edge_cases() {
 fn kcore_runs_are_deterministic_across_repeats() {
     let g = relabel_random(&barabasi_albert(3_000, 3, 37), 6);
     for threads in THREAD_COUNTS {
-        let first = par_kcore_with_variant(&g, threads, KcoreVariant::BranchAvoiding);
+        let first = par_kcore(&g, threads, Variant::BranchAvoiding);
         for _ in 0..3 {
             assert_eq!(
-                par_kcore_with_variant(&g, threads, KcoreVariant::BranchAvoiding).as_slice(),
+                par_kcore(&g, threads, Variant::BranchAvoiding).as_slice(),
                 first.as_slice()
             );
         }
@@ -295,13 +346,13 @@ fn sssp_engine_edge_cases() {
     let g = &shapes[2];
     assert_eq!(sssp_unit_delta_stepping(g, 99).reached_count(), 0);
     for threads in THREAD_COUNTS {
-        let run = par_sssp_unit_with_variant(g, 99, threads, SsspVariant::BranchAvoiding);
+        let run = par_sssp(g, 99, threads, Variant::BranchAvoiding);
         assert_eq!(run.reached_count(), 0);
         assert_eq!(run.phases(), 0);
     }
     // Empty graph: nothing to settle, no phases.
     let empty = GraphBuilder::undirected(0).build();
-    let run = par_sssp_unit_with_variant(&empty, 0, 2, SsspVariant::BranchAvoiding);
+    let run = par_sssp(&empty, 0, 2, Variant::BranchAvoiding);
     assert_eq!(run.distances().len(), 0);
     assert_eq!(run.phases(), 0);
 }
@@ -324,8 +375,8 @@ fn assert_parallel_wsssp_matches_dijkstra(graph: &WeightedCsrGraph, source: u32)
             "sequential weighted delta-stepping diverged at delta {delta}"
         );
         for threads in THREAD_COUNTS {
-            for variant in [SsspVariant::BranchBased, SsspVariant::BranchAvoiding] {
-                let par = par_sssp_weighted_with_variant(graph, source, delta, threads, variant);
+            for variant in [Variant::BranchBased, Variant::BranchAvoiding] {
+                let par = par_wsssp(graph, source, delta, threads, variant);
                 assert_eq!(
                     par.distances(),
                     expected.distances(),
@@ -371,7 +422,7 @@ fn wsssp_engine_edge_cases() {
     let g = &shapes[3];
     assert_eq!(sssp_dijkstra(g, 99).reached_count(), 0);
     for threads in THREAD_COUNTS {
-        let run = par_sssp_weighted_with_variant(g, 99, 4, threads, SsspVariant::BranchAvoiding);
+        let run = par_wsssp(g, 99, 4, threads, Variant::BranchAvoiding);
         assert_eq!(run.reached_count(), 0);
         assert_eq!(run.phases(), 0);
     }
@@ -396,11 +447,11 @@ fn wsssp_phase_structure_is_deterministic_across_threads_and_repeats() {
     let wg = relabel_random_weighted(&uniform_weights(&barabasi_albert(2_000, 3, 13), 24, 5), 8);
     for delta in WSSSP_DELTAS {
         let reference =
-            par_sssp_weighted_instrumented(&wg, 0, delta, 1, SsspVariant::BranchAvoiding);
+            run_sssp_weighted(&wg, 0, delta, Variant::BranchAvoiding, &instrumented(1)).0;
         for threads in THREAD_COUNTS {
-            for variant in [SsspVariant::BranchBased, SsspVariant::BranchAvoiding] {
+            for variant in [Variant::BranchBased, Variant::BranchAvoiding] {
                 for _ in 0..2 {
-                    let run = par_sssp_weighted_instrumented(&wg, 0, delta, threads, variant);
+                    let run = run_sssp_weighted(&wg, 0, delta, variant, &instrumented(threads)).0;
                     assert_eq!(
                         run.result.distances(),
                         reference.result.distances(),
@@ -419,15 +470,15 @@ fn wsssp_phase_structure_is_deterministic_across_threads_and_repeats() {
 fn parallel_runs_are_deterministic_across_repeats() {
     let g = relabel_random(&barabasi_albert(3_000, 3, 11), 4);
     for threads in THREAD_COUNTS {
-        let first_sv = par_sv_branch_avoiding(&g, threads);
-        let first_bfs = par_bfs_branch_avoiding(&g, 0, threads);
+        let first_sv = par_sv(&g, threads, Variant::BranchAvoiding);
+        let first_bfs = par_bfs(&g, 0, threads, Variant::BranchAvoiding);
         for _ in 0..3 {
             assert_eq!(
-                par_sv_branch_avoiding(&g, threads).as_slice(),
+                par_sv(&g, threads, Variant::BranchAvoiding).as_slice(),
                 first_sv.as_slice()
             );
             assert_eq!(
-                par_bfs_branch_avoiding(&g, 0, threads).distances(),
+                par_bfs(&g, 0, threads, Variant::BranchAvoiding).distances(),
                 first_bfs.distances()
             );
         }
@@ -450,7 +501,7 @@ fn direction_optimizing_strategies_cross_validate() {
         let seq = bfs_direction_optimizing(&g, 0, config);
         assert_eq!(seq.distances(), &expected[..]);
         for threads in THREAD_COUNTS {
-            let par = par_bfs_direction_optimizing_with_config(&g, 0, threads, config);
+            let par = par_dir_bfs(&g, 0, threads, config);
             assert_eq!(
                 par.result.distances(),
                 &expected[..],
@@ -461,7 +512,7 @@ fn direction_optimizing_strategies_cross_validate() {
     }
     // The default thresholds actually exercise both directions on this
     // power-law graph — otherwise the test above proves less than it says.
-    let run = par_bfs_direction_optimizing_with_config(&g, 0, 2, DirectionConfig::default());
+    let run = par_dir_bfs(&g, 0, 2, DirectionConfig::default());
     assert!(run.bottom_up_levels() > 0);
     assert!(run.bottom_up_levels() < run.directions.len());
 }
@@ -470,7 +521,7 @@ fn direction_optimizing_strategies_cross_validate() {
 fn instrumented_parallel_counters_merge_consistently() {
     let g = relabel_random(&barabasi_albert(2_000, 3, 9), 1);
     for threads in THREAD_COUNTS {
-        let sv = par_sv_branch_avoiding_instrumented(&g, threads);
+        let sv = run_components(&g, Variant::BranchAvoiding, &instrumented(threads)).0;
         // Every sweep touches every edge slot exactly once, regardless of
         // how the work was chunked across threads.
         for step in &sv.counters.steps {
@@ -478,7 +529,7 @@ fn instrumented_parallel_counters_merge_consistently() {
         }
         assert_eq!(sv.labels.canonical(), connected_components_union_find(&g));
 
-        let sv_based = par_sv_branch_based_instrumented(&g, threads);
+        let sv_based = run_components(&g, Variant::BranchBased, &instrumented(threads)).0;
         assert_eq!(sv_based.labels.as_slice(), sv.labels.as_slice());
         // The concurrent contrast the paper predicts: branch-based executes
         // strictly more branches, branch-avoiding strictly more stores.
@@ -487,7 +538,13 @@ fn instrumented_parallel_counters_merge_consistently() {
         assert!(based_totals.branches > avoiding_totals.branches);
         assert!(avoiding_totals.stores > based_totals.stores);
 
-        let bfs = par_bfs_branch_based_instrumented(&g, 0, threads);
+        let bfs = run_bfs(
+            &g,
+            0,
+            BfsStrategy::Plain(Variant::BranchBased),
+            &instrumented(threads),
+        )
+        .0;
         let per_level_vertices: u64 = bfs
             .counters
             .steps
@@ -495,9 +552,15 @@ fn instrumented_parallel_counters_merge_consistently() {
             .map(|s| s.vertices_processed)
             .sum();
         assert_eq!(per_level_vertices as usize, bfs.result.reached_count());
-        assert_eq!(bfs.levels(), bfs.result.level_count());
+        assert_eq!(bfs.counters.num_steps(), bfs.result.level_count());
 
-        let bfs_avoiding = par_bfs_branch_avoiding_instrumented(&g, 0, threads);
+        let bfs_avoiding = run_bfs(
+            &g,
+            0,
+            BfsStrategy::Plain(Variant::BranchAvoiding),
+            &instrumented(threads),
+        )
+        .0;
         assert_eq!(bfs_avoiding.result.distances(), bfs.result.distances());
     }
 }
@@ -580,9 +643,9 @@ proptest! {
         let g = relabel_random(&erdos_renyi_gnm(n, m, seed), relabel_seed);
         let expected = kcore_peeling(&g);
         for threads in THREAD_COUNTS {
-            for variant in [KcoreVariant::BranchBased, KcoreVariant::BranchAvoiding] {
+            for variant in [Variant::BranchBased, Variant::BranchAvoiding] {
                 prop_assert_eq!(
-                    par_kcore_with_variant(&g, threads, variant).as_slice(),
+                    par_kcore(&g, threads, variant).as_slice(),
                     expected.as_slice(),
                     "{:?} at {} threads", variant, threads
                 );
@@ -614,9 +677,9 @@ proptest! {
             );
         }
         for threads in THREAD_COUNTS {
-            for variant in [SsspVariant::BranchBased, SsspVariant::BranchAvoiding] {
+            for variant in [Variant::BranchBased, Variant::BranchAvoiding] {
                 prop_assert_eq!(
-                    par_sssp_unit_with_variant(&g, source, threads, variant).distances(),
+                    par_sssp(&g, source, threads, variant).distances(),
                     &expected[..],
                     "{:?} at {} threads", variant, threads
                 );
@@ -657,9 +720,9 @@ proptest! {
                 "sequential delta {} diverged", delta
             );
             for threads in THREAD_COUNTS {
-                for variant in [SsspVariant::BranchBased, SsspVariant::BranchAvoiding] {
+                for variant in [Variant::BranchBased, Variant::BranchAvoiding] {
                     prop_assert_eq!(
-                        par_sssp_weighted_with_variant(&g, source, delta, threads, variant)
+                        par_wsssp(&g, source, delta, threads, variant)
                             .distances(),
                         expected.distances(),
                         "{:?} at {} threads, delta {}", variant, threads, delta
@@ -679,7 +742,7 @@ proptest! {
         let m = (n * edge_factor / 2).min(n * (n - 1) / 2);
         let g = erdos_renyi_gnm(n, m, seed);
         for threads in THREAD_COUNTS {
-            let result = par_bfs_branch_avoiding(&g, 0, threads);
+            let result = par_bfs(&g, 0, threads, Variant::BranchAvoiding);
             let mut order = result.visit_order().to_vec();
             let reached = result.reached_count();
             order.sort_unstable();

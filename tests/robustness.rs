@@ -20,18 +20,22 @@ use branch_avoiding_graphs::graph::CsrGraph;
 use branch_avoiding_graphs::kernels::bc::betweenness_centrality_sources;
 use branch_avoiding_graphs::kernels::kcore::kcore_peeling;
 use branch_avoiding_graphs::kernels::sssp::sssp_delta_stepping;
+use branch_avoiding_graphs::parallel::request::{
+    run_betweenness, run_bfs, run_components, run_components_on, run_components_resumed, run_kcore,
+    run_sssp_unit, run_sssp_weighted, run_sssp_weighted_resumed,
+};
 use branch_avoiding_graphs::parallel::{
-    par_betweenness_centrality_sources_with_cancel, par_bfs_branch_avoiding_with_cancel,
-    par_kcore_with_cancel, par_sssp_unit_with_cancel, par_sssp_weighted_resumed,
-    par_sssp_weighted_with_cancel, par_sssp_weighted_with_variant, par_sv_branch_avoiding,
-    par_sv_branch_avoiding_resumed, par_sv_branch_avoiding_with_cancel, par_sv_branch_based_on,
-    par_sv_branch_based_resumed, BcVariant, CancelToken, InterruptReason, KcoreVariant, RunOutcome,
-    SsspVariant,
+    BfsStrategy, CancelToken, InterruptReason, RunConfig, RunOutcome, Variant,
 };
 use std::time::{Duration, Instant};
 
 const THREADS: usize = 2;
 const UNREACHED: u32 = u32::MAX;
+
+/// The two-worker cancellable configuration every run here uses.
+fn cancel_config(token: &CancelToken) -> RunConfig<'_> {
+    RunConfig::new().threads(THREADS).cancel(token)
+}
 
 /// A multi-sweep, multi-level workload: a relabelled 2-D grid has a large
 /// diameter (so BFS has many levels and SV needs several sweeps) without
@@ -64,25 +68,13 @@ fn pre_cancelled_tokens_stop_every_loop_before_the_first_phase() {
     };
     // Sweep loop (SV), level loop (BFS, unit SSSP), bucket loop (weighted
     // SSSP) and the concurrent peel (k-core) all share the boundary check.
-    interrupted_at_zero(par_sv_branch_avoiding_with_cancel(&graph, THREADS, &token).1);
-    interrupted_at_zero(par_bfs_branch_avoiding_with_cancel(&graph, 0, THREADS, &token).1);
-    interrupted_at_zero(
-        par_sssp_unit_with_cancel(&graph, 0, THREADS, SsspVariant::BranchAvoiding, &token).1,
-    );
-    interrupted_at_zero(
-        par_sssp_weighted_with_cancel(
-            &weighted,
-            0,
-            4,
-            THREADS,
-            SsspVariant::BranchAvoiding,
-            &token,
-        )
-        .1,
-    );
-    interrupted_at_zero(
-        par_kcore_with_cancel(&graph, THREADS, KcoreVariant::BranchAvoiding, &token).1,
-    );
+    let config = cancel_config(&token);
+    let avoiding = Variant::BranchAvoiding;
+    interrupted_at_zero(run_components(&graph, avoiding, &config).1);
+    interrupted_at_zero(run_bfs(&graph, 0, BfsStrategy::Plain(avoiding), &config).1);
+    interrupted_at_zero(run_sssp_unit(&graph, 0, avoiding, &config).1);
+    interrupted_at_zero(run_sssp_weighted(&weighted, 0, 4, avoiding, &config).1);
+    interrupted_at_zero(run_kcore(&graph, avoiding, &config).1);
 }
 
 #[test]
@@ -91,7 +83,7 @@ fn deadline_bounded_runs_stop_promptly_with_the_deadline_reason() {
     // An already-expired deadline trips the very first boundary check.
     let token = CancelToken::new().with_deadline_in(Duration::ZERO);
     let started = Instant::now();
-    let (_, outcome) = par_sv_branch_avoiding_with_cancel(&graph, THREADS, &token);
+    let (_, outcome) = run_components(&graph, Variant::BranchAvoiding, &cancel_config(&token));
     assert_eq!(outcome.reason(), Some(InterruptReason::DeadlineExpired));
     // "Promptly" with a wide margin: the run must not finish the whole
     // kernel first (which would report Completed), nor hang.
@@ -103,7 +95,7 @@ fn deadline_bounded_runs_stop_promptly_with_the_deadline_reason() {
 fn phase_budgets_interrupt_exactly_at_the_budget() {
     let graph = deep_graph();
     let token = CancelToken::new().with_phase_budget(1);
-    let (run, outcome) = par_sv_branch_avoiding_with_cancel(&graph, THREADS, &token);
+    let (run, outcome) = run_components(&graph, Variant::BranchAvoiding, &cancel_config(&token));
     assert_eq!(
         outcome,
         RunOutcome::Interrupted {
@@ -124,7 +116,12 @@ fn interrupted_bfs_is_an_exact_level_prefix() {
     let graph = deep_graph();
     let reference = bfs_distances_reference(&graph, 0);
     let token = CancelToken::new().with_phase_budget(2);
-    let (run, outcome) = par_bfs_branch_avoiding_with_cancel(&graph, 0, THREADS, &token);
+    let (run, outcome) = run_bfs(
+        &graph,
+        0,
+        BfsStrategy::Plain(Variant::BranchAvoiding),
+        &cancel_config(&token),
+    );
     assert!(!outcome.is_completed());
     // Level-synchronous BFS settles whole levels: every distance written
     // before the cut is final, not just a bound.
@@ -148,8 +145,7 @@ fn interrupted_kcore_reports_final_core_numbers_for_the_peeled_prefix() {
     let graph = relabel_random(&fanout_graph(), 3);
     let reference = kcore_peeling(&graph);
     let token = CancelToken::new().with_phase_budget(2);
-    let (run, outcome) =
-        par_kcore_with_cancel(&graph, THREADS, KcoreVariant::BranchAvoiding, &token);
+    let (run, outcome) = run_kcore(&graph, Variant::BranchAvoiding, &cancel_config(&token));
     assert!(!outcome.is_completed());
     for (v, &core) in run.cores.as_slice().iter().enumerate() {
         if core != UNREACHED {
@@ -163,13 +159,13 @@ fn interrupted_bc_is_exact_over_the_completed_source_prefix() {
     let graph = fanout_graph();
     let sources: Vec<u32> = (0..16).collect();
     let token = CancelToken::new().with_phase_budget(3);
-    let (scores, done, outcome) = par_betweenness_centrality_sources_with_cancel(
+    let (run, outcome) = run_betweenness(
         &graph,
-        &sources,
-        THREADS,
-        BcVariant::BranchAvoiding,
-        &token,
+        Variant::BranchAvoiding,
+        Some(&sources),
+        &cancel_config(&token),
     );
+    let (scores, done) = (run.scores, run.sources_done);
     assert!(!outcome.is_completed());
     assert!(done < sources.len(), "budget 3 cannot finish 16 sources");
     let expected = betweenness_centrality_sources(&graph, &sources[..done]);
@@ -185,7 +181,13 @@ fn interrupted_bc_is_exact_over_the_completed_source_prefix() {
 #[test]
 fn resumed_sv_converges_bit_identical_to_an_uninterrupted_run() {
     let graph = deep_graph();
-    let expected = par_sv_branch_avoiding(&graph, THREADS);
+    let expected = run_components(
+        &graph,
+        Variant::BranchAvoiding,
+        &RunConfig::new().threads(THREADS),
+    )
+    .0
+    .labels;
     assert_eq!(
         expected.canonical(),
         connected_components_union_find(&graph),
@@ -193,13 +195,27 @@ fn resumed_sv_converges_bit_identical_to_an_uninterrupted_run() {
     );
     for budget in [1, 2] {
         let token = CancelToken::new().with_phase_budget(budget);
-        let (partial, outcome) = par_sv_branch_avoiding_with_cancel(&graph, THREADS, &token);
+        let (partial, outcome) =
+            run_components(&graph, Variant::BranchAvoiding, &cancel_config(&token));
         assert!(!outcome.is_completed(), "budget {budget} should interrupt");
-        let avoiding = par_sv_branch_avoiding_resumed(&graph, THREADS, &partial.labels);
+        let resume_config = RunConfig::new().threads(THREADS);
+        let avoiding = run_components_resumed(
+            &graph,
+            Variant::BranchAvoiding,
+            &partial.labels,
+            &resume_config,
+        )
+        .0;
         assert_eq!(avoiding.labels.as_slice(), expected.as_slice());
         // The branch-based hooks converge to the same fixpoint from the
         // same partial labels: resume is variant-agnostic.
-        let based = par_sv_branch_based_resumed(&graph, THREADS, &partial.labels);
+        let based = run_components_resumed(
+            &graph,
+            Variant::BranchBased,
+            &partial.labels,
+            &resume_config,
+        )
+        .0;
         assert_eq!(based.labels.as_slice(), expected.as_slice());
     }
 }
@@ -209,8 +225,15 @@ fn wsssp_resumed_converges_bit_identical_to_an_uninterrupted_run() {
     let graph = deep_graph();
     let weighted = uniform_weights(&graph, 16, 11);
     let delta = 4;
-    let expected =
-        par_sssp_weighted_with_variant(&weighted, 0, delta, THREADS, SsspVariant::BranchAvoiding);
+    let expected = run_sssp_weighted(
+        &weighted,
+        0,
+        delta,
+        Variant::BranchAvoiding,
+        &RunConfig::new().threads(THREADS),
+    )
+    .0
+    .result;
     assert_eq!(
         expected.distances(),
         sssp_delta_stepping(&weighted, 0, delta).distances(),
@@ -218,13 +241,12 @@ fn wsssp_resumed_converges_bit_identical_to_an_uninterrupted_run() {
     );
     for budget in [1, 3] {
         let token = CancelToken::new().with_phase_budget(budget);
-        let (partial, outcome) = par_sssp_weighted_with_cancel(
+        let (partial, outcome) = run_sssp_weighted(
             &weighted,
             0,
             delta,
-            THREADS,
-            SsspVariant::BranchAvoiding,
-            &token,
+            Variant::BranchAvoiding,
+            &cancel_config(&token),
         );
         assert!(!outcome.is_completed(), "budget {budget} should interrupt");
         // Partial distances are monotone upper bounds on the true ones.
@@ -237,14 +259,15 @@ fn wsssp_resumed_converges_bit_identical_to_an_uninterrupted_run() {
         {
             assert!(bound >= exact, "partial distance below optimum at {v}");
         }
-        let resumed = par_sssp_weighted_resumed(
+        let resumed = run_sssp_weighted_resumed(
             &weighted,
             0,
             delta,
-            THREADS,
+            Variant::BranchAvoiding,
             partial.result.distances(),
-            SsspVariant::BranchAvoiding,
-        );
+            &RunConfig::new().threads(THREADS),
+        )
+        .0;
         assert_eq!(resumed.result.distances(), expected.distances());
     }
 }
@@ -266,12 +289,12 @@ mod injected_faults {
         let pool = WorkerPool::with_faults(4, FaultPlan::new().panic_in_batches(0..100));
         for attempt in 0..100 {
             let outcome = catch_unwind(AssertUnwindSafe(|| {
-                par_sv_branch_based_on(&graph, &pool, 1)
+                run_components_on(&graph, Variant::BranchBased, &pool, 1)
             }));
             assert!(outcome.is_err(), "attempt {attempt} should have panicked");
         }
         // Batches 100+ are past the plan: the same pool still converges.
-        let (labels, _) = par_sv_branch_based_on(&graph, &pool, 1);
+        let labels = run_components_on(&graph, Variant::BranchBased, &pool, 1).labels;
         assert_eq!(labels.canonical(), expected);
         assert_eq!(pool.lost_workers(), 0, "task panics are not worker deaths");
         assert_eq!(pool.shutdown(), Ok(()));
@@ -287,14 +310,14 @@ mod injected_faults {
         let pool = WorkerPool::with_faults(2, FaultPlan::new().kill_worker(0, 1));
         let mut spins = 0;
         while pool.lost_workers() < 1 {
-            let (labels, _) = par_sv_branch_based_on(&graph, &pool, 1);
+            let labels = run_components_on(&graph, Variant::BranchBased, &pool, 1).labels;
             assert_eq!(labels.canonical(), expected, "degrading run went wrong");
             spins += 1;
             assert!(spins < 10_000, "the worker never picked up a batch");
             std::thread::yield_now();
         }
         assert_eq!(pool.live_workers(), 0);
-        let (labels, _) = par_sv_branch_based_on(&graph, &pool, 1);
+        let labels = run_components_on(&graph, Variant::BranchBased, &pool, 1).labels;
         assert_eq!(labels.canonical(), expected, "inline fallback went wrong");
         assert_eq!(pool.shutdown(), Err(PoolError { lost_workers: 1 }));
     }

@@ -34,7 +34,11 @@ fn traced_runs_round_trip_and_validate() {
     let g = generators::grid_2d(16, 16, generators::MeshStencil::Moore);
 
     let (_, report) = round_trip(|sink| {
-        par_sv_branch_avoiding_traced(&g, 2, sink);
+        run_components(
+            &g,
+            Variant::BranchAvoiding,
+            &RunConfig::new().threads(2).traced(sink),
+        );
     });
     assert_eq!(report.kernel, "cc");
     assert_eq!(report.variant, "branch-avoiding");
@@ -43,14 +47,24 @@ fn traced_runs_round_trip_and_validate() {
     assert!(!report.phases.is_empty());
 
     let (_, report) = round_trip(|sink| {
-        par_kcore_traced(&g, 2, KcoreVariant::BranchAvoiding, sink);
+        run_kcore(
+            &g,
+            Variant::BranchAvoiding,
+            &RunConfig::new().threads(2).traced(sink),
+        );
     });
     assert_eq!(report.kernel, "kcore");
     assert!(report.phases.iter().any(|p| p.kind == PhaseKind::Seed));
 
     let wg = uniform_weights(&g, 12, 7);
     let (_, report) = round_trip(|sink| {
-        par_sssp_weighted_traced(&wg, 0, 4, 2, SsspVariant::BranchAvoiding, sink);
+        run_sssp_weighted(
+            &wg,
+            0,
+            4,
+            Variant::BranchAvoiding,
+            &RunConfig::new().threads(2).traced(sink),
+        );
     });
     assert_eq!(report.kernel, "sssp-weighted");
     assert_eq!(report.delta, Some(4));
@@ -74,13 +88,12 @@ fn traced_runs_round_trip_and_validate() {
 /// `bga trace validate` accepts from a `--timeout-ms`-expired CLI run.
 #[test]
 fn interrupted_traced_runs_still_round_trip_and_validate() {
-    use branch_avoiding_graphs::parallel::{
-        par_sv_branch_avoiding_traced_with_cancel, CancelToken,
-    };
+    use branch_avoiding_graphs::parallel::CancelToken;
     let g = generators::grid_2d(16, 16, generators::MeshStencil::VonNeumann);
     let token = CancelToken::new().with_phase_budget(1);
     let (events, report) = round_trip(|sink| {
-        let (_, outcome) = par_sv_branch_avoiding_traced_with_cancel(&g, 2, sink, &token);
+        let config = RunConfig::new().threads(2).traced(sink).cancel(&token);
+        let (_, outcome) = run_components(&g, Variant::BranchAvoiding, &config);
         assert!(!outcome.is_completed(), "a 16x16 grid needs several sweeps");
     });
     match events.last() {
@@ -102,7 +115,12 @@ fn interrupted_traced_runs_still_round_trip_and_validate() {
 fn tampered_streams_are_rejected() {
     let g = generators::grid_2d(8, 8, generators::MeshStencil::VonNeumann);
     let sink = MemorySink::new();
-    par_bfs_branch_avoiding_traced(&g, 0, 2, &sink);
+    run_bfs(
+        &g,
+        0,
+        BfsStrategy::Plain(Variant::BranchAvoiding),
+        &RunConfig::new().threads(2).traced(&sink),
+    );
     let events = sink.take();
     assert!(validate_trace(&events).is_ok());
 
@@ -199,7 +217,13 @@ fn bfs_event_stream_is_deterministic_across_thread_counts() {
     let g = generators::barabasi_albert(2_000, 3, 9);
     let trace_at = |threads: usize| {
         let sink = MemorySink::new();
-        let run = par_bfs_branch_avoiding_traced(&g, 0, threads, &sink);
+        let run = run_bfs(
+            &g,
+            0,
+            BfsStrategy::Plain(Variant::BranchAvoiding),
+            &RunConfig::new().threads(threads).traced(&sink),
+        )
+        .0;
         (normalized(sink.take()), run.result)
     };
     let (reference_events, reference_result) = trace_at(1);

@@ -291,6 +291,46 @@ fn bench_parallel_compressed(c: &mut Criterion) {
     group.finish();
 }
 
+/// The adaptive-selection ablation: `Variant::Auto` against both static
+/// disciplines on the kernels where the crossover matters. Auto pays the
+/// tally instrumentation for the first few sampled phases and then runs
+/// the predicted-best static variant un-instrumented, so each `auto` row
+/// should land within a few percent of the better of its two static
+/// neighbours — that gap is the cost of runtime selection.
+fn bench_parallel_auto(c: &mut Criterion) {
+    let suite = benchmark_suite(SuiteScale::Small, 42);
+    let mut group = c.benchmark_group("parallel_auto");
+    group.sample_size(10);
+    // coAuthorsDBLP stand-in: skewed degrees, the regime where the
+    // advisor's misprediction-bound crossover is non-trivial.
+    let sg = &suite[2];
+    let variants = [
+        ("branch_based", Variant::BranchBased),
+        ("branch_avoiding", Variant::BranchAvoiding),
+        ("auto", Variant::Auto),
+    ];
+    for threads in [2usize, 8] {
+        for (name, variant) in variants {
+            group.bench_with_input(
+                BenchmarkId::new(&format!("cc_{name}"), format!("{}x{threads}", sg.name())),
+                &sg.graph,
+                |b, g| b.iter(|| run_components(g, variant, &cfg(threads))),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(&format!("bfs_{name}"), format!("{}x{threads}", sg.name())),
+                &sg.graph,
+                |b, g| b.iter(|| run_bfs(g, 0, BfsStrategy::Plain(variant), &cfg(threads))),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(&format!("sssp_{name}"), format!("{}x{threads}", sg.name())),
+                &sg.graph,
+                |b, g| b.iter(|| run_sssp_unit(g, 0, variant, &cfg(threads))),
+            );
+        }
+    }
+    group.finish();
+}
+
 /// The spawn-overhead contrast the persistent pool exists for: BFS over a
 /// high-diameter mesh is hundreds of levels with tiny frontiers, so the
 /// per-level cost of standing up workers dominates. A small grain forces
@@ -355,6 +395,7 @@ criterion_group!(
     bench_parallel_sssp,
     bench_parallel_sssp_weighted,
     bench_parallel_compressed,
+    bench_parallel_auto,
     bench_small_frontier_pool_vs_scope
 );
 criterion_main!(benches);

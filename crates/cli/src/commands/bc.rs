@@ -25,7 +25,7 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
     let common = CommonArgs::parse(args)?;
     let variant = common.variant_or("branch-avoiding");
     let bc_variant: Variant = variant.parse().map_err(|_| {
-        format!("unknown bc variant {variant:?} (expected branch-based or branch-avoiding)")
+        format!("unknown bc variant {variant:?} (expected branch-based, branch-avoiding or auto)")
     })?;
     // Accumulation counters live in the trace stream for bc; there is no
     // per-operation tally path like the traversal kernels have.
@@ -90,6 +90,14 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
         return super::check_deadline(&outcome);
     }
 
+    // Runtime variant selection samples the parallel engine's phase
+    // tallies; there is nothing to sample on the sequential path.
+    if bc_variant == Variant::Auto {
+        return Err("--variant auto requires --threads N (runtime variant \
+             selection samples the parallel engine's phase tallies)"
+            .into());
+    }
+
     // The sequential partial accumulation has one (branch-based) forward
     // phase; the variant contrast lives in the full runs and the parallel
     // kernels. Reject an explicit request the run could not honour, and
@@ -111,6 +119,7 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
         None => match bc_variant {
             Variant::BranchBased => betweenness_centrality(&graph),
             Variant::BranchAvoiding => betweenness_centrality_branch_avoiding(&graph),
+            Variant::Auto => unreachable!("rejected above"),
         },
         Some(k) => betweenness_centrality_sources(&graph, &sample_sources(&graph, k)),
     };
@@ -180,7 +189,7 @@ mod tests {
             "4"
         ]))
         .is_ok());
-        for variant in ["branch-based", "branch-avoiding"] {
+        for variant in ["branch-based", "branch-avoiding", "auto"] {
             assert!(
                 run(&strings(&[
                     "cond-mat-2005",
@@ -195,6 +204,8 @@ mod tests {
                 "{variant} with --threads failed"
             );
         }
+        // Runtime selection needs the parallel engine's phase tallies.
+        assert!(run(&strings(&["cond-mat-2005", "--variant", "auto"])).is_err());
         // The sequential sampled accumulation only has a branch-based
         // forward phase: an explicit branch-avoiding request without
         // --threads is an error, not a silently different kernel.

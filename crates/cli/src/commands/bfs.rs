@@ -74,12 +74,13 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
         let requested: BfsStrategy = match variant {
             "branch-based" => BfsStrategy::Plain(Variant::BranchBased),
             "branch-avoiding" => BfsStrategy::Plain(Variant::BranchAvoiding),
+            "auto" => BfsStrategy::Plain(Variant::Auto),
             "direction-optimizing" => {
                 BfsStrategy::DirectionOptimizing(strategy.unwrap_or_default())
             }
             other => {
                 return Err(format!(
-                    "--threads supports branch-based, branch-avoiding and \
+                    "--threads supports branch-based, branch-avoiding, auto and \
                      direction-optimizing, not {other:?}"
                 )
                 .into())
@@ -148,6 +149,11 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
         "branch-avoiding" => bfs_branch_avoiding(&graph, root),
         "bottom-up" => bfs_bottom_up(&graph, root),
         "direction-optimizing" => bfs_direction_optimizing(&graph, root, config),
+        "auto" => {
+            return Err("--variant auto requires --threads N (runtime variant \
+                 selection samples the parallel engine's phase tallies)"
+                .into())
+        }
         other => return Err(format!("unknown bfs variant {other:?}").into()),
     };
     let elapsed = start.elapsed();
@@ -189,7 +195,12 @@ mod tests {
 
     #[test]
     fn threads_flag_selects_the_parallel_kernels() {
-        for variant in ["branch-based", "branch-avoiding", "direction-optimizing"] {
+        for variant in [
+            "branch-based",
+            "branch-avoiding",
+            "direction-optimizing",
+            "auto",
+        ] {
             assert!(
                 super::run(&strings(&[
                     "cond-mat-2005",
@@ -219,6 +230,8 @@ mod tests {
             "2"
         ]))
         .is_err());
+        // Runtime selection needs the parallel engine's phase tallies.
+        assert!(super::run(&strings(&["cond-mat-2005", "--variant", "auto"])).is_err());
     }
 
     #[test]

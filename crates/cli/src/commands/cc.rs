@@ -30,7 +30,7 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
 
     if let Some(t) = common.threads {
         let parsed: Variant = variant.parse().map_err(|_| {
-            format!("--threads supports branch-based and branch-avoiding, not {variant:?}")
+            format!("--threads supports branch-based, branch-avoiding and auto, not {variant:?}")
         })?;
         // Report the resolved worker count before the timed region so the
         // stdout write does not bias sequential-vs-parallel wall clocks.
@@ -86,6 +86,11 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
         "hybrid" => sv_hybrid(&graph, HybridConfig::default()),
         "union-find" => baseline::cc_union_find(&graph),
         "bfs" => baseline::cc_bfs(&graph),
+        "auto" => {
+            return Err("--variant auto requires --threads N (runtime variant \
+                 selection samples the parallel engine's phase tallies)"
+                .into())
+        }
         other => return Err(format!("unknown cc variant {other:?}").into()),
     };
     let elapsed = start.elapsed();
@@ -216,7 +221,7 @@ mod tests {
 
     #[test]
     fn threads_flag_selects_the_parallel_kernels() {
-        for variant in ["branch-based", "branch-avoiding"] {
+        for variant in ["branch-based", "branch-avoiding", "auto"] {
             assert!(run(&strings(&[
                 "cond-mat-2005",
                 "--variant",
@@ -246,5 +251,7 @@ mod tests {
         .is_err());
         assert!(run(&strings(&["cond-mat-2005", "--threads", "two"])).is_err());
         assert!(run(&strings(&["cond-mat-2005", "--threads"])).is_err());
+        // Runtime selection needs the parallel engine's phase tallies.
+        assert!(run(&strings(&["cond-mat-2005", "--variant", "auto"])).is_err());
     }
 }

@@ -181,9 +181,11 @@ fn sweep_kernel(
     }
 }
 
-/// Strong-scaling sweep: the parallel SV variants, direction-optimizing
+/// Strong-scaling sweep: the parallel SV variants (including the runtime
+/// `auto` selection ablation), direction-optimizing
 /// BFS, sampled-source Brandes betweenness, k-core peeling, unit-weight
-/// SSSP and weighted delta-stepping SSSP on every suite graph at 1, 2, 4
+/// SSSP (static and `auto`) and weighted delta-stepping SSSP on every
+/// suite graph at 1, 2, 4
 /// and 8 worker threads — plus the BFS and SSSP sweeps repeated on the
 /// delta-varint compressed representation so decode overhead is a tracked
 /// quantity — with
@@ -210,7 +212,7 @@ fn run_scaling(json: bool) {
     let mut skip_notes = Vec::new();
     let config_for = |threads: usize| RunConfig::new().threads(threads);
     for sg in &suite {
-        for sv_variant in [Variant::BranchBased, Variant::BranchAvoiding] {
+        for sv_variant in [Variant::BranchBased, Variant::BranchAvoiding, Variant::Auto] {
             sweep_kernel(&mut rows, sg.name(), "cc", sv_variant.as_str(), |threads| {
                 let (run, _) = run_components(&sg.graph, sv_variant, &config_for(threads));
                 // Guard against a miscompiled/misbehaving run: the label
@@ -252,12 +254,21 @@ fn run_scaling(json: bool) {
                 assert_eq!(run.cores.len(), sg.graph.num_vertices());
             },
         );
-        // Unit-weight SSSP on the engine's level loop.
-        sweep_kernel(&mut rows, sg.name(), "sssp", "branch-avoiding", |threads| {
-            let (run, _) =
-                run_sssp_unit(&sg.graph, 0, Variant::BranchAvoiding, &config_for(threads));
-            assert_eq!(run.result.distances().len(), sg.graph.num_vertices());
-        });
+        // Unit-weight SSSP on the engine's level loop, plus the adaptive
+        // ablation row: `auto` should track the better static discipline
+        // within a few percent (the runtime-selection overhead).
+        for sssp_variant in [Variant::BranchAvoiding, Variant::Auto] {
+            sweep_kernel(
+                &mut rows,
+                sg.name(),
+                "sssp",
+                sssp_variant.as_str(),
+                |threads| {
+                    let (run, _) = run_sssp_unit(&sg.graph, 0, sssp_variant, &config_for(threads));
+                    assert_eq!(run.result.distances().len(), sg.graph.num_vertices());
+                },
+            );
+        }
         // Weighted delta-stepping SSSP on the engine's bucket loop, over
         // seeded uniform weights (the `--weights uniform` assignment).
         let wg = uniform_weights(&sg.graph, WEIGHTED_SSSP_MAX_WEIGHT, WEIGHTED_SSSP_SEED);

@@ -25,7 +25,9 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
     let common = CommonArgs::parse(args)?;
     let variant = common.variant_or("branch-avoiding");
     let kcore_variant: Variant = variant.parse().map_err(|_| {
-        format!("unknown kcore variant {variant:?} (expected branch-based or branch-avoiding)")
+        format!(
+            "unknown kcore variant {variant:?} (expected branch-based, branch-avoiding or auto)"
+        )
     })?;
     // The sequential reference is bucket peeling — neither hooking
     // discipline. Reject an explicit variant request it could not honour.
@@ -133,7 +135,7 @@ mod tests {
     #[test]
     fn runs_sequential_and_parallel_on_a_builtin_graph() {
         assert!(run(&strings(&["cond-mat-2005"])).is_ok());
-        for variant in ["branch-based", "branch-avoiding"] {
+        for variant in ["branch-based", "branch-avoiding", "auto"] {
             assert!(
                 run(&strings(&[
                     "cond-mat-2005",
@@ -251,6 +253,7 @@ mod tests {
         // Sequential runs are the peeling reference: an explicit variant
         // or --instrumented without --threads is an error.
         assert!(run(&strings(&["cond-mat-2005", "--variant", "branch-avoiding"])).is_err());
+        assert!(run(&strings(&["cond-mat-2005", "--variant", "auto"])).is_err());
         assert!(run(&strings(&["cond-mat-2005", "--instrumented"])).is_err());
         assert!(run(&strings(&["cond-mat-2005", "--threads"])).is_err());
         assert!(run(&strings(&["cond-mat-2005", "--threads", "x"])).is_err());

@@ -62,7 +62,7 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
     };
     let variant = common.variant_or("branch-avoiding");
     let sssp_variant: Variant = variant.parse().map_err(|_| {
-        format!("unknown sssp variant {variant:?} (expected branch-based or branch-avoiding)")
+        format!("unknown sssp variant {variant:?} (expected branch-based, branch-avoiding or auto)")
     })?;
     let delta = match flag_value(args, "--delta") {
         None if args.iter().any(|a| a == "--delta") => {
@@ -256,7 +256,7 @@ mod tests {
         assert!(run(&strings(&["cond-mat-2005"])).is_ok());
         assert!(run(&strings(&["cond-mat-2005", "--delta", "4"])).is_ok());
         assert!(run(&strings(&["cond-mat-2005", "--root", "7"])).is_ok());
-        for variant in ["branch-based", "branch-avoiding"] {
+        for variant in ["branch-based", "branch-avoiding", "auto"] {
             assert!(
                 run(&strings(&[
                     "cond-mat-2005",

@@ -117,6 +117,23 @@ fn report(args: &[String]) -> Result<(), String> {
         report.wall_ns as f64 / 1e6
     );
     print!("{}", phase_table(&report.phases).render());
+    if let Some(decision) = &report.decision {
+        println!(
+            "advisor: chose {} after phase {} ({}; sampled {} phases: \
+             {} edges, {} updates, misprediction bound {})",
+            decision.variant,
+            decision.phase,
+            if decision.switched {
+                "switched"
+            } else {
+                "stayed"
+            },
+            decision.sampled,
+            decision.edges,
+            decision.updates,
+            decision.mispredictions,
+        );
+    }
     if let Some(pool) = report.pool {
         println!(
             "pool: {} batches, {} parks, {} wakes; max imbalance {:.2}",
@@ -234,6 +251,22 @@ mod tests {
             assert!(run(&args("validate")).is_ok(), "{kernel} validate failed");
             assert!(run(&args("report")).is_ok(), "{kernel} report failed");
         }
+    }
+
+    #[test]
+    fn auto_traces_report_the_advisor_decision() {
+        let graph = grid_2d(8, 8, MeshStencil::VonNeumann);
+        let sink = JsonlSink::new(Vec::new());
+        let config = RunConfig::new().threads(2).traced(&sink);
+        run_bfs(&graph, 0, BfsStrategy::Plain(Variant::Auto), &config);
+        let path = write_temp("auto.jsonl", &sink.finish().unwrap());
+        let report = load_report(path.to_str().unwrap()).unwrap();
+        let decision = report.decision.expect("auto run emits a decision event");
+        assert!(decision.sampled > 0);
+        assert!(!decision.variant.is_empty());
+        let args = |action: &str| strings(&[action, path.to_str().unwrap()]);
+        assert!(run(&args("validate")).is_ok());
+        assert!(run(&args("report")).is_ok());
     }
 
     #[test]

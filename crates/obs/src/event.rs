@@ -216,6 +216,29 @@ pub struct PhaseEvent {
     pub wall_ns: u64,
 }
 
+/// The variant advisor's verdict on an adaptive (`--variant auto`) run,
+/// emitted once at the phase boundary where the sampling window closed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DecisionEvent {
+    /// Phase index the decision took effect *after* — phases `0..=phase`
+    /// ran instrumented in the sampling variant, later phases run
+    /// un-instrumented in the chosen one.
+    pub phase: usize,
+    /// Chosen variant name (`branch-based` / `branch-avoiding`).
+    pub variant: String,
+    /// Whether the run switched away from the variant it sampled in.
+    pub switched: bool,
+    /// Phases the advisor sampled before deciding.
+    pub sampled: usize,
+    /// Edge traversals observed across the sampled phases.
+    pub edges: u64,
+    /// Successful monotone updates observed across the sampled phases.
+    pub updates: u64,
+    /// The misprediction bound the decision rule charged the branch-based
+    /// discipline for the sampled window.
+    pub mispredictions: u64,
+}
+
 /// One `bga-trace-v1` event.
 #[derive(Clone, Debug, PartialEq)]
 pub enum TraceEvent {
@@ -243,6 +266,8 @@ pub enum TraceEvent {
     },
     /// One engine phase.
     Phase(PhaseEvent),
+    /// The variant advisor's stay/switch verdict on an adaptive run.
+    Decision(DecisionEvent),
     /// One worker-pool batch: how many chunks each participant claimed.
     PoolBatch {
         /// 0-based batch index in pool submission order.
@@ -346,6 +371,16 @@ impl TraceEvent {
                 ),
                 ("counters", phase.counters.to_json()),
                 ("wall_ns", num(phase.wall_ns)),
+            ]),
+            TraceEvent::Decision(decision) => object(vec![
+                ("type", Json::String("decision".to_string())),
+                ("phase", num(decision.phase as u64)),
+                ("variant", Json::String(decision.variant.clone())),
+                ("switched", Json::Bool(decision.switched)),
+                ("sampled", num(decision.sampled as u64)),
+                ("edges", num(decision.edges)),
+                ("updates", num(decision.updates)),
+                ("mispredictions", num(decision.mispredictions)),
             ]),
             TraceEvent::PoolBatch {
                 batch,
@@ -456,6 +491,18 @@ impl TraceEvent {
                     value.get("counters").ok_or("phase has no \"counters\"")?,
                 )?,
                 wall_ns: field_u64(&value, "wall_ns")?,
+            })),
+            "decision" => Ok(TraceEvent::Decision(DecisionEvent {
+                phase: field_u64(&value, "phase")? as usize,
+                variant: field_str(&value, "variant")?,
+                switched: value
+                    .get("switched")
+                    .and_then(Json::as_bool)
+                    .ok_or("decision has no \"switched\" boolean")?,
+                sampled: field_u64(&value, "sampled")? as usize,
+                edges: field_u64(&value, "edges")?,
+                updates: field_u64(&value, "updates")?,
+                mispredictions: field_u64(&value, "mispredictions")?,
             })),
             "pool-batch" => Ok(TraceEvent::PoolBatch {
                 batch: field_u64(&value, "batch")? as usize,
@@ -603,6 +650,15 @@ mod tests {
                 counters: sample_counters(2),
                 wall_ns: 800,
             }),
+            TraceEvent::Decision(DecisionEvent {
+                phase: 2,
+                variant: "branch-avoiding".to_string(),
+                switched: true,
+                sampled: 3,
+                edges: 180,
+                updates: 40,
+                mispredictions: 80,
+            }),
             TraceEvent::PoolBatch {
                 batch: 0,
                 chunks: 8,
@@ -748,6 +804,26 @@ mod tests {
         assert!(!sample_events()[0].to_json_line().contains("footprint"));
         // A half-present footprint is rejected, not silently zeroed.
         let forged = line.replace("\"footprint_adjacency_bytes\":410,", "");
+        assert!(TraceEvent::parse_line(&forged).is_err());
+    }
+
+    #[test]
+    fn decision_events_round_trip_with_a_stable_wire_form() {
+        let event = TraceEvent::Decision(DecisionEvent {
+            phase: 2,
+            variant: "branch-based".to_string(),
+            switched: false,
+            sampled: 3,
+            edges: 500,
+            updates: 12,
+            mispredictions: 24,
+        });
+        let line = event.to_json_line();
+        assert!(line.contains("\"type\":\"decision\""), "{line}");
+        assert!(line.contains("\"switched\":false"), "{line}");
+        assert_eq!(TraceEvent::parse_line(&line).unwrap(), event);
+        // A non-boolean switch flag is rejected, not coerced.
+        let forged = line.replace("\"switched\":false", "\"switched\":0");
         assert!(TraceEvent::parse_line(&forged).is_err());
     }
 

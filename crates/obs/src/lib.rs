@@ -34,7 +34,9 @@ pub mod sink;
 pub mod table;
 pub mod validate;
 
-pub use event::{PhaseCounters, PhaseEvent, PhaseKind, RunFootprint, TraceEvent, TRACE_SCHEMA};
+pub use event::{
+    DecisionEvent, PhaseCounters, PhaseEvent, PhaseKind, RunFootprint, TraceEvent, TRACE_SCHEMA,
+};
 pub use serve::{
     QueryKind, QueryPayload, QueryStatus, ServeRequest, ServeResponse, ServeStats, SERVE_SCHEMA,
 };

@@ -436,6 +436,19 @@ pub struct ServeStats {
     pub epoch: u64,
     /// Worker threads each query traversal uses.
     pub threads: u64,
+    /// Cumulative per-query service time in microseconds (cache hits and
+    /// misses alike) — `query_micros / queries` is the mean query cost.
+    pub query_micros: u64,
+    /// Worker-pool batches fanned out across compute queries.
+    pub pool_batches: u64,
+    /// Times a pool worker parked on the condvar waiting for work.
+    pub pool_parks: u64,
+    /// Times a parked pool worker was woken.
+    pub pool_wakes: u64,
+    /// Worst per-batch claim imbalance observed, in permille
+    /// (1000 = perfectly even; `participants * 1000` = one thread
+    /// claimed every chunk). Integer so the stats line stays `Eq`.
+    pub pool_max_imbalance_permille: u64,
 }
 
 impl ServeStats {
@@ -455,6 +468,14 @@ impl ServeStats {
             ("graph_edges", num(self.graph_edges)),
             ("epoch", num(self.epoch)),
             ("threads", num(self.threads)),
+            ("query_micros", num(self.query_micros)),
+            ("pool_batches", num(self.pool_batches)),
+            ("pool_parks", num(self.pool_parks)),
+            ("pool_wakes", num(self.pool_wakes)),
+            (
+                "pool_max_imbalance_permille",
+                num(self.pool_max_imbalance_permille),
+            ),
         ])
         .to_string()
     }
@@ -479,6 +500,11 @@ impl ServeStats {
             graph_edges: field("graph_edges")?,
             epoch: field("epoch")?,
             threads: field("threads")?,
+            query_micros: field("query_micros")?,
+            pool_batches: field("pool_batches")?,
+            pool_parks: field("pool_parks")?,
+            pool_wakes: field("pool_wakes")?,
+            pool_max_imbalance_permille: field("pool_max_imbalance_permille")?,
         })
     }
 
@@ -606,6 +632,11 @@ mod tests {
             graph_edges: 400,
             epoch: 1,
             threads: 4,
+            query_micros: 12345,
+            pool_batches: 7,
+            pool_parks: 9,
+            pool_wakes: 8,
+            pool_max_imbalance_permille: 1750,
         };
         let line = ServeResponse::Stats(stats).to_json_line();
         assert_eq!(ServeStats::parse_line(&line).unwrap(), stats);

@@ -131,6 +131,10 @@ impl<S: TraceSink> TraceSink for OffsetSink<'_, S> {
                 phase.index += self.base;
                 self.inner.emit(TraceEvent::Phase(phase));
             }
+            TraceEvent::Decision(mut decision) => {
+                decision.phase += self.base;
+                self.inner.emit(TraceEvent::Decision(decision));
+            }
             other => self.inner.emit(other),
         }
     }
@@ -207,9 +211,19 @@ mod tests {
 
     #[test]
     fn offset_sink_shifts_phase_indices_only() {
+        use crate::event::DecisionEvent;
         let sink = MemorySink::new();
         let offset = OffsetSink::new(&sink, 10);
         offset.emit(phase(0));
+        offset.emit(TraceEvent::Decision(DecisionEvent {
+            phase: 2,
+            variant: "branch-based".to_string(),
+            switched: false,
+            sampled: 3,
+            edges: 0,
+            updates: 0,
+            mispredictions: 0,
+        }));
         offset.emit(TraceEvent::PoolSummary {
             batches: 1,
             parks: 0,
@@ -217,6 +231,11 @@ mod tests {
         });
         let events = sink.take();
         assert_eq!(events[0], phase(10));
-        assert!(matches!(events[1], TraceEvent::PoolSummary { .. }));
+        // Decision events anchor to a phase index, so they shift too.
+        match &events[1] {
+            TraceEvent::Decision(decision) => assert_eq!(decision.phase, 12),
+            other => panic!("expected a decision event, got {other:?}"),
+        }
+        assert!(matches!(events[2], TraceEvent::PoolSummary { .. }));
     }
 }

@@ -6,7 +6,7 @@
 //! numbers its phases consecutively from zero, and ends with a `run-end`
 //! trailer whose totals equal the sum of the per-phase counters.
 
-use crate::event::{PhaseCounters, PhaseEvent, RunFootprint, TraceEvent};
+use crate::event::{DecisionEvent, PhaseCounters, PhaseEvent, RunFootprint, TraceEvent};
 
 /// Worker-pool lifetime totals from the `pool-summary` event.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -49,6 +49,9 @@ pub struct TraceReport {
     pub max_imbalance: f64,
     /// Pool lifetime totals, when a `pool-summary` event was emitted.
     pub pool: Option<PoolTotals>,
+    /// The variant advisor's verdict, when the run was adaptive
+    /// (`--variant auto`); `None` for static-variant runs.
+    pub decision: Option<DecisionEvent>,
     /// Degradation warnings, as `(code, message)` pairs in emission order.
     pub warnings: Vec<(String, String)>,
     /// The `run-end` totals (== sum of phase counters).
@@ -108,6 +111,7 @@ pub fn validate_trace(events: &[TraceEvent]) -> Result<TraceReport, String> {
         pool_batches: 0,
         max_imbalance: 0.0,
         pool: None,
+        decision: None,
         warnings: Vec::new(),
         totals: PhaseCounters::default(),
         wall_ns: 0,
@@ -132,6 +136,20 @@ pub fn validate_trace(events: &[TraceEvent]) -> Result<TraceReport, String> {
                     ));
                 }
                 report.phases.push(phase.clone());
+            }
+            TraceEvent::Decision(decision) => {
+                if report.decision.is_some() {
+                    return Err(format!("second decision at event {position}"));
+                }
+                if decision.phase >= report.phases.len() {
+                    return Err(format!(
+                        "decision at event {position} anchors to phase {} but only {} phases \
+                         precede it",
+                        decision.phase,
+                        report.phases.len()
+                    ));
+                }
+                report.decision = Some(decision.clone());
             }
             TraceEvent::PoolBatch { imbalance, .. } => {
                 report.pool_batches += 1;
@@ -349,6 +367,43 @@ mod tests {
         assert_eq!(report.interrupted.as_deref(), Some("deadline"));
         // Completed runs report no interruption.
         assert_eq!(validate_trace(&well_formed()).unwrap().interrupted, None);
+    }
+
+    fn decision(phase: usize) -> TraceEvent {
+        TraceEvent::Decision(DecisionEvent {
+            phase,
+            variant: "branch-avoiding".to_string(),
+            switched: true,
+            sampled: 2,
+            edges: 60,
+            updates: 5,
+            mispredictions: 10,
+        })
+    }
+
+    #[test]
+    fn decisions_are_digested_and_structurally_checked() {
+        let mut events = well_formed();
+        events.insert(3, decision(1));
+        let report = validate_trace(&events).unwrap();
+        let verdict = report.decision.unwrap();
+        assert_eq!(verdict.phase, 1);
+        assert!(verdict.switched);
+        assert_eq!(report.phases.len(), 2);
+        assert_eq!(report.totals, counters(5));
+        // Static-variant traces carry no decision.
+        assert!(validate_trace(&well_formed()).unwrap().decision.is_none());
+        // A decision before its anchor phase is malformed.
+        let mut early = well_formed();
+        early.insert(1, decision(0));
+        assert!(validate_trace(&early).unwrap_err().contains("anchors"));
+        // Two decisions in one run are malformed.
+        let mut doubled = well_formed();
+        doubled.insert(3, decision(1));
+        doubled.insert(4, decision(1));
+        assert!(validate_trace(&doubled)
+            .unwrap_err()
+            .contains("second decision"));
     }
 
     #[test]

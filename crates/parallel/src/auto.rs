@@ -1,0 +1,340 @@
+//! Adaptive variant selection: the [`AutoSwitch`] kernel adapter behind
+//! `Variant::Auto`.
+//!
+//! A run under `Variant::Auto` starts in the *branch-based* discipline with
+//! tallying on, feeds the first few phases' merged step counters to the
+//! perf model's [`VariantAdvisor`], and switches to the predicted-best
+//! discipline at the next phase boundary — the engine loops call
+//! [`phase_complete`](crate::engine::LevelKernel::phase_complete) between
+//! phases, which is the only point the mode changes. Switching mid-run is
+//! correctness-free: both disciplines maintain the same monotone atomic
+//! state (distances only decrease, degrees only decrement), so the
+//! remaining phases converge to the same fixpoint from wherever the
+//! sampled prefix left it. Sampling starts branch-based because that is
+//! the variant whose data-dependent branches the tallies actually count;
+//! the advisor charges it the paper's 2-bit-predictor bound and compares
+//! against the atomic premium the branch-avoiding variant would pay.
+//!
+//! The adapter holds both disciplines in tallied and untallied form and
+//! dispatches per chunk on an atomic mode word. Chunks only ever observe
+//! the mode the dispatching thread set before fanning the phase out, so a
+//! phase runs entirely in one discipline and the per-phase determinism
+//! arguments of the engine are untouched.
+
+use crate::counters::ThreadTally;
+use crate::engine::{BucketCtx, BucketKernel, EdgeClass, LevelCtx, LevelKernel, SweepKernel};
+use bga_graph::{AdjacencySource, VertexId, WeightedAdjacencySource};
+use bga_kernels::bfs::frontier::Bitmap;
+use bga_kernels::stats::StepCounters;
+use bga_perfmodel::advisor::{AdvisorConfig, ChosenVariant, VariantAdvisor};
+use std::ops::Range;
+use std::sync::atomic::{AtomicU8, Ordering::Relaxed};
+use std::sync::Mutex;
+
+/// What a kernel reports from `phase_complete` when its advisor decides:
+/// the engine loop turns this into the run's `decision` trace event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SwitchNotice {
+    /// The discipline chosen for the remainder of the run.
+    pub choice: ChosenVariant,
+    /// Whether the choice differs from the sampling discipline (i.e. the
+    /// run actually switched).
+    pub switched: bool,
+    /// Phases sampled before deciding.
+    pub sampled: usize,
+    /// Data-dependent tests observed across the sampled phases.
+    pub edges: u64,
+    /// Successful updates observed across the sampled phases.
+    pub updates: u64,
+    /// The misprediction bound charged to the branch-based discipline.
+    pub mispredictions: u64,
+}
+
+const MODE_SAMPLING: u8 = 0;
+const MODE_BASED: u8 = 1;
+const MODE_AVOIDING: u8 = 2;
+
+/// Which of the four monomorphized kernels a chunk should run on, derived
+/// from the mode word and the tallying policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Lane {
+    /// Sampling, or decided-based on an instrumented run.
+    BasedTallied,
+    /// Decided-based on a plain run.
+    BasedPlain,
+    /// Decided-avoiding on an instrumented run.
+    AvoidingTallied,
+    /// Decided-avoiding on a plain run.
+    AvoidingPlain,
+}
+
+/// The mode word + advisor shared by [`AutoSwitch`] and the k-core peel's
+/// adaptive discipline: samples accumulate while the mode word says
+/// `sampling`, and the decision flips it exactly once at a phase boundary.
+pub(crate) struct AutoState {
+    mode: AtomicU8,
+    advisor: Mutex<VariantAdvisor>,
+    /// Keep tallying after the switch (instrumented runs want full
+    /// counter series, not just the sampled prefix).
+    tally_always: bool,
+}
+
+impl AutoState {
+    pub(crate) fn new(config: AdvisorConfig, tally_always: bool) -> Self {
+        AutoState {
+            mode: AtomicU8::new(MODE_SAMPLING),
+            advisor: Mutex::new(VariantAdvisor::new(config)),
+            tally_always,
+        }
+    }
+
+    /// The discipline currently in force (`BranchBased` while sampling).
+    pub(crate) fn current(&self) -> ChosenVariant {
+        match self.mode.load(Relaxed) {
+            MODE_AVOIDING => ChosenVariant::BranchAvoiding,
+            _ => ChosenVariant::BranchBased,
+        }
+    }
+
+    /// Whether the advisor has decided yet.
+    pub(crate) fn decided(&self) -> bool {
+        self.mode.load(Relaxed) != MODE_SAMPLING
+    }
+
+    /// Whether chunks dispatched right now should tally.
+    pub(crate) fn tallied(&self) -> bool {
+        self.mode.load(Relaxed) == MODE_SAMPLING || self.tally_always
+    }
+
+    /// The kernel lane chunks dispatched right now should run on.
+    pub(crate) fn lane(&self) -> Lane {
+        match (self.mode.load(Relaxed), self.tally_always) {
+            (MODE_SAMPLING, _) | (MODE_BASED, true) => Lane::BasedTallied,
+            (MODE_BASED, false) => Lane::BasedPlain,
+            (_, true) => Lane::AvoidingTallied,
+            (_, false) => Lane::AvoidingPlain,
+        }
+    }
+
+    /// Shared `phase_complete` logic: feed the merged step to the advisor
+    /// while sampling; flip the mode exactly once at the decision.
+    pub(crate) fn on_phase(&self, step: Option<&StepCounters>) -> Option<SwitchNotice> {
+        if self.mode.load(Relaxed) != MODE_SAMPLING {
+            return None;
+        }
+        let step = step?;
+        let mut advisor = self.advisor.lock().unwrap();
+        let decision = advisor.record_phase(step.edges_traversed, step.updates)?;
+        let (mode, switched) = match decision.choice {
+            ChosenVariant::BranchBased => (MODE_BASED, false),
+            ChosenVariant::BranchAvoiding => (MODE_AVOIDING, true),
+        };
+        self.mode.store(mode, Relaxed);
+        Some(SwitchNotice {
+            choice: decision.choice,
+            switched,
+            sampled: decision.sampled,
+            edges: decision.edges,
+            updates: decision.updates,
+            mispredictions: decision.mispredictions,
+        })
+    }
+}
+
+/// Kernel adapter that samples branch-based phases, consults the
+/// [`VariantAdvisor`], and hot-switches discipline at a phase boundary.
+///
+/// Generic over the four monomorphized kernels it can dispatch to —
+/// branch-based and branch-avoiding, each tallied and untallied — so the
+/// per-chunk indirection is one atomic load and a jump, not dynamic
+/// dispatch inside the edge loop.
+pub struct AutoSwitch<BT, BP, AT, AP> {
+    based_tallied: BT,
+    based_plain: BP,
+    avoiding_tallied: AT,
+    avoiding_plain: AP,
+    state: AutoState,
+}
+
+impl<BT, BP, AT, AP> AutoSwitch<BT, BP, AT, AP> {
+    /// An adapter over the four concrete kernels, sampling per `config`.
+    /// With `tally_always` the post-switch phases keep tallying too.
+    pub fn new(
+        based_tallied: BT,
+        based_plain: BP,
+        avoiding_tallied: AT,
+        avoiding_plain: AP,
+        config: AdvisorConfig,
+        tally_always: bool,
+    ) -> Self {
+        AutoSwitch {
+            based_tallied,
+            based_plain,
+            avoiding_tallied,
+            avoiding_plain,
+            state: AutoState::new(config, tally_always),
+        }
+    }
+
+    /// The discipline currently in force (`BranchBased` while sampling).
+    pub fn current(&self) -> ChosenVariant {
+        self.state.current()
+    }
+
+    /// Whether the advisor has decided yet (multi-phase drivers — Brandes
+    /// betweenness — stop offsetting samples once this is true).
+    pub fn decided(&self) -> bool {
+        self.state.decided()
+    }
+
+    fn tallied(&self) -> bool {
+        self.state.tallied()
+    }
+
+    fn on_phase(&self, step: Option<&StepCounters>) -> Option<SwitchNotice> {
+        self.state.on_phase(step)
+    }
+}
+
+impl<G, BT, BP, AT, AP> LevelKernel<G> for AutoSwitch<BT, BP, AT, AP>
+where
+    G: AdjacencySource,
+    BT: LevelKernel<G>,
+    BP: LevelKernel<G>,
+    AT: LevelKernel<G>,
+    AP: LevelKernel<G>,
+{
+    fn instrumented(&self) -> bool {
+        self.tallied()
+    }
+
+    fn top_down_chunk(
+        &self,
+        ctx: &LevelCtx<'_, G>,
+        frontier: &[VertexId],
+        range: Range<usize>,
+        chunk_edges: usize,
+        tally: &mut ThreadTally,
+    ) -> Vec<VertexId> {
+        match self.state.lane() {
+            Lane::BasedTallied => {
+                self.based_tallied
+                    .top_down_chunk(ctx, frontier, range, chunk_edges, tally)
+            }
+            Lane::BasedPlain => {
+                self.based_plain
+                    .top_down_chunk(ctx, frontier, range, chunk_edges, tally)
+            }
+            Lane::AvoidingTallied => {
+                self.avoiding_tallied
+                    .top_down_chunk(ctx, frontier, range, chunk_edges, tally)
+            }
+            Lane::AvoidingPlain => {
+                self.avoiding_plain
+                    .top_down_chunk(ctx, frontier, range, chunk_edges, tally)
+            }
+        }
+    }
+
+    fn bottom_up_chunk(
+        &self,
+        ctx: &LevelCtx<'_, G>,
+        in_frontier: &Bitmap,
+        range: Range<usize>,
+        tally: &mut ThreadTally,
+    ) -> Vec<VertexId> {
+        match self.state.lane() {
+            Lane::BasedTallied => {
+                self.based_tallied
+                    .bottom_up_chunk(ctx, in_frontier, range, tally)
+            }
+            Lane::BasedPlain => self
+                .based_plain
+                .bottom_up_chunk(ctx, in_frontier, range, tally),
+            Lane::AvoidingTallied => {
+                self.avoiding_tallied
+                    .bottom_up_chunk(ctx, in_frontier, range, tally)
+            }
+            Lane::AvoidingPlain => {
+                self.avoiding_plain
+                    .bottom_up_chunk(ctx, in_frontier, range, tally)
+            }
+        }
+    }
+
+    fn phase_complete(&self, step: Option<&StepCounters>) -> Option<SwitchNotice> {
+        self.on_phase(step)
+    }
+}
+
+impl<G, BT, BP, AT, AP> SweepKernel<G> for AutoSwitch<BT, BP, AT, AP>
+where
+    G: AdjacencySource,
+    BT: SweepKernel<G>,
+    BP: SweepKernel<G>,
+    AT: SweepKernel<G>,
+    AP: SweepKernel<G>,
+{
+    fn instrumented(&self) -> bool {
+        self.tallied()
+    }
+
+    fn sweep_chunk(&self, graph: &G, range: Range<usize>, tally: &mut ThreadTally) -> bool {
+        match self.state.lane() {
+            Lane::BasedTallied => self.based_tallied.sweep_chunk(graph, range, tally),
+            Lane::BasedPlain => self.based_plain.sweep_chunk(graph, range, tally),
+            Lane::AvoidingTallied => self.avoiding_tallied.sweep_chunk(graph, range, tally),
+            Lane::AvoidingPlain => self.avoiding_plain.sweep_chunk(graph, range, tally),
+        }
+    }
+
+    fn phase_complete(&self, step: Option<&StepCounters>) -> Option<SwitchNotice> {
+        self.on_phase(step)
+    }
+}
+
+impl<W, BT, BP, AT, AP> BucketKernel<W> for AutoSwitch<BT, BP, AT, AP>
+where
+    W: WeightedAdjacencySource,
+    BT: BucketKernel<W>,
+    BP: BucketKernel<W>,
+    AT: BucketKernel<W>,
+    AP: BucketKernel<W>,
+{
+    fn instrumented(&self) -> bool {
+        self.tallied()
+    }
+
+    fn relax_chunk(
+        &self,
+        ctx: &BucketCtx<'_, W>,
+        frontier: &[(VertexId, u32)],
+        range: Range<usize>,
+        chunk_edges: usize,
+        class: EdgeClass,
+        tally: &mut ThreadTally,
+    ) -> Vec<VertexId> {
+        match self.state.lane() {
+            Lane::BasedTallied => {
+                self.based_tallied
+                    .relax_chunk(ctx, frontier, range, chunk_edges, class, tally)
+            }
+            Lane::BasedPlain => {
+                self.based_plain
+                    .relax_chunk(ctx, frontier, range, chunk_edges, class, tally)
+            }
+            Lane::AvoidingTallied => {
+                self.avoiding_tallied
+                    .relax_chunk(ctx, frontier, range, chunk_edges, class, tally)
+            }
+            Lane::AvoidingPlain => {
+                self.avoiding_plain
+                    .relax_chunk(ctx, frontier, range, chunk_edges, class, tally)
+            }
+        }
+    }
+
+    fn phase_complete(&self, step: Option<&StepCounters>) -> Option<SwitchNotice> {
+        self.on_phase(step)
+    }
+}

@@ -35,11 +35,13 @@
 //! every unordered pair is counted from both endpoints and the total is
 //! halved. On a disconnected graph shortest paths exist only *within* a
 //! component, so scores are effectively normalised per component.
-//! Sampled-source runs ([`par_betweenness_centrality_sources`]) return
-//! the raw, un-halved accumulation over the given sources — the quantity
-//! sampled-source approximations scale — and are cross-validated against
+//! Sampled-source runs (an explicit source set on
+//! [`crate::request::run_betweenness`]) return the raw, un-halved
+//! accumulation over the given sources — the quantity sampled-source
+//! approximations scale — and are cross-validated against
 //! [`bga_kernels::bc::betweenness_centrality_sources`].
 
+use crate::auto::AutoSwitch;
 use crate::cancel::{self, CancelToken, RunOutcome};
 use crate::engine::{
     frontier_degree_prefix, LevelCtx, LevelKernel, LevelLoop, LevelRun, TraversalState,
@@ -54,6 +56,7 @@ use bga_graph::{AdjacencySource, VertexId};
 use bga_kernels::bfs::direction_optimizing::DirectionConfig;
 use bga_kernels::bfs::INFINITY;
 use bga_obs::{OffsetSink, TraceEvent, TraceSink};
+use bga_perfmodel::advisor::AdvisorConfig;
 use std::ops::Range;
 use std::sync::atomic::Ordering::Relaxed;
 use std::sync::Arc;
@@ -82,19 +85,25 @@ pub struct ParBcRun {
 /// Brandes forward phase as a level kernel: BFS discovery plus σ
 /// accumulation, in the discipline selected by `BRANCH_AVOIDING`. Runs
 /// strictly top-down (σ accumulation needs every cross-level edge, which
-/// the early-exit bottom-up claim would skip).
-struct BcForward<const BRANCH_AVOIDING: bool>;
+/// the early-exit bottom-up claim would skip). `TALLY` compiles in the
+/// per-thread instruction tally, feeding phase counters and the variant
+/// advisor.
+struct BcForward<const BRANCH_AVOIDING: bool, const TALLY: bool>;
 
-impl<G: AdjacencySource, const BRANCH_AVOIDING: bool> LevelKernel<G>
-    for BcForward<BRANCH_AVOIDING>
+impl<G: AdjacencySource, const BRANCH_AVOIDING: bool, const TALLY: bool> LevelKernel<G>
+    for BcForward<BRANCH_AVOIDING, TALLY>
 {
+    fn instrumented(&self) -> bool {
+        TALLY
+    }
+
     fn top_down_chunk(
         &self,
         ctx: &LevelCtx<'_, G>,
         frontier: &[VertexId],
         range: Range<usize>,
         chunk_edges: usize,
-        _tally: &mut crate::counters::ThreadTally,
+        tally: &mut crate::counters::ThreadTally,
     ) -> Vec<VertexId> {
         let distances = ctx.state.distances();
         let sigma = ctx.state.sigma().expect("BC traversal state carries sigma");
@@ -105,6 +114,11 @@ impl<G: AdjacencySource, const BRANCH_AVOIDING: bool> LevelKernel<G>
             for &v in &frontier[range] {
                 // σ(v) is final: the level barrier ran before this chunk.
                 let sigma_v = sigma[v as usize].load(Relaxed);
+                if TALLY {
+                    tally.vertices += 1;
+                    tally.loads += 1; // σ(v)
+                    tally.branches += 1; // frontier-loop bound
+                }
                 for w in ctx.graph.neighbor_cursor(v) {
                     // The priority write, with the branch-free queue claim.
                     let prev = distances[w as usize].fetch_min(next_level, Relaxed);
@@ -116,6 +130,14 @@ impl<G: AdjacencySource, const BRANCH_AVOIDING: bool> LevelKernel<G>
                     // discovered w" and "another edge of this level did"),
                     // zero when w lives on an earlier level.
                     sigma[w as usize].fetch_add(u64::from(prev >= next_level) * sigma_v, Relaxed);
+                    if TALLY {
+                        tally.edges += 1;
+                        tally.loads += 2; // fetch_min + fetch_add reads
+                        tally.stores += 3; // distance + queue slot + σ
+                        tally.conditional_moves += 3; // claim length + two predicated values
+                        tally.branches += 1; // neighbour-loop bound only
+                        tally.updates += u64::from(prev > next_level);
+                    }
                 }
             }
             buffer.truncate(len);
@@ -124,16 +146,34 @@ impl<G: AdjacencySource, const BRANCH_AVOIDING: bool> LevelKernel<G>
             let mut local = Vec::new();
             for &v in &frontier[range] {
                 let sigma_v = sigma[v as usize].load(Relaxed);
+                if TALLY {
+                    tally.vertices += 1;
+                    tally.loads += 1; // σ(v)
+                    tally.branches += 1; // frontier-loop bound
+                }
                 for w in ctx.graph.neighbor_cursor(v) {
                     let dw = distances[w as usize].load(Relaxed);
+                    if TALLY {
+                        tally.edges += 1;
+                        tally.loads += 1;
+                        tally.branches += 2; // neighbour-loop bound + visited test
+                        tally.data_branches += 1;
+                    }
                     if dw == INFINITY {
                         // Data-dependent test, then claim with a CAS;
                         // exactly one contender per vertex succeeds.
-                        if distances[w as usize]
+                        let claimed = distances[w as usize]
                             .compare_exchange(INFINITY, next_level, Relaxed, Relaxed)
-                            .is_ok()
-                        {
+                            .is_ok();
+                        if claimed {
                             local.push(w);
+                        }
+                        if TALLY {
+                            tally.loads += 1;
+                            tally.branches += 1; // CAS-outcome test
+                            tally.data_branches += 1;
+                            tally.stores += 1 + 2 * u64::from(claimed); // σ, plus distance + queue slot on the win
+                            tally.updates += u64::from(claimed);
                         }
                         // Whichever contender won, d(w) is now
                         // `next_level` (within a level every writer writes
@@ -142,12 +182,43 @@ impl<G: AdjacencySource, const BRANCH_AVOIDING: bool> LevelKernel<G>
                         sigma[w as usize].fetch_add(sigma_v, Relaxed);
                     } else if dw == next_level {
                         sigma[w as usize].fetch_add(sigma_v, Relaxed);
+                        if TALLY {
+                            tally.loads += 1;
+                            tally.stores += 1; // σ
+                            tally.branches += 1; // level test
+                            tally.data_branches += 1;
+                        }
+                    } else if TALLY {
+                        tally.branches += 1; // level test, fell through
+                        tally.data_branches += 1;
                     }
                 }
             }
             local
         }
     }
+}
+
+/// One shared auto-switching forward kernel for a whole multi-source run:
+/// the advisor samples the first source's levels and the decision then
+/// persists across every subsequent source on the same snapshot.
+#[allow(clippy::type_complexity)]
+fn auto_forward(
+    tally_always: bool,
+) -> AutoSwitch<
+    BcForward<false, true>,
+    BcForward<false, false>,
+    BcForward<true, true>,
+    BcForward<true, false>,
+> {
+    AutoSwitch::new(
+        BcForward::<false, true>,
+        BcForward::<false, false>,
+        BcForward::<true, true>,
+        BcForward::<true, false>,
+        AdvisorConfig::default(),
+        tally_always,
+    )
 }
 
 /// Pull-style dependency accumulation for one finished source: walk the
@@ -227,14 +298,16 @@ fn par_bc_accumulate_on<G: AdjacencySource, E: Execute>(
     let mut delta = vec![0.0f64; n];
     let mut state = TraversalState::with_sigma(n);
     let level_loop = LevelLoop::new(graph, exec, grain, DirectionConfig::always_top_down());
+    let auto = auto_forward(false);
     for &source in sources {
         if (source as usize) >= n {
             continue;
         }
         state.reset();
         let run = match variant {
-            BcVariant::BranchAvoiding => level_loop.run(&state, source, &BcForward::<true>),
-            BcVariant::BranchBased => level_loop.run(&state, source, &BcForward::<false>),
+            BcVariant::BranchAvoiding => level_loop.run(&state, source, &BcForward::<true, false>),
+            BcVariant::BranchBased => level_loop.run(&state, source, &BcForward::<false, false>),
+            BcVariant::Auto => level_loop.run(&state, source, &auto),
         };
         accumulate_dependencies(
             graph,
@@ -330,81 +403,6 @@ pub(crate) fn run_request_on<G: AdjacencySource, E: Execute>(
     }
 }
 
-/// Exact parallel betweenness centrality over all sources with the
-/// branch-avoiding forward phase (the default discipline, as in the
-/// sequential pair). `threads == 0` uses every available core. Scores
-/// match [`bga_kernels::bc::betweenness_centrality`] to floating-point
-/// reassociation and are bit-identical across thread counts.
-#[deprecated(note = "use bga_parallel::request::run_betweenness with RunConfig")]
-pub fn par_betweenness_centrality<G: AdjacencySource>(graph: &G, threads: usize) -> Vec<f64> {
-    run_request(
-        graph,
-        Variant::BranchAvoiding,
-        None,
-        &RunConfig::new().threads(threads),
-    )
-    .0
-    .scores
-}
-
-/// Exact parallel betweenness centrality with an explicit forward-phase
-/// discipline.
-#[deprecated(note = "use bga_parallel::request::run_betweenness with RunConfig")]
-pub fn par_betweenness_centrality_with_variant<G: AdjacencySource>(
-    graph: &G,
-    threads: usize,
-    variant: BcVariant,
-) -> Vec<f64> {
-    run_request(graph, variant, None, &RunConfig::new().threads(threads))
-        .0
-        .scores
-}
-
-/// [`par_betweenness_centrality_with_variant`] on an explicit executor —
-/// the seam the benchmarks and forced-fan-out tests use.
-#[deprecated(note = "use bga_parallel::request::run_betweenness_on")]
-pub fn par_betweenness_centrality_on<G: AdjacencySource, E: Execute>(
-    graph: &G,
-    exec: &E,
-    grain: usize,
-    variant: BcVariant,
-) -> Vec<f64> {
-    run_request_on(graph, variant, None, exec, grain).scores
-}
-
-/// Partial parallel accumulation over an explicit source set: the raw,
-/// **un-halved** dependency sums (out-of-range sources are ignored), the
-/// quantity sampled-source approximations scale. With all vertices as
-/// sources this is exactly twice [`par_betweenness_centrality`].
-#[deprecated(note = "use bga_parallel::request::run_betweenness with RunConfig")]
-pub fn par_betweenness_centrality_sources<G: AdjacencySource>(
-    graph: &G,
-    sources: &[VertexId],
-    threads: usize,
-    variant: BcVariant,
-) -> Vec<f64> {
-    run_request(
-        graph,
-        variant,
-        Some(sources),
-        &RunConfig::new().threads(threads),
-    )
-    .0
-    .scores
-}
-
-/// [`par_betweenness_centrality_sources`] on an explicit executor.
-#[deprecated(note = "use bga_parallel::request::run_betweenness_on")]
-pub fn par_betweenness_centrality_sources_on<G: AdjacencySource, E: Execute>(
-    graph: &G,
-    sources: &[VertexId],
-    exec: &E,
-    grain: usize,
-    variant: BcVariant,
-) -> Vec<f64> {
-    run_request_on(graph, variant, Some(sources), exec, grain).scores
-}
-
 /// The shared monitored driver behind the traced and cancellable
 /// multi-source entry points. The token is checked between sources
 /// (against the total forward phases emitted so far) and inside each
@@ -455,6 +453,9 @@ fn par_bc_accumulate_impl<G: AdjacencySource, S: TraceSink>(
     // a disabled sink too (a NoopSink never sees the phase events).
     let mut total_phases = 0usize;
     let mut outcome = RunOutcome::Completed;
+    // Shared across sources: the advisor samples the first source's
+    // levels, and every later source runs the chosen static discipline.
+    let auto = auto_forward(true);
     for &source in sources {
         if (source as usize) >= n {
             sources_done += 1;
@@ -467,12 +468,21 @@ fn par_bc_accumulate_impl<G: AdjacencySource, S: TraceSink>(
         state.reset();
         let per_source = OffsetSink::new(&scope, scope.phases_so_far());
         let (run, forward_outcome) = match variant {
-            BcVariant::BranchAvoiding => {
-                level_loop.run_loop(&state, source, &BcForward::<true>, &per_source, token)
-            }
-            BcVariant::BranchBased => {
-                level_loop.run_loop(&state, source, &BcForward::<false>, &per_source, token)
-            }
+            BcVariant::BranchAvoiding => level_loop.run_loop(
+                &state,
+                source,
+                &BcForward::<true, false>,
+                &per_source,
+                token,
+            ),
+            BcVariant::BranchBased => level_loop.run_loop(
+                &state,
+                source,
+                &BcForward::<false, false>,
+                &per_source,
+                token,
+            ),
+            BcVariant::Auto => level_loop.run_loop(&state, source, &auto, &per_source, token),
         };
         if !forward_outcome.is_completed() {
             outcome = forward_outcome;
@@ -493,100 +503,6 @@ fn par_bc_accumulate_impl<G: AdjacencySource, S: TraceSink>(
     emit_degradation_warning(&pool, &scope);
     scope.finish_with_outcome(Some(monitor.take_metrics()), &outcome);
     (centrality, sources_done, outcome)
-}
-
-/// [`par_betweenness_centrality_sources`] with a [`CancelToken`]. Returns
-/// the raw un-halved scores, the number of sources whose contribution is
-/// fully accumulated, and the outcome: an interrupted run's scores are
-/// the exact accumulation over that source prefix (an interrupted
-/// source's partial traversal is discarded, never half-counted), so
-/// callers can use them as a sampled-source approximation or resume by
-/// re-running over `sources[sources_done..]` and summing.
-#[deprecated(note = "use bga_parallel::request::run_betweenness with RunConfig::cancel")]
-pub fn par_betweenness_centrality_sources_with_cancel<G: AdjacencySource>(
-    graph: &G,
-    sources: &[VertexId],
-    threads: usize,
-    variant: BcVariant,
-    cancel: &CancelToken,
-) -> (Vec<f64>, usize, RunOutcome) {
-    let (run, outcome) = run_request(
-        graph,
-        variant,
-        Some(sources),
-        &RunConfig::new().threads(threads).cancel(cancel),
-    );
-    (run.scores, run.sources_done, outcome)
-}
-
-/// [`par_betweenness_centrality_sources_traced`] with a [`CancelToken`]:
-/// an interrupted run still emits a complete `bga-trace-v1` document
-/// whose trailer carries the interruption reason. See
-/// [`par_betweenness_centrality_sources_with_cancel`] for the
-/// partial-result semantics.
-#[deprecated(note = "use bga_parallel::request::run_betweenness with RunConfig::traced + cancel")]
-pub fn par_betweenness_centrality_sources_traced_with_cancel<G: AdjacencySource, S: TraceSink>(
-    graph: &G,
-    sources: &[VertexId],
-    threads: usize,
-    variant: BcVariant,
-    sink: &S,
-    cancel: &CancelToken,
-) -> (Vec<f64>, usize, RunOutcome) {
-    let (run, outcome) = run_request(
-        graph,
-        variant,
-        Some(sources),
-        &RunConfig::new()
-            .threads(threads)
-            .traced(sink)
-            .cancel(cancel),
-    );
-    (run.scores, run.sources_done, outcome)
-}
-
-/// [`par_betweenness_centrality_with_variant`] with a [`TraceSink`]
-/// receiving the run's `bga-trace-v1` event stream: one run header, the
-/// forward levels of *every* source as consecutive phase events, the
-/// worker pool's batch metrics and the run trailer. The forward kernels
-/// carry no tally parameter, so phase counters are all-zero; the
-/// structural fields (frontier, discovered, wall clock) are real.
-#[deprecated(note = "use bga_parallel::request::run_betweenness with RunConfig::traced")]
-pub fn par_betweenness_centrality_traced<G: AdjacencySource, S: TraceSink>(
-    graph: &G,
-    threads: usize,
-    variant: BcVariant,
-    sink: &S,
-) -> Vec<f64> {
-    run_request(
-        graph,
-        variant,
-        None,
-        &RunConfig::new().threads(threads).traced(sink),
-    )
-    .0
-    .scores
-}
-
-/// [`par_betweenness_centrality_sources`] with a [`TraceSink`]; returns
-/// the raw, un-halved accumulation over the given sources. See
-/// [`par_betweenness_centrality_traced`] for the event stream shape.
-#[deprecated(note = "use bga_parallel::request::run_betweenness with RunConfig::traced")]
-pub fn par_betweenness_centrality_sources_traced<G: AdjacencySource, S: TraceSink>(
-    graph: &G,
-    sources: &[VertexId],
-    threads: usize,
-    variant: BcVariant,
-    sink: &S,
-) -> Vec<f64> {
-    run_request(
-        graph,
-        variant,
-        Some(sources),
-        &RunConfig::new().threads(threads).traced(sink),
-    )
-    .0
-    .scores
 }
 
 #[cfg(test)]
@@ -772,30 +688,35 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_match_the_request_api() {
-        let g = grid_2d(6, 5, MeshStencil::VonNeumann);
-        let expected = betweenness_centrality(&g);
-        assert_close(&par_betweenness_centrality(&g, 2), &expected);
-        assert_close(
-            &par_betweenness_centrality_with_variant(&g, 2, BcVariant::BranchBased),
-            &expected,
-        );
-        let sources = [0u32, 3, 7];
-        assert_close(
-            &par_betweenness_centrality_sources(&g, &sources, 2, BcVariant::BranchAvoiding),
-            &betweenness_centrality_sources(&g, &sources),
-        );
+    fn auto_variant_matches_the_static_scores() {
+        let g = barabasi_albert(300, 3, 7);
+        // Both static disciplines are bit-identical, so the advisor's
+        // choice cannot show: auto must reproduce the exact same bits.
+        let reference = full_scores(&g, 1, Variant::BranchAvoiding);
+        for threads in [1, 2, 8] {
+            let scores = run_request(
+                &g,
+                Variant::Auto,
+                None,
+                &RunConfig::new().threads(threads).grain(1),
+            )
+            .0
+            .scores;
+            for (a, b) in reference.iter().zip(scores.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{threads} threads");
+            }
+        }
+        // Sampled sources go through the monitored driver when cancellable.
+        let sources = [0u32, 7, 123, 299];
         let token = CancelToken::new();
-        let (scores, done, outcome) = par_betweenness_centrality_sources_with_cancel(
+        let (run, outcome) = run_request(
             &g,
-            &sources,
-            2,
-            BcVariant::BranchAvoiding,
-            &token,
+            Variant::Auto,
+            Some(&sources),
+            &RunConfig::new().threads(2).grain(1).cancel(&token),
         );
         assert!(outcome.is_completed());
-        assert_eq!(done, sources.len());
-        assert_close(&scores, &betweenness_centrality_sources(&g, &sources));
+        assert_eq!(run.sources_done, sources.len());
+        assert_close(&run.scores, &betweenness_centrality_sources(&g, &sources));
     }
 }

@@ -15,8 +15,8 @@
 //!   `(prev > next_level) as usize`, the same "write past the end" trick
 //!   the sequential branch-avoiding kernel uses.
 //!
-//! [`par_bfs_direction_optimizing`] runs the branch-avoiding kernel under
-//! a [`DirectionConfig`] that lets the engine switch to *bottom-up* levels
+//! `BfsStrategy::DirectionOptimizing` runs the branch-avoiding kernel
+//! under a [`DirectionConfig`] that lets the engine switch to *bottom-up* levels
 //! over a shared bitmap frontier — the direction-switching regime of
 //! Beamer et al. that the paper evaluates branch-avoidance against. Both
 //! kernels carry a `TALLY` const parameter: with it, every chunk accounts
@@ -32,9 +32,10 @@
 //! runs with more than one thread (it is still a valid BFS order);
 //! bottom-up levels discover in ascending vertex order.
 
+use crate::auto::AutoSwitch;
 use crate::cancel::{CancelToken, RunOutcome};
 use crate::counters::ThreadTally;
-use crate::engine::{bottom_up_claim, LevelCtx, LevelKernel, LevelLoop, TraversalState};
+use crate::engine::{bottom_up_claim, LevelCtx, LevelKernel, LevelLoop, LevelRun, TraversalState};
 use crate::pool::{Execute, PoolConfig, PoolMonitor, WorkerPool};
 use crate::request::{BfsStrategy, RunConfig, Variant};
 use crate::trace::{emit_degradation_warning, run_footprint, TraceRun};
@@ -44,6 +45,7 @@ use bga_kernels::bfs::frontier::Bitmap;
 use bga_kernels::bfs::{BfsResult, INFINITY};
 use bga_kernels::stats::RunCounters;
 use bga_obs::{TraceEvent, TraceSink};
+use bga_perfmodel::advisor::AdvisorConfig;
 use std::ops::Range;
 use std::sync::atomic::Ordering::Relaxed;
 use std::sync::Arc;
@@ -78,8 +80,7 @@ pub struct ParDirBfsRun {
     /// non-empty, starting with the root's own expansion).
     pub directions: Vec<Direction>,
     /// Per-level counters (top-down *and* bottom-up levels) — populated
-    /// only by [`par_bfs_direction_optimizing_instrumented`], empty
-    /// otherwise.
+    /// only on instrumented/observed runs, empty otherwise.
     pub counters: RunCounters,
     /// Worker count the run actually used.
     pub threads: usize,
@@ -232,6 +233,27 @@ impl<G: AdjacencySource, const TALLY: bool> LevelKernel<G> for BranchAvoidingLev
     }
 }
 
+/// The adaptive BFS kernel behind [`Variant::Auto`]: samples early levels
+/// branch-based with tallies, then hot-switches to the advisor's pick.
+#[allow(clippy::type_complexity)]
+pub(crate) fn auto_level(
+    tally_always: bool,
+) -> AutoSwitch<
+    BranchBasedLevel<true>,
+    BranchBasedLevel<false>,
+    BranchAvoidingLevel<true>,
+    BranchAvoidingLevel<false>,
+> {
+    AutoSwitch::new(
+        BranchBasedLevel::<true>,
+        BranchBasedLevel::<false>,
+        BranchAvoidingLevel::<true>,
+        BranchAvoidingLevel::<false>,
+        AdvisorConfig::default(),
+        tally_always,
+    )
+}
+
 /// The direction schedule a strategy pins (always top-down for the plain
 /// disciplines, the configured thresholds for direction-optimizing).
 fn strategy_directions(strategy: BfsStrategy) -> DirectionConfig {
@@ -263,6 +285,16 @@ pub(crate) fn run_request<G: AdjacencySource, S: TraceSink>(
                 dir_config,
                 name,
                 &BranchBasedLevel::<true>,
+                config.sink,
+                config.cancel,
+            ),
+            BfsStrategy::Plain(Variant::Auto) => par_bfs_traced_on(
+                graph,
+                root,
+                &pool_config,
+                dir_config,
+                name,
+                &auto_level(true),
                 config.sink,
                 config.cancel,
             ),
@@ -312,17 +344,7 @@ fn run_plain_on<G: AdjacencySource, E: Execute>(
     grain: usize,
 ) -> ParDirBfsRun {
     let state = TraversalState::new(graph.num_vertices());
-    let level_loop = LevelLoop::new(graph, exec, grain, strategy_directions(strategy));
-    let run = match (strategy, instrumented) {
-        (BfsStrategy::Plain(Variant::BranchBased), false) => {
-            level_loop.run(&state, root, &BranchBasedLevel::<false>)
-        }
-        (BfsStrategy::Plain(Variant::BranchBased), true) => {
-            level_loop.run(&state, root, &BranchBasedLevel::<true>)
-        }
-        (_, false) => level_loop.run(&state, root, &BranchAvoidingLevel::<false>),
-        (_, true) => level_loop.run(&state, root, &BranchAvoidingLevel::<true>),
-    };
+    let run = run_plain_shared(graph, root, strategy, instrumented, exec, grain, &state);
     ParDirBfsRun {
         result: BfsResult::new(state.into_distances(), run.order),
         directions: run.directions,
@@ -331,210 +353,58 @@ fn run_plain_on<G: AdjacencySource, E: Execute>(
     }
 }
 
-/// Drops the direction schedule from a run — the legacy shape of the
-/// fixed-direction entry points.
-fn narrow(run: ParDirBfsRun) -> ParBfsRun {
-    ParBfsRun {
-        result: run.result,
+/// [`run_plain_on`] against a caller-held [`TraversalState`]: resets the
+/// state in place and snapshots the distances out, so a long-lived caller
+/// (the `bga serve` query loop) reuses one atomic-array allocation across
+/// traversals instead of allocating per query.
+pub(crate) fn run_request_reusing<G: AdjacencySource, E: Execute>(
+    graph: &G,
+    root: VertexId,
+    strategy: BfsStrategy,
+    exec: &E,
+    grain: usize,
+    state: &mut TraversalState,
+) -> ParDirBfsRun {
+    assert_eq!(
+        state.len(),
+        graph.num_vertices(),
+        "traversal state sized for a different graph"
+    );
+    state.reset();
+    let run = run_plain_shared(graph, root, strategy, false, exec, grain, state);
+    let distances = state.distances().iter().map(|d| d.load(Relaxed)).collect();
+    ParDirBfsRun {
+        result: BfsResult::new(distances, run.order),
+        directions: run.directions,
         counters: run.counters,
-        threads: run.threads,
+        threads: exec.parallelism(),
     }
 }
 
-/// Parallel branch-based top-down BFS from `root`. `threads == 0` uses
-/// every available core; a root outside the vertex range yields an
-/// all-unreached result, as in the sequential kernels.
-#[deprecated(note = "use bga_parallel::request::run_bfs with RunConfig")]
-pub fn par_bfs_branch_based<G: AdjacencySource>(
+/// Kernel dispatch common to the owning and state-reusing drivers.
+fn run_plain_shared<G: AdjacencySource, E: Execute>(
     graph: &G,
     root: VertexId,
-    threads: usize,
-) -> BfsResult {
-    run_request(
-        graph,
-        root,
-        BfsStrategy::Plain(Variant::BranchBased),
-        &RunConfig::new().threads(threads),
-    )
-    .0
-    .result
-}
-
-/// [`par_bfs_branch_based`] on an explicit executor — the seam the
-/// benchmarks use to compare the persistent pool against per-level
-/// `thread::scope` spawns.
-#[deprecated(note = "use bga_parallel::request::run_bfs_on")]
-pub fn par_bfs_branch_based_on<G: AdjacencySource, E: Execute>(
-    graph: &G,
-    root: VertexId,
+    strategy: BfsStrategy,
+    instrumented: bool,
     exec: &E,
     grain: usize,
-) -> BfsResult {
-    run_request_on(
-        graph,
-        root,
-        BfsStrategy::Plain(Variant::BranchBased),
-        exec,
-        grain,
-    )
-    .result
-}
-
-/// Parallel branch-avoiding top-down BFS from `root`: one `fetch_min` per
-/// edge and branch-free buffer advancement. `threads == 0` uses every
-/// available core.
-#[deprecated(note = "use bga_parallel::request::run_bfs with RunConfig")]
-pub fn par_bfs_branch_avoiding<G: AdjacencySource>(
-    graph: &G,
-    root: VertexId,
-    threads: usize,
-) -> BfsResult {
-    run_request(
-        graph,
-        root,
-        BfsStrategy::Plain(Variant::BranchAvoiding),
-        &RunConfig::new().threads(threads),
-    )
-    .0
-    .result
-}
-
-/// [`par_bfs_branch_avoiding`] on an explicit executor.
-#[deprecated(note = "use bga_parallel::request::run_bfs_on")]
-pub fn par_bfs_branch_avoiding_on<G: AdjacencySource, E: Execute>(
-    graph: &G,
-    root: VertexId,
-    exec: &E,
-    grain: usize,
-) -> BfsResult {
-    run_request_on(
-        graph,
-        root,
-        BfsStrategy::Plain(Variant::BranchAvoiding),
-        exec,
-        grain,
-    )
-    .result
-}
-
-/// Parallel direction-optimizing BFS from `root` with the default
-/// [`DirectionConfig`]. `threads == 0` uses every available core.
-#[deprecated(note = "use bga_parallel::request::run_bfs with RunConfig")]
-pub fn par_bfs_direction_optimizing<G: AdjacencySource>(
-    graph: &G,
-    root: VertexId,
-    threads: usize,
-) -> BfsResult {
-    run_request(
-        graph,
-        root,
-        BfsStrategy::DirectionOptimizing(DirectionConfig::default()),
-        &RunConfig::new().threads(threads),
-    )
-    .0
-    .result
-}
-
-/// Parallel direction-optimizing BFS with explicit switching thresholds;
-/// also reports the direction every level ran in.
-///
-/// The switching heuristic mirrors the sequential kernel exactly: switch
-/// to bottom-up when the frontier fraction exceeds
-/// [`DirectionConfig::to_bottom_up`], back to top-down when it falls below
-/// [`DirectionConfig::to_top_down`]. Frontier sizes are deterministic, so
-/// the per-level directions — and therefore the distances — are identical
-/// to the sequential direction-optimizing kernel at every thread count.
-#[deprecated(note = "use bga_parallel::request::run_bfs with RunConfig")]
-pub fn par_bfs_direction_optimizing_with_config<G: AdjacencySource>(
-    graph: &G,
-    root: VertexId,
-    threads: usize,
-    config: DirectionConfig,
-) -> ParDirBfsRun {
-    run_request(
-        graph,
-        root,
-        BfsStrategy::DirectionOptimizing(config),
-        &RunConfig::new().threads(threads),
-    )
-    .0
-}
-
-/// [`par_bfs_direction_optimizing_with_config`] on an explicit executor.
-#[deprecated(note = "use bga_parallel::request::run_bfs_on")]
-pub fn par_bfs_direction_optimizing_on<G: AdjacencySource, E: Execute>(
-    graph: &G,
-    root: VertexId,
-    exec: &E,
-    grain: usize,
-    config: DirectionConfig,
-) -> ParDirBfsRun {
-    run_request_on(
-        graph,
-        root,
-        BfsStrategy::DirectionOptimizing(config),
-        exec,
-        grain,
-    )
-}
-
-/// Instrumented parallel direction-optimizing BFS: per-worker tallies of
-/// *both* directions — the top-down `fetch_min` levels and the bottom-up
-/// bitmap-claim levels — merged into one
-/// [`bga_kernels::stats::StepCounters`] per level, so a `--strategy
-/// bottom-up` run reports real counter rows instead of empty tallies.
-#[deprecated(note = "use bga_parallel::request::run_bfs with RunConfig::instrumented")]
-pub fn par_bfs_direction_optimizing_instrumented<G: AdjacencySource>(
-    graph: &G,
-    root: VertexId,
-    threads: usize,
-    config: DirectionConfig,
-) -> ParDirBfsRun {
-    run_request(
-        graph,
-        root,
-        BfsStrategy::DirectionOptimizing(config),
-        &RunConfig::new().threads(threads).instrumented(true),
-    )
-    .0
-}
-
-/// Instrumented parallel branch-based BFS: per-worker tallies merged into
-/// one [`bga_kernels::stats::StepCounters`] per level.
-#[deprecated(note = "use bga_parallel::request::run_bfs with RunConfig::instrumented")]
-pub fn par_bfs_branch_based_instrumented<G: AdjacencySource>(
-    graph: &G,
-    root: VertexId,
-    threads: usize,
-) -> ParBfsRun {
-    narrow(
-        run_request(
-            graph,
-            root,
-            BfsStrategy::Plain(Variant::BranchBased),
-            &RunConfig::new().threads(threads).instrumented(true),
-        )
-        .0,
-    )
-}
-
-/// Instrumented parallel branch-avoiding BFS; see
-/// [`par_bfs_branch_based_instrumented`] for the accounting scheme.
-#[deprecated(note = "use bga_parallel::request::run_bfs with RunConfig::instrumented")]
-pub fn par_bfs_branch_avoiding_instrumented<G: AdjacencySource>(
-    graph: &G,
-    root: VertexId,
-    threads: usize,
-) -> ParBfsRun {
-    narrow(
-        run_request(
-            graph,
-            root,
-            BfsStrategy::Plain(Variant::BranchAvoiding),
-            &RunConfig::new().threads(threads).instrumented(true),
-        )
-        .0,
-    )
+    state: &TraversalState,
+) -> LevelRun {
+    let level_loop = LevelLoop::new(graph, exec, grain, strategy_directions(strategy));
+    match (strategy, instrumented) {
+        (BfsStrategy::Plain(Variant::BranchBased), false) => {
+            level_loop.run(state, root, &BranchBasedLevel::<false>)
+        }
+        (BfsStrategy::Plain(Variant::BranchBased), true) => {
+            level_loop.run(state, root, &BranchBasedLevel::<true>)
+        }
+        (BfsStrategy::Plain(Variant::Auto), tally) => {
+            level_loop.run(state, root, &auto_level(tally))
+        }
+        (_, false) => level_loop.run(state, root, &BranchAvoidingLevel::<false>),
+        (_, true) => level_loop.run(state, root, &BranchAvoidingLevel::<true>),
+    }
 }
 
 /// The shared traced-run driver: monitored pool, `run-start` header, one
@@ -580,193 +450,6 @@ fn par_bfs_traced_on<G: AdjacencySource, K: LevelKernel<G>, S: TraceSink>(
         threads: pool.threads(),
     };
     (result, outcome)
-}
-
-/// [`par_bfs_branch_based_instrumented`] with a [`TraceSink`] receiving
-/// the run's `bga-trace-v1` event stream (header, per-level phases, pool
-/// metrics, trailer). Distances and counters are identical to the
-/// instrumented run.
-#[deprecated(note = "use bga_parallel::request::run_bfs with RunConfig::traced")]
-pub fn par_bfs_branch_based_traced<G: AdjacencySource, S: TraceSink>(
-    graph: &G,
-    root: VertexId,
-    threads: usize,
-    sink: &S,
-) -> ParBfsRun {
-    narrow(
-        run_request(
-            graph,
-            root,
-            BfsStrategy::Plain(Variant::BranchBased),
-            &RunConfig::new().threads(threads).traced(sink),
-        )
-        .0,
-    )
-}
-
-/// [`par_bfs_branch_avoiding_instrumented`] with a [`TraceSink`]; see
-/// [`par_bfs_branch_based_traced`].
-#[deprecated(note = "use bga_parallel::request::run_bfs with RunConfig::traced")]
-pub fn par_bfs_branch_avoiding_traced<G: AdjacencySource, S: TraceSink>(
-    graph: &G,
-    root: VertexId,
-    threads: usize,
-    sink: &S,
-) -> ParBfsRun {
-    narrow(
-        run_request(
-            graph,
-            root,
-            BfsStrategy::Plain(Variant::BranchAvoiding),
-            &RunConfig::new().threads(threads).traced(sink),
-        )
-        .0,
-    )
-}
-
-/// [`par_bfs_direction_optimizing_instrumented`] with a [`TraceSink`];
-/// phase events carry the direction each level ran in
-/// ([`bga_obs::PhaseKind::TopDown`] / [`bga_obs::PhaseKind::BottomUp`]).
-#[deprecated(note = "use bga_parallel::request::run_bfs with RunConfig::traced")]
-pub fn par_bfs_direction_optimizing_traced<G: AdjacencySource, S: TraceSink>(
-    graph: &G,
-    root: VertexId,
-    threads: usize,
-    config: DirectionConfig,
-    sink: &S,
-) -> ParDirBfsRun {
-    run_request(
-        graph,
-        root,
-        BfsStrategy::DirectionOptimizing(config),
-        &RunConfig::new().threads(threads).traced(sink),
-    )
-    .0
-}
-
-/// [`par_bfs_branch_avoiding`] with a [`CancelToken`] checked at every
-/// level boundary. An interrupted run returns the levels that completed:
-/// distances behind the cut are final BFS levels, everything beyond is
-/// still `INFINITY` — a valid partial traversal, as every distance only
-/// ever moves from `INFINITY` to its unique level.
-#[deprecated(note = "use bga_parallel::request::run_bfs with RunConfig::cancel")]
-pub fn par_bfs_branch_avoiding_with_cancel<G: AdjacencySource>(
-    graph: &G,
-    root: VertexId,
-    threads: usize,
-    cancel: &CancelToken,
-) -> (ParBfsRun, RunOutcome) {
-    let (run, outcome) = run_request(
-        graph,
-        root,
-        BfsStrategy::Plain(Variant::BranchAvoiding),
-        &RunConfig::new().threads(threads).cancel(cancel),
-    );
-    (narrow(run), outcome)
-}
-
-/// [`par_bfs_branch_based`] with a [`CancelToken`]; see
-/// [`par_bfs_branch_avoiding_with_cancel`].
-#[deprecated(note = "use bga_parallel::request::run_bfs with RunConfig::cancel")]
-pub fn par_bfs_branch_based_with_cancel<G: AdjacencySource>(
-    graph: &G,
-    root: VertexId,
-    threads: usize,
-    cancel: &CancelToken,
-) -> (ParBfsRun, RunOutcome) {
-    let (run, outcome) = run_request(
-        graph,
-        root,
-        BfsStrategy::Plain(Variant::BranchBased),
-        &RunConfig::new().threads(threads).cancel(cancel),
-    );
-    (narrow(run), outcome)
-}
-
-/// [`par_bfs_direction_optimizing_with_config`] with a [`CancelToken`];
-/// see [`par_bfs_branch_avoiding_with_cancel`].
-#[deprecated(note = "use bga_parallel::request::run_bfs with RunConfig::cancel")]
-pub fn par_bfs_direction_optimizing_with_cancel<G: AdjacencySource>(
-    graph: &G,
-    root: VertexId,
-    threads: usize,
-    config: DirectionConfig,
-    cancel: &CancelToken,
-) -> (ParDirBfsRun, RunOutcome) {
-    run_request(
-        graph,
-        root,
-        BfsStrategy::DirectionOptimizing(config),
-        &RunConfig::new().threads(threads).cancel(cancel),
-    )
-}
-
-/// [`par_bfs_branch_avoiding_traced`] with a [`CancelToken`]: the traced,
-/// cancellable driver. An interrupted run still emits a complete
-/// `bga-trace-v1` document — header, one phase per completed level, pool
-/// metrics and a trailer marked with the interruption reason.
-#[deprecated(note = "use bga_parallel::request::run_bfs with RunConfig::traced + cancel")]
-pub fn par_bfs_branch_avoiding_traced_with_cancel<G: AdjacencySource, S: TraceSink>(
-    graph: &G,
-    root: VertexId,
-    threads: usize,
-    sink: &S,
-    cancel: &CancelToken,
-) -> (ParBfsRun, RunOutcome) {
-    let (run, outcome) = run_request(
-        graph,
-        root,
-        BfsStrategy::Plain(Variant::BranchAvoiding),
-        &RunConfig::new()
-            .threads(threads)
-            .traced(sink)
-            .cancel(cancel),
-    );
-    (narrow(run), outcome)
-}
-
-/// [`par_bfs_branch_based_traced`] with a [`CancelToken`]; see
-/// [`par_bfs_branch_avoiding_traced_with_cancel`].
-#[deprecated(note = "use bga_parallel::request::run_bfs with RunConfig::traced + cancel")]
-pub fn par_bfs_branch_based_traced_with_cancel<G: AdjacencySource, S: TraceSink>(
-    graph: &G,
-    root: VertexId,
-    threads: usize,
-    sink: &S,
-    cancel: &CancelToken,
-) -> (ParBfsRun, RunOutcome) {
-    let (run, outcome) = run_request(
-        graph,
-        root,
-        BfsStrategy::Plain(Variant::BranchBased),
-        &RunConfig::new()
-            .threads(threads)
-            .traced(sink)
-            .cancel(cancel),
-    );
-    (narrow(run), outcome)
-}
-
-/// [`par_bfs_direction_optimizing_traced`] with a [`CancelToken`]; see
-/// [`par_bfs_branch_avoiding_traced_with_cancel`].
-#[deprecated(note = "use bga_parallel::request::run_bfs with RunConfig::traced + cancel")]
-pub fn par_bfs_direction_optimizing_traced_with_cancel<G: AdjacencySource, S: TraceSink>(
-    graph: &G,
-    root: VertexId,
-    threads: usize,
-    config: DirectionConfig,
-    sink: &S,
-    cancel: &CancelToken,
-) -> (ParDirBfsRun, RunOutcome) {
-    run_request(
-        graph,
-        root,
-        BfsStrategy::DirectionOptimizing(config),
-        &RunConfig::new()
-            .threads(threads)
-            .traced(sink)
-            .cancel(cancel),
-    )
 }
 
 #[cfg(test)]
@@ -967,7 +650,7 @@ mod tests {
                 0
             );
             let instr = instrumented(&g, 99, threads, BfsStrategy::Plain(Variant::BranchBased));
-            assert_eq!(narrow(instr).levels(), 0);
+            assert_eq!(instr.counters.num_steps(), 0);
         }
     }
 
@@ -1023,12 +706,7 @@ mod tests {
     fn instrumented_levels_cover_the_whole_traversal() {
         let g = barabasi_albert(800, 3, 7);
         for threads in [1, 2, 8] {
-            let run = narrow(instrumented(
-                &g,
-                0,
-                threads,
-                BfsStrategy::Plain(Variant::BranchBased),
-            ));
+            let run = instrumented(&g, 0, threads, BfsStrategy::Plain(Variant::BranchBased));
             let total_vertices: u64 = run
                 .counters
                 .steps
@@ -1041,7 +719,7 @@ mod tests {
                 run.counters.total_edges_traversed() as usize,
                 expected_edges
             );
-            assert_eq!(run.levels(), run.result.level_count());
+            assert_eq!(run.counters.num_steps(), run.result.level_count());
         }
     }
 
@@ -1166,22 +844,31 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_match_the_request_api() {
-        let g = barabasi_albert(400, 3, 17);
+    fn auto_variant_matches_the_static_distances() {
+        let g = barabasi_albert(2_000, 3, 17);
         let expected = bfs_distances_reference(&g, 0);
-        assert_eq!(par_bfs_branch_based(&g, 0, 2).distances(), &expected[..]);
-        assert_eq!(par_bfs_branch_avoiding(&g, 0, 2).distances(), &expected[..]);
-        assert_eq!(
-            par_bfs_direction_optimizing(&g, 0, 2).distances(),
-            &expected[..]
-        );
-        let instr = par_bfs_branch_avoiding_instrumented(&g, 0, 2);
+        for threads in [1, 2, 8] {
+            let (run, outcome) = run_request(
+                &g,
+                0,
+                BfsStrategy::Plain(Variant::Auto),
+                &RunConfig::new().threads(threads).grain(1),
+            );
+            assert!(outcome.is_completed());
+            assert_eq!(run.result.distances(), &expected[..], "{threads} threads");
+        }
+        // Instrumented auto tallies every level, even post-decision ones.
+        let instr = instrumented(&g, 0, 2, BfsStrategy::Plain(Variant::Auto));
         assert_eq!(instr.result.distances(), &expected[..]);
-        assert!(instr.counters.num_steps() > 0);
-        let token = CancelToken::new();
-        let (cancelled, outcome) = par_bfs_branch_based_with_cancel(&g, 0, 2, &token);
-        assert!(outcome.is_completed());
-        assert_eq!(cancelled.result.distances(), &expected[..]);
+        assert_eq!(instr.counters.num_steps(), instr.result.level_count());
+        // A plain auto run only tallies the sampled prefix.
+        let plain = run_request(
+            &g,
+            0,
+            BfsStrategy::Plain(Variant::Auto),
+            &RunConfig::new().threads(2),
+        )
+        .0;
+        assert!(plain.counters.num_steps() < plain.result.level_count());
     }
 }

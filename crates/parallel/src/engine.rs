@@ -48,6 +48,7 @@
 //! runs unchanged on the `Vec` CSR and on the delta-varint compressed
 //! form, and produces bit-identical results on both.
 
+use crate::auto::SwitchNotice;
 use crate::bitmap::par_fill_bitmap;
 use crate::cancel::{self, CancelToken, RunOutcome};
 use crate::counters::{collect_run, merge_thread_steps, ThreadTally};
@@ -58,11 +59,27 @@ use bga_graph::{AdjacencySource, VertexId, WeightedAdjacencySource};
 use bga_kernels::bfs::direction_optimizing::DirectionConfig;
 use bga_kernels::bfs::frontier::Bitmap;
 use bga_kernels::bfs::INFINITY;
-use bga_kernels::stats::RunCounters;
-use bga_obs::{NoopSink, PhaseCounters, PhaseEvent, PhaseKind, TraceEvent, TraceSink};
+use bga_kernels::stats::{RunCounters, StepCounters};
+use bga_obs::{
+    DecisionEvent, NoopSink, PhaseCounters, PhaseEvent, PhaseKind, TraceEvent, TraceSink,
+};
 use std::ops::Range;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering::Relaxed};
 use std::time::Instant;
+
+/// Renders a kernel's [`SwitchNotice`] as the `decision` trace event,
+/// anchored to the phase whose tallies completed the advisor's sample.
+pub(crate) fn decision_event(phase: usize, notice: &SwitchNotice) -> TraceEvent {
+    TraceEvent::Decision(DecisionEvent {
+        phase,
+        variant: notice.choice.as_str().to_string(),
+        switched: notice.switched,
+        sampled: notice.sampled,
+        edges: notice.edges,
+        updates: notice.updates,
+        mispredictions: notice.mispredictions,
+    })
+}
 
 /// Traversal direction one level ran in.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -189,6 +206,17 @@ pub trait LevelKernel<G: AdjacencySource>: Sync {
     /// all-zero) steps.
     fn instrumented(&self) -> bool {
         false
+    }
+
+    /// Phase-boundary hook, called by the driver after every level's tally
+    /// merge with the merged step (when one was computed). Adaptive
+    /// kernels ([`crate::auto::AutoSwitch`]) feed their advisor here and
+    /// may hot-switch discipline for the following phases; the returned
+    /// [`SwitchNotice`] becomes the run's `decision` trace event. Static
+    /// kernels keep the default no-op.
+    fn phase_complete(&self, step: Option<&StepCounters>) -> Option<SwitchNotice> {
+        let _ = step;
+        None
     }
 
     /// Expand the top-down chunk `frontier[range]` at
@@ -661,6 +689,14 @@ impl<'a, G: AdjacencySource, E: Execute> LevelLoop<'a, G, E> {
                     wall_ns: phase_started.map_or(0, |t| t.elapsed().as_nanos() as u64),
                 }));
             }
+            // Phase boundary: let adaptive kernels consult their advisor
+            // (and possibly hot-switch discipline for the next level).
+            match kernel.phase_complete(merged.as_ref()) {
+                Some(notice) if S::ENABLED => {
+                    sink.emit(decision_event(directions.len() - 1, &notice));
+                }
+                _ => {}
+            }
         }
         let run = LevelRun {
             order,
@@ -707,6 +743,14 @@ pub trait BucketKernel<W: WeightedAdjacencySource>: Sync {
     /// [`ThreadTally`]s into per-phase step counters.
     fn instrumented(&self) -> bool {
         false
+    }
+
+    /// Phase-boundary hook, called by the driver after every pass's tally
+    /// merge (see [`LevelKernel::phase_complete`]). The mode an adaptive
+    /// kernel flips here takes effect from the next dispatched pass.
+    fn phase_complete(&self, step: Option<&StepCounters>) -> Option<SwitchNotice> {
+        let _ = step;
+        None
     }
 
     /// Relax the `class` edges of `frontier[range]`, returning every
@@ -1110,6 +1154,12 @@ impl<'a, W: WeightedAdjacencySource, E: Execute> BucketLoop<'a, W, E> {
                 wall_ns: phase_started.map_or(0, |t| t.elapsed().as_nanos() as u64),
             }));
         }
+        // Pass boundary: adaptive kernels may switch discipline for the
+        // next dispatched pass.
+        match kernel.phase_complete(merged.as_ref()) {
+            Some(notice) if S::ENABLED => sink.emit(decision_event(*dispatches, &notice)),
+            _ => {}
+        }
         *dispatches += 1;
         found
     }
@@ -1139,6 +1189,14 @@ pub trait SweepKernel<G: AdjacencySource>: Sync {
     /// per-sweep step counters.
     fn instrumented(&self) -> bool {
         false
+    }
+
+    /// Phase-boundary hook, called by the driver after every sweep's tally
+    /// merge (see [`LevelKernel::phase_complete`]). The mode an adaptive
+    /// kernel flips here takes effect from the next sweep.
+    fn phase_complete(&self, step: Option<&StepCounters>) -> Option<SwitchNotice> {
+        let _ = step;
+        None
     }
 
     /// Process the vertex chunk `range` of one sweep; return whether this
@@ -1274,6 +1332,12 @@ impl<'a, G: AdjacencySource, E: Execute> SweepLoop<'a, G, E> {
                     counters: PhaseCounters::from(&step),
                     wall_ns: phase_started.map_or(0, |t| t.elapsed().as_nanos() as u64),
                 }));
+            }
+            // Sweep boundary: adaptive kernels may switch discipline for
+            // the next sweep.
+            match kernel.phase_complete(merged.as_ref()) {
+                Some(notice) if S::ENABLED => sink.emit(decision_event(sweeps - 1, &notice)),
+                _ => {}
             }
             if !changed {
                 break;

@@ -43,9 +43,10 @@
 //! the branch-avoiding kernel keeps decrementing them, the branch-based
 //! kernel skips them — but active vertices see identical degrees in both.
 
+use crate::auto::{AutoState, Lane, SwitchNotice};
 use crate::cancel::{self, CancelToken, RunOutcome};
 use crate::counters::{collect_run, merge_thread_steps, ThreadTally};
-use crate::engine::frontier_degree_prefix;
+use crate::engine::{decision_event, frontier_degree_prefix};
 use crate::pool::{
     balanced_prefix_ranges, effective_chunks_with_grain, even_ranges, Execute, PoolConfig,
     PoolMonitor, WorkerPool,
@@ -54,8 +55,9 @@ use crate::request::{RunConfig, Variant};
 use crate::trace::{emit_degradation_warning, run_footprint, TraceRun};
 use bga_graph::{AdjacencySource, VertexId};
 use bga_kernels::kcore::CoreDecomposition;
-use bga_kernels::stats::RunCounters;
+use bga_kernels::stats::{RunCounters, StepCounters};
 use bga_obs::{NoopSink, PhaseCounters, PhaseEvent, PhaseKind, TraceEvent, TraceSink};
+use bga_perfmodel::advisor::AdvisorConfig;
 use std::ops::Range;
 use std::sync::atomic::{AtomicU32, Ordering::Relaxed};
 use std::sync::Arc;
@@ -239,25 +241,190 @@ fn cascade_chunk_based<G: AdjacencySource, const TALLY: bool>(
     local
 }
 
+/// The per-dispatch discipline [`peel_on`] runs under: the seed and
+/// cascade chunk kernels plus the phase-boundary seam [`Variant::Auto`]
+/// hot-switches through. Static disciplines monomorphize the chunk
+/// bodies; the adaptive one dispatches per chunk on its mode word.
+trait PeelControl: Sync {
+    /// Whether dispatches issued right now tally into the run's counter
+    /// series (can flip mid-run for the adaptive discipline).
+    fn instrumented(&self) -> bool;
+
+    /// Seed-sweep chunk over a vertex range.
+    fn seed(
+        &self,
+        degree: &[AtomicU32],
+        core: &[AtomicU32],
+        k: u32,
+        range: Range<usize>,
+        tally: &mut ThreadTally,
+    ) -> (Vec<VertexId>, u32);
+
+    /// Cascade chunk over a frontier slice.
+    #[allow(clippy::too_many_arguments)]
+    fn cascade<G: AdjacencySource>(
+        &self,
+        graph: &G,
+        degree: &[AtomicU32],
+        core: &[AtomicU32],
+        k: u32,
+        frontier: &[VertexId],
+        range: Range<usize>,
+        chunk_edges: usize,
+        tally: &mut ThreadTally,
+    ) -> Vec<VertexId>;
+
+    /// Phase boundary between dispatches: the adaptive discipline may
+    /// decide and switch here.
+    fn phase_complete(&self, step: Option<&StepCounters>) -> Option<SwitchNotice> {
+        let _ = step;
+        None
+    }
+}
+
+/// A fixed peeling discipline: `AVOIDING` picks the chunk kernel, `TALLY`
+/// compiles the accounting in or out.
+struct StaticPeel<const AVOIDING: bool, const TALLY: bool>;
+
+impl<const AVOIDING: bool, const TALLY: bool> PeelControl for StaticPeel<AVOIDING, TALLY> {
+    fn instrumented(&self) -> bool {
+        TALLY
+    }
+
+    fn seed(
+        &self,
+        degree: &[AtomicU32],
+        core: &[AtomicU32],
+        k: u32,
+        range: Range<usize>,
+        tally: &mut ThreadTally,
+    ) -> (Vec<VertexId>, u32) {
+        seed_chunk::<TALLY>(degree, core, k, range, tally)
+    }
+
+    fn cascade<G: AdjacencySource>(
+        &self,
+        graph: &G,
+        degree: &[AtomicU32],
+        core: &[AtomicU32],
+        k: u32,
+        frontier: &[VertexId],
+        range: Range<usize>,
+        chunk_edges: usize,
+        tally: &mut ThreadTally,
+    ) -> Vec<VertexId> {
+        if AVOIDING {
+            cascade_chunk_avoiding::<G, TALLY>(
+                graph,
+                degree,
+                core,
+                k,
+                frontier,
+                range,
+                chunk_edges,
+                tally,
+            )
+        } else {
+            cascade_chunk_based::<G, TALLY>(graph, degree, core, k, frontier, range, tally)
+        }
+    }
+}
+
+/// The adaptive peeling discipline behind [`Variant::Auto`]: samples
+/// early dispatches branch-based with tallies, then hot-switches to the
+/// advisor's pick at a dispatch boundary.
+struct AutoPeel {
+    state: AutoState,
+}
+
+fn auto_peel(tally_always: bool) -> AutoPeel {
+    AutoPeel {
+        state: AutoState::new(AdvisorConfig::default(), tally_always),
+    }
+}
+
+impl PeelControl for AutoPeel {
+    fn instrumented(&self) -> bool {
+        self.state.tallied()
+    }
+
+    fn seed(
+        &self,
+        degree: &[AtomicU32],
+        core: &[AtomicU32],
+        k: u32,
+        range: Range<usize>,
+        tally: &mut ThreadTally,
+    ) -> (Vec<VertexId>, u32) {
+        // The seed sweep is variant-free (a branch-free predicated
+        // collect either way); only the tallying differs.
+        if self.state.tallied() {
+            seed_chunk::<true>(degree, core, k, range, tally)
+        } else {
+            seed_chunk::<false>(degree, core, k, range, tally)
+        }
+    }
+
+    fn cascade<G: AdjacencySource>(
+        &self,
+        graph: &G,
+        degree: &[AtomicU32],
+        core: &[AtomicU32],
+        k: u32,
+        frontier: &[VertexId],
+        range: Range<usize>,
+        chunk_edges: usize,
+        tally: &mut ThreadTally,
+    ) -> Vec<VertexId> {
+        match self.state.lane() {
+            Lane::BasedTallied => {
+                cascade_chunk_based::<G, true>(graph, degree, core, k, frontier, range, tally)
+            }
+            Lane::BasedPlain => {
+                cascade_chunk_based::<G, false>(graph, degree, core, k, frontier, range, tally)
+            }
+            Lane::AvoidingTallied => cascade_chunk_avoiding::<G, true>(
+                graph,
+                degree,
+                core,
+                k,
+                frontier,
+                range,
+                chunk_edges,
+                tally,
+            ),
+            Lane::AvoidingPlain => cascade_chunk_avoiding::<G, false>(
+                graph,
+                degree,
+                core,
+                k,
+                frontier,
+                range,
+                chunk_edges,
+                tally,
+            ),
+        }
+    }
+
+    fn phase_complete(&self, step: Option<&StepCounters>) -> Option<SwitchNotice> {
+        self.state.on_phase(step)
+    }
+}
+
 /// The peeling driver: seed sweep + cascade rounds per `k`, over any
-/// executor. Returns core numbers, the cascade-round count and (when
-/// `TALLY`) the per-dispatch counter series. A [`TraceSink`] observes the
-/// peel schedule: one [`PhaseKind::Seed`] phase per seed sweep (frontier
-/// = scan domain, discovered = seeds collected) and one
+/// executor. Returns core numbers, the cascade-round count and (when the
+/// control tallies) the per-dispatch counter series. A [`TraceSink`]
+/// observes the peel schedule: one [`PhaseKind::Seed`] phase per seed
+/// sweep (frontier = scan domain, discovered = seeds collected) and one
 /// [`PhaseKind::Cascade`] phase per cascade round (frontier = discovered
 /// = vertices peeled this round), each carrying the merged dispatch
 /// counters and wall clock. With a [`NoopSink`] the emission sites
 /// compile out entirely.
-fn peel_on<
-    G: AdjacencySource,
-    E: Execute,
-    const BRANCH_AVOIDING: bool,
-    const TALLY: bool,
-    S: TraceSink,
->(
+fn peel_on<G: AdjacencySource, E: Execute, P: PeelControl, S: TraceSink>(
     graph: &G,
     exec: &E,
     grain: usize,
+    control: &P,
     sink: &S,
     cancel: Option<&CancelToken>,
 ) -> (CoreDecomposition, usize, RunCounters, RunOutcome) {
@@ -287,21 +454,22 @@ fn peel_on<
         }
         // Seed sweep for this k: every chunk scans a vertex range; the
         // fixpoint of the previous k guarantees seeds have degree == k.
+        let instr = control.instrumented();
         let seed_ranges = even_ranges(n, effective_chunks_with_grain(n, threads, grain));
         let phase_started = S::ENABLED.then(Instant::now);
         let outcomes: Vec<((Vec<VertexId>, u32), ThreadTally)> =
             exec.run(seed_ranges, move |_chunk, range| {
                 let mut tally = ThreadTally::default();
-                let found = seed_chunk::<TALLY>(degree_ref, core_ref, k, range, &mut tally);
+                let found = control.seed(degree_ref, core_ref, k, range, &mut tally);
                 (found, tally)
             });
-        let merged = (TALLY || S::ENABLED).then(|| {
+        let merged = (instr || S::ENABLED).then(|| {
             merge_thread_steps(
                 dispatches,
                 outcomes.iter().map(|(_, t)| t.into_step(dispatches)),
             )
         });
-        if TALLY {
+        if instr {
             steps.push(merged.unwrap());
         }
         let min_unpeeled = outcomes
@@ -323,6 +491,10 @@ fn peel_on<
                 wall_ns: phase_started.map_or(0, |t| t.elapsed().as_nanos() as u64),
             }));
         }
+        match control.phase_complete(merged.as_ref()) {
+            Some(notice) if S::ENABLED => sink.emit(decision_event(dispatches, &notice)),
+            _ => {}
+        }
         dispatches += 1;
         if frontier.is_empty() {
             // Nothing peels at this k. Unpeeled vertices remain (the loop
@@ -340,6 +512,7 @@ fn peel_on<
             }
             rounds += 1;
             peeled += frontier.len();
+            let instr = control.instrumented();
             let prefix = frontier_degree_prefix(graph, &frontier);
             let chunks = effective_chunks_with_grain(*prefix.last().unwrap_or(&0), threads, grain);
             let ranges = balanced_prefix_ranges(&prefix, chunks);
@@ -348,38 +521,26 @@ fn peel_on<
             let outcomes: Vec<(Vec<VertexId>, ThreadTally)> =
                 exec.run(ranges, move |_chunk, range| {
                     let mut tally = ThreadTally::default();
-                    let found = if BRANCH_AVOIDING {
-                        let chunk_edges = prefix_ref[range.end] - prefix_ref[range.start];
-                        cascade_chunk_avoiding::<G, TALLY>(
-                            graph,
-                            degree_ref,
-                            core_ref,
-                            k,
-                            frontier_ref,
-                            range,
-                            chunk_edges,
-                            &mut tally,
-                        )
-                    } else {
-                        cascade_chunk_based::<G, TALLY>(
-                            graph,
-                            degree_ref,
-                            core_ref,
-                            k,
-                            frontier_ref,
-                            range,
-                            &mut tally,
-                        )
-                    };
+                    let chunk_edges = prefix_ref[range.end] - prefix_ref[range.start];
+                    let found = control.cascade(
+                        graph,
+                        degree_ref,
+                        core_ref,
+                        k,
+                        frontier_ref,
+                        range,
+                        chunk_edges,
+                        &mut tally,
+                    );
                     (found, tally)
                 });
-            let merged = (TALLY || S::ENABLED).then(|| {
+            let merged = (instr || S::ENABLED).then(|| {
                 merge_thread_steps(
                     dispatches,
                     outcomes.iter().map(|(_, t)| t.into_step(dispatches)),
                 )
             });
-            if TALLY {
+            if instr {
                 steps.push(merged.unwrap());
             }
             if S::ENABLED {
@@ -394,6 +555,10 @@ fn peel_on<
                     counters: PhaseCounters::from(&step),
                     wall_ns: phase_started.map_or(0, |t| t.elapsed().as_nanos() as u64),
                 }));
+            }
+            match control.phase_complete(merged.as_ref()) {
+                Some(notice) if S::ENABLED => sink.emit(decision_event(dispatches, &notice)),
+                _ => {}
             }
             dispatches += 1;
             frontier = outcomes.into_iter().flat_map(|(f, _)| f).collect();
@@ -420,18 +585,39 @@ pub(crate) fn run_request<G: AdjacencySource, S: TraceSink>(
     let pool = WorkerPool::with_config(&pool_config);
     let grain = pool_config.grain;
     let (cores, rounds, counters, outcome) = match (variant, config.instrumented) {
-        (Variant::BranchAvoiding, false) => {
-            peel_on::<G, _, true, false, _>(graph, &pool, grain, &NoopSink, None)
-        }
-        (Variant::BranchAvoiding, true) => {
-            peel_on::<G, _, true, true, _>(graph, &pool, grain, &NoopSink, None)
-        }
-        (Variant::BranchBased, false) => {
-            peel_on::<G, _, false, false, _>(graph, &pool, grain, &NoopSink, None)
-        }
-        (Variant::BranchBased, true) => {
-            peel_on::<G, _, false, true, _>(graph, &pool, grain, &NoopSink, None)
-        }
+        (Variant::BranchAvoiding, false) => peel_on(
+            graph,
+            &pool,
+            grain,
+            &StaticPeel::<true, false>,
+            &NoopSink,
+            None,
+        ),
+        (Variant::BranchAvoiding, true) => peel_on(
+            graph,
+            &pool,
+            grain,
+            &StaticPeel::<true, true>,
+            &NoopSink,
+            None,
+        ),
+        (Variant::BranchBased, false) => peel_on(
+            graph,
+            &pool,
+            grain,
+            &StaticPeel::<false, false>,
+            &NoopSink,
+            None,
+        ),
+        (Variant::BranchBased, true) => peel_on(
+            graph,
+            &pool,
+            grain,
+            &StaticPeel::<false, true>,
+            &NoopSink,
+            None,
+        ),
+        (Variant::Auto, tally) => peel_on(graph, &pool, grain, &auto_peel(tally), &NoopSink, None),
     };
     (
         ParKcoreRun {
@@ -452,12 +638,23 @@ pub(crate) fn run_request_on<G: AdjacencySource, E: Execute>(
     grain: usize,
 ) -> ParKcoreRun {
     let (cores, rounds, counters, _) = match variant {
-        Variant::BranchAvoiding => {
-            peel_on::<G, E, true, false, _>(graph, exec, grain, &NoopSink, None)
-        }
-        Variant::BranchBased => {
-            peel_on::<G, E, false, false, _>(graph, exec, grain, &NoopSink, None)
-        }
+        Variant::BranchAvoiding => peel_on(
+            graph,
+            exec,
+            grain,
+            &StaticPeel::<true, false>,
+            &NoopSink,
+            None,
+        ),
+        Variant::BranchBased => peel_on(
+            graph,
+            exec,
+            grain,
+            &StaticPeel::<false, false>,
+            &NoopSink,
+            None,
+        ),
+        Variant::Auto => peel_on(graph, exec, grain, &auto_peel(false), &NoopSink, None),
     };
     ParKcoreRun {
         cores,
@@ -465,97 +662,6 @@ pub(crate) fn run_request_on<G: AdjacencySource, E: Execute>(
         threads: exec.parallelism(),
         rounds,
     }
-}
-
-/// Parallel k-core decomposition with the branch-avoiding peel (the
-/// default discipline, as in the SV/BFS pairs). `threads == 0` uses every
-/// available core. Core numbers are identical to
-/// [`bga_kernels::kcore::kcore_peeling`] at every thread count.
-#[deprecated(note = "use bga_parallel::request::run_kcore with RunConfig")]
-pub fn par_kcore<G: AdjacencySource>(graph: &G, threads: usize) -> CoreDecomposition {
-    run_request(
-        graph,
-        Variant::BranchAvoiding,
-        &RunConfig::new().threads(threads),
-    )
-    .0
-    .cores
-}
-
-/// Parallel k-core decomposition with an explicit peeling discipline.
-#[deprecated(note = "use bga_parallel::request::run_kcore with RunConfig")]
-pub fn par_kcore_with_variant<G: AdjacencySource>(
-    graph: &G,
-    threads: usize,
-    variant: KcoreVariant,
-) -> CoreDecomposition {
-    run_request(graph, variant, &RunConfig::new().threads(threads))
-        .0
-        .cores
-}
-
-/// As [`par_kcore_with_variant`], also returning the cascade-round count.
-#[deprecated(note = "use bga_parallel::request::run_kcore with RunConfig")]
-pub fn par_kcore_with_stats<G: AdjacencySource>(
-    graph: &G,
-    threads: usize,
-    variant: KcoreVariant,
-) -> (CoreDecomposition, usize) {
-    let run = run_request(graph, variant, &RunConfig::new().threads(threads)).0;
-    (run.cores, run.rounds)
-}
-
-/// [`par_kcore_with_stats`] on an explicit executor — the seam the
-/// benchmarks and forced-fan-out tests use.
-#[deprecated(note = "use bga_parallel::request::run_kcore_on")]
-pub fn par_kcore_on<G: AdjacencySource, E: Execute>(
-    graph: &G,
-    exec: &E,
-    grain: usize,
-    variant: KcoreVariant,
-) -> (CoreDecomposition, usize) {
-    let run = run_request_on(graph, variant, exec, grain);
-    (run.cores, run.rounds)
-}
-
-/// Instrumented parallel k-core: every worker tallies the loads, stores
-/// and branches it executes; tallies merge into one
-/// [`bga_kernels::stats::StepCounters`] per dispatch (seed sweeps and
-/// cascade rounds alike).
-#[deprecated(note = "use bga_parallel::request::run_kcore with RunConfig::instrumented")]
-pub fn par_kcore_instrumented<G: AdjacencySource>(
-    graph: &G,
-    threads: usize,
-    variant: KcoreVariant,
-) -> ParKcoreRun {
-    run_request(
-        graph,
-        variant,
-        &RunConfig::new().threads(threads).instrumented(true),
-    )
-    .0
-}
-
-/// [`par_kcore_instrumented`] with a [`TraceSink`] receiving the run's
-/// `bga-trace-v1` event stream: the run header, one [`PhaseKind::Seed`]
-/// phase per seed sweep (frontier = scan domain, discovered = seeds
-/// collected) and one [`PhaseKind::Cascade`] phase per cascade round
-/// (frontier = discovered = vertices peeled), the worker pool's batch
-/// metrics and the run trailer. Core numbers and counters are identical
-/// to the instrumented run.
-#[deprecated(note = "use bga_parallel::request::run_kcore with RunConfig::traced")]
-pub fn par_kcore_traced<G: AdjacencySource, S: TraceSink>(
-    graph: &G,
-    threads: usize,
-    variant: KcoreVariant,
-    sink: &S,
-) -> ParKcoreRun {
-    run_request(
-        graph,
-        variant,
-        &RunConfig::new().threads(threads).traced(sink),
-    )
-    .0
 }
 
 /// Shared monitored driver behind the traced and cancellable k-core
@@ -585,12 +691,23 @@ fn par_kcore_run_impl<G: AdjacencySource, S: TraceSink>(
         },
     );
     let (cores, rounds, counters, outcome) = match variant {
-        Variant::BranchAvoiding => {
-            peel_on::<G, _, true, true, _>(graph, &pool, config.grain, &scope, cancel)
-        }
-        Variant::BranchBased => {
-            peel_on::<G, _, false, true, _>(graph, &pool, config.grain, &scope, cancel)
-        }
+        Variant::BranchAvoiding => peel_on(
+            graph,
+            &pool,
+            config.grain,
+            &StaticPeel::<true, true>,
+            &scope,
+            cancel,
+        ),
+        Variant::BranchBased => peel_on(
+            graph,
+            &pool,
+            config.grain,
+            &StaticPeel::<false, true>,
+            &scope,
+            cancel,
+        ),
+        Variant::Auto => peel_on(graph, &pool, config.grain, &auto_peel(true), &scope, cancel),
     };
     emit_degradation_warning(&pool, &scope);
     scope.finish_with_outcome(Some(monitor.take_metrics()), &outcome);
@@ -602,47 +719,6 @@ fn par_kcore_run_impl<G: AdjacencySource, S: TraceSink>(
             rounds,
         },
         outcome,
-    )
-}
-
-/// [`par_kcore_with_variant`] with a [`CancelToken`] checked between peel
-/// dispatches (seed sweeps and cascade rounds). An interrupted run leaves
-/// every vertex peeled so far carrying its final core number — the
-/// cascade at a fixed `k` is confluent, so a peeled prefix is always a
-/// prefix of the full decomposition — and every unpeeled vertex marked
-/// `u32::MAX`.
-#[deprecated(note = "use bga_parallel::request::run_kcore with RunConfig::cancel")]
-pub fn par_kcore_with_cancel<G: AdjacencySource>(
-    graph: &G,
-    threads: usize,
-    variant: KcoreVariant,
-    cancel: &CancelToken,
-) -> (ParKcoreRun, RunOutcome) {
-    run_request(
-        graph,
-        variant,
-        &RunConfig::new().threads(threads).cancel(cancel),
-    )
-}
-
-/// [`par_kcore_traced`] with a [`CancelToken`]: an interrupted run still
-/// emits a complete `bga-trace-v1` document whose trailer carries the
-/// interruption reason.
-#[deprecated(note = "use bga_parallel::request::run_kcore with RunConfig::traced + cancel")]
-pub fn par_kcore_traced_with_cancel<G: AdjacencySource, S: TraceSink>(
-    graph: &G,
-    threads: usize,
-    variant: KcoreVariant,
-    sink: &S,
-    cancel: &CancelToken,
-) -> (ParKcoreRun, RunOutcome) {
-    run_request(
-        graph,
-        variant,
-        &RunConfig::new()
-            .threads(threads)
-            .traced(sink)
-            .cancel(cancel),
     )
 }
 
@@ -859,22 +935,36 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_match_the_request_api() {
-        let g = barabasi_albert(300, 3, 5);
+    fn auto_variant_matches_the_static_cores() {
+        let g = barabasi_albert(2_000, 3, 5);
         let expected = kcore_peeling(&g);
-        assert_eq!(par_kcore(&g, 2).as_slice(), expected.as_slice());
-        assert_eq!(
-            par_kcore_with_variant(&g, 2, KcoreVariant::BranchBased).as_slice(),
-            expected.as_slice()
-        );
-        let instr = par_kcore_instrumented(&g, 2, KcoreVariant::BranchAvoiding);
+        for threads in [1, 2, 8] {
+            let auto = run_request(
+                &g,
+                Variant::Auto,
+                &RunConfig::new().threads(threads).grain(1),
+            )
+            .0;
+            assert_eq!(
+                auto.cores.as_slice(),
+                expected.as_slice(),
+                "{threads} threads"
+            );
+            // The cascade structure is deterministic too, not just cores.
+            assert_eq!(auto.rounds, run(&g, threads, Variant::BranchBased).rounds);
+        }
+        // Instrumented auto tallies every dispatch; plain auto only the
+        // sampled prefix.
+        let instr = instrumented(&g, 2, Variant::Auto);
         assert_eq!(instr.cores.as_slice(), expected.as_slice());
-        assert!(instr.counters.num_steps() > 0);
-        let token = CancelToken::new();
-        let (cancelled, outcome) =
-            par_kcore_with_cancel(&g, 2, KcoreVariant::BranchAvoiding, &token);
-        assert!(outcome.is_completed());
-        assert_eq!(cancelled.cores.as_slice(), expected.as_slice());
+        assert_eq!(
+            instr.counters.num_steps(),
+            instrumented(&g, 2, Variant::BranchBased)
+                .counters
+                .num_steps()
+        );
+        let plain = run(&g, 2, Variant::Auto);
+        assert!(plain.counters.num_steps() > 0);
+        assert!(plain.counters.num_steps() < instr.counters.num_steps());
     }
 }

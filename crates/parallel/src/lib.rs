@@ -67,8 +67,8 @@
 //! an optional [`CancelToken`]) and each kernel has a single typed entry
 //! point (`request::run_bfs`, `request::run_components`, ...) plus the
 //! dynamic [`request::run`] dispatch over a [`request::KernelRequest`].
-//! The historical `par_*_{with_variant,on,instrumented,traced,with_cancel}`
-//! entry points remain as deprecated one-line shims over the request API.
+//! (The historical `par_*` free functions were removed; use the request
+//! API.)
 //!
 //! Every engine loop also carries a [`bga_obs::TraceSink`] seam
 //! (`run_traced` on [`LevelLoop`], [`SweepLoop`] and [`BucketLoop`]); a
@@ -104,6 +104,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod auto;
 pub mod bc;
 pub mod bfs;
 pub mod bitmap;
@@ -118,28 +119,11 @@ pub mod sssp;
 pub mod sv;
 mod trace;
 
+pub use auto::{AutoSwitch, SwitchNotice};
 pub use request::{BfsStrategy, KernelOutput, KernelRequest, RequestError, RunConfig, Variant};
 
-#[allow(deprecated)]
-pub use bc::{
-    par_betweenness_centrality, par_betweenness_centrality_on, par_betweenness_centrality_sources,
-    par_betweenness_centrality_sources_on, par_betweenness_centrality_sources_traced,
-    par_betweenness_centrality_sources_traced_with_cancel,
-    par_betweenness_centrality_sources_with_cancel, par_betweenness_centrality_traced,
-    par_betweenness_centrality_with_variant, BcVariant, ParBcRun,
-};
-#[allow(deprecated)]
-pub use bfs::{
-    par_bfs_branch_avoiding, par_bfs_branch_avoiding_instrumented, par_bfs_branch_avoiding_on,
-    par_bfs_branch_avoiding_traced, par_bfs_branch_avoiding_traced_with_cancel,
-    par_bfs_branch_avoiding_with_cancel, par_bfs_branch_based, par_bfs_branch_based_instrumented,
-    par_bfs_branch_based_on, par_bfs_branch_based_traced, par_bfs_branch_based_traced_with_cancel,
-    par_bfs_branch_based_with_cancel, par_bfs_direction_optimizing,
-    par_bfs_direction_optimizing_instrumented, par_bfs_direction_optimizing_on,
-    par_bfs_direction_optimizing_traced, par_bfs_direction_optimizing_traced_with_cancel,
-    par_bfs_direction_optimizing_with_cancel, par_bfs_direction_optimizing_with_config, Direction,
-    ParBfsRun, ParDirBfsRun,
-};
+pub use bc::{BcVariant, ParBcRun};
+pub use bfs::{Direction, ParBfsRun, ParDirBfsRun};
 pub use bitmap::{bitmap_from_frontier, par_fill_bitmap, Bitmap};
 pub use cancel::{CancelToken, InterruptReason, RunOutcome};
 pub use counters::{merge_thread_steps, ThreadTally};
@@ -148,31 +132,10 @@ pub use engine::{
     LevelRun, SweepKernel, SweepLoop, SweepRun, TraversalState,
 };
 pub use fault::{parse_fault_spec, FaultPlan, FAULT_ENV_VAR, FAULT_INJECTION};
-#[allow(deprecated)]
-pub use kcore::{
-    par_kcore, par_kcore_instrumented, par_kcore_on, par_kcore_traced,
-    par_kcore_traced_with_cancel, par_kcore_with_cancel, par_kcore_with_stats,
-    par_kcore_with_variant, KcoreVariant, ParKcoreRun,
-};
+pub use kcore::{KcoreVariant, ParKcoreRun};
 pub use pool::{
     edge_balanced_ranges, resolve_threads, run_chunks, BatchRecord, Execute, PoolConfig, PoolError,
     PoolMetrics, PoolMonitor, ScopedExecutor, WorkerPool, GRAIN_ENV_VAR, PARALLEL_GRAIN,
 };
-#[allow(deprecated)]
-pub use sssp::{
-    par_sssp_unit, par_sssp_unit_instrumented, par_sssp_unit_on, par_sssp_unit_traced,
-    par_sssp_unit_traced_with_cancel, par_sssp_unit_with_cancel, par_sssp_unit_with_variant,
-    par_sssp_weighted, par_sssp_weighted_instrumented, par_sssp_weighted_on,
-    par_sssp_weighted_resumed, par_sssp_weighted_traced, par_sssp_weighted_traced_with_cancel,
-    par_sssp_weighted_with_cancel, par_sssp_weighted_with_variant, BranchAvoidingRelax,
-    BranchBasedRelax, ParSsspRun, ParWssspRun, SsspVariant,
-};
-#[allow(deprecated)]
-pub use sv::{
-    par_sv_branch_avoiding, par_sv_branch_avoiding_instrumented, par_sv_branch_avoiding_on,
-    par_sv_branch_avoiding_resumed, par_sv_branch_avoiding_traced,
-    par_sv_branch_avoiding_traced_with_cancel, par_sv_branch_avoiding_with_cancel,
-    par_sv_branch_based, par_sv_branch_based_instrumented, par_sv_branch_based_on,
-    par_sv_branch_based_resumed, par_sv_branch_based_traced,
-    par_sv_branch_based_traced_with_cancel, par_sv_branch_based_with_cancel, ParSvRun,
-};
+pub use sssp::{BranchAvoidingRelax, BranchBasedRelax, ParSsspRun, ParWssspRun, SsspVariant};
+pub use sv::ParSvRun;

@@ -21,9 +21,11 @@
 //!   the dynamic [`run`] that serves a [`KernelRequest`] against any
 //!   [`AdjacencySource`] and returns a [`KernelOutput`].
 //!
-//! Every legacy `par_*` name survives as a `#[deprecated]` one-line shim
-//! over these functions, so downstream code keeps compiling while the
-//! repo itself has migrated.
+//! The historical `par_*` free functions have been removed; these
+//! request functions are the only entry points. [`Variant::Auto`] adds
+//! runtime selection on top: the run samples its first phases
+//! instrumented and the [`bga_perfmodel::advisor`] picks the discipline
+//! for the rest.
 //!
 //! ```
 //! use bga_graph::generators::{grid_2d, MeshStencil};
@@ -58,6 +60,13 @@ pub enum Variant {
     /// Unconditional priority write (`fetch_min`/`fetch_sub`) with a
     /// predicated, branch-free claim.
     BranchAvoiding,
+    /// Adaptive: sample the first phases branch-based with tallying on,
+    /// feed the perf model's variant advisor, and hot-switch to the
+    /// predicted-best discipline at the next phase boundary (see
+    /// [`crate::auto::AutoSwitch`]). Results are bit-identical to both
+    /// static variants — the disciplines share the same monotone atomic
+    /// state.
+    Auto,
 }
 
 impl Variant {
@@ -66,6 +75,7 @@ impl Variant {
         match self {
             Variant::BranchBased => "branch-based",
             Variant::BranchAvoiding => "branch-avoiding",
+            Variant::Auto => "auto",
         }
     }
 }
@@ -77,8 +87,9 @@ impl std::str::FromStr for Variant {
         match s {
             "branch-based" | "branchy" => Ok(Variant::BranchBased),
             "branch-avoiding" | "avoiding" => Ok(Variant::BranchAvoiding),
+            "auto" => Ok(Variant::Auto),
             other => Err(format!(
-                "unknown variant '{other}' (expected 'branch-based' or 'branch-avoiding')"
+                "unknown variant '{other}' (expected 'branch-based', 'branch-avoiding' or 'auto')"
             )),
         }
     }
@@ -359,6 +370,23 @@ pub fn run_bfs_on<G: AdjacencySource, E: Execute>(
     crate::bfs::run_request_on(graph, root, strategy, exec, grain)
 }
 
+/// [`run_bfs_on`] reusing a caller-held
+/// [`TraversalState`](crate::engine::TraversalState) allocation: the
+/// state is reset in place before the traversal and the distances are
+/// snapshotted out, so a long-lived caller (the `bga serve` query loop)
+/// answers repeated BFS queries without reallocating the atomic arrays.
+/// The state must be sized for `graph`.
+pub fn run_bfs_reusing<G: AdjacencySource, E: Execute>(
+    graph: &G,
+    root: VertexId,
+    strategy: BfsStrategy,
+    exec: &E,
+    grain: usize,
+    state: &mut crate::engine::TraversalState,
+) -> ParDirBfsRun {
+    crate::bfs::run_request_reusing(graph, root, strategy, exec, grain, state)
+}
+
 /// Parallel k-core decomposition under `config`.
 pub fn run_kcore<G: AdjacencySource, S: TraceSink>(
     graph: &G,
@@ -504,7 +532,9 @@ mod tests {
     fn variant_parses_and_serializes() {
         assert_eq!("branch-avoiding".parse(), Ok(Variant::BranchAvoiding));
         assert_eq!("branch-based".parse(), Ok(Variant::BranchBased));
+        assert_eq!("auto".parse(), Ok(Variant::Auto));
         assert_eq!(Variant::BranchAvoiding.as_str(), "branch-avoiding");
+        assert_eq!(Variant::Auto.as_str(), "auto");
         assert!("sideways".parse::<Variant>().is_err());
     }
 

@@ -1,7 +1,8 @@
 //! Parallel SSSP: weighted delta-stepping on the engine's bucket loop,
 //! and the unit-weight degeneration on its level loop.
 //!
-//! **Weighted** — the real thing. [`par_sssp_weighted`] runs
+//! **Weighted** — the real thing. [`crate::request::run_sssp_weighted`]
+//! runs
 //! [`crate::engine::BucketLoop`]: bucket-indexed frontiers, light-edge
 //! phases re-relaxed until the bucket drains, one deferred heavy pass per
 //! settled bucket. The per-edge relaxation discipline is the paper's
@@ -27,13 +28,15 @@
 //!
 //! **Unit-weight** — on unit weights delta-stepping's buckets collapse
 //! into BFS levels (see [`bga_kernels::sssp`]): bucket `i` *is* distance
-//! level `i` and every bucket settles in one phase. [`par_sssp_unit`]
-//! therefore rides [`crate::engine::LevelLoop`] — keeping the queue↔bitmap
+//! level `i` and every bucket settles in one phase.
+//! [`crate::request::run_sssp_unit`] therefore rides
+//! [`crate::engine::LevelLoop`] — keeping the queue↔bitmap
 //! frontier flip and α/β direction switching — and reuses the BFS level
 //! kernels verbatim; its reported phase count equals the sequential Δ = 1
 //! phase count.
 
-use crate::bfs::{BranchAvoidingLevel, BranchBasedLevel};
+use crate::auto::AutoSwitch;
+use crate::bfs::{auto_level, BranchAvoidingLevel, BranchBasedLevel};
 use crate::cancel::{CancelToken, RunOutcome};
 use crate::counters::ThreadTally;
 use crate::engine::{
@@ -48,6 +51,7 @@ use bga_kernels::bfs::INFINITY;
 use bga_kernels::sssp::SsspResult;
 use bga_kernels::stats::RunCounters;
 use bga_obs::{TraceEvent, TraceSink};
+use bga_perfmodel::advisor::AdvisorConfig;
 use std::ops::Range;
 use std::sync::atomic::Ordering::Relaxed;
 use std::sync::Arc;
@@ -67,7 +71,7 @@ pub struct ParSsspRun {
     /// bottom-up bitmap pull).
     pub directions: Vec<Direction>,
     /// Per-phase counters merged across worker threads — populated only
-    /// by [`par_sssp_unit_instrumented`], empty otherwise.
+    /// on instrumented/observed runs, empty otherwise.
     pub counters: RunCounters,
     /// Worker count the run actually used.
     pub threads: usize,
@@ -117,6 +121,7 @@ pub(crate) fn run_unit_request<G: AdjacencySource, S: TraceSink>(
         }
         (Variant::BranchBased, false) => level_loop.run(&state, source, &BranchBasedLevel::<false>),
         (Variant::BranchBased, true) => level_loop.run(&state, source, &BranchBasedLevel::<true>),
+        (Variant::Auto, tally) => level_loop.run(&state, source, &auto_level(tally)),
     };
     (
         ParSsspRun {
@@ -143,6 +148,7 @@ pub(crate) fn run_unit_request_on<G: AdjacencySource, E: Execute>(
     let run = match variant {
         Variant::BranchAvoiding => level_loop.run(&state, source, &BranchAvoidingLevel::<false>),
         Variant::BranchBased => level_loop.run(&state, source, &BranchBasedLevel::<false>),
+        Variant::Auto => level_loop.run(&state, source, &auto_level(false)),
     };
     ParSsspRun {
         result: SsspResult::new(state.into_distances(), run.directions.len()),
@@ -150,93 +156,6 @@ pub(crate) fn run_unit_request_on<G: AdjacencySource, E: Execute>(
         counters: run.counters,
         threads: exec.parallelism(),
     }
-}
-
-/// Parallel unit-weight SSSP from `source` with the branch-avoiding
-/// relaxation (the default discipline) and the default direction
-/// heuristic. `threads == 0` uses every available core; a source outside
-/// the vertex range yields an all-unreached result.
-#[deprecated(note = "use bga_parallel::request::run_sssp_unit with RunConfig")]
-pub fn par_sssp_unit<G: AdjacencySource>(
-    graph: &G,
-    source: VertexId,
-    threads: usize,
-) -> SsspResult {
-    run_unit_request(
-        graph,
-        source,
-        Variant::BranchAvoiding,
-        &RunConfig::new().threads(threads),
-    )
-    .0
-    .result
-}
-
-/// Parallel unit-weight SSSP with an explicit relaxation discipline.
-#[deprecated(note = "use bga_parallel::request::run_sssp_unit with RunConfig")]
-pub fn par_sssp_unit_with_variant<G: AdjacencySource>(
-    graph: &G,
-    source: VertexId,
-    threads: usize,
-    variant: SsspVariant,
-) -> SsspResult {
-    run_unit_request(graph, source, variant, &RunConfig::new().threads(threads))
-        .0
-        .result
-}
-
-/// [`par_sssp_unit_with_variant`] on an explicit executor — the seam the
-/// benchmarks and forced-fan-out tests use.
-#[deprecated(note = "use bga_parallel::request::run_sssp_unit_on")]
-pub fn par_sssp_unit_on<G: AdjacencySource, E: Execute>(
-    graph: &G,
-    source: VertexId,
-    exec: &E,
-    grain: usize,
-    variant: SsspVariant,
-) -> SsspResult {
-    run_unit_request_on(graph, source, variant, exec, grain).result
-}
-
-/// Instrumented parallel unit-weight SSSP: per-worker tallies of every
-/// settling phase (top-down and bottom-up alike) merged into one
-/// [`bga_kernels::stats::StepCounters`] per phase.
-#[deprecated(note = "use bga_parallel::request::run_sssp_unit with RunConfig::instrumented")]
-pub fn par_sssp_unit_instrumented<G: AdjacencySource>(
-    graph: &G,
-    source: VertexId,
-    threads: usize,
-    variant: SsspVariant,
-) -> ParSsspRun {
-    run_unit_request(
-        graph,
-        source,
-        variant,
-        &RunConfig::new().threads(threads).instrumented(true),
-    )
-    .0
-}
-
-/// [`par_sssp_unit_instrumented`] with a [`TraceSink`] receiving the
-/// run's `bga-trace-v1` event stream: the run header, one phase event per
-/// settling level (tagged with the direction it ran in), the worker
-/// pool's batch metrics and the run trailer. Distances and counters are
-/// identical to the instrumented run.
-#[deprecated(note = "use bga_parallel::request::run_sssp_unit with RunConfig::traced")]
-pub fn par_sssp_unit_traced<G: AdjacencySource, S: TraceSink>(
-    graph: &G,
-    source: VertexId,
-    threads: usize,
-    variant: SsspVariant,
-    sink: &S,
-) -> ParSsspRun {
-    run_unit_request(
-        graph,
-        source,
-        variant,
-        &RunConfig::new().threads(threads).traced(sink),
-    )
-    .0
 }
 
 /// Shared monitored driver behind the traced and cancellable unit-weight
@@ -275,6 +194,7 @@ fn par_sssp_unit_run_impl<G: AdjacencySource, S: TraceSink>(
         SsspVariant::BranchBased => {
             level_loop.run_loop(&state, source, &BranchBasedLevel::<true>, &scope, cancel)
         }
+        SsspVariant::Auto => level_loop.run_loop(&state, source, &auto_level(true), &scope, cancel),
     };
     emit_degradation_warning(&pool, &scope);
     scope.finish_with_outcome(Some(monitor.take_metrics()), &outcome);
@@ -286,51 +206,6 @@ fn par_sssp_unit_run_impl<G: AdjacencySource, S: TraceSink>(
             threads: pool.threads(),
         },
         outcome,
-    )
-}
-
-/// [`par_sssp_unit_with_variant`] with a [`CancelToken`] checked at every
-/// settling-phase boundary. An interrupted run returns the levels that
-/// completed: distances behind the cut are final, everything beyond is
-/// still unreached — a valid partial traversal.
-#[deprecated(note = "use bga_parallel::request::run_sssp_unit with RunConfig::cancel")]
-pub fn par_sssp_unit_with_cancel<G: AdjacencySource>(
-    graph: &G,
-    source: VertexId,
-    threads: usize,
-    variant: SsspVariant,
-    cancel: &CancelToken,
-) -> (ParSsspRun, RunOutcome) {
-    run_unit_request(
-        graph,
-        source,
-        variant,
-        &RunConfig::new().threads(threads).cancel(cancel),
-    )
-}
-
-/// [`par_sssp_unit_traced`] with a [`CancelToken`]: an interrupted run
-/// still emits a complete `bga-trace-v1` document whose trailer carries
-/// the interruption reason.
-#[deprecated(
-    note = "use bga_parallel::request::run_sssp_unit with RunConfig::traced and RunConfig::cancel"
-)]
-pub fn par_sssp_unit_traced_with_cancel<G: AdjacencySource, S: TraceSink>(
-    graph: &G,
-    source: VertexId,
-    threads: usize,
-    variant: SsspVariant,
-    sink: &S,
-    cancel: &CancelToken,
-) -> (ParSsspRun, RunOutcome) {
-    run_unit_request(
-        graph,
-        source,
-        variant,
-        &RunConfig::new()
-            .threads(threads)
-            .traced(sink)
-            .cancel(cancel),
     )
 }
 
@@ -484,10 +359,32 @@ pub struct ParWssspRun {
     /// How many of the phases were heavy passes.
     pub heavy_phases: usize,
     /// Per-phase counters merged across worker threads — populated only
-    /// by [`par_sssp_weighted_instrumented`], empty otherwise.
+    /// on instrumented/observed runs, empty otherwise.
     pub counters: RunCounters,
     /// Worker count the run actually used.
     pub threads: usize,
+}
+
+/// The adaptive weighted relaxation behind [`Variant::Auto`]: samples
+/// early bucket passes branch-based with tallies, then hot-switches to
+/// the advisor's pick.
+#[allow(clippy::type_complexity)]
+fn auto_relax(
+    tally_always: bool,
+) -> AutoSwitch<
+    BranchBasedRelax<true>,
+    BranchBasedRelax<false>,
+    BranchAvoidingRelax<true>,
+    BranchAvoidingRelax<false>,
+> {
+    AutoSwitch::new(
+        BranchBasedRelax::<true>,
+        BranchBasedRelax::<false>,
+        BranchAvoidingRelax::<true>,
+        BranchAvoidingRelax::<false>,
+        AdvisorConfig::default(),
+        tally_always,
+    )
 }
 
 /// The unified weighted request driver behind
@@ -530,6 +427,7 @@ pub(crate) fn run_weighted_request<W: WeightedAdjacencySource, S: TraceSink>(
             bucket_loop.run(&state, source, &BranchBasedRelax::<false>)
         }
         (Variant::BranchBased, true) => bucket_loop.run(&state, source, &BranchBasedRelax::<true>),
+        (Variant::Auto, tally) => bucket_loop.run(&state, source, &auto_relax(tally)),
     };
     (
         ParWssspRun {
@@ -558,6 +456,7 @@ pub(crate) fn run_weighted_request_on<W: WeightedAdjacencySource, E: Execute>(
     let run = match variant {
         Variant::BranchAvoiding => bucket_loop.run(&state, source, &BranchAvoidingRelax::<false>),
         Variant::BranchBased => bucket_loop.run(&state, source, &BranchBasedRelax::<false>),
+        Variant::Auto => bucket_loop.run(&state, source, &auto_relax(false)),
     };
     ParWssspRun {
         result: SsspResult::new(state.into_distances(), run.phases),
@@ -566,114 +465,6 @@ pub(crate) fn run_weighted_request_on<W: WeightedAdjacencySource, E: Execute>(
         counters: run.counters,
         threads: exec.parallelism(),
     }
-}
-
-/// Parallel weighted delta-stepping SSSP from `source` with bucket width
-/// `delta` and the branch-avoiding relaxation (the default discipline).
-/// `threads == 0` uses every available core; a source outside the vertex
-/// range yields an all-unreached result. Distances are bit-identical to
-/// [`bga_kernels::sssp::sssp_dijkstra`] for every thread count and `delta`.
-#[deprecated(note = "use bga_parallel::request::run_sssp_weighted with RunConfig")]
-pub fn par_sssp_weighted<W: WeightedAdjacencySource>(
-    graph: &W,
-    source: VertexId,
-    delta: u32,
-    threads: usize,
-) -> SsspResult {
-    run_weighted_request(
-        graph,
-        source,
-        delta,
-        Variant::BranchAvoiding,
-        None,
-        &RunConfig::new().threads(threads),
-    )
-    .0
-    .result
-}
-
-/// Parallel weighted delta-stepping with an explicit relaxation
-/// discipline.
-#[deprecated(note = "use bga_parallel::request::run_sssp_weighted with RunConfig")]
-pub fn par_sssp_weighted_with_variant<W: WeightedAdjacencySource>(
-    graph: &W,
-    source: VertexId,
-    delta: u32,
-    threads: usize,
-    variant: SsspVariant,
-) -> SsspResult {
-    run_weighted_request(
-        graph,
-        source,
-        delta,
-        variant,
-        None,
-        &RunConfig::new().threads(threads),
-    )
-    .0
-    .result
-}
-
-/// [`par_sssp_weighted_with_variant`] on an explicit executor — the seam
-/// the benchmarks and forced-fan-out tests use.
-#[deprecated(note = "use bga_parallel::request::run_sssp_weighted_on")]
-pub fn par_sssp_weighted_on<W: WeightedAdjacencySource, E: Execute>(
-    graph: &W,
-    source: VertexId,
-    exec: &E,
-    grain: usize,
-    delta: u32,
-    variant: SsspVariant,
-) -> SsspResult {
-    run_weighted_request_on(graph, source, delta, variant, exec, grain).result
-}
-
-/// Instrumented parallel weighted delta-stepping: per-worker tallies of
-/// every relaxation pass (light and heavy alike) merged into one
-/// [`bga_kernels::stats::StepCounters`] per pass.
-#[deprecated(note = "use bga_parallel::request::run_sssp_weighted with RunConfig::instrumented")]
-pub fn par_sssp_weighted_instrumented<W: WeightedAdjacencySource>(
-    graph: &W,
-    source: VertexId,
-    delta: u32,
-    threads: usize,
-    variant: SsspVariant,
-) -> ParWssspRun {
-    run_weighted_request(
-        graph,
-        source,
-        delta,
-        variant,
-        None,
-        &RunConfig::new().threads(threads).instrumented(true),
-    )
-    .0
-}
-
-/// [`par_sssp_weighted_instrumented`] with a [`TraceSink`] receiving the
-/// run's `bga-trace-v1` event stream: the run header (carrying `delta`),
-/// one [`bga_obs::PhaseKind::Light`] / [`bga_obs::PhaseKind::Heavy`]
-/// phase per dispatched relaxation pass tagged with its bucket index, the
-/// worker pool's batch metrics and the run trailer. Distances, phase
-/// structure and counters are identical to the instrumented run.
-#[deprecated(note = "use bga_parallel::request::run_sssp_weighted with RunConfig::traced")]
-pub fn par_sssp_weighted_traced<W: WeightedAdjacencySource, S: TraceSink>(
-    graph: &W,
-    source: VertexId,
-    delta: u32,
-    threads: usize,
-    variant: SsspVariant,
-    sink: &S,
-) -> ParWssspRun {
-    run_weighted_request(
-        graph,
-        source,
-        delta,
-        variant,
-        None,
-        &RunConfig::new().threads(threads).traced(sink),
-    )
-    .0
 }
 
 /// Shared monitored driver behind the traced, cancellable and resumed
@@ -730,6 +521,9 @@ fn par_sssp_weighted_run_impl<W: WeightedAdjacencySource, S: TraceSink>(
             cancel,
             resume,
         ),
+        SsspVariant::Auto => {
+            bucket_loop.run_loop(&state, source, &auto_relax(true), &scope, cancel, resume)
+        }
     };
     emit_degradation_warning(&pool, &scope);
     scope.finish_with_outcome(Some(monitor.take_metrics()), &outcome);
@@ -743,83 +537,6 @@ fn par_sssp_weighted_run_impl<W: WeightedAdjacencySource, S: TraceSink>(
         },
         outcome,
     )
-}
-
-/// [`par_sssp_weighted_with_variant`] with a [`CancelToken`] checked at
-/// every relaxation-pass boundary. An interrupted run keeps every fully
-/// settled bucket's distances final and leaves the rest as valid monotone
-/// upper bounds — state [`par_sssp_weighted_resumed`] converges to the
-/// uninterrupted fixpoint bit-identically.
-#[deprecated(note = "use bga_parallel::request::run_sssp_weighted with RunConfig::cancel")]
-pub fn par_sssp_weighted_with_cancel<W: WeightedAdjacencySource>(
-    graph: &W,
-    source: VertexId,
-    delta: u32,
-    threads: usize,
-    variant: SsspVariant,
-    cancel: &CancelToken,
-) -> (ParWssspRun, RunOutcome) {
-    run_weighted_request(
-        graph,
-        source,
-        delta,
-        variant,
-        None,
-        &RunConfig::new().threads(threads).cancel(cancel),
-    )
-}
-
-/// [`par_sssp_weighted_traced`] with a [`CancelToken`]: an interrupted
-/// run still emits a complete `bga-trace-v1` document whose trailer
-/// carries the interruption reason.
-#[deprecated(
-    note = "use bga_parallel::request::run_sssp_weighted with RunConfig::traced and RunConfig::cancel"
-)]
-pub fn par_sssp_weighted_traced_with_cancel<W: WeightedAdjacencySource, S: TraceSink>(
-    graph: &W,
-    source: VertexId,
-    delta: u32,
-    threads: usize,
-    variant: SsspVariant,
-    sink: &S,
-    cancel: &CancelToken,
-) -> (ParWssspRun, RunOutcome) {
-    run_weighted_request(
-        graph,
-        source,
-        delta,
-        variant,
-        None,
-        &RunConfig::new()
-            .threads(threads)
-            .traced(sink)
-            .cancel(cancel),
-    )
-}
-
-/// Resumes weighted delta-stepping from the partial distances an
-/// interrupted [`par_sssp_weighted_with_cancel`] returned: every vertex
-/// with a finite distance is re-filed into the bucket of that distance
-/// and the loop runs to convergence. Because the relaxations are monotone
-/// `fetch_min`s, the result is bit-identical to an uninterrupted run.
-#[deprecated(note = "use bga_parallel::request::run_sssp_weighted_resumed")]
-pub fn par_sssp_weighted_resumed<W: WeightedAdjacencySource>(
-    graph: &W,
-    source: VertexId,
-    delta: u32,
-    threads: usize,
-    distances: &[u32],
-    variant: SsspVariant,
-) -> ParWssspRun {
-    run_weighted_request(
-        graph,
-        source,
-        delta,
-        variant,
-        Some(distances),
-        &RunConfig::new().threads(threads),
-    )
-    .0
 }
 
 #[cfg(test)]
@@ -1250,56 +967,49 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_match_the_request_api() {
-        let g = barabasi_albert(400, 3, 13);
+    fn auto_variant_matches_the_static_distances() {
+        let g = barabasi_albert(2_000, 3, 13);
         let wg = uniform_weights(&g, 12, 5);
         let expected_unit = unit(&g, 0, 2);
+        let expected_weighted = sssp_dijkstra(&wg, 0);
+        for threads in [1, 2, 8] {
+            let unit_auto = run_unit_request(
+                &g,
+                0,
+                Variant::Auto,
+                &RunConfig::new().threads(threads).grain(1),
+            )
+            .0;
+            assert_eq!(
+                unit_auto.result.distances(),
+                expected_unit.distances(),
+                "unit auto, {threads} threads"
+            );
+            let weighted_auto = run_weighted_request(
+                &wg,
+                0,
+                4,
+                Variant::Auto,
+                None,
+                &RunConfig::new().threads(threads).grain(1),
+            )
+            .0;
+            assert_eq!(
+                weighted_auto.result.distances(),
+                expected_weighted.distances(),
+                "weighted auto, {threads} threads"
+            );
+        }
+        // Instrumented auto tallies every dispatch (same step count as a
+        // static instrumented run); plain auto only the sampled prefix.
+        let instr_static = weighted_instrumented(&wg, 0, 4, 2, Variant::BranchAvoiding);
+        let instr = weighted_instrumented(&wg, 0, 4, 2, Variant::Auto);
+        assert_eq!(instr.result.distances(), expected_weighted.distances());
         assert_eq!(
-            par_sssp_unit(&g, 0, 2).distances(),
-            expected_unit.distances()
+            instr.counters.num_steps(),
+            instr_static.counters.num_steps()
         );
-        assert_eq!(
-            par_sssp_unit_with_variant(&g, 0, 2, SsspVariant::BranchBased).distances(),
-            expected_unit.distances()
-        );
-        let inst = par_sssp_unit_instrumented(&g, 0, 2, SsspVariant::BranchAvoiding);
-        assert_eq!(inst.result.distances(), expected_unit.distances());
-        assert!(inst.counters.num_steps() > 0);
-        let pool = WorkerPool::new(2);
-        assert_eq!(
-            par_sssp_unit_on(&g, 0, &pool, 64, SsspVariant::BranchAvoiding).distances(),
-            expected_unit.distances()
-        );
-        let token = CancelToken::new();
-        let (cancellable, outcome) =
-            par_sssp_unit_with_cancel(&g, 0, 2, SsspVariant::BranchAvoiding, &token);
-        assert!(outcome.is_completed());
-        assert_eq!(cancellable.result.distances(), expected_unit.distances());
-
-        let expected_weighted = weighted(&wg, 0, 4, 2, Variant::BranchAvoiding);
-        assert_eq!(
-            par_sssp_weighted(&wg, 0, 4, 2).distances(),
-            expected_weighted.distances()
-        );
-        assert_eq!(
-            par_sssp_weighted_with_variant(&wg, 0, 4, 2, SsspVariant::BranchBased).distances(),
-            expected_weighted.distances()
-        );
-        assert_eq!(
-            par_sssp_weighted_on(&wg, 0, &pool, 64, 4, SsspVariant::BranchAvoiding).distances(),
-            expected_weighted.distances()
-        );
-        let winst = par_sssp_weighted_instrumented(&wg, 0, 4, 2, SsspVariant::BranchAvoiding);
-        assert_eq!(winst.result.distances(), expected_weighted.distances());
-        let resumed = par_sssp_weighted_resumed(
-            &wg,
-            0,
-            4,
-            2,
-            &vec![INFINITY; wg.num_vertices()],
-            SsspVariant::BranchAvoiding,
-        );
-        assert_eq!(resumed.result.distances(), expected_weighted.distances());
+        let plain = run_weighted_request(&wg, 0, 4, Variant::Auto, None, &RunConfig::new()).0;
+        assert!(plain.counters.num_steps() < instr.counters.num_steps());
     }
 }

@@ -8,12 +8,16 @@
 //! `cu < cv` and then win the store with a CAS retry loop. Both variants
 //! reproduce the sequential kernels' contrast in the concurrent setting:
 //!
-//! * [`par_sv_branch_based`] — per edge: load both labels, **branch** on the
-//!   comparison, and claim the improvement with `compare_exchange_weak`.
-//! * [`par_sv_branch_avoiding`] — per edge: load the neighbour label and
-//!   issue a single `fetch_min`; change detection is the branch-free
-//!   `prev ^ min(prev, cu)` accumulation, mirroring the sequential kernel's
-//!   `change |= cv ^ cv_init`.
+//! * branch-based (`Variant::BranchBased`) — per edge: load both labels,
+//!   **branch** on the comparison, and claim the improvement with
+//!   `compare_exchange_weak`.
+//! * branch-avoiding (`Variant::BranchAvoiding`) — per edge: load the
+//!   neighbour label and issue a single `fetch_min`; change detection is
+//!   the branch-free `prev ^ min(prev, cu)` accumulation, mirroring the
+//!   sequential kernel's `change |= cv ^ cv_init`.
+//! * adaptive (`Variant::Auto`) — sample the first sweeps branch-based
+//!   with tallying on, then hot-switch to whichever discipline the perf
+//!   model's advisor predicts faster ([`crate::auto::AutoSwitch`]).
 //!
 //! Both are thin clients of the engine's [`SweepLoop`]
 //! (see [`crate::engine`]), which owns the edge-balanced chunking, the
@@ -26,6 +30,7 @@
 //! result for every thread count**, even though the number of sweeps and
 //! the intra-sweep interleaving may differ.
 
+use crate::auto::AutoSwitch;
 use crate::cancel::{CancelToken, RunOutcome};
 use crate::counters::ThreadTally;
 use crate::engine::{SweepKernel, SweepLoop};
@@ -36,6 +41,7 @@ use bga_graph::AdjacencySource;
 use bga_kernels::cc::ComponentLabels;
 use bga_kernels::stats::RunCounters;
 use bga_obs::{TraceEvent, TraceSink};
+use bga_perfmodel::advisor::AdvisorConfig;
 use std::ops::Range;
 use std::sync::atomic::{AtomicU32, Ordering::Relaxed};
 use std::sync::Arc;
@@ -60,6 +66,29 @@ impl ParSvRun {
     pub fn iterations(&self) -> usize {
         self.counters.num_steps()
     }
+}
+
+/// The adaptive sweep kernel: samples branch-based, switches per the
+/// advisor. `tally_always` keeps post-switch sweeps tallied (instrumented
+/// and traced runs want the full counter series).
+#[allow(clippy::type_complexity)]
+fn auto_sweep<'a>(
+    ccid: &'a [AtomicU32],
+    tally_always: bool,
+) -> AutoSwitch<
+    BranchBasedSweep<'a, true>,
+    BranchBasedSweep<'a, false>,
+    BranchAvoidingSweep<'a, true>,
+    BranchAvoidingSweep<'a, false>,
+> {
+    AutoSwitch::new(
+        BranchBasedSweep::<true> { ccid },
+        BranchBasedSweep::<false> { ccid },
+        BranchAvoidingSweep::<true> { ccid },
+        BranchAvoidingSweep::<false> { ccid },
+        AdvisorConfig::default(),
+        tally_always,
+    )
 }
 
 fn identity_labels(n: usize) -> Vec<AtomicU32> {
@@ -204,6 +233,7 @@ pub(crate) fn run_request<G: AdjacencySource, S: TraceSink>(
         }
         (Variant::BranchBased, false) => sweep_loop.run(&BranchBasedSweep::<false> { ccid: &ccid }),
         (Variant::BranchBased, true) => sweep_loop.run(&BranchBasedSweep::<true> { ccid: &ccid }),
+        (Variant::Auto, tally) => sweep_loop.run(&auto_sweep(&ccid, tally)),
     };
     (
         ParSvRun {
@@ -228,6 +258,7 @@ pub(crate) fn run_request_on<G: AdjacencySource, E: Execute>(
     let run = match variant {
         Variant::BranchAvoiding => sweep_loop.run(&BranchAvoidingSweep::<false> { ccid: &ccid }),
         Variant::BranchBased => sweep_loop.run(&BranchBasedSweep::<false> { ccid: &ccid }),
+        Variant::Auto => sweep_loop.run(&auto_sweep(&ccid, false)),
     };
     ParSvRun {
         labels: into_labels(ccid),
@@ -235,120 +266,6 @@ pub(crate) fn run_request_on<G: AdjacencySource, E: Execute>(
         counters: run.counters,
         threads: exec.parallelism(),
     }
-}
-
-/// Parallel branch-based SV: CAS-loop hooking. `threads == 0` uses every
-/// available core.
-#[deprecated(note = "use bga_parallel::request::run_components with RunConfig")]
-pub fn par_sv_branch_based<G: AdjacencySource>(graph: &G, threads: usize) -> ComponentLabels {
-    run_request(
-        graph,
-        Variant::BranchBased,
-        None,
-        &RunConfig::new().threads(threads),
-    )
-    .0
-    .labels
-}
-
-/// As [`par_sv_branch_based`], also returning the sweep count.
-#[deprecated(note = "use bga_parallel::request::run_components with RunConfig")]
-pub fn par_sv_branch_based_with_stats<G: AdjacencySource>(
-    graph: &G,
-    threads: usize,
-) -> (ComponentLabels, usize) {
-    let run = run_request(
-        graph,
-        Variant::BranchBased,
-        None,
-        &RunConfig::new().threads(threads),
-    )
-    .0;
-    (run.labels, run.sweeps)
-}
-
-/// [`par_sv_branch_based_with_stats`] on an explicit executor — the seam
-/// the benchmarks use to compare the persistent pool against per-sweep
-/// `thread::scope` spawns.
-#[deprecated(note = "use bga_parallel::request::run_components_on")]
-pub fn par_sv_branch_based_on<G: AdjacencySource, E: Execute>(
-    graph: &G,
-    exec: &E,
-    grain: usize,
-) -> (ComponentLabels, usize) {
-    let run = run_request_on(graph, Variant::BranchBased, exec, grain);
-    (run.labels, run.sweeps)
-}
-
-/// Parallel branch-avoiding SV: one `fetch_min` per edge, no data-dependent
-/// branch. `threads == 0` uses every available core.
-#[deprecated(note = "use bga_parallel::request::run_components with RunConfig")]
-pub fn par_sv_branch_avoiding<G: AdjacencySource>(graph: &G, threads: usize) -> ComponentLabels {
-    run_request(
-        graph,
-        Variant::BranchAvoiding,
-        None,
-        &RunConfig::new().threads(threads),
-    )
-    .0
-    .labels
-}
-
-/// As [`par_sv_branch_avoiding`], also returning the sweep count.
-#[deprecated(note = "use bga_parallel::request::run_components with RunConfig")]
-pub fn par_sv_branch_avoiding_with_stats<G: AdjacencySource>(
-    graph: &G,
-    threads: usize,
-) -> (ComponentLabels, usize) {
-    let run = run_request(
-        graph,
-        Variant::BranchAvoiding,
-        None,
-        &RunConfig::new().threads(threads),
-    )
-    .0;
-    (run.labels, run.sweeps)
-}
-
-/// [`par_sv_branch_avoiding_with_stats`] on an explicit executor.
-#[deprecated(note = "use bga_parallel::request::run_components_on")]
-pub fn par_sv_branch_avoiding_on<G: AdjacencySource, E: Execute>(
-    graph: &G,
-    exec: &E,
-    grain: usize,
-) -> (ComponentLabels, usize) {
-    let run = run_request_on(graph, Variant::BranchAvoiding, exec, grain);
-    (run.labels, run.sweeps)
-}
-
-/// Instrumented parallel branch-based SV: every worker tallies the loads,
-/// stores and branches it executes; tallies merge into one
-/// [`bga_kernels::stats::StepCounters`] per sweep.
-#[deprecated(note = "use bga_parallel::request::run_components with RunConfig::instrumented")]
-pub fn par_sv_branch_based_instrumented<G: AdjacencySource>(graph: &G, threads: usize) -> ParSvRun {
-    run_request(
-        graph,
-        Variant::BranchBased,
-        None,
-        &RunConfig::new().threads(threads).instrumented(true),
-    )
-    .0
-}
-
-/// Instrumented parallel branch-avoiding SV; see
-/// [`par_sv_branch_based_instrumented`] for the accounting scheme.
-#[deprecated(note = "use bga_parallel::request::run_components with RunConfig::instrumented")]
-pub fn par_sv_branch_avoiding_instrumented<G: AdjacencySource>(
-    graph: &G,
-    threads: usize,
-) -> ParSvRun {
-    run_request(
-        graph,
-        Variant::BranchAvoiding,
-        None,
-        &RunConfig::new().threads(threads).instrumented(true),
-    )
-    .0
 }
 
 /// The shared traced/cancellable run driver for both sweep disciplines.
@@ -395,6 +312,7 @@ fn par_sv_run_impl<G: AdjacencySource, S: TraceSink>(
         Variant::BranchBased => {
             sweep_loop.run_loop(&BranchBasedSweep::<true> { ccid: &ccid }, &scope, cancel)
         }
+        Variant::Auto => sweep_loop.run_loop(&auto_sweep(&ccid, true), &scope, cancel),
     };
     emit_degradation_warning(&pool, &scope);
     scope.finish_with_outcome(Some(monitor.take_metrics()), &outcome);
@@ -405,162 +323,6 @@ fn par_sv_run_impl<G: AdjacencySource, S: TraceSink>(
         threads: pool.threads(),
     };
     (result, outcome)
-}
-
-/// [`par_sv_branch_based_instrumented`] with a [`TraceSink`] receiving
-/// the run's `bga-trace-v1` event stream: the run header, one
-/// [`bga_obs::PhaseKind::Sweep`] phase per sweep (including the final
-/// no-change fixpoint sweep), the worker pool's batch metrics and the
-/// run trailer. Labels and counters are identical to the instrumented
-/// run.
-#[deprecated(note = "use bga_parallel::request::run_components with RunConfig::traced")]
-pub fn par_sv_branch_based_traced<G: AdjacencySource, S: TraceSink>(
-    graph: &G,
-    threads: usize,
-    sink: &S,
-) -> ParSvRun {
-    run_request(
-        graph,
-        Variant::BranchBased,
-        None,
-        &RunConfig::new().threads(threads).traced(sink),
-    )
-    .0
-}
-
-/// [`par_sv_branch_avoiding_instrumented`] with a [`TraceSink`]; see
-/// [`par_sv_branch_based_traced`].
-#[deprecated(note = "use bga_parallel::request::run_components with RunConfig::traced")]
-pub fn par_sv_branch_avoiding_traced<G: AdjacencySource, S: TraceSink>(
-    graph: &G,
-    threads: usize,
-    sink: &S,
-) -> ParSvRun {
-    run_request(
-        graph,
-        Variant::BranchAvoiding,
-        None,
-        &RunConfig::new().threads(threads).traced(sink),
-    )
-    .0
-}
-
-/// [`par_sv_branch_based`] with a [`CancelToken`] checked at every sweep
-/// boundary. An interrupted run returns the labels as the completed
-/// sweeps left them — valid monotone upper bounds (every label is ≥ its
-/// final value and ≤ its identity start) that
-/// [`par_sv_branch_based_resumed`] converges to the exact fixpoint.
-#[deprecated(note = "use bga_parallel::request::run_components with RunConfig::cancel")]
-pub fn par_sv_branch_based_with_cancel<G: AdjacencySource>(
-    graph: &G,
-    threads: usize,
-    cancel: &CancelToken,
-) -> (ParSvRun, RunOutcome) {
-    run_request(
-        graph,
-        Variant::BranchBased,
-        None,
-        &RunConfig::new().threads(threads).cancel(cancel),
-    )
-}
-
-/// [`par_sv_branch_avoiding`] with a [`CancelToken`]; see
-/// [`par_sv_branch_based_with_cancel`].
-#[deprecated(note = "use bga_parallel::request::run_components with RunConfig::cancel")]
-pub fn par_sv_branch_avoiding_with_cancel<G: AdjacencySource>(
-    graph: &G,
-    threads: usize,
-    cancel: &CancelToken,
-) -> (ParSvRun, RunOutcome) {
-    run_request(
-        graph,
-        Variant::BranchAvoiding,
-        None,
-        &RunConfig::new().threads(threads).cancel(cancel),
-    )
-}
-
-/// [`par_sv_branch_based_traced`] with a [`CancelToken`]: the traced,
-/// cancellable driver. An interrupted run still emits a complete
-/// `bga-trace-v1` document — header, one phase per completed sweep, pool
-/// metrics and a trailer marked with the interruption reason — that
-/// passes `bga trace validate`.
-#[deprecated(note = "use bga_parallel::request::run_components with RunConfig::traced + cancel")]
-pub fn par_sv_branch_based_traced_with_cancel<G: AdjacencySource, S: TraceSink>(
-    graph: &G,
-    threads: usize,
-    sink: &S,
-    cancel: &CancelToken,
-) -> (ParSvRun, RunOutcome) {
-    run_request(
-        graph,
-        Variant::BranchBased,
-        None,
-        &RunConfig::new()
-            .threads(threads)
-            .traced(sink)
-            .cancel(cancel),
-    )
-}
-
-/// [`par_sv_branch_avoiding_traced`] with a [`CancelToken`]; see
-/// [`par_sv_branch_based_traced_with_cancel`].
-#[deprecated(note = "use bga_parallel::request::run_components with RunConfig::traced + cancel")]
-pub fn par_sv_branch_avoiding_traced_with_cancel<G: AdjacencySource, S: TraceSink>(
-    graph: &G,
-    threads: usize,
-    sink: &S,
-    cancel: &CancelToken,
-) -> (ParSvRun, RunOutcome) {
-    run_request(
-        graph,
-        Variant::BranchAvoiding,
-        None,
-        &RunConfig::new()
-            .threads(threads)
-            .traced(sink)
-            .cancel(cancel),
-    )
-}
-
-/// Resumes branch-based SV from partial labels (typically the state an
-/// interrupted [`par_sv_branch_based_with_cancel`] returned): sweeps
-/// continue lowering the given labels instead of the identity. Because
-/// hooking is monotone, any valid upper-bound labelling converges to the
-/// same per-component-minimum fixpoint an uninterrupted run reaches —
-/// bit-identical labels.
-#[deprecated(note = "use bga_parallel::request::run_components_resumed")]
-pub fn par_sv_branch_based_resumed<G: AdjacencySource>(
-    graph: &G,
-    threads: usize,
-    labels: &ComponentLabels,
-) -> ParSvRun {
-    run_request(
-        graph,
-        Variant::BranchBased,
-        Some(labels),
-        &RunConfig::new().threads(threads),
-    )
-    .0
-}
-
-/// Resumes branch-avoiding SV from partial labels; see
-/// [`par_sv_branch_based_resumed`]. The priority-write formulation makes
-/// the resume argument direct: `fetch_min` is idempotent and order-free,
-/// so replaying sweeps over an interrupted labelling loses nothing.
-#[deprecated(note = "use bga_parallel::request::run_components_resumed")]
-pub fn par_sv_branch_avoiding_resumed<G: AdjacencySource>(
-    graph: &G,
-    threads: usize,
-    labels: &ComponentLabels,
-) -> ParSvRun {
-    run_request(
-        graph,
-        Variant::BranchAvoiding,
-        Some(labels),
-        &RunConfig::new().threads(threads),
-    )
-    .0
 }
 
 #[cfg(test)]
@@ -736,22 +498,34 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_match_the_request_api() {
-        // The legacy `par_sv_*` names survive as one-line shims; pin one
-        // representative of each axis to the RunConfig path.
-        let g = erdos_renyi_gnp(300, 0.01, 9);
-        let expected = labels(&g, Variant::BranchAvoiding, 2);
-        assert_eq!(
-            par_sv_branch_avoiding(&g, 2).as_slice(),
-            expected.as_slice()
-        );
-        let (with_stats, sweeps) = par_sv_branch_avoiding_with_stats(&g, 2);
-        assert_eq!(with_stats.as_slice(), expected.as_slice());
-        assert!(sweeps > 0);
-        let instrumented = par_sv_branch_based_instrumented(&g, 2);
-        assert_eq!(instrumented.labels.as_slice(), expected.as_slice());
-        assert!(!instrumented.counters.steps.is_empty());
+    fn auto_variant_matches_static_labels() {
+        let g = barabasi_albert(2_000, 3, 7);
+        let expected = sv_branch_based(&g);
+        for threads in [1, 2, 8] {
+            let cfg = RunConfig::new().threads(threads).grain(1);
+            let auto = run_components(&g, Variant::Auto, &cfg).0;
+            assert_eq!(
+                auto.labels.as_slice(),
+                expected.as_slice(),
+                "auto, {threads} threads"
+            );
+        }
+        // Instrumented auto keeps tallying after the switch: one step per
+        // sweep, exactly like the static instrumented runs.
+        let run = run_components(
+            &g,
+            Variant::Auto,
+            &RunConfig::new().threads(2).instrumented(true),
+        )
+        .0;
+        assert_eq!(run.counters.num_steps(), run.sweeps);
+        // Uninstrumented auto stops tallying once the advisor decides —
+        // only the sampled prefix reports steps (SV may converge inside
+        // the sampling window, in which case every sweep is sampled).
+        let plain = run_components(&g, Variant::Auto, &RunConfig::new().threads(2)).0;
+        let sampled = AdvisorConfig::default().sample_phases.min(plain.sweeps);
+        assert_eq!(plain.counters.num_steps(), sampled);
+        assert_eq!(plain.labels.as_slice(), expected.as_slice());
     }
 
     #[test]

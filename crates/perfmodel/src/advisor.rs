@@ -1,0 +1,302 @@
+//! Runtime variant advisor: picks branch-based vs branch-avoiding from a
+//! short instrumented prefix of a run.
+//!
+//! The paper's crossover argument (Sections 4-5) says the branch-avoiding
+//! variant wins exactly when the mispredictions it removes cost more than
+//! the atomics it adds. A parallel run can measure both sides of that
+//! inequality live: the engine's tally counters report, per phase, how many
+//! visited/improvement tests executed (`edges`) and how many of them
+//! succeeded (`updates`). The [`VariantAdvisor`] accumulates those counters
+//! for the first few phases of a run and then emits a [`VariantDecision`];
+//! the engine switches discipline at the next phase boundary. Switching is
+//! correctness-free because both variants maintain the same monotone atomic
+//! state — only the claim discipline differs.
+//!
+//! The decision rule is pure integer arithmetic over the accumulated tallies
+//! (no clocks, no floats), so the same tally stream always produces the same
+//! decision at the same phase — a property the cross-validation tests pin.
+//!
+//! ```
+//! use bga_perfmodel::advisor::{AdvisorConfig, ChosenVariant, VariantAdvisor};
+//!
+//! let mut advisor = VariantAdvisor::new(AdvisorConfig::default());
+//! // A frontier where nearly every visited test fails: classic
+//! // mispredict-heavy territory, so branch-avoiding should win.
+//! assert!(advisor.record_phase(10_000, 4_000).is_none());
+//! assert!(advisor.record_phase(20_000, 9_000).is_none());
+//! let decision = advisor.record_phase(30_000, 14_000).unwrap();
+//! assert_eq!(decision.choice, ChosenVariant::BranchAvoiding);
+//! ```
+
+/// Tuning knobs of the advisor's crossover rule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AdvisorConfig {
+    /// How many instrumented phases to sample before deciding. The first
+    /// phases of a traversal are the cheapest to instrument (small
+    /// frontiers) and already show the update ratio the rest of the run
+    /// will have.
+    pub sample_phases: usize,
+    /// Modelled cost of one branch misprediction, in abstract cycle units
+    /// (a deep out-of-order pipeline flush; Table 1's models use 14-16).
+    pub miss_cost: u64,
+    /// Modelled extra cost of one unconditional atomic over the branch-based
+    /// variant's predicted-not-taken test, in the same units.
+    pub atomic_cost: u64,
+}
+
+impl Default for AdvisorConfig {
+    fn default() -> Self {
+        AdvisorConfig {
+            sample_phases: 3,
+            miss_cost: 16,
+            atomic_cost: 3,
+        }
+    }
+}
+
+/// The variant the advisor picked for the remainder of the run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChosenVariant {
+    /// Keep testing before claiming (test-and-test-and-set discipline).
+    BranchBased,
+    /// Claim unconditionally with `fetch_min`/`fetch_sub`.
+    BranchAvoiding,
+}
+
+impl ChosenVariant {
+    /// The variant's canonical flag spelling (`"branch-based"` /
+    /// `"branch-avoiding"`), as traces and CLI flags spell it.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ChosenVariant::BranchBased => "branch-based",
+            ChosenVariant::BranchAvoiding => "branch-avoiding",
+        }
+    }
+}
+
+/// One instrumented phase's contribution to the advisor: how many
+/// visited/improvement tests ran and how many succeeded.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PhaseSample {
+    /// Data-dependent tests executed (one per edge relaxation attempted).
+    pub edges: u64,
+    /// Tests that succeeded (claims / improvements won).
+    pub updates: u64,
+}
+
+/// The advisor's verdict, emitted once per run after the sampling prefix.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct VariantDecision {
+    /// The variant predicted fastest for the rest of the run.
+    pub choice: ChosenVariant,
+    /// Phases actually sampled before deciding.
+    pub sampled: usize,
+    /// Total data-dependent tests across the sampled phases.
+    pub edges: u64,
+    /// Total successful updates across the sampled phases.
+    pub updates: u64,
+    /// The misprediction bound the rule charged the branch-based variant:
+    /// `min(edges, 2 * updates)` (a 2-bit predictor misses at most twice
+    /// per taken transition, and never more than once per test).
+    pub mispredictions: u64,
+}
+
+/// Accumulates per-phase tally samples and applies the crossover rule.
+///
+/// Feed it one [`record_phase`](VariantAdvisor::record_phase) call per
+/// completed instrumented phase; after
+/// [`AdvisorConfig::sample_phases`] phases it returns `Some(decision)`
+/// exactly once and ignores further samples.
+#[derive(Clone, Debug)]
+pub struct VariantAdvisor {
+    config: AdvisorConfig,
+    sampled: usize,
+    edges: u64,
+    updates: u64,
+    decided: bool,
+}
+
+impl VariantAdvisor {
+    /// A fresh advisor with the given rule parameters.
+    pub fn new(config: AdvisorConfig) -> Self {
+        VariantAdvisor {
+            config: AdvisorConfig {
+                // Deciding on zero samples would make every run switch on
+                // no evidence; clamp to at least one phase.
+                sample_phases: config.sample_phases.max(1),
+                ..config
+            },
+            sampled: 0,
+            edges: 0,
+            updates: 0,
+            decided: false,
+        }
+    }
+
+    /// Records one completed instrumented phase and, on the configured
+    /// phase, returns the decision. Returns `None` while still sampling and
+    /// after the decision has been emitted.
+    pub fn record_phase(&mut self, edges: u64, updates: u64) -> Option<VariantDecision> {
+        if self.decided {
+            return None;
+        }
+        self.sampled += 1;
+        self.edges = self.edges.saturating_add(edges);
+        self.updates = self.updates.saturating_add(updates);
+        if self.sampled < self.config.sample_phases {
+            return None;
+        }
+        self.decided = true;
+        Some(self.decide())
+    }
+
+    /// Whether the advisor has already emitted its decision.
+    pub fn decided(&self) -> bool {
+        self.decided
+    }
+
+    fn decide(&self) -> VariantDecision {
+        let mispredictions = predicted_mispredictions(self.edges, self.updates);
+        let choice = if branch_avoiding_wins(
+            self.edges,
+            self.updates,
+            self.config.miss_cost,
+            self.config.atomic_cost,
+        ) {
+            ChosenVariant::BranchAvoiding
+        } else {
+            ChosenVariant::BranchBased
+        };
+        VariantDecision {
+            choice,
+            sampled: self.sampled,
+            edges: self.edges,
+            updates: self.updates,
+            mispredictions,
+        }
+    }
+}
+
+/// Upper bound on branch-based mispredictions over `edges` data-dependent
+/// tests of which `updates` succeeded: a 2-bit predictor parked in
+/// not-taken misses at most twice per successful (taken) test, and can
+/// never miss more often than the tests execute.
+pub fn predicted_mispredictions(edges: u64, updates: u64) -> u64 {
+    edges.min(updates.saturating_mul(2))
+}
+
+/// The crossover rule: branch-avoiding wins when the modelled misprediction
+/// cost the branch-based variant pays exceeds the modelled atomic premium
+/// the branch-avoiding variant pays on every test.
+///
+/// `predicted_mispredictions(edges, updates) * miss_cost > edges * atomic_cost`,
+/// evaluated in `u128` so graph-scale counters cannot overflow.
+pub fn branch_avoiding_wins(edges: u64, updates: u64, miss_cost: u64, atomic_cost: u64) -> bool {
+    let miss_side = u128::from(predicted_mispredictions(edges, updates)) * u128::from(miss_cost);
+    let atomic_side = u128::from(edges) * u128::from(atomic_cost);
+    miss_side > atomic_side
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn update_heavy_prefix_picks_branch_avoiding() {
+        let mut advisor = VariantAdvisor::new(AdvisorConfig::default());
+        assert!(advisor.record_phase(100, 40).is_none());
+        assert!(advisor.record_phase(200, 90).is_none());
+        let decision = advisor.record_phase(300, 140).unwrap();
+        assert_eq!(decision.choice, ChosenVariant::BranchAvoiding);
+        assert_eq!(decision.sampled, 3);
+        assert_eq!(decision.edges, 600);
+        assert_eq!(decision.updates, 270);
+        assert_eq!(decision.mispredictions, 540);
+        assert!(advisor.decided());
+        // Further phases are ignored once the decision is out.
+        assert!(advisor.record_phase(1_000_000, 0).is_none());
+    }
+
+    #[test]
+    fn update_starved_prefix_stays_branch_based() {
+        // Almost no test succeeds: the predictor parks in not-taken and the
+        // branch-based variant barely mispredicts, so paying the atomic
+        // premium on every edge would lose.
+        let mut advisor = VariantAdvisor::new(AdvisorConfig::default());
+        advisor.record_phase(10_000, 10);
+        advisor.record_phase(20_000, 20);
+        let decision = advisor.record_phase(30_000, 30).unwrap();
+        assert_eq!(decision.choice, ChosenVariant::BranchBased);
+        assert_eq!(decision.mispredictions, 120);
+    }
+
+    #[test]
+    fn crossover_sits_where_the_costs_balance() {
+        let config = AdvisorConfig::default();
+        // With miss_cost 16 and atomic_cost 3, the break-even update ratio
+        // is updates/edges = 3/32. Just below stays based, just above
+        // switches.
+        let edges = 3200;
+        assert!(!branch_avoiding_wins(
+            edges,
+            300,
+            config.miss_cost,
+            config.atomic_cost
+        ));
+        assert!(branch_avoiding_wins(
+            edges,
+            301,
+            config.miss_cost,
+            config.atomic_cost
+        ));
+    }
+
+    #[test]
+    fn misprediction_bound_is_capped_by_edges() {
+        // Every test succeeding cannot miss more than once per test.
+        assert_eq!(predicted_mispredictions(100, 100), 100);
+        assert_eq!(predicted_mispredictions(100, 10), 20);
+        assert_eq!(predicted_mispredictions(0, 0), 0);
+    }
+
+    #[test]
+    fn zero_sample_config_is_clamped_to_one_phase() {
+        let mut advisor = VariantAdvisor::new(AdvisorConfig {
+            sample_phases: 0,
+            ..AdvisorConfig::default()
+        });
+        let decision = advisor.record_phase(10, 10).unwrap();
+        assert_eq!(decision.sampled, 1);
+    }
+
+    #[test]
+    fn huge_counters_do_not_overflow() {
+        assert!(branch_avoiding_wins(u64::MAX, u64::MAX, u64::MAX, 1));
+        let mut advisor = VariantAdvisor::new(AdvisorConfig {
+            sample_phases: 2,
+            ..AdvisorConfig::default()
+        });
+        advisor.record_phase(u64::MAX, u64::MAX);
+        let decision = advisor.record_phase(u64::MAX, u64::MAX).unwrap();
+        assert_eq!(decision.edges, u64::MAX); // saturated, not wrapped
+    }
+
+    #[test]
+    fn identical_streams_decide_identically() {
+        // Determinism pin: the rule is pure integer arithmetic.
+        let stream = [(123, 45), (678, 90), (1011, 121), (314, 15)];
+        let run = |config: AdvisorConfig| {
+            let mut advisor = VariantAdvisor::new(config);
+            let mut decisions = Vec::new();
+            for (index, (edges, updates)) in stream.iter().enumerate() {
+                if let Some(decision) = advisor.record_phase(*edges, *updates) {
+                    decisions.push((index, decision));
+                }
+            }
+            decisions
+        };
+        let config = AdvisorConfig::default();
+        assert_eq!(run(config), run(config));
+        assert_eq!(run(config).len(), 1);
+    }
+}

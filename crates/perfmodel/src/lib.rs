@@ -25,11 +25,13 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod advisor;
 pub mod bounds;
 pub mod correlation;
 pub mod summary;
 pub mod timing;
 
+pub use advisor::{AdvisorConfig, ChosenVariant, PhaseSample, VariantAdvisor, VariantDecision};
 pub use bounds::{
     bfs_misprediction_lower_bound, bfs_misprediction_upper_bound, sv_misprediction_lower_bound,
 };

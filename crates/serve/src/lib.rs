@@ -36,12 +36,12 @@ use bga_kernels::cc::ComponentLabels;
 use bga_kernels::kcore::CoreDecomposition;
 use bga_obs::{QueryKind, QueryPayload, QueryStatus, ServeRequest, ServeResponse, ServeStats};
 use bga_parallel::request::{
-    run_betweenness, run_betweenness_on, run_bfs, run_bfs_on, run_components, run_components_on,
-    run_kcore, run_kcore_on,
+    run_betweenness, run_betweenness_on, run_bfs, run_bfs_reusing, run_components,
+    run_components_on, run_kcore, run_kcore_on,
 };
 use bga_parallel::{
-    resolve_threads, BfsStrategy, CancelToken, PoolConfig, RunConfig, RunOutcome, Variant,
-    WorkerPool,
+    resolve_threads, BfsStrategy, CancelToken, PoolConfig, PoolMonitor, RunConfig, RunOutcome,
+    TraversalState, Variant, WorkerPool,
 };
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
@@ -145,6 +145,13 @@ struct ServerState<G> {
     /// The compute lock. Holding it serializes traversals — concurrent
     /// queries queue here and each runs at full pool width.
     pool: Mutex<WorkerPool>,
+    /// Work-distribution observer attached to the shared pool, drained
+    /// into the cumulative `pool_*` counters on every `stats` request.
+    monitor: Arc<PoolMonitor>,
+    /// One traversal-state allocation reused across every BFS query on
+    /// the shared pool (guarded by the same serialization as the pool
+    /// lock — `compute_on` runs with the pool lock held).
+    bfs_state: Mutex<TraversalState>,
     cache: Mutex<Lru>,
     stop: AtomicBool,
     queries: AtomicU64,
@@ -153,10 +160,33 @@ struct ServerState<G> {
     partials: AtomicU64,
     errors: AtomicU64,
     connections: AtomicU64,
+    query_micros: AtomicU64,
+    pool_batches: AtomicU64,
+    pool_parks: AtomicU64,
+    pool_wakes: AtomicU64,
+    pool_max_imbalance_permille: AtomicU64,
 }
 
 impl<G: AdjacencySource> ServerState<G> {
+    /// Drains the pool monitor into the cumulative `pool_*` counters.
+    /// Called before every stats read so the report covers all compute
+    /// so far; the counters are monotone, so concurrent drains only race
+    /// over which one publishes a batch first.
+    fn drain_pool_metrics(&self) {
+        let metrics = self.monitor.take_metrics();
+        self.pool_parks.fetch_add(metrics.parks, Relaxed);
+        self.pool_wakes.fetch_add(metrics.wakes, Relaxed);
+        self.pool_batches
+            .fetch_add(metrics.batches.len() as u64, Relaxed);
+        for batch in &metrics.batches {
+            let permille = (batch.imbalance() * 1000.0) as u64;
+            self.pool_max_imbalance_permille
+                .fetch_max(permille, Relaxed);
+        }
+    }
+
     fn stats(&self) -> ServeStats {
+        self.drain_pool_metrics();
         ServeStats {
             queries: self.queries.load(Relaxed),
             cache_hits: self.cache_hits.load(Relaxed),
@@ -169,6 +199,11 @@ impl<G: AdjacencySource> ServerState<G> {
             graph_edges: self.graph.num_edge_slots() as u64,
             epoch: SNAPSHOT_EPOCH,
             threads: self.threads as u64,
+            query_micros: self.query_micros.load(Relaxed),
+            pool_batches: self.pool_batches.load(Relaxed),
+            pool_parks: self.pool_parks.load(Relaxed),
+            pool_wakes: self.pool_wakes.load(Relaxed),
+            pool_max_imbalance_permille: self.pool_max_imbalance_permille.load(Relaxed),
         }
     }
 
@@ -203,7 +238,17 @@ impl<G: AdjacencySource> ServerState<G> {
         let grain = self.grain;
         match key {
             CacheKey::Bfs { root, variant } => {
-                let run = run_bfs_on(g, root, BfsStrategy::Plain(variant), pool, grain);
+                // Reuse the server-lifetime traversal allocation instead
+                // of building fresh atomic arrays per query.
+                let mut state = self.bfs_state.lock().unwrap();
+                let run = run_bfs_reusing(
+                    g,
+                    root,
+                    BfsStrategy::Plain(variant),
+                    pool,
+                    grain,
+                    &mut state,
+                );
                 Cached::Bfs(Arc::new(run.result))
             }
             CacheKey::Components { variant } => {
@@ -266,7 +311,7 @@ impl<G: AdjacencySource> ServerState<G> {
                     self.errors.fetch_add(1, Relaxed);
                     return ServeResponse::Error {
                         message: format!(
-                            "unknown variant {name:?} (expected branch-based or branch-avoiding)"
+                            "unknown variant {name:?} (expected branch-based, branch-avoiding or auto)"
                         ),
                     };
                 }
@@ -300,6 +345,8 @@ impl<G: AdjacencySource> ServerState<G> {
         let deadline = timeout_ms.map(Duration::from_millis);
         let (value, cached, complete) = self.resolve(key, deadline);
         let payload = self.payload(kind, &value);
+        let micros = started.elapsed().as_micros() as u64;
+        self.query_micros.fetch_add(micros, Relaxed);
         ServeResponse::Query {
             status: if complete {
                 QueryStatus::Ok
@@ -308,7 +355,7 @@ impl<G: AdjacencySource> ServerState<G> {
             },
             payload,
             cached,
-            micros: started.elapsed().as_micros() as u64,
+            micros,
         }
     }
 
@@ -391,12 +438,19 @@ impl<G: AdjacencySource + Send + Sync + 'static> Server<G> {
         let listener = TcpListener::bind(addr)?;
         let threads = resolve_threads(options.threads);
         let config = PoolConfig::from_env(options.threads);
+        let monitor = PoolMonitor::new();
+        let vertices = graph.num_vertices();
         let state = Arc::new(ServerState {
             graph: Arc::new(graph),
             threads,
             grain: config.grain,
             default_variant: options.default_variant,
-            pool: Mutex::new(WorkerPool::with_config(&config)),
+            pool: Mutex::new(WorkerPool::with_monitor(
+                config.threads,
+                Arc::clone(&monitor),
+            )),
+            monitor,
+            bfs_state: Mutex::new(TraversalState::new(vertices)),
             cache: Mutex::new(Lru::new(options.cache_capacity)),
             stop: AtomicBool::new(false),
             queries: AtomicU64::new(0),
@@ -405,6 +459,11 @@ impl<G: AdjacencySource + Send + Sync + 'static> Server<G> {
             partials: AtomicU64::new(0),
             errors: AtomicU64::new(0),
             connections: AtomicU64::new(0),
+            query_micros: AtomicU64::new(0),
+            pool_batches: AtomicU64::new(0),
+            pool_parks: AtomicU64::new(0),
+            pool_wakes: AtomicU64::new(0),
+            pool_max_imbalance_permille: AtomicU64::new(0),
         });
         Ok(Server { listener, state })
     }
@@ -742,6 +801,74 @@ mod tests {
         };
         assert_eq!(stats.errors, 4);
 
+        client.shutdown();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn auto_variant_queries_are_answered_and_memoized() {
+        let (addr, handle) = start(ServeOptions {
+            threads: 2,
+            ..ServeOptions::default()
+        });
+        let mut client = Client::connect(addr);
+        let request = ServeRequest::Query {
+            kind: QueryKind::Distance {
+                root: 0,
+                target: 63,
+            },
+            variant: Some("auto".to_string()),
+            timeout_ms: None,
+        };
+        let (status, answer, cached) = payload(client.send(&request));
+        assert_eq!(status, QueryStatus::Ok);
+        assert_eq!(answer, QueryPayload::Distance(Some(14)));
+        assert!(!cached);
+        // The advisor's decision rides the memoized result: the repeat
+        // query hits the cache under the `auto` key.
+        let (_, answer, cached) = payload(client.send(&request));
+        assert_eq!(answer, QueryPayload::Distance(Some(14)));
+        assert!(cached);
+
+        let ServeResponse::Stats(stats) = client.send(&ServeRequest::Stats) else {
+            panic!("expected stats");
+        };
+        assert_eq!(stats.queries, 2);
+        assert_eq!(stats.cache_hits, 1);
+        assert!(stats.query_micros > 0);
+        client.shutdown();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn stats_expose_pool_work_distribution() {
+        // Big enough that BFS levels out-weigh the fan-out grain, so the
+        // shared pool actually distributes chunks to its parked worker.
+        let graph = bga_graph::generators::barabasi_albert(20_000, 4, 3);
+        let server = Server::bind(
+            graph,
+            "127.0.0.1:0",
+            ServeOptions {
+                threads: 2,
+                ..ServeOptions::default()
+            },
+        )
+        .unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = thread::spawn(move || server.serve().unwrap());
+        let mut client = Client::connect(addr);
+        let (status, _, _) = payload(client.query(QueryKind::Distance {
+            root: 0,
+            target: 19_999,
+        }));
+        assert_eq!(status, QueryStatus::Ok);
+        let ServeResponse::Stats(stats) = client.send(&ServeRequest::Stats) else {
+            panic!("expected stats");
+        };
+        assert!(stats.pool_batches > 0, "no fanned-out batches recorded");
+        // Imbalance is a ratio ≥ 1.0, reported in permille.
+        assert!(stats.pool_max_imbalance_permille >= 1000);
+        assert!(stats.pool_parks > 0);
         client.shutdown();
         handle.join().unwrap();
     }

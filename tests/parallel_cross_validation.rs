@@ -565,8 +565,139 @@ fn instrumented_parallel_counters_merge_consistently() {
     }
 }
 
+/// `Variant::Auto` is runtime *selection*, not a third algorithm: every
+/// kernel samples a branch-based prefix, switches (or stays) at a phase
+/// boundary, and must land on exactly the results both static disciplines
+/// produce. Grain 1 maximises interleavings; threads 1, 2 and 8 cover the
+/// sequential-degenerate, contended and oversubscribed regimes.
+#[test]
+fn auto_variant_is_bit_identical_to_the_static_variants() {
+    let g = relabel_random(&barabasi_albert(600, 3, 7), 5);
+    let wg = uniform_weights(&g, 24, 11);
+    let sources: Vec<u32> = (0..6).collect();
+    let grain1 = |threads: usize| config(threads).grain(1);
+    for threads in THREAD_COUNTS {
+        let auto_sv = run_components(&g, Variant::Auto, &grain1(threads)).0.labels;
+        let auto_bfs = run_bfs(&g, 0, BfsStrategy::Plain(Variant::Auto), &grain1(threads))
+            .0
+            .result;
+        let auto_kcore = run_kcore(&g, Variant::Auto, &grain1(threads)).0.cores;
+        let auto_sssp = run_sssp_unit(&g, 0, Variant::Auto, &grain1(threads))
+            .0
+            .result;
+        let auto_wsssp = run_sssp_weighted(&wg, 0, 4, Variant::Auto, &grain1(threads))
+            .0
+            .result;
+        let auto_bc = run_betweenness(&g, Variant::Auto, Some(&sources), &grain1(threads))
+            .0
+            .scores;
+        for variant in [Variant::BranchBased, Variant::BranchAvoiding] {
+            let context = format!("auto vs {variant:?} at {threads} threads");
+            assert_eq!(
+                auto_sv.as_slice(),
+                run_components(&g, variant, &grain1(threads))
+                    .0
+                    .labels
+                    .as_slice(),
+                "cc: {context}"
+            );
+            assert_eq!(
+                auto_bfs.distances(),
+                run_bfs(&g, 0, BfsStrategy::Plain(variant), &grain1(threads))
+                    .0
+                    .result
+                    .distances(),
+                "bfs: {context}"
+            );
+            assert_eq!(
+                auto_kcore.as_slice(),
+                run_kcore(&g, variant, &grain1(threads)).0.cores.as_slice(),
+                "kcore: {context}"
+            );
+            assert_eq!(
+                auto_sssp.distances(),
+                run_sssp_unit(&g, 0, variant, &grain1(threads))
+                    .0
+                    .result
+                    .distances(),
+                "sssp: {context}"
+            );
+            assert_eq!(
+                auto_wsssp.distances(),
+                run_sssp_weighted(&wg, 0, 4, variant, &grain1(threads))
+                    .0
+                    .result
+                    .distances(),
+                "wsssp: {context}"
+            );
+            // The pull-style back-sweep is bit-deterministic, so auto bc
+            // scores match to the bit, not merely within tolerance.
+            let static_bc = run_betweenness(&g, variant, Some(&sources), &grain1(threads))
+                .0
+                .scores;
+            for (i, (a, b)) in auto_bc.iter().zip(static_bc.iter()).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "bc vertex {i}: {context}");
+            }
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The advisor's crossover rule is pure integer arithmetic: the same
+    /// tally stream always yields the same single decision, emitted on
+    /// exactly the configured phase, and the choice agrees with the
+    /// closed-form rule applied to the accumulated prefix.
+    #[test]
+    fn advisor_decisions_are_a_pure_function_of_the_tally_stream(
+        stream in proptest::collection::vec((0u64..1u64 << 40, 0u64..1u64 << 40), 1..12),
+        sample_phases in 1usize..6,
+    ) {
+        use branch_avoiding_graphs::perfmodel::advisor::{
+            branch_avoiding_wins, predicted_mispredictions, AdvisorConfig, ChosenVariant,
+            VariantAdvisor,
+        };
+        let config = AdvisorConfig { sample_phases, ..AdvisorConfig::default() };
+        let feed = || {
+            let mut advisor = VariantAdvisor::new(config);
+            let mut decisions = Vec::new();
+            for (index, (edges, updates)) in stream.iter().enumerate() {
+                if let Some(decision) = advisor.record_phase(*edges, *updates) {
+                    decisions.push((index, decision));
+                }
+            }
+            decisions
+        };
+        let first = feed();
+        prop_assert_eq!(&first, &feed(), "same stream, different decisions");
+        if stream.len() >= sample_phases {
+            prop_assert_eq!(first.len(), 1, "decision must fire exactly once");
+            let (index, decision) = first[0];
+            prop_assert_eq!(index, sample_phases - 1, "decision fired on the wrong phase");
+            let edges: u64 = stream[..sample_phases].iter().map(|(e, _)| e).sum();
+            let updates: u64 = stream[..sample_phases].iter().map(|(_, u)| u).sum();
+            prop_assert_eq!(decision.edges, edges);
+            prop_assert_eq!(decision.updates, updates);
+            prop_assert_eq!(
+                decision.mispredictions,
+                predicted_mispredictions(edges, updates)
+            );
+            let expected = if branch_avoiding_wins(
+                edges,
+                updates,
+                config.miss_cost,
+                config.atomic_cost,
+            ) {
+                ChosenVariant::BranchAvoiding
+            } else {
+                ChosenVariant::BranchBased
+            };
+            prop_assert_eq!(decision.choice, expected);
+        } else {
+            prop_assert!(first.is_empty(), "decided before the sampling window filled");
+        }
+    }
 
     /// Random sparse graphs with randomly permuted labels: parallel SV and
     /// BFS agree with the sequential kernels at 1, 2 and 8 threads.

@@ -193,6 +193,9 @@ fn normalized(events: Vec<TraceEvent>) -> Vec<TraceEvent> {
                 phase.wall_ns = 0;
                 Some(TraceEvent::Phase(phase))
             }
+            // Advisor decisions are deterministic functions of the phase
+            // tallies, so they must replay identically too.
+            decision @ TraceEvent::Decision(_) => Some(decision),
             TraceEvent::RunEnd {
                 phases,
                 totals,
